@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared helpers for the per-figure bench binaries: headers, simple
+ * fixed-width table printing, and percentage formatting.
+ */
+
+#ifndef TARCH_BENCH_BENCH_COMMON_H
+#define TARCH_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace tarch::bench {
+
+inline void
+banner(const char *title, const char *paper_ref)
+{
+    std::printf("\n=============================================================\n");
+    std::printf("%s\n", title);
+    std::printf("(reproduces %s of Kim et al., ASPLOS'17)\n", paper_ref);
+    std::printf("=============================================================\n");
+}
+
+inline double
+pct(double ratio)
+{
+    return 100.0 * ratio;
+}
+
+/** "typed vs baseline" percentage speedup. */
+inline double
+speedupPct(const harness::RunResult &base, const harness::RunResult &var)
+{
+    return pct(harness::speedupOf(base, var) - 1.0);
+}
+
+} // namespace tarch::bench
+
+#endif // TARCH_BENCH_BENCH_COMMON_H

@@ -1,0 +1,105 @@
+// Figure 2: (a) breakdown of dynamic bytecodes for the Lua scripts;
+// (b) dynamic native instructions per bytecode for the five hot
+// bytecodes, split by handler path (int fast path / float path / slow
+// path), measured with the zero-cost PC-marker region counters.
+
+#include <algorithm>
+
+#include "bench_common.h"
+
+using namespace tarch;
+using namespace tarch::harness;
+
+namespace {
+
+void
+fig2a(const Sweep &sweep)
+{
+    std::printf("\n--- Figure 2(a): dynamic bytecode breakdown "
+                "(%s baseline) ---\n",
+                engineName(sweep.engine));
+    for (size_t b = 0; b < sweep.results.size(); ++b) {
+        const auto &run = sweep.at(b, vm::Variant::Baseline);
+        const double total =
+            static_cast<double>(run.dynamicBytecodes);
+        std::vector<std::pair<std::string, uint64_t>> sorted(
+            run.bytecodeProfile.begin(), run.bytecodeProfile.end());
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.second > b.second;
+                  });
+        std::printf("%-16s", run.benchmark.c_str());
+        double shown = 0.0;
+        for (size_t i = 0; i < sorted.size() && i < 6; ++i) {
+            if (sorted[i].second == 0)
+                break;
+            const double share = 100.0 * sorted[i].second / total;
+            shown += share;
+            std::printf("  %s %.1f%%", sorted[i].first.c_str(), share);
+        }
+        std::printf("  (other %.1f%%)\n", 100.0 - shown);
+    }
+}
+
+void
+fig2b(const Sweep &sweep)
+{
+    std::printf("\n--- Figure 2(b): native instructions per hot "
+                "bytecode, by path (%s baseline) ---\n",
+                engineName(sweep.engine));
+    const bool lua = sweep.engine == Engine::Lua;
+    const char *hot[5] = {"ADD", "SUB", "MUL",
+                          lua ? "GETTABLE" : "GETELEM",
+                          lua ? "SETTABLE" : "SETELEM"};
+    std::printf("%-10s %18s %18s %18s\n", "bytecode", "int path",
+                "float path", "slow path");
+    // Aggregate over all benchmarks of the sweep.
+    for (const char *op : hot) {
+        uint64_t hits[3] = {0, 0, 0}, instrs[3] = {0, 0, 0};
+        const std::string keys[3] = {std::string("op:") + op,
+                                     std::string("op:") + op + ":flt",
+                                     std::string("slow:") + op};
+        for (size_t b = 0; b < sweep.results.size(); ++b) {
+            const auto &run = sweep.at(b, vm::Variant::Baseline);
+            for (int k = 0; k < 3; ++k) {
+                const auto it = run.markerDetail.find(keys[k]);
+                if (it == run.markerDetail.end())
+                    continue;
+                hits[k] += it->second.first;
+                instrs[k] += it->second.second;
+            }
+        }
+        // The handler-entry region covers decode+int path; the :flt
+        // region covers the float continuation; slow its own.
+        auto fmt = [](uint64_t h, uint64_t n) {
+            return h ? static_cast<double>(n) / static_cast<double>(h)
+                     : 0.0;
+        };
+        // Entry hits include executions that continued into flt/slow.
+        std::printf("%-10s %12.1f (x%8llu) %6.1f (x%8llu) %6.1f "
+                    "(x%8llu)\n",
+                    op, fmt(hits[0], instrs[0]),
+                    (unsigned long long)hits[0], fmt(hits[1], instrs[1]),
+                    (unsigned long long)hits[1], fmt(hits[2], instrs[2]),
+                    (unsigned long long)hits[2]);
+    }
+    std::printf("(instructions attributed per region; a float/slow "
+                "execution also passes\nthrough the shared decode "
+                "region counted under the int column)\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 2: bytecode profile of the interpreters",
+                  "Figure 2");
+    const Sweep lua = runSweepCached(Engine::Lua);
+    fig2a(lua);
+    fig2b(lua);
+    const Sweep js = runSweepCached(Engine::Js);
+    fig2a(js);
+    fig2b(js);
+    return 0;
+}

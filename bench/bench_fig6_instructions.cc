@@ -1,0 +1,59 @@
+// Figure 6: reduction of dynamic instruction count (the higher, the
+// better).  Paper: 11.2% (Lua) and 4.4% (JS) average reduction for
+// Typed Architecture.
+
+#include "bench_common.h"
+
+using namespace tarch;
+using namespace tarch::harness;
+
+namespace {
+
+void
+report(const Sweep &sweep)
+{
+    std::printf("\n--- %s (dynamic instruction reduction vs baseline) "
+                "---\n",
+                engineName(sweep.engine));
+    std::printf("%-16s %14s %14s\n", "benchmark", "typed (%)",
+                "checked-load (%)");
+    std::vector<double> typed_red, cl_red;
+    for (size_t b = 0; b < sweep.results.size(); ++b) {
+        const auto &base = sweep.at(b, vm::Variant::Baseline);
+        const auto &typed = sweep.at(b, vm::Variant::Typed);
+        const auto &cl = sweep.at(b, vm::Variant::CheckedLoad);
+        const double rt =
+            1.0 - static_cast<double>(typed.stats.instructions) /
+                      static_cast<double>(base.stats.instructions);
+        const double rc =
+            1.0 - static_cast<double>(cl.stats.instructions) /
+                      static_cast<double>(base.stats.instructions);
+        typed_red.push_back(rt);
+        cl_red.push_back(rc);
+        std::printf("%-16s %+13.1f%% %+13.1f%%\n", base.benchmark.c_str(),
+                    bench::pct(rt), bench::pct(rc));
+    }
+    double t_avg = 0, c_avg = 0;
+    for (size_t i = 0; i < typed_red.size(); ++i) {
+        t_avg += typed_red[i];
+        c_avg += cl_red[i];
+    }
+    t_avg /= typed_red.size();
+    c_avg /= cl_red.size();
+    std::printf("%-16s %+13.1f%% %+13.1f%%\n", "average",
+                bench::pct(t_avg), bench::pct(c_avg));
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 6: dynamic instruction count reduction",
+                  "Figure 6");
+    std::printf("\nPaper reference: average reduction 11.2%% (Lua) and "
+                "4.4%% (JS).\n");
+    report(runSweepCached(Engine::Lua));
+    report(runSweepCached(Engine::Js));
+    return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 7: branch miss rates in mispredictions per kilo-instruction
+// (MPKI) for the three designs (the lower, the better).
+
+#include "bench_common.h"
+
+using namespace tarch;
+using namespace tarch::harness;
+
+namespace {
+
+void
+report(const Sweep &sweep)
+{
+    std::printf("\n--- %s (branch MPKI) ---\n", engineName(sweep.engine));
+    std::printf("%-16s %10s %10s %12s\n", "benchmark", "baseline",
+                "typed", "checked-load");
+    for (size_t b = 0; b < sweep.results.size(); ++b) {
+        const auto &base = sweep.at(b, vm::Variant::Baseline);
+        const auto &typed = sweep.at(b, vm::Variant::Typed);
+        const auto &cl = sweep.at(b, vm::Variant::CheckedLoad);
+        std::printf("%-16s %10.2f %10.2f %12.2f\n",
+                    base.benchmark.c_str(), base.stats.branchMpki(),
+                    typed.stats.branchMpki(), cl.stats.branchMpki());
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Figure 7: branch miss rates (MPKI, lower is better)",
+        "Figure 7");
+    std::printf("\nExpected shape: the typed variant removes the "
+                "type-guard branches, so its\nMPKI is at or below the "
+                "baseline's on guard-heavy benchmarks (e.g. fibo,\n"
+                "fannkuch-redux, n-sieve).\n");
+    report(runSweepCached(Engine::Lua));
+    report(runSweepCached(Engine::Js));
+    return 0;
+}

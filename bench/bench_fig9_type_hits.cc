@@ -1,0 +1,54 @@
+// Figure 9: type hit and miss rates of the hardware type checks (TRT
+// lookups by xadd/xsub/xmul/tchk), normalized to the dynamic bytecode
+// count, per benchmark and engine.  Overflow-induced fast-path aborts
+// are reported separately, as in the paper ("the number of overflows is
+// not included in Figure 9").
+
+#include "bench_common.h"
+
+using namespace tarch;
+using namespace tarch::harness;
+
+namespace {
+
+void
+report(const Sweep &sweep)
+{
+    std::printf("\n--- %s (typed variant) ---\n",
+                engineName(sweep.engine));
+    std::printf("%-16s %12s %12s %12s %12s\n", "benchmark",
+                "hits/bc (%)", "miss/bc (%)", "hit rate (%)",
+                "overflow/bc");
+    for (size_t b = 0; b < sweep.results.size(); ++b) {
+        const auto &typed = sweep.at(b, vm::Variant::Typed);
+        const double bc =
+            static_cast<double>(typed.dynamicBytecodes);
+        const double hits = static_cast<double>(typed.stats.trt.hits);
+        const double misses =
+            static_cast<double>(typed.stats.trt.misses());
+        const double lookups = hits + misses;
+        std::printf("%-16s %11.1f%% %11.1f%% %11.1f%% %12.4f\n",
+                    typed.benchmark.c_str(), 100.0 * hits / bc,
+                    100.0 * misses / bc,
+                    lookups > 0 ? 100.0 * hits / lookups : 0.0,
+                    static_cast<double>(typed.stats.typeOverflowMisses) /
+                        bc);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Figure 9: type hit/miss rates normalized to dynamic bytecodes",
+        "Figure 9");
+    std::printf("\nExpected shape: near-100%% hit rates for the "
+                "int- and table-oriented\nbenchmarks; visible misses for "
+                "k-nucleotide (string-keyed tables) and the\nmixed-type "
+                "slow paths.\n");
+    report(runSweepCached(Engine::Lua));
+    report(runSweepCached(Engine::Js));
+    return 0;
+}

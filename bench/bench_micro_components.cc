@@ -1,0 +1,150 @@
+// Microbenchmarks of the simulator components themselves
+// (google-benchmark): cache, branch predictors, TRT, tag codec,
+// assembler, and end-to-end simulated instruction throughput.  These
+// characterize the reproduction infrastructure, not the paper's
+// results.
+
+#include <benchmark/benchmark.h>
+
+#include "assembler/assembler.h"
+#include "common/strutil.h"
+#include "branch/branch_unit.h"
+#include "core/core.h"
+#include "mem/cache.h"
+#include "typed/tag_codec.h"
+#include "typed/type_rule_table.h"
+#include "vm/lua/lua_vm.h"
+
+using namespace tarch;
+
+namespace {
+
+void
+BM_CacheHit(benchmark::State &state)
+{
+    mem::Dram dram;
+    mem::Cache cache({"bench", 16 * 1024, 4, 64, 1}, dram);
+    cache.access(0, false);
+    uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addr & 0xFFF, false));
+        addr += 64;
+    }
+}
+BENCHMARK(BM_CacheHit);
+
+void
+BM_CacheMissStream(benchmark::State &state)
+{
+    mem::Dram dram;
+    mem::Cache cache({"bench", 16 * 1024, 4, 64, 1}, dram);
+    uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addr, false));
+        addr += 4096;  // new set, eventually evictions
+    }
+}
+BENCHMARK(BM_CacheMissStream);
+
+void
+BM_GsharePredictUpdate(benchmark::State &state)
+{
+    branch::BranchUnit bu;
+    uint64_t pc = 0x1000;
+    bool taken = false;
+    for (auto _ : state) {
+        taken = !taken;
+        benchmark::DoNotOptimize(bu.condBranch(pc, taken, pc + 64));
+        pc = (pc + 4) & 0xFFFF;
+    }
+}
+BENCHMARK(BM_GsharePredictUpdate);
+
+void
+BM_TrtLookupHit(benchmark::State &state)
+{
+    typed::TypeRuleTable trt(8);
+    trt.push({typed::RuleOp::Add, 0x13, 0x13, 0x13});
+    trt.push({typed::RuleOp::Add, 0x83, 0x83, 0x83});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            trt.lookup(typed::RuleOp::Add, 0x83, 0x83));
+}
+BENCHMARK(BM_TrtLookupHit);
+
+void
+BM_TagExtractNanBox(benchmark::State &state)
+{
+    const typed::TagConfig cfg{0b100, 47, 0x0F};
+    uint64_t v = 0xFFF9000000000001ULL;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(typed::TagCodec::extract(cfg, v, v));
+        ++v;
+    }
+}
+BENCHMARK(BM_TagExtractNanBox);
+
+void
+BM_AssembleInterpreterSizedProgram(benchmark::State &state)
+{
+    std::string src;
+    for (int i = 0; i < 500; ++i)
+        src += tarch::strformat("l%d: addi a0, a0, 1\n    bnez a0, l%d\n", i, i);
+    src += "halt\n";
+    for (auto _ : state) {
+        const auto program = assembler::assemble(src);
+        benchmark::DoNotOptimize(program.text.size());
+    }
+    state.SetItemsProcessed(state.iterations() * 1001);
+}
+BENCHMARK(BM_AssembleInterpreterSizedProgram);
+
+void
+BM_SimulatedMips(benchmark::State &state)
+{
+    // End-to-end simulated-instruction throughput on a hot loop.
+    core::Core core;
+    core.loadProgram(assembler::assemble(R"(
+        li a1, 1000000000
+l:      addi a1, a1, -1
+        bnez a1, l
+        halt
+    )"));
+    uint64_t executed = 0;
+    for (auto _ : state) {
+        core.step();
+        ++executed;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(executed));
+}
+BENCHMARK(BM_SimulatedMips);
+
+void
+BM_LuaVmBuild(benchmark::State &state)
+{
+    const char *src = "local s = 0\nfor i = 1, 10 do s = s + i end\n"
+                      "print(s)\n";
+    for (auto _ : state) {
+        vm::lua::LuaVm vm(src);
+        benchmark::DoNotOptimize(vm.core().pc());
+    }
+}
+BENCHMARK(BM_LuaVmBuild);
+
+void
+BM_LuaVmBuildAndRunSmallLoop(benchmark::State &state)
+{
+    // Build + run together (PauseTiming per iteration is prohibitively
+    // slow); BM_LuaVmBuild above isolates the build share.
+    for (auto _ : state) {
+        vm::lua::LuaVm vm(
+            "local s = 0\nfor i = 1, 1000 do s = s + i end\nprint(s)\n");
+        vm.run();
+        benchmark::DoNotOptimize(vm.output().size());
+    }
+}
+BENCHMARK(BM_LuaVmBuildAndRunSmallLoop);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Table 8: hardware overhead breakdown (area, power) of the Typed
+// Architecture extension, and the EDP improvement computed from the
+// modeled power overhead and the measured cycle counts.
+// Paper: +1.6% area, +3.7% power, EDP -16.5% (Lua) / -19.3% (JS).
+
+#include "bench_common.h"
+#include "power/power_model.h"
+
+using namespace tarch;
+using namespace tarch::harness;
+
+namespace {
+
+double
+geomeanSpeedup(const Sweep &sweep)
+{
+    std::vector<double> ratios;
+    for (size_t b = 0; b < sweep.results.size(); ++b)
+        ratios.push_back(speedupOf(sweep.at(b, vm::Variant::Baseline),
+                                   sweep.at(b, vm::Variant::Typed)));
+    return geomean(ratios);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table 8: hardware overhead breakdown (area, power)",
+                  "Table 8 and Section 7.2");
+
+    const power::SynthesisReport report = power::buildTable8();
+    std::printf("\n%-12s | %-22s | %-22s\n", "", "Baseline",
+                "Typed Architecture");
+    std::printf("%-12s | %10s %11s | %10s %11s\n", "Module",
+                "Area (mm2)", "Power (mW)", "Area (mm2)", "Power (mW)");
+    for (size_t i = 0; i < report.baseline.size(); ++i) {
+        const auto &b = report.baseline[i];
+        const auto &t = report.typedArch[i];
+        std::printf("%*s%-*s | %10.3f %11.2f | %10.3f %11.2f\n",
+                    b.depth * 2, "", 12 - b.depth * 2, b.name.c_str(),
+                    b.areaMm2, b.powerMw, t.areaMm2, t.powerMw);
+    }
+    std::printf("\nArea overhead:  %+5.1f%%   (paper: +1.6%%)\n",
+                bench::pct(report.areaOverhead()));
+    std::printf("Power overhead: %+5.1f%%   (paper: +3.7%%)\n",
+                bench::pct(report.powerOverhead()));
+
+    const double power_ratio = 1.0 + report.powerOverhead();
+    const Sweep lua = runSweepCached(Engine::Lua);
+    const Sweep js = runSweepCached(Engine::Js);
+    const double lua_speedup = geomeanSpeedup(lua);
+    const double js_speedup = geomeanSpeedup(js);
+    std::printf("\nEDP improvement (modeled power x measured cycles^2):\n");
+    std::printf("  MiniLua: %5.1f%% (speedup %+.1f%%; paper: 16.5%% at "
+                "+9.9%% speedup)\n",
+                bench::pct(power::edpImprovement(lua_speedup,
+                                                 power_ratio)),
+                bench::pct(lua_speedup - 1));
+    std::printf("  MiniJS:  %5.1f%% (speedup %+.1f%%; paper: 19.3%% at "
+                "+11.2%% speedup)\n",
+                bench::pct(power::edpImprovement(js_speedup,
+                                                 power_ratio)),
+                bench::pct(js_speedup - 1));
+    return 0;
+}

@@ -1,0 +1,93 @@
+// asm_run: a generic TRV64 simulator front end — assemble a .s file,
+// run it, and print the guest output plus the performance counters.
+// This is the bare-metal counterpart of run_script.
+//
+//   asm_run <file.s> [--max-instr=N] [--trace=N]
+//
+// Example program (save as hello.s):
+//     _start:
+//         la a0, msg
+//         sys 4
+//         halt
+//         .data
+//     msg: .asciiz "hello from TRV64\n"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "assembler/assembler.h"
+#include "common/log.h"
+#include "core/core.h"
+
+using namespace tarch;
+
+int
+main(int argc, char **argv)
+{
+    std::string path;
+    uint64_t max_instr = 0;
+    size_t trace_depth = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--max-instr=", 0) == 0)
+            max_instr = std::stoull(arg.substr(12));
+        else if (arg.rfind("--trace=", 0) == 0)
+            trace_depth = std::stoull(arg.substr(8));
+        else
+            path = arg;
+    }
+    if (path.empty()) {
+        std::fprintf(stderr,
+                     "usage: asm_run <file.s> [--max-instr=N] "
+                     "[--trace=N]\n");
+        return 2;
+    }
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    try {
+        core::CoreConfig cfg;
+        if (max_instr)
+            cfg.maxInstructions = max_instr;
+        core::Core core(cfg);
+        core::Tracer tracer(trace_depth ? trace_depth : 16);
+        if (trace_depth)
+            core.setTracer(&tracer);
+        core.loadProgram(assembler::assemble(buf.str()));
+        const int code = core.run();
+        std::fputs(core.output().c_str(), stdout);
+
+        const core::CoreStats stats = core.collectStats();
+        std::fprintf(stderr, "\nexit code      %12d\n", code);
+        std::fprintf(stderr, "instructions   %12llu\n",
+                     (unsigned long long)stats.instructions);
+        std::fprintf(stderr, "cycles         %12llu  (IPC %.3f)\n",
+                     (unsigned long long)stats.cycles, stats.ipc());
+        std::fprintf(stderr, "loads/stores   %12llu / %llu\n",
+                     (unsigned long long)stats.loads,
+                     (unsigned long long)stats.stores);
+        std::fprintf(stderr, "branch MPKI    %12.2f\n",
+                     stats.branchMpki());
+        std::fprintf(stderr, "i$/d$ MPKI     %9.3f / %.3f\n",
+                     stats.icacheMpki(), stats.dcacheMpki());
+        if (stats.trt.lookups)
+            std::fprintf(stderr, "type checks    %12llu (miss %llu)\n",
+                         (unsigned long long)stats.trt.lookups,
+                         (unsigned long long)stats.trt.misses());
+        if (trace_depth) {
+            std::fprintf(stderr, "last instructions:\n%s",
+                         tracer.dump().c_str());
+        }
+        return code;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}

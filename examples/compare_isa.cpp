@@ -1,0 +1,106 @@
+// compare_isa: run one MiniScript program on all three ISA variants of
+// one engine and print a per-program version of the paper's headline
+// comparison (speedup, instruction reduction, branch/I-cache MPKI,
+// type-check statistics).
+//
+//   compare_isa <file.ms> [--engine=lua|js]
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/log.h"
+#include "vm/js/js_vm.h"
+#include "vm/lua/lua_vm.h"
+
+using namespace tarch;
+
+namespace {
+
+struct Row {
+    std::string name;
+    core::CoreStats stats;
+    std::string output;
+};
+
+template <typename Vm>
+Row
+runVariant(const std::string &source, vm::Variant variant)
+{
+    typename Vm::Options opts;
+    opts.variant = variant;
+    Vm vm(source, opts);
+    vm.run();
+    return {std::string(vm::variantName(variant)),
+            vm.core().collectStats(), vm.output()};
+}
+
+template <typename Vm>
+int
+compare(const std::string &source)
+{
+    const Row rows[3] = {
+        runVariant<Vm>(source, vm::Variant::Baseline),
+        runVariant<Vm>(source, vm::Variant::Typed),
+        runVariant<Vm>(source, vm::Variant::CheckedLoad),
+    };
+    for (int i = 1; i < 3; ++i) {
+        if (rows[i].output != rows[0].output) {
+            std::fprintf(stderr, "output mismatch on %s!\n",
+                         rows[i].name.c_str());
+            return 1;
+        }
+    }
+    std::printf("program output (identical on all variants):\n%s\n",
+                rows[0].output.c_str());
+    std::printf("%-14s %14s %14s %10s %8s %8s %10s\n", "variant",
+                "instructions", "cycles", "speedup", "brMPKI", "i$MPKI",
+                "type miss");
+    const double base_cycles = static_cast<double>(rows[0].stats.cycles);
+    for (const Row &row : rows) {
+        const auto &s = row.stats;
+        std::printf("%-14s %14llu %14llu %+9.1f%% %8.2f %8.3f %10llu\n",
+                    row.name.c_str(), (unsigned long long)s.instructions,
+                    (unsigned long long)s.cycles,
+                    100.0 * (base_cycles / s.cycles - 1.0),
+                    s.branchMpki(), s.icacheMpki(),
+                    (unsigned long long)(s.trt.misses() + s.chklbMisses));
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string path;
+    std::string engine = "lua";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--engine=", 0) == 0)
+            engine = arg.substr(9);
+        else
+            path = arg;
+    }
+    if (path.empty()) {
+        std::fprintf(stderr,
+                     "usage: compare_isa <file.ms> [--engine=lua|js]\n");
+        return 2;
+    }
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    try {
+        return engine == "js" ? compare<vm::js::JsVm>(buf.str())
+                              : compare<vm::lua::LuaVm>(buf.str());
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}

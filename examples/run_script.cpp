@@ -1,0 +1,135 @@
+// run_script: execute a MiniScript program on a chosen engine and ISA
+// variant and report the performance counters.
+//
+//   run_script <file.ms> [--engine=lua|js] [--isa=baseline|typed|chkld]
+//              [--profile]
+//
+// Example:
+//   ./build/examples/run_script scripts/fibo.ms --engine=lua --isa=typed
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/log.h"
+#include "vm/js/js_vm.h"
+#include "vm/lua/lua_vm.h"
+
+using namespace tarch;
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: run_script <file.ms> [--engine=lua|js] "
+                 "[--isa=baseline|typed|chkld] [--profile]\n");
+}
+
+template <typename Vm>
+int
+execute(const std::string &source, vm::Variant variant, bool profile)
+{
+    typename Vm::Options opts;
+    opts.variant = variant;
+    Vm vm(source, opts);
+    const int code = vm.run();
+    std::fputs(vm.output().c_str(), stdout);
+
+    const core::CoreStats stats = vm.core().collectStats();
+    std::fprintf(stderr, "\n--- %s ---\n",
+                 std::string(vm::variantName(variant)).c_str());
+    std::fprintf(stderr, "instructions     %12llu\n",
+                 (unsigned long long)stats.instructions);
+    std::fprintf(stderr, "cycles           %12llu  (IPC %.3f)\n",
+                 (unsigned long long)stats.cycles, stats.ipc());
+    std::fprintf(stderr, "dynamic bytecodes%12llu\n",
+                 (unsigned long long)vm.dynamicBytecodes());
+    std::fprintf(stderr, "branch MPKI      %12.2f\n", stats.branchMpki());
+    std::fprintf(stderr, "I-cache MPKI     %12.3f\n", stats.icacheMpki());
+    std::fprintf(stderr, "D-cache MPKI     %12.3f\n", stats.dcacheMpki());
+    if (stats.trt.lookups)
+        std::fprintf(stderr, "type checks      %12llu  (miss %llu, "
+                             "overflow %llu)\n",
+                     (unsigned long long)stats.trt.lookups,
+                     (unsigned long long)stats.trt.misses(),
+                     (unsigned long long)stats.typeOverflowMisses);
+    if (stats.chklbChecks)
+        std::fprintf(stderr, "checked loads    %12llu  (miss %llu)\n",
+                     (unsigned long long)stats.chklbChecks,
+                     (unsigned long long)stats.chklbMisses);
+    if (profile) {
+        std::fprintf(stderr, "bytecode profile:\n");
+        for (const auto &[name, count] : vm.bytecodeProfile()) {
+            if (count)
+                std::fprintf(stderr, "  %-12s %12llu\n", name.c_str(),
+                             (unsigned long long)count);
+        }
+    }
+    return code;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string path;
+    std::string engine = "lua";
+    std::string isa = "baseline";
+    bool profile = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--engine=", 0) == 0) {
+            engine = arg.substr(9);
+        } else if (arg.rfind("--isa=", 0) == 0) {
+            isa = arg.substr(6);
+        } else if (arg == "--profile") {
+            profile = true;
+        } else if (arg[0] != '-') {
+            path = arg;
+        } else {
+            usage();
+            return 2;
+        }
+    }
+    if (path.empty()) {
+        usage();
+        return 2;
+    }
+
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    vm::Variant variant;
+    if (isa == "baseline")
+        variant = vm::Variant::Baseline;
+    else if (isa == "typed")
+        variant = vm::Variant::Typed;
+    else if (isa == "chkld" || isa == "checked-load")
+        variant = vm::Variant::CheckedLoad;
+    else {
+        usage();
+        return 2;
+    }
+
+    try {
+        if (engine == "lua")
+            return execute<vm::lua::LuaVm>(buf.str(), variant, profile);
+        if (engine == "js")
+            return execute<vm::js::JsVm>(buf.str(), variant, profile);
+        usage();
+        return 2;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}

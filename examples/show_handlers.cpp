@@ -1,0 +1,84 @@
+// show_handlers: print the generated interpreter assembly for the hot
+// ADD bytecode in all three ISA variants — the direct analogue of the
+// paper's Figure 1(c) (baseline software type guards) and Figure 3
+// (Typed Architecture transformation).
+//
+//   show_handlers [--engine=lua|js] [--op=add|gettable|...]
+
+#include <cstdio>
+#include <string>
+
+#include "vm/image.h"
+#include "vm/js/interp_gen.h"
+#include "vm/lua/interp_gen.h"
+#include "vm/variant.h"
+
+using namespace tarch;
+using namespace tarch::vm;
+
+namespace {
+
+/** Extract the lines between "op_<name>:" and the next handler label. */
+std::string
+extractHandler(const std::string &asm_text, const std::string &op)
+{
+    const std::string start = "op_" + op + ":";
+    const size_t begin = asm_text.find("\n" + start);
+    if (begin == std::string::npos)
+        return "(handler not found)\n";
+    // End at the next op_* label that is not a sub-label of this
+    // handler (e.g. op_add_flt belongs to op_add).
+    size_t end = begin + 1;
+    for (;;) {
+        end = asm_text.find("\nop_", end + 1);
+        if (end == std::string::npos) {
+            end = asm_text.size();
+            break;
+        }
+        if (asm_text.compare(end + 1, op.size() + 4, "op_" + op + "_") !=
+            0)
+            break;
+    }
+    return asm_text.substr(begin + 1, end - begin);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string engine = "lua";
+    std::string op = "add";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--engine=", 0) == 0)
+            engine = arg.substr(9);
+        else if (arg.rfind("--op=", 0) == 0)
+            op = arg.substr(5);
+    }
+
+    const GuestLayout layout;
+    for (const Variant variant :
+         {Variant::Baseline, Variant::Typed, Variant::CheckedLoad}) {
+        std::string text;
+        if (engine == "js")
+            text = js::generateInterp(variant, layout, layout.code,
+                                      layout.consts, 4)
+                       .asmText;
+        else
+            text = lua::generateInterp(variant, layout, layout.code,
+                                       layout.consts)
+                       .asmText;
+        std::printf("=========================================================\n");
+        std::printf("%s '%s' handler, %s variant", engine.c_str(),
+                    op.c_str(),
+                    std::string(variantName(variant)).c_str());
+        if (variant == Variant::Baseline)
+            std::printf("  (cf. paper Figure 1(c))");
+        if (variant == Variant::Typed)
+            std::printf("  (cf. paper Figure 3)");
+        std::printf("\n=========================================================\n");
+        std::printf("%s\n", extractHandler(text, op).c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,49 @@
+// trace_debug: demonstrate the simulator's debugging surface — attach a
+// Tracer, set a breakpoint on a bytecode handler of a running MiniLua
+// interpreter, and inspect VM state when it hits.
+
+#include <cstdio>
+
+#include "vm/lua/lua_vm.h"
+
+using namespace tarch;
+
+int
+main()
+{
+    vm::lua::LuaVm vm(R"(
+local t = {}
+for i = 1, 5 do t[i] = i * i end
+print(t[5])
+)");
+
+    // Trace the last 12 instructions at all times.
+    core::Tracer tracer(12);
+    vm.core().setTracer(&tracer);
+
+    // Break at the SETTABLE handler (its PC is known via the marker
+    // registry the VM installed).
+    uint64_t settable_pc = 0;
+    const core::Markers &markers = vm.core().markers();
+    for (const auto &[pc, id] : markers.byPc()) {
+        if (markers.name(id) == "op:SETTABLE")
+            settable_pc = pc;
+    }
+    vm.core().addBreakpoint(settable_pc);
+
+    int hits = 0;
+    while (vm.core().runToBreakpoint() ==
+           core::Core::StopReason::Breakpoint) {
+        ++hits;
+        if (hits <= 2) {
+            std::printf("--- breakpoint %d at SETTABLE (pc 0x%llx) ---\n",
+                        hits,
+                        (unsigned long long)vm.core().pc());
+            std::printf("%s", tracer.dump().c_str());
+        }
+        vm.core().step();  // step over the breakpointed instruction
+    }
+    std::printf("\nSETTABLE executed %d times\n", hits);
+    std::printf("program output: %s", vm.output().c_str());
+    return 0;
+}

@@ -1,0 +1,97 @@
+// typed_asm_tour: a guided walk through every instruction of the Typed
+// Architecture ISA extension (paper Table 2), single-stepping the core
+// and printing the architectural state after each one.
+
+#include <cstdio>
+
+#include "assembler/assembler.h"
+#include "core/core.h"
+#include "isa/disasm.h"
+
+using namespace tarch;
+
+int
+main()
+{
+    const char *program = R"(
+        # --- configuration instructions ---
+        li t0, 1
+        setoffset t0        # tag lives in the next dword (Lua layout)
+        li t0, 0
+        setshift t0
+        li t0, 255
+        setmask t0
+        li t0, 0x00131313   # rule: (xadd, Int, Int) -> Int
+        set_trt t0
+        li t0, 0x00838383   # rule: (xadd, Flt, Flt) -> Flt
+        set_trt t0
+        li t0, 0x03051305   # rule: (tchk, Table, Int) -> Table
+        set_trt t0
+
+        # --- tagged loads ---
+        la a1, ints
+        tld a2, 0(a1)       # a2 = {v:30, t:Int}
+        tld a3, 16(a1)      # a3 = {v:12, t:Int}
+
+        # --- handler register and polymorphic execution ---
+        thdl miss
+        xadd a4, a2, a3     # binds to integer add; tag from the TRT
+
+        # --- tag read/write ---
+        tget a5, a4         # a5.v = tag of a4 (0x13)
+        li a6, 0x83
+        tset a4, a6         # overwrite a4's tag with Float
+
+        # --- tagged store ---
+        la a1, out
+        tsd a4, 0(a1)
+
+        # --- tchk: type check without computation ---
+        la a1, tab
+        tld a6, 0(a1)
+        tchk a6, a2         # (Table, Int): hits
+
+        # --- a deliberate type misprediction ---
+        xadd a7, a2, a6     # (Int, Table): no rule -> jump to 'miss'
+        halt
+miss:
+        li a0, 1
+        flush_trt           # drop all rules (engine teardown)
+        halt
+
+        .data
+ints:   .dword 30
+        .dword 0x13
+        .dword 12
+        .dword 0x13
+tab:    .dword 0x2000
+        .dword 0x05
+out:    .dword 0, 0
+    )";
+
+    core::Core core;
+    const auto image = assembler::assemble(program);
+    core.loadProgram(image);
+
+    std::printf("single-stepping the Typed Architecture tour:\n\n");
+    while (!core.halted()) {
+        const uint64_t pc = core.pc();
+        const size_t idx = (pc - image.textBase) / 4;
+        const std::string text = isa::disassemble(image.text[idx]);
+        core.step();
+        const auto &a4 = core.regs().gpr(isa::reg::a4);
+        std::printf("%06llx  %-28s | a4 = {v:%-6lld t:0x%02x f:%d} "
+                    "TRT:%u rules\n",
+                    (unsigned long long)pc, text.c_str(),
+                    (long long)a4.v, a4.t, a4.f ? 1 : 0,
+                    core.trt().size());
+    }
+    const auto stats = core.collectStats();
+    std::printf("\ntype checks: %llu lookups, %llu hits, %llu misses\n",
+                (unsigned long long)stats.trt.lookups,
+                (unsigned long long)stats.trt.hits,
+                (unsigned long long)stats.trt.misses());
+    std::printf("a0 after the misprediction handler: %llu\n",
+                (unsigned long long)core.regs().gpr(isa::reg::a0).v);
+    return 0;
+}

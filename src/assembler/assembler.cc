@@ -1,0 +1,699 @@
+#include "assembler/assembler.h"
+
+#include <cstring>
+#include <functional>
+
+#include "assembler/lexer.h"
+#include "common/bitops.h"
+#include "common/log.h"
+#include "common/strutil.h"
+#include "isa/encoding.h"
+
+namespace tarch::assembler {
+
+using isa::Instr;
+using isa::Opcode;
+
+namespace {
+
+/** symbol + addend; symbol may be empty for pure constants. */
+struct Expr {
+    std::string symbol;
+    int64_t addend = 0;
+    bool hasSymbol() const { return !symbol.empty(); }
+};
+
+struct MemOperand {
+    Expr offset;
+    unsigned base = 0;
+};
+
+/** One parsed source statement. */
+struct Stmt {
+    enum class Kind { Label, Directive, Instruction };
+    Kind kind;
+    std::string name;                          ///< label/directive/mnemonic
+    std::vector<std::vector<Token>> operands;  ///< comma-separated spans
+    std::string where;                         ///< "line N" for messages
+};
+
+class AsmImpl
+{
+  public:
+    AsmImpl(const std::string &source, const AsmOptions &opts)
+        : opts_(opts)
+    {
+        parse(source);
+    }
+
+    Program
+    run()
+    {
+        // Pass A: define symbols (sizes of all expansions are
+        // value-independent for symbolic operands, so addresses are final).
+        sizing_ = true;
+        walk();
+        // Pass B: emit.
+        sizing_ = false;
+        walk();
+        prog_.textBase = opts_.textBase;
+        prog_.dataBase = opts_.dataBase;
+        prog_.symbols = symbols_;
+        const auto it = symbols_.find("_start");
+        prog_.entry = it != symbols_.end() ? it->second : opts_.textBase;
+        return std::move(prog_);
+    }
+
+  private:
+    void
+    parse(const std::string &source)
+    {
+        int lineno = 0;
+        for (const std::string &line : split(source, '\n')) {
+            ++lineno;
+            const std::string where = strformat("line %d", lineno);
+            std::vector<Token> toks = tokenizeLine(line, where);
+            size_t i = 0;
+            // Leading "name:" label definitions (possibly several).
+            while (i + 1 < toks.size() && toks[i].kind == TokKind::Ident &&
+                   toks[i + 1].kind == TokKind::Punct &&
+                   toks[i + 1].text == ":") {
+                stmts_.push_back({Stmt::Kind::Label, toks[i].text, {}, where});
+                i += 2;
+            }
+            if (i >= toks.size())
+                continue;
+            if (toks[i].kind != TokKind::Ident)
+                tarch_fatal("%s: expected mnemonic or directive",
+                            where.c_str());
+            Stmt stmt;
+            stmt.kind = toks[i].text[0] == '.' ? Stmt::Kind::Directive
+                                               : Stmt::Kind::Instruction;
+            stmt.name = toks[i].text;
+            stmt.where = where;
+            ++i;
+            // Split remaining tokens into comma-separated operand spans.
+            std::vector<Token> span;
+            int depth = 0;
+            for (; i < toks.size(); ++i) {
+                const Token &t = toks[i];
+                if (t.kind == TokKind::Punct && t.text == "(")
+                    ++depth;
+                if (t.kind == TokKind::Punct && t.text == ")")
+                    --depth;
+                if (t.kind == TokKind::Punct && t.text == "," && depth == 0) {
+                    stmt.operands.push_back(std::move(span));
+                    span.clear();
+                } else {
+                    span.push_back(t);
+                }
+            }
+            if (!span.empty())
+                stmt.operands.push_back(std::move(span));
+            stmts_.push_back(std::move(stmt));
+        }
+    }
+
+    void
+    walk()
+    {
+        inText_ = true;
+        textCount_ = 0;
+        dataCursor_ = 0;
+        if (!sizing_) {
+            prog_.text.clear();
+            prog_.data.clear();
+        }
+        for (const Stmt &stmt : stmts_) {
+            switch (stmt.kind) {
+              case Stmt::Kind::Label:
+                if (sizing_)
+                    defineSymbol(stmt.name, here(), stmt.where);
+                break;
+              case Stmt::Kind::Directive:
+                directive(stmt);
+                break;
+              case Stmt::Kind::Instruction:
+                if (!inText_)
+                    tarch_fatal("%s: instruction outside .text",
+                                stmt.where.c_str());
+                instruction(stmt);
+                break;
+            }
+        }
+    }
+
+    uint64_t
+    here() const
+    {
+        return inText_ ? opts_.textBase + 4 * textCount_
+                       : opts_.dataBase + dataCursor_;
+    }
+
+    void
+    defineSymbol(const std::string &name, uint64_t value,
+                 const std::string &where)
+    {
+        if (!symbols_.emplace(name, value).second)
+            tarch_fatal("%s: redefinition of symbol '%s'", where.c_str(),
+                        name.c_str());
+    }
+
+    // ------------------------------------------------------------------
+    // Operand interpretation.
+
+    [[noreturn]] void
+    bad(const Stmt &stmt, const char *what) const
+    {
+        tarch_fatal("%s: %s (in '%s')", stmt.where.c_str(), what,
+                    stmt.name.c_str());
+    }
+
+    unsigned
+    asGpr(const Stmt &stmt, size_t idx) const
+    {
+        if (idx >= stmt.operands.size() || stmt.operands[idx].size() != 1 ||
+            stmt.operands[idx][0].kind != TokKind::Ident)
+            bad(stmt, "expected integer register");
+        const auto reg = isa::parseGpr(stmt.operands[idx][0].text);
+        if (!reg)
+            bad(stmt, "unknown integer register");
+        return *reg;
+    }
+
+    unsigned
+    asFpr(const Stmt &stmt, size_t idx) const
+    {
+        if (idx >= stmt.operands.size() || stmt.operands[idx].size() != 1 ||
+            stmt.operands[idx][0].kind != TokKind::Ident)
+            bad(stmt, "expected FP register");
+        const auto reg = isa::parseFpr(stmt.operands[idx][0].text);
+        if (!reg)
+            bad(stmt, "unknown FP register");
+        return *reg;
+    }
+
+    unsigned
+    asReg(const Stmt &stmt, size_t idx, bool fp) const
+    {
+        return fp ? asFpr(stmt, idx) : asGpr(stmt, idx);
+    }
+
+    Expr
+    parseExpr(const Stmt &stmt, const std::vector<Token> &toks) const
+    {
+        Expr expr;
+        int sign = 1;
+        bool expect_term = true;
+        for (const Token &t : toks) {
+            if (t.kind == TokKind::Punct && (t.text == "+" || t.text == "-")) {
+                if (t.text == "-")
+                    sign = -sign;
+                expect_term = true;
+                continue;
+            }
+            if (!expect_term)
+                bad(stmt, "malformed expression");
+            if (t.kind == TokKind::Number) {
+                expr.addend += sign * t.ival;
+            } else if (t.kind == TokKind::Ident) {
+                if (expr.hasSymbol() || sign < 0)
+                    bad(stmt, "unsupported symbol expression");
+                expr.symbol = t.text;
+            } else {
+                bad(stmt, "malformed expression");
+            }
+            sign = 1;
+            expect_term = false;
+        }
+        if (expect_term)
+            bad(stmt, "empty expression");
+        return expr;
+    }
+
+    Expr
+    asExpr(const Stmt &stmt, size_t idx) const
+    {
+        if (idx >= stmt.operands.size())
+            bad(stmt, "missing operand");
+        return parseExpr(stmt, stmt.operands[idx]);
+    }
+
+    MemOperand
+    asMem(const Stmt &stmt, size_t idx) const
+    {
+        if (idx >= stmt.operands.size())
+            bad(stmt, "missing memory operand");
+        const std::vector<Token> &toks = stmt.operands[idx];
+        // Find the top-level '(' introducing the base register.
+        size_t open = toks.size();
+        for (size_t i = 0; i < toks.size(); ++i) {
+            if (toks[i].kind == TokKind::Punct && toks[i].text == "(") {
+                open = i;
+                break;
+            }
+        }
+        if (open == toks.size() || open + 2 >= toks.size() + 1)
+            bad(stmt, "expected imm(reg) memory operand");
+        if (open + 2 >= toks.size() ||
+            toks[open + 1].kind != TokKind::Ident ||
+            toks[open + 2].kind != TokKind::Punct ||
+            toks[open + 2].text != ")")
+            bad(stmt, "expected imm(reg) memory operand");
+        const auto base = isa::parseGpr(toks[open + 1].text);
+        if (!base)
+            bad(stmt, "unknown base register");
+        MemOperand mem;
+        mem.base = *base;
+        if (open > 0)
+            mem.offset =
+                parseExpr(stmt, {toks.begin(), toks.begin() + open});
+        return mem;
+    }
+
+    int64_t
+    resolve(const Stmt &stmt, const Expr &expr) const
+    {
+        if (!expr.hasSymbol())
+            return expr.addend;
+        if (sizing_)
+            return 0;
+        const auto it = symbols_.find(expr.symbol);
+        if (it == symbols_.end())
+            tarch_fatal("%s: undefined symbol '%s'", stmt.where.c_str(),
+                        expr.symbol.c_str());
+        return static_cast<int64_t>(it->second) + expr.addend;
+    }
+
+    // ------------------------------------------------------------------
+    // Emission.
+
+    void
+    emit(const Stmt &stmt, Instr instr)
+    {
+        if (!sizing_) {
+            if (!isa::immFits(instr))
+                tarch_fatal("%s: immediate %lld out of range for %s",
+                            stmt.where.c_str(),
+                            static_cast<long long>(instr.imm),
+                            std::string(isa::opcodeInfo(instr.op).mnemonic)
+                                .c_str());
+            prog_.text.push_back(instr);
+        }
+        ++textCount_;
+    }
+
+    void
+    emitLi(const Stmt &stmt, unsigned rd, int64_t value)
+    {
+        if (fitsSigned(value, isa::kImmBitsI)) {
+            emit(stmt, {Opcode::ADDI, static_cast<uint8_t>(rd), 0, 0, value});
+            return;
+        }
+        if (value >= INT32_MIN && value <= INT32_MAX) {
+            const int64_t lo = value & 0xFFF;
+            const int64_t hi = value >> 12;
+            emit(stmt, {Opcode::LUI, static_cast<uint8_t>(rd), 0, 0, hi});
+            if (lo != 0)
+                emit(stmt, {Opcode::ADDI, static_cast<uint8_t>(rd),
+                            static_cast<uint8_t>(rd), 0, lo});
+            return;
+        }
+        emitLi(stmt, rd, value >> 14);
+        emit(stmt, {Opcode::SLLI, static_cast<uint8_t>(rd),
+                    static_cast<uint8_t>(rd), 0, 14});
+        const int64_t low = value & 0x3FFF;
+        if (low != 0)
+            emit(stmt, {Opcode::ADDI, static_cast<uint8_t>(rd),
+                        static_cast<uint8_t>(rd), 0, low});
+    }
+
+    /** la-style: fixed two-instruction absolute address materialization. */
+    void
+    emitLa(const Stmt &stmt, unsigned rd, const Expr &expr)
+    {
+        const int64_t value = resolve(stmt, expr);
+        if (!sizing_ && (value < 0 || value > INT32_MAX))
+            tarch_fatal("%s: la address 0x%llx out of 31-bit range",
+                        stmt.where.c_str(),
+                        static_cast<unsigned long long>(value));
+        const int64_t lo = value & 0xFFF;
+        const int64_t hi = value >> 12;
+        emit(stmt, {Opcode::LUI, static_cast<uint8_t>(rd), 0, 0, hi});
+        emit(stmt, {Opcode::ADDI, static_cast<uint8_t>(rd),
+                    static_cast<uint8_t>(rd), 0, lo});
+    }
+
+    bool
+    pseudo(const Stmt &stmt)
+    {
+        const std::string &m = stmt.name;
+        auto r3 = [&](Opcode op, unsigned rd, unsigned rs1, unsigned rs2) {
+            emit(stmt, {op, static_cast<uint8_t>(rd),
+                        static_cast<uint8_t>(rs1), static_cast<uint8_t>(rs2),
+                        0});
+        };
+        auto ri = [&](Opcode op, unsigned rd, unsigned rs1, int64_t imm) {
+            emit(stmt, {op, static_cast<uint8_t>(rd),
+                        static_cast<uint8_t>(rs1), 0, imm});
+        };
+        auto branchTo = [&](Opcode op, unsigned rs1, unsigned rs2,
+                            size_t label_idx) {
+            const int64_t target = resolve(stmt, asExpr(stmt, label_idx));
+            emit(stmt, {op, 0, static_cast<uint8_t>(rs1),
+                        static_cast<uint8_t>(rs2),
+                        sizing_ ? 0 : target - static_cast<int64_t>(here())});
+        };
+
+        if (m == "nop") { ri(Opcode::ADDI, 0, 0, 0); return true; }
+        if (m == "mv") {
+            ri(Opcode::ADDI, asGpr(stmt, 0), asGpr(stmt, 1), 0);
+            return true;
+        }
+        if (m == "not") {
+            ri(Opcode::XORI, asGpr(stmt, 0), asGpr(stmt, 1), -1);
+            return true;
+        }
+        if (m == "neg") {
+            r3(Opcode::SUB, asGpr(stmt, 0), 0, asGpr(stmt, 1));
+            return true;
+        }
+        if (m == "negw") {
+            r3(Opcode::SUBW, asGpr(stmt, 0), 0, asGpr(stmt, 1));
+            return true;
+        }
+        if (m == "seqz") {
+            ri(Opcode::SLTIU, asGpr(stmt, 0), asGpr(stmt, 1), 1);
+            return true;
+        }
+        if (m == "snez") {
+            r3(Opcode::SLTU, asGpr(stmt, 0), 0, asGpr(stmt, 1));
+            return true;
+        }
+        if (m == "sext.w") {
+            ri(Opcode::ADDIW, asGpr(stmt, 0), asGpr(stmt, 1), 0);
+            return true;
+        }
+        if (m == "beqz") { branchTo(Opcode::BEQ, asGpr(stmt, 0), 0, 1); return true; }
+        if (m == "bnez") { branchTo(Opcode::BNE, asGpr(stmt, 0), 0, 1); return true; }
+        if (m == "bltz") { branchTo(Opcode::BLT, asGpr(stmt, 0), 0, 1); return true; }
+        if (m == "bgez") { branchTo(Opcode::BGE, asGpr(stmt, 0), 0, 1); return true; }
+        if (m == "blez") { branchTo(Opcode::BGE, 0, asGpr(stmt, 0), 1); return true; }
+        if (m == "bgtz") { branchTo(Opcode::BLT, 0, asGpr(stmt, 0), 1); return true; }
+        if (m == "bgt") {
+            branchTo(Opcode::BLT, asGpr(stmt, 1), asGpr(stmt, 0), 2);
+            return true;
+        }
+        if (m == "ble") {
+            branchTo(Opcode::BGE, asGpr(stmt, 1), asGpr(stmt, 0), 2);
+            return true;
+        }
+        if (m == "bgtu") {
+            branchTo(Opcode::BLTU, asGpr(stmt, 1), asGpr(stmt, 0), 2);
+            return true;
+        }
+        if (m == "bleu") {
+            branchTo(Opcode::BGEU, asGpr(stmt, 1), asGpr(stmt, 0), 2);
+            return true;
+        }
+        if (m == "j") {
+            const int64_t target = resolve(stmt, asExpr(stmt, 0));
+            emit(stmt, {Opcode::JAL, 0, 0, 0,
+                        sizing_ ? 0
+                                : target - static_cast<int64_t>(here())});
+            return true;
+        }
+        if (m == "call") {
+            const int64_t target = resolve(stmt, asExpr(stmt, 0));
+            emit(stmt, {Opcode::JAL, isa::reg::ra, 0, 0,
+                        sizing_ ? 0
+                                : target - static_cast<int64_t>(here())});
+            return true;
+        }
+        if (m == "jr") {
+            ri(Opcode::JALR, 0, asGpr(stmt, 0), 0);
+            return true;
+        }
+        if (m == "ret") { ri(Opcode::JALR, 0, isa::reg::ra, 0); return true; }
+        if (m == "li") {
+            const unsigned rd = asGpr(stmt, 0);
+            const Expr expr = asExpr(stmt, 1);
+            if (expr.hasSymbol())
+                emitLa(stmt, rd, expr);
+            else
+                emitLi(stmt, rd, expr.addend);
+            return true;
+        }
+        if (m == "la") {
+            emitLa(stmt, asGpr(stmt, 0), asExpr(stmt, 1));
+            return true;
+        }
+        if (m == "fmv.d") {
+            const unsigned rd = asFpr(stmt, 0), rs = asFpr(stmt, 1);
+            r3(Opcode::FSGNJ_D, rd, rs, rs);
+            return true;
+        }
+        if (m == "fneg.d") {
+            const unsigned rd = asFpr(stmt, 0), rs = asFpr(stmt, 1);
+            r3(Opcode::FSGNJN_D, rd, rs, rs);
+            return true;
+        }
+        if (m == "fabs.d") {
+            const unsigned rd = asFpr(stmt, 0), rs = asFpr(stmt, 1);
+            r3(Opcode::FSGNJX_D, rd, rs, rs);
+            return true;
+        }
+        return false;
+    }
+
+    void
+    instruction(const Stmt &stmt)
+    {
+        if (pseudo(stmt))
+            return;
+        const auto op = isa::opcodeFromMnemonic(stmt.name);
+        if (!op)
+            tarch_fatal("%s: unknown mnemonic '%s'", stmt.where.c_str(),
+                        stmt.name.c_str());
+        const isa::OpcodeInfo &info = isa::opcodeInfo(*op);
+        Instr instr;
+        instr.op = *op;
+        switch (info.syntax) {
+          case isa::Syntax::None:
+            break;
+          case isa::Syntax::R3:
+            instr.rd = asReg(stmt, 0, info.fpRd);
+            instr.rs1 = asReg(stmt, 1, info.fpRs1);
+            instr.rs2 = asReg(stmt, 2, info.fpRs2);
+            break;
+          case isa::Syntax::R2:
+            instr.rd = asReg(stmt, 0, info.fpRd);
+            instr.rs1 = asReg(stmt, 1, info.fpRs1);
+            break;
+          case isa::Syntax::Rs1Rs2:
+            instr.rs1 = asReg(stmt, 0, info.fpRs1);
+            instr.rs2 = asReg(stmt, 1, info.fpRs2);
+            break;
+          case isa::Syntax::Rs1:
+            instr.rs1 = asReg(stmt, 0, info.fpRs1);
+            break;
+          case isa::Syntax::RegRegImm:
+            instr.rd = asReg(stmt, 0, info.fpRd);
+            instr.rs1 = asReg(stmt, 1, info.fpRs1);
+            instr.imm = resolve(stmt, asExpr(stmt, 2));
+            break;
+          case isa::Syntax::Load: {
+            instr.rd = asReg(stmt, 0, info.fpRd);
+            const MemOperand mem = asMem(stmt, 1);
+            instr.rs1 = mem.base;
+            instr.imm = resolve(stmt, mem.offset);
+            break;
+          }
+          case isa::Syntax::Store: {
+            instr.rs2 = asReg(stmt, 0, info.fpRs2);
+            const MemOperand mem = asMem(stmt, 1);
+            instr.rs1 = mem.base;
+            instr.imm = resolve(stmt, mem.offset);
+            break;
+          }
+          case isa::Syntax::Branch:
+            instr.rs1 = asGpr(stmt, 0);
+            instr.rs2 = asGpr(stmt, 1);
+            instr.imm = sizing_ ? 0
+                                : resolve(stmt, asExpr(stmt, 2)) -
+                                      static_cast<int64_t>(here());
+            break;
+          case isa::Syntax::Jal:
+            instr.rd = asGpr(stmt, 0);
+            instr.imm = sizing_ ? 0
+                                : resolve(stmt, asExpr(stmt, 1)) -
+                                      static_cast<int64_t>(here());
+            break;
+          case isa::Syntax::UImm:
+            instr.rd = asGpr(stmt, 0);
+            instr.imm = resolve(stmt, asExpr(stmt, 1));
+            break;
+          case isa::Syntax::Label:
+            instr.imm = sizing_ ? 0
+                                : resolve(stmt, asExpr(stmt, 0)) -
+                                      static_cast<int64_t>(here());
+            break;
+          case isa::Syntax::Imm:
+            instr.imm = resolve(stmt, asExpr(stmt, 0));
+            break;
+        }
+        emit(stmt, instr);
+    }
+
+    // ------------------------------------------------------------------
+    // Data directives.
+
+    void
+    putBytes(const void *src, size_t len)
+    {
+        if (!sizing_) {
+            const auto *p = static_cast<const uint8_t *>(src);
+            prog_.data.insert(prog_.data.end(), p, p + len);
+        }
+        dataCursor_ += len;
+    }
+
+    void
+    putScalar(uint64_t value, size_t len)
+    {
+        uint8_t buf[8];
+        std::memcpy(buf, &value, 8);
+        putBytes(buf, len);
+    }
+
+    void
+    requireData(const Stmt &stmt) const
+    {
+        if (inText_)
+            tarch_fatal("%s: data directive '%s' in .text",
+                        stmt.where.c_str(), stmt.name.c_str());
+    }
+
+    void
+    directive(const Stmt &stmt)
+    {
+        const std::string &d = stmt.name;
+        if (d == ".text") { inText_ = true; return; }
+        if (d == ".data") { inText_ = false; return; }
+        if (d == ".global" || d == ".globl") return;
+        if (d == ".align") {
+            const uint64_t align = 1ULL << resolve(stmt, asExpr(stmt, 0));
+            if (inText_) {
+                while ((opts_.textBase + 4 * textCount_) % align != 0)
+                    emit(stmt, {Opcode::ADDI, 0, 0, 0, 0});
+            } else {
+                while ((opts_.dataBase + dataCursor_) % align != 0)
+                    putScalar(0, 1);
+            }
+            return;
+        }
+        if (d == ".equ") {
+            if (stmt.operands.size() != 2)
+                bad(stmt, ".equ needs name, value");
+            if (sizing_) {
+                if (stmt.operands[0].size() != 1 ||
+                    stmt.operands[0][0].kind != TokKind::Ident)
+                    bad(stmt, ".equ needs a symbol name");
+                defineSymbol(stmt.operands[0][0].text,
+                             resolve(stmt, asExpr(stmt, 1)), stmt.where);
+            }
+            return;
+        }
+        if (d == ".byte" || d == ".half" || d == ".word" || d == ".dword") {
+            requireData(stmt);
+            const size_t len = d == ".byte" ? 1
+                             : d == ".half" ? 2
+                             : d == ".word" ? 4
+                                            : 8;
+            for (size_t i = 0; i < stmt.operands.size(); ++i)
+                putScalar(static_cast<uint64_t>(
+                              resolve(stmt, asExpr(stmt, i))),
+                          len);
+            return;
+        }
+        if (d == ".double") {
+            requireData(stmt);
+            for (size_t i = 0; i < stmt.operands.size(); ++i) {
+                if (stmt.operands[i].empty())
+                    bad(stmt, "empty .double operand");
+                double value = 0.0;
+                // Accept leading '-' before the float/number token.
+                size_t pos = 0;
+                double sign = 1.0;
+                if (stmt.operands[i][0].kind == TokKind::Punct &&
+                    stmt.operands[i][0].text == "-") {
+                    sign = -1.0;
+                    pos = 1;
+                }
+                if (pos >= stmt.operands[i].size())
+                    bad(stmt, "malformed .double");
+                const Token &t = stmt.operands[i][pos];
+                if (t.kind == TokKind::Float)
+                    value = t.fval;
+                else if (t.kind == TokKind::Number)
+                    value = static_cast<double>(t.ival);
+                else
+                    bad(stmt, "malformed .double");
+                value *= sign;
+                uint64_t raw;
+                std::memcpy(&raw, &value, 8);
+                putScalar(raw, 8);
+            }
+            return;
+        }
+        if (d == ".ascii" || d == ".asciiz") {
+            requireData(stmt);
+            for (const auto &operand : stmt.operands) {
+                if (operand.size() != 1 ||
+                    operand[0].kind != TokKind::String)
+                    bad(stmt, "expected string literal");
+                putBytes(operand[0].text.data(), operand[0].text.size());
+                if (d == ".asciiz")
+                    putScalar(0, 1);
+            }
+            return;
+        }
+        if (d == ".space") {
+            requireData(stmt);
+            const int64_t count = resolve(stmt, asExpr(stmt, 0));
+            for (int64_t i = 0; i < count; ++i)
+                putScalar(0, 1);
+            return;
+        }
+        tarch_fatal("%s: unknown directive '%s'", stmt.where.c_str(),
+                    d.c_str());
+    }
+
+    AsmOptions opts_;
+    std::vector<Stmt> stmts_;
+    std::unordered_map<std::string, uint64_t> symbols_;
+    Program prog_;
+    bool sizing_ = true;
+    bool inText_ = true;
+    size_t textCount_ = 0;
+    size_t dataCursor_ = 0;
+};
+
+} // namespace
+
+uint64_t
+Program::symbol(const std::string &name) const
+{
+    const auto it = symbols.find(name);
+    if (it == symbols.end())
+        tarch_fatal("undefined symbol '%s'", name.c_str());
+    return it->second;
+}
+
+Program
+assemble(const std::string &source, const AsmOptions &opts)
+{
+    return AsmImpl(source, opts).run();
+}
+
+} // namespace tarch::assembler

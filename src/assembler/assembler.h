@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Two-pass TRV64 text assembler.
+ *
+ * Supports labels, the directives .text/.data/.align/.byte/.half/.word/
+ * .dword/.double/.ascii/.asciiz/.space/.equ/.global, symbolic data words
+ * (used for interpreter dispatch tables) and the usual RISC-V pseudo-
+ * instructions (li/la/mv/j/call/ret/beqz/... plus fmv.d/fneg.d/fabs.d and
+ * sext.w).  Branch targets that exceed the 15-bit scaled immediate are a
+ * fatal error (the generated interpreters are far below the +-64 KiB
+ * limit; no relaxation is performed).
+ */
+
+#ifndef TARCH_ASSEMBLER_ASSEMBLER_H
+#define TARCH_ASSEMBLER_ASSEMBLER_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/instr.h"
+
+namespace tarch::assembler {
+
+/** A fully assembled, loadable program image. */
+struct Program {
+    uint64_t textBase = 0;
+    std::vector<isa::Instr> text;  ///< one decoded instruction per word
+    uint64_t dataBase = 0;
+    std::vector<uint8_t> data;
+    std::unordered_map<std::string, uint64_t> symbols;
+    uint64_t entry = 0;            ///< "_start" if defined, else textBase
+
+    /** Address of the instruction slot at index @p i. */
+    uint64_t pcAt(size_t i) const { return textBase + 4 * i; }
+    /** Value of a symbol; fatal if undefined. */
+    uint64_t symbol(const std::string &name) const;
+};
+
+struct AsmOptions {
+    uint64_t textBase = 0x1000;
+    uint64_t dataBase = 0x100000;
+};
+
+/**
+ * Assemble @p source.  Throws FatalError with a "file:line" prefix on any
+ * syntax, range or undefined-symbol error.
+ */
+Program assemble(const std::string &source, const AsmOptions &opts = {});
+
+} // namespace tarch::assembler
+
+#endif // TARCH_ASSEMBLER_ASSEMBLER_H

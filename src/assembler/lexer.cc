@@ -1,0 +1,142 @@
+#include "assembler/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/log.h"
+
+namespace tarch::assembler {
+
+namespace {
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.' || c == '$';
+}
+
+char
+unescape(char c)
+{
+    switch (c) {
+      case 'n': return '\n';
+      case 't': return '\t';
+      case 'r': return '\r';
+      case '0': return '\0';
+      case '\\': return '\\';
+      case '"': return '"';
+      case '\'': return '\'';
+      default: return c;
+    }
+}
+
+} // namespace
+
+std::vector<Token>
+tokenizeLine(const std::string &line, const std::string &where)
+{
+    std::vector<Token> toks;
+    size_t i = 0;
+    const size_t n = line.size();
+    while (i < n) {
+        const char c = line[i];
+        if (c == '#' || (c == '/' && i + 1 < n && line[i + 1] == '/'))
+            break;
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+            c == '.' || c == '$') {
+            size_t j = i;
+            while (j < n && isIdentChar(line[j]))
+                ++j;
+            toks.push_back({TokKind::Ident, line.substr(i, j - i), 0, 0.0});
+            i = j;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            size_t j = i;
+            bool is_float = false;
+            if (c == '0' && i + 1 < n &&
+                (line[i + 1] == 'x' || line[i + 1] == 'X')) {
+                j = i + 2;
+                while (j < n && std::isxdigit(static_cast<unsigned char>(
+                                    line[j])))
+                    ++j;
+            } else {
+                while (j < n && (std::isdigit(static_cast<unsigned char>(
+                                     line[j])) ||
+                                 line[j] == '.' || line[j] == 'e' ||
+                                 line[j] == 'E' ||
+                                 ((line[j] == '+' || line[j] == '-') && j > i &&
+                                  (line[j - 1] == 'e' || line[j - 1] == 'E'))))
+                {
+                    if (line[j] == '.' || line[j] == 'e' || line[j] == 'E')
+                        is_float = true;
+                    ++j;
+                }
+            }
+            const std::string text = line.substr(i, j - i);
+            Token tok{is_float ? TokKind::Float : TokKind::Number, text, 0,
+                      0.0};
+            if (is_float) {
+                tok.fval = std::strtod(text.c_str(), nullptr);
+            } else {
+                tok.ival = static_cast<int64_t>(
+                    std::strtoull(text.c_str(), nullptr, 0));
+            }
+            toks.push_back(tok);
+            i = j;
+            continue;
+        }
+        if (c == '"') {
+            std::string body;
+            size_t j = i + 1;
+            while (j < n && line[j] != '"') {
+                if (line[j] == '\\' && j + 1 < n) {
+                    body.push_back(unescape(line[j + 1]));
+                    j += 2;
+                } else {
+                    body.push_back(line[j]);
+                    ++j;
+                }
+            }
+            if (j >= n)
+                tarch_fatal("%s: unterminated string", where.c_str());
+            toks.push_back({TokKind::String, body, 0, 0.0});
+            i = j + 1;
+            continue;
+        }
+        if (c == '\'') {
+            if (i + 2 >= n)
+                tarch_fatal("%s: bad char literal", where.c_str());
+            char value;
+            size_t j;
+            if (line[i + 1] == '\\') {
+                value = unescape(line[i + 2]);
+                j = i + 3;
+            } else {
+                value = line[i + 1];
+                j = i + 2;
+            }
+            if (j >= n || line[j] != '\'')
+                tarch_fatal("%s: bad char literal", where.c_str());
+            toks.push_back({TokKind::Number, std::string(1, value), value,
+                            0.0});
+            i = j + 1;
+            continue;
+        }
+        if (c == ',' || c == '(' || c == ')' || c == ':' || c == '+' ||
+            c == '-') {
+            toks.push_back({TokKind::Punct, std::string(1, c), 0, 0.0});
+            ++i;
+            continue;
+        }
+        tarch_fatal("%s: unexpected character '%c'", where.c_str(), c);
+    }
+    return toks;
+}
+
+} // namespace tarch::assembler

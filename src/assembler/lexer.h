@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Line tokenizer for the TRV64 assembler.
+ */
+
+#ifndef TARCH_ASSEMBLER_LEXER_H
+#define TARCH_ASSEMBLER_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tarch::assembler {
+
+enum class TokKind : uint8_t {
+    Ident,   ///< mnemonic, register, label or directive name
+    Number,  ///< integer literal (dec, hex, char)
+    Float,   ///< floating-point literal (only in .double data)
+    String,  ///< quoted string literal (unescaped)
+    Punct,   ///< single punctuation character: , ( ) : + -
+};
+
+struct Token {
+    TokKind kind;
+    std::string text;   ///< identifier / string body / punct char
+    int64_t ival = 0;   ///< value for Number
+    double fval = 0.0;  ///< value for Float
+};
+
+/**
+ * Tokenize one source line.  Comments ('#' or "//" to end of line) are
+ * stripped.  Throws FatalError on malformed literals.
+ *
+ * @param line  source text without trailing newline
+ * @param where description used in error messages ("file:line")
+ */
+std::vector<Token> tokenizeLine(const std::string &line,
+                                const std::string &where);
+
+} // namespace tarch::assembler
+
+#endif // TARCH_ASSEMBLER_LEXER_H

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Front-end control-flow predictor: gshare direction + BTB targets + RAS
+ * for returns, with Rocket-style policies.  The timing model reports each
+ * resolved control transfer and receives a mispredict verdict.
+ */
+
+#ifndef TARCH_BRANCH_BRANCH_UNIT_H
+#define TARCH_BRANCH_BRANCH_UNIT_H
+
+#include <cstdint>
+
+#include "branch/btb.h"
+#include "branch/gshare.h"
+#include "branch/ras.h"
+
+namespace tarch::branch {
+
+struct BranchUnitConfig {
+    GshareConfig gshare;
+    BtbConfig btb;
+    RasConfig ras;
+};
+
+struct BranchUnitStats {
+    uint64_t condBranches = 0;
+    uint64_t condMispredicts = 0;
+    uint64_t jumps = 0;          ///< direct + indirect + returns
+    uint64_t jumpMispredicts = 0;
+
+    uint64_t total() const { return condBranches + jumps; }
+    uint64_t mispredicts() const
+    {
+        return condMispredicts + jumpMispredicts;
+    }
+};
+
+class BranchUnit
+{
+  public:
+    explicit BranchUnit(const BranchUnitConfig &config = {});
+
+    /**
+     * Resolve a conditional branch at @p pc.
+     * @return true if the front end mispredicted (direction or target).
+     */
+    bool condBranch(uint64_t pc, bool taken, uint64_t target);
+
+    /** Resolve a direct jump (jal). @p is_call pushes the RAS. */
+    bool directJump(uint64_t pc, uint64_t target, bool is_call,
+                    uint64_t return_pc);
+
+    /** Resolve an indirect jump (jalr). */
+    bool indirectJump(uint64_t pc, uint64_t target, bool is_call,
+                      bool is_ret, uint64_t return_pc);
+
+    const BranchUnitStats &stats() const { return stats_; }
+    void resetStats() { stats_ = {}; }
+
+  private:
+    Gshare gshare_;
+    Btb btb_;
+    Ras ras_;
+    BranchUnitStats stats_;
+};
+
+} // namespace tarch::branch
+
+#endif // TARCH_BRANCH_BRANCH_UNIT_H

@@ -1,0 +1,44 @@
+#include "branch/btb.h"
+
+namespace tarch::branch {
+
+Btb::Btb(const BtbConfig &config)
+    : entries_(config.entries)
+{
+}
+
+std::optional<uint64_t>
+Btb::lookup(uint64_t pc) const
+{
+    ++useClock_;
+    for (const Entry &entry : entries_) {
+        if (entry.valid && entry.pc == pc) {
+            const_cast<Entry &>(entry).lastUse = useClock_;
+            return entry.target;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+Btb::update(uint64_t pc, uint64_t target)
+{
+    ++useClock_;
+    Entry *victim = nullptr;
+    for (Entry &entry : entries_) {
+        if (entry.valid && entry.pc == pc) {
+            entry.target = target;
+            entry.lastUse = useClock_;
+            return;
+        }
+        if (!victim || !entry.valid ||
+            (victim->valid && entry.lastUse < victim->lastUse))
+            victim = &entry;
+    }
+    victim->valid = true;
+    victim->pc = pc;
+    victim->target = target;
+    victim->lastUse = useClock_;
+}
+
+} // namespace tarch::branch

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fully-associative branch target buffer (Table 6: 62 entries) with true
+ * LRU replacement.  Also serves indirect-jump targets (last-target
+ * prediction), as in Rocket.
+ */
+
+#ifndef TARCH_BRANCH_BTB_H
+#define TARCH_BRANCH_BTB_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace tarch::branch {
+
+struct BtbConfig {
+    unsigned entries = 62;
+};
+
+class Btb
+{
+  public:
+    explicit Btb(const BtbConfig &config = {});
+
+    /** Look up the predicted target of the control instruction at @p pc. */
+    std::optional<uint64_t> lookup(uint64_t pc) const;
+
+    /** Install or refresh the mapping pc -> target. */
+    void update(uint64_t pc, uint64_t target);
+
+  private:
+    struct Entry {
+        bool valid = false;
+        uint64_t pc = 0;
+        uint64_t target = 0;
+        uint64_t lastUse = 0;
+    };
+
+    std::vector<Entry> entries_;
+    mutable uint64_t useClock_ = 0;
+};
+
+} // namespace tarch::branch
+
+#endif // TARCH_BRANCH_BTB_H

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * gshare direction predictor (Table 6: 32 B predictor = 128 2-bit
+ * counters indexed by PC xor global history).
+ */
+
+#ifndef TARCH_BRANCH_GSHARE_H
+#define TARCH_BRANCH_GSHARE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace tarch::branch {
+
+struct GshareConfig {
+    unsigned entries = 128;      ///< number of 2-bit counters
+    unsigned historyBits = 7;    ///< global history length
+};
+
+class Gshare
+{
+  public:
+    explicit Gshare(const GshareConfig &config = {});
+
+    /** Predict the direction of the branch at @p pc. */
+    bool predict(uint64_t pc) const;
+
+    /** Train with the resolved direction and update global history. */
+    void update(uint64_t pc, bool taken);
+
+    uint64_t history() const { return history_; }
+
+  private:
+    unsigned index(uint64_t pc) const;
+
+    GshareConfig config_;
+    std::vector<uint8_t> counters_;  ///< 2-bit saturating, init weakly taken
+    uint64_t history_ = 0;
+};
+
+} // namespace tarch::branch
+
+#endif // TARCH_BRANCH_GSHARE_H

@@ -1,0 +1,29 @@
+#include "branch/ras.h"
+
+namespace tarch::branch {
+
+Ras::Ras(const RasConfig &config)
+    : stack_(config.entries == 0 ? 1 : config.entries)
+{
+}
+
+void
+Ras::push(uint64_t return_pc)
+{
+    stack_[top_] = return_pc;
+    top_ = (top_ + 1) % stack_.size();
+    if (depth_ < stack_.size())
+        ++depth_;
+}
+
+std::optional<uint64_t>
+Ras::pop()
+{
+    if (depth_ == 0)
+        return std::nullopt;
+    top_ = (top_ + stack_.size() - 1) % static_cast<unsigned>(stack_.size());
+    --depth_;
+    return stack_[top_];
+}
+
+} // namespace tarch::branch

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Return address stack (Table 6: 2 entries), circular overwrite on
+ * overflow as in Rocket.
+ */
+
+#ifndef TARCH_BRANCH_RAS_H
+#define TARCH_BRANCH_RAS_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace tarch::branch {
+
+struct RasConfig {
+    unsigned entries = 2;
+};
+
+class Ras
+{
+  public:
+    explicit Ras(const RasConfig &config = {});
+
+    void push(uint64_t return_pc);
+    /** Pop the predicted return target (nullopt when empty). */
+    std::optional<uint64_t> pop();
+
+  private:
+    std::vector<uint64_t> stack_;
+    unsigned top_ = 0;    ///< index of next push slot
+    unsigned depth_ = 0;  ///< valid entries (saturates at capacity)
+};
+
+} // namespace tarch::branch
+
+#endif // TARCH_BRANCH_RAS_H

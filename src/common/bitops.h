@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared across the simulator.
+ */
+
+#ifndef TARCH_COMMON_BITOPS_H
+#define TARCH_COMMON_BITOPS_H
+
+#include <cstdint>
+
+namespace tarch {
+
+/** Extract bits [hi:lo] (inclusive) of a 64-bit value, right-justified. */
+constexpr uint64_t
+bits(uint64_t value, unsigned hi, unsigned lo)
+{
+    const unsigned width = hi - lo + 1;
+    const uint64_t mask = width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+    return (value >> lo) & mask;
+}
+
+/** Sign-extend the low @p width bits of @p value to 64 bits. */
+constexpr int64_t
+signExtend(uint64_t value, unsigned width)
+{
+    const unsigned shift = 64 - width;
+    return static_cast<int64_t>(value << shift) >> shift;
+}
+
+/** True if @p value fits in a signed immediate of @p width bits. */
+constexpr bool
+fitsSigned(int64_t value, unsigned width)
+{
+    const int64_t lo = -(1LL << (width - 1));
+    const int64_t hi = (1LL << (width - 1)) - 1;
+    return value >= lo && value <= hi;
+}
+
+/** Insert @p field into bits [hi:lo] of @p base. */
+constexpr uint64_t
+insertBits(uint64_t base, unsigned hi, unsigned lo, uint64_t field)
+{
+    const unsigned width = hi - lo + 1;
+    const uint64_t mask = width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+    return (base & ~(mask << lo)) | ((field & mask) << lo);
+}
+
+/** True if @p value is a power of two (zero excluded). */
+constexpr bool
+isPow2(uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** floor(log2(value)); value must be non-zero. */
+constexpr unsigned
+log2Floor(uint64_t value)
+{
+    unsigned result = 0;
+    while (value >>= 1)
+        ++result;
+    return result;
+}
+
+/** Round @p value up to the next multiple of @p align (a power of two). */
+constexpr uint64_t
+alignUp(uint64_t value, uint64_t align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+} // namespace tarch
+
+#endif // TARCH_COMMON_BITOPS_H

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * gem5-style status reporting.  panic() is for simulator bugs (aborts);
+ * fatal() is for user/configuration errors (throws FatalError so embedding
+ * code and tests can catch it); warn()/inform() print and continue.
+ */
+
+#ifndef TARCH_COMMON_LOG_H
+#define TARCH_COMMON_LOG_H
+
+#include <stdexcept>
+#include <string>
+
+#include "common/strutil.h"
+
+namespace tarch {
+
+/** Thrown by fatal(): a condition that is the user's fault. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what) : std::runtime_error(what) {}
+};
+
+/** Report an internal simulator bug and abort. */
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+
+/** Report an unrecoverable user error by throwing FatalError. */
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+
+/** Print a warning to stderr. */
+void warnImpl(const std::string &msg);
+
+/** Print an informational message to stderr. */
+void informImpl(const std::string &msg);
+
+} // namespace tarch
+
+#define tarch_panic(...) \
+    ::tarch::panicImpl(__FILE__, __LINE__, ::tarch::strformat(__VA_ARGS__))
+#define tarch_fatal(...) \
+    ::tarch::fatalImpl(__FILE__, __LINE__, ::tarch::strformat(__VA_ARGS__))
+#define tarch_warn(...) ::tarch::warnImpl(::tarch::strformat(__VA_ARGS__))
+#define tarch_inform(...) ::tarch::informImpl(::tarch::strformat(__VA_ARGS__))
+
+#endif // TARCH_COMMON_LOG_H

@@ -1,0 +1,76 @@
+#include "common/strutil.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace tarch {
+
+std::string
+vstrformat(const char *fmt, va_list ap)
+{
+    va_list ap_copy;
+    va_copy(ap_copy, ap);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, ap_copy);
+    va_end(ap_copy);
+    std::string out(needed > 0 ? needed : 0, '\0');
+    if (needed > 0)
+        std::vsnprintf(out.data(), out.size() + 1, fmt, ap);
+    return out;
+}
+
+std::string
+strformat(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string out = vstrformat(fmt, ap);
+    va_end(ap);
+    return out;
+}
+
+std::vector<std::string>
+split(std::string_view text, char sep)
+{
+    std::vector<std::string> fields;
+    size_t start = 0;
+    while (true) {
+        const size_t pos = text.find(sep, start);
+        if (pos == std::string_view::npos) {
+            fields.emplace_back(text.substr(start));
+            break;
+        }
+        fields.emplace_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+    return fields;
+}
+
+std::string_view
+trim(std::string_view text)
+{
+    size_t begin = 0;
+    size_t end = text.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(text[begin])))
+        ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1])))
+        --end;
+    return text.substr(begin, end - begin);
+}
+
+bool
+startsWith(std::string_view text, std::string_view prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.substr(0, prefix.size()) == prefix;
+}
+
+std::string
+toLower(std::string_view text)
+{
+    std::string out(text);
+    for (char &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+} // namespace tarch

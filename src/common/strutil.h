@@ -1,0 +1,38 @@
+/**
+ * @file
+ * String formatting and tokenizing helpers (printf-style strformat, split,
+ * trim).  GCC 12 lacks std::format, so we provide a thin vsnprintf wrapper.
+ */
+
+#ifndef TARCH_COMMON_STRUTIL_H
+#define TARCH_COMMON_STRUTIL_H
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tarch {
+
+/** printf-style formatting into a std::string. */
+std::string strformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** vprintf-style formatting into a std::string. */
+std::string vstrformat(const char *fmt, va_list ap);
+
+/** Split @p text on @p sep, keeping empty fields. */
+std::vector<std::string> split(std::string_view text, char sep);
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string_view trim(std::string_view text);
+
+/** True if @p text begins with @p prefix. */
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/** Lower-case an ASCII string. */
+std::string toLower(std::string_view text);
+
+} // namespace tarch
+
+#endif // TARCH_COMMON_STRUTIL_H

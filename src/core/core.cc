@@ -1,0 +1,886 @@
+#include "core/core.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/bitops.h"
+#include "common/log.h"
+#include "common/strutil.h"
+#include "isa/disasm.h"
+#include "isa/encoding.h"
+
+namespace tarch::core {
+
+using isa::Instr;
+using isa::Opcode;
+
+namespace {
+
+double
+asDouble(uint64_t bits)
+{
+    double d;
+    std::memcpy(&d, &bits, 8);
+    return d;
+}
+
+uint64_t
+asBits(double d)
+{
+    // Canonicalize NaNs to the positive quiet pattern so an FP result can
+    // never alias a NaN-boxed value (Section 4.2 relies on engines only
+    // producing canonical NaNs).
+    if (d != d)
+        return 0x7FF8000000000000ULL;
+    uint64_t bits;
+    std::memcpy(&bits, &d, 8);
+    return bits;
+}
+
+int64_t
+sext32(uint64_t v)
+{
+    return static_cast<int64_t>(static_cast<int32_t>(v));
+}
+
+typed::RuleOp
+ruleOpFor(Opcode op)
+{
+    switch (op) {
+      case Opcode::XADD: return typed::RuleOp::Add;
+      case Opcode::XSUB: return typed::RuleOp::Sub;
+      case Opcode::XMUL: return typed::RuleOp::Mul;
+      default: return typed::RuleOp::Chk;
+    }
+}
+
+} // namespace
+
+Core::Core(const CoreConfig &config, const HostcallRegistry *hostcalls)
+    : config_(config),
+      hostcalls_(hostcalls),
+      dram_(config.dram),
+      icache_(config.icache, dram_),
+      dcache_(config.dcache, dram_),
+      itlb_(config.itlb),
+      dtlb_(config.dtlb),
+      branchUnit_(config.branch),
+      trt_(config.trtCapacity),
+      timing_(config.timing),
+      heapBreak_(config.heapBase)
+{
+    regs_.writeGpr(isa::reg::sp, config_.stackTop);
+    if (config_.deopt.enabled) {
+        deoptCounters_.assign(config_.deopt.tableEntries, 0);
+        deoptTags_.assign(config_.deopt.tableEntries, 0);
+    }
+}
+
+void
+Core::loadProgram(const assembler::Program &program)
+{
+    textBase_ = program.textBase;
+    text_ = program.text;
+    // Mirror the encoded text into guest memory for completeness.
+    for (size_t i = 0; i < text_.size(); ++i) {
+        const auto word = isa::encode(text_[i]);
+        if (!word)
+            tarch_fatal("unencodable instruction at index %zu: %s", i,
+                        isa::disassemble(text_[i]).c_str());
+        memory_.write32(program.pcAt(i), *word);
+    }
+    if (!program.data.empty())
+        memory_.writeBlock(program.dataBase, program.data.data(),
+                           program.data.size());
+    pc_ = program.entry;
+    halted_ = false;
+    // Resolve markers to text indexes for O(1) per-instruction lookup.
+    markerByIndex_.assign(text_.size(), -1);
+    for (const auto &[pc, id] : markers_.byPc()) {
+        if (pc < textBase_ || pc >= textBase_ + 4 * text_.size())
+            tarch_fatal("marker pc 0x%llx outside text",
+                        static_cast<unsigned long long>(pc));
+        markerByIndex_[(pc - textBase_) / 4] = static_cast<int32_t>(id);
+    }
+}
+
+unsigned
+Core::fetchStall(uint64_t pc)
+{
+    unsigned extra = itlb_.access(pc);
+    extra += icache_.access(pc, false) - config_.icache.hitLatency;
+    return extra;
+}
+
+unsigned
+Core::dataAccess(uint64_t addr, bool is_write)
+{
+    unsigned extra = dtlb_.access(addr);
+    extra += dcache_.access(addr, is_write) - config_.dcache.hitLatency;
+    return extra;
+}
+
+void
+Core::doHalt(int code)
+{
+    halted_ = true;
+    exitCode_ = code;
+}
+
+void
+Core::typeMissRedirect(uint64_t &next_pc)
+{
+    next_pc = typedState_.rhdl;
+    timing_.redirect();
+    if (config_.deopt.enabled) {
+        uint8_t &ctr = deoptCounter(typedState_.rhdl);
+        ctr = static_cast<uint8_t>(
+            std::min<unsigned>(ctr + config_.deopt.missBump, 15));
+    }
+}
+
+uint8_t &
+Core::deoptCounter(uint64_t handler)
+{
+    const size_t idx =
+        (handler >> 2) & (config_.deopt.tableEntries - 1);
+    // Direct-mapped with tag replacement: a new handler steals the slot.
+    if (deoptTags_[idx] != handler) {
+        deoptTags_[idx] = handler;
+        deoptCounters_[idx] = 0;
+    }
+    return deoptCounters_[idx];
+}
+
+void
+Core::deoptHit()
+{
+    if (!config_.deopt.enabled)
+        return;
+    uint8_t &ctr = deoptCounter(typedState_.rhdl);
+    if (ctr > 0)
+        --ctr;
+}
+
+bool
+Core::deoptSelect(uint64_t &next_pc)
+{
+    if (!config_.deopt.enabled)
+        return false;
+    const uint8_t ctr = deoptCounter(typedState_.rhdl);
+    if (ctr < config_.deopt.threshold)
+        return false;
+    ++deoptRedirects_;
+    if (config_.deopt.probeInterval &&
+        deoptRedirects_ % config_.deopt.probeInterval == 0) {
+        ++deoptProbes_;
+        return false;  // probe the fast path once in a while
+    }
+    next_pc = typedState_.rhdl;
+    timing_.redirect();
+    return true;
+}
+
+int
+Core::run()
+{
+    while (step()) {
+    }
+    return exitCode_;
+}
+
+Core::StopReason
+Core::runToBreakpoint()
+{
+    while (!halted_) {
+        for (const uint64_t bp : breakpoints_) {
+            if (pc_ == bp)
+                return StopReason::Breakpoint;
+        }
+        step();
+    }
+    return StopReason::Halted;
+}
+
+bool
+Core::step()
+{
+    if (halted_)
+        return false;
+    if (instructions_ >= config_.maxInstructions)
+        tarch_fatal("instruction limit (%llu) exceeded at pc 0x%llx",
+                    static_cast<unsigned long long>(config_.maxInstructions),
+                    static_cast<unsigned long long>(pc_));
+    if (pc_ < textBase_ || pc_ >= textBase_ + 4 * text_.size() ||
+        (pc_ & 3) != 0) {
+        const std::string window =
+            tracer_ ? "\nrecent instructions:\n" + tracer_->dump() : "";
+        tarch_fatal("pc 0x%llx outside text segment%s",
+                    static_cast<unsigned long long>(pc_),
+                    window.c_str());
+    }
+    const size_t idx = (pc_ - textBase_) / 4;
+    const Instr &instr = text_[idx];
+    const isa::OpcodeInfo &info = isa::opcodeInfo(instr.op);
+
+    timing_.startInstr(fetchStall(pc_));
+    if (markerByIndex_[idx] >= 0) {
+        currentRegion_ = markerByIndex_[idx];
+        markers_.bump(static_cast<size_t>(currentRegion_));
+    }
+    if (currentRegion_ >= 0)
+        markers_.bumpRegion(static_cast<size_t>(currentRegion_));
+    if (tracer_)
+        tracer_->record(pc_, instr, instructions_);
+    ++instructions_;
+
+    // Operand hazard accounting (register ids: GPR 0-31, FPR 32-63).
+    const auto src = [&](uint8_t reg, bool fp) {
+        timing_.useReg(fp ? reg + 32U : reg);
+    };
+    switch (info.syntax) {
+      case isa::Syntax::R3:
+        src(instr.rs1, info.fpRs1);
+        src(instr.rs2, info.fpRs2);
+        break;
+      case isa::Syntax::R2:
+      case isa::Syntax::Rs1:
+      case isa::Syntax::RegRegImm:
+      case isa::Syntax::Load:
+        src(instr.rs1, info.fpRs1);
+        break;
+      case isa::Syntax::Rs1Rs2:
+      case isa::Syntax::Branch:
+        src(instr.rs1, info.fpRs1);
+        src(instr.rs2, info.fpRs2);
+        break;
+      case isa::Syntax::Store:
+        src(instr.rs1, false);
+        src(instr.rs2, info.fpRs2);
+        break;
+      default:
+        break;
+    }
+
+    uint64_t next_pc = pc_ + 4;
+    const uint64_t a = regs_.gpr(instr.rs1).v;
+    const uint64_t b = regs_.gpr(instr.rs2).v;
+    const int64_t sa = static_cast<int64_t>(a);
+    const int64_t sb = static_cast<int64_t>(b);
+
+    switch (instr.op) {
+      case Opcode::ADD: regs_.writeGpr(instr.rd, a + b); break;
+      case Opcode::SUB: regs_.writeGpr(instr.rd, a - b); break;
+      case Opcode::MUL: regs_.writeGpr(instr.rd, a * b); break;
+      case Opcode::MULH:
+        regs_.writeGpr(instr.rd,
+                       static_cast<uint64_t>(
+                           (static_cast<__int128>(sa) * sb) >> 64));
+        break;
+      case Opcode::DIV:
+        regs_.writeGpr(instr.rd,
+                       b == 0 ? ~0ULL
+                       : (sa == INT64_MIN && sb == -1)
+                           ? static_cast<uint64_t>(INT64_MIN)
+                           : static_cast<uint64_t>(sa / sb));
+        break;
+      case Opcode::DIVU:
+        regs_.writeGpr(instr.rd, b == 0 ? ~0ULL : a / b);
+        break;
+      case Opcode::REM:
+        regs_.writeGpr(instr.rd,
+                       b == 0 ? a
+                       : (sa == INT64_MIN && sb == -1)
+                           ? 0
+                           : static_cast<uint64_t>(sa % sb));
+        break;
+      case Opcode::REMU:
+        regs_.writeGpr(instr.rd, b == 0 ? a : a % b);
+        break;
+      case Opcode::AND: regs_.writeGpr(instr.rd, a & b); break;
+      case Opcode::OR:  regs_.writeGpr(instr.rd, a | b); break;
+      case Opcode::XOR: regs_.writeGpr(instr.rd, a ^ b); break;
+      case Opcode::SLL: regs_.writeGpr(instr.rd, a << (b & 63)); break;
+      case Opcode::SRL: regs_.writeGpr(instr.rd, a >> (b & 63)); break;
+      case Opcode::SRA:
+        regs_.writeGpr(instr.rd, static_cast<uint64_t>(sa >> (b & 63)));
+        break;
+      case Opcode::SLT:
+        regs_.writeGpr(instr.rd, sa < sb ? 1 : 0);
+        break;
+      case Opcode::SLTU:
+        regs_.writeGpr(instr.rd, a < b ? 1 : 0);
+        break;
+
+      case Opcode::ADDW:
+        regs_.writeGpr(instr.rd, static_cast<uint64_t>(sext32(a + b)));
+        break;
+      case Opcode::SUBW:
+        regs_.writeGpr(instr.rd, static_cast<uint64_t>(sext32(a - b)));
+        break;
+      case Opcode::MULW:
+        regs_.writeGpr(instr.rd, static_cast<uint64_t>(sext32(a * b)));
+        break;
+      case Opcode::DIVW: {
+        const int32_t x = static_cast<int32_t>(a);
+        const int32_t y = static_cast<int32_t>(b);
+        int32_t q;
+        if (y == 0)
+            q = -1;
+        else if (x == INT32_MIN && y == -1)
+            q = INT32_MIN;
+        else
+            q = x / y;
+        regs_.writeGpr(instr.rd, static_cast<uint64_t>(static_cast<int64_t>(q)));
+        break;
+      }
+      case Opcode::REMW: {
+        const int32_t x = static_cast<int32_t>(a);
+        const int32_t y = static_cast<int32_t>(b);
+        int32_t r;
+        if (y == 0)
+            r = x;
+        else if (x == INT32_MIN && y == -1)
+            r = 0;
+        else
+            r = x % y;
+        regs_.writeGpr(instr.rd, static_cast<uint64_t>(static_cast<int64_t>(r)));
+        break;
+      }
+
+      case Opcode::ADDI:
+        regs_.writeGpr(instr.rd, a + static_cast<uint64_t>(instr.imm));
+        break;
+      case Opcode::ANDI:
+        regs_.writeGpr(instr.rd, a & static_cast<uint64_t>(instr.imm));
+        break;
+      case Opcode::ORI:
+        regs_.writeGpr(instr.rd, a | static_cast<uint64_t>(instr.imm));
+        break;
+      case Opcode::XORI:
+        regs_.writeGpr(instr.rd, a ^ static_cast<uint64_t>(instr.imm));
+        break;
+      case Opcode::SLLI:
+        regs_.writeGpr(instr.rd, a << (instr.imm & 63));
+        break;
+      case Opcode::SRLI:
+        regs_.writeGpr(instr.rd, a >> (instr.imm & 63));
+        break;
+      case Opcode::SRAI:
+        regs_.writeGpr(instr.rd,
+                       static_cast<uint64_t>(sa >> (instr.imm & 63)));
+        break;
+      case Opcode::SLTI:
+        regs_.writeGpr(instr.rd, sa < instr.imm ? 1 : 0);
+        break;
+      case Opcode::SLTIU:
+        regs_.writeGpr(instr.rd,
+                       a < static_cast<uint64_t>(instr.imm) ? 1 : 0);
+        break;
+      case Opcode::ADDIW:
+        regs_.writeGpr(instr.rd,
+                       static_cast<uint64_t>(
+                           sext32(a + static_cast<uint64_t>(instr.imm))));
+        break;
+      case Opcode::SLLIW:
+        regs_.writeGpr(instr.rd,
+                       static_cast<uint64_t>(sext32(a << (instr.imm & 31))));
+        break;
+      case Opcode::SRLIW:
+        regs_.writeGpr(instr.rd,
+                       static_cast<uint64_t>(sext32(
+                           static_cast<uint32_t>(a) >> (instr.imm & 31))));
+        break;
+      case Opcode::SRAIW:
+        regs_.writeGpr(instr.rd,
+                       static_cast<uint64_t>(static_cast<int64_t>(
+                           static_cast<int32_t>(a) >> (instr.imm & 31))));
+        break;
+
+      case Opcode::LUI:
+        regs_.writeGpr(instr.rd, static_cast<uint64_t>(instr.imm << 12));
+        break;
+      case Opcode::AUIPC:
+        regs_.writeGpr(instr.rd, pc_ + static_cast<uint64_t>(instr.imm << 12));
+        break;
+
+      case Opcode::LB:
+      case Opcode::LBU:
+      case Opcode::LH:
+      case Opcode::LHU:
+      case Opcode::LW:
+      case Opcode::LWU:
+      case Opcode::LD:
+      case Opcode::FLD: {
+        const uint64_t addr = a + static_cast<uint64_t>(instr.imm);
+        timing_.memStall(dataAccess(addr, false));
+        ++loads_;
+        uint64_t value = 0;
+        switch (instr.op) {
+          case Opcode::LB:
+            value = static_cast<uint64_t>(
+                static_cast<int64_t>(static_cast<int8_t>(memory_.read8(addr))));
+            break;
+          case Opcode::LBU: value = memory_.read8(addr); break;
+          case Opcode::LH:
+            value = static_cast<uint64_t>(static_cast<int64_t>(
+                static_cast<int16_t>(memory_.read16(addr))));
+            break;
+          case Opcode::LHU: value = memory_.read16(addr); break;
+          case Opcode::LW:
+            value = static_cast<uint64_t>(static_cast<int64_t>(
+                static_cast<int32_t>(memory_.read32(addr))));
+            break;
+          case Opcode::LWU: value = memory_.read32(addr); break;
+          default: value = memory_.read64(addr); break;
+        }
+        if (instr.op == Opcode::FLD)
+            regs_.writeFpr(instr.rd, value);
+        else
+            regs_.writeGpr(instr.rd, value);
+        break;
+      }
+      case Opcode::SB:
+      case Opcode::SH:
+      case Opcode::SW:
+      case Opcode::SD:
+      case Opcode::FSD: {
+        const uint64_t addr = a + static_cast<uint64_t>(instr.imm);
+        timing_.memStall(dataAccess(addr, true));
+        ++stores_;
+        const uint64_t value = instr.op == Opcode::FSD
+                                   ? regs_.fpr(instr.rs2)
+                                   : b;
+        switch (instr.op) {
+          case Opcode::SB:
+            memory_.write8(addr, static_cast<uint8_t>(value));
+            break;
+          case Opcode::SH:
+            memory_.write16(addr, static_cast<uint16_t>(value));
+            break;
+          case Opcode::SW:
+            memory_.write32(addr, static_cast<uint32_t>(value));
+            break;
+          default: memory_.write64(addr, value); break;
+        }
+        break;
+      }
+
+      case Opcode::BEQ:
+      case Opcode::BNE:
+      case Opcode::BLT:
+      case Opcode::BGE:
+      case Opcode::BLTU:
+      case Opcode::BGEU: {
+        bool taken = false;
+        switch (instr.op) {
+          case Opcode::BEQ:  taken = a == b; break;
+          case Opcode::BNE:  taken = a != b; break;
+          case Opcode::BLT:  taken = sa < sb; break;
+          case Opcode::BGE:  taken = sa >= sb; break;
+          case Opcode::BLTU: taken = a < b; break;
+          default:           taken = a >= b; break;
+        }
+        const uint64_t target = pc_ + static_cast<uint64_t>(instr.imm);
+        if (taken)
+            next_pc = target;
+        if (branchUnit_.condBranch(pc_, taken, target))
+            timing_.redirect();
+        break;
+      }
+      case Opcode::JAL: {
+        const uint64_t target = pc_ + static_cast<uint64_t>(instr.imm);
+        regs_.writeGpr(instr.rd, pc_ + 4);
+        next_pc = target;
+        if (branchUnit_.directJump(pc_, target, instr.rd == isa::reg::ra,
+                                   pc_ + 4))
+            timing_.redirect();
+        break;
+      }
+      case Opcode::JALR: {
+        const uint64_t target = (a + static_cast<uint64_t>(instr.imm)) & ~1ULL;
+        const bool is_ret = instr.rd == 0 && instr.rs1 == isa::reg::ra;
+        const bool is_call = instr.rd == isa::reg::ra;
+        regs_.writeGpr(instr.rd, pc_ + 4);
+        next_pc = target;
+        if (branchUnit_.indirectJump(pc_, target, is_call, is_ret, pc_ + 4))
+            timing_.redirect();
+        break;
+      }
+
+      case Opcode::FADD_D:
+      case Opcode::FSUB_D:
+      case Opcode::FMUL_D:
+      case Opcode::FDIV_D:
+      case Opcode::FSQRT_D:
+      case Opcode::FSGNJ_D:
+      case Opcode::FSGNJN_D:
+      case Opcode::FSGNJX_D:
+      case Opcode::FEQ_D:
+      case Opcode::FLT_D:
+      case Opcode::FLE_D:
+      case Opcode::FCVT_D_L:
+      case Opcode::FCVT_L_D:
+      case Opcode::FMV_X_D:
+      case Opcode::FMV_D_X:
+        execFp(instr);
+        break;
+
+      case Opcode::TLD: {
+        const uint64_t addr = a + static_cast<uint64_t>(instr.imm);
+        const int off = typedState_.tagConfig.tagDwordOffset();
+        unsigned extra = dataAccess(addr, false);
+        if (off != 0 &&
+            (addr + off) / dcache_.blockBytes() != addr / dcache_.blockBytes())
+            extra += dataAccess(addr + off, false);
+        timing_.memStall(extra);
+        ++loads_;
+        const uint64_t value_dword = memory_.read64(addr);
+        const uint64_t tag_dword =
+            off != 0 ? memory_.read64(addr + off) : value_dword;
+        const typed::ExtractedTag e =
+            typed::TagCodec::extract(typedState_.tagConfig, value_dword,
+                                     tag_dword);
+        regs_.writeGprTagged(instr.rd, e.value, e.tag, e.fp);
+        break;
+      }
+      case Opcode::TSD: {
+        const uint64_t addr = a + static_cast<uint64_t>(instr.imm);
+        const TaggedReg &srcreg = regs_.gpr(instr.rs2);
+        const typed::InsertedTag ins = typed::TagCodec::insert(
+            typedState_.tagConfig, srcreg.v, srcreg.t, srcreg.f);
+        const int off = typedState_.tagConfig.tagDwordOffset();
+        unsigned extra = dataAccess(addr, true);
+        if (ins.writesTagDword &&
+            (addr + off) / dcache_.blockBytes() != addr / dcache_.blockBytes())
+            extra += dataAccess(addr + off, true);
+        timing_.memStall(extra);
+        ++stores_;
+        memory_.write64(addr, ins.valueDword);
+        if (ins.writesTagDword)
+            memory_.write64(addr + off, ins.tagDword);
+        break;
+      }
+      case Opcode::XADD:
+      case Opcode::XSUB:
+      case Opcode::XMUL: {
+        const TaggedReg &rb = regs_.gpr(instr.rs1);
+        const TaggedReg &rc = regs_.gpr(instr.rs2);
+        const auto out = trt_.lookup(ruleOpFor(instr.op), rb.t, rc.t);
+        if (!out) {
+            typeMissRedirect(next_pc);
+            break;
+        }
+        deoptHit();
+        const uint8_t tag = *out;
+        const bool fp = (tag & 0x80) != 0;
+        if (fp) {
+            const double x = asDouble(rb.v);
+            const double y = asDouble(rc.v);
+            double r;
+            if (instr.op == Opcode::XADD)
+                r = x + y;
+            else if (instr.op == Opcode::XSUB)
+                r = x - y;
+            else
+                r = x * y;
+            regs_.writeGprTagged(instr.rd, asBits(r), tag, true);
+        } else if (config_.overflowMode == OverflowMode::Int32) {
+            const int64_t x = sext32(rb.v);
+            const int64_t y = sext32(rc.v);
+            int64_t r;
+            if (instr.op == Opcode::XADD)
+                r = x + y;
+            else if (instr.op == Opcode::XSUB)
+                r = x - y;
+            else
+                r = x * y;
+            if (r != sext32(static_cast<uint64_t>(r))) {
+                ++typeOverflowMisses_;
+                typeMissRedirect(next_pc);
+                break;
+            }
+            regs_.writeGprTagged(instr.rd,
+                                 static_cast<uint32_t>(r), tag, false);
+        } else {
+            int64_t r;
+            if (instr.op == Opcode::XADD)
+                r = sa + sb;
+            else if (instr.op == Opcode::XSUB)
+                r = sa - sb;
+            else
+                r = sa * sb;
+            regs_.writeGprTagged(instr.rd, static_cast<uint64_t>(r), tag,
+                                 false);
+        }
+        break;
+      }
+      case Opcode::SETOFFSET:
+        typedState_.tagConfig.offset = static_cast<uint8_t>(a & 0b111);
+        break;
+      case Opcode::SETMASK:
+        typedState_.tagConfig.mask = static_cast<uint8_t>(a & 0xFF);
+        break;
+      case Opcode::SETSHIFT:
+        typedState_.tagConfig.shift = static_cast<uint8_t>(a & 0x3F);
+        break;
+      case Opcode::SET_TRT:
+        trt_.pushEncoded(static_cast<uint32_t>(a));
+        break;
+      case Opcode::FLUSH_TRT:
+        trt_.flush();
+        break;
+      case Opcode::THDL:
+        typedState_.rhdl = pc_ + static_cast<uint64_t>(instr.imm);
+        // Section 5: thdl doubles as the fast-path selector.
+        deoptSelect(next_pc);
+        break;
+      case Opcode::TCHK: {
+        const TaggedReg &rb = regs_.gpr(instr.rs1);
+        const TaggedReg &rc = regs_.gpr(instr.rs2);
+        if (!trt_.lookup(typed::RuleOp::Chk, rb.t, rc.t))
+            typeMissRedirect(next_pc);
+        else
+            deoptHit();
+        break;
+      }
+      case Opcode::TGET:
+        regs_.writeGpr(instr.rd, regs_.gpr(instr.rs1).t);
+        break;
+      case Opcode::TSET: {
+        const uint8_t tag = static_cast<uint8_t>(a & 0xFF);
+        regs_.writeGprTag(instr.rd, tag, (tag & 0x80) != 0);
+        break;
+      }
+
+      case Opcode::SETTYPE:
+        typedState_.chklbExpectedType = static_cast<uint16_t>(a & 0xFFFF);
+        break;
+      case Opcode::CHKLD: {
+        // Checked load of a tag-in-word dword (NaN boxing): the value
+        // lands in rd and its type halfword (bits 63:48) is compared
+        // against the settype register in flight.
+        const uint64_t addr = a + static_cast<uint64_t>(instr.imm);
+        timing_.memStall(dataAccess(addr, false));
+        ++loads_;
+        ++chklbChecks_;
+        const uint64_t value = memory_.read64(addr);
+        regs_.writeGpr(instr.rd, value);
+        if (static_cast<uint16_t>(value >> 48) !=
+            typedState_.chklbExpectedType) {
+            ++chklbMisses_;
+            next_pc = typedState_.rhdl;
+            timing_.redirect();
+        }
+        break;
+      }
+      case Opcode::CHKLB:
+      case Opcode::CHKLH: {
+        const uint64_t addr = a + static_cast<uint64_t>(instr.imm);
+        timing_.memStall(dataAccess(addr, false));
+        ++loads_;
+        ++chklbChecks_;
+        const bool half = instr.op == Opcode::CHKLH;
+        const uint16_t tag = half ? memory_.read16(addr)
+                                  : memory_.read8(addr);
+        const uint16_t expected =
+            half ? typedState_.chklbExpectedType
+                 : static_cast<uint16_t>(typedState_.chklbExpectedType &
+                                         0xFF);
+        regs_.writeGpr(instr.rd, tag);
+        if (tag != expected) {
+            ++chklbMisses_;
+            next_pc = typedState_.rhdl;
+            timing_.redirect();
+        }
+        break;
+      }
+
+      case Opcode::SYS:
+      case Opcode::HCALL:
+        execSys(instr, next_pc);
+        break;
+      case Opcode::HALT:
+        doHalt(0);
+        break;
+      case Opcode::NumOpcodes:
+        tarch_panic("invalid opcode");
+    }
+
+    // Destination-ready bookkeeping.
+    switch (info.syntax) {
+      case isa::Syntax::R3:
+      case isa::Syntax::R2:
+      case isa::Syntax::RegRegImm:
+      case isa::Syntax::Load:
+      case isa::Syntax::UImm:
+      case isa::Syntax::Jal:
+        timing_.setRegReady(info.fpRd ? instr.rd + 32U : instr.rd,
+                            timing_.latencyFor(info.execClass));
+        break;
+      default:
+        break;
+    }
+
+    pc_ = next_pc;
+    return !halted_;
+}
+
+void
+Core::execFp(const isa::Instr &instr)
+{
+    const double x = regs_.fprAsDouble(instr.rs1);
+    const double y = regs_.fprAsDouble(instr.rs2);
+    switch (instr.op) {
+      case Opcode::FADD_D: regs_.writeFprDouble(instr.rd, x + y); break;
+      case Opcode::FSUB_D: regs_.writeFprDouble(instr.rd, x - y); break;
+      case Opcode::FMUL_D: regs_.writeFprDouble(instr.rd, x * y); break;
+      case Opcode::FDIV_D: regs_.writeFprDouble(instr.rd, x / y); break;
+      case Opcode::FSQRT_D:
+        regs_.writeFprDouble(instr.rd, std::sqrt(x));
+        break;
+      case Opcode::FSGNJ_D:
+        regs_.writeFpr(instr.rd, (regs_.fpr(instr.rs1) & ~(1ULL << 63)) |
+                                     (regs_.fpr(instr.rs2) & (1ULL << 63)));
+        break;
+      case Opcode::FSGNJN_D:
+        regs_.writeFpr(instr.rd,
+                       (regs_.fpr(instr.rs1) & ~(1ULL << 63)) |
+                           (~regs_.fpr(instr.rs2) & (1ULL << 63)));
+        break;
+      case Opcode::FSGNJX_D:
+        regs_.writeFpr(instr.rd, regs_.fpr(instr.rs1) ^
+                                     (regs_.fpr(instr.rs2) & (1ULL << 63)));
+        break;
+      case Opcode::FEQ_D: regs_.writeGpr(instr.rd, x == y ? 1 : 0); break;
+      case Opcode::FLT_D: regs_.writeGpr(instr.rd, x < y ? 1 : 0); break;
+      case Opcode::FLE_D: regs_.writeGpr(instr.rd, x <= y ? 1 : 0); break;
+      case Opcode::FCVT_D_L:
+        regs_.writeFprDouble(
+            instr.rd,
+            static_cast<double>(
+                static_cast<int64_t>(regs_.gpr(instr.rs1).v)));
+        break;
+      case Opcode::FCVT_L_D: {
+        // Round toward zero with RISC-V saturation semantics.
+        int64_t result;
+        if (std::isnan(x))
+            result = INT64_MAX;
+        else if (x >= 9.2233720368547758e18)
+            result = INT64_MAX;
+        else if (x <= -9.2233720368547758e18)
+            result = INT64_MIN;
+        else
+            result = static_cast<int64_t>(std::trunc(x));
+        regs_.writeGpr(instr.rd, static_cast<uint64_t>(result));
+        break;
+      }
+      case Opcode::FMV_X_D:
+        regs_.writeGpr(instr.rd, regs_.fpr(instr.rs1));
+        break;
+      case Opcode::FMV_D_X:
+        regs_.writeFpr(instr.rd, regs_.gpr(instr.rs1).v);
+        break;
+      default:
+        tarch_panic("execFp: bad opcode");
+    }
+}
+
+void
+Core::execSys(const isa::Instr &instr, uint64_t &next_pc)
+{
+    (void)next_pc;
+    if (instr.op == Opcode::HCALL) {
+        if (!hostcalls_)
+            tarch_fatal("hcall %lld without a registry",
+                        static_cast<long long>(instr.imm));
+        const unsigned id = static_cast<unsigned>(instr.imm);
+        HostEnv env{regs_, memory_, output_, heapBreak_};
+        hostcalls_->invoke(id, env);
+        const HcallCost &cost = hostcalls_->cost(id);
+        instructions_ += cost.instructions;
+        timing_.flatCost(cost.cycles);
+        ++hostcallCount_;
+        return;
+    }
+    const uint64_t a0 = regs_.gpr(isa::reg::a0).v;
+    switch (instr.imm) {
+      case 0:  // exit
+        doHalt(static_cast<int>(a0));
+        break;
+      case 1:  // putchar
+        output_.push_back(static_cast<char>(a0));
+        break;
+      case 2:  // print signed integer
+        output_ += strformat("%lld", static_cast<long long>(a0));
+        break;
+      case 3: {  // print double from fa0
+        output_ += strformat("%.14g", regs_.fprAsDouble(10));
+        break;
+      }
+      case 4: {  // print NUL-terminated string at a0
+        uint64_t addr = a0;
+        for (;;) {
+            const char c = static_cast<char>(memory_.read8(addr++));
+            if (c == '\0')
+                break;
+            output_.push_back(c);
+        }
+        break;
+      }
+      default:
+        tarch_fatal("unknown syscall %lld",
+                    static_cast<long long>(instr.imm));
+    }
+}
+
+TypedContext
+Core::saveTypedContext() const
+{
+    TypedContext ctx;
+    ctx.state = typedState_;
+    for (unsigned i = 0; i < trt_.size(); ++i)
+        ctx.trtRules.push_back(trt_.rule(i));
+    for (unsigned r = 0; r < isa::kNumGprs; ++r) {
+        ctx.tags[r] = regs_.gpr(r).t;
+        ctx.fpFlags[r] = regs_.gpr(r).f;
+    }
+    return ctx;
+}
+
+void
+Core::restoreTypedContext(const TypedContext &context)
+{
+    typedState_ = context.state;
+    trt_.flush();
+    for (const typed::TypeRule &rule : context.trtRules)
+        trt_.push(rule);
+    for (unsigned r = 1; r < isa::kNumGprs; ++r)
+        regs_.writeGprTag(r, context.tags[r], context.fpFlags[r]);
+}
+
+CoreStats
+Core::collectStats() const
+{
+    CoreStats s;
+    s.instructions = instructions_;
+    s.cycles = timing_.cycles();
+    s.loads = loads_;
+    s.stores = stores_;
+    s.branches = branchUnit_.stats();
+    s.icache = icache_.stats();
+    s.dcache = dcache_.stats();
+    s.itlb = itlb_.stats();
+    s.dtlb = dtlb_.stats();
+    s.trt = trt_.stats();
+    s.typeOverflowMisses = typeOverflowMisses_;
+    s.chklbChecks = chklbChecks_;
+    s.chklbMisses = chklbMisses_;
+    s.deoptRedirects = deoptRedirects_;
+    s.deoptProbes = deoptProbes_;
+    s.hostcalls = hostcallCount_;
+    return s;
+}
+
+} // namespace tarch::core

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * The simulated processor: a 64-bit in-order core implementing TRV64
+ * with the Typed Architecture pipeline (unified register file, Type Rule
+ * Table, tag extract/insert logic, handler register) and the Checked Load
+ * comparison extension, attached to L1 I/D caches, TLBs and a DRAM model,
+ * with a gshare/BTB/RAS front end (Table 6 parameters by default).
+ */
+
+#ifndef TARCH_CORE_CORE_H
+#define TARCH_CORE_CORE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "assembler/assembler.h"
+#include "branch/branch_unit.h"
+#include "core/hostcall.h"
+#include "core/markers.h"
+#include "core/regfile.h"
+#include "core/stats.h"
+#include "core/timing.h"
+#include "core/trace.h"
+#include "mem/cache.h"
+#include "mem/dram.h"
+#include "mem/main_memory.h"
+#include "mem/tlb.h"
+#include "typed/tag_codec.h"
+#include "typed/type_rule_table.h"
+
+namespace tarch::core {
+
+/** Overflow policy of the polymorphic ALU instructions (Section 3.2). */
+enum class OverflowMode : uint8_t {
+    Off,    ///< tags live outside the value dword (MiniLua)
+    Int32,  ///< NaN-boxed int32 payloads must not overflow (MiniJS)
+};
+
+/**
+ * Fast-path deoptimization (paper Section 5, "Deoptimizing the fast
+ * path"): the thdl instruction doubles as a path selector.  A small
+ * direct-mapped table of saturating counters tracks type-miss density
+ * per slow-path handler; when a handler's counter crosses the threshold,
+ * thdl redirects straight to the slow path instead of falling through
+ * to the doomed fast path.  Every 32nd deopt probes the fast path again
+ * so a phase change can re-optimize.
+ */
+struct DeoptConfig {
+    bool enabled = false;
+    unsigned tableEntries = 16;   ///< direct-mapped, power of two
+    uint8_t threshold = 8;        ///< deopt when counter >= threshold
+    uint8_t missBump = 4;         ///< counter += on a type miss
+    uint8_t probeInterval = 32;   ///< probe the fast path periodically
+};
+
+struct CoreConfig {
+    TimingConfig timing;
+    mem::CacheConfig icache{"icache", 16 * 1024, 4, 64, 1};
+    mem::CacheConfig dcache{"dcache", 16 * 1024, 4, 64, 1};
+    mem::TlbConfig itlb;
+    mem::TlbConfig dtlb;
+    mem::DramConfig dram;
+    branch::BranchUnitConfig branch;
+    unsigned trtCapacity = 8;
+    DeoptConfig deopt;
+    OverflowMode overflowMode = OverflowMode::Off;
+    uint64_t maxInstructions = 4'000'000'000ULL; ///< runaway guard
+    uint64_t heapBase = 0x0100'0000;             ///< bump allocator start
+    uint64_t stackTop = 0x7FFF'F000;
+};
+
+/** Typed-extension special registers (Sections 3.1 and 3.3). */
+struct TypedState {
+    typed::TagConfig tagConfig;
+    uint64_t rhdl = 0;
+    uint16_t chklbExpectedType = 0; ///< Checked Load settype register
+};
+
+/**
+ * Everything the OS must preserve across a context switch when Typed
+ * Architecture processes coexist (paper Section 5, "OS interactions"):
+ * the special registers, the Type Rule Table contents, and the per-
+ * register tag/F-I extension of the architectural register file.
+ */
+struct TypedContext {
+    TypedState state;
+    std::vector<typed::TypeRule> trtRules;
+    std::array<uint8_t, isa::kNumGprs> tags{};
+    std::array<bool, isa::kNumGprs> fpFlags{};
+};
+
+class Core
+{
+  public:
+    explicit Core(const CoreConfig &config = {},
+                  const HostcallRegistry *hostcalls = nullptr);
+
+    /** Load text and data into memory; resets PC to the entry point. */
+    void loadProgram(const assembler::Program &program);
+
+    /**
+     * Run until halt / sys-exit (or fatal on the instruction guard).
+     * @return the guest exit code
+     */
+    int run();
+
+    /** Single-step one instruction; returns false once halted. */
+    bool step();
+
+    mem::MainMemory &memory() { return memory_; }
+    RegFile &regs() { return regs_; }
+    typed::TypeRuleTable &trt() { return trt_; }
+    TypedState &typedState() { return typedState_; }
+    Markers &markers() { return markers_; }
+    const std::string &output() const { return output_; }
+    uint64_t pc() const { return pc_; }
+    void setPc(uint64_t pc) { pc_ = pc; }
+    bool halted() const { return halted_; }
+    int exitCode() const { return exitCode_; }
+    uint64_t heapBreak() const { return heapBreak_; }
+
+    /** Bump-allocate zeroed guest heap (8-byte aligned). */
+    uint64_t
+    allocHeap(uint64_t bytes)
+    {
+        heapBreak_ = (heapBreak_ + 7) & ~7ULL;
+        const uint64_t addr = heapBreak_;
+        heapBreak_ += bytes;
+        return addr;
+    }
+
+    const CoreConfig &config() const { return config_; }
+
+    /** Aggregate statistics from all components. */
+    CoreStats collectStats() const;
+
+    /** Capture the typed machine state an OS must save (Section 5). */
+    TypedContext saveTypedContext() const;
+
+    /** Restore a previously saved typed context (flushes the TRT). */
+    void restoreTypedContext(const TypedContext &context);
+
+    /** Attach an execution tracer (nullptr detaches). */
+    void setTracer(Tracer *tracer) { tracer_ = tracer; }
+
+    /** Pause run() whenever @p pc is about to execute. */
+    void addBreakpoint(uint64_t pc) { breakpoints_.push_back(pc); }
+    void clearBreakpoints() { breakpoints_.clear(); }
+
+    enum class StopReason { Halted, Breakpoint };
+
+    /**
+     * Run until halt or a breakpoint PC is reached (the instruction at
+     * the breakpoint has NOT executed yet when this returns).
+     */
+    StopReason runToBreakpoint();
+
+  private:
+    struct ExecResult {
+        uint64_t nextPc;
+    };
+
+    unsigned fetchStall(uint64_t pc);
+    unsigned dataAccess(uint64_t addr, bool is_write);
+    void execTyped(const isa::Instr &instr, uint64_t &next_pc);
+    void execFp(const isa::Instr &instr);
+    void execSys(const isa::Instr &instr, uint64_t &next_pc);
+    void doHalt(int code);
+    void typeMissRedirect(uint64_t &next_pc);
+    uint8_t &deoptCounter(uint64_t handler);
+    void deoptHit();
+    bool deoptSelect(uint64_t &next_pc);
+
+    CoreConfig config_;
+    const HostcallRegistry *hostcalls_;
+
+    mem::MainMemory memory_;
+    mem::Dram dram_;
+    mem::Cache icache_;
+    mem::Cache dcache_;
+    mem::Tlb itlb_;
+    mem::Tlb dtlb_;
+    branch::BranchUnit branchUnit_;
+    typed::TypeRuleTable trt_;
+    TypedState typedState_;
+    RegFile regs_;
+    TimingModel timing_;
+    Markers markers_;
+
+    // Loaded program.
+    uint64_t textBase_ = 0;
+    std::vector<isa::Instr> text_;
+    std::vector<int32_t> markerByIndex_;  ///< -1 = no marker
+
+    uint64_t pc_ = 0;
+    int32_t currentRegion_ = -1;  ///< marker region for instr attribution
+    bool halted_ = false;
+    int exitCode_ = 0;
+    std::string output_;
+    uint64_t heapBreak_ = 0;
+
+    uint64_t instructions_ = 0;
+    uint64_t loads_ = 0;
+    uint64_t stores_ = 0;
+    uint64_t typeOverflowMisses_ = 0;
+    std::vector<uint8_t> deoptCounters_;
+    std::vector<uint64_t> deoptTags_;
+    uint64_t deoptRedirects_ = 0;
+    uint64_t deoptProbes_ = 0;
+    uint64_t chklbChecks_ = 0;
+    uint64_t chklbMisses_ = 0;
+    uint64_t hostcallCount_ = 0;
+
+    Tracer *tracer_ = nullptr;
+    std::vector<uint64_t> breakpoints_;
+};
+
+} // namespace tarch::core
+
+#endif // TARCH_CORE_CORE_H

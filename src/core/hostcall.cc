@@ -1,0 +1,50 @@
+#include "core/hostcall.h"
+
+#include "common/log.h"
+
+namespace tarch::core {
+
+void
+HostcallRegistry::add(unsigned id, std::string name, HcallCost cost, Fn fn)
+{
+    if (entries_.size() <= id)
+        entries_.resize(id + 1);
+    if (entries_[id].valid)
+        tarch_fatal("hcall id %u already registered (%s)", id,
+                    entries_[id].name.c_str());
+    entries_[id] = {true, std::move(name), cost, std::move(fn)};
+}
+
+const HostcallRegistry::Entry &
+HostcallRegistry::entry(unsigned id) const
+{
+    if (id >= entries_.size() || !entries_[id].valid)
+        tarch_fatal("unregistered hcall id %u", id);
+    return entries_[id];
+}
+
+bool
+HostcallRegistry::has(unsigned id) const
+{
+    return id < entries_.size() && entries_[id].valid;
+}
+
+const std::string &
+HostcallRegistry::name(unsigned id) const
+{
+    return entry(id).name;
+}
+
+const HcallCost &
+HostcallRegistry::cost(unsigned id) const
+{
+    return entry(id).cost;
+}
+
+void
+HostcallRegistry::invoke(unsigned id, HostEnv &env) const
+{
+    entry(id).fn(env);
+}
+
+} // namespace tarch::core

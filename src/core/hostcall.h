@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Host-call (hcall) registry: native runtime intrinsics the guest VMs use
+ * for cold services (allocation, string hashing, number formatting, I/O).
+ *
+ * These model the native C library / runtime code the paper's
+ * interpreters call into.  Each intrinsic carries a fixed instruction and
+ * cycle cost that is charged identically in every ISA variant, so host
+ * calls contribute only an Amdahl's-law serial fraction, never a
+ * cross-variant delta.  Arguments arrive in a0-a7, the result is returned
+ * in a0 (and fa0 for FP results).
+ */
+
+#ifndef TARCH_CORE_HOSTCALL_H
+#define TARCH_CORE_HOSTCALL_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/regfile.h"
+#include "mem/main_memory.h"
+
+namespace tarch::core {
+
+/** Per-invocation charged cost. */
+struct HcallCost {
+    uint64_t instructions = 40;
+    uint64_t cycles = 60;
+};
+
+/** Execution context handed to an intrinsic. */
+struct HostEnv {
+    RegFile &regs;
+    mem::MainMemory &memory;
+    std::string &output;    ///< guest stdout
+    uint64_t &heapBreak;    ///< bump-allocator cursor in guest memory
+};
+
+class HostcallRegistry
+{
+  public:
+    using Fn = std::function<void(HostEnv &)>;
+
+    /** Register intrinsic @p id (the hcall immediate). */
+    void add(unsigned id, std::string name, HcallCost cost, Fn fn);
+
+    bool has(unsigned id) const;
+    const std::string &name(unsigned id) const;
+    const HcallCost &cost(unsigned id) const;
+    void invoke(unsigned id, HostEnv &env) const;
+
+  private:
+    struct Entry {
+        bool valid = false;
+        std::string name;
+        HcallCost cost;
+        Fn fn;
+    };
+
+    const Entry &entry(unsigned id) const;
+
+    std::vector<Entry> entries_;
+};
+
+} // namespace tarch::core
+
+#endif // TARCH_CORE_HOSTCALL_H

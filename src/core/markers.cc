@@ -1,0 +1,51 @@
+#include "core/markers.h"
+
+#include "common/log.h"
+
+namespace tarch::core {
+
+size_t
+Markers::add(uint64_t pc, std::string name)
+{
+    const size_t id = names_.size();
+    if (!byPc_.emplace(pc, id).second)
+        tarch_fatal("duplicate marker at pc 0x%llx",
+                    static_cast<unsigned long long>(pc));
+    names_.push_back(std::move(name));
+    hits_.push_back(0);
+    regionInstrs_.push_back(0);
+    return id;
+}
+
+uint64_t
+Markers::hitsByName(const std::string &name) const
+{
+    uint64_t total = 0;
+    for (size_t i = 0; i < names_.size(); ++i) {
+        if (names_[i] == name)
+            total += hits_[i];
+    }
+    return total;
+}
+
+uint64_t
+Markers::regionInstrsByName(const std::string &name) const
+{
+    uint64_t total = 0;
+    for (size_t i = 0; i < names_.size(); ++i) {
+        if (names_[i] == name)
+            total += regionInstrs_[i];
+    }
+    return total;
+}
+
+void
+Markers::resetHits()
+{
+    for (auto &h : hits_)
+        h = 0;
+    for (auto &r : regionInstrs_)
+        r = 0;
+}
+
+} // namespace tarch::core

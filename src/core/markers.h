@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Zero-cost PC markers: the harness registers interesting guest PCs
+ * (bytecode handler entries, slow-path entries) and the core bumps a
+ * counter whenever one is fetched.  This is how per-bytecode execution
+ * profiles (paper Figures 2 and 9) are collected without perturbing the
+ * measured instruction stream.
+ */
+
+#ifndef TARCH_CORE_MARKERS_H
+#define TARCH_CORE_MARKERS_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace tarch::core {
+
+class Markers
+{
+  public:
+    /** Register a counter for @p pc; returns its id.  One marker per PC. */
+    size_t add(uint64_t pc, std::string name);
+
+    size_t count() const { return names_.size(); }
+    const std::string &name(size_t id) const { return names_[id]; }
+    uint64_t hits(size_t id) const { return hits_[id]; }
+
+    /** Total hits across all markers whose name equals @p name. */
+    uint64_t hitsByName(const std::string &name) const;
+
+    const std::unordered_map<uint64_t, size_t> &byPc() const { return byPc_; }
+    void bump(size_t id) { ++hits_[id]; }
+    void resetHits();
+
+    /**
+     * Region accounting: every instruction executed after marker @p id
+     * (until the next marker) is attributed to that marker's region.
+     * Gives per-handler dynamic instruction counts (paper Figure 2b).
+     */
+    void bumpRegion(size_t id) { ++regionInstrs_[id]; }
+    uint64_t regionInstrs(size_t id) const { return regionInstrs_[id]; }
+    uint64_t regionInstrsByName(const std::string &name) const;
+
+  private:
+    std::unordered_map<uint64_t, size_t> byPc_;
+    std::vector<std::string> names_;
+    std::vector<uint64_t> hits_;
+    std::vector<uint64_t> regionInstrs_;
+};
+
+} // namespace tarch::core
+
+#endif // TARCH_CORE_MARKERS_H

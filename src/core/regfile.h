@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unified register file (paper Section 3.1): each integer register
+ * carries a 64-bit value, an 8-bit type tag and the 1-bit F/I flag.
+ * A separate conventional FP register file serves the baseline datapath
+ * (fld/fadd.d/...); typed code performs FP work in the unified file via
+ * the polymorphic instructions.
+ */
+
+#ifndef TARCH_CORE_REGFILE_H
+#define TARCH_CORE_REGFILE_H
+
+#include <array>
+#include <cstdint>
+
+#include "isa/instr.h"
+#include "typed/tag_codec.h"
+
+namespace tarch::core {
+
+struct TaggedReg {
+    uint64_t v = 0;
+    uint8_t t = typed::kUntypedTag;
+    bool f = false;
+};
+
+class RegFile
+{
+  public:
+    /** Read an integer register (x0 reads as zero/untyped). */
+    const TaggedReg &gpr(unsigned idx) const { return gprs_[idx]; }
+
+    /** Untyped write: marks the destination kUntypedTag (Section 3.2). */
+    void
+    writeGpr(unsigned idx, uint64_t value)
+    {
+        if (idx == 0)
+            return;
+        gprs_[idx] = {value, typed::kUntypedTag, false};
+    }
+
+    /** Typed write from tld/xadd/tset. */
+    void
+    writeGprTagged(unsigned idx, uint64_t value, uint8_t tag, bool fp)
+    {
+        if (idx == 0)
+            return;
+        gprs_[idx] = {value, tag, fp};
+    }
+
+    /** Update only the tag fields (tset). */
+    void
+    writeGprTag(unsigned idx, uint8_t tag, bool fp)
+    {
+        if (idx == 0)
+            return;
+        gprs_[idx].t = tag;
+        gprs_[idx].f = fp;
+    }
+
+    uint64_t fpr(unsigned idx) const { return fprs_[idx]; }
+    void writeFpr(unsigned idx, uint64_t bits) { fprs_[idx] = bits; }
+
+    double
+    fprAsDouble(unsigned idx) const
+    {
+        double d;
+        __builtin_memcpy(&d, &fprs_[idx], 8);
+        return d;
+    }
+
+    void
+    writeFprDouble(unsigned idx, double value)
+    {
+        if (value != value) {  // canonical quiet NaN (see core.cc asBits)
+            fprs_[idx] = 0x7FF8000000000000ULL;
+            return;
+        }
+        __builtin_memcpy(&fprs_[idx], &value, 8);
+    }
+
+  private:
+    std::array<TaggedReg, isa::kNumGprs> gprs_{};
+    std::array<uint64_t, isa::kNumFprs> fprs_{};
+};
+
+} // namespace tarch::core
+
+#endif // TARCH_CORE_REGFILE_H

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Aggregated per-run statistics, mirroring the custom performance
+ * counters the paper added to Rocket (Section 6).
+ */
+
+#ifndef TARCH_CORE_STATS_H
+#define TARCH_CORE_STATS_H
+
+#include <cstdint>
+
+#include "branch/branch_unit.h"
+#include "mem/cache.h"
+#include "mem/tlb.h"
+#include "typed/type_rule_table.h"
+
+namespace tarch::core {
+
+struct CoreStats {
+    uint64_t instructions = 0;  ///< retired, including host-call charges
+    uint64_t cycles = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+
+    branch::BranchUnitStats branches;
+    mem::CacheStats icache;
+    mem::CacheStats dcache;
+    mem::TlbStats itlb;
+    mem::TlbStats dtlb;
+
+    typed::TrtStats trt;            ///< xadd/xsub/xmul/tchk lookups
+    uint64_t typeOverflowMisses = 0; ///< fast-path aborts due to overflow
+    uint64_t chklbChecks = 0;
+    uint64_t chklbMisses = 0;
+    uint64_t deoptRedirects = 0;  ///< thdl path-selector slow-path picks
+    uint64_t deoptProbes = 0;
+    uint64_t hostcalls = 0;
+
+    double
+    branchMpki() const
+    {
+        return instructions == 0
+                   ? 0.0
+                   : 1000.0 * static_cast<double>(branches.mispredicts()) /
+                         static_cast<double>(instructions);
+    }
+
+    double
+    icacheMpki() const
+    {
+        return instructions == 0
+                   ? 0.0
+                   : 1000.0 * static_cast<double>(icache.misses) /
+                         static_cast<double>(instructions);
+    }
+
+    double
+    dcacheMpki() const
+    {
+        return instructions == 0
+                   ? 0.0
+                   : 1000.0 * static_cast<double>(dcache.misses) /
+                         static_cast<double>(instructions);
+    }
+
+    double
+    ipc() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(instructions) /
+                                 static_cast<double>(cycles);
+    }
+};
+
+} // namespace tarch::core
+
+#endif // TARCH_CORE_STATS_H

@@ -1,0 +1,84 @@
+#include "core/timing.h"
+
+namespace tarch::core {
+
+TimingModel::TimingModel(const TimingConfig &config)
+    : config_(config)
+{
+}
+
+void
+TimingModel::startInstr(unsigned fetch_stall)
+{
+    issue_ += 1 + fetch_stall + pendingRedirect_;
+    pendingRedirect_ = 0;
+}
+
+void
+TimingModel::useReg(unsigned reg)
+{
+    if (reg == 0)
+        return;  // x0 is always ready
+    if (regReady_[reg] > issue_)
+        issue_ = regReady_[reg];
+}
+
+void
+TimingModel::memStall(unsigned extra)
+{
+    issue_ += extra;
+}
+
+void
+TimingModel::setRegReady(unsigned reg, unsigned latency)
+{
+    if (reg == 0)
+        return;
+    regReady_[reg] = issue_ + latency;
+}
+
+unsigned
+TimingModel::latencyFor(isa::ExecClass klass) const
+{
+    using E = isa::ExecClass;
+    switch (klass) {
+      case E::IntAlu:
+      case E::TypedCfg:
+      case E::TypedChk:
+      case E::Branch:
+      case E::Jump:
+      case E::Store:
+      case E::Sys:
+      case E::Halt:
+        return config_.latIntAlu;
+      case E::IntMul:
+        return config_.latIntMul;
+      case E::IntDiv:
+        return config_.latIntDiv;
+      case E::Load:
+        return config_.latLoad;
+      case E::FpAlu:
+        return config_.latFpAlu;
+      case E::FpMul:
+        return config_.latFpMul;
+      case E::FpDiv:
+        return config_.latFpDiv;
+      case E::FpSqrt:
+        return config_.latFpSqrt;
+    }
+    return config_.latIntAlu;
+}
+
+void
+TimingModel::redirect()
+{
+    pendingRedirect_ += config_.redirectPenalty;
+}
+
+void
+TimingModel::flatCost(uint64_t cycles)
+{
+    issue_ += cycles;
+}
+
+} // namespace tarch::core

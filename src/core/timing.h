@@ -1,0 +1,85 @@
+/**
+ * @file
+ * In-order single-issue 5-stage pipeline timing model (Table 6).
+ *
+ * Rather than simulating stage latches, the model performs exact
+ * per-instruction cycle accounting for a fully-bypassed in-order pipe:
+ *
+ *   issue(i) = issue(i-1) + 1 + fetch stalls (I-cache / I-TLB misses)
+ *            + redirect penalty left by a mispredicted control transfer
+ *            + operand stalls (producer latency not yet elapsed)
+ *            + structural stalls from blocking D-cache misses.
+ *
+ * Producer-ready bookkeeping:  a result of latency L issued at cycle C is
+ * bypassable at cycle C+L; a consumer issued at cycle X reads operands at
+ * X, so it stalls max(0, C+L-X).  Single-cycle ALU results (L=1) reach
+ * the next instruction with no stall; loads have L=2 (1-cycle D-cache,
+ * one load-use bubble); FP and mul/div units are longer but pipelined.
+ * This is cycle-exact for an in-order, single-issue, blocking-miss core
+ * of the Rocket class.
+ */
+
+#ifndef TARCH_CORE_TIMING_H
+#define TARCH_CORE_TIMING_H
+
+#include <array>
+#include <cstdint>
+
+#include "isa/opcode.h"
+
+namespace tarch::core {
+
+struct TimingConfig {
+    unsigned redirectPenalty = 2;  ///< Table 6: 2-cycle branch miss penalty
+    unsigned latIntAlu = 1;
+    unsigned latIntMul = 4;
+    unsigned latIntDiv = 33;
+    unsigned latLoad = 2;          ///< 1-cycle D-cache + load-use bubble
+    unsigned latFpAlu = 4;
+    unsigned latFpMul = 4;
+    unsigned latFpDiv = 20;
+    unsigned latFpSqrt = 25;
+    unsigned drainCycles = 4;      ///< pipeline drain at halt
+};
+
+class TimingModel
+{
+  public:
+    explicit TimingModel(const TimingConfig &config = {});
+
+    /** Begin the next instruction; @p fetch_stall is extra fetch latency. */
+    void startInstr(unsigned fetch_stall);
+
+    /** Declare a source register (0-31 GPR, 32-63 FPR); stalls if needed. */
+    void useReg(unsigned reg);
+
+    /** Extra cycles from a blocking D-cache / D-TLB event. */
+    void memStall(unsigned extra);
+
+    /** Declare the destination register with the producing latency. */
+    void setRegReady(unsigned reg, unsigned latency);
+
+    /** Latency for an execution class (dest-ready delta from issue). */
+    unsigned latencyFor(isa::ExecClass klass) const;
+
+    /** Charge the redirect penalty to the next instruction. */
+    void redirect();
+
+    /** Charge a flat lump (host-call models). */
+    void flatCost(uint64_t cycles);
+
+    /** Cycles elapsed including the final drain. */
+    uint64_t cycles() const { return issue_ + config_.drainCycles; }
+
+    const TimingConfig &config() const { return config_; }
+
+  private:
+    TimingConfig config_;
+    uint64_t issue_ = 0;
+    unsigned pendingRedirect_ = 0;
+    std::array<uint64_t, 64> regReady_{};
+};
+
+} // namespace tarch::core
+
+#endif // TARCH_CORE_TIMING_H

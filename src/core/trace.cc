@@ -1,0 +1,54 @@
+#include "core/trace.h"
+
+#include "common/strutil.h"
+#include "isa/disasm.h"
+
+namespace tarch::core {
+
+Tracer::Tracer(size_t capacity)
+    : ring_(capacity ? capacity : 1)
+{
+}
+
+void
+Tracer::record(uint64_t pc, const isa::Instr &instr, uint64_t index)
+{
+    ring_[next_] = {pc, instr, index};
+    next_ = (next_ + 1) % ring_.size();
+    ++recorded_;
+}
+
+std::vector<Tracer::Entry>
+Tracer::entries() const
+{
+    std::vector<Entry> out;
+    const size_t count =
+        recorded_ < ring_.size() ? static_cast<size_t>(recorded_)
+                                 : ring_.size();
+    const size_t start =
+        recorded_ < ring_.size() ? 0 : next_;
+    for (size_t i = 0; i < count; ++i)
+        out.push_back(ring_[(start + i) % ring_.size()]);
+    return out;
+}
+
+std::string
+Tracer::dump() const
+{
+    std::string out;
+    for (const Entry &entry : entries())
+        out += strformat("#%-8llu %06llx  %s\n",
+                         (unsigned long long)entry.index,
+                         (unsigned long long)entry.pc,
+                         isa::disassemble(entry.instr).c_str());
+    return out;
+}
+
+void
+Tracer::clear()
+{
+    next_ = 0;
+    recorded_ = 0;
+}
+
+} // namespace tarch::core

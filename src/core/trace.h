@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Execution tracer: a ring buffer of recently executed instructions,
+ * attachable to a Core.  Used for debugging generated interpreters (the
+ * dump is appended to fatal PC errors) and by the trace example.
+ */
+
+#ifndef TARCH_CORE_TRACE_H
+#define TARCH_CORE_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instr.h"
+
+namespace tarch::core {
+
+class Tracer
+{
+  public:
+    struct Entry {
+        uint64_t pc = 0;
+        isa::Instr instr;
+        uint64_t index = 0;   ///< dynamic instruction number
+    };
+
+    explicit Tracer(size_t capacity = 64);
+
+    void record(uint64_t pc, const isa::Instr &instr, uint64_t index);
+
+    /** Entries in execution order (oldest first). */
+    std::vector<Entry> entries() const;
+
+    /** Disassembled dump of the captured window. */
+    std::string dump() const;
+
+    size_t capacity() const { return ring_.size(); }
+    uint64_t recorded() const { return recorded_; }
+    void clear();
+
+  private:
+    std::vector<Entry> ring_;
+    size_t next_ = 0;
+    uint64_t recorded_ = 0;
+};
+
+} // namespace tarch::core
+
+#endif // TARCH_CORE_TRACE_H

@@ -1,0 +1,81 @@
+#include "harness/benchmarks.h"
+
+#include "common/log.h"
+
+namespace tarch::harness {
+
+namespace {
+
+struct EmbeddedScript {
+    const char *name;
+    const char *source;
+};
+
+const EmbeddedScript kScripts[] = {
+#include "benchmark_scripts.inc"
+};
+
+struct Meta {
+    const char *name;
+    const char *paperInput;
+    const char *scaledInput;
+    const char *description;
+};
+
+// Paper Table 7 inputs and our scaled equivalents.
+const Meta kMeta[] = {
+    {"ackermann", "7", "ack(3,5)+ack(2,40)",
+     "Ackermann function: deep recursion"},
+    {"binary-trees", "12", "depth 8",
+     "Allocate and deallocate many binary trees"},
+    {"fannkuch-redux", "9", "7",
+     "Indexed access to a tiny integer sequence"},
+    {"fibo", "32", "21", "Naive recursive Fibonacci"},
+    {"k-nucleotide", "250000", "1500",
+     "Hash-table update keyed by k-nucleotide strings"},
+    {"mandelbrot", "250", "40", "Mandelbrot set membership counting"},
+    {"n-body", "500000", "1000", "Double-precision N-body simulation"},
+    {"n-sieve", "7", "10000/5000/2500", "Sieve of Eratosthenes"},
+    {"pidigits", "500", "60", "Streaming arbitrary-precision arithmetic"},
+    {"random", "300000", "20000", "Linear-congruential random generator"},
+    {"spectral-norm", "500", "24", "Eigenvalue using the power method"},
+};
+
+std::vector<BenchmarkInfo>
+build()
+{
+    std::vector<BenchmarkInfo> list;
+    for (const Meta &meta : kMeta) {
+        const char *source = nullptr;
+        for (const EmbeddedScript &script : kScripts) {
+            if (std::string(script.name) == meta.name)
+                source = script.source;
+        }
+        if (!source)
+            tarch_panic("benchmark script '%s' not embedded", meta.name);
+        list.push_back({meta.name, source, meta.paperInput,
+                        meta.scaledInput, meta.description});
+    }
+    return list;
+}
+
+} // namespace
+
+const std::vector<BenchmarkInfo> &
+benchmarks()
+{
+    static const std::vector<BenchmarkInfo> list = build();
+    return list;
+}
+
+const BenchmarkInfo &
+benchmark(const std::string &name)
+{
+    for (const BenchmarkInfo &info : benchmarks()) {
+        if (info.name == name)
+            return info;
+    }
+    tarch_fatal("unknown benchmark '%s'", name.c_str());
+}
+
+} // namespace tarch::harness

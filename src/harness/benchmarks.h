@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Registry of the eleven paper benchmarks (Table 7), embedded at build
+ * time from the scripts directory (.ms files).
+ */
+
+#ifndef TARCH_HARNESS_BENCHMARKS_H
+#define TARCH_HARNESS_BENCHMARKS_H
+
+#include <string>
+#include <vector>
+
+namespace tarch::harness {
+
+struct BenchmarkInfo {
+    std::string name;
+    std::string source;       ///< MiniScript program text
+    std::string paperInput;   ///< input parameter in paper Table 7
+    std::string scaledInput;  ///< our scaled input (EXPERIMENTS.md)
+    std::string description;
+};
+
+/** All eleven benchmarks in paper order. */
+const std::vector<BenchmarkInfo> &benchmarks();
+
+/** Look up one benchmark by name; fatal if unknown. */
+const BenchmarkInfo &benchmark(const std::string &name);
+
+} // namespace tarch::harness
+
+#endif // TARCH_HARNESS_BENCHMARKS_H

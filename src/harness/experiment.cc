@@ -1,0 +1,333 @@
+#include "harness/experiment.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/log.h"
+#include "vm/js/js_vm.h"
+#include "vm/lua/lua_vm.h"
+
+namespace tarch::harness {
+
+namespace {
+
+template <typename Vm>
+RunResult
+collect(Vm &vm, Engine engine, vm::Variant variant,
+        const BenchmarkInfo &info)
+{
+    vm.run();
+    RunResult result;
+    result.benchmark = info.name;
+    result.engine = engine;
+    result.variant = variant;
+    result.stats = vm.core().collectStats();
+    result.output = vm.output();
+    result.dynamicBytecodes = vm.dynamicBytecodes();
+    result.bytecodeProfile = vm.bytecodeProfile();
+    const core::Markers &markers = vm.core().markers();
+    for (size_t i = 0; i < markers.count(); ++i) {
+        auto &slot = result.markerDetail[markers.name(i)];
+        slot.first += markers.hits(i);
+        slot.second += markers.regionInstrs(i);
+    }
+    return result;
+}
+
+} // namespace
+
+RunResult
+runOne(Engine engine, vm::Variant variant, const BenchmarkInfo &info)
+{
+    if (engine == Engine::Lua) {
+        vm::lua::LuaVm::Options opts;
+        opts.variant = variant;
+        vm::lua::LuaVm vm(info.source, opts);
+        return collect(vm, engine, variant, info);
+    }
+    vm::js::JsVm::Options opts;
+    opts.variant = variant;
+    vm::js::JsVm vm(info.source, opts);
+    return collect(vm, engine, variant, info);
+}
+
+Sweep
+runSweep(Engine engine)
+{
+    Sweep sweep;
+    sweep.engine = engine;
+    for (const BenchmarkInfo &info : benchmarks()) {
+        std::vector<RunResult> row;
+        for (const vm::Variant v :
+             {vm::Variant::Baseline, vm::Variant::Typed,
+              vm::Variant::CheckedLoad})
+            row.push_back(runOne(engine, v, info));
+        // Cross-variant correctness: all three ISAs must agree.
+        for (size_t v = 1; v < row.size(); ++v) {
+            if (row[v].output != row[0].output)
+                tarch_fatal(
+                    "%s/%s: variant '%s' output differs from baseline",
+                    engineName(engine), info.name.c_str(),
+                    std::string(vm::variantName(
+                                    static_cast<vm::Variant>(v)))
+                        .c_str());
+        }
+        sweep.results.push_back(std::move(row));
+    }
+    return sweep;
+}
+
+// ---------------------------------------------------------------------
+// Disk-backed sweep cache.
+
+namespace {
+
+/** Bump when simulator or VM behaviour changes invalidate old results. */
+constexpr const char *kCacheVersion = "tarch-sweep-v3";
+
+uint64_t
+fnv1a(const std::string &text, uint64_t hash = 0xCBF29CE484222325ULL)
+{
+    for (const unsigned char c : text) {
+        hash ^= c;
+        hash *= 0x100000001B3ULL;
+    }
+    return hash;
+}
+
+uint64_t
+sweepKey(Engine engine)
+{
+    uint64_t hash = fnv1a(kCacheVersion);
+    hash = fnv1a(engineName(engine), hash);
+    for (const BenchmarkInfo &info : benchmarks()) {
+        hash = fnv1a(info.name, hash);
+        hash = fnv1a(info.source, hash);
+    }
+    return hash;
+}
+
+void
+writeStats(std::FILE *f, const core::CoreStats &s)
+{
+    std::fprintf(
+        f,
+        "stats %llu %llu %llu %llu %llu %llu %llu %llu %llu %llu %llu "
+        "%llu %llu %llu %llu %llu %llu %llu %llu %llu %llu %llu %llu\n",
+        (unsigned long long)s.instructions, (unsigned long long)s.cycles,
+        (unsigned long long)s.loads, (unsigned long long)s.stores,
+        (unsigned long long)s.branches.condBranches,
+        (unsigned long long)s.branches.condMispredicts,
+        (unsigned long long)s.branches.jumps,
+        (unsigned long long)s.branches.jumpMispredicts,
+        (unsigned long long)s.icache.accesses,
+        (unsigned long long)s.icache.misses,
+        (unsigned long long)s.icache.writebacks,
+        (unsigned long long)s.dcache.accesses,
+        (unsigned long long)s.dcache.misses,
+        (unsigned long long)s.dcache.writebacks,
+        (unsigned long long)s.itlb.accesses,
+        (unsigned long long)s.itlb.misses,
+        (unsigned long long)s.dtlb.accesses,
+        (unsigned long long)s.dtlb.misses,
+        (unsigned long long)s.trt.lookups, (unsigned long long)s.trt.hits,
+        (unsigned long long)s.typeOverflowMisses,
+        (unsigned long long)s.chklbChecks,
+        (unsigned long long)s.chklbMisses);
+}
+
+bool
+readStats(std::FILE *f, core::CoreStats &s)
+{
+    unsigned long long v[23];
+    char tag[16];
+    if (std::fscanf(f,
+                    "%15s %llu %llu %llu %llu %llu %llu %llu %llu %llu "
+                    "%llu %llu %llu %llu %llu %llu %llu %llu %llu %llu "
+                    "%llu %llu %llu %llu",
+                    tag, &v[0], &v[1], &v[2], &v[3], &v[4], &v[5], &v[6],
+                    &v[7], &v[8], &v[9], &v[10], &v[11], &v[12], &v[13],
+                    &v[14], &v[15], &v[16], &v[17], &v[18], &v[19], &v[20],
+                    &v[21], &v[22]) != 24)
+        return false;
+    s.instructions = v[0];
+    s.cycles = v[1];
+    s.loads = v[2];
+    s.stores = v[3];
+    s.branches.condBranches = v[4];
+    s.branches.condMispredicts = v[5];
+    s.branches.jumps = v[6];
+    s.branches.jumpMispredicts = v[7];
+    s.icache.accesses = v[8];
+    s.icache.misses = v[9];
+    s.icache.writebacks = v[10];
+    s.dcache.accesses = v[11];
+    s.dcache.misses = v[12];
+    s.dcache.writebacks = v[13];
+    s.itlb.accesses = v[14];
+    s.itlb.misses = v[15];
+    s.dtlb.accesses = v[16];
+    s.dtlb.misses = v[17];
+    s.trt.lookups = v[18];
+    s.trt.hits = v[19];
+    s.typeOverflowMisses = v[20];
+    s.chklbChecks = v[21];
+    s.chklbMisses = v[22];
+    return true;
+}
+
+void
+writeBlob(std::FILE *f, const char *tag, const std::string &text)
+{
+    std::fprintf(f, "%s %zu\n", tag, text.size());
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+}
+
+bool
+readBlob(std::FILE *f, std::string &text)
+{
+    char tag[32];
+    size_t len;
+    if (std::fscanf(f, "%31s %zu", tag, &len) != 2)
+        return false;
+    std::fgetc(f);  // the newline after the length
+    text.resize(len);
+    if (len && std::fread(text.data(), 1, len, f) != len)
+        return false;
+    std::fgetc(f);
+    return true;
+}
+
+bool
+saveSweep(const Sweep &sweep, const std::string &path, uint64_t key)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fprintf(f, "%s %016llx %zu\n", kCacheVersion,
+                 (unsigned long long)key, sweep.results.size());
+    for (const auto &row : sweep.results) {
+        for (const RunResult &r : row) {
+            writeBlob(f, "bench", r.benchmark);
+            std::fprintf(f, "variant %u\n",
+                         static_cast<unsigned>(r.variant));
+            writeStats(f, r.stats);
+            std::fprintf(f, "dynbc %llu\n",
+                         (unsigned long long)r.dynamicBytecodes);
+            writeBlob(f, "output", r.output);
+            std::fprintf(f, "profile %zu\n", r.bytecodeProfile.size());
+            for (const auto &[name, count] : r.bytecodeProfile)
+                std::fprintf(f, "%s %llu\n", name.c_str(),
+                             (unsigned long long)count);
+            std::fprintf(f, "markers %zu\n", r.markerDetail.size());
+            for (const auto &[name, detail] : r.markerDetail)
+                std::fprintf(f, "%s %llu %llu\n", name.c_str(),
+                             (unsigned long long)detail.first,
+                             (unsigned long long)detail.second);
+        }
+    }
+    std::fclose(f);
+    return true;
+}
+
+bool
+loadSweep(Sweep &sweep, const std::string &path, uint64_t key)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        return false;
+    char version[64];
+    unsigned long long stored_key;
+    size_t nbench;
+    bool ok = std::fscanf(f, "%63s %llx %zu", version, &stored_key,
+                          &nbench) == 3 &&
+              std::string(version) == kCacheVersion && stored_key == key;
+    for (size_t b = 0; ok && b < nbench; ++b) {
+        std::vector<RunResult> row;
+        for (unsigned v = 0; ok && v < 3; ++v) {
+            RunResult r;
+            r.engine = sweep.engine;
+            unsigned variant;
+            unsigned long long dynbc;
+            size_t count;
+            ok = readBlob(f, r.benchmark) &&
+                 std::fscanf(f, " variant %u", &variant) == 1;
+            if (!ok)
+                break;
+            r.variant = static_cast<vm::Variant>(variant);
+            ok = readStats(f, r.stats) &&
+                 std::fscanf(f, " dynbc %llu", &dynbc) == 1;
+            if (!ok)
+                break;
+            r.dynamicBytecodes = dynbc;
+            ok = readBlob(f, r.output) &&
+                 std::fscanf(f, " profile %zu", &count) == 1;
+            for (size_t i = 0; ok && i < count; ++i) {
+                char name[128];
+                unsigned long long n;
+                ok = std::fscanf(f, "%127s %llu", name, &n) == 2;
+                if (ok)
+                    r.bytecodeProfile[name] = n;
+            }
+            ok = ok && std::fscanf(f, " markers %zu", &count) == 1;
+            for (size_t i = 0; ok && i < count; ++i) {
+                char name[128];
+                unsigned long long hits, instrs;
+                ok = std::fscanf(f, "%127s %llu %llu", name, &hits,
+                                 &instrs) == 3;
+                if (ok)
+                    r.markerDetail[name] = {hits, instrs};
+            }
+            row.push_back(std::move(r));
+        }
+        if (ok)
+            sweep.results.push_back(std::move(row));
+    }
+    std::fclose(f);
+    if (!ok)
+        sweep.results.clear();
+    return ok;
+}
+
+} // namespace
+
+Sweep
+runSweepCached(Engine engine, const std::string &cache_dir)
+{
+    const uint64_t key = sweepKey(engine);
+    const std::string path =
+        cache_dir + "/tarch_sweep_" +
+        (engine == Engine::Lua ? "lua" : "js") + ".cache";
+    Sweep sweep;
+    sweep.engine = engine;
+    if (loadSweep(sweep, path, key)) {
+        std::fprintf(stderr, "info: loaded %s sweep from %s\n",
+                     engineName(engine), path.c_str());
+        return sweep;
+    }
+    sweep = runSweep(engine);
+    if (!saveSweep(sweep, path, key))
+        tarch_warn("could not write sweep cache %s", path.c_str());
+    return sweep;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (const double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+speedupOf(const RunResult &baseline, const RunResult &variant)
+{
+    return static_cast<double>(baseline.stats.cycles) /
+           static_cast<double>(variant.stats.cycles);
+}
+
+} // namespace tarch::harness

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Experiment driver: run (engine, ISA variant, benchmark) combinations
+ * and collect the performance-counter statistics the paper's figures
+ * are built from.
+ */
+
+#ifndef TARCH_HARNESS_EXPERIMENT_H
+#define TARCH_HARNESS_EXPERIMENT_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/stats.h"
+#include "harness/benchmarks.h"
+#include "vm/variant.h"
+
+namespace tarch::harness {
+
+/** Which scripting engine substrate to run. */
+enum class Engine { Lua, Js };
+
+constexpr const char *
+engineName(Engine engine)
+{
+    return engine == Engine::Lua ? "MiniLua" : "MiniJS";
+}
+
+struct RunResult {
+    std::string benchmark;
+    Engine engine;
+    vm::Variant variant;
+    core::CoreStats stats;
+    std::string output;
+    uint64_t dynamicBytecodes = 0;
+    std::map<std::string, uint64_t> bytecodeProfile;
+    /** Per-marker (hits, region instructions) for Figure 2(b). */
+    std::map<std::string, std::pair<uint64_t, uint64_t>> markerDetail;
+};
+
+/** Run one combination.  Throws FatalError on guest runtime errors. */
+RunResult runOne(Engine engine, vm::Variant variant,
+                 const BenchmarkInfo &info);
+
+/**
+ * A full sweep: all benchmarks x all three variants for one engine.
+ * Verifies that every variant produced identical output per benchmark
+ * (fatal otherwise) — the cross-variant correctness check.
+ */
+struct Sweep {
+    Engine engine;
+    /** results[benchmark index][variant index (Baseline,Typed,CL)] */
+    std::vector<std::vector<RunResult>> results;
+
+    const RunResult &
+    at(size_t bench, vm::Variant v) const
+    {
+        return results[bench][static_cast<size_t>(v)];
+    }
+};
+
+Sweep runSweep(Engine engine);
+
+/**
+ * Like runSweep, but memoized on disk: results are stored in
+ * @p cache_dir keyed by a hash of the benchmark sources, so the several
+ * per-figure bench binaries share one simulation pass.  Delete the
+ * tarch_sweep_*.cache files (or change any script) to force a re-run.
+ */
+Sweep runSweepCached(Engine engine, const std::string &cache_dir = ".");
+
+/** Geometric mean of a vector of ratios. */
+double geomean(const std::vector<double> &values);
+
+/** speedup = cycles(baseline) / cycles(variant). */
+double speedupOf(const RunResult &baseline, const RunResult &variant);
+
+} // namespace tarch::harness
+
+#endif // TARCH_HARNESS_EXPERIMENT_H

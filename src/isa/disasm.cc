@@ -1,0 +1,55 @@
+#include "isa/disasm.h"
+
+#include "common/strutil.h"
+
+namespace tarch::isa {
+
+std::string
+disassemble(const Instr &instr)
+{
+    const OpcodeInfo &info = opcodeInfo(instr.op);
+    const std::string rd = gprOrFprName(info.fpRd, instr.rd);
+    const std::string rs1 = gprOrFprName(info.fpRs1, instr.rs1);
+    const std::string rs2 = gprOrFprName(info.fpRs2, instr.rs2);
+    const std::string m(info.mnemonic);
+    switch (info.syntax) {
+      case Syntax::None:
+        return m;
+      case Syntax::R3:
+        return strformat("%s %s, %s, %s", m.c_str(), rd.c_str(), rs1.c_str(),
+                         rs2.c_str());
+      case Syntax::R2:
+        return strformat("%s %s, %s", m.c_str(), rd.c_str(), rs1.c_str());
+      case Syntax::Rs1Rs2:
+        return strformat("%s %s, %s", m.c_str(), rs1.c_str(), rs2.c_str());
+      case Syntax::Rs1:
+        return strformat("%s %s", m.c_str(), rs1.c_str());
+      case Syntax::RegRegImm:
+        return strformat("%s %s, %s, %lld", m.c_str(), rd.c_str(),
+                         rs1.c_str(), static_cast<long long>(instr.imm));
+      case Syntax::Load:
+        return strformat("%s %s, %lld(%s)", m.c_str(), rd.c_str(),
+                         static_cast<long long>(instr.imm), rs1.c_str());
+      case Syntax::Store:
+        return strformat("%s %s, %lld(%s)", m.c_str(), rs2.c_str(),
+                         static_cast<long long>(instr.imm), rs1.c_str());
+      case Syntax::Branch:
+        return strformat("%s %s, %s, pc%+lld", m.c_str(), rs1.c_str(),
+                         rs2.c_str(), static_cast<long long>(instr.imm));
+      case Syntax::Jal:
+        return strformat("%s %s, pc%+lld", m.c_str(), rd.c_str(),
+                         static_cast<long long>(instr.imm));
+      case Syntax::UImm:
+        return strformat("%s %s, %lld", m.c_str(), rd.c_str(),
+                         static_cast<long long>(instr.imm));
+      case Syntax::Label:
+        return strformat("%s pc%+lld", m.c_str(),
+                         static_cast<long long>(instr.imm));
+      case Syntax::Imm:
+        return strformat("%s %lld", m.c_str(),
+                         static_cast<long long>(instr.imm));
+    }
+    return m;
+}
+
+} // namespace tarch::isa

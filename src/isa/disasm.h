@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Textual disassembly of decoded instructions (debugging and tests).
+ */
+
+#ifndef TARCH_ISA_DISASM_H
+#define TARCH_ISA_DISASM_H
+
+#include <string>
+
+#include "isa/instr.h"
+
+namespace tarch::isa {
+
+/**
+ * Render @p instr as assembly text.  PC-relative targets are rendered as
+ * "pc+<offset>" when @p pc is provided, or as raw offsets otherwise.
+ */
+std::string disassemble(const Instr &instr);
+
+} // namespace tarch::isa
+
+#endif // TARCH_ISA_DISASM_H

@@ -1,0 +1,133 @@
+#include "isa/encoding.h"
+
+#include "common/bitops.h"
+
+namespace tarch::isa {
+
+namespace {
+
+/** B/J immediates are byte offsets, stored divided by four. */
+bool
+scaledFits(int64_t imm, unsigned field_bits)
+{
+    return (imm & 3) == 0 && fitsSigned(imm >> 2, field_bits);
+}
+
+} // namespace
+
+bool
+immFits(const Instr &instr)
+{
+    switch (opcodeInfo(instr.op).format) {
+      case Format::I:
+      case Format::S:
+        return fitsSigned(instr.imm, kImmBitsI);
+      case Format::B:
+        return scaledFits(instr.imm, kImmBitsB);
+      case Format::U:
+        return fitsSigned(instr.imm, kImmBitsU) ||
+               (instr.imm >= 0 && instr.imm < (1LL << kImmBitsU));
+      case Format::J:
+        return scaledFits(instr.imm, kImmBitsJ);
+      case Format::R:
+      case Format::N:
+        return true;
+    }
+    return false;
+}
+
+std::optional<uint32_t>
+encode(const Instr &instr)
+{
+    if (!immFits(instr))
+        return std::nullopt;
+    const auto op_field = static_cast<uint32_t>(instr.op);
+    uint64_t w = op_field;
+    switch (opcodeInfo(instr.op).format) {
+      case Format::R:
+        w = insertBits(w, 11, 7, instr.rd);
+        w = insertBits(w, 16, 12, instr.rs1);
+        w = insertBits(w, 21, 17, instr.rs2);
+        break;
+      case Format::I:
+        w = insertBits(w, 11, 7, instr.rd);
+        w = insertBits(w, 16, 12, instr.rs1);
+        w = insertBits(w, 31, 17, static_cast<uint64_t>(instr.imm));
+        break;
+      case Format::S:
+        w = insertBits(w, 11, 7, static_cast<uint64_t>(instr.imm));
+        w = insertBits(w, 16, 12, instr.rs1);
+        w = insertBits(w, 21, 17, instr.rs2);
+        w = insertBits(w, 31, 22,
+                       static_cast<uint64_t>(instr.imm) >> 5);
+        break;
+      case Format::B: {
+        const uint64_t scaled = static_cast<uint64_t>(instr.imm >> 2);
+        w = insertBits(w, 11, 7, scaled);
+        w = insertBits(w, 16, 12, instr.rs1);
+        w = insertBits(w, 21, 17, instr.rs2);
+        w = insertBits(w, 31, 22, scaled >> 5);
+        break;
+      }
+      case Format::U:
+        w = insertBits(w, 11, 7, instr.rd);
+        w = insertBits(w, 31, 12, static_cast<uint64_t>(instr.imm));
+        break;
+      case Format::J: {
+        const uint64_t scaled = static_cast<uint64_t>(instr.imm >> 2);
+        w = insertBits(w, 11, 7, instr.rd);
+        w = insertBits(w, 31, 12, scaled);
+        break;
+      }
+      case Format::N:
+        break;
+    }
+    return static_cast<uint32_t>(w);
+}
+
+std::optional<Instr>
+decode(uint32_t word)
+{
+    const uint32_t op_field = static_cast<uint32_t>(bits(word, 6, 0));
+    if (op_field >= kNumOpcodes)
+        return std::nullopt;
+    Instr instr;
+    instr.op = static_cast<Opcode>(op_field);
+    switch (opcodeInfo(instr.op).format) {
+      case Format::R:
+        instr.rd = static_cast<uint8_t>(bits(word, 11, 7));
+        instr.rs1 = static_cast<uint8_t>(bits(word, 16, 12));
+        instr.rs2 = static_cast<uint8_t>(bits(word, 21, 17));
+        break;
+      case Format::I:
+        instr.rd = static_cast<uint8_t>(bits(word, 11, 7));
+        instr.rs1 = static_cast<uint8_t>(bits(word, 16, 12));
+        instr.imm = signExtend(bits(word, 31, 17), kImmBitsI);
+        break;
+      case Format::S:
+        instr.rs1 = static_cast<uint8_t>(bits(word, 16, 12));
+        instr.rs2 = static_cast<uint8_t>(bits(word, 21, 17));
+        instr.imm = signExtend(bits(word, 31, 22) << 5 | bits(word, 11, 7),
+                               kImmBitsS);
+        break;
+      case Format::B:
+        instr.rs1 = static_cast<uint8_t>(bits(word, 16, 12));
+        instr.rs2 = static_cast<uint8_t>(bits(word, 21, 17));
+        instr.imm = signExtend(bits(word, 31, 22) << 5 | bits(word, 11, 7),
+                               kImmBitsB) * 4;
+        break;
+      case Format::U:
+        instr.rd = static_cast<uint8_t>(bits(word, 11, 7));
+        instr.imm = signExtend(bits(word, 31, 12), kImmBitsU);
+        break;
+      case Format::J:
+        instr.rd = static_cast<uint8_t>(bits(word, 11, 7));
+        instr.imm = signExtend(bits(word, 31, 12), kImmBitsJ) * 4;
+        break;
+      case Format::N:
+        break;
+    }
+    return instr;
+}
+
+} // namespace tarch::isa

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * 32-bit binary encoding of TRV64 instructions.
+ *
+ * Field layout is described in opcode.h.  PC-relative immediates (B- and
+ * J-format) are stored divided by four since all instructions are word
+ * aligned.
+ */
+
+#ifndef TARCH_ISA_ENCODING_H
+#define TARCH_ISA_ENCODING_H
+
+#include <cstdint>
+#include <optional>
+
+#include "isa/instr.h"
+
+namespace tarch::isa {
+
+/** Immediate widths (in bits, after /4 scaling for B/J) per format. */
+constexpr unsigned kImmBitsI = 15;
+constexpr unsigned kImmBitsS = 15;
+constexpr unsigned kImmBitsB = 15; ///< scaled: +-64 KiB byte range
+constexpr unsigned kImmBitsU = 20;
+constexpr unsigned kImmBitsJ = 20; ///< scaled: +-2 MiB byte range
+
+/**
+ * Encode @p instr to its 32-bit form.
+ * @return nullopt if an immediate does not fit its field.
+ */
+std::optional<uint32_t> encode(const Instr &instr);
+
+/**
+ * Decode a 32-bit word.
+ * @return nullopt if the opcode field is invalid.
+ */
+std::optional<Instr> decode(uint32_t word);
+
+/** Range check for an immediate of @p instr's format (pre-scaling value). */
+bool immFits(const Instr &instr);
+
+} // namespace tarch::isa
+
+#endif // TARCH_ISA_ENCODING_H

@@ -1,0 +1,88 @@
+#include "isa/instr.h"
+
+#include <array>
+#include <cctype>
+
+#include "common/log.h"
+#include "common/strutil.h"
+
+namespace tarch::isa {
+
+namespace {
+
+constexpr std::array<std::string_view, kNumGprs> kGprNames = {
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0",   "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6",   "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8",   "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+};
+
+std::optional<unsigned>
+parseIndexed(std::string_view name, std::string_view prefix, unsigned limit)
+{
+    if (!startsWith(name, prefix))
+        return std::nullopt;
+    const std::string_view digits = name.substr(prefix.size());
+    if (digits.empty() || digits.size() > 2)
+        return std::nullopt;
+    unsigned value = 0;
+    for (char c : digits) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return std::nullopt;
+        value = value * 10 + static_cast<unsigned>(c - '0');
+    }
+    if (value >= limit)
+        return std::nullopt;
+    return value;
+}
+
+} // namespace
+
+std::string_view
+gprName(unsigned idx)
+{
+    if (idx >= kNumGprs)
+        tarch_panic("bad GPR index %u", idx);
+    return kGprNames[idx];
+}
+
+std::string
+gprOrFprName(bool fp, unsigned idx)
+{
+    if (fp)
+        return strformat("f%u", idx);
+    return std::string(gprName(idx));
+}
+
+std::optional<unsigned>
+parseGpr(std::string_view name)
+{
+    for (unsigned i = 0; i < kNumGprs; ++i) {
+        if (name == kGprNames[i])
+            return i;
+    }
+    if (auto idx = parseIndexed(name, "x", kNumGprs))
+        return idx;
+    // "fp" is the ABI alias for s0/x8.
+    if (name == "fp")
+        return 8U;
+    return std::nullopt;
+}
+
+std::optional<unsigned>
+parseFpr(std::string_view name)
+{
+    if (auto idx = parseIndexed(name, "f", kNumFprs))
+        return idx;
+    // ABI aliases: ft0-11 -> f0-7,f28-31; fs0-11 -> f8-9,f18-27;
+    // fa0-7 -> f10-17.  Keep the common ft/fa/fs forms.
+    if (auto idx = parseIndexed(name, "ft", 12))
+        return *idx < 8 ? *idx : *idx + 20;
+    if (auto idx = parseIndexed(name, "fa", 8))
+        return *idx + 10;
+    if (auto idx = parseIndexed(name, "fs", 12))
+        return *idx < 2 ? *idx + 8 : *idx + 16;
+    return std::nullopt;
+}
+
+} // namespace tarch::isa

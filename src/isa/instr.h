@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Decoded TRV64 instruction and register naming.
+ */
+
+#ifndef TARCH_ISA_INSTR_H
+#define TARCH_ISA_INSTR_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "isa/opcode.h"
+
+namespace tarch::isa {
+
+constexpr unsigned kNumGprs = 32;
+constexpr unsigned kNumFprs = 32;
+
+/**
+ * A decoded instruction.  The simulator executes these directly; the
+ * 32-bit binary encoding (encoding.h) round-trips to and from this form.
+ */
+struct Instr {
+    Opcode op = Opcode::HALT;
+    uint8_t rd = 0;
+    uint8_t rs1 = 0;
+    uint8_t rs2 = 0;
+    int64_t imm = 0;
+
+    bool operator==(const Instr &) const = default;
+};
+
+/** ABI name of integer register @p idx (x0 -> "zero", x1 -> "ra", ...). */
+std::string_view gprName(unsigned idx);
+
+/** Name of FP register @p idx ("f0".."f31"). */
+std::string gprOrFprName(bool fp, unsigned idx);
+
+/** Parse a register name ("x5", "t0", "a7", "zero", ...) to its index. */
+std::optional<unsigned> parseGpr(std::string_view name);
+
+/** Parse an FP register name ("f0".."f31", "ft0".., "fa0".., "fs0"..). */
+std::optional<unsigned> parseFpr(std::string_view name);
+
+// Common ABI register indexes used by generated code.
+namespace reg {
+constexpr unsigned zero = 0, ra = 1, sp = 2, gp = 3, tp = 4;
+constexpr unsigned t0 = 5, t1 = 6, t2 = 7;
+constexpr unsigned s0 = 8, s1 = 9;
+constexpr unsigned a0 = 10, a1 = 11, a2 = 12, a3 = 13, a4 = 14, a5 = 15,
+                   a6 = 16, a7 = 17;
+constexpr unsigned s2 = 18, s3 = 19, s4 = 20, s5 = 21, s6 = 22, s7 = 23,
+                   s8 = 24, s9 = 25, s10 = 26, s11 = 27;
+constexpr unsigned t3 = 28, t4 = 29, t5 = 30, t6 = 31;
+} // namespace reg
+
+} // namespace tarch::isa
+
+#endif // TARCH_ISA_INSTR_H

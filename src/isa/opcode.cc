@@ -1,0 +1,177 @@
+#include "isa/opcode.h"
+
+#include <array>
+#include <unordered_map>
+
+#include "common/log.h"
+
+namespace tarch::isa {
+
+namespace {
+
+constexpr std::array<OpcodeInfo, kNumOpcodes>
+buildTable()
+{
+    std::array<OpcodeInfo, kNumOpcodes> t{};
+    auto set = [&](Opcode op, std::string_view name, Format f, Syntax s,
+                   ExecClass ec, bool frd = false, bool frs1 = false,
+                   bool frs2 = false) {
+        t[static_cast<unsigned>(op)] = {name, f, s, ec, frd, frs1, frs2};
+    };
+    using O = Opcode;
+    using F = Format;
+    using S = Syntax;
+    using E = ExecClass;
+
+    set(O::ADD,  "add",  F::R, S::R3, E::IntAlu);
+    set(O::SUB,  "sub",  F::R, S::R3, E::IntAlu);
+    set(O::MUL,  "mul",  F::R, S::R3, E::IntMul);
+    set(O::MULH, "mulh", F::R, S::R3, E::IntMul);
+    set(O::DIV,  "div",  F::R, S::R3, E::IntDiv);
+    set(O::DIVU, "divu", F::R, S::R3, E::IntDiv);
+    set(O::REM,  "rem",  F::R, S::R3, E::IntDiv);
+    set(O::REMU, "remu", F::R, S::R3, E::IntDiv);
+    set(O::AND,  "and",  F::R, S::R3, E::IntAlu);
+    set(O::OR,   "or",   F::R, S::R3, E::IntAlu);
+    set(O::XOR,  "xor",  F::R, S::R3, E::IntAlu);
+    set(O::SLL,  "sll",  F::R, S::R3, E::IntAlu);
+    set(O::SRL,  "srl",  F::R, S::R3, E::IntAlu);
+    set(O::SRA,  "sra",  F::R, S::R3, E::IntAlu);
+    set(O::SLT,  "slt",  F::R, S::R3, E::IntAlu);
+    set(O::SLTU, "sltu", F::R, S::R3, E::IntAlu);
+
+    set(O::ADDW, "addw", F::R, S::R3, E::IntAlu);
+    set(O::SUBW, "subw", F::R, S::R3, E::IntAlu);
+    set(O::MULW, "mulw", F::R, S::R3, E::IntMul);
+    set(O::DIVW, "divw", F::R, S::R3, E::IntDiv);
+    set(O::REMW, "remw", F::R, S::R3, E::IntDiv);
+    set(O::ADDIW, "addiw", F::I, S::RegRegImm, E::IntAlu);
+    set(O::SLLIW, "slliw", F::I, S::RegRegImm, E::IntAlu);
+    set(O::SRLIW, "srliw", F::I, S::RegRegImm, E::IntAlu);
+    set(O::SRAIW, "sraiw", F::I, S::RegRegImm, E::IntAlu);
+
+    set(O::ADDI,  "addi",  F::I, S::RegRegImm, E::IntAlu);
+    set(O::ANDI,  "andi",  F::I, S::RegRegImm, E::IntAlu);
+    set(O::ORI,   "ori",   F::I, S::RegRegImm, E::IntAlu);
+    set(O::XORI,  "xori",  F::I, S::RegRegImm, E::IntAlu);
+    set(O::SLLI,  "slli",  F::I, S::RegRegImm, E::IntAlu);
+    set(O::SRLI,  "srli",  F::I, S::RegRegImm, E::IntAlu);
+    set(O::SRAI,  "srai",  F::I, S::RegRegImm, E::IntAlu);
+    set(O::SLTI,  "slti",  F::I, S::RegRegImm, E::IntAlu);
+    set(O::SLTIU, "sltiu", F::I, S::RegRegImm, E::IntAlu);
+
+    set(O::LUI,   "lui",   F::U, S::UImm, E::IntAlu);
+    set(O::AUIPC, "auipc", F::U, S::UImm, E::IntAlu);
+
+    set(O::LB,  "lb",  F::I, S::Load, E::Load);
+    set(O::LBU, "lbu", F::I, S::Load, E::Load);
+    set(O::LH,  "lh",  F::I, S::Load, E::Load);
+    set(O::LHU, "lhu", F::I, S::Load, E::Load);
+    set(O::LW,  "lw",  F::I, S::Load, E::Load);
+    set(O::LWU, "lwu", F::I, S::Load, E::Load);
+    set(O::LD,  "ld",  F::I, S::Load, E::Load);
+    set(O::SB,  "sb",  F::S, S::Store, E::Store);
+    set(O::SH,  "sh",  F::S, S::Store, E::Store);
+    set(O::SW,  "sw",  F::S, S::Store, E::Store);
+    set(O::SD,  "sd",  F::S, S::Store, E::Store);
+
+    set(O::BEQ,  "beq",  F::B, S::Branch, E::Branch);
+    set(O::BNE,  "bne",  F::B, S::Branch, E::Branch);
+    set(O::BLT,  "blt",  F::B, S::Branch, E::Branch);
+    set(O::BGE,  "bge",  F::B, S::Branch, E::Branch);
+    set(O::BLTU, "bltu", F::B, S::Branch, E::Branch);
+    set(O::BGEU, "bgeu", F::B, S::Branch, E::Branch);
+    set(O::JAL,  "jal",  F::J, S::Jal, E::Jump);
+    set(O::JALR, "jalr", F::I, S::RegRegImm, E::Jump);
+
+    set(O::FLD, "fld", F::I, S::Load, E::Load, true, false, false);
+    set(O::FSD, "fsd", F::S, S::Store, E::Store, false, false, true);
+    set(O::FADD_D,  "fadd.d",  F::R, S::R3, E::FpAlu, true, true, true);
+    set(O::FSUB_D,  "fsub.d",  F::R, S::R3, E::FpAlu, true, true, true);
+    set(O::FMUL_D,  "fmul.d",  F::R, S::R3, E::FpMul, true, true, true);
+    set(O::FDIV_D,  "fdiv.d",  F::R, S::R3, E::FpDiv, true, true, true);
+    set(O::FSQRT_D, "fsqrt.d", F::R, S::R2, E::FpSqrt, true, true, false);
+    set(O::FSGNJ_D,  "fsgnj.d",  F::R, S::R3, E::FpAlu, true, true, true);
+    set(O::FSGNJN_D, "fsgnjn.d", F::R, S::R3, E::FpAlu, true, true, true);
+    set(O::FSGNJX_D, "fsgnjx.d", F::R, S::R3, E::FpAlu, true, true, true);
+    set(O::FEQ_D, "feq.d", F::R, S::R3, E::FpAlu, false, true, true);
+    set(O::FLT_D, "flt.d", F::R, S::R3, E::FpAlu, false, true, true);
+    set(O::FLE_D, "fle.d", F::R, S::R3, E::FpAlu, false, true, true);
+    set(O::FCVT_D_L, "fcvt.d.l", F::R, S::R2, E::FpAlu, true, false, false);
+    set(O::FCVT_L_D, "fcvt.l.d", F::R, S::R2, E::FpAlu, false, true, false);
+    set(O::FMV_X_D, "fmv.x.d", F::R, S::R2, E::FpAlu, false, true, false);
+    set(O::FMV_D_X, "fmv.d.x", F::R, S::R2, E::FpAlu, true, false, false);
+
+    set(O::TLD, "tld", F::I, S::Load, E::Load);
+    set(O::TSD, "tsd", F::S, S::Store, E::Store);
+    set(O::XADD, "xadd", F::R, S::R3, E::IntAlu);
+    set(O::XSUB, "xsub", F::R, S::R3, E::IntAlu);
+    set(O::XMUL, "xmul", F::R, S::R3, E::IntMul);
+    set(O::SETOFFSET, "setoffset", F::R, S::Rs1, E::TypedCfg);
+    set(O::SETMASK,   "setmask",   F::R, S::Rs1, E::TypedCfg);
+    set(O::SETSHIFT,  "setshift",  F::R, S::Rs1, E::TypedCfg);
+    set(O::SET_TRT,   "set_trt",   F::R, S::Rs1, E::TypedCfg);
+    set(O::FLUSH_TRT, "flush_trt", F::N, S::None, E::TypedCfg);
+    set(O::THDL, "thdl", F::J, S::Label, E::TypedCfg);
+    set(O::TCHK, "tchk", F::R, S::Rs1Rs2, E::TypedChk);
+    set(O::TGET, "tget", F::R, S::R2, E::IntAlu);
+    set(O::TSET, "tset", F::R, S::R2, E::IntAlu);
+
+    set(O::SETTYPE, "settype", F::R, S::Rs1, E::TypedCfg);
+    set(O::CHKLB,   "chklb",   F::I, S::Load, E::Load);
+    set(O::CHKLH,   "chklh",   F::I, S::Load, E::Load);
+    set(O::CHKLD,   "chkld",   F::I, S::Load, E::Load);
+
+    set(O::SYS,   "sys",   F::I, S::Imm, E::Sys);
+    set(O::HCALL, "hcall", F::I, S::Imm, E::Sys);
+    set(O::HALT,  "halt",  F::N, S::None, E::Halt);
+    return t;
+}
+
+const std::array<OpcodeInfo, kNumOpcodes> kTable = buildTable();
+
+} // namespace
+
+const OpcodeInfo &
+opcodeInfo(Opcode op)
+{
+    const auto idx = static_cast<unsigned>(op);
+    if (idx >= kNumOpcodes)
+        tarch_panic("invalid opcode %u", idx);
+    return kTable[idx];
+}
+
+std::optional<Opcode>
+opcodeFromMnemonic(std::string_view mnemonic)
+{
+    static const std::unordered_map<std::string_view, Opcode> index = [] {
+        std::unordered_map<std::string_view, Opcode> m;
+        for (unsigned i = 0; i < kNumOpcodes; ++i)
+            m.emplace(kTable[i].mnemonic, static_cast<Opcode>(i));
+        return m;
+    }();
+    const auto it = index.find(mnemonic);
+    if (it == index.end())
+        return std::nullopt;
+    return it->second;
+}
+
+bool
+isLoad(Opcode op)
+{
+    return opcodeInfo(op).execClass == ExecClass::Load;
+}
+
+bool
+isStore(Opcode op)
+{
+    return opcodeInfo(op).execClass == ExecClass::Store;
+}
+
+bool
+isCondBranch(Opcode op)
+{
+    return opcodeInfo(op).format == Format::B;
+}
+
+} // namespace tarch::isa

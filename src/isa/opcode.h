@@ -1,0 +1,142 @@
+/**
+ * @file
+ * TRV64 opcode definitions.
+ *
+ * TRV64 is the RV64-flavoured guest ISA used throughout this reproduction.
+ * It contains:
+ *   - a base integer + double-precision FP subset comparable to RV64IMFD,
+ *   - the Typed Architecture extension of Kim et al. (ASPLOS'17, Table 2):
+ *     tld/tsd, xadd/xsub/xmul, setoffset/setmask/setshift/set_trt/flush_trt,
+ *     thdl/tchk/tget/tset,
+ *   - the paper's RISC-flavoured adaptation of Checked Load (settype/chklb),
+ *   - simulator services: sys (syscall), hcall (host runtime intrinsic),
+ *     halt.
+ *
+ * Instructions are 32 bits wide and word aligned.  Each opcode carries
+ * static metadata (mnemonic, encoding format, assembly syntax, execution
+ * class for the timing model, and which operands index the FP register
+ * file).
+ */
+
+#ifndef TARCH_ISA_OPCODE_H
+#define TARCH_ISA_OPCODE_H
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace tarch::isa {
+
+/**
+ * Binary encoding format.  Field placement mirrors RISC-V's split-immediate
+ * trick so every format fits a fixed 32-bit word:
+ *   R  : funct[31:22] rs2[21:17] rs1[16:12] rd[11:7] op[6:0]
+ *   I  : imm15[31:17]            rs1[16:12] rd[11:7] op[6:0]
+ *   S/B: imm[14:5][31:22] rs2    rs1        imm[4:0] op
+ *   U/J: imm20[31:12]                       rd       op
+ *   N  : op only
+ * PC-relative immediates (B/J and thdl) are stored divided by 4.
+ */
+enum class Format : uint8_t { R, I, S, B, U, J, N };
+
+/** Assembly operand syntax, used by the assembler and disassembler. */
+enum class Syntax : uint8_t {
+    None,      ///< no operands (flush_trt, halt)
+    R3,        ///< rd, rs1, rs2
+    R2,        ///< rd, rs1
+    Rs1Rs2,    ///< rs1, rs2 (tchk)
+    Rs1,       ///< rs1 (setoffset, setmask, setshift, set_trt, settype)
+    RegRegImm, ///< rd, rs1, imm
+    Load,      ///< rd, imm(rs1)
+    Store,     ///< rs2, imm(rs1)
+    Branch,    ///< rs1, rs2, label
+    Jal,       ///< rd, label
+    UImm,      ///< rd, imm20
+    Label,     ///< label (thdl)
+    Imm,       ///< imm (sys, hcall)
+};
+
+/** Functional-unit class consumed by the timing model. */
+enum class ExecClass : uint8_t {
+    IntAlu,
+    IntMul,
+    IntDiv,
+    Load,
+    Store,
+    Branch,   ///< conditional branches
+    Jump,     ///< jal/jalr
+    FpAlu,    ///< fadd/fsub/compares/moves/converts
+    FpMul,
+    FpDiv,
+    FpSqrt,
+    TypedCfg, ///< typed special-register / TRT configuration
+    TypedChk, ///< tchk (control-flow capable, no value computed)
+    Sys,
+    Halt,
+};
+
+enum class Opcode : uint8_t {
+    // Integer register-register.
+    ADD, SUB, MUL, MULH, DIV, DIVU, REM, REMU,
+    AND, OR, XOR, SLL, SRL, SRA, SLT, SLTU,
+    // 32-bit (word) forms, results sign-extended to 64 bits.
+    ADDW, SUBW, MULW, DIVW, REMW,
+    // Integer register-immediate.
+    ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI, SLTIU,
+    ADDIW, SLLIW, SRLIW, SRAIW,
+    // Upper-immediate.
+    LUI, AUIPC,
+    // Loads / stores.
+    LB, LBU, LH, LHU, LW, LWU, LD,
+    SB, SH, SW, SD,
+    // Control flow.
+    BEQ, BNE, BLT, BGE, BLTU, BGEU,
+    JAL, JALR,
+    // Double-precision FP.
+    FLD, FSD,
+    FADD_D, FSUB_D, FMUL_D, FDIV_D, FSQRT_D,
+    FSGNJ_D, FSGNJN_D, FSGNJX_D,
+    FEQ_D, FLT_D, FLE_D,
+    FCVT_D_L, FCVT_L_D, FMV_X_D, FMV_D_X,
+    // Typed Architecture extension (paper Table 2).
+    TLD, TSD,
+    XADD, XSUB, XMUL,
+    SETOFFSET, SETMASK, SETSHIFT, SET_TRT, FLUSH_TRT,
+    THDL, TCHK, TGET, TSET,
+    // Checked Load extension (Anderson et al., paper Section 7.1 variant).
+    SETTYPE, CHKLB, CHKLH, CHKLD,
+    // Simulator services.
+    SYS, HCALL, HALT,
+
+    NumOpcodes,
+};
+
+constexpr unsigned kNumOpcodes = static_cast<unsigned>(Opcode::NumOpcodes);
+
+/** Static per-opcode metadata. */
+struct OpcodeInfo {
+    std::string_view mnemonic;
+    Format format;
+    Syntax syntax;
+    ExecClass execClass;
+    bool fpRd;    ///< rd indexes the FP register file
+    bool fpRs1;   ///< rs1 indexes the FP register file
+    bool fpRs2;   ///< rs2 indexes the FP register file
+};
+
+/** Look up metadata for @p op. */
+const OpcodeInfo &opcodeInfo(Opcode op);
+
+/** Resolve a mnemonic to an opcode, or nullopt if unknown. */
+std::optional<Opcode> opcodeFromMnemonic(std::string_view mnemonic);
+
+/** True for tld/lb/lbu/.../chklb — instructions that read memory. */
+bool isLoad(Opcode op);
+/** True for tsd/sb/.../fsd — instructions that write memory. */
+bool isStore(Opcode op);
+/** True for conditional branches (B-format). */
+bool isCondBranch(Opcode op);
+
+} // namespace tarch::isa
+
+#endif // TARCH_ISA_OPCODE_H

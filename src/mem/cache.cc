@@ -1,0 +1,76 @@
+#include "mem/cache.h"
+
+#include "common/bitops.h"
+#include "common/log.h"
+
+namespace tarch::mem {
+
+Cache::Cache(const CacheConfig &config, Dram &dram)
+    : config_(config), dram_(dram)
+{
+    if (!isPow2(config.blockBytes) || !isPow2(config.ways) ||
+        !isPow2(config.sizeBytes))
+        tarch_fatal("cache '%s': geometry must be powers of two",
+                    config.name.c_str());
+    numSets_ = static_cast<unsigned>(
+        config.sizeBytes / (config.blockBytes * config.ways));
+    if (numSets_ == 0)
+        tarch_fatal("cache '%s': too small for %u ways",
+                    config.name.c_str(), config.ways);
+    lines_.resize(static_cast<size_t>(numSets_) * config.ways);
+}
+
+bool
+Cache::probe(uint64_t addr) const
+{
+    const uint64_t block = addr / config_.blockBytes;
+    const unsigned set = static_cast<unsigned>(block % numSets_);
+    const uint64_t tag = block / numSets_;
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        const Line &line = lines_[static_cast<size_t>(set) * config_.ways + w];
+        if (line.valid && line.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+unsigned
+Cache::access(uint64_t addr, bool is_write)
+{
+    ++stats_.accesses;
+    ++useClock_;
+    const uint64_t block = addr / config_.blockBytes;
+    const unsigned set = static_cast<unsigned>(block % numSets_);
+    const uint64_t tag = block / numSets_;
+    Line *victim = nullptr;
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        Line &line = lines_[static_cast<size_t>(set) * config_.ways + w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = useClock_;
+            line.dirty = line.dirty || is_write;
+            return config_.hitLatency;
+        }
+        if (!victim || !line.valid ||
+            (victim->valid && line.lastUse < victim->lastUse))
+            victim = &line;
+    }
+
+    // Miss: fill after evicting the LRU way.
+    ++stats_.misses;
+    unsigned latency = config_.hitLatency;
+    if (victim->valid && victim->dirty) {
+        ++stats_.writebacks;
+        // Write-back is buffered; charge the DRAM bank model but not the
+        // full round trip (the fill overlaps the eviction drain).
+        dram_.access(victim->tag * numSets_ * config_.blockBytes +
+                     static_cast<uint64_t>(set) * config_.blockBytes);
+    }
+    latency += dram_.access(addr);
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->tag = tag;
+    victim->lastUse = useClock_;
+    return latency;
+}
+
+} // namespace tarch::mem

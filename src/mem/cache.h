@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Set-associative write-back, write-allocate cache with true LRU
+ * replacement (Table 6: 16 KiB, 4-way, 64 B blocks, 1-cycle hit).
+ *
+ * The cache models tags and timing only; data always lives in MainMemory
+ * (the functional datapath reads/writes memory directly, which is exact
+ * for a single-core system).
+ */
+
+#ifndef TARCH_MEM_CACHE_H
+#define TARCH_MEM_CACHE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/dram.h"
+
+namespace tarch::mem {
+
+struct CacheConfig {
+    std::string name = "cache";
+    uint64_t sizeBytes = 16 * 1024;
+    unsigned ways = 4;
+    unsigned blockBytes = 64;
+    unsigned hitLatency = 1;
+};
+
+struct CacheStats {
+    uint64_t accesses = 0;
+    uint64_t misses = 0;
+    uint64_t writebacks = 0;
+
+    double missRate() const
+    {
+        return accesses ? static_cast<double>(misses) / accesses : 0.0;
+    }
+};
+
+class Cache
+{
+  public:
+    Cache(const CacheConfig &config, Dram &dram);
+
+    /**
+     * Access the block containing @p addr.
+     * @param is_write marks the block dirty on hit/fill
+     * @return total latency in core cycles (hitLatency on a hit)
+     */
+    unsigned access(uint64_t addr, bool is_write);
+
+    /** True if the block containing @p addr is currently resident. */
+    bool probe(uint64_t addr) const;
+
+    const CacheStats &stats() const { return stats_; }
+    void resetStats() { stats_ = {}; }
+    unsigned blockBytes() const { return config_.blockBytes; }
+
+  private:
+    struct Line {
+        bool valid = false;
+        bool dirty = false;
+        uint64_t tag = 0;
+        uint64_t lastUse = 0;
+    };
+
+    CacheConfig config_;
+    Dram &dram_;
+    CacheStats stats_;
+    unsigned numSets_;
+    std::vector<Line> lines_;  ///< numSets_ x ways, row-major
+    uint64_t useClock_ = 0;
+};
+
+} // namespace tarch::mem
+
+#endif // TARCH_MEM_CACHE_H

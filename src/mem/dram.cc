@@ -1,0 +1,48 @@
+#include "mem/dram.h"
+
+#include <cmath>
+
+namespace tarch::mem {
+
+Dram::Dram(const DramConfig &config)
+    : config_(config), openRow_(config.numBanks, -1)
+{
+}
+
+unsigned
+Dram::toCoreCycles(unsigned dram_cycles) const
+{
+    const double ns = dram_cycles * 1000.0 / config_.dramClockMhz;
+    const double core_ns = 1000.0 / config_.coreClockMhz;
+    return static_cast<unsigned>(std::ceil(ns / core_ns));
+}
+
+unsigned
+Dram::access(uint64_t addr)
+{
+    ++stats_.accesses;
+    // Address mapping: row-bank-column (block interleaved across banks).
+    const uint64_t block = addr / 64;
+    const unsigned bank = static_cast<unsigned>(block % config_.numBanks);
+    const int64_t row = static_cast<int64_t>(
+        addr / (static_cast<uint64_t>(config_.rowBytes) * config_.numBanks));
+
+    unsigned dram_cycles;
+    if (openRow_[bank] == row) {
+        ++stats_.rowHits;
+        dram_cycles = config_.tCl;
+    } else {
+        if (openRow_[bank] >= 0)
+            ++stats_.rowConflicts;
+        dram_cycles = config_.tRp + config_.tRcd + config_.tCl;
+        openRow_[bank] = row;
+    }
+    dram_cycles += config_.burstBeats;
+
+    const unsigned latency =
+        config_.controllerCoreCycles + toCoreCycles(dram_cycles);
+    stats_.totalLatency += latency;
+    return latency;
+}
+
+} // namespace tarch::mem

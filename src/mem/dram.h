@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Simple DDR3-style DRAM timing model (Table 6: DDR3-1066, 1 rank,
+ * tCL/tRCD/tRP = 7/7/7) expressed in core clock cycles of the 50 MHz
+ * synthesized Rocket core.
+ *
+ * Each bank keeps one open row.  A request costs a fixed controller/uncore
+ * round trip plus the DRAM command latency (row hit: tCL; row conflict:
+ * tRP + tRCD + tCL) plus the burst transfer of one 64-byte cache block.
+ * DRAM-clock quantities are converted to core cycles with the clock ratio.
+ */
+
+#ifndef TARCH_MEM_DRAM_H
+#define TARCH_MEM_DRAM_H
+
+#include <cstdint>
+#include <vector>
+
+namespace tarch::mem {
+
+struct DramConfig {
+    unsigned numBanks = 8;
+    unsigned rowBytes = 8192;        ///< row (page) size per bank
+    unsigned tCl = 7;                ///< CAS latency, DRAM cycles
+    unsigned tRcd = 7;               ///< RAS-to-CAS, DRAM cycles
+    unsigned tRp = 7;                ///< precharge, DRAM cycles
+    unsigned burstBeats = 8;         ///< 64B block over a 64-bit bus
+    double coreClockMhz = 50.0;      ///< Table 6 synthesized core clock
+    double dramClockMhz = 533.0;     ///< DDR3-1066 I/O clock
+    unsigned controllerCoreCycles = 14; ///< fixed uncore/controller latency
+};
+
+/** Per-access latency statistics. */
+struct DramStats {
+    uint64_t accesses = 0;
+    uint64_t rowHits = 0;
+    uint64_t rowConflicts = 0;
+    uint64_t totalLatency = 0;
+};
+
+/**
+ * Open-page DRAM latency model.  access() returns the latency in core
+ * cycles for a 64-byte block transfer.
+ */
+class Dram
+{
+  public:
+    explicit Dram(const DramConfig &config = {});
+
+    /** Access the block containing @p addr; returns core-cycle latency. */
+    unsigned access(uint64_t addr);
+
+    const DramStats &stats() const { return stats_; }
+    void resetStats() { stats_ = {}; }
+
+  private:
+    unsigned toCoreCycles(unsigned dram_cycles) const;
+
+    DramConfig config_;
+    DramStats stats_;
+    std::vector<int64_t> openRow_;  ///< -1 = bank closed
+};
+
+} // namespace tarch::mem
+
+#endif // TARCH_MEM_DRAM_H

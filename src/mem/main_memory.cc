@@ -1,0 +1,92 @@
+#include "mem/main_memory.h"
+
+#include <cstring>
+
+namespace tarch::mem {
+
+MainMemory::Page *
+MainMemory::pageFor(uint64_t addr)
+{
+    const uint64_t key = addr / kPageBytes;
+    auto &slot = pages_[key];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return slot.get();
+}
+
+const MainMemory::Page *
+MainMemory::pageForConst(uint64_t addr) const
+{
+    const uint64_t key = addr / kPageBytes;
+    const auto it = pages_.find(key);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+namespace {
+
+template <typename T>
+T
+readScalar(const MainMemory &memory, uint64_t addr)
+{
+    T value{};
+    memory.readBlock(addr, &value, sizeof(T));
+    return value;
+}
+
+} // namespace
+
+uint8_t MainMemory::read8(uint64_t addr) const
+{ return readScalar<uint8_t>(*this, addr); }
+uint16_t MainMemory::read16(uint64_t addr) const
+{ return readScalar<uint16_t>(*this, addr); }
+uint32_t MainMemory::read32(uint64_t addr) const
+{ return readScalar<uint32_t>(*this, addr); }
+uint64_t MainMemory::read64(uint64_t addr) const
+{ return readScalar<uint64_t>(*this, addr); }
+
+void MainMemory::write8(uint64_t addr, uint8_t value)
+{ writeBlock(addr, &value, sizeof(value)); }
+void MainMemory::write16(uint64_t addr, uint16_t value)
+{ writeBlock(addr, &value, sizeof(value)); }
+void MainMemory::write32(uint64_t addr, uint32_t value)
+{ writeBlock(addr, &value, sizeof(value)); }
+void MainMemory::write64(uint64_t addr, uint64_t value)
+{ writeBlock(addr, &value, sizeof(value)); }
+
+void
+MainMemory::writeBlock(uint64_t addr, const void *src, size_t len)
+{
+    const auto *bytes = static_cast<const uint8_t *>(src);
+    while (len > 0) {
+        const uint64_t offset = addr % kPageBytes;
+        const size_t chunk =
+            std::min<uint64_t>(len, kPageBytes - offset);
+        std::memcpy(pageFor(addr)->data() + offset, bytes, chunk);
+        addr += chunk;
+        bytes += chunk;
+        len -= chunk;
+    }
+}
+
+void
+MainMemory::readBlock(uint64_t addr, void *dst, size_t len) const
+{
+    auto *bytes = static_cast<uint8_t *>(dst);
+    while (len > 0) {
+        const uint64_t offset = addr % kPageBytes;
+        const size_t chunk =
+            std::min<uint64_t>(len, kPageBytes - offset);
+        const Page *page = pageForConst(addr);
+        if (page)
+            std::memcpy(bytes, page->data() + offset, chunk);
+        else
+            std::memset(bytes, 0, chunk);
+        addr += chunk;
+        bytes += chunk;
+        len -= chunk;
+    }
+}
+
+} // namespace tarch::mem

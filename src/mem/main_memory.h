@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Sparse byte-addressable guest memory with little-endian scalar access.
+ */
+
+#ifndef TARCH_MEM_MAIN_MEMORY_H
+#define TARCH_MEM_MAIN_MEMORY_H
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace tarch::mem {
+
+/**
+ * Guest physical memory, allocated lazily in 4 KiB pages.  Reads of
+ * untouched memory return zero.
+ */
+class MainMemory
+{
+  public:
+    static constexpr uint64_t kPageBytes = 4096;
+
+    uint8_t read8(uint64_t addr) const;
+    uint16_t read16(uint64_t addr) const;
+    uint32_t read32(uint64_t addr) const;
+    uint64_t read64(uint64_t addr) const;
+    void write8(uint64_t addr, uint8_t value);
+    void write16(uint64_t addr, uint16_t value);
+    void write32(uint64_t addr, uint32_t value);
+    void write64(uint64_t addr, uint64_t value);
+
+    /** Bulk copy into guest memory. */
+    void writeBlock(uint64_t addr, const void *src, size_t len);
+    /** Bulk copy out of guest memory. */
+    void readBlock(uint64_t addr, void *dst, size_t len) const;
+
+    /** Number of pages currently allocated (footprint accounting). */
+    size_t allocatedPages() const { return pages_.size(); }
+
+  private:
+    using Page = std::array<uint8_t, kPageBytes>;
+
+    Page *pageFor(uint64_t addr);
+    const Page *pageForConst(uint64_t addr) const;
+
+    mutable std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace tarch::mem
+
+#endif // TARCH_MEM_MAIN_MEMORY_H

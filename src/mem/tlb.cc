@@ -1,0 +1,33 @@
+#include "mem/tlb.h"
+
+namespace tarch::mem {
+
+Tlb::Tlb(const TlbConfig &config)
+    : config_(config), entries_(config.entries)
+{
+}
+
+unsigned
+Tlb::access(uint64_t addr)
+{
+    ++stats_.accesses;
+    ++useClock_;
+    const uint64_t vpn = addr / config_.pageBytes;
+    Entry *victim = nullptr;
+    for (Entry &entry : entries_) {
+        if (entry.valid && entry.vpn == vpn) {
+            entry.lastUse = useClock_;
+            return 0;
+        }
+        if (!victim || !entry.valid ||
+            (victim->valid && entry.lastUse < victim->lastUse))
+            victim = &entry;
+    }
+    ++stats_.misses;
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->lastUse = useClock_;
+    return config_.missLatency;
+}
+
+} // namespace tarch::mem

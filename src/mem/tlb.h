@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Tiny fully-associative TLB (Table 6: 8-entry I-TLB and D-TLB).
+ *
+ * The guest uses an identity virtual-to-physical mapping, so the TLB only
+ * contributes timing: a miss costs a fixed page-table-walk latency.
+ */
+
+#ifndef TARCH_MEM_TLB_H
+#define TARCH_MEM_TLB_H
+
+#include <cstdint>
+#include <vector>
+
+namespace tarch::mem {
+
+struct TlbConfig {
+    unsigned entries = 8;
+    unsigned pageBytes = 4096;
+    unsigned missLatency = 18;  ///< hardware PTW round trip, core cycles
+};
+
+struct TlbStats {
+    uint64_t accesses = 0;
+    uint64_t misses = 0;
+};
+
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbConfig &config = {});
+
+    /** Translate; returns extra latency in cycles (0 on hit). */
+    unsigned access(uint64_t addr);
+
+    const TlbStats &stats() const { return stats_; }
+    void resetStats() { stats_ = {}; }
+
+  private:
+    struct Entry {
+        bool valid = false;
+        uint64_t vpn = 0;
+        uint64_t lastUse = 0;
+    };
+
+    TlbConfig config_;
+    TlbStats stats_;
+    std::vector<Entry> entries_;
+    uint64_t useClock_ = 0;
+};
+
+} // namespace tarch::mem
+
+#endif // TARCH_MEM_TLB_H

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Analytic area/power model reproducing the structure of paper Table 8
+ * (Synopsys DC + TSMC 40nm synthesis of Rocket with and without the
+ * Typed Architecture extension).
+ *
+ * We do not have the TSMC libraries or the RTL, so the *baseline* module
+ * breakdown is taken from the paper's published baseline column (it
+ * characterizes Rocket, not the contribution).  The *added* structures
+ * are estimated from first principles at a 40nm node and reported the
+ * same way the paper reports them: per-module area/power for baseline
+ * vs. Typed Architecture, plus EDP computed from measured cycle counts.
+ */
+
+#ifndef TARCH_POWER_POWER_MODEL_H
+#define TARCH_POWER_POWER_MODEL_H
+
+#include <string>
+#include <vector>
+
+namespace tarch::power {
+
+struct ModuleCost {
+    std::string name;
+    int depth = 0;        ///< indentation level in the hierarchy
+    double areaMm2 = 0.0;
+    double powerMw = 0.0;
+};
+
+struct SynthesisReport {
+    std::vector<ModuleCost> baseline;
+    std::vector<ModuleCost> typedArch;
+
+    double totalArea(bool typed_arch) const;
+    double totalPower(bool typed_arch) const;
+    double areaOverhead() const;   ///< fractional increase
+    double powerOverhead() const;
+};
+
+/** 40nm per-structure cost assumptions for the added hardware. */
+struct TypedHardwareCosts {
+    // Unified RF: 32 registers x (8-bit tag + F/I bit) flip-flops.
+    double rfTagBits = 32 * 9;
+    double areaPerFfBitMm2 = 3.2e-6;   ///< FF + local routing, 40nm
+    // Type Rule Table: 8-entry CAM, 26-bit key+data per entry.
+    double trtEntries = 8;
+    double trtBitsPerEntry = 26;
+    double areaPerCamBitMm2 = 6.0e-6;
+    // Tag extract/insert: 64-bit shifter + mask + NaN detect + muxes.
+    double extractorGates = 4200;
+    double areaPerGateMm2 = 0.9e-6;
+    // Control/special registers and pipeline plumbing.
+    double plumbingAreaMm2 = 0.0035;
+    // Power scales with area at the core's baseline power density,
+    // plus switching activity on the tag datapath.
+    double activityFactor = 0.95;
+};
+
+/**
+ * Build the Table 8 report.
+ * @param costs structure-cost assumptions (defaults approximate 40nm)
+ */
+SynthesisReport buildTable8(const TypedHardwareCosts &costs = {});
+
+/**
+ * Energy-delay-product improvement from a speedup and a power overhead:
+ * EDP' / EDP = (P'/P) / speedup^2; returns 1 - that ratio.
+ */
+double edpImprovement(double speedup, double power_ratio);
+
+} // namespace tarch::power
+
+#endif // TARCH_POWER_POWER_MODEL_H

@@ -1,0 +1,5 @@
+#include "script/ast.h"
+
+// The AST is a plain data structure; this translation unit exists to give
+// the module a home for future out-of-line helpers and to anchor vtables
+// if the node types ever grow virtual members.  (Intentionally empty.)

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * AST for MiniScript, the Lua-flavoured source language shared by both
+ * guest VMs (the register-based MiniLua VM and the stack-based MiniJS
+ * VM).  The eleven paper benchmarks (Table 7) are written once in
+ * MiniScript and compiled by each VM's bytecode compiler.
+ *
+ * Language summary:
+ *   - top-level function definitions and top-level statements (the chunk)
+ *   - local/global variables, assignment, indexed assignment
+ *   - if/elseif/else, while, numeric for, break, return
+ *   - int and float numbers (Lua 5.3 semantics: '/' is float division,
+ *     '//' integer, '%' modulo), strings, booleans, nil
+ *   - tables: {} constructor, t[k] indexing with int or string keys
+ *   - operators: or and | == ~= < <= > >= | + - | * / // % | not - # | ..
+ *   - built-in calls: print, sqrt, floor, abs, substr, strchar, type
+ */
+
+#ifndef TARCH_SCRIPT_AST_H
+#define TARCH_SCRIPT_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tarch::script {
+
+enum class BinOp : uint8_t {
+    Add, Sub, Mul, Div, IDiv, Mod,
+    Eq, Ne, Lt, Le, Gt, Ge,
+    And, Or,
+    Concat,
+};
+
+enum class UnOp : uint8_t { Neg, Not, Len };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+    enum class Kind : uint8_t {
+        Nil, True, False, Int, Float, Str,
+        Var,        ///< name
+        Index,      ///< lhs[index]
+        Call,       ///< name(args) — user function or builtin
+        Binary,
+        Unary,
+        TableCtor,  ///< { items... } (positional only)
+    };
+
+    Kind kind;
+    int line = 0;
+
+    int64_t ival = 0;
+    double fval = 0.0;
+    std::string name;        ///< Var / Call / Str body
+    BinOp binop = BinOp::Add;
+    UnOp unop = UnOp::Neg;
+    ExprPtr lhs, rhs;        ///< Binary, Index (lhs=table, rhs=key), Unary(lhs)
+    std::vector<ExprPtr> args;  ///< Call arguments / TableCtor items
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+using Block = std::vector<StmtPtr>;
+
+struct Stmt {
+    enum class Kind : uint8_t {
+        Local,       ///< local name = expr
+        Assign,      ///< name = expr
+        IndexAssign, ///< target[key] = expr
+        If,
+        While,
+        NumFor,      ///< for name = init, limit[, step] do ... end
+        Return,
+        Break,
+        ExprStmt,    ///< call expression as a statement
+    };
+
+    Kind kind;
+    int line = 0;
+
+    std::string name;             ///< Local/Assign/NumFor variable
+    ExprPtr expr;                 ///< value / condition / return value
+    ExprPtr key, value;           ///< IndexAssign (expr=table)
+    ExprPtr limit, step;          ///< NumFor
+    Block body;                   ///< If-then / While / NumFor
+    std::vector<std::pair<ExprPtr, Block>> elifs;  ///< If: elseif arms
+    Block elseBody;               ///< If: else arm
+};
+
+struct FunctionDecl {
+    std::string name;
+    std::vector<std::string> params;
+    Block body;
+    int line = 0;
+};
+
+/** A parsed script: functions plus the top-level chunk. */
+struct Chunk {
+    std::vector<FunctionDecl> functions;
+    Block main;
+};
+
+} // namespace tarch::script
+
+#endif // TARCH_SCRIPT_AST_H

@@ -1,0 +1,615 @@
+#include "script/interp.h"
+
+#include <cmath>
+
+#include "common/log.h"
+#include "common/strutil.h"
+
+namespace tarch::script {
+
+namespace {
+
+using Kind = RefValue::Kind;
+
+RefValue
+nil()
+{
+    return {};
+}
+
+RefValue
+boolean(bool b)
+{
+    RefValue v;
+    v.kind = Kind::Bool;
+    v.i = b ? 1 : 0;
+    return v;
+}
+
+RefValue
+integer(int64_t i)
+{
+    RefValue v;
+    v.kind = Kind::Int;
+    v.i = i;
+    return v;
+}
+
+RefValue
+flt(double f)
+{
+    RefValue v;
+    v.kind = Kind::Flt;
+    v.f = f;
+    return v;
+}
+
+RefValue
+str(std::string s)
+{
+    RefValue v;
+    v.kind = Kind::Str;
+    v.s = std::move(s);
+    return v;
+}
+
+/** Thrown by return statements; caught at call boundaries. */
+struct ReturnSignal {
+    RefValue value;
+};
+
+/** Thrown by break statements; caught at loop boundaries. */
+struct BreakSignal {
+};
+
+class Interp
+{
+  public:
+    Interp(const Chunk &chunk, NumberStyle style, uint64_t step_limit)
+        : chunk_(chunk), style_(style), stepLimit_(step_limit)
+    {
+        for (size_t i = 0; i < chunk.functions.size(); ++i)
+            functions_[chunk.functions[i].name] =
+                static_cast<int>(i);
+    }
+
+    std::string
+    run()
+    {
+        Scope scope;
+        try {
+            execBlock(chunk_.main, scope);
+        } catch (const ReturnSignal &) {
+        }
+        return out_;
+    }
+
+  private:
+    /** Lexically scoped locals: a stack of (name, value) frames. */
+    struct Scope {
+        std::vector<std::pair<std::string, RefValue>> vars;
+
+        RefValue *
+        find(const std::string &name)
+        {
+            for (auto it = vars.rbegin(); it != vars.rend(); ++it) {
+                if (it->first == name)
+                    return &it->second;
+            }
+            return nullptr;
+        }
+    };
+
+    [[noreturn]] void
+    error(int line, const char *what) const
+    {
+        tarch_fatal("reference interp: line %d: %s", line, what);
+    }
+
+    void
+    tick()
+    {
+        if (++steps_ > stepLimit_)
+            tarch_fatal("reference interp: step limit exceeded");
+    }
+
+    bool
+    truthy(const RefValue &v) const
+    {
+        switch (v.kind) {
+          case Kind::Nil: return false;
+          case Kind::Bool: return v.i != 0;
+          case Kind::Int:
+            return style_ == NumberStyle::Lua || v.i != 0;
+          case Kind::Flt:
+            return style_ == NumberStyle::Lua || v.f != 0.0;
+          case Kind::Str:
+            return style_ == NumberStyle::Lua || !v.s.empty();
+          default:
+            return true;
+        }
+    }
+
+    double
+    toDouble(const RefValue &v, int line) const
+    {
+        if (v.kind == Kind::Int)
+            return static_cast<double>(v.i);
+        if (v.kind == Kind::Flt)
+            return v.f;
+        error(line, "number expected");
+    }
+
+    std::string
+    numberText(const RefValue &v) const
+    {
+        if (v.kind == Kind::Int)
+            return strformat("%lld", static_cast<long long>(v.i));
+        std::string text = strformat("%.14g", v.f);
+        if (style_ == NumberStyle::Lua &&
+            text.find_first_of(".eEni") == std::string::npos)
+            text += ".0";
+        return text;
+    }
+
+    std::string
+    valueText(const RefValue &v) const
+    {
+        switch (v.kind) {
+          case Kind::Nil:
+            return style_ == NumberStyle::Lua ? "nil" : "undefined";
+          case Kind::Bool: return v.i ? "true" : "false";
+          case Kind::Int:
+          case Kind::Flt: return numberText(v);
+          case Kind::Str: return v.s;
+          case Kind::Table: return "<table>";
+          case Kind::Fun: return "<function>";
+        }
+        return "?";
+    }
+
+    // ---- table access -------------------------------------------------
+
+    static bool
+    intKey(const RefValue &key, int64_t &out)
+    {
+        if (key.kind == Kind::Int) {
+            out = key.i;
+            return true;
+        }
+        if (key.kind == Kind::Flt && key.f == std::floor(key.f) &&
+            std::abs(key.f) < 9.2e18) {
+            out = static_cast<int64_t>(key.f);
+            return true;
+        }
+        return false;
+    }
+
+    RefValue
+    tableGet(const RefValue &table, const RefValue &key, int line) const
+    {
+        if (table.kind != Kind::Table)
+            error(line, "indexing a non-table");
+        int64_t ik;
+        if (intKey(key, ik)) {
+            const auto it = table.array->find(ik);
+            return it == table.array->end() ? nil() : it->second;
+        }
+        if (key.kind == Kind::Str) {
+            const auto it = table.hash->find(key.s);
+            return it == table.hash->end() ? nil() : it->second;
+        }
+        error(line, "invalid table key");
+    }
+
+    void
+    tableSet(RefValue &table, const RefValue &key, RefValue value,
+             int line)
+    {
+        if (table.kind != Kind::Table)
+            error(line, "indexing a non-table");
+        int64_t ik;
+        if (intKey(key, ik)) {
+            (*table.array)[ik] = std::move(value);
+            return;
+        }
+        if (key.kind == Kind::Str) {
+            (*table.hash)[key.s] = std::move(value);
+            return;
+        }
+        error(line, "invalid table key");
+    }
+
+    // ---- operators -----------------------------------------------------
+
+    RefValue
+    arith(BinOp op, const RefValue &a, const RefValue &b, int line) const
+    {
+        const bool both_int = a.kind == Kind::Int && b.kind == Kind::Int;
+        switch (op) {
+          case BinOp::Add:
+            if (both_int)
+                return integer(a.i + b.i);
+            return flt(toDouble(a, line) + toDouble(b, line));
+          case BinOp::Sub:
+            if (both_int)
+                return integer(a.i - b.i);
+            return flt(toDouble(a, line) - toDouble(b, line));
+          case BinOp::Mul:
+            if (both_int)
+                return integer(a.i * b.i);
+            return flt(toDouble(a, line) * toDouble(b, line));
+          case BinOp::Div:
+            return flt(toDouble(a, line) / toDouble(b, line));
+          case BinOp::IDiv: {
+            if (both_int) {
+                if (b.i == 0)
+                    error(line, "integer division by zero");
+                int64_t q = a.i / b.i;
+                if ((a.i % b.i != 0) && ((a.i < 0) != (b.i < 0)))
+                    --q;
+                return integer(q);
+            }
+            return flt(
+                std::floor(toDouble(a, line) / toDouble(b, line)));
+          }
+          case BinOp::Mod: {
+            if (both_int) {
+                if (b.i == 0)
+                    error(line, "integer modulo by zero");
+                int64_t r = a.i % b.i;
+                if (r != 0 && ((r < 0) != (b.i < 0)))
+                    r += b.i;
+                return integer(r);
+            }
+            const double x = toDouble(a, line);
+            const double y = toDouble(b, line);
+            double r = std::fmod(x, y);
+            if (r != 0.0 && ((r < 0.0) != (y < 0.0)))
+                r += y;
+            return flt(r);
+          }
+          default:
+            error(line, "bad arithmetic operator");
+        }
+    }
+
+    RefValue
+    comparison(BinOp op, const RefValue &a, const RefValue &b,
+               int line) const
+    {
+        const bool numeric =
+            (a.kind == Kind::Int || a.kind == Kind::Flt) &&
+            (b.kind == Kind::Int || b.kind == Kind::Flt);
+        if (op == BinOp::Eq || op == BinOp::Ne) {
+            bool eq;
+            if (numeric) {
+                if (a.kind == Kind::Int && b.kind == Kind::Int)
+                    eq = a.i == b.i;
+                else
+                    eq = toDouble(a, line) == toDouble(b, line);
+            } else if (a.kind != b.kind) {
+                eq = false;
+            } else {
+                switch (a.kind) {
+                  case Kind::Nil: eq = true; break;
+                  case Kind::Bool: eq = a.i == b.i; break;
+                  case Kind::Str: eq = a.s == b.s; break;
+                  case Kind::Table: eq = a.array == b.array; break;
+                  case Kind::Fun: eq = a.fun == b.fun; break;
+                  default: eq = false;
+                }
+            }
+            return boolean(op == BinOp::Eq ? eq : !eq);
+        }
+        if (!numeric)
+            error(line, "comparing non-numbers");
+        bool result;
+        if (a.kind == Kind::Int && b.kind == Kind::Int) {
+            result = op == BinOp::Lt   ? a.i < b.i
+                     : op == BinOp::Le ? a.i <= b.i
+                     : op == BinOp::Gt ? a.i > b.i
+                                       : a.i >= b.i;
+        } else {
+            const double x = toDouble(a, line);
+            const double y = toDouble(b, line);
+            result = op == BinOp::Lt   ? x < y
+                     : op == BinOp::Le ? x <= y
+                     : op == BinOp::Gt ? x > y
+                                       : x >= y;
+        }
+        return boolean(result);
+    }
+
+    // ---- evaluation ----------------------------------------------------
+
+    RefValue
+    eval(const Expr &e, Scope &scope)
+    {
+        tick();
+        switch (e.kind) {
+          case Expr::Kind::Nil: return nil();
+          case Expr::Kind::True: return boolean(true);
+          case Expr::Kind::False: return boolean(false);
+          case Expr::Kind::Int: return integer(e.ival);
+          case Expr::Kind::Float: return flt(e.fval);
+          case Expr::Kind::Str: return str(e.name);
+          case Expr::Kind::Var: {
+            if (RefValue *local = scope.find(e.name))
+                return *local;
+            const auto fn = functions_.find(e.name);
+            if (fn != functions_.end()) {
+                RefValue v;
+                v.kind = Kind::Fun;
+                v.fun = fn->second;
+                return v;
+            }
+            const auto global = globals_.find(e.name);
+            return global == globals_.end() ? nil() : global->second;
+          }
+          case Expr::Kind::Index: {
+            const RefValue table = eval(*e.lhs, scope);
+            const RefValue key = eval(*e.rhs, scope);
+            return tableGet(table, key, e.line);
+          }
+          case Expr::Kind::Call: return call(e, scope);
+          case Expr::Kind::TableCtor: {
+            RefValue v;
+            v.kind = Kind::Table;
+            v.array = std::make_shared<std::map<int64_t, RefValue>>();
+            v.hash =
+                std::make_shared<std::map<std::string, RefValue>>();
+            for (size_t i = 0; i < e.args.size(); ++i)
+                (*v.array)[static_cast<int64_t>(i + 1)] =
+                    eval(*e.args[i], scope);
+            return v;
+          }
+          case Expr::Kind::Unary: {
+            const RefValue v = eval(*e.lhs, scope);
+            switch (e.unop) {
+              case UnOp::Neg:
+                if (v.kind == Kind::Int)
+                    return integer(-v.i);
+                return flt(-toDouble(v, e.line));
+              case UnOp::Not:
+                return boolean(!truthy(v));
+              case UnOp::Len:
+                if (v.kind == Kind::Str)
+                    return integer(
+                        static_cast<int64_t>(v.s.size()));
+                if (v.kind == Kind::Table) {
+                    int64_t max_key = 0;
+                    for (const auto &[k, val] : *v.array) {
+                        if (k > max_key && val.kind != Kind::Nil)
+                            max_key = k;
+                    }
+                    return integer(max_key);
+                }
+                error(e.line, "# on a non-sequence");
+            }
+            error(e.line, "bad unary operator");
+          }
+          case Expr::Kind::Binary: {
+            if (e.binop == BinOp::And || e.binop == BinOp::Or) {
+                RefValue lhs = eval(*e.lhs, scope);
+                const bool take_rhs =
+                    e.binop == BinOp::And ? truthy(lhs) : !truthy(lhs);
+                return take_rhs ? eval(*e.rhs, scope) : lhs;
+            }
+            const RefValue a = eval(*e.lhs, scope);
+            const RefValue b = eval(*e.rhs, scope);
+            switch (e.binop) {
+              case BinOp::Add:
+              case BinOp::Sub:
+              case BinOp::Mul:
+              case BinOp::Div:
+              case BinOp::IDiv:
+              case BinOp::Mod:
+                return arith(e.binop, a, b, e.line);
+              case BinOp::Concat: {
+                const auto text = [this, &e](const RefValue &v) {
+                    if (v.kind == Kind::Str)
+                        return v.s;
+                    if (v.kind == Kind::Int || v.kind == Kind::Flt)
+                        return numberText(v);
+                    error(e.line, "concatenating a non-string");
+                };
+                return str(text(a) + text(b));
+              }
+              default:
+                return comparison(e.binop, a, b, e.line);
+            }
+          }
+        }
+        error(e.line, "unsupported expression");
+    }
+
+    RefValue
+    call(const Expr &e, Scope &scope)
+    {
+        std::vector<RefValue> args;
+        for (const auto &arg : e.args)
+            args.push_back(eval(*arg, scope));
+
+        // Builtins.
+        if (e.name == "print") {
+            out_ += valueText(args.at(0));
+            out_ += '\n';
+            return nil();
+        }
+        if (e.name == "sqrt")
+            return flt(std::sqrt(toDouble(args.at(0), e.line)));
+        if (e.name == "floor") {
+            if (args.at(0).kind == Kind::Int)
+                return args[0];
+            return integer(static_cast<int64_t>(
+                std::floor(toDouble(args.at(0), e.line))));
+        }
+        if (e.name == "abs") {
+            if (args.at(0).kind == Kind::Int)
+                return integer(args[0].i < 0 ? -args[0].i : args[0].i);
+            return flt(std::fabs(toDouble(args.at(0), e.line)));
+        }
+        if (e.name == "substr") {
+            if (args.at(0).kind != Kind::Str)
+                error(e.line, "substr on a non-string");
+            const std::string &text = args[0].s;
+            int64_t i = args.at(1).i;
+            int64_t j = args.at(2).i;
+            const int64_t len = static_cast<int64_t>(text.size());
+            if (i < 0)
+                i = len + i + 1;
+            if (j < 0)
+                j = len + j + 1;
+            if (i < 1)
+                i = 1;
+            if (j > len)
+                j = len;
+            return str(i <= j ? text.substr(i - 1, j - i + 1) : "");
+        }
+        if (e.name == "strchar")
+            return str(std::string(
+                1, static_cast<char>(args.at(0).i)));
+
+        const auto fn = functions_.find(e.name);
+        if (fn == functions_.end())
+            error(e.line, "call to unknown function");
+        const FunctionDecl &decl = chunk_.functions[fn->second];
+        if (decl.params.size() != args.size())
+            error(e.line, "arity mismatch");
+        Scope callee;
+        for (size_t i = 0; i < args.size(); ++i)
+            callee.vars.emplace_back(decl.params[i], std::move(args[i]));
+        try {
+            execBlock(decl.body, callee);
+        } catch (ReturnSignal &ret) {
+            return std::move(ret.value);
+        }
+        return nil();
+    }
+
+    void
+    execBlock(const Block &body, Scope &scope)
+    {
+        const size_t mark = scope.vars.size();
+        for (const auto &stmt : body)
+            exec(*stmt, scope);
+        scope.vars.resize(mark);
+    }
+
+    void
+    exec(const Stmt &s, Scope &scope)
+    {
+        tick();
+        switch (s.kind) {
+          case Stmt::Kind::Local:
+            scope.vars.emplace_back(s.name, eval(*s.expr, scope));
+            return;
+          case Stmt::Kind::Assign: {
+            RefValue value = eval(*s.expr, scope);
+            if (RefValue *local = scope.find(s.name)) {
+                *local = std::move(value);
+            } else {
+                globals_[s.name] = std::move(value);
+            }
+            return;
+          }
+          case Stmt::Kind::IndexAssign: {
+            RefValue table = eval(*s.expr, scope);
+            const RefValue key = eval(*s.key, scope);
+            RefValue value = eval(*s.value, scope);
+            tableSet(table, key, std::move(value), s.line);
+            return;
+          }
+          case Stmt::Kind::If: {
+            if (truthy(eval(*s.expr, scope))) {
+                execBlock(s.body, scope);
+                return;
+            }
+            for (const auto &[cond, arm] : s.elifs) {
+                if (truthy(eval(*cond, scope))) {
+                    execBlock(arm, scope);
+                    return;
+                }
+            }
+            execBlock(s.elseBody, scope);
+            return;
+          }
+          case Stmt::Kind::While:
+            try {
+                while (truthy(eval(*s.expr, scope)))
+                    execBlock(s.body, scope);
+            } catch (const BreakSignal &) {
+            }
+            return;
+          case Stmt::Kind::NumFor:
+            numFor(s, scope);
+            return;
+          case Stmt::Kind::Return: {
+            ReturnSignal ret;
+            if (s.expr)
+                ret.value = eval(*s.expr, scope);
+            throw ret;
+          }
+          case Stmt::Kind::Break:
+            throw BreakSignal{};
+          case Stmt::Kind::ExprStmt:
+            eval(*s.expr, scope);
+            return;
+        }
+    }
+
+    void
+    numFor(const Stmt &s, Scope &scope)
+    {
+        RefValue init = eval(*s.expr, scope);
+        RefValue limit = eval(*s.limit, scope);
+        RefValue step = s.step ? eval(*s.step, scope) : integer(1);
+        const bool int_loop = init.kind == Kind::Int &&
+                              limit.kind == Kind::Int &&
+                              step.kind == Kind::Int;
+        try {
+            if (int_loop) {
+                for (int64_t i = init.i;
+                     step.i >= 0 ? i <= limit.i : i >= limit.i;
+                     i += step.i) {
+                    tick();
+                    const size_t mark = scope.vars.size();
+                    scope.vars.emplace_back(s.name, integer(i));
+                    execBlock(s.body, scope);
+                    scope.vars.resize(mark);
+                }
+            } else {
+                const double lim = toDouble(limit, s.line);
+                const double stp = toDouble(step, s.line);
+                for (double i = toDouble(init, s.line);
+                     stp >= 0 ? i <= lim : i >= lim; i += stp) {
+                    tick();
+                    const size_t mark = scope.vars.size();
+                    scope.vars.emplace_back(s.name, flt(i));
+                    execBlock(s.body, scope);
+                    scope.vars.resize(mark);
+                }
+            }
+        } catch (const BreakSignal &) {
+        }
+    }
+
+    const Chunk &chunk_;
+    NumberStyle style_;
+    uint64_t stepLimit_;
+    uint64_t steps_ = 0;
+    std::string out_;
+    std::map<std::string, RefValue> globals_;
+    std::map<std::string, int> functions_;
+};
+
+} // namespace
+
+std::string
+interpret(const Chunk &chunk, NumberStyle style, uint64_t step_limit)
+{
+    return Interp(chunk, style, step_limit).run();
+}
+
+} // namespace tarch::script

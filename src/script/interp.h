@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Reference tree-walking interpreter for MiniScript, executed on the
+ * host.  It defines the language's semantics independently of either
+ * guest VM and is used by the differential test suite: for any program,
+ * MiniLua and MiniJS (on every ISA variant) must print what this
+ * interpreter prints (modulo each engine's number formatting).
+ */
+
+#ifndef TARCH_SCRIPT_INTERP_H
+#define TARCH_SCRIPT_INTERP_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "script/ast.h"
+
+namespace tarch::script {
+
+/** A reference value: the dynamic types of MiniScript. */
+struct RefValue {
+    enum class Kind : uint8_t { Nil, Bool, Int, Flt, Str, Table, Fun };
+
+    Kind kind = Kind::Nil;
+    int64_t i = 0;
+    double f = 0.0;
+    std::string s;
+    std::shared_ptr<std::map<std::string, RefValue>> hash;  ///< string keys
+    std::shared_ptr<std::map<int64_t, RefValue>> array;     ///< int keys
+    int fun = -1;
+
+    bool truthy() const { return !(kind == Kind::Nil ||
+                                   (kind == Kind::Bool && i == 0)); }
+};
+
+/** Number formatting dialect for print/concat. */
+enum class NumberStyle {
+    Lua,  ///< floats print with a trailing ".0" when integral
+    Js,   ///< integral doubles print without a decimal point
+};
+
+/**
+ * Execute a chunk and return everything print() produced.
+ * @param style        number formatting dialect
+ * @param step_limit   fatal after this many statements (runaway guard)
+ */
+std::string interpret(const Chunk &chunk, NumberStyle style,
+                      uint64_t step_limit = 50'000'000);
+
+} // namespace tarch::script
+
+#endif // TARCH_SCRIPT_INTERP_H

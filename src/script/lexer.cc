@@ -1,0 +1,167 @@
+#include "script/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "common/log.h"
+
+namespace tarch::script {
+
+namespace {
+
+const std::unordered_map<std::string, Tok> kKeywords = {
+    {"and", Tok::And},     {"break", Tok::Break},   {"do", Tok::Do},
+    {"else", Tok::Else},   {"elseif", Tok::Elseif}, {"end", Tok::End},
+    {"false", Tok::False}, {"for", Tok::For},       {"function", Tok::Function},
+    {"if", Tok::If},       {"local", Tok::Local},   {"nil", Tok::Nil},
+    {"not", Tok::Not},     {"or", Tok::Or},         {"return", Tok::Return},
+    {"then", Tok::Then},   {"true", Tok::True},     {"while", Tok::While},
+};
+
+} // namespace
+
+std::vector<Token>
+tokenize(const std::string &src)
+{
+    std::vector<Token> toks;
+    size_t i = 0;
+    int line = 1;
+    const size_t n = src.size();
+    auto push = [&](Tok kind) { toks.push_back({kind, line, "", 0, 0.0}); };
+
+    while (i < n) {
+        const char c = src[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (c == '-' && i + 1 < n && src[i + 1] == '-') {
+            while (i < n && src[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            size_t j = i;
+            while (j < n && (std::isalnum(static_cast<unsigned char>(src[j])) ||
+                             src[j] == '_'))
+                ++j;
+            const std::string word = src.substr(i, j - i);
+            const auto kw = kKeywords.find(word);
+            if (kw != kKeywords.end()) {
+                push(kw->second);
+            } else {
+                toks.push_back({Tok::Name, line, word, 0, 0.0});
+            }
+            i = j;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            size_t j = i;
+            bool is_float = false;
+            if (c == '0' && j + 1 < n && (src[j + 1] == 'x' || src[j + 1] == 'X')) {
+                j += 2;
+                while (j < n &&
+                       std::isxdigit(static_cast<unsigned char>(src[j])))
+                    ++j;
+            } else {
+                while (j < n &&
+                       (std::isdigit(static_cast<unsigned char>(src[j])) ||
+                        src[j] == '.' || src[j] == 'e' || src[j] == 'E' ||
+                        ((src[j] == '+' || src[j] == '-') && j > i &&
+                         (src[j - 1] == 'e' || src[j - 1] == 'E')))) {
+                    if (src[j] == '.' || src[j] == 'e' || src[j] == 'E')
+                        is_float = true;
+                    ++j;
+                }
+            }
+            const std::string text = src.substr(i, j - i);
+            Token tok{is_float ? Tok::Float : Tok::Int, line, text, 0, 0.0};
+            if (is_float)
+                tok.fval = std::strtod(text.c_str(), nullptr);
+            else
+                tok.ival = static_cast<int64_t>(
+                    std::strtoull(text.c_str(), nullptr, 0));
+            toks.push_back(tok);
+            i = j;
+            continue;
+        }
+        if (c == '"' || c == '\'') {
+            const char quote = c;
+            std::string body;
+            size_t j = i + 1;
+            while (j < n && src[j] != quote) {
+                if (src[j] == '\\' && j + 1 < n) {
+                    const char e = src[j + 1];
+                    body.push_back(e == 'n' ? '\n'
+                                   : e == 't' ? '\t'
+                                   : e == '0' ? '\0'
+                                              : e);
+                    j += 2;
+                } else {
+                    if (src[j] == '\n')
+                        ++line;
+                    body.push_back(src[j]);
+                    ++j;
+                }
+            }
+            if (j >= n)
+                tarch_fatal("line %d: unterminated string", line);
+            toks.push_back({Tok::String, line, body, 0, 0.0});
+            i = j + 1;
+            continue;
+        }
+
+        auto two = [&](char second) {
+            return i + 1 < n && src[i + 1] == second;
+        };
+        switch (c) {
+          case '+': push(Tok::Plus); ++i; continue;
+          case '-': push(Tok::Minus); ++i; continue;
+          case '*': push(Tok::Star); ++i; continue;
+          case '/':
+            if (two('/')) { push(Tok::DSlash); i += 2; }
+            else { push(Tok::Slash); ++i; }
+            continue;
+          case '%': push(Tok::Percent); ++i; continue;
+          case '#': push(Tok::Hash); ++i; continue;
+          case '=':
+            if (two('=')) { push(Tok::Eq); i += 2; }
+            else { push(Tok::Assign); ++i; }
+            continue;
+          case '~':
+            if (two('=')) { push(Tok::Ne); i += 2; continue; }
+            tarch_fatal("line %d: unexpected '~'", line);
+          case '<':
+            if (two('=')) { push(Tok::Le); i += 2; }
+            else { push(Tok::Lt); ++i; }
+            continue;
+          case '>':
+            if (two('=')) { push(Tok::Ge); i += 2; }
+            else { push(Tok::Gt); ++i; }
+            continue;
+          case '(': push(Tok::LParen); ++i; continue;
+          case ')': push(Tok::RParen); ++i; continue;
+          case '{': push(Tok::LBrace); ++i; continue;
+          case '}': push(Tok::RBrace); ++i; continue;
+          case '[': push(Tok::LBracket); ++i; continue;
+          case ']': push(Tok::RBracket); ++i; continue;
+          case ',': push(Tok::Comma); ++i; continue;
+          case ';': push(Tok::Semi); ++i; continue;
+          case '.':
+            if (two('.')) { push(Tok::Concat); i += 2; continue; }
+            tarch_fatal("line %d: unexpected '.'", line);
+          default:
+            tarch_fatal("line %d: unexpected character '%c'", line, c);
+        }
+    }
+    toks.push_back({Tok::Eof, line, "", 0, 0.0});
+    return toks;
+}
+
+} // namespace tarch::script

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * MiniScript tokenizer.
+ */
+
+#ifndef TARCH_SCRIPT_LEXER_H
+#define TARCH_SCRIPT_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tarch::script {
+
+enum class Tok : uint8_t {
+    Eof, Name, Int, Float, String,
+    // keywords
+    And, Break, Do, Else, Elseif, End, False, For, Function, If, Local,
+    Nil, Not, Or, Return, Then, True, While,
+    // symbols
+    Plus, Minus, Star, Slash, DSlash, Percent, Hash,
+    Eq, Ne, Lt, Le, Gt, Ge, Assign,
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Comma, Semi, Concat,
+};
+
+struct Token {
+    Tok kind;
+    int line;
+    std::string text;   ///< Name / String body
+    int64_t ival = 0;
+    double fval = 0.0;
+};
+
+/**
+ * Tokenize MiniScript source.  '--' starts a comment to end of line.
+ * Throws FatalError with a line number on bad input.
+ */
+std::vector<Token> tokenize(const std::string &source);
+
+} // namespace tarch::script
+
+#endif // TARCH_SCRIPT_LEXER_H

@@ -1,0 +1,433 @@
+#include "script/parser.h"
+
+#include "common/log.h"
+#include "script/lexer.h"
+
+namespace tarch::script {
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &source)
+        : toks_(tokenize(source))
+    {
+    }
+
+    Chunk
+    run()
+    {
+        Chunk chunk;
+        while (!at(Tok::Eof)) {
+            if (at(Tok::Function)) {
+                chunk.functions.push_back(functionDecl());
+            } else {
+                chunk.main.push_back(statement());
+            }
+        }
+        return chunk;
+    }
+
+  private:
+    const Token &cur() const { return toks_[pos_]; }
+    bool at(Tok kind) const { return cur().kind == kind; }
+
+    Token
+    advance()
+    {
+        return toks_[pos_++];
+    }
+
+    bool
+    accept(Tok kind)
+    {
+        if (!at(kind))
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    Token
+    expect(Tok kind, const char *what)
+    {
+        if (!at(kind))
+            tarch_fatal("line %d: expected %s", cur().line, what);
+        return advance();
+    }
+
+    ExprPtr
+    makeExpr(Expr::Kind kind)
+    {
+        auto e = std::make_unique<Expr>();
+        e->kind = kind;
+        e->line = cur().line;
+        return e;
+    }
+
+    FunctionDecl
+    functionDecl()
+    {
+        FunctionDecl fn;
+        fn.line = cur().line;
+        expect(Tok::Function, "'function'");
+        fn.name = expect(Tok::Name, "function name").text;
+        expect(Tok::LParen, "'('");
+        if (!at(Tok::RParen)) {
+            do {
+                fn.params.push_back(expect(Tok::Name, "parameter").text);
+            } while (accept(Tok::Comma));
+        }
+        expect(Tok::RParen, "')'");
+        fn.body = block();
+        expect(Tok::End, "'end'");
+        return fn;
+    }
+
+    /** Statements until a block-terminating keyword. */
+    Block
+    block()
+    {
+        Block body;
+        while (!at(Tok::End) && !at(Tok::Else) && !at(Tok::Elseif) &&
+               !at(Tok::Eof))
+            body.push_back(statement());
+        return body;
+    }
+
+    StmtPtr
+    makeStmt(Stmt::Kind kind)
+    {
+        auto s = std::make_unique<Stmt>();
+        s->kind = kind;
+        s->line = cur().line;
+        return s;
+    }
+
+    StmtPtr
+    statement()
+    {
+        while (accept(Tok::Semi)) {
+        }
+        if (at(Tok::Local)) {
+            auto s = makeStmt(Stmt::Kind::Local);
+            advance();
+            s->name = expect(Tok::Name, "local name").text;
+            if (accept(Tok::Assign)) {
+                s->expr = expression();
+            } else {
+                s->expr = makeExpr(Expr::Kind::Nil);
+            }
+            return s;
+        }
+        if (at(Tok::If)) {
+            auto s = makeStmt(Stmt::Kind::If);
+            advance();
+            s->expr = expression();
+            expect(Tok::Then, "'then'");
+            s->body = block();
+            while (at(Tok::Elseif)) {
+                advance();
+                ExprPtr cond = expression();
+                expect(Tok::Then, "'then'");
+                Block arm = block();
+                s->elifs.emplace_back(std::move(cond), std::move(arm));
+            }
+            if (accept(Tok::Else))
+                s->elseBody = block();
+            expect(Tok::End, "'end'");
+            return s;
+        }
+        if (at(Tok::While)) {
+            auto s = makeStmt(Stmt::Kind::While);
+            advance();
+            s->expr = expression();
+            expect(Tok::Do, "'do'");
+            s->body = block();
+            expect(Tok::End, "'end'");
+            return s;
+        }
+        if (at(Tok::For)) {
+            auto s = makeStmt(Stmt::Kind::NumFor);
+            advance();
+            s->name = expect(Tok::Name, "loop variable").text;
+            expect(Tok::Assign, "'='");
+            s->expr = expression();
+            expect(Tok::Comma, "','");
+            s->limit = expression();
+            if (accept(Tok::Comma))
+                s->step = expression();
+            expect(Tok::Do, "'do'");
+            s->body = block();
+            expect(Tok::End, "'end'");
+            return s;
+        }
+        if (at(Tok::Return)) {
+            auto s = makeStmt(Stmt::Kind::Return);
+            advance();
+            if (!at(Tok::End) && !at(Tok::Else) && !at(Tok::Elseif) &&
+                !at(Tok::Eof) && !at(Tok::Semi))
+                s->expr = expression();
+            return s;
+        }
+        if (at(Tok::Break)) {
+            auto s = makeStmt(Stmt::Kind::Break);
+            advance();
+            return s;
+        }
+        // Assignment, indexed assignment, or a call statement.
+        if (at(Tok::Name)) {
+            const Token name = advance();
+            if (at(Tok::Assign)) {
+                auto s = makeStmt(Stmt::Kind::Assign);
+                s->line = name.line;
+                advance();
+                s->name = name.text;
+                s->expr = expression();
+                return s;
+            }
+            if (at(Tok::LParen)) {
+                auto s = makeStmt(Stmt::Kind::ExprStmt);
+                s->line = name.line;
+                s->expr = callExpr(name);
+                return s;
+            }
+            if (at(Tok::LBracket)) {
+                // One or more index steps; last one is the assign target.
+                ExprPtr target = makeExpr(Expr::Kind::Var);
+                target->name = name.text;
+                target->line = name.line;
+                ExprPtr key;
+                for (;;) {
+                    expect(Tok::LBracket, "'['");
+                    key = expression();
+                    expect(Tok::RBracket, "']'");
+                    if (at(Tok::LBracket)) {
+                        auto idx = makeExpr(Expr::Kind::Index);
+                        idx->lhs = std::move(target);
+                        idx->rhs = std::move(key);
+                        target = std::move(idx);
+                        continue;
+                    }
+                    break;
+                }
+                expect(Tok::Assign, "'='");
+                auto s = makeStmt(Stmt::Kind::IndexAssign);
+                s->line = name.line;
+                s->expr = std::move(target);
+                s->key = std::move(key);
+                s->value = expression();
+                return s;
+            }
+            tarch_fatal("line %d: unexpected statement starting with '%s'",
+                        name.line, name.text.c_str());
+        }
+        tarch_fatal("line %d: unexpected token", cur().line);
+    }
+
+    // Precedence climbing: or < and < cmp < concat < addsub < muldiv <
+    // unary < primary.
+    ExprPtr
+    expression()
+    {
+        return orExpr();
+    }
+
+    ExprPtr
+    binchain(ExprPtr (Parser::*next)(),
+             std::initializer_list<std::pair<Tok, BinOp>> ops)
+    {
+        ExprPtr lhs = (this->*next)();
+        for (;;) {
+            bool matched = false;
+            for (const auto &[tok, op] : ops) {
+                if (at(tok)) {
+                    const int line = cur().line;
+                    advance();
+                    auto e = std::make_unique<Expr>();
+                    e->kind = Expr::Kind::Binary;
+                    e->line = line;
+                    e->binop = op;
+                    e->lhs = std::move(lhs);
+                    e->rhs = (this->*next)();
+                    lhs = std::move(e);
+                    matched = true;
+                    break;
+                }
+            }
+            if (!matched)
+                return lhs;
+        }
+    }
+
+    ExprPtr
+    orExpr()
+    {
+        return binchain(&Parser::andExpr, {{Tok::Or, BinOp::Or}});
+    }
+
+    ExprPtr
+    andExpr()
+    {
+        return binchain(&Parser::cmpExpr, {{Tok::And, BinOp::And}});
+    }
+
+    ExprPtr
+    cmpExpr()
+    {
+        return binchain(&Parser::concatExpr,
+                        {{Tok::Eq, BinOp::Eq}, {Tok::Ne, BinOp::Ne},
+                         {Tok::Lt, BinOp::Lt}, {Tok::Le, BinOp::Le},
+                         {Tok::Gt, BinOp::Gt}, {Tok::Ge, BinOp::Ge}});
+    }
+
+    ExprPtr
+    concatExpr()
+    {
+        // Left-associative is fine for our use (Lua's is right-assoc but
+        // the result is identical for string building).
+        return binchain(&Parser::addExpr, {{Tok::Concat, BinOp::Concat}});
+    }
+
+    ExprPtr
+    addExpr()
+    {
+        return binchain(&Parser::mulExpr,
+                        {{Tok::Plus, BinOp::Add}, {Tok::Minus, BinOp::Sub}});
+    }
+
+    ExprPtr
+    mulExpr()
+    {
+        return binchain(&Parser::unaryExpr,
+                        {{Tok::Star, BinOp::Mul},
+                         {Tok::Slash, BinOp::Div},
+                         {Tok::DSlash, BinOp::IDiv},
+                         {Tok::Percent, BinOp::Mod}});
+    }
+
+    ExprPtr
+    unaryExpr()
+    {
+        if (at(Tok::Minus) || at(Tok::Not) || at(Tok::Hash)) {
+            auto e = makeExpr(Expr::Kind::Unary);
+            e->unop = at(Tok::Minus) ? UnOp::Neg
+                      : at(Tok::Not) ? UnOp::Not
+                                     : UnOp::Len;
+            advance();
+            e->lhs = unaryExpr();
+            return e;
+        }
+        return postfixExpr();
+    }
+
+    ExprPtr
+    callExpr(const Token &name)
+    {
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::Kind::Call;
+        e->line = name.line;
+        e->name = name.text;
+        expect(Tok::LParen, "'('");
+        if (!at(Tok::RParen)) {
+            do {
+                e->args.push_back(expression());
+            } while (accept(Tok::Comma));
+        }
+        expect(Tok::RParen, "')'");
+        return e;
+    }
+
+    ExprPtr
+    postfixExpr()
+    {
+        ExprPtr e = primaryExpr();
+        while (at(Tok::LBracket)) {
+            advance();
+            auto idx = std::make_unique<Expr>();
+            idx->kind = Expr::Kind::Index;
+            idx->line = cur().line;
+            idx->lhs = std::move(e);
+            idx->rhs = expression();
+            expect(Tok::RBracket, "']'");
+            e = std::move(idx);
+        }
+        return e;
+    }
+
+    ExprPtr
+    primaryExpr()
+    {
+        if (at(Tok::Int)) {
+            auto e = makeExpr(Expr::Kind::Int);
+            e->ival = advance().ival;
+            return e;
+        }
+        if (at(Tok::Float)) {
+            auto e = makeExpr(Expr::Kind::Float);
+            e->fval = advance().fval;
+            return e;
+        }
+        if (at(Tok::String)) {
+            auto e = makeExpr(Expr::Kind::Str);
+            e->name = advance().text;
+            return e;
+        }
+        if (at(Tok::Nil)) { advance(); return makeExprAt(Expr::Kind::Nil); }
+        if (at(Tok::True)) { advance(); return makeExprAt(Expr::Kind::True); }
+        if (at(Tok::False)) {
+            advance();
+            return makeExprAt(Expr::Kind::False);
+        }
+        if (at(Tok::LBrace)) {
+            auto e = makeExpr(Expr::Kind::TableCtor);
+            advance();
+            if (!at(Tok::RBrace)) {
+                do {
+                    e->args.push_back(expression());
+                } while (accept(Tok::Comma));
+            }
+            expect(Tok::RBrace, "'}'");
+            return e;
+        }
+        if (at(Tok::LParen)) {
+            advance();
+            ExprPtr e = expression();
+            expect(Tok::RParen, "')'");
+            return e;
+        }
+        if (at(Tok::Name)) {
+            const Token name = advance();
+            if (at(Tok::LParen))
+                return callExpr(name);
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::Var;
+            e->line = name.line;
+            e->name = name.text;
+            return e;
+        }
+        tarch_fatal("line %d: unexpected token in expression", cur().line);
+    }
+
+    ExprPtr
+    makeExprAt(Expr::Kind kind)
+    {
+        auto e = std::make_unique<Expr>();
+        e->kind = kind;
+        e->line = cur().line;
+        return e;
+    }
+
+    std::vector<Token> toks_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+Chunk
+parse(const std::string &source)
+{
+    return Parser(source).run();
+}
+
+} // namespace tarch::script

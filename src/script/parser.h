@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Recursive-descent parser for MiniScript.
+ */
+
+#ifndef TARCH_SCRIPT_PARSER_H
+#define TARCH_SCRIPT_PARSER_H
+
+#include <string>
+
+#include "script/ast.h"
+
+namespace tarch::script {
+
+/** Parse a MiniScript source file into a Chunk.  Throws FatalError. */
+Chunk parse(const std::string &source);
+
+} // namespace tarch::script
+
+#endif // TARCH_SCRIPT_PARSER_H

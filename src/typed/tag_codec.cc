@@ -1,0 +1,71 @@
+#include "typed/tag_codec.h"
+
+namespace tarch::typed {
+
+namespace {
+
+constexpr uint64_t kPayloadMask = (1ULL << 47) - 1;
+constexpr uint64_t kNanPrefix = 0x1FFFULL << 51;
+
+} // namespace
+
+ExtractedTag
+TagCodec::extract(const TagConfig &config, uint64_t value_dword,
+                  uint64_t tag_dword)
+{
+    ExtractedTag out{};
+    if (config.nanDetect()) {
+        if (isNanBoxed(value_dword)) {
+            out.tag = static_cast<uint8_t>(
+                (value_dword >> config.shift) & config.mask);
+            out.fp = false;
+            out.value = value_dword & kPayloadMask;
+        } else {
+            out.tag = kFloatTag;
+            out.fp = true;
+            out.value = value_dword;
+        }
+        return out;
+    }
+    out.tag = static_cast<uint8_t>((tag_dword >> config.shift) & config.mask);
+    // Software convention (paper Section 4.1): tag MSB doubles as the F/I
+    // bit when the engine extends its tag encoding.
+    out.fp = (out.tag & 0x80) != 0;
+    out.value = value_dword;
+    return out;
+}
+
+InsertedTag
+TagCodec::insert(const TagConfig &config, uint64_t value, uint8_t tag,
+                 bool fp)
+{
+    InsertedTag out{};
+    if (config.nanDetect()) {
+        out.writesTagDword = false;
+        if (fp) {
+            out.valueDword = value;
+        } else {
+            out.valueDword = kNanPrefix |
+                (static_cast<uint64_t>(tag & config.mask) << config.shift) |
+                (value & kPayloadMask);
+        }
+        return out;
+    }
+    const uint64_t field =
+        static_cast<uint64_t>(tag & config.mask) << config.shift;
+    if (config.tagDwordOffset() == 0) {
+        const uint64_t mask =
+            static_cast<uint64_t>(config.mask) << config.shift;
+        out.valueDword = (value & ~mask) | field;
+        out.writesTagDword = false;
+    } else {
+        out.valueDword = value;
+        out.writesTagDword = true;
+        // The adjacent dword is tag + padding in every engine layout we
+        // support, so the inserter emits the zero-extended field.
+        out.tagDword = field;
+    }
+    return out;
+}
+
+} // namespace tarch::typed

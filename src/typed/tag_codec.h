@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Reconfigurable tag extraction/insertion logic for tld/tsd (paper
+ * Section 3.3) driven by the three special-purpose registers:
+ *
+ *   R_offset (3 bits): [1:0] selects the double-word holding the tag —
+ *     00 same dword as the value, 01 next dword (+8), 11 previous (-8);
+ *     bit [2] enables NaN detection for NaN-boxing engines.
+ *   R_shift (6 bits): bit position of the tag field inside that dword.
+ *   R_mask  (8 bits): mask of the (up to 8-bit) tag field.
+ *
+ * With NaN detection enabled, a loaded dword whose 13 MSBs are all ones
+ * is a boxed non-FP value: the tag is (dword >> shift) & mask and F/I=0.
+ * Any other bit pattern is a genuine double: the register gets the
+ * synthetic tag kFloatTag and F/I=1.  Insertion is the inverse: F/I=1
+ * values store raw bits; boxed values are reassembled as
+ * 13 ones | (tag & mask) << shift | payload.
+ *
+ * Without NaN detection, the tag byte simply lives in the selected
+ * dword; the engine may dedicate the tag MSB as the F/I flag (as our
+ * MiniLua does, following paper Section 4.1).
+ */
+
+#ifndef TARCH_TYPED_TAG_CODEC_H
+#define TARCH_TYPED_TAG_CODEC_H
+
+#include <cstdint>
+
+namespace tarch::typed {
+
+/** Synthetic register tag for an unboxed IEEE double under NaN detection. */
+constexpr uint8_t kFloatTag = 0xFF;
+
+/** Register tag for values produced by untyped instructions. */
+constexpr uint8_t kUntypedTag = 0xFE;
+
+/** Special-purpose register state for tag extraction/insertion. */
+struct TagConfig {
+    uint8_t offset = 0;  ///< R_offset, 3 bits
+    uint8_t shift = 0;   ///< R_shift, 6 bits
+    uint8_t mask = 0xFF; ///< R_mask, 8 bits
+
+    bool nanDetect() const { return (offset & 0b100) != 0; }
+    /** Byte displacement of the tag dword relative to the value dword. */
+    int tagDwordOffset() const
+    {
+        switch (offset & 0b11) {
+          case 0b01: return 8;
+          case 0b11: return -8;
+          default: return 0;
+        }
+    }
+};
+
+/** Result of a tagged load's tag-path. */
+struct ExtractedTag {
+    uint8_t tag;
+    bool fp;           ///< F/I bit
+    uint64_t value;    ///< value register contents (payload for NaN boxes)
+};
+
+/** A tagged store's tag-path output. */
+struct InsertedTag {
+    uint64_t valueDword;   ///< dword stored at the value address
+    bool writesTagDword;   ///< true when the tag lives in an adjacent dword
+    uint64_t tagDword;     ///< dword stored at value address + offset
+};
+
+class TagCodec
+{
+  public:
+    /** Top-13-bits-ones test used by the NaN detector. */
+    static bool isNanBoxed(uint64_t dword) { return (dword >> 51) == 0x1FFF; }
+
+    /**
+     * Tag extraction for tld.
+     * @param value_dword dword loaded from the value address
+     * @param tag_dword   dword loaded from the tag address (equal to
+     *                    value_dword when the offset selects the same word)
+     */
+    static ExtractedTag extract(const TagConfig &config, uint64_t value_dword,
+                                uint64_t tag_dword);
+
+    /**
+     * Tag insertion for tsd.
+     * @param value the register value field
+     * @param tag   the register tag field
+     * @param fp    the register F/I bit
+     */
+    static InsertedTag insert(const TagConfig &config, uint64_t value,
+                              uint8_t tag, bool fp);
+};
+
+} // namespace tarch::typed
+
+#endif // TARCH_TYPED_TAG_CODEC_H

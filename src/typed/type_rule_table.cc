@@ -1,0 +1,59 @@
+#include "typed/type_rule_table.h"
+
+#include "common/log.h"
+
+namespace tarch::typed {
+
+TypeRuleTable::TypeRuleTable(unsigned capacity)
+    : capacity_(capacity)
+{
+}
+
+void
+TypeRuleTable::push(const TypeRule &rule)
+{
+    if (rules_.size() >= capacity_)
+        tarch_fatal("Type Rule Table overflow (capacity %u)", capacity_);
+    rules_.push_back(rule);
+}
+
+uint32_t
+TypeRuleTable::encode(const TypeRule &rule)
+{
+    return static_cast<uint32_t>(rule.tagOut) |
+           (static_cast<uint32_t>(rule.tagIn2) << 8) |
+           (static_cast<uint32_t>(rule.tagIn1) << 16) |
+           (static_cast<uint32_t>(rule.op) << 24);
+}
+
+void
+TypeRuleTable::pushEncoded(uint32_t encoded)
+{
+    TypeRule rule;
+    rule.tagOut = static_cast<uint8_t>(encoded & 0xFF);
+    rule.tagIn2 = static_cast<uint8_t>((encoded >> 8) & 0xFF);
+    rule.tagIn1 = static_cast<uint8_t>((encoded >> 16) & 0xFF);
+    rule.op = static_cast<RuleOp>((encoded >> 24) & 0x3);
+    push(rule);
+}
+
+void
+TypeRuleTable::flush()
+{
+    rules_.clear();
+}
+
+std::optional<uint8_t>
+TypeRuleTable::lookup(RuleOp op, uint8_t tag1, uint8_t tag2)
+{
+    ++stats_.lookups;
+    for (const TypeRule &rule : rules_) {
+        if (rule.op == op && rule.tagIn1 == tag1 && rule.tagIn2 == tag2) {
+            ++stats_.hits;
+            return rule.tagOut;
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace tarch::typed

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Type Rule Table (TRT): the small content-addressable memory of the
+ * Typed Architecture pipeline (paper Section 3.2).
+ *
+ * A lookup key is (rule opcode class, source tag 1, source tag 2); a hit
+ * yields the output type tag written to the destination register.  The
+ * table is loaded once at engine launch via set_trt and cleared with
+ * flush_trt.  The hardware prototype holds 8 entries; the capacity is a
+ * constructor parameter so ablations can vary it.
+ *
+ * set_trt encoding (one 32-bit rule per push, paper leaves this open):
+ *   bits [7:0]   output tag
+ *   bits [15:8]  source tag 2
+ *   bits [23:16] source tag 1
+ *   bits [25:24] rule class (0 = xadd, 1 = xsub, 2 = xmul, 3 = tchk)
+ */
+
+#ifndef TARCH_TYPED_TYPE_RULE_TABLE_H
+#define TARCH_TYPED_TYPE_RULE_TABLE_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace tarch::typed {
+
+/** Rule class keyed together with the source tags. */
+enum class RuleOp : uint8_t { Add = 0, Sub = 1, Mul = 2, Chk = 3 };
+
+struct TypeRule {
+    RuleOp op;
+    uint8_t tagIn1;
+    uint8_t tagIn2;
+    uint8_t tagOut;
+};
+
+struct TrtStats {
+    uint64_t lookups = 0;
+    uint64_t hits = 0;
+
+    uint64_t misses() const { return lookups - hits; }
+};
+
+class TypeRuleTable
+{
+  public:
+    explicit TypeRuleTable(unsigned capacity = 8);
+
+    /** Push a rule (set_trt).  Fatal if the table is full. */
+    void push(const TypeRule &rule);
+
+    /** Push from the packed 32-bit encoding used by set_trt. */
+    void pushEncoded(uint32_t encoded);
+
+    /** Pack a rule into the set_trt register encoding. */
+    static uint32_t encode(const TypeRule &rule);
+
+    /** Remove all rules (flush_trt). */
+    void flush();
+
+    /**
+     * CAM lookup.  Counts statistics.
+     * @return the output tag on hit, nullopt on a type miss
+     */
+    std::optional<uint8_t> lookup(RuleOp op, uint8_t tag1, uint8_t tag2);
+
+    unsigned size() const { return static_cast<unsigned>(rules_.size()); }
+
+    /** Read back rule @p idx (context save, Section 5). */
+    const TypeRule &rule(unsigned idx) const { return rules_[idx]; }
+    unsigned capacity() const { return capacity_; }
+    const TrtStats &stats() const { return stats_; }
+    void resetStats() { stats_ = {}; }
+
+  private:
+    unsigned capacity_;
+    std::vector<TypeRule> rules_;
+    TrtStats stats_;
+};
+
+} // namespace tarch::typed
+
+#endif // TARCH_TYPED_TYPE_RULE_TABLE_H

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Tiny assembly-text emitter shared by the interpreter generators.
+ */
+
+#ifndef TARCH_VM_ASM_EMITTER_H
+#define TARCH_VM_ASM_EMITTER_H
+
+#include <cstdarg>
+#include <string>
+
+#include "common/strutil.h"
+
+namespace tarch::vm {
+
+class AsmEmitter
+{
+  public:
+    /** Emit one indented instruction line (printf-style). */
+    void
+    o(const char *fmt, ...) __attribute__((format(printf, 2, 3)))
+    {
+        va_list ap;
+        va_start(ap, fmt);
+        out_ += "    " + vstrformat(fmt, ap) + "\n";
+        va_end(ap);
+    }
+
+    void l(const std::string &label) { out_ += label + ":\n"; }
+    void raw(const std::string &text) { out_ += text; }
+
+    /** A program-unique label built from @p stem. */
+    std::string
+    fresh(const char *stem)
+    {
+        return strformat("L%s_%d", stem, counter_++);
+    }
+
+    std::string take() { return std::move(out_); }
+
+  private:
+    std::string out_;
+    int counter_ = 0;
+};
+
+} // namespace tarch::vm
+
+#endif // TARCH_VM_ASM_EMITTER_H

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Guest memory layout shared by the VM image builders.  The interpreter
+ * text sits at the bottom; its private data (dispatch tables) below the
+ * VM structures; the script-visible structures in fixed regions above;
+ * the host bump allocator serves tables and strings from the heap.
+ */
+
+#ifndef TARCH_VM_IMAGE_H
+#define TARCH_VM_IMAGE_H
+
+#include <cstdint>
+
+namespace tarch::vm {
+
+struct GuestLayout {
+    uint64_t interpText = 0x0000'1000;   ///< assembler textBase
+    uint64_t interpData = 0x0005'0000;   ///< assembler dataBase
+    uint64_t globals = 0x0010'0000;      ///< global variable slots
+    uint64_t protos = 0x0020'0000;       ///< function descriptors
+    uint64_t code = 0x0030'0000;         ///< bytecode arrays
+    uint64_t consts = 0x0050'0000;       ///< constant pools
+    uint64_t valueStack = 0x0080'0000;   ///< VM value stack
+    uint64_t callStack = 0x00F0'0000;    ///< call-info frames
+    uint64_t heap = 0x0100'0000;         ///< tables, strings (bump)
+};
+
+/** Per-proto descriptor as stored in guest memory at layout.protos. */
+constexpr unsigned kProtoCodePtr = 0;
+constexpr unsigned kProtoConstPtr = 8;
+constexpr unsigned kProtoNParams = 16;
+constexpr unsigned kProtoNRegs = 24;
+constexpr unsigned kProtoBytes = 32;
+
+} // namespace tarch::vm
+
+#endif // TARCH_VM_IMAGE_H

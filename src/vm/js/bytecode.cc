@@ -1,0 +1,53 @@
+#include "vm/js/bytecode.h"
+
+#include "common/strutil.h"
+
+namespace tarch::vm::js {
+
+namespace {
+
+constexpr std::string_view kNames[kNumOps] = {
+    "PUSHK",    "PUSHINT",  "PUSHUNDEF", "DUP",       "POP",
+    "GETLOCAL", "SETLOCAL", "GETGLOBAL", "SETGLOBAL", "GETELEM",
+    "SETELEM",  "NEWARRAY", "ADD",       "SUB",       "MUL",
+    "DIV",      "IDIV",     "MOD",       "NEG",       "NOT",
+    "LEN",      "CONCAT",   "EQ",        "NE",        "LT",
+    "LE",       "JUMP",     "JUMPF",     "JUMPT",     "CALL",
+    "RETURN",   "BUILTIN",  "NOP",
+};
+
+} // namespace
+
+std::string_view
+opName(Op op)
+{
+    return kNames[static_cast<unsigned>(op)];
+}
+
+std::string
+disassemble(const std::vector<uint32_t> &code)
+{
+    std::string out;
+    for (size_t i = 0; i < code.size(); ++i) {
+        const uint32_t w = code[i];
+        const Op op = static_cast<Op>(w & 0xFF);
+        const int32_t imm = static_cast<int32_t>(w) >> 8;
+        switch (op) {
+          case Op::JUMP:
+          case Op::JUMPF:
+          case Op::JUMPT:
+            out += strformat("%4zu  %-10s %d -> %zu\n", i,
+                             std::string(opName(op)).c_str(),
+                             static_cast<int>(imm),
+                             i + 1 + static_cast<int64_t>(imm));
+            break;
+          default:
+            out += strformat("%4zu  %-10s %d\n", i,
+                             std::string(opName(op)).c_str(),
+                             static_cast<int>(imm));
+        }
+    }
+    return out;
+}
+
+} // namespace tarch::vm::js

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * MiniJS bytecode: a stack-based instruction set modelled on the
+ * SpiderMonkey 17 interpreter (paper Section 4.2).  One 32-bit word per
+ * instruction: op[7:0] | imm[31:8] (24-bit signed where applicable;
+ * BUILTIN packs id in imm[7:0] and argc in imm[15:8]).
+ *
+ * Value representation: NaN boxing.  A plain IEEE-754 double is stored
+ * as its raw bits.  Non-FP values set the 13 MSBs to one, a 4-bit type
+ * tag at bits [50:47], and a 47-bit payload (paper Section 4.2; the
+ * special registers are R_offset=0b100, R_shift=47, R_mask=0x0F,
+ * Table 4).
+ *
+ * Tag encoding: we use even tag values (Int=2, Bool=4, Null=6,
+ * Undefined=8, Str=10, Obj=12, Fun=14) so that bits [63:48] of a boxed
+ * dword uniquely identify the type.  This lets both the baseline's
+ * software guard and our Checked Load adaptation test a type with a
+ * single 16-bit compare (chklh), mirroring the paper's sidestep of
+ * chklb's immediate-field problem (Section 7.1).  SpiderMonkey's actual
+ * numbering uses odd values; only the numbering differs, not the
+ * mechanism.
+ */
+
+#ifndef TARCH_VM_JS_BYTECODE_H
+#define TARCH_VM_JS_BYTECODE_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tarch::vm::js {
+
+enum class Op : uint8_t {
+    PUSHK = 0,   ///< push constant-pool dword
+    PUSHINT,     ///< push boxed int (signed 24-bit immediate)
+    PUSHUNDEF,   ///< push boxed undefined
+    DUP,         ///< duplicate TOS
+    POP,         ///< drop TOS
+    GETLOCAL,    ///< push frame[imm]
+    SETLOCAL,    ///< frame[imm] = pop
+    GETGLOBAL,   ///< push G[imm]
+    SETGLOBAL,   ///< G[imm] = pop
+    GETELEM,     ///< St[-2] = St[-2][St[-1]]; pop 1     (hot, guarded)
+    SETELEM,     ///< St[-3][St[-2]] = St[-1]; pop 3     (hot, guarded)
+    NEWARRAY,    ///< push new array object
+    ADD,         ///< St[-2] = St[-2] + St[-1]; pop 1    (hot, polymorphic)
+    SUB,         ///< (hot, polymorphic)
+    MUL,         ///< (hot, polymorphic)
+    DIV,         ///< float division
+    IDIV,        ///< floor division (MiniScript semantics)
+    MOD,         ///< floored modulo (MiniScript semantics)
+    NEG,
+    NOT,
+    LEN,
+    CONCAT,      ///< string concatenation
+    EQ, NE, LT, LE,
+    JUMP,        ///< pc += imm (words, post-increment)
+    JUMPF,       ///< pop; jump if falsy
+    JUMPT,       ///< pop; jump if truthy
+    CALL,        ///< imm = argc; callee below the args
+    RETURN,      ///< return TOS to the caller
+    BUILTIN,     ///< imm[7:0] = builtin id, imm[15:8] = argc
+    NOP,
+
+    NumOps,
+};
+
+constexpr unsigned kNumOps = static_cast<unsigned>(Op::NumOps);
+
+/** Builtin ids (same set as MiniLua). */
+enum class Builtin : uint8_t {
+    Print = 0, Sqrt, Floor, Substr, StrChar, Abs,
+    NumBuiltins,
+};
+
+// NaN-box tag values (even; see file header).
+constexpr uint8_t kTagInt = 2;
+constexpr uint8_t kTagBool = 4;
+constexpr uint8_t kTagNull = 6;
+constexpr uint8_t kTagUndef = 8;
+constexpr uint8_t kTagStr = 10;
+constexpr uint8_t kTagObj = 12;
+constexpr uint8_t kTagFun = 14;
+
+constexpr uint64_t kNanPrefix = 0x1FFFULL << 51;
+constexpr uint64_t kPayloadMask = (1ULL << 47) - 1;
+
+/** Box a payload with a tag. */
+constexpr uint64_t
+box(uint8_t tag, uint64_t payload)
+{
+    return kNanPrefix | (static_cast<uint64_t>(tag) << 47) |
+           (payload & kPayloadMask);
+}
+
+constexpr uint64_t
+boxInt(int32_t v)
+{
+    return box(kTagInt, static_cast<uint32_t>(v));
+}
+
+/** bits[63:48] of a boxed value of @p tag (used by guards and chklh). */
+constexpr uint16_t
+typeHalfword(uint8_t tag)
+{
+    return static_cast<uint16_t>(0xFFF8 | (tag >> 1));
+}
+
+// Array object header layout (guest memory).
+constexpr unsigned kArrElemsPtr = 0;
+constexpr unsigned kArrCap = 8;
+constexpr unsigned kArrLen = 16;   ///< max integer key set (see DESIGN.md)
+constexpr unsigned kArrHeaderBytes = 24;
+
+/** Encode one instruction. */
+constexpr uint32_t
+encode(Op op, int32_t imm = 0)
+{
+    return static_cast<uint32_t>(op) |
+           (static_cast<uint32_t>(imm & 0xFFFFFF) << 8);
+}
+
+std::string_view opName(Op op);
+std::string disassemble(const std::vector<uint32_t> &code);
+
+} // namespace tarch::vm::js
+
+#endif // TARCH_VM_JS_BYTECODE_H

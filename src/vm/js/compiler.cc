@@ -1,0 +1,577 @@
+#include "vm/js/compiler.h"
+
+#include <cstring>
+#include <optional>
+#include <unordered_map>
+
+#include "common/log.h"
+
+namespace tarch::vm::js {
+
+using script::BinOp;
+using script::Block;
+using script::Expr;
+using script::Stmt;
+using script::UnOp;
+
+namespace {
+
+const std::unordered_map<std::string, Builtin> kBuiltins = {
+    {"print", Builtin::Print},     {"sqrt", Builtin::Sqrt},
+    {"floor", Builtin::Floor},     {"substr", Builtin::Substr},
+    {"strchar", Builtin::StrChar}, {"abs", Builtin::Abs},
+};
+
+uint64_t
+doubleBits(double d)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &d, 8);
+    return bits;
+}
+
+class ModuleCompiler;
+
+class FnCompiler
+{
+  public:
+    FnCompiler(ModuleCompiler &mod, Proto &proto) : mod_(mod), proto_(proto)
+    {
+    }
+
+    void
+    declareParam(const std::string &name)
+    {
+        bindLocal(name);
+    }
+
+    void
+    compileBody(const Block &body)
+    {
+        compileBlock(body);
+        emit(Op::PUSHUNDEF);
+        emit(Op::RETURN);
+        proto_.nlocals = high_;
+    }
+
+  private:
+    struct Scope {
+        unsigned nslots;
+        std::vector<std::pair<std::string, std::optional<unsigned>>> undo;
+    };
+
+    unsigned
+    bindLocal(const std::string &name)
+    {
+        const unsigned slot = nslots_++;
+        if (slot > 250)
+            tarch_fatal("function '%s': too many locals",
+                        proto_.name.c_str());
+        if (nslots_ > high_)
+            high_ = nslots_;
+        std::optional<unsigned> old;
+        const auto it = locals_.find(name);
+        if (it != locals_.end())
+            old = it->second;
+        if (!scopes_.empty())
+            scopes_.back().undo.emplace_back(name, old);
+        locals_[name] = slot;
+        return slot;
+    }
+
+    void
+    compileBlock(const Block &body)
+    {
+        scopes_.push_back({nslots_, {}});
+        for (const auto &stmt : body)
+            statement(*stmt);
+        const Scope &scope = scopes_.back();
+        for (auto it = scope.undo.rbegin(); it != scope.undo.rend(); ++it) {
+            if (it->second)
+                locals_[it->first] = *it->second;
+            else
+                locals_.erase(it->first);
+        }
+        nslots_ = scope.nslots;
+        scopes_.pop_back();
+    }
+
+    size_t
+    emit(Op op, int32_t imm = 0)
+    {
+        proto_.code.push_back(encode(op, imm));
+        return proto_.code.size() - 1;
+    }
+
+    size_t
+    emitJump(Op op)
+    {
+        return emit(op, 0);
+    }
+
+    void
+    patchJump(size_t at, size_t target)
+    {
+        const int32_t off = static_cast<int32_t>(target) -
+                            static_cast<int32_t>(at) - 1;
+        proto_.code[at] = encode(static_cast<Op>(proto_.code[at] & 0xFF),
+                                 off);
+    }
+
+    size_t here() const { return proto_.code.size(); }
+
+    unsigned
+    addConst(const Const &k)
+    {
+        for (unsigned i = 0; i < proto_.consts.size(); ++i) {
+            const Const &c = proto_.consts[i];
+            if (c.kind == k.kind &&
+                ((k.kind == Const::Kind::Raw && c.bits == k.bits) ||
+                 (k.kind == Const::Kind::Str && c.sval == k.sval)))
+                return i;
+        }
+        proto_.consts.push_back(k);
+        if (proto_.consts.size() > 4096)
+            tarch_fatal("function '%s': too many constants",
+                        proto_.name.c_str());
+        return static_cast<unsigned>(proto_.consts.size() - 1);
+    }
+
+    /** Literal folding (handles -<literal>). */
+    std::optional<Const>
+    literal(const Expr &e) const
+    {
+        switch (e.kind) {
+          case Expr::Kind::Int:
+            if (e.ival >= INT32_MIN && e.ival <= INT32_MAX)
+                return Const{Const::Kind::Raw,
+                             boxInt(static_cast<int32_t>(e.ival)), {}};
+            return Const{Const::Kind::Raw,
+                         doubleBits(static_cast<double>(e.ival)), {}};
+          case Expr::Kind::Float:
+            return Const{Const::Kind::Raw, doubleBits(e.fval), {}};
+          case Expr::Kind::Str:
+            return Const{Const::Kind::Str, 0, e.name};
+          case Expr::Kind::True:
+            return Const{Const::Kind::Raw, box(kTagBool, 1), {}};
+          case Expr::Kind::False:
+            return Const{Const::Kind::Raw, box(kTagBool, 0), {}};
+          case Expr::Kind::Nil:
+            return Const{Const::Kind::Raw, box(kTagUndef, 0), {}};
+          case Expr::Kind::Unary:
+            if (e.unop == UnOp::Neg) {
+                if (e.lhs->kind == Expr::Kind::Int)
+                    return literalNegInt(e.lhs->ival);
+                if (e.lhs->kind == Expr::Kind::Float)
+                    return Const{Const::Kind::Raw, doubleBits(-e.lhs->fval),
+                                 {}};
+            }
+            return std::nullopt;
+          default:
+            return std::nullopt;
+        }
+    }
+
+    static std::optional<Const>
+    literalNegInt(int64_t v)
+    {
+        const int64_t n = -v;
+        if (n >= INT32_MIN && n <= INT32_MAX)
+            return Const{Const::Kind::Raw, boxInt(static_cast<int32_t>(n)),
+                         {}};
+        return Const{Const::Kind::Raw,
+                     doubleBits(static_cast<double>(n)), {}};
+    }
+
+    void
+    exprPush(const Expr &e)
+    {
+        // Small integers use the immediate form.
+        if (e.kind == Expr::Kind::Int && e.ival >= -(1 << 23) &&
+            e.ival < (1 << 23)) {
+            emit(Op::PUSHINT, static_cast<int32_t>(e.ival));
+            return;
+        }
+        if (e.kind == Expr::Kind::Nil) {
+            emit(Op::PUSHUNDEF);
+            return;
+        }
+        if (auto k = literal(e)) {
+            emit(Op::PUSHK, static_cast<int32_t>(addConst(*k)));
+            return;
+        }
+        switch (e.kind) {
+          case Expr::Kind::Var: {
+            const auto it = locals_.find(e.name);
+            if (it != locals_.end())
+                emit(Op::GETLOCAL, static_cast<int32_t>(it->second));
+            else
+                emit(Op::GETGLOBAL,
+                     static_cast<int32_t>(globalSlot(e.name)));
+            return;
+          }
+          case Expr::Kind::Index:
+            exprPush(*e.lhs);
+            exprPush(*e.rhs);
+            emit(Op::GETELEM);
+            return;
+          case Expr::Kind::Call:
+            callPush(e);
+            return;
+          case Expr::Kind::TableCtor: {
+            emit(Op::NEWARRAY);
+            for (size_t i = 0; i < e.args.size(); ++i) {
+                emit(Op::DUP);
+                emit(Op::PUSHINT, static_cast<int32_t>(i + 1));
+                exprPush(*e.args[i]);
+                emit(Op::SETELEM);
+            }
+            return;
+          }
+          case Expr::Kind::Unary: {
+            exprPush(*e.lhs);
+            emit(e.unop == UnOp::Neg ? Op::NEG
+                 : e.unop == UnOp::Not ? Op::NOT
+                                       : Op::LEN);
+            return;
+          }
+          case Expr::Kind::Binary:
+            binaryPush(e);
+            return;
+          default:
+            tarch_fatal("line %d: unsupported expression", e.line);
+        }
+    }
+
+    void
+    binaryPush(const Expr &e)
+    {
+        if (e.binop == BinOp::And || e.binop == BinOp::Or) {
+            exprPush(*e.lhs);
+            emit(Op::DUP);
+            const size_t skip =
+                emitJump(e.binop == BinOp::And ? Op::JUMPF : Op::JUMPT);
+            emit(Op::POP);
+            exprPush(*e.rhs);
+            patchJump(skip, here());
+            return;
+        }
+        Op op;
+        bool swap = false;
+        switch (e.binop) {
+          case BinOp::Add: op = Op::ADD; break;
+          case BinOp::Sub: op = Op::SUB; break;
+          case BinOp::Mul: op = Op::MUL; break;
+          case BinOp::Div: op = Op::DIV; break;
+          case BinOp::IDiv: op = Op::IDIV; break;
+          case BinOp::Mod: op = Op::MOD; break;
+          case BinOp::Eq: op = Op::EQ; break;
+          case BinOp::Ne: op = Op::NE; break;
+          case BinOp::Lt: op = Op::LT; break;
+          case BinOp::Le: op = Op::LE; break;
+          case BinOp::Gt: op = Op::LT; swap = true; break;
+          case BinOp::Ge: op = Op::LE; swap = true; break;
+          case BinOp::Concat: op = Op::CONCAT; break;
+          default:
+            tarch_fatal("line %d: bad binary operator", e.line);
+        }
+        if (swap) {
+            exprPush(*e.rhs);
+            exprPush(*e.lhs);
+        } else {
+            exprPush(*e.lhs);
+            exprPush(*e.rhs);
+        }
+        emit(op);
+    }
+
+    void callPush(const Expr &e);
+
+    void
+    statement(const Stmt &s)
+    {
+        switch (s.kind) {
+          case Stmt::Kind::Local: {
+            const unsigned slot = bindLocal(s.name);
+            exprPush(*s.expr);
+            emit(Op::SETLOCAL, static_cast<int32_t>(slot));
+            return;
+          }
+          case Stmt::Kind::Assign: {
+            exprPush(*s.expr);
+            const auto it = locals_.find(s.name);
+            if (it != locals_.end())
+                emit(Op::SETLOCAL, static_cast<int32_t>(it->second));
+            else
+                emit(Op::SETGLOBAL,
+                     static_cast<int32_t>(globalSlot(s.name)));
+            return;
+          }
+          case Stmt::Kind::IndexAssign:
+            exprPush(*s.expr);
+            exprPush(*s.key);
+            exprPush(*s.value);
+            emit(Op::SETELEM);
+            return;
+          case Stmt::Kind::If: {
+            std::vector<size_t> ends;
+            exprPush(*s.expr);
+            size_t next = emitJump(Op::JUMPF);
+            compileBlock(s.body);
+            const bool more = !s.elifs.empty() || !s.elseBody.empty();
+            if (more)
+                ends.push_back(emitJump(Op::JUMP));
+            patchJump(next, here());
+            for (size_t i = 0; i < s.elifs.size(); ++i) {
+                exprPush(*s.elifs[i].first);
+                next = emitJump(Op::JUMPF);
+                compileBlock(s.elifs[i].second);
+                if (i + 1 < s.elifs.size() || !s.elseBody.empty())
+                    ends.push_back(emitJump(Op::JUMP));
+                patchJump(next, here());
+            }
+            compileBlock(s.elseBody);
+            for (const size_t j : ends)
+                patchJump(j, here());
+            return;
+          }
+          case Stmt::Kind::While: {
+            const size_t top = here();
+            exprPush(*s.expr);
+            const size_t exit = emitJump(Op::JUMPF);
+            breaks_.emplace_back();
+            compileBlock(s.body);
+            patchJump(emitJump(Op::JUMP), top);
+            patchJump(exit, here());
+            for (const size_t j : breaks_.back())
+                patchJump(j, here());
+            breaks_.pop_back();
+            return;
+          }
+          case Stmt::Kind::NumFor:
+            numFor(s);
+            return;
+          case Stmt::Kind::Return:
+            if (s.expr)
+                exprPush(*s.expr);
+            else
+                emit(Op::PUSHUNDEF);
+            emit(Op::RETURN);
+            return;
+          case Stmt::Kind::Break:
+            if (breaks_.empty())
+                tarch_fatal("line %d: 'break' outside a loop", s.line);
+            breaks_.back().push_back(emitJump(Op::JUMP));
+            return;
+          case Stmt::Kind::ExprStmt:
+            exprPush(*s.expr);
+            emit(Op::POP);
+            return;
+        }
+    }
+
+    void
+    numFor(const Stmt &s)
+    {
+        // Control expressions are evaluated in the enclosing scope
+        // before the loop variable is bound (so `for i = i, n` works).
+        exprPush(*s.expr);
+        exprPush(*s.limit);
+        int step_sign = 0;
+        if (!s.step) {
+            step_sign = 1;
+            emit(Op::PUSHINT, 1);
+        } else {
+            if (auto k = literal(*s.step)) {
+                if (k->kind == Const::Kind::Raw) {
+                    if ((k->bits >> 48) == typeHalfword(kTagInt)) {
+                        step_sign =
+                            static_cast<int32_t>(k->bits) < 0 ? -1 : 1;
+                    } else {
+                        double d;
+                        std::memcpy(&d, &k->bits, 8);
+                        step_sign = d < 0 ? -1 : 1;
+                    }
+                }
+            }
+            exprPush(*s.step);
+        }
+        scopes_.push_back({nslots_, {}});
+        const unsigned var = bindLocal(s.name);
+        const unsigned lim = bindLocal("(for-limit)");
+        const unsigned stp = bindLocal("(for-step)");
+        emit(Op::SETLOCAL, static_cast<int32_t>(stp));
+        emit(Op::SETLOCAL, static_cast<int32_t>(lim));
+        emit(Op::SETLOCAL, static_cast<int32_t>(var));
+
+        const size_t cond = here();
+        std::vector<size_t> exits;
+        if (step_sign > 0) {
+            emit(Op::GETLOCAL, static_cast<int32_t>(var));
+            emit(Op::GETLOCAL, static_cast<int32_t>(lim));
+            emit(Op::LE);
+            exits.push_back(emitJump(Op::JUMPF));
+        } else if (step_sign < 0) {
+            emit(Op::GETLOCAL, static_cast<int32_t>(lim));
+            emit(Op::GETLOCAL, static_cast<int32_t>(var));
+            emit(Op::LE);
+            exits.push_back(emitJump(Op::JUMPF));
+        } else {
+            // Runtime step sign: stp >= 0 <=> 0 <= stp.
+            emit(Op::PUSHINT, 0);
+            emit(Op::GETLOCAL, static_cast<int32_t>(stp));
+            emit(Op::LE);
+            const size_t neg = emitJump(Op::JUMPF);
+            emit(Op::GETLOCAL, static_cast<int32_t>(var));
+            emit(Op::GETLOCAL, static_cast<int32_t>(lim));
+            emit(Op::LE);
+            exits.push_back(emitJump(Op::JUMPF));
+            const size_t into = emitJump(Op::JUMP);
+            patchJump(neg, here());
+            emit(Op::GETLOCAL, static_cast<int32_t>(lim));
+            emit(Op::GETLOCAL, static_cast<int32_t>(var));
+            emit(Op::LE);
+            exits.push_back(emitJump(Op::JUMPF));
+            patchJump(into, here());
+        }
+
+        breaks_.emplace_back();
+        compileBlock(s.body);
+        emit(Op::GETLOCAL, static_cast<int32_t>(var));
+        emit(Op::GETLOCAL, static_cast<int32_t>(stp));
+        emit(Op::ADD);
+        emit(Op::SETLOCAL, static_cast<int32_t>(var));
+        patchJump(emitJump(Op::JUMP), cond);
+        for (const size_t j : exits)
+            patchJump(j, here());
+        for (const size_t j : breaks_.back())
+            patchJump(j, here());
+        breaks_.pop_back();
+
+        const Scope &scope = scopes_.back();
+        for (auto it = scope.undo.rbegin(); it != scope.undo.rend(); ++it) {
+            if (it->second)
+                locals_[it->first] = *it->second;
+            else
+                locals_.erase(it->first);
+        }
+        nslots_ = scope.nslots;
+        scopes_.pop_back();
+    }
+
+    unsigned globalSlot(const std::string &name);
+
+    ModuleCompiler &mod_;
+    Proto &proto_;
+    std::unordered_map<std::string, unsigned> locals_;
+    std::vector<Scope> scopes_;
+    unsigned nslots_ = 0;
+    unsigned high_ = 1;
+    std::vector<std::vector<size_t>> breaks_;
+};
+
+class ModuleCompiler
+{
+  public:
+    Module
+    run(const script::Chunk &chunk)
+    {
+        mod_.protos.resize(1);
+        mod_.protos[0].name = "main";
+        for (const auto &fn : chunk.functions) {
+            if (protoByName_.count(fn.name))
+                tarch_fatal("line %d: duplicate function '%s'", fn.line,
+                            fn.name.c_str());
+            const unsigned idx = static_cast<unsigned>(mod_.protos.size());
+            mod_.protos.emplace_back();
+            mod_.protos.back().name = fn.name;
+            mod_.protos.back().nparams =
+                static_cast<unsigned>(fn.params.size());
+            protoByName_[fn.name] = idx;
+            mod_.functionGlobals.emplace_back(globalSlot(fn.name), idx);
+        }
+        for (const auto &fn : chunk.functions) {
+            Proto &proto = mod_.protos[protoByName_[fn.name]];
+            FnCompiler fc(*this, proto);
+            for (const auto &p : fn.params)
+                fc.declareParam(p);
+            fc.compileBody(fn.body);
+        }
+        FnCompiler main_fc(*this, mod_.protos[0]);
+        main_fc.compileBody(chunk.main);
+        return std::move(mod_);
+    }
+
+    unsigned
+    globalSlot(const std::string &name)
+    {
+        const auto it = globals_.find(name);
+        if (it != globals_.end())
+            return it->second;
+        const unsigned idx = static_cast<unsigned>(mod_.globalNames.size());
+        if (idx >= 4096)
+            tarch_fatal("too many globals");
+        mod_.globalNames.push_back(name);
+        globals_[name] = idx;
+        return idx;
+    }
+
+    std::optional<unsigned>
+    protoOf(const std::string &name) const
+    {
+        const auto it = protoByName_.find(name);
+        return it == protoByName_.end()
+                   ? std::nullopt
+                   : std::optional<unsigned>(it->second);
+    }
+
+    const Module &module() const { return mod_; }
+
+  private:
+    Module mod_;
+    std::unordered_map<std::string, unsigned> globals_;
+    std::unordered_map<std::string, unsigned> protoByName_;
+};
+
+void
+FnCompiler::callPush(const Expr &e)
+{
+    const auto builtin = kBuiltins.find(e.name);
+    if (builtin != kBuiltins.end()) {
+        for (const auto &arg : e.args)
+            exprPush(*arg);
+        emit(Op::BUILTIN,
+             static_cast<int32_t>(
+                 static_cast<unsigned>(builtin->second) |
+                 (static_cast<unsigned>(e.args.size()) << 8)));
+        return;
+    }
+    const auto proto = mod_.protoOf(e.name);
+    if (!proto)
+        tarch_fatal("line %d: call to unknown function '%s'", e.line,
+                    e.name.c_str());
+    if (mod_.module().protos[*proto].nparams != e.args.size())
+        tarch_fatal("line %d: '%s' expects %u arguments, got %zu", e.line,
+                    e.name.c_str(), mod_.module().protos[*proto].nparams,
+                    e.args.size());
+    emit(Op::GETGLOBAL, static_cast<int32_t>(globalSlot(e.name)));
+    for (const auto &arg : e.args)
+        exprPush(*arg);
+    emit(Op::CALL, static_cast<int32_t>(e.args.size()));
+}
+
+unsigned
+FnCompiler::globalSlot(const std::string &name)
+{
+    return mod_.globalSlot(name);
+}
+
+} // namespace
+
+Module
+compile(const script::Chunk &chunk)
+{
+    return ModuleCompiler().run(chunk);
+}
+
+} // namespace tarch::vm::js

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * MiniScript -> MiniJS (stack) bytecode compiler.
+ */
+
+#ifndef TARCH_VM_JS_COMPILER_H
+#define TARCH_VM_JS_COMPILER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "script/ast.h"
+#include "vm/js/bytecode.h"
+
+namespace tarch::vm::js {
+
+/**
+ * A constant-pool entry: either final boxed/double bits, or a string
+ * whose interned guest address is boxed at image-build time.
+ */
+struct Const {
+    enum class Kind : uint8_t { Raw, Str } kind = Kind::Raw;
+    uint64_t bits = 0;
+    std::string sval;
+};
+
+struct Proto {
+    std::string name;
+    unsigned nparams = 0;
+    unsigned nlocals = 0;  ///< frame slots (params + locals high-water)
+    std::vector<uint32_t> code;
+    std::vector<Const> consts;
+};
+
+struct Module {
+    std::vector<Proto> protos;  ///< [0] = main
+    std::vector<std::string> globalNames;
+    std::vector<std::pair<unsigned, unsigned>> functionGlobals;
+};
+
+/** Compile a parsed chunk.  Throws FatalError on semantic errors. */
+Module compile(const script::Chunk &chunk);
+
+} // namespace tarch::vm::js
+
+#endif // TARCH_VM_JS_COMPILER_H

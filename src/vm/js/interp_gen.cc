@@ -1,0 +1,1040 @@
+#include "vm/js/interp_gen.h"
+
+#include "common/strutil.h"
+#include "vm/asm_emitter.h"
+#include "vm/js/bytecode.h"
+
+namespace tarch::vm::js {
+
+namespace {
+
+class Gen
+{
+  public:
+    Gen(Variant variant, const GuestLayout &layout, uint64_t main_code,
+        uint64_t main_consts, unsigned main_nlocals)
+        : v_(variant), lay_(layout), mainCode_(main_code),
+          mainConsts_(main_consts), mainNLocals_(main_nlocals)
+    {
+    }
+
+    InterpResult
+    run()
+    {
+        entry();
+        dispatch();
+        stackHandlers();
+        arithHandlers();
+        divModHandlers();
+        unaryHandlers();
+        compareHandlers();
+        jumpHandlers();
+        elemHandlers();
+        callReturnHandlers();
+        builtinHandler();
+        errorsAndExit();
+        dataSection();
+        InterpResult result;
+        result.asmText = e_.take();
+        result.markers = std::move(markers_);
+        return result;
+    }
+
+  private:
+    void
+    handler(Op op)
+    {
+        const std::string sym = "op_" + toLower(std::string(opName(op)));
+        e_.l(sym);
+        markers_.emplace_back(sym, "op:" + std::string(opName(op)));
+    }
+
+    void
+    subMarker(const std::string &sym, const std::string &name)
+    {
+        e_.l(sym);
+        markers_.emplace_back(sym, name);
+    }
+
+    void jDispatch() { e_.o("j dispatch"); }
+
+    /** dst = unsigned 24-bit immediate. */
+    void
+    immU(const char *dst)
+    {
+        e_.o("srliw %s, t0, 8", dst);
+    }
+
+    /** dst = signed 24-bit immediate. */
+    void
+    immS(const char *dst)
+    {
+        e_.o("srai %s, t0, 8", dst);
+    }
+
+    /** pc += imm words (t0 holds the bytecode). */
+    void
+    applyJump()
+    {
+        e_.o("srai t4, t0, 8");
+        e_.o("slli t4, t4, 2");
+        e_.o("add  s2, s2, t4");
+    }
+
+    void
+    push(const char *reg)
+    {
+        e_.o("addi s3, s3, 8");
+        e_.o("sd %s, 0(s3)", reg);
+    }
+
+    /** Zero-extend the low 32 bits of @p reg and OR the Int box base. */
+    void
+    reboxInt(const char *reg)
+    {
+        e_.o("slli %s, %s, 32", reg, reg);
+        e_.o("srli %s, %s, 32", reg, reg);
+        e_.o("or %s, %s, s9", reg, reg);
+    }
+
+    /** Turn the 0/1 flag in @p reg into a boxed Bool (clobbers t6). */
+    void
+    boxBool(const char *reg)
+    {
+        e_.o("li t6, 1");
+        e_.o("slli t6, t6, 48");
+        e_.o("add t6, t6, s9");  // Bool box base (tag 4 = Int tag 2 + 2)
+        e_.o("or %s, %s, t6", reg, reg);
+    }
+
+    /**
+     * Convert the boxed/double value in @p reg to a double in @p fdst.
+     * Jumps to err_arith for non-numbers.  Clobbers a4 and a6.
+     */
+    void
+    toNumber(const char *reg, const char *fdst)
+    {
+        const std::string lf = e_.fresh("ton_f");
+        const std::string ld = e_.fresh("ton_d");
+        e_.o("srli a4, %s, 48", reg);
+        e_.o("bne a4, s11, %s", lf.c_str());
+        e_.o("sext.w a6, %s", reg);
+        e_.o("fcvt.d.l %s, a6", fdst);
+        e_.o("j %s", ld.c_str());
+        e_.l(lf);
+        e_.o("srli a4, %s, 51", reg);
+        e_.o("beq a4, s8, err_arith");
+        e_.o("fmv.d.x %s, %s", fdst, reg);
+        e_.l(ld);
+    }
+
+    /**
+     * Branch to @p falsy if the value in @p reg is falsy, else fall
+     * through to @p truthy (emitted as a label right after).  Clobbers
+     * a3/a4.  JS truthiness: +-0, null, undefined, false, 0, "" falsy.
+     */
+    void
+    truthiness(const char *reg, const std::string &falsy,
+               const std::string &truthy)
+    {
+        const std::string boxed = e_.fresh("tr_bx");
+        const std::string str = e_.fresh("tr_st");
+        e_.o("srli a3, %s, 51", reg);
+        e_.o("beq a3, s8, %s", boxed.c_str());
+        e_.o("slli a3, %s, 1", reg);  // drop the sign: +-0 falsy
+        e_.o("beqz a3, %s", falsy.c_str());
+        e_.o("j %s", truthy.c_str());
+        e_.l(boxed);
+        e_.o("srli a3, %s, 47", reg);
+        e_.o("andi a3, a3, 15");
+        e_.o("addi a4, a3, -%u", kTagNull);
+        e_.o("beqz a4, %s", falsy.c_str());
+        e_.o("addi a4, a3, -%u", kTagUndef);
+        e_.o("beqz a4, %s", falsy.c_str());
+        e_.o("addi a4, a3, -%u", kTagStr);
+        e_.o("beqz a4, %s", str.c_str());
+        e_.o("addi a4, a3, -%u", kTagObj);
+        e_.o("beqz a4, %s", truthy.c_str());
+        e_.o("addi a4, a3, -%u", kTagFun);
+        e_.o("beqz a4, %s", truthy.c_str());
+        // Int or Bool: test the payload.
+        e_.o("and a4, %s, s10", reg);
+        e_.o("beqz a4, %s", falsy.c_str());
+        e_.o("j %s", truthy.c_str());
+        e_.l(str);
+        e_.o("and a4, %s, s10", reg);
+        e_.o("ld a4, 0(a4)");  // string length
+        e_.o("beqz a4, %s", falsy.c_str());
+        e_.o("j %s", truthy.c_str());
+    }
+
+    // ------------------------------------------------------------------
+
+    void
+    entry()
+    {
+        e_.raw(".text\n");
+        e_.l("_start");
+        e_.o("la s1, jumptable");
+        e_.o("li s5, 0x%llx", (unsigned long long)lay_.globals);
+        e_.o("li s0, 0x%llx", (unsigned long long)lay_.callStack);
+        e_.o("mv s6, s0");
+        e_.o("li s2, 0x%llx", (unsigned long long)mainCode_);
+        e_.o("li s4, 0x%llx", (unsigned long long)mainConsts_);
+        e_.o("li s7, 0x%llx", (unsigned long long)(lay_.valueStack + 8));
+        e_.o("li s3, 0x%llx",
+             (unsigned long long)(lay_.valueStack + 8 +
+                                  8 * (mainNLocals_ > 0
+                                           ? mainNLocals_ - 1
+                                           : 0)) -
+                 (mainNLocals_ == 0 ? 8ULL : 0ULL));
+        e_.o("li s8, 0x1FFF");
+        e_.o("li s9, 0x%llx", (unsigned long long)box(kTagInt, 0));
+        e_.o("li s10, 0x7FFFFFFFFFFF");
+        e_.o("li s11, 0x%x", typeHalfword(kTagInt));
+        if (v_ == Variant::CheckedLoad) {
+            // Invariant: R_exptype holds the Int halfword except
+            // transiently inside the element handlers.
+            e_.o("settype s11");
+        }
+        if (v_ == Variant::Typed) {
+            // Table 4: R_offset=0b100 (NaN detect), shift 47, mask 0x0F.
+            e_.o("li t0, 4");
+            e_.o("setoffset t0");
+            e_.o("li t0, 47");
+            e_.o("setshift t0");
+            e_.o("li t0, 0x0F");
+            e_.o("setmask t0");
+            // TRT: arithmetic (Int,Int)->Int, (Flt,Flt)->Flt; element
+            // access (Obj,Int) and (Int,Obj) -> Obj.  8 rules.
+            const uint32_t i = kTagInt, o = kTagObj;
+            const char *fmt = "0x%08x";
+            const uint32_t rules[] = {
+                (0u << 24) | (i << 16) | (i << 8) | i,
+                (1u << 24) | (i << 16) | (i << 8) | i,
+                (2u << 24) | (i << 16) | (i << 8) | i,
+                (0u << 24) | (0xFFu << 16) | (0xFFu << 8) | 0xFFu,
+                (1u << 24) | (0xFFu << 16) | (0xFFu << 8) | 0xFFu,
+                (2u << 24) | (0xFFu << 16) | (0xFFu << 8) | 0xFFu,
+                (3u << 24) | (o << 16) | (i << 8) | o,
+                (3u << 24) | (i << 16) | (o << 8) | o,
+            };
+            for (const uint32_t rule : rules) {
+                e_.o((std::string("li t0, ") + fmt).c_str(), rule);
+                e_.o("set_trt t0");
+            }
+        }
+        jDispatch();
+    }
+
+    void
+    dispatch()
+    {
+        subMarker("dispatch", "dispatch");
+        e_.o("lw   t0, 0(s2)");
+        e_.o("addi s2, s2, 4");
+        e_.o("andi t1, t0, 255");
+        e_.o("slli t1, t1, 3");
+        e_.o("add  t1, t1, s1");
+        e_.o("ld   t1, 0(t1)");
+        e_.o("jr   t1");
+    }
+
+    void
+    stackHandlers()
+    {
+        handler(Op::PUSHK);
+        immU("t3");
+        e_.o("slli t3, t3, 3");
+        e_.o("add t3, t3, s4");
+        e_.o("ld t4, 0(t3)");
+        push("t4");
+        jDispatch();
+
+        handler(Op::PUSHINT);
+        immS("t3");
+        reboxInt("t3");
+        push("t3");
+        jDispatch();
+
+        handler(Op::PUSHUNDEF);
+        e_.o("li t4, %u", (kTagUndef - kTagInt) / 2);
+        e_.o("slli t4, t4, 48");
+        e_.o("add t4, t4, s9");
+        push("t4");
+        jDispatch();
+
+        handler(Op::DUP);
+        e_.o("ld t3, 0(s3)");
+        push("t3");
+        jDispatch();
+
+        handler(Op::POP);
+        e_.o("addi s3, s3, -8");
+        jDispatch();
+
+        handler(Op::GETLOCAL);
+        immU("t3");
+        e_.o("slli t3, t3, 3");
+        e_.o("add t3, t3, s7");
+        e_.o("ld t4, 0(t3)");
+        push("t4");
+        jDispatch();
+
+        handler(Op::SETLOCAL);
+        immU("t3");
+        e_.o("slli t3, t3, 3");
+        e_.o("add t3, t3, s7");
+        e_.o("ld t4, 0(s3)");
+        e_.o("addi s3, s3, -8");
+        e_.o("sd t4, 0(t3)");
+        jDispatch();
+
+        handler(Op::GETGLOBAL);
+        immU("t3");
+        e_.o("slli t3, t3, 3");
+        e_.o("add t3, t3, s5");
+        e_.o("ld t4, 0(t3)");
+        push("t4");
+        jDispatch();
+
+        handler(Op::SETGLOBAL);
+        immU("t3");
+        e_.o("slli t3, t3, 3");
+        e_.o("add t3, t3, s5");
+        e_.o("ld t4, 0(s3)");
+        e_.o("addi s3, s3, -8");
+        e_.o("sd t4, 0(t3)");
+        jDispatch();
+
+        handler(Op::NEWARRAY);
+        e_.o("addi a0, s3, 8");
+        e_.o("hcall %u", kHcNewArray);
+        e_.o("addi s3, s3, 8");
+        jDispatch();
+
+        handler(Op::CONCAT);
+        e_.o("mv a0, s3");
+        e_.o("hcall %u", kHcConcat);
+        e_.o("addi s3, s3, -8");
+        jDispatch();
+
+        handler(Op::NOP);
+        jDispatch();
+    }
+
+    // ------------------------------------------------------------------
+    // Hot polymorphic arithmetic (paper Table 3, SpiderMonkey rows).
+
+    void
+    arithHandlers()
+    {
+        arith(Op::ADD, "add", "fadd.d");
+        arith(Op::SUB, "sub", "fsub.d");
+        arith(Op::MUL, "mul", "fmul.d");
+    }
+
+    void
+    arith(Op op, const char *iop, const char *fop)
+    {
+        const std::string lower = toLower(std::string(opName(op)));
+        const std::string slow = "slow_" + lower;
+
+        handler(op);
+        switch (v_) {
+          case Variant::Baseline: {
+            const std::string flt = "op_" + lower + "_flt";
+            e_.o("ld a2, -8(s3)");   // b (St[-2])
+            e_.o("ld a3, 0(s3)");    // c (St[-1])
+            e_.o("srli a4, a2, 48");
+            e_.o("bne a4, s11, %s", flt.c_str());
+            e_.o("srli a5, a3, 48");
+            e_.o("bne a5, s11, %s", slow.c_str());
+            e_.o("sext.w a6, a2");
+            e_.o("sext.w a7, a3");
+            e_.o("%s a6, a6, a7", iop);
+            e_.o("sext.w a5, a6");
+            e_.o("bne a5, a6, %s", slow.c_str());  // int32 overflow
+            reboxInt("a6");
+            e_.o("sd a6, -8(s3)");
+            e_.o("addi s3, s3, -8");
+            jDispatch();
+            subMarker(flt, "op:" + std::string(opName(op)) + ":flt");
+            e_.o("srli a4, a2, 51");
+            e_.o("beq a4, s8, %s", slow.c_str());  // boxed non-int
+            e_.o("srli a5, a3, 51");
+            e_.o("beq a5, s8, %s", slow.c_str());
+            e_.o("fmv.d.x f2, a2");
+            e_.o("fmv.d.x f5, a3");
+            e_.o("%s f5, f2, f5", fop);
+            e_.o("fmv.x.d a6, f5");
+            e_.o("sd a6, -8(s3)");
+            e_.o("addi s3, s3, -8");
+            jDispatch();
+            break;
+          }
+          case Variant::Typed:
+            // Figure 3 adapted to the stack layout: tld performs NaN
+            // unboxing, xadd binds int/FP, tsd reboxes.
+            e_.o("thdl %s", slow.c_str());
+            e_.o("tld a2, -8(s3)");
+            e_.o("tld a3, 0(s3)");
+            e_.o("x%s a2, a2, a3", iop);
+            e_.o("tsd a2, -8(s3)");
+            e_.o("addi s3, s3, -8");
+            jDispatch();
+            break;
+          case Variant::CheckedLoad:
+            e_.o("thdl %s", slow.c_str());
+            e_.o("chkld a2, -8(s3)");  // load St[-2], check Int in flight
+            e_.o("chkld a3, 0(s3)");   // load St[-1], check Int in flight
+            e_.o("sext.w a6, a2");
+            e_.o("sext.w a7, a3");
+            e_.o("%s a6, a6, a7", iop);
+            e_.o("sext.w a5, a6");
+            e_.o("bne a5, a6, %s", slow.c_str());
+            reboxInt("a6");
+            e_.o("sd a6, -8(s3)");
+            e_.o("addi s3, s3, -8");
+            jDispatch();
+            break;
+        }
+
+        // Shared software slow path.  Full semantics (the Section 5
+        // path selector can route well-typed executions here): int/int
+        // without overflow keeps the int32 representation.
+        subMarker(slow, "slow:" + std::string(opName(op)));
+        {
+            const std::string conv = e_.fresh("slow_conv");
+            e_.o("ld a2, -8(s3)");
+            e_.o("ld a3, 0(s3)");
+            e_.o("srli a4, a2, 48");
+            e_.o("bne a4, s11, %s", conv.c_str());
+            e_.o("srli a5, a3, 48");
+            e_.o("bne a5, s11, %s", conv.c_str());
+            e_.o("sext.w a6, a2");
+            e_.o("sext.w a7, a3");
+            e_.o("%s a6, a6, a7", iop);
+            e_.o("sext.w a5, a6");
+            e_.o("bne a5, a6, %s", conv.c_str());  // overflow -> doubles
+            reboxInt("a6");
+            e_.o("sd a6, -8(s3)");
+            e_.o("addi s3, s3, -8");
+            jDispatch();
+            e_.l(conv);
+        }
+        e_.o("ld a2, -8(s3)");
+        e_.o("ld a3, 0(s3)");
+        toNumber("a2", "f2");
+        toNumber("a3", "f5");
+        e_.o("%s f5, f2, f5", fop);
+        e_.o("fmv.x.d a6, f5");
+        e_.o("sd a6, -8(s3)");
+        e_.o("addi s3, s3, -8");
+        jDispatch();
+    }
+
+    // ------------------------------------------------------------------
+
+    void
+    divModHandlers()
+    {
+        handler(Op::DIV);
+        e_.o("ld a2, -8(s3)");
+        e_.o("ld a3, 0(s3)");
+        toNumber("a2", "f2");
+        toNumber("a3", "f5");
+        e_.o("fdiv.d f2, f2, f5");
+        e_.o("fmv.x.d a6, f2");
+        e_.o("sd a6, -8(s3)");
+        e_.o("addi s3, s3, -8");
+        jDispatch();
+
+        handler(Op::IDIV);
+        {
+            const std::string flt = e_.fresh("id_f");
+            const std::string st = e_.fresh("id_s");
+            const std::string keep = e_.fresh("id_k");
+            const std::string ovf = e_.fresh("id_o");
+            e_.o("ld a2, -8(s3)");
+            e_.o("ld a3, 0(s3)");
+            e_.o("srli a4, a2, 48");
+            e_.o("bne a4, s11, %s", flt.c_str());
+            e_.o("srli a5, a3, 48");
+            e_.o("bne a5, s11, %s", flt.c_str());
+            e_.o("sext.w a6, a2");
+            e_.o("sext.w a7, a3");
+            e_.o("beqz a7, err_divzero");
+            e_.o("div t6, a6, a7");
+            e_.o("mul t4, t6, a7");
+            e_.o("beq t4, a6, %s", st.c_str());
+            e_.o("xor t4, a6, a7");
+            e_.o("bgez t4, %s", st.c_str());
+            e_.o("addi t6, t6, -1");
+            e_.l(st);
+            e_.o("sext.w a4, t6");
+            e_.o("bne a4, t6, %s", ovf.c_str());  // INT32_MIN // -1
+            reboxInt("t6");
+            e_.o("sd t6, -8(s3)");
+            e_.o("addi s3, s3, -8");
+            jDispatch();
+            e_.l(ovf);
+            e_.o("fcvt.d.l f2, t6");
+            e_.o("fmv.x.d a6, f2");
+            e_.o("sd a6, -8(s3)");
+            e_.o("addi s3, s3, -8");
+            jDispatch();
+            e_.l(flt);
+            toNumber("a2", "f2");
+            toNumber("a3", "f5");
+            e_.o("fdiv.d f2, f2, f5");
+            e_.o("fcvt.l.d a5, f2");
+            e_.o("fcvt.d.l f4, a5");
+            e_.o("fle.d a6, f4, f2");
+            e_.o("bnez a6, %s", keep.c_str());
+            e_.o("addi a5, a5, -1");
+            e_.l(keep);
+            e_.o("fcvt.d.l f4, a5");
+            e_.o("fmv.x.d a6, f4");
+            e_.o("sd a6, -8(s3)");
+            e_.o("addi s3, s3, -8");
+            jDispatch();
+        }
+
+        handler(Op::MOD);
+        {
+            const std::string flt = e_.fresh("md_f");
+            const std::string st = e_.fresh("md_s");
+            e_.o("ld a2, -8(s3)");
+            e_.o("ld a3, 0(s3)");
+            e_.o("srli a4, a2, 48");
+            e_.o("bne a4, s11, %s", flt.c_str());
+            e_.o("srli a5, a3, 48");
+            e_.o("bne a5, s11, %s", flt.c_str());
+            e_.o("sext.w a6, a2");
+            e_.o("sext.w a7, a3");
+            e_.o("beqz a7, err_divzero");
+            e_.o("rem t6, a6, a7");
+            e_.o("beqz t6, %s", st.c_str());
+            e_.o("xor t4, t6, a7");
+            e_.o("bgez t4, %s", st.c_str());
+            e_.o("add t6, t6, a7");
+            e_.l(st);
+            reboxInt("t6");
+            e_.o("sd t6, -8(s3)");
+            e_.o("addi s3, s3, -8");
+            jDispatch();
+            e_.l(flt);
+            e_.o("mv a0, s3");
+            e_.o("hcall %u", kHcFmod);
+            e_.o("addi s3, s3, -8");
+            jDispatch();
+        }
+    }
+
+    // ------------------------------------------------------------------
+
+    void
+    unaryHandlers()
+    {
+        handler(Op::NEG);
+        {
+            const std::string flt = e_.fresh("ng_f");
+            const std::string ovf = e_.fresh("ng_o");
+            e_.o("ld a2, 0(s3)");
+            e_.o("srli a4, a2, 48");
+            e_.o("bne a4, s11, %s", flt.c_str());
+            e_.o("sext.w a6, a2");
+            e_.o("neg a6, a6");
+            e_.o("sext.w a4, a6");
+            e_.o("bne a4, a6, %s", ovf.c_str());
+            reboxInt("a6");
+            e_.o("sd a6, 0(s3)");
+            jDispatch();
+            e_.l(ovf);
+            e_.o("fcvt.d.l f2, a6");
+            e_.o("fmv.x.d a6, f2");
+            e_.o("sd a6, 0(s3)");
+            jDispatch();
+            e_.l(flt);
+            e_.o("srli a4, a2, 51");
+            e_.o("beq a4, s8, err_arith");
+            e_.o("li t4, 1");
+            e_.o("slli t4, t4, 63");
+            e_.o("xor a2, a2, t4");
+            e_.o("sd a2, 0(s3)");
+            jDispatch();
+        }
+
+        handler(Op::NOT);
+        {
+            const std::string truthy = e_.fresh("nt_t");
+            const std::string falsy = e_.fresh("nt_f");
+            const std::string store = e_.fresh("nt_s");
+            e_.o("ld a2, 0(s3)");
+            truthiness("a2", falsy, truthy);
+            e_.l(truthy);
+            e_.o("li a6, 0");
+            e_.o("j %s", store.c_str());
+            e_.l(falsy);
+            e_.o("li a6, 1");
+            e_.l(store);
+            boxBool("a6");
+            e_.o("sd a6, 0(s3)");
+            jDispatch();
+        }
+
+        handler(Op::LEN);
+        {
+            const std::string obj = e_.fresh("ln_o");
+            const std::string boxl = e_.fresh("ln_b");
+            e_.o("ld a2, 0(s3)");
+            e_.o("srli a4, a2, 48");
+            e_.o("addi t6, s11, %u", (kTagObj - kTagInt) / 2);
+            e_.o("beq a4, t6, %s", obj.c_str());
+            e_.o("addi t6, s11, %u", (kTagStr - kTagInt) / 2);
+            e_.o("bne a4, t6, err_len");
+            e_.o("and a2, a2, s10");
+            e_.o("ld a6, 0(a2)");  // string length
+            e_.o("j %s", boxl.c_str());
+            e_.l(obj);
+            e_.o("and a2, a2, s10");
+            e_.o("ld a6, %u(a2)", kArrLen);
+            e_.l(boxl);
+            reboxInt("a6");
+            e_.o("sd a6, 0(s3)");
+            jDispatch();
+        }
+    }
+
+    // ------------------------------------------------------------------
+
+    void
+    compareHandlers()
+    {
+        compare(Op::EQ);
+        compare(Op::NE);
+        compare(Op::LT);
+        compare(Op::LE);
+    }
+
+    void
+    compare(Op op)
+    {
+        const bool is_eq = op == Op::EQ;
+        const bool is_ne = op == Op::NE;
+        const bool eqlike = is_eq || is_ne;
+
+        handler(op);
+        const std::string bni = e_.fresh("cp_bni");
+        const std::string mix1 = e_.fresh("cp_if");
+        const std::string mix2 = e_.fresh("cp_fi");
+        const std::string fcmp = e_.fresh("cp_ff");
+        const std::string nn = e_.fresh("cp_nn");
+        const std::string store = e_.fresh("cp_st");
+
+        e_.o("ld a2, -8(s3)");  // b
+        e_.o("ld a3, 0(s3)");   // c
+        e_.o("srli a4, a2, 48");
+        e_.o("bne a4, s11, %s", bni.c_str());
+        e_.o("srli a5, a3, 48");
+        e_.o("bne a5, s11, %s", mix1.c_str());
+        // int/int
+        e_.o("sext.w a6, a2");
+        e_.o("sext.w a7, a3");
+        if (is_eq) {
+            e_.o("xor a6, a6, a7");
+            e_.o("seqz a6, a6");
+        } else if (is_ne) {
+            e_.o("xor a6, a6, a7");
+            e_.o("snez a6, a6");
+        } else if (op == Op::LT) {
+            e_.o("slt a6, a6, a7");
+        } else {
+            e_.o("slt a6, a7, a6");
+            e_.o("xori a6, a6, 1");
+        }
+        e_.o("j %s", store.c_str());
+
+        e_.l(mix1);  // b int, c not int
+        e_.o("srli a5, a3, 51");
+        e_.o("beq a5, s8, %s", nn.c_str());  // c boxed non-number
+        e_.o("sext.w a6, a2");
+        e_.o("fcvt.d.l f2, a6");
+        e_.o("fmv.d.x f5, a3");
+        e_.o("j %s", fcmp.c_str());
+
+        e_.l(bni);  // b not int
+        e_.o("srli a4, a2, 51");
+        e_.o("beq a4, s8, %s", nn.c_str());  // b boxed non-number
+        e_.o("srli a5, a3, 48");
+        e_.o("beq a5, s11, %s", mix2.c_str());
+        e_.o("srli a5, a3, 51");
+        e_.o("beq a5, s8, %s", nn.c_str());
+        e_.o("fmv.d.x f2, a2");
+        e_.o("fmv.d.x f5, a3");
+        e_.o("j %s", fcmp.c_str());
+
+        e_.l(mix2);  // b double, c int
+        e_.o("fmv.d.x f2, a2");
+        e_.o("sext.w a6, a3");
+        e_.o("fcvt.d.l f5, a6");
+
+        e_.l(fcmp);
+        if (is_eq) {
+            e_.o("feq.d a6, f2, f5");
+        } else if (is_ne) {
+            e_.o("feq.d a6, f2, f5");
+            e_.o("xori a6, a6, 1");
+        } else if (op == Op::LT) {
+            e_.o("flt.d a6, f2, f5");
+        } else {
+            e_.o("fle.d a6, f2, f5");
+        }
+        e_.o("j %s", store.c_str());
+
+        e_.l(nn);  // at least one boxed non-number
+        if (eqlike) {
+            // Raw bit equality is exact here: strings are interned and a
+            // boxed value can never equal a number's bits.
+            e_.o("xor a6, a2, a3");
+            e_.o(is_eq ? "seqz a6, a6" : "snez a6, a6");
+        } else {
+            e_.o("li a0, %u", kErrCompare);
+            e_.o("j rt_error");
+        }
+
+        e_.l(store);
+        boxBool("a6");
+        e_.o("sd a6, -8(s3)");
+        e_.o("addi s3, s3, -8");
+        jDispatch();
+    }
+
+    // ------------------------------------------------------------------
+
+    void
+    jumpHandlers()
+    {
+        handler(Op::JUMP);
+        applyJump();
+        jDispatch();
+
+        for (const bool jump_if_false : {true, false}) {
+            handler(jump_if_false ? Op::JUMPF : Op::JUMPT);
+            const std::string yes = e_.fresh("jc_y");
+            const std::string no = e_.fresh("jc_n");
+            e_.o("ld a2, 0(s3)");
+            e_.o("addi s3, s3, -8");
+            if (jump_if_false)
+                truthiness("a2", yes, no);
+            else
+                truthiness("a2", no, yes);
+            e_.l(yes);
+            applyJump();
+            e_.l(no);
+            jDispatch();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Hot element access (GETELEM / SETELEM).
+
+    void
+    elemHandlers()
+    {
+        // ---- GETELEM: St[-2] = St[-2][St[-1]] ----
+        handler(Op::GETELEM);
+        switch (v_) {
+          case Variant::Baseline:
+            e_.o("ld a2, -8(s3)");  // obj
+            e_.o("ld a3, 0(s3)");   // key
+            e_.o("srli a4, a2, 48");
+            e_.o("addi t6, s11, %u", (kTagObj - kTagInt) / 2);
+            e_.o("bne a4, t6, err_index");
+            e_.o("srli a5, a3, 48");
+            e_.o("bne a5, s11, slow_getelem");
+            e_.o("and a2, a2, s10");
+            e_.o("sext.w a3, a3");
+            e_.o("ld a6, %u(a2)", kArrCap);
+            e_.o("bgeu a3, a6, slow_getelem");
+            e_.o("ld a7, %u(a2)", kArrElemsPtr);
+            e_.o("slli a3, a3, 3");
+            e_.o("add a7, a7, a3");
+            e_.o("ld a6, 0(a7)");
+            e_.o("sd a6, -8(s3)");
+            e_.o("addi s3, s3, -8");
+            jDispatch();
+            break;
+          case Variant::Typed:
+            e_.o("thdl slow_getelem");
+            e_.o("tld a2, -8(s3)");
+            e_.o("tld a3, 0(s3)");
+            e_.o("tchk a2, a3");
+            e_.o("ld a6, %u(a2)", kArrCap);
+            e_.o("bgeu a3, a6, slow_getelem");
+            e_.o("ld a7, %u(a2)", kArrElemsPtr);
+            e_.o("slli t6, a3, 3");
+            e_.o("add a7, a7, t6");
+            e_.o("tld a6, 0(a7)");
+            e_.o("tsd a6, -8(s3)");
+            e_.o("addi s3, s3, -8");
+            jDispatch();
+            break;
+          case Variant::CheckedLoad:
+            e_.o("thdl slow_getelem");
+            e_.o("addi t6, s11, %u", (kTagObj - kTagInt) / 2);
+            e_.o("settype t6");
+            e_.o("chkld a2, -8(s3)");
+            e_.o("settype s11");
+            e_.o("chkld a3, 0(s3)");
+            e_.o("and a2, a2, s10");
+            e_.o("sext.w a3, a3");
+            e_.o("ld a6, %u(a2)", kArrCap);
+            e_.o("bgeu a3, a6, slow_getelem");
+            e_.o("ld a7, %u(a2)", kArrElemsPtr);
+            e_.o("slli a3, a3, 3");
+            e_.o("add a7, a7, a3");
+            e_.o("ld a6, 0(a7)");
+            e_.o("sd a6, -8(s3)");
+            e_.o("addi s3, s3, -8");
+            jDispatch();
+            break;
+        }
+        subMarker("slow_getelem", "slow:GETELEM");
+        e_.o("ld a2, -8(s3)");
+        e_.o("srli a4, a2, 48");
+        e_.o("addi t6, s11, %u", (kTagObj - kTagInt) / 2);
+        e_.o("bne a4, t6, err_index");
+        e_.o("mv a0, s3");
+        e_.o("hcall %u", kHcElemGetSlow);
+        e_.o("addi s3, s3, -8");
+        jDispatch();
+
+        // ---- SETELEM: St[-3][St[-2]] = St[-1] ----
+        handler(Op::SETELEM);
+        const std::string lsk = e_.fresh("se_len");
+        switch (v_) {
+          case Variant::Baseline:
+            e_.o("ld a2, -16(s3)");
+            e_.o("ld a3, -8(s3)");
+            e_.o("srli a4, a2, 48");
+            e_.o("addi t6, s11, %u", (kTagObj - kTagInt) / 2);
+            e_.o("bne a4, t6, err_index");
+            e_.o("srli a5, a3, 48");
+            e_.o("bne a5, s11, slow_setelem");
+            e_.o("and a2, a2, s10");
+            e_.o("sext.w a3, a3");
+            e_.o("ld a6, %u(a2)", kArrCap);
+            e_.o("bgeu a3, a6, slow_setelem");
+            e_.o("ld a7, %u(a2)", kArrElemsPtr);
+            e_.o("slli t6, a3, 3");
+            e_.o("add a7, a7, t6");
+            e_.o("ld t4, 0(s3)");
+            e_.o("sd t4, 0(a7)");
+            e_.o("ld a6, %u(a2)", kArrLen);
+            e_.o("bge a6, a3, %s", lsk.c_str());
+            e_.o("sd a3, %u(a2)", kArrLen);
+            e_.l(lsk);
+            e_.o("addi s3, s3, -24");
+            jDispatch();
+            break;
+          case Variant::Typed:
+            e_.o("thdl slow_setelem");
+            e_.o("tld a2, -16(s3)");
+            e_.o("tld a3, -8(s3)");
+            e_.o("tchk a2, a3");
+            e_.o("ld a6, %u(a2)", kArrCap);
+            e_.o("bgeu a3, a6, slow_setelem");
+            e_.o("ld a7, %u(a2)", kArrElemsPtr);
+            e_.o("slli t6, a3, 3");
+            e_.o("add a7, a7, t6");
+            e_.o("tld t4, 0(s3)");
+            e_.o("tsd t4, 0(a7)");
+            e_.o("ld a6, %u(a2)", kArrLen);
+            e_.o("bge a6, a3, %s", lsk.c_str());
+            e_.o("sd a3, %u(a2)", kArrLen);
+            e_.l(lsk);
+            e_.o("addi s3, s3, -24");
+            jDispatch();
+            break;
+          case Variant::CheckedLoad:
+            e_.o("thdl slow_setelem");
+            e_.o("addi t6, s11, %u", (kTagObj - kTagInt) / 2);
+            e_.o("settype t6");
+            e_.o("chkld a2, -16(s3)");
+            e_.o("settype s11");
+            e_.o("chkld a3, -8(s3)");
+            e_.o("and a2, a2, s10");
+            e_.o("sext.w a3, a3");
+            e_.o("ld a6, %u(a2)", kArrCap);
+            e_.o("bgeu a3, a6, slow_setelem");
+            e_.o("ld a7, %u(a2)", kArrElemsPtr);
+            e_.o("slli t6, a3, 3");
+            e_.o("add a7, a7, t6");
+            e_.o("ld t4, 0(s3)");
+            e_.o("sd t4, 0(a7)");
+            e_.o("ld a6, %u(a2)", kArrLen);
+            e_.o("bge a6, a3, %s", lsk.c_str());
+            e_.o("sd a3, %u(a2)", kArrLen);
+            e_.l(lsk);
+            e_.o("addi s3, s3, -24");
+            jDispatch();
+            break;
+        }
+        subMarker("slow_setelem", "slow:SETELEM");
+        e_.o("ld a2, -16(s3)");
+        e_.o("srli a4, a2, 48");
+        e_.o("addi t6, s11, %u", (kTagObj - kTagInt) / 2);
+        e_.o("bne a4, t6, err_index");
+        e_.o("mv a0, s3");
+        e_.o("hcall %u", kHcElemSetSlow);
+        e_.o("addi s3, s3, -24");
+        jDispatch();
+    }
+
+    // ------------------------------------------------------------------
+
+    void
+    callReturnHandlers()
+    {
+        handler(Op::CALL);
+        immU("t3");  // argc
+        e_.o("slli t4, t3, 3");
+        e_.o("sub t5, s3, t4");  // t5 = callee slot address
+        e_.o("ld a2, 0(t5)");
+        e_.o("srli a4, a2, 48");
+        e_.o("addi t6, s11, %u", (kTagFun - kTagInt) / 2);
+        e_.o("bne a4, t6, err_call");
+        e_.o("and a2, a2, s10");   // proto index
+        e_.o("slli a2, a2, 5");
+        e_.o("li t6, 0x%llx", (unsigned long long)lay_.protos);
+        e_.o("add a2, a2, t6");
+        e_.o("sd s2, 0(s6)");
+        e_.o("sd s7, 8(s6)");
+        e_.o("sd s4, 16(s6)");
+        e_.o("addi s6, s6, 32");
+        e_.o("addi s7, t5, 8");    // frame base = first argument
+        e_.o("ld s2, %u(a2)", kProtoCodePtr);
+        e_.o("ld s4, %u(a2)", kProtoConstPtr);
+        e_.o("ld a3, %u(a2)", kProtoNRegs);  // nlocals
+        e_.o("slli a3, a3, 3");
+        e_.o("add s3, s7, a3");
+        e_.o("addi s3, s3, -8");
+        jDispatch();
+
+        handler(Op::RETURN);
+        e_.o("ld a2, 0(s3)");
+        e_.o("beq s6, s0, vm_exit");
+        e_.o("addi s6, s6, -32");
+        e_.o("ld s2, 0(s6)");
+        e_.o("addi s3, s7, -8");   // pop the frame (old fb)
+        e_.o("ld s7, 8(s6)");
+        e_.o("ld s4, 16(s6)");
+        e_.o("sd a2, 0(s3)");      // result replaces the callee slot
+        jDispatch();
+    }
+
+    // ------------------------------------------------------------------
+
+    void
+    builtinHandler()
+    {
+        handler(Op::BUILTIN);
+        e_.o("srliw t3, t0, 8");
+        e_.o("andi t4, t3, 255");   // id
+        e_.o("srliw t5, t0, 16");   // argc
+        const char *labels[] = {"bi_print", "bi_sqrt", "bi_floor",
+                                "bi_substr", "bi_strchar", "bi_abs"};
+        for (unsigned i = 0; i < 6; ++i) {
+            if (i == 0) {
+                e_.o("beqz t4, %s", labels[i]);
+            } else {
+                e_.o("addi t6, t4, -%u", i);
+                e_.o("beqz t6, %s", labels[i]);
+            }
+        }
+        e_.o("li a0, %u", kErrCall);
+        e_.o("j rt_error");
+
+        const std::pair<const char *, unsigned> hcalls[] = {
+            {"bi_print", kHcPrint},     {"bi_floor", kHcFloor},
+            {"bi_substr", kHcSubstr},   {"bi_strchar", kHcStrChar},
+            {"bi_abs", kHcAbs},
+        };
+        for (const auto &[label, id] : hcalls) {
+            e_.l(label);
+            e_.o("mv a0, s3");
+            e_.o("mv a1, t5");
+            e_.o("hcall %u", id);
+            // Result replaces the arguments: sp -= (argc - 1) * 8.
+            e_.o("addi t5, t5, -1");
+            e_.o("slli t5, t5, 3");
+            e_.o("sub s3, s3, t5");
+            jDispatch();
+        }
+
+        e_.l("bi_sqrt");
+        e_.o("ld a2, 0(s3)");
+        toNumber("a2", "f2");
+        e_.o("fsqrt.d f2, f2");
+        e_.o("fmv.x.d a6, f2");
+        e_.o("sd a6, 0(s3)");
+        jDispatch();
+    }
+
+    // ------------------------------------------------------------------
+
+    void
+    errorsAndExit()
+    {
+        const std::pair<const char *, unsigned> errs[] = {
+            {"err_arith", kErrArith},     {"err_index", kErrIndex},
+            {"err_call", kErrCall},       {"err_compare", kErrCompare},
+            {"err_divzero", kErrDivZero}, {"err_len", kErrLen},
+        };
+        for (const auto &[label, code] : errs) {
+            e_.l(label);
+            e_.o("li a0, %u", code);
+            e_.o("j rt_error");
+        }
+        e_.l("rt_error");
+        e_.o("hcall %u", kHcError);
+        e_.o("halt");
+        e_.l("vm_exit");
+        e_.o("li a0, 0");
+        e_.o("sys 0");
+    }
+
+    void
+    dataSection()
+    {
+        e_.raw(".data\n.align 3\njumptable:\n");
+        for (unsigned i = 0; i < kNumOps; ++i) {
+            const std::string name =
+                toLower(std::string(opName(static_cast<Op>(i))));
+            e_.raw("    .dword op_" + name + "\n");
+        }
+    }
+
+    Variant v_;
+    GuestLayout lay_;
+    uint64_t mainCode_;
+    uint64_t mainConsts_;
+    unsigned mainNLocals_;
+    AsmEmitter e_;
+    std::vector<std::pair<std::string, std::string>> markers_;
+};
+
+} // namespace
+
+InterpResult
+generateInterp(Variant variant, const GuestLayout &layout,
+               uint64_t main_code, uint64_t main_consts,
+               unsigned main_nlocals)
+{
+    return Gen(variant, layout, main_code, main_consts, main_nlocals)
+        .run();
+}
+
+} // namespace tarch::vm::js

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * MiniJS interpreter generator: emits the stack-machine bytecode
+ * interpreter as TRV64 assembly for one of the three ISA variants.  The
+ * five hot bytecodes (ADD, SUB, MUL, GETELEM, SETELEM — paper Table 3)
+ * are generated per variant; everything else is shared.
+ *
+ * Guest register conventions:
+ *   s0 call-info stack base     s1 dispatch table base
+ *   s2 bytecode pc              s3 value-stack TOS address
+ *   s4 constant pool base       s5 globals base
+ *   s6 call-info stack top      s7 frame base (local 0 address)
+ *   s8 0x1FFF (NaN-box detect)  s9 boxed-Int base (0xFFF9 << 48)
+ *   s10 47-bit payload mask     s11 0xFFF9 (Int type halfword)
+ */
+
+#ifndef TARCH_VM_JS_INTERP_GEN_H
+#define TARCH_VM_JS_INTERP_GEN_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "vm/image.h"
+#include "vm/variant.h"
+
+namespace tarch::vm::js {
+
+/** hcall intrinsic ids used by the MiniJS interpreter. */
+enum Hcall : unsigned {
+    kHcPrint = 1,     ///< a0 = TOS addr, a1 = argc; result replaces args
+    kHcNewArray,      ///< a0 = slot to receive the boxed array
+    kHcElemGetSlow,   ///< obj at -8(sp), key at 0(sp); result to -8(sp)
+    kHcElemSetSlow,   ///< obj -16, key -8, val 0
+    kHcConcat,        ///< a0 = sp: operands -8/0, result to -8
+    kHcFloor,         ///< builtin convention (a0 = sp, a1 = argc)
+    kHcSubstr,
+    kHcStrChar,
+    kHcAbs,
+    kHcFmod,          ///< a0 = sp: operands -8/0, result to -8
+    kHcError,         ///< a0 = error code
+};
+
+enum ErrCode : unsigned {
+    kErrArith = 1,
+    kErrIndex,
+    kErrCall,
+    kErrCompare,
+    kErrDivZero,
+    kErrLen,
+};
+
+struct InterpResult {
+    std::string asmText;
+    std::vector<std::pair<std::string, std::string>> markers;
+};
+
+/**
+ * Generate the interpreter.
+ * @param main_nlocals frame-slot count of the main chunk (proto 0)
+ */
+InterpResult generateInterp(Variant variant, const GuestLayout &layout,
+                            uint64_t main_code, uint64_t main_consts,
+                            unsigned main_nlocals);
+
+} // namespace tarch::vm::js
+
+#endif // TARCH_VM_JS_INTERP_GEN_H

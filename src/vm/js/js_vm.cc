@@ -1,0 +1,466 @@
+#include "vm/js/js_vm.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "assembler/assembler.h"
+#include "common/bitops.h"
+#include "common/log.h"
+#include "common/strutil.h"
+#include "script/parser.h"
+#include "vm/js/interp_gen.h"
+
+namespace tarch::vm::js {
+
+namespace {
+
+bool
+isBoxed(uint64_t v)
+{
+    return (v >> 51) == 0x1FFF;
+}
+
+uint8_t
+tagOf(uint64_t v)
+{
+    return static_cast<uint8_t>((v >> 47) & 0xF);
+}
+
+uint64_t
+payloadOf(uint64_t v)
+{
+    return v & kPayloadMask;
+}
+
+double
+bitsToDouble(uint64_t bits)
+{
+    double d;
+    std::memcpy(&d, &bits, 8);
+    return d;
+}
+
+uint64_t
+doubleToBits(double d)
+{
+    if (d != d)
+        return 0x7FF8000000000000ULL;  // canonical NaN (never box-aliased)
+    uint64_t bits;
+    std::memcpy(&bits, &d, 8);
+    return bits;
+}
+
+/** Number view of a value (int or double); fatal otherwise. */
+double
+toDouble(uint64_t v, const char *what)
+{
+    if (!isBoxed(v))
+        return bitsToDouble(v);
+    if (tagOf(v) == kTagInt)
+        return static_cast<double>(static_cast<int32_t>(v));
+    tarch_fatal("js runtime: %s expects a number (tag %u)", what, tagOf(v));
+}
+
+/** Integer view of a key (int tag or integral double). */
+bool
+keyAsInt(uint64_t v, int64_t &out)
+{
+    if (isBoxed(v)) {
+        if (tagOf(v) != kTagInt)
+            return false;
+        out = static_cast<int32_t>(v);
+        return true;
+    }
+    const double d = bitsToDouble(v);
+    if (d == std::floor(d) && d >= -9.2e18 && d <= 9.2e18) {
+        out = static_cast<int64_t>(d);
+        return true;
+    }
+    return false;
+}
+
+/** Box an int64 as Int when it fits int32, else as a double. */
+uint64_t
+boxNumber(int64_t v)
+{
+    if (v >= INT32_MIN && v <= INT32_MAX)
+        return boxInt(static_cast<int32_t>(v));
+    return doubleToBits(static_cast<double>(v));
+}
+
+} // namespace
+
+JsVm::JsVm(const std::string &source) : JsVm(source, Options()) {}
+
+JsVm::JsVm(const std::string &source, const Options &opts)
+    : opts_(opts)
+{
+    module_ = compile(script::parse(source));
+    registerHostcalls();
+
+    core::CoreConfig cfg = opts_.coreConfig;
+    cfg.overflowMode = core::OverflowMode::Int32;  // NaN boxing, §4.2
+    cfg.heapBase = opts_.layout.heap;
+    core_ = std::make_unique<core::Core>(cfg, &hostcalls_);
+
+    buildImage();
+}
+
+void
+JsVm::buildImage()
+{
+    const GuestLayout &lay = opts_.layout;
+
+    std::vector<uint64_t> code_addr(module_.protos.size());
+    std::vector<uint64_t> const_addr(module_.protos.size());
+    uint64_t code_cursor = lay.code;
+    uint64_t const_cursor = lay.consts;
+    for (size_t i = 0; i < module_.protos.size(); ++i) {
+        code_addr[i] = code_cursor;
+        code_cursor =
+            alignUp(code_cursor + module_.protos[i].code.size() * 4, 8);
+        const_addr[i] = const_cursor;
+        const_cursor += module_.protos[i].consts.size() * 8;
+    }
+
+    const InterpResult interp =
+        generateInterp(opts_.variant, lay, code_addr[0], const_addr[0],
+                       module_.protos[0].nlocals);
+    assembler::AsmOptions asm_opts;
+    asm_opts.textBase = lay.interpText;
+    asm_opts.dataBase = lay.interpData;
+    const assembler::Program program =
+        assembler::assemble(interp.asmText, asm_opts);
+
+    for (const auto &[symbol, marker] : interp.markers)
+        core_->markers().add(program.symbol(symbol), marker);
+    core_->loadProgram(program);
+
+    mem::MainMemory &memory = core_->memory();
+    for (size_t i = 0; i < module_.protos.size(); ++i) {
+        const Proto &proto = module_.protos[i];
+        const uint64_t desc = lay.protos + i * kProtoBytes;
+        memory.write64(desc + kProtoCodePtr, code_addr[i]);
+        memory.write64(desc + kProtoConstPtr, const_addr[i]);
+        memory.write64(desc + kProtoNParams, proto.nparams);
+        memory.write64(desc + kProtoNRegs, proto.nlocals);
+        for (size_t j = 0; j < proto.code.size(); ++j)
+            memory.write32(code_addr[i] + 4 * j, proto.code[j]);
+        for (size_t j = 0; j < proto.consts.size(); ++j) {
+            const Const &k = proto.consts[j];
+            const uint64_t bits =
+                k.kind == Const::Kind::Str
+                    ? box(kTagStr, interner_.intern(*core_, k.sval))
+                    : k.bits;
+            memory.write64(const_addr[i] + 8 * j, bits);
+        }
+    }
+    for (const auto &[global, proto_idx] : module_.functionGlobals)
+        memory.write64(lay.globals + global * 8, box(kTagFun, proto_idx));
+    // Unset globals read as undefined, not +0.0.
+    for (size_t g = 0; g < module_.globalNames.size(); ++g) {
+        const uint64_t addr = lay.globals + g * 8;
+        if (memory.read64(addr) == 0)
+            memory.write64(addr, box(kTagUndef, 0));
+    }
+}
+
+int
+JsVm::run()
+{
+    return core_->run();
+}
+
+std::map<std::string, uint64_t>
+JsVm::bytecodeProfile() const
+{
+    std::map<std::string, uint64_t> profile;
+    const core::Markers &markers = core_->markers();
+    for (size_t i = 0; i < markers.count(); ++i) {
+        const std::string &name = markers.name(i);
+        if (startsWith(name, "op:") &&
+            name.find(":flt") == std::string::npos)
+            profile[name.substr(3)] += markers.hits(i);
+    }
+    return profile;
+}
+
+uint64_t
+JsVm::dynamicBytecodes() const
+{
+    return core_->markers().hitsByName("dispatch");
+}
+
+// ---------------------------------------------------------------------
+
+void
+JsVm::registerHostcalls()
+{
+    const auto bind = [this](unsigned id, const char *name,
+                             core::HcallCost cost,
+                             void (JsVm::*fn)(core::HostEnv &)) {
+        hostcalls_.add(id, name, cost,
+                       [this, fn](core::HostEnv &env) { (this->*fn)(env); });
+    };
+    bind(kHcPrint, "js.print", {100, 150}, &JsVm::hcPrint);
+    bind(kHcNewArray, "js.newarray", {80, 120}, &JsVm::hcNewArray);
+    bind(kHcElemGetSlow, "js.elemget", {50, 80}, &JsVm::hcElemGetSlow);
+    bind(kHcElemSetSlow, "js.elemset", {60, 100}, &JsVm::hcElemSetSlow);
+    bind(kHcConcat, "js.concat", {80, 120}, &JsVm::hcConcat);
+    bind(kHcFloor, "js.floor", {20, 30}, &JsVm::hcFloor);
+    bind(kHcSubstr, "js.substr", {60, 90}, &JsVm::hcSubstr);
+    bind(kHcStrChar, "js.strchar", {40, 60}, &JsVm::hcStrChar);
+    bind(kHcAbs, "js.abs", {20, 30}, &JsVm::hcAbs);
+    bind(kHcFmod, "js.fmod", {30, 45}, &JsVm::hcFmod);
+    hostcalls_.add(kHcError, "js.error", {1, 1}, [](core::HostEnv &env) {
+        tarch_fatal("js runtime error %llu",
+                    static_cast<unsigned long long>(
+                        env.regs.gpr(isa::reg::a0).v));
+    });
+}
+
+void
+JsVm::hcPrint(core::HostEnv &env)
+{
+    const uint64_t v = env.memory.read64(env.regs.gpr(isa::reg::a0).v);
+    std::string text;
+    if (!isBoxed(v)) {
+        text = strformat("%.14g", bitsToDouble(v));
+    } else {
+        switch (tagOf(v)) {
+          case kTagInt:
+            text = strformat("%d", static_cast<int32_t>(v));
+            break;
+          case kTagBool: text = payloadOf(v) ? "true" : "false"; break;
+          case kTagNull: text = "null"; break;
+          case kTagUndef: text = "undefined"; break;
+          case kTagStr: text = Interner::read(*core_, payloadOf(v)); break;
+          case kTagObj:
+            text = strformat("[object Array 0x%llx]",
+                             static_cast<unsigned long long>(payloadOf(v)));
+            break;
+          case kTagFun:
+            text = strformat("function %llu",
+                             static_cast<unsigned long long>(payloadOf(v)));
+            break;
+          default:
+            text = strformat("<tag %u>", tagOf(v));
+        }
+    }
+    env.output += text;
+    env.output += '\n';
+    // print() evaluates to undefined.
+    env.memory.write64(env.regs.gpr(isa::reg::a0).v, box(kTagUndef, 0));
+}
+
+void
+JsVm::hcNewArray(core::HostEnv &env)
+{
+    const uint64_t dst = env.regs.gpr(isa::reg::a0).v;
+    const uint64_t hdr = core_->allocHeap(kArrHeaderBytes);
+    env.memory.write64(dst, box(kTagObj, hdr));
+}
+
+namespace {
+
+/** Grow an array to cover index @p want, filling new slots with
+ *  undefined and migrating shadow keys that fall inside. */
+void
+growArray(core::Core &core, ShadowHash &shadow, uint64_t hdr, int64_t want)
+{
+    mem::MainMemory &memory = core.memory();
+    const uint64_t old_cap = memory.read64(hdr + kArrCap);
+    uint64_t new_cap = old_cap ? old_cap : 8;
+    while (new_cap <= static_cast<uint64_t>(want))
+        new_cap *= 2;
+    const uint64_t new_elems = core.allocHeap(new_cap * 8);
+    const uint64_t old_elems = memory.read64(hdr + kArrElemsPtr);
+    for (uint64_t i = 0; i < new_cap; ++i) {
+        const uint64_t value = i < old_cap
+                                   ? memory.read64(old_elems + i * 8)
+                                   : box(kTagUndef, 0);
+        memory.write64(new_elems + i * 8, value);
+    }
+    memory.write64(hdr + kArrElemsPtr, new_elems);
+    memory.write64(hdr + kArrCap, new_cap);
+    for (int64_t k = static_cast<int64_t>(old_cap);
+         k < static_cast<int64_t>(new_cap); ++k) {
+        const ShadowHash::Slot s =
+            shadow.get(hdr, false, static_cast<uint64_t>(k));
+        if (s.tag != 0) {
+            memory.write64(new_elems + k * 8, s.value);
+            shadow.set(hdr, false, static_cast<uint64_t>(k), {});
+            const uint64_t len = memory.read64(hdr + kArrLen);
+            if (static_cast<uint64_t>(k) > len)
+                memory.write64(hdr + kArrLen, k);
+        }
+    }
+}
+
+} // namespace
+
+void
+JsVm::hcElemGetSlow(core::HostEnv &env)
+{
+    const uint64_t sp = env.regs.gpr(isa::reg::a0).v;
+    const uint64_t obj = env.memory.read64(sp - 8);
+    const uint64_t key = env.memory.read64(sp);
+    const uint64_t hdr = payloadOf(obj);
+    int64_t ikey;
+    uint64_t result;
+    if (keyAsInt(key, ikey)) {
+        const uint64_t cap = env.memory.read64(hdr + kArrCap);
+        if (ikey >= 0 && static_cast<uint64_t>(ikey) < cap) {
+            result = env.memory.read64(
+                env.memory.read64(hdr + kArrElemsPtr) + ikey * 8);
+        } else {
+            const ShadowHash::Slot s =
+                shadow_.get(hdr, false, static_cast<uint64_t>(ikey));
+            result = s.tag ? s.value : box(kTagUndef, 0);
+        }
+    } else if (isBoxed(key) && tagOf(key) == kTagStr) {
+        const ShadowHash::Slot s = shadow_.get(hdr, true, payloadOf(key));
+        result = s.tag ? s.value : box(kTagUndef, 0);
+    } else {
+        tarch_fatal("js runtime: invalid element key");
+    }
+    env.memory.write64(sp - 8, result);
+}
+
+void
+JsVm::hcElemSetSlow(core::HostEnv &env)
+{
+    const uint64_t sp = env.regs.gpr(isa::reg::a0).v;
+    const uint64_t obj = env.memory.read64(sp - 16);
+    const uint64_t key = env.memory.read64(sp - 8);
+    const uint64_t val = env.memory.read64(sp);
+    const uint64_t hdr = payloadOf(obj);
+    int64_t ikey;
+    if (keyAsInt(key, ikey)) {
+        const uint64_t cap = env.memory.read64(hdr + kArrCap);
+        if (ikey >= 0 && static_cast<uint64_t>(ikey) <= 2 * cap + 8) {
+            if (static_cast<uint64_t>(ikey) >= cap)
+                growArray(*core_, shadow_, hdr, ikey);
+            env.memory.write64(
+                env.memory.read64(hdr + kArrElemsPtr) + ikey * 8, val);
+            const uint64_t len = env.memory.read64(hdr + kArrLen);
+            if (static_cast<uint64_t>(ikey) > len)
+                env.memory.write64(hdr + kArrLen, ikey);
+            return;
+        }
+        shadow_.set(hdr, false, static_cast<uint64_t>(ikey), {val, 1});
+        return;
+    }
+    if (isBoxed(key) && tagOf(key) == kTagStr) {
+        shadow_.set(hdr, true, payloadOf(key), {val, 1});
+        return;
+    }
+    tarch_fatal("js runtime: invalid element key");
+}
+
+void
+JsVm::hcConcat(core::HostEnv &env)
+{
+    const uint64_t sp = env.regs.gpr(isa::reg::a0).v;
+    const auto stringify = [&](uint64_t v) -> std::string {
+        if (!isBoxed(v))
+            return strformat("%.14g", bitsToDouble(v));
+        switch (tagOf(v)) {
+          case kTagStr: return Interner::read(*core_, payloadOf(v));
+          case kTagInt:
+            return strformat("%d", static_cast<int32_t>(v));
+          default:
+            tarch_fatal("js runtime: cannot concatenate tag %u", tagOf(v));
+        }
+    };
+    const std::string text = stringify(env.memory.read64(sp - 8)) +
+                             stringify(env.memory.read64(sp));
+    env.memory.write64(sp - 8,
+                       box(kTagStr, interner_.intern(*core_, text)));
+}
+
+void
+JsVm::hcFloor(core::HostEnv &env)
+{
+    const uint64_t sp = env.regs.gpr(isa::reg::a0).v;
+    const uint64_t v = env.memory.read64(sp);
+    uint64_t result;
+    if (isBoxed(v) && tagOf(v) == kTagInt) {
+        result = v;
+    } else {
+        const double d = std::floor(toDouble(v, "floor"));
+        result = (d >= INT32_MIN && d <= INT32_MAX)
+                     ? boxInt(static_cast<int32_t>(d))
+                     : doubleToBits(d);
+    }
+    env.memory.write64(sp, result);
+}
+
+void
+JsVm::hcSubstr(core::HostEnv &env)
+{
+    const uint64_t sp = env.regs.gpr(isa::reg::a0).v;
+    const uint64_t sv = env.memory.read64(sp - 16);
+    const uint64_t iv = env.memory.read64(sp - 8);
+    const uint64_t jv = env.memory.read64(sp);
+    if (!isBoxed(sv) || tagOf(sv) != kTagStr)
+        tarch_fatal("js runtime: substr expects a string");
+    int64_t i, j;
+    if (!keyAsInt(iv, i) || !keyAsInt(jv, j))
+        tarch_fatal("js runtime: substr expects integer indexes");
+    const std::string text = Interner::read(*core_, payloadOf(sv));
+    const int64_t len = static_cast<int64_t>(text.size());
+    if (i < 0)
+        i = len + i + 1;
+    if (j < 0)
+        j = len + j + 1;
+    if (i < 1)
+        i = 1;
+    if (j > len)
+        j = len;
+    std::string sub;
+    if (i <= j)
+        sub = text.substr(i - 1, j - i + 1);
+    env.memory.write64(sp - 16,
+                       box(kTagStr, interner_.intern(*core_, sub)));
+}
+
+void
+JsVm::hcStrChar(core::HostEnv &env)
+{
+    const uint64_t sp = env.regs.gpr(isa::reg::a0).v;
+    int64_t c;
+    if (!keyAsInt(env.memory.read64(sp), c))
+        tarch_fatal("js runtime: strchar expects an integer");
+    const std::string text(1, static_cast<char>(c));
+    env.memory.write64(sp, box(kTagStr, interner_.intern(*core_, text)));
+}
+
+void
+JsVm::hcAbs(core::HostEnv &env)
+{
+    const uint64_t sp = env.regs.gpr(isa::reg::a0).v;
+    const uint64_t v = env.memory.read64(sp);
+    uint64_t result;
+    if (isBoxed(v) && tagOf(v) == kTagInt) {
+        const int64_t x = static_cast<int32_t>(v);
+        result = boxNumber(x < 0 ? -x : x);
+    } else {
+        result = doubleToBits(std::fabs(toDouble(v, "abs")));
+    }
+    env.memory.write64(sp, result);
+}
+
+void
+JsVm::hcFmod(core::HostEnv &env)
+{
+    const uint64_t sp = env.regs.gpr(isa::reg::a0).v;
+    const double a = toDouble(env.memory.read64(sp - 8), "%");
+    const double b = toDouble(env.memory.read64(sp), "%");
+    double r = std::fmod(a, b);
+    if (r != 0.0 && ((r < 0.0) != (b < 0.0)))
+        r += b;  // floored modulo (MiniScript semantics)
+    env.memory.write64(sp - 8, doubleToBits(r));
+}
+
+} // namespace tarch::vm::js

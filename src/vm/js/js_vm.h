@@ -1,0 +1,71 @@
+/**
+ * @file
+ * MiniJS VM: SpiderMonkey-style stack interpreter with NaN boxing,
+ * compiled for one of the three ISA variants and run on the simulated
+ * core (int32 overflow detection enabled, paper Section 4.2).
+ */
+
+#ifndef TARCH_VM_JS_JS_VM_H
+#define TARCH_VM_JS_JS_VM_H
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/core.h"
+#include "vm/image.h"
+#include "vm/js/compiler.h"
+#include "vm/runtime.h"
+#include "vm/variant.h"
+
+namespace tarch::vm::js {
+
+class JsVm
+{
+  public:
+    struct Options {
+        Variant variant = Variant::Baseline;
+        core::CoreConfig coreConfig;  ///< overflow/heap fields overridden
+        GuestLayout layout;
+    };
+
+    explicit JsVm(const std::string &source);
+    JsVm(const std::string &source, const Options &opts);
+
+    int run();
+
+    core::Core &core() { return *core_; }
+    const std::string &output() const { return core_->output(); }
+    const Module &module() const { return module_; }
+    Variant variant() const { return opts_.variant; }
+
+    /** Dynamic bytecode counts by mnemonic (handler-entry markers). */
+    std::map<std::string, uint64_t> bytecodeProfile() const;
+    uint64_t dynamicBytecodes() const;
+
+  private:
+    void buildImage();
+    void registerHostcalls();
+
+    void hcPrint(core::HostEnv &env);
+    void hcNewArray(core::HostEnv &env);
+    void hcElemGetSlow(core::HostEnv &env);
+    void hcElemSetSlow(core::HostEnv &env);
+    void hcConcat(core::HostEnv &env);
+    void hcFloor(core::HostEnv &env);
+    void hcSubstr(core::HostEnv &env);
+    void hcStrChar(core::HostEnv &env);
+    void hcAbs(core::HostEnv &env);
+    void hcFmod(core::HostEnv &env);
+
+    Options opts_;
+    Module module_;
+    core::HostcallRegistry hostcalls_;
+    std::unique_ptr<core::Core> core_;
+    Interner interner_;
+    ShadowHash shadow_;
+};
+
+} // namespace tarch::vm::js
+
+#endif // TARCH_VM_JS_JS_VM_H

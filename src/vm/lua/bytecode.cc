@@ -1,0 +1,57 @@
+#include "vm/lua/bytecode.h"
+
+#include "common/strutil.h"
+
+namespace tarch::vm::lua {
+
+namespace {
+
+constexpr std::string_view kNames[kNumOps] = {
+    "MOVE",     "LOADK",    "LOADNIL", "LOADBOOL", "GETGLOBAL",
+    "SETGLOBAL","GETTABLE", "SETTABLE","NEWTABLE", "ADD",
+    "SUB",      "MUL",      "DIV",     "IDIV",     "MOD",
+    "UNM",      "NOT",      "LEN",     "CONCAT",   "EQ",
+    "NE",       "LT",       "LE",      "JMP",      "JMPF",
+    "JMPT",     "CALL",     "RETURN",  "FORPREP",  "FORLOOP",
+    "BUILTIN",  "NOP",
+};
+
+} // namespace
+
+std::string_view
+opName(Op op)
+{
+    return kNames[static_cast<unsigned>(op)];
+}
+
+std::string
+disassemble(const std::vector<uint32_t> &code)
+{
+    std::string out;
+    for (size_t i = 0; i < code.size(); ++i) {
+        const uint32_t w = code[i];
+        const Op op = static_cast<Op>(w & 0x3F);
+        const unsigned a = (w >> 6) & 0xFF;
+        const unsigned b = (w >> 14) & 0x1FF;
+        const unsigned c = (w >> 23) & 0x1FF;
+        const int32_t sbx = static_cast<int32_t>(w) >> 14;
+        switch (op) {
+          case Op::JMP:
+          case Op::JMPF:
+          case Op::JMPT:
+          case Op::FORPREP:
+          case Op::FORLOOP:
+            out += strformat("%4zu  %-10s A=%u sBx=%d -> %zu\n", i,
+                             std::string(opName(op)).c_str(), a,
+                             static_cast<int>(sbx),
+                             i + 1 + static_cast<int64_t>(sbx));
+            break;
+          default:
+            out += strformat("%4zu  %-10s A=%u B=%u C=%u\n", i,
+                             std::string(opName(op)).c_str(), a, b, c);
+        }
+    }
+    return out;
+}
+
+} // namespace tarch::vm::lua

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * MiniLua bytecode: a register-based instruction set modelled on Lua 5.3
+ * (paper Section 4.1).  One 32-bit word per instruction:
+ *
+ *   op[5:0] | A[13:6] | B[22:14] | C[31:23]
+ *
+ * B and C are 9-bit RK operands: bit 8 selects the constant pool, bits
+ * 7:0 index registers or constants (as in Lua).  Jump-type instructions
+ * replace B/C with an 18-bit signed word offset sBx in bits [31:14],
+ * relative to the already-incremented pc.
+ *
+ * Value layout (paper Section 4.1): one variable is a 16-byte slot, an
+ * 8-byte value followed by a 1-byte tag (7 pad bytes).  Tag encoding
+ * follows Lua 5.3 with the paper's one-bit F/I extension in the MSB:
+ * NIL=0x00 BOOL=0x01 FLT=0x83 INT=0x13 STR=0x04 TAB=0x05 FUN=0x06.
+ */
+
+#ifndef TARCH_VM_LUA_BYTECODE_H
+#define TARCH_VM_LUA_BYTECODE_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tarch::vm::lua {
+
+enum class Op : uint8_t {
+    MOVE = 0,   ///< R[A] = R[B]
+    LOADK,      ///< R[A] = K[B]
+    LOADNIL,    ///< R[A] = nil
+    LOADBOOL,   ///< R[A] = (bool)B
+    GETGLOBAL,  ///< R[A] = G[B]
+    SETGLOBAL,  ///< G[B] = R[A]
+    GETTABLE,   ///< R[A] = R[B][RK(C)]         (hot, type-guarded)
+    SETTABLE,   ///< R[A][RK(B)] = RK(C)        (hot, type-guarded)
+    NEWTABLE,   ///< R[A] = {}
+    ADD,        ///< R[A] = RK(B) + RK(C)       (hot, polymorphic)
+    SUB,        ///< R[A] = RK(B) - RK(C)       (hot, polymorphic)
+    MUL,        ///< R[A] = RK(B) * RK(C)       (hot, polymorphic)
+    DIV,        ///< R[A] = RK(B) / RK(C)       (float result)
+    IDIV,       ///< R[A] = RK(B) // RK(C)
+    MOD,        ///< R[A] = RK(B) % RK(C)
+    UNM,        ///< R[A] = -R[B]
+    NOT,        ///< R[A] = not R[B]
+    LEN,        ///< R[A] = #R[B]
+    CONCAT,     ///< R[A] = RK(B) .. RK(C)
+    EQ,         ///< R[A] = RK(B) == RK(C)
+    NE,         ///< R[A] = RK(B) ~= RK(C)
+    LT,         ///< R[A] = RK(B) <  RK(C)
+    LE,         ///< R[A] = RK(B) <= RK(C)
+    JMP,        ///< pc += sBx
+    JMPF,       ///< if falsy(R[A]) pc += sBx
+    JMPT,       ///< if truthy(R[A]) pc += sBx
+    CALL,       ///< call R[A] with B args at R[A+1..]; result -> R[A]
+    RETURN,     ///< return R[A] if B else nil
+    FORPREP,    ///< numeric for setup; pc += sBx
+    FORLOOP,    ///< numeric for step; loop back by sBx
+    BUILTIN,    ///< R[A] = builtin B (args at R[A+1..A+C])
+    NOP,
+
+    NumOps,
+};
+
+constexpr unsigned kNumOps = static_cast<unsigned>(Op::NumOps);
+
+/** Builtin function ids for Op::BUILTIN. */
+enum class Builtin : uint8_t {
+    Print = 0,
+    Sqrt,
+    Floor,
+    Substr,   ///< substr(s, i, j), 1-based inclusive like string.sub
+    StrChar,  ///< strchar(i): one-character string
+    Abs,
+    NumBuiltins,
+};
+
+// Value tags (Lua 5.3 with the F/I MSB extension).
+constexpr uint8_t kTagNil = 0x00;
+constexpr uint8_t kTagBool = 0x01;
+constexpr uint8_t kTagFlt = 0x83;
+constexpr uint8_t kTagInt = 0x13;
+constexpr uint8_t kTagStr = 0x04;
+constexpr uint8_t kTagTab = 0x05;
+constexpr uint8_t kTagFun = 0x06;
+
+constexpr unsigned kSlotBytes = 16;   ///< 8-byte value + tag + padding
+constexpr unsigned kRkConstFlag = 0x100;
+constexpr unsigned kMaxRegs = 250;
+constexpr unsigned kMaxConsts = 256;  ///< RK-addressable constants
+
+// Table object header layout (guest memory).
+constexpr unsigned kTabArrayPtr = 0;
+constexpr unsigned kTabArrayCap = 8;
+constexpr unsigned kTabLen = 16;
+constexpr unsigned kTabHeaderBytes = 24;
+
+// String object layout (guest memory): {len, bytes..., NUL}.
+constexpr unsigned kStrLen = 0;
+constexpr unsigned kStrBytes = 8;
+
+/** Encode an ABC-format instruction. */
+constexpr uint32_t
+encodeAbc(Op op, unsigned a, unsigned b, unsigned c)
+{
+    return static_cast<uint32_t>(op) | (a << 6) | (b << 14) | (c << 23);
+}
+
+/** Encode a jump-format instruction (sbx in words, pre-incremented pc). */
+constexpr uint32_t
+encodeAsbx(Op op, unsigned a, int32_t sbx)
+{
+    return static_cast<uint32_t>(op) | (a << 6) |
+           (static_cast<uint32_t>(sbx & 0x3FFFF) << 14);
+}
+
+/** Mnemonic for disassembly and marker names. */
+std::string_view opName(Op op);
+
+/** Human-readable bytecode listing (debugging). */
+std::string disassemble(const std::vector<uint32_t> &code);
+
+} // namespace tarch::vm::lua
+
+#endif // TARCH_VM_LUA_BYTECODE_H

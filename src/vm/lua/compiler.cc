@@ -1,0 +1,604 @@
+#include "vm/lua/compiler.h"
+
+#include <optional>
+
+#include "common/log.h"
+
+namespace tarch::vm::lua {
+
+using script::BinOp;
+using script::Block;
+using script::Expr;
+using script::Stmt;
+using script::UnOp;
+
+namespace {
+
+const std::unordered_map<std::string, Builtin> kBuiltins = {
+    {"print", Builtin::Print},     {"sqrt", Builtin::Sqrt},
+    {"floor", Builtin::Floor},     {"substr", Builtin::Substr},
+    {"strchar", Builtin::StrChar}, {"abs", Builtin::Abs},
+};
+
+class ModuleCompiler;
+
+/**
+ * Compiles one function body into a Proto.
+ *
+ * Register discipline: named locals occupy registers [0, nlocals_);
+ * temporaries are allocated from freereg_ and reset to nlocals_ after
+ * every statement.  Blocks are lexical scopes: leaving a block releases
+ * the registers of locals declared inside it (Lua semantics).
+ */
+class FnCompiler
+{
+  public:
+    FnCompiler(ModuleCompiler &mod, Proto &proto) : mod_(mod), proto_(proto)
+    {
+    }
+
+    void
+    declareParam(const std::string &name)
+    {
+        bindLocal(name);
+    }
+
+    void
+    compileBody(const Block &body)
+    {
+        compileBlock(body);
+        emitAbc(Op::RETURN, 0, 0, 0);
+        proto_.nregs = high_;
+    }
+
+  private:
+    // ---- scopes and registers ----------------------------------------
+
+    struct Scope {
+        unsigned nlocals;
+        std::vector<std::pair<std::string, std::optional<unsigned>>> undo;
+    };
+
+    unsigned
+    bindLocal(const std::string &name)
+    {
+        const unsigned reg = nlocals_++;
+        bump(nlocals_);
+        std::optional<unsigned> old;
+        const auto it = locals_.find(name);
+        if (it != locals_.end())
+            old = it->second;
+        if (!scopes_.empty())
+            scopes_.back().undo.emplace_back(name, old);
+        locals_[name] = reg;
+        freereg_ = nlocals_;
+        return reg;
+    }
+
+    void
+    compileBlock(const Block &body)
+    {
+        scopes_.push_back({nlocals_, {}});
+        for (const auto &stmt : body) {
+            statement(*stmt);
+            freereg_ = nlocals_;
+        }
+        const Scope &scope = scopes_.back();
+        for (auto it = scope.undo.rbegin(); it != scope.undo.rend(); ++it) {
+            if (it->second)
+                locals_[it->first] = *it->second;
+            else
+                locals_.erase(it->first);
+        }
+        nlocals_ = scope.nlocals;
+        freereg_ = nlocals_;
+        scopes_.pop_back();
+    }
+
+    void
+    bump(unsigned reg)
+    {
+        if (reg > high_)
+            high_ = reg;
+        if (reg >= kMaxRegs)
+            tarch_fatal("function '%s': out of registers",
+                        proto_.name.c_str());
+    }
+
+    unsigned
+    tempReg()
+    {
+        const unsigned r = freereg_++;
+        bump(freereg_);
+        return r;
+    }
+
+    // ---- emission helpers ---------------------------------------------
+
+    size_t
+    emitAbc(Op op, unsigned a, unsigned b, unsigned c)
+    {
+        proto_.code.push_back(encodeAbc(op, a, b, c));
+        return proto_.code.size() - 1;
+    }
+
+    size_t
+    emitJump(Op op, unsigned a)
+    {
+        proto_.code.push_back(encodeAsbx(op, a, 0));
+        return proto_.code.size() - 1;
+    }
+
+    void
+    patchJump(size_t at, size_t target)
+    {
+        const int32_t sbx = static_cast<int32_t>(target) -
+                            static_cast<int32_t>(at) - 1;
+        proto_.code[at] = (proto_.code[at] & 0x3FFF) |
+                          (static_cast<uint32_t>(sbx & 0x3FFFF) << 14);
+    }
+
+    size_t here() const { return proto_.code.size(); }
+
+    // ---- constants ------------------------------------------------------
+
+    unsigned
+    addConst(const Const &k)
+    {
+        for (unsigned i = 0; i < proto_.consts.size(); ++i) {
+            const Const &c = proto_.consts[i];
+            if (c.kind != k.kind)
+                continue;
+            if ((k.kind == Const::Kind::Int && c.ival == k.ival) ||
+                (k.kind == Const::Kind::Flt && c.fval == k.fval) ||
+                (k.kind == Const::Kind::Str && c.sval == k.sval))
+                return i;
+        }
+        proto_.consts.push_back(k);
+        // LOADK addresses 512 constants; RK operands only the first 256
+        // (exprToRk materializes the rest through a register).
+        if (proto_.consts.size() > 512)
+            tarch_fatal("function '%s': too many constants",
+                        proto_.name.c_str());
+        return static_cast<unsigned>(proto_.consts.size() - 1);
+    }
+
+    std::optional<Const>
+    literal(const Expr &e) const
+    {
+        switch (e.kind) {
+          case Expr::Kind::Int:
+            return Const{Const::Kind::Int, e.ival, 0.0, {}};
+          case Expr::Kind::Float:
+            return Const{Const::Kind::Flt, 0, e.fval, {}};
+          case Expr::Kind::Str:
+            return Const{Const::Kind::Str, 0, 0.0, e.name};
+          case Expr::Kind::Unary:
+            if (e.unop == UnOp::Neg) {
+                if (auto inner = literal(*e.lhs)) {
+                    if (inner->kind == Const::Kind::Int)
+                        inner->ival = -inner->ival;
+                    else if (inner->kind == Const::Kind::Flt)
+                        inner->fval = -inner->fval;
+                    else
+                        return std::nullopt;
+                    return inner;
+                }
+            }
+            return std::nullopt;
+          default:
+            return std::nullopt;
+        }
+    }
+
+    // ---- expressions ------------------------------------------------------
+
+    unsigned
+    exprToRk(const Expr &e)
+    {
+        if (auto k = literal(e)) {
+            const unsigned idx = addConst(*k);
+            if (idx < kMaxConsts)
+                return idx | kRkConstFlag;
+            // Beyond the RK-addressable range: go through a register.
+            const unsigned r = tempReg();
+            emitAbc(Op::LOADK, r, idx, 0);
+            return r;
+        }
+        if (e.kind == Expr::Kind::Var) {
+            const auto it = locals_.find(e.name);
+            if (it != locals_.end())
+                return it->second;
+        }
+        const unsigned r = tempReg();
+        exprTo(e, r);
+        return r;
+    }
+
+    unsigned
+    exprToAnyReg(const Expr &e)
+    {
+        if (e.kind == Expr::Kind::Var) {
+            const auto it = locals_.find(e.name);
+            if (it != locals_.end())
+                return it->second;
+        }
+        const unsigned r = tempReg();
+        exprTo(e, r);
+        return r;
+    }
+
+    void
+    exprTo(const Expr &e, unsigned dst)
+    {
+        switch (e.kind) {
+          case Expr::Kind::Nil:
+            emitAbc(Op::LOADNIL, dst, 0, 0);
+            return;
+          case Expr::Kind::True:
+            emitAbc(Op::LOADBOOL, dst, 1, 0);
+            return;
+          case Expr::Kind::False:
+            emitAbc(Op::LOADBOOL, dst, 0, 0);
+            return;
+          case Expr::Kind::Int:
+          case Expr::Kind::Float:
+          case Expr::Kind::Str:
+            emitAbc(Op::LOADK, dst, addConst(*literal(e)), 0);
+            return;
+          case Expr::Kind::Var: {
+            const auto it = locals_.find(e.name);
+            if (it != locals_.end()) {
+                if (it->second != dst)
+                    emitAbc(Op::MOVE, dst, it->second, 0);
+                return;
+            }
+            emitAbc(Op::GETGLOBAL, dst, globalSlot(e.name), 0);
+            return;
+          }
+          case Expr::Kind::Index: {
+            const unsigned save = freereg_;
+            const unsigned tab = exprToAnyReg(*e.lhs);
+            const unsigned key = exprToRk(*e.rhs);
+            freereg_ = save;
+            emitAbc(Op::GETTABLE, dst, tab, key);
+            return;
+          }
+          case Expr::Kind::Call:
+            callTo(e, dst);
+            return;
+          case Expr::Kind::TableCtor: {
+            emitAbc(Op::NEWTABLE, dst, 0, 0);
+            for (size_t i = 0; i < e.args.size(); ++i) {
+                const unsigned save = freereg_;
+                const unsigned val = exprToRk(*e.args[i]);
+                const unsigned key =
+                    addConst({Const::Kind::Int,
+                              static_cast<int64_t>(i + 1), 0.0, {}}) |
+                    kRkConstFlag;
+                emitAbc(Op::SETTABLE, dst, key, val);
+                freereg_ = save;
+            }
+            return;
+          }
+          case Expr::Kind::Unary: {
+            if (auto k = literal(e)) {  // folded -<literal>
+                emitAbc(Op::LOADK, dst, addConst(*k), 0);
+                return;
+            }
+            const unsigned save = freereg_;
+            const unsigned src = exprToAnyReg(*e.lhs);
+            freereg_ = save;
+            const Op op = e.unop == UnOp::Neg ? Op::UNM
+                          : e.unop == UnOp::Not ? Op::NOT
+                                                : Op::LEN;
+            emitAbc(op, dst, src, 0);
+            return;
+          }
+          case Expr::Kind::Binary:
+            binaryTo(e, dst);
+            return;
+        }
+        tarch_fatal("line %d: unsupported expression", e.line);
+    }
+
+    void
+    binaryTo(const Expr &e, unsigned dst)
+    {
+        if (e.binop == BinOp::And || e.binop == BinOp::Or) {
+            exprTo(*e.lhs, dst);
+            const size_t skip = emitJump(
+                e.binop == BinOp::And ? Op::JMPF : Op::JMPT, dst);
+            exprTo(*e.rhs, dst);
+            patchJump(skip, here());
+            return;
+        }
+        Op op;
+        bool swap = false;
+        switch (e.binop) {
+          case BinOp::Add: op = Op::ADD; break;
+          case BinOp::Sub: op = Op::SUB; break;
+          case BinOp::Mul: op = Op::MUL; break;
+          case BinOp::Div: op = Op::DIV; break;
+          case BinOp::IDiv: op = Op::IDIV; break;
+          case BinOp::Mod: op = Op::MOD; break;
+          case BinOp::Eq: op = Op::EQ; break;
+          case BinOp::Ne: op = Op::NE; break;
+          case BinOp::Lt: op = Op::LT; break;
+          case BinOp::Le: op = Op::LE; break;
+          case BinOp::Gt: op = Op::LT; swap = true; break;
+          case BinOp::Ge: op = Op::LE; swap = true; break;
+          case BinOp::Concat: op = Op::CONCAT; break;
+          default:
+            tarch_fatal("line %d: bad binary operator", e.line);
+        }
+        const unsigned save = freereg_;
+        unsigned b = exprToRk(*e.lhs);
+        unsigned c = exprToRk(*e.rhs);
+        if (swap)
+            std::swap(b, c);
+        freereg_ = save;
+        emitAbc(op, dst, b, c);
+    }
+
+    void callTo(const Expr &e, unsigned dst);
+
+    // ---- statements --------------------------------------------------------
+
+    void
+    statement(const Stmt &s)
+    {
+        const unsigned save = freereg_;
+        switch (s.kind) {
+          case Stmt::Kind::Local: {
+            const unsigned reg = bindLocal(s.name);
+            exprTo(*s.expr, reg);
+            return;
+          }
+          case Stmt::Kind::Assign: {
+            const auto it = locals_.find(s.name);
+            if (it != locals_.end()) {
+                exprTo(*s.expr, it->second);
+            } else {
+                const unsigned r = exprToAnyReg(*s.expr);
+                emitAbc(Op::SETGLOBAL, r, globalSlot(s.name), 0);
+            }
+            return;
+          }
+          case Stmt::Kind::IndexAssign: {
+            const unsigned tab = exprToAnyReg(*s.expr);
+            const unsigned key = exprToRk(*s.key);
+            const unsigned val = exprToRk(*s.value);
+            emitAbc(Op::SETTABLE, tab, key, val);
+            return;
+          }
+          case Stmt::Kind::If: {
+            std::vector<size_t> ends;
+            const unsigned cond = exprToAnyReg(*s.expr);
+            freereg_ = save;
+            size_t next = emitJump(Op::JMPF, cond);
+            compileBlock(s.body);
+            const bool has_more = !s.elifs.empty() || !s.elseBody.empty();
+            if (has_more)
+                ends.push_back(emitJump(Op::JMP, 0));
+            patchJump(next, here());
+            for (size_t i = 0; i < s.elifs.size(); ++i) {
+                const unsigned c2 = exprToAnyReg(*s.elifs[i].first);
+                freereg_ = save;
+                next = emitJump(Op::JMPF, c2);
+                compileBlock(s.elifs[i].second);
+                if (i + 1 < s.elifs.size() || !s.elseBody.empty())
+                    ends.push_back(emitJump(Op::JMP, 0));
+                patchJump(next, here());
+            }
+            compileBlock(s.elseBody);
+            for (const size_t j : ends)
+                patchJump(j, here());
+            return;
+          }
+          case Stmt::Kind::While: {
+            const size_t top = here();
+            const unsigned cond = exprToAnyReg(*s.expr);
+            freereg_ = save;
+            const size_t exit = emitJump(Op::JMPF, cond);
+            breaks_.emplace_back();
+            compileBlock(s.body);
+            const size_t back = emitJump(Op::JMP, 0);
+            patchJump(back, top);
+            patchJump(exit, here());
+            for (const size_t j : breaks_.back())
+                patchJump(j, here());
+            breaks_.pop_back();
+            return;
+          }
+          case Stmt::Kind::NumFor: {
+            // Four consecutive *local* registers: idx, limit, step, var.
+            // They are allocated as scoped locals so body-declared locals
+            // land above them.
+            scopes_.push_back({nlocals_, {}});
+            const unsigned base = bindLocal("(for-idx)");
+            bindLocal("(for-limit)");
+            bindLocal("(for-step)");
+            exprTo(*s.expr, base);
+            exprTo(*s.limit, base + 1);
+            if (s.step) {
+                exprTo(*s.step, base + 2);
+            } else {
+                emitAbc(Op::LOADK, base + 2,
+                        addConst({Const::Kind::Int, 1, 0.0, {}}), 0);
+            }
+            const unsigned var = bindLocal(s.name);
+            (void)var;  // == base + 3 by construction
+            const size_t prep = emitJump(Op::FORPREP, base);
+            const size_t body_top = here();
+            breaks_.emplace_back();
+            compileBlock(s.body);
+            const size_t loop = emitJump(Op::FORLOOP, base);
+            patchJump(loop, body_top);
+            patchJump(prep, loop);  // FORPREP lands on the FORLOOP
+            for (const size_t j : breaks_.back())
+                patchJump(j, here());
+            breaks_.pop_back();
+            // Leave the for-control scope.
+            const Scope &scope = scopes_.back();
+            for (auto it = scope.undo.rbegin(); it != scope.undo.rend();
+                 ++it) {
+                if (it->second)
+                    locals_[it->first] = *it->second;
+                else
+                    locals_.erase(it->first);
+            }
+            nlocals_ = scope.nlocals;
+            freereg_ = nlocals_;
+            scopes_.pop_back();
+            return;
+          }
+          case Stmt::Kind::Return: {
+            if (s.expr) {
+                const unsigned r = exprToAnyReg(*s.expr);
+                emitAbc(Op::RETURN, r, 1, 0);
+            } else {
+                emitAbc(Op::RETURN, 0, 0, 0);
+            }
+            return;
+          }
+          case Stmt::Kind::Break: {
+            if (breaks_.empty())
+                tarch_fatal("line %d: 'break' outside a loop", s.line);
+            breaks_.back().push_back(emitJump(Op::JMP, 0));
+            return;
+          }
+          case Stmt::Kind::ExprStmt: {
+            const unsigned r = tempReg();
+            exprTo(*s.expr, r);
+            return;
+          }
+        }
+    }
+
+    unsigned globalSlot(const std::string &name);
+
+    ModuleCompiler &mod_;
+    Proto &proto_;
+    std::unordered_map<std::string, unsigned> locals_;
+    std::vector<Scope> scopes_;
+    unsigned nlocals_ = 0;
+    unsigned freereg_ = 0;
+    unsigned high_ = 1;
+    std::vector<std::vector<size_t>> breaks_;
+};
+
+class ModuleCompiler
+{
+  public:
+    Module
+    run(const script::Chunk &chunk)
+    {
+        // Pass 1: register function names so calls and references resolve.
+        mod_.protos.resize(1);  // slot 0 = main
+        mod_.protos[0].name = "main";
+        for (const auto &fn : chunk.functions) {
+            if (protoByName_.count(fn.name))
+                tarch_fatal("line %d: duplicate function '%s'", fn.line,
+                            fn.name.c_str());
+            const unsigned proto_idx =
+                static_cast<unsigned>(mod_.protos.size());
+            mod_.protos.emplace_back();
+            mod_.protos.back().name = fn.name;
+            mod_.protos.back().nparams =
+                static_cast<unsigned>(fn.params.size());
+            protoByName_[fn.name] = proto_idx;
+            const unsigned g = globalSlot(fn.name);
+            mod_.functionGlobals.emplace_back(g, proto_idx);
+        }
+        // Pass 2: compile bodies.
+        for (const auto &fn : chunk.functions) {
+            Proto &proto = mod_.protos[protoByName_[fn.name]];
+            FnCompiler fc(*this, proto);
+            for (const auto &p : fn.params)
+                fc.declareParam(p);
+            fc.compileBody(fn.body);
+        }
+        FnCompiler main_fc(*this, mod_.protos[0]);
+        main_fc.compileBody(chunk.main);
+        return std::move(mod_);
+    }
+
+    unsigned
+    globalSlot(const std::string &name)
+    {
+        const auto it = globals_.find(name);
+        if (it != globals_.end())
+            return it->second;
+        const unsigned idx = static_cast<unsigned>(mod_.globalNames.size());
+        if (idx >= 512)
+            tarch_fatal("too many globals");
+        mod_.globalNames.push_back(name);
+        globals_[name] = idx;
+        return idx;
+    }
+
+    std::optional<unsigned>
+    protoOf(const std::string &name) const
+    {
+        const auto it = protoByName_.find(name);
+        if (it == protoByName_.end())
+            return std::nullopt;
+        return it->second;
+    }
+
+    const Module &module() const { return mod_; }
+
+  private:
+    Module mod_;
+    std::unordered_map<std::string, unsigned> globals_;
+    std::unordered_map<std::string, unsigned> protoByName_;
+};
+
+void
+FnCompiler::callTo(const Expr &e, unsigned dst)
+{
+    const auto builtin = kBuiltins.find(e.name);
+    const unsigned save = freereg_;
+    // Callee (or builtin result) slot, then arguments, consecutively.
+    const unsigned base = tempReg();
+    for (const auto &arg : e.args) {
+        const unsigned r = tempReg();
+        exprTo(*arg, r);
+    }
+    if (builtin != kBuiltins.end()) {
+        emitAbc(Op::BUILTIN, base, static_cast<unsigned>(builtin->second),
+                static_cast<unsigned>(e.args.size()));
+    } else {
+        const auto proto = mod_.protoOf(e.name);
+        if (!proto)
+            tarch_fatal("line %d: call to unknown function '%s'", e.line,
+                        e.name.c_str());
+        if (mod_.module().protos[*proto].nparams != e.args.size())
+            tarch_fatal("line %d: '%s' expects %u arguments, got %zu",
+                        e.line, e.name.c_str(),
+                        mod_.module().protos[*proto].nparams,
+                        e.args.size());
+        emitAbc(Op::GETGLOBAL, base, globalSlot(e.name), 0);
+        emitAbc(Op::CALL, base, static_cast<unsigned>(e.args.size()), 0);
+    }
+    if (dst != base)
+        emitAbc(Op::MOVE, dst, base, 0);
+    freereg_ = save;
+}
+
+unsigned
+FnCompiler::globalSlot(const std::string &name)
+{
+    return mod_.globalSlot(name);
+}
+
+} // namespace
+
+Module
+compile(const script::Chunk &chunk)
+{
+    return ModuleCompiler().run(chunk);
+}
+
+} // namespace tarch::vm::lua

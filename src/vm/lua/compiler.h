@@ -1,0 +1,50 @@
+/**
+ * @file
+ * MiniScript -> MiniLua bytecode compiler (register allocation in the
+ * style of Lua's one-pass code generator).
+ */
+
+#ifndef TARCH_VM_LUA_COMPILER_H
+#define TARCH_VM_LUA_COMPILER_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "script/ast.h"
+#include "vm/lua/bytecode.h"
+
+namespace tarch::vm::lua {
+
+/** A compile-time constant; string pointers are patched at image build. */
+struct Const {
+    enum class Kind : uint8_t { Int, Flt, Str } kind;
+    int64_t ival = 0;
+    double fval = 0.0;
+    std::string sval;
+};
+
+/** One compiled function. */
+struct Proto {
+    std::string name;
+    unsigned nparams = 0;
+    unsigned nregs = 0;  ///< frame size in registers
+    std::vector<uint32_t> code;
+    std::vector<Const> consts;
+};
+
+/** A compiled script: protos (index 0 = main chunk) plus global layout. */
+struct Module {
+    std::vector<Proto> protos;
+    std::vector<std::string> globalNames;
+    /** (global slot, proto index) pairs to initialize with FUN values. */
+    std::vector<std::pair<unsigned, unsigned>> functionGlobals;
+};
+
+/** Compile a parsed chunk.  Throws FatalError on semantic errors. */
+Module compile(const script::Chunk &chunk);
+
+} // namespace tarch::vm::lua
+
+#endif // TARCH_VM_LUA_COMPILER_H

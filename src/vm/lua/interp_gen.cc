@@ -1,0 +1,1163 @@
+#include "vm/lua/interp_gen.h"
+
+#include <cstdarg>
+
+#include "common/strutil.h"
+#include "vm/asm_emitter.h"
+#include "vm/lua/bytecode.h"
+
+namespace tarch::vm::lua {
+
+namespace {
+
+class Gen
+{
+  public:
+    Gen(Variant variant, const GuestLayout &layout, uint64_t main_code,
+        uint64_t main_consts)
+        : v_(variant), lay_(layout), mainCode_(main_code),
+          mainConsts_(main_consts)
+    {
+    }
+
+    InterpResult
+    run()
+    {
+        entry();
+        dispatch();
+        simpleHandlers();
+        arithHandlers();
+        divModHandlers();
+        unaryHandlers();
+        compareHandlers();
+        jumpHandlers();
+        tableHandlers();
+        callReturnHandlers();
+        forHandlers();
+        builtinHandler();
+        errorsAndExit();
+        dataSection();
+        InterpResult result;
+        result.asmText = e_.take();
+        result.markers = std::move(markers_);
+        return result;
+    }
+
+  private:
+    // ------------------------------------------------------------------
+    // Common emission idioms.
+
+    void
+    handler(Op op)
+    {
+        const std::string sym =
+            "op_" + toLower(std::string(opName(op)));
+        e_.l(sym);
+        markers_.emplace_back(sym, "op:" + std::string(opName(op)));
+    }
+
+    void
+    subMarker(const std::string &sym, const std::string &name)
+    {
+        e_.l(sym);
+        markers_.emplace_back(sym, name);
+    }
+
+    /** t2 = &R[A] */
+    void
+    decodeA()
+    {
+        e_.o("srli t2, t0, 6");
+        e_.o("andi t2, t2, 255");
+        e_.o("slli t2, t2, 4");
+        e_.o("add  t2, t2, s3");
+    }
+
+    /** dst = &R[B] (B is a plain register field) */
+    void
+    decodeBReg(const char *dst = "t3")
+    {
+        e_.o("srli %s, t0, 14", dst);
+        e_.o("andi %s, %s, 255", dst, dst);
+        e_.o("slli %s, %s, 4", dst, dst);
+        e_.o("add  %s, %s, s3", dst, dst);
+    }
+
+    /** dst = RK(B): register or constant slot pointer. */
+    void
+    decodeBRk(const char *dst = "t3")
+    {
+        const std::string lk = e_.fresh("rkb_k");
+        const std::string ld = e_.fresh("rkb_d");
+        e_.o("srli %s, t0, 14", dst);
+        e_.o("andi t4, %s, 256", dst);
+        e_.o("andi %s, %s, 255", dst, dst);
+        e_.o("slli %s, %s, 4", dst, dst);
+        e_.o("bnez t4, %s", lk.c_str());
+        e_.o("add  %s, %s, s3", dst, dst);
+        e_.o("j %s", ld.c_str());
+        e_.l(lk);
+        e_.o("add  %s, %s, s4", dst, dst);
+        e_.l(ld);
+    }
+
+    /** dst = RK(C). */
+    void
+    decodeCRk(const char *dst = "t5")
+    {
+        const std::string lk = e_.fresh("rkc_k");
+        const std::string ld = e_.fresh("rkc_d");
+        e_.o("srliw %s, t0, 23", dst);
+        e_.o("andi t4, %s, 256", dst);
+        e_.o("andi %s, %s, 255", dst, dst);
+        e_.o("slli %s, %s, 4", dst, dst);
+        e_.o("bnez t4, %s", lk.c_str());
+        e_.o("add  %s, %s, s3", dst, dst);
+        e_.o("j %s", ld.c_str());
+        e_.l(lk);
+        e_.o("add  %s, %s, s4", dst, dst);
+        e_.l(ld);
+    }
+
+    /** 9-bit raw B field (global index, const index, builtin id). */
+    void
+    decodeBRaw(const char *dst = "t3")
+    {
+        e_.o("srli %s, t0, 14", dst);
+        e_.o("andi %s, %s, 511", dst, dst);
+    }
+
+    /** 16-byte slot copy via untyped loads/stores (4 instructions).
+     *  Reads both fields before writing so @p src may alias a scratch. */
+    void
+    copySlot(const char *src, const char *dst)
+    {
+        e_.o("ld t1, 0(%s)", src);
+        e_.o("lbu t4, 8(%s)", src);
+        e_.o("sd t1, 0(%s)", dst);
+        e_.o("sb t4, 8(%s)", dst);
+    }
+
+    /** pc += sBx (t0 still holds the bytecode). */
+    void
+    applySbx()
+    {
+        e_.o("srai t4, t0, 14");
+        e_.o("slli t4, t4, 2");
+        e_.o("add  s2, s2, t4");
+    }
+
+    void jDispatch() { e_.o("j dispatch"); }
+
+    /**
+     * Convert the number in the slot at @p slot to a double in @p fdst;
+     * jumps to err_arith for non-numbers.
+     */
+    void
+    toFloat(const char *slot, const char *fdst)
+    {
+        const std::string lf = e_.fresh("tof_f");
+        const std::string ldone = e_.fresh("tof_d");
+        e_.o("lbu a2, 8(%s)", slot);
+        e_.o("li  a4, 0x13");
+        e_.o("bne a2, a4, %s", lf.c_str());
+        e_.o("ld  a5, 0(%s)", slot);
+        e_.o("fcvt.d.l %s, a5", fdst);
+        e_.o("j %s", ldone.c_str());
+        e_.l(lf);
+        e_.o("li  a4, 0x83");
+        e_.o("bne a2, a4, err_arith");
+        e_.o("fld %s, 0(%s)", fdst, slot);
+        e_.l(ldone);
+    }
+
+    // ------------------------------------------------------------------
+    // Program skeleton.
+
+    void
+    entry()
+    {
+        e_.raw(".text\n");
+        e_.l("_start");
+        e_.o("la s1, jumptable");
+        e_.o("li s5, 0x%llx", (unsigned long long)lay_.globals);
+        e_.o("li s7, 0x%llx", (unsigned long long)lay_.protos);
+        e_.o("li s0, 0x%llx", (unsigned long long)lay_.callStack);
+        e_.o("mv s6, s0");
+        e_.o("li s3, 0x%llx", (unsigned long long)(lay_.valueStack + 16));
+        e_.o("li s2, 0x%llx", (unsigned long long)mainCode_);
+        e_.o("li s4, 0x%llx", (unsigned long long)mainConsts_);
+        if (v_ == Variant::Typed) {
+            // Table 4 configuration and Table 5 rules.
+            e_.o("li t0, 1");
+            e_.o("setoffset t0");
+            e_.o("li t0, 0");
+            e_.o("setshift t0");
+            e_.o("li t0, 255");
+            e_.o("setmask t0");
+            for (const char *rule :
+                 {"0x00131313", "0x01131313", "0x02131313", "0x00838383",
+                  "0x01838383", "0x02838383", "0x03051305", "0x03130505"}) {
+                e_.o("li t0, %s", rule);
+                e_.o("set_trt t0");
+            }
+        } else if (v_ == Variant::CheckedLoad) {
+            e_.o("li s8, 0x13");  // Int tag
+            e_.o("li s9, 0x05");  // Table tag
+            // Invariant: R_exptype holds Int except transiently inside
+            // the table handlers (the paper's chklb carries the type as
+            // an immediate; our settype register is hoisted instead).
+            e_.o("settype s8");
+        }
+        jDispatch();
+    }
+
+    void
+    dispatch()
+    {
+        subMarker("dispatch", "dispatch");
+        e_.o("lw   t0, 0(s2)");
+        e_.o("addi s2, s2, 4");
+        e_.o("andi t1, t0, 63");
+        e_.o("slli t1, t1, 3");
+        e_.o("add  t1, t1, s1");
+        e_.o("ld   t1, 0(t1)");
+        e_.o("jr   t1");
+    }
+
+    void
+    simpleHandlers()
+    {
+        handler(Op::MOVE);
+        decodeA();
+        decodeBReg();
+        copySlot("t3", "t2");
+        jDispatch();
+
+        handler(Op::LOADK);
+        decodeA();
+        decodeBRaw();
+        e_.o("slli t3, t3, 4");
+        e_.o("add  t3, t3, s4");
+        copySlot("t3", "t2");
+        jDispatch();
+
+        handler(Op::LOADNIL);
+        decodeA();
+        e_.o("sd zero, 0(t2)");
+        e_.o("sb zero, 8(t2)");
+        jDispatch();
+
+        handler(Op::LOADBOOL);
+        decodeA();
+        e_.o("srli t3, t0, 14");
+        e_.o("andi t3, t3, 1");
+        e_.o("sd t3, 0(t2)");
+        e_.o("li a4, 1");
+        e_.o("sb a4, 8(t2)");
+        jDispatch();
+
+        handler(Op::GETGLOBAL);
+        decodeA();
+        decodeBRaw();
+        e_.o("slli t3, t3, 4");
+        e_.o("add  t3, t3, s5");
+        copySlot("t3", "t2");
+        jDispatch();
+
+        handler(Op::SETGLOBAL);
+        decodeA();
+        decodeBRaw();
+        e_.o("slli t3, t3, 4");
+        e_.o("add  t3, t3, s5");
+        copySlot("t2", "t3");
+        jDispatch();
+
+        handler(Op::NEWTABLE);
+        decodeA();
+        e_.o("mv a0, t2");
+        e_.o("hcall %u", kHcNewTable);
+        jDispatch();
+
+        handler(Op::CONCAT);
+        decodeA();
+        decodeBRk();
+        decodeCRk();
+        e_.o("mv a0, t2");
+        e_.o("mv a1, t3");
+        e_.o("mv a2, t5");
+        e_.o("hcall %u", kHcConcat);
+        jDispatch();
+
+        handler(Op::NOP);
+        jDispatch();
+    }
+
+    // ------------------------------------------------------------------
+    // Hot polymorphic arithmetic (variant-specific).
+
+    void
+    arithHandlers()
+    {
+        arith(Op::ADD, "add", "fadd.d");
+        arith(Op::SUB, "sub", "fsub.d");
+        arith(Op::MUL, "mul", "fmul.d");
+    }
+
+    void
+    arith(Op op, const char *iop, const char *fop)
+    {
+        const std::string lower = toLower(std::string(opName(op)));
+        const std::string slow = "slow_" + lower;
+
+        handler(op);
+        decodeA();
+        decodeBRk();
+        decodeCRk();
+
+        switch (v_) {
+          case Variant::Baseline: {
+            // Figure 1(c): int/int fast path, flt/flt second, slow third.
+            const std::string flt = "op_" + lower + "_flt";
+            e_.o("lbu a2, 8(t3)");
+            e_.o("li  a4, 0x13");
+            e_.o("bne a2, a4, %s", flt.c_str());
+            e_.o("lbu a5, 8(t5)");
+            e_.o("bne a5, a4, %s", slow.c_str());
+            e_.o("ld a2, 0(t3)");
+            e_.o("ld a5, 0(t5)");
+            e_.o("%s a5, a2, a5", iop);
+            e_.o("sd a5, 0(t2)");
+            e_.o("sb a4, 8(t2)");
+            jDispatch();
+            subMarker(flt, "op:" + std::string(opName(op)) + ":flt");
+            e_.o("li  a4, 0x83");
+            e_.o("bne a2, a4, %s", slow.c_str());
+            e_.o("lbu a5, 8(t5)");
+            e_.o("bne a5, a4, %s", slow.c_str());
+            e_.o("fld f2, 0(t3)");
+            e_.o("fld f5, 0(t5)");
+            e_.o("%s f5, f2, f5", fop);
+            e_.o("fsd f5, 0(t2)");
+            e_.o("sb a4, 8(t2)");
+            jDispatch();
+            break;
+          }
+          case Variant::Typed: {
+            // Figure 3: tld/tld/thdl/x-op/tsd.
+            e_.o("thdl %s", slow.c_str());
+            e_.o("tld a2, 0(t3)");
+            e_.o("tld a5, 0(t5)");
+            e_.o("x%s a5, a2, a5", iop);
+            e_.o("tsd a5, 0(t2)");
+            jDispatch();
+            break;
+          }
+          case Variant::CheckedLoad: {
+            // Fast path fixed to Int at "compile time"; R_exptype
+            // already holds Int (set once at launch).
+            e_.o("thdl %s", slow.c_str());
+            e_.o("chklb a2, 8(t3)");
+            e_.o("chklb a5, 8(t5)");
+            e_.o("ld a2, 0(t3)");
+            e_.o("ld a5, 0(t5)");
+            e_.o("%s a5, a2, a5", iop);
+            e_.o("sd a5, 0(t2)");
+            e_.o("sb s8, 8(t2)");
+            jDispatch();
+            break;
+          }
+        }
+
+        // Shared software slow path.  It must implement the full
+        // semantics (the Section 5 path selector can route well-typed
+        // executions here): int/int stays integer, everything else
+        // converts to float.
+        subMarker(slow, "slow:" + std::string(opName(op)));
+        {
+            const std::string conv = e_.fresh("slow_conv");
+            e_.o("lbu a2, 8(t3)");
+            e_.o("li  a4, 0x13");
+            e_.o("bne a2, a4, %s", conv.c_str());
+            e_.o("lbu a5, 8(t5)");
+            e_.o("bne a5, a4, %s", conv.c_str());
+            e_.o("ld a2, 0(t3)");
+            e_.o("ld a5, 0(t5)");
+            e_.o("%s a5, a2, a5", iop);
+            e_.o("sd a5, 0(t2)");
+            e_.o("sb a4, 8(t2)");
+            jDispatch();
+            e_.l(conv);
+        }
+        toFloat("t3", "f2");
+        toFloat("t5", "f5");
+        e_.o("%s f5, f2, f5", fop);
+        e_.o("fsd f5, 0(t2)");
+        e_.o("li a4, 0x83");
+        e_.o("sb a4, 8(t2)");
+        jDispatch();
+    }
+
+    // ------------------------------------------------------------------
+    // DIV / IDIV / MOD: software in every variant (not among the five
+    // transformed bytecodes).
+
+    void
+    divModHandlers()
+    {
+        handler(Op::DIV);
+        decodeA();
+        decodeBRk();
+        decodeCRk();
+        toFloat("t3", "f2");
+        toFloat("t5", "f5");
+        e_.o("fdiv.d f5, f2, f5");
+        e_.o("fsd f5, 0(t2)");
+        e_.o("li a4, 0x83");
+        e_.o("sb a4, 8(t2)");
+        jDispatch();
+
+        handler(Op::IDIV);
+        decodeA();
+        decodeBRk();
+        decodeCRk();
+        {
+            const std::string flt = e_.fresh("idiv_f");
+            const std::string st = e_.fresh("idiv_st");
+            const std::string keep = e_.fresh("idiv_k");
+            e_.o("lbu a2, 8(t3)");
+            e_.o("li  a4, 0x13");
+            e_.o("bne a2, a4, %s", flt.c_str());
+            e_.o("lbu a5, 8(t5)");
+            e_.o("bne a5, a4, %s", flt.c_str());
+            e_.o("ld a5, 0(t3)");
+            e_.o("ld a6, 0(t5)");
+            e_.o("beqz a6, err_divzero");
+            e_.o("div a7, a5, a6");
+            // Floor adjustment: trunc != floor when signs differ and the
+            // division was inexact.
+            e_.o("mul t6, a7, a6");
+            e_.o("beq t6, a5, %s", st.c_str());
+            e_.o("xor t6, a5, a6");
+            e_.o("bgez t6, %s", st.c_str());
+            e_.o("addi a7, a7, -1");
+            e_.l(st);
+            e_.o("sd a7, 0(t2)");
+            e_.o("sb a4, 8(t2)");
+            jDispatch();
+            e_.l(flt);
+            toFloat("t3", "f2");
+            toFloat("t5", "f5");
+            e_.o("fdiv.d f2, f2, f5");
+            e_.o("fcvt.l.d a5, f2");
+            e_.o("fcvt.d.l f4, a5");
+            e_.o("fle.d a6, f4, f2");
+            e_.o("bnez a6, %s", keep.c_str());
+            e_.o("addi a5, a5, -1");
+            e_.l(keep);
+            e_.o("fcvt.d.l f4, a5");
+            e_.o("fsd f4, 0(t2)");
+            e_.o("li a4, 0x83");
+            e_.o("sb a4, 8(t2)");
+            jDispatch();
+        }
+
+        handler(Op::MOD);
+        decodeA();
+        decodeBRk();
+        decodeCRk();
+        {
+            const std::string flt = e_.fresh("mod_f");
+            const std::string st = e_.fresh("mod_st");
+            e_.o("lbu a2, 8(t3)");
+            e_.o("li  a4, 0x13");
+            e_.o("bne a2, a4, %s", flt.c_str());
+            e_.o("lbu a5, 8(t5)");
+            e_.o("bne a5, a4, %s", flt.c_str());
+            e_.o("ld a5, 0(t3)");
+            e_.o("ld a6, 0(t5)");
+            e_.o("beqz a6, err_divzero");
+            e_.o("rem a7, a5, a6");
+            // Lua: result sign follows the divisor.
+            e_.o("beqz a7, %s", st.c_str());
+            e_.o("xor t6, a7, a6");
+            e_.o("bgez t6, %s", st.c_str());
+            e_.o("add a7, a7, a6");
+            e_.l(st);
+            e_.o("sd a7, 0(t2)");
+            e_.o("sb a4, 8(t2)");
+            jDispatch();
+            e_.l(flt);
+            e_.o("mv a0, t2");
+            e_.o("mv a1, t3");
+            e_.o("mv a2, t5");
+            e_.o("hcall %u", kHcFmod);
+            jDispatch();
+        }
+    }
+
+    // ------------------------------------------------------------------
+
+    void
+    unaryHandlers()
+    {
+        handler(Op::UNM);
+        decodeA();
+        decodeBReg();
+        {
+            const std::string flt = e_.fresh("unm_f");
+            e_.o("lbu a2, 8(t3)");
+            e_.o("li  a4, 0x13");
+            e_.o("bne a2, a4, %s", flt.c_str());
+            e_.o("ld a5, 0(t3)");
+            e_.o("neg a5, a5");
+            e_.o("sd a5, 0(t2)");
+            e_.o("sb a4, 8(t2)");
+            jDispatch();
+            e_.l(flt);
+            e_.o("li  a4, 0x83");
+            e_.o("bne a2, a4, err_arith");
+            e_.o("fld f2, 0(t3)");
+            e_.o("fneg.d f2, f2");
+            e_.o("fsd f2, 0(t2)");
+            e_.o("sb a4, 8(t2)");
+            jDispatch();
+        }
+
+        handler(Op::NOT);
+        decodeA();
+        decodeBReg();
+        {
+            const std::string ltrue = e_.fresh("not_t");
+            const std::string lfalse = e_.fresh("not_f");
+            const std::string lw = e_.fresh("not_w");
+            e_.o("lbu a2, 8(t3)");
+            e_.o("beqz a2, %s", ltrue.c_str());
+            e_.o("addi a3, a2, -1");
+            e_.o("bnez a3, %s", lfalse.c_str());
+            e_.o("ld a3, 0(t3)");
+            e_.o("beqz a3, %s", ltrue.c_str());
+            e_.l(lfalse);
+            e_.o("li a5, 0");
+            e_.o("j %s", lw.c_str());
+            e_.l(ltrue);
+            e_.o("li a5, 1");
+            e_.l(lw);
+            e_.o("sd a5, 0(t2)");
+            e_.o("li a4, 1");
+            e_.o("sb a4, 8(t2)");
+            jDispatch();
+        }
+
+        handler(Op::LEN);
+        decodeA();
+        decodeBReg();
+        {
+            const std::string tab = e_.fresh("len_t");
+            const std::string lw = e_.fresh("len_w");
+            e_.o("lbu a2, 8(t3)");
+            e_.o("li  a4, 0x05");
+            e_.o("beq a2, a4, %s", tab.c_str());
+            e_.o("li  a4, 0x04");
+            e_.o("bne a2, a4, err_len");
+            e_.o("ld a6, 0(t3)");
+            e_.o("ld a5, 0(a6)");  // string length field
+            e_.o("j %s", lw.c_str());
+            e_.l(tab);
+            e_.o("ld a6, 0(t3)");
+            e_.o("ld a5, 16(a6)");  // table length field
+            e_.l(lw);
+            e_.o("sd a5, 0(t2)");
+            e_.o("li a4, 0x13");
+            e_.o("sb a4, 8(t2)");
+            jDispatch();
+        }
+    }
+
+    // ------------------------------------------------------------------
+
+    void
+    compareHandlers()
+    {
+        compare(Op::EQ);
+        compare(Op::NE);
+        compare(Op::LT);
+        compare(Op::LE);
+    }
+
+    void
+    compare(Op op)
+    {
+        const bool is_eq = op == Op::EQ;
+        const bool is_ne = op == Op::NE;
+        const bool eqlike = is_eq || is_ne;
+
+        handler(op);
+        decodeA();
+        decodeBRk();
+        decodeCRk();
+
+        const std::string lint = e_.fresh("cmp_ii");
+        const std::string lb_ni = e_.fresh("cmp_bni");
+        const std::string lmix1 = e_.fresh("cmp_if");
+        const std::string lmix2 = e_.fresh("cmp_fi");
+        const std::string lfcmp = e_.fresh("cmp_ff");
+        const std::string lnn = e_.fresh("cmp_nn");
+        const std::string lstore = e_.fresh("cmp_st");
+
+        e_.o("lbu a2, 8(t3)");
+        e_.o("lbu a3, 8(t5)");
+        e_.o("li  a4, 0x13");
+        e_.o("bne a2, a4, %s", lb_ni.c_str());
+        e_.o("beq a3, a4, %s", lint.c_str());
+        e_.o("li  a4, 0x83");
+        e_.o("beq a3, a4, %s", lmix1.c_str());
+        e_.o("j %s", lnn.c_str());
+
+        e_.l(lint);
+        e_.o("ld a5, 0(t3)");
+        e_.o("ld a6, 0(t5)");
+        if (is_eq) {
+            e_.o("xor a5, a5, a6");
+            e_.o("seqz a5, a5");
+        } else if (is_ne) {
+            e_.o("xor a5, a5, a6");
+            e_.o("snez a5, a5");
+        } else if (op == Op::LT) {
+            e_.o("slt a5, a5, a6");
+        } else {
+            e_.o("slt a5, a6, a5");
+            e_.o("xori a5, a5, 1");
+        }
+        e_.o("j %s", lstore.c_str());
+
+        e_.l(lmix1);  // b int, c float
+        e_.o("ld a5, 0(t3)");
+        e_.o("fcvt.d.l f2, a5");
+        e_.o("fld f5, 0(t5)");
+        e_.o("j %s", lfcmp.c_str());
+
+        e_.l(lb_ni);  // b is not Int
+        e_.o("li  a4, 0x83");
+        e_.o("bne a2, a4, %s", lnn.c_str());
+        e_.o("li  a4, 0x13");
+        e_.o("beq a3, a4, %s", lmix2.c_str());
+        e_.o("li  a4, 0x83");
+        e_.o("bne a3, a4, %s", lnn.c_str());
+        e_.o("fld f2, 0(t3)");
+        e_.o("fld f5, 0(t5)");
+        e_.o("j %s", lfcmp.c_str());
+
+        e_.l(lmix2);  // b float, c int
+        e_.o("fld f2, 0(t3)");
+        e_.o("ld a5, 0(t5)");
+        e_.o("fcvt.d.l f5, a5");
+
+        e_.l(lfcmp);
+        if (is_eq) {
+            e_.o("feq.d a5, f2, f5");
+        } else if (is_ne) {
+            e_.o("feq.d a5, f2, f5");
+            e_.o("xori a5, a5, 1");
+        } else if (op == Op::LT) {
+            e_.o("flt.d a5, f2, f5");
+        } else {
+            e_.o("fle.d a5, f2, f5");
+        }
+        e_.o("j %s", lstore.c_str());
+
+        e_.l(lnn);  // at least one non-number operand
+        if (eqlike) {
+            const std::string ldiff = e_.fresh("cmp_diff");
+            e_.o("bne a2, a3, %s", ldiff.c_str());
+            e_.o("ld a5, 0(t3)");
+            e_.o("ld a6, 0(t5)");
+            e_.o("xor a5, a5, a6");
+            e_.o(is_eq ? "seqz a5, a5" : "snez a5, a5");
+            e_.o("j %s", lstore.c_str());
+            e_.l(ldiff);
+            e_.o("li a5, %d", is_eq ? 0 : 1);
+        } else {
+            e_.o("li a0, %u", kErrCompare);
+            e_.o("j rt_error");
+        }
+
+        e_.l(lstore);
+        e_.o("sd a5, 0(t2)");
+        e_.o("li a4, 1");
+        e_.o("sb a4, 8(t2)");
+        jDispatch();
+    }
+
+    // ------------------------------------------------------------------
+
+    void
+    jumpHandlers()
+    {
+        handler(Op::JMP);
+        applySbx();
+        jDispatch();
+
+        handler(Op::JMPF);
+        decodeA();
+        {
+            const std::string jump = e_.fresh("jf_y");
+            const std::string nojump = e_.fresh("jf_n");
+            e_.o("lbu a2, 8(t2)");
+            e_.o("beqz a2, %s", jump.c_str());
+            e_.o("addi a3, a2, -1");
+            e_.o("bnez a3, %s", nojump.c_str());
+            e_.o("ld a3, 0(t2)");
+            e_.o("bnez a3, %s", nojump.c_str());
+            e_.l(jump);
+            applySbx();
+            e_.l(nojump);
+            jDispatch();
+        }
+
+        handler(Op::JMPT);
+        decodeA();
+        {
+            const std::string jump = e_.fresh("jt_y");
+            const std::string nojump = e_.fresh("jt_n");
+            e_.o("lbu a2, 8(t2)");
+            e_.o("beqz a2, %s", nojump.c_str());
+            e_.o("addi a3, a2, -1");
+            e_.o("bnez a3, %s", jump.c_str());
+            e_.o("ld a3, 0(t2)");
+            e_.o("beqz a3, %s", nojump.c_str());
+            e_.l(jump);
+            applySbx();
+            e_.l(nojump);
+            jDispatch();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Hot table access (variant-specific).
+
+    void
+    tableHandlers()
+    {
+        gettable();
+        settable();
+    }
+
+    void
+    gettable()
+    {
+        handler(Op::GETTABLE);
+        decodeA();
+        decodeBReg();  // table is always a register
+        decodeCRk();   // key may be a constant
+
+        switch (v_) {
+          case Variant::Baseline:
+            e_.o("lbu a2, 8(t3)");
+            e_.o("li  a4, 0x05");
+            e_.o("bne a2, a4, err_index");
+            e_.o("lbu a5, 8(t5)");
+            e_.o("li  a4, 0x13");
+            e_.o("bne a5, a4, slow_gettable");
+            e_.o("ld a5, 0(t5)");
+            e_.o("ld a6, 0(t3)");
+            e_.o("ld a7, 8(a6)");
+            e_.o("addi a3, a5, -1");
+            e_.o("bgeu a3, a7, slow_gettable");
+            e_.o("slli a3, a3, 4");
+            e_.o("ld a6, 0(a6)");
+            e_.o("add a6, a6, a3");
+            copySlot("a6", "t2");
+            jDispatch();
+            break;
+          case Variant::Typed:
+            e_.o("thdl slow_gettable");
+            e_.o("tld a2, 0(t3)");
+            e_.o("tld a5, 0(t5)");
+            e_.o("tchk a2, a5");
+            e_.o("ld a7, 8(a2)");
+            e_.o("addi a3, a5, -1");
+            e_.o("bgeu a3, a7, slow_gettable");
+            e_.o("slli a3, a3, 4");
+            e_.o("ld a6, 0(a2)");
+            e_.o("add a6, a6, a3");
+            e_.o("tld a7, 0(a6)");
+            e_.o("tsd a7, 0(t2)");
+            jDispatch();
+            break;
+          case Variant::CheckedLoad:
+            e_.o("thdl slow_gettable");
+            e_.o("settype s9");
+            e_.o("chklb a2, 8(t3)");
+            e_.o("settype s8");
+            e_.o("chklb a5, 8(t5)");
+            e_.o("ld a5, 0(t5)");
+            e_.o("ld a6, 0(t3)");
+            e_.o("ld a7, 8(a6)");
+            e_.o("addi a3, a5, -1");
+            e_.o("bgeu a3, a7, slow_gettable");
+            e_.o("slli a3, a3, 4");
+            e_.o("ld a6, 0(a6)");
+            e_.o("add a6, a6, a3");
+            copySlot("a6", "t2");
+            jDispatch();
+            break;
+        }
+
+        subMarker("slow_gettable", "slow:GETTABLE");
+        e_.o("lbu a2, 8(t3)");
+        e_.o("li  a4, 0x05");
+        e_.o("bne a2, a4, err_index");
+        e_.o("ld a0, 0(t3)");
+        e_.o("mv a1, t5");
+        e_.o("mv a2, t2");
+        e_.o("hcall %u", kHcTabGetSlow);
+        jDispatch();
+    }
+
+    void
+    settable()
+    {
+        handler(Op::SETTABLE);
+        decodeA();     // t2 = table slot
+        decodeBRk();   // t3 = key
+        decodeCRk();   // t5 = value
+
+        const std::string lsk = e_.fresh("st_len");
+        switch (v_) {
+          case Variant::Baseline:
+            e_.o("lbu a2, 8(t2)");
+            e_.o("li  a4, 0x05");
+            e_.o("bne a2, a4, err_index");
+            e_.o("lbu a5, 8(t3)");
+            e_.o("li  a4, 0x13");
+            e_.o("bne a5, a4, slow_settable");
+            e_.o("ld a5, 0(t3)");
+            e_.o("ld a6, 0(t2)");
+            e_.o("ld a7, 8(a6)");
+            e_.o("addi a3, a5, -1");
+            e_.o("bgeu a3, a7, slow_settable");
+            e_.o("slli a3, a3, 4");
+            e_.o("ld t6, 0(a6)");
+            e_.o("add t6, t6, a3");
+            copySlot("t5", "t6");
+            e_.o("ld a7, 16(a6)");
+            e_.o("bge a7, a5, %s", lsk.c_str());
+            e_.o("sd a5, 16(a6)");
+            e_.l(lsk);
+            jDispatch();
+            break;
+          case Variant::Typed:
+            e_.o("thdl slow_settable");
+            e_.o("tld a2, 0(t2)");
+            e_.o("tld a5, 0(t3)");
+            e_.o("tchk a2, a5");
+            e_.o("ld a7, 8(a2)");
+            e_.o("addi a3, a5, -1");
+            e_.o("bgeu a3, a7, slow_settable");
+            e_.o("slli a3, a3, 4");
+            e_.o("ld t6, 0(a2)");
+            e_.o("add t6, t6, a3");
+            e_.o("tld a7, 0(t5)");
+            e_.o("tsd a7, 0(t6)");
+            e_.o("ld a7, 16(a2)");
+            e_.o("bge a7, a5, %s", lsk.c_str());
+            e_.o("sd a5, 16(a2)");
+            e_.l(lsk);
+            jDispatch();
+            break;
+          case Variant::CheckedLoad:
+            e_.o("thdl slow_settable");
+            e_.o("settype s9");
+            e_.o("chklb a2, 8(t2)");
+            e_.o("settype s8");
+            e_.o("chklb a5, 8(t3)");
+            e_.o("ld a5, 0(t3)");
+            e_.o("ld a6, 0(t2)");
+            e_.o("ld a7, 8(a6)");
+            e_.o("addi a3, a5, -1");
+            e_.o("bgeu a3, a7, slow_settable");
+            e_.o("slli a3, a3, 4");
+            e_.o("ld t6, 0(a6)");
+            e_.o("add t6, t6, a3");
+            copySlot("t5", "t6");
+            e_.o("ld a7, 16(a6)");
+            e_.o("bge a7, a5, %s", lsk.c_str());
+            e_.o("sd a5, 16(a6)");
+            e_.l(lsk);
+            jDispatch();
+            break;
+        }
+
+        subMarker("slow_settable", "slow:SETTABLE");
+        e_.o("lbu a2, 8(t2)");
+        e_.o("li  a4, 0x05");
+        e_.o("bne a2, a4, err_index");
+        e_.o("ld a0, 0(t2)");
+        e_.o("mv a1, t3");
+        e_.o("mv a2, t5");
+        e_.o("hcall %u", kHcTabSetSlow);
+        jDispatch();
+    }
+
+    // ------------------------------------------------------------------
+
+    void
+    callReturnHandlers()
+    {
+        handler(Op::CALL);
+        decodeA();
+        e_.o("lbu a2, 8(t2)");
+        e_.o("li  a3, 0x06");
+        e_.o("bne a2, a3, err_call");
+        e_.o("ld a2, 0(t2)");
+        e_.o("slli a2, a2, 5");
+        e_.o("add a2, a2, s7");
+        e_.o("sd s2, 0(s6)");
+        e_.o("sd s3, 8(s6)");
+        e_.o("sd s4, 16(s6)");
+        e_.o("addi s6, s6, 32");
+        e_.o("addi s3, t2, 16");
+        e_.o("ld s2, 0(a2)");
+        e_.o("ld s4, 8(a2)");
+        jDispatch();
+
+        handler(Op::RETURN);
+        decodeA();
+        {
+            const std::string lnil = e_.fresh("ret_nil");
+            const std::string lw = e_.fresh("ret_w");
+            e_.o("srli t3, t0, 14");
+            e_.o("andi t3, t3, 1");
+            e_.o("beqz t3, %s", lnil.c_str());
+            e_.o("ld a2, 0(t2)");
+            e_.o("lbu a3, 8(t2)");
+            e_.o("j %s", lw.c_str());
+            e_.l(lnil);
+            e_.o("li a2, 0");
+            e_.o("li a3, 0");
+            e_.l(lw);
+            e_.o("sd a2, -16(s3)");
+            e_.o("sb a3, -8(s3)");
+            e_.o("beq s6, s0, vm_exit");
+            e_.o("addi s6, s6, -32");
+            e_.o("ld s2, 0(s6)");
+            e_.o("ld s3, 8(s6)");
+            e_.o("ld s4, 16(s6)");
+            jDispatch();
+        }
+    }
+
+    // ------------------------------------------------------------------
+
+    void
+    forHandlers()
+    {
+        handler(Op::FORPREP);
+        decodeA();
+        {
+            const std::string flt = e_.fresh("fp_f");
+            const std::string jmp = e_.fresh("fp_j");
+            e_.o("lbu a2, 8(t2)");
+            e_.o("lbu a3, 24(t2)");
+            e_.o("lbu a4, 40(t2)");
+            e_.o("li  a5, 0x13");
+            e_.o("bne a2, a5, %s", flt.c_str());
+            e_.o("bne a3, a5, %s", flt.c_str());
+            e_.o("bne a4, a5, %s", flt.c_str());
+            e_.o("ld a6, 0(t2)");
+            e_.o("ld a7, 32(t2)");
+            e_.o("sub a6, a6, a7");
+            e_.o("sd a6, 0(t2)");
+            e_.o("j %s", jmp.c_str());
+            e_.l(flt);
+            // Convert any Int control value to Float; reject non-numbers.
+            for (const unsigned off : {0u, 16u, 32u}) {
+                const std::string lf = e_.fresh("fp_cf");
+                const std::string ld = e_.fresh("fp_cd");
+                e_.o("lbu a2, %u(t2)", off + 8);
+                e_.o("li  a5, 0x13");
+                e_.o("bne a2, a5, %s", lf.c_str());
+                e_.o("ld a6, %u(t2)", off);
+                e_.o("fcvt.d.l f2, a6");
+                e_.o("fsd f2, %u(t2)", off);
+                e_.o("li a5, 0x83");
+                e_.o("sb a5, %u(t2)", off + 8);
+                e_.o("j %s", ld.c_str());
+                e_.l(lf);
+                e_.o("li  a5, 0x83");
+                e_.o("bne a2, a5, err_arith");
+                e_.l(ld);
+            }
+            e_.o("fld f2, 0(t2)");
+            e_.o("fld f4, 32(t2)");
+            e_.o("fsub.d f2, f2, f4");
+            e_.o("fsd f2, 0(t2)");
+            e_.l(jmp);
+            applySbx();
+            jDispatch();
+        }
+
+        handler(Op::FORLOOP);
+        decodeA();
+        {
+            const std::string flt = e_.fresh("fl_f");
+            const std::string neg = e_.fresh("fl_n");
+            const std::string cont = e_.fresh("fl_c");
+            const std::string exit = e_.fresh("fl_x");
+            const std::string fneg = e_.fresh("fl_fn");
+            const std::string fcont = e_.fresh("fl_fc");
+            e_.o("lbu a2, 8(t2)");
+            e_.o("li  a5, 0x13");
+            e_.o("bne a2, a5, %s", flt.c_str());
+            e_.o("ld a6, 0(t2)");
+            e_.o("ld a7, 32(t2)");
+            e_.o("add a6, a6, a7");
+            e_.o("ld a3, 16(t2)");
+            e_.o("bltz a7, %s", neg.c_str());
+            e_.o("blt a3, a6, %s", exit.c_str());
+            e_.o("j %s", cont.c_str());
+            e_.l(neg);
+            e_.o("blt a6, a3, %s", exit.c_str());
+            e_.l(cont);
+            e_.o("sd a6, 0(t2)");
+            e_.o("sd a6, 48(t2)");
+            e_.o("sb a5, 56(t2)");
+            applySbx();
+            e_.o("j dispatch");
+            e_.l(flt);
+            e_.o("fld f2, 0(t2)");
+            e_.o("fld f4, 32(t2)");
+            e_.o("fadd.d f2, f2, f4");
+            e_.o("fld f6, 16(t2)");
+            e_.o("fmv.x.d a7, f4");
+            e_.o("bltz a7, %s", fneg.c_str());
+            e_.o("flt.d a6, f6, f2");
+            e_.o("bnez a6, %s", exit.c_str());
+            e_.o("j %s", fcont.c_str());
+            e_.l(fneg);
+            e_.o("flt.d a6, f2, f6");
+            e_.o("bnez a6, %s", exit.c_str());
+            e_.l(fcont);
+            e_.o("fsd f2, 0(t2)");
+            e_.o("fsd f2, 48(t2)");
+            e_.o("li a5, 0x83");
+            e_.o("sb a5, 56(t2)");
+            applySbx();
+            e_.l(exit);
+            jDispatch();
+        }
+    }
+
+    // ------------------------------------------------------------------
+
+    void
+    builtinHandler()
+    {
+        handler(Op::BUILTIN);
+        decodeA();
+        decodeBRaw();
+        const char *labels[] = {"bi_print", "bi_sqrt", "bi_floor",
+                                "bi_substr", "bi_strchar", "bi_abs"};
+        for (unsigned i = 0; i < 6; ++i) {
+            if (i == 0) {
+                e_.o("beqz t3, %s", labels[i]);
+            } else {
+                e_.o("addi t4, t3, -%u", i);
+                e_.o("beqz t4, %s", labels[i]);
+            }
+        }
+        e_.o("li a0, %u", kErrCall);
+        e_.o("j rt_error");
+
+        e_.l("bi_print");
+        e_.o("mv a0, t2");
+        e_.o("hcall %u", kHcPrint);
+        jDispatch();
+
+        e_.l("bi_sqrt");
+        {
+            const std::string flt = e_.fresh("sq_f");
+            const std::string go = e_.fresh("sq_g");
+            e_.o("lbu a2, 24(t2)");
+            e_.o("li  a4, 0x83");
+            e_.o("beq a2, a4, %s", flt.c_str());
+            e_.o("li  a4, 0x13");
+            e_.o("bne a2, a4, err_arith");
+            e_.o("ld a5, 16(t2)");
+            e_.o("fcvt.d.l f2, a5");
+            e_.o("j %s", go.c_str());
+            e_.l(flt);
+            e_.o("fld f2, 16(t2)");
+            e_.l(go);
+            e_.o("fsqrt.d f2, f2");
+            e_.o("fsd f2, 0(t2)");
+            e_.o("li a4, 0x83");
+            e_.o("sb a4, 8(t2)");
+            jDispatch();
+        }
+
+        for (const auto &[label, id] :
+             {std::pair<const char *, unsigned>{"bi_floor", kHcFloor},
+              {"bi_substr", kHcSubstr},
+              {"bi_strchar", kHcStrChar},
+              {"bi_abs", kHcAbs}}) {
+            e_.l(label);
+            e_.o("mv a0, t2");
+            e_.o("hcall %u", id);
+            jDispatch();
+        }
+    }
+
+    // ------------------------------------------------------------------
+
+    void
+    errorsAndExit()
+    {
+        const std::pair<const char *, unsigned> errs[] = {
+            {"err_arith", kErrArith},     {"err_index", kErrIndex},
+            {"err_call", kErrCall},       {"err_compare", kErrCompare},
+            {"err_divzero", kErrDivZero}, {"err_len", kErrLen},
+        };
+        for (const auto &[label, code] : errs) {
+            e_.l(label);
+            e_.o("li a0, %u", code);
+            e_.o("j rt_error");
+        }
+        e_.l("rt_error");
+        e_.o("hcall %u", kHcError);
+        e_.o("halt");
+        e_.l("vm_exit");
+        e_.o("li a0, 0");
+        e_.o("sys 0");
+    }
+
+    void
+    dataSection()
+    {
+        e_.raw(".data\n.align 3\njumptable:\n");
+        for (unsigned i = 0; i < kNumOps; ++i) {
+            const std::string name =
+                toLower(std::string(opName(static_cast<Op>(i))));
+            e_.raw("    .dword op_" + name + "\n");
+        }
+    }
+
+    Variant v_;
+    GuestLayout lay_;
+    uint64_t mainCode_;
+    uint64_t mainConsts_;
+    AsmEmitter e_;
+    std::vector<std::pair<std::string, std::string>> markers_;
+};
+
+} // namespace
+
+InterpResult
+generateInterp(Variant variant, const GuestLayout &layout,
+               uint64_t main_code, uint64_t main_consts)
+{
+    return Gen(variant, layout, main_code, main_consts).run();
+}
+
+} // namespace tarch::vm::lua

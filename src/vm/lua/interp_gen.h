@@ -1,0 +1,73 @@
+/**
+ * @file
+ * MiniLua interpreter generator: emits the complete bytecode interpreter
+ * as TRV64 assembly for one of the three ISA variants.  The five hot,
+ * type-guarded bytecodes (ADD, SUB, MUL, GETTABLE, SETTABLE — paper
+ * Table 3) are generated per variant; everything else is identical
+ * across variants, as in the paper's code transformation.
+ *
+ * Guest register conventions inside the interpreter:
+ *   s0 call-info stack base     s1 dispatch table base
+ *   s2 bytecode pc              s3 frame base (R[0] slot address)
+ *   s4 constant pool base       s5 globals base
+ *   s6 call-info stack top      s7 proto table base
+ *   s8/s9 (Checked Load) cached Int/Table tag values
+ *   t0 current bytecode word    t2/t3/t5 decoded operand slot pointers
+ */
+
+#ifndef TARCH_VM_LUA_INTERP_GEN_H
+#define TARCH_VM_LUA_INTERP_GEN_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "vm/image.h"
+#include "vm/variant.h"
+
+namespace tarch::vm::lua {
+
+/** hcall intrinsic ids used by the MiniLua interpreter. */
+enum Hcall : unsigned {
+    kHcPrint = 1,    ///< print R[A+1] and a newline
+    kHcNewTable,     ///< R[A] = fresh empty table
+    kHcTabGetSlow,   ///< a0=table hdr, a1=key slot, a2=dst slot
+    kHcTabSetSlow,   ///< a0=table hdr, a1=key slot, a2=val slot
+    kHcConcat,       ///< a0=dst slot, a1=lhs slot, a2=rhs slot
+    kHcFloor,        ///< base-slot convention: arg R[A+1] -> R[A]
+    kHcSubstr,       ///< substr(s, i, j) base-slot convention
+    kHcStrChar,      ///< strchar(i) base-slot convention
+    kHcAbs,          ///< abs(x) base-slot convention
+    kHcFmod,         ///< a0=dst slot, a1=lhs slot, a2=rhs slot (float %)
+    kHcError,        ///< a0 = error code; never returns
+};
+
+// Error codes passed to kHcError.
+enum ErrCode : unsigned {
+    kErrArith = 1,
+    kErrIndex,
+    kErrCall,
+    kErrCompare,
+    kErrDivZero,
+    kErrLen,
+    kErrConcat,
+};
+
+struct InterpResult {
+    std::string asmText;
+    /** (label symbol, marker name) pairs to register with the core. */
+    std::vector<std::pair<std::string, std::string>> markers;
+};
+
+/**
+ * Generate the interpreter.
+ * @param main_code   guest address of proto 0's bytecode
+ * @param main_consts guest address of proto 0's constant pool
+ */
+InterpResult generateInterp(Variant variant, const GuestLayout &layout,
+                            uint64_t main_code, uint64_t main_consts);
+
+} // namespace tarch::vm::lua
+
+#endif // TARCH_VM_LUA_INTERP_GEN_H

@@ -1,0 +1,479 @@
+#include "vm/lua/lua_vm.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "assembler/assembler.h"
+#include "common/bitops.h"
+#include "common/log.h"
+#include "common/strutil.h"
+#include "script/parser.h"
+#include "vm/lua/interp_gen.h"
+
+namespace tarch::vm::lua {
+
+namespace {
+
+struct Slot {
+    uint64_t v;
+    uint8_t t;
+};
+
+Slot
+readSlot(mem::MainMemory &memory, uint64_t addr)
+{
+    return {memory.read64(addr), memory.read8(addr + 8)};
+}
+
+void
+writeSlot(mem::MainMemory &memory, uint64_t addr, uint64_t v, uint8_t t)
+{
+    memory.write64(addr, v);
+    memory.write8(addr + 8, t);
+}
+
+double
+slotToDouble(const Slot &slot, const char *what)
+{
+    if (slot.t == kTagInt)
+        return static_cast<double>(static_cast<int64_t>(slot.v));
+    if (slot.t == kTagFlt) {
+        double d;
+        std::memcpy(&d, &slot.v, 8);
+        return d;
+    }
+    tarch_fatal("lua runtime: %s expects a number (tag 0x%02x)", what,
+                slot.t);
+}
+
+/** Integer view of a key slot (float keys with integral value coerce). */
+bool
+keyAsInt(const Slot &slot, int64_t &out)
+{
+    if (slot.t == kTagInt) {
+        out = static_cast<int64_t>(slot.v);
+        return true;
+    }
+    if (slot.t == kTagFlt) {
+        double d;
+        std::memcpy(&d, &slot.v, 8);
+        if (d == std::floor(d) && d >= -9.2e18 && d <= 9.2e18) {
+            out = static_cast<int64_t>(d);
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Lua's tostring for floats: %.14g plus ".0" for integral values. */
+std::string
+luaFloatToString(double d)
+{
+    std::string s = strformat("%.14g", d);
+    if (s.find_first_of(".eEni") == std::string::npos)  // inf/nan have n/i
+        s += ".0";
+    return s;
+}
+
+} // namespace
+
+LuaVm::LuaVm(const std::string &source) : LuaVm(source, Options()) {}
+
+LuaVm::LuaVm(const std::string &source, const Options &opts)
+    : opts_(opts)
+{
+    module_ = compile(script::parse(source));
+    registerHostcalls();
+
+    core::CoreConfig cfg = opts_.coreConfig;
+    cfg.overflowMode = core::OverflowMode::Off;  // tags are out-of-band
+    cfg.heapBase = opts_.layout.heap;
+    core_ = std::make_unique<core::Core>(cfg, &hostcalls_);
+
+    buildImage();
+}
+
+void
+LuaVm::buildImage()
+{
+    const GuestLayout &lay = opts_.layout;
+
+    // Lay out bytecode and constant pools.
+    std::vector<uint64_t> code_addr(module_.protos.size());
+    std::vector<uint64_t> const_addr(module_.protos.size());
+    uint64_t code_cursor = lay.code;
+    uint64_t const_cursor = lay.consts;
+    for (size_t i = 0; i < module_.protos.size(); ++i) {
+        code_addr[i] = code_cursor;
+        code_cursor =
+            alignUp(code_cursor + module_.protos[i].code.size() * 4, 8);
+        const_addr[i] = const_cursor;
+        const_cursor += module_.protos[i].consts.size() * kSlotBytes;
+    }
+
+    // Generate and assemble the interpreter.
+    const InterpResult interp = generateInterp(
+        opts_.variant, lay, code_addr[0], const_addr[0]);
+    assembler::AsmOptions asm_opts;
+    asm_opts.textBase = lay.interpText;
+    asm_opts.dataBase = lay.interpData;
+    const assembler::Program program =
+        assembler::assemble(interp.asmText, asm_opts);
+
+    for (const auto &[symbol, marker] : interp.markers)
+        core_->markers().add(program.symbol(symbol), marker);
+    core_->loadProgram(program);
+
+    // Poke the VM structures into guest memory.
+    mem::MainMemory &memory = core_->memory();
+    for (size_t i = 0; i < module_.protos.size(); ++i) {
+        const Proto &proto = module_.protos[i];
+        const uint64_t desc = lay.protos + i * kProtoBytes;
+        memory.write64(desc + kProtoCodePtr, code_addr[i]);
+        memory.write64(desc + kProtoConstPtr, const_addr[i]);
+        memory.write64(desc + kProtoNParams, proto.nparams);
+        memory.write64(desc + kProtoNRegs, proto.nregs);
+        for (size_t j = 0; j < proto.code.size(); ++j)
+            memory.write32(code_addr[i] + 4 * j, proto.code[j]);
+        for (size_t j = 0; j < proto.consts.size(); ++j) {
+            const Const &k = proto.consts[j];
+            const uint64_t slot = const_addr[i] + j * kSlotBytes;
+            switch (k.kind) {
+              case Const::Kind::Int:
+                writeSlot(memory, slot, static_cast<uint64_t>(k.ival),
+                          kTagInt);
+                break;
+              case Const::Kind::Flt: {
+                uint64_t bits;
+                std::memcpy(&bits, &k.fval, 8);
+                writeSlot(memory, slot, bits, kTagFlt);
+                break;
+              }
+              case Const::Kind::Str:
+                writeSlot(memory, slot, interner_.intern(*core_, k.sval),
+                          kTagStr);
+                break;
+            }
+        }
+    }
+    for (const auto &[global, proto_idx] : module_.functionGlobals)
+        writeSlot(memory, lay.globals + global * kSlotBytes, proto_idx,
+                  kTagFun);
+}
+
+int
+LuaVm::run()
+{
+    return core_->run();
+}
+
+std::map<std::string, uint64_t>
+LuaVm::bytecodeProfile() const
+{
+    std::map<std::string, uint64_t> profile;
+    const core::Markers &markers = core_->markers();
+    for (size_t i = 0; i < markers.count(); ++i) {
+        const std::string &name = markers.name(i);
+        if (startsWith(name, "op:") && name.find(":flt") == std::string::npos)
+            profile[name.substr(3)] += markers.hits(i);
+    }
+    return profile;
+}
+
+uint64_t
+LuaVm::dynamicBytecodes() const
+{
+    return core_->markers().hitsByName("dispatch");
+}
+
+// ---------------------------------------------------------------------
+// Host runtime.
+
+void
+LuaVm::registerHostcalls()
+{
+    const auto bind = [this](unsigned id, const char *name,
+                             core::HcallCost cost,
+                             void (LuaVm::*fn)(core::HostEnv &)) {
+        hostcalls_.add(id, name, cost,
+                       [this, fn](core::HostEnv &env) { (this->*fn)(env); });
+    };
+    bind(kHcPrint, "lua.print", {100, 150}, &LuaVm::hcPrint);
+    bind(kHcNewTable, "lua.newtable", {80, 120}, &LuaVm::hcNewTable);
+    bind(kHcTabGetSlow, "lua.tabget", {50, 80}, &LuaVm::hcTabGetSlow);
+    bind(kHcTabSetSlow, "lua.tabset", {60, 100}, &LuaVm::hcTabSetSlow);
+    bind(kHcConcat, "lua.concat", {80, 120}, &LuaVm::hcConcat);
+    bind(kHcFloor, "lua.floor", {20, 30}, &LuaVm::hcFloor);
+    bind(kHcSubstr, "lua.substr", {60, 90}, &LuaVm::hcSubstr);
+    bind(kHcStrChar, "lua.strchar", {40, 60}, &LuaVm::hcStrChar);
+    bind(kHcAbs, "lua.abs", {20, 30}, &LuaVm::hcAbs);
+    bind(kHcFmod, "lua.fmod", {30, 45}, &LuaVm::hcFmod);
+    hostcalls_.add(kHcError, "lua.error", {1, 1}, [](core::HostEnv &env) {
+        tarch_fatal("lua runtime error %llu",
+                    static_cast<unsigned long long>(
+                        env.regs.gpr(isa::reg::a0).v));
+    });
+}
+
+void
+LuaVm::hcPrint(core::HostEnv &env)
+{
+    const uint64_t base = env.regs.gpr(isa::reg::a0).v;
+    const Slot slot = readSlot(env.memory, base + kSlotBytes);
+    std::string text;
+    switch (slot.t) {
+      case kTagNil: text = "nil"; break;
+      case kTagBool: text = slot.v ? "true" : "false"; break;
+      case kTagInt:
+        text = strformat("%lld", static_cast<long long>(slot.v));
+        break;
+      case kTagFlt: {
+        double d;
+        std::memcpy(&d, &slot.v, 8);
+        text = luaFloatToString(d);
+        break;
+      }
+      case kTagStr: text = Interner::read(*core_, slot.v); break;
+      case kTagTab:
+        text = strformat("table: 0x%llx",
+                         static_cast<unsigned long long>(slot.v));
+        break;
+      case kTagFun:
+        text = strformat("function: %llu",
+                         static_cast<unsigned long long>(slot.v));
+        break;
+      default:
+        text = strformat("<tag 0x%02x>", slot.t);
+    }
+    env.output += text;
+    env.output += '\n';
+}
+
+void
+LuaVm::hcNewTable(core::HostEnv &env)
+{
+    const uint64_t dst = env.regs.gpr(isa::reg::a0).v;
+    const uint64_t hdr = core_->allocHeap(kTabHeaderBytes);
+    // Fields (array ptr, capacity, length) are zero-initialized memory.
+    writeSlot(env.memory, dst, hdr, kTagTab);
+}
+
+namespace {
+
+/**
+ * Grow a table's array part to hold index @p want, migrating any shadow
+ * integer keys that now fall inside the array.
+ */
+void
+growArray(core::Core &core, ShadowHash &shadow, uint64_t hdr, int64_t want)
+{
+    mem::MainMemory &memory = core.memory();
+    const uint64_t old_cap = memory.read64(hdr + kTabArrayCap);
+    uint64_t new_cap = old_cap ? old_cap : 8;
+    while (new_cap < static_cast<uint64_t>(want))
+        new_cap *= 2;
+    const uint64_t new_arr = core.allocHeap(new_cap * kSlotBytes);
+    const uint64_t old_arr = memory.read64(hdr + kTabArrayPtr);
+    if (old_cap) {
+        std::vector<uint8_t> buf(old_cap * kSlotBytes);
+        memory.readBlock(old_arr, buf.data(), buf.size());
+        memory.writeBlock(new_arr, buf.data(), buf.size());
+    }
+    memory.write64(hdr + kTabArrayPtr, new_arr);
+    memory.write64(hdr + kTabArrayCap, new_cap);
+    // Migrate shadow integer keys now covered by the array.
+    for (int64_t k = static_cast<int64_t>(old_cap) + 1;
+         k <= static_cast<int64_t>(new_cap); ++k) {
+        const ShadowHash::Slot s =
+            shadow.get(hdr, false, static_cast<uint64_t>(k));
+        if (s.tag != kTagNil) {
+            writeSlot(memory, new_arr + (k - 1) * kSlotBytes, s.value,
+                      s.tag);
+            shadow.set(hdr, false, static_cast<uint64_t>(k), {});
+            const uint64_t len = memory.read64(hdr + kTabLen);
+            if (static_cast<uint64_t>(k) > len)
+                memory.write64(hdr + kTabLen, k);
+        }
+    }
+}
+
+} // namespace
+
+void
+LuaVm::hcTabGetSlow(core::HostEnv &env)
+{
+    const uint64_t hdr = env.regs.gpr(isa::reg::a0).v;
+    const uint64_t key_addr = env.regs.gpr(isa::reg::a1).v;
+    const uint64_t dst = env.regs.gpr(isa::reg::a2).v;
+    const Slot key = readSlot(env.memory, key_addr);
+    int64_t ikey;
+    if (keyAsInt(key, ikey)) {
+        const uint64_t cap = env.memory.read64(hdr + kTabArrayCap);
+        if (ikey >= 1 && static_cast<uint64_t>(ikey) <= cap) {
+            const uint64_t arr = env.memory.read64(hdr + kTabArrayPtr);
+            const Slot v =
+                readSlot(env.memory, arr + (ikey - 1) * kSlotBytes);
+            writeSlot(env.memory, dst, v.v, v.t);
+            return;
+        }
+        const ShadowHash::Slot s =
+            shadow_.get(hdr, false, static_cast<uint64_t>(ikey));
+        writeSlot(env.memory, dst, s.value, s.tag);
+        return;
+    }
+    if (key.t == kTagStr) {
+        const ShadowHash::Slot s = shadow_.get(hdr, true, key.v);
+        writeSlot(env.memory, dst, s.value, s.tag);
+        return;
+    }
+    tarch_fatal("lua runtime: invalid table key (tag 0x%02x)", key.t);
+}
+
+void
+LuaVm::hcTabSetSlow(core::HostEnv &env)
+{
+    const uint64_t hdr = env.regs.gpr(isa::reg::a0).v;
+    const uint64_t key_addr = env.regs.gpr(isa::reg::a1).v;
+    const uint64_t val_addr = env.regs.gpr(isa::reg::a2).v;
+    const Slot key = readSlot(env.memory, key_addr);
+    const Slot val = readSlot(env.memory, val_addr);
+    int64_t ikey;
+    if (keyAsInt(key, ikey)) {
+        const uint64_t cap = env.memory.read64(hdr + kTabArrayCap);
+        // Keep dense prefixes in the array part (Lua-style policy):
+        // grow when the key extends the array by a bounded amount.
+        if (ikey >= 1 &&
+            (static_cast<uint64_t>(ikey) <= 2 * cap + 8)) {
+            if (static_cast<uint64_t>(ikey) > cap)
+                growArray(*core_, shadow_, hdr, ikey);
+            const uint64_t arr = env.memory.read64(hdr + kTabArrayPtr);
+            writeSlot(env.memory, arr + (ikey - 1) * kSlotBytes, val.v,
+                      val.t);
+            const uint64_t len = env.memory.read64(hdr + kTabLen);
+            if (static_cast<uint64_t>(ikey) > len)
+                env.memory.write64(hdr + kTabLen, ikey);
+            return;
+        }
+        shadow_.set(hdr, false, static_cast<uint64_t>(ikey),
+                    {val.v, val.t});
+        return;
+    }
+    if (key.t == kTagStr) {
+        shadow_.set(hdr, true, key.v, {val.v, val.t});
+        return;
+    }
+    tarch_fatal("lua runtime: invalid table key (tag 0x%02x)", key.t);
+}
+
+void
+LuaVm::hcConcat(core::HostEnv &env)
+{
+    const uint64_t dst = env.regs.gpr(isa::reg::a0).v;
+    const auto stringify = [&](uint64_t addr) -> std::string {
+        const Slot s = readSlot(env.memory, addr);
+        switch (s.t) {
+          case kTagStr: return Interner::read(*core_, s.v);
+          case kTagInt:
+            return strformat("%lld", static_cast<long long>(s.v));
+          case kTagFlt: {
+            double d;
+            std::memcpy(&d, &s.v, 8);
+            return luaFloatToString(d);
+          }
+          default:
+            tarch_fatal("lua runtime: cannot concatenate tag 0x%02x", s.t);
+        }
+    };
+    const std::string text = stringify(env.regs.gpr(isa::reg::a1).v) +
+                             stringify(env.regs.gpr(isa::reg::a2).v);
+    writeSlot(env.memory, dst, interner_.intern(*core_, text), kTagStr);
+}
+
+void
+LuaVm::hcFloor(core::HostEnv &env)
+{
+    const uint64_t base = env.regs.gpr(isa::reg::a0).v;
+    const Slot arg = readSlot(env.memory, base + kSlotBytes);
+    int64_t result;
+    if (arg.t == kTagInt)
+        result = static_cast<int64_t>(arg.v);
+    else
+        result = static_cast<int64_t>(
+            std::floor(slotToDouble(arg, "floor")));
+    writeSlot(env.memory, base, static_cast<uint64_t>(result), kTagInt);
+}
+
+void
+LuaVm::hcSubstr(core::HostEnv &env)
+{
+    const uint64_t base = env.regs.gpr(isa::reg::a0).v;
+    const Slot s = readSlot(env.memory, base + kSlotBytes);
+    const Slot is = readSlot(env.memory, base + 2 * kSlotBytes);
+    const Slot js = readSlot(env.memory, base + 3 * kSlotBytes);
+    if (s.t != kTagStr)
+        tarch_fatal("lua runtime: substr expects a string");
+    int64_t i, j;
+    if (!keyAsInt(is, i) || !keyAsInt(js, j))
+        tarch_fatal("lua runtime: substr expects integer indexes");
+    const std::string text = Interner::read(*core_, s.v);
+    const int64_t len = static_cast<int64_t>(text.size());
+    if (i < 0)
+        i = len + i + 1;
+    if (j < 0)
+        j = len + j + 1;
+    if (i < 1)
+        i = 1;
+    if (j > len)
+        j = len;
+    std::string sub;
+    if (i <= j)
+        sub = text.substr(i - 1, j - i + 1);
+    writeSlot(env.memory, base, interner_.intern(*core_, sub), kTagStr);
+}
+
+void
+LuaVm::hcStrChar(core::HostEnv &env)
+{
+    const uint64_t base = env.regs.gpr(isa::reg::a0).v;
+    const Slot arg = readSlot(env.memory, base + kSlotBytes);
+    int64_t c;
+    if (!keyAsInt(arg, c))
+        tarch_fatal("lua runtime: strchar expects an integer");
+    const std::string text(1, static_cast<char>(c));
+    writeSlot(env.memory, base, interner_.intern(*core_, text), kTagStr);
+}
+
+void
+LuaVm::hcAbs(core::HostEnv &env)
+{
+    const uint64_t base = env.regs.gpr(isa::reg::a0).v;
+    const Slot arg = readSlot(env.memory, base + kSlotBytes);
+    if (arg.t == kTagInt) {
+        const int64_t v = static_cast<int64_t>(arg.v);
+        writeSlot(env.memory, base, static_cast<uint64_t>(v < 0 ? -v : v),
+                  kTagInt);
+        return;
+    }
+    const double d = std::fabs(slotToDouble(arg, "abs"));
+    uint64_t bits;
+    std::memcpy(&bits, &d, 8);
+    writeSlot(env.memory, base, bits, kTagFlt);
+}
+
+void
+LuaVm::hcFmod(core::HostEnv &env)
+{
+    const uint64_t dst = env.regs.gpr(isa::reg::a0).v;
+    const Slot lhs = readSlot(env.memory, env.regs.gpr(isa::reg::a1).v);
+    const Slot rhs = readSlot(env.memory, env.regs.gpr(isa::reg::a2).v);
+    const double a = slotToDouble(lhs, "%");
+    const double b = slotToDouble(rhs, "%");
+    double r = std::fmod(a, b);
+    if (r != 0.0 && ((r < 0.0) != (b < 0.0)))
+        r += b;  // Lua: result sign follows the divisor
+    uint64_t bits;
+    std::memcpy(&bits, &r, 8);
+    writeSlot(env.memory, dst, bits, kTagFlt);
+}
+
+} // namespace tarch::vm::lua

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * MiniLua VM: compiles a MiniScript source, generates the interpreter
+ * for the chosen ISA variant, assembles it, builds the guest image
+ * (bytecode, constant pools, proto table, globals), binds the host
+ * runtime intrinsics, and runs it on the simulated core.
+ */
+
+#ifndef TARCH_VM_LUA_LUA_VM_H
+#define TARCH_VM_LUA_LUA_VM_H
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/core.h"
+#include "vm/image.h"
+#include "vm/lua/compiler.h"
+#include "vm/runtime.h"
+#include "vm/variant.h"
+
+namespace tarch::vm::lua {
+
+class LuaVm
+{
+  public:
+    struct Options {
+        Variant variant = Variant::Baseline;
+        core::CoreConfig coreConfig;  ///< overflow/heap fields overridden
+        GuestLayout layout;
+    };
+
+    explicit LuaVm(const std::string &source);
+    LuaVm(const std::string &source, const Options &opts);
+
+    /** Run to completion; returns the guest exit code. */
+    int run();
+
+    core::Core &core() { return *core_; }
+    const std::string &output() const { return core_->output(); }
+    const Module &module() const { return module_; }
+    Variant variant() const { return opts_.variant; }
+
+    /** Dynamic bytecode counts by mnemonic (from handler-entry markers). */
+    std::map<std::string, uint64_t> bytecodeProfile() const;
+
+    /** Total dynamic bytecodes executed (dispatch marker hits). */
+    uint64_t dynamicBytecodes() const;
+
+  private:
+    void buildImage();
+    void registerHostcalls();
+
+    // hcall implementations (see interp_gen.h for the contract).
+    void hcPrint(core::HostEnv &env);
+    void hcNewTable(core::HostEnv &env);
+    void hcTabGetSlow(core::HostEnv &env);
+    void hcTabSetSlow(core::HostEnv &env);
+    void hcConcat(core::HostEnv &env);
+    void hcFloor(core::HostEnv &env);
+    void hcSubstr(core::HostEnv &env);
+    void hcStrChar(core::HostEnv &env);
+    void hcAbs(core::HostEnv &env);
+    void hcFmod(core::HostEnv &env);
+
+    Options opts_;
+    Module module_;
+    core::HostcallRegistry hostcalls_;
+    std::unique_ptr<core::Core> core_;
+    Interner interner_;
+    ShadowHash shadow_;
+};
+
+} // namespace tarch::vm::lua
+
+#endif // TARCH_VM_LUA_LUA_VM_H

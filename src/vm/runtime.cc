@@ -1,0 +1,45 @@
+#include "vm/runtime.h"
+
+#include "common/bitops.h"
+#include "common/strutil.h"
+
+namespace tarch::vm {
+
+uint64_t
+allocGuest(core::Core &core, uint64_t bytes)
+{
+    return core.allocHeap(bytes);
+}
+
+std::string
+formatDouble(double value)
+{
+    return strformat("%.14g", value);
+}
+
+uint64_t
+Interner::intern(core::Core &core, const std::string &text)
+{
+    const auto it = table_.find(text);
+    if (it != table_.end())
+        return it->second;
+    const uint64_t addr = allocGuest(core, 8 + text.size() + 1);
+    core.memory().write64(addr, text.size());
+    if (!text.empty())
+        core.memory().writeBlock(addr + 8, text.data(), text.size());
+    core.memory().write8(addr + 8 + text.size(), 0);
+    table_[text] = addr;
+    return addr;
+}
+
+std::string
+Interner::read(core::Core &core, uint64_t addr)
+{
+    const uint64_t len = core.memory().read64(addr);
+    std::string out(len, '\0');
+    if (len)
+        core.memory().readBlock(addr + 8, out.data(), len);
+    return out;
+}
+
+} // namespace tarch::vm

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Host-side VM runtime services shared by MiniLua and MiniJS: the guest
+ * bump allocator, the string interner, and the shadow hash tables used
+ * for string-keyed table parts.
+ *
+ * Design note (see DESIGN.md): these model the native C runtime the
+ * paper's interpreters link against.  All are invoked through hcall with
+ * a fixed charged cost that is identical in every ISA variant, so they
+ * only contribute a variant-independent serial fraction.
+ */
+
+#ifndef TARCH_VM_RUNTIME_H
+#define TARCH_VM_RUNTIME_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "core/core.h"
+#include "vm/image.h"
+
+namespace tarch::vm {
+
+/** Guest-heap string object: {len: u64, bytes..., NUL}. */
+class Interner
+{
+  public:
+    /**
+     * Intern @p text into the guest heap (idempotent).
+     * @return guest address of the string object
+     */
+    uint64_t intern(core::Core &core, const std::string &text);
+
+    /** Read back the body of a string object at @p addr. */
+    static std::string read(core::Core &core, uint64_t addr);
+
+  private:
+    std::unordered_map<std::string, uint64_t> table_;
+};
+
+/** Bump-allocate @p bytes of zeroed guest heap (8-byte aligned). */
+uint64_t allocGuest(core::Core &core, uint64_t bytes);
+
+/**
+ * Shadow storage for the hash parts of guest tables: maps
+ * (table address, key) -> 16 bytes of (value, tag).  Integer and
+ * string-pointer keys live in disjoint key spaces.
+ */
+class ShadowHash
+{
+  public:
+    struct Slot {
+        uint64_t value = 0;
+        uint8_t tag = 0;
+    };
+
+    void
+    set(uint64_t table, bool str_key, uint64_t key, Slot slot)
+    {
+        map_[pack(table, str_key, key)] = slot;
+    }
+
+    Slot
+    get(uint64_t table, bool str_key, uint64_t key) const
+    {
+        const auto it = map_.find(pack(table, str_key, key));
+        return it == map_.end() ? Slot{} : it->second;
+    }
+
+    size_t size() const { return map_.size(); }
+
+  private:
+    struct KeyHash {
+        size_t
+        operator()(const std::pair<uint64_t, uint64_t> &k) const
+        {
+            return std::hash<uint64_t>()(k.first * 0x9E3779B97F4A7C15ULL ^
+                                         k.second);
+        }
+    };
+
+    static std::pair<uint64_t, uint64_t>
+    pack(uint64_t table, bool str_key, uint64_t key)
+    {
+        return {table * 2 + (str_key ? 1 : 0), key};
+    }
+
+    std::unordered_map<std::pair<uint64_t, uint64_t>, Slot, KeyHash> map_;
+};
+
+/** Format a double the way Lua's "%.14g" does. */
+std::string formatDouble(double value);
+
+} // namespace tarch::vm
+
+#endif // TARCH_VM_RUNTIME_H

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The three ISA variants every interpreter is generated for.
+ */
+
+#ifndef TARCH_VM_VARIANT_H
+#define TARCH_VM_VARIANT_H
+
+#include <string_view>
+
+namespace tarch::vm {
+
+enum class Variant {
+    Baseline,     ///< software type guards (paper Figure 1c)
+    Typed,        ///< Typed Architecture instructions (paper Figure 3)
+    CheckedLoad,  ///< settype/chklb adaptation (paper Section 7.1)
+};
+
+constexpr std::string_view
+variantName(Variant v)
+{
+    switch (v) {
+      case Variant::Baseline: return "baseline";
+      case Variant::Typed: return "typed";
+      case Variant::CheckedLoad: return "checked-load";
+    }
+    return "?";
+}
+
+} // namespace tarch::vm
+
+#endif // TARCH_VM_VARIANT_H

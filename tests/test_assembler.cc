@@ -1,0 +1,312 @@
+// Unit tests for the two-pass assembler: labels, directives, pseudo
+// expansion, symbolic data, and error reporting.
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+#include "common/log.h"
+#include "isa/disasm.h"
+
+namespace tarch::assembler {
+namespace {
+
+using isa::Opcode;
+
+Program
+ok(const std::string &src)
+{
+    return assemble(src);
+}
+
+TEST(Assembler, EmptyProgram)
+{
+    const Program p = ok("");
+    EXPECT_TRUE(p.text.empty());
+    EXPECT_TRUE(p.data.empty());
+    EXPECT_EQ(p.entry, p.textBase);
+}
+
+TEST(Assembler, BasicInstructions)
+{
+    const Program p = ok(R"(
+        add a0, a1, a2
+        addi t0, t1, -42
+        ld a0, 16(sp)
+        sd a1, -8(sp)
+        fadd.d f1, f2, f3
+    )");
+    ASSERT_EQ(p.text.size(), 5u);
+    EXPECT_EQ(p.text[0].op, Opcode::ADD);
+    EXPECT_EQ(p.text[1].imm, -42);
+    EXPECT_EQ(p.text[2].op, Opcode::LD);
+    EXPECT_EQ(p.text[2].imm, 16);
+    EXPECT_EQ(p.text[3].op, Opcode::SD);
+    EXPECT_EQ(p.text[3].imm, -8);
+    EXPECT_EQ(p.text[4].op, Opcode::FADD_D);
+    EXPECT_EQ(p.text[4].rd, 1);
+}
+
+TEST(Assembler, LabelsAndBranches)
+{
+    const Program p = ok(R"(
+loop:
+        addi a0, a0, -1
+        bnez a0, loop
+        beq a0, a1, done
+        j loop
+done:
+        halt
+    )");
+    ASSERT_EQ(p.text.size(), 5u);
+    EXPECT_EQ(p.symbol("loop"), p.textBase);
+    // bnez at pc+4 targets loop (pc): imm = -4.
+    EXPECT_EQ(p.text[1].op, Opcode::BNE);
+    EXPECT_EQ(p.text[1].imm, -4);
+    // beq at +8 targets done at +16: imm = +8.
+    EXPECT_EQ(p.text[2].imm, 8);
+    EXPECT_EQ(p.text[3].op, Opcode::JAL);
+    EXPECT_EQ(p.text[3].rd, 0);
+    EXPECT_EQ(p.text[3].imm, -12);
+}
+
+TEST(Assembler, LiSmallMediumLarge)
+{
+    const Program p = ok(R"(
+        li a0, 5
+        li a1, 100000
+        li a2, 0x123456789AB
+    )");
+    // small: 1 instr; medium: lui+addi = 2; large: recursive.
+    ASSERT_GE(p.text.size(), 5u);
+    EXPECT_EQ(p.text[0].op, Opcode::ADDI);
+    EXPECT_EQ(p.text[0].imm, 5);
+    EXPECT_EQ(p.text[1].op, Opcode::LUI);
+}
+
+TEST(Assembler, LiNegativeMedium)
+{
+    const Program p = ok("li a0, -100000");
+    ASSERT_EQ(p.text.size(), 2u);
+    EXPECT_EQ(p.text[0].op, Opcode::LUI);
+    // Reconstruct: (imm20 << 12) + lo12 must equal -100000.
+    const int64_t value = (p.text[0].imm << 12) + p.text[1].imm;
+    EXPECT_EQ(value, -100000);
+}
+
+TEST(Assembler, LaUsesSymbolAddress)
+{
+    const Program p = ok(R"(
+        la a0, buf
+        halt
+        .data
+buf:    .dword 7
+    )");
+    ASSERT_EQ(p.text.size(), 3u);
+    const int64_t addr = (p.text[0].imm << 12) + p.text[1].imm;
+    EXPECT_EQ(static_cast<uint64_t>(addr), p.symbol("buf"));
+    EXPECT_EQ(p.symbol("buf"), p.dataBase);
+}
+
+TEST(Assembler, DataDirectives)
+{
+    const Program p = ok(R"(
+        .data
+bytes:  .byte 1, 2, 255
+half:   .half 0x1234
+word:   .word 0xDEADBEEF
+        .align 3
+dword:  .dword 0x0102030405060708
+str:    .asciiz "hi\n"
+sp:     .space 4
+dbl:    .double 1.5, -2.0
+    )");
+    EXPECT_EQ(p.data[0], 1);
+    EXPECT_EQ(p.data[2], 255);
+    const uint64_t dword_off = p.symbol("dword") - p.dataBase;
+    EXPECT_EQ(dword_off % 8, 0u);
+    EXPECT_EQ(p.data[dword_off], 0x08);
+    EXPECT_EQ(p.data[dword_off + 7], 0x01);
+    const uint64_t str_off = p.symbol("str") - p.dataBase;
+    EXPECT_EQ(p.data[str_off], 'h');
+    EXPECT_EQ(p.data[str_off + 2], '\n');
+    EXPECT_EQ(p.data[str_off + 3], 0);
+    const uint64_t dbl_off = p.symbol("dbl") - p.dataBase;
+    double d;
+    memcpy(&d, p.data.data() + dbl_off, 8);
+    EXPECT_EQ(d, 1.5);
+    memcpy(&d, p.data.data() + dbl_off + 8, 8);
+    EXPECT_EQ(d, -2.0);
+}
+
+TEST(Assembler, SymbolicDataWords)
+{
+    const Program p = ok(R"(
+_start: halt
+h1:     nop
+        .data
+table:  .dword h1, _start, h1+4
+    )");
+    const uint64_t off = p.symbol("table") - p.dataBase;
+    uint64_t v;
+    memcpy(&v, p.data.data() + off, 8);
+    EXPECT_EQ(v, p.symbol("h1"));
+    memcpy(&v, p.data.data() + off + 8, 8);
+    EXPECT_EQ(v, p.symbol("_start"));
+    memcpy(&v, p.data.data() + off + 16, 8);
+    EXPECT_EQ(v, p.symbol("h1") + 4);
+}
+
+TEST(Assembler, EntryPoint)
+{
+    const Program p = ok(R"(
+        nop
+_start: halt
+    )");
+    EXPECT_EQ(p.entry, p.textBase + 4);
+}
+
+TEST(Assembler, PseudoExpansions)
+{
+    const Program p = ok(R"(
+        nop
+        mv a0, a1
+        not a0, a1
+        neg a0, a1
+        seqz a0, a1
+        snez a0, a1
+        sext.w a0, a1
+        jr ra
+        ret
+        call target
+target: halt
+    )");
+    EXPECT_EQ(p.text[0].op, Opcode::ADDI);
+    EXPECT_EQ(p.text[1].op, Opcode::ADDI);
+    EXPECT_EQ(p.text[2].op, Opcode::XORI);
+    EXPECT_EQ(p.text[2].imm, -1);
+    EXPECT_EQ(p.text[3].op, Opcode::SUB);
+    EXPECT_EQ(p.text[4].op, Opcode::SLTIU);
+    EXPECT_EQ(p.text[5].op, Opcode::SLTU);
+    EXPECT_EQ(p.text[6].op, Opcode::ADDIW);
+    EXPECT_EQ(p.text[7].op, Opcode::JALR);
+    EXPECT_EQ(p.text[8].op, Opcode::JALR);
+    EXPECT_EQ(p.text[8].rs1, 1);
+    EXPECT_EQ(p.text[9].op, Opcode::JAL);
+    EXPECT_EQ(p.text[9].rd, 1);
+}
+
+TEST(Assembler, SwappedBranchPseudos)
+{
+    const Program p = ok(R"(
+t:      bgt a0, a1, t
+        ble a2, a3, t
+        bgtu a4, a5, t
+        bleu a6, a7, t
+    )");
+    EXPECT_EQ(p.text[0].op, Opcode::BLT);
+    EXPECT_EQ(p.text[0].rs1, 11);  // swapped: blt a1, a0
+    EXPECT_EQ(p.text[0].rs2, 10);
+    EXPECT_EQ(p.text[1].op, Opcode::BGE);
+    EXPECT_EQ(p.text[2].op, Opcode::BLTU);
+    EXPECT_EQ(p.text[3].op, Opcode::BGEU);
+}
+
+TEST(Assembler, FpPseudos)
+{
+    const Program p = ok(R"(
+        fmv.d f1, f2
+        fneg.d f3, f4
+        fabs.d f5, f6
+    )");
+    EXPECT_EQ(p.text[0].op, Opcode::FSGNJ_D);
+    EXPECT_EQ(p.text[0].rs1, 2);
+    EXPECT_EQ(p.text[0].rs2, 2);
+    EXPECT_EQ(p.text[1].op, Opcode::FSGNJN_D);
+    EXPECT_EQ(p.text[2].op, Opcode::FSGNJX_D);
+}
+
+TEST(Assembler, TypedInstructions)
+{
+    const Program p = ok(R"(
+_start:
+        thdl slow
+        tld a0, 0(a1)
+        tld a1, 16(a1)
+        xadd a0, a0, a1
+        tsd a0, 0(a2)
+        tchk a0, a1
+        tget a3, a0
+        tset a3, a0
+        setoffset a0
+        setmask a0
+        setshift a0
+        set_trt a0
+        flush_trt
+        settype a0
+        chklb a4, 8(a1)
+slow:   halt
+    )");
+    EXPECT_EQ(p.text[0].op, Opcode::THDL);
+    EXPECT_EQ(static_cast<uint64_t>(p.text[0].imm),
+              p.symbol("slow") - p.textBase);
+    EXPECT_EQ(p.text[1].op, Opcode::TLD);
+    EXPECT_EQ(p.text[3].op, Opcode::XADD);
+    EXPECT_EQ(p.text[4].op, Opcode::TSD);
+    EXPECT_EQ(p.text[5].op, Opcode::TCHK);
+    EXPECT_EQ(p.text[14].op, Opcode::CHKLB);
+    EXPECT_EQ(p.text[14].imm, 8);
+}
+
+TEST(Assembler, EquDefinesConstants)
+{
+    const Program p = ok(R"(
+        .equ SIZE, 24
+        li a0, SIZE
+    )");
+    // li of symbolic constant uses la-form (lui+addi).
+    const int64_t v = (p.text[0].imm << 12) + p.text[1].imm;
+    EXPECT_EQ(v, 24);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    const Program p = ok(R"(
+        # full-line comment
+        nop  # trailing comment
+        nop  // c++ style
+    )");
+    EXPECT_EQ(p.text.size(), 2u);
+}
+
+TEST(AssemblerErrors, UnknownMnemonic)
+{
+    EXPECT_THROW(ok("frobnicate a0, a1"), FatalError);
+}
+
+TEST(AssemblerErrors, UndefinedSymbol)
+{
+    EXPECT_THROW(ok("j nowhere"), FatalError);
+}
+
+TEST(AssemblerErrors, DuplicateLabel)
+{
+    EXPECT_THROW(ok("a: nop\na: nop"), FatalError);
+}
+
+TEST(AssemblerErrors, DataInText)
+{
+    EXPECT_THROW(ok(".dword 5"), FatalError);
+}
+
+TEST(AssemblerErrors, BadRegister)
+{
+    EXPECT_THROW(ok("add a0, a1, q9"), FatalError);
+}
+
+TEST(AssemblerErrors, ImmediateOutOfRange)
+{
+    EXPECT_THROW(ok("addi a0, a1, 999999"), FatalError);
+}
+
+} // namespace
+} // namespace tarch::assembler

@@ -1,0 +1,92 @@
+// Health checks on the benchmark suite itself: every script parses and
+// compiles on both backends, and representative benchmarks produce
+// their known-correct outputs end-to-end.
+
+#include <gtest/gtest.h>
+
+#include "harness/benchmarks.h"
+#include "harness/experiment.h"
+#include "script/parser.h"
+#include "vm/js/compiler.h"
+#include "vm/lua/compiler.h"
+
+namespace tarch::harness {
+namespace {
+
+class EveryBenchmark : public ::testing::TestWithParam<int>
+{
+  protected:
+    const BenchmarkInfo &info() const { return benchmarks()[GetParam()]; }
+};
+
+TEST_P(EveryBenchmark, ParsesAndCompilesOnBothBackends)
+{
+    const script::Chunk chunk = script::parse(info().source);
+    const auto lua_module = vm::lua::compile(chunk);
+    EXPECT_FALSE(lua_module.protos[0].code.empty());
+    const script::Chunk chunk2 = script::parse(info().source);
+    const auto js_module = vm::js::compile(chunk2);
+    EXPECT_FALSE(js_module.protos[0].code.empty());
+    // Every proto ends in a RETURN on both backends.
+    for (const auto &proto : lua_module.protos) {
+        ASSERT_FALSE(proto.code.empty()) << proto.name;
+        EXPECT_EQ(static_cast<vm::lua::Op>(proto.code.back() & 0x3F),
+                  vm::lua::Op::RETURN)
+            << proto.name;
+    }
+    for (const auto &proto : js_module.protos) {
+        ASSERT_FALSE(proto.code.empty()) << proto.name;
+        EXPECT_EQ(static_cast<vm::js::Op>(proto.code.back() & 0xFF),
+                  vm::js::Op::RETURN)
+            << proto.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, EveryBenchmark, ::testing::Range(0, 11),
+                         [](const auto &param_info) {
+                             std::string name =
+                                 benchmarks()[param_info.param].name;
+                             for (char &c : name) {
+                                 if (c == '-')
+                                     c = '_';
+                             }
+                             return name;
+                         });
+
+TEST(BenchmarkOutputs, PiDigitsAreCorrectOnTypedLua)
+{
+    const RunResult r = runOne(Engine::Lua, vm::Variant::Typed,
+                               benchmark("pidigits"));
+    EXPECT_EQ(r.output, "31415926535897932384626433832795028841971693993751"
+                        "0582097494\n");
+}
+
+TEST(BenchmarkOutputs, SievePrimeCountsOnCheckedLoadJs)
+{
+    const RunResult r = runOne(Engine::Js, vm::Variant::CheckedLoad,
+                               benchmark("n-sieve"));
+    EXPECT_EQ(r.output, "1229\n669\n367\n");
+}
+
+TEST(BenchmarkOutputs, FannkuchChecksumOnBaselineLua)
+{
+    const RunResult r = runOne(Engine::Lua, vm::Variant::Baseline,
+                               benchmark("fannkuch-redux"));
+    EXPECT_EQ(r.output, "228\n16\n");
+}
+
+TEST(BenchmarkOutputs, KNucleotideHitsTheHashSlowPath)
+{
+    const RunResult r = runOne(Engine::Lua, vm::Variant::Typed,
+                               benchmark("k-nucleotide"));
+    // Paper Figure 9: k-nucleotide has a substantial type-miss rate
+    // because its table keys are strings.
+    EXPECT_GT(r.stats.trt.misses(), 1000u);
+    const double hit_rate =
+        static_cast<double>(r.stats.trt.hits) /
+        static_cast<double>(r.stats.trt.lookups);
+    EXPECT_LT(hit_rate, 0.9);
+}
+
+} // namespace
+} // namespace tarch::harness

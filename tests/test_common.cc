@@ -1,0 +1,102 @@
+// Unit tests for src/common: bit utilities, string helpers, logging.
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.h"
+#include "common/log.h"
+#include "common/strutil.h"
+
+namespace tarch {
+namespace {
+
+TEST(Bitops, BitsExtractsInclusiveRange)
+{
+    EXPECT_EQ(bits(0xDEADBEEF, 15, 8), 0xBEu);
+    EXPECT_EQ(bits(0xFF, 7, 0), 0xFFu);
+    EXPECT_EQ(bits(0x8000000000000000ULL, 63, 63), 1u);
+    EXPECT_EQ(bits(~0ULL, 63, 0), ~0ULL);
+}
+
+TEST(Bitops, SignExtend)
+{
+    EXPECT_EQ(signExtend(0x7F, 8), 127);
+    EXPECT_EQ(signExtend(0x80, 8), -128);
+    EXPECT_EQ(signExtend(0xFFF, 12), -1);
+    EXPECT_EQ(signExtend(0, 1), 0);
+    EXPECT_EQ(signExtend(1, 1), -1);
+}
+
+TEST(Bitops, FitsSigned)
+{
+    EXPECT_TRUE(fitsSigned(127, 8));
+    EXPECT_FALSE(fitsSigned(128, 8));
+    EXPECT_TRUE(fitsSigned(-128, 8));
+    EXPECT_FALSE(fitsSigned(-129, 8));
+    EXPECT_TRUE(fitsSigned(16383, 15));
+    EXPECT_FALSE(fitsSigned(16384, 15));
+}
+
+TEST(Bitops, InsertBits)
+{
+    EXPECT_EQ(insertBits(0, 15, 8, 0xAB), 0xAB00u);
+    EXPECT_EQ(insertBits(0xFFFF, 7, 0, 0), 0xFF00u);
+    EXPECT_EQ(insertBits(0, 63, 63, 1), 0x8000000000000000ULL);
+}
+
+TEST(Bitops, PowersOfTwo)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(64));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(12));
+    EXPECT_EQ(log2Floor(1), 0u);
+    EXPECT_EQ(log2Floor(64), 6u);
+    EXPECT_EQ(log2Floor(65), 6u);
+    EXPECT_EQ(alignUp(13, 8), 16u);
+    EXPECT_EQ(alignUp(16, 8), 16u);
+}
+
+TEST(Strutil, Strformat)
+{
+    EXPECT_EQ(strformat("x=%d", 42), "x=42");
+    EXPECT_EQ(strformat("%s-%s", "a", "b"), "a-b");
+    EXPECT_EQ(strformat("empty"), "empty");
+}
+
+TEST(Strutil, Split)
+{
+    const auto fields = split("a,b,,c", ',');
+    ASSERT_EQ(fields.size(), 4u);
+    EXPECT_EQ(fields[0], "a");
+    EXPECT_EQ(fields[2], "");
+    EXPECT_EQ(fields[3], "c");
+    EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(Strutil, Trim)
+{
+    EXPECT_EQ(trim("  hi  "), "hi");
+    EXPECT_EQ(trim("hi"), "hi");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("\ta b\n"), "a b");
+}
+
+TEST(Strutil, StartsWithAndToLower)
+{
+    EXPECT_TRUE(startsWith("foobar", "foo"));
+    EXPECT_FALSE(startsWith("fo", "foo"));
+    EXPECT_EQ(toLower("AbC"), "abc");
+}
+
+TEST(Log, FatalThrows)
+{
+    EXPECT_THROW(tarch_fatal("boom %d", 3), FatalError);
+    try {
+        tarch_fatal("boom %d", 3);
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("boom 3"), std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace tarch

@@ -1,0 +1,423 @@
+// End-to-end tests of the baseline core: assemble small guest programs,
+// run them, and check architectural results, guest output, and timing
+// model sanity.
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+#include "common/log.h"
+#include "core/core.h"
+
+namespace tarch::core {
+namespace {
+
+struct RunResult {
+    int exitCode;
+    CoreStats stats;
+    std::string output;
+    uint64_t a0;
+};
+
+RunResult
+runAsm(const std::string &src, const CoreConfig &cfg = {},
+       const HostcallRegistry *hostcalls = nullptr)
+{
+    Core core(cfg, hostcalls);
+    core.loadProgram(assembler::assemble(src));
+    const int code = core.run();
+    return {code, core.collectStats(), core.output(),
+            core.regs().gpr(isa::reg::a0).v};
+}
+
+TEST(Core, HaltStopsExecution)
+{
+    const auto r = runAsm("halt");
+    EXPECT_EQ(r.exitCode, 0);
+    EXPECT_EQ(r.stats.instructions, 1u);
+}
+
+TEST(Core, IntegerArithmetic)
+{
+    const auto r = runAsm(R"(
+        li a0, 7
+        li a1, 5
+        add a2, a0, a1
+        sub a3, a0, a1
+        mul a4, a0, a1
+        div a5, a0, a1
+        rem a6, a0, a1
+        add a0, a2, a3     # 12 + 2
+        add a0, a0, a4     # + 35
+        add a0, a0, a5     # + 1
+        add a0, a0, a6     # + 2
+        halt
+    )");
+    EXPECT_EQ(r.a0, 12u + 2 + 35 + 1 + 2);
+}
+
+TEST(Core, RiscvDivisionEdgeCases)
+{
+    const auto r = runAsm(R"(
+        li a1, 5
+        li a2, 0
+        div a0, a1, a2      # div by zero -> -1
+        halt
+    )");
+    EXPECT_EQ(static_cast<int64_t>(r.a0), -1);
+}
+
+TEST(Core, WordArithmeticSignExtends)
+{
+    const auto r = runAsm(R"(
+        li a1, 0x7FFFFFFF
+        li a2, 1
+        addw a0, a1, a2     # wraps to INT32_MIN, sign extended
+        halt
+    )");
+    EXPECT_EQ(static_cast<int64_t>(r.a0),
+              static_cast<int64_t>(INT32_MIN));
+}
+
+TEST(Core, ShiftsAndLogic)
+{
+    const auto r = runAsm(R"(
+        li a1, 0xF0
+        slli a2, a1, 8      # 0xF000
+        srli a3, a2, 4      # 0x0F00
+        li a4, -16
+        srai a5, a4, 2      # -4
+        and a6, a2, a3      # 0
+        or a0, a3, a6
+        add a0, a0, a5
+        halt
+    )");
+    EXPECT_EQ(r.a0, 0x0F00u - 4);
+}
+
+TEST(Core, LoadsAndStoresAllWidths)
+{
+    const auto r = runAsm(R"(
+        la a1, buf
+        li a2, -2
+        sb a2, 0(a1)
+        lb a3, 0(a1)        # -2
+        lbu a4, 0(a1)       # 254
+        li a2, 0x8000
+        sh a2, 8(a1)
+        lh a5, 8(a1)        # negative
+        lhu a6, 8(a1)       # 0x8000
+        add a0, a3, a4      # 252
+        add a0, a0, a6      # + 0x8000
+        halt
+        .data
+buf:    .space 16
+    )");
+    EXPECT_EQ(r.a0, 252u + 0x8000);
+    EXPECT_EQ(r.stats.loads, 4u);
+    EXPECT_EQ(r.stats.stores, 2u);
+}
+
+TEST(Core, DwordLoadStore)
+{
+    const auto r = runAsm(R"(
+        la a1, buf
+        li a2, 0x123456789
+        sd a2, 0(a1)
+        ld a0, 0(a1)
+        halt
+        .data
+buf:    .dword 0
+    )");
+    EXPECT_EQ(r.a0, 0x123456789ULL);
+}
+
+TEST(Core, LoopComputesSum)
+{
+    const auto r = runAsm(R"(
+        li a0, 0
+        li a1, 1
+        li a2, 101
+loop:   add a0, a0, a1
+        addi a1, a1, 1
+        bne a1, a2, loop
+        halt
+    )");
+    EXPECT_EQ(r.a0, 5050u);
+}
+
+TEST(Core, CallAndReturn)
+{
+    const auto r = runAsm(R"(
+_start: li a0, 20
+        call double_it
+        call double_it
+        halt
+double_it:
+        add a0, a0, a0
+        ret
+    )");
+    EXPECT_EQ(r.a0, 80u);
+}
+
+TEST(Core, RecursiveFibonacciOnStack)
+{
+    const auto r = runAsm(R"(
+_start: li a0, 10
+        call fib
+        halt
+fib:    li t0, 2
+        blt a0, t0, fib_base
+        addi sp, sp, -16
+        sd ra, 0(sp)
+        sd a0, 8(sp)
+        addi a0, a0, -1
+        call fib
+        ld t0, 8(sp)
+        sd a0, 8(sp)
+        addi a0, t0, -2
+        call fib
+        ld t0, 8(sp)
+        add a0, a0, t0
+        ld ra, 0(sp)
+        addi sp, sp, 16
+fib_base:
+        ret
+    )");
+    EXPECT_EQ(r.a0, 55u);
+}
+
+TEST(Core, FloatingPoint)
+{
+    const auto r = runAsm(R"(
+        la a1, vals
+        fld f1, 0(a1)
+        fld f2, 8(a1)
+        fadd.d f3, f1, f2
+        fmul.d f4, f1, f2
+        fdiv.d f5, f4, f2       # back to f1
+        fsqrt.d f6, f2          # 2.0
+        feq.d a2, f5, f1
+        flt.d a3, f1, f2
+        fle.d a4, f2, f2
+        add a0, a2, a3
+        add a0, a0, a4
+        halt
+        .data
+vals:   .double 1.5, 4.0
+    )");
+    EXPECT_EQ(r.a0, 3u);
+}
+
+TEST(Core, FpConversions)
+{
+    const auto r = runAsm(R"(
+        li a1, -3
+        fcvt.d.l f1, a1
+        la a2, c
+        fld f2, 0(a2)
+        fadd.d f3, f1, f2       # -3.0 + 2.75 = -0.25
+        fcvt.l.d a0, f3         # trunc -> 0
+        fcvt.l.d a4, f1         # -3
+        add a0, a0, a4
+        halt
+        .data
+c:      .double 2.75
+    )");
+    EXPECT_EQ(static_cast<int64_t>(r.a0), -3);
+}
+
+TEST(Core, FmvMovesRawBits)
+{
+    const auto r = runAsm(R"(
+        li a1, 0x3FF0000000000000   # 1.0
+        fmv.d.x f1, a1
+        fmv.d f2, f1
+        fmv.x.d a0, f2
+        halt
+    )");
+    EXPECT_EQ(r.a0, 0x3FF0000000000000ULL);
+}
+
+TEST(Core, SyscallOutput)
+{
+    const auto r = runAsm(R"(
+        li a0, 'H'
+        sys 1
+        li a0, 'i'
+        sys 1
+        li a0, 10
+        sys 1
+        li a0, -42
+        sys 2
+        la a0, msg
+        sys 4
+        li a0, 0
+        sys 0
+        .data
+msg:    .asciiz "!ok"
+    )");
+    EXPECT_EQ(r.output, "Hi\n-42!ok");
+    EXPECT_EQ(r.exitCode, 0);
+}
+
+TEST(Core, ExitCodePropagates)
+{
+    const auto r = runAsm(R"(
+        li a0, 3
+        sys 0
+    )");
+    EXPECT_EQ(r.exitCode, 3);
+}
+
+TEST(Core, HostcallInvokesRegistryAndChargesCost)
+{
+    HostcallRegistry reg;
+    reg.add(7, "answer", {100, 200}, [](HostEnv &env) {
+        env.regs.writeGpr(isa::reg::a0, 42);
+    });
+    Core core({}, &reg);
+    core.loadProgram(assembler::assemble("hcall 7\nhalt"));
+    core.run();
+    EXPECT_EQ(core.regs().gpr(isa::reg::a0).v, 42u);
+    const auto stats = core.collectStats();
+    EXPECT_EQ(stats.hostcalls, 1u);
+    // 2 real instructions + 100 charged.
+    EXPECT_EQ(stats.instructions, 102u);
+    EXPECT_GE(stats.cycles, 200u);
+}
+
+TEST(Core, PcOutOfRangeIsFatal)
+{
+    Core core;
+    core.loadProgram(assembler::assemble("jr zero"));
+    EXPECT_THROW(core.run(), FatalError);
+}
+
+TEST(Core, InstructionLimitGuards)
+{
+    CoreConfig cfg;
+    cfg.maxInstructions = 1000;
+    Core core(cfg);
+    core.loadProgram(assembler::assemble("spin: j spin"));
+    EXPECT_THROW(core.run(), FatalError);
+}
+
+TEST(Core, MarkersCountHandlerVisits)
+{
+    Core core;
+    const auto program = assembler::assemble(R"(
+        li a1, 10
+loop:   addi a1, a1, -1
+        bnez a1, loop
+        halt
+    )");
+    core.markers().add(program.symbol("loop"), "loop_head");
+    core.loadProgram(program);
+    core.run();
+    EXPECT_EQ(core.markers().hitsByName("loop_head"), 10u);
+}
+
+// ------------------------------------------------------------------
+// Timing sanity.
+
+TEST(CoreTiming, CyclesAtLeastInstructions)
+{
+    const auto r = runAsm(R"(
+        li a1, 100
+l:      addi a1, a1, -1
+        bnez a1, l
+        halt
+    )");
+    EXPECT_GE(r.stats.cycles, r.stats.instructions);
+}
+
+TEST(CoreTiming, LoadUseStallCosts)
+{
+    // Two versions of the same work; the dependent-load version must be
+    // slower by roughly one cycle per iteration.
+    const std::string dep = R"(
+        la a1, buf
+        li a2, 1000
+l:      ld a3, 0(a1)
+        add a4, a3, a3     # immediately uses the load
+        addi a2, a2, -1
+        bnez a2, l
+        halt
+        .data
+buf:    .dword 1
+    )";
+    const std::string indep = R"(
+        la a1, buf
+        li a2, 1000
+l:      ld a3, 0(a1)
+        addi a2, a2, -1    # independent filler
+        add a4, a3, a3
+        bnez a2, l
+        halt
+        .data
+buf:    .dword 1
+    )";
+    const auto r1 = runAsm(dep);
+    const auto r2 = runAsm(indep);
+    EXPECT_EQ(r1.stats.instructions, r2.stats.instructions);
+    EXPECT_GT(r1.stats.cycles, r2.stats.cycles);
+    EXPECT_NEAR(static_cast<double>(r1.stats.cycles - r2.stats.cycles),
+                1000.0, 60.0);
+}
+
+TEST(CoreTiming, MispredictsCostCycles)
+{
+    // A data-dependent unpredictable branch pattern (LCG parity) vs. an
+    // always-taken pattern of the same instruction count.
+    const std::string noisy = R"(
+        li a1, 12345
+        li a2, 2000
+        li a5, 1103515245
+        li a6, 12345
+l:      mul a1, a1, a5
+        add a1, a1, a6
+        srli a3, a1, 16
+        andi a3, a3, 1
+        beqz a3, skip
+        nop
+skip:   addi a2, a2, -1
+        bnez a2, l
+        halt
+    )";
+    const auto r = runAsm(noisy);
+    EXPECT_GT(r.stats.branches.condMispredicts, 400u);
+    EXPECT_GE(r.stats.cycles,
+              r.stats.instructions + r.stats.branches.condMispredicts);
+}
+
+TEST(CoreTiming, IcacheColdMissesCounted)
+{
+    const auto r = runAsm(R"(
+        li a1, 3
+l:      addi a1, a1, -1
+        bnez a1, l
+        halt
+    )");
+    EXPECT_GE(r.stats.icache.misses, 1u);
+    EXPECT_LE(r.stats.icache.misses, 2u);
+    EXPECT_GT(r.stats.icache.accesses, 5u);
+}
+
+TEST(CoreTiming, DcacheMissesOnLargeStride)
+{
+    const auto r = runAsm(R"(
+        li a1, 0x200000
+        li a2, 512
+l:      ld a3, 0(a1)
+        addi a1, a1, 4096     # new block (and page) every time
+        addi a2, a2, -1
+        bnez a2, l
+        halt
+    )");
+    EXPECT_GE(r.stats.dcache.misses, 500u);
+    EXPECT_GT(r.stats.dtlb.misses, 400u);
+    EXPECT_GT(r.stats.cycles, r.stats.instructions + 500 * 10);
+}
+
+} // namespace
+} // namespace tarch::core

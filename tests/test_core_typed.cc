@@ -1,0 +1,463 @@
+// End-to-end tests of the Typed Architecture extension and the Checked
+// Load extension running real guest code: tld/tsd layouts, polymorphic
+// xadd/xsub/xmul with TRT hits and type mispredictions, tchk, thdl,
+// tget/tset, overflow-induced misses, and chklb.
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+#include "core/core.h"
+#include "typed/type_rule_table.h"
+
+namespace tarch::core {
+namespace {
+
+constexpr uint8_t kLuaInt = 0x13;
+constexpr uint8_t kLuaFlt = 0x83;
+
+// Assembly prologue configuring the Lua layout (Table 4) and a TRT with
+// the paper's Table 5 rules, using only guest instructions.
+const char *kLuaSetup = R"(
+        # R_offset = 0b001 (tag in next dword), shift 0, mask 0xFF
+        li t0, 1
+        setoffset t0
+        li t0, 0
+        setshift t0
+        li t0, 0xFF
+        setmask t0
+        # TRT rules: (add|sub|mul, Int, Int -> Int), (.., Flt, Flt -> Flt)
+        li t0, 0x00131313
+        set_trt t0
+        li t0, 0x01131313
+        set_trt t0
+        li t0, 0x02131313
+        set_trt t0
+        li t0, 0x00838383
+        set_trt t0
+        li t0, 0x01838383
+        set_trt t0
+        li t0, 0x02838383
+        set_trt t0
+)";
+
+struct R {
+    Core core;
+    int exitCode;
+
+    explicit R(const std::string &src, OverflowMode ovf = OverflowMode::Off)
+        : core([&] {
+              CoreConfig cfg;
+              cfg.overflowMode = ovf;
+              return cfg;
+          }())
+    {
+        core.loadProgram(assembler::assemble(src));
+        exitCode = core.run();
+    }
+
+    uint64_t a(unsigned n) { return core.regs().gpr(isa::reg::a0 + n).v; }
+};
+
+TEST(TypedCore, TldLoadsValueAndTagLuaLayout)
+{
+    R r(std::string(kLuaSetup) + R"(
+        la a1, slot
+        tld a2, 0(a1)
+        tget a0, a2           # read tag back
+        halt
+        .data
+slot:   .dword 42
+        .dword 0x13           # tag byte in next dword
+    )");
+    EXPECT_EQ(r.a(0), kLuaInt);
+    EXPECT_EQ(r.a(2), 42u);
+    EXPECT_EQ(r.core.regs().gpr(isa::reg::a2).t, kLuaInt);
+    EXPECT_FALSE(r.core.regs().gpr(isa::reg::a2).f);
+}
+
+TEST(TypedCore, XaddIntFastPath)
+{
+    R r(std::string(kLuaSetup) + R"(
+        la a1, s1
+        la a2, s2
+        la a3, dst
+        thdl slow
+        tld a4, 0(a1)
+        tld a5, 0(a2)
+        xadd a6, a4, a5
+        tsd a6, 0(a3)
+        ld a0, 0(a3)          # value written
+        lbu a7, 8(a3)         # tag written
+        halt
+slow:   li a0, 999
+        halt
+        .data
+s1:     .dword 30
+        .dword 0x13
+s2:     .dword 12
+        .dword 0x13
+dst:    .dword 0, 0
+    )");
+    EXPECT_EQ(r.a(0), 42u);
+    EXPECT_EQ(r.a(7), kLuaInt);
+    const auto stats = r.core.collectStats();
+    EXPECT_EQ(stats.trt.lookups, 1u);
+    EXPECT_EQ(stats.trt.hits, 1u);
+}
+
+TEST(TypedCore, XaddFloatBindsToFpDatapath)
+{
+    R r(std::string(kLuaSetup) + R"(
+        la a1, s1
+        la a2, s2
+        la a3, dst
+        thdl slow
+        tld a4, 0(a1)
+        tld a5, 0(a2)
+        xadd a6, a4, a5
+        tsd a6, 0(a3)
+        fld f1, 0(a3)
+        la a7, expect
+        fld f2, 0(a7)
+        feq.d a0, f1, f2
+        lbu a1, 8(a3)
+        halt
+slow:   li a0, 999
+        halt
+        .data
+s1:     .double 1.25
+        .dword 0x83
+s2:     .double 2.5
+        .dword 0x83
+dst:    .dword 0, 0
+expect: .double 3.75
+    )");
+    EXPECT_EQ(r.a(0), 1u) << "fp add wrong";
+    EXPECT_EQ(r.a(1), kLuaFlt);
+}
+
+TEST(TypedCore, MixedTypesTakeSlowPath)
+{
+    R r(std::string(kLuaSetup) + R"(
+        la a1, s1
+        la a2, s2
+        thdl slow
+        tld a4, 0(a1)
+        tld a5, 0(a2)
+        xadd a6, a4, a5
+        li a0, 0              # skipped on type miss
+        halt
+slow:   li a0, 777
+        halt
+        .data
+s1:     .dword 30
+        .dword 0x13
+s2:     .double 1.5
+        .dword 0x83
+    )");
+    EXPECT_EQ(r.a(0), 777u);
+    const auto stats = r.core.collectStats();
+    EXPECT_EQ(stats.trt.misses(), 1u);
+}
+
+TEST(TypedCore, UntypedOperandsMissTheTrt)
+{
+    R r(std::string(kLuaSetup) + R"(
+        thdl slow
+        li a4, 30             # untyped write
+        li a5, 12
+        xadd a6, a4, a5
+        li a0, 0
+        halt
+slow:   li a0, 555
+        halt
+    )");
+    EXPECT_EQ(r.a(0), 555u);
+}
+
+TEST(TypedCore, XsubXmulWork)
+{
+    R r(std::string(kLuaSetup) + R"(
+        la a1, s1
+        la a2, s2
+        thdl slow
+        tld a4, 0(a1)
+        tld a5, 0(a2)
+        xsub a6, a4, a5
+        xmul a7, a4, a5
+        mv a0, a6
+        halt
+slow:   li a0, 999
+        halt
+        .data
+s1:     .dword 30
+        .dword 0x13
+s2:     .dword 12
+        .dword 0x13
+    )");
+    EXPECT_EQ(r.a(0), 18u);
+    EXPECT_EQ(r.a(7), 360u);
+    EXPECT_EQ(r.core.regs().gpr(isa::reg::a7).t, kLuaInt);
+}
+
+TEST(TypedCore, TchkHitContinuesMissRedirects)
+{
+    R r(std::string(kLuaSetup) + R"(
+        # add a tchk rule: (Table=0x05, Int=0x13) -> Table
+        li t0, 0x03051305
+        set_trt t0
+        thdl slow
+        la a1, tab
+        la a2, key
+        tld a3, 0(a1)
+        tld a4, 0(a2)
+        tchk a3, a4           # hits
+        li a0, 1
+        tchk a4, a3           # (Int, Table): no rule -> slow path
+        li a0, 0
+        halt
+slow:   addi a0, a0, 100
+        halt
+        .data
+tab:    .dword 0x2000
+        .dword 0x05
+key:    .dword 3
+        .dword 0x13
+    )");
+    EXPECT_EQ(r.a(0), 101u);
+}
+
+TEST(TypedCore, TsetWritesTagOnly)
+{
+    R r(R"(
+        li a1, 42
+        li a2, 0x83
+        tset a1, a2           # a1.t = 0x83, value untouched
+        tget a0, a1
+        halt
+    )");
+    EXPECT_EQ(r.a(0), 0x83u);
+    EXPECT_EQ(r.a(1), 42u);
+    EXPECT_TRUE(r.core.regs().gpr(isa::reg::a1).f);  // MSB set -> FP
+}
+
+TEST(TypedCore, FlushTrtDropsRules)
+{
+    R r(std::string(kLuaSetup) + R"(
+        flush_trt
+        thdl slow
+        la a1, s1
+        tld a4, 0(a1)
+        xadd a6, a4, a4
+        li a0, 0
+        halt
+slow:   li a0, 321
+        halt
+        .data
+s1:     .dword 1
+        .dword 0x13
+    )");
+    EXPECT_EQ(r.a(0), 321u);
+    EXPECT_EQ(r.core.trt().size(), 0u);
+}
+
+// ------------------------------------------------------------------
+// NaN-boxing (SpiderMonkey) layout.
+
+const char *kJsSetup = R"(
+        li t0, 4              # R_offset = 0b100: NaN detect, same dword
+        setoffset t0
+        li t0, 47
+        setshift t0
+        li t0, 0x0F
+        setmask t0
+        # TRT: (add, Int(1), Int(1)) -> Int; (add, Flt(0xFF), Flt) -> Flt
+        li t0, 0x00010101
+        set_trt t0
+        li t0, 0x00FFFFFF
+        set_trt t0
+)";
+
+TEST(TypedCoreJs, BoxedIntRoundTrip)
+{
+    R r(std::string(kJsSetup) + R"(
+        la a1, v1
+        la a2, v2
+        la a3, dst
+        thdl slow
+        tld a4, 0(a1)
+        tld a5, 0(a2)
+        xadd a6, a4, a5
+        tsd a6, 0(a3)
+        ld a0, 0(a3)
+        halt
+slow:   li a0, 1
+        halt
+        .data
+v1:     .dword 0xFFF880000000000A   # boxed int 10
+v2:     .dword 0xFFF8800000000020   # boxed int 32
+dst:    .dword 0
+    )",
+        OverflowMode::Int32);
+    // Result must be boxed 42.
+    EXPECT_EQ(r.a(0), 0xFFF8800000000000ULL + 42);
+}
+
+TEST(TypedCoreJs, PlainDoublesUseFpPath)
+{
+    R r(std::string(kJsSetup) + R"(
+        la a1, v1
+        la a3, dst
+        thdl slow
+        tld a4, 0(a1)
+        tld a5, 8(a1)
+        xadd a6, a4, a5
+        tsd a6, 0(a3)
+        fld f1, 0(a3)
+        la a2, expect
+        fld f2, 0(a2)
+        feq.d a0, f1, f2
+        halt
+slow:   li a0, 99
+        halt
+        .data
+v1:     .double 1.5, 2.25
+dst:    .dword 0
+expect: .double 3.75
+    )",
+        OverflowMode::Int32);
+    EXPECT_EQ(r.a(0), 1u);
+}
+
+TEST(TypedCoreJs, Int32OverflowTriggersTypeMiss)
+{
+    R r(std::string(kJsSetup) + R"(
+        la a1, v1
+        thdl slow
+        tld a4, 0(a1)
+        tld a5, 8(a1)
+        xadd a6, a4, a5      # INT32_MAX + 1 overflows
+        li a0, 0
+        halt
+slow:   li a0, 42
+        halt
+        .data
+v1:     .dword 0xFFF880007FFFFFFF   # boxed INT32_MAX
+        .dword 0xFFF8800000000001   # boxed 1
+    )",
+        OverflowMode::Int32);
+    EXPECT_EQ(r.a(0), 42u);
+    EXPECT_EQ(r.core.collectStats().typeOverflowMisses, 1u);
+}
+
+TEST(TypedCoreJs, NegativeBoxedIntArithmetic)
+{
+    R r(std::string(kJsSetup) + R"(
+        la a1, v1
+        la a3, dst
+        thdl slow
+        tld a4, 0(a1)
+        tld a5, 8(a1)
+        xadd a6, a4, a5      # 10 + (-7) = 3
+        tsd a6, 0(a3)
+        ld a0, 0(a3)
+        halt
+slow:   li a0, 1
+        halt
+        .data
+v1:     .dword 0xFFF880000000000A   # boxed 10
+        .dword 0xFFF88000FFFFFFF9   # boxed -7
+dst:    .dword 0
+    )",
+        OverflowMode::Int32);
+    EXPECT_EQ(r.a(0), 0xFFF8800000000003ULL);
+}
+
+// ------------------------------------------------------------------
+// Checked Load extension.
+
+TEST(CheckedLoad, HitContinues)
+{
+    R r(R"(
+        li t0, 0x13
+        settype t0
+        thdl slow
+        la a1, slot
+        chklb a2, 8(a1)       # tag matches
+        ld a0, 0(a1)
+        halt
+slow:   li a0, 0
+        halt
+        .data
+slot:   .dword 77
+        .byte 0x13
+    )");
+    EXPECT_EQ(r.a(0), 77u);
+    const auto stats = r.core.collectStats();
+    EXPECT_EQ(stats.chklbChecks, 1u);
+    EXPECT_EQ(stats.chklbMisses, 0u);
+}
+
+TEST(CheckedLoad, MismatchRedirectsToHandler)
+{
+    R r(R"(
+        li t0, 0x13
+        settype t0
+        thdl slow
+        la a1, slot
+        chklb a2, 8(a1)       # tag is Float -> miss
+        li a0, 0
+        halt
+slow:   li a0, 5
+        halt
+        .data
+slot:   .double 1.5
+        .byte 0x83
+    )");
+    EXPECT_EQ(r.a(0), 5u);
+    EXPECT_EQ(r.core.collectStats().chklbMisses, 1u);
+}
+
+// ------------------------------------------------------------------
+// Timing interactions.
+
+TEST(TypedCoreTiming, TypeMissPaysRedirectPenalty)
+{
+    // Same instruction counts; one version type-misses every iteration.
+    const std::string hit_src = std::string(kLuaSetup) + R"(
+        la a1, s1
+        li a2, 2000
+        thdl slow
+l:      tld a4, 0(a1)
+        xadd a5, a4, a4
+slow:   addi a2, a2, -1
+        bnez a2, l
+        halt
+        .data
+s1:     .dword 5
+        .dword 0x13
+    )";
+    const std::string miss_src = std::string(kLuaSetup) + R"(
+        la a1, s1
+        li a2, 2000
+        thdl slow
+l:      tld a4, 0(a1)
+        xadd a5, a4, a4
+slow:   addi a2, a2, -1
+        bnez a2, l
+        halt
+        .data
+s1:     .dword 5
+        .dword 0x44            # no TRT rule for tag 0x44
+    )";
+    R hit(hit_src);
+    R miss(miss_src);
+    const auto sh = hit.core.collectStats();
+    const auto sm = miss.core.collectStats();
+    EXPECT_EQ(sh.instructions, sm.instructions);
+    EXPECT_EQ(sm.trt.misses(), 2000u);
+    EXPECT_GT(sm.cycles, sh.cycles + 2 * 1900);
+}
+
+} // namespace
+} // namespace tarch::core

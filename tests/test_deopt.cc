@@ -1,0 +1,100 @@
+// Tests for the Section 5 extension: thdl as a fast-path selector
+// ("deoptimizing the fast path").
+
+#include <gtest/gtest.h>
+
+#include "vm/lua/lua_vm.h"
+
+namespace tarch::vm::lua {
+namespace {
+
+LuaVm::Options
+typedOpts(bool deopt)
+{
+    LuaVm::Options opts;
+    opts.variant = Variant::Typed;
+    opts.coreConfig.deopt.enabled = deopt;
+    return opts;
+}
+
+// Every ADD is (Flt, Int): a guaranteed type miss, the worst case for
+// the typed fast path.
+const char *kAlwaysMiss = R"(
+local s = 0.0
+for i = 1, 2000 do s = s + i end
+print(s)
+)";
+
+// Every ADD is (Int, Int): never misses.
+const char *kNeverMiss = R"(
+local s = 0
+for i = 1, 2000 do s = s + i end
+print(s)
+)";
+
+TEST(Deopt, SkipsDoomedFastPath)
+{
+    LuaVm plain(kAlwaysMiss, typedOpts(false));
+    plain.run();
+    LuaVm deopt(kAlwaysMiss, typedOpts(true));
+    deopt.run();
+    EXPECT_EQ(plain.output(), deopt.output());
+    EXPECT_EQ(deopt.output(), "2001000.0\n");
+    const auto sp = plain.core().collectStats();
+    const auto sd = deopt.core().collectStats();
+    // The selector redirects before the wasted tld/tld/xadd sequence.
+    EXPECT_GT(sd.deoptRedirects, 1500u);
+    EXPECT_LT(sd.instructions, sp.instructions);
+    EXPECT_LT(sd.cycles, sp.cycles);
+    // The periodic probe keeps checking whether types stabilized.
+    EXPECT_GT(sd.deoptProbes, 10u);
+}
+
+TEST(Deopt, NeverTriggersOnWellTypedCode)
+{
+    LuaVm deopt(kNeverMiss, typedOpts(true));
+    deopt.run();
+    EXPECT_EQ(deopt.output(), "2001000\n");
+    const auto stats = deopt.core().collectStats();
+    EXPECT_EQ(stats.deoptRedirects, 0u);
+    EXPECT_EQ(stats.trt.misses(), 0u);
+}
+
+TEST(Deopt, NoCostWhenDisabled)
+{
+    // Instruction streams are identical with the feature off/on for a
+    // well-typed program (the selector lives inside thdl).
+    LuaVm off(kNeverMiss, typedOpts(false));
+    off.run();
+    LuaVm on(kNeverMiss, typedOpts(true));
+    on.run();
+    EXPECT_EQ(off.core().collectStats().instructions,
+              on.core().collectStats().instructions);
+}
+
+TEST(Deopt, RecoversAfterPhaseChange)
+{
+    // Phase 1 is all-float (deoptimizes ADD); phase 2 is all-int on the
+    // same bytecode: the periodic probe must re-optimize so later type
+    // checks hit again.
+    const char *phased = R"(
+function accum(init, n)
+  local s = init
+  for i = 1, n do s = s + i end
+  return s
+end
+print(accum(0.0, 2000))
+print(accum(0, 4000))
+)";
+    LuaVm deopt(phased, typedOpts(true));
+    deopt.run();
+    EXPECT_EQ(deopt.output(), "2001000.0\n8002000\n");
+    const auto stats = deopt.core().collectStats();
+    // Phase 2's hits must include the re-optimized fast path: far more
+    // TRT hits than the probe count alone could produce.
+    EXPECT_GT(stats.trt.hits, 3000u);
+    EXPECT_GT(stats.deoptRedirects, 1000u);
+}
+
+} // namespace
+} // namespace tarch::vm::lua

@@ -1,0 +1,214 @@
+// Differential property tests: seeded random MiniScript programs are
+// executed by the host reference interpreter (src/script/interp.h) and
+// by BOTH guest VMs on ALL THREE ISA variants.  Every combination must
+// print exactly what the reference semantics dictate.
+//
+// The generator stays inside the common semantic core: arithmetic is
+// bounded to avoid int32 overflow (MiniJS) so Lua-style int64 semantics
+// and JS-style double fallback agree; and/or and branch conditions use
+// booleans so the engines' different truthiness of 0/"" never matters.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "common/log.h"
+#include "common/strutil.h"
+#include "script/interp.h"
+#include "script/parser.h"
+#include "vm/js/js_vm.h"
+#include "vm/lua/lua_vm.h"
+
+namespace tarch {
+namespace {
+
+class ProgramGen
+{
+  public:
+    explicit ProgramGen(uint32_t seed) : rng_(seed) {}
+
+    std::string
+    generate()
+    {
+        out_.clear();
+        vars_.clear();
+        // A helper function over two numeric parameters.
+        line("function combine(a, b)");
+        line("  if a < b then return a + b * 2 end");
+        line("  return a - b");
+        line("end");
+        // Numeric locals.
+        const int nvars = 3 + pick(3);
+        for (int i = 0; i < nvars; ++i) {
+            const std::string name = strformat("v%d", i);
+            if (pick(3) == 0)
+                line("local " + name + " = " +
+                     strformat("%d.5", pick(9)));
+            else
+                line("local " + name + " = " +
+                     strformat("%d", pick(21)));
+            vars_.push_back(name);
+        }
+        // A table filled with expressions.
+        line("local t = {}");
+        const int fills = 2 + pick(4);
+        for (int i = 0; i < fills; ++i)
+            line(strformat("t[%d] = ", i + 1) + expr(2));
+        // An accumulation loop.
+        line("local acc = 0");
+        line(strformat("for i = 1, %d do", 5 + pick(20)));
+        line("  acc = acc + " + expr(2));
+        line(strformat("  if acc > %d then break end", 100000 + pick(5000)));
+        line("end");
+        vars_.push_back("acc");
+        // A while loop with a counter.
+        line("local w = 0");
+        line(strformat("local limit = %d", 3 + pick(8)));
+        line("while w < limit do");
+        line("  w = w + 1");
+        line("end");
+        vars_.push_back("w");
+        // Prints: expressions, comparisons, table reads, calls, strings.
+        const int prints = 4 + pick(5);
+        for (int i = 0; i < prints; ++i) {
+            switch (pick(6)) {
+              case 0:
+                line("print(" + expr(3) + ")");
+                break;
+              case 1:
+                line(strformat("print(t[%d])", 1 + pick(fills + 2)));
+                break;
+              case 2:
+                line("print(" + expr(2) + " < " + expr(2) + ")");
+                break;
+              case 3:
+                line("print(combine(" + expr(1) + ", " + expr(1) + "))");
+                break;
+              case 4:
+                line("print(\"x=\" .. " + expr(1) + ")");
+                break;
+              default:
+                line("print((" + expr(2) + " == " + expr(2) +
+                     ") and 1 or 2)");
+                break;
+            }
+        }
+        line("print(acc)");
+        line("print(w)");
+        return out_;
+    }
+
+  private:
+    int pick(int n) { return static_cast<int>(rng_() % n); }
+
+    void
+    line(const std::string &text)
+    {
+        out_ += text;
+        out_ += '\n';
+    }
+
+    /** A depth-bounded numeric expression over locals and literals. */
+    std::string
+    expr(int depth)
+    {
+        if (depth == 0 || pick(3) == 0) {
+            switch (pick(4)) {
+              case 0: return strformat("%d", pick(20));
+              case 1: return strformat("%d.25", pick(8));
+              case 2: return "-" + strformat("%d", 1 + pick(12));
+              default:
+                return vars_.empty()
+                           ? strformat("%d", pick(20))
+                           : vars_[pick(static_cast<int>(vars_.size()))];
+            }
+        }
+        const char *ops[] = {"+", "-", "*", "+", "-"};
+        switch (pick(8)) {
+          case 0:  // floored division by a nonzero literal
+            return "(" + expr(depth - 1) + strformat(" // %d)",
+                                                     1 + pick(9));
+          case 1:  // floored modulo by a nonzero literal
+            return "(" + expr(depth - 1) + strformat(" %% %d)",
+                                                     1 + pick(9));
+          case 2:  // float division by a nonzero literal
+            return "(" + expr(depth - 1) + strformat(" / %d)",
+                                                     1 + pick(7));
+          default:
+            return "(" + expr(depth - 1) + " " + ops[pick(5)] + " " +
+                   expr(depth - 1) + ")";
+        }
+    }
+
+    std::mt19937 rng_;
+    std::string out_;
+    std::vector<std::string> vars_;
+};
+
+class Differential : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(Differential, AllEnginesAndVariantsMatchReference)
+{
+    ProgramGen gen(GetParam());
+    const std::string source = gen.generate();
+    SCOPED_TRACE(source);
+
+    const script::Chunk chunk = script::parse(source);
+    const std::string expected_lua =
+        script::interpret(chunk, script::NumberStyle::Lua);
+    const std::string expected_js =
+        script::interpret(chunk, script::NumberStyle::Js);
+
+    for (const vm::Variant variant :
+         {vm::Variant::Baseline, vm::Variant::Typed,
+          vm::Variant::CheckedLoad}) {
+        {
+            vm::lua::LuaVm::Options opts;
+            opts.variant = variant;
+            vm::lua::LuaVm lua(source, opts);
+            lua.run();
+            EXPECT_EQ(lua.output(), expected_lua)
+                << "MiniLua/" << vm::variantName(variant);
+        }
+        {
+            vm::js::JsVm::Options opts;
+            opts.variant = variant;
+            vm::js::JsVm js(source, opts);
+            js.run();
+            EXPECT_EQ(js.output(), expected_js)
+                << "MiniJS/" << vm::variantName(variant);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Differential,
+                         ::testing::Range(1u, 26u));
+
+TEST(ReferenceInterp, BasicSemantics)
+{
+    const script::Chunk chunk = script::parse(R"(
+local x = 7
+print(x // 2)
+print(-7 % 3)
+print(1.5 + 1)
+print(#"abc")
+print(nil)
+)");
+    EXPECT_EQ(script::interpret(chunk, script::NumberStyle::Lua),
+              "3\n2\n2.5\n3\nnil\n");
+    EXPECT_EQ(script::interpret(chunk, script::NumberStyle::Js),
+              "3\n2\n2.5\n3\nundefined\n");
+}
+
+TEST(ReferenceInterp, StepLimitGuards)
+{
+    const script::Chunk chunk = script::parse("while true do end");
+    EXPECT_THROW(
+        script::interpret(chunk, script::NumberStyle::Lua, 10'000),
+        FatalError);
+}
+
+} // namespace
+} // namespace tarch

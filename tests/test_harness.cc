@@ -1,0 +1,99 @@
+// Integration tests for the experiment harness: the benchmark registry,
+// single-run collection, cross-variant verification, geomean, and the
+// sweep cache round trip.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/log.h"
+#include "harness/benchmarks.h"
+#include "harness/experiment.h"
+
+namespace tarch::harness {
+namespace {
+
+TEST(Benchmarks, RegistryHasAllElevenPaperBenchmarks)
+{
+    const auto &list = benchmarks();
+    ASSERT_EQ(list.size(), 11u);
+    const char *expected[] = {"ackermann",    "binary-trees",
+                              "fannkuch-redux", "fibo",
+                              "k-nucleotide", "mandelbrot",
+                              "n-body",       "n-sieve",
+                              "pidigits",     "random",
+                              "spectral-norm"};
+    for (size_t i = 0; i < list.size(); ++i) {
+        EXPECT_EQ(list[i].name, expected[i]);
+        EXPECT_FALSE(list[i].source.empty());
+        EXPECT_FALSE(list[i].paperInput.empty());
+    }
+    EXPECT_EQ(benchmark("fibo").name, "fibo");
+    EXPECT_THROW(benchmark("nope"), tarch::FatalError);
+}
+
+BenchmarkInfo
+tinyBenchmark()
+{
+    return {"tiny",
+            "local s = 0\nfor i = 1, 200 do s = s + i end\nprint(s)\n",
+            "-", "-", "test workload"};
+}
+
+TEST(Experiment, RunOneCollectsCounters)
+{
+    const RunResult r =
+        runOne(Engine::Lua, vm::Variant::Typed, tinyBenchmark());
+    EXPECT_EQ(r.output, "20100\n");
+    EXPECT_EQ(r.benchmark, "tiny");
+    EXPECT_GT(r.stats.instructions, 1000u);
+    EXPECT_GT(r.dynamicBytecodes, 400u);
+    EXPECT_EQ(r.bytecodeProfile.at("ADD"), 200u);
+    EXPECT_GE(r.stats.trt.hits, 200u);
+    EXPECT_FALSE(r.markerDetail.empty());
+    EXPECT_GT(r.markerDetail.at("dispatch").second, 0u);
+}
+
+TEST(Experiment, BothEnginesAgreeOnIntOutput)
+{
+    const RunResult lua =
+        runOne(Engine::Lua, vm::Variant::Baseline, tinyBenchmark());
+    const RunResult js =
+        runOne(Engine::Js, vm::Variant::Baseline, tinyBenchmark());
+    EXPECT_EQ(lua.output, js.output);
+}
+
+TEST(Experiment, Geomean)
+{
+    EXPECT_DOUBLE_EQ(geomean({2.0, 8.0}), 4.0);
+    EXPECT_DOUBLE_EQ(geomean({1.0, 1.0, 1.0}), 1.0);
+    EXPECT_NEAR(geomean({1.1, 1.1}), 1.1, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Experiment, SpeedupOf)
+{
+    RunResult base, fast;
+    base.stats.cycles = 1000;
+    fast.stats.cycles = 800;
+    EXPECT_DOUBLE_EQ(speedupOf(base, fast), 1.25);
+}
+
+TEST(Experiment, VariantsProduceIdenticalOutputPerEngine)
+{
+    const BenchmarkInfo tiny = tinyBenchmark();
+    for (const Engine engine : {Engine::Lua, Engine::Js}) {
+        const RunResult base =
+            runOne(engine, vm::Variant::Baseline, tiny);
+        const RunResult typed = runOne(engine, vm::Variant::Typed, tiny);
+        const RunResult cl =
+            runOne(engine, vm::Variant::CheckedLoad, tiny);
+        EXPECT_EQ(base.output, typed.output) << engineName(engine);
+        EXPECT_EQ(base.output, cl.output) << engineName(engine);
+        EXPECT_LT(typed.stats.instructions, base.stats.instructions)
+            << engineName(engine);
+    }
+}
+
+} // namespace
+} // namespace tarch::harness

@@ -1,0 +1,127 @@
+// Unit tests for the host-call registry and its interaction with the
+// guest (argument passing, heap allocation, cost charging, errors).
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+#include "common/log.h"
+#include "core/core.h"
+#include "vm/runtime.h"
+
+namespace tarch::core {
+namespace {
+
+TEST(HostcallRegistry, MetadataAndInvocation)
+{
+    HostcallRegistry reg;
+    int calls = 0;
+    reg.add(3, "triple", {10, 20}, [&](HostEnv &env) {
+        ++calls;
+        env.regs.writeGpr(isa::reg::a0,
+                          env.regs.gpr(isa::reg::a0).v * 3);
+    });
+    EXPECT_TRUE(reg.has(3));
+    EXPECT_FALSE(reg.has(4));
+    EXPECT_EQ(reg.name(3), "triple");
+    EXPECT_EQ(reg.cost(3).instructions, 10u);
+
+    RegFile regs;
+    mem::MainMemory memory;
+    std::string out;
+    uint64_t brk = 0x1000000;
+    HostEnv env{regs, memory, out, brk};
+    regs.writeGpr(isa::reg::a0, 7);
+    reg.invoke(3, env);
+    EXPECT_EQ(calls, 1);
+    EXPECT_EQ(regs.gpr(isa::reg::a0).v, 21u);
+}
+
+TEST(HostcallRegistry, DuplicateAndMissingIdsAreFatal)
+{
+    HostcallRegistry reg;
+    reg.add(1, "a", {}, [](HostEnv &) {});
+    EXPECT_THROW(reg.add(1, "b", {}, [](HostEnv &) {}), FatalError);
+    EXPECT_THROW(reg.name(9), FatalError);
+    EXPECT_THROW(reg.cost(9), FatalError);
+}
+
+TEST(Hostcall, GuestWithoutRegistryIsFatal)
+{
+    Core core;  // no registry
+    core.loadProgram(assembler::assemble("hcall 1\nhalt"));
+    EXPECT_THROW(core.run(), FatalError);
+}
+
+TEST(Hostcall, UnregisteredIdIsFatal)
+{
+    HostcallRegistry reg;
+    reg.add(1, "only", {}, [](HostEnv &) {});
+    Core core({}, &reg);
+    core.loadProgram(assembler::assemble("hcall 2\nhalt"));
+    EXPECT_THROW(core.run(), FatalError);
+}
+
+TEST(Hostcall, HeapAllocationIsAlignedAndMonotonic)
+{
+    Core core;
+    const uint64_t a = core.allocHeap(5);
+    const uint64_t b = core.allocHeap(16);
+    const uint64_t c = core.allocHeap(1);
+    EXPECT_EQ(a % 8, 0u);
+    EXPECT_EQ(b % 8, 0u);
+    EXPECT_GE(b, a + 5);
+    EXPECT_GE(c, b + 16);
+    EXPECT_EQ(core.heapBreak(), c + 1);
+}
+
+TEST(Hostcall, InternerDeduplicatesAndRoundTrips)
+{
+    Core core;
+    vm::Interner interner;
+    const uint64_t s1 = interner.intern(core, "hello");
+    const uint64_t s2 = interner.intern(core, "hello");
+    const uint64_t s3 = interner.intern(core, "world");
+    EXPECT_EQ(s1, s2);
+    EXPECT_NE(s1, s3);
+    EXPECT_EQ(vm::Interner::read(core, s1), "hello");
+    EXPECT_EQ(vm::Interner::read(core, s3), "world");
+    EXPECT_EQ(core.memory().read64(s1), 5u);  // length field
+    const uint64_t empty = interner.intern(core, "");
+    EXPECT_EQ(vm::Interner::read(core, empty), "");
+}
+
+TEST(Hostcall, ShadowHashStoresPerTableAndKeyKind)
+{
+    vm::ShadowHash shadow;
+    shadow.set(0x100, false, 7, {42, 1});
+    shadow.set(0x100, true, 7, {99, 2});   // same key, string space
+    shadow.set(0x200, false, 7, {13, 3});  // same key, other table
+    EXPECT_EQ(shadow.get(0x100, false, 7).value, 42u);
+    EXPECT_EQ(shadow.get(0x100, true, 7).value, 99u);
+    EXPECT_EQ(shadow.get(0x200, false, 7).value, 13u);
+    EXPECT_EQ(shadow.get(0x300, false, 7).tag, 0);  // miss -> empty
+    EXPECT_EQ(shadow.size(), 3u);
+}
+
+TEST(Hostcall, CostsChargedPerInvocation)
+{
+    HostcallRegistry reg;
+    reg.add(1, "noop", {7, 13}, [](HostEnv &) {});
+    Core core({}, &reg);
+    core.loadProgram(assembler::assemble(R"(
+        li a1, 10
+l:      hcall 1
+        addi a1, a1, -1
+        bnez a1, l
+        halt
+    )"));
+    core.run();
+    const auto stats = core.collectStats();
+    EXPECT_EQ(stats.hostcalls, 10u);
+    // 10 lumps of 7 instructions on top of the real ones.
+    EXPECT_EQ(stats.instructions, 1u + 30u + 1u + 10u * 7u);
+    EXPECT_GE(stats.cycles, 10u * 13u);
+}
+
+} // namespace
+} // namespace tarch::core

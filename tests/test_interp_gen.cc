@@ -1,0 +1,146 @@
+// Structural tests of the interpreter generators: every variant of both
+// engines assembles cleanly, exposes its marker symbols, and uses
+// exactly the ISA features its variant is allowed to use in the hot
+// handlers (paper Table 3).
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+#include "vm/image.h"
+#include "vm/js/interp_gen.h"
+#include "vm/lua/interp_gen.h"
+
+namespace tarch::vm {
+namespace {
+
+struct GenCase {
+    bool js;
+    Variant variant;
+};
+
+class InterpGen : public ::testing::TestWithParam<GenCase>
+{
+  protected:
+    std::string
+    generate(std::vector<std::pair<std::string, std::string>> *markers =
+                 nullptr)
+    {
+        const GuestLayout layout;
+        if (GetParam().js) {
+            auto result = js::generateInterp(GetParam().variant, layout,
+                                             layout.code, layout.consts,
+                                             4);
+            if (markers)
+                *markers = result.markers;
+            return result.asmText;
+        }
+        auto result = lua::generateInterp(GetParam().variant, layout,
+                                          layout.code, layout.consts);
+        if (markers)
+            *markers = result.markers;
+        return result.asmText;
+    }
+};
+
+TEST_P(InterpGen, AssemblesAndResolvesAllMarkers)
+{
+    std::vector<std::pair<std::string, std::string>> markers;
+    const std::string text = generate(&markers);
+    assembler::AsmOptions opts;
+    opts.textBase = GuestLayout{}.interpText;
+    opts.dataBase = GuestLayout{}.interpData;
+    const assembler::Program program = assembler::assemble(text, opts);
+    EXPECT_GT(program.text.size(), 300u);
+    EXPECT_FALSE(markers.empty());
+    for (const auto &[symbol, name] : markers) {
+        EXPECT_NO_THROW(program.symbol(symbol)) << symbol << " / " << name;
+    }
+    // Entry point and exit are present.
+    EXPECT_NO_THROW(program.symbol("_start"));
+    EXPECT_NO_THROW(program.symbol("vm_exit"));
+    EXPECT_NO_THROW(program.symbol("dispatch"));
+}
+
+TEST_P(InterpGen, HotHandlersUseOnlyTheirVariantsFeatures)
+{
+    const std::string text = generate();
+    const bool has_xadd = text.find("xadd") != std::string::npos;
+    const bool has_tld = text.find("tld ") != std::string::npos;
+    const bool has_chk = text.find("chklb") != std::string::npos ||
+                         text.find("chkld") != std::string::npos;
+    const bool has_trt = text.find("set_trt") != std::string::npos;
+    const bool has_thdl = text.find("thdl") != std::string::npos;
+    switch (GetParam().variant) {
+      case Variant::Baseline:
+        EXPECT_FALSE(has_xadd);
+        EXPECT_FALSE(has_tld);
+        EXPECT_FALSE(has_chk);
+        EXPECT_FALSE(has_trt);
+        EXPECT_FALSE(has_thdl);
+        break;
+      case Variant::Typed:
+        EXPECT_TRUE(has_xadd);
+        EXPECT_TRUE(has_tld);
+        EXPECT_TRUE(has_trt);
+        EXPECT_TRUE(has_thdl);
+        EXPECT_FALSE(has_chk);
+        break;
+      case Variant::CheckedLoad:
+        EXPECT_TRUE(has_chk);
+        EXPECT_TRUE(has_thdl);  // chklb redirects through R_hdl
+        EXPECT_FALSE(has_xadd);
+        EXPECT_FALSE(has_tld);
+        EXPECT_FALSE(has_trt);
+        break;
+    }
+}
+
+TEST_P(InterpGen, TypedVariantMatchesPaperFigure3Shape)
+{
+    if (GetParam().variant != Variant::Typed)
+        GTEST_SKIP();
+    const std::string text = generate();
+    // The transformed ADD: thdl slow_add; tld; tld; xadd; tsd (Fig. 3).
+    const size_t add = text.find("op_add:");
+    const size_t next = text.find("slow_add:");
+    ASSERT_NE(add, std::string::npos);
+    ASSERT_NE(next, std::string::npos);
+    const std::string body = text.substr(add, next - add);
+    EXPECT_NE(body.find("thdl slow_add"), std::string::npos);
+    EXPECT_NE(body.find("xadd"), std::string::npos);
+    EXPECT_NE(body.find("tsd"), std::string::npos);
+    // And no software tag loads in the fast path.
+    EXPECT_EQ(body.find("lbu"), std::string::npos);
+}
+
+TEST_P(InterpGen, SlowPathsExistForAllFiveHotBytecodes)
+{
+    const std::string text = generate();
+    const bool js = GetParam().js;
+    const char *lua_ops[] = {"slow_add:", "slow_sub:", "slow_mul:",
+                             "slow_gettable:", "slow_settable:"};
+    const char *js_ops[] = {"slow_add:", "slow_sub:", "slow_mul:",
+                            "slow_getelem:", "slow_setelem:"};
+    for (const char *label : (js ? js_ops : lua_ops))
+        EXPECT_NE(text.find(label), std::string::npos) << label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, InterpGen,
+    ::testing::Values(GenCase{false, Variant::Baseline},
+                      GenCase{false, Variant::Typed},
+                      GenCase{false, Variant::CheckedLoad},
+                      GenCase{true, Variant::Baseline},
+                      GenCase{true, Variant::Typed},
+                      GenCase{true, Variant::CheckedLoad}),
+    [](const auto &info) {
+        std::string name = info.param.js ? "Js" : "Lua";
+        switch (info.param.variant) {
+          case Variant::Baseline: return name + "Baseline";
+          case Variant::Typed: return name + "Typed";
+          default: return name + "CheckedLoad";
+        }
+    });
+
+} // namespace
+} // namespace tarch::vm

@@ -1,0 +1,165 @@
+// Unit + property tests for src/isa: opcode metadata, register naming,
+// encode/decode round-trips, disassembly.
+
+#include <gtest/gtest.h>
+
+#include "isa/disasm.h"
+#include "isa/encoding.h"
+#include "isa/instr.h"
+#include "isa/opcode.h"
+
+namespace tarch::isa {
+namespace {
+
+TEST(OpcodeTable, EveryOpcodeHasAMnemonic)
+{
+    for (unsigned i = 0; i < kNumOpcodes; ++i) {
+        const auto &info = opcodeInfo(static_cast<Opcode>(i));
+        EXPECT_FALSE(info.mnemonic.empty()) << "opcode index " << i;
+    }
+}
+
+TEST(OpcodeTable, MnemonicLookupIsInverse)
+{
+    for (unsigned i = 0; i < kNumOpcodes; ++i) {
+        const auto op = static_cast<Opcode>(i);
+        const auto found = opcodeFromMnemonic(opcodeInfo(op).mnemonic);
+        ASSERT_TRUE(found.has_value());
+        EXPECT_EQ(*found, op);
+    }
+    EXPECT_FALSE(opcodeFromMnemonic("bogus").has_value());
+}
+
+TEST(OpcodeTable, Classification)
+{
+    EXPECT_TRUE(isLoad(Opcode::LD));
+    EXPECT_TRUE(isLoad(Opcode::TLD));
+    EXPECT_TRUE(isLoad(Opcode::CHKLB));
+    EXPECT_FALSE(isLoad(Opcode::SD));
+    EXPECT_TRUE(isStore(Opcode::TSD));
+    EXPECT_TRUE(isStore(Opcode::FSD));
+    EXPECT_TRUE(isCondBranch(Opcode::BLTU));
+    EXPECT_FALSE(isCondBranch(Opcode::JAL));
+}
+
+TEST(Registers, AbiNames)
+{
+    EXPECT_EQ(gprName(0), "zero");
+    EXPECT_EQ(gprName(1), "ra");
+    EXPECT_EQ(gprName(2), "sp");
+    EXPECT_EQ(gprName(10), "a0");
+    EXPECT_EQ(gprName(31), "t6");
+    EXPECT_EQ(parseGpr("zero"), 0u);
+    EXPECT_EQ(parseGpr("x13"), 13u);
+    EXPECT_EQ(parseGpr("fp"), 8u);
+    EXPECT_EQ(parseGpr("s11"), 27u);
+    EXPECT_FALSE(parseGpr("x32").has_value());
+    EXPECT_FALSE(parseGpr("q1").has_value());
+}
+
+TEST(Registers, FprNames)
+{
+    EXPECT_EQ(parseFpr("f0"), 0u);
+    EXPECT_EQ(parseFpr("f31"), 31u);
+    EXPECT_EQ(parseFpr("ft0"), 0u);
+    EXPECT_EQ(parseFpr("ft8"), 28u);
+    EXPECT_EQ(parseFpr("fa0"), 10u);
+    EXPECT_EQ(parseFpr("fs0"), 8u);
+    EXPECT_EQ(parseFpr("fs2"), 18u);
+    EXPECT_FALSE(parseFpr("f32").has_value());
+}
+
+// ---------------------------------------------------------------------
+// Property-style round-trip across all opcodes and several operand
+// patterns per format.
+
+struct EncodeCase {
+    uint8_t rd, rs1, rs2;
+    int64_t imm_small;
+};
+
+class EncodeRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EncodeRoundTrip, EncodeDecodeIdentity)
+{
+    const auto op = static_cast<Opcode>(GetParam());
+    const auto &info = opcodeInfo(op);
+    const int64_t imms_i[] = {0, 1, -1, 100, -100, 16383, -16384};
+    const int64_t imms_b[] = {0, 4, -4, 400, -400, 65532, -65536};
+    const int64_t imms_u[] = {0, 1, -1, 524287, -524288};
+
+    for (uint8_t rd : {0, 1, 15, 31}) {
+        for (uint8_t rs : {0, 7, 31}) {
+            Instr instr;
+            instr.op = op;
+            switch (info.format) {
+              case Format::R:
+                instr.rd = rd; instr.rs1 = rs; instr.rs2 = 13;
+                break;
+              case Format::I:
+                instr.rd = rd; instr.rs1 = rs;
+                instr.imm = imms_i[(rd + rs) % 7];
+                break;
+              case Format::S:
+                instr.rs1 = rs; instr.rs2 = rd;
+                instr.imm = imms_i[(rd + rs) % 7];
+                break;
+              case Format::B:
+                instr.rs1 = rs; instr.rs2 = rd;
+                instr.imm = imms_b[(rd + rs) % 7];
+                break;
+              case Format::U:
+                instr.rd = rd; instr.imm = imms_u[(rd + rs) % 5];
+                break;
+              case Format::J:
+                instr.rd = rd;
+                instr.imm = imms_b[(rd + rs) % 7] * 8;
+                break;
+              case Format::N:
+                break;
+            }
+            const auto word = encode(instr);
+            ASSERT_TRUE(word.has_value())
+                << disassemble(instr) << " imm=" << instr.imm;
+            const auto back = decode(*word);
+            ASSERT_TRUE(back.has_value());
+            EXPECT_EQ(*back, instr) << disassemble(instr);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, EncodeRoundTrip,
+                         ::testing::Range(0u, kNumOpcodes));
+
+TEST(Encoding, RejectsOutOfRangeImmediates)
+{
+    Instr instr{Opcode::ADDI, 1, 2, 0, 1 << 20};
+    EXPECT_FALSE(encode(instr).has_value());
+    instr = {Opcode::BEQ, 0, 1, 2, 1 << 20};
+    EXPECT_FALSE(encode(instr).has_value());
+    instr = {Opcode::BEQ, 0, 1, 2, 6};  // misaligned branch offset
+    EXPECT_FALSE(encode(instr).has_value());
+}
+
+TEST(Encoding, DecodeRejectsBadOpcodeField)
+{
+    EXPECT_FALSE(decode(0x7F).has_value());
+}
+
+TEST(Disasm, RendersRepresentativeForms)
+{
+    EXPECT_EQ(disassemble({Opcode::ADD, 10, 11, 12, 0}), "add a0, a1, a2");
+    EXPECT_EQ(disassemble({Opcode::LD, 10, 2, 0, 16}), "ld a0, 16(sp)");
+    EXPECT_EQ(disassemble({Opcode::SD, 0, 2, 10, -8}), "sd a0, -8(sp)");
+    EXPECT_EQ(disassemble({Opcode::BEQ, 0, 10, 11, 8}),
+              "beq a0, a1, pc+8");
+    EXPECT_EQ(disassemble({Opcode::FADD_D, 1, 2, 3, 0}),
+              "fadd.d f1, f2, f3");
+    EXPECT_EQ(disassemble({Opcode::TLD, 10, 11, 0, 0}), "tld a0, 0(a1)");
+    EXPECT_EQ(disassemble({Opcode::XADD, 5, 6, 7, 0}), "xadd t0, t1, t2");
+    EXPECT_EQ(disassemble({Opcode::FLUSH_TRT, 0, 0, 0, 0}), "flush_trt");
+    EXPECT_EQ(disassemble({Opcode::HCALL, 0, 0, 0, 7}), "hcall 7");
+}
+
+} // namespace
+} // namespace tarch::isa

@@ -1,0 +1,114 @@
+// Unit tests for the MiniJS stack-bytecode compiler and NaN-box helpers.
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "script/parser.h"
+#include "vm/js/compiler.h"
+
+namespace tarch::vm::js {
+namespace {
+
+Module
+comp(const std::string &src)
+{
+    return compile(script::parse(src));
+}
+
+Op opOf(uint32_t w) { return static_cast<Op>(w & 0xFF); }
+int32_t immOf(uint32_t w) { return static_cast<int32_t>(w) >> 8; }
+
+TEST(NanBox, BoxingHelpers)
+{
+    EXPECT_EQ(boxInt(0), 0xFFF9000000000000ULL);
+    EXPECT_EQ(boxInt(-1) & 0xFFFFFFFFULL, 0xFFFFFFFFULL);
+    EXPECT_EQ(typeHalfword(kTagInt), 0xFFF9);
+    EXPECT_EQ(typeHalfword(kTagObj), 0xFFFE);
+    EXPECT_EQ(typeHalfword(kTagFun), 0xFFFF);
+    // Tags are even so the halfword is unique per type.
+    EXPECT_NE(typeHalfword(kTagStr), typeHalfword(kTagUndef));
+}
+
+TEST(JsCompiler, SmallIntsUseImmediateForm)
+{
+    const Module m = comp("local a = 5");
+    EXPECT_EQ(opOf(m.protos[0].code[0]), Op::PUSHINT);
+    EXPECT_EQ(immOf(m.protos[0].code[0]), 5);
+    EXPECT_EQ(opOf(m.protos[0].code[1]), Op::SETLOCAL);
+}
+
+TEST(JsCompiler, LargeIntsBecomeConstants)
+{
+    const Module m = comp("local a = 10000000");
+    EXPECT_EQ(opOf(m.protos[0].code[0]), Op::PUSHK);
+    EXPECT_EQ(m.protos[0].consts[0].bits, box(kTagInt, 10000000u));
+}
+
+TEST(JsCompiler, HugeIntsBecomeDoubles)
+{
+    const Module m = comp("local a = 10000000000");
+    double d;
+    memcpy(&d, &m.protos[0].consts[0].bits, 8);
+    EXPECT_DOUBLE_EQ(d, 1e10);
+}
+
+TEST(JsCompiler, MainEndsWithReturn)
+{
+    const Module m = comp("print(1)");
+    const auto &code = m.protos[0].code;
+    EXPECT_EQ(opOf(code[code.size() - 1]), Op::RETURN);
+    EXPECT_EQ(opOf(code[code.size() - 2]), Op::PUSHUNDEF);
+}
+
+TEST(JsCompiler, StatementsBalanceTheStack)
+{
+    // Call statements pop their value.
+    const Module m = comp("function f() return 1 end\nf()");
+    const auto &code = m.protos[0].code;
+    bool pop_after_call = false;
+    for (size_t i = 1; i < code.size(); ++i) {
+        if (opOf(code[i - 1]) == Op::CALL && opOf(code[i]) == Op::POP)
+            pop_after_call = true;
+    }
+    EXPECT_TRUE(pop_after_call);
+}
+
+TEST(JsCompiler, GtSwapsOperandOrder)
+{
+    const Module m = comp("local a = 1\nlocal b = 2\nlocal c = a > b");
+    const auto &code = m.protos[0].code;
+    // rhs (b) pushed first, then lhs (a), then LT.
+    size_t lt = SIZE_MAX;
+    for (size_t i = 0; i < code.size(); ++i) {
+        if (opOf(code[i]) == Op::LT)
+            lt = i;
+    }
+    ASSERT_NE(lt, SIZE_MAX);
+    EXPECT_EQ(opOf(code[lt - 2]), Op::GETLOCAL);
+    EXPECT_EQ(immOf(code[lt - 2]), 1);  // b
+    EXPECT_EQ(immOf(code[lt - 1]), 0);  // a
+}
+
+TEST(JsCompiler, ForLoopUsesHiddenLocals)
+{
+    const Module m = comp("for i = 1, 3 do print(i) end");
+    // var + limit + step hidden slots.
+    EXPECT_GE(m.protos[0].nlocals, 3u);
+}
+
+TEST(JsCompiler, FunctionArityChecked)
+{
+    EXPECT_THROW(comp("function f(a) return a end\nf(1, 2)"), FatalError);
+    EXPECT_THROW(comp("x = undefined_fn(1)"), FatalError);
+}
+
+TEST(JsCompiler, DisassemblerSmoke)
+{
+    const Module m = comp("for i = 1, 3 do print(i) end");
+    const std::string listing = disassemble(m.protos[0].code);
+    EXPECT_NE(listing.find("JUMPF"), std::string::npos);
+    EXPECT_NE(listing.find("BUILTIN"), std::string::npos);
+}
+
+} // namespace
+} // namespace tarch::vm::js

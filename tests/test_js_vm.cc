@@ -1,0 +1,392 @@
+// End-to-end MiniJS VM tests: the NaN-boxing stack interpreter runs the
+// same MiniScript sources on all three ISA variants with identical
+// output.  Expected output follows JS number formatting (integral
+// doubles print without a decimal point).
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "vm/js/js_vm.h"
+
+namespace tarch::vm::js {
+namespace {
+
+std::string
+runOn(Variant v, const std::string &src)
+{
+    JsVm::Options opts;
+    opts.variant = v;
+    JsVm vm(src, opts);
+    EXPECT_EQ(vm.run(), 0);
+    return vm.output();
+}
+
+class JsAllVariants : public ::testing::TestWithParam<Variant>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(Js, JsAllVariants,
+                         ::testing::Values(Variant::Baseline, Variant::Typed,
+                                           Variant::CheckedLoad),
+                         [](const auto &info) {
+                             switch (info.param) {
+                               case Variant::Baseline: return "Baseline";
+                               case Variant::Typed: return "Typed";
+                               default: return "CheckedLoad";
+                             }
+                         });
+
+TEST_P(JsAllVariants, PrintLiterals)
+{
+    EXPECT_EQ(runOn(GetParam(), R"(
+print(42)
+print(-7)
+print(3.5)
+print(2.0)
+print("hello")
+print(true)
+print(false)
+print(nil)
+)"),
+              "42\n-7\n3.5\n2\nhello\ntrue\nfalse\nundefined\n");
+}
+
+TEST_P(JsAllVariants, IntegerArithmetic)
+{
+    EXPECT_EQ(runOn(GetParam(), R"(
+local a = 10
+local b = 3
+print(a + b)
+print(a - b)
+print(a * b)
+print(a // b)
+print(a % b)
+print(-a)
+)"),
+              "13\n7\n30\n3\n1\n-10\n");
+}
+
+TEST_P(JsAllVariants, FloatArithmetic)
+{
+    EXPECT_EQ(runOn(GetParam(), R"(
+print(1.5 + 2.25)
+print(10 / 4)
+print(7.5 * 2.0)
+print(1.0 - 0.75)
+)"),
+              "3.75\n2.5\n15\n0.25\n");
+}
+
+TEST_P(JsAllVariants, MixedIntFloatSlowPath)
+{
+    EXPECT_EQ(runOn(GetParam(), R"(
+local i = 2
+local f = 0.5
+print(i + f)
+print(f + i)
+print(i * f)
+print(i - f)
+)"),
+              "2.5\n2.5\n1\n1.5\n");
+}
+
+TEST_P(JsAllVariants, Int32OverflowFallsBackToDoubles)
+{
+    // 2^30 + 2^30 + 2^30 exceeds int32: the overflow path must keep the
+    // mathematically correct value as a double.
+    EXPECT_EQ(runOn(GetParam(), R"(
+local big = 1073741824
+print(big + big)
+print(big * 4)
+print(0 - big - big - big)
+)"),
+              "2147483648\n4294967296\n-3221225472\n");
+}
+
+TEST_P(JsAllVariants, Comparisons)
+{
+    EXPECT_EQ(runOn(GetParam(), R"(
+print(1 < 2)
+print(2 <= 2)
+print(3 > 4)
+print(1.5 >= 1.5)
+print(1 == 1.0)
+print(1 ~= 2)
+print("a" == "a")
+print("a" == "b")
+print(nil == nil)
+print(nil == false)
+)"),
+              "true\ntrue\nfalse\ntrue\ntrue\ntrue\ntrue\nfalse\ntrue\n"
+              "false\n");
+}
+
+TEST_P(JsAllVariants, ControlFlowAndLoops)
+{
+    EXPECT_EQ(runOn(GetParam(), R"(
+local x = 7
+if x > 10 then
+  print("big")
+elseif x > 5 then
+  print("mid")
+else
+  print("small")
+end
+local n = 0
+while n < 3 do n = n + 1 end
+print(n)
+local sum = 0
+for i = 1, 10 do
+  sum = sum + i
+  if i == 5 then break end
+end
+print(sum)
+for i = 10, 1, -3 do print(i) end
+)"),
+              "mid\n3\n15\n10\n7\n4\n1\n");
+}
+
+TEST_P(JsAllVariants, FunctionsAndRecursion)
+{
+    EXPECT_EQ(runOn(GetParam(), R"(
+function add(a, b) return a + b end
+function fib(n)
+  if n < 2 then return n end
+  return fib(n - 1) + fib(n - 2)
+end
+print(add(2, 3))
+print(fib(10))
+)"),
+              "5\n55\n");
+}
+
+TEST_P(JsAllVariants, GlobalsAcrossCalls)
+{
+    EXPECT_EQ(runOn(GetParam(), R"(
+counter = 0
+function bump(k)
+  counter = counter + k
+  return counter
+end
+print(bump(bump(1) + 1))
+print(counter)
+)"),
+              "3\n3\n");
+}
+
+TEST_P(JsAllVariants, Arrays)
+{
+    EXPECT_EQ(runOn(GetParam(), R"(
+local t = {}
+t[1] = 10
+t[2] = 20
+t[3] = t[1] + t[2]
+print(t[3])
+print(#t)
+local u = {5, 6, 7}
+print(u[1] + u[2] + u[3])
+print(u[99])
+)"),
+              "30\n3\n18\nundefined\n");
+}
+
+TEST_P(JsAllVariants, ArrayGrowthKeepsValues)
+{
+    EXPECT_EQ(runOn(GetParam(), R"(
+local t = {}
+for i = 1, 100 do t[i] = i * i end
+local s = 0
+for i = 1, 100 do s = s + t[i] end
+print(s)
+print(#t)
+)"),
+              "338350\n100\n");
+}
+
+TEST_P(JsAllVariants, StringKeysUseHashPath)
+{
+    EXPECT_EQ(runOn(GetParam(), R"(
+local t = {}
+t["x"] = 1
+t["y"] = 2
+t["x"] = t["x"] + 10
+print(t["x"])
+print(t["y"])
+print(t["zz"])
+)"),
+              "11\n2\nundefined\n");
+}
+
+TEST_P(JsAllVariants, StringsLenConcatSubstr)
+{
+    EXPECT_EQ(runOn(GetParam(), R"(
+local s = "hello"
+print(#s)
+print(s .. " " .. "world")
+print(substr(s, 2, 4))
+print(strchar(65))
+print("n=" .. 42)
+print("f=" .. 1.5)
+)"),
+              "5\nhello world\nell\nA\nn=42\nf=1.5\n");
+}
+
+TEST_P(JsAllVariants, Builtins)
+{
+    EXPECT_EQ(runOn(GetParam(), R"(
+print(sqrt(16))
+print(sqrt(2.25))
+print(floor(3.7))
+print(floor(-3.7))
+print(abs(-5))
+print(abs(-2.5))
+)"),
+              "4\n1.5\n3\n-4\n5\n2.5\n");
+}
+
+TEST_P(JsAllVariants, AndOrNotTruthiness)
+{
+    // JS truthiness: 0 and "" are falsy (unlike Lua).
+    EXPECT_EQ(runOn(GetParam(), R"(
+print(true and 1)
+print(false and 1)
+print(nil or "dflt")
+print(2 or 3)
+print(0 or 5)
+print(not nil)
+print(not 0)
+print(not 1)
+)"),
+              "1\nfalse\ndflt\n2\n5\ntrue\ntrue\nfalse\n");
+}
+
+TEST_P(JsAllVariants, FloatHeavyKernel)
+{
+    EXPECT_EQ(runOn(GetParam(), R"(
+local zr = 0.0
+local zi = 0.0
+local cr = -0.5
+local ci = 0.3
+local n = 0
+for i = 1, 50 do
+  local t = zr * zr - zi * zi + cr
+  zi = 2.0 * zr * zi + ci
+  zr = t
+  if zr * zr + zi * zi > 4.0 then break end
+  n = n + 1
+end
+print(n)
+)"),
+              "50\n");
+}
+
+TEST_P(JsAllVariants, DeepRecursion)
+{
+    EXPECT_EQ(runOn(GetParam(), R"(
+function down(n)
+  if n == 0 then return 0 end
+  return down(n - 1) + 1
+end
+print(down(500))
+)"),
+              "500\n");
+}
+
+// ------------------------------------------------------------------
+// Variant-specific structural checks.
+
+TEST(JsVmTyped, IntLoopHitsTrt)
+{
+    JsVm::Options opts;
+    opts.variant = Variant::Typed;
+    JsVm vm(R"(
+local s = 0
+for i = 1, 1000 do s = s + i end
+print(s)
+)",
+            opts);
+    vm.run();
+    EXPECT_EQ(vm.output(), "500500\n");
+    const auto stats = vm.core().collectStats();
+    EXPECT_GE(stats.trt.lookups, 1000u);
+    EXPECT_EQ(stats.trt.misses(), 0u);
+    EXPECT_EQ(stats.typeOverflowMisses, 0u);
+}
+
+TEST(JsVmTyped, OverflowCountsAsTypeMiss)
+{
+    JsVm::Options opts;
+    opts.variant = Variant::Typed;
+    JsVm vm(R"(
+local big = 2000000000
+local x = big + big
+print(x)
+)",
+            opts);
+    vm.run();
+    EXPECT_EQ(vm.output(), "4000000000\n");
+    EXPECT_GE(vm.core().collectStats().typeOverflowMisses, 1u);
+}
+
+TEST(JsVmCheckedLoad, FloatWorkloadMissesFixedFastPath)
+{
+    JsVm::Options opts;
+    opts.variant = Variant::CheckedLoad;
+    JsVm vm(R"(
+local s = 0.0
+for i = 1, 200 do s = s + 0.5 end
+print(s)
+)",
+            opts);
+    vm.run();
+    EXPECT_EQ(vm.output(), "100\n");
+    EXPECT_GE(vm.core().collectStats().chklbMisses, 200u);
+}
+
+TEST(JsVm, TypedExecutesFewerInstructions)
+{
+    const char *src = R"(
+local t = {}
+for i = 1, 500 do t[i] = i end
+local s = 0
+for i = 1, 500 do s = s + t[i] end
+print(s)
+)";
+    JsVm::Options b_opts;
+    b_opts.variant = Variant::Baseline;
+    JsVm base(src, b_opts);
+    base.run();
+    JsVm::Options t_opts;
+    t_opts.variant = Variant::Typed;
+    JsVm typed(src, t_opts);
+    typed.run();
+    EXPECT_EQ(base.output(), typed.output());
+    EXPECT_EQ(base.output(), "125250\n");
+    const auto sb = base.core().collectStats();
+    const auto st = typed.core().collectStats();
+    EXPECT_LT(st.instructions, sb.instructions);
+    EXPECT_LT(st.cycles, sb.cycles);
+}
+
+TEST(JsVm, BytecodeProfile)
+{
+    JsVm vm(R"(
+local s = 0
+for i = 1, 100 do s = s + i end
+print(s)
+)");
+    vm.run();
+    const auto profile = vm.bytecodeProfile();
+    // One user ADD plus one loop-increment ADD per iteration.
+    EXPECT_EQ(profile.at("ADD"), 200u);
+    EXPECT_GT(vm.dynamicBytecodes(), 500u);
+}
+
+TEST(JsVm, RuntimeErrorsAreFatal)
+{
+    JsVm vm("local t = nil\nprint(t + 1)\n");
+    EXPECT_THROW(vm.run(), FatalError);
+}
+
+} // namespace
+} // namespace tarch::vm::js

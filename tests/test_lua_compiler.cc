@@ -1,0 +1,218 @@
+// Unit tests for the MiniLua bytecode compiler: encodings, register
+// allocation, constant pooling, jump patching, scoping.
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "script/parser.h"
+#include "vm/lua/compiler.h"
+
+namespace tarch::vm::lua {
+namespace {
+
+Module
+comp(const std::string &src)
+{
+    return compile(script::parse(src));
+}
+
+Op
+opOf(uint32_t w)
+{
+    return static_cast<Op>(w & 0x3F);
+}
+
+unsigned aOf(uint32_t w) { return (w >> 6) & 0xFF; }
+unsigned bOf(uint32_t w) { return (w >> 14) & 0x1FF; }
+unsigned cOf(uint32_t w) { return (w >> 23) & 0x1FF; }
+int32_t sbxOf(uint32_t w) { return static_cast<int32_t>(w) >> 14; }
+
+TEST(Encoding, AbcRoundTrip)
+{
+    const uint32_t w = encodeAbc(Op::ADD, 3, 0x105, 0x0FF);
+    EXPECT_EQ(opOf(w), Op::ADD);
+    EXPECT_EQ(aOf(w), 3u);
+    EXPECT_EQ(bOf(w), 0x105u);
+    EXPECT_EQ(cOf(w), 0x0FFu);
+}
+
+TEST(Encoding, SbxRoundTripNegative)
+{
+    const uint32_t w = encodeAsbx(Op::JMP, 0, -5);
+    EXPECT_EQ(opOf(w), Op::JMP);
+    EXPECT_EQ(sbxOf(w), -5);
+    EXPECT_EQ(sbxOf(encodeAsbx(Op::JMP, 0, 1000)), 1000);
+}
+
+TEST(Compiler, MainEndsWithReturn)
+{
+    const Module m = comp("local x = 1");
+    ASSERT_FALSE(m.protos[0].code.empty());
+    EXPECT_EQ(opOf(m.protos[0].code.back()), Op::RETURN);
+}
+
+TEST(Compiler, LocalsGetLowRegisters)
+{
+    const Module m = comp("local a = 1\nlocal b = 2\nb = a");
+    const auto &code = m.protos[0].code;
+    // LOADK a(r0); LOADK b(r1); MOVE r1, r0; RETURN
+    EXPECT_EQ(opOf(code[0]), Op::LOADK);
+    EXPECT_EQ(aOf(code[0]), 0u);
+    EXPECT_EQ(opOf(code[1]), Op::LOADK);
+    EXPECT_EQ(aOf(code[1]), 1u);
+    EXPECT_EQ(opOf(code[2]), Op::MOVE);
+    EXPECT_EQ(aOf(code[2]), 1u);
+    EXPECT_EQ(bOf(code[2]), 0u);
+}
+
+TEST(Compiler, ConstantsDedup)
+{
+    const Module m = comp("local a = 7\nlocal b = 7\nlocal c = 8");
+    EXPECT_EQ(m.protos[0].consts.size(), 2u);
+}
+
+TEST(Compiler, RkOperandsUseConstFlag)
+{
+    const Module m = comp("local a = 1\na = a + 5");
+    const auto &code = m.protos[0].code;
+    // code[1] is ADD a, a, K(5)|flag
+    EXPECT_EQ(opOf(code[1]), Op::ADD);
+    EXPECT_EQ(bOf(code[1]), 0u);                // register a
+    EXPECT_TRUE(cOf(code[1]) & kRkConstFlag);   // constant 5
+}
+
+TEST(Compiler, NegativeLiteralFolded)
+{
+    const Module m = comp("local a = -3");
+    ASSERT_EQ(m.protos[0].consts.size(), 1u);
+    EXPECT_EQ(m.protos[0].consts[0].ival, -3);
+}
+
+TEST(Compiler, GtCompilesAsSwappedLt)
+{
+    const Module m = comp("local a = 1\nlocal b = 2\nlocal c = a > b");
+    const auto &code = m.protos[0].code;
+    EXPECT_EQ(opOf(code[2]), Op::LT);
+    EXPECT_EQ(bOf(code[2]), 1u);  // b first (swapped)
+    EXPECT_EQ(cOf(code[2]), 0u);
+}
+
+TEST(Compiler, WhileLoopJumpsBack)
+{
+    const Module m = comp("local i = 0\nwhile i < 3 do i = i + 1 end");
+    const auto &code = m.protos[0].code;
+    // Find the backward JMP.
+    bool found = false;
+    for (size_t i = 0; i < code.size(); ++i) {
+        if (opOf(code[i]) == Op::JMP && sbxOf(code[i]) < 0)
+            found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Compiler, ForLoopStructure)
+{
+    const Module m = comp("for i = 1, 10 do print(i) end");
+    const auto &code = m.protos[0].code;
+    size_t prep = SIZE_MAX, loop = SIZE_MAX;
+    for (size_t i = 0; i < code.size(); ++i) {
+        if (opOf(code[i]) == Op::FORPREP)
+            prep = i;
+        if (opOf(code[i]) == Op::FORLOOP)
+            loop = i;
+    }
+    ASSERT_NE(prep, SIZE_MAX);
+    ASSERT_NE(loop, SIZE_MAX);
+    // FORPREP jumps exactly onto the FORLOOP.
+    EXPECT_EQ(prep + 1 + sbxOf(code[prep]), loop);
+    // FORLOOP jumps back to the body start (right after FORPREP).
+    EXPECT_EQ(loop + 1 + sbxOf(code[loop]), prep + 1);
+}
+
+TEST(Compiler, ForLoopVarRegisterIsBasePlus3)
+{
+    const Module m = comp("for i = 1, 3 do local x = i end");
+    const auto &code = m.protos[0].code;
+    // body: MOVE x, i where i is base+3.
+    bool found = false;
+    for (const uint32_t w : code) {
+        if (opOf(w) == Op::MOVE && bOf(w) == 3)
+            found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Compiler, ScopedLocalReleasedAfterBlock)
+{
+    // The local declared in the loop body must not leak into the
+    // register space of later locals.
+    const Module m = comp(R"(
+for i = 1, 3 do
+  local inner = i
+end
+local after = 9
+)");
+    const auto &code = m.protos[0].code;
+    // 'after' should reuse register 0 (the for-control regs are freed).
+    const uint32_t last_loadk = *std::find_if(
+        code.rbegin(), code.rend(),
+        [](uint32_t w) { return opOf(w) == Op::LOADK; });
+    EXPECT_EQ(aOf(last_loadk), 0u);
+}
+
+TEST(Compiler, FunctionsGetProtosAndGlobals)
+{
+    const Module m = comp(R"(
+function f(x) return x end
+function g() return f(1) end
+g()
+)");
+    ASSERT_EQ(m.protos.size(), 3u);
+    EXPECT_EQ(m.protos[1].name, "f");
+    EXPECT_EQ(m.protos[1].nparams, 1u);
+    EXPECT_EQ(m.functionGlobals.size(), 2u);
+}
+
+TEST(Compiler, CallEmitsGetGlobalThenCall)
+{
+    const Module m = comp("function f(a) return a end\nlocal x = f(3)");
+    const auto &code = m.protos[0].code;
+    size_t call = SIZE_MAX;
+    for (size_t i = 0; i < code.size(); ++i) {
+        if (opOf(code[i]) == Op::CALL)
+            call = i;
+    }
+    ASSERT_NE(call, SIZE_MAX);
+    EXPECT_EQ(opOf(code[call - 1]), Op::GETGLOBAL);
+    EXPECT_EQ(aOf(code[call]), aOf(code[call - 1]));
+    EXPECT_EQ(bOf(code[call]), 1u);  // argc
+}
+
+TEST(Compiler, BuiltinCall)
+{
+    const Module m = comp("print(1)");
+    const auto &code = m.protos[0].code;
+    EXPECT_EQ(opOf(code[1]), Op::BUILTIN);
+    EXPECT_EQ(bOf(code[1]), static_cast<unsigned>(Builtin::Print));
+    EXPECT_EQ(cOf(code[1]), 1u);  // argc
+}
+
+TEST(Compiler, Errors)
+{
+    EXPECT_THROW(comp("x = undefined_fn(1)"), FatalError);
+    EXPECT_THROW(comp("function f(a) return a end\nf(1, 2)"), FatalError);
+    EXPECT_THROW(comp("break"), FatalError);
+    EXPECT_THROW(comp("function f() return 1 end\nfunction f() return 2 end"),
+                 FatalError);
+}
+
+TEST(Compiler, DisassemblerSmoke)
+{
+    const Module m = comp("for i = 1, 3 do print(i) end");
+    const std::string listing = disassemble(m.protos[0].code);
+    EXPECT_NE(listing.find("FORPREP"), std::string::npos);
+    EXPECT_NE(listing.find("BUILTIN"), std::string::npos);
+}
+
+} // namespace
+} // namespace tarch::vm::lua

@@ -1,0 +1,419 @@
+// End-to-end MiniLua VM tests: scripts compile, the generated
+// interpreter runs them on the simulated core, and all three ISA
+// variants (baseline, typed, checked-load) produce identical output.
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "vm/lua/lua_vm.h"
+
+namespace tarch::vm::lua {
+namespace {
+
+std::string
+runOn(Variant v, const std::string &src)
+{
+    LuaVm::Options opts;
+    opts.variant = v;
+    LuaVm vm(src, opts);
+    EXPECT_EQ(vm.run(), 0);
+    return vm.output();
+}
+
+class AllVariants : public ::testing::TestWithParam<Variant>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(Lua, AllVariants,
+                         ::testing::Values(Variant::Baseline, Variant::Typed,
+                                           Variant::CheckedLoad),
+                         [](const auto &info) {
+                             return std::string(variantName(info.param)) ==
+                                            "checked-load"
+                                        ? "CheckedLoad"
+                                        : std::string(
+                                              variantName(info.param)) ==
+                                                  "typed"
+                                              ? "Typed"
+                                              : "Baseline";
+                         });
+
+TEST_P(AllVariants, PrintLiterals)
+{
+    EXPECT_EQ(runOn(GetParam(), R"(
+print(42)
+print(-7)
+print(3.5)
+print(2.0)
+print("hello")
+print(true)
+print(false)
+print(nil)
+)"),
+              "42\n-7\n3.5\n2.0\nhello\ntrue\nfalse\nnil\n");
+}
+
+TEST_P(AllVariants, IntegerArithmetic)
+{
+    EXPECT_EQ(runOn(GetParam(), R"(
+local a = 10
+local b = 3
+print(a + b)
+print(a - b)
+print(a * b)
+print(a // b)
+print(a % b)
+print(-a)
+)"),
+              "13\n7\n30\n3\n1\n-10\n");
+}
+
+TEST_P(AllVariants, FloatArithmeticAndDivision)
+{
+    EXPECT_EQ(runOn(GetParam(), R"(
+print(1.5 + 2.25)
+print(10 / 4)
+print(7.5 * 2.0)
+print(1.0 - 0.75)
+)"),
+              "3.75\n2.5\n15.0\n0.25\n");
+}
+
+TEST_P(AllVariants, MixedIntFloatSlowPath)
+{
+    // int+float must take the software slow path in every variant and
+    // produce a float.
+    EXPECT_EQ(runOn(GetParam(), R"(
+local i = 2
+local f = 0.5
+print(i + f)
+print(f + i)
+print(i * f)
+print(i - f)
+)"),
+              "2.5\n2.5\n1.0\n1.5\n");
+}
+
+TEST_P(AllVariants, LuaModuloAndFloorDivSemantics)
+{
+    EXPECT_EQ(runOn(GetParam(), R"(
+print(-7 % 3)
+print(7 % -3)
+print(-7 // 2)
+print(7 // -2)
+print(-7.5 % 2.0)
+)"),
+              "2\n-2\n-4\n-4\n0.5\n");
+}
+
+TEST_P(AllVariants, Comparisons)
+{
+    EXPECT_EQ(runOn(GetParam(), R"(
+print(1 < 2)
+print(2 <= 2)
+print(3 > 4)
+print(1.5 >= 1.5)
+print(1 == 1.0)
+print(1 ~= 2)
+print("a" == "a")
+print("a" == "b")
+print(nil == nil)
+print(nil == false)
+)"),
+              "true\ntrue\nfalse\ntrue\ntrue\ntrue\ntrue\nfalse\ntrue\n"
+              "false\n");
+}
+
+TEST_P(AllVariants, ControlFlow)
+{
+    EXPECT_EQ(runOn(GetParam(), R"(
+local x = 7
+if x > 10 then
+  print("big")
+elseif x > 5 then
+  print("mid")
+else
+  print("small")
+end
+local n = 0
+while n < 3 do
+  n = n + 1
+end
+print(n)
+local sum = 0
+for i = 1, 10 do
+  sum = sum + i
+  if i == 5 then break end
+end
+print(sum)
+)"),
+              "mid\n3\n15\n");
+}
+
+TEST_P(AllVariants, NumericForVariants)
+{
+    EXPECT_EQ(runOn(GetParam(), R"(
+local s = 0
+for i = 1, 5 do s = s + i end
+print(s)
+for i = 10, 1, -3 do print(i) end
+local f = 0.0
+for x = 0.5, 2.0, 0.5 do f = f + x end
+print(f)
+for i = 3, 1 do print("never") end
+)"),
+              "15\n10\n7\n4\n1\n5.0\n");
+}
+
+TEST_P(AllVariants, AndOrNot)
+{
+    EXPECT_EQ(runOn(GetParam(), R"(
+print(true and 1)
+print(false and 1)
+print(nil or "dflt")
+print(2 or 3)
+print(not nil)
+print(not 0)
+)"),
+              "1\nfalse\ndflt\n2\ntrue\nfalse\n");
+}
+
+TEST_P(AllVariants, FunctionsAndRecursion)
+{
+    EXPECT_EQ(runOn(GetParam(), R"(
+function add(a, b) return a + b end
+function fib(n)
+  if n < 2 then return n end
+  return fib(n - 1) + fib(n - 2)
+end
+print(add(2, 3))
+print(fib(10))
+)"),
+              "5\n55\n");
+}
+
+TEST_P(AllVariants, NestedCallsAndGlobals)
+{
+    EXPECT_EQ(runOn(GetParam(), R"(
+counter = 0
+function bump(k)
+  counter = counter + k
+  return counter
+end
+print(bump(bump(1) + 1))
+print(counter)
+)"),
+              "3\n3\n");
+}
+
+TEST_P(AllVariants, Tables)
+{
+    EXPECT_EQ(runOn(GetParam(), R"(
+local t = {}
+t[1] = 10
+t[2] = 20
+t[3] = t[1] + t[2]
+print(t[3])
+print(#t)
+local u = {5, 6, 7}
+print(u[1] + u[2] + u[3])
+print(u[99])
+)"),
+              "30\n3\n18\nnil\n");
+}
+
+TEST_P(AllVariants, TableGrowthKeepsValues)
+{
+    EXPECT_EQ(runOn(GetParam(), R"(
+local t = {}
+for i = 1, 100 do t[i] = i * i end
+local s = 0
+for i = 1, 100 do s = s + t[i] end
+print(s)
+print(#t)
+)"),
+              "338350\n100\n");
+}
+
+TEST_P(AllVariants, StringKeysUseHashPath)
+{
+    EXPECT_EQ(runOn(GetParam(), R"(
+local t = {}
+t["x"] = 1
+t["y"] = 2
+t["x"] = t["x"] + 10
+print(t["x"])
+print(t["y"])
+print(t["zz"])
+)"),
+              "11\n2\nnil\n");
+}
+
+TEST_P(AllVariants, StringsLenConcatSubstr)
+{
+    EXPECT_EQ(runOn(GetParam(), R"(
+local s = "hello"
+print(#s)
+print(s .. " " .. "world")
+print(substr(s, 2, 4))
+print(substr(s, -3, -1))
+print(strchar(65))
+print("n=" .. 42)
+print("f=" .. 1.5)
+)"),
+              "5\nhello world\nell\nllo\nA\nn=42\nf=1.5\n");
+}
+
+TEST_P(AllVariants, Builtins)
+{
+    EXPECT_EQ(runOn(GetParam(), R"(
+print(sqrt(16))
+print(sqrt(2.25))
+print(floor(3.7))
+print(floor(-3.7))
+print(abs(-5))
+print(abs(-2.5))
+)"),
+              "4.0\n1.5\n3\n-4\n5\n2.5\n");
+}
+
+TEST_P(AllVariants, FloatHeavyLoopMatchesAcrossVariants)
+{
+    // mandelbrot-style float kernel: exercises the FP path of the
+    // polymorphic ops (where Checked Load's fixed int fast path misses).
+    EXPECT_EQ(runOn(GetParam(), R"(
+local zr = 0.0
+local zi = 0.0
+local cr = -0.5
+local ci = 0.3
+local n = 0
+for i = 1, 50 do
+  local t = zr * zr - zi * zi + cr
+  zi = 2.0 * zr * zi + ci
+  zr = t
+  if zr * zr + zi * zi > 4.0 then break end
+  n = n + 1
+end
+print(n)
+)"),
+              "50\n");
+}
+
+TEST_P(AllVariants, DeepRecursionStacksFrames)
+{
+    EXPECT_EQ(runOn(GetParam(), R"(
+function down(n)
+  if n == 0 then return 0 end
+  return down(n - 1) + 1
+end
+print(down(500))
+)"),
+              "500\n");
+}
+
+// ------------------------------------------------------------------
+// Variant-specific structural checks.
+
+TEST(LuaVmTyped, TypeChecksGoThroughTrt)
+{
+    LuaVm::Options opts;
+    opts.variant = Variant::Typed;
+    LuaVm vm(R"(
+local s = 0
+for i = 1, 1000 do s = s + i end
+print(s)
+)",
+             opts);
+    vm.run();
+    EXPECT_EQ(vm.output(), "500500\n");
+    const auto stats = vm.core().collectStats();
+    // One xadd TRT lookup per ADD bytecode, all hits.
+    EXPECT_GE(stats.trt.lookups, 1000u);
+    EXPECT_EQ(stats.trt.misses(), 0u);
+}
+
+TEST(LuaVmTyped, MixedTypesMissTheTrt)
+{
+    LuaVm::Options opts;
+    opts.variant = Variant::Typed;
+    LuaVm vm(R"(
+local f = 0.5
+local s = 0.0
+for i = 1, 100 do s = s + f end
+s = s + 1
+print(s)
+)",
+             opts);
+    vm.run();
+    EXPECT_EQ(vm.output(), "51.0\n");
+    const auto stats = vm.core().collectStats();
+    EXPECT_GE(stats.trt.misses(), 1u);  // the int + float add
+}
+
+TEST(LuaVmCheckedLoad, FloatWorkloadMissesFixedFastPath)
+{
+    LuaVm::Options opts;
+    opts.variant = Variant::CheckedLoad;
+    LuaVm vm(R"(
+local s = 0.0
+for i = 1, 200 do s = s + 0.5 end
+print(s)
+)",
+             opts);
+    vm.run();
+    EXPECT_EQ(vm.output(), "100.0\n");
+    const auto stats = vm.core().collectStats();
+    // Every float add misses the int-specialized chklb.
+    EXPECT_GE(stats.chklbMisses, 200u);
+}
+
+TEST(LuaVm, BytecodeProfileCountsAdds)
+{
+    LuaVm vm(R"(
+local s = 0
+for i = 1, 500 do s = s + i end
+print(s)
+)");
+    vm.run();
+    const auto profile = vm.bytecodeProfile();
+    EXPECT_EQ(profile.at("ADD"), 500u);
+    EXPECT_EQ(profile.at("FORLOOP"), 501u);  // exit iteration counts
+    EXPECT_GT(vm.dynamicBytecodes(), 1000u);
+}
+
+TEST(LuaVm, TypedExecutesFewerInstructionsOnIntLoop)
+{
+    const char *src = R"(
+local s = 0
+for i = 1, 2000 do s = s + i end
+print(s)
+)";
+    LuaVm::Options base_opts;
+    base_opts.variant = Variant::Baseline;
+    LuaVm base(src, base_opts);
+    base.run();
+    LuaVm::Options typed_opts;
+    typed_opts.variant = Variant::Typed;
+    LuaVm typed(src, typed_opts);
+    typed.run();
+    EXPECT_EQ(base.output(), typed.output());
+    const auto sb = base.core().collectStats();
+    const auto st = typed.core().collectStats();
+    EXPECT_LT(st.instructions, sb.instructions);
+    EXPECT_LT(st.cycles, sb.cycles);
+}
+
+TEST(LuaVm, RuntimeErrorsAreFatal)
+{
+    LuaVm vm("local t = nil\nprint(t + 1)\n");
+    EXPECT_THROW(vm.run(), FatalError);
+}
+
+TEST(LuaVm, IndexingNonTableIsFatal)
+{
+    LuaVm vm("local x = 5\nprint(x[1])\n");
+    EXPECT_THROW(vm.run(), FatalError);
+}
+
+} // namespace
+} // namespace tarch::vm::lua

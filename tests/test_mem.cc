@@ -1,0 +1,166 @@
+// Unit tests for the memory hierarchy: sparse memory, DRAM row-buffer
+// timing, set-associative cache with LRU, and the tiny TLB.
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "mem/cache.h"
+#include "mem/dram.h"
+#include "mem/main_memory.h"
+#include "mem/tlb.h"
+
+namespace tarch::mem {
+namespace {
+
+TEST(MainMemory, ZeroInitialized)
+{
+    MainMemory m;
+    EXPECT_EQ(m.read64(0x1000), 0u);
+    EXPECT_EQ(m.read8(0xFFFFFFFF), 0u);
+    EXPECT_EQ(m.allocatedPages(), 0u);
+}
+
+TEST(MainMemory, ScalarRoundTrips)
+{
+    MainMemory m;
+    m.write8(0x10, 0xAB);
+    EXPECT_EQ(m.read8(0x10), 0xAB);
+    m.write16(0x20, 0x1234);
+    EXPECT_EQ(m.read16(0x20), 0x1234);
+    m.write32(0x30, 0xDEADBEEF);
+    EXPECT_EQ(m.read32(0x30), 0xDEADBEEFu);
+    m.write64(0x40, 0x0102030405060708ULL);
+    EXPECT_EQ(m.read64(0x40), 0x0102030405060708ULL);
+    // Little-endian byte order.
+    EXPECT_EQ(m.read8(0x40), 0x08);
+    EXPECT_EQ(m.read8(0x47), 0x01);
+}
+
+TEST(MainMemory, CrossPageBlockAccess)
+{
+    MainMemory m;
+    std::vector<uint8_t> buf(8192);
+    for (size_t i = 0; i < buf.size(); ++i)
+        buf[i] = static_cast<uint8_t>(i * 7);
+    m.writeBlock(4000, buf.data(), buf.size());
+    std::vector<uint8_t> back(buf.size());
+    m.readBlock(4000, back.data(), back.size());
+    EXPECT_EQ(buf, back);
+    EXPECT_GE(m.allocatedPages(), 3u);
+}
+
+TEST(MainMemory, CrossPageScalar)
+{
+    MainMemory m;
+    m.write64(4093, 0x1122334455667788ULL);  // straddles a page boundary
+    EXPECT_EQ(m.read64(4093), 0x1122334455667788ULL);
+}
+
+TEST(Dram, RowHitsAreCheaper)
+{
+    Dram dram;
+    const unsigned first = dram.access(0);      // cold bank activate
+    const unsigned second = dram.access(512);   // same bank, same row: hit
+    EXPECT_GT(first, second);
+    EXPECT_EQ(dram.stats().accesses, 2u);
+    EXPECT_EQ(dram.stats().rowHits, 1u);
+}
+
+TEST(Dram, BankConflictReopensRow)
+{
+    DramConfig cfg;
+    Dram dram(cfg);
+    const uint64_t row_span =
+        static_cast<uint64_t>(cfg.rowBytes) * cfg.numBanks;
+    dram.access(0);
+    dram.access(row_span);  // same bank, different row
+    EXPECT_EQ(dram.stats().rowConflicts, 1u);
+}
+
+TEST(Dram, LatencyIncludesControllerOverhead)
+{
+    DramConfig cfg;
+    Dram dram(cfg);
+    EXPECT_GE(dram.access(0), cfg.controllerCoreCycles + 1);
+}
+
+TEST(Cache, HitAfterFill)
+{
+    Dram dram;
+    Cache c({"t", 1024, 2, 64, 1}, dram);
+    EXPECT_GT(c.access(0, false), 1u);       // cold miss
+    EXPECT_EQ(c.access(0, false), 1u);       // hit
+    EXPECT_EQ(c.access(63, false), 1u);      // same block
+    EXPECT_EQ(c.stats().accesses, 3u);
+    EXPECT_EQ(c.stats().misses, 1u);
+    EXPECT_TRUE(c.probe(32));
+    EXPECT_FALSE(c.probe(64));
+}
+
+TEST(Cache, LruEviction)
+{
+    Dram dram;
+    // 2 ways, 64B blocks, 2 sets (256B total).
+    Cache c({"t", 256, 2, 64, 1}, dram);
+    // Three blocks mapping to set 0: 0, 128, 256.
+    c.access(0, false);
+    c.access(128, false);
+    c.access(0, false);     // touch 0 so 128 is LRU
+    c.access(256, false);   // evicts 128
+    EXPECT_TRUE(c.probe(0));
+    EXPECT_FALSE(c.probe(128));
+    EXPECT_TRUE(c.probe(256));
+}
+
+TEST(Cache, DirtyEvictionWritesBack)
+{
+    Dram dram;
+    Cache c({"t", 128, 1, 64, 1}, dram);  // direct-mapped, 2 sets
+    c.access(0, true);          // dirty
+    c.access(128, false);       // evicts dirty block 0
+    EXPECT_EQ(c.stats().writebacks, 1u);
+    c.access(256, false);       // evicts clean block 128
+    EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, Table6GeometryIsDefaultValid)
+{
+    Dram dram;
+    Cache c({"L1D", 16 * 1024, 4, 64, 1}, dram);
+    // 16KB / (64B * 4) = 64 sets; accessing 64 distinct sets never
+    // collides.
+    for (unsigned i = 0; i < 64; ++i)
+        c.access(i * 64, false);
+    EXPECT_EQ(c.stats().misses, 64u);
+    for (unsigned i = 0; i < 64; ++i)
+        c.access(i * 64, false);
+    EXPECT_EQ(c.stats().misses, 64u);  // all hits now
+}
+
+TEST(Cache, RejectsBadGeometry)
+{
+    Dram dram;
+    EXPECT_THROW(Cache({"t", 1000, 3, 64, 1}, dram), tarch::FatalError);
+}
+
+TEST(Tlb, HitsAfterFill)
+{
+    Tlb tlb({8, 4096, 18});
+    EXPECT_EQ(tlb.access(0x1000), 18u);
+    EXPECT_EQ(tlb.access(0x1FFF), 0u);  // same page
+    EXPECT_EQ(tlb.stats().misses, 1u);
+}
+
+TEST(Tlb, LruReplacement)
+{
+    Tlb tlb({2, 4096, 18});
+    tlb.access(0x0000);
+    tlb.access(0x1000);
+    tlb.access(0x0000);      // page 0 recently used
+    tlb.access(0x2000);      // evicts page 1
+    EXPECT_EQ(tlb.access(0x0000), 0u);
+    EXPECT_EQ(tlb.access(0x1000), 18u);  // missed again
+}
+
+} // namespace
+} // namespace tarch::mem

@@ -1,0 +1,80 @@
+// Unit tests for the Table 8 analytic area/power model.
+
+#include <gtest/gtest.h>
+
+#include "power/power_model.h"
+
+namespace tarch::power {
+namespace {
+
+TEST(PowerModel, BaselineMatchesPaperTable8)
+{
+    const SynthesisReport report = buildTable8();
+    EXPECT_DOUBLE_EQ(report.totalArea(false), 0.684);
+    EXPECT_DOUBLE_EQ(report.totalPower(false), 18.72);
+    // Module names in paper order.
+    ASSERT_EQ(report.baseline.size(), 10u);
+    EXPECT_EQ(report.baseline[2].name, "Core");
+    EXPECT_DOUBLE_EQ(report.baseline[2].areaMm2, 0.038);
+}
+
+TEST(PowerModel, OverheadNearPaper)
+{
+    const SynthesisReport report = buildTable8();
+    // Paper: +1.6% area, +3.7% power.
+    EXPECT_NEAR(report.areaOverhead(), 0.016, 0.004);
+    EXPECT_NEAR(report.powerOverhead(), 0.037, 0.008);
+}
+
+TEST(PowerModel, OnlyTouchedModulesGrow)
+{
+    const SynthesisReport report = buildTable8();
+    for (size_t i = 0; i < report.baseline.size(); ++i) {
+        const auto &b = report.baseline[i];
+        const auto &t = report.typedArch[i];
+        ASSERT_EQ(b.name, t.name);
+        EXPECT_GE(t.areaMm2, b.areaMm2) << b.name;
+        if (b.name == "ICache" || b.name == "Uncore" ||
+            b.name == "Wrapping" || b.name == "Div") {
+            EXPECT_DOUBLE_EQ(t.areaMm2, b.areaMm2) << b.name;
+        }
+        if (b.name == "Core") {
+            EXPECT_GT(t.areaMm2, b.areaMm2);
+        }
+    }
+}
+
+TEST(PowerModel, HierarchyRollsUp)
+{
+    const SynthesisReport report = buildTable8();
+    // Top delta == Tile delta (Uncore/Wrapping unchanged).
+    const double top_delta =
+        report.typedArch[0].areaMm2 - report.baseline[0].areaMm2;
+    const double tile_delta =
+        report.typedArch[1].areaMm2 - report.baseline[1].areaMm2;
+    EXPECT_NEAR(top_delta, tile_delta, 1e-12);
+}
+
+TEST(PowerModel, CostKnobsScale)
+{
+    TypedHardwareCosts costs;
+    costs.trtEntries = 64;  // 8x the CAM
+    const SynthesisReport big = buildTable8(costs);
+    const SynthesisReport small = buildTable8();
+    EXPECT_GT(big.areaOverhead(), small.areaOverhead());
+}
+
+TEST(PowerModel, EdpImprovement)
+{
+    // No speedup, no power change: no improvement.
+    EXPECT_NEAR(edpImprovement(1.0, 1.0), 0.0, 1e-12);
+    // Paper arithmetic sanity: ~1.1x speedup at ~1.037x power.
+    const double edp = edpImprovement(1.099, 1.037);
+    EXPECT_GT(edp, 0.10);
+    EXPECT_LT(edp, 0.20);
+    // Power overhead with no speedup makes EDP worse.
+    EXPECT_LT(edpImprovement(1.0, 1.05), 0.0);
+}
+
+} // namespace
+} // namespace tarch::power

@@ -1,0 +1,169 @@
+// Unit tests for the MiniScript front end: lexer and parser.
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "script/lexer.h"
+#include "script/parser.h"
+
+namespace tarch::script {
+namespace {
+
+TEST(Lexer, NumbersIntAndFloat)
+{
+    const auto toks = tokenize("12 0x1F 3.5 1e3 2.5e-2");
+    ASSERT_EQ(toks.size(), 6u);  // + Eof
+    EXPECT_EQ(toks[0].kind, Tok::Int);
+    EXPECT_EQ(toks[0].ival, 12);
+    EXPECT_EQ(toks[1].ival, 31);
+    EXPECT_EQ(toks[2].kind, Tok::Float);
+    EXPECT_DOUBLE_EQ(toks[2].fval, 3.5);
+    EXPECT_DOUBLE_EQ(toks[3].fval, 1000.0);
+    EXPECT_DOUBLE_EQ(toks[4].fval, 0.025);
+}
+
+TEST(Lexer, KeywordsVsNames)
+{
+    const auto toks = tokenize("if iffy then end ender");
+    EXPECT_EQ(toks[0].kind, Tok::If);
+    EXPECT_EQ(toks[1].kind, Tok::Name);
+    EXPECT_EQ(toks[1].text, "iffy");
+    EXPECT_EQ(toks[2].kind, Tok::Then);
+    EXPECT_EQ(toks[3].kind, Tok::End);
+    EXPECT_EQ(toks[4].text, "ender");
+}
+
+TEST(Lexer, OperatorsAndComments)
+{
+    const auto toks = tokenize("a <= b ~= c // d .. e -- comment\n+ f");
+    EXPECT_EQ(toks[1].kind, Tok::Le);
+    EXPECT_EQ(toks[3].kind, Tok::Ne);
+    EXPECT_EQ(toks[5].kind, Tok::DSlash);
+    EXPECT_EQ(toks[7].kind, Tok::Concat);
+    EXPECT_EQ(toks[9].kind, Tok::Plus);
+    EXPECT_EQ(toks[10].kind, Tok::Name);
+}
+
+TEST(Lexer, StringsWithEscapes)
+{
+    const auto toks = tokenize(R"("a\nb" 'c')");
+    EXPECT_EQ(toks[0].kind, Tok::String);
+    EXPECT_EQ(toks[0].text, "a\nb");
+    EXPECT_EQ(toks[1].text, "c");
+}
+
+TEST(Lexer, LineNumbersTracked)
+{
+    const auto toks = tokenize("a\nb\n\nc");
+    EXPECT_EQ(toks[0].line, 1);
+    EXPECT_EQ(toks[1].line, 2);
+    EXPECT_EQ(toks[2].line, 4);
+}
+
+TEST(Lexer, RejectsBadChars)
+{
+    EXPECT_THROW(tokenize("a @ b"), FatalError);
+    EXPECT_THROW(tokenize("\"unterminated"), FatalError);
+}
+
+TEST(Parser, FunctionsAndMain)
+{
+    const Chunk chunk = parse(R"(
+function f(a, b) return a + b end
+function g() return 1 end
+local x = f(1, 2)
+print(x)
+)");
+    ASSERT_EQ(chunk.functions.size(), 2u);
+    EXPECT_EQ(chunk.functions[0].name, "f");
+    ASSERT_EQ(chunk.functions[0].params.size(), 2u);
+    EXPECT_EQ(chunk.functions[0].params[1], "b");
+    EXPECT_EQ(chunk.main.size(), 2u);
+    EXPECT_EQ(chunk.main[0]->kind, Stmt::Kind::Local);
+}
+
+TEST(Parser, PrecedenceMulOverAdd)
+{
+    const Chunk chunk = parse("x = 1 + 2 * 3");
+    const Expr &e = *chunk.main[0]->expr;
+    ASSERT_EQ(e.kind, Expr::Kind::Binary);
+    EXPECT_EQ(e.binop, BinOp::Add);
+    EXPECT_EQ(e.rhs->binop, BinOp::Mul);
+}
+
+TEST(Parser, PrecedenceCmpBelowAnd)
+{
+    const Chunk chunk = parse("x = a < b and c < d");
+    const Expr &e = *chunk.main[0]->expr;
+    EXPECT_EQ(e.binop, BinOp::And);
+    EXPECT_EQ(e.lhs->binop, BinOp::Lt);
+    EXPECT_EQ(e.rhs->binop, BinOp::Lt);
+}
+
+TEST(Parser, UnaryBindsTighterThanMul)
+{
+    const Chunk chunk = parse("x = -a * b");
+    const Expr &e = *chunk.main[0]->expr;
+    EXPECT_EQ(e.binop, BinOp::Mul);
+    EXPECT_EQ(e.lhs->kind, Expr::Kind::Unary);
+}
+
+TEST(Parser, IndexChainsAndIndexAssign)
+{
+    const Chunk chunk = parse("t[1][2] = 3\nx = t[i][j]");
+    const Stmt &s = *chunk.main[0];
+    EXPECT_EQ(s.kind, Stmt::Kind::IndexAssign);
+    EXPECT_EQ(s.expr->kind, Expr::Kind::Index);  // target is t[1]
+    const Stmt &s2 = *chunk.main[1];
+    EXPECT_EQ(s2.expr->kind, Expr::Kind::Index);
+    EXPECT_EQ(s2.expr->lhs->kind, Expr::Kind::Index);
+}
+
+TEST(Parser, NumericForDefaults)
+{
+    const Chunk chunk = parse("for i = 1, 10 do print(i) end");
+    const Stmt &s = *chunk.main[0];
+    EXPECT_EQ(s.kind, Stmt::Kind::NumFor);
+    EXPECT_EQ(s.name, "i");
+    EXPECT_EQ(s.step, nullptr);
+    EXPECT_EQ(s.body.size(), 1u);
+}
+
+TEST(Parser, IfElseifElse)
+{
+    const Chunk chunk = parse(R"(
+if a then x = 1
+elseif b then x = 2
+elseif c then x = 3
+else x = 4 end
+)");
+    const Stmt &s = *chunk.main[0];
+    EXPECT_EQ(s.elifs.size(), 2u);
+    EXPECT_EQ(s.elseBody.size(), 1u);
+}
+
+TEST(Parser, TableConstructor)
+{
+    const Chunk chunk = parse("t = {1, 2.5, \"x\", a}");
+    const Expr &e = *chunk.main[0]->expr;
+    EXPECT_EQ(e.kind, Expr::Kind::TableCtor);
+    EXPECT_EQ(e.args.size(), 4u);
+}
+
+TEST(Parser, CallStatementAndExpr)
+{
+    const Chunk chunk = parse("foo(1)\nx = bar(2, 3)");
+    EXPECT_EQ(chunk.main[0]->kind, Stmt::Kind::ExprStmt);
+    EXPECT_EQ(chunk.main[1]->expr->args.size(), 2u);
+}
+
+TEST(Parser, SyntaxErrors)
+{
+    EXPECT_THROW(parse("if a print(1) end"), FatalError);
+    EXPECT_THROW(parse("for = 1, 2 do end"), FatalError);
+    EXPECT_THROW(parse("x = "), FatalError);
+    EXPECT_THROW(parse("function f( end"), FatalError);
+}
+
+} // namespace
+} // namespace tarch::script

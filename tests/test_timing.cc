@@ -1,0 +1,159 @@
+// Unit tests for the in-order pipeline timing model: hazards, bypass
+// latencies, redirect charging, and the tracer/breakpoint tooling.
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+#include "core/core.h"
+#include "core/timing.h"
+
+namespace tarch::core {
+namespace {
+
+TEST(TimingModel, BackToBackAluIsOneCyclePerInstr)
+{
+    TimingModel tm;
+    for (int i = 0; i < 100; ++i) {
+        tm.startInstr(0);
+        tm.useReg(5);
+        tm.setRegReady(5, tm.latencyFor(isa::ExecClass::IntAlu));
+    }
+    EXPECT_EQ(tm.cycles(), 100u + tm.config().drainCycles);
+}
+
+TEST(TimingModel, LoadUseBubble)
+{
+    TimingModel tm;
+    tm.startInstr(0);
+    tm.setRegReady(6, tm.latencyFor(isa::ExecClass::Load));  // load -> x6
+    tm.startInstr(0);
+    tm.useReg(6);  // immediate consumer: one bubble
+    const uint64_t after_consumer = tm.cycles();
+    EXPECT_EQ(after_consumer, 3u + tm.config().drainCycles);
+}
+
+TEST(TimingModel, IndependentInstrHidesLoadLatency)
+{
+    TimingModel tm;
+    tm.startInstr(0);
+    tm.setRegReady(6, tm.latencyFor(isa::ExecClass::Load));
+    tm.startInstr(0);       // independent filler
+    tm.setRegReady(7, 1);
+    tm.startInstr(0);
+    tm.useReg(6);           // now ready: no stall
+    EXPECT_EQ(tm.cycles(), 3u + tm.config().drainCycles);
+}
+
+TEST(TimingModel, FpChainStallsByLatency)
+{
+    TimingModel tm;
+    tm.startInstr(0);
+    tm.setRegReady(32 + 1, tm.latencyFor(isa::ExecClass::FpAlu));
+    tm.startInstr(0);
+    tm.useReg(32 + 1);
+    // fadd latency 4: consumer at issue 1 stalls to cycle 5.
+    EXPECT_EQ(tm.cycles(),
+              1u + tm.config().latFpAlu + tm.config().drainCycles);
+}
+
+TEST(TimingModel, RedirectChargesNextInstr)
+{
+    TimingModel tm;
+    tm.startInstr(0);
+    tm.redirect();
+    tm.startInstr(0);
+    EXPECT_EQ(tm.cycles(),
+              2u + tm.config().redirectPenalty + tm.config().drainCycles);
+}
+
+TEST(TimingModel, MemStallDelaysPipeline)
+{
+    TimingModel tm;
+    tm.startInstr(0);
+    tm.memStall(20);
+    tm.startInstr(0);
+    EXPECT_EQ(tm.cycles(), 22u + tm.config().drainCycles);
+}
+
+TEST(TimingModel, X0AlwaysReady)
+{
+    TimingModel tm;
+    tm.startInstr(0);
+    tm.setRegReady(0, 100);  // ignored
+    tm.startInstr(0);
+    tm.useReg(0);
+    EXPECT_EQ(tm.cycles(), 2u + tm.config().drainCycles);
+}
+
+TEST(TimingModel, FlatCostLump)
+{
+    TimingModel tm;
+    tm.startInstr(0);
+    tm.flatCost(500);
+    EXPECT_EQ(tm.cycles(), 501u + tm.config().drainCycles);
+}
+
+TEST(TimingModel, LatencyTable)
+{
+    TimingModel tm;
+    EXPECT_EQ(tm.latencyFor(isa::ExecClass::IntAlu), 1u);
+    EXPECT_EQ(tm.latencyFor(isa::ExecClass::Load), 2u);
+    EXPECT_GT(tm.latencyFor(isa::ExecClass::IntDiv),
+              tm.latencyFor(isa::ExecClass::IntMul));
+    EXPECT_GT(tm.latencyFor(isa::ExecClass::FpDiv),
+              tm.latencyFor(isa::ExecClass::FpMul));
+}
+
+// ------------------------------------------------------------------
+// Tracer and breakpoints.
+
+TEST(Tracer, CapturesRingWindow)
+{
+    Tracer tracer(4);
+    Core core;
+    core.setTracer(&tracer);
+    core.loadProgram(assembler::assemble(R"(
+        li a1, 3
+l:      addi a1, a1, -1
+        bnez a1, l
+        halt
+    )"));
+    core.run();
+    // 1 + 3*2 + 1 = 8 executed; ring keeps the last 4.
+    EXPECT_EQ(tracer.recorded(), 8u);
+    const auto entries = tracer.entries();
+    ASSERT_EQ(entries.size(), 4u);
+    EXPECT_EQ(entries.back().instr.op, isa::Opcode::HALT);
+    EXPECT_LT(entries.front().index, entries.back().index);
+    EXPECT_NE(tracer.dump().find("halt"), std::string::npos);
+}
+
+TEST(Tracer, ClearResets)
+{
+    Tracer tracer(8);
+    tracer.record(0x1000, {isa::Opcode::ADD, 1, 2, 3, 0}, 0);
+    tracer.clear();
+    EXPECT_EQ(tracer.recorded(), 0u);
+    EXPECT_TRUE(tracer.entries().empty());
+}
+
+TEST(Breakpoints, RunToBreakpointStopsBeforeExecution)
+{
+    Core core;
+    const auto program = assembler::assemble(R"(
+        li a0, 1
+mid:    li a0, 2
+        halt
+    )");
+    core.loadProgram(program);
+    core.addBreakpoint(program.symbol("mid"));
+    EXPECT_EQ(core.runToBreakpoint(), Core::StopReason::Breakpoint);
+    EXPECT_EQ(core.regs().gpr(isa::reg::a0).v, 1u);  // 'mid' not yet run
+    EXPECT_EQ(core.pc(), program.symbol("mid"));
+    core.clearBreakpoints();
+    EXPECT_EQ(core.runToBreakpoint(), Core::StopReason::Halted);
+    EXPECT_EQ(core.regs().gpr(isa::reg::a0).v, 2u);
+}
+
+} // namespace
+} // namespace tarch::core

@@ -1,0 +1,207 @@
+// Unit tests for the Typed Architecture structures: Type Rule Table CAM
+// and the reconfigurable tag extract/insert codec, including the exact
+// Lua and SpiderMonkey configurations from paper Table 4.
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "typed/tag_codec.h"
+#include "typed/type_rule_table.h"
+
+namespace tarch::typed {
+namespace {
+
+// Paper Section 4.1 / 4.2 tag values.
+constexpr uint8_t kLuaInt = 0x13;          // LUA_TNUMINT = 19
+constexpr uint8_t kLuaFlt = 0x83;          // LUA_TNUMFLT=3 with F/I MSB
+constexpr uint8_t kJsInt = 0x1;
+
+TEST(TypeRuleTable, HitReturnsOutputTag)
+{
+    TypeRuleTable trt(8);
+    trt.push({RuleOp::Add, kLuaInt, kLuaInt, kLuaInt});
+    trt.push({RuleOp::Add, kLuaFlt, kLuaFlt, kLuaFlt});
+    EXPECT_EQ(trt.lookup(RuleOp::Add, kLuaInt, kLuaInt), kLuaInt);
+    EXPECT_EQ(trt.lookup(RuleOp::Add, kLuaFlt, kLuaFlt), kLuaFlt);
+    EXPECT_FALSE(trt.lookup(RuleOp::Add, kLuaInt, kLuaFlt).has_value());
+    EXPECT_FALSE(trt.lookup(RuleOp::Sub, kLuaInt, kLuaInt).has_value());
+    EXPECT_EQ(trt.stats().lookups, 4u);
+    EXPECT_EQ(trt.stats().hits, 2u);
+    EXPECT_EQ(trt.stats().misses(), 2u);
+}
+
+TEST(TypeRuleTable, CapacityEnforced)
+{
+    TypeRuleTable trt(2);
+    trt.push({RuleOp::Add, 1, 1, 1});
+    trt.push({RuleOp::Sub, 1, 1, 1});
+    EXPECT_THROW(trt.push({RuleOp::Mul, 1, 1, 1}), tarch::FatalError);
+}
+
+TEST(TypeRuleTable, FlushEmptiesTable)
+{
+    TypeRuleTable trt(8);
+    trt.push({RuleOp::Add, 1, 1, 1});
+    trt.flush();
+    EXPECT_EQ(trt.size(), 0u);
+    EXPECT_FALSE(trt.lookup(RuleOp::Add, 1, 1).has_value());
+}
+
+TEST(TypeRuleTable, EncodedRoundTrip)
+{
+    TypeRuleTable trt(8);
+    const TypeRule rule{RuleOp::Chk, 0x05, 0x13, 0x05};
+    trt.pushEncoded(TypeRuleTable::encode(rule));
+    EXPECT_EQ(trt.lookup(RuleOp::Chk, 0x05, 0x13), 0x05);
+}
+
+// ---------------------------------------------------------------------
+// Lua layout (Table 4): R_offset=0b001 (next dword), shift=0, mask=0xFF.
+
+TagConfig
+luaConfig()
+{
+    return TagConfig{0b001, 0, 0xFF};
+}
+
+TEST(TagCodec, LuaExtractIntAndFloat)
+{
+    const TagConfig cfg = luaConfig();
+    EXPECT_FALSE(cfg.nanDetect());
+    EXPECT_EQ(cfg.tagDwordOffset(), 8);
+
+    const auto e1 = TagCodec::extract(cfg, 42, kLuaInt);
+    EXPECT_EQ(e1.value, 42u);
+    EXPECT_EQ(e1.tag, kLuaInt);
+    EXPECT_FALSE(e1.fp);
+
+    double pi = 3.14;
+    uint64_t pi_bits;
+    memcpy(&pi_bits, &pi, 8);
+    const auto e2 = TagCodec::extract(cfg, pi_bits, kLuaFlt);
+    EXPECT_EQ(e2.value, pi_bits);
+    EXPECT_EQ(e2.tag, kLuaFlt);
+    EXPECT_TRUE(e2.fp);  // MSB of tag doubles as F/I
+}
+
+TEST(TagCodec, LuaInsertWritesAdjacentTagDword)
+{
+    const TagConfig cfg = luaConfig();
+    const auto ins = TagCodec::insert(cfg, 42, kLuaInt, false);
+    EXPECT_EQ(ins.valueDword, 42u);
+    EXPECT_TRUE(ins.writesTagDword);
+    EXPECT_EQ(ins.tagDword, kLuaInt);
+}
+
+TEST(TagCodec, LuaPrevDwordOffset)
+{
+    TagConfig cfg{0b011, 0, 0xFF};
+    EXPECT_EQ(cfg.tagDwordOffset(), -8);
+}
+
+// ---------------------------------------------------------------------
+// SpiderMonkey layout (Table 4): R_offset=0b100 (NaN detect, same dword),
+// shift=47, mask=0x0F.
+
+TagConfig
+jsConfig()
+{
+    return TagConfig{0b100, 47, 0x0F};
+}
+
+uint64_t
+boxInt(int32_t v, uint8_t tag = kJsInt)
+{
+    return (0x1FFFULL << 51) | (static_cast<uint64_t>(tag) << 47) |
+           static_cast<uint32_t>(v);
+}
+
+TEST(TagCodec, NanBoxDetector)
+{
+    EXPECT_TRUE(TagCodec::isNanBoxed(boxInt(5)));
+    double d = 1.0;
+    uint64_t bits;
+    memcpy(&bits, &d, 8);
+    EXPECT_FALSE(TagCodec::isNanBoxed(bits));
+    // Canonical positive qNaN is not detected as a box.
+    EXPECT_FALSE(TagCodec::isNanBoxed(0x7FF8000000000000ULL));
+    // Negative infinity is not a box either (tag bits would be 0).
+    EXPECT_FALSE(TagCodec::isNanBoxed(0xFFF0000000000000ULL));
+}
+
+TEST(TagCodec, JsExtractBoxedInt)
+{
+    const auto e = TagCodec::extract(jsConfig(), boxInt(123), boxInt(123));
+    EXPECT_EQ(e.tag, kJsInt);
+    EXPECT_FALSE(e.fp);
+    EXPECT_EQ(e.value, 123u);
+}
+
+TEST(TagCodec, JsExtractNegativeIntPayload)
+{
+    const auto e = TagCodec::extract(jsConfig(), boxInt(-7), boxInt(-7));
+    EXPECT_EQ(e.tag, kJsInt);
+    EXPECT_EQ(static_cast<uint32_t>(e.value), static_cast<uint32_t>(-7));
+}
+
+TEST(TagCodec, JsExtractPlainDouble)
+{
+    double d = 2.5;
+    uint64_t bits;
+    memcpy(&bits, &d, 8);
+    const auto e = TagCodec::extract(jsConfig(), bits, bits);
+    EXPECT_EQ(e.tag, kFloatTag);
+    EXPECT_TRUE(e.fp);
+    EXPECT_EQ(e.value, bits);
+}
+
+TEST(TagCodec, JsInsertReboxesInt)
+{
+    const auto ins = TagCodec::insert(jsConfig(),
+                                      static_cast<uint32_t>(-7), kJsInt,
+                                      false);
+    EXPECT_FALSE(ins.writesTagDword);
+    EXPECT_EQ(ins.valueDword, boxInt(-7));
+}
+
+TEST(TagCodec, JsInsertPassesDoubleThrough)
+{
+    double d = -0.125;
+    uint64_t bits;
+    memcpy(&bits, &d, 8);
+    const auto ins = TagCodec::insert(jsConfig(), bits, kFloatTag, true);
+    EXPECT_EQ(ins.valueDword, bits);
+}
+
+TEST(TagCodec, JsRoundTripExtractInsert)
+{
+    // Property: extract(insert(x)) is the identity for boxed values.
+    const TagConfig cfg = jsConfig();
+    for (int32_t v : {0, 1, -1, 12345, -12345, INT32_MAX, INT32_MIN}) {
+        for (uint8_t tag : {1, 2, 3, 5, 6}) {
+            const auto ins =
+                TagCodec::insert(cfg, static_cast<uint32_t>(v), tag, false);
+            const auto ext =
+                TagCodec::extract(cfg, ins.valueDword, ins.valueDword);
+            EXPECT_EQ(ext.tag, tag);
+            EXPECT_EQ(static_cast<uint32_t>(ext.value),
+                      static_cast<uint32_t>(v));
+        }
+    }
+}
+
+TEST(TagCodec, SameDwordInsertMergesField)
+{
+    // Same-dword layout without NaN detection: tag field is merged into
+    // the value word.
+    TagConfig cfg{0b000, 56, 0xFF};
+    const auto ins = TagCodec::insert(cfg, 0x00FFFFFFFFFFFFFFULL, 0xAB,
+                                      false);
+    EXPECT_FALSE(ins.writesTagDword);
+    EXPECT_EQ(ins.valueDword >> 56, 0xABu);
+    const auto ext = TagCodec::extract(cfg, ins.valueDword, ins.valueDword);
+    EXPECT_EQ(ext.tag, 0xABu);
+}
+
+} // namespace
+} // namespace tarch::typed

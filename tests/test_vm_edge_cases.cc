@@ -1,0 +1,280 @@
+// Edge-case and stress tests for both VMs: register pressure, long jump
+// distances, table key corner cases, shadow-hash migration, interning,
+// deep call chains, and error paths.
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "common/strutil.h"
+#include "vm/js/js_vm.h"
+#include "vm/lua/lua_vm.h"
+
+namespace tarch::vm {
+namespace {
+
+std::string
+runLua(const std::string &src, Variant v = Variant::Baseline)
+{
+    lua::LuaVm::Options opts;
+    opts.variant = v;
+    lua::LuaVm vm(src, opts);
+    vm.run();
+    return vm.output();
+}
+
+std::string
+runJs(const std::string &src, Variant v = Variant::Baseline)
+{
+    js::JsVm::Options opts;
+    opts.variant = v;
+    js::JsVm vm(src, opts);
+    vm.run();
+    return vm.output();
+}
+
+TEST(EdgeCases, DeepExpressionRegisterPressure)
+{
+    // 40 nested additions: the Lua compiler's temporaries must recycle.
+    std::string expr = "1";
+    for (int i = 2; i <= 40; ++i)
+        expr = "(" + expr + strformat(" + %d)", i);
+    const std::string src = "print(" + expr + ")\n";
+    EXPECT_EQ(runLua(src), "820\n");
+    EXPECT_EQ(runJs(src), "820\n");
+}
+
+TEST(EdgeCases, LongProgramJumpDistances)
+{
+    // Hundreds of sequential if-blocks: jump offsets stay correct.
+    std::string src = "local n = 0\n";
+    for (int i = 0; i < 400; ++i)
+        src += strformat(
+            "if n == %d then n = n + 1 else n = n + 1 end\n", i);
+    src += "print(n)\n";
+    EXPECT_EQ(runLua(src), "400\n");
+    EXPECT_EQ(runJs(src), "400\n");
+}
+
+TEST(EdgeCases, TableKeyCorners)
+{
+    const char *src = R"(
+local t = {}
+t[0] = "zero"
+t[-3] = "neg"
+t[2.0] = "two"
+print(t[0])
+print(t[-3])
+print(t[2])
+t[2] = "two!"
+print(t[2.0])
+)";
+    EXPECT_EQ(runLua(src), "zero\nneg\ntwo\ntwo!\n");
+    EXPECT_EQ(runJs(src), "zero\nneg\ntwo\ntwo!\n");
+}
+
+TEST(EdgeCases, SparseThenDenseMigration)
+{
+    // t[100] first lands in the shadow hash; filling 1..100 grows the
+    // array past it, and the migration must preserve the value.
+    const char *src = R"(
+local t = {}
+t[100] = 4242
+for i = 1, 99 do t[i] = i end
+print(t[100])
+print(#t)
+t[100] = t[100] + 1
+print(t[100])
+)";
+    EXPECT_EQ(runLua(src), "4242\n100\n4243\n");
+    EXPECT_EQ(runJs(src), "4242\n100\n4243\n");
+}
+
+TEST(EdgeCases, FarKeysStayInShadow)
+{
+    const char *src = R"(
+local t = {}
+t[1000000] = 7
+t[1] = 1
+print(t[1000000])
+print(t[999999])
+)";
+    EXPECT_EQ(runLua(src), "7\nnil\n");
+    EXPECT_EQ(runJs(src), "7\nundefined\n");
+}
+
+TEST(EdgeCases, StringInterningGivesIdentity)
+{
+    const char *src = R"(
+local a = substr("abc", 1, 1)
+local b = substr("xa", 2, 2)
+print(a == b)
+print(a == "a")
+print(("x" .. "y") == "xy")
+)";
+    EXPECT_EQ(runLua(src), "true\ntrue\ntrue\n");
+    EXPECT_EQ(runJs(src), "true\ntrue\ntrue\n");
+}
+
+TEST(EdgeCases, ManyArguments)
+{
+    const char *src = R"(
+function sum8(a, b, c, d, e, f, g, h)
+  return a + b + c + d + e + f + g + h
+end
+print(sum8(1, 2, 3, 4, 5, 6, 7, 8))
+)";
+    EXPECT_EQ(runLua(src), "36\n");
+    EXPECT_EQ(runJs(src), "36\n");
+}
+
+TEST(EdgeCases, DeepCallChain)
+{
+    const char *src = R"(
+function down(n)
+  if n == 0 then return 0 end
+  return down(n - 1) + 1
+end
+print(down(3000))
+)";
+    EXPECT_EQ(runLua(src), "3000\n");
+    EXPECT_EQ(runJs(src), "3000\n");
+}
+
+TEST(EdgeCases, NestedLoopsWithBreaks)
+{
+    const char *src = R"(
+local hits = 0
+for i = 1, 10 do
+  local j = 0
+  while true do
+    j = j + 1
+    if j == i then break end
+    hits = hits + 1
+  end
+  if i == 7 then break end
+end
+print(hits)
+)";
+    // sum of (i-1) for i=1..7 = 21.
+    EXPECT_EQ(runLua(src), "21\n");
+    EXPECT_EQ(runJs(src), "21\n");
+}
+
+TEST(EdgeCases, ConcatChainBuildsLongString)
+{
+    const char *src = R"(
+local s = ""
+for i = 1, 50 do s = s .. i .. "," end
+print(#s)
+)";
+    // 1..9: 2 chars each (18), 10..50: 3 chars each (123) -> 141.
+    EXPECT_EQ(runLua(src), "141\n");
+    EXPECT_EQ(runJs(src), "141\n");
+}
+
+TEST(EdgeCases, StringOrderingIsAnError)
+{
+    EXPECT_THROW(runLua("print(\"a\" < \"b\")"), FatalError);
+    EXPECT_THROW(runJs("print(\"a\" < \"b\")"), FatalError);
+}
+
+TEST(EdgeCases, IntegerDivisionByZeroIsAnError)
+{
+    EXPECT_THROW(runLua("print(1 // 0)"), FatalError);
+    EXPECT_THROW(runJs("print(5 % 0)"), FatalError);
+}
+
+TEST(EdgeCases, FloatDivisionByZeroIsInfinity)
+{
+    EXPECT_EQ(runLua("print(1 / 0)"), "inf\n");
+    EXPECT_EQ(runJs("print(1 / 0)"), "inf\n");
+}
+
+TEST(EdgeCases, JsDeoptSelectorWorksToo)
+{
+    js::JsVm::Options opts;
+    opts.variant = Variant::Typed;
+    opts.coreConfig.deopt.enabled = true;
+    js::JsVm vm(R"(
+local s = 0.5
+for i = 1, 3000 do s = s + 0.25 end
+print(s)
+)",
+                opts);
+    vm.run();
+    EXPECT_EQ(vm.output(), "750.5\n");
+    // Float+float hits the TRT (Flt,Flt rule): no deopt on this one...
+    EXPECT_EQ(vm.core().collectStats().deoptRedirects, 0u);
+
+    js::JsVm::Options opts2;
+    opts2.variant = Variant::Typed;
+    opts2.coreConfig.deopt.enabled = true;
+    js::JsVm vm2(R"(
+local s = ""
+local n = 0
+for i = 1, 500 do
+  s = s .. "x"
+  n = n + #s
+end
+print(n)
+)",
+                 opts2);
+    vm2.run();
+    EXPECT_EQ(vm2.output(), "125250\n");
+}
+
+TEST(EdgeCases, GlobalsSharedAcrossFunctions)
+{
+    const char *src = R"(
+acc = 0
+function add(k) acc = acc + k return 0 end
+function get() return acc end
+add(5)
+add(7)
+print(get())
+)";
+    EXPECT_EQ(runLua(src), "12\n");
+    EXPECT_EQ(runJs(src), "12\n");
+}
+
+TEST(EdgeCases, ShadowedLocalsRestoreAfterBlocks)
+{
+    const char *src = R"(
+local x = 1
+for x = 10, 10 do
+  print(x)
+end
+print(x)
+if true then
+  local x = 99
+  print(x)
+end
+print(x)
+)";
+    EXPECT_EQ(runLua(src), "10\n1\n99\n1\n");
+    EXPECT_EQ(runJs(src), "10\n1\n99\n1\n");
+}
+
+TEST(EdgeCases, AllVariantsSurviveTableHeavyChurn)
+{
+    const char *src = R"(
+local t = {}
+local sum = 0
+for round = 1, 20 do
+  for i = 1, 50 do
+    t[i] = (t[i] or 0) + i
+  end
+end
+for i = 1, 50 do sum = sum + t[i] end
+print(sum)
+)";
+    const std::string expected = "25500\n";
+    for (const Variant v :
+         {Variant::Baseline, Variant::Typed, Variant::CheckedLoad}) {
+        EXPECT_EQ(runLua(src, v), expected);
+        EXPECT_EQ(runJs(src, v), expected);
+    }
+}
+
+} // namespace
+} // namespace tarch::vm
