@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_bytecodes.dir/bench_fig2_bytecodes.cc.o"
+  "CMakeFiles/bench_fig2_bytecodes.dir/bench_fig2_bytecodes.cc.o.d"
+  "bench_fig2_bytecodes"
+  "bench_fig2_bytecodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_bytecodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_instructions.dir/bench_fig6_instructions.cc.o"
+  "CMakeFiles/bench_fig6_instructions.dir/bench_fig6_instructions.cc.o.d"
+  "bench_fig6_instructions"
+  "bench_fig6_instructions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_instructions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

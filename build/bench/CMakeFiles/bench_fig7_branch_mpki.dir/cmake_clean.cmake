@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_branch_mpki.dir/bench_fig7_branch_mpki.cc.o"
+  "CMakeFiles/bench_fig7_branch_mpki.dir/bench_fig7_branch_mpki.cc.o.d"
+  "bench_fig7_branch_mpki"
+  "bench_fig7_branch_mpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_branch_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_branch_mpki.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_icache_mpki.cc" "bench/CMakeFiles/bench_fig8_icache_mpki.dir/bench_fig8_icache_mpki.cc.o" "gcc" "bench/CMakeFiles/bench_fig8_icache_mpki.dir/bench_fig8_icache_mpki.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tarch_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarch_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarch_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarch_assembler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarch_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarch_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarch_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarch_typed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarch_script.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarch_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_icache_mpki.dir/bench_fig8_icache_mpki.cc.o"
+  "CMakeFiles/bench_fig8_icache_mpki.dir/bench_fig8_icache_mpki.cc.o.d"
+  "bench_fig8_icache_mpki"
+  "bench_fig8_icache_mpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_icache_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_benchmarks.dir/bench_table7_benchmarks.cc.o"
+  "CMakeFiles/bench_table7_benchmarks.dir/bench_table7_benchmarks.cc.o.d"
+  "bench_table7_benchmarks"
+  "bench_table7_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_isa.dir/compare_isa.cpp.o"
+  "CMakeFiles/compare_isa.dir/compare_isa.cpp.o.d"
+  "compare_isa"
+  "compare_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/show_handlers.dir/show_handlers.cpp.o"
+  "CMakeFiles/show_handlers.dir/show_handlers.cpp.o.d"
+  "show_handlers"
+  "show_handlers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/show_handlers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typed_asm_tour.dir/typed_asm_tour.cpp.o"
+  "CMakeFiles/typed_asm_tour.dir/typed_asm_tour.cpp.o.d"
+  "typed_asm_tour"
+  "typed_asm_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typed_asm_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assembler/assembler.cc" "src/CMakeFiles/tarch_assembler.dir/assembler/assembler.cc.o" "gcc" "src/CMakeFiles/tarch_assembler.dir/assembler/assembler.cc.o.d"
+  "/root/repo/src/assembler/lexer.cc" "src/CMakeFiles/tarch_assembler.dir/assembler/lexer.cc.o" "gcc" "src/CMakeFiles/tarch_assembler.dir/assembler/lexer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tarch_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

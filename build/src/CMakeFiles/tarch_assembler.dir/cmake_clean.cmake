@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tarch_assembler.dir/assembler/assembler.cc.o"
+  "CMakeFiles/tarch_assembler.dir/assembler/assembler.cc.o.d"
+  "CMakeFiles/tarch_assembler.dir/assembler/lexer.cc.o"
+  "CMakeFiles/tarch_assembler.dir/assembler/lexer.cc.o.d"
+  "libtarch_assembler.a"
+  "libtarch_assembler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tarch_assembler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/branch/branch_unit.cc" "src/CMakeFiles/tarch_branch.dir/branch/branch_unit.cc.o" "gcc" "src/CMakeFiles/tarch_branch.dir/branch/branch_unit.cc.o.d"
+  "/root/repo/src/branch/btb.cc" "src/CMakeFiles/tarch_branch.dir/branch/btb.cc.o" "gcc" "src/CMakeFiles/tarch_branch.dir/branch/btb.cc.o.d"
+  "/root/repo/src/branch/gshare.cc" "src/CMakeFiles/tarch_branch.dir/branch/gshare.cc.o" "gcc" "src/CMakeFiles/tarch_branch.dir/branch/gshare.cc.o.d"
+  "/root/repo/src/branch/ras.cc" "src/CMakeFiles/tarch_branch.dir/branch/ras.cc.o" "gcc" "src/CMakeFiles/tarch_branch.dir/branch/ras.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tarch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

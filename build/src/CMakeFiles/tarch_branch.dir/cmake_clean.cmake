@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tarch_branch.dir/branch/branch_unit.cc.o"
+  "CMakeFiles/tarch_branch.dir/branch/branch_unit.cc.o.d"
+  "CMakeFiles/tarch_branch.dir/branch/btb.cc.o"
+  "CMakeFiles/tarch_branch.dir/branch/btb.cc.o.d"
+  "CMakeFiles/tarch_branch.dir/branch/gshare.cc.o"
+  "CMakeFiles/tarch_branch.dir/branch/gshare.cc.o.d"
+  "CMakeFiles/tarch_branch.dir/branch/ras.cc.o"
+  "CMakeFiles/tarch_branch.dir/branch/ras.cc.o.d"
+  "libtarch_branch.a"
+  "libtarch_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tarch_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

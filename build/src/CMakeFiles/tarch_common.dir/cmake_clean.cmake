@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tarch_common.dir/common/log.cc.o"
+  "CMakeFiles/tarch_common.dir/common/log.cc.o.d"
+  "CMakeFiles/tarch_common.dir/common/strutil.cc.o"
+  "CMakeFiles/tarch_common.dir/common/strutil.cc.o.d"
+  "libtarch_common.a"
+  "libtarch_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tarch_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/core.cc" "src/CMakeFiles/tarch_core.dir/core/core.cc.o" "gcc" "src/CMakeFiles/tarch_core.dir/core/core.cc.o.d"
+  "/root/repo/src/core/hostcall.cc" "src/CMakeFiles/tarch_core.dir/core/hostcall.cc.o" "gcc" "src/CMakeFiles/tarch_core.dir/core/hostcall.cc.o.d"
+  "/root/repo/src/core/markers.cc" "src/CMakeFiles/tarch_core.dir/core/markers.cc.o" "gcc" "src/CMakeFiles/tarch_core.dir/core/markers.cc.o.d"
+  "/root/repo/src/core/timing.cc" "src/CMakeFiles/tarch_core.dir/core/timing.cc.o" "gcc" "src/CMakeFiles/tarch_core.dir/core/timing.cc.o.d"
+  "/root/repo/src/core/trace.cc" "src/CMakeFiles/tarch_core.dir/core/trace.cc.o" "gcc" "src/CMakeFiles/tarch_core.dir/core/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tarch_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarch_assembler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarch_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarch_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarch_typed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

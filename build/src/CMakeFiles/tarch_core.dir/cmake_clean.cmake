@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tarch_core.dir/core/core.cc.o"
+  "CMakeFiles/tarch_core.dir/core/core.cc.o.d"
+  "CMakeFiles/tarch_core.dir/core/hostcall.cc.o"
+  "CMakeFiles/tarch_core.dir/core/hostcall.cc.o.d"
+  "CMakeFiles/tarch_core.dir/core/markers.cc.o"
+  "CMakeFiles/tarch_core.dir/core/markers.cc.o.d"
+  "CMakeFiles/tarch_core.dir/core/timing.cc.o"
+  "CMakeFiles/tarch_core.dir/core/timing.cc.o.d"
+  "CMakeFiles/tarch_core.dir/core/trace.cc.o"
+  "CMakeFiles/tarch_core.dir/core/trace.cc.o.d"
+  "libtarch_core.a"
+  "libtarch_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tarch_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

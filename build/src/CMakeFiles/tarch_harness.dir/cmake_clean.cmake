@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tarch_harness.dir/harness/benchmarks.cc.o"
+  "CMakeFiles/tarch_harness.dir/harness/benchmarks.cc.o.d"
+  "CMakeFiles/tarch_harness.dir/harness/experiment.cc.o"
+  "CMakeFiles/tarch_harness.dir/harness/experiment.cc.o.d"
+  "libtarch_harness.a"
+  "libtarch_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tarch_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/disasm.cc" "src/CMakeFiles/tarch_isa.dir/isa/disasm.cc.o" "gcc" "src/CMakeFiles/tarch_isa.dir/isa/disasm.cc.o.d"
+  "/root/repo/src/isa/encoding.cc" "src/CMakeFiles/tarch_isa.dir/isa/encoding.cc.o" "gcc" "src/CMakeFiles/tarch_isa.dir/isa/encoding.cc.o.d"
+  "/root/repo/src/isa/instr.cc" "src/CMakeFiles/tarch_isa.dir/isa/instr.cc.o" "gcc" "src/CMakeFiles/tarch_isa.dir/isa/instr.cc.o.d"
+  "/root/repo/src/isa/opcode.cc" "src/CMakeFiles/tarch_isa.dir/isa/opcode.cc.o" "gcc" "src/CMakeFiles/tarch_isa.dir/isa/opcode.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tarch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

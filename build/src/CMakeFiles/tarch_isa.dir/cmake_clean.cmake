@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tarch_isa.dir/isa/disasm.cc.o"
+  "CMakeFiles/tarch_isa.dir/isa/disasm.cc.o.d"
+  "CMakeFiles/tarch_isa.dir/isa/encoding.cc.o"
+  "CMakeFiles/tarch_isa.dir/isa/encoding.cc.o.d"
+  "CMakeFiles/tarch_isa.dir/isa/instr.cc.o"
+  "CMakeFiles/tarch_isa.dir/isa/instr.cc.o.d"
+  "CMakeFiles/tarch_isa.dir/isa/opcode.cc.o"
+  "CMakeFiles/tarch_isa.dir/isa/opcode.cc.o.d"
+  "libtarch_isa.a"
+  "libtarch_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tarch_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

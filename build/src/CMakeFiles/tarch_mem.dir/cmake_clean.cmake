@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tarch_mem.dir/mem/cache.cc.o"
+  "CMakeFiles/tarch_mem.dir/mem/cache.cc.o.d"
+  "CMakeFiles/tarch_mem.dir/mem/dram.cc.o"
+  "CMakeFiles/tarch_mem.dir/mem/dram.cc.o.d"
+  "CMakeFiles/tarch_mem.dir/mem/main_memory.cc.o"
+  "CMakeFiles/tarch_mem.dir/mem/main_memory.cc.o.d"
+  "CMakeFiles/tarch_mem.dir/mem/tlb.cc.o"
+  "CMakeFiles/tarch_mem.dir/mem/tlb.cc.o.d"
+  "libtarch_mem.a"
+  "libtarch_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tarch_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

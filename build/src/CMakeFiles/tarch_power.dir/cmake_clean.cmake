@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tarch_power.dir/power/power_model.cc.o"
+  "CMakeFiles/tarch_power.dir/power/power_model.cc.o.d"
+  "libtarch_power.a"
+  "libtarch_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tarch_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

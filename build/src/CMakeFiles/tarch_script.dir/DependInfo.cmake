@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/script/ast.cc" "src/CMakeFiles/tarch_script.dir/script/ast.cc.o" "gcc" "src/CMakeFiles/tarch_script.dir/script/ast.cc.o.d"
+  "/root/repo/src/script/interp.cc" "src/CMakeFiles/tarch_script.dir/script/interp.cc.o" "gcc" "src/CMakeFiles/tarch_script.dir/script/interp.cc.o.d"
+  "/root/repo/src/script/lexer.cc" "src/CMakeFiles/tarch_script.dir/script/lexer.cc.o" "gcc" "src/CMakeFiles/tarch_script.dir/script/lexer.cc.o.d"
+  "/root/repo/src/script/parser.cc" "src/CMakeFiles/tarch_script.dir/script/parser.cc.o" "gcc" "src/CMakeFiles/tarch_script.dir/script/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tarch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

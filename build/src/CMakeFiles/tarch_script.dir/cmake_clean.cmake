@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tarch_script.dir/script/ast.cc.o"
+  "CMakeFiles/tarch_script.dir/script/ast.cc.o.d"
+  "CMakeFiles/tarch_script.dir/script/interp.cc.o"
+  "CMakeFiles/tarch_script.dir/script/interp.cc.o.d"
+  "CMakeFiles/tarch_script.dir/script/lexer.cc.o"
+  "CMakeFiles/tarch_script.dir/script/lexer.cc.o.d"
+  "CMakeFiles/tarch_script.dir/script/parser.cc.o"
+  "CMakeFiles/tarch_script.dir/script/parser.cc.o.d"
+  "libtarch_script.a"
+  "libtarch_script.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tarch_script.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tarch_typed.dir/typed/tag_codec.cc.o"
+  "CMakeFiles/tarch_typed.dir/typed/tag_codec.cc.o.d"
+  "CMakeFiles/tarch_typed.dir/typed/type_rule_table.cc.o"
+  "CMakeFiles/tarch_typed.dir/typed/type_rule_table.cc.o.d"
+  "libtarch_typed.a"
+  "libtarch_typed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tarch_typed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

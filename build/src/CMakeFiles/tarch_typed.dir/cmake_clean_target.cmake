@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtarch_typed.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tarch_typed.
+# This may be replaced when dependencies are built.

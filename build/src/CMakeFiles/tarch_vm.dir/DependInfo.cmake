@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/js/bytecode.cc" "src/CMakeFiles/tarch_vm.dir/vm/js/bytecode.cc.o" "gcc" "src/CMakeFiles/tarch_vm.dir/vm/js/bytecode.cc.o.d"
+  "/root/repo/src/vm/js/compiler.cc" "src/CMakeFiles/tarch_vm.dir/vm/js/compiler.cc.o" "gcc" "src/CMakeFiles/tarch_vm.dir/vm/js/compiler.cc.o.d"
+  "/root/repo/src/vm/js/interp_gen.cc" "src/CMakeFiles/tarch_vm.dir/vm/js/interp_gen.cc.o" "gcc" "src/CMakeFiles/tarch_vm.dir/vm/js/interp_gen.cc.o.d"
+  "/root/repo/src/vm/js/js_vm.cc" "src/CMakeFiles/tarch_vm.dir/vm/js/js_vm.cc.o" "gcc" "src/CMakeFiles/tarch_vm.dir/vm/js/js_vm.cc.o.d"
+  "/root/repo/src/vm/lua/bytecode.cc" "src/CMakeFiles/tarch_vm.dir/vm/lua/bytecode.cc.o" "gcc" "src/CMakeFiles/tarch_vm.dir/vm/lua/bytecode.cc.o.d"
+  "/root/repo/src/vm/lua/compiler.cc" "src/CMakeFiles/tarch_vm.dir/vm/lua/compiler.cc.o" "gcc" "src/CMakeFiles/tarch_vm.dir/vm/lua/compiler.cc.o.d"
+  "/root/repo/src/vm/lua/interp_gen.cc" "src/CMakeFiles/tarch_vm.dir/vm/lua/interp_gen.cc.o" "gcc" "src/CMakeFiles/tarch_vm.dir/vm/lua/interp_gen.cc.o.d"
+  "/root/repo/src/vm/lua/lua_vm.cc" "src/CMakeFiles/tarch_vm.dir/vm/lua/lua_vm.cc.o" "gcc" "src/CMakeFiles/tarch_vm.dir/vm/lua/lua_vm.cc.o.d"
+  "/root/repo/src/vm/runtime.cc" "src/CMakeFiles/tarch_vm.dir/vm/runtime.cc.o" "gcc" "src/CMakeFiles/tarch_vm.dir/vm/runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tarch_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarch_script.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarch_assembler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarch_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarch_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarch_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarch_typed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tarch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tarch_vm.dir/vm/js/bytecode.cc.o"
+  "CMakeFiles/tarch_vm.dir/vm/js/bytecode.cc.o.d"
+  "CMakeFiles/tarch_vm.dir/vm/js/compiler.cc.o"
+  "CMakeFiles/tarch_vm.dir/vm/js/compiler.cc.o.d"
+  "CMakeFiles/tarch_vm.dir/vm/js/interp_gen.cc.o"
+  "CMakeFiles/tarch_vm.dir/vm/js/interp_gen.cc.o.d"
+  "CMakeFiles/tarch_vm.dir/vm/js/js_vm.cc.o"
+  "CMakeFiles/tarch_vm.dir/vm/js/js_vm.cc.o.d"
+  "CMakeFiles/tarch_vm.dir/vm/lua/bytecode.cc.o"
+  "CMakeFiles/tarch_vm.dir/vm/lua/bytecode.cc.o.d"
+  "CMakeFiles/tarch_vm.dir/vm/lua/compiler.cc.o"
+  "CMakeFiles/tarch_vm.dir/vm/lua/compiler.cc.o.d"
+  "CMakeFiles/tarch_vm.dir/vm/lua/interp_gen.cc.o"
+  "CMakeFiles/tarch_vm.dir/vm/lua/interp_gen.cc.o.d"
+  "CMakeFiles/tarch_vm.dir/vm/lua/lua_vm.cc.o"
+  "CMakeFiles/tarch_vm.dir/vm/lua/lua_vm.cc.o.d"
+  "CMakeFiles/tarch_vm.dir/vm/runtime.cc.o"
+  "CMakeFiles/tarch_vm.dir/vm/runtime.cc.o.d"
+  "libtarch_vm.a"
+  "libtarch_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tarch_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

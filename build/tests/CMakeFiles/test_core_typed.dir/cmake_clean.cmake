@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_typed.dir/test_core_typed.cc.o"
+  "CMakeFiles/test_core_typed.dir/test_core_typed.cc.o.d"
+  "test_core_typed"
+  "test_core_typed.pdb"
+  "test_core_typed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_typed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

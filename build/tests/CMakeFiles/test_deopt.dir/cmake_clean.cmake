@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deopt.dir/test_deopt.cc.o"
+  "CMakeFiles/test_deopt.dir/test_deopt.cc.o.d"
+  "test_deopt"
+  "test_deopt.pdb"
+  "test_deopt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hostcall.dir/test_hostcall.cc.o"
+  "CMakeFiles/test_hostcall.dir/test_hostcall.cc.o.d"
+  "test_hostcall"
+  "test_hostcall.pdb"
+  "test_hostcall[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hostcall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

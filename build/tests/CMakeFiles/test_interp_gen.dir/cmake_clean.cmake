@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interp_gen.dir/test_interp_gen.cc.o"
+  "CMakeFiles/test_interp_gen.dir/test_interp_gen.cc.o.d"
+  "test_interp_gen"
+  "test_interp_gen.pdb"
+  "test_interp_gen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interp_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_js_vm.dir/test_js_vm.cc.o"
+  "CMakeFiles/test_js_vm.dir/test_js_vm.cc.o.d"
+  "test_js_vm"
+  "test_js_vm.pdb"
+  "test_js_vm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_js_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

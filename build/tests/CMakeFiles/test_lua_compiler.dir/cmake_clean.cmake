@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lua_compiler.dir/test_lua_compiler.cc.o"
+  "CMakeFiles/test_lua_compiler.dir/test_lua_compiler.cc.o.d"
+  "test_lua_compiler"
+  "test_lua_compiler.pdb"
+  "test_lua_compiler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lua_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

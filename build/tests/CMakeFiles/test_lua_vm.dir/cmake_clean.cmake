@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lua_vm.dir/test_lua_vm.cc.o"
+  "CMakeFiles/test_lua_vm.dir/test_lua_vm.cc.o.d"
+  "test_lua_vm"
+  "test_lua_vm.pdb"
+  "test_lua_vm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lua_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

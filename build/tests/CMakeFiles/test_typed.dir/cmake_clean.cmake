@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_typed.dir/test_typed.cc.o"
+  "CMakeFiles/test_typed.dir/test_typed.cc.o.d"
+  "test_typed"
+  "test_typed.pdb"
+  "test_typed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_typed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_assembler[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_branch[1]_include.cmake")
+include("/root/repo/build/tests/test_typed[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_core_typed[1]_include.cmake")
+include("/root/repo/build/tests/test_script[1]_include.cmake")
+include("/root/repo/build/tests/test_lua_compiler[1]_include.cmake")
+include("/root/repo/build/tests/test_lua_vm[1]_include.cmake")
+include("/root/repo/build/tests/test_js_compiler[1]_include.cmake")
+include("/root/repo/build/tests/test_js_vm[1]_include.cmake")
+include("/root/repo/build/tests/test_power[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_deopt[1]_include.cmake")
+include("/root/repo/build/tests/test_differential[1]_include.cmake")
+include("/root/repo/build/tests/test_timing[1]_include.cmake")
+include("/root/repo/build/tests/test_interp_gen[1]_include.cmake")
+include("/root/repo/build/tests/test_vm_edge_cases[1]_include.cmake")
+include("/root/repo/build/tests/test_hostcall[1]_include.cmake")
+include("/root/repo/build/tests/test_context_switch[1]_include.cmake")
+include("/root/repo/build/tests/test_benchmarks[1]_include.cmake")
