@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Continuous-integration driver: tier-1 verification plus a short
+# differential-fuzz smoke run.
+#
+# Usage:
+#   scripts/ci.sh              # build + ctest + 200-seed fuzz smoke
+#   scripts/ci.sh --sanitize   # same, instrumented with ASan+UBSan
+#
+# Exits nonzero if the build breaks, any test fails, or the fuzzer
+# finds a divergence / stats-invariant violation (reproducers land in
+# $BUILD_DIR/fuzz-smoke).
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SANITIZE=""
+if [[ "${1:-}" == "--sanitize" ]]; then
+    SANITIZE="address,undefined"
+    shift
+fi
+
+BUILD_DIR="${BUILD_DIR:-build}"
+if [[ -n "$SANITIZE" ]]; then
+    BUILD_DIR="${BUILD_DIR}-sanitize"
+fi
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+FUZZ_SEEDS="${FUZZ_SEEDS:-0..200}"
+
+echo "== configure ($BUILD_DIR)"
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DTARCH_SANITIZE="$SANITIZE"
+
+echo "== build"
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "== tier-1 tests"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "== differential fuzz smoke (seeds $FUZZ_SEEDS)"
+rm -rf "$BUILD_DIR/fuzz-smoke"
+"$BUILD_DIR/tools/fuzz_differential" --seeds "$FUZZ_SEEDS" \
+    --jobs "$JOBS" --out "$BUILD_DIR/fuzz-smoke"
+
+echo "== ci OK"

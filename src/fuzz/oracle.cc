@@ -1,0 +1,257 @@
+#include "fuzz/oracle.h"
+
+#include "common/log.h"
+#include "common/strutil.h"
+#include "script/interp.h"
+#include "script/parser.h"
+#include "vm/js/js_vm.h"
+#include "vm/lua/lua_vm.h"
+
+namespace tarch::fuzz {
+
+std::string
+RunConfig::name() const
+{
+    return strformat("%s/%s/deopt=%s",
+                     engine == Engine::Lua ? "MiniLua" : "MiniJS",
+                     std::string(vm::variantName(variant)).c_str(),
+                     deopt ? "on" : "off");
+}
+
+std::vector<RunConfig>
+allRunConfigs()
+{
+    std::vector<RunConfig> configs;
+    for (const RunConfig::Engine engine :
+         {RunConfig::Engine::Lua, RunConfig::Engine::Js}) {
+        for (const vm::Variant variant :
+             {vm::Variant::Baseline, vm::Variant::Typed,
+              vm::Variant::CheckedLoad}) {
+            for (const bool deopt : {false, true})
+                configs.push_back({engine, variant, deopt});
+        }
+    }
+    return configs;
+}
+
+std::string
+Divergence::describe() const
+{
+    switch (kind) {
+      case Kind::Output:
+        return strformat("%s: output mismatch\n  expected: %s\n  actual:   %s",
+                         config.c_str(),
+                         expected.empty() ? "<empty>" : expected.c_str(),
+                         actual.empty() ? "<empty>" : actual.c_str());
+      case Kind::StatsInvariant:
+        return strformat("%s: stats invariant violated: %s", config.c_str(),
+                         detail.c_str());
+      case Kind::Crash:
+        return strformat("%s: crashed: %s", config.c_str(), detail.c_str());
+    }
+    return "?";
+}
+
+std::vector<std::string>
+statsViolations(const core::CoreStats &s, const RunConfig &c,
+                const core::CoreStats *baseline, uint8_t probe_interval)
+{
+    std::vector<std::string> v;
+    const auto fail = [&v](const std::string &msg) { v.push_back(msg); };
+
+    // TRT bookkeeping: misses() is defined as lookups - hits, so the
+    // paper's "hits + misses == lookups" identity reduces to this.
+    if (s.trt.hits > s.trt.lookups)
+        fail(strformat("TRT hits (%llu) exceed lookups (%llu)",
+                       (unsigned long long)s.trt.hits,
+                       (unsigned long long)s.trt.lookups));
+
+    // An in-order core cannot retire more than one instruction/cycle.
+    if (s.cycles < s.instructions)
+        fail(strformat("cycles (%llu) < instructions (%llu) on an "
+                       "in-order core",
+                       (unsigned long long)s.cycles,
+                       (unsigned long long)s.instructions));
+    if (s.instructions == 0)
+        fail("zero instructions retired");
+
+    if (s.chklbMisses > s.chklbChecks)
+        fail(strformat("chklb misses (%llu) exceed checks (%llu)",
+                       (unsigned long long)s.chklbMisses,
+                       (unsigned long long)s.chklbChecks));
+
+    // Per-variant counter ownership.
+    switch (c.variant) {
+      case vm::Variant::Baseline:
+        if (s.trt.lookups || s.chklbChecks || s.typeOverflowMisses ||
+            s.deoptRedirects || s.deoptProbes)
+            fail("baseline touched typed/checked-load/deopt counters");
+        break;
+      case vm::Variant::Typed:
+        if (s.chklbChecks)
+            fail("typed variant touched chklb counters");
+        break;
+      case vm::Variant::CheckedLoad:
+        if (s.trt.lookups)
+            fail("checked-load variant touched the TRT");
+        if (s.deoptRedirects || s.deoptProbes)
+            fail("checked-load variant touched deopt counters");
+        break;
+    }
+
+    // The deopt selector only acts when enabled, and probes exactly
+    // every probe_interval-th redirect.
+    if (!c.deopt && (s.deoptRedirects || s.deoptProbes))
+        fail(strformat("deopt disabled but redirects=%llu probes=%llu",
+                       (unsigned long long)s.deoptRedirects,
+                       (unsigned long long)s.deoptProbes));
+    if (c.deopt && probe_interval &&
+        s.deoptProbes != s.deoptRedirects / probe_interval)
+        fail(strformat("deopt probes (%llu) != redirects (%llu) / "
+                       "interval (%u)",
+                       (unsigned long long)s.deoptProbes,
+                       (unsigned long long)s.deoptRedirects,
+                       (unsigned)probe_interval));
+
+    // MiniLua runs with OverflowMode::Off: tags live outside the value
+    // dword and the polymorphic ALU never aborts on overflow.
+    if (c.engine == RunConfig::Engine::Lua && s.typeOverflowMisses)
+        fail(strformat("MiniLua recorded %llu overflow misses",
+                       (unsigned long long)s.typeOverflowMisses));
+
+    if (baseline) {
+        // The native runtime is invoked identically on every pipeline --
+        // except typed/deopt=on, where thdl redirects fast-path-capable
+        // bytecodes into slow-path handlers that reach helpers (fmod,
+        // table slow paths) the fast path computes inline.  Redirection
+        // can only ADD hostcalls, never remove any.
+        const bool deopt_redirecting =
+            c.variant == vm::Variant::Typed && c.deopt;
+        if (!deopt_redirecting && s.hostcalls != baseline->hostcalls)
+            fail(strformat("hostcalls (%llu) differ from baseline (%llu)",
+                           (unsigned long long)s.hostcalls,
+                           (unsigned long long)baseline->hostcalls));
+        if (deopt_redirecting && s.hostcalls < baseline->hostcalls)
+            fail(strformat("typed/deopt hostcalls (%llu) below baseline "
+                           "(%llu)",
+                           (unsigned long long)s.hostcalls,
+                           (unsigned long long)baseline->hostcalls));
+        // The whole point of the typed ISA: on type-stable code the
+        // fast path strictly removes guard instructions.  The typed
+        // _start block pays a one-time TRT configuration cost
+        // (setoffset/setshift/setmask plus eight set_trt rules) that a
+        // program with little fast-path arithmetic never wins back, so
+        // the comparison carries a fixed startup allowance.  Any real
+        // fast-path regression scales with retired bytecodes and blows
+        // far past it.
+        constexpr uint64_t kTypedStartupAllowance = 40;
+        if (c.variant == vm::Variant::Typed && s.trt.misses() == 0 &&
+            s.typeOverflowMisses == 0 && s.deoptRedirects == 0 &&
+            s.instructions > baseline->instructions + kTypedStartupAllowance)
+            fail(strformat("type-stable typed run retired %llu "
+                           "instructions > baseline %llu",
+                           (unsigned long long)s.instructions,
+                           (unsigned long long)baseline->instructions));
+    }
+    return v;
+}
+
+namespace {
+
+template <typename Vm>
+RunRecord
+runVm(const std::string &source, const RunConfig &config,
+      const OracleOptions &opts)
+{
+    RunRecord rec;
+    rec.config = config;
+    try {
+        typename Vm::Options vm_opts;
+        vm_opts.variant = config.variant;
+        vm_opts.coreConfig.deopt.enabled = config.deopt;
+        vm_opts.coreConfig.deopt.probeInterval = opts.probeInterval;
+        vm_opts.coreConfig.maxInstructions = opts.maxInstructions;
+        Vm vm(source, vm_opts);
+        vm.run();
+        rec.output = vm.core().output();
+        rec.stats = vm.core().collectStats();
+    } catch (const FatalError &err) {
+        rec.crashed = true;
+        rec.error = err.what();
+    }
+    return rec;
+}
+
+} // namespace
+
+OracleResult
+runOracle(const std::string &source, const OracleOptions &opts)
+{
+    OracleResult result;
+
+    script::Chunk chunk;
+    try {
+        chunk = script::parse(source);
+        result.expectedLua = script::interpret(
+            chunk, script::NumberStyle::Lua, opts.refStepLimit);
+        result.expectedJs = script::interpret(
+            chunk, script::NumberStyle::Js, opts.refStepLimit);
+        result.referenceOk = true;
+    } catch (const FatalError &err) {
+        result.referenceError = err.what();
+        return result;
+    }
+
+    // Baseline/deopt-off stats per engine, for the cross-run checks
+    // (kept by value: runs.push_back may reallocate).
+    core::CoreStats baselineStats[2];
+    bool haveBaseline[2] = {false, false};
+    result.runs.reserve(12);
+
+    for (const RunConfig &config : allRunConfigs()) {
+        const RunRecord rec =
+            config.engine == RunConfig::Engine::Lua
+                ? runVm<vm::lua::LuaVm>(source, config, opts)
+                : runVm<vm::js::JsVm>(source, config, opts);
+        result.runs.push_back(rec);
+        const RunRecord &r = result.runs.back();
+
+        if (r.crashed) {
+            result.divergences.push_back({Divergence::Kind::Crash,
+                                          config.name(), r.error, "", ""});
+            continue;
+        }
+
+        const std::string &expected =
+            config.engine == RunConfig::Engine::Lua ? result.expectedLua
+                                                    : result.expectedJs;
+        if (r.output != expected) {
+            result.divergences.push_back({Divergence::Kind::Output,
+                                          config.name(), "", expected,
+                                          r.output});
+        }
+
+        const size_t engine_idx =
+            config.engine == RunConfig::Engine::Lua ? 0 : 1;
+        if (config.variant == vm::Variant::Baseline && !config.deopt) {
+            baselineStats[engine_idx] = r.stats;
+            haveBaseline[engine_idx] = true;
+        }
+
+        if (opts.checkStats) {
+            for (const std::string &violation :
+                 statsViolations(r.stats, config,
+                                 haveBaseline[engine_idx]
+                                     ? &baselineStats[engine_idx]
+                                     : nullptr,
+                                 opts.probeInterval)) {
+                result.divergences.push_back(
+                    {Divergence::Kind::StatsInvariant, config.name(),
+                     violation, "", ""});
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace tarch::fuzz

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Differential oracle: runs one MiniScript program through the host
+ * reference interpreter and through both guest VMs on all three ISA
+ * variants x deopt on/off (12 simulated runs), comparing every output
+ * against the reference semantics and checking machine-level stats
+ * invariants that must hold for any program:
+ *
+ *   - TRT bookkeeping: hits + misses == lookups (hits <= lookups)
+ *   - in-order core: cycles >= instructions, both nonzero
+ *   - baseline never touches TRT / chklb / overflow / deopt counters
+ *   - typed never touches chklb counters; checked-load never touches
+ *     TRT or deopt counters
+ *   - deopt counters stay zero when the selector is disabled, and
+ *     probes == redirects / probeInterval when it is enabled
+ *   - MiniLua (OverflowMode::Off) never records overflow misses
+ *   - on a type-stable run (zero TRT misses, zero overflow misses) the
+ *     typed variant retires no more instructions than baseline, beyond
+ *     a fixed allowance for its one-time TRT-configuration prologue
+ *   - hostcall counts are variant-invariant (the runtime is charged
+ *     identically on every pipeline)
+ *
+ * A divergence in either the printed output or an invariant is the
+ * fuzzer's bug signal; the shrinker minimizes the program against
+ * OracleResult::diverges().
+ */
+
+#ifndef TARCH_FUZZ_ORACLE_H
+#define TARCH_FUZZ_ORACLE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/stats.h"
+#include "vm/variant.h"
+
+namespace tarch::fuzz {
+
+/** One engine/variant/deopt combination. */
+struct RunConfig {
+    enum class Engine : uint8_t { Lua, Js };
+
+    Engine engine = Engine::Lua;
+    vm::Variant variant = vm::Variant::Baseline;
+    bool deopt = false;
+
+    std::string name() const;
+};
+
+/** All 12 combinations, in a fixed deterministic order. */
+std::vector<RunConfig> allRunConfigs();
+
+/** Outcome of one simulated run. */
+struct RunRecord {
+    RunConfig config;
+    bool crashed = false;
+    std::string error;   ///< FatalError text when crashed
+    std::string output;
+    core::CoreStats stats;
+};
+
+struct Divergence {
+    enum class Kind : uint8_t { Output, StatsInvariant, Crash };
+
+    Kind kind = Kind::Output;
+    std::string config; ///< RunConfig::name() of the offending run
+    std::string detail;
+    std::string expected; ///< reference output (Output kind only)
+    std::string actual;
+
+    std::string describe() const;
+};
+
+struct OracleOptions {
+    uint64_t maxInstructions = 100'000'000; ///< per-run runaway guard
+    uint64_t refStepLimit = 8'000'000;
+    bool checkStats = true;
+    uint8_t probeInterval = 32; ///< must mirror DeoptConfig default
+};
+
+struct OracleResult {
+    bool referenceOk = false; ///< reference accepted and ran the program
+    std::string referenceError;
+    std::string expectedLua;
+    std::string expectedJs;
+    std::vector<RunRecord> runs;
+    std::vector<Divergence> divergences;
+
+    /** Reference accepted the program and every run agreed. */
+    bool clean() const { return referenceOk && divergences.empty(); }
+
+    /**
+     * Reference accepted the program and at least one run disagreed.
+     * This (not !clean()) is the shrinker predicate: a candidate that
+     * the reference rejects proves nothing.
+     */
+    bool diverges() const { return referenceOk && !divergences.empty(); }
+};
+
+/** Run the full 12-way differential matrix over @p source. */
+OracleResult runOracle(const std::string &source,
+                       const OracleOptions &opts = {});
+
+/**
+ * Pure stats-invariant check for one run (exposed for unit tests).
+ * @param baseline  stats of the same engine's baseline/deopt-off run,
+ *                  or nullptr when unavailable
+ * @return human-readable violation messages (empty when clean)
+ */
+std::vector<std::string> statsViolations(const core::CoreStats &stats,
+                                         const RunConfig &config,
+                                         const core::CoreStats *baseline,
+                                         uint8_t probe_interval = 32);
+
+} // namespace tarch::fuzz
+
+#endif // TARCH_FUZZ_ORACLE_H

@@ -1,0 +1,1151 @@
+#include "fuzz/progen.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/strutil.h"
+
+namespace tarch::fuzz {
+
+namespace {
+
+/**
+ * Magnitude ceiling for every numeric value a generated program can
+ * compute.  8e12 keeps values (a) exact in IEEE doubles (< 2^53), (b)
+ * far from int64 overflow even through one add/sub before a clamp, and
+ * (c) within 13 significant decimal digits, so "%.14g" prints an
+ * integer-valued double with exactly the same text as the int64 print
+ * path.  That is what makes MiniLua's int64 arithmetic and MiniJS's
+ * int32-overflow-to-double fallback observably identical.
+ */
+constexpr double kCap = 8e12;
+
+/** Work budget: sum over statements of their loop-trip multiplier. */
+constexpr double kWorkCap = 50'000;
+
+/** Clamp modulus for runaway accumulators (floored mod, so [0, m)). */
+constexpr const char *kClampMod = "999983";
+constexpr double kClampBound = 999'983;
+
+/**
+ * Int-valued results above this are int64 in the reference but double
+ * in MiniJS (int32 overflow fallback): their Int/Flt kind diverges.
+ */
+constexpr double kInt32Max = 2'147'483'647.0;
+
+} // namespace
+
+struct ProgramGen::Impl {
+    Rng rng;
+    ProgenOptions opts;
+
+    struct NumExpr {
+        std::string text;
+        double bound = 0; ///< max |value| this expression can take
+        /**
+         * True when the value's Int/Flt kind may differ between the
+         * reference interpreter (int64 throughout) and MiniJS (int32
+         * promoted to double on overflow, literals > INT32_MAX held as
+         * doubles).  Equal values print identically under the cap --
+         * except a double -0, which an int64 can never produce.  -0 only
+         * comes out of a multiply with a zero factor and a negative one,
+         * so a mixed-kind multiply operand must be provably positive.
+         */
+        bool mixed = false;
+        bool pos = false; ///< provably > 0
+    };
+
+    struct StrExpr {
+        std::string text;
+        int len = 0; ///< max length in bytes
+    };
+
+    struct NumVar {
+        std::string name;
+        double bound = 0;
+        bool assignable = true; ///< loop variables are read-only
+        double declWeight = 1;  ///< tripWeight_ where the var (re)inits
+        bool mixed = false;     ///< see NumExpr::mixed
+    };
+
+    struct StrVar {
+        std::string name;
+        int len = 0;
+    };
+
+    struct TabVar {
+        std::string name;
+        int dense = 0;    ///< keys 1..dense are set and numeric
+        double bound = 0; ///< max |numeric value| stored anywhere in it
+        bool mixed = false; ///< some stored value may be kind-divergent
+        /**
+         * Integer keys outside the contiguous 1..n prefix may exist
+         * (loop-variable keys can be negative, sparse or descending).
+         * The length of such a table is implementation-defined -- the
+         * reference and the guest VMs legitimately disagree -- so the
+         * generator must never print #t for a holey table.
+         */
+        bool holey = false;
+        std::vector<std::string> strKeys;
+    };
+
+    struct FunInfo {
+        std::string name;
+        int arity = 0;
+        double retBound = 0;
+        double cost = 0;       ///< approx. statement-executions per call
+        bool retMixed = false; ///< see NumExpr::mixed
+    };
+
+    std::string out;
+    int indent = 0;
+    std::vector<NumVar> numVars;
+    std::vector<StrVar> strVars;
+    std::vector<TabVar> tabVars;
+    std::vector<FunInfo> funs;
+    int nameCounter = 0;
+    int loopDepth = 0;
+    int condDepth = 0; ///< nesting inside if/elseif/else branches
+    double tripWeight = 1;
+    double work = 0;
+    bool inFunction = false;
+
+    Impl(uint64_t seed, const ProgenOptions &o)
+        : rng(seed * 0x2545F4914F6CDD1DULL + 0x1234567899ABCDEFULL), opts(o)
+    {
+    }
+
+    // ---- emission helpers ---------------------------------------------
+
+    void
+    line(const std::string &text)
+    {
+        out.append(static_cast<size_t>(indent) * 2, ' ');
+        out += text;
+        out += '\n';
+        work += tripWeight;
+    }
+
+    std::string fresh(const char *prefix)
+    {
+        return strformat("%s%d", prefix, nameCounter++);
+    }
+
+    /** Scope frame: locals declared after a mark die with the block. */
+    struct Frame {
+        size_t num, str, tab;
+    };
+
+    Frame
+    open() const
+    {
+        return {numVars.size(), strVars.size(), tabVars.size()};
+    }
+
+    void
+    close(const Frame &f)
+    {
+        numVars.resize(f.num);
+        strVars.resize(f.str);
+        tabVars.resize(f.tab);
+    }
+
+    // ---- numeric expressions ------------------------------------------
+
+    std::string
+    floatLit()
+    {
+        static const char *quarters[] = {"0", "25", "5", "75"};
+        return strformat("%d.%s", rng.below(40), quarters[rng.below(4)]);
+    }
+
+    NumExpr
+    numLeaf()
+    {
+        switch (rng.below(8)) {
+          case 0:
+            return {floatLit(), 40.0, false, false};
+          case 1: {
+            const int v = 1 + rng.below(12);
+            return {strformat("(-%d)", v), static_cast<double>(v), false,
+                    false};
+          }
+          case 2:
+            if (opts.int32Overflow) {
+                // Deliberately near/above INT32_MAX: forces the MiniJS
+                // xadd/xmul overflow abort and double fallback.
+                const long long v =
+                    1'500'000'000LL + rng.below(800'000'000);
+                return {strformat("%lld", v), static_cast<double>(v) + 1,
+                        true, true};
+            }
+            [[fallthrough]];
+          case 3:
+            if (!funs.empty() && rng.chance(35))
+                return callExpr();
+            [[fallthrough]];
+          default:
+            if (!numVars.empty() && rng.chance(70)) {
+                const NumVar &v = numVars[static_cast<size_t>(
+                    rng.below(static_cast<int>(numVars.size())))];
+                return {v.name, v.bound, v.mixed, false};
+            }
+            const int n = rng.below(100);
+            return {strformat("%d", n), 99.0, false, n > 0};
+        }
+    }
+
+    NumExpr
+    callExpr()
+    {
+        const FunInfo &f = funs[static_cast<size_t>(
+            rng.below(static_cast<int>(funs.size())))];
+        std::string text = f.name + "(";
+        for (int i = 0; i < f.arity; ++i) {
+            if (i)
+                text += ", ";
+            text += numExpr(1).text;
+        }
+        text += ")";
+        // Calls are the one construct whose runtime cost is invisible in
+        // the emitted line count: charge the callee's body here, scaled
+        // by how often the enclosing statement runs.
+        work += f.cost * tripWeight;
+        return {text, f.retBound, f.retMixed, false};
+    }
+
+    /** Wrap so the value provably stays under the magnitude cap. */
+    NumExpr
+    clampExpr(NumExpr e)
+    {
+        if (e.bound > kCap) {
+            e.text = "(" + e.text + " % 99991)";
+            e.bound = 99'991;
+            e.pos = false; // mod can hit 0; mixedness persists through %
+        }
+        return e;
+    }
+
+    /**
+     * Modulus for rewrites inside loop bodies.  Expressions generated
+     * earlier in the body were bounded against the variable's bound at
+     * generation time, but they re-execute every iteration -- after any
+     * later in-body write has already happened.  So in-loop writes must
+     * never raise a value above that generation-time bound: mod by an
+     * integer no larger than it (floor >= 2; the <= 2 slack on tiny
+     * bounds keeps worst-case products under 2*kCap, still print-exact).
+     */
+    long long
+    stableMod(double bound) const
+    {
+        return static_cast<long long>(
+            std::min(kClampBound, std::max(2.0, std::floor(bound))));
+    }
+
+    NumExpr
+    numExpr(int depth)
+    {
+        if (depth <= 0 || rng.chance(30))
+            return numLeaf();
+        const NumExpr a = numExpr(depth - 1);
+        switch (rng.below(10)) {
+          case 0: { // floored division by a provably nonzero amount
+            if (rng.chance(50)) {
+                return {strformat("(%s // %d)", a.text.c_str(),
+                                  1 + rng.below(9)),
+                        a.bound + 1, a.mixed, false};
+            }
+            const NumExpr b = numExpr(0);
+            // b % 7 + 1 is in [1, 8) for ints and floats alike.
+            return {strformat("(%s // (%s %% 7 + 1))", a.text.c_str(),
+                              b.text.c_str()),
+                    a.bound + 1, a.mixed || b.mixed, false};
+          }
+          case 1: { // floored modulo: result in [0, m)
+            const int m = 2 + rng.below(9);
+            return {strformat("(%s %% %d)", a.text.c_str(), m),
+                    static_cast<double>(m), a.mixed, false};
+          }
+          case 2: // float division: result is Flt on every pipeline,
+                  // which launders any kind divergence in the dividend
+            return {strformat("(%s / %d)", a.text.c_str(),
+                              1 + rng.below(7)),
+                    a.bound, false, a.pos};
+          case 3:
+          case 4: { // multiply, only when the product provably fits and
+                    // no mixed-kind factor can be the zero beside a
+                    // negative (double -0 vs int64 0, see NumExpr::mixed)
+            const NumExpr b = numExpr(depth - 1);
+            if (a.bound * b.bound <= kCap && (!a.mixed || a.pos) &&
+                (!b.mixed || b.pos)) {
+                const double p = a.bound * b.bound;
+                return {"(" + a.text + " * " + b.text + ")", p,
+                        a.mixed || b.mixed || p > kInt32Max,
+                        a.pos && b.pos};
+            }
+            return clampExpr(addExpr(a, b));
+          }
+          case 5: { // subtract
+            const NumExpr b = numExpr(depth - 1);
+            return clampExpr({"(" + a.text + " - " + b.text + ")",
+                              a.bound + b.bound,
+                              a.mixed || b.mixed ||
+                                  a.bound + b.bound > kInt32Max,
+                              false});
+          }
+          case 6: { // builtins stay numeric and bounded
+            switch (rng.below(3)) {
+              case 0:
+                return {"abs(" + a.text + ")", a.bound, a.mixed, a.pos};
+              case 1:
+                // Both guest VMs box an int-valued floor result back to
+                // their native int when it fits, and the reference yields
+                // Int: floor() launders mixedness below INT32_MAX.
+                return {"floor(" + a.text + ")", a.bound + 1,
+                        a.bound + 1 > kInt32Max, false};
+              default: // Flt on every pipeline
+                return {"sqrt(abs(" + a.text + "))",
+                        std::sqrt(a.bound) + 1, false, a.pos};
+            }
+          }
+          case 7: // dense table read (provably numeric slot)
+            if (opts.tables) {
+                for (const TabVar &t : tabVars) {
+                    if (t.dense > 0) {
+                        return {strformat("%s[%d]", t.name.c_str(),
+                                          1 + rng.below(t.dense)),
+                                t.bound, t.mixed, false};
+                    }
+                }
+            }
+            [[fallthrough]];
+          default: { // add
+            const NumExpr b = numExpr(depth - 1);
+            return clampExpr(addExpr(a, b));
+          }
+        }
+    }
+
+    /** a + b with kind-divergence tracking (int32 overflow promotes). */
+    static NumExpr
+    addExpr(const NumExpr &a, const NumExpr &b)
+    {
+        const double s = a.bound + b.bound;
+        return {"(" + a.text + " + " + b.text + ")", s,
+                a.mixed || b.mixed || s > kInt32Max, a.pos && b.pos};
+    }
+
+    // ---- boolean / condition expressions ------------------------------
+
+    std::string
+    boolExpr(int depth)
+    {
+        if (depth <= 0 || rng.chance(40)) {
+            static const char *cmps[] = {"<", "<=", ">", ">=", "==", "~="};
+            return "(" + numExpr(1).text + " " + cmps[rng.below(6)] + " " +
+                   numExpr(1).text + ")";
+        }
+        switch (rng.below(6)) {
+          case 0:
+            return "(not " + boolExpr(depth - 1) + ")";
+          case 1:
+            return "(" + boolExpr(depth - 1) + " and " +
+                   boolExpr(depth - 1) + ")";
+          case 2:
+            return "(" + boolExpr(depth - 1) + " or " +
+                   boolExpr(depth - 1) + ")";
+          case 3:
+            if (opts.strings && !strVars.empty()) {
+                const StrVar &s = strVars[static_cast<size_t>(
+                    rng.below(static_cast<int>(strVars.size())))];
+                return "(" + s.name + " == " + strExpr(0).text + ")";
+            }
+            [[fallthrough]];
+          case 4:
+            // Bare numeric condition: truthiness of 0/0.0 deliberately
+            // differs between the Lua and JS dialects; the reference
+            // interpreter models both, so this is safe to generate.
+            return numExpr(1).text;
+          default:
+            return rng.chance(50) ? "true" : "false";
+        }
+    }
+
+    // ---- string expressions -------------------------------------------
+
+    StrExpr
+    strLit()
+    {
+        const int n = 1 + rng.below(4);
+        std::string text = "\"";
+        for (int i = 0; i < n; ++i)
+            text += static_cast<char>('a' + rng.below(26));
+        text += "\"";
+        return {text, n};
+    }
+
+    StrExpr
+    strExpr(int depth)
+    {
+        if (depth <= 0 || strVars.empty() || rng.chance(40)) {
+            if (!strVars.empty() && rng.chance(50)) {
+                const StrVar &s = strVars[static_cast<size_t>(
+                    rng.below(static_cast<int>(strVars.size())))];
+                return {s.name, s.len};
+            }
+            if (rng.chance(20))
+                return {strformat("strchar(%d)", 65 + rng.below(26)), 1};
+            return strLit();
+        }
+        const StrExpr a = strExpr(depth - 1);
+        switch (rng.below(3)) {
+          case 0: { // concat with a number (numeric text <= 24 chars)
+            StrExpr r{"(" + a.text + " .. " + numExpr(1).text + ")",
+                      a.len + 24};
+            return substrClamp(r);
+          }
+          case 1: { // concat two strings
+            const StrExpr b = strExpr(depth - 1);
+            return substrClamp(
+                {"(" + a.text + " .. " + b.text + ")", a.len + b.len});
+          }
+          default: { // substring with in-range-ish literals
+            const int i = rng.chance(30) ? -(1 + rng.below(5))
+                                         : 1 + rng.below(4);
+            const int j = rng.chance(30) ? -(1 + rng.below(3))
+                                         : i + rng.below(8);
+            return {strformat("substr(%s, %d, %d)", a.text.c_str(), i, j),
+                    a.len};
+          }
+        }
+    }
+
+    /** Keep string growth in loops bounded. */
+    StrExpr
+    substrClamp(StrExpr e)
+    {
+        if (e.len > 160)
+            return {"substr(" + e.text + ", 1, 24)", 24};
+        return e;
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    void
+    stmtLocalNum()
+    {
+        const NumExpr e = numExpr(2);
+        const std::string name = fresh("v");
+        line("local " + name + " = " + e.text);
+        numVars.push_back({name, e.bound, true, tripWeight, e.mixed});
+    }
+
+    void
+    stmtLocalStr()
+    {
+        const StrExpr e = strExpr(1);
+        const std::string name = fresh("s");
+        line("local " + name + " = " + e.text);
+        strVars.push_back({name, e.len});
+    }
+
+    void
+    stmtLocalTab()
+    {
+        const std::string name = fresh("t");
+        TabVar t;
+        t.name = name;
+        if (rng.chance(50)) { // positional constructor: dense 1..n
+            const int n = 1 + rng.below(5);
+            std::string ctor = "{";
+            for (int i = 0; i < n; ++i) {
+                const NumExpr e = numExpr(1);
+                if (i)
+                    ctor += ", ";
+                ctor += e.text;
+                t.bound = std::max(t.bound, e.bound);
+                t.mixed = t.mixed || e.mixed;
+            }
+            ctor += "}";
+            line("local " + name + " = " + ctor);
+            t.dense = n;
+        } else {
+            line("local " + name + " = {}");
+            const int fills = rng.below(4);
+            for (int i = 0; i < fills; ++i) {
+                const NumExpr e = numExpr(1);
+                line(strformat("%s[%d] = ", name.c_str(), i + 1) + e.text);
+                t.bound = std::max(t.bound, e.bound);
+                t.mixed = t.mixed || e.mixed;
+            }
+            t.dense = fills;
+        }
+        tabVars.push_back(t);
+    }
+
+    NumVar *
+    pickAssignable()
+    {
+        std::vector<NumVar *> cands;
+        for (NumVar &v : numVars) {
+            if (v.assignable)
+                cands.push_back(&v);
+        }
+        if (cands.empty())
+            return nullptr;
+        return cands[static_cast<size_t>(
+            rng.below(static_cast<int>(cands.size())))];
+    }
+
+    /** v = v + e, with a forced clamp once the bound would blow up. */
+    void
+    stmtAccumulate()
+    {
+        NumVar *v = pickAssignable();
+        if (!v) {
+            stmtLocalNum();
+            return;
+        }
+        const NumExpr e = numExpr(1 + rng.below(2));
+        const char *op = rng.chance(70) ? "+" : "-";
+        if (loopDepth > 0) {
+            // In-loop growth would invalidate bounds (and kinds) that
+            // expressions generated earlier in this body already
+            // assumed; fold the result back under the current bound and
+            // launder any kind divergence: floor of a sub-INT32_MAX
+            // value is a native int on every pipeline.
+            const long long m = stableMod(v->bound);
+            line(strformat("%s = floor((%s %s %s) %% %lld)",
+                           v->name.c_str(), v->name.c_str(), op,
+                           e.text.c_str(), m));
+            v->bound = std::max(v->bound, static_cast<double>(m));
+            return;
+        }
+        line(strformat("%s = %s %s ", v->name.c_str(), v->name.c_str(),
+                       op) +
+             e.text);
+        const double grown = v->bound + e.bound;
+        v->mixed = v->mixed || e.mixed || grown > kInt32Max;
+        if (grown > kCap) {
+            line(strformat("%s = %s %% %s", v->name.c_str(),
+                           v->name.c_str(), kClampMod));
+            // This may sit inside an if branch: the old bound stays
+            // admissible on the untaken path.
+            v->bound = std::max(v->bound, kClampBound);
+        } else {
+            v->bound = grown;
+        }
+    }
+
+    void
+    stmtAssignNum()
+    {
+        NumVar *v = pickAssignable();
+        if (!v) {
+            stmtLocalNum();
+            return;
+        }
+        const NumExpr e = numExpr(2);
+        if (loopDepth > 0 &&
+            (e.bound > v->bound || (e.mixed && !v->mixed))) {
+            // See stmtAccumulate: in-loop writes may neither raise a
+            // bound nor introduce a kind divergence.
+            const long long m = stableMod(v->bound);
+            line(strformat("%s = floor((%s %% %lld))", v->name.c_str(),
+                           e.text.c_str(), m));
+            v->bound = std::max(v->bound, static_cast<double>(m));
+            return;
+        }
+        line(v->name + " = " + e.text);
+        // The assignment may sit inside a conditional block, so the old
+        // bound (and kind) must stay admissible.
+        v->bound = std::max(v->bound, e.bound);
+        v->mixed = v->mixed || e.mixed;
+    }
+
+    /**
+     * A deliberately type-unstable site: the same bytecode-level ADD
+     * (or MUL / call argument) alternates Int and Flt operands, which
+     * is exactly what defeats the TRT fast path and trains the thdl
+     * deopt selector.
+     */
+    void
+    stmtUnstable()
+    {
+        NumVar *v = pickAssignable();
+        if (!v || !opts.typeUnstable) {
+            stmtAccumulate();
+            return;
+        }
+        const std::string cond = boolExpr(1);
+        line("if " + cond + " then");
+        ++indent;
+        line(strformat("%s = %s + %d", v->name.c_str(), v->name.c_str(),
+                       1 + rng.below(3)));
+        --indent;
+        line("else");
+        ++indent;
+        line(strformat("%s = %s + %s", v->name.c_str(), v->name.c_str(),
+                       floatLit().c_str()));
+        --indent;
+        line("end");
+        if (loopDepth > 0) {
+            // Fold the per-iteration +1/+float growth back under the
+            // generation-time bound.  The branch adds above still see
+            // alternating Int/Flt operands each iteration, which is the
+            // whole point of this site.
+            const long long m = stableMod(v->bound);
+            line(strformat("%s = floor(%s %% %lld)", v->name.c_str(),
+                           v->name.c_str(), m));
+            v->bound = std::max(v->bound, static_cast<double>(m));
+            return;
+        }
+        const double grown = v->bound + 43.0;
+        v->mixed = v->mixed || grown > kInt32Max;
+        if (grown > kCap) {
+            line(strformat("%s = %s %% %s", v->name.c_str(),
+                           v->name.c_str(), kClampMod));
+            v->bound = std::max(v->bound, kClampBound);
+        } else {
+            v->bound = grown;
+        }
+    }
+
+    void
+    stmtTableSet(const std::string *loopVar)
+    {
+        if (tabVars.empty()) {
+            stmtLocalTab();
+            return;
+        }
+        TabVar &t = tabVars[static_cast<size_t>(
+            rng.below(static_cast<int>(tabVars.size())))];
+        NumExpr e = numExpr(2);
+        if (loopDepth > 0 &&
+            (e.bound > t.bound || (e.mixed && !t.mixed))) {
+            // In-loop table writes may neither raise the table's bound
+            // nor introduce a kind divergence: a dense read generated
+            // earlier in the body already assumed both (see stableMod).
+            const long long m = stableMod(t.bound);
+            e.text = strformat("floor((%s %% %lld))", e.text.c_str(), m);
+            e.bound = static_cast<double>(m);
+            e.mixed = false;
+        }
+        switch (rng.below(4)) {
+          case 0:
+            if (loopVar) { // t[i] = e inside a loop body
+                line(strformat("%s[%s] = ", t.name.c_str(),
+                               loopVar->c_str()) +
+                     e.text);
+                t.bound = std::max(t.bound, e.bound);
+                t.mixed = t.mixed || e.mixed;
+                // Loop-variable keys can be sparse, negative or
+                // descending: assume the worst and stop printing #t.
+                t.holey = true;
+                return;
+            }
+            [[fallthrough]];
+          case 1: { // string key (hash part / shadow hash slow path)
+            const std::string key =
+                strformat("k%d", rng.below(4));
+            if (opts.strings && rng.chance(35)) {
+                const StrExpr s = strExpr(1);
+                line(strformat("%s[\"%s\"] = ", t.name.c_str(),
+                               key.c_str()) +
+                     s.text);
+            } else {
+                line(strformat("%s[\"%s\"] = ", t.name.c_str(),
+                               key.c_str()) +
+                     e.text);
+                t.bound = std::max(t.bound, e.bound);
+                t.mixed = t.mixed || e.mixed;
+            }
+            t.strKeys.push_back(key);
+            return;
+          }
+          default: { // integer key; extend the dense prefix if adjacent.
+            // Never past dense+1: a two-past-the-end write would create
+            // a hole (implementation-defined #t, see TabVar::holey).
+            const int idx = 1 + rng.below(t.dense + 1);
+            line(strformat("%s[%d] = ", t.name.c_str(), idx) + e.text);
+            t.bound = std::max(t.bound, e.bound);
+            t.mixed = t.mixed || e.mixed;
+            // Only an unconditional write proves the slot is set: a
+            // dense prefix extended under an if would make later dense
+            // reads hit nil on the untaken path.
+            if (idx == t.dense + 1 && loopDepth == 0 && condDepth == 0)
+                ++t.dense;
+            return;
+          }
+        }
+    }
+
+    void
+    stmtStrAssign()
+    {
+        if (strVars.empty()) {
+            stmtLocalStr();
+            return;
+        }
+        StrVar &s = strVars[static_cast<size_t>(
+            rng.below(static_cast<int>(strVars.size())))];
+        const StrExpr e = strExpr(2);
+        if (loopDepth > 0) {
+            // A self-referencing concat (s = s .. s) doubles the string
+            // every iteration: exponential runtime the work budget
+            // cannot see.  Cap the stored length at a fixed bound so
+            // re-execution can never compound.
+            const int cap = std::min(160, std::max(s.len, 24));
+            line(strformat("%s = substr(%s, 1, %d)", s.name.c_str(),
+                           e.text.c_str(), cap));
+            s.len = std::max(s.len, cap);
+            return;
+        }
+        line(s.name + " = " + e.text);
+        s.len = std::max(s.len, e.len);
+    }
+
+    void
+    stmtGlobalNum()
+    {
+        const NumExpr e = numExpr(2);
+        const std::string name = fresh("g");
+        line(name + " = " + e.text);
+        // Globals never go out of scope; register at the current frame
+        // anyway (the generator only reads them while they are listed).
+        numVars.push_back({name, e.bound, true, tripWeight, e.mixed});
+    }
+
+    void
+    stmtPrint()
+    {
+        if (inFunction) {
+            // Function bodies must be print-free so that calls are
+            // observationally pure: binary operators may evaluate their
+            // operands in either order (MiniJS swaps `a > b` into
+            // `b < a`), which is only legal to vary when neither operand
+            // can print.
+            stmtLocalNum();
+            return;
+        }
+        switch (rng.below(12)) {
+          case 0:
+            line("print(" + numExpr(2 + rng.below(2)).text + ")");
+            return;
+          case 1: {
+            static const char *cmps[] = {"<", "<=", ">", ">=", "==", "~="};
+            line("print(" + numExpr(2).text + " " + cmps[rng.below(6)] +
+                 " " + numExpr(2).text + ")");
+            return;
+          }
+          case 2:
+            if (opts.strings) {
+                line("print(" + strExpr(2).text + ")");
+                return;
+            }
+            [[fallthrough]];
+          case 3:
+            if (opts.strings && !strVars.empty()) {
+                const StrVar &s = strVars[static_cast<size_t>(
+                    rng.below(static_cast<int>(strVars.size())))];
+                line(rng.chance(50)
+                         ? "print(#" + s.name + ")"
+                         : "print(" + s.name +
+                               " == " + strExpr(1).text + ")");
+                return;
+            }
+            [[fallthrough]];
+          case 4:
+            if (opts.tables && !tabVars.empty()) {
+                const TabVar &t = tabVars[static_cast<size_t>(
+                    rng.below(static_cast<int>(tabVars.size())))];
+                switch (rng.below(4)) {
+                  case 0:
+                    if (!t.holey) {
+                        line("print(#" + t.name + ")");
+                        return;
+                    }
+                    [[fallthrough]];
+                  case 1: // possibly-missing integer key: prints nil
+                    line(strformat("print(%s[%d])", t.name.c_str(),
+                                   1 + rng.below(t.dense + 3)));
+                    return;
+                  case 2:
+                    if (!t.strKeys.empty()) {
+                        line(strformat(
+                            "print(%s[\"%s\"])", t.name.c_str(),
+                            t.strKeys[static_cast<size_t>(rng.below(
+                                          static_cast<int>(
+                                              t.strKeys.size())))]
+                                .c_str()));
+                        return;
+                    }
+                    [[fallthrough]];
+                  default:
+                    line(strformat("print(%s[%d] == nil)",
+                                   t.name.c_str(),
+                                   1 + rng.below(t.dense + 3)));
+                    return;
+                }
+            }
+            [[fallthrough]];
+          case 5:
+            if (!funs.empty()) {
+                line("print(" + callExpr().text + ")");
+                return;
+            }
+            [[fallthrough]];
+          case 6:
+            // and/or are value-producing; 0/0.0/"" truthiness differs
+            // per dialect and the reference models both styles.
+            line("print(" + boolExpr(1) + " and " + numExpr(1).text +
+                 " or " + numExpr(1).text + ")");
+            return;
+          case 7:
+            line("print(not " + boolExpr(1) + ")");
+            return;
+          case 8:
+            if (opts.strings) {
+                line("print(\"x=\" .. " + numExpr(2).text + ")");
+                return;
+            }
+            [[fallthrough]];
+          default:
+            line("print(" + boolExpr(2) + ")");
+            return;
+        }
+    }
+
+    void
+    stmtIf(int depth, const std::string *loopVar)
+    {
+        line("if " + boolExpr(2) + " then");
+        ++indent;
+        ++condDepth;
+        Frame f = open();
+        block(1 + rng.below(2), depth + 1, loopVar);
+        close(f);
+        --indent;
+        if (rng.chance(35)) {
+            line("elseif " + boolExpr(1) + " then");
+            ++indent;
+            f = open();
+            block(1, depth + 1, loopVar);
+            close(f);
+            --indent;
+        }
+        if (rng.chance(50)) {
+            line("else");
+            ++indent;
+            f = open();
+            block(1 + rng.below(2), depth + 1, loopVar);
+            close(f);
+            --indent;
+        }
+        --condDepth;
+        line("end");
+    }
+
+    void
+    stmtWhile(int depth)
+    {
+        const std::string ctr = fresh("w");
+        const int limit = 2 + rng.below(loopDepth > 0 ? 8 : 20);
+        const int step = 1 + rng.below(2);
+        line("local " + ctr + " = 0");
+        const double savedWeight = tripWeight;
+        std::string cond = strformat("%s < %d", ctr.c_str(), limit);
+        if (rng.chance(20)) {
+            // The condition re-evaluates every iteration: charge any
+            // embedded calls at loop weight.
+            tripWeight *= std::max(1, limit / step);
+            cond += " and " + boolExpr(1);
+            tripWeight = savedWeight;
+        }
+        line("while " + cond + " do");
+        ++indent;
+        const Frame f = open();
+        numVars.push_back(
+            {ctr, static_cast<double>(limit + 2), false, tripWeight});
+        ++loopDepth;
+        tripWeight *= std::max(1, limit / step);
+        block(1 + rng.below(3), depth + 1, nullptr);
+        if (rng.chance(25))
+            line("if " + boolExpr(1) + " then break end");
+        tripWeight = savedWeight;
+        --loopDepth;
+        close(f);
+        // The counter update must dominate the loop exit: emit it last
+        // and never let body statements assign the counter (read-only).
+        line(strformat("%s = %s + %d", ctr.c_str(), ctr.c_str(), step));
+        --indent;
+        line("end");
+        numVars.push_back(
+            {ctr, static_cast<double>(limit + step), false, tripWeight});
+    }
+
+    void
+    stmtFor(int depth)
+    {
+        const std::string var = fresh("i");
+        const int trips = 2 + rng.below(loopDepth > 0 ? 10 : 30);
+        std::string head;
+        double varBound;
+        const int kind = rng.below(4);
+        if (kind == 0) { // descending with an explicit negative step
+            const int step = 1 + rng.below(3);
+            const int from = rng.range(5, 40);
+            const int to = from - (trips - 1) * step;
+            head = strformat("for %s = %d, %d, -%d do", var.c_str(), from,
+                             to, step);
+            varBound = std::abs(from) + std::abs(to) + step;
+        } else if (kind == 1) { // float loop (fractional step)
+            const int from = rng.below(4);
+            head = strformat("for %s = %d.5, %d.0, 0.5 do", var.c_str(),
+                             from, from + trips / 2);
+            varBound = from + trips / 2 + 1;
+        } else { // canonical ascending int loop
+            const int from = rng.chance(80) ? 1 : rng.range(-4, 3);
+            const int to = from + trips - 1;
+            head = strformat("for %s = %d, %d do", var.c_str(), from, to);
+            varBound = std::abs(from) + std::abs(to) + 1;
+        }
+        line(head);
+        ++indent;
+        const Frame f = open();
+        numVars.push_back({var, varBound, false, tripWeight});
+        const double savedWeight = tripWeight;
+        ++loopDepth;
+        tripWeight *= trips;
+        // Only integer-valued loop variables may become table keys
+        // (t[0.5] is an invalid-key error in the reference semantics).
+        block(1 + rng.below(3), depth + 1, kind == 1 ? nullptr : &var);
+        if (rng.chance(20))
+            line("if " + boolExpr(1) + " then break end");
+        tripWeight = savedWeight;
+        --loopDepth;
+        close(f);
+        --indent;
+        line("end");
+    }
+
+    void
+    stmtCall()
+    {
+        if (funs.empty()) {
+            stmtPrint();
+            return;
+        }
+        line(callExpr().text);
+    }
+
+    /** O(1) statement with no embedded calls, for over-budget blocks. */
+    void
+    stmtCheapPrint()
+    {
+        if (inFunction) { // see stmtPrint: function bodies are print-free
+            line(strformat("local %s = %d", fresh("d").c_str(),
+                           rng.below(100)));
+            return;
+        }
+        if (!numVars.empty() && rng.chance(70)) {
+            const NumVar &v = numVars[static_cast<size_t>(
+                rng.below(static_cast<int>(numVars.size())))];
+            line("print(" + v.name + ")");
+            return;
+        }
+        line(strformat("print(%d)", rng.below(100)));
+    }
+
+    /** Emit @p n statements appropriate for the current context. */
+    void
+    block(int n, int depth, const std::string *loopVar)
+    {
+        for (int k = 0; k < n; ++k) {
+            if (work > kWorkCap) {
+                // Out of runtime budget: only cheap statements.
+                stmtCheapPrint();
+                continue;
+            }
+            const int roll = rng.below(100);
+            if (roll < 10) {
+                stmtLocalNum();
+            } else if (roll < 14 && opts.strings) {
+                stmtLocalStr();
+            } else if (roll < 18 && opts.tables && depth < 2) {
+                stmtLocalTab();
+            } else if (roll < 30) {
+                stmtAccumulate();
+            } else if (roll < 38) {
+                stmtUnstable();
+            } else if (roll < 44) {
+                stmtAssignNum();
+            } else if (roll < 52 && opts.tables) {
+                stmtTableSet(loopVar);
+            } else if (roll < 57 && opts.strings) {
+                stmtStrAssign();
+            } else if (roll < 62 && depth == 0 && !inFunction) {
+                stmtGlobalNum();
+            } else if (roll < 70 && depth < 3) {
+                stmtIf(depth, loopVar);
+            } else if (roll < 77 && loopDepth < 2 && depth < 2) {
+                stmtFor(depth);
+            } else if (roll < 82 && loopDepth < 2 && depth < 2) {
+                stmtWhile(depth);
+            } else if (roll < 86 && opts.functions) {
+                stmtCall();
+            } else {
+                stmtPrint();
+            }
+        }
+    }
+
+    // ---- top-level functions ------------------------------------------
+
+    void
+    genFunction()
+    {
+        FunInfo f;
+        f.name = fresh("f");
+        f.arity = 1 + rng.below(3);
+        std::string head = "function " + f.name + "(";
+        std::vector<std::string> params;
+        for (int i = 0; i < f.arity; ++i) {
+            params.push_back(strformat("p%d", i));
+            if (i)
+                head += ", ";
+            head += params.back();
+        }
+        head += ")";
+        line(head);
+        ++indent;
+
+        // Function bodies see only their params (plus earlier
+        // functions); swap the variable context wholesale.
+        std::vector<NumVar> savedNum;
+        std::vector<StrVar> savedStr;
+        std::vector<TabVar> savedTab;
+        savedNum.swap(numVars);
+        savedStr.swap(strVars);
+        savedTab.swap(tabVars);
+        const bool savedInFunction = inFunction;
+        inFunction = true;
+        // The definition costs nothing until called: measure the body's
+        // work, stash it as the per-call cost, and roll the budget back.
+        const double savedWork = work;
+
+        // Clamp every param first: callers may pass values near the
+        // magnitude cap, and the clamp itself is a type-polymorphic mod
+        // (int64, int32 or double depending on the call site).  floor
+        // boxes the result back to a native int on every pipeline, so
+        // params are kind-stable no matter what the call site passed.
+        for (const std::string &p : params) {
+            line(strformat("%s = floor(%s %% 9973)", p.c_str(),
+                           p.c_str()));
+            numVars.push_back({p, 9973, true, tripWeight});
+        }
+        double retBound = 0;
+        bool retMixed = false;
+        if (rng.chance(60)) {
+            const NumExpr e = numExpr(2);
+            line("if " + boolExpr(1) + " then");
+            ++indent;
+            line("return " + e.text);
+            --indent;
+            line("end");
+            retBound = std::max(retBound, e.bound);
+            retMixed = retMixed || e.mixed;
+        }
+        // Depth 2 keeps loops out of function bodies: a call site may sit
+        // inside a hot nested loop, so per-call cost must stay O(1).
+        block(1 + rng.below(3), 2, nullptr);
+        const NumExpr e = numExpr(2);
+        line("return " + e.text);
+        retBound = std::max(retBound, e.bound);
+        retMixed = retMixed || e.mixed;
+
+        f.cost = work - savedWork;
+        work = savedWork;
+        inFunction = savedInFunction;
+        numVars.swap(savedNum);
+        strVars.swap(savedStr);
+        tabVars.swap(savedTab);
+        --indent;
+        line("end");
+        f.retBound = retBound;
+        f.retMixed = retMixed;
+        funs.push_back(f);
+    }
+
+    // ---- whole program -------------------------------------------------
+
+    std::string
+    generate()
+    {
+        out.clear();
+        indent = 0;
+        numVars.clear();
+        strVars.clear();
+        tabVars.clear();
+        funs.clear();
+        nameCounter = 0;
+        loopDepth = 0;
+        tripWeight = 1;
+        work = 0;
+        inFunction = false;
+
+        if (opts.functions) {
+            const int nfuns = 1 + rng.below(3);
+            for (int i = 0; i < nfuns; ++i)
+                genFunction();
+        }
+
+        // Guarantee some initial material for expressions to chew on.
+        stmtLocalNum();
+        stmtLocalNum();
+        if (opts.strings)
+            stmtLocalStr();
+        if (opts.tables)
+            stmtLocalTab();
+
+        block(opts.mainStmts, 0, nullptr);
+
+        // Epilogue: print every live top-level value so no computation
+        // is dead and every accumulated divergence becomes observable.
+        for (const NumVar &v : numVars)
+            line("print(" + v.name + ")");
+        for (const StrVar &s : strVars) {
+            line("print(" + s.name + ")");
+            line("print(#" + s.name + ")");
+        }
+        for (const TabVar &t : tabVars) {
+            if (!t.holey)
+                line("print(#" + t.name + ")");
+            if (t.dense > 0)
+                line("print(" + t.name + "[1])");
+        }
+        return out;
+    }
+};
+
+ProgramGen::ProgramGen(uint64_t seed, const ProgenOptions &opts)
+    : impl_(std::make_unique<Impl>(seed, opts))
+{
+}
+
+ProgramGen::~ProgramGen() = default;
+
+std::string
+ProgramGen::generate()
+{
+    return impl_->generate();
+}
+
+std::string
+generateProgram(uint64_t seed, const ProgenOptions &opts)
+{
+    return ProgramGen(seed, opts).generate();
+}
+
+} // namespace tarch::fuzz

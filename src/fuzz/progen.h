@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Grammar-driven MiniScript program generator for differential fuzzing.
+ *
+ * Unlike the narrow fixed-skeleton generator the original differential
+ * test used, this one covers the full common semantic core: multiple
+ * top-level functions (calls, early returns, params of shifting type),
+ * nested for/while loops, tables with dense integer parts and string
+ * keys, string concat/compare/length/substr, mixed int/float
+ * arithmetic, and *deliberate* type-unstable sites that force TRT
+ * misses, thdl deopt redirects, and MiniJS int32-overflow slow paths.
+ *
+ * Every generated program is guaranteed to
+ *   - parse,
+ *   - terminate within a bounded number of reference-interpreter steps,
+ *   - raise no runtime errors in either number dialect, and
+ *   - keep every numeric value's magnitude below 8e12, so MiniLua's
+ *     int64 arithmetic and MiniJS's int32-overflow-to-double fallback
+ *     produce bit-identical printed text (13 significant digits is
+ *     exact under the engines' shared "%.14g" formatting and under
+ *     IEEE double arithmetic).
+ *
+ * Generation is deterministic per seed (an internal SplitMix64 stream;
+ * no libc / libstdc++ distribution functions), so a seed number is a
+ * complete reproducer across machines.
+ */
+
+#ifndef TARCH_FUZZ_PROGEN_H
+#define TARCH_FUZZ_PROGEN_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace tarch::fuzz {
+
+/** Deterministic 64-bit RNG (SplitMix64), identical on every platform. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed) : state_(seed) {}
+
+    uint64_t
+    next()
+    {
+        uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, n); 0 when n <= 1. */
+    int
+    below(int n)
+    {
+        return n <= 1 ? 0 : static_cast<int>(next() % static_cast<uint64_t>(n));
+    }
+
+    /** Uniform integer in [lo, hi] (inclusive). */
+    int range(int lo, int hi) { return lo + below(hi - lo + 1); }
+
+    /** True with probability pct/100. */
+    bool chance(int pct) { return below(100) < pct; }
+
+  private:
+    uint64_t state_;
+};
+
+/** Feature toggles for the generator (all on by default). */
+struct ProgenOptions {
+    int mainStmts = 16;        ///< top-level statement budget
+    bool functions = true;     ///< top-level helper functions + calls
+    bool tables = true;        ///< table ctors, int/string keys, #t
+    bool strings = true;       ///< concat, compare, substr, strchar, #s
+    bool typeUnstable = true;  ///< int/float-flipping sites (TRT misses)
+    bool int32Overflow = true; ///< >2^31 literals (MiniJS slow path)
+};
+
+class ProgramGen
+{
+  public:
+    explicit ProgramGen(uint64_t seed, const ProgenOptions &opts = {});
+    ~ProgramGen();
+
+    ProgramGen(const ProgramGen &) = delete;
+    ProgramGen &operator=(const ProgramGen &) = delete;
+
+    /** Generate one program; each call advances the seed's stream. */
+    std::string generate();
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/** One-shot convenience wrapper. */
+std::string generateProgram(uint64_t seed, const ProgenOptions &opts = {});
+
+} // namespace tarch::fuzz
+
+#endif // TARCH_FUZZ_PROGEN_H

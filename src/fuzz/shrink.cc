@@ -1,0 +1,92 @@
+#include "fuzz/shrink.h"
+
+#include <vector>
+
+namespace tarch::fuzz {
+
+namespace {
+
+std::vector<std::string>
+toLines(const std::string &source)
+{
+    std::vector<std::string> lines;
+    std::string current;
+    for (const char ch : source) {
+        if (ch == '\n') {
+            lines.push_back(current);
+            current.clear();
+        } else {
+            current += ch;
+        }
+    }
+    if (!current.empty())
+        lines.push_back(current);
+    return lines;
+}
+
+std::string
+joinWithout(const std::vector<std::string> &lines, size_t from, size_t count)
+{
+    std::string out;
+    for (size_t i = 0; i < lines.size(); ++i) {
+        if (i >= from && i < from + count)
+            continue;
+        out += lines[i];
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+shrinkLines(const std::string &source, const ShrinkPredicate &still_failing,
+            ShrinkStats *stats)
+{
+    std::vector<std::string> lines = toLines(source);
+    ShrinkStats local;
+    local.linesBefore = static_cast<int>(lines.size());
+
+    size_t chunk = lines.size() / 2;
+    if (chunk == 0)
+        chunk = 1;
+    while (chunk >= 1) {
+        bool removed_any = false;
+        size_t i = 0;
+        while (i < lines.size() && lines.size() > 1) {
+            const size_t count = std::min(chunk, lines.size() - i);
+            const std::string candidate = joinWithout(lines, i, count);
+            ++local.attempts;
+            if (still_failing(candidate)) {
+                ++local.accepted;
+                lines.erase(lines.begin() + static_cast<long>(i),
+                            lines.begin() + static_cast<long>(i + count));
+                removed_any = true;
+                // Do not advance: the next chunk slid into position i.
+            } else {
+                i += count;
+            }
+        }
+        if (chunk == 1) {
+            // At single-line granularity, iterate to a fixpoint: one
+            // removal can unlock another (e.g. the last use of a local
+            // going away lets its declaration go too).
+            if (!removed_any)
+                break;
+        } else {
+            chunk /= 2;
+        }
+    }
+
+    local.linesAfter = static_cast<int>(lines.size());
+    if (stats)
+        *stats = local;
+    std::string out;
+    for (const std::string &line : lines) {
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace tarch::fuzz

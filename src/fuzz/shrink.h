@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Greedy line-removal shrinker (delta debugging over source lines).
+ *
+ * Given a program that exhibits some failure and a predicate that
+ * re-checks the failure, repeatedly remove contiguous line ranges --
+ * halving the chunk size ddmin-style down to single lines -- keeping
+ * any candidate for which the predicate still holds.  Candidates that
+ * no longer parse simply fail the predicate (the differential oracle
+ * rejects them via the reference interpreter), so the shrinker needs no
+ * grammar knowledge: removing an unmatched `end` just produces a
+ * candidate the predicate discards.
+ *
+ * The predicate must return true for the input program, and the result
+ * is guaranteed to still satisfy it.
+ */
+
+#ifndef TARCH_FUZZ_SHRINK_H
+#define TARCH_FUZZ_SHRINK_H
+
+#include <functional>
+#include <string>
+
+namespace tarch::fuzz {
+
+/** Re-check: does @p source still exhibit the failure being chased? */
+using ShrinkPredicate = std::function<bool(const std::string &source)>;
+
+struct ShrinkStats {
+    int attempts = 0; ///< candidate evaluations
+    int accepted = 0; ///< candidates that kept the failure
+    int linesBefore = 0;
+    int linesAfter = 0;
+};
+
+/**
+ * Minimize @p source while @p still_failing holds.
+ * @return the shrunken program (== source when nothing can be removed)
+ */
+std::string shrinkLines(const std::string &source,
+                        const ShrinkPredicate &still_failing,
+                        ShrinkStats *stats = nullptr);
+
+} // namespace tarch::fuzz
+
+#endif // TARCH_FUZZ_SHRINK_H

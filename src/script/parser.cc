@@ -143,7 +143,9 @@ class Parser
             advance();
             s->expr = expression();
             expect(Tok::Do, "'do'");
+            ++loopDepth_;
             s->body = block();
+            --loopDepth_;
             expect(Tok::End, "'end'");
             return s;
         }
@@ -158,7 +160,9 @@ class Parser
             if (accept(Tok::Comma))
                 s->step = expression();
             expect(Tok::Do, "'do'");
+            ++loopDepth_;
             s->body = block();
+            --loopDepth_;
             expect(Tok::End, "'end'");
             return s;
         }
@@ -171,6 +175,10 @@ class Parser
             return s;
         }
         if (at(Tok::Break)) {
+            // Both guest compilers reject this; the reference front end
+            // must agree or differential runs report phantom crashes.
+            if (loopDepth_ == 0)
+                tarch_fatal("line %d: 'break' outside a loop", cur().line);
             auto s = makeStmt(Stmt::Kind::Break);
             advance();
             return s;
@@ -420,6 +428,7 @@ class Parser
 
     std::vector<Token> toks_;
     size_t pos_ = 0;
+    int loopDepth_ = 0;
 };
 
 } // namespace

@@ -96,5 +96,79 @@ print(accum(0, 4000))
     EXPECT_GT(stats.deoptRedirects, 1000u);
 }
 
+TEST(Deopt, ProbesExactlyEveryInterval)
+{
+    // Every probeInterval-th redirect is converted into a fast-path
+    // probe; the two counters must stay in lockstep for any program.
+    for (const uint8_t interval : {8, 32, 100}) {
+        LuaVm::Options opts = typedOpts(true);
+        opts.coreConfig.deopt.probeInterval = interval;
+        LuaVm vm(kAlwaysMiss, opts);
+        vm.run();
+        const auto stats = vm.core().collectStats();
+        ASSERT_GT(stats.deoptRedirects, 0u) << unsigned(interval);
+        EXPECT_EQ(stats.deoptProbes, stats.deoptRedirects / interval)
+            << unsigned(interval);
+    }
+}
+
+TEST(Deopt, IntervalZeroDisablesProbing)
+{
+    LuaVm::Options opts = typedOpts(true);
+    opts.coreConfig.deopt.probeInterval = 0;
+    LuaVm vm(kAlwaysMiss, opts);
+    vm.run();
+    const auto stats = vm.core().collectStats();
+    // The selector still redirects, but never re-probes: once the
+    // counter saturates the fast path is abandoned for good.
+    EXPECT_GT(stats.deoptRedirects, 1500u);
+    EXPECT_EQ(stats.deoptProbes, 0u);
+    EXPECT_EQ(vm.output(), "2001000.0\n");
+}
+
+TEST(Deopt, CounterSaturatesAtHardwareCap)
+{
+    // The per-handler saturating counter is 4 bits (caps at 15): a
+    // threshold above the cap can never be crossed, no matter how many
+    // misses bump the counter.
+    LuaVm::Options unreachable = typedOpts(true);
+    unreachable.coreConfig.deopt.threshold = 16;
+    unreachable.coreConfig.deopt.missBump = 255;
+    LuaVm never(kAlwaysMiss, unreachable);
+    never.run();
+    EXPECT_EQ(never.core().collectStats().deoptRedirects, 0u);
+
+    // At threshold == cap the selector must still engage: saturation
+    // clamps the counter to exactly 15, not below it.
+    LuaVm::Options at_cap = typedOpts(true);
+    at_cap.coreConfig.deopt.threshold = 15;
+    at_cap.coreConfig.deopt.missBump = 255;
+    LuaVm fires(kAlwaysMiss, at_cap);
+    fires.run();
+    EXPECT_GT(fires.core().collectStats().deoptRedirects, 1000u);
+}
+
+TEST(Deopt, HigherThresholdDelaysEngagement)
+{
+    // With missBump 4, threshold 8 arms after 2 misses and threshold 15
+    // after 4: the stricter selector must redirect strictly less.
+    LuaVm::Options eager = typedOpts(true);
+    eager.coreConfig.deopt.threshold = 8;
+    LuaVm e(kAlwaysMiss, eager);
+    e.run();
+
+    LuaVm::Options strict = typedOpts(true);
+    strict.coreConfig.deopt.threshold = 15;
+    LuaVm s(kAlwaysMiss, strict);
+    s.run();
+
+    const auto se = e.core().collectStats();
+    const auto ss = s.core().collectStats();
+    EXPECT_GT(se.deoptRedirects, 0u);
+    EXPECT_GT(ss.deoptRedirects, 0u);
+    EXPECT_LT(ss.deoptRedirects, se.deoptRedirects);
+    EXPECT_EQ(e.output(), s.output());
+}
+
 } // namespace
 } // namespace tarch::vm::lua

@@ -1,0 +1,306 @@
+// Unit tests for the differential-fuzzing subsystem (src/fuzz): the
+// grammar-driven program generator, the 12-way differential oracle and
+// its stats invariants, and the line-removal shrinker.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/strutil.h"
+#include "fuzz/oracle.h"
+#include "fuzz/progen.h"
+#include "fuzz/shrink.h"
+#include "script/interp.h"
+#include "script/parser.h"
+
+namespace tarch::fuzz {
+namespace {
+
+TEST(Progen, DeterministicPerSeed)
+{
+    const std::string a = generateProgram(42);
+    const std::string b = generateProgram(42);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, generateProgram(43));
+}
+
+TEST(Progen, StreamAdvancesAcrossCalls)
+{
+    ProgramGen gen(7);
+    const std::string first = gen.generate();
+    const std::string second = gen.generate();
+    EXPECT_NE(first, second);
+    // A fresh generator replays the same stream from the start.
+    ProgramGen replay(7);
+    EXPECT_EQ(replay.generate(), first);
+    EXPECT_EQ(replay.generate(), second);
+}
+
+TEST(Progen, GeneratedProgramsParseAndTerminate)
+{
+    for (uint64_t seed = 100; seed < 110; ++seed) {
+        const std::string source = generateProgram(seed);
+        SCOPED_TRACE(source);
+        script::Chunk chunk;
+        ASSERT_NO_THROW(chunk = script::parse(source)) << "seed " << seed;
+        // Both dialects must accept and finish within the step budget.
+        EXPECT_NO_THROW(script::interpret(chunk, script::NumberStyle::Lua,
+                                          8'000'000));
+        EXPECT_NO_THROW(script::interpret(chunk, script::NumberStyle::Js,
+                                          8'000'000));
+    }
+}
+
+TEST(Progen, FeatureTogglesPruneTheGrammar)
+{
+    ProgenOptions bare;
+    bare.functions = false;
+    bare.tables = false;
+    bare.strings = false;
+    bare.int32Overflow = false;
+    for (uint64_t seed = 0; seed < 5; ++seed) {
+        const std::string source = generateProgram(seed, bare);
+        EXPECT_EQ(source.find("function"), std::string::npos);
+        EXPECT_EQ(source.find('{'), std::string::npos);
+        EXPECT_EQ(source.find("substr"), std::string::npos);
+        EXPECT_EQ(source.find('"'), std::string::npos);
+    }
+}
+
+TEST(Oracle, TwelveConfigsInFixedOrder)
+{
+    const auto configs = allRunConfigs();
+    ASSERT_EQ(configs.size(), 12u);
+    EXPECT_EQ(configs.front().name(), "MiniLua/baseline/deopt=off");
+    EXPECT_EQ(configs.back().name(), "MiniJS/checked-load/deopt=on");
+}
+
+TEST(Oracle, CleanOnAHandCheckedProgram)
+{
+    const OracleResult result = runOracle(R"(
+local acc = 0
+for i = 1, 10 do
+  acc = acc + i * i
+end
+print(acc)
+print(acc // 7)
+print(acc % 7)
+print("x=" .. acc)
+)");
+    ASSERT_TRUE(result.referenceOk) << result.referenceError;
+    EXPECT_TRUE(result.clean());
+    EXPECT_EQ(result.runs.size(), 12u);
+    EXPECT_EQ(result.expectedLua, "385\n55\n0\nx=385\n");
+}
+
+TEST(Oracle, RejectsReferenceErrorsWithoutDiverging)
+{
+    // A program the reference itself rejects proves nothing: it must
+    // come back referenceOk=false and with diverges()==false, so the
+    // shrinker never chases it.
+    const OracleResult result = runOracle("print(1 + \"x\")");
+    EXPECT_FALSE(result.referenceOk);
+    EXPECT_FALSE(result.diverges());
+    EXPECT_FALSE(result.clean());
+}
+
+TEST(Oracle, DialectSplitIsHandledPerEngine)
+{
+    // nil prints differently per dialect; each engine is compared
+    // against its own reference output.
+    const OracleResult result = runOracle("print(q)\nprint(0.5)\n");
+    ASSERT_TRUE(result.referenceOk);
+    EXPECT_TRUE(result.clean());
+    EXPECT_EQ(result.expectedLua, "nil\n0.5\n");
+    EXPECT_EQ(result.expectedJs, "undefined\n0.5\n");
+}
+
+// ---------------------------------------------------------------------
+// statsViolations as a pure function.
+
+core::CoreStats
+plausibleStats()
+{
+    core::CoreStats s;
+    s.instructions = 1000;
+    s.cycles = 1500;
+    s.hostcalls = 3;
+    return s;
+}
+
+TEST(StatsInvariants, CleanBaselineRun)
+{
+    const RunConfig cfg{RunConfig::Engine::Lua, vm::Variant::Baseline,
+                        false};
+    EXPECT_TRUE(statsViolations(plausibleStats(), cfg, nullptr).empty());
+}
+
+TEST(StatsInvariants, InOrderCoreCannotBeatOneIpc)
+{
+    core::CoreStats s = plausibleStats();
+    s.cycles = s.instructions - 1;
+    const RunConfig cfg{RunConfig::Engine::Lua, vm::Variant::Baseline,
+                        false};
+    EXPECT_FALSE(statsViolations(s, cfg, nullptr).empty());
+}
+
+TEST(StatsInvariants, BaselineMustNotTouchTypedCounters)
+{
+    core::CoreStats s = plausibleStats();
+    s.trt.lookups = 5;
+    s.trt.hits = 5;
+    const RunConfig cfg{RunConfig::Engine::Lua, vm::Variant::Baseline,
+                        false};
+    EXPECT_FALSE(statsViolations(s, cfg, nullptr).empty());
+}
+
+TEST(StatsInvariants, TypedMustNotTouchChklb)
+{
+    core::CoreStats s = plausibleStats();
+    s.chklbChecks = 1;
+    const RunConfig cfg{RunConfig::Engine::Lua, vm::Variant::Typed, false};
+    EXPECT_FALSE(statsViolations(s, cfg, nullptr).empty());
+}
+
+TEST(StatsInvariants, DeoptCountersStayZeroWhenDisabled)
+{
+    core::CoreStats s = plausibleStats();
+    s.deoptRedirects = 64;
+    const RunConfig cfg{RunConfig::Engine::Lua, vm::Variant::Typed, false};
+    EXPECT_FALSE(statsViolations(s, cfg, nullptr).empty());
+}
+
+TEST(StatsInvariants, ProbesMustMatchRedirectsOverInterval)
+{
+    core::CoreStats s = plausibleStats();
+    s.deoptRedirects = 64;
+    s.deoptProbes = 2;
+    const RunConfig cfg{RunConfig::Engine::Lua, vm::Variant::Typed, true};
+    EXPECT_TRUE(statsViolations(s, cfg, nullptr, 32).empty());
+    s.deoptProbes = 3;
+    EXPECT_FALSE(statsViolations(s, cfg, nullptr, 32).empty());
+}
+
+TEST(StatsInvariants, LuaNeverRecordsOverflowMisses)
+{
+    core::CoreStats s = plausibleStats();
+    s.typeOverflowMisses = 1;
+    const RunConfig lua{RunConfig::Engine::Lua, vm::Variant::Typed, false};
+    EXPECT_FALSE(statsViolations(s, lua, nullptr).empty());
+    const RunConfig js{RunConfig::Engine::Js, vm::Variant::Typed, false};
+    EXPECT_TRUE(statsViolations(s, js, nullptr).empty());
+}
+
+TEST(StatsInvariants, HostcallsAreVariantInvariant)
+{
+    core::CoreStats base = plausibleStats();
+    core::CoreStats s = plausibleStats();
+    s.hostcalls = base.hostcalls + 1;
+    const RunConfig cfg{RunConfig::Engine::Lua, vm::Variant::CheckedLoad,
+                        false};
+    EXPECT_FALSE(statsViolations(s, cfg, &base).empty());
+    // Typed with the deopt selector on may only ADD hostcalls.
+    const RunConfig redirecting{RunConfig::Engine::Lua, vm::Variant::Typed,
+                                true};
+    core::CoreStats extra = plausibleStats();
+    extra.hostcalls = base.hostcalls + 2;
+    extra.deoptRedirects = 64;
+    extra.deoptProbes = 2;
+    EXPECT_TRUE(statsViolations(extra, redirecting, &base).empty());
+    extra.hostcalls = base.hostcalls - 1;
+    EXPECT_FALSE(statsViolations(extra, redirecting, &base).empty());
+}
+
+TEST(StatsInvariants, TypeStableTypedMustNotRegressPastAllowance)
+{
+    core::CoreStats base = plausibleStats();
+    core::CoreStats s = plausibleStats();
+    const RunConfig cfg{RunConfig::Engine::Lua, vm::Variant::Typed, false};
+    // Within the fixed TRT-configuration startup allowance: clean.
+    s.instructions = base.instructions + 30;
+    s.cycles = s.instructions + 100;
+    EXPECT_TRUE(statsViolations(s, cfg, &base).empty());
+    // Far past it: a fast-path regression.
+    s.instructions = base.instructions + 500;
+    s.cycles = s.instructions + 100;
+    EXPECT_FALSE(statsViolations(s, cfg, &base).empty());
+    // A single TRT miss voids the comparison (slow paths are expected).
+    s.trt.lookups = 10;
+    s.trt.hits = 9;
+    EXPECT_TRUE(statsViolations(s, cfg, &base).empty());
+}
+
+// ---------------------------------------------------------------------
+// Shrinker.
+
+TEST(Shrink, RemovesEverythingIrrelevantToThePredicate)
+{
+    std::string source;
+    for (int i = 0; i < 40; ++i)
+        source += strformat("local x%d = %d\n", i, i);
+    source += "print(\"BUG\")\n";
+    for (int i = 40; i < 80; ++i)
+        source += strformat("local x%d = %d\n", i, i);
+
+    ShrinkStats stats;
+    const std::string shrunk = shrinkLines(
+        source,
+        [](const std::string &candidate) {
+            return candidate.find("BUG") != std::string::npos;
+        },
+        &stats);
+    EXPECT_EQ(shrunk, "print(\"BUG\")\n");
+    EXPECT_EQ(stats.linesBefore, 81);
+    EXPECT_EQ(stats.linesAfter, 1);
+    EXPECT_GT(stats.attempts, 0);
+    EXPECT_GT(stats.accepted, 0);
+}
+
+TEST(Shrink, KeepsJointlyRequiredLines)
+{
+    const std::string source = "alpha\nnoise1\nbeta\nnoise2\nnoise3\n";
+    const std::string shrunk = shrinkLines(
+        source, [](const std::string &candidate) {
+            return candidate.find("alpha") != std::string::npos &&
+                   candidate.find("beta") != std::string::npos;
+        });
+    EXPECT_EQ(shrunk, "alpha\nbeta\n");
+}
+
+TEST(Shrink, FixpointWhenNothingRemovable)
+{
+    const std::string source = "a\nb\n";
+    ShrinkStats stats;
+    const std::string shrunk = shrinkLines(
+        source,
+        [](const std::string &candidate) {
+            return candidate.find('a') != std::string::npos &&
+                   candidate.find('b') != std::string::npos;
+        },
+        &stats);
+    EXPECT_EQ(shrunk, source);
+    EXPECT_EQ(stats.linesAfter, 2);
+}
+
+TEST(Shrink, OracleIntegrationShrinksAnInjectedDivergence)
+{
+    // Simulate a semantic bug with a predicate that flags any program
+    // printing the "wrong" value, then check the pipeline minimizes a
+    // padded reproducer the same way fuzz_differential does.
+    std::string source;
+    for (int i = 0; i < 12; ++i)
+        source += strformat("print(%d)\n", i);
+    source += "print(12 // 5)\n"; // the "buggy" construct
+    const std::string shrunk = shrinkLines(
+        source, [](const std::string &candidate) {
+            const OracleResult r = runOracle(candidate);
+            return r.referenceOk &&
+                   r.expectedLua.find("2\n") != std::string::npos &&
+                   candidate.find("//") != std::string::npos;
+        });
+    EXPECT_LE(std::count(shrunk.begin(), shrunk.end(), '\n'), 2);
+    EXPECT_NE(shrunk.find("12 // 5"), std::string::npos);
+}
+
+} // namespace
+} // namespace tarch::fuzz

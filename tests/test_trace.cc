@@ -1,0 +1,148 @@
+// Tests for the execution tracer: ring-buffer wraparound semantics and
+// the "recent instructions" window appended to fatal PC errors.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "assembler/assembler.h"
+#include "common/log.h"
+#include "core/core.h"
+#include "core/trace.h"
+
+namespace tarch::core {
+namespace {
+
+isa::Instr
+nopAt(uint32_t imm)
+{
+    isa::Instr instr;
+    instr.op = isa::Opcode::ADDI;
+    instr.rd = isa::reg::zero;
+    instr.rs1 = isa::reg::zero;
+    instr.imm = static_cast<int32_t>(imm);
+    return instr;
+}
+
+TEST(Tracer, FillsInOrderBeforeWrap)
+{
+    Tracer tracer(8);
+    for (uint64_t i = 0; i < 5; ++i)
+        tracer.record(0x1000 + 4 * i, nopAt(static_cast<uint32_t>(i)), i);
+    EXPECT_EQ(tracer.recorded(), 5u);
+    const auto entries = tracer.entries();
+    ASSERT_EQ(entries.size(), 5u);
+    for (uint64_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(entries[i].index, i);
+        EXPECT_EQ(entries[i].pc, 0x1000 + 4 * i);
+    }
+}
+
+TEST(Tracer, WrapKeepsNewestCapacityEntriesOldestFirst)
+{
+    Tracer tracer(4);
+    for (uint64_t i = 0; i < 10; ++i)
+        tracer.record(0x2000 + 4 * i, nopAt(static_cast<uint32_t>(i)), i);
+    EXPECT_EQ(tracer.capacity(), 4u);
+    EXPECT_EQ(tracer.recorded(), 10u);
+    const auto entries = tracer.entries();
+    ASSERT_EQ(entries.size(), 4u);
+    // The window is the last 4 records, in execution order.
+    for (uint64_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(entries[i].index, 6 + i);
+        EXPECT_EQ(entries[i].pc, 0x2000 + 4 * (6 + i));
+    }
+}
+
+TEST(Tracer, WrapExactlyAtCapacityBoundary)
+{
+    Tracer tracer(4);
+    for (uint64_t i = 0; i < 4; ++i)
+        tracer.record(4 * i, nopAt(0), i);
+    const auto at = tracer.entries();
+    ASSERT_EQ(at.size(), 4u);
+    EXPECT_EQ(at.front().index, 0u);
+    // One more record evicts exactly the oldest entry.
+    tracer.record(0x40, nopAt(0), 4);
+    const auto after = tracer.entries();
+    ASSERT_EQ(after.size(), 4u);
+    EXPECT_EQ(after.front().index, 1u);
+    EXPECT_EQ(after.back().index, 4u);
+}
+
+TEST(Tracer, ClearResetsWindow)
+{
+    Tracer tracer(4);
+    for (uint64_t i = 0; i < 6; ++i)
+        tracer.record(4 * i, nopAt(0), i);
+    tracer.clear();
+    EXPECT_EQ(tracer.recorded(), 0u);
+    EXPECT_TRUE(tracer.entries().empty());
+    tracer.record(0x8, nopAt(0), 7);
+    const auto entries = tracer.entries();
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].index, 7u);
+}
+
+TEST(Tracer, DumpDisassemblesEveryCapturedEntry)
+{
+    Tracer tracer(3);
+    for (uint64_t i = 0; i < 5; ++i)
+        tracer.record(0x100 + 4 * i, nopAt(static_cast<uint32_t>(i)), i);
+    const std::string dump = tracer.dump();
+    // Three lines, one per surviving entry, tagged with the dynamic
+    // instruction number.
+    EXPECT_EQ(std::count(dump.begin(), dump.end(), '\n'), 3);
+    EXPECT_NE(dump.find("#2"), std::string::npos);
+    EXPECT_NE(dump.find("#4"), std::string::npos);
+    EXPECT_EQ(dump.find("#1 "), std::string::npos);
+}
+
+TEST(Tracer, FatalPcErrorCarriesRecentInstructionWindow)
+{
+    // jr to a garbage address leaves the text segment: the fatal error
+    // must embed the tracer's window so generated-interpreter bugs are
+    // debuggable post mortem.
+    Core core;
+    Tracer tracer(16);
+    core.setTracer(&tracer);
+    core.loadProgram(assembler::assemble(R"(
+        li a0, 3
+        li a1, 4
+        add a2, a0, a1
+        li t0, 0xdead00
+        jr t0
+    )"));
+    try {
+        core.run();
+        FAIL() << "expected a fatal PC error";
+    } catch (const FatalError &err) {
+        const std::string msg = err.what();
+        EXPECT_NE(msg.find("outside text segment"), std::string::npos);
+        EXPECT_NE(msg.find("recent instructions:"), std::string::npos);
+        // The window holds the actual trailing instructions (jr is a
+        // jalr-zero alias and disassembles as such).
+        EXPECT_NE(msg.find("jalr"), std::string::npos);
+        EXPECT_NE(msg.find("add"), std::string::npos);
+    }
+}
+
+TEST(Tracer, FatalPcErrorWithoutTracerHasNoWindow)
+{
+    Core core;
+    core.loadProgram(assembler::assemble(R"(
+        li t0, 0xdead00
+        jr t0
+    )"));
+    try {
+        core.run();
+        FAIL() << "expected a fatal PC error";
+    } catch (const FatalError &err) {
+        const std::string msg = err.what();
+        EXPECT_NE(msg.find("outside text segment"), std::string::npos);
+        EXPECT_EQ(msg.find("recent instructions:"), std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace tarch::core

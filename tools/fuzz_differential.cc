@@ -1,0 +1,318 @@
+// fuzz_differential: differential fuzzing driver for the three-way ISA
+// matrix.  Generates grammar-driven MiniScript programs per seed, runs
+// each through the reference interpreter and both guest VMs on all
+// three ISA variants x deopt on/off, checks outputs and machine-level
+// stats invariants, and shrinks any divergence to a minimal reproducer.
+//
+//   fuzz_differential --seeds 0..500 --jobs 8 --out fuzz-out
+//   fuzz_differential --replay fuzz-out/repro_42.ms
+//   fuzz_differential --dump-seed 42
+//
+// Exit code 0: every seed clean.  1: at least one divergence (repro
+// files written).  2: usage / IO error.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/strutil.h"
+#include "fuzz/oracle.h"
+#include "fuzz/progen.h"
+#include "fuzz/shrink.h"
+
+using namespace tarch;
+
+namespace {
+
+struct CliOptions {
+    uint64_t seedBegin = 0;
+    uint64_t seedEnd = 100; ///< exclusive
+    unsigned jobs = 0;      ///< 0 = hardware concurrency
+    std::string outDir = "fuzz-out";
+    std::string replayFile;
+    bool haveDumpSeed = false;
+    uint64_t dumpSeed = 0;
+    bool shrink = true;
+    bool quiet = false;
+    unsigned maxFailures = 5;
+    fuzz::OracleOptions oracle;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--seeds A..B] [--jobs N] [--out DIR] [--no-shrink]\n"
+        "          [--max-failures K] [--max-instructions N] [--quiet]\n"
+        "       %s --replay FILE     (re-run one program, report, exit)\n"
+        "       %s --dump-seed S     (print the program for one seed)\n",
+        argv0, argv0, argv0);
+    std::exit(2);
+}
+
+bool
+parseSeedRange(const std::string &text, uint64_t &begin, uint64_t &end)
+{
+    const size_t dots = text.find("..");
+    if (dots == std::string::npos)
+        return false;
+    try {
+        begin = std::stoull(text.substr(0, dots));
+        end = std::stoull(text.substr(dots + 2));
+    } catch (...) {
+        return false;
+    }
+    return end > begin;
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--seeds") {
+            if (!parseSeedRange(next(), opts.seedBegin, opts.seedEnd))
+                usage(argv[0]);
+        } else if (arg == "--jobs") {
+            opts.jobs = static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--out") {
+            opts.outDir = next();
+        } else if (arg == "--replay") {
+            opts.replayFile = next();
+        } else if (arg == "--dump-seed") {
+            opts.haveDumpSeed = true;
+            opts.dumpSeed = std::stoull(next());
+        } else if (arg == "--no-shrink") {
+            opts.shrink = false;
+        } else if (arg == "--quiet") {
+            opts.quiet = true;
+        } else if (arg == "--max-failures") {
+            opts.maxFailures = static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--max-instructions") {
+            opts.oracle.maxInstructions = std::stoull(next());
+        } else {
+            usage(argv[0]);
+        }
+    }
+    return opts;
+}
+
+std::string
+indentLines(const std::string &text, const char *prefix)
+{
+    std::string out;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line))
+        out += std::string(prefix) + line + "\n";
+    return out;
+}
+
+int
+replay(const CliOptions &opts)
+{
+    std::ifstream in(opts.replayFile);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", opts.replayFile.c_str());
+        return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const fuzz::OracleResult result =
+        fuzz::runOracle(buffer.str(), opts.oracle);
+    if (!result.referenceOk) {
+        std::fprintf(stderr, "reference interpreter rejected program: %s\n",
+                     result.referenceError.c_str());
+        return 2;
+    }
+    if (result.clean()) {
+        std::printf("clean: all %zu runs match the reference semantics\n",
+                    result.runs.size());
+        return 0;
+    }
+    std::printf("%zu divergence(s):\n", result.divergences.size());
+    for (const fuzz::Divergence &d : result.divergences)
+        std::printf("  %s\n", d.describe().c_str());
+    return 1;
+}
+
+/** Outcome of one fuzzed seed (only divergent seeds are kept). */
+struct Failure {
+    uint64_t seed = 0;
+    std::string program;
+    std::string shrunken;
+    std::vector<fuzz::Divergence> divergences;
+};
+
+void
+writeRepro(const CliOptions &opts, const Failure &failure)
+{
+    std::filesystem::create_directories(opts.outDir);
+    const std::string base =
+        opts.outDir + strformat("/repro_%llu",
+                                (unsigned long long)failure.seed);
+
+    std::ofstream ms(base + ".ms");
+    ms << strformat("-- fuzz_differential reproducer, seed %llu\n",
+                    (unsigned long long)failure.seed);
+    for (const fuzz::Divergence &d : failure.divergences)
+        ms << indentLines(d.describe(), "-- ");
+    ms << strformat("-- replay: fuzz_differential --replay %s.ms\n",
+                    base.c_str());
+    ms << failure.shrunken;
+
+    // Expected output per dialect, for eyeballing without a rebuild.
+    const fuzz::OracleResult ref =
+        fuzz::runOracle(failure.shrunken, opts.oracle);
+    std::ofstream expected(base + ".expected");
+    expected << "-- reference output, Lua dialect:\n"
+             << ref.expectedLua << "-- reference output, JS dialect:\n"
+             << ref.expectedJs;
+}
+
+int
+runFuzzCampaign(const CliOptions &opts)
+{
+    const unsigned jobs =
+        opts.jobs ? opts.jobs
+                  : std::max(1u, std::thread::hardware_concurrency());
+
+    // Fail before the campaign, not at the moment a reproducer needs
+    // saving, if the output directory cannot exist.
+    std::error_code ec;
+    std::filesystem::create_directories(opts.outDir, ec);
+    if (ec) {
+        std::fprintf(stderr, "cannot create %s: %s\n", opts.outDir.c_str(),
+                     ec.message().c_str());
+        return 2;
+    }
+
+    std::atomic<uint64_t> nextSeed{opts.seedBegin};
+    std::atomic<uint64_t> cleanCount{0};
+    std::atomic<uint64_t> skippedCount{0};
+    std::atomic<bool> stop{false};
+    std::mutex mu; // guards failures + stdout
+    std::vector<Failure> failures;
+
+    const auto worker = [&]() {
+        while (!stop.load(std::memory_order_relaxed)) {
+            const uint64_t seed =
+                nextSeed.fetch_add(1, std::memory_order_relaxed);
+            if (seed >= opts.seedEnd)
+                return;
+            const std::string program = fuzz::generateProgram(seed);
+            const fuzz::OracleResult result =
+                fuzz::runOracle(program, opts.oracle);
+            if (!result.referenceOk) {
+                // A generator bug, not a VM bug: count it loudly.
+                ++skippedCount;
+                std::lock_guard<std::mutex> lock(mu);
+                std::fprintf(stderr,
+                             "seed %llu: generator produced a program the "
+                             "reference rejects: %s\n",
+                             (unsigned long long)seed,
+                             result.referenceError.c_str());
+                continue;
+            }
+            if (result.clean()) {
+                const uint64_t done = ++cleanCount;
+                if (!opts.quiet && done % 50 == 0) {
+                    std::lock_guard<std::mutex> lock(mu);
+                    std::printf("  %llu seeds clean...\n",
+                                (unsigned long long)done);
+                    std::fflush(stdout);
+                }
+                continue;
+            }
+
+            Failure failure;
+            failure.seed = seed;
+            failure.program = program;
+            failure.divergences = result.divergences;
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                std::printf("seed %llu DIVERGES (%zu finding(s)); %s\n",
+                            (unsigned long long)seed,
+                            result.divergences.size(),
+                            opts.shrink ? "shrinking..." : "keeping as-is");
+                std::fflush(stdout);
+            }
+            if (opts.shrink) {
+                failure.shrunken = fuzz::shrinkLines(
+                    program, [&opts](const std::string &candidate) {
+                        return fuzz::runOracle(candidate, opts.oracle)
+                            .diverges();
+                    });
+                // Re-derive the report for the minimized program.
+                failure.divergences =
+                    fuzz::runOracle(failure.shrunken, opts.oracle)
+                        .divergences;
+            } else {
+                failure.shrunken = program;
+            }
+            std::lock_guard<std::mutex> lock(mu);
+            writeRepro(opts, failure);
+            std::printf("  wrote %s/repro_%llu.ms (%d lines)\n",
+                        opts.outDir.c_str(), (unsigned long long)seed,
+                        (int)std::count(failure.shrunken.begin(),
+                                        failure.shrunken.end(), '\n'));
+            std::fflush(stdout);
+            failures.push_back(std::move(failure));
+            if (failures.size() >= opts.maxFailures)
+                stop.store(true, std::memory_order_relaxed);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    for (unsigned i = 0; i < jobs; ++i)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+
+    std::printf("\n%llu/%llu seeds clean, %llu skipped, %zu divergent",
+                (unsigned long long)cleanCount.load(),
+                (unsigned long long)(opts.seedEnd - opts.seedBegin),
+                (unsigned long long)skippedCount.load(), failures.size());
+    if (failures.size() >= opts.maxFailures)
+        std::printf(" (stopped at --max-failures)");
+    std::printf("\n");
+    if (!failures.empty()) {
+        std::printf("reproducers in %s/:\n", opts.outDir.c_str());
+        for (const Failure &f : failures) {
+            std::printf("  repro_%llu.ms\n", (unsigned long long)f.seed);
+            for (const fuzz::Divergence &d : f.divergences)
+                std::printf("%s", indentLines(d.describe(), "    ").c_str());
+        }
+    }
+    return failures.empty() && skippedCount.load() == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions opts = parseArgs(argc, argv);
+    if (!opts.replayFile.empty())
+        return replay(opts);
+    if (opts.haveDumpSeed) {
+        std::fputs(fuzz::generateProgram(opts.dumpSeed).c_str(), stdout);
+        return 0;
+    }
+    return runFuzzCampaign(opts);
+}
