@@ -6,7 +6,10 @@
 // Small inline workloads keep this binary self-contained and fast.
 
 #include <cstdio>
+#include <vector>
 
+#include "bench_common.h"
+#include "common/parallel.h"
 #include "vm/lua/lua_vm.h"
 
 using namespace tarch;
@@ -46,6 +49,8 @@ end
 print(nsieve(3000))
 )";
 
+unsigned g_jobs = 0; ///< from --jobs / TARCH_JOBS
+
 core::CoreStats
 run(const char *src, Variant variant, const core::CoreConfig &cfg)
 {
@@ -64,20 +69,22 @@ deoptAblation()
                 "---\n");
     std::printf("%-28s %14s %14s %10s\n", "workload / selector",
                 "instructions", "cycles", "deopts");
-    for (const auto &[name, src] :
-         {std::pair<const char *, const char *>{"always-miss (flt+int)",
-                                                kFloatLoop},
-          {"never-miss (int+int)", kIntLoop}}) {
-        for (const bool enabled : {false, true}) {
-            core::CoreConfig cfg;
-            cfg.deopt.enabled = enabled;
-            const auto stats = run(src, Variant::Typed, cfg);
-            std::printf("%-22s %-5s %14llu %14llu %10llu\n", name,
-                        enabled ? "on" : "off",
-                        (unsigned long long)stats.instructions,
-                        (unsigned long long)stats.cycles,
-                        (unsigned long long)stats.deoptRedirects);
-        }
+    const std::pair<const char *, const char *> workloads[] = {
+        {"always-miss (flt+int)", kFloatLoop},
+        {"never-miss (int+int)", kIntLoop}};
+    std::vector<core::CoreStats> results(4);
+    parallelFor(results.size(), g_jobs, [&](size_t i) {
+        core::CoreConfig cfg;
+        cfg.deopt.enabled = (i % 2) != 0;
+        results[i] = run(workloads[i / 2].second, Variant::Typed, cfg);
+    });
+    for (size_t i = 0; i < results.size(); ++i) {
+        const auto &stats = results[i];
+        std::printf("%-22s %-5s %14llu %14llu %10llu\n",
+                    workloads[i / 2].first, (i % 2) ? "on" : "off",
+                    (unsigned long long)stats.instructions,
+                    (unsigned long long)stats.cycles,
+                    (unsigned long long)stats.deoptRedirects);
     }
     std::printf("(expected: large win on always-miss, exactly zero cost "
                 "on never-miss)\n");
@@ -91,14 +98,18 @@ redirectAblation()
     std::printf("%-18s %14s %16s\n", "penalty (cycles)", "cycles",
                 "vs baseline ISA");
     const auto base = run(kFloatLoop, Variant::Baseline, {});
-    for (const unsigned penalty : {2u, 5u, 10u, 20u}) {
+    const unsigned penalties[] = {2u, 5u, 10u, 20u};
+    std::vector<core::CoreStats> results(4);
+    parallelFor(results.size(), g_jobs, [&](size_t i) {
         core::CoreConfig cfg;
-        cfg.timing.redirectPenalty = penalty;
-        const auto stats = run(kFloatLoop, Variant::Typed, cfg);
-        std::printf("%-18u %14llu %+15.1f%%\n", penalty,
-                    (unsigned long long)stats.cycles,
+        cfg.timing.redirectPenalty = penalties[i];
+        results[i] = run(kFloatLoop, Variant::Typed, cfg);
+    });
+    for (size_t i = 0; i < results.size(); ++i) {
+        std::printf("%-18u %14llu %+15.1f%%\n", penalties[i],
+                    (unsigned long long)results[i].cycles,
                     100.0 * (static_cast<double>(base.cycles) /
-                                 stats.cycles -
+                                 results[i].cycles -
                              1.0));
     }
     std::printf("(the paper's 2-cycle redirect keeps even miss-heavy "
@@ -112,14 +123,17 @@ btbAblation()
                 "---\n");
     std::printf("%-12s %14s %10s\n", "BTB entries", "cycles",
                 "br MPKI");
-    for (const unsigned entries : {4u, 16u, 62u, 256u}) {
+    const unsigned sizes[] = {4u, 16u, 62u, 256u};
+    std::vector<core::CoreStats> results(4);
+    parallelFor(results.size(), g_jobs, [&](size_t i) {
         core::CoreConfig cfg;
-        cfg.branch.btb.entries = entries;
-        const auto stats = run(kSieve, Variant::Baseline, cfg);
-        std::printf("%-12u %14llu %10.2f\n", entries,
-                    (unsigned long long)stats.cycles,
-                    stats.branchMpki());
-    }
+        cfg.branch.btb.entries = sizes[i];
+        results[i] = run(kSieve, Variant::Baseline, cfg);
+    });
+    for (size_t i = 0; i < results.size(); ++i)
+        std::printf("%-12u %14llu %10.2f\n", sizes[i],
+                    (unsigned long long)results[i].cycles,
+                    results[i].branchMpki());
 }
 
 void
@@ -127,14 +141,17 @@ icacheAblation()
 {
     std::printf("\n--- D. I-cache size (interpreter footprint) ---\n");
     std::printf("%-12s %14s %12s\n", "I$ size", "cycles", "I$ MPKI");
-    for (const unsigned kib : {1u, 2u, 4u, 16u}) {
+    const unsigned kibs[] = {1u, 2u, 4u, 16u};
+    std::vector<core::CoreStats> results(4);
+    parallelFor(results.size(), g_jobs, [&](size_t i) {
         core::CoreConfig cfg;
-        cfg.icache.sizeBytes = kib * 1024;
-        const auto stats = run(kSieve, Variant::Baseline, cfg);
-        std::printf("%-9u KiB %14llu %12.3f\n", kib,
-                    (unsigned long long)stats.cycles,
-                    stats.icacheMpki());
-    }
+        cfg.icache.sizeBytes = kibs[i] * 1024;
+        results[i] = run(kSieve, Variant::Baseline, cfg);
+    });
+    for (size_t i = 0; i < results.size(); ++i)
+        std::printf("%-9u KiB %14llu %12.3f\n", kibs[i],
+                    (unsigned long long)results[i].cycles,
+                    results[i].icacheMpki());
     std::printf("(the generated interpreter is ~10 KB: Table 6's 16 KiB "
                 "L1I holds it whole)\n");
 }
@@ -142,8 +159,9 @@ icacheAblation()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    g_jobs = tarch::bench::parseArgs(argc, argv).jobs;
     std::printf("=============================================================\n");
     std::printf("Design-choice ablations (DESIGN.md Section 6)\n");
     std::printf("=============================================================\n");

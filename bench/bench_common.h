@@ -1,13 +1,22 @@
 /**
  * @file
- * Shared helpers for the per-figure bench binaries: headers, simple
- * fixed-width table printing, and percentage formatting.
+ * Shared helpers for the per-figure bench binaries: banner printing,
+ * percentage formatting, and the common command-line flags every bench
+ * binary accepts:
+ *
+ *   --jobs N       worker threads for the sweep (default: TARCH_JOBS
+ *                  environment variable, else hardware concurrency)
+ *   --cache-dir D  root of the per-cell sweep cache (default ".")
+ *   --cold         ignore cached cells; re-simulate and rewrite them
+ *   --no-cache     neither read nor write the cache
  */
 
 #ifndef TARCH_BENCH_BENCH_COMMON_H
 #define TARCH_BENCH_BENCH_COMMON_H
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -35,6 +44,68 @@ inline double
 speedupPct(const harness::RunResult &base, const harness::RunResult &var)
 {
     return pct(harness::speedupOf(base, var) - 1.0);
+}
+
+[[noreturn]] inline void
+usage(const char *argv0, int exit_code)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--jobs N] [--cache-dir DIR] [--cold] "
+                 "[--no-cache]\n"
+                 "  --jobs N       sweep worker threads (default: "
+                 "TARCH_JOBS env, else hardware)\n"
+                 "  --cache-dir D  per-cell sweep cache root (default "
+                 "\".\")\n"
+                 "  --cold         ignore cached cells, re-simulate and "
+                 "rewrite\n"
+                 "  --no-cache     neither read nor write the cache\n",
+                 argv0);
+    std::exit(exit_code);
+}
+
+/**
+ * Parse the common bench flags into SweepOptions.  Unknown flags and
+ * malformed values are usage errors (exit 2), not crashes.
+ */
+inline harness::SweepOptions
+parseArgs(int argc, char **argv)
+{
+    harness::SweepOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s needs a value\n", argv[0],
+                             flag);
+                usage(argv[0], 2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--jobs") {
+            const char *text = next("--jobs");
+            char *end = nullptr;
+            const unsigned long n = std::strtoul(text, &end, 10);
+            if (end == text || *end != '\0' || n == 0 || n > 4096) {
+                std::fprintf(stderr, "%s: bad --jobs value '%s'\n",
+                             argv[0], text);
+                usage(argv[0], 2);
+            }
+            opts.jobs = static_cast<unsigned>(n);
+        } else if (arg == "--cache-dir") {
+            opts.cacheDir = next("--cache-dir");
+        } else if (arg == "--cold") {
+            opts.forceCold = true;
+        } else if (arg == "--no-cache") {
+            opts.useCache = false;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0], 0);
+        } else {
+            std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0],
+                         arg.c_str());
+            usage(argv[0], 2);
+        }
+    }
+    return opts;
 }
 
 } // namespace tarch::bench

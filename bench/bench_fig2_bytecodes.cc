@@ -91,14 +91,15 @@ fig2b(const Sweep &sweep)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const harness::SweepOptions sweep_opts = bench::parseArgs(argc, argv);
     bench::banner("Figure 2: bytecode profile of the interpreters",
                   "Figure 2");
-    const Sweep lua = runSweepCached(Engine::Lua);
+    const Sweep lua = runSweepCached(Engine::Lua, sweep_opts);
     fig2a(lua);
     fig2b(lua);
-    const Sweep js = runSweepCached(Engine::Js);
+    const Sweep js = runSweepCached(Engine::Js, sweep_opts);
     fig2a(js);
     fig2b(js);
     return 0;

@@ -40,15 +40,16 @@ report(const Sweep &sweep)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const harness::SweepOptions sweep_opts = bench::parseArgs(argc, argv);
     bench::banner("Figure 5: overall speedup over the baseline ISA",
                   "Figure 5 and Section 7.1");
     std::printf("\nPaper reference (FPGA, full engines): Lua geomean "
                 "+9.9%% typed / +7.3%% CL;\nJS geomean +11.2%% typed / "
                 "+5.4%% CL; max +43.5%% (Lua), +32.6%% (JS).\n");
-    report(runSweepCached(Engine::Lua));
-    report(runSweepCached(Engine::Js));
+    report(runSweepCached(Engine::Lua, sweep_opts));
+    report(runSweepCached(Engine::Js, sweep_opts));
     std::printf("\nExpected shape: typed > checked-load in geomean; CL "
                 "close to or below\nbaseline on FP-heavy workloads "
                 "(mandelbrot, n-body) because its fast path\nis fixed to "

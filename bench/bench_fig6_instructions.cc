@@ -47,13 +47,14 @@ report(const Sweep &sweep)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const harness::SweepOptions sweep_opts = bench::parseArgs(argc, argv);
     bench::banner("Figure 6: dynamic instruction count reduction",
                   "Figure 6");
     std::printf("\nPaper reference: average reduction 11.2%% (Lua) and "
                 "4.4%% (JS).\n");
-    report(runSweepCached(Engine::Lua));
-    report(runSweepCached(Engine::Js));
+    report(runSweepCached(Engine::Lua, sweep_opts));
+    report(runSweepCached(Engine::Js, sweep_opts));
     return 0;
 }

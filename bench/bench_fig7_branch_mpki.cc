@@ -27,8 +27,9 @@ report(const Sweep &sweep)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const harness::SweepOptions sweep_opts = bench::parseArgs(argc, argv);
     bench::banner(
         "Figure 7: branch miss rates (MPKI, lower is better)",
         "Figure 7");
@@ -36,7 +37,7 @@ main()
                 "type-guard branches, so its\nMPKI is at or below the "
                 "baseline's on guard-heavy benchmarks (e.g. fibo,\n"
                 "fannkuch-redux, n-sieve).\n");
-    report(runSweepCached(Engine::Lua));
-    report(runSweepCached(Engine::Js));
+    report(runSweepCached(Engine::Lua, sweep_opts));
+    report(runSweepCached(Engine::Js, sweep_opts));
     return 0;
 }

@@ -38,8 +38,9 @@ report(const Sweep &sweep)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const harness::SweepOptions sweep_opts = bench::parseArgs(argc, argv);
     bench::banner("Figure 8: instruction cache miss rates (MPKI)",
                   "Figure 8");
     std::printf("\nNote: our generated interpreters are much smaller "
@@ -47,7 +48,7 @@ main()
                 "absolute I-cache MPKI is lower than the\npaper's; the "
                 "relative ordering (typed <= baseline) is the "
                 "reproduced shape.\n");
-    report(runSweepCached(Engine::Lua));
-    report(runSweepCached(Engine::Js));
+    report(runSweepCached(Engine::Lua, sweep_opts));
+    report(runSweepCached(Engine::Js, sweep_opts));
     return 0;
 }

@@ -39,8 +39,9 @@ report(const Sweep &sweep)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const harness::SweepOptions sweep_opts = bench::parseArgs(argc, argv);
     bench::banner(
         "Figure 9: type hit/miss rates normalized to dynamic bytecodes",
         "Figure 9");
@@ -48,7 +49,7 @@ main()
                 "int- and table-oriented\nbenchmarks; visible misses for "
                 "k-nucleotide (string-keyed tables) and the\nmixed-type "
                 "slow paths.\n");
-    report(runSweepCached(Engine::Lua));
-    report(runSweepCached(Engine::Js));
+    report(runSweepCached(Engine::Lua, sweep_opts));
+    report(runSweepCached(Engine::Js, sweep_opts));
     return 0;
 }

@@ -7,12 +7,13 @@ using namespace tarch;
 using namespace tarch::harness;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const harness::SweepOptions sweep_opts = bench::parseArgs(argc, argv);
     bench::banner("Table 7: benchmarks (paper inputs vs scaled inputs)",
                   "Table 7");
-    const Sweep lua = runSweepCached(Engine::Lua);
-    const Sweep js = runSweepCached(Engine::Js);
+    const Sweep lua = runSweepCached(Engine::Lua, sweep_opts);
+    const Sweep js = runSweepCached(Engine::Js, sweep_opts);
     std::printf("\n%-16s %10s %22s %12s %12s  %s\n", "benchmark",
                 "paper in", "scaled input", "Lua Minstr", "JS Minstr",
                 "description");

@@ -24,8 +24,9 @@ geomeanSpeedup(const Sweep &sweep)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const harness::SweepOptions sweep_opts = bench::parseArgs(argc, argv);
     bench::banner("Table 8: hardware overhead breakdown (area, power)",
                   "Table 8 and Section 7.2");
 
@@ -47,8 +48,8 @@ main()
                 bench::pct(report.powerOverhead()));
 
     const double power_ratio = 1.0 + report.powerOverhead();
-    const Sweep lua = runSweepCached(Engine::Lua);
-    const Sweep js = runSweepCached(Engine::Js);
+    const Sweep lua = runSweepCached(Engine::Lua, sweep_opts);
+    const Sweep js = runSweepCached(Engine::Js, sweep_opts);
     const double lua_speedup = geomeanSpeedup(lua);
     const double js_speedup = geomeanSpeedup(js);
     std::printf("\nEDP improvement (modeled power x measured cycles^2):\n");

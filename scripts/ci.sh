@@ -43,4 +43,29 @@ rm -rf "$BUILD_DIR/fuzz-smoke"
 "$BUILD_DIR/tools/fuzz_differential" --seeds "$FUZZ_SEEDS" \
     --jobs "$JOBS" --out "$BUILD_DIR/fuzz-smoke"
 
+echo "== sweep-cache concurrency smoke"
+# Two bench binaries racing on one cold cache must both finish and
+# print identical tables (per-cell atomic temp-file + rename writes),
+# and a warm third run must load every cell instead of re-simulating.
+SMOKE_DIR="$BUILD_DIR/cache-smoke"
+rm -rf "$SMOKE_DIR"
+mkdir -p "$SMOKE_DIR"
+"$BUILD_DIR/bench/bench_fig5_speedup" --cache-dir "$SMOKE_DIR" \
+    --jobs "$JOBS" > "$SMOKE_DIR/a.out" 2> "$SMOKE_DIR/a.err" &
+SMOKE_A=$!
+"$BUILD_DIR/bench/bench_fig5_speedup" --cache-dir "$SMOKE_DIR" \
+    --jobs "$JOBS" > "$SMOKE_DIR/b.out" 2> "$SMOKE_DIR/b.err" &
+SMOKE_B=$!
+wait "$SMOKE_A"
+wait "$SMOKE_B"
+diff "$SMOKE_DIR/a.out" "$SMOKE_DIR/b.out"
+"$BUILD_DIR/bench/bench_fig5_speedup" --cache-dir "$SMOKE_DIR" \
+    > "$SMOKE_DIR/warm.out" 2> "$SMOKE_DIR/warm.err"
+diff "$SMOKE_DIR/a.out" "$SMOKE_DIR/warm.out"
+if grep -q "^info: sim" "$SMOKE_DIR/warm.err"; then
+    echo "error: warm sweep re-simulated cells:" >&2
+    grep "^info: sim" "$SMOKE_DIR/warm.err" >&2
+    exit 1
+fi
+
 echo "== ci OK"

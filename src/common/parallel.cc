@@ -1,0 +1,77 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/log.h"
+
+namespace tarch {
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("TARCH_JOBS")) {
+        char *end = nullptr;
+        const unsigned long n = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && n > 0 && n <= 4096)
+            return static_cast<unsigned>(n);
+        tarch_warn("ignoring malformed TARCH_JOBS='%s'", env);
+    }
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void
+parallelFor(size_t count, unsigned jobs,
+            const std::function<void(size_t)> &body)
+{
+    jobs = resolveJobs(jobs);
+    if (count <= 1 || jobs <= 1) {
+        for (size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+    jobs = static_cast<unsigned>(std::min<size_t>(jobs, count));
+
+    std::atomic<size_t> next{0};
+    std::atomic<bool> abort{false};
+    std::mutex mu; // guards the two error slots below
+    size_t error_index = SIZE_MAX;
+    std::exception_ptr error;
+
+    const auto worker = [&]() {
+        while (!abort.load(std::memory_order_relaxed)) {
+            const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            try {
+                body(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mu);
+                if (i < error_index) {
+                    error_index = i;
+                    error = std::current_exception();
+                }
+                abort.store(true, std::memory_order_relaxed);
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned t = 0; t < jobs; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace tarch

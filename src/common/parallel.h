@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Shared work-queue executor: a bounded thread pool that hands out
+ * indices from an atomic counter.  Used by the experiment harness (the
+ * 33-cell sweep matrix), the differential fuzzer (one task per seed),
+ * and the ablation bench.  Callers that write results[i] from body(i)
+ * get deterministic, schedule-independent output.
+ */
+
+#ifndef TARCH_COMMON_PARALLEL_H
+#define TARCH_COMMON_PARALLEL_H
+
+#include <cstddef>
+#include <functional>
+
+namespace tarch {
+
+/**
+ * Resolve a worker count: an explicit @p requested > 0 wins, else a
+ * well-formed TARCH_JOBS environment variable, else the hardware
+ * concurrency (at least 1).  A malformed TARCH_JOBS warns and is
+ * ignored rather than aborting a run that never asked for it.
+ */
+unsigned resolveJobs(unsigned requested = 0);
+
+/**
+ * Run body(i) for every i in [0, count) on up to @p jobs worker
+ * threads (@p jobs is passed through resolveJobs).  Indices are handed
+ * out from a shared counter, so the completion order across threads is
+ * unspecified.  jobs == 1 or count <= 1 runs inline on the caller's
+ * thread with no pool at all.
+ *
+ * If any body throws, the remaining un-started indices are abandoned,
+ * all workers join, and the exception from the lowest observed failing
+ * index is rethrown on the caller's thread.  Callers that must survive
+ * individual failures (the sweep's crash tolerance) catch inside body.
+ */
+void parallelFor(size_t count, unsigned jobs,
+                 const std::function<void(size_t)> &body);
+
+} // namespace tarch
+
+#endif // TARCH_COMMON_PARALLEL_H

@@ -2,8 +2,14 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <unistd.h>
 
 #include "common/log.h"
+#include "common/parallel.h"
+#include "common/strutil.h"
+#include "vm/image.h"
 #include "vm/js/js_vm.h"
 #include "vm/lua/lua_vm.h"
 
@@ -51,39 +57,35 @@ runOne(Engine engine, vm::Variant variant, const BenchmarkInfo &info)
     return collect(vm, engine, variant, info);
 }
 
-Sweep
-runSweep(Engine engine)
-{
-    Sweep sweep;
-    sweep.engine = engine;
-    for (const BenchmarkInfo &info : benchmarks()) {
-        std::vector<RunResult> row;
-        for (const vm::Variant v :
-             {vm::Variant::Baseline, vm::Variant::Typed,
-              vm::Variant::CheckedLoad})
-            row.push_back(runOne(engine, v, info));
-        // Cross-variant correctness: all three ISAs must agree.
-        for (size_t v = 1; v < row.size(); ++v) {
-            if (row[v].output != row[0].output)
-                tarch_fatal(
-                    "%s/%s: variant '%s' output differs from baseline",
-                    engineName(engine), info.name.c_str(),
-                    std::string(vm::variantName(
-                                    static_cast<vm::Variant>(v)))
-                        .c_str());
-        }
-        sweep.results.push_back(std::move(row));
-    }
-    return sweep;
-}
-
 // ---------------------------------------------------------------------
-// Disk-backed sweep cache.
+// Per-cell disk cache.
+//
+// One file per (engine, benchmark, variant) cell, named
+//   <cacheDir>/tarch-sweep-cache/<lua|js>_<bench>_<variant>.cell
+// and keyed by a hash over everything that can invalidate the result.
+// Writes go through a temp file + rename so a reader (or a second
+// bench binary racing on a cold cache) never sees a torn cell, and the
+// parser validates every tag and bounds every length so any damaged
+// cell degrades to a re-simulation instead of garbage stats or a crash.
 
 namespace {
 
-/** Bump when simulator or VM behaviour changes invalidate old results. */
-constexpr const char *kCacheVersion = "tarch-sweep-v3";
+/** Bump when the cell format or simulator behaviour changes. */
+constexpr const char *kCellVersion = "tarch-cell-v4";
+
+constexpr vm::Variant kVariants[3] = {vm::Variant::Baseline,
+                                      vm::Variant::Typed,
+                                      vm::Variant::CheckedLoad};
+
+constexpr size_t kMaxNameLen = 4096;          ///< bench/profile/marker names
+constexpr size_t kMaxOutputLen = 64u << 20;   ///< guest program output
+constexpr size_t kMaxMapEntries = 1u << 20;   ///< profile/marker counts
+
+std::string
+variantStr(vm::Variant v)
+{
+    return std::string(vm::variantName(v));
+}
 
 uint64_t
 fnv1a(const std::string &text, uint64_t hash = 0xCBF29CE484222325ULL)
@@ -95,16 +97,56 @@ fnv1a(const std::string &text, uint64_t hash = 0xCBF29CE484222325ULL)
     return hash;
 }
 
-uint64_t
-sweepKey(Engine engine)
+/**
+ * Every simulator parameter a harness run depends on, as text.  The
+ * harness always runs the VMs on default configurations, so a change
+ * to any default in the config headers must invalidate cached cells.
+ */
+std::string
+simConfigFingerprint()
 {
-    uint64_t hash = fnv1a(kCacheVersion);
-    hash = fnv1a(engineName(engine), hash);
-    for (const BenchmarkInfo &info : benchmarks()) {
-        hash = fnv1a(info.name, hash);
-        hash = fnv1a(info.source, hash);
-    }
-    return hash;
+    const core::CoreConfig c;
+    const vm::GuestLayout l;
+    const auto cacheStr = [](const mem::CacheConfig &cc) {
+        return strformat("%llu %u %u %u",
+                         (unsigned long long)cc.sizeBytes, cc.ways,
+                         cc.blockBytes, cc.hitLatency);
+    };
+    std::string s = strformat(
+        "timing %u %u %u %u %u %u %u %u %u %u;", c.timing.redirectPenalty,
+        c.timing.latIntAlu, c.timing.latIntMul, c.timing.latIntDiv,
+        c.timing.latLoad, c.timing.latFpAlu, c.timing.latFpMul,
+        c.timing.latFpDiv, c.timing.latFpSqrt, c.timing.drainCycles);
+    s += "icache " + cacheStr(c.icache) + ";dcache " + cacheStr(c.dcache);
+    s += strformat(";itlb %u %u %u;dtlb %u %u %u;", c.itlb.entries,
+                   c.itlb.pageBytes, c.itlb.missLatency, c.dtlb.entries,
+                   c.dtlb.pageBytes, c.dtlb.missLatency);
+    s += strformat("dram %u %u %u %u %u %u %.3f %.3f %u;", c.dram.numBanks,
+                   c.dram.rowBytes, c.dram.tCl, c.dram.tRcd, c.dram.tRp,
+                   c.dram.burstBeats, c.dram.coreClockMhz,
+                   c.dram.dramClockMhz, c.dram.controllerCoreCycles);
+    s += strformat("branch %u %u %u %u;", c.branch.gshare.entries,
+                   c.branch.gshare.historyBits, c.branch.btb.entries,
+                   c.branch.ras.entries);
+    s += strformat("trt %u;deopt %d %u %u %u %u;", c.trtCapacity,
+                   (int)c.deopt.enabled, c.deopt.tableEntries,
+                   (unsigned)c.deopt.threshold, (unsigned)c.deopt.missBump,
+                   (unsigned)c.deopt.probeInterval);
+    s += strformat("lim %llu heap %llx stack %llx;",
+                   (unsigned long long)c.maxInstructions,
+                   (unsigned long long)c.heapBase,
+                   (unsigned long long)c.stackTop);
+    s += strformat("layout %llx %llx %llx %llx %llx %llx %llx %llx %llx",
+                   (unsigned long long)l.interpText,
+                   (unsigned long long)l.interpData,
+                   (unsigned long long)l.globals,
+                   (unsigned long long)l.protos,
+                   (unsigned long long)l.code,
+                   (unsigned long long)l.consts,
+                   (unsigned long long)l.valueStack,
+                   (unsigned long long)l.callStack,
+                   (unsigned long long)l.heap);
+    return s;
 }
 
 void
@@ -113,7 +155,8 @@ writeStats(std::FILE *f, const core::CoreStats &s)
     std::fprintf(
         f,
         "stats %llu %llu %llu %llu %llu %llu %llu %llu %llu %llu %llu "
-        "%llu %llu %llu %llu %llu %llu %llu %llu %llu %llu %llu %llu\n",
+        "%llu %llu %llu %llu %llu %llu %llu %llu %llu %llu %llu %llu "
+        "%llu %llu %llu\n",
         (unsigned long long)s.instructions, (unsigned long long)s.cycles,
         (unsigned long long)s.loads, (unsigned long long)s.stores,
         (unsigned long long)s.branches.condBranches,
@@ -133,23 +176,38 @@ writeStats(std::FILE *f, const core::CoreStats &s)
         (unsigned long long)s.trt.lookups, (unsigned long long)s.trt.hits,
         (unsigned long long)s.typeOverflowMisses,
         (unsigned long long)s.chklbChecks,
-        (unsigned long long)s.chklbMisses);
+        (unsigned long long)s.chklbMisses,
+        (unsigned long long)s.deoptRedirects,
+        (unsigned long long)s.deoptProbes,
+        (unsigned long long)s.hostcalls);
+}
+
+/** Read one whitespace-delimited token and require it to be @p tag. */
+bool
+readTag(std::FILE *f, const char *tag)
+{
+    char token[32];
+    if (std::fscanf(f, " %31s", token) != 1)
+        return false;
+    return std::strcmp(token, tag) == 0;
+}
+
+bool
+readU64(std::FILE *f, unsigned long long &value)
+{
+    return std::fscanf(f, " %llu", &value) == 1;
 }
 
 bool
 readStats(std::FILE *f, core::CoreStats &s)
 {
-    unsigned long long v[23];
-    char tag[16];
-    if (std::fscanf(f,
-                    "%15s %llu %llu %llu %llu %llu %llu %llu %llu %llu "
-                    "%llu %llu %llu %llu %llu %llu %llu %llu %llu %llu "
-                    "%llu %llu %llu %llu",
-                    tag, &v[0], &v[1], &v[2], &v[3], &v[4], &v[5], &v[6],
-                    &v[7], &v[8], &v[9], &v[10], &v[11], &v[12], &v[13],
-                    &v[14], &v[15], &v[16], &v[17], &v[18], &v[19], &v[20],
-                    &v[21], &v[22]) != 24)
+    if (!readTag(f, "stats"))
         return false;
+    unsigned long long v[26];
+    for (unsigned long long &field : v) {
+        if (!readU64(f, field))
+            return false;
+    }
     s.instructions = v[0];
     s.cycles = v[1];
     s.loads = v[2];
@@ -173,9 +231,13 @@ readStats(std::FILE *f, core::CoreStats &s)
     s.typeOverflowMisses = v[20];
     s.chklbChecks = v[21];
     s.chklbMisses = v[22];
+    s.deoptRedirects = v[23];
+    s.deoptProbes = v[24];
+    s.hostcalls = v[25];
     return true;
 }
 
+/** `<tag> <len>\n<len raw bytes>\n` — names and outputs of any content. */
 void
 writeBlob(std::FILE *f, const char *tag, const std::string &text)
 {
@@ -185,147 +247,318 @@ writeBlob(std::FILE *f, const char *tag, const std::string &text)
 }
 
 bool
-readBlob(std::FILE *f, std::string &text)
+readBlob(std::FILE *f, const char *tag, std::string &text, size_t max_len)
 {
-    char tag[32];
-    size_t len;
-    if (std::fscanf(f, "%31s %zu", tag, &len) != 2)
+    unsigned long long len;
+    if (!readTag(f, tag) || !readU64(f, len) || len > max_len)
         return false;
-    std::fgetc(f);  // the newline after the length
+    if (std::fgetc(f) != '\n')
+        return false;
     text.resize(len);
     if (len && std::fread(text.data(), 1, len, f) != len)
         return false;
-    std::fgetc(f);
-    return true;
+    return std::fgetc(f) == '\n';
 }
 
-bool
-saveSweep(const Sweep &sweep, const std::string &path, uint64_t key)
+void
+writeCell(std::FILE *f, const RunResult &r, uint64_t key)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f)
-        return false;
-    std::fprintf(f, "%s %016llx %zu\n", kCacheVersion,
-                 (unsigned long long)key, sweep.results.size());
-    for (const auto &row : sweep.results) {
-        for (const RunResult &r : row) {
-            writeBlob(f, "bench", r.benchmark);
-            std::fprintf(f, "variant %u\n",
-                         static_cast<unsigned>(r.variant));
-            writeStats(f, r.stats);
-            std::fprintf(f, "dynbc %llu\n",
-                         (unsigned long long)r.dynamicBytecodes);
-            writeBlob(f, "output", r.output);
-            std::fprintf(f, "profile %zu\n", r.bytecodeProfile.size());
-            for (const auto &[name, count] : r.bytecodeProfile)
-                std::fprintf(f, "%s %llu\n", name.c_str(),
-                             (unsigned long long)count);
-            std::fprintf(f, "markers %zu\n", r.markerDetail.size());
-            for (const auto &[name, detail] : r.markerDetail)
-                std::fprintf(f, "%s %llu %llu\n", name.c_str(),
-                             (unsigned long long)detail.first,
-                             (unsigned long long)detail.second);
-        }
+    std::fprintf(f, "%s %016llx\n", kCellVersion, (unsigned long long)key);
+    std::fprintf(f, "engine %s\n", engineName(r.engine));
+    writeBlob(f, "bench", r.benchmark);
+    std::fprintf(f, "variant %u\n", static_cast<unsigned>(r.variant));
+    writeStats(f, r.stats);
+    std::fprintf(f, "dynbc %llu\n",
+                 (unsigned long long)r.dynamicBytecodes);
+    writeBlob(f, "output", r.output);
+    std::fprintf(f, "profile %zu\n", r.bytecodeProfile.size());
+    for (const auto &[name, count] : r.bytecodeProfile) {
+        writeBlob(f, "name", name);
+        std::fprintf(f, "count %llu\n", (unsigned long long)count);
     }
-    std::fclose(f);
-    return true;
+    std::fprintf(f, "markers %zu\n", r.markerDetail.size());
+    for (const auto &[name, detail] : r.markerDetail) {
+        writeBlob(f, "name", name);
+        std::fprintf(f, "hits %llu %llu\n",
+                     (unsigned long long)detail.first,
+                     (unsigned long long)detail.second);
+    }
+    std::fputs("end\n", f);
 }
 
 bool
-loadSweep(Sweep &sweep, const std::string &path, uint64_t key)
+readCell(std::FILE *f, RunResult &r, uint64_t key)
 {
-    std::FILE *f = std::fopen(path.c_str(), "r");
-    if (!f)
-        return false;
-    char version[64];
+    char version[32];
     unsigned long long stored_key;
-    size_t nbench;
-    bool ok = std::fscanf(f, "%63s %llx %zu", version, &stored_key,
-                          &nbench) == 3 &&
-              std::string(version) == kCacheVersion && stored_key == key;
-    for (size_t b = 0; ok && b < nbench; ++b) {
-        std::vector<RunResult> row;
-        for (unsigned v = 0; ok && v < 3; ++v) {
-            RunResult r;
-            r.engine = sweep.engine;
-            unsigned variant;
-            unsigned long long dynbc;
-            size_t count;
-            ok = readBlob(f, r.benchmark) &&
-                 std::fscanf(f, " variant %u", &variant) == 1;
-            if (!ok)
-                break;
-            r.variant = static_cast<vm::Variant>(variant);
-            ok = readStats(f, r.stats) &&
-                 std::fscanf(f, " dynbc %llu", &dynbc) == 1;
-            if (!ok)
-                break;
-            r.dynamicBytecodes = dynbc;
-            ok = readBlob(f, r.output) &&
-                 std::fscanf(f, " profile %zu", &count) == 1;
-            for (size_t i = 0; ok && i < count; ++i) {
-                char name[128];
-                unsigned long long n;
-                ok = std::fscanf(f, "%127s %llu", name, &n) == 2;
-                if (ok)
-                    r.bytecodeProfile[name] = n;
-            }
-            ok = ok && std::fscanf(f, " markers %zu", &count) == 1;
-            for (size_t i = 0; ok && i < count; ++i) {
-                char name[128];
-                unsigned long long hits, instrs;
-                ok = std::fscanf(f, "%127s %llu %llu", name, &hits,
-                                 &instrs) == 3;
-                if (ok)
-                    r.markerDetail[name] = {hits, instrs};
-            }
-            row.push_back(std::move(r));
-        }
-        if (ok)
-            sweep.results.push_back(std::move(row));
+    if (std::fscanf(f, " %31s %llx", version, &stored_key) != 2 ||
+        std::strcmp(version, kCellVersion) != 0 || stored_key != key)
+        return false;
+    char engine[16];
+    if (!readTag(f, "engine") || std::fscanf(f, " %15s", engine) != 1)
+        return false;
+    if (std::strcmp(engine, engineName(Engine::Lua)) == 0)
+        r.engine = Engine::Lua;
+    else if (std::strcmp(engine, engineName(Engine::Js)) == 0)
+        r.engine = Engine::Js;
+    else
+        return false;
+    if (!readBlob(f, "bench", r.benchmark, kMaxNameLen))
+        return false;
+    unsigned long long variant;
+    if (!readTag(f, "variant") || !readU64(f, variant) || variant > 2)
+        return false;
+    r.variant = static_cast<vm::Variant>(variant);
+    if (!readStats(f, r.stats))
+        return false;
+    unsigned long long dynbc;
+    if (!readTag(f, "dynbc") || !readU64(f, dynbc))
+        return false;
+    r.dynamicBytecodes = dynbc;
+    if (!readBlob(f, "output", r.output, kMaxOutputLen))
+        return false;
+    unsigned long long count;
+    if (!readTag(f, "profile") || !readU64(f, count) ||
+        count > kMaxMapEntries)
+        return false;
+    r.bytecodeProfile.clear();
+    for (unsigned long long i = 0; i < count; ++i) {
+        std::string name;
+        unsigned long long n;
+        if (!readBlob(f, "name", name, kMaxNameLen) ||
+            !readTag(f, "count") || !readU64(f, n))
+            return false;
+        r.bytecodeProfile[name] = n;
     }
-    std::fclose(f);
-    if (!ok)
-        sweep.results.clear();
-    return ok;
+    if (!readTag(f, "markers") || !readU64(f, count) ||
+        count > kMaxMapEntries)
+        return false;
+    r.markerDetail.clear();
+    for (unsigned long long i = 0; i < count; ++i) {
+        std::string name;
+        unsigned long long hits, instrs;
+        if (!readBlob(f, "name", name, kMaxNameLen) ||
+            !readTag(f, "hits") || !readU64(f, hits) ||
+            !readU64(f, instrs))
+            return false;
+        r.markerDetail[name] = {hits, instrs};
+    }
+    return readTag(f, "end");
 }
 
 } // namespace
 
-Sweep
-runSweepCached(Engine engine, const std::string &cache_dir)
+uint64_t
+cellKey(Engine engine, const BenchmarkInfo &info, vm::Variant variant)
 {
-    const uint64_t key = sweepKey(engine);
-    const std::string path =
-        cache_dir + "/tarch_sweep_" +
-        (engine == Engine::Lua ? "lua" : "js") + ".cache";
+    uint64_t hash = fnv1a(kCellVersion);
+    hash = fnv1a(engineName(engine), hash);
+    hash = fnv1a(info.name, hash);
+    hash = fnv1a(info.source, hash);
+    hash = fnv1a(variantStr(variant), hash);
+    hash = fnv1a(simConfigFingerprint(), hash);
+    return hash;
+}
+
+std::string
+cellPath(const std::string &cache_dir, Engine engine,
+         const std::string &bench_name, vm::Variant variant)
+{
+    return cache_dir + "/tarch-sweep-cache/" +
+           (engine == Engine::Lua ? "lua" : "js") + "_" + bench_name +
+           "_" + variantStr(variant) + ".cell";
+}
+
+bool
+saveCell(const RunResult &result, const std::string &path, uint64_t key)
+{
+    // Unique temp name per process: two bench binaries racing on a cold
+    // cache each stage their own file; rename() then publishes whole
+    // cells only (both writers produce identical bytes anyway).
+    const std::string tmp =
+        strformat("%s.tmp.%ld", path.c_str(), (long)::getpid());
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
+    if (!f)
+        return false;
+    writeCell(f, result, key);
+    bool ok = !std::ferror(f);
+    if (std::fclose(f) != 0)
+        ok = false;
+    if (ok && std::rename(tmp.c_str(), path.c_str()) != 0)
+        ok = false;
+    if (!ok)
+        std::remove(tmp.c_str());
+    return ok;
+}
+
+bool
+loadCell(RunResult &result, const std::string &path, uint64_t key)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        return false;
+    RunResult parsed;
+    const bool ok = readCell(f, parsed, key);
+    std::fclose(f);
+    if (ok)
+        result = std::move(parsed);
+    return ok;
+}
+
+// ---------------------------------------------------------------------
+// The sweep executor.
+
+namespace {
+
+/** Outcome slot for one (benchmark, variant) cell of the matrix. */
+struct CellOutcome {
+    RunResult result;
+    bool simulated = false;
+    std::string error; ///< non-empty: the cell's FatalError message
+};
+
+} // namespace
+
+Sweep
+runSweep(Engine engine, const SweepOptions &opts,
+         const std::vector<BenchmarkInfo> &benches)
+{
+    const unsigned jobs = resolveJobs(opts.jobs);
+    bool cache = opts.useCache;
+    if (cache) {
+        std::error_code ec;
+        std::filesystem::create_directories(
+            opts.cacheDir + "/tarch-sweep-cache", ec);
+        if (ec) {
+            tarch_warn("cannot create sweep cache under %s (%s); "
+                       "running uncached",
+                       opts.cacheDir.c_str(), ec.message().c_str());
+            cache = false;
+        }
+    }
+
+    std::vector<CellOutcome> cells(benches.size() * 3);
+    parallelFor(cells.size(), jobs, [&](size_t idx) {
+        const BenchmarkInfo &info = benches[idx / 3];
+        const vm::Variant variant = kVariants[idx % 3];
+        CellOutcome &cell = cells[idx];
+        const uint64_t key = cache ? cellKey(engine, info, variant) : 0;
+        const std::string path =
+            cache ? cellPath(opts.cacheDir, engine, info.name, variant)
+                  : std::string();
+        if (cache && !opts.forceCold && loadCell(cell.result, path, key))
+            return;
+        try {
+            cell.result = runOne(engine, variant, info);
+        } catch (const FatalError &e) {
+            // Crash tolerance: record the dead cell, let the rest of
+            // the sweep finish, report every failure at the end.
+            cell.error = e.what();
+            return;
+        }
+        cell.simulated = true;
+        if (cache) {
+            tarch_inform("sim %s/%s/%s", engineName(engine),
+                         info.name.c_str(), variantStr(variant).c_str());
+            if (!saveCell(cell.result, path, key))
+                tarch_warn("could not write sweep cache cell %s",
+                           path.c_str());
+        }
+    });
+
     Sweep sweep;
     sweep.engine = engine;
-    if (loadSweep(sweep, path, key)) {
-        std::fprintf(stderr, "info: loaded %s sweep from %s\n",
-                     engineName(engine), path.c_str());
-        return sweep;
+    unsigned failed = 0;
+    std::string dead;
+    for (size_t idx = 0; idx < cells.size(); ++idx) {
+        const CellOutcome &cell = cells[idx];
+        if (!cell.error.empty()) {
+            ++failed;
+            dead += strformat("  %s/%s/%s: %s\n", engineName(engine),
+                              benches[idx / 3].name.c_str(),
+                              variantStr(kVariants[idx % 3]).c_str(),
+                              cell.error.c_str());
+        } else if (cell.simulated) {
+            ++sweep.simulatedCells;
+        } else {
+            ++sweep.loadedCells;
+        }
     }
-    sweep = runSweep(engine);
-    if (!saveSweep(sweep, path, key))
-        tarch_warn("could not write sweep cache %s", path.c_str());
+    if (failed)
+        tarch_fatal("%s sweep: %u of %zu cell(s) failed:\n%s",
+                    engineName(engine), failed, cells.size(),
+                    dead.c_str());
+    if (cache)
+        tarch_inform("%s sweep: %u cell(s) simulated, %u loaded "
+                     "(%s/tarch-sweep-cache, %u job(s))",
+                     engineName(engine), sweep.simulatedCells,
+                     sweep.loadedCells, opts.cacheDir.c_str(), jobs);
+
+    for (size_t b = 0; b < benches.size(); ++b) {
+        std::vector<RunResult> row;
+        for (unsigned v = 0; v < 3; ++v)
+            row.push_back(std::move(cells[b * 3 + v].result));
+        // Cross-variant correctness: all three ISAs must agree.
+        for (size_t v = 1; v < row.size(); ++v) {
+            if (row[v].output != row[0].output)
+                tarch_fatal(
+                    "%s/%s: variant '%s' output differs from baseline",
+                    engineName(engine), benches[b].name.c_str(),
+                    variantStr(row[v].variant).c_str());
+        }
+        sweep.results.push_back(std::move(row));
+    }
     return sweep;
+}
+
+Sweep
+runSweep(Engine engine, unsigned jobs)
+{
+    SweepOptions opts;
+    opts.jobs = jobs;
+    opts.useCache = false;
+    return runSweep(engine, opts, benchmarks());
+}
+
+Sweep
+runSweepCached(Engine engine, const SweepOptions &opts)
+{
+    return runSweep(engine, opts, benchmarks());
+}
+
+Sweep
+runSweepCached(Engine engine, const std::string &cache_dir, unsigned jobs)
+{
+    SweepOptions opts;
+    opts.cacheDir = cache_dir;
+    opts.jobs = jobs;
+    return runSweep(engine, opts, benchmarks());
 }
 
 double
 geomean(const std::vector<double> &values)
 {
     if (values.empty())
-        return 0.0;
+        tarch_fatal("geomean() of an empty set");
     double log_sum = 0.0;
-    for (const double v : values)
+    for (const double v : values) {
+        if (v <= 0.0)
+            tarch_fatal("geomean() of a non-positive ratio %g", v);
         log_sum += std::log(v);
+    }
     return std::exp(log_sum / static_cast<double>(values.size()));
 }
 
 double
 speedupOf(const RunResult &baseline, const RunResult &variant)
 {
+    if (baseline.stats.cycles == 0 || variant.stats.cycles == 0) {
+        const RunResult &bad =
+            baseline.stats.cycles == 0 ? baseline : variant;
+        tarch_fatal("speedupOf(%s): '%s' run recorded 0 cycles",
+                    bad.benchmark.c_str(),
+                    variantStr(bad.variant).c_str());
+    }
     return static_cast<double>(baseline.stats.cycles) /
            static_cast<double>(variant.stats.cycles);
 }

@@ -3,6 +3,14 @@
  * Experiment driver: run (engine, ISA variant, benchmark) combinations
  * and collect the performance-counter statistics the paper's figures
  * are built from.
+ *
+ * Sweeps fan the 33 cells (11 benchmarks x 3 variants) out across a
+ * work-queue thread pool and memoize each cell in its own cache file,
+ * keyed by a hash of the cache format version, the benchmark source,
+ * and the simulator configuration fingerprint — so editing one script
+ * re-simulates 3 cells per engine, not 33, and concurrently running
+ * bench binaries share cells through atomic (temp file + rename)
+ * writes.
  */
 
 #ifndef TARCH_HARNESS_EXPERIMENT_H
@@ -52,6 +60,9 @@ struct Sweep {
     Engine engine;
     /** results[benchmark index][variant index (Baseline,Typed,CL)] */
     std::vector<std::vector<RunResult>> results;
+    /** Cells freshly simulated vs. loaded from the cell cache. */
+    unsigned simulatedCells = 0;
+    unsigned loadedCells = 0;
 
     const RunResult &
     at(size_t bench, vm::Variant v) const
@@ -60,20 +71,78 @@ struct Sweep {
     }
 };
 
-Sweep runSweep(Engine engine);
+/** How to run a sweep; the defaults reproduce runSweepCached("."). */
+struct SweepOptions {
+    unsigned jobs = 0;          ///< 0 = TARCH_JOBS env, else hardware
+    std::string cacheDir = "."; ///< cells live in cacheDir/tarch-sweep-cache/
+    bool useCache = true;
+    bool forceCold = false;     ///< ignore existing cells, rewrite them
+};
 
 /**
- * Like runSweep, but memoized on disk: results are stored in
- * @p cache_dir keyed by a hash of the benchmark sources, so the several
- * per-figure bench binaries share one simulation pass.  Delete the
- * tarch_sweep_*.cache files (or change any script) to force a re-run.
+ * Run every cell of the matrix, in parallel across @p opts.jobs worker
+ * threads.  Results are deterministically ordered (bit-identical to a
+ * serial run) regardless of the schedule.  A cell that throws
+ * FatalError is marked failed and the REST OF THE SWEEP STILL RUNS;
+ * only afterwards does the sweep throw FatalError naming every dead
+ * cell.  @p benches defaults to the paper's eleven benchmarks.
  */
-Sweep runSweepCached(Engine engine, const std::string &cache_dir = ".");
+Sweep runSweep(Engine engine, const SweepOptions &opts,
+               const std::vector<BenchmarkInfo> &benches);
 
-/** Geometric mean of a vector of ratios. */
+/** Uncached sweep over the paper benchmarks (back-compat shim). */
+Sweep runSweep(Engine engine, unsigned jobs = 0);
+
+/**
+ * Like runSweep, but memoized on disk per cell: each (engine,
+ * benchmark, variant) result is stored under
+ * `cache_dir/tarch-sweep-cache/` keyed by a hash of its benchmark
+ * source and the simulator configuration, so the several per-figure
+ * bench binaries share one simulation pass and an edited script only
+ * invalidates its own three cells.  Delete the cache directory (or
+ * pass forceCold) to force a re-run.
+ */
+Sweep runSweepCached(Engine engine, const SweepOptions &opts);
+Sweep runSweepCached(Engine engine, const std::string &cache_dir = ".",
+                     unsigned jobs = 0);
+
+// ---------------------------------------------------------------------
+// Cell-cache primitives, exposed for tests and tools.
+
+/**
+ * Invalidation key of one cell: fnv1a over the cache format version,
+ * engine, benchmark name + source, variant, and the simulator
+ * configuration fingerprint (core timing/cache/branch/TRT/deopt
+ * parameters and the guest memory layout).
+ */
+uint64_t cellKey(Engine engine, const BenchmarkInfo &info,
+                 vm::Variant variant);
+
+/** Where runSweepCached stores one cell under @p cache_dir. */
+std::string cellPath(const std::string &cache_dir, Engine engine,
+                     const std::string &bench_name, vm::Variant variant);
+
+/**
+ * Atomically (temp file + rename) persist one cell.  Returns false on
+ * I/O failure; never leaves a partially written file at @p path.
+ */
+bool saveCell(const RunResult &result, const std::string &path,
+              uint64_t key);
+
+/**
+ * Parse one cell.  Every tag is validated and every length bounded; a
+ * missing, truncated, corrupted, or stale-keyed file returns false (a
+ * cache miss) rather than crashing or yielding garbage stats.
+ */
+bool loadCell(RunResult &result, const std::string &path, uint64_t key);
+
+/** Geometric mean of a vector of ratios; fatal on an empty set. */
 double geomean(const std::vector<double> &values);
 
-/** speedup = cycles(baseline) / cycles(variant). */
+/**
+ * speedup = cycles(baseline) / cycles(variant); fatal (naming the
+ * benchmark) if either run recorded 0 cycles.
+ */
 double speedupOf(const RunResult &baseline, const RunResult &variant);
 
 } // namespace tarch::harness

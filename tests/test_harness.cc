@@ -68,7 +68,10 @@ TEST(Experiment, Geomean)
     EXPECT_DOUBLE_EQ(geomean({2.0, 8.0}), 4.0);
     EXPECT_DOUBLE_EQ(geomean({1.0, 1.0, 1.0}), 1.0);
     EXPECT_NEAR(geomean({1.1, 1.1}), 1.1, 1e-12);
-    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    // An empty or non-positive set would silently poison a figure's
+    // geomean column; both fail loudly instead.
+    EXPECT_THROW(geomean({}), tarch::FatalError);
+    EXPECT_THROW(geomean({1.0, 0.0}), tarch::FatalError);
 }
 
 TEST(Experiment, SpeedupOf)
@@ -77,6 +80,26 @@ TEST(Experiment, SpeedupOf)
     base.stats.cycles = 1000;
     fast.stats.cycles = 800;
     EXPECT_DOUBLE_EQ(speedupOf(base, fast), 1.25);
+}
+
+TEST(Experiment, SpeedupOfZeroCyclesIsFatalAndNamesTheBenchmark)
+{
+    RunResult base, broken;
+    base.benchmark = broken.benchmark = "fibo";
+    base.variant = vm::Variant::Baseline;
+    broken.variant = vm::Variant::Typed;
+    base.stats.cycles = 1000;
+    broken.stats.cycles = 0;
+    try {
+        speedupOf(base, broken);
+        FAIL() << "expected FatalError";
+    } catch (const tarch::FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("fibo"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("typed"), std::string::npos);
+    }
+    broken.stats.cycles = 1000;
+    base.stats.cycles = 0;
+    EXPECT_THROW(speedupOf(base, broken), tarch::FatalError);
 }
 
 TEST(Experiment, VariantsProduceIdenticalOutputPerEngine)

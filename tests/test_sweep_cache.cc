@@ -1,0 +1,398 @@
+// The per-cell sweep cache and the parallel sweep executor: round
+// trips (including empty outputs and >127-char names), damaged or
+// stale cells degrading to cache misses, warm-vs-cold accounting,
+// per-script invalidation granularity, schedule-independent results,
+// and crash tolerance (a dead cell doesn't kill the sweep).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <unistd.h>
+
+#include "common/log.h"
+#include "harness/experiment.h"
+
+namespace fs = std::filesystem;
+
+namespace tarch::harness {
+namespace {
+
+BenchmarkInfo
+tinyBenchmark(const std::string &name, const std::string &source)
+{
+    return {name, source, "-", "-", "test workload"};
+}
+
+const std::string kLoopSrc =
+    "local s = 0\nfor i = 1, 200 do s = s + i end\nprint(s)\n";
+const std::string kSumSrc =
+    "local s = 0\nfor i = 1, 50 do s = s + i * i end\nprint(s)\n";
+
+/** Fresh temp directory per test; removed on destruction. */
+struct TempCacheDir {
+    fs::path path;
+
+    TempCacheDir()
+    {
+        static int counter = 0;
+        path = fs::temp_directory_path() /
+               strformat("tarch_sweep_cache_test_%ld_%d",
+                         (long)::getpid(), counter++);
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~TempCacheDir() { fs::remove_all(path); }
+
+    std::string str() const { return path.string(); }
+};
+
+RunResult
+sampleResult()
+{
+    RunResult r;
+    r.benchmark = "sample";
+    r.engine = Engine::Lua;
+    r.variant = vm::Variant::Typed;
+    r.stats.instructions = 123456;
+    r.stats.cycles = 234567;
+    r.stats.loads = 111;
+    r.stats.stores = 222;
+    r.stats.branches.condBranches = 333;
+    r.stats.branches.condMispredicts = 44;
+    r.stats.icache.accesses = 555;
+    r.stats.icache.misses = 5;
+    r.stats.dcache.accesses = 666;
+    r.stats.trt.lookups = 777;
+    r.stats.trt.hits = 770;
+    r.stats.deoptRedirects = 9;
+    r.stats.deoptProbes = 3;
+    r.stats.hostcalls = 21;
+    r.output = "line one\nline two\n\nline four\n";
+    r.dynamicBytecodes = 4242;
+    r.bytecodeProfile = {{"ADD", 100}, {"FORLOOP", 50}};
+    r.markerDetail = {{"dispatch", {10, 1000}}, {"guard", {5, 50}}};
+    return r;
+}
+
+void
+expectSameResult(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.benchmark, b.benchmark);
+    EXPECT_EQ(a.engine, b.engine);
+    EXPECT_EQ(a.variant, b.variant);
+    EXPECT_EQ(a.stats.instructions, b.stats.instructions);
+    EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+    EXPECT_EQ(a.stats.loads, b.stats.loads);
+    EXPECT_EQ(a.stats.stores, b.stats.stores);
+    EXPECT_EQ(a.stats.branches.condBranches, b.stats.branches.condBranches);
+    EXPECT_EQ(a.stats.branches.condMispredicts,
+              b.stats.branches.condMispredicts);
+    EXPECT_EQ(a.stats.branches.jumps, b.stats.branches.jumps);
+    EXPECT_EQ(a.stats.branches.jumpMispredicts,
+              b.stats.branches.jumpMispredicts);
+    EXPECT_EQ(a.stats.icache.accesses, b.stats.icache.accesses);
+    EXPECT_EQ(a.stats.icache.misses, b.stats.icache.misses);
+    EXPECT_EQ(a.stats.dcache.accesses, b.stats.dcache.accesses);
+    EXPECT_EQ(a.stats.dcache.misses, b.stats.dcache.misses);
+    EXPECT_EQ(a.stats.itlb.accesses, b.stats.itlb.accesses);
+    EXPECT_EQ(a.stats.dtlb.accesses, b.stats.dtlb.accesses);
+    EXPECT_EQ(a.stats.trt.lookups, b.stats.trt.lookups);
+    EXPECT_EQ(a.stats.trt.hits, b.stats.trt.hits);
+    EXPECT_EQ(a.stats.typeOverflowMisses, b.stats.typeOverflowMisses);
+    EXPECT_EQ(a.stats.chklbChecks, b.stats.chklbChecks);
+    EXPECT_EQ(a.stats.chklbMisses, b.stats.chklbMisses);
+    EXPECT_EQ(a.stats.deoptRedirects, b.stats.deoptRedirects);
+    EXPECT_EQ(a.stats.deoptProbes, b.stats.deoptProbes);
+    EXPECT_EQ(a.stats.hostcalls, b.stats.hostcalls);
+    EXPECT_EQ(a.output, b.output);
+    EXPECT_EQ(a.dynamicBytecodes, b.dynamicBytecodes);
+    EXPECT_EQ(a.bytecodeProfile, b.bytecodeProfile);
+    EXPECT_EQ(a.markerDetail, b.markerDetail);
+}
+
+// ---------------------------------------------------------------------
+// Cell round trips.
+
+TEST(CellCache, RoundTrip)
+{
+    TempCacheDir dir;
+    const std::string path = dir.str() + "/cell";
+    const RunResult r = sampleResult();
+    ASSERT_TRUE(saveCell(r, path, 0xDEADBEEF));
+    RunResult loaded;
+    ASSERT_TRUE(loadCell(loaded, path, 0xDEADBEEF));
+    expectSameResult(r, loaded);
+}
+
+TEST(CellCache, RoundTripEmptyOutputAndEmptyMaps)
+{
+    TempCacheDir dir;
+    const std::string path = dir.str() + "/cell";
+    RunResult r = sampleResult();
+    r.output.clear();
+    r.bytecodeProfile.clear();
+    r.markerDetail.clear();
+    ASSERT_TRUE(saveCell(r, path, 7));
+    RunResult loaded;
+    ASSERT_TRUE(loadCell(loaded, path, 7));
+    expectSameResult(r, loaded);
+}
+
+TEST(CellCache, RoundTripLongNamesAndMultilineOutput)
+{
+    // The legacy parser's fscanf("%127s") silently split names at 127
+    // characters; the blob format must round-trip them whole.
+    TempCacheDir dir;
+    const std::string path = dir.str() + "/cell";
+    RunResult r = sampleResult();
+    const std::string long_name(300, 'N');
+    const std::string spaced_name = "marker with spaces and a\ttab";
+    r.bytecodeProfile[long_name] = 31337;
+    r.markerDetail[spaced_name] = {1, 2};
+    r.output = std::string(5000, 'x') + "\nsecond line\n";
+    ASSERT_TRUE(saveCell(r, path, 7));
+    RunResult loaded;
+    ASSERT_TRUE(loadCell(loaded, path, 7));
+    expectSameResult(r, loaded);
+    EXPECT_EQ(loaded.bytecodeProfile.at(long_name), 31337u);
+}
+
+// ---------------------------------------------------------------------
+// Damaged and stale cells are misses, never crashes or garbage.
+
+TEST(CellCache, MissingFileIsAMiss)
+{
+    RunResult loaded;
+    EXPECT_FALSE(loadCell(loaded, "/nonexistent/dir/cell", 7));
+}
+
+TEST(CellCache, StaleKeyIsAMiss)
+{
+    TempCacheDir dir;
+    const std::string path = dir.str() + "/cell";
+    ASSERT_TRUE(saveCell(sampleResult(), path, 7));
+    RunResult loaded;
+    EXPECT_FALSE(loadCell(loaded, path, 8));
+    EXPECT_TRUE(loadCell(loaded, path, 7));
+}
+
+TEST(CellCache, EveryTruncationIsAMiss)
+{
+    TempCacheDir dir;
+    const std::string path = dir.str() + "/cell";
+    ASSERT_TRUE(saveCell(sampleResult(), path, 7));
+    std::ifstream in(path, std::ios::binary);
+    std::string full((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    // A torn write can stop at any byte; no prefix may parse.
+    for (size_t len = 0; len < full.size(); len += 7) {
+        const std::string trunc_path = dir.str() + "/trunc";
+        std::ofstream out(trunc_path, std::ios::binary);
+        out.write(full.data(), static_cast<std::streamsize>(len));
+        out.close();
+        RunResult loaded;
+        EXPECT_FALSE(loadCell(loaded, trunc_path, 7))
+            << "prefix of " << len << " bytes parsed as a full cell";
+    }
+}
+
+TEST(CellCache, CorruptedOrTransposedTagsAreAMiss)
+{
+    TempCacheDir dir;
+    const std::string path = dir.str() + "/cell";
+    ASSERT_TRUE(saveCell(sampleResult(), path, 7));
+    std::ifstream in(path, std::ios::binary);
+    std::string full((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+
+    const auto write_variant = [&](const std::string &text) {
+        const std::string p = dir.str() + "/bad";
+        std::ofstream out(p, std::ios::binary);
+        out << text;
+        out.close();
+        return p;
+    };
+
+    // A misspelled tag: the legacy parser would have scanned right past.
+    std::string bad = full;
+    bad.replace(bad.find("stats"), 5, "stuts");
+    RunResult loaded;
+    EXPECT_FALSE(loadCell(loaded, write_variant(bad), 7));
+
+    // Transposed lines: dynbc where stats belongs.
+    bad = full;
+    const size_t stats_at = bad.find("stats");
+    const size_t dynbc_at = bad.find("dynbc");
+    ASSERT_NE(stats_at, std::string::npos);
+    ASSERT_NE(dynbc_at, std::string::npos);
+    bad.replace(stats_at, 5, "dynbc");
+    bad.replace(dynbc_at, 5, "stats");
+    EXPECT_FALSE(loadCell(loaded, write_variant(bad), 7));
+
+    // An absurd blob length must be bounded, not allocated.
+    bad = full;
+    const size_t out_at = bad.find("output ");
+    bad.replace(out_at, bad.find('\n', out_at) - out_at,
+                "output 99999999999999");
+    EXPECT_FALSE(loadCell(loaded, write_variant(bad), 7));
+
+    // Wrong format version.
+    bad = full;
+    bad.replace(0, bad.find(' '), "tarch-cell-v0");
+    EXPECT_FALSE(loadCell(loaded, write_variant(bad), 7));
+}
+
+// ---------------------------------------------------------------------
+// Sweep-level behaviour.
+
+std::vector<BenchmarkInfo>
+tinySuite()
+{
+    return {tinyBenchmark("tiny-loop", kLoopSrc),
+            tinyBenchmark("tiny-sum", kSumSrc)};
+}
+
+TEST(SweepCache, ColdThenWarmThenPerScriptInvalidation)
+{
+    TempCacheDir dir;
+    SweepOptions opts;
+    opts.cacheDir = dir.str();
+    opts.jobs = 2;
+    std::vector<BenchmarkInfo> suite = tinySuite();
+
+    const Sweep cold = runSweep(Engine::Lua, opts, suite);
+    EXPECT_EQ(cold.simulatedCells, 6u);
+    EXPECT_EQ(cold.loadedCells, 0u);
+
+    const Sweep warm = runSweep(Engine::Lua, opts, suite);
+    EXPECT_EQ(warm.simulatedCells, 0u);
+    EXPECT_EQ(warm.loadedCells, 6u);
+    ASSERT_EQ(warm.results.size(), cold.results.size());
+    for (size_t b = 0; b < cold.results.size(); ++b)
+        for (size_t v = 0; v < 3; ++v)
+            expectSameResult(cold.results[b][v], warm.results[b][v]);
+
+    // Editing one script must invalidate exactly its own 3 cells.
+    suite[1].source = "local s = 1\nfor i = 1, 50 do s = s + i end\n"
+                      "print(s)\n";
+    const Sweep edited = runSweep(Engine::Lua, opts, suite);
+    EXPECT_EQ(edited.simulatedCells, 3u);
+    EXPECT_EQ(edited.loadedCells, 3u);
+    for (size_t v = 0; v < 3; ++v)
+        expectSameResult(cold.results[0][v], edited.results[0][v]);
+}
+
+TEST(SweepCache, ForceColdIgnoresCells)
+{
+    TempCacheDir dir;
+    SweepOptions opts;
+    opts.cacheDir = dir.str();
+    const std::vector<BenchmarkInfo> suite = tinySuite();
+    runSweep(Engine::Lua, opts, suite);
+    opts.forceCold = true;
+    const Sweep cold = runSweep(Engine::Lua, opts, suite);
+    EXPECT_EQ(cold.simulatedCells, 6u);
+    EXPECT_EQ(cold.loadedCells, 0u);
+}
+
+TEST(SweepCache, CorruptedCellFallsBackToResimulation)
+{
+    TempCacheDir dir;
+    SweepOptions opts;
+    opts.cacheDir = dir.str();
+    const std::vector<BenchmarkInfo> suite = tinySuite();
+    const Sweep cold = runSweep(Engine::Lua, opts, suite);
+
+    // Truncate one cell mid-file; only that cell may re-simulate.
+    const std::string victim = cellPath(dir.str(), Engine::Lua,
+                                        "tiny-loop", vm::Variant::Typed);
+    ASSERT_TRUE(fs::exists(victim));
+    fs::resize_file(victim, fs::file_size(victim) / 2);
+
+    const Sweep repaired = runSweep(Engine::Lua, opts, suite);
+    EXPECT_EQ(repaired.simulatedCells, 1u);
+    EXPECT_EQ(repaired.loadedCells, 5u);
+    for (size_t b = 0; b < cold.results.size(); ++b)
+        for (size_t v = 0; v < 3; ++v)
+            expectSameResult(cold.results[b][v], repaired.results[b][v]);
+}
+
+TEST(SweepCache, ParallelSweepEqualsSerialCellForCell)
+{
+    SweepOptions serial_opts;
+    serial_opts.useCache = false;
+    serial_opts.jobs = 1;
+    SweepOptions parallel_opts;
+    parallel_opts.useCache = false;
+    parallel_opts.jobs = 4;
+    const std::vector<BenchmarkInfo> suite = tinySuite();
+
+    for (const Engine engine : {Engine::Lua, Engine::Js}) {
+        const Sweep serial = runSweep(engine, serial_opts, suite);
+        const Sweep parallel = runSweep(engine, parallel_opts, suite);
+        ASSERT_EQ(serial.results.size(), parallel.results.size());
+        for (size_t b = 0; b < serial.results.size(); ++b)
+            for (size_t v = 0; v < 3; ++v)
+                expectSameResult(serial.results[b][v],
+                                 parallel.results[b][v]);
+    }
+}
+
+TEST(SweepCache, FailedCellReportedAfterSweepCompletes)
+{
+    TempCacheDir dir;
+    SweepOptions opts;
+    opts.cacheDir = dir.str();
+    opts.jobs = 2;
+    std::vector<BenchmarkInfo> suite = tinySuite();
+    suite.push_back(tinyBenchmark("tiny-broken", "print(\n"));
+
+    try {
+        runSweep(Engine::Lua, opts, suite);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string what = e.what();
+        // All three broken cells named, engine-qualified.
+        EXPECT_NE(what.find("3 of 9"), std::string::npos) << what;
+        EXPECT_NE(what.find("MiniLua/tiny-broken/baseline"),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find("MiniLua/tiny-broken/typed"),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find("MiniLua/tiny-broken/checked-load"),
+                  std::string::npos)
+            << what;
+    }
+    // The healthy cells still ran to completion (and were cached).
+    RunResult loaded;
+    EXPECT_TRUE(loadCell(
+        loaded,
+        cellPath(dir.str(), Engine::Lua, "tiny-loop",
+                 vm::Variant::Baseline),
+        cellKey(Engine::Lua, tinySuite()[0], vm::Variant::Baseline)));
+    EXPECT_EQ(loaded.output, "20100\n");
+}
+
+TEST(SweepCache, KeyCoversSourceEngineAndVariant)
+{
+    const BenchmarkInfo a = tinyBenchmark("t", kLoopSrc);
+    BenchmarkInfo b = a;
+    b.source += "-- comment\n";
+    EXPECT_NE(cellKey(Engine::Lua, a, vm::Variant::Typed),
+              cellKey(Engine::Lua, b, vm::Variant::Typed));
+    EXPECT_NE(cellKey(Engine::Lua, a, vm::Variant::Typed),
+              cellKey(Engine::Js, a, vm::Variant::Typed));
+    EXPECT_NE(cellKey(Engine::Lua, a, vm::Variant::Typed),
+              cellKey(Engine::Lua, a, vm::Variant::Baseline));
+    EXPECT_EQ(cellKey(Engine::Lua, a, vm::Variant::Typed),
+              cellKey(Engine::Lua, a, vm::Variant::Typed));
+}
+
+} // namespace
+} // namespace tarch::harness

@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -20,9 +21,9 @@
 #include <mutex>
 #include <sstream>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/strutil.h"
 #include "fuzz/oracle.h"
 #include "fuzz/progen.h"
@@ -59,18 +60,31 @@ usage(const char *argv0)
     std::exit(2);
 }
 
+/** Parse a full decimal u64; malformed text is a usage error, not a
+    std::invalid_argument crash. */
+bool
+parseU64(const std::string &text, uint64_t &value)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long n = std::strtoull(text.c_str(), &end, 10);
+    if (errno != 0 || end != text.c_str() + text.size())
+        return false;
+    value = n;
+    return true;
+}
+
 bool
 parseSeedRange(const std::string &text, uint64_t &begin, uint64_t &end)
 {
     const size_t dots = text.find("..");
     if (dots == std::string::npos)
         return false;
-    try {
-        begin = std::stoull(text.substr(0, dots));
-        end = std::stoull(text.substr(dots + 2));
-    } catch (...) {
+    if (!parseU64(text.substr(0, dots), begin) ||
+        !parseU64(text.substr(dots + 2), end))
         return false;
-    }
     return end > begin;
 }
 
@@ -85,26 +99,51 @@ parseArgs(int argc, char **argv)
                 usage(argv[0]);
             return argv[++i];
         };
-        if (arg == "--seeds") {
-            if (!parseSeedRange(next(), opts.seedBegin, opts.seedEnd))
+        // Malformed numeric values are usage errors (exit 2), never
+        // uncaught std::invalid_argument crashes.
+        const auto nextU64 = [&](const char *flag) -> uint64_t {
+            const std::string text = next();
+            uint64_t value;
+            if (!parseU64(text, value)) {
+                std::fprintf(stderr, "%s: bad %s value '%s'\n", argv[0],
+                             flag, text.c_str());
                 usage(argv[0]);
+            }
+            return value;
+        };
+        if (arg == "--seeds") {
+            const std::string range = next();
+            if (!parseSeedRange(range, opts.seedBegin, opts.seedEnd)) {
+                std::fprintf(stderr,
+                             "%s: bad --seeds range '%s' (want A..B "
+                             "with B > A)\n",
+                             argv[0], range.c_str());
+                usage(argv[0]);
+            }
         } else if (arg == "--jobs") {
-            opts.jobs = static_cast<unsigned>(std::stoul(next()));
+            const uint64_t n = nextU64("--jobs");
+            if (n == 0 || n > 4096) {
+                std::fprintf(stderr, "%s: --jobs must be in 1..4096\n",
+                             argv[0]);
+                usage(argv[0]);
+            }
+            opts.jobs = static_cast<unsigned>(n);
         } else if (arg == "--out") {
             opts.outDir = next();
         } else if (arg == "--replay") {
             opts.replayFile = next();
         } else if (arg == "--dump-seed") {
             opts.haveDumpSeed = true;
-            opts.dumpSeed = std::stoull(next());
+            opts.dumpSeed = nextU64("--dump-seed");
         } else if (arg == "--no-shrink") {
             opts.shrink = false;
         } else if (arg == "--quiet") {
             opts.quiet = true;
         } else if (arg == "--max-failures") {
-            opts.maxFailures = static_cast<unsigned>(std::stoul(next()));
+            opts.maxFailures =
+                static_cast<unsigned>(nextU64("--max-failures"));
         } else if (arg == "--max-instructions") {
-            opts.oracle.maxInstructions = std::stoull(next());
+            opts.oracle.maxInstructions = nextU64("--max-instructions");
         } else {
             usage(argv[0]);
         }
@@ -188,9 +227,7 @@ writeRepro(const CliOptions &opts, const Failure &failure)
 int
 runFuzzCampaign(const CliOptions &opts)
 {
-    const unsigned jobs =
-        opts.jobs ? opts.jobs
-                  : std::max(1u, std::thread::hardware_concurrency());
+    const unsigned jobs = tarch::resolveJobs(opts.jobs);
 
     // Fail before the campaign, not at the moment a reproducer needs
     // saving, if the output directory cannot exist.
@@ -202,19 +239,19 @@ runFuzzCampaign(const CliOptions &opts)
         return 2;
     }
 
-    std::atomic<uint64_t> nextSeed{opts.seedBegin};
     std::atomic<uint64_t> cleanCount{0};
     std::atomic<uint64_t> skippedCount{0};
     std::atomic<bool> stop{false};
     std::mutex mu; // guards failures + stdout
     std::vector<Failure> failures;
 
-    const auto worker = [&]() {
-        while (!stop.load(std::memory_order_relaxed)) {
-            const uint64_t seed =
-                nextSeed.fetch_add(1, std::memory_order_relaxed);
-            if (seed >= opts.seedEnd)
+    // One task per seed on the shared work-queue executor; --max-failures
+    // flips `stop` and the remaining seeds become no-ops.
+    tarch::parallelFor(
+        opts.seedEnd - opts.seedBegin, jobs, [&](size_t index) {
+            if (stop.load(std::memory_order_relaxed))
                 return;
+            const uint64_t seed = opts.seedBegin + index;
             const std::string program = fuzz::generateProgram(seed);
             const fuzz::OracleResult result =
                 fuzz::runOracle(program, opts.oracle);
@@ -227,7 +264,7 @@ runFuzzCampaign(const CliOptions &opts)
                              "reference rejects: %s\n",
                              (unsigned long long)seed,
                              result.referenceError.c_str());
-                continue;
+                return;
             }
             if (result.clean()) {
                 const uint64_t done = ++cleanCount;
@@ -237,7 +274,7 @@ runFuzzCampaign(const CliOptions &opts)
                                 (unsigned long long)done);
                     std::fflush(stdout);
                 }
-                continue;
+                return;
             }
 
             Failure failure;
@@ -275,14 +312,7 @@ runFuzzCampaign(const CliOptions &opts)
             failures.push_back(std::move(failure));
             if (failures.size() >= opts.maxFailures)
                 stop.store(true, std::memory_order_relaxed);
-        }
-    };
-
-    std::vector<std::thread> pool;
-    for (unsigned i = 0; i < jobs; ++i)
-        pool.emplace_back(worker);
-    for (std::thread &t : pool)
-        t.join();
+        });
 
     std::printf("\n%llu/%llu seeds clean, %llu skipped, %zu divergent",
                 (unsigned long long)cleanCount.load(),
