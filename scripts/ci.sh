@@ -3,18 +3,25 @@
 # differential-fuzz smoke run.
 #
 # Usage:
-#   scripts/ci.sh              # build + ctest + 200-seed fuzz smoke
+#   scripts/ci.sh              # build + verify + ctest + fuzz/cache smoke
 #   scripts/ci.sh --sanitize   # same, instrumented with ASan+UBSan
+#   TARCH_SANITIZE=thread scripts/ci.sh   # any sanitizer list by env var
 #
-# Exits nonzero if the build breaks, any test fails, or the fuzzer
-# finds a divergence / stats-invariant violation (reproducers land in
-# $BUILD_DIR/fuzz-smoke).
+# In addition to the full-suite run, the default configuration always
+# race-checks the parallel sweep executor (a dedicated TSan build of
+# test_sweep_cache + the parallel-executor tests) and clang-tidies
+# src/analysis/ + src/common/ when clang-tidy is installed.
+#
+# Exits nonzero if the build breaks, the static verifier finds an
+# error-severity issue in any generated interpreter image, any test
+# fails, or the fuzzer finds a divergence / stats-invariant violation
+# (reproducers land in $BUILD_DIR/fuzz-smoke).
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-SANITIZE=""
+SANITIZE="${TARCH_SANITIZE:-}"
 if [[ "${1:-}" == "--sanitize" ]]; then
     SANITIZE="address,undefined"
     shift
@@ -35,8 +42,36 @@ cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 echo "== build"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
+# Static verification first: a typed-state protocol regression in a
+# generated interpreter fails here in seconds, before any simulation.
+echo "== static verifier (6 generated images)"
+for engine in lua js; do
+    for variant in baseline typed chkld; do
+        "$BUILD_DIR/tools/tarch_verify" --engine "$engine" \
+            --variant "$variant" --quiet
+    done
+done
+
 echo "== tier-1 tests"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+if [[ -z "$SANITIZE" ]]; then
+    echo "== ThreadSanitizer (parallel executor + sweep cache)"
+    TSAN_DIR="${BUILD_DIR}-tsan"
+    cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          -DTARCH_SANITIZE=thread
+    cmake --build "$TSAN_DIR" -j "$JOBS" \
+          --target test_sweep_cache test_common
+    ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" \
+          -R 'SweepCache|CellCache|Parallel'
+fi
+
+if command -v clang-tidy > /dev/null 2>&1; then
+    echo "== clang-tidy (src/analysis, src/common)"
+    clang-tidy -p "$BUILD_DIR" src/analysis/*.cc src/common/*.cc
+else
+    echo "== clang-tidy not installed; skipping lint step"
+fi
 
 echo "== differential fuzz smoke (seeds $FUZZ_SEEDS)"
 rm -rf "$BUILD_DIR/fuzz-smoke"

@@ -1,0 +1,352 @@
+#include "analysis/cfg.h"
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+
+#include "common/strutil.h"
+#include "isa/disasm.h"
+#include "isa/encoding.h"
+
+namespace tarch::analysis {
+
+using isa::Instr;
+using isa::Opcode;
+
+namespace {
+
+/** Control-flow class of one instruction. */
+enum class FlowKind : uint8_t {
+    Plain,     ///< fallthrough only
+    CondBr,    ///< target + fallthrough
+    Jump,      ///< jal rd=x0: target only
+    Call,      ///< jal rd!=x0: target; next instruction is a return site
+    Ret,       ///< jalr rd=x0, rs1=ra: every call-return site
+    Jr,        ///< other jalr rd=x0: every indirect seed
+    JrCall,    ///< jalr rd!=x0: seeds; next instruction is a return site
+    Thdl,      ///< target + fallthrough (deopt may redirect immediately)
+    TypeCheck, ///< fallthrough + every thdl target (miss goes to R_hdl)
+    Stop,      ///< halt / sys 0: no successors
+};
+
+struct FlowInfo {
+    FlowKind kind = FlowKind::Plain;
+    uint64_t target = 0; ///< valid for CondBr/Jump/Call/Thdl
+    bool targetValid = false;
+};
+
+bool
+isTypeCheckOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::XADD:
+      case Opcode::XSUB:
+      case Opcode::XMUL:
+      case Opcode::TCHK:
+      case Opcode::CHKLB:
+      case Opcode::CHKLH:
+      case Opcode::CHKLD:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+sameInstr(const Instr &a, const Instr &b)
+{
+    return a.op == b.op && a.rd == b.rd && a.rs1 == b.rs1 &&
+           a.rs2 == b.rs2 && a.imm == b.imm;
+}
+
+} // namespace
+
+std::string
+Cfg::locate(uint64_t pc) const
+{
+    const auto it = std::upper_bound(
+        textLabels.begin(), textLabels.end(), pc,
+        [](uint64_t value, const auto &entry) { return value < entry.first; });
+    if (it == textLabels.begin())
+        return strformat("0x%llx", static_cast<unsigned long long>(pc));
+    const auto &[addr, name] = *std::prev(it);
+    if (addr == pc)
+        return name;
+    return strformat("%s+0x%llx", name.c_str(),
+                     static_cast<unsigned long long>(pc - addr));
+}
+
+std::string
+Cfg::describeInstr(size_t index) const
+{
+    return isa::disassemble(prog->text[index]);
+}
+
+Cfg
+buildCfg(const assembler::Program &prog, Report &report)
+{
+    Cfg cfg;
+    cfg.prog = &prog;
+
+    for (const auto &[name, addr] : prog.symbols)
+        if (addr >= prog.textBase && addr < cfg.textEnd())
+            cfg.textLabels.emplace_back(addr, name);
+    std::sort(cfg.textLabels.begin(), cfg.textLabels.end());
+
+    const size_t n = prog.text.size();
+    const auto finding = [&](Severity sev, const std::string &check, size_t i,
+                             const std::string &msg) {
+        const uint64_t pc = prog.pcAt(i);
+        report.findings.push_back({sev, check, pc, cfg.describeInstr(i),
+                                   cfg.locate(pc), msg, ""});
+    };
+
+    // ------------------------------------------------------------------
+    // Pass 1: classify every instruction, validate encodings and direct
+    // targets, collect thdl targets / indirect seeds / return sites.
+    std::vector<FlowInfo> flow(n);
+    std::vector<uint64_t> returnSites;
+    bool hasRet = false;
+    for (size_t i = 0; i < n; ++i) {
+        const Instr &instr = prog.text[i];
+        const uint64_t pc = prog.pcAt(i);
+
+        const auto word = isa::encode(instr);
+        if (!word) {
+            finding(Severity::Error, "decode", i,
+                    "instruction does not encode (operand or immediate "
+                    "out of range for its format)");
+        } else if (const auto back = isa::decode(*word);
+                   !back || !sameInstr(*back, instr)) {
+            finding(Severity::Error, "decode", i,
+                    "instruction does not survive an encode/decode "
+                    "round-trip");
+        }
+
+        FlowInfo &fi = flow[i];
+        const auto directTarget = [&](const char *what) {
+            fi.target = pc + static_cast<uint64_t>(instr.imm);
+            fi.targetValid = cfg.inText(fi.target);
+            if (!fi.targetValid)
+                finding(Severity::Error, "cfg", i,
+                        strformat("%s target 0x%llx is %s "
+                                  "[0x%llx, 0x%llx)",
+                                  what,
+                                  (unsigned long long)fi.target,
+                                  fi.target % 4 != 0
+                                      ? "not word-aligned within"
+                                      : "outside the text region",
+                                  (unsigned long long)prog.textBase,
+                                  (unsigned long long)cfg.textEnd()));
+        };
+
+        if (isa::isCondBranch(instr.op)) {
+            fi.kind = FlowKind::CondBr;
+            directTarget("branch");
+        } else if (instr.op == Opcode::JAL) {
+            fi.kind = instr.rd == 0 ? FlowKind::Jump : FlowKind::Call;
+            directTarget("jump");
+            if (fi.kind == FlowKind::Call && i + 1 < n)
+                returnSites.push_back(prog.pcAt(i + 1));
+        } else if (instr.op == Opcode::JALR) {
+            if (instr.rd == 0 && instr.rs1 == isa::reg::ra) {
+                fi.kind = FlowKind::Ret;
+                hasRet = true;
+            } else {
+                fi.kind = instr.rd == 0 ? FlowKind::Jr : FlowKind::JrCall;
+                cfg.hasIndirectJumps = true;
+                if (fi.kind == FlowKind::JrCall && i + 1 < n)
+                    returnSites.push_back(prog.pcAt(i + 1));
+            }
+        } else if (instr.op == Opcode::THDL) {
+            fi.kind = FlowKind::Thdl;
+            directTarget("thdl handler");
+            if (fi.targetValid)
+                cfg.thdlTargets.push_back(fi.target);
+        } else if (isTypeCheckOp(instr.op)) {
+            fi.kind = FlowKind::TypeCheck;
+        } else if (instr.op == Opcode::HALT ||
+                   (instr.op == Opcode::SYS && instr.imm == 0)) {
+            fi.kind = FlowKind::Stop;
+        }
+    }
+    std::sort(cfg.thdlTargets.begin(), cfg.thdlTargets.end());
+    cfg.thdlTargets.erase(
+        std::unique(cfg.thdlTargets.begin(), cfg.thdlTargets.end()),
+        cfg.thdlTargets.end());
+
+    // ------------------------------------------------------------------
+    // Indirect-jump seeds: the explicit directive wins; otherwise scan
+    // the data section for the dispatch-table idiom (8-aligned dwords
+    // holding word-aligned text addresses).
+    if (!prog.verifiedIndirectTargets.empty()) {
+        cfg.indirectFromDirective = true;
+        for (const uint64_t target : prog.verifiedIndirectTargets) {
+            if (!cfg.inText(target)) {
+                report.findings.push_back(
+                    {Severity::Error, "cfg", target, "",
+                     strformat("0x%llx", (unsigned long long)target),
+                     ".verify_indirect_targets entry is not a "
+                     "word-aligned text address",
+                     ""});
+                continue;
+            }
+            cfg.indirectTargets.push_back(target);
+        }
+    } else {
+        for (size_t off = 0; off + 8 <= prog.data.size(); off += 8) {
+            uint64_t value = 0;
+            std::memcpy(&value, prog.data.data() + off, 8);
+            if (cfg.inText(value))
+                cfg.indirectTargets.push_back(value);
+        }
+    }
+    std::sort(cfg.indirectTargets.begin(), cfg.indirectTargets.end());
+    cfg.indirectTargets.erase(
+        std::unique(cfg.indirectTargets.begin(), cfg.indirectTargets.end()),
+        cfg.indirectTargets.end());
+
+    if (cfg.hasIndirectJumps && cfg.indirectTargets.empty()) {
+        report.findings.push_back(
+            {Severity::Warning, "cfg", prog.textBase, "",
+             cfg.locate(prog.textBase),
+             "image contains indirect jumps but no indirect-target seeds "
+             "(no .verify_indirect_targets directive and no dispatch-table "
+             "data words); their successors are unknown",
+             ""});
+    }
+    if (hasRet && returnSites.empty() && n != 0) {
+        report.findings.push_back(
+            {Severity::Note, "cfg", prog.textBase, "",
+             cfg.locate(prog.textBase),
+             "image contains a `ret` but no call sites; the return has no "
+             "modeled successors",
+             ""});
+    }
+
+    // ------------------------------------------------------------------
+    // Leaders.
+    std::vector<char> leader(n, 0);
+    const auto markLeader = [&](uint64_t pc) {
+        if (const auto idx = cfg.indexOf(pc))
+            leader[*idx] = 1;
+    };
+    if (n != 0)
+        leader[0] = 1;
+    markLeader(prog.entry);
+    for (size_t i = 0; i < n; ++i) {
+        const FlowInfo &fi = flow[i];
+        if (fi.targetValid)
+            markLeader(fi.target);
+        if (fi.kind != FlowKind::Plain && i + 1 < n)
+            leader[i + 1] = 1;
+    }
+    for (const uint64_t pc : cfg.thdlTargets)
+        markLeader(pc);
+    for (const uint64_t pc : cfg.indirectTargets)
+        markLeader(pc);
+    for (const uint64_t pc : returnSites)
+        markLeader(pc);
+
+    // ------------------------------------------------------------------
+    // Blocks and edges.
+    cfg.blockOf.assign(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+        if (leader[i]) {
+            Block b;
+            b.first = i;
+            cfg.blocks.push_back(b);
+        }
+        Block &current = cfg.blocks.back();
+        cfg.blockOf[i] = cfg.blocks.size() - 1;
+        ++current.count;
+    }
+
+    const auto blockAt = [&](uint64_t pc) -> std::optional<size_t> {
+        const auto idx = cfg.indexOf(pc);
+        if (!idx)
+            return std::nullopt;
+        return cfg.blockOf[*idx];
+    };
+    const auto addEdge = [&](size_t from, uint64_t targetPc) {
+        if (const auto to = blockAt(targetPc))
+            cfg.blocks[from].succs.push_back(*to);
+    };
+
+    for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+        Block &block = cfg.blocks[b];
+        const size_t last = block.first + block.count - 1;
+        const FlowInfo &fi = flow[last];
+        const uint64_t fallPc = prog.pcAt(last + 1);
+        bool fallthrough = false;
+        switch (fi.kind) {
+          case FlowKind::Plain:
+            fallthrough = true;
+            break;
+          case FlowKind::CondBr:
+          case FlowKind::Thdl:
+            fallthrough = true;
+            if (fi.targetValid)
+                addEdge(b, fi.target);
+            break;
+          case FlowKind::Jump:
+          case FlowKind::Call:
+            if (fi.targetValid)
+                addEdge(b, fi.target);
+            break;
+          case FlowKind::Ret:
+            for (const uint64_t pc : returnSites)
+                addEdge(b, pc);
+            break;
+          case FlowKind::Jr:
+          case FlowKind::JrCall:
+            for (const uint64_t pc : cfg.indirectTargets)
+                addEdge(b, pc);
+            break;
+          case FlowKind::TypeCheck:
+            fallthrough = true;
+            for (const uint64_t pc : cfg.thdlTargets)
+                addEdge(b, pc);
+            break;
+          case FlowKind::Stop:
+            break;
+        }
+        if (fallthrough) {
+            if (last + 1 >= n) {
+                finding(Severity::Error, "cfg", last,
+                        "execution falls through past the end of the "
+                        "text region");
+            } else {
+                addEdge(b, fallPc);
+            }
+        }
+        std::sort(block.succs.begin(), block.succs.end());
+        block.succs.erase(
+            std::unique(block.succs.begin(), block.succs.end()),
+            block.succs.end());
+    }
+    for (size_t b = 0; b < cfg.blocks.size(); ++b)
+        for (const size_t s : cfg.blocks[b].succs)
+            cfg.blocks[s].preds.push_back(b);
+
+    // ------------------------------------------------------------------
+    // Reachability from the entry block.
+    if (n != 0) {
+        cfg.entryBlock = blockAt(prog.entry).value_or(0);
+        std::deque<size_t> work{cfg.entryBlock};
+        cfg.blocks[cfg.entryBlock].reachable = true;
+        while (!work.empty()) {
+            const size_t b = work.front();
+            work.pop_front();
+            for (const size_t s : cfg.blocks[b].succs) {
+                if (!cfg.blocks[s].reachable) {
+                    cfg.blocks[s].reachable = true;
+                    work.push_back(s);
+                }
+            }
+        }
+    }
+    return cfg;
+}
+
+} // namespace tarch::analysis

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Basic-block control-flow graph over an assembled Program.
+ *
+ * Leaders: the entry point, every direct branch / jal / thdl target,
+ * every indirect-jump seed, every call-return site, and the
+ * instruction after any block-ending instruction.  Edges:
+ *
+ *   - conditional branch      -> { target, fallthrough }
+ *   - jal rd=x0 (plain jump)  -> { target }
+ *   - jal rd!=x0 (call)       -> { target }; the next instruction is
+ *                                recorded as a call-return site
+ *   - jalr rs1=ra, rd=x0      -> every call-return site (function
+ *                                return; interprocedural approximation)
+ *   - other jalr              -> every indirect-jump seed (dispatch
+ *                                `jr`); rd!=x0 also records a return
+ *                                site
+ *   - thdl                    -> { fallthrough, its own target } (the
+ *                                deopt selector may redirect
+ *                                immediately on execution)
+ *   - xadd/xsub/xmul/tchk and chklb/chklh/chkld
+ *                             -> { fallthrough } plus every thdl
+ *                                target in the image (type-miss
+ *                                redirect goes through R_hdl)
+ *   - halt, `sys 0` (exit)    -> no successors
+ *   - everything else         -> { fallthrough }
+ *
+ * Indirect-jump seeds come from the `.verify_indirect_targets`
+ * assembler directive when the image carries one; otherwise every
+ * 8-aligned data dword whose value is a word-aligned text address is
+ * treated as a dispatch-table entry (the generated interpreters'
+ * jumptable idiom).
+ *
+ * Construction also performs the structural checks that do not need
+ * dataflow: encode/decode round-trip of every instruction, direct
+ * targets inside [textBase, textEnd) and word-aligned, and no
+ * fallthrough past the end of .text.
+ */
+
+#ifndef TARCH_ANALYSIS_CFG_H
+#define TARCH_ANALYSIS_CFG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/report.h"
+#include "assembler/assembler.h"
+
+namespace tarch::analysis {
+
+struct Block {
+    size_t first = 0; ///< index of the first instruction
+    size_t count = 0;
+    std::vector<size_t> succs; ///< successor block ids
+    std::vector<size_t> preds;
+    bool reachable = false;
+};
+
+struct Cfg {
+    const assembler::Program *prog = nullptr;
+    std::vector<Block> blocks;
+    std::vector<size_t> blockOf;           ///< instruction index -> block id
+    std::vector<uint64_t> indirectTargets; ///< indirect-jump seed PCs
+    std::vector<uint64_t> thdlTargets;     ///< every thdl handler target PC
+    bool indirectFromDirective = false;
+    bool hasIndirectJumps = false; ///< a non-return jalr exists
+    size_t entryBlock = 0;
+
+    /** Text labels sorted by address (for nearest-label lookup). */
+    std::vector<std::pair<uint64_t, std::string>> textLabels;
+
+    uint64_t textEnd() const
+    {
+        return prog->textBase + 4 * prog->text.size();
+    }
+    bool inText(uint64_t pc) const
+    {
+        return pc >= prog->textBase && pc < textEnd() && pc % 4 == 0;
+    }
+    std::optional<size_t> indexOf(uint64_t pc) const
+    {
+        if (!inText(pc))
+            return std::nullopt;
+        return static_cast<size_t>((pc - prog->textBase) / 4);
+    }
+
+    /** "label+0x8" for the nearest preceding text label, else hex. */
+    std::string locate(uint64_t pc) const;
+
+    /** Disassembly of the instruction at @p index. */
+    std::string describeInstr(size_t index) const;
+};
+
+/**
+ * Build the CFG for @p prog, reporting structural findings (decode
+ * round-trip failures, bad direct targets, fallthrough off the end of
+ * text, indirect jumps with no seeds) into @p report.
+ */
+Cfg buildCfg(const assembler::Program &prog, Report &report);
+
+} // namespace tarch::analysis
+
+#endif // TARCH_ANALYSIS_CFG_H

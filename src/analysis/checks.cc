@@ -1,0 +1,610 @@
+#include "analysis/checks.h"
+
+#include <array>
+#include <bitset>
+
+#include "analysis/dataflow.h"
+#include "common/bitops.h"
+#include "common/strutil.h"
+#include "isa/opcode.h"
+
+namespace tarch::analysis {
+
+using isa::Instr;
+using isa::Opcode;
+using isa::Syntax;
+
+namespace {
+
+Finding
+makeFinding(const Cfg &cfg, Severity sev, const char *check, size_t index,
+            const std::string &message, const std::string &path = "")
+{
+    const uint64_t pc = cfg.prog->pcAt(index);
+    return {sev,
+            check,
+            pc,
+            cfg.describeInstr(index),
+            cfg.locate(pc),
+            message,
+            path};
+}
+
+std::string
+mnemonic(const Instr &instr)
+{
+    return std::string(isa::opcodeInfo(instr.op).mnemonic);
+}
+
+// ---------------------------------------------------------------------
+// Typed-config reaching state.
+
+enum TypedItem : unsigned {
+    kOffset,
+    kShift,
+    kMask,
+    kTrt,
+    kHdl,
+    kExpType,
+    kNumTypedItems,
+};
+
+constexpr const char *kTypedItemName[kNumTypedItems] = {
+    "R_offset", "R_shift", "R_mask", "the TRT", "R_hdl",
+    "the expected checked-load type",
+};
+
+// Two-bit lattice per item: bit 0 = reachable unconfigured, bit 1 =
+// reachable configured.  Join is bitwise OR.
+constexpr uint8_t kNo = 1, kYes = 2;
+
+struct TypedState {
+    std::array<uint8_t, kNumTypedItems> v{};
+    bool visited = false;
+
+    bool
+    mergeFrom(const TypedState &src)
+    {
+        if (!src.visited)
+            return false;
+        if (!visited) {
+            *this = src;
+            return true;
+        }
+        bool changed = false;
+        for (unsigned i = 0; i < kNumTypedItems; ++i) {
+            const uint8_t merged = v[i] | src.v[i];
+            changed |= merged != v[i];
+            v[i] = merged;
+        }
+        return changed;
+    }
+};
+
+void
+stepTyped(TypedState &s, const Instr &instr)
+{
+    switch (instr.op) {
+      case Opcode::SETOFFSET: s.v[kOffset] = kYes; break;
+      case Opcode::SETSHIFT: s.v[kShift] = kYes; break;
+      case Opcode::SETMASK: s.v[kMask] = kYes; break;
+      case Opcode::SET_TRT: s.v[kTrt] = kYes; break;
+      case Opcode::FLUSH_TRT: s.v[kTrt] = kNo; break;
+      case Opcode::THDL: s.v[kHdl] = kYes; break;
+      case Opcode::SETTYPE: s.v[kExpType] = kYes; break;
+      default: break;
+    }
+}
+
+/** Items an instruction requires configured, empty when untyped. */
+std::vector<unsigned>
+typedRequirements(Opcode op)
+{
+    switch (op) {
+      case Opcode::TLD:
+      case Opcode::TSD:
+        return {kOffset, kShift, kMask};
+      case Opcode::XADD:
+      case Opcode::XSUB:
+      case Opcode::XMUL:
+      case Opcode::TCHK:
+        return {kHdl, kTrt};
+      case Opcode::CHKLB:
+      case Opcode::CHKLH:
+      case Opcode::CHKLD:
+        return {kHdl, kExpType};
+      default:
+        return {};
+    }
+}
+
+} // namespace
+
+void
+checkTypedState(const Cfg &cfg, Report &report)
+{
+    const assembler::Program &prog = *cfg.prog;
+    TypedState entry;
+    entry.visited = true;
+    entry.v.fill(kNo);
+
+    const auto transfer = [&](size_t b, TypedState s) {
+        const Block &block = cfg.blocks[b];
+        for (size_t i = block.first; i < block.first + block.count; ++i)
+            stepTyped(s, prog.text[i]);
+        return s;
+    };
+    const std::vector<TypedState> in =
+        solveForward<TypedState>(cfg, entry, transfer);
+
+    // Predecessor OUT states, for blaming the path that left an item
+    // unconfigured.
+    std::vector<TypedState> out(cfg.blocks.size());
+    for (size_t b = 0; b < cfg.blocks.size(); ++b)
+        if (cfg.blocks[b].reachable)
+            out[b] = transfer(b, in[b]);
+
+    for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+        const Block &block = cfg.blocks[b];
+        if (!block.reachable)
+            continue;
+        TypedState s = in[b];
+        // Index of an in-block instruction that unset the item (the
+        // only in-block unset is flush_trt).
+        std::array<size_t, kNumTypedItems> unsetAt;
+        unsetAt.fill(SIZE_MAX);
+        for (size_t i = block.first; i < block.first + block.count; ++i) {
+            const Instr &instr = prog.text[i];
+            std::vector<unsigned> bad;
+            for (const unsigned item : typedRequirements(instr.op))
+                if (s.v[item] != kYes)
+                    bad.push_back(item);
+            if (!bad.empty()) {
+                std::string what;
+                for (size_t k = 0; k < bad.size(); ++k) {
+                    if (k)
+                        what += bad.size() == 2 ? " and "
+                                                : (k + 1 == bad.size()
+                                                       ? ", and "
+                                                       : ", ");
+                    what += kTypedItemName[bad[k]];
+                }
+                std::string path;
+                const unsigned item = bad.front();
+                if (unsetAt[item] != SIZE_MAX) {
+                    path = strformat(
+                        "unset earlier in this block by `%s` at %s",
+                        cfg.describeInstr(unsetAt[item]).c_str(),
+                        cfg.locate(prog.pcAt(unsetAt[item])).c_str());
+                } else if ((in[b].v[item] & kYes) == 0) {
+                    path = "never configured on any path from entry";
+                } else {
+                    for (const size_t p : block.preds) {
+                        if (cfg.blocks[p].reachable &&
+                            (out[p].v[item] & kNo)) {
+                            const size_t last = cfg.blocks[p].first +
+                                                cfg.blocks[p].count - 1;
+                            path = strformat(
+                                "unconfigured when reached from "
+                                "predecessor %s",
+                                cfg.locate(prog.pcAt(last)).c_str());
+                            break;
+                        }
+                    }
+                }
+                report.findings.push_back(makeFinding(
+                    cfg, Severity::Error, "typed-state", i,
+                    strformat("`%s` is reachable with %s unconfigured",
+                              mnemonic(instr).c_str(), what.c_str()),
+                    path));
+            }
+            if (instr.op == Opcode::FLUSH_TRT)
+                unsetAt[kTrt] = i;
+            stepTyped(s, instr);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Def-before-use.
+
+namespace {
+
+constexpr unsigned kFpBase = 32;
+constexpr unsigned kNumRegBits = 64;
+
+std::string
+regDisplayName(unsigned bit)
+{
+    if (bit < kFpBase)
+        return std::string(isa::gprName(bit));
+    return strformat("f%u", bit - kFpBase);
+}
+
+struct DefState {
+    std::bitset<kNumRegBits> must, may;
+    bool visited = false;
+
+    bool
+    mergeFrom(const DefState &src)
+    {
+        if (!src.visited)
+            return false;
+        if (!visited) {
+            *this = src;
+            return true;
+        }
+        const auto nmust = must & src.must;
+        const auto nmay = may | src.may;
+        const bool changed = nmust != must || nmay != may;
+        must = nmust;
+        may = nmay;
+        return changed;
+    }
+};
+
+struct RegAccess {
+    // Small fixed-capacity sets: no instruction touches more than
+    // three registers plus the modeled service-call ABI.
+    std::array<unsigned, 4> uses{};
+    std::array<unsigned, 4> defs{};
+    unsigned nUses = 0, nDefs = 0;
+
+    void use(unsigned idx, bool fp) { uses[nUses++] = idx + (fp ? kFpBase : 0); }
+    void def(unsigned idx, bool fp) { defs[nDefs++] = idx + (fp ? kFpBase : 0); }
+};
+
+RegAccess
+regAccess(const Instr &instr)
+{
+    const isa::OpcodeInfo &info = isa::opcodeInfo(instr.op);
+    RegAccess a;
+    switch (info.syntax) {
+      case Syntax::None:
+        break;
+      case Syntax::R3:
+        a.use(instr.rs1, info.fpRs1);
+        a.use(instr.rs2, info.fpRs2);
+        a.def(instr.rd, info.fpRd);
+        break;
+      case Syntax::R2:
+        a.use(instr.rs1, info.fpRs1);
+        a.def(instr.rd, info.fpRd);
+        break;
+      case Syntax::Rs1Rs2:
+        a.use(instr.rs1, info.fpRs1);
+        a.use(instr.rs2, info.fpRs2);
+        break;
+      case Syntax::Rs1:
+        a.use(instr.rs1, info.fpRs1);
+        break;
+      case Syntax::RegRegImm:
+      case Syntax::Load:
+        a.use(instr.rs1, info.fpRs1);
+        a.def(instr.rd, info.fpRd);
+        break;
+      case Syntax::Store:
+        a.use(instr.rs1, info.fpRs1);
+        a.use(instr.rs2, info.fpRs2);
+        break;
+      case Syntax::Branch:
+        a.use(instr.rs1, false);
+        a.use(instr.rs2, false);
+        break;
+      case Syntax::Jal:
+      case Syntax::UImm:
+        a.def(instr.rd, false);
+        break;
+      case Syntax::Label:
+        break;
+      case Syntax::Imm:
+        // Service-call ABI.  sys reads its argument from a0 (fa0 for
+        // the print-double service); hcall argument liveness depends
+        // on the hostcall id, so only the result registers (a0, fa0)
+        // are modeled, as defines.
+        if (instr.op == Opcode::SYS) {
+            if (instr.imm == 3)
+                a.use(10, true);
+            else
+                a.use(isa::reg::a0, false);
+        } else if (instr.op == Opcode::HCALL) {
+            a.def(isa::reg::a0, false);
+            a.def(10, true);
+        }
+        break;
+    }
+    return a;
+}
+
+} // namespace
+
+void
+checkDefUse(const Cfg &cfg, Report &report)
+{
+    const assembler::Program &prog = *cfg.prog;
+    DefState entry;
+    entry.visited = true;
+    // The ABI-defined environment at _start: x0 and the stack/global/
+    // thread pointers.  Everything else must be written before read.
+    for (const unsigned r :
+         {isa::reg::zero, isa::reg::sp, isa::reg::gp, isa::reg::tp}) {
+        entry.must.set(r);
+        entry.may.set(r);
+    }
+
+    const auto transfer = [&](size_t b, DefState s) {
+        const Block &block = cfg.blocks[b];
+        for (size_t i = block.first; i < block.first + block.count; ++i) {
+            const RegAccess a = regAccess(prog.text[i]);
+            for (unsigned k = 0; k < a.nDefs; ++k) {
+                s.must.set(a.defs[k]);
+                s.may.set(a.defs[k]);
+            }
+        }
+        return s;
+    };
+    const std::vector<DefState> in =
+        solveForward<DefState>(cfg, entry, transfer);
+
+    std::vector<DefState> out(cfg.blocks.size());
+    for (size_t b = 0; b < cfg.blocks.size(); ++b)
+        if (cfg.blocks[b].reachable)
+            out[b] = transfer(b, in[b]);
+
+    for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+        const Block &block = cfg.blocks[b];
+        if (!block.reachable)
+            continue;
+        DefState s = in[b];
+        for (size_t i = block.first; i < block.first + block.count; ++i) {
+            const RegAccess a = regAccess(prog.text[i]);
+            for (unsigned k = 0; k < a.nUses; ++k) {
+                const unsigned bit = a.uses[k];
+                if (bit == isa::reg::zero)
+                    continue;
+                if (s.must.test(bit))
+                    continue;
+                if (!s.may.test(bit)) {
+                    report.findings.push_back(makeFinding(
+                        cfg, Severity::Error, "def-use", i,
+                        strformat("read of %s, which is never written on "
+                                  "any path from entry",
+                                  regDisplayName(bit).c_str())));
+                    // Suppress the cascade: treat as defined from here.
+                    s.must.set(bit);
+                    s.may.set(bit);
+                    continue;
+                }
+                std::string path;
+                for (const size_t p : block.preds) {
+                    if (cfg.blocks[p].reachable &&
+                        !out[p].must.test(bit)) {
+                        const size_t last =
+                            cfg.blocks[p].first + cfg.blocks[p].count - 1;
+                        path = strformat("unwritten when reached from "
+                                         "predecessor %s",
+                                         cfg.locate(prog.pcAt(last)).c_str());
+                        break;
+                    }
+                }
+                report.findings.push_back(makeFinding(
+                    cfg, Severity::Warning, "def-use", i,
+                    strformat("%s may be read before it is written",
+                              regDisplayName(bit).c_str()),
+                    path));
+                s.must.set(bit);
+            }
+            for (unsigned k = 0; k < a.nDefs; ++k) {
+                s.must.set(a.defs[k]);
+                s.may.set(a.defs[k]);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// CFG sanity: unreachable blocks + constant-propagated stores into the
+// text region.
+
+namespace {
+
+/** Per-GPR constant lattice (FPRs are never store bases). */
+struct ConstState {
+    std::array<uint64_t, isa::kNumGprs> val{};
+    std::bitset<isa::kNumGprs> known;
+    bool visited = false;
+
+    bool
+    mergeFrom(const ConstState &src)
+    {
+        if (!src.visited)
+            return false;
+        if (!visited) {
+            *this = src;
+            return true;
+        }
+        bool changed = false;
+        for (unsigned r = 0; r < isa::kNumGprs; ++r) {
+            if (known.test(r) &&
+                (!src.known.test(r) || src.val[r] != val[r])) {
+                known.reset(r);
+                changed = true;
+            }
+        }
+        return changed;
+    }
+
+    void
+    set(unsigned rd, uint64_t v)
+    {
+        if (rd == isa::reg::zero)
+            return;
+        known.set(rd);
+        val[rd] = v;
+    }
+    void
+    clobber(unsigned rd)
+    {
+        if (rd != isa::reg::zero)
+            known.reset(rd);
+    }
+};
+
+void
+stepConst(ConstState &s, const Instr &instr, uint64_t pc)
+{
+    const auto rs1 = [&]() { return s.val[instr.rs1]; };
+    const bool k1 = s.known.test(instr.rs1) || instr.rs1 == isa::reg::zero;
+    const bool k2 = s.known.test(instr.rs2) || instr.rs2 == isa::reg::zero;
+    const uint64_t imm = static_cast<uint64_t>(instr.imm);
+    switch (instr.op) {
+      case Opcode::LUI: s.set(instr.rd, imm << 12); break;
+      case Opcode::AUIPC: s.set(instr.rd, pc + (imm << 12)); break;
+      case Opcode::ADDI:
+        k1 ? s.set(instr.rd, rs1() + imm) : s.clobber(instr.rd);
+        break;
+      case Opcode::ADDIW:
+        k1 ? s.set(instr.rd, static_cast<uint64_t>(static_cast<int64_t>(
+                                 static_cast<int32_t>(rs1() + imm))))
+           : s.clobber(instr.rd);
+        break;
+      case Opcode::ANDI:
+        k1 ? s.set(instr.rd, rs1() & imm) : s.clobber(instr.rd);
+        break;
+      case Opcode::ORI:
+        k1 ? s.set(instr.rd, rs1() | imm) : s.clobber(instr.rd);
+        break;
+      case Opcode::XORI:
+        k1 ? s.set(instr.rd, rs1() ^ imm) : s.clobber(instr.rd);
+        break;
+      case Opcode::SLLI:
+        k1 ? s.set(instr.rd, rs1() << (imm & 63)) : s.clobber(instr.rd);
+        break;
+      case Opcode::SRLI:
+        k1 ? s.set(instr.rd, rs1() >> (imm & 63)) : s.clobber(instr.rd);
+        break;
+      case Opcode::ADD:
+        k1 && k2 ? s.set(instr.rd, rs1() + s.val[instr.rs2])
+                 : s.clobber(instr.rd);
+        break;
+      case Opcode::SUB:
+        k1 && k2 ? s.set(instr.rd, rs1() - s.val[instr.rs2])
+                 : s.clobber(instr.rd);
+        break;
+      case Opcode::JAL:
+      case Opcode::JALR:
+        // Link value: the return address is a constant.
+        if (instr.rd != isa::reg::zero)
+            s.set(instr.rd, pc + 4);
+        break;
+      default: {
+        // Any other write invalidates the destination.
+        const RegAccess a = regAccess(instr);
+        for (unsigned k = 0; k < a.nDefs; ++k)
+            if (a.defs[k] < kFpBase)
+                s.clobber(a.defs[k]);
+        break;
+      }
+    }
+}
+
+std::optional<unsigned>
+storeSize(Opcode op)
+{
+    switch (op) {
+      case Opcode::SB: return 1;
+      case Opcode::SH: return 2;
+      case Opcode::SW: return 4;
+      case Opcode::SD:
+      case Opcode::FSD:
+      case Opcode::TSD:
+        return 8;
+      default:
+        return std::nullopt;
+    }
+}
+
+} // namespace
+
+void
+checkCfgSanity(const Cfg &cfg, Report &report)
+{
+    const assembler::Program &prog = *cfg.prog;
+
+    // Unreachable code: report the head of each unreachable run.
+    for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+        const Block &block = cfg.blocks[b];
+        if (block.reachable)
+            continue;
+        bool runHead = true;
+        for (const size_t p : block.preds)
+            if (!cfg.blocks[p].reachable)
+                runHead = false;
+        if (!runHead)
+            continue;
+        size_t total = block.count;
+        for (size_t nb = b + 1;
+             nb < cfg.blocks.size() && !cfg.blocks[nb].reachable; ++nb)
+            total += cfg.blocks[nb].count;
+        report.findings.push_back(makeFinding(
+            cfg, Severity::Warning, "cfg", block.first,
+            strformat("unreachable code (%zu instruction(s) with no path "
+                      "from entry)",
+                      total)));
+    }
+
+    // Stores into text, by light constant propagation over addresses.
+    ConstState entry;
+    entry.visited = true;
+    const auto transfer = [&](size_t b, ConstState s) {
+        const Block &block = cfg.blocks[b];
+        for (size_t i = block.first; i < block.first + block.count; ++i)
+            stepConst(s, prog.text[i], prog.pcAt(i));
+        return s;
+    };
+    const std::vector<ConstState> in =
+        solveForward<ConstState>(cfg, entry, transfer);
+
+    for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+        const Block &block = cfg.blocks[b];
+        if (!block.reachable)
+            continue;
+        ConstState s = in[b];
+        for (size_t i = block.first; i < block.first + block.count; ++i) {
+            const Instr &instr = prog.text[i];
+            const auto size = storeSize(instr.op);
+            if (size &&
+                (s.known.test(instr.rs1) || instr.rs1 == isa::reg::zero)) {
+                const uint64_t addr =
+                    s.val[instr.rs1] + static_cast<uint64_t>(instr.imm);
+                if (addr < cfg.textEnd() &&
+                    addr + *size > prog.textBase) {
+                    report.findings.push_back(makeFinding(
+                        cfg, Severity::Error, "cfg", i,
+                        strformat("store to 0x%llx writes into the text "
+                                  "region [0x%llx, 0x%llx)",
+                                  (unsigned long long)addr,
+                                  (unsigned long long)prog.textBase,
+                                  (unsigned long long)cfg.textEnd())));
+                }
+            }
+            stepConst(s, instr, prog.pcAt(i));
+        }
+    }
+}
+
+Report
+verifyImage(const assembler::Program &prog, const VerifyOptions &opts)
+{
+    Report report;
+    const Cfg cfg = buildCfg(prog, report);
+    if (opts.cfgSanity)
+        checkCfgSanity(cfg, report);
+    if (opts.typedState)
+        checkTypedState(cfg, report);
+    if (opts.defUse)
+        checkDefUse(cfg, report);
+    return report;
+}
+
+} // namespace tarch::analysis

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The three dataflow checks of the static verifier, plus the
+ * one-call entry point verifyImage().
+ *
+ *   - typed-state: every tld/tsd must be reached with R_offset,
+ *     R_shift and R_mask configured; every xadd/xsub/xmul/tchk with a
+ *     live thdl handler and a non-flushed TRT; every chklb/chklh/chkld
+ *     with a live handler and a settype in effect — on EVERY path, not
+ *     just the ones a benchmark happens to execute.
+ *   - def-use: GPR/FPR reads before any write (error when no path
+ *     writes the register, warning when only some paths do), honoring
+ *     OpcodeInfo::fpRd/fpRs1/fpRs2; the hostcall/syscall ABI is
+ *     modeled as define/clobber sets (hcall defines a0 and fa0 and
+ *     preserves everything else; sys reads a0, or fa0 for sys 3).
+ *   - cfg sanity: unreachable blocks, and stores whose
+ *     constant-propagated effective address lands inside the text
+ *     region.  (Bad direct targets, decode failures and fallthrough
+ *     off the end of text are reported during CFG construction.)
+ */
+
+#ifndef TARCH_ANALYSIS_CHECKS_H
+#define TARCH_ANALYSIS_CHECKS_H
+
+#include "analysis/cfg.h"
+#include "analysis/report.h"
+#include "assembler/assembler.h"
+
+namespace tarch::analysis {
+
+struct VerifyOptions {
+    bool typedState = true;
+    bool defUse = true;
+    bool cfgSanity = true;
+};
+
+void checkTypedState(const Cfg &cfg, Report &report);
+void checkDefUse(const Cfg &cfg, Report &report);
+void checkCfgSanity(const Cfg &cfg, Report &report);
+
+/** Build the CFG and run every enabled check over @p prog. */
+Report verifyImage(const assembler::Program &prog,
+                   const VerifyOptions &opts = {});
+
+} // namespace tarch::analysis
+
+#endif // TARCH_ANALYSIS_CHECKS_H

@@ -1,0 +1,35 @@
+#include "analysis/dataflow.h"
+
+#include <algorithm>
+
+namespace tarch::analysis {
+
+std::vector<size_t>
+reversePostOrder(const Cfg &cfg)
+{
+    std::vector<size_t> order;
+    if (cfg.blocks.empty())
+        return order;
+    std::vector<char> seen(cfg.blocks.size(), 0);
+    // Iterative DFS with an explicit post-order marker.
+    std::vector<std::pair<size_t, size_t>> stack; // (block, next succ idx)
+    stack.emplace_back(cfg.entryBlock, 0);
+    seen[cfg.entryBlock] = 1;
+    while (!stack.empty()) {
+        auto &[b, next] = stack.back();
+        if (next < cfg.blocks[b].succs.size()) {
+            const size_t s = cfg.blocks[b].succs[next++];
+            if (!seen[s]) {
+                seen[s] = 1;
+                stack.emplace_back(s, 0);
+            }
+        } else {
+            order.push_back(b);
+            stack.pop_back();
+        }
+    }
+    std::reverse(order.begin(), order.end());
+    return order;
+}
+
+} // namespace tarch::analysis

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Minimal forward worklist dataflow framework over the verifier CFG.
+ *
+ * A State needs two members:
+ *   - bool mergeFrom(const State &src): join src into *this, returning
+ *     whether *this changed.  The first merge into a fresh state must
+ *     adopt src wholesale (states carry their own "visited" flag so the
+ *     framework stays agnostic of each lattice's bottom element).
+ *   - copy construction / assignment.
+ *
+ * The transfer function maps (block id, in-state) to the block's
+ * out-state.  solveForward() returns the IN state of every block;
+ * blocks unreachable from the entry keep the default-constructed
+ * state and should be skipped by clients (Block::reachable).
+ */
+
+#ifndef TARCH_ANALYSIS_DATAFLOW_H
+#define TARCH_ANALYSIS_DATAFLOW_H
+
+#include <deque>
+#include <vector>
+
+#include "analysis/cfg.h"
+
+namespace tarch::analysis {
+
+/** Reverse post-order of the reachable blocks (stable iteration order). */
+std::vector<size_t> reversePostOrder(const Cfg &cfg);
+
+template <typename State, typename TransferFn>
+std::vector<State>
+solveForward(const Cfg &cfg, const State &entryState, TransferFn transfer)
+{
+    std::vector<State> in(cfg.blocks.size());
+    if (cfg.blocks.empty())
+        return in;
+
+    // Priority = position in reverse post-order, so merges see most
+    // predecessors before a block is processed.
+    const std::vector<size_t> rpo = reversePostOrder(cfg);
+    std::vector<size_t> rank(cfg.blocks.size(), cfg.blocks.size());
+    for (size_t i = 0; i < rpo.size(); ++i)
+        rank[rpo[i]] = i;
+
+    in[cfg.entryBlock].mergeFrom(entryState);
+    std::deque<size_t> work{cfg.entryBlock};
+    std::vector<char> queued(cfg.blocks.size(), 0);
+    queued[cfg.entryBlock] = 1;
+
+    while (!work.empty()) {
+        const size_t b = work.front();
+        work.pop_front();
+        queued[b] = 0;
+        const State out = transfer(b, in[b]);
+        for (const size_t s : cfg.blocks[b].succs) {
+            if (in[s].mergeFrom(out) && !queued[s]) {
+                queued[s] = 1;
+                // Cheap approximation of priority ordering: put
+                // lower-ranked (earlier) blocks at the front.
+                if (!work.empty() && rank[s] < rank[work.front()])
+                    work.push_front(s);
+                else
+                    work.push_back(s);
+            }
+        }
+    }
+    return in;
+}
+
+} // namespace tarch::analysis
+
+#endif // TARCH_ANALYSIS_DATAFLOW_H

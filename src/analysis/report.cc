@@ -1,0 +1,65 @@
+#include "analysis/report.h"
+
+#include "common/strutil.h"
+
+namespace tarch::analysis {
+
+std::string_view
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Note: return "note";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "?";
+}
+
+std::string
+Finding::describe() const
+{
+    std::string text = strformat(
+        "%s[%s] 0x%llx <%s>: %s",
+        std::string(severityName(severity)).c_str(), check.c_str(),
+        static_cast<unsigned long long>(pc), location.c_str(),
+        message.c_str());
+    if (!instr.empty())
+        text += strformat("\n    instr: %s", instr.c_str());
+    if (!path.empty())
+        text += strformat("\n    path:  %s", path.c_str());
+    return text;
+}
+
+size_t
+Report::count(Severity severity) const
+{
+    size_t n = 0;
+    for (const Finding &f : findings)
+        if (f.severity == severity)
+            ++n;
+    return n;
+}
+
+int
+Report::exitCode() const
+{
+    if (hasErrors())
+        return 2;
+    return hasWarnings() ? 1 : 0;
+}
+
+std::string
+Report::render() const
+{
+    std::string text;
+    for (const Finding &f : findings) {
+        text += f.describe();
+        text += '\n';
+    }
+    text += strformat("%zu error(s), %zu warning(s), %zu note(s)\n",
+                      count(Severity::Error), count(Severity::Warning),
+                      count(Severity::Note));
+    return text;
+}
+
+} // namespace tarch::analysis

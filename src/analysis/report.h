@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Findings container for the static verifier.
+ *
+ * Every check produces Finding records tagged with a severity, the
+ * offending PC, the disassembled instruction, the nearest preceding
+ * text label and (where it applies) a path condition naming the
+ * predecessor that left the analyzed state bad.  Report aggregates
+ * them and maps onto the tarch_verify exit-code convention:
+ * 0 = clean, 1 = warnings only, 2 = at least one error.
+ */
+
+#ifndef TARCH_ANALYSIS_REPORT_H
+#define TARCH_ANALYSIS_REPORT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tarch::analysis {
+
+enum class Severity : uint8_t { Note, Warning, Error };
+
+std::string_view severityName(Severity severity);
+
+/** One diagnostic. */
+struct Finding {
+    Severity severity = Severity::Error;
+    std::string check;    ///< "decode", "cfg", "typed-state", "def-use"
+    uint64_t pc = 0;
+    std::string instr;    ///< disassembled offending instruction
+    std::string location; ///< nearest label + offset, e.g. "op_add+0x8"
+    std::string message;
+    std::string path;     ///< path condition (optional)
+
+    std::string describe() const;
+};
+
+/** All findings for one image. */
+struct Report {
+    std::vector<Finding> findings;
+
+    size_t count(Severity severity) const;
+    bool hasErrors() const { return count(Severity::Error) != 0; }
+    bool hasWarnings() const { return count(Severity::Warning) != 0; }
+
+    /** Exit-code convention: 0 clean, 1 warnings only, 2 errors. */
+    int exitCode() const;
+
+    /** Render every finding plus a one-line summary. */
+    std::string render() const;
+};
+
+} // namespace tarch::analysis
+
+#endif // TARCH_ANALYSIS_REPORT_H

@@ -658,6 +658,19 @@ class AsmImpl
             }
             return;
         }
+        if (d == ".verify_indirect_targets") {
+            // Declares the full successor set of indirect jumps for the
+            // static verifier.  Operands are symbol expressions; values
+            // are resolved in the emit pass (all labels are known).
+            if (stmt.operands.empty())
+                bad(stmt, ".verify_indirect_targets needs targets");
+            if (!sizing_)
+                for (size_t i = 0; i < stmt.operands.size(); ++i)
+                    prog_.verifiedIndirectTargets.push_back(
+                        static_cast<uint64_t>(
+                            resolve(stmt, asExpr(stmt, i))));
+            return;
+        }
         if (d == ".space") {
             requireData(stmt);
             const int64_t count = resolve(stmt, asExpr(stmt, 0));

@@ -3,7 +3,8 @@
  * Two-pass TRV64 text assembler.
  *
  * Supports labels, the directives .text/.data/.align/.byte/.half/.word/
- * .dword/.double/.ascii/.asciiz/.space/.equ/.global, symbolic data words
+ * .dword/.double/.ascii/.asciiz/.space/.equ/.global/
+ * .verify_indirect_targets, symbolic data words
  * (used for interpreter dispatch tables) and the usual RISC-V pseudo-
  * instructions (li/la/mv/j/call/ret/beqz/... plus fmv.d/fneg.d/fabs.d and
  * sext.w).  Branch targets that exceed the 15-bit scaled immediate are a
@@ -31,6 +32,14 @@ struct Program {
     std::vector<uint8_t> data;
     std::unordered_map<std::string, uint64_t> symbols;
     uint64_t entry = 0;            ///< "_start" if defined, else textBase
+    /**
+     * Addresses declared via the `.verify_indirect_targets` directive:
+     * the authoritative successor set for indirect jumps (`jr`),
+     * consumed by the static verifier (src/analysis).  Empty when the
+     * image carries no directive, in which case the verifier falls
+     * back to scanning data dwords for dispatch-table entries.
+     */
+    std::vector<uint64_t> verifiedIndirectTargets;
 
     /** Address of the instruction slot at index @p i. */
     uint64_t pcAt(size_t i) const { return textBase + 4 * i; }

@@ -1,5 +1,6 @@
 #include "fuzz/oracle.h"
 
+#include "analysis/checks.h"
 #include "common/log.h"
 #include "common/strutil.h"
 #include "script/interp.h"
@@ -48,6 +49,9 @@ Divergence::describe() const
                          detail.c_str());
       case Kind::Crash:
         return strformat("%s: crashed: %s", config.c_str(), detail.c_str());
+      case Kind::StaticVerify:
+        return strformat("%s: static verifier rejected the image:\n%s",
+                         config.c_str(), detail.c_str());
     }
     return "?";
 }
@@ -172,6 +176,15 @@ runVm(const std::string &source, const RunConfig &config,
         vm_opts.coreConfig.deopt.probeInterval = opts.probeInterval;
         vm_opts.coreConfig.maxInstructions = opts.maxInstructions;
         Vm vm(source, vm_opts);
+        // Lint the assembled image before simulating it: a protocol
+        // violation on a cold path is a bug even if this input never
+        // executes it.
+        if (opts.verifyImages) {
+            const analysis::Report lint =
+                analysis::verifyImage(vm.program());
+            if (lint.hasErrors())
+                rec.lintReport = lint.render();
+        }
         vm.run();
         rec.output = vm.core().output();
         rec.stats = vm.core().collectStats();
@@ -216,6 +229,11 @@ runOracle(const std::string &source, const OracleOptions &opts)
         result.runs.push_back(rec);
         const RunRecord &r = result.runs.back();
 
+        if (!r.lintReport.empty()) {
+            result.divergences.push_back({Divergence::Kind::StaticVerify,
+                                          config.name(), r.lintReport, "",
+                                          ""});
+        }
         if (r.crashed) {
             result.divergences.push_back({Divergence::Kind::Crash,
                                           config.name(), r.error, "", ""});

@@ -20,6 +20,10 @@
  *   - hostcall counts are variant-invariant (the runtime is charged
  *     identically on every pipeline)
  *
+ * Each assembled interpreter image is additionally run through the
+ * static verifier (analysis/checks.h) before simulation; an
+ * error-severity finding is a StaticVerify divergence.
+ *
  * A divergence in either the printed output or an invariant is the
  * fuzzer's bug signal; the shrinker minimizes the program against
  * OracleResult::diverges().
@@ -57,11 +61,12 @@ struct RunRecord {
     bool crashed = false;
     std::string error;   ///< FatalError text when crashed
     std::string output;
+    std::string lintReport; ///< static-verifier errors (empty when clean)
     core::CoreStats stats;
 };
 
 struct Divergence {
-    enum class Kind : uint8_t { Output, StatsInvariant, Crash };
+    enum class Kind : uint8_t { Output, StatsInvariant, Crash, StaticVerify };
 
     Kind kind = Kind::Output;
     std::string config; ///< RunConfig::name() of the offending run
@@ -76,6 +81,12 @@ struct OracleOptions {
     uint64_t maxInstructions = 100'000'000; ///< per-run runaway guard
     uint64_t refStepLimit = 8'000'000;
     bool checkStats = true;
+    /**
+     * Run the static verifier (analysis::verifyImage) over every
+     * assembled interpreter image before simulating it; any
+     * error-severity finding is a StaticVerify divergence.
+     */
+    bool verifyImages = true;
     uint8_t probeInterval = 32; ///< must mirror DeoptConfig default
 };
 

@@ -700,8 +700,7 @@ class Gen
             e_.o("xor a6, a2, a3");
             e_.o(is_eq ? "seqz a6, a6" : "snez a6, a6");
         } else {
-            e_.o("li a0, %u", kErrCompare);
-            e_.o("j rt_error");
+            e_.o("j err_compare");
         }
 
         e_.l(store);
@@ -1010,11 +1009,16 @@ class Gen
     dataSection()
     {
         e_.raw(".data\n.align 3\njumptable:\n");
+        // Declare the dispatch table to the static verifier: the `jr`
+        // in the dispatch loop can only reach these handlers.
+        std::string verify = ".verify_indirect_targets";
         for (unsigned i = 0; i < kNumOps; ++i) {
             const std::string name =
                 toLower(std::string(opName(static_cast<Op>(i))));
             e_.raw("    .dword op_" + name + "\n");
+            verify += (i == 0 ? " op_" : ", op_") + name;
         }
+        e_.raw(verify + "\n");
     }
 
     Variant v_;

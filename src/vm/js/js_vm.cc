@@ -129,8 +129,8 @@ JsVm::buildImage()
     assembler::AsmOptions asm_opts;
     asm_opts.textBase = lay.interpText;
     asm_opts.dataBase = lay.interpData;
-    const assembler::Program program =
-        assembler::assemble(interp.asmText, asm_opts);
+    program_ = assembler::assemble(interp.asmText, asm_opts);
+    const assembler::Program &program = program_;
 
     for (const auto &[symbol, marker] : interp.markers)
         core_->markers().add(program.symbol(symbol), marker);

@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 
+#include "assembler/assembler.h"
 #include "core/core.h"
 #include "vm/image.h"
 #include "vm/lua/compiler.h"
@@ -40,6 +41,8 @@ class LuaVm
     const std::string &output() const { return core_->output(); }
     const Module &module() const { return module_; }
     Variant variant() const { return opts_.variant; }
+    /** The assembled interpreter image (for the static verifier). */
+    const assembler::Program &program() const { return program_; }
 
     /** Dynamic bytecode counts by mnemonic (from handler-entry markers). */
     std::map<std::string, uint64_t> bytecodeProfile() const;
@@ -65,6 +68,7 @@ class LuaVm
 
     Options opts_;
     Module module_;
+    assembler::Program program_;
     core::HostcallRegistry hostcalls_;
     std::unique_ptr<core::Core> core_;
     Interner interner_;

@@ -1,9 +1,16 @@
-// Unit tests for src/common: bit utilities, string helpers, logging.
+// Unit tests for src/common: bit utilities, string helpers, logging,
+// and the shared work-queue executor (also run under ThreadSanitizer
+// by scripts/ci.sh).
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/bitops.h"
 #include "common/log.h"
+#include "common/parallel.h"
 #include "common/strutil.h"
 
 namespace tarch {
@@ -95,6 +102,49 @@ TEST(Log, FatalThrows)
         tarch_fatal("boom %d", 3);
     } catch (const FatalError &e) {
         EXPECT_NE(std::string(e.what()).find("boom 3"), std::string::npos);
+    }
+}
+
+TEST(Parallel, EveryIndexRunsExactlyOnce)
+{
+    constexpr size_t kCount = 1000;
+    std::vector<std::atomic<int>> hits(kCount);
+    parallelFor(kCount, 8, [&](size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < kCount; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(Parallel, SingleJobRunsInlineInOrder)
+{
+    std::vector<size_t> order;
+    parallelFor(5, 1, [&](size_t i) { order.push_back(i); });
+    EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Parallel, MoreJobsThanWorkStillCoversEverything)
+{
+    std::vector<std::atomic<int>> hits(3);
+    parallelFor(3, 64, [&](size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(Parallel, LowestFailingIndexIsRethrown)
+{
+    // Indices are handed out in order, so index 3 is always observed
+    // failing even when higher failures finish (and abort) first.
+    try {
+        parallelFor(100, 4, [](size_t i) {
+            if (i % 10 == 3)
+                throw std::runtime_error(strformat("boom %zu", i));
+        });
+        FAIL() << "expected a rethrow";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "boom 3");
     }
 }
 

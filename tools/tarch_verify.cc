@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Static verifier CLI for TRV64 images.
+ *
+ * Two modes:
+ *   tarch_verify [options] file.s
+ *       assemble the file and verify it;
+ *   tarch_verify --engine lua|js --variant baseline|typed|chkld
+ *       generate the interpreter image for that engine/variant (the
+ *       same generation path the VMs use) and verify it.
+ *
+ * Exit code: 0 clean, 1 warnings only, 2 at least one error-severity
+ * finding (see docs/ANALYSIS.md for the diagnostic catalogue).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "analysis/checks.h"
+#include "assembler/assembler.h"
+#include "common/log.h"
+#include "vm/image.h"
+#include "vm/js/interp_gen.h"
+#include "vm/lua/interp_gen.h"
+#include "vm/variant.h"
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options] file.s\n"
+        "       %s --engine lua|js --variant baseline|typed|chkld\n"
+        "options:\n"
+        "  --engine lua|js          verify a generated interpreter image\n"
+        "  --variant V              base|baseline, typed, chkld|checked-load\n"
+        "  --text-base ADDR         .text base for file mode (default 0x1000)\n"
+        "  --data-base ADDR         .data base for file mode (default 0x100000)\n"
+        "  --quiet                  print only the summary line\n"
+        "exit code: 0 clean, 1 warnings only, 2 errors\n",
+        argv0, argv0);
+    return 2;
+}
+
+std::optional<tarch::vm::Variant>
+parseVariant(const std::string &name)
+{
+    if (name == "base" || name == "baseline")
+        return tarch::vm::Variant::Baseline;
+    if (name == "typed")
+        return tarch::vm::Variant::Typed;
+    if (name == "chkld" || name == "checked-load")
+        return tarch::vm::Variant::CheckedLoad;
+    return std::nullopt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace tarch;
+
+    std::string engine, variant_name, file;
+    assembler::AsmOptions asm_opts;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s needs a value\n", argv[0],
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--engine") {
+            engine = value();
+        } else if (arg == "--variant") {
+            variant_name = value();
+        } else if (arg == "--text-base") {
+            asm_opts.textBase = std::strtoull(value(), nullptr, 0);
+        } else if (arg == "--data-base") {
+            asm_opts.dataBase = std::strtoull(value(), nullptr, 0);
+        } else if (arg == "--quiet" || arg == "-q") {
+            quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "%s: unknown option %s\n", argv[0],
+                         arg.c_str());
+            return usage(argv[0]);
+        } else {
+            file = arg;
+        }
+    }
+
+    std::string source, what;
+    if (!engine.empty() || !variant_name.empty()) {
+        if (engine.empty() || variant_name.empty() || !file.empty()) {
+            std::fprintf(stderr,
+                         "%s: --engine and --variant go together and "
+                         "exclude a file argument\n",
+                         argv[0]);
+            return usage(argv[0]);
+        }
+        const auto variant = parseVariant(variant_name);
+        if (!variant) {
+            std::fprintf(stderr, "%s: unknown variant '%s'\n", argv[0],
+                         variant_name.c_str());
+            return usage(argv[0]);
+        }
+        const vm::GuestLayout layout;
+        if (engine == "lua") {
+            source = vm::lua::generateInterp(*variant, layout, layout.code,
+                                             layout.consts)
+                         .asmText;
+        } else if (engine == "js") {
+            source = vm::js::generateInterp(*variant, layout, layout.code,
+                                            layout.consts, 4)
+                         .asmText;
+        } else {
+            std::fprintf(stderr, "%s: unknown engine '%s'\n", argv[0],
+                         engine.c_str());
+            return usage(argv[0]);
+        }
+        asm_opts.textBase = layout.interpText;
+        asm_opts.dataBase = layout.interpData;
+        what = "image " + engine + "/" + variant_name;
+    } else if (!file.empty()) {
+        std::ifstream stream(file);
+        if (!stream) {
+            std::fprintf(stderr, "%s: cannot open %s\n", argv[0],
+                         file.c_str());
+            return 2;
+        }
+        std::ostringstream buf;
+        buf << stream.rdbuf();
+        source = buf.str();
+        what = file;
+    } else {
+        return usage(argv[0]);
+    }
+
+    try {
+        const assembler::Program prog =
+            assembler::assemble(source, asm_opts);
+        const analysis::Report report = analysis::verifyImage(prog);
+        if (!quiet)
+            std::fputs(report.render().c_str(), stdout);
+        else
+            std::printf("%s: %zu error(s), %zu warning(s)\n", what.c_str(),
+                        report.count(analysis::Severity::Error),
+                        report.count(analysis::Severity::Warning));
+        return report.exitCode();
+    } catch (const FatalError &err) {
+        std::fprintf(stderr, "%s: %s\n", what.c_str(), err.what());
+        return 2;
+    }
+}
