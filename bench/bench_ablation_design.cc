@@ -136,6 +136,31 @@ btbAblation()
                     results[i].branchMpki());
 }
 
+/**
+ * When any observability flag is given, re-run the sieve workload on
+ * the typed ISA with the requested sinks attached and emit the
+ * artifacts — a self-contained reference run, since the ablations
+ * themselves sweep configs and would produce 16 near-identical dumps.
+ */
+void
+instrumentedReferenceRun(const bench::ObsCliOptions &obs_cli)
+{
+    if (!obs_cli.any())
+        return;
+    obs::SessionConfig cfg;
+    cfg.profile = obs_cli.profile;
+    cfg.chromeTrace = obs_cli.traceOut;
+    cfg.intervalCycles = obs_cli.intervalCycles;
+    cfg.statsJson = obs_cli.json;
+    lua::LuaVm::Options opts;
+    opts.variant = Variant::Typed;
+    lua::LuaVm vm(kSieve, opts);
+    obs::Session session(vm.core(), cfg);
+    vm.run();
+    bench::emitCellArtifacts("lua.nsieve-ablation.typed",
+                             session.finish(), obs_cli);
+}
+
 void
 icacheAblation()
 {
@@ -161,7 +186,8 @@ icacheAblation()
 int
 main(int argc, char **argv)
 {
-    g_jobs = tarch::bench::parseArgs(argc, argv).jobs;
+    bench::ObsCliOptions obs_cli;
+    g_jobs = tarch::bench::parseArgs(argc, argv, &obs_cli).jobs;
     std::printf("=============================================================\n");
     std::printf("Design-choice ablations (DESIGN.md Section 6)\n");
     std::printf("=============================================================\n");
@@ -169,5 +195,6 @@ main(int argc, char **argv)
     redirectAblation();
     btbAblation();
     icacheAblation();
+    instrumentedReferenceRun(obs_cli);
     return 0;
 }

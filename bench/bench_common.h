@@ -9,6 +9,14 @@
  *   --cache-dir D  root of the per-cell sweep cache (default ".")
  *   --cold         ignore cached cells; re-simulate and rewrite them
  *   --no-cache     neither read nor write the cache
+ *
+ * plus the observability flags (docs/OBSERVABILITY.md), which attach
+ * probe-bus sinks to every cell of the sweep:
+ *
+ *   --profile           print per-handler + flat cycle profiles per cell
+ *   --trace-out PREFIX  write Chrome trace-event JSON per cell
+ *   --interval-stats N  sample CoreStats every N cycles, write CSV per cell
+ *   --json              write a versioned CoreStats JSON dump per cell
  */
 
 #ifndef TARCH_BENCH_BENCH_COMMON_H
@@ -20,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/strutil.h"
 #include "harness/experiment.h"
 
 namespace tarch::bench {
@@ -52,23 +61,65 @@ usage(const char *argv0, int exit_code)
     std::fprintf(stderr,
                  "usage: %s [--jobs N] [--cache-dir DIR] [--cold] "
                  "[--no-cache]\n"
+                 "          [--profile] [--trace-out PREFIX] "
+                 "[--interval-stats N] [--json]\n"
                  "  --jobs N       sweep worker threads (default: "
                  "TARCH_JOBS env, else hardware)\n"
                  "  --cache-dir D  per-cell sweep cache root (default "
                  "\".\")\n"
                  "  --cold         ignore cached cells, re-simulate and "
                  "rewrite\n"
-                 "  --no-cache     neither read nor write the cache\n",
+                 "  --no-cache     neither read nor write the cache\n"
+                 "  --profile           print per-handler and flat cycle "
+                 "profiles per cell\n"
+                 "  --trace-out PREFIX  write Chrome trace JSON per cell "
+                 "(PREFIX.<engine>.<bench>.<variant>.trace.json)\n"
+                 "  --interval-stats N  sample CoreStats every N cycles, "
+                 "write CSV per cell\n"
+                 "  --json              write a versioned CoreStats JSON "
+                 "dump per cell\n",
                  argv0);
     std::exit(exit_code);
 }
 
 /**
+ * Observability output selection, parsed alongside SweepOptions.  The
+ * file prefix comes from --trace-out when given, else "tarch-obs" (CSV
+ * and JSON dumps need one even without a Chrome trace).
+ */
+struct ObsCliOptions {
+    bool profile = false;
+    bool traceOut = false;
+    bool json = false;
+    uint64_t intervalCycles = 0;
+    std::string prefix = "tarch-obs";
+
+    bool
+    any() const
+    {
+        return profile || traceOut || json || intervalCycles != 0;
+    }
+
+    /** The equivalent sink configuration for the sweep. */
+    harness::SweepOptions &
+    apply(harness::SweepOptions &opts) const
+    {
+        opts.obs.profile = profile;
+        opts.obs.chromeTrace = traceOut;
+        opts.obs.intervalCycles = intervalCycles;
+        opts.obs.statsJson = json;
+        return opts;
+    }
+};
+
+/**
  * Parse the common bench flags into SweepOptions.  Unknown flags and
- * malformed values are usage errors (exit 2), not crashes.
+ * malformed values are usage errors (exit 2), not crashes.  When
+ * @p obs_cli is non-null the observability flags are accepted too and
+ * folded into SweepOptions::obs.
  */
 inline harness::SweepOptions
-parseArgs(int argc, char **argv)
+parseArgs(int argc, char **argv, ObsCliOptions *obs_cli = nullptr)
 {
     harness::SweepOptions opts;
     for (int i = 1; i < argc; ++i) {
@@ -97,6 +148,24 @@ parseArgs(int argc, char **argv)
             opts.forceCold = true;
         } else if (arg == "--no-cache") {
             opts.useCache = false;
+        } else if (obs_cli && arg == "--profile") {
+            obs_cli->profile = true;
+        } else if (obs_cli && arg == "--trace-out") {
+            obs_cli->traceOut = true;
+            obs_cli->prefix = next("--trace-out");
+        } else if (obs_cli && arg == "--interval-stats") {
+            const char *text = next("--interval-stats");
+            char *end = nullptr;
+            const unsigned long long n = std::strtoull(text, &end, 10);
+            if (end == text || *end != '\0' || n == 0) {
+                std::fprintf(stderr,
+                             "%s: bad --interval-stats value '%s'\n",
+                             argv[0], text);
+                usage(argv[0], 2);
+            }
+            obs_cli->intervalCycles = n;
+        } else if (obs_cli && arg == "--json") {
+            obs_cli->json = true;
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0], 0);
         } else {
@@ -105,7 +174,75 @@ parseArgs(int argc, char **argv)
             usage(argv[0], 2);
         }
     }
+    if (obs_cli)
+        obs_cli->apply(opts);
     return opts;
+}
+
+inline bool
+writeTextFile(const std::string &path, const std::string &content)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    std::fwrite(content.data(), 1, content.size(), f);
+    const bool ok = !std::ferror(f);
+    std::fclose(f);
+    return ok;
+}
+
+/**
+ * Emit one instrumented run's artifacts: profile reports to stdout,
+ * Chrome trace / interval CSV / stats JSON to files named
+ * `<prefix>.<cell>.<kind>`.
+ */
+inline void
+emitCellArtifacts(const std::string &cell, const obs::Artifacts &a,
+                  const ObsCliOptions &obs)
+{
+    if (obs.profile) {
+        std::printf("\n--- profile %s ---\n%s\n%s", cell.c_str(),
+                    a.profileByHandler.c_str(), a.profileFlat.c_str());
+    }
+    if (obs.traceOut) {
+        const std::string path = obs.prefix + "." + cell + ".trace.json";
+        if (writeTextFile(path, a.traceJson))
+            std::printf("wrote %s\n", path.c_str());
+    }
+    if (obs.intervalCycles != 0) {
+        const std::string path =
+            obs.prefix + "." + cell + ".intervals.csv";
+        if (writeTextFile(path, a.intervalCsv))
+            std::printf("wrote %s\n", path.c_str());
+    }
+    if (obs.json) {
+        const std::string path = obs.prefix + "." + cell + ".stats.json";
+        if (writeTextFile(path, a.statsJson))
+            std::printf("wrote %s\n", path.c_str());
+    }
+}
+
+/**
+ * Emit the observability artifacts of every cell of an instrumented
+ * sweep.  A no-op when no obs flag was given.
+ */
+inline void
+emitObsArtifacts(const harness::Sweep &sweep, const ObsCliOptions &obs)
+{
+    if (!obs.any())
+        return;
+    for (const auto &row : sweep.results) {
+        for (const harness::RunResult &run : row) {
+            const std::string cell = strformat(
+                "%s.%s.%s",
+                sweep.engine == harness::Engine::Lua ? "lua" : "js",
+                run.benchmark.c_str(),
+                std::string(vm::variantName(run.variant)).c_str());
+            emitCellArtifacts(cell, run.obsArtifacts, obs);
+        }
+    }
 }
 
 } // namespace tarch::bench

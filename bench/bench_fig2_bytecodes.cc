@@ -93,7 +93,9 @@ fig2b(const Sweep &sweep)
 int
 main(int argc, char **argv)
 {
-    const harness::SweepOptions sweep_opts = bench::parseArgs(argc, argv);
+    bench::ObsCliOptions obs_cli;
+    const harness::SweepOptions sweep_opts =
+        bench::parseArgs(argc, argv, &obs_cli);
     bench::banner("Figure 2: bytecode profile of the interpreters",
                   "Figure 2");
     const Sweep lua = runSweepCached(Engine::Lua, sweep_opts);
@@ -102,5 +104,7 @@ main(int argc, char **argv)
     const Sweep js = runSweepCached(Engine::Js, sweep_opts);
     fig2a(js);
     fig2b(js);
+    bench::emitObsArtifacts(lua, obs_cli);
+    bench::emitObsArtifacts(js, obs_cli);
     return 0;
 }

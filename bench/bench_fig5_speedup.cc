@@ -42,14 +42,20 @@ report(const Sweep &sweep)
 int
 main(int argc, char **argv)
 {
-    const harness::SweepOptions sweep_opts = bench::parseArgs(argc, argv);
+    bench::ObsCliOptions obs_cli;
+    const harness::SweepOptions sweep_opts =
+        bench::parseArgs(argc, argv, &obs_cli);
     bench::banner("Figure 5: overall speedup over the baseline ISA",
                   "Figure 5 and Section 7.1");
     std::printf("\nPaper reference (FPGA, full engines): Lua geomean "
                 "+9.9%% typed / +7.3%% CL;\nJS geomean +11.2%% typed / "
                 "+5.4%% CL; max +43.5%% (Lua), +32.6%% (JS).\n");
-    report(runSweepCached(Engine::Lua, sweep_opts));
-    report(runSweepCached(Engine::Js, sweep_opts));
+    const Sweep lua = runSweepCached(Engine::Lua, sweep_opts);
+    report(lua);
+    bench::emitObsArtifacts(lua, obs_cli);
+    const Sweep js = runSweepCached(Engine::Js, sweep_opts);
+    report(js);
+    bench::emitObsArtifacts(js, obs_cli);
     std::printf("\nExpected shape: typed > checked-load in geomean; CL "
                 "close to or below\nbaseline on FP-heavy workloads "
                 "(mandelbrot, n-body) because its fast path\nis fixed to "

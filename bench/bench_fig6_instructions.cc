@@ -49,12 +49,18 @@ report(const Sweep &sweep)
 int
 main(int argc, char **argv)
 {
-    const harness::SweepOptions sweep_opts = bench::parseArgs(argc, argv);
+    bench::ObsCliOptions obs_cli;
+    const harness::SweepOptions sweep_opts =
+        bench::parseArgs(argc, argv, &obs_cli);
     bench::banner("Figure 6: dynamic instruction count reduction",
                   "Figure 6");
     std::printf("\nPaper reference: average reduction 11.2%% (Lua) and "
                 "4.4%% (JS).\n");
-    report(runSweepCached(Engine::Lua, sweep_opts));
-    report(runSweepCached(Engine::Js, sweep_opts));
+    const Sweep lua = runSweepCached(Engine::Lua, sweep_opts);
+    report(lua);
+    bench::emitObsArtifacts(lua, obs_cli);
+    const Sweep js = runSweepCached(Engine::Js, sweep_opts);
+    report(js);
+    bench::emitObsArtifacts(js, obs_cli);
     return 0;
 }

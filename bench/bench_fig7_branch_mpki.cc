@@ -29,7 +29,9 @@ report(const Sweep &sweep)
 int
 main(int argc, char **argv)
 {
-    const harness::SweepOptions sweep_opts = bench::parseArgs(argc, argv);
+    bench::ObsCliOptions obs_cli;
+    const harness::SweepOptions sweep_opts =
+        bench::parseArgs(argc, argv, &obs_cli);
     bench::banner(
         "Figure 7: branch miss rates (MPKI, lower is better)",
         "Figure 7");
@@ -37,7 +39,11 @@ main(int argc, char **argv)
                 "type-guard branches, so its\nMPKI is at or below the "
                 "baseline's on guard-heavy benchmarks (e.g. fibo,\n"
                 "fannkuch-redux, n-sieve).\n");
-    report(runSweepCached(Engine::Lua, sweep_opts));
-    report(runSweepCached(Engine::Js, sweep_opts));
+    const Sweep lua = runSweepCached(Engine::Lua, sweep_opts);
+    report(lua);
+    bench::emitObsArtifacts(lua, obs_cli);
+    const Sweep js = runSweepCached(Engine::Js, sweep_opts);
+    report(js);
+    bench::emitObsArtifacts(js, obs_cli);
     return 0;
 }

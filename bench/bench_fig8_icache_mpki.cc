@@ -40,7 +40,9 @@ report(const Sweep &sweep)
 int
 main(int argc, char **argv)
 {
-    const harness::SweepOptions sweep_opts = bench::parseArgs(argc, argv);
+    bench::ObsCliOptions obs_cli;
+    const harness::SweepOptions sweep_opts =
+        bench::parseArgs(argc, argv, &obs_cli);
     bench::banner("Figure 8: instruction cache miss rates (MPKI)",
                   "Figure 8");
     std::printf("\nNote: our generated interpreters are much smaller "
@@ -48,7 +50,11 @@ main(int argc, char **argv)
                 "absolute I-cache MPKI is lower than the\npaper's; the "
                 "relative ordering (typed <= baseline) is the "
                 "reproduced shape.\n");
-    report(runSweepCached(Engine::Lua, sweep_opts));
-    report(runSweepCached(Engine::Js, sweep_opts));
+    const Sweep lua = runSweepCached(Engine::Lua, sweep_opts);
+    report(lua);
+    bench::emitObsArtifacts(lua, obs_cli);
+    const Sweep js = runSweepCached(Engine::Js, sweep_opts);
+    report(js);
+    bench::emitObsArtifacts(js, obs_cli);
     return 0;
 }

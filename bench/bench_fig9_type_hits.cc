@@ -41,7 +41,9 @@ report(const Sweep &sweep)
 int
 main(int argc, char **argv)
 {
-    const harness::SweepOptions sweep_opts = bench::parseArgs(argc, argv);
+    bench::ObsCliOptions obs_cli;
+    const harness::SweepOptions sweep_opts =
+        bench::parseArgs(argc, argv, &obs_cli);
     bench::banner(
         "Figure 9: type hit/miss rates normalized to dynamic bytecodes",
         "Figure 9");
@@ -49,7 +51,11 @@ main(int argc, char **argv)
                 "int- and table-oriented\nbenchmarks; visible misses for "
                 "k-nucleotide (string-keyed tables) and the\nmixed-type "
                 "slow paths.\n");
-    report(runSweepCached(Engine::Lua, sweep_opts));
-    report(runSweepCached(Engine::Js, sweep_opts));
+    const Sweep lua = runSweepCached(Engine::Lua, sweep_opts);
+    report(lua);
+    bench::emitObsArtifacts(lua, obs_cli);
+    const Sweep js = runSweepCached(Engine::Js, sweep_opts);
+    report(js);
+    bench::emitObsArtifacts(js, obs_cli);
     return 0;
 }

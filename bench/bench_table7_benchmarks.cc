@@ -9,7 +9,9 @@ using namespace tarch::harness;
 int
 main(int argc, char **argv)
 {
-    const harness::SweepOptions sweep_opts = bench::parseArgs(argc, argv);
+    bench::ObsCliOptions obs_cli;
+    const harness::SweepOptions sweep_opts =
+        bench::parseArgs(argc, argv, &obs_cli);
     bench::banner("Table 7: benchmarks (paper inputs vs scaled inputs)",
                   "Table 7");
     const Sweep lua = runSweepCached(Engine::Lua, sweep_opts);
@@ -30,5 +32,7 @@ main(int argc, char **argv)
     }
     std::printf("\nAll outputs verified identical across the three ISA "
                 "variants per engine.\n");
+    bench::emitObsArtifacts(lua, obs_cli);
+    bench::emitObsArtifacts(js, obs_cli);
     return 0;
 }

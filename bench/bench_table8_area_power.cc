@@ -26,7 +26,9 @@ geomeanSpeedup(const Sweep &sweep)
 int
 main(int argc, char **argv)
 {
-    const harness::SweepOptions sweep_opts = bench::parseArgs(argc, argv);
+    bench::ObsCliOptions obs_cli;
+    const harness::SweepOptions sweep_opts =
+        bench::parseArgs(argc, argv, &obs_cli);
     bench::banner("Table 8: hardware overhead breakdown (area, power)",
                   "Table 8 and Section 7.2");
 
@@ -63,5 +65,7 @@ main(int argc, char **argv)
                 bench::pct(power::edpImprovement(js_speedup,
                                                  power_ratio)),
                 bench::pct(js_speedup - 1));
+    bench::emitObsArtifacts(lua, obs_cli);
+    bench::emitObsArtifacts(js, obs_cli);
     return 0;
 }

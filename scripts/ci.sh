@@ -10,7 +10,10 @@
 # In addition to the full-suite run, the default configuration always
 # race-checks the parallel sweep executor (a dedicated TSan build of
 # test_sweep_cache + the parallel-executor tests) and clang-tidies
-# src/analysis/ + src/common/ when clang-tidy is installed.
+# src/analysis/ + src/common/ when clang-tidy is installed.  Every run
+# ends with an observability smoke: tarch_profile over one Lua and one
+# JS benchmark, with the emitted Chrome trace and stats JSON validated
+# by the tool's own parser (docs/OBSERVABILITY.md).
 #
 # Exits nonzero if the build breaks, the static verifier finds an
 # error-severity issue in any generated interpreter image, any test
@@ -102,5 +105,25 @@ if grep -q "^info: sim" "$SMOKE_DIR/warm.err"; then
     grep "^info: sim" "$SMOKE_DIR/warm.err" >&2
     exit 1
 fi
+
+echo "== observability smoke (tarch_profile + exporter validation)"
+# Profile one Lua and one JS benchmark, then validate the emitted
+# artifacts with the tool's own JSON parser: the Chrome trace must be
+# well-formed and contain both duration spans and instant events, and
+# the stats dump must round-trip through the schema version gate.
+OBS_DIR="$BUILD_DIR/obs-smoke"
+rm -rf "$OBS_DIR"
+mkdir -p "$OBS_DIR"
+for engine in lua js; do
+    "$BUILD_DIR/tools/tarch_profile" --engine "$engine" \
+        --variant typed --benchmark fibo \
+        --trace-out "$OBS_DIR/ci" --json > "$OBS_DIR/$engine.out"
+    TRACE="$OBS_DIR/ci.$engine.fibo.typed.trace.json"
+    STATS="$OBS_DIR/ci.$engine.fibo.typed.stats.json"
+    "$BUILD_DIR/tools/tarch_profile" --validate-json "$TRACE"
+    "$BUILD_DIR/tools/tarch_profile" --check-stats "$STATS"
+    grep -q '"ph":"X"' "$TRACE"
+    grep -q '"ph":"i"' "$TRACE"
+done
 
 echo "== ci OK"

@@ -95,6 +95,9 @@ Core::loadProgram(const assembler::Program &program)
                            program.data.size());
     pc_ = program.entry;
     halted_ = false;
+    labels_ = obs::LabelMap(program);
+    if (tracer_)
+        tracer_->setLabels(&labels_);
     // Resolve markers to text indexes for O(1) per-instruction lookup.
     markerByIndex_.assign(text_.size(), -1);
     for (const auto &[pc, id] : markers_.byPc()) {
@@ -108,16 +111,40 @@ Core::loadProgram(const assembler::Program &program)
 unsigned
 Core::fetchStall(uint64_t pc)
 {
+    if (!bus_.active()) {
+        unsigned extra = itlb_.access(pc);
+        extra += icache_.access(pc, false) - config_.icache.hitLatency;
+        return extra;
+    }
+    // Instrumented path: detect misses by differencing the component
+    // counters around the access, so the timing math stays identical.
+    const uint64_t itlb_miss0 = itlb_.stats().misses;
     unsigned extra = itlb_.access(pc);
+    if (itlb_.stats().misses != itlb_miss0)
+        emit(obs::EventKind::ItlbMiss, pc);
+    const uint64_t ic_miss0 = icache_.stats().misses;
     extra += icache_.access(pc, false) - config_.icache.hitLatency;
+    if (icache_.stats().misses != ic_miss0)
+        emit(obs::EventKind::IcacheMiss, pc);
     return extra;
 }
 
 unsigned
 Core::dataAccess(uint64_t addr, bool is_write)
 {
+    if (!bus_.active()) {
+        unsigned extra = dtlb_.access(addr);
+        extra += dcache_.access(addr, is_write) - config_.dcache.hitLatency;
+        return extra;
+    }
+    const uint64_t dtlb_miss0 = dtlb_.stats().misses;
     unsigned extra = dtlb_.access(addr);
+    if (dtlb_.stats().misses != dtlb_miss0)
+        emit(obs::EventKind::DtlbMiss, pc_, static_cast<int64_t>(addr));
+    const uint64_t dc_miss0 = dcache_.stats().misses;
     extra += dcache_.access(addr, is_write) - config_.dcache.hitLatency;
+    if (dcache_.stats().misses != dc_miss0)
+        emit(obs::EventKind::DcacheMiss, pc_, static_cast<int64_t>(addr));
     return extra;
 }
 
@@ -126,6 +153,7 @@ Core::doHalt(int code)
 {
     halted_ = true;
     exitCode_ = code;
+    emit(obs::EventKind::Halt, pc_, code);
 }
 
 void
@@ -175,8 +203,12 @@ Core::deoptSelect(uint64_t &next_pc)
     if (config_.deopt.probeInterval &&
         deoptRedirects_ % config_.deopt.probeInterval == 0) {
         ++deoptProbes_;
+        emit(obs::EventKind::DeoptProbe, pc_,
+             static_cast<int64_t>(typedState_.rhdl));
         return false;  // probe the fast path once in a while
     }
+    emit(obs::EventKind::DeoptRedirect, pc_,
+         static_cast<int64_t>(typedState_.rhdl));
     next_pc = typedState_.rhdl;
     timing_.redirect();
     return true;
@@ -208,12 +240,15 @@ Core::step()
 {
     if (halted_)
         return false;
-    if (instructions_ >= config_.maxInstructions)
+    if (instructions_ >= config_.maxInstructions) {
+        emit(obs::EventKind::Fatal, pc_);
         tarch_fatal("instruction limit (%llu) exceeded at pc 0x%llx",
                     static_cast<unsigned long long>(config_.maxInstructions),
                     static_cast<unsigned long long>(pc_));
+    }
     if (pc_ < textBase_ || pc_ >= textBase_ + 4 * text_.size() ||
         (pc_ & 3) != 0) {
+        emit(obs::EventKind::Fatal, pc_);
         const std::string window =
             tracer_ ? "\nrecent instructions:\n" + tracer_->dump() : "";
         tarch_fatal("pc 0x%llx outside text segment%s",
@@ -228,6 +263,7 @@ Core::step()
     if (markerByIndex_[idx] >= 0) {
         currentRegion_ = markerByIndex_[idx];
         markers_.bump(static_cast<size_t>(currentRegion_));
+        emit(obs::EventKind::MarkerEnter, pc_, currentRegion_);
     }
     if (currentRegion_ >= 0)
         markers_.bumpRegion(static_cast<size_t>(currentRegion_));
@@ -485,17 +521,21 @@ Core::step()
         const uint64_t target = pc_ + static_cast<uint64_t>(instr.imm);
         if (taken)
             next_pc = target;
-        if (branchUnit_.condBranch(pc_, taken, target))
+        const bool mispredict = branchUnit_.condBranch(pc_, taken, target);
+        if (mispredict)
             timing_.redirect();
+        emit(obs::EventKind::Branch, pc_, taken ? 1 : 0, mispredict ? 1 : 0);
         break;
       }
       case Opcode::JAL: {
         const uint64_t target = pc_ + static_cast<uint64_t>(instr.imm);
         regs_.writeGpr(instr.rd, pc_ + 4);
         next_pc = target;
-        if (branchUnit_.directJump(pc_, target, instr.rd == isa::reg::ra,
-                                   pc_ + 4))
+        const bool mispredict = branchUnit_.directJump(
+            pc_, target, instr.rd == isa::reg::ra, pc_ + 4);
+        if (mispredict)
             timing_.redirect();
+        emit(obs::EventKind::Jump, pc_, 0, mispredict ? 1 : 0);
         break;
       }
       case Opcode::JALR: {
@@ -504,8 +544,11 @@ Core::step()
         const bool is_call = instr.rd == isa::reg::ra;
         regs_.writeGpr(instr.rd, pc_ + 4);
         next_pc = target;
-        if (branchUnit_.indirectJump(pc_, target, is_call, is_ret, pc_ + 4))
+        const bool mispredict =
+            branchUnit_.indirectJump(pc_, target, is_call, is_ret, pc_ + 4);
+        if (mispredict)
             timing_.redirect();
+        emit(obs::EventKind::Jump, pc_, 1, mispredict ? 1 : 0);
         break;
       }
 
@@ -569,9 +612,11 @@ Core::step()
         const TaggedReg &rc = regs_.gpr(instr.rs2);
         const auto out = trt_.lookup(ruleOpFor(instr.op), rb.t, rc.t);
         if (!out) {
+            emit(obs::EventKind::TrtMiss, pc_, rb.t, rc.t);
             typeMissRedirect(next_pc);
             break;
         }
+        emit(obs::EventKind::TrtHit, pc_, rb.t, rc.t);
         deoptHit();
         const uint8_t tag = *out;
         const bool fp = (tag & 0x80) != 0;
@@ -598,6 +643,7 @@ Core::step()
                 r = x * y;
             if (r != sext32(static_cast<uint64_t>(r))) {
                 ++typeOverflowMisses_;
+                emit(obs::EventKind::TypeOverflow, pc_, rb.t, rc.t);
                 typeMissRedirect(next_pc);
                 break;
             }
@@ -639,10 +685,13 @@ Core::step()
       case Opcode::TCHK: {
         const TaggedReg &rb = regs_.gpr(instr.rs1);
         const TaggedReg &rc = regs_.gpr(instr.rs2);
-        if (!trt_.lookup(typed::RuleOp::Chk, rb.t, rc.t))
+        if (!trt_.lookup(typed::RuleOp::Chk, rb.t, rc.t)) {
+            emit(obs::EventKind::TrtMiss, pc_, rb.t, rc.t);
             typeMissRedirect(next_pc);
-        else
+        } else {
+            emit(obs::EventKind::TrtHit, pc_, rb.t, rc.t);
             deoptHit();
+        }
         break;
       }
       case Opcode::TGET:
@@ -670,6 +719,9 @@ Core::step()
         if (static_cast<uint16_t>(value >> 48) !=
             typedState_.chklbExpectedType) {
             ++chklbMisses_;
+            emit(obs::EventKind::ChklbMiss, pc_,
+                 static_cast<uint16_t>(value >> 48),
+                 typedState_.chklbExpectedType);
             next_pc = typedState_.rhdl;
             timing_.redirect();
         }
@@ -691,6 +743,7 @@ Core::step()
         regs_.writeGpr(instr.rd, tag);
         if (tag != expected) {
             ++chklbMisses_;
+            emit(obs::EventKind::ChklbMiss, pc_, tag, expected);
             next_pc = typedState_.rhdl;
             timing_.redirect();
         }
@@ -722,6 +775,12 @@ Core::step()
       default:
         break;
     }
+
+    // The retire event's cycle stamp is the cumulative count with this
+    // instruction's full cost applied, so consecutive-retire deltas
+    // partition CoreStats::cycles exactly (the pipeline-drain constant
+    // folds into the first delta).
+    emit(obs::EventKind::Retire, pc_, currentRegion_);
 
     pc_ = next_pc;
     return !halted_;
@@ -800,8 +859,16 @@ Core::execSys(const isa::Instr &instr, uint64_t &next_pc)
         hostcalls_->invoke(id, env);
         const HcallCost &cost = hostcalls_->cost(id);
         instructions_ += cost.instructions;
+        // The charged native-runtime instructions belong to the region
+        // active at the hcall, same as the hcall instruction itself —
+        // per-region totals must keep summing to CoreStats::instructions.
+        if (currentRegion_ >= 0)
+            markers_.bumpRegionBy(static_cast<size_t>(currentRegion_),
+                                  cost.instructions);
         timing_.flatCost(cost.cycles);
         ++hostcallCount_;
+        emit(obs::EventKind::Hostcall, pc_, static_cast<int64_t>(id),
+             static_cast<int64_t>(cost.instructions));
         return;
     }
     const uint64_t a0 = regs_.gpr(isa::reg::a0).v;

@@ -27,6 +27,8 @@
 #include "mem/dram.h"
 #include "mem/main_memory.h"
 #include "mem/tlb.h"
+#include "obs/event.h"
+#include "obs/labels.h"
 #include "typed/tag_codec.h"
 #include "typed/type_rule_table.h"
 
@@ -143,7 +145,25 @@ class Core
     void restoreTypedContext(const TypedContext &context);
 
     /** Attach an execution tracer (nullptr detaches). */
-    void setTracer(Tracer *tracer) { tracer_ = tracer; }
+    void
+    setTracer(Tracer *tracer)
+    {
+        tracer_ = tracer;
+        if (tracer_)
+            tracer_->setLabels(&labels_);
+    }
+
+    /**
+     * The event probe bus.  Attach a sink (obs::Profiler,
+     * obs::IntervalSampler, obs::ChromeTraceSink, ...) to observe the
+     * run; with no sinks attached every emission site reduces to one
+     * predictable branch and the simulation is bit-identical.
+     */
+    obs::ProbeBus &probeBus() { return bus_; }
+    const obs::ProbeBus &probeBus() const { return bus_; }
+
+    /** Text labels of the loaded program (empty before loadProgram). */
+    const obs::LabelMap &labels() const { return labels_; }
 
     /** Pause run() whenever @p pc is about to execute. */
     void addBreakpoint(uint64_t pc) { breakpoints_.push_back(pc); }
@@ -164,6 +184,15 @@ class Core
 
     unsigned fetchStall(uint64_t pc);
     unsigned dataAccess(uint64_t addr, bool is_write);
+
+    /** Publish an event iff a sink is listening (the zero-cost gate). */
+    void
+    emit(obs::EventKind kind, uint64_t pc, int64_t a = 0, int64_t b = 0)
+    {
+        if (bus_.active())
+            bus_.emit({kind, pc, timing_.cycles(), a, b});
+    }
+
     void execTyped(const isa::Instr &instr, uint64_t &next_pc);
     void execFp(const isa::Instr &instr);
     void execSys(const isa::Instr &instr, uint64_t &next_pc);
@@ -215,6 +244,8 @@ class Core
 
     Tracer *tracer_ = nullptr;
     std::vector<uint64_t> breakpoints_;
+    obs::ProbeBus bus_;
+    obs::LabelMap labels_;
 };
 
 } // namespace tarch::core

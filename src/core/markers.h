@@ -40,6 +40,11 @@ class Markers
      * Gives per-handler dynamic instruction counts (paper Figure 2b).
      */
     void bumpRegion(size_t id) { ++regionInstrs_[id]; }
+
+    /** Charge @p n extra instructions to region @p id in one step (the
+        host-call instruction lump lands on the region active at the
+        hcall). */
+    void bumpRegionBy(size_t id, uint64_t n) { regionInstrs_[id] += n; }
     uint64_t regionInstrs(size_t id) const { return regionInstrs_[id]; }
     uint64_t regionInstrsByName(const std::string &name) const;
 

@@ -36,11 +36,19 @@ std::string
 Tracer::dump() const
 {
     std::string out;
-    for (const Entry &entry : entries())
-        out += strformat("#%-8llu %06llx  %s\n",
-                         (unsigned long long)entry.index,
-                         (unsigned long long)entry.pc,
-                         isa::disassemble(entry.instr).c_str());
+    for (const Entry &entry : entries()) {
+        std::string line = strformat("#%-8llu %06llx  %s",
+                                     (unsigned long long)entry.index,
+                                     (unsigned long long)entry.pc,
+                                     isa::disassemble(entry.instr).c_str());
+        if (labels_ && !labels_->empty()) {
+            if (line.size() < 44)
+                line.append(44 - line.size(), ' ');
+            line += strformat("  ; %s", labels_->locate(entry.pc).c_str());
+        }
+        out += line;
+        out += '\n';
+    }
     return out;
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "isa/instr.h"
+#include "obs/labels.h"
 
 namespace tarch::core {
 
@@ -32,8 +33,14 @@ class Tracer
     /** Entries in execution order (oldest first). */
     std::vector<Entry> entries() const;
 
-    /** Disassembled dump of the captured window. */
+    /** Disassembled dump of the captured window.  When a label map is
+        attached each line is annotated with the nearest text label, the
+        same lookup the static verifier uses for its diagnostics. */
     std::string dump() const;
+
+    /** Attach the loaded image's labels (nullptr detaches).  Core does
+        this automatically in setTracer()/loadProgram(). */
+    void setLabels(const obs::LabelMap *labels) { labels_ = labels; }
 
     size_t capacity() const { return ring_.size(); }
     uint64_t recorded() const { return recorded_; }
@@ -43,6 +50,7 @@ class Tracer
     std::vector<Entry> ring_;
     size_t next_ = 0;
     uint64_t recorded_ = 0;
+    const obs::LabelMap *labels_ = nullptr;
 };
 
 } // namespace tarch::core

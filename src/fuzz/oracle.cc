@@ -195,7 +195,63 @@ runVm(const std::string &source, const RunConfig &config,
     return rec;
 }
 
+/**
+ * runVm with an observability session attached.  The run-crash catch
+ * sits INSIDE the session scope so a FatalError mid-run still renders
+ * the artifacts accumulated up to the fatal instruction.
+ */
+template <typename Vm>
+RunRecord
+runVmInstrumented(const std::string &source, const RunConfig &config,
+                  const OracleOptions &opts,
+                  const obs::SessionConfig &obs_cfg,
+                  obs::Artifacts &artifacts)
+{
+    RunRecord rec;
+    rec.config = config;
+    try {
+        typename Vm::Options vm_opts;
+        vm_opts.variant = config.variant;
+        vm_opts.coreConfig.deopt.enabled = config.deopt;
+        vm_opts.coreConfig.deopt.probeInterval = opts.probeInterval;
+        vm_opts.coreConfig.maxInstructions = opts.maxInstructions;
+        Vm vm(source, vm_opts);
+        if (opts.verifyImages) {
+            const analysis::Report lint =
+                analysis::verifyImage(vm.program());
+            if (lint.hasErrors())
+                rec.lintReport = lint.render();
+        }
+        obs::Session session(vm.core(), obs_cfg);
+        try {
+            vm.run();
+        } catch (const FatalError &err) {
+            rec.crashed = true;
+            rec.error = err.what();
+        }
+        rec.output = vm.core().output();
+        rec.stats = vm.core().collectStats();
+        artifacts = session.finish();
+    } catch (const FatalError &err) {
+        rec.crashed = true;
+        rec.error = err.what();
+    }
+    return rec;
+}
+
 } // namespace
+
+RunRecord
+replayInstrumented(const std::string &source, const RunConfig &config,
+                   const obs::SessionConfig &obs_cfg,
+                   obs::Artifacts &artifacts, const OracleOptions &opts)
+{
+    return config.engine == RunConfig::Engine::Lua
+               ? runVmInstrumented<vm::lua::LuaVm>(source, config, opts,
+                                                   obs_cfg, artifacts)
+               : runVmInstrumented<vm::js::JsVm>(source, config, opts,
+                                                 obs_cfg, artifacts);
+}
 
 OracleResult
 runOracle(const std::string &source, const OracleOptions &opts)

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "core/stats.h"
+#include "obs/session.h"
 #include "vm/variant.h"
 
 namespace tarch::fuzz {
@@ -112,6 +113,21 @@ struct OracleResult {
 /** Run the full 12-way differential matrix over @p source. */
 OracleResult runOracle(const std::string &source,
                        const OracleOptions &opts = {});
+
+/**
+ * Re-run ONE configuration of the matrix with observability sinks
+ * attached (docs/OBSERVABILITY.md) and render their artifacts into
+ * @p artifacts — the instrumented companion to runOracle for divergence
+ * replay.  Artifacts are rendered even when the run crashes (the trace
+ * up to the fatal instruction is exactly what a divergence post-mortem
+ * wants); a program the assembler/compiler rejects outright yields a
+ * crashed record with empty artifacts.
+ */
+RunRecord replayInstrumented(const std::string &source,
+                             const RunConfig &config,
+                             const obs::SessionConfig &obs_cfg,
+                             obs::Artifacts &artifacts,
+                             const OracleOptions &opts = {});
 
 /**
  * Pure stats-invariant check for one run (exposed for unit tests).

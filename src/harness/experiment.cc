@@ -20,8 +20,9 @@ namespace {
 template <typename Vm>
 RunResult
 collect(Vm &vm, Engine engine, vm::Variant variant,
-        const BenchmarkInfo &info)
+        const BenchmarkInfo &info, const obs::SessionConfig &obs)
 {
+    obs::Session session(vm.core(), obs);
     vm.run();
     RunResult result;
     result.benchmark = info.name;
@@ -37,6 +38,7 @@ collect(Vm &vm, Engine engine, vm::Variant variant,
         slot.first += markers.hits(i);
         slot.second += markers.regionInstrs(i);
     }
+    result.obsArtifacts = session.finish();
     return result;
 }
 
@@ -45,16 +47,23 @@ collect(Vm &vm, Engine engine, vm::Variant variant,
 RunResult
 runOne(Engine engine, vm::Variant variant, const BenchmarkInfo &info)
 {
+    return runOne(engine, variant, info, obs::SessionConfig{});
+}
+
+RunResult
+runOne(Engine engine, vm::Variant variant, const BenchmarkInfo &info,
+       const obs::SessionConfig &obs)
+{
     if (engine == Engine::Lua) {
         vm::lua::LuaVm::Options opts;
         opts.variant = variant;
         vm::lua::LuaVm vm(info.source, opts);
-        return collect(vm, engine, variant, info);
+        return collect(vm, engine, variant, info, obs);
     }
     vm::js::JsVm::Options opts;
     opts.variant = variant;
     vm::js::JsVm vm(info.source, opts);
-    return collect(vm, engine, variant, info);
+    return collect(vm, engine, variant, info, obs);
 }
 
 // ---------------------------------------------------------------------
@@ -70,8 +79,10 @@ runOne(Engine engine, vm::Variant variant, const BenchmarkInfo &info)
 
 namespace {
 
-/** Bump when the cell format or simulator behaviour changes. */
-constexpr const char *kCellVersion = "tarch-cell-v4";
+/** Bump when the cell format or simulator behaviour changes.  v5: the
+    host-call instruction lump is now attributed to the marker region
+    active at the hcall, shifting cached markerDetail values. */
+constexpr const char *kCellVersion = "tarch-cell-v5";
 
 constexpr vm::Variant kVariants[3] = {vm::Variant::Baseline,
                                       vm::Variant::Typed,
@@ -437,6 +448,11 @@ runSweep(Engine engine, const SweepOptions &opts,
         }
     }
 
+    // Instrumented sweeps must actually simulate — cached cells carry
+    // no rendered artifacts.  The cells still get (re)written: the
+    // probe bus never changes the stats, so the bytes are identical.
+    const bool instrumented = opts.obs.any();
+
     std::vector<CellOutcome> cells(benches.size() * 3);
     parallelFor(cells.size(), jobs, [&](size_t idx) {
         const BenchmarkInfo &info = benches[idx / 3];
@@ -446,10 +462,11 @@ runSweep(Engine engine, const SweepOptions &opts,
         const std::string path =
             cache ? cellPath(opts.cacheDir, engine, info.name, variant)
                   : std::string();
-        if (cache && !opts.forceCold && loadCell(cell.result, path, key))
+        if (cache && !opts.forceCold && !instrumented &&
+            loadCell(cell.result, path, key))
             return;
         try {
-            cell.result = runOne(engine, variant, info);
+            cell.result = runOne(engine, variant, info, opts.obs);
         } catch (const FatalError &e) {
             // Crash tolerance: record the dead cell, let the rest of
             // the sweep finish, report every failure at the end.

@@ -22,6 +22,7 @@
 
 #include "core/stats.h"
 #include "harness/benchmarks.h"
+#include "obs/session.h"
 #include "vm/variant.h"
 
 namespace tarch::harness {
@@ -45,11 +46,23 @@ struct RunResult {
     std::map<std::string, uint64_t> bytecodeProfile;
     /** Per-marker (hits, region instructions) for Figure 2(b). */
     std::map<std::string, std::pair<uint64_t, uint64_t>> markerDetail;
+    /** Rendered observability artifacts; empty unless the run was
+        instrumented (SweepOptions::obs / the runOne obs overload). */
+    obs::Artifacts obsArtifacts;
 };
 
 /** Run one combination.  Throws FatalError on guest runtime errors. */
 RunResult runOne(Engine engine, vm::Variant variant,
                  const BenchmarkInfo &info);
+
+/**
+ * Run one combination with an observability session attached; the
+ * rendered artifacts land in RunResult::obsArtifacts.  Attaching sinks
+ * never changes the collected stats (the probe bus is read-only).
+ */
+RunResult runOne(Engine engine, vm::Variant variant,
+                 const BenchmarkInfo &info,
+                 const obs::SessionConfig &obs);
 
 /**
  * A full sweep: all benchmarks x all three variants for one engine.
@@ -77,6 +90,10 @@ struct SweepOptions {
     std::string cacheDir = "."; ///< cells live in cacheDir/tarch-sweep-cache/
     bool useCache = true;
     bool forceCold = false;     ///< ignore existing cells, rewrite them
+    /** Sinks to attach to every cell.  Cached cells carry no rendered
+        artifacts, so an instrumented sweep always re-simulates (it
+        still refreshes the cache — the stats are bit-identical). */
+    obs::SessionConfig obs;
 };
 
 /**

@@ -1,0 +1,111 @@
+#include "obs/chrome_trace.h"
+
+#include "common/strutil.h"
+#include "obs/json.h"
+
+namespace tarch::obs {
+
+ChromeTraceSink::ChromeTraceSink(const core::Markers *markers,
+                                 LabelMap labels)
+    : markers_(markers),
+      labels_(std::move(labels))
+{
+}
+
+std::string
+ChromeTraceSink::regionName(int64_t region) const
+{
+    if (region < 0)
+        return "(pre-marker)";
+    if (markers_ && static_cast<size_t>(region) < markers_->count())
+        return markers_->name(static_cast<size_t>(region));
+    return strformat("region#%lld", static_cast<long long>(region));
+}
+
+void
+ChromeTraceSink::closeSpan(uint64_t cycle)
+{
+    if (!spanOpen_)
+        return;
+    spanOpen_ = false;
+    // Zero-width spans (two markers on consecutive stamps at the same
+    // cycle) render invisibly; keep them anyway so span counts match
+    // marker-entry counts minus one.
+    spans_.push_back({openRegion_, openStart_, cycle});
+}
+
+void
+ChromeTraceSink::onEvent(const Event &event)
+{
+    lastCycle_ = event.cycle;
+    switch (event.kind) {
+      case EventKind::MarkerEnter:
+        closeSpan(event.cycle);
+        openRegion_ = event.a;
+        openStart_ = event.cycle;
+        spanOpen_ = true;
+        break;
+      case EventKind::TrtMiss:
+      case EventKind::TypeOverflow:
+      case EventKind::ChklbMiss:
+      case EventKind::DeoptRedirect:
+      case EventKind::DeoptProbe:
+      case EventKind::Hostcall:
+      case EventKind::Fatal:
+        instants_.push_back(
+            {event.kind, event.pc, event.cycle, event.a, event.b});
+        break;
+      default:
+        break;
+    }
+}
+
+void
+ChromeTraceSink::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    closeSpan(lastCycle_);
+}
+
+std::string
+ChromeTraceSink::render()
+{
+    finish();
+    std::string out = "{\"traceEvents\":[";
+    bool first = true;
+    const auto comma = [&] {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\n";
+    };
+    for (const Span &span : spans_) {
+        comma();
+        out += strformat(
+            "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%llu,\"dur\":%llu,"
+            "\"pid\":1,\"tid\":1,\"cat\":\"handler\"}",
+            jsonEscape(regionName(span.region)).c_str(),
+            (unsigned long long)span.startCycle,
+            (unsigned long long)(span.endCycle - span.startCycle));
+    }
+    for (const Instant &instant : instants_) {
+        comma();
+        out += strformat(
+            "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%llu,\"pid\":1,"
+            "\"tid\":1,\"s\":\"t\",\"cat\":\"event\","
+            "\"args\":{\"pc\":\"0x%llx\",\"at\":\"%s\",\"a\":%lld,"
+            "\"b\":%lld}}",
+            eventKindName(instant.kind),
+            (unsigned long long)instant.cycle,
+            (unsigned long long)instant.pc,
+            jsonEscape(labels_.locate(instant.pc)).c_str(),
+            (long long)instant.a, (long long)instant.b);
+    }
+    out += "\n],\"displayTimeUnit\":\"ms\","
+           "\"otherData\":{\"timebase\":\"1 trace us = 1 core cycle\"}}\n";
+    return out;
+}
+
+} // namespace tarch::obs

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Chrome trace-event exporter sink.  Handler (marker-region) activity
+ * becomes "ph":"X" duration spans and notable micro-architectural
+ * events (TRT misses, type overflows, checked-load misses, deopt
+ * redirects/probes, hostcalls, fatals) become "ph":"i" instant events,
+ * all on a 1-cycle == 1-microsecond timebase so the result loads
+ * directly into Perfetto / chrome://tracing.
+ */
+
+#ifndef TARCH_OBS_CHROME_TRACE_H
+#define TARCH_OBS_CHROME_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/markers.h"
+#include "obs/event.h"
+#include "obs/labels.h"
+
+namespace tarch::obs {
+
+class ChromeTraceSink : public Sink
+{
+  public:
+    /**
+     * @param markers  marker table of the traced core (names for span
+     *                 titles); may be null — spans then carry region ids
+     * @param labels   nearest-label map for instant-event annotations
+     */
+    ChromeTraceSink(const core::Markers *markers, LabelMap labels);
+
+    void onEvent(const Event &event) override;
+
+    /** Close the open span at the last seen cycle (idempotent). */
+    void finish();
+
+    /** The complete trace as a JSON document (calls finish()). */
+    std::string render();
+
+    size_t spanCount() const { return spans_.size(); }
+    size_t instantCount() const { return instants_.size(); }
+
+  private:
+    struct Span {
+        int64_t region;
+        uint64_t startCycle;
+        uint64_t endCycle;
+    };
+    struct Instant {
+        EventKind kind;
+        uint64_t pc;
+        uint64_t cycle;
+        int64_t a;
+        int64_t b;
+    };
+
+    void closeSpan(uint64_t cycle);
+    std::string regionName(int64_t region) const;
+
+    const core::Markers *markers_;
+    LabelMap labels_;
+    std::vector<Span> spans_;
+    std::vector<Instant> instants_;
+    int64_t openRegion_ = -1;
+    uint64_t openStart_ = 0;
+    bool spanOpen_ = false;
+    uint64_t lastCycle_ = 0;
+    bool finished_ = false;
+};
+
+} // namespace tarch::obs
+
+#endif // TARCH_OBS_CHROME_TRACE_H

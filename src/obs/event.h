@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The event probe bus: the simulated core publishes typed
+ * micro-architectural events (instruction retire, branch outcome, cache
+ * and TLB misses, TRT hits/misses, checked-load misses, deopt selector
+ * activity, host calls, halt/fatal) to registered sinks.
+ *
+ * Design constraints (docs/OBSERVABILITY.md):
+ *   - zero cost when off: with no sinks attached every emission site is
+ *     a single empty-vector test, and the core never reads auxiliary
+ *     state (miss counters, marker names) unless a sink is listening;
+ *   - observation never perturbs the simulation: sinks receive copies
+ *     of a POD event and have no mutable access to the core, so the 26
+ *     CoreStats counters are bit-identical with and without sinks.
+ *
+ * This header is intentionally dependency-free (cstdint + vector) so
+ * the core library can embed a ProbeBus without linking the obs
+ * library; the sinks themselves (profiler, sampler, exporters) live in
+ * tarch_obs.
+ */
+
+#ifndef TARCH_OBS_EVENT_H
+#define TARCH_OBS_EVENT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tarch::obs {
+
+/** Everything the core can tell a sink about.  See the field notes on
+    Event for the per-kind meaning of `a` and `b`. */
+enum class EventKind : uint8_t {
+    Retire,        ///< one instruction retired; a = marker region (-1 none)
+    MarkerEnter,   ///< control reached a marker PC; a = marker id
+    Branch,        ///< conditional branch resolved; a = taken, b = mispredict
+    Jump,          ///< jal/jalr resolved; a = indirect?, b = mispredict
+    IcacheMiss,    ///< instruction fetch missed L1I
+    DcacheMiss,    ///< data access missed L1D; a = effective address
+    ItlbMiss,      ///< instruction fetch missed the ITLB
+    DtlbMiss,      ///< data access missed the DTLB; a = effective address
+    TrtHit,        ///< xadd/xsub/xmul/tchk rule hit; a/b = operand tags
+    TrtMiss,       ///< type miss -> handler redirect; a/b = operand tags
+    TypeOverflow,  ///< int32 fast-path overflow abort (OverflowMode::Int32)
+    ChklbMiss,     ///< checked-load tag mismatch; a = observed, b = expected
+    DeoptRedirect, ///< thdl selector chose the slow path; a = handler PC
+    DeoptProbe,    ///< periodic fast-path probe; a = handler PC
+    Hostcall,      ///< hcall invoked; a = id, b = charged instructions
+    Halt,          ///< guest exit; a = exit code
+    Fatal,         ///< simulation about to abort (bad PC / runaway guard)
+    NumKinds,
+};
+
+constexpr size_t kNumEventKinds = static_cast<size_t>(EventKind::NumKinds);
+
+/** Human-readable kind name (stable; used by exporters and reports). */
+constexpr const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::Retire: return "retire";
+      case EventKind::MarkerEnter: return "marker-enter";
+      case EventKind::Branch: return "branch";
+      case EventKind::Jump: return "jump";
+      case EventKind::IcacheMiss: return "icache-miss";
+      case EventKind::DcacheMiss: return "dcache-miss";
+      case EventKind::ItlbMiss: return "itlb-miss";
+      case EventKind::DtlbMiss: return "dtlb-miss";
+      case EventKind::TrtHit: return "trt-hit";
+      case EventKind::TrtMiss: return "trt-miss";
+      case EventKind::TypeOverflow: return "type-overflow";
+      case EventKind::ChklbMiss: return "chklb-miss";
+      case EventKind::DeoptRedirect: return "deopt-redirect";
+      case EventKind::DeoptProbe: return "deopt-probe";
+      case EventKind::Hostcall: return "hostcall";
+      case EventKind::Halt: return "halt";
+      case EventKind::Fatal: return "fatal";
+      case EventKind::NumKinds: break;
+    }
+    return "?";
+}
+
+struct Event {
+    EventKind kind = EventKind::Retire;
+    uint64_t pc = 0;     ///< PC of the causing instruction
+    uint64_t cycle = 0;  ///< cumulative cycle count at emission
+    int64_t a = 0;       ///< kind-specific (see EventKind)
+    int64_t b = 0;       ///< kind-specific (see EventKind)
+};
+
+/** A consumer of core events.  Sinks must not throw out of onEvent. */
+class Sink
+{
+  public:
+    virtual ~Sink() = default;
+    virtual void onEvent(const Event &event) = 0;
+};
+
+/**
+ * The dispatch fabric between one core and its sinks.  Attach order is
+ * delivery order.  Not thread-safe by design: one core, one thread —
+ * the parallel sweep gives every worker its own Core and its own bus.
+ */
+class ProbeBus
+{
+  public:
+    /** True when at least one sink is listening; the core's emission
+        guard.  Kept trivially inlineable — this is the only cost the
+        bus adds to an un-instrumented simulation. */
+    bool active() const { return !sinks_.empty(); }
+
+    void attach(Sink *sink)
+    {
+        if (sink)
+            sinks_.push_back(sink);
+    }
+
+    void detach(Sink *sink)
+    {
+        for (size_t i = 0; i < sinks_.size(); ++i) {
+            if (sinks_[i] == sink) {
+                sinks_.erase(sinks_.begin() +
+                             static_cast<ptrdiff_t>(i));
+                return;
+            }
+        }
+    }
+
+    size_t sinkCount() const { return sinks_.size(); }
+
+    void emit(const Event &event) const
+    {
+        for (Sink *sink : sinks_)
+            sink->onEvent(event);
+    }
+
+  private:
+    std::vector<Sink *> sinks_;
+};
+
+} // namespace tarch::obs
+
+#endif // TARCH_OBS_EVENT_H

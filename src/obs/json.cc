@@ -1,0 +1,446 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/strutil.h"
+
+namespace tarch::obs {
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strformat("\\u%04x", c);
+            else
+                out.push_back(c);
+        }
+    }
+    return out;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[name, value] : fields) {
+        if (name == key)
+            return &value;
+    }
+    return nullptr;
+}
+
+bool
+JsonValue::asU64(uint64_t &value) const
+{
+    if (kind != Kind::Number || text.empty() || text[0] == '-')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long n = std::strtoull(text.c_str(), &end, 10);
+    if (errno != 0 || end != text.c_str() + text.size())
+        return false;
+    value = n;
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Recursive-descent parser.
+
+namespace {
+
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *error)
+        : text_(text),
+          error_(error)
+    {
+    }
+
+    bool
+    parseDocument(JsonValue &out)
+    {
+        skipWs();
+        if (!parseValue(out, 0))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing content after document");
+        return true;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    bool
+    fail(const std::string &message)
+    {
+        if (error_ && error_->empty())
+            *error_ = strformat("json: %s at offset %zu", message.c_str(),
+                                pos_);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const size_t len = std::strlen(word);
+        if (text_.compare(pos_, len, word) != 0)
+            return fail(strformat("expected '%s'", word));
+        pos_ += len;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return fail("expected string");
+        ++pos_;
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("unescaped control character in string");
+            if (c != '\\') {
+                out.push_back(c);
+                ++pos_;
+                continue;
+            }
+            if (pos_ + 1 >= text_.size())
+                return fail("dangling escape");
+            const char esc = text_[pos_ + 1];
+            pos_ += 2;
+            switch (esc) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_ + static_cast<size_t>(i)];
+                    if (!std::isxdigit(static_cast<unsigned char>(h)))
+                        return fail("bad \\u escape digit");
+                    code = code * 16 +
+                           static_cast<unsigned>(
+                               h <= '9'   ? h - '0'
+                               : h <= 'F' ? h - 'A' + 10
+                                          : h - 'a' + 10);
+                }
+                pos_ += 4;
+                // Decoded as Latin-1-ish bytes; exact UTF-8 transcoding
+                // is irrelevant for well-formedness checking.
+                if (code < 0x80) {
+                    out.push_back(static_cast<char>(code));
+                } else {
+                    out.push_back(
+                        static_cast<char>(0xC0 | (code >> 6)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        if (pos_ >= text_.size() ||
+            !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            return fail("malformed number");
+        if (text_[pos_] == '0') {
+            ++pos_;
+        } else {
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                return fail("malformed fraction");
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                return fail("malformed exponent");
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        out.kind = JsonValue::Kind::Number;
+        out.text = text_.substr(start, pos_ - start);
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        const char c = text_[pos_];
+        if (c == '{') {
+            ++pos_;
+            out.kind = JsonValue::Kind::Object;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            for (;;) {
+                skipWs();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipWs();
+                if (pos_ >= text_.size() || text_[pos_] != ':')
+                    return fail("expected ':'");
+                ++pos_;
+                skipWs();
+                JsonValue value;
+                if (!parseValue(value, depth + 1))
+                    return false;
+                out.fields.emplace_back(std::move(key), std::move(value));
+                skipWs();
+                if (pos_ >= text_.size())
+                    return fail("unterminated object");
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == '}') {
+                    ++pos_;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            out.kind = JsonValue::Kind::Array;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            for (;;) {
+                skipWs();
+                JsonValue value;
+                if (!parseValue(value, depth + 1))
+                    return false;
+                out.items.push_back(std::move(value));
+                skipWs();
+                if (pos_ >= text_.size())
+                    return fail("unterminated array");
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == ']') {
+                    ++pos_;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.text);
+        }
+        if (c == 't') {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true");
+        }
+        if (c == 'f') {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false");
+        }
+        if (c == 'n') {
+            out.kind = JsonValue::Kind::Null;
+            return literal("null");
+        }
+        return parseNumber(out);
+    }
+
+    const std::string &text_;
+    std::string *error_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+bool
+jsonParse(const std::string &text, JsonValue &out, std::string *error)
+{
+    if (error)
+        error->clear();
+    Parser parser(text, error);
+    return parser.parseDocument(out);
+}
+
+bool
+jsonWellFormed(const std::string &text, std::string *error)
+{
+    JsonValue ignored;
+    return jsonParse(text, ignored, error);
+}
+
+// ---------------------------------------------------------------------
+// Versioned CoreStats dump.
+
+namespace {
+
+/** Name/slot view of the 26 counters, single source of truth for both
+    serialisation directions (and kept in column order with the
+    IntervalSampler CSV header). */
+std::vector<std::pair<const char *, uint64_t *>>
+counterList(core::CoreStats &s)
+{
+    return {
+        {"instructions", &s.instructions},
+        {"cycles", &s.cycles},
+        {"loads", &s.loads},
+        {"stores", &s.stores},
+        {"cond_branches", &s.branches.condBranches},
+        {"cond_mispredicts", &s.branches.condMispredicts},
+        {"jumps", &s.branches.jumps},
+        {"jump_mispredicts", &s.branches.jumpMispredicts},
+        {"icache_accesses", &s.icache.accesses},
+        {"icache_misses", &s.icache.misses},
+        {"icache_writebacks", &s.icache.writebacks},
+        {"dcache_accesses", &s.dcache.accesses},
+        {"dcache_misses", &s.dcache.misses},
+        {"dcache_writebacks", &s.dcache.writebacks},
+        {"itlb_accesses", &s.itlb.accesses},
+        {"itlb_misses", &s.itlb.misses},
+        {"dtlb_accesses", &s.dtlb.accesses},
+        {"dtlb_misses", &s.dtlb.misses},
+        {"trt_lookups", &s.trt.lookups},
+        {"trt_hits", &s.trt.hits},
+        {"type_overflow_misses", &s.typeOverflowMisses},
+        {"chklb_checks", &s.chklbChecks},
+        {"chklb_misses", &s.chklbMisses},
+        {"deopt_redirects", &s.deoptRedirects},
+        {"deopt_probes", &s.deoptProbes},
+        {"hostcalls", &s.hostcalls},
+    };
+}
+
+} // namespace
+
+std::string
+statsToJson(const core::CoreStats &stats)
+{
+    core::CoreStats mutable_copy = stats;
+    std::string out = "{\n";
+    out += strformat("  \"schema\": \"%s\",\n", kStatsSchema);
+    out += "  \"counters\": {\n";
+    const auto counters = counterList(mutable_copy);
+    for (size_t i = 0; i < counters.size(); ++i) {
+        out += strformat("    \"%s\": %llu%s\n", counters[i].first,
+                         (unsigned long long)*counters[i].second,
+                         i + 1 < counters.size() ? "," : "");
+    }
+    out += "  },\n";
+    out += "  \"derived\": {\n";
+    out += strformat("    \"ipc\": %.6f,\n", stats.ipc());
+    out += strformat("    \"branch_mpki\": %.6f,\n", stats.branchMpki());
+    out += strformat("    \"icache_mpki\": %.6f,\n", stats.icacheMpki());
+    out += strformat("    \"dcache_mpki\": %.6f\n", stats.dcacheMpki());
+    out += "  }\n}\n";
+    return out;
+}
+
+bool
+statsFromJson(const std::string &text, core::CoreStats &stats,
+              std::string *error)
+{
+    const auto fail = [&](const std::string &message) {
+        if (error)
+            *error = message;
+        return false;
+    };
+    JsonValue doc;
+    if (!jsonParse(text, doc, error))
+        return false;
+    if (doc.kind != JsonValue::Kind::Object)
+        return fail("stats dump is not a JSON object");
+    const JsonValue *schema = doc.find("schema");
+    if (!schema || schema->kind != JsonValue::Kind::String)
+        return fail("missing \"schema\" field");
+    if (schema->text != kStatsSchema)
+        return fail(strformat("schema mismatch: got \"%s\", want \"%s\"",
+                              schema->text.c_str(), kStatsSchema));
+    const JsonValue *counters = doc.find("counters");
+    if (!counters || counters->kind != JsonValue::Kind::Object)
+        return fail("missing \"counters\" object");
+    core::CoreStats parsed;
+    for (const auto &[name, slot] : counterList(parsed)) {
+        const JsonValue *field = counters->find(name);
+        if (!field)
+            return fail(strformat("missing counter \"%s\"", name));
+        if (!field->asU64(*slot))
+            return fail(strformat("counter \"%s\" is not a u64", name));
+    }
+    stats = parsed;
+    return true;
+}
+
+} // namespace tarch::obs

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Self-contained JSON utilities for the observability exporters: string
+ * escaping, a strict well-formedness parser (used by CI to validate
+ * emitted Chrome traces without external tooling), and the versioned
+ * CoreStats dump/load pair gated on a schema identifier.
+ *
+ * The parser is a full RFC-8259 recursive-descent reader; numbers keep
+ * their raw token text so 64-bit counters round-trip exactly (no
+ * double conversion).
+ */
+
+#ifndef TARCH_OBS_JSON_H
+#define TARCH_OBS_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/stats.h"
+
+namespace tarch::obs {
+
+/** Escape @p text for embedding inside a JSON string literal. */
+std::string jsonEscape(const std::string &text);
+
+/** A parsed JSON value (tree). */
+struct JsonValue {
+    enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    std::string text;  ///< raw number token, or decoded string body
+    std::vector<JsonValue> items;                      ///< Array
+    std::vector<std::pair<std::string, JsonValue>> fields; ///< Object
+
+    const JsonValue *find(const std::string &key) const;
+    bool asU64(uint64_t &value) const;
+};
+
+/**
+ * Parse @p text as one JSON document.
+ * @return true and fill @p out on success; false with a position-
+ *         annotated message in @p error otherwise
+ */
+bool jsonParse(const std::string &text, JsonValue &out, std::string *error);
+
+/** Well-formedness only (CI trace validation). */
+bool jsonWellFormed(const std::string &text, std::string *error);
+
+/** Schema identifier stamped into every stats dump.  Bump when the
+    counter set changes. */
+constexpr const char *kStatsSchema = "tarch-stats-v1";
+
+/**
+ * Serialize all 26 CoreStats counters (plus derived rates, which are
+ * ignored on load) under the current schema version.
+ */
+std::string statsToJson(const core::CoreStats &stats);
+
+/**
+ * Parse a stats dump.  Rejects (returning false with a message) any
+ * document whose "schema" is missing or not exactly kStatsSchema, and
+ * any dump missing one of the 26 counters — the version gate that CI
+ * round-trips through.
+ */
+bool statsFromJson(const std::string &text, core::CoreStats &stats,
+                   std::string *error);
+
+} // namespace tarch::obs
+
+#endif // TARCH_OBS_JSON_H

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Nearest-label lookup over an assembled image: the single "where is
+ * this PC, symbolically?" helper shared by the static verifier's
+ * diagnostics (analysis::Cfg::locate), the execution tracer's dump
+ * annotations, and the cycle-attribution profiler's flat report.
+ *
+ * Header-only so the core library (Tracer) can use it without a link
+ * dependency on tarch_obs.
+ */
+
+#ifndef TARCH_OBS_LABELS_H
+#define TARCH_OBS_LABELS_H
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "assembler/assembler.h"
+#include "common/strutil.h"
+
+namespace tarch::obs {
+
+class LabelMap
+{
+  public:
+    LabelMap() = default;
+
+    /** Text-segment labels of @p prog, sorted by address. */
+    explicit LabelMap(const assembler::Program &prog)
+    {
+        const uint64_t text_end = prog.textBase + 4 * prog.text.size();
+        for (const auto &[name, addr] : prog.symbols) {
+            if (addr >= prog.textBase && addr < text_end)
+                labels_.emplace_back(addr, name);
+        }
+        std::sort(labels_.begin(), labels_.end());
+    }
+
+    bool empty() const { return labels_.empty(); }
+    size_t size() const { return labels_.size(); }
+
+    /** Labels sorted by address (for iteration / tests). */
+    const std::vector<std::pair<uint64_t, std::string>> &
+    labels() const
+    {
+        return labels_;
+    }
+
+    /** The nearest label at or before @p pc, or nullptr if none. */
+    const std::pair<uint64_t, std::string> *
+    nearest(uint64_t pc) const
+    {
+        const auto it = std::upper_bound(
+            labels_.begin(), labels_.end(), pc,
+            [](uint64_t value, const auto &entry) {
+                return value < entry.first;
+            });
+        if (it == labels_.begin())
+            return nullptr;
+        return &*std::prev(it);
+    }
+
+    /** "label", "label+0x8", or plain hex when no label precedes. */
+    std::string
+    locate(uint64_t pc) const
+    {
+        const auto *entry = nearest(pc);
+        if (!entry)
+            return strformat("0x%llx",
+                             static_cast<unsigned long long>(pc));
+        if (entry->first == pc)
+            return entry->second;
+        return strformat("%s+0x%llx", entry->second.c_str(),
+                         static_cast<unsigned long long>(pc - entry->first));
+    }
+
+  private:
+    std::vector<std::pair<uint64_t, std::string>> labels_;
+};
+
+} // namespace tarch::obs
+
+#endif // TARCH_OBS_LABELS_H

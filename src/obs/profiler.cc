@@ -1,0 +1,167 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+
+#include "common/strutil.h"
+
+namespace tarch::obs {
+
+namespace {
+
+constexpr const char *kNoLabel = "(no-label)";
+constexpr const char *kPreMarker = "(pre-marker)";
+
+} // namespace
+
+Profiler::Profiler(const core::Markers *markers, LabelMap labels)
+    : markers_(markers),
+      labels_(std::move(labels))
+{
+}
+
+std::string
+Profiler::regionName(int64_t region) const
+{
+    if (region < 0)
+        return kPreMarker;
+    if (markers_ && static_cast<size_t>(region) < markers_->count())
+        return markers_->name(static_cast<size_t>(region));
+    return strformat("region#%lld", static_cast<long long>(region));
+}
+
+void
+Profiler::onEvent(const Event &event)
+{
+    const auto label = [&]() -> std::string {
+        const auto *entry = labels_.nearest(event.pc);
+        return entry ? entry->second : std::string(kNoLabel);
+    };
+    const size_t kind = static_cast<size_t>(event.kind);
+
+    switch (event.kind) {
+      case EventKind::Retire: {
+        // The cycle stamp is cumulative, so the delta since the last
+        // retire is exactly this instruction's cost (fetch stalls,
+        // operand stalls, redirects, host-call lump and, for the first
+        // instruction, the constant pipeline-drain term).
+        const uint64_t delta = event.cycle - lastCycle_;
+        lastCycle_ = event.cycle;
+        currentRegion_ = event.a;
+        ProfileBucket &region = byRegion_[event.a];
+        region.cycles += delta;
+        ++region.instructions;
+        ++region.events[kind];
+        ProfileBucket &flat = byLabel_[label()];
+        flat.cycles += delta;
+        ++flat.instructions;
+        ++flat.events[kind];
+        ++totalInstructions_;
+        break;
+      }
+      case EventKind::MarkerEnter:
+        // Region changes are published before the instruction's other
+        // events, so misses below attribute to the entered region.
+        currentRegion_ = event.a;
+        ++byRegion_[event.a].events[kind];
+        ++byLabel_[label()].events[kind];
+        break;
+      case EventKind::Hostcall: {
+        ProfileBucket &region = byRegion_[currentRegion_];
+        ProfileBucket &flat = byLabel_[label()];
+        ++region.events[kind];
+        ++flat.events[kind];
+        // The charged native-runtime instructions count toward the
+        // region active at the hcall (same rule as Markers).
+        region.instructions += static_cast<uint64_t>(event.b);
+        flat.instructions += static_cast<uint64_t>(event.b);
+        totalInstructions_ += static_cast<uint64_t>(event.b);
+        break;
+      }
+      default: {
+        ProfileBucket &region = byRegion_[currentRegion_];
+        ProfileBucket &flat = byLabel_[label()];
+        ++region.events[kind];
+        ++flat.events[kind];
+        if ((event.kind == EventKind::Branch ||
+             event.kind == EventKind::Jump) &&
+            event.b != 0) {
+            ++region.branchMispredicts;
+            ++flat.branchMispredicts;
+        }
+        break;
+      }
+    }
+}
+
+namespace {
+
+struct Row {
+    std::string name;
+    const ProfileBucket *bucket;
+};
+
+std::string
+renderTable(const char *title, std::vector<Row> rows, uint64_t total_cycles,
+            size_t top)
+{
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const Row &a, const Row &b) {
+                         return a.bucket->cycles > b.bucket->cycles;
+                     });
+    if (top != 0 && rows.size() > top)
+        rows.resize(top);
+
+    std::string out = strformat("%s\n", title);
+    out += strformat("  %-28s %12s %6s %12s %8s %8s %8s %8s %7s %7s\n",
+                     "name", "cycles", "cyc%", "instrs", "ic-miss",
+                     "dc-miss", "br-misp", "trt-miss", "chk-mis",
+                     "hcalls");
+    for (const Row &row : rows) {
+        const ProfileBucket &b = *row.bucket;
+        const double share =
+            total_cycles
+                ? 100.0 * static_cast<double>(b.cycles) /
+                      static_cast<double>(total_cycles)
+                : 0.0;
+        out += strformat(
+            "  %-28s %12llu %5.1f%% %12llu %8llu %8llu %8llu %8llu "
+            "%7llu %7llu\n",
+            row.name.c_str(), (unsigned long long)b.cycles, share,
+            (unsigned long long)b.instructions,
+            (unsigned long long)b.eventCount(EventKind::IcacheMiss),
+            (unsigned long long)b.eventCount(EventKind::DcacheMiss),
+            (unsigned long long)b.branchMispredicts,
+            (unsigned long long)b.eventCount(EventKind::TrtMiss),
+            (unsigned long long)b.eventCount(EventKind::ChklbMiss),
+            (unsigned long long)b.eventCount(EventKind::Hostcall));
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+Profiler::renderByHandler(size_t top) const
+{
+    std::vector<Row> rows;
+    rows.reserve(byRegion_.size());
+    for (const auto &[region, bucket] : byRegion_)
+        rows.push_back({regionName(region), &bucket});
+    return renderTable(
+        "per-handler profile (cycles charged to marker regions)",
+        std::move(rows), lastCycle_, top);
+}
+
+std::string
+Profiler::renderFlat(size_t top) const
+{
+    std::vector<Row> rows;
+    rows.reserve(byLabel_.size());
+    for (const auto &[label, bucket] : byLabel_)
+        rows.push_back({label, &bucket});
+    return renderTable(
+        "flat profile (cycles charged to the nearest text label)",
+        std::move(rows), lastCycle_, top);
+}
+
+} // namespace tarch::obs

@@ -1,0 +1,146 @@
+#include "obs/sampler.h"
+
+#include "common/log.h"
+#include "common/strutil.h"
+
+namespace tarch::obs {
+
+core::CoreStats
+statsDelta(const core::CoreStats &a, const core::CoreStats &b)
+{
+    core::CoreStats d;
+    d.instructions = a.instructions - b.instructions;
+    d.cycles = a.cycles - b.cycles;
+    d.loads = a.loads - b.loads;
+    d.stores = a.stores - b.stores;
+    d.branches.condBranches = a.branches.condBranches - b.branches.condBranches;
+    d.branches.condMispredicts =
+        a.branches.condMispredicts - b.branches.condMispredicts;
+    d.branches.jumps = a.branches.jumps - b.branches.jumps;
+    d.branches.jumpMispredicts =
+        a.branches.jumpMispredicts - b.branches.jumpMispredicts;
+    d.icache.accesses = a.icache.accesses - b.icache.accesses;
+    d.icache.misses = a.icache.misses - b.icache.misses;
+    d.icache.writebacks = a.icache.writebacks - b.icache.writebacks;
+    d.dcache.accesses = a.dcache.accesses - b.dcache.accesses;
+    d.dcache.misses = a.dcache.misses - b.dcache.misses;
+    d.dcache.writebacks = a.dcache.writebacks - b.dcache.writebacks;
+    d.itlb.accesses = a.itlb.accesses - b.itlb.accesses;
+    d.itlb.misses = a.itlb.misses - b.itlb.misses;
+    d.dtlb.accesses = a.dtlb.accesses - b.dtlb.accesses;
+    d.dtlb.misses = a.dtlb.misses - b.dtlb.misses;
+    d.trt.lookups = a.trt.lookups - b.trt.lookups;
+    d.trt.hits = a.trt.hits - b.trt.hits;
+    d.typeOverflowMisses = a.typeOverflowMisses - b.typeOverflowMisses;
+    d.chklbChecks = a.chklbChecks - b.chklbChecks;
+    d.chklbMisses = a.chklbMisses - b.chklbMisses;
+    d.deoptRedirects = a.deoptRedirects - b.deoptRedirects;
+    d.deoptProbes = a.deoptProbes - b.deoptProbes;
+    d.hostcalls = a.hostcalls - b.hostcalls;
+    return d;
+}
+
+IntervalSampler::IntervalSampler(std::function<core::CoreStats()> snapshot,
+                                 uint64_t interval_cycles)
+    : snapshot_(std::move(snapshot)),
+      interval_(interval_cycles),
+      nextBoundary_(interval_cycles)
+{
+    if (interval_ == 0)
+        tarch_fatal("IntervalSampler: interval of 0 cycles");
+}
+
+void
+IntervalSampler::takeSample(uint64_t cycle)
+{
+    const core::CoreStats current = snapshot_();
+    Sample sample;
+    sample.cycle = cycle;
+    sample.cumulative = current;
+    sample.delta = statsDelta(current, last_);
+    last_ = current;
+    samples_.push_back(sample);
+}
+
+void
+IntervalSampler::onEvent(const Event &event)
+{
+    if (event.kind != EventKind::Retire)
+        return;
+    lastCycle_ = event.cycle;
+    if (event.cycle < nextBoundary_)
+        return;
+    takeSample(event.cycle);
+    // A multi-cycle instruction can stride several boundaries; the next
+    // one is the first boundary strictly after the recorded cycle.
+    nextBoundary_ = (event.cycle / interval_ + 1) * interval_;
+}
+
+void
+IntervalSampler::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    const core::CoreStats current = snapshot_();
+    // Cycles advance with every retire, so an unchanged cycle counter
+    // means no activity since the last boundary sample — adding an
+    // all-zero delta row would break nothing but helps nobody.
+    if (!samples_.empty() && current.cycles == samples_.back().cumulative.cycles)
+        return;
+    takeSample(current.cycles);
+}
+
+const char *
+IntervalSampler::csvHeader()
+{
+    return "cycle,instructions,cycles,loads,stores,cond_branches,"
+           "cond_mispredicts,jumps,jump_mispredicts,icache_accesses,"
+           "icache_misses,icache_writebacks,dcache_accesses,"
+           "dcache_misses,dcache_writebacks,itlb_accesses,itlb_misses,"
+           "dtlb_accesses,dtlb_misses,trt_lookups,trt_hits,"
+           "type_overflow_misses,chklb_checks,chklb_misses,"
+           "deopt_redirects,deopt_probes,hostcalls";
+}
+
+std::string
+IntervalSampler::renderCsv() const
+{
+    std::string out = std::string(csvHeader()) + "\n";
+    for (const Sample &sample : samples_) {
+        const core::CoreStats &d = sample.delta;
+        out += strformat(
+            "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
+            "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
+            "%llu,%llu,%llu,%llu,%llu\n",
+            (unsigned long long)sample.cycle,
+            (unsigned long long)d.instructions,
+            (unsigned long long)d.cycles, (unsigned long long)d.loads,
+            (unsigned long long)d.stores,
+            (unsigned long long)d.branches.condBranches,
+            (unsigned long long)d.branches.condMispredicts,
+            (unsigned long long)d.branches.jumps,
+            (unsigned long long)d.branches.jumpMispredicts,
+            (unsigned long long)d.icache.accesses,
+            (unsigned long long)d.icache.misses,
+            (unsigned long long)d.icache.writebacks,
+            (unsigned long long)d.dcache.accesses,
+            (unsigned long long)d.dcache.misses,
+            (unsigned long long)d.dcache.writebacks,
+            (unsigned long long)d.itlb.accesses,
+            (unsigned long long)d.itlb.misses,
+            (unsigned long long)d.dtlb.accesses,
+            (unsigned long long)d.dtlb.misses,
+            (unsigned long long)d.trt.lookups,
+            (unsigned long long)d.trt.hits,
+            (unsigned long long)d.typeOverflowMisses,
+            (unsigned long long)d.chklbChecks,
+            (unsigned long long)d.chklbMisses,
+            (unsigned long long)d.deoptRedirects,
+            (unsigned long long)d.deoptProbes,
+            (unsigned long long)d.hostcalls);
+    }
+    return out;
+}
+
+} // namespace tarch::obs

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Interval sampler sink: snapshots the full CoreStats aggregate every N
+ * cycles into a time series of deltas, so a run's evolution (a deopt
+ * storm, an MPKI phase change, a TRT warm-up) is visible instead of
+ * only its end-of-run averages.
+ *
+ * Sampling semantics (pinned by tests/test_obs.cc):
+ *   - a sample closes at the first retire whose cumulative cycle count
+ *     reaches the next interval boundary (instructions are multi-cycle,
+ *     so the recorded cycle can overshoot the boundary);
+ *   - finish() closes one final partial sample iff cycles advanced
+ *     since the last boundary sample — a run shorter than one interval
+ *     yields exactly one sample, a run ending exactly on a boundary
+ *     yields none extra;
+ *   - the per-column deltas of all samples sum to the final aggregate.
+ */
+
+#ifndef TARCH_OBS_SAMPLER_H
+#define TARCH_OBS_SAMPLER_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/stats.h"
+#include "obs/event.h"
+
+namespace tarch::obs {
+
+/** a - b, column-wise, over every scalar CoreStats counter. */
+core::CoreStats statsDelta(const core::CoreStats &a,
+                           const core::CoreStats &b);
+
+class IntervalSampler : public Sink
+{
+  public:
+    struct Sample {
+        uint64_t cycle = 0;           ///< cumulative cycle at close
+        core::CoreStats cumulative;   ///< aggregate at close
+        core::CoreStats delta;        ///< cumulative - previous sample
+    };
+
+    /**
+     * @param snapshot  returns the current CoreStats aggregate
+     *                  (typically [&core] { return core.collectStats(); })
+     * @param interval_cycles  sample every N cycles; fatal if 0
+     */
+    IntervalSampler(std::function<core::CoreStats()> snapshot,
+                    uint64_t interval_cycles);
+
+    void onEvent(const Event &event) override;
+
+    /** Close the final partial sample (idempotent). */
+    void finish();
+
+    const std::vector<Sample> &samples() const { return samples_; }
+    uint64_t intervalCycles() const { return interval_; }
+
+    /** The time series as CSV (header + one row per sample). */
+    std::string renderCsv() const;
+
+    /** The CSV column names, shared with the renderer and its tests. */
+    static const char *csvHeader();
+
+  private:
+    void takeSample(uint64_t cycle);
+
+    std::function<core::CoreStats()> snapshot_;
+    uint64_t interval_;
+    uint64_t nextBoundary_;
+    core::CoreStats last_;
+    uint64_t lastCycle_ = 0;
+    bool finished_ = false;
+    std::vector<Sample> samples_;
+};
+
+} // namespace tarch::obs
+
+#endif // TARCH_OBS_SAMPLER_H

@@ -1,0 +1,72 @@
+#include "obs/session.h"
+
+#include "obs/json.h"
+
+namespace tarch::obs {
+
+Session::Session(core::Core &core, const SessionConfig &config)
+    : core_(core),
+      config_(config)
+{
+    if (config_.profile) {
+        profiler_ =
+            std::make_unique<Profiler>(&core_.markers(), core_.labels());
+        core_.probeBus().attach(profiler_.get());
+    }
+    if (config_.intervalCycles != 0) {
+        sampler_ = std::make_unique<IntervalSampler>(
+            [this] { return core_.collectStats(); },
+            config_.intervalCycles);
+        core_.probeBus().attach(sampler_.get());
+    }
+    if (config_.chromeTrace) {
+        trace_ = std::make_unique<ChromeTraceSink>(&core_.markers(),
+                                                   core_.labels());
+        core_.probeBus().attach(trace_.get());
+    }
+    attached_ = true;
+}
+
+Session::~Session()
+{
+    detach();
+}
+
+void
+Session::detach()
+{
+    if (!attached_)
+        return;
+    attached_ = false;
+    if (profiler_)
+        core_.probeBus().detach(profiler_.get());
+    if (sampler_)
+        core_.probeBus().detach(sampler_.get());
+    if (trace_)
+        core_.probeBus().detach(trace_.get());
+}
+
+Artifacts
+Session::finish()
+{
+    Artifacts artifacts;
+    if (finished_)
+        return artifacts;
+    finished_ = true;
+    detach();
+    if (profiler_) {
+        artifacts.profileByHandler = profiler_->renderByHandler();
+        artifacts.profileFlat = profiler_->renderFlat();
+    }
+    if (sampler_) {
+        sampler_->finish();
+        artifacts.intervalCsv = sampler_->renderCsv();
+    }
+    if (trace_)
+        artifacts.traceJson = trace_->render();
+    if (config_.statsJson)
+        artifacts.statsJson = statsToJson(core_.collectStats());
+    return artifacts;
+}
+
+} // namespace tarch::obs

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * One-stop observability session: given a Core and a config, attaches
+ * the requested sinks (profiler, interval sampler, Chrome trace) to the
+ * core's probe bus, and on finish() detaches them and renders every
+ * requested artifact.  This is the layer the bench front-ends, the
+ * fuzzer replay path and tools/tarch_profile share, so flag plumbing
+ * stays one line per binary.
+ */
+
+#ifndef TARCH_OBS_SESSION_H
+#define TARCH_OBS_SESSION_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/core.h"
+#include "obs/chrome_trace.h"
+#include "obs/profiler.h"
+#include "obs/sampler.h"
+
+namespace tarch::obs {
+
+/** Which sinks to attach; default-constructed == everything off. */
+struct SessionConfig {
+    bool profile = false;         ///< cycle-attribution profiler
+    bool chromeTrace = false;     ///< Chrome trace-event exporter
+    uint64_t intervalCycles = 0;  ///< interval sampler period; 0 = off
+    bool statsJson = false;       ///< versioned CoreStats JSON dump
+
+    bool
+    any() const
+    {
+        return profile || chromeTrace || intervalCycles != 0 || statsJson;
+    }
+};
+
+/** Everything a finished session rendered, keyed by exporter. */
+struct Artifacts {
+    std::string profileByHandler; ///< per-region cycle table
+    std::string profileFlat;      ///< nearest-label cycle table
+    std::string traceJson;        ///< Chrome trace-event document
+    std::string intervalCsv;      ///< CoreStats-delta time series
+    std::string statsJson;        ///< versioned stats dump
+};
+
+class Session
+{
+  public:
+    /** Attaches the sinks @p config asks for to @p core's probe bus. */
+    Session(core::Core &core, const SessionConfig &config);
+
+    /** Detaches any still-attached sinks. */
+    ~Session();
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    /** Detach all sinks and render the requested artifacts (idempotent;
+        the second call returns an empty set). */
+    Artifacts finish();
+
+    Profiler *profiler() { return profiler_.get(); }
+    IntervalSampler *sampler() { return sampler_.get(); }
+    ChromeTraceSink *trace() { return trace_.get(); }
+
+  private:
+    void detach();
+
+    core::Core &core_;
+    SessionConfig config_;
+    std::unique_ptr<Profiler> profiler_;
+    std::unique_ptr<IntervalSampler> sampler_;
+    std::unique_ptr<ChromeTraceSink> trace_;
+    bool attached_ = false;
+    bool finished_ = false;
+};
+
+} // namespace tarch::obs
+
+#endif // TARCH_OBS_SESSION_H

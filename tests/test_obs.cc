@@ -1,0 +1,510 @@
+// Tests for the observability layer (src/obs/): probe-bus neutrality
+// (attaching sinks never changes the measured stats), exact cycle
+// attribution, the interval sampler's boundary semantics, the Chrome
+// trace and stats-JSON exporters, tracer label annotations, and the
+// hostcall region-accounting fix in Markers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+
+#include "assembler/assembler.h"
+#include "common/log.h"
+#include "core/core.h"
+#include "core/hostcall.h"
+#include "core/trace.h"
+#include "fuzz/oracle.h"
+#include "obs/json.h"
+#include "obs/sampler.h"
+#include "obs/session.h"
+#include "vm/js/js_vm.h"
+#include "vm/lua/lua_vm.h"
+
+namespace tarch::obs {
+namespace {
+
+const char *kMixedLoop = R"(
+local s = 0.0
+for i = 1, 500 do s = s + i end
+print(s)
+)";
+
+/** All 26 counters as one comparable string (plus derived rates, which
+    are functions of the counters). */
+std::string
+statsKey(const core::CoreStats &stats)
+{
+    return statsToJson(stats);
+}
+
+core::CoreStats
+runLua(const std::string &src, vm::Variant variant,
+       const SessionConfig &obs, Artifacts *artifacts = nullptr)
+{
+    vm::lua::LuaVm::Options opts;
+    opts.variant = variant;
+    vm::lua::LuaVm vm(src, opts);
+    Session session(vm.core(), obs);
+    vm.run();
+    const Artifacts rendered = session.finish();
+    if (artifacts)
+        *artifacts = rendered;
+    return vm.core().collectStats();
+}
+
+// ---------------------------------------------------------------------
+// Probe-bus neutrality: the acceptance criterion that instrumentation
+// never changes what is measured.
+
+TEST(ProbeBus, NoSinksMeansInactive)
+{
+    ProbeBus bus;
+    EXPECT_FALSE(bus.active());
+    Sink *sink = nullptr;
+    struct Counter : Sink {
+        int n = 0;
+        void onEvent(const Event &) override { ++n; }
+    } counter;
+    sink = &counter;
+    bus.attach(sink);
+    EXPECT_TRUE(bus.active());
+    bus.emit({EventKind::Retire, 0, 1, 0, 0});
+    bus.detach(sink);
+    EXPECT_FALSE(bus.active());
+    EXPECT_EQ(counter.n, 1);
+}
+
+TEST(Obs, AttachedSinksLeaveAllCountersBitIdentical)
+{
+    SessionConfig everything;
+    everything.profile = true;
+    everything.chromeTrace = true;
+    everything.intervalCycles = 1000;
+    everything.statsJson = true;
+    for (const vm::Variant variant :
+         {vm::Variant::Baseline, vm::Variant::Typed,
+          vm::Variant::CheckedLoad}) {
+        const core::CoreStats plain =
+            runLua(kMixedLoop, variant, SessionConfig{});
+        const core::CoreStats instrumented =
+            runLua(kMixedLoop, variant, everything);
+        EXPECT_EQ(statsKey(plain), statsKey(instrumented))
+            << "variant " << static_cast<int>(variant);
+    }
+}
+
+TEST(Obs, AttachedSinksLeaveJsStatsBitIdentical)
+{
+    SessionConfig everything;
+    everything.profile = true;
+    everything.chromeTrace = true;
+    everything.intervalCycles = 500;
+    everything.statsJson = true;
+
+    vm::js::JsVm::Options opts;
+    opts.variant = vm::Variant::Typed;
+    vm::js::JsVm plain(kMixedLoop, opts);
+    plain.run();
+
+    vm::js::JsVm vm(kMixedLoop, opts);
+    Session session(vm.core(), everything);
+    vm.run();
+    session.finish();
+
+    EXPECT_EQ(statsKey(plain.core().collectStats()),
+              statsKey(vm.core().collectStats()));
+}
+
+// ---------------------------------------------------------------------
+// Profiler attribution: exact by construction.
+
+TEST(Profiler, RegionAndLabelCyclesSumToCoreCycles)
+{
+    vm::lua::LuaVm::Options opts;
+    opts.variant = vm::Variant::Typed;
+    vm::lua::LuaVm vm(kMixedLoop, opts);
+    SessionConfig cfg;
+    cfg.profile = true;
+    Session session(vm.core(), cfg);
+    vm.run();
+    const core::CoreStats stats = vm.core().collectStats();
+
+    const Profiler &prof = *session.profiler();
+    uint64_t region_cycles = 0;
+    uint64_t region_instrs = 0;
+    for (const auto &[region, bucket] : prof.byRegion()) {
+        region_cycles += bucket.cycles;
+        region_instrs += bucket.instructions;
+    }
+    uint64_t label_cycles = 0;
+    for (const auto &[label, bucket] : prof.byLabel())
+        label_cycles += bucket.cycles;
+
+    EXPECT_EQ(region_cycles, stats.cycles);
+    EXPECT_EQ(label_cycles, stats.cycles);
+    EXPECT_EQ(region_instrs, stats.instructions);
+    EXPECT_EQ(prof.totalCycles(), stats.cycles);
+    EXPECT_EQ(prof.totalInstructions(), stats.instructions);
+
+    const Artifacts artifacts = session.finish();
+    EXPECT_NE(artifacts.profileByHandler.find("cycles"), std::string::npos);
+    EXPECT_NE(artifacts.profileFlat.find("cycles"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Chrome trace exporter.
+
+TEST(ChromeTrace, ValidJsonWithSpansAndInstants)
+{
+    SessionConfig cfg;
+    cfg.chromeTrace = true;
+    Artifacts artifacts;
+    runLua(kMixedLoop, vm::Variant::Typed, cfg, &artifacts);
+
+    std::string error;
+    EXPECT_TRUE(jsonWellFormed(artifacts.traceJson, &error)) << error;
+    // Duration spans for handler regions and instant events (hostcalls
+    // fire on every run; TRT misses on the mixed-type loop).
+    EXPECT_NE(artifacts.traceJson.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(artifacts.traceJson.find("\"ph\":\"i\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Stats JSON dump: schema gate + exact round-trip.
+
+TEST(StatsJson, RoundTripsExactly)
+{
+    core::CoreStats stats;
+    stats.instructions = 12345678901234567ULL;  // > 2^53: doubles lose it
+    stats.cycles = 98765432109876543ULL;
+    stats.loads = 7;
+    stats.trt.lookups = 11;
+    stats.trt.hits = 9;
+    stats.hostcalls = 3;
+
+    core::CoreStats back;
+    std::string error;
+    ASSERT_TRUE(statsFromJson(statsToJson(stats), back, &error)) << error;
+    EXPECT_EQ(statsKey(stats), statsKey(back));
+}
+
+TEST(StatsJson, SchemaGateRejectsWrongVersion)
+{
+    std::string dump = statsToJson(core::CoreStats{});
+    const size_t pos = dump.find(kStatsSchema);
+    ASSERT_NE(pos, std::string::npos);
+    dump.replace(pos, std::string(kStatsSchema).size(), "tarch-stats-v0");
+    core::CoreStats back;
+    std::string error;
+    EXPECT_FALSE(statsFromJson(dump, back, &error));
+    EXPECT_NE(error.find("schema"), std::string::npos);
+}
+
+TEST(StatsJson, RejectsMissingCounter)
+{
+    std::string dump = statsToJson(core::CoreStats{});
+    const size_t pos = dump.find("\"loads\"");
+    ASSERT_NE(pos, std::string::npos);
+    dump.replace(pos, 7, "\"lauds\"");
+    core::CoreStats back;
+    EXPECT_FALSE(statsFromJson(dump, back, nullptr));
+}
+
+TEST(StatsJson, RejectsMalformedDocument)
+{
+    core::CoreStats back;
+    std::string error;
+    EXPECT_FALSE(statsFromJson("{\"schema\":", back, &error));
+    EXPECT_FALSE(statsFromJson("", back, &error));
+}
+
+// ---------------------------------------------------------------------
+// Interval sampler: boundary semantics pinned by the header comment.
+
+/** A sampler driven by synthetic retires whose "stats" count events. */
+struct SyntheticFeed {
+    core::CoreStats stats;
+    uint64_t cycle = 0;
+
+    IntervalSampler
+    makeSampler(uint64_t interval)
+    {
+        return IntervalSampler([this] { return stats; }, interval);
+    }
+
+    void
+    retire(IntervalSampler &sampler, uint64_t at_cycle)
+    {
+        cycle = at_cycle;
+        ++stats.instructions;
+        stats.cycles = at_cycle;
+        sampler.onEvent({EventKind::Retire, 0x1000, at_cycle, 0, 0});
+    }
+};
+
+TEST(IntervalSampler, RunShorterThanOneIntervalYieldsOneFinalSample)
+{
+    SyntheticFeed feed;
+    IntervalSampler sampler = feed.makeSampler(1'000'000);
+    feed.retire(sampler, 3);
+    feed.retire(sampler, 9);
+    EXPECT_TRUE(sampler.samples().empty());
+    sampler.finish();
+    ASSERT_EQ(sampler.samples().size(), 1u);
+    EXPECT_EQ(sampler.samples()[0].cycle, 9u);
+    EXPECT_EQ(sampler.samples()[0].delta.instructions, 2u);
+}
+
+TEST(IntervalSampler, RunEndingExactlyOnBoundaryAddsNoExtraSample)
+{
+    SyntheticFeed feed;
+    IntervalSampler sampler = feed.makeSampler(10);
+    feed.retire(sampler, 4);
+    feed.retire(sampler, 10);  // closes the [0,10] sample
+    ASSERT_EQ(sampler.samples().size(), 1u);
+    sampler.finish();
+    EXPECT_EQ(sampler.samples().size(), 1u);
+    EXPECT_EQ(sampler.samples()[0].cycle, 10u);
+    EXPECT_EQ(sampler.samples()[0].delta.instructions, 2u);
+}
+
+TEST(IntervalSampler, IntervalOfOneCycleSamplesEveryRetire)
+{
+    SyntheticFeed feed;
+    IntervalSampler sampler = feed.makeSampler(1);
+    feed.retire(sampler, 1);
+    feed.retire(sampler, 2);
+    feed.retire(sampler, 5);  // multi-cycle stride across boundaries
+    feed.retire(sampler, 6);
+    sampler.finish();
+    ASSERT_EQ(sampler.samples().size(), 4u);
+    for (const IntervalSampler::Sample &s : sampler.samples())
+        EXPECT_EQ(s.delta.instructions, 1u);
+}
+
+TEST(IntervalSampler, MultiCycleInstructionStridesSeveralBoundaries)
+{
+    SyntheticFeed feed;
+    IntervalSampler sampler = feed.makeSampler(10);
+    feed.retire(sampler, 35);  // crosses boundaries 10, 20, 30 at once
+    ASSERT_EQ(sampler.samples().size(), 1u);
+    EXPECT_EQ(sampler.samples()[0].cycle, 35u);
+    feed.retire(sampler, 39);
+    EXPECT_EQ(sampler.samples().size(), 1u);  // next boundary is 40
+    feed.retire(sampler, 41);
+    EXPECT_EQ(sampler.samples().size(), 2u);
+}
+
+TEST(IntervalSampler, DeltasSumExactlyToFinalAggregate)
+{
+    vm::lua::LuaVm vm(kMixedLoop);
+    SessionConfig cfg;
+    cfg.intervalCycles = 997;  // odd interval: exercise partial tail
+    Session session(vm.core(), cfg);
+    vm.run();
+    const IntervalSampler &sampler = *session.sampler();
+    const_cast<IntervalSampler &>(sampler).finish();
+    const core::CoreStats final_stats = vm.core().collectStats();
+
+    ASSERT_FALSE(sampler.samples().empty());
+    core::CoreStats sum;
+    for (const IntervalSampler::Sample &s : sampler.samples()) {
+        const core::CoreStats &d = s.delta;
+        sum.instructions += d.instructions;
+        sum.cycles += d.cycles;
+        sum.loads += d.loads;
+        sum.stores += d.stores;
+        sum.branches.condBranches += d.branches.condBranches;
+        sum.branches.condMispredicts += d.branches.condMispredicts;
+        sum.branches.jumps += d.branches.jumps;
+        sum.branches.jumpMispredicts += d.branches.jumpMispredicts;
+        sum.icache.accesses += d.icache.accesses;
+        sum.icache.misses += d.icache.misses;
+        sum.icache.writebacks += d.icache.writebacks;
+        sum.dcache.accesses += d.dcache.accesses;
+        sum.dcache.misses += d.dcache.misses;
+        sum.dcache.writebacks += d.dcache.writebacks;
+        sum.itlb.accesses += d.itlb.accesses;
+        sum.itlb.misses += d.itlb.misses;
+        sum.dtlb.accesses += d.dtlb.accesses;
+        sum.dtlb.misses += d.dtlb.misses;
+        sum.trt.lookups += d.trt.lookups;
+        sum.trt.hits += d.trt.hits;
+        sum.typeOverflowMisses += d.typeOverflowMisses;
+        sum.chklbChecks += d.chklbChecks;
+        sum.chklbMisses += d.chklbMisses;
+        sum.deoptRedirects += d.deoptRedirects;
+        sum.deoptProbes += d.deoptProbes;
+        sum.hostcalls += d.hostcalls;
+    }
+    EXPECT_EQ(statsKey(sum), statsKey(final_stats));
+
+    // The CSV renders header + one line per sample.
+    const std::string csv = sampler.renderCsv();
+    EXPECT_EQ(static_cast<size_t>(
+                  std::count(csv.begin(), csv.end(), '\n')),
+              sampler.samples().size() + 1);
+    EXPECT_EQ(csv.compare(0, std::string(
+                                 IntervalSampler::csvHeader())
+                                 .size(),
+                          IntervalSampler::csvHeader()),
+              0);
+}
+
+// ---------------------------------------------------------------------
+// Tracer label annotation (satellite).
+
+TEST(Tracer, DumpAnnotatesNearestLabel)
+{
+    core::Core core({}, nullptr);
+    core::Tracer tracer(16);
+    core.setTracer(&tracer);
+    core.loadProgram(assembler::assemble(R"(
+_start: li a0, 1
+inner:  addi a0, a0, 1
+        addi a0, a0, 2
+        halt
+    )"));
+    core.run();
+    const std::string dump = tracer.dump();
+    EXPECT_NE(dump.find("; _start"), std::string::npos);
+    EXPECT_NE(dump.find("; inner"), std::string::npos);
+    EXPECT_NE(dump.find("; inner+0x4"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Markers hostcall region accounting (satellite regression).
+
+TEST(Markers, HostcallChargesLandOnTheRegionActiveAtTheHcall)
+{
+    core::HostcallRegistry reg;
+    reg.add(1, "noop", {7, 13}, [](core::HostEnv &) {});
+    core::Core core({}, &reg);
+    const assembler::Program program = assembler::assemble(R"(
+_start: li a1, 2
+        jal ra, other
+done:   halt
+other:  hcall 1
+        jalr zero, ra, 0
+    )");
+    // Markers must be registered before loadProgram resolves them to
+    // text indexes.
+    const size_t region_start =
+        core.markers().add(program.symbols.at("_start"), "start");
+    const size_t region_other =
+        core.markers().add(program.symbols.at("other"), "other");
+    core.loadProgram(program);
+    core.run();
+    const core::CoreStats stats = core.collectStats();
+
+    // Regions are dynamic: "start" covers li + jal; once `other` is
+    // fetched its region absorbs everything after, including the
+    // post-return halt.  The 7-instruction hostcall lump lands on
+    // "other" (active at the hcall): hcall + 7 + jr + halt = 10.
+    EXPECT_EQ(core.markers().regionInstrs(region_start), 2u);
+    EXPECT_EQ(core.markers().regionInstrs(region_other), 10u);
+    // Every retired instruction (including the lump) is attributed.
+    EXPECT_EQ(core.markers().regionInstrs(region_start) +
+                  core.markers().regionInstrs(region_other),
+              stats.instructions);
+}
+
+TEST(Markers, PerRegionTotalsPinToCoreInstructions)
+{
+    // A lua run with the interpreter's own handler markers: the sum of
+    // all region instruction counts plus the pre-marker prologue must
+    // equal CoreStats::instructions exactly (hostcall lumps included).
+    vm::lua::LuaVm vm(kMixedLoop);
+    SessionConfig cfg;
+    cfg.profile = true;
+    Session session(vm.core(), cfg);
+    vm.run();
+    const core::CoreStats stats = vm.core().collectStats();
+    const Profiler &prof = *session.profiler();
+    uint64_t attributed = 0;
+    for (const auto &[region, bucket] : prof.byRegion())
+        attributed += bucket.instructions;
+    EXPECT_EQ(attributed, stats.instructions);
+    EXPECT_GT(stats.hostcalls, 0u);  // print() went through an hcall
+}
+
+// ---------------------------------------------------------------------
+// Instrumented fuzz replay (fuzz::replayInstrumented).
+
+TEST(ReplayInstrumented, RendersArtifactsAndMatchesUninstrumentedStats)
+{
+    fuzz::RunConfig config;
+    config.engine = fuzz::RunConfig::Engine::Lua;
+    config.variant = vm::Variant::Typed;
+    SessionConfig obs_cfg;
+    obs_cfg.profile = true;
+    obs_cfg.statsJson = true;
+    Artifacts artifacts;
+    const fuzz::RunRecord rec = fuzz::replayInstrumented(
+        kMixedLoop, config, obs_cfg, artifacts);
+    EXPECT_FALSE(rec.crashed);
+    EXPECT_FALSE(artifacts.profileByHandler.empty());
+    core::CoreStats back;
+    std::string error;
+    ASSERT_TRUE(statsFromJson(artifacts.statsJson, back, &error)) << error;
+    EXPECT_EQ(statsKey(rec.stats), statsKey(back));
+
+    // The instrumented replay measures the same run the oracle did.
+    const fuzz::OracleResult oracle = fuzz::runOracle(kMixedLoop);
+    ASSERT_TRUE(oracle.referenceOk);
+    for (const fuzz::RunRecord &r : oracle.runs) {
+        if (r.config.name() == config.name())
+            EXPECT_EQ(statsKey(r.stats), statsKey(rec.stats));
+    }
+}
+
+TEST(ReplayInstrumented, CrashedRunStillRendersArtifacts)
+{
+    fuzz::RunConfig config;
+    fuzz::OracleOptions opts;
+    opts.maxInstructions = 2'000;  // trip the runaway guard mid-run
+    opts.verifyImages = false;
+    SessionConfig obs_cfg;
+    obs_cfg.chromeTrace = true;
+    obs_cfg.statsJson = true;
+    Artifacts artifacts;
+    const fuzz::RunRecord rec = fuzz::replayInstrumented(
+        "while 1 == 1 do end", config, obs_cfg, artifacts, opts);
+    EXPECT_TRUE(rec.crashed);
+    EXPECT_FALSE(rec.error.empty());
+    // The trace up to the fatal instruction is still rendered and valid.
+    std::string error;
+    EXPECT_TRUE(jsonWellFormed(artifacts.traceJson, &error)) << error;
+    EXPECT_FALSE(artifacts.statsJson.empty());
+}
+
+// ---------------------------------------------------------------------
+// Session lifecycle.
+
+TEST(Session, FinishIsIdempotentAndDetaches)
+{
+    vm::lua::LuaVm vm("print(1)");
+    SessionConfig cfg;
+    cfg.profile = true;
+    cfg.statsJson = true;
+    Session session(vm.core(), cfg);
+    EXPECT_TRUE(vm.core().probeBus().active());
+    vm.run();
+    const Artifacts first = session.finish();
+    EXPECT_FALSE(vm.core().probeBus().active());
+    EXPECT_FALSE(first.statsJson.empty());
+    const Artifacts second = session.finish();
+    EXPECT_TRUE(second.statsJson.empty());
+}
+
+TEST(Session, NoConfigAttachesNothing)
+{
+    vm::lua::LuaVm vm("print(1)");
+    Session session(vm.core(), SessionConfig{});
+    EXPECT_FALSE(vm.core().probeBus().active());
+}
+
+} // namespace
+} // namespace tarch::obs

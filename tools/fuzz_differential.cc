@@ -6,7 +6,14 @@
 //
 //   fuzz_differential --seeds 0..500 --jobs 8 --out fuzz-out
 //   fuzz_differential --replay fuzz-out/repro_42.ms
+//   fuzz_differential --replay repro.ms --profile --trace-out pre
 //   fuzz_differential --dump-seed 42
+//
+// In --replay mode the observability flags (--profile, --trace-out
+// PREFIX, --interval-stats N, --json; see docs/OBSERVABILITY.md)
+// re-run every DIVERGENT configuration with probe-bus sinks attached
+// and emit its artifacts — a post-mortem view of exactly the runs that
+// disagreed.
 //
 // Exit code 0: every seed clean.  1: at least one divergence (repro
 // files written).  2: usage / IO error.
@@ -28,6 +35,7 @@
 #include "fuzz/oracle.h"
 #include "fuzz/progen.h"
 #include "fuzz/shrink.h"
+#include "obs/session.h"
 
 using namespace tarch;
 
@@ -45,6 +53,9 @@ struct CliOptions {
     bool quiet = false;
     unsigned maxFailures = 5;
     fuzz::OracleOptions oracle;
+    /** Observability sinks for --replay (divergent configs only). */
+    obs::SessionConfig obs;
+    std::string obsPrefix = "fuzz-obs";
 };
 
 [[noreturn]] void
@@ -55,6 +66,8 @@ usage(const char *argv0)
         "usage: %s [--seeds A..B] [--jobs N] [--out DIR] [--no-shrink]\n"
         "          [--max-failures K] [--max-instructions N] [--quiet]\n"
         "       %s --replay FILE     (re-run one program, report, exit)\n"
+        "           [--profile] [--trace-out PREFIX] [--interval-stats N]\n"
+        "           [--json]         (instrument the divergent configs)\n"
         "       %s --dump-seed S     (print the program for one seed)\n",
         argv0, argv0, argv0);
     std::exit(2);
@@ -144,11 +157,106 @@ parseArgs(int argc, char **argv)
                 static_cast<unsigned>(nextU64("--max-failures"));
         } else if (arg == "--max-instructions") {
             opts.oracle.maxInstructions = nextU64("--max-instructions");
+        } else if (arg == "--profile") {
+            opts.obs.profile = true;
+        } else if (arg == "--trace-out") {
+            opts.obs.chromeTrace = true;
+            opts.obsPrefix = next();
+        } else if (arg == "--interval-stats") {
+            const uint64_t n = nextU64("--interval-stats");
+            if (n == 0) {
+                std::fprintf(stderr,
+                             "%s: --interval-stats must be nonzero\n",
+                             argv[0]);
+                usage(argv[0]);
+            }
+            opts.obs.intervalCycles = n;
+        } else if (arg == "--json") {
+            opts.obs.statsJson = true;
         } else {
             usage(argv[0]);
         }
     }
     return opts;
+}
+
+/** "MiniLua/typed/deopt=on" -> "MiniLua.typed.deopt-on" (path-safe). */
+std::string
+configSlug(const std::string &name)
+{
+    std::string slug = name;
+    for (char &c : slug) {
+        if (c == '/')
+            c = '.';
+        else if (c == '=')
+            c = '-';
+    }
+    return slug;
+}
+
+bool
+writeTextFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path);
+    out << content;
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+/**
+ * Re-run every configuration that diverged with the requested sinks
+ * attached and emit its artifacts (stdout for profiles, files named
+ * `<prefix>.<config slug>.<kind>` otherwise).
+ */
+void
+instrumentDivergentConfigs(const std::string &source,
+                           const fuzz::OracleResult &result,
+                           const CliOptions &opts)
+{
+    std::vector<std::string> done;
+    for (const fuzz::Divergence &d : result.divergences) {
+        if (std::find(done.begin(), done.end(), d.config) != done.end())
+            continue;
+        done.push_back(d.config);
+        const auto configs = fuzz::allRunConfigs();
+        const auto it = std::find_if(
+            configs.begin(), configs.end(),
+            [&](const fuzz::RunConfig &c) { return c.name() == d.config; });
+        if (it == configs.end())
+            continue;
+        obs::Artifacts artifacts;
+        const fuzz::RunRecord rec = fuzz::replayInstrumented(
+            source, *it, opts.obs, artifacts, opts.oracle);
+        const std::string slug = configSlug(d.config);
+        std::printf("\ninstrumented %s%s\n", d.config.c_str(),
+                    rec.crashed ? " (crashed; artifacts cover the run up "
+                                  "to the fatal instruction)"
+                                : "");
+        if (opts.obs.profile)
+            std::printf("%s\n%s", artifacts.profileByHandler.c_str(),
+                        artifacts.profileFlat.c_str());
+        if (opts.obs.chromeTrace) {
+            const std::string path =
+                opts.obsPrefix + "." + slug + ".trace.json";
+            if (writeTextFile(path, artifacts.traceJson))
+                std::printf("wrote %s\n", path.c_str());
+        }
+        if (opts.obs.intervalCycles != 0) {
+            const std::string path =
+                opts.obsPrefix + "." + slug + ".intervals.csv";
+            if (writeTextFile(path, artifacts.intervalCsv))
+                std::printf("wrote %s\n", path.c_str());
+        }
+        if (opts.obs.statsJson) {
+            const std::string path =
+                opts.obsPrefix + "." + slug + ".stats.json";
+            if (writeTextFile(path, artifacts.statsJson))
+                std::printf("wrote %s\n", path.c_str());
+        }
+    }
 }
 
 std::string
@@ -182,11 +290,15 @@ replay(const CliOptions &opts)
     if (result.clean()) {
         std::printf("clean: all %zu runs match the reference semantics\n",
                     result.runs.size());
+        if (opts.obs.any())
+            std::printf("no divergent configs, nothing to instrument\n");
         return 0;
     }
     std::printf("%zu divergence(s):\n", result.divergences.size());
     for (const fuzz::Divergence &d : result.divergences)
         std::printf("  %s\n", d.describe().c_str());
+    if (opts.obs.any())
+        instrumentDivergentConfigs(buffer.str(), result, opts);
     return 1;
 }
 

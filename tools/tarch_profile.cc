@@ -1,0 +1,299 @@
+// tarch_profile: profile one (engine, variant, benchmark) cell with the
+// observability layer (docs/OBSERVABILITY.md) attached, without running
+// a whole bench sweep.
+//
+//   tarch_profile --engine lua --benchmark n-sieve
+//   tarch_profile --engine js --variant typed --benchmark fibo \
+//                 --trace-out prof --interval-stats 10000 --json
+//   tarch_profile --validate-json FILE    (well-formedness gate, exit 0/1)
+//   tarch_profile --check-stats FILE      (stats schema round-trip, exit 0/1)
+//   tarch_profile --list                  (benchmark names)
+//
+// With no output flag, --profile is implied: running the tool bare
+// prints the per-handler and flat cycle profiles.  The two validation
+// modes use the in-repo JSON parser (obs/json.h), so CI can assert the
+// exporters' output without python or jq.
+//
+// Exit code 0: success / file valid.  1: validation failed.
+// 2: usage / IO error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/benchmarks.h"
+#include "harness/experiment.h"
+#include "obs/json.h"
+
+using namespace tarch;
+
+namespace {
+
+struct CliOptions {
+    std::string engine;    ///< "lua" or "js"
+    std::string variant = "typed";
+    std::string benchmark = "n-sieve";
+    std::string validateJsonFile; ///< --validate-json mode
+    std::string checkStatsFile;   ///< --check-stats mode
+    bool list = false;
+    bool profile = false;
+    bool traceOut = false;
+    bool json = false;
+    uint64_t intervalCycles = 0;
+    std::string prefix = "tarch-profile";
+};
+
+[[noreturn]] void
+usage(const char *argv0, int exit_code)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --engine lua|js [--variant V] [--benchmark B]\n"
+        "          [--profile] [--trace-out PREFIX] [--interval-stats N] "
+        "[--json]\n"
+        "       %s --validate-json FILE   (exit 0 iff FILE is well-formed "
+        "JSON)\n"
+        "       %s --check-stats FILE     (exit 0 iff FILE round-trips "
+        "the stats schema)\n"
+        "       %s --list                 (print benchmark names)\n"
+        "  --variant V   baseline | typed | checked-load (default typed)\n"
+        "  --benchmark B one of the Table 7 benchmarks (default n-sieve)\n"
+        "  (no output flag implies --profile)\n",
+        argv0, argv0, argv0, argv0);
+    std::exit(exit_code);
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s needs a value\n", argv[0],
+                             flag);
+                usage(argv[0], 2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--engine") {
+            opts.engine = next("--engine");
+        } else if (arg == "--variant") {
+            opts.variant = next("--variant");
+        } else if (arg == "--benchmark") {
+            opts.benchmark = next("--benchmark");
+        } else if (arg == "--validate-json") {
+            opts.validateJsonFile = next("--validate-json");
+        } else if (arg == "--check-stats") {
+            opts.checkStatsFile = next("--check-stats");
+        } else if (arg == "--list") {
+            opts.list = true;
+        } else if (arg == "--profile") {
+            opts.profile = true;
+        } else if (arg == "--trace-out") {
+            opts.traceOut = true;
+            opts.prefix = next("--trace-out");
+        } else if (arg == "--interval-stats") {
+            const char *text = next("--interval-stats");
+            char *end = nullptr;
+            const unsigned long long n = std::strtoull(text, &end, 10);
+            if (end == text || *end != '\0' || n == 0) {
+                std::fprintf(stderr,
+                             "%s: bad --interval-stats value '%s'\n",
+                             argv[0], text);
+                usage(argv[0], 2);
+            }
+            opts.intervalCycles = n;
+        } else if (arg == "--json") {
+            opts.json = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0], 0);
+        } else {
+            std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0],
+                         arg.c_str());
+            usage(argv[0], 2);
+        }
+    }
+    return opts;
+}
+
+bool
+readFile(const std::string &path, std::string &content)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    content = buffer.str();
+    return true;
+}
+
+bool
+writeTextFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path);
+    out << content;
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+int
+validateJson(const std::string &path)
+{
+    std::string content;
+    if (!readFile(path, content))
+        return 2;
+    std::string error;
+    if (!obs::jsonWellFormed(content, &error)) {
+        std::fprintf(stderr, "%s: invalid JSON: %s\n", path.c_str(),
+                     error.c_str());
+        return 1;
+    }
+    std::printf("%s: well-formed JSON\n", path.c_str());
+    return 0;
+}
+
+int
+checkStats(const std::string &path)
+{
+    std::string content;
+    if (!readFile(path, content))
+        return 2;
+    core::CoreStats stats;
+    std::string error;
+    if (!obs::statsFromJson(content, stats, &error)) {
+        std::fprintf(stderr, "%s: stats dump rejected: %s\n",
+                     path.c_str(), error.c_str());
+        return 1;
+    }
+    // Round-trip: re-serialize and re-parse; the counters must survive
+    // exactly (the exporter keeps u64 precision).
+    core::CoreStats again;
+    if (!obs::statsFromJson(obs::statsToJson(stats), again, &error)) {
+        std::fprintf(stderr, "%s: re-serialized dump rejected: %s\n",
+                     path.c_str(), error.c_str());
+        return 1;
+    }
+    if (again.instructions != stats.instructions ||
+        again.cycles != stats.cycles || again.hostcalls != stats.hostcalls) {
+        std::fprintf(stderr, "%s: counters changed across round-trip\n",
+                     path.c_str());
+        return 1;
+    }
+    std::printf("%s: schema %s, %llu instructions, %llu cycles, "
+                "round-trip ok\n",
+                path.c_str(), obs::kStatsSchema,
+                (unsigned long long)stats.instructions,
+                (unsigned long long)stats.cycles);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions opts = parseArgs(argc, argv);
+
+    if (!opts.validateJsonFile.empty())
+        return validateJson(opts.validateJsonFile);
+    if (!opts.checkStatsFile.empty())
+        return checkStats(opts.checkStatsFile);
+    if (opts.list) {
+        for (const harness::BenchmarkInfo &info : harness::benchmarks())
+            std::printf("%s\n", info.name.c_str());
+        return 0;
+    }
+
+    harness::Engine engine;
+    if (opts.engine == "lua") {
+        engine = harness::Engine::Lua;
+    } else if (opts.engine == "js") {
+        engine = harness::Engine::Js;
+    } else {
+        std::fprintf(stderr, "%s: --engine must be lua or js\n", argv[0]);
+        usage(argv[0], 2);
+    }
+
+    vm::Variant variant;
+    if (opts.variant == "baseline") {
+        variant = vm::Variant::Baseline;
+    } else if (opts.variant == "typed") {
+        variant = vm::Variant::Typed;
+    } else if (opts.variant == "checked-load") {
+        variant = vm::Variant::CheckedLoad;
+    } else {
+        std::fprintf(stderr,
+                     "%s: --variant must be baseline, typed, or "
+                     "checked-load\n",
+                     argv[0]);
+        usage(argv[0], 2);
+    }
+
+    const harness::BenchmarkInfo *info = nullptr;
+    for (const harness::BenchmarkInfo &b : harness::benchmarks()) {
+        if (b.name == opts.benchmark) {
+            info = &b;
+            break;
+        }
+    }
+    if (!info) {
+        std::fprintf(stderr,
+                     "%s: unknown benchmark '%s' (try --list)\n", argv[0],
+                     opts.benchmark.c_str());
+        return 2;
+    }
+
+    if (!opts.profile && !opts.traceOut && !opts.json &&
+        opts.intervalCycles == 0)
+        opts.profile = true;
+
+    obs::SessionConfig obs_cfg;
+    obs_cfg.profile = opts.profile;
+    obs_cfg.chromeTrace = opts.traceOut;
+    obs_cfg.intervalCycles = opts.intervalCycles;
+    obs_cfg.statsJson = opts.json;
+
+    const harness::RunResult result =
+        harness::runOne(engine, variant, *info, obs_cfg);
+    const std::string cell =
+        std::string(engine == harness::Engine::Lua ? "lua" : "js") + "." +
+        info->name + "." + std::string(vm::variantName(variant));
+
+    std::printf("%s: %llu instructions, %llu cycles\n", cell.c_str(),
+                (unsigned long long)result.stats.instructions,
+                (unsigned long long)result.stats.cycles);
+    if (opts.profile)
+        std::printf("%s\n%s", result.obsArtifacts.profileByHandler.c_str(),
+                    result.obsArtifacts.profileFlat.c_str());
+    if (opts.traceOut) {
+        const std::string path = opts.prefix + "." + cell + ".trace.json";
+        if (!writeTextFile(path, result.obsArtifacts.traceJson))
+            return 2;
+        std::printf("wrote %s\n", path.c_str());
+    }
+    if (opts.intervalCycles != 0) {
+        const std::string path =
+            opts.prefix + "." + cell + ".intervals.csv";
+        if (!writeTextFile(path, result.obsArtifacts.intervalCsv))
+            return 2;
+        std::printf("wrote %s\n", path.c_str());
+    }
+    if (opts.json) {
+        const std::string path = opts.prefix + "." + cell + ".stats.json";
+        if (!writeTextFile(path, result.obsArtifacts.statsJson))
+            return 2;
+        std::printf("wrote %s\n", path.c_str());
+    }
+    return 0;
+}
