@@ -11,9 +11,12 @@
 # race-checks the parallel sweep executor (a dedicated TSan build of
 # test_sweep_cache + the parallel-executor tests) and clang-tidies
 # src/analysis/ + src/common/ when clang-tidy is installed.  Every run
-# ends with an observability smoke: tarch_profile over one Lua and one
+# ends with an observability smoke — tarch_profile over one Lua and one
 # JS benchmark, with the emitted Chrome trace and stats JSON validated
-# by the tool's own parser (docs/OBSERVABILITY.md).
+# by the tool's own parser (docs/OBSERVABILITY.md) — and a serving
+# smoke: tarch_served driven by tarch_bench_client over a Unix socket,
+# including malformed-frame injection, a verifier-rejected inline
+# source request, and a SIGTERM graceful drain (docs/SERVING.md).
 #
 # Exits nonzero if the build breaks, the static verifier finds an
 # error-severity issue in any generated interpreter image, any test
@@ -66,7 +69,7 @@ if [[ -z "$SANITIZE" ]]; then
     cmake --build "$TSAN_DIR" -j "$JOBS" \
           --target test_sweep_cache test_common
     ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" \
-          -R 'SweepCache|CellCache|Parallel'
+          -R 'SweepCache|CellCache|Parallel|Pool|ResolveJobs'
 fi
 
 if command -v clang-tidy > /dev/null 2>&1; then
@@ -125,5 +128,45 @@ for engine in lua js; do
     grep -q '"ph":"X"' "$TRACE"
     grep -q '"ph":"i"' "$TRACE"
 done
+
+echo "== serving smoke (tarch_served + tarch_bench_client)"
+# Start the daemon on a Unix socket, drive a short closed-loop burst
+# (with chaos connections injecting malformed frames), check that an
+# inline source image the static verifier rejects comes back as a typed
+# error, confirm the health counters saw the traffic, then SIGTERM the
+# daemon and require a graceful drain (exit 0).  docs/SERVING.md.
+SERVE_DIR="$BUILD_DIR/serve-smoke"
+rm -rf "$SERVE_DIR"
+mkdir -p "$SERVE_DIR"
+SERVE_SOCK="$SERVE_DIR/tarch.sock"
+"$BUILD_DIR/tools/tarch_served" --unix "$SERVE_SOCK" \
+    --cache-dir "$SERVE_DIR" > "$SERVE_DIR/served.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    [[ -S "$SERVE_SOCK" ]] && break
+    sleep 0.1
+done
+[[ -S "$SERVE_SOCK" ]]
+"$BUILD_DIR/tools/tarch_bench_client" --unix "$SERVE_SOCK" \
+    --connections 4 --requests 200 --benchmark fibo --variant typed \
+    --chaos 2 > "$SERVE_DIR/load.out"
+grep -q "protocol errors:  0" "$SERVE_DIR/load.out"
+printf '_start:\n    fadd.d f0, f1, f2\n    halt\n' > "$SERVE_DIR/bad.s"
+"$BUILD_DIR/tools/tarch_bench_client" --unix "$SERVE_SOCK" \
+    --source "$SERVE_DIR/bad.s" --lang asm \
+    --expect-error verify-rejected > "$SERVE_DIR/reject.out"
+"$BUILD_DIR/tools/tarch_bench_client" --unix "$SERVE_SOCK" \
+    --health > "$SERVE_DIR/health.json"
+grep -q '"schema":"tarch-serve-stats-v1"' "$SERVE_DIR/health.json"
+if grep -q '"received":0,' "$SERVE_DIR/health.json"; then
+    echo "error: serving smoke saw no requests" >&2
+    exit 1
+fi
+kill -TERM "$SERVE_PID"
+if ! wait "$SERVE_PID"; then
+    echo "error: tarch_served did not drain cleanly on SIGTERM" >&2
+    tail -20 "$SERVE_DIR/served.log" >&2
+    exit 1
+fi
 
 echo "== ci OK"

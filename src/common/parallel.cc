@@ -14,18 +14,37 @@
 namespace tarch {
 
 unsigned
-resolveJobs(unsigned requested)
+resolveJobs(unsigned requested, const char *env_var)
 {
     if (requested > 0)
         return requested;
-    if (const char *env = std::getenv("TARCH_JOBS")) {
+    // getenv itself is unsynchronized; serialize all pool-sizing
+    // lookups so concurrently constructed pools (server pool vs. sweep
+    // pool) never race here.
+    static std::mutex env_mu;
+    std::string text;
+    bool have_env = false;
+    {
+        std::lock_guard<std::mutex> lock(env_mu);
+        if (const char *env = std::getenv(env_var)) {
+            text = env;
+            have_env = true;
+        }
+    }
+    if (have_env) {
         char *end = nullptr;
-        const unsigned long n = std::strtoul(env, &end, 10);
-        if (end != env && *end == '\0' && n > 0 && n <= 4096)
+        const unsigned long n = std::strtoul(text.c_str(), &end, 10);
+        if (end != text.c_str() && *end == '\0' && n > 0 && n <= 4096)
             return static_cast<unsigned>(n);
-        tarch_warn("ignoring malformed TARCH_JOBS='%s'", env);
+        tarch_warn("ignoring malformed %s='%s'", env_var, text.c_str());
     }
     return std::max(1u, std::thread::hardware_concurrency());
+}
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    return resolveJobs(requested, "TARCH_JOBS");
 }
 
 void
@@ -72,6 +91,118 @@ parallelFor(size_t count, unsigned jobs,
         t.join();
     if (error)
         std::rethrow_exception(error);
+}
+
+// ---------------------------------------------------------------------
+// Pool
+
+Pool::Pool(const Options &opts)
+    : jobs_(resolveJobs(opts.jobs, opts.jobsEnvVar)),
+      capacity_(opts.queueCapacity)
+{
+    workers_.reserve(jobs_);
+    for (unsigned t = 0; t < jobs_; ++t)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+Pool::~Pool()
+{
+    close();
+}
+
+void
+Pool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        taskReady_.wait(lock,
+                        [this] { return closed_ || !queue_.empty(); });
+        if (queue_.empty())
+            return; // closed and drained
+        std::function<void()> task = std::move(queue_.front());
+        queue_.pop_front();
+        ++running_;
+        spaceReady_.notify_one();
+        lock.unlock();
+        try {
+            task();
+        } catch (const std::exception &e) {
+            tarch_warn("pool task threw: %s", e.what());
+        } catch (...) {
+            tarch_warn("pool task threw a non-std exception");
+        }
+        lock.lock();
+        --running_;
+        if (queue_.empty() && running_ == 0)
+            allIdle_.notify_all();
+    }
+}
+
+bool
+Pool::trySubmit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (closed_ || (capacity_ != 0 && queue_.size() >= capacity_))
+            return false;
+        queue_.push_back(std::move(task));
+    }
+    taskReady_.notify_one();
+    return true;
+}
+
+bool
+Pool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        spaceReady_.wait(lock, [this] {
+            return closed_ || capacity_ == 0 || queue_.size() < capacity_;
+        });
+        if (closed_)
+            return false;
+        queue_.push_back(std::move(task));
+    }
+    taskReady_.notify_one();
+    return true;
+}
+
+void
+Pool::drain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    allIdle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void
+Pool::close()
+{
+    // Claim the worker threads under the lock so concurrent close()
+    // calls (say, drain path vs. destructor) join each thread once.
+    std::vector<std::thread> workers;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        closed_ = true;
+        workers.swap(workers_);
+    }
+    taskReady_.notify_all();
+    spaceReady_.notify_all();
+    for (std::thread &t : workers)
+        t.join();
+}
+
+size_t
+Pool::pending() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+}
+
+size_t
+Pool::inFlight() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size() + running_;
 }
 
 } // namespace tarch

@@ -1,26 +1,43 @@
 /**
  * @file
- * Shared work-queue executor: a bounded thread pool that hands out
- * indices from an atomic counter.  Used by the experiment harness (the
- * 33-cell sweep matrix), the differential fuzzer (one task per seed),
- * and the ablation bench.  Callers that write results[i] from body(i)
- * get deterministic, schedule-independent output.
+ * Shared work-queue executors.
+ *
+ * parallelFor() is the run-to-completion pool that hands out indices
+ * from an atomic counter; it drives the experiment harness (the 33-cell
+ * sweep matrix), the differential fuzzer (one task per seed), and the
+ * ablation bench.  Callers that write results[i] from body(i) get
+ * deterministic, schedule-independent output.
+ *
+ * Pool is the persistent, bounded-queue companion for long-running
+ * services (the tarch_served request dispatcher): tasks are submitted
+ * one at a time, a full queue rejects instead of blocking (the caller
+ * turns that into backpressure), and several pools of different sizes
+ * can coexist in one process — each sized from its own environment
+ * variable without the lookups racing.
  */
 
 #ifndef TARCH_COMMON_PARALLEL_H
 #define TARCH_COMMON_PARALLEL_H
 
+#include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace tarch {
 
 /**
  * Resolve a worker count: an explicit @p requested > 0 wins, else a
- * well-formed TARCH_JOBS environment variable, else the hardware
- * concurrency (at least 1).  A malformed TARCH_JOBS warns and is
- * ignored rather than aborting a run that never asked for it.
+ * well-formed @p env_var environment variable, else the hardware
+ * concurrency (at least 1).  A malformed variable warns and is ignored
+ * rather than aborting a run that never asked for it.  The environment
+ * lookup is serialized process-wide, so two pools sized from different
+ * variables can be constructed concurrently without racing in getenv.
  */
+unsigned resolveJobs(unsigned requested, const char *env_var);
 unsigned resolveJobs(unsigned requested = 0);
 
 /**
@@ -37,6 +54,79 @@ unsigned resolveJobs(unsigned requested = 0);
  */
 void parallelFor(size_t count, unsigned jobs,
                  const std::function<void(size_t)> &body);
+
+/**
+ * A persistent worker pool with a bounded task queue.
+ *
+ * Unlike parallelFor, a Pool outlives any one batch of work: tasks are
+ * submitted individually and run on a fixed set of worker threads.  The
+ * queue bound is the backpressure mechanism — trySubmit() on a full
+ * queue returns false immediately instead of stalling the submitter,
+ * which is what lets a server answer BUSY rather than hanging a socket.
+ *
+ * Tasks must not throw; an escaped exception is logged and swallowed
+ * (the pool keeps running).  Destruction closes the pool: no new tasks,
+ * queued tasks still run, workers join.
+ */
+class Pool
+{
+  public:
+    struct Options {
+        /** Worker count; 0 resolves through jobsEnvVar. */
+        unsigned jobs = 0;
+        /** Environment variable consulted when jobs == 0, so a server
+            pool (TARCH_SERVE_JOBS) and the sweep pool (TARCH_JOBS) are
+            sized independently. */
+        const char *jobsEnvVar = "TARCH_JOBS";
+        /** Maximum queued (not yet started) tasks; 0 = unbounded. */
+        size_t queueCapacity = 0;
+    };
+
+    explicit Pool(const Options &opts);
+    ~Pool();
+
+    Pool(const Pool &) = delete;
+    Pool &operator=(const Pool &) = delete;
+
+    /**
+     * Enqueue @p task unless the queue is at capacity or the pool is
+     * closed; returns whether the task was accepted.  Never blocks.
+     */
+    bool trySubmit(std::function<void()> task);
+
+    /**
+     * Enqueue @p task, waiting for queue space if necessary.  Returns
+     * false only when the pool is (or gets) closed.
+     */
+    bool submit(std::function<void()> task);
+
+    /** Block until the queue is empty and no task is executing. */
+    void drain();
+
+    /** Stop accepting tasks, finish the queue, join the workers.
+        Idempotent; called by the destructor. */
+    void close();
+
+    unsigned jobs() const { return jobs_; }
+    /** Queued (not yet started) tasks. */
+    size_t pending() const;
+    /** Queued plus currently executing tasks. */
+    size_t inFlight() const;
+
+  private:
+    void workerLoop();
+
+    unsigned jobs_ = 1;
+    mutable std::mutex mu_;
+    std::condition_variable taskReady_;   ///< workers: queue non-empty/closed
+    std::condition_variable spaceReady_;  ///< submitters: queue below cap
+    std::condition_variable allIdle_;     ///< drain(): nothing left anywhere
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    size_t capacity_ = 0;  ///< 0 = unbounded
+    size_t running_ = 0;   ///< tasks currently executing
+    bool closed_ = false;
+};
 
 } // namespace tarch
 

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <thread>
 #include <unistd.h>
 
 #include "common/log.h"
@@ -381,16 +382,46 @@ cellPath(const std::string &cache_dir, Engine engine,
 }
 
 bool
+ensureCacheDir(const std::string &cache_dir)
+{
+    const std::string dir = cache_dir + "/tarch-sweep-cache";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (!ec)
+        return true;
+    // A concurrent creator (another worker thread or a racing process)
+    // can surface as an error from create_directories; the directory
+    // existing afterwards is all a writer needs.
+    std::error_code probe;
+    return std::filesystem::is_directory(dir, probe);
+}
+
+bool
 saveCell(const RunResult &result, const std::string &path, uint64_t key)
 {
-    // Unique temp name per process: two bench binaries racing on a cold
-    // cache each stage their own file; rename() then publishes whole
-    // cells only (both writers produce identical bytes anyway).
-    const std::string tmp =
-        strformat("%s.tmp.%ld", path.c_str(), (long)::getpid());
+    // Unique temp name per process AND thread: two bench binaries (or
+    // two server workers) racing on a cold cache each stage their own
+    // file; rename() then publishes whole cells only (all writers
+    // produce identical bytes anyway).
+    const std::string tmp = strformat(
+        "%s.tmp.%ld.%zu", path.c_str(), (long)::getpid(),
+        std::hash<std::thread::id>{}(std::this_thread::get_id()));
     std::FILE *f = std::fopen(tmp.c_str(), "w");
-    if (!f)
-        return false;
+    if (!f) {
+        // Lazy writers (server workers on a fresh cache dir) may land
+        // here before anyone created the directory; make it exist and
+        // retry once.
+        const std::string parent =
+            std::filesystem::path(path).parent_path().string();
+        std::error_code ec;
+        std::filesystem::create_directories(parent, ec);
+        std::error_code probe;
+        if (!std::filesystem::is_directory(parent, probe))
+            return false;
+        f = std::fopen(tmp.c_str(), "w");
+        if (!f)
+            return false;
+    }
     writeCell(f, result, key);
     bool ok = !std::ferror(f);
     if (std::fclose(f) != 0)
@@ -436,16 +467,10 @@ runSweep(Engine engine, const SweepOptions &opts,
 {
     const unsigned jobs = resolveJobs(opts.jobs);
     bool cache = opts.useCache;
-    if (cache) {
-        std::error_code ec;
-        std::filesystem::create_directories(
-            opts.cacheDir + "/tarch-sweep-cache", ec);
-        if (ec) {
-            tarch_warn("cannot create sweep cache under %s (%s); "
-                       "running uncached",
-                       opts.cacheDir.c_str(), ec.message().c_str());
-            cache = false;
-        }
+    if (cache && !ensureCacheDir(opts.cacheDir)) {
+        tarch_warn("cannot create sweep cache under %s; running uncached",
+                   opts.cacheDir.c_str());
+        cache = false;
     }
 
     // Instrumented sweeps must actually simulate — cached cells carry

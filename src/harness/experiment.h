@@ -140,6 +140,15 @@ std::string cellPath(const std::string &cache_dir, Engine engine,
                      const std::string &bench_name, vm::Variant variant);
 
 /**
+ * Idempotent, race-safe creation of `<cache_dir>/tarch-sweep-cache`.
+ * Any number of concurrent creators — sweep workers, tarch_served
+ * request workers, racing bench processes — may call this; the
+ * directory existing afterwards counts as success no matter who made
+ * it.  Returns false only when it cannot be made to exist.
+ */
+bool ensureCacheDir(const std::string &cache_dir);
+
+/**
  * Atomically (temp file + rename) persist one cell.  Returns false on
  * I/O failure; never leaves a partially written file at @p path.
  */

@@ -1,0 +1,295 @@
+#include "serve/client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/log.h"
+
+namespace tarch::serve {
+
+namespace {
+
+int
+readFull(int fd, void *buf, size_t len)
+{
+    auto *p = static_cast<uint8_t *>(buf);
+    size_t got = 0;
+    while (got < len) {
+        const ssize_t n = ::recv(fd, p + got, len - got, 0);
+        if (n == 0)
+            return got == 0 ? 0 : -1;
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return got == 0 ? 0 : -1;
+        }
+        got += static_cast<size_t>(n);
+    }
+    return 1;
+}
+
+} // namespace
+
+Client
+Client::connectUnix(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        tarch_fatal("serve client: unix socket path too long: %s",
+                    path.c_str());
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        tarch_fatal("serve client: socket(AF_UNIX): %s",
+                    std::strerror(errno));
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        tarch_fatal("serve client: cannot connect to %s: %s",
+                    path.c_str(), std::strerror(err));
+    }
+    return Client(fd);
+}
+
+Client
+Client::connectTcp(uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        tarch_fatal("serve client: socket(AF_INET): %s",
+                    std::strerror(errno));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        tarch_fatal("serve client: cannot connect to 127.0.0.1:%u: %s",
+                    port, std::strerror(err));
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return Client(fd);
+}
+
+Client::Client(Client &&other) noexcept
+    : fd_(other.fd_), nextId_(other.nextId_)
+{
+    other.fd_ = -1;
+}
+
+Client &
+Client::operator=(Client &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        nextId_ = other.nextId_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+Client::~Client()
+{
+    close();
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+Client::sendRaw(const void *data, size_t len)
+{
+    if (fd_ < 0)
+        return false;
+    const auto *p = static_cast<const char *>(data);
+    size_t sent = 0;
+    while (sent < len) {
+        const ssize_t n = ::send(fd_, p + sent, len - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+uint64_t
+Client::sendRequest(proto::MsgKind kind, const std::string &payload)
+{
+    const uint64_t id = nextId_++;
+    const std::string frame = proto::encodeFrame(kind, id, payload);
+    if (!sendRaw(frame.data(), frame.size()))
+        tarch_fatal("serve client: send failed: %s",
+                    std::strerror(errno));
+    return id;
+}
+
+bool
+Client::readReply(Reply &out)
+{
+    if (fd_ < 0)
+        return false;
+    uint8_t header[proto::kHeaderSize];
+    const int got = readFull(fd_, header, sizeof(header));
+    if (got == 0)
+        return false; // clean close (drained server)
+    if (got < 0)
+        tarch_fatal("serve client: connection lost mid-frame");
+    proto::FrameHeader fh;
+    if (proto::parseHeader(header, fh, proto::kMaxPayload) !=
+        proto::HeaderStatus::Ok)
+        tarch_fatal("serve client: garbled response header");
+    out.kind = fh.kind;
+    out.requestId = fh.requestId;
+    out.payload.assign(fh.payloadLen, '\0');
+    if (fh.payloadLen > 0 &&
+        readFull(fd_, out.payload.data(), out.payload.size()) != 1)
+        tarch_fatal("serve client: connection lost mid-frame");
+    return true;
+}
+
+Client::Outcome
+Client::awaitCellOutcome(uint64_t request_id)
+{
+    Outcome outcome;
+    Reply reply;
+    // Skip replies to other (pipelined) requests; closed-loop callers
+    // never see any.
+    for (;;) {
+        if (!readReply(reply)) {
+            outcome.closed = true;
+            return outcome;
+        }
+        if (reply.requestId == request_id)
+            break;
+    }
+    if (static_cast<proto::MsgKind>(reply.kind) ==
+        proto::MsgKind::CellResult) {
+        if (!proto::decodeCellResult(reply.payload, outcome.result))
+            tarch_fatal("serve client: garbled CellResult payload");
+        outcome.ok = true;
+        return outcome;
+    }
+    if (static_cast<proto::MsgKind>(reply.kind) == proto::MsgKind::Error) {
+        if (!proto::decodeErrorBody(reply.payload, outcome.error))
+            tarch_fatal("serve client: garbled Error payload");
+        return outcome;
+    }
+    tarch_fatal("serve client: unexpected reply kind %u to request %llu",
+                reply.kind, (unsigned long long)request_id);
+}
+
+Client::Outcome
+Client::runCell(const proto::CellRequest &req)
+{
+    const uint64_t id = sendRequest(proto::MsgKind::RunCell,
+                                    proto::encodeCellRequest(req));
+    return awaitCellOutcome(id);
+}
+
+Client::Outcome
+Client::runSource(const proto::SourceRequest &req)
+{
+    const uint64_t id = sendRequest(proto::MsgKind::RunSource,
+                                    proto::encodeSourceRequest(req));
+    return awaitCellOutcome(id);
+}
+
+bool
+Client::runBatch(const proto::BatchRequest &req, proto::BatchResult &out,
+                 proto::ErrorBody &error)
+{
+    const uint64_t id = sendRequest(proto::MsgKind::RunBatch,
+                                    proto::encodeBatchRequest(req));
+    Reply reply;
+    for (;;) {
+        if (!readReply(reply)) {
+            error.code =
+                static_cast<uint16_t>(proto::ErrorCode::Draining);
+            error.message = "connection closed before the batch reply";
+            return false;
+        }
+        if (reply.requestId == id)
+            break;
+    }
+    if (static_cast<proto::MsgKind>(reply.kind) ==
+        proto::MsgKind::BatchResult) {
+        if (!proto::decodeBatchResult(reply.payload, out))
+            tarch_fatal("serve client: garbled BatchResult payload");
+        return true;
+    }
+    if (static_cast<proto::MsgKind>(reply.kind) == proto::MsgKind::Error &&
+        proto::decodeErrorBody(reply.payload, error))
+        return false;
+    tarch_fatal("serve client: unexpected reply kind %u to batch %llu",
+                reply.kind, (unsigned long long)id);
+}
+
+std::string
+Client::stats()
+{
+    const uint64_t id = sendRequest(proto::MsgKind::Stats, "");
+    Reply reply;
+    for (;;) {
+        if (!readReply(reply))
+            return "";
+        if (reply.requestId == id)
+            break;
+    }
+    proto::StatsResult stats;
+    if (static_cast<proto::MsgKind>(reply.kind) !=
+            proto::MsgKind::StatsResult ||
+        !proto::decodeStatsResult(reply.payload, stats))
+        tarch_fatal("serve client: garbled Stats reply");
+    return stats.json;
+}
+
+bool
+Client::ping()
+{
+    const uint64_t id = sendRequest(proto::MsgKind::Ping, "");
+    Reply reply;
+    for (;;) {
+        if (!readReply(reply))
+            return false;
+        if (reply.requestId == id)
+            break;
+    }
+    return static_cast<proto::MsgKind>(reply.kind) == proto::MsgKind::Pong;
+}
+
+bool
+Client::drain()
+{
+    const uint64_t id = sendRequest(proto::MsgKind::Drain, "");
+    Reply reply;
+    for (;;) {
+        if (!readReply(reply))
+            return false;
+        if (reply.requestId == id)
+            break;
+    }
+    return static_cast<proto::MsgKind>(reply.kind) ==
+           proto::MsgKind::DrainStarted;
+}
+
+} // namespace tarch::serve

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * tarch-rpc-v1 client: connects to a tarch_served instance over TCP
+ * loopback or a Unix domain socket, frames requests, and decodes
+ * responses.  The convenience calls are closed-loop (send one request,
+ * read its reply); the raw frame interface underneath supports
+ * pipelining and deliberately malformed traffic for robustness tests
+ * and the load generator's chaos mode.
+ */
+
+#ifndef TARCH_SERVE_CLIENT_H
+#define TARCH_SERVE_CLIENT_H
+
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.h"
+
+namespace tarch::serve {
+
+class Client
+{
+  public:
+    /** Both connectors throw FatalError when the endpoint is down. */
+    static Client connectUnix(const std::string &path);
+    static Client connectTcp(uint16_t port);  ///< 127.0.0.1:port
+
+    Client(Client &&other) noexcept;
+    Client &operator=(Client &&other) noexcept;
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+    ~Client();
+
+    /** One decoded response frame. */
+    struct Reply {
+        uint16_t kind = 0;  ///< proto::MsgKind
+        uint64_t requestId = 0;
+        std::string payload;
+    };
+
+    /** Outcome of a convenience call: a result or a typed error. */
+    struct Outcome {
+        bool ok = false;
+        bool closed = false;  ///< connection ended before a reply
+        proto::CellResult result;
+        proto::ErrorBody error;
+    };
+
+    // -- closed-loop convenience -------------------------------------
+
+    Outcome runCell(const proto::CellRequest &req);
+    Outcome runSource(const proto::SourceRequest &req);
+    /** Returns false (with @p error filled) on a typed error reply or
+        a closed connection. */
+    bool runBatch(const proto::BatchRequest &req, proto::BatchResult &out,
+                  proto::ErrorBody &error);
+    /** Server health JSON; empty on a closed connection. */
+    std::string stats();
+    bool ping();
+    /** Ask the server to drain; true once DrainStarted is read. */
+    bool drain();
+
+    // -- raw frame interface -----------------------------------------
+
+    /** Send a frame with the next request id (returned). */
+    uint64_t sendRequest(proto::MsgKind kind, const std::string &payload);
+    /** Send arbitrary bytes (chaos/malformed-frame injection). */
+    bool sendRaw(const void *data, size_t len);
+    /**
+     * Read one response frame.  Returns false on a clean close (EOF at
+     * a frame boundary — how a drained server ends the conversation);
+     * throws FatalError on garbled response bytes.
+     */
+    bool readReply(Reply &out);
+
+    bool isOpen() const { return fd_ >= 0; }
+    void close();
+
+  private:
+    explicit Client(int fd) : fd_(fd) {}
+
+    Outcome awaitCellOutcome(uint64_t request_id);
+
+    int fd_ = -1;
+    uint64_t nextId_ = 1;
+};
+
+} // namespace tarch::serve
+
+#endif // TARCH_SERVE_CLIENT_H

@@ -1,0 +1,420 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+
+namespace tarch::serve::proto {
+
+namespace {
+
+// ------------------------------------------------------------------
+// Little-endian primitives over a std::string buffer.
+
+void
+putU8(std::string &buf, uint8_t v)
+{
+    buf.push_back(static_cast<char>(v));
+}
+
+void
+putU16(std::string &buf, uint16_t v)
+{
+    buf.push_back(static_cast<char>(v & 0xFF));
+    buf.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void
+putU32(std::string &buf, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void
+putU64(std::string &buf, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void
+putStr(std::string &buf, const std::string &s)
+{
+    putU32(buf, static_cast<uint32_t>(s.size()));
+    buf.append(s);
+}
+
+/** Bounds-checked cursor; any failed read latches ok == false. */
+class Reader
+{
+  public:
+    explicit Reader(const std::string &buf) : buf_(buf) {}
+
+    bool
+    u8(uint8_t &v)
+    {
+        if (!need(1))
+            return false;
+        v = static_cast<uint8_t>(buf_[pos_++]);
+        return true;
+    }
+
+    bool
+    u16(uint16_t &v)
+    {
+        if (!need(2))
+            return false;
+        v = 0;
+        for (int i = 0; i < 2; ++i)
+            v |= static_cast<uint16_t>(
+                static_cast<uint8_t>(buf_[pos_ + i]))
+                 << (8 * i);
+        pos_ += 2;
+        return true;
+    }
+
+    bool
+    u32(uint32_t &v)
+    {
+        if (!need(4))
+            return false;
+        v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<uint32_t>(
+                static_cast<uint8_t>(buf_[pos_ + i]))
+                 << (8 * i);
+        pos_ += 4;
+        return true;
+    }
+
+    bool
+    u64(uint64_t &v)
+    {
+        if (!need(8))
+            return false;
+        v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(
+                static_cast<uint8_t>(buf_[pos_ + i]))
+                 << (8 * i);
+        pos_ += 8;
+        return true;
+    }
+
+    bool
+    str(std::string &s)
+    {
+        uint32_t len = 0;
+        if (!u32(len) || !need(len))
+            return false;
+        s.assign(buf_, pos_, len);
+        pos_ += len;
+        return true;
+    }
+
+    /** Strict decoders require the payload consumed exactly. */
+    bool
+    done() const
+    {
+        return ok_ && pos_ == buf_.size();
+    }
+
+    bool failed() const { return !ok_; }
+
+  private:
+    bool
+    need(size_t n)
+    {
+        if (!ok_ || buf_.size() - pos_ < n) {
+            ok_ = false;
+            return false;
+        }
+        return true;
+    }
+
+    const std::string &buf_;
+    size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+constexpr uint32_t kMaxBatchCells = 4096;
+
+} // namespace
+
+bool
+isRequestKind(uint16_t kind)
+{
+    switch (static_cast<MsgKind>(kind)) {
+      case MsgKind::RunCell:
+      case MsgKind::RunSource:
+      case MsgKind::RunBatch:
+      case MsgKind::Stats:
+      case MsgKind::Drain:
+      case MsgKind::Ping:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string_view
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::BadMagic: return "bad-magic";
+      case ErrorCode::BadVersion: return "bad-version";
+      case ErrorCode::BadFrame: return "bad-frame";
+      case ErrorCode::UnknownKind: return "unknown-kind";
+      case ErrorCode::PayloadTooLarge: return "payload-too-large";
+      case ErrorCode::BadRequest: return "bad-request";
+      case ErrorCode::UnknownBenchmark: return "unknown-benchmark";
+      case ErrorCode::VerifyRejected: return "verify-rejected";
+      case ErrorCode::CompileFailed: return "compile-failed";
+      case ErrorCode::SimFailed: return "sim-failed";
+      case ErrorCode::Busy: return "busy";
+      case ErrorCode::DeadlineExceeded: return "deadline-exceeded";
+      case ErrorCode::Draining: return "draining";
+      case ErrorCode::Internal: return "internal";
+    }
+    return "unknown";
+}
+
+bool
+errorRetryable(ErrorCode code)
+{
+    return code == ErrorCode::Busy || code == ErrorCode::Draining;
+}
+
+HeaderStatus
+parseHeader(const uint8_t header[kHeaderSize], FrameHeader &out,
+            uint32_t max_payload)
+{
+    const auto u16at = [&](size_t off) {
+        return static_cast<uint16_t>(header[off] | (header[off + 1] << 8));
+    };
+    const auto u32at = [&](size_t off) {
+        uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<uint32_t>(header[off + i]) << (8 * i);
+        return v;
+    };
+    uint64_t id = 0;
+    for (int i = 0; i < 8; ++i)
+        id |= static_cast<uint64_t>(header[8 + i]) << (8 * i);
+    out.kind = u16at(6);
+    out.requestId = id;
+    out.payloadLen = u32at(16);
+    if (u32at(0) != kMagic)
+        return HeaderStatus::BadMagic;
+    if (u16at(4) != kVersion)
+        return HeaderStatus::BadVersion;
+    if (out.payloadLen > max_payload || out.payloadLen > kMaxPayload)
+        return HeaderStatus::TooLarge;
+    return HeaderStatus::Ok;
+}
+
+std::string
+encodeFrame(MsgKind kind, uint64_t request_id, const std::string &payload)
+{
+    std::string buf;
+    buf.reserve(kHeaderSize + payload.size());
+    putU32(buf, kMagic);
+    putU16(buf, kVersion);
+    putU16(buf, static_cast<uint16_t>(kind));
+    putU64(buf, request_id);
+    putU32(buf, static_cast<uint32_t>(payload.size()));
+    buf.append(payload);
+    return buf;
+}
+
+// ---------------------------------------------------------------------
+// Bodies.
+
+std::string
+encodeCellRequest(const CellRequest &req)
+{
+    std::string buf;
+    putU8(buf, req.engine);
+    putU8(buf, req.variant);
+    putU8(buf, req.wantStatsJson);
+    putU32(buf, req.deadlineMs);
+    putStr(buf, req.benchmark);
+    return buf;
+}
+
+bool
+decodeCellRequest(const std::string &payload, CellRequest &out)
+{
+    Reader r(payload);
+    if (!r.u8(out.engine) || !r.u8(out.variant) ||
+        !r.u8(out.wantStatsJson) || !r.u32(out.deadlineMs) ||
+        !r.str(out.benchmark))
+        return false;
+    return r.done() && out.engine <= 1 && out.variant <= 2 &&
+           out.wantStatsJson <= 1;
+}
+
+std::string
+encodeSourceRequest(const SourceRequest &req)
+{
+    std::string buf;
+    putU8(buf, req.engine);
+    putU8(buf, req.variant);
+    putU8(buf, req.wantStatsJson);
+    putU8(buf, req.lang);
+    putU32(buf, req.deadlineMs);
+    putStr(buf, req.source);
+    return buf;
+}
+
+bool
+decodeSourceRequest(const std::string &payload, SourceRequest &out)
+{
+    Reader r(payload);
+    if (!r.u8(out.engine) || !r.u8(out.variant) ||
+        !r.u8(out.wantStatsJson) || !r.u8(out.lang) ||
+        !r.u32(out.deadlineMs) || !r.str(out.source))
+        return false;
+    return r.done() && out.engine <= 1 && out.variant <= 2 &&
+           out.wantStatsJson <= 1 && out.lang <= 1;
+}
+
+std::string
+encodeBatchRequest(const BatchRequest &req)
+{
+    std::string buf;
+    putU32(buf, static_cast<uint32_t>(req.cells.size()));
+    for (const CellRequest &cell : req.cells)
+        putStr(buf, encodeCellRequest(cell));
+    return buf;
+}
+
+bool
+decodeBatchRequest(const std::string &payload, BatchRequest &out)
+{
+    Reader r(payload);
+    uint32_t count = 0;
+    if (!r.u32(count) || count > kMaxBatchCells)
+        return false;
+    out.cells.clear();
+    out.cells.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+        std::string body;
+        CellRequest cell;
+        if (!r.str(body) || !decodeCellRequest(body, cell))
+            return false;
+        out.cells.push_back(std::move(cell));
+    }
+    return r.done();
+}
+
+std::string
+encodeCellResult(const CellResult &result)
+{
+    std::string buf;
+    putU8(buf, result.engine);
+    putU8(buf, result.variant);
+    putU8(buf, result.fromCache);
+    putStr(buf, result.benchmark);
+    putU64(buf, result.instructions);
+    putU64(buf, result.cycles);
+    putStr(buf, result.output);
+    putStr(buf, result.statsJson);
+    return buf;
+}
+
+bool
+decodeCellResult(const std::string &payload, CellResult &out)
+{
+    Reader r(payload);
+    if (!r.u8(out.engine) || !r.u8(out.variant) || !r.u8(out.fromCache) ||
+        !r.str(out.benchmark) || !r.u64(out.instructions) ||
+        !r.u64(out.cycles) || !r.str(out.output) || !r.str(out.statsJson))
+        return false;
+    return r.done() && out.engine <= 1 && out.variant <= 2 &&
+           out.fromCache <= 2;
+}
+
+std::string
+encodeErrorBody(const ErrorBody &error)
+{
+    std::string buf;
+    putU16(buf, error.code);
+    putU8(buf, error.retryable);
+    putStr(buf, error.message);
+    return buf;
+}
+
+bool
+decodeErrorBody(const std::string &payload, ErrorBody &out)
+{
+    Reader r(payload);
+    if (!r.u16(out.code) || !r.u8(out.retryable) || !r.str(out.message))
+        return false;
+    return r.done() && out.retryable <= 1;
+}
+
+std::string
+encodeBatchResult(const BatchResult &result)
+{
+    std::string buf;
+    putU32(buf, static_cast<uint32_t>(result.items.size()));
+    for (const BatchResult::Item &item : result.items) {
+        putU8(buf, item.ok ? 1 : 0);
+        putStr(buf, item.ok ? encodeCellResult(item.result)
+                            : encodeErrorBody(item.error));
+    }
+    return buf;
+}
+
+bool
+decodeBatchResult(const std::string &payload, BatchResult &out)
+{
+    Reader r(payload);
+    uint32_t count = 0;
+    if (!r.u32(count) || count > kMaxBatchCells)
+        return false;
+    out.items.clear();
+    out.items.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+        uint8_t ok = 0;
+        std::string body;
+        if (!r.u8(ok) || ok > 1 || !r.str(body))
+            return false;
+        BatchResult::Item item;
+        item.ok = ok == 1;
+        if (item.ok ? !decodeCellResult(body, item.result)
+                    : !decodeErrorBody(body, item.error))
+            return false;
+        out.items.push_back(std::move(item));
+    }
+    return r.done();
+}
+
+std::string
+encodeStatsResult(const StatsResult &result)
+{
+    std::string buf;
+    putStr(buf, result.json);
+    return buf;
+}
+
+bool
+decodeStatsResult(const std::string &payload, StatsResult &out)
+{
+    Reader r(payload);
+    if (!r.str(out.json))
+        return false;
+    return r.done();
+}
+
+std::string
+errorFrame(uint64_t request_id, ErrorCode code, const std::string &message)
+{
+    ErrorBody body;
+    body.code = static_cast<uint16_t>(code);
+    body.retryable = errorRetryable(code) ? 1 : 0;
+    body.message = message;
+    return encodeFrame(MsgKind::Error, request_id, encodeErrorBody(body));
+}
+
+} // namespace tarch::serve::proto

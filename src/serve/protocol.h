@@ -1,0 +1,197 @@
+/**
+ * @file
+ * tarch-rpc-v1: the length-prefixed, versioned binary wire protocol
+ * spoken between tarch_served and its clients (docs/SERVING.md).
+ *
+ * Every message is one frame: a fixed 20-byte header (magic, version,
+ * message kind, request id, payload length) followed by payloadLen
+ * payload bytes.  All integers are little-endian; strings are a u32
+ * length followed by raw bytes.  Responses echo the request id of the
+ * frame they answer, so requests may be pipelined on one connection
+ * and answered in completion order.
+ *
+ * Decoders are strict: every length is bounded by the bytes that are
+ * actually present, enum fields are range-checked, and a payload must
+ * be consumed exactly — trailing garbage is a malformed frame.  A
+ * malformed payload yields a typed Error response; a malformed header
+ * (bad magic/version/oversized length) poisons the byte stream and
+ * closes only the offending connection.
+ */
+
+#ifndef TARCH_SERVE_PROTOCOL_H
+#define TARCH_SERVE_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tarch::serve::proto {
+
+// ---------------------------------------------------------------------
+// Framing.
+
+constexpr uint32_t kMagic = 0x43505254u;  ///< "TRPC" little-endian
+constexpr uint16_t kVersion = 1;
+constexpr size_t kHeaderSize = 20;
+/** Hard upper bound any parser accepts; servers may configure less. */
+constexpr uint32_t kMaxPayload = 64u << 20;
+
+/** Message kinds.  Requests are < 128, responses >= 128. */
+enum class MsgKind : uint16_t {
+    // requests
+    RunCell = 1,    ///< named (engine, benchmark, variant) cell
+    RunSource = 2,  ///< inline MiniScript or assembly source
+    RunBatch = 3,   ///< several cells in one frame
+    Stats = 4,      ///< server health/stats snapshot
+    Drain = 5,      ///< graceful drain: stop accepting, finish in-flight
+    Ping = 6,
+
+    // responses
+    CellResult = 128,
+    BatchResult = 129,
+    StatsResult = 130,
+    Pong = 131,
+    DrainStarted = 132,
+    Error = 255,
+};
+
+bool isRequestKind(uint16_t kind);
+
+/** Typed error codes carried by Error frames. */
+enum class ErrorCode : uint16_t {
+    BadMagic = 1,
+    BadVersion = 2,
+    BadFrame = 3,         ///< malformed payload or truncated stream
+    UnknownKind = 4,
+    PayloadTooLarge = 5,
+    BadRequest = 6,       ///< well-formed payload, invalid field values
+    UnknownBenchmark = 7,
+    VerifyRejected = 8,   ///< static verifier found error-severity issues
+    CompileFailed = 9,    ///< source did not compile/assemble
+    SimFailed = 10,       ///< guest run raised a fatal error
+    Busy = 11,            ///< request queue full — retryable
+    DeadlineExceeded = 12,
+    Draining = 13,        ///< server is draining; no new work
+    Internal = 14,
+};
+
+std::string_view errorCodeName(ErrorCode code);
+
+/** True for errors a client should retry (possibly after a backoff). */
+bool errorRetryable(ErrorCode code);
+
+struct FrameHeader {
+    uint16_t kind = 0;
+    uint64_t requestId = 0;
+    uint32_t payloadLen = 0;
+};
+
+enum class HeaderStatus : uint8_t {
+    Ok,
+    BadMagic,
+    BadVersion,
+    TooLarge,
+};
+
+/**
+ * Parse a 20-byte header.  @p max_payload caps payloadLen (pass the
+ * server's configured limit, itself capped by kMaxPayload).
+ */
+HeaderStatus parseHeader(const uint8_t header[kHeaderSize],
+                         FrameHeader &out, uint32_t max_payload);
+
+/** Serialize one complete frame (header + payload). */
+std::string encodeFrame(MsgKind kind, uint64_t request_id,
+                        const std::string &payload);
+
+// ---------------------------------------------------------------------
+// Payload bodies.
+
+enum class EngineId : uint8_t { Lua = 0, Js = 1 };
+enum class SourceLang : uint8_t { MiniScript = 0, Assembly = 1 };
+
+/** RunCell payload, and one element of a RunBatch. */
+struct CellRequest {
+    uint8_t engine = 0;        ///< EngineId
+    uint8_t variant = 0;       ///< vm::Variant (0 base, 1 typed, 2 chkld)
+    uint8_t wantStatsJson = 0; ///< embed a tarch-stats-v1 JSON artifact
+    uint32_t deadlineMs = 0;   ///< 0 = server default
+    std::string benchmark;
+};
+
+/** RunSource payload. */
+struct SourceRequest {
+    uint8_t engine = 0;        ///< EngineId (ignored for Assembly)
+    uint8_t variant = 0;
+    uint8_t wantStatsJson = 0;
+    uint8_t lang = 0;          ///< SourceLang
+    uint32_t deadlineMs = 0;
+    std::string source;
+};
+
+struct BatchRequest {
+    std::vector<CellRequest> cells;
+};
+
+/** CellResult payload (also embedded in BatchResult items). */
+struct CellResult {
+    uint8_t engine = 0;
+    uint8_t variant = 0;
+    uint8_t fromCache = 0;  ///< 0 simulated, 1 memory cache, 2 disk cache
+    std::string benchmark;  ///< empty for source runs
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+    std::string output;     ///< guest program output
+    std::string statsJson;  ///< tarch-stats-v1 dump; empty unless asked
+};
+
+struct ErrorBody {
+    uint16_t code = 0;      ///< ErrorCode
+    uint8_t retryable = 0;
+    std::string message;
+};
+
+struct BatchResult {
+    struct Item {
+        bool ok = false;
+        CellResult result;  ///< valid when ok
+        ErrorBody error;    ///< valid when !ok
+    };
+    std::vector<Item> items;
+};
+
+struct StatsResult {
+    std::string json;  ///< tarch-serve-stats-v1 document
+};
+
+// Encoders never fail; decoders return false on any malformation
+// (truncation, out-of-range enum, length past the end, trailing bytes).
+std::string encodeCellRequest(const CellRequest &req);
+bool decodeCellRequest(const std::string &payload, CellRequest &out);
+
+std::string encodeSourceRequest(const SourceRequest &req);
+bool decodeSourceRequest(const std::string &payload, SourceRequest &out);
+
+std::string encodeBatchRequest(const BatchRequest &req);
+bool decodeBatchRequest(const std::string &payload, BatchRequest &out);
+
+std::string encodeCellResult(const CellResult &result);
+bool decodeCellResult(const std::string &payload, CellResult &out);
+
+std::string encodeErrorBody(const ErrorBody &error);
+bool decodeErrorBody(const std::string &payload, ErrorBody &out);
+
+std::string encodeBatchResult(const BatchResult &result);
+bool decodeBatchResult(const std::string &payload, BatchResult &out);
+
+std::string encodeStatsResult(const StatsResult &result);
+bool decodeStatsResult(const std::string &payload, StatsResult &out);
+
+/** Convenience: a complete Error frame for @p request_id. */
+std::string errorFrame(uint64_t request_id, ErrorCode code,
+                       const std::string &message);
+
+} // namespace tarch::serve::proto
+
+#endif // TARCH_SERVE_PROTOCOL_H

@@ -1,0 +1,679 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/log.h"
+#include "common/strutil.h"
+
+namespace tarch::serve {
+
+namespace {
+
+/** recv exactly @p len bytes.  1 = got them, 0 = clean EOF before the
+    first byte, -1 = disconnect mid-buffer or a socket error. */
+int
+readFull(int fd, void *buf, size_t len)
+{
+    auto *p = static_cast<uint8_t *>(buf);
+    size_t got = 0;
+    while (got < len) {
+        const ssize_t n = ::recv(fd, p + got, len - got, 0);
+        if (n == 0)
+            return got == 0 ? 0 : -1;
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return got == 0 ? 0 : -1;
+        }
+        got += static_cast<size_t>(n);
+    }
+    return 1;
+}
+
+bool
+sendAll(int fd, const char *data, size_t len)
+{
+    size_t sent = 0;
+    while (sent < len) {
+        const ssize_t n =
+            ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Connection / Job.
+
+struct Server::Connection {
+    int fd = -1;
+    std::mutex writeMu;
+    std::atomic<bool> open{true};
+    std::thread reader;
+
+    ~Connection()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+
+    /** Serialized frame write; pipelined responses interleave safely. */
+    bool
+    sendFrame(const std::string &frame)
+    {
+        std::lock_guard<std::mutex> lock(writeMu);
+        if (!open.load())
+            return false;
+        if (!sendAll(fd, frame.data(), frame.size())) {
+            open.store(false);
+            return false;
+        }
+        return true;
+    }
+
+    /** Wake the reader and refuse further writes; the fd itself is
+        closed by the destructor so no descriptor is reused early. */
+    void
+    shutdownNow()
+    {
+        if (open.exchange(false))
+            ::shutdown(fd, SHUT_RDWR);
+    }
+};
+
+struct Server::Job {
+    std::shared_ptr<Connection> conn;
+    uint64_t requestId = 0;
+    proto::MsgKind kind = proto::MsgKind::RunCell;
+    proto::CellRequest cell;
+    proto::SourceRequest source;
+    proto::BatchRequest batch;
+    std::chrono::steady_clock::time_point deadline;
+    std::atomic<bool> answered{false};
+};
+
+// ---------------------------------------------------------------------
+// Health.
+
+std::string
+Server::Health::toJson() const
+{
+    return strformat(
+        "{\"schema\":\"tarch-serve-stats-v1\","
+        "\"accepted_connections\":%llu,"
+        "\"active_connections\":%llu,"
+        "\"received\":%llu,"
+        "\"completed\":%llu,"
+        "\"errors\":%llu,"
+        "\"busy_rejected\":%llu,"
+        "\"deadline_exceeded\":%llu,"
+        "\"framing_errors\":%llu,"
+        "\"queue_depth\":%llu,"
+        "\"in_flight\":%llu,"
+        "\"cache_mem_hits\":%llu,"
+        "\"cache_disk_hits\":%llu,"
+        "\"simulated\":%llu,"
+        "\"single_flight_waits\":%llu,"
+        "\"verify_rejected\":%llu,"
+        "\"draining\":%s,"
+        "\"uptime_ms\":%llu}",
+        (unsigned long long)acceptedConnections,
+        (unsigned long long)activeConnections,
+        (unsigned long long)received, (unsigned long long)completed,
+        (unsigned long long)errors, (unsigned long long)busyRejected,
+        (unsigned long long)deadlineExceeded,
+        (unsigned long long)framingErrors, (unsigned long long)queueDepth,
+        (unsigned long long)inFlight, (unsigned long long)sim.memHits,
+        (unsigned long long)sim.diskHits,
+        (unsigned long long)sim.simulated,
+        (unsigned long long)sim.singleFlightWaits,
+        (unsigned long long)sim.verifyRejected,
+        draining ? "true" : "false", (unsigned long long)uptimeMs);
+}
+
+// ---------------------------------------------------------------------
+// Lifecycle.
+
+Server::Server(const Config &config)
+    : config_(config), service_(config.sim)
+{
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+void
+Server::start()
+{
+    if (config_.unixPath.empty() && config_.tcpPort < 0)
+        tarch_fatal("serve: no listener configured (need a Unix socket "
+                    "path or a TCP port)");
+    if (started_.exchange(true))
+        tarch_fatal("serve: start() called twice");
+    startTime_ = std::chrono::steady_clock::now();
+
+    Pool::Options pool_opts;
+    pool_opts.jobs = config_.jobs;
+    pool_opts.jobsEnvVar = "TARCH_SERVE_JOBS";
+    pool_opts.queueCapacity = config_.queueCapacity;
+    pool_ = std::make_unique<Pool>(pool_opts);
+
+    if (!config_.unixPath.empty()) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (config_.unixPath.size() >= sizeof(addr.sun_path))
+            tarch_fatal("serve: unix socket path too long: %s",
+                        config_.unixPath.c_str());
+        unixFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (unixFd_ < 0)
+            tarch_fatal("serve: socket(AF_UNIX): %s",
+                        std::strerror(errno));
+        ::unlink(config_.unixPath.c_str());
+        std::strncpy(addr.sun_path, config_.unixPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        if (::bind(unixFd_, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0 ||
+            ::listen(unixFd_, 128) != 0)
+            tarch_fatal("serve: cannot listen on %s: %s",
+                        config_.unixPath.c_str(), std::strerror(errno));
+        boundUnixPath_ = config_.unixPath;
+    }
+
+    if (config_.tcpPort >= 0) {
+        tcpFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (tcpFd_ < 0)
+            tarch_fatal("serve: socket(AF_INET): %s",
+                        std::strerror(errno));
+        const int one = 1;
+        ::setsockopt(tcpFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port =
+            htons(static_cast<uint16_t>(config_.tcpPort));
+        // Loopback only: the daemon is a local sidecar, not an
+        // internet-facing endpoint.
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        if (::bind(tcpFd_, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0 ||
+            ::listen(tcpFd_, 128) != 0)
+            tarch_fatal("serve: cannot listen on 127.0.0.1:%d: %s",
+                        config_.tcpPort, std::strerror(errno));
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        if (::getsockname(tcpFd_, reinterpret_cast<sockaddr *>(&bound),
+                          &len) == 0)
+            boundTcpPort_ = ntohs(bound.sin_port);
+    }
+
+    if (unixFd_ >= 0)
+        acceptors_.emplace_back([this] { acceptLoop(unixFd_); });
+    if (tcpFd_ >= 0)
+        acceptors_.emplace_back([this] { acceptLoop(tcpFd_); });
+    reaper_ = std::thread([this] { reaperLoop(); });
+}
+
+void
+Server::acceptLoop(int listen_fd)
+{
+    for (;;) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // listener shut down (drain/stop)
+        }
+        if (draining_.load()) {
+            ::close(fd);
+            continue;
+        }
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        acceptedConnections_.fetch_add(1);
+        auto conn = std::make_shared<Connection>();
+        conn->fd = fd;
+        {
+            std::lock_guard<std::mutex> lock(connsMu_);
+            conns_.push_back(conn);
+        }
+        conn->reader = std::thread([this, conn] { readerLoop(conn); });
+    }
+}
+
+void
+Server::readerLoop(std::shared_ptr<Connection> conn)
+{
+    for (;;) {
+        uint8_t header[proto::kHeaderSize];
+        const int got = readFull(conn->fd, header, sizeof(header));
+        if (got <= 0) {
+            // got == 0: clean close at a frame boundary.  got < 0: a
+            // mid-frame disconnect — nothing left to answer either way.
+            break;
+        }
+        proto::FrameHeader fh;
+        const proto::HeaderStatus status =
+            proto::parseHeader(header, fh, config_.maxPayload);
+        if (status != proto::HeaderStatus::Ok) {
+            // A framing error poisons the byte stream: answer with the
+            // matching typed error, then isolate (close) only this
+            // connection.
+            framingErrors_.fetch_add(1);
+            const proto::ErrorCode code =
+                status == proto::HeaderStatus::BadMagic
+                    ? proto::ErrorCode::BadMagic
+                : status == proto::HeaderStatus::BadVersion
+                    ? proto::ErrorCode::BadVersion
+                    : proto::ErrorCode::PayloadTooLarge;
+            conn->sendFrame(proto::errorFrame(
+                fh.requestId, code,
+                strformat("framing error: %s",
+                          std::string(proto::errorCodeName(code))
+                              .c_str())));
+            break;
+        }
+        std::string payload(fh.payloadLen, '\0');
+        if (fh.payloadLen > 0 &&
+            readFull(conn->fd, payload.data(), payload.size()) != 1)
+            break; // mid-frame disconnect
+        dispatch(conn, fh, std::move(payload));
+    }
+    conn->shutdownNow();
+}
+
+void
+Server::dispatch(const std::shared_ptr<Connection> &conn,
+                 const proto::FrameHeader &header, std::string payload)
+{
+    received_.fetch_add(1);
+    const auto kind = static_cast<proto::MsgKind>(header.kind);
+    switch (kind) {
+      case proto::MsgKind::Ping:
+        conn->sendFrame(
+            proto::encodeFrame(proto::MsgKind::Pong, header.requestId, ""));
+        return;
+      case proto::MsgKind::Stats: {
+        proto::StatsResult stats;
+        stats.json = health().toJson();
+        conn->sendFrame(proto::encodeFrame(proto::MsgKind::StatsResult,
+                                           header.requestId,
+                                           proto::encodeStatsResult(stats)));
+        return;
+      }
+      case proto::MsgKind::Drain:
+        conn->sendFrame(proto::encodeFrame(proto::MsgKind::DrainStarted,
+                                           header.requestId, ""));
+        requestDrain();
+        return;
+      case proto::MsgKind::RunCell:
+      case proto::MsgKind::RunSource:
+      case proto::MsgKind::RunBatch:
+        enqueue(conn, header, std::move(payload));
+        return;
+      default:
+        errors_.fetch_add(1);
+        conn->sendFrame(proto::errorFrame(
+            header.requestId, proto::ErrorCode::UnknownKind,
+            strformat("unknown request kind %u", header.kind)));
+        return;
+    }
+}
+
+void
+Server::enqueue(const std::shared_ptr<Connection> &conn,
+                const proto::FrameHeader &header, std::string payload)
+{
+    auto job = std::make_shared<Job>();
+    job->conn = conn;
+    job->requestId = header.requestId;
+    job->kind = static_cast<proto::MsgKind>(header.kind);
+
+    uint32_t deadline_ms = 0;
+    bool ok = false;
+    switch (job->kind) {
+      case proto::MsgKind::RunCell:
+        ok = proto::decodeCellRequest(payload, job->cell);
+        deadline_ms = job->cell.deadlineMs;
+        break;
+      case proto::MsgKind::RunSource:
+        ok = proto::decodeSourceRequest(payload, job->source);
+        deadline_ms = job->source.deadlineMs;
+        break;
+      case proto::MsgKind::RunBatch:
+        ok = proto::decodeBatchRequest(payload, job->batch);
+        for (const proto::CellRequest &cell : job->batch.cells)
+            deadline_ms = std::max(deadline_ms, cell.deadlineMs);
+        break;
+      default:
+        break;
+    }
+    if (!ok) {
+        // Malformed payload inside a well-framed request: typed error,
+        // and the connection survives.
+        errors_.fetch_add(1);
+        conn->sendFrame(proto::errorFrame(header.requestId,
+                                          proto::ErrorCode::BadFrame,
+                                          "malformed request payload"));
+        return;
+    }
+    if (deadline_ms == 0)
+        deadline_ms = config_.defaultDeadlineMs;
+    job->deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(deadline_ms);
+
+    {
+        std::lock_guard<std::mutex> lock(jobsMu_);
+        if (draining_.load()) {
+            errors_.fetch_add(1);
+            conn->sendFrame(proto::errorFrame(
+                header.requestId, proto::ErrorCode::Draining,
+                "server is draining"));
+            return;
+        }
+        jobs_.push_back(job);
+    }
+    if (!pool_->trySubmit([this, job] { execute(job); })) {
+        // Backpressure: a full queue answers a retryable BUSY frame
+        // instead of stalling the socket.
+        finishJob(job);
+        busyRejected_.fetch_add(1);
+        errors_.fetch_add(1);
+        conn->sendFrame(proto::errorFrame(header.requestId,
+                                          proto::ErrorCode::Busy,
+                                          "request queue is full"));
+    }
+}
+
+proto::CellResult
+Server::runCellChecked(const proto::CellRequest &req)
+{
+    return service_.runCell(req);
+}
+
+void
+Server::execute(const std::shared_ptr<Job> &job)
+{
+    // The reaper may already have answered (deadline spent in queue);
+    // skip the simulation entirely in that case.
+    if (job->answered.load()) {
+        finishJob(job);
+        return;
+    }
+    if (std::chrono::steady_clock::now() >= job->deadline) {
+        answer(job,
+               proto::errorFrame(job->requestId,
+                                 proto::ErrorCode::DeadlineExceeded,
+                                 "deadline exceeded before execution"),
+               true);
+        finishJob(job);
+        return;
+    }
+
+    std::string frame;
+    bool is_error = false;
+    try {
+        switch (job->kind) {
+          case proto::MsgKind::RunCell: {
+            const proto::CellResult result = runCellChecked(job->cell);
+            frame = proto::encodeFrame(proto::MsgKind::CellResult,
+                                       job->requestId,
+                                       proto::encodeCellResult(result));
+            break;
+          }
+          case proto::MsgKind::RunSource: {
+            const proto::CellResult result =
+                service_.runSource(job->source);
+            frame = proto::encodeFrame(proto::MsgKind::CellResult,
+                                       job->requestId,
+                                       proto::encodeCellResult(result));
+            break;
+          }
+          case proto::MsgKind::RunBatch: {
+            proto::BatchResult batch;
+            batch.items.reserve(job->batch.cells.size());
+            for (const proto::CellRequest &cell : job->batch.cells) {
+                proto::BatchResult::Item item;
+                if (std::chrono::steady_clock::now() >= job->deadline) {
+                    item.ok = false;
+                    item.error.code = static_cast<uint16_t>(
+                        proto::ErrorCode::DeadlineExceeded);
+                    item.error.message =
+                        "batch deadline exceeded before this cell";
+                } else {
+                    try {
+                        item.result = runCellChecked(cell);
+                        item.ok = true;
+                    } catch (const ServiceError &e) {
+                        item.ok = false;
+                        item.error.code =
+                            static_cast<uint16_t>(e.code);
+                        item.error.retryable =
+                            proto::errorRetryable(e.code) ? 1 : 0;
+                        item.error.message = e.message;
+                    }
+                }
+                batch.items.push_back(std::move(item));
+            }
+            frame = proto::encodeFrame(proto::MsgKind::BatchResult,
+                                       job->requestId,
+                                       proto::encodeBatchResult(batch));
+            break;
+          }
+          default:
+            frame = proto::errorFrame(job->requestId,
+                                      proto::ErrorCode::Internal,
+                                      "unexpected job kind");
+            is_error = true;
+            break;
+        }
+    } catch (const ServiceError &e) {
+        frame = proto::errorFrame(job->requestId, e.code, e.message);
+        is_error = true;
+    } catch (const std::exception &e) {
+        frame = proto::errorFrame(job->requestId,
+                                  proto::ErrorCode::Internal, e.what());
+        is_error = true;
+    }
+
+    // A request whose deadline passed during simulation is answered by
+    // the reaper; the late result is discarded here (answer() refuses a
+    // second reply) and the connection survives.
+    answer(job, frame, is_error);
+    finishJob(job);
+}
+
+bool
+Server::answer(const std::shared_ptr<Job> &job, const std::string &frame,
+               bool is_error)
+{
+    bool expected = false;
+    if (!job->answered.compare_exchange_strong(expected, true))
+        return false;
+    if (is_error)
+        errors_.fetch_add(1);
+    else
+        completed_.fetch_add(1);
+    job->conn->sendFrame(frame);
+    return true;
+}
+
+void
+Server::finishJob(const std::shared_ptr<Job> &job)
+{
+    std::lock_guard<std::mutex> lock(jobsMu_);
+    for (size_t i = 0; i < jobs_.size(); ++i) {
+        if (jobs_[i] == job) {
+            jobs_.erase(jobs_.begin() + static_cast<ptrdiff_t>(i));
+            break;
+        }
+    }
+    if (jobs_.empty())
+        jobsCv_.notify_all();
+}
+
+void
+Server::reaperLoop()
+{
+    while (!stopping_.load()) {
+        std::vector<std::shared_ptr<Job>> expired;
+        const auto now = std::chrono::steady_clock::now();
+        {
+            std::lock_guard<std::mutex> lock(jobsMu_);
+            for (const std::shared_ptr<Job> &job : jobs_)
+                if (!job->answered.load() && now >= job->deadline)
+                    expired.push_back(job);
+        }
+        for (const std::shared_ptr<Job> &job : expired) {
+            if (answer(job,
+                       proto::errorFrame(
+                           job->requestId,
+                           proto::ErrorCode::DeadlineExceeded,
+                           "deadline exceeded"),
+                       true))
+                deadlineExceeded_.fetch_add(1);
+            // The job stays in jobs_ until its worker finishes — drain
+            // still waits for the simulation itself to retire.
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+}
+
+void
+Server::requestDrain()
+{
+    if (draining_.exchange(true))
+        return;
+    // Wake the acceptors; their listen sockets stay bound (and are
+    // closed in stop()) but accept() now fails immediately.
+    if (unixFd_ >= 0)
+        ::shutdown(unixFd_, SHUT_RDWR);
+    if (tcpFd_ >= 0)
+        ::shutdown(tcpFd_, SHUT_RDWR);
+    drainWaiter_ = std::thread([this] {
+        {
+            std::unique_lock<std::mutex> lock(jobsMu_);
+            jobsCv_.wait(lock, [this] { return jobs_.empty(); });
+        }
+        if (pool_)
+            pool_->drain();
+        closeAllConnections();
+        drained_.store(true);
+        std::lock_guard<std::mutex> lock(drainMu_);
+        drainCv_.notify_all();
+    });
+}
+
+bool
+Server::drained() const
+{
+    return drained_.load();
+}
+
+void
+Server::waitDrained()
+{
+    std::unique_lock<std::mutex> lock(drainMu_);
+    drainCv_.wait(lock, [this] { return drained_.load(); });
+}
+
+void
+Server::closeAllConnections()
+{
+    std::vector<std::shared_ptr<Connection>> conns;
+    {
+        std::lock_guard<std::mutex> lock(connsMu_);
+        conns = conns_;
+    }
+    for (const std::shared_ptr<Connection> &conn : conns)
+        conn->shutdownNow();
+}
+
+void
+Server::stop()
+{
+    if (!started_.load())
+        return;
+    if (stopping_.exchange(true))
+        return;
+    requestDrain();
+    waitDrained();
+    for (std::thread &t : acceptors_)
+        t.join();
+    acceptors_.clear();
+    if (reaper_.joinable())
+        reaper_.join();
+    if (drainWaiter_.joinable())
+        drainWaiter_.join();
+    std::vector<std::shared_ptr<Connection>> conns;
+    {
+        std::lock_guard<std::mutex> lock(connsMu_);
+        conns.swap(conns_);
+    }
+    for (const std::shared_ptr<Connection> &conn : conns)
+        if (conn->reader.joinable())
+            conn->reader.join();
+    conns.clear();
+    if (pool_)
+        pool_->close();
+    if (unixFd_ >= 0) {
+        ::close(unixFd_);
+        unixFd_ = -1;
+    }
+    if (tcpFd_ >= 0) {
+        ::close(tcpFd_);
+        tcpFd_ = -1;
+    }
+    if (!boundUnixPath_.empty())
+        ::unlink(boundUnixPath_.c_str());
+}
+
+Server::Health
+Server::health() const
+{
+    Health h;
+    h.acceptedConnections = acceptedConnections_.load();
+    {
+        std::lock_guard<std::mutex> lock(connsMu_);
+        uint64_t active = 0;
+        for (const std::shared_ptr<Connection> &conn : conns_)
+            if (conn->open.load())
+                ++active;
+        h.activeConnections = active;
+    }
+    h.received = received_.load();
+    h.completed = completed_.load();
+    h.errors = errors_.load();
+    h.busyRejected = busyRejected_.load();
+    h.deadlineExceeded = deadlineExceeded_.load();
+    h.framingErrors = framingErrors_.load();
+    h.queueDepth = pool_ ? pool_->pending() : 0;
+    {
+        std::lock_guard<std::mutex> lock(jobsMu_);
+        h.inFlight = jobs_.size();
+    }
+    h.sim = service_.counters();
+    h.draining = draining_.load();
+    h.uptimeMs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - startTime_)
+            .count());
+    return h;
+}
+
+} // namespace tarch::serve

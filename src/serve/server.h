@@ -1,0 +1,181 @@
+/**
+ * @file
+ * tarch_served's engine: listeners (TCP loopback and/or Unix domain
+ * socket), per-connection frame readers, a bounded request queue
+ * dispatched onto a common::Pool of simulation workers, per-request
+ * deadlines enforced by a reaper thread, and graceful drain.
+ *
+ * Concurrency shape:
+ *   - one acceptor thread per listener;
+ *   - one reader thread per live connection (parses tarch-rpc-v1
+ *     frames; cheap requests — ping/stats/drain — are answered inline,
+ *     simulation requests are queued);
+ *   - a Pool of workers executing queued requests through SimService;
+ *   - one reaper thread that answers expired requests with
+ *     DeadlineExceeded (the worker's late result is then discarded —
+ *     the connection survives);
+ *   - responses are written under a per-connection mutex, so pipelined
+ *     requests on one connection interleave safely.
+ *
+ * Backpressure: a full queue answers BUSY (retryable) immediately
+ * instead of stalling the socket.  Framing errors (bad magic/version,
+ * oversized length prefix) poison only the offending connection: a
+ * final typed error frame is sent and that connection is closed.
+ * Drain (SIGINT/SIGTERM or the Drain request): stop accepting, answer
+ * new requests with Draining, finish every in-flight request, then
+ * close connections and report drained.
+ */
+
+#ifndef TARCH_SERVE_SERVER_H
+#define TARCH_SERVE_SERVER_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
+#include "serve/protocol.h"
+#include "serve/service.h"
+
+namespace tarch::serve {
+
+class Server
+{
+  public:
+    struct Config {
+        /** Unix domain socket path; empty = no Unix listener. */
+        std::string unixPath;
+        /** TCP port on 127.0.0.1; -1 = no TCP listener, 0 = pick an
+            ephemeral port (see tcpPort()). */
+        int tcpPort = -1;
+        /** Simulation worker threads; 0 = TARCH_SERVE_JOBS env, else
+            hardware concurrency. */
+        unsigned jobs = 0;
+        /** Bounded request queue; a full queue answers BUSY. */
+        size_t queueCapacity = 256;
+        /** Applied when a request carries deadlineMs == 0. */
+        uint32_t defaultDeadlineMs = 30'000;
+        /** Per-frame payload cap (also bounded by proto::kMaxPayload). */
+        uint32_t maxPayload = 16u << 20;
+        SimService::Options sim;
+    };
+
+    /** Snapshot for the Stats request and the daemon's exit report. */
+    struct Health {
+        uint64_t acceptedConnections = 0;
+        uint64_t activeConnections = 0;
+        uint64_t received = 0;   ///< well-framed requests read
+        uint64_t completed = 0;  ///< answered with a non-error result
+        uint64_t errors = 0;     ///< answered with a typed error
+        uint64_t busyRejected = 0;
+        uint64_t deadlineExceeded = 0;
+        uint64_t framingErrors = 0;
+        uint64_t queueDepth = 0;
+        uint64_t inFlight = 0;
+        SimService::Counters sim;
+        bool draining = false;
+        uint64_t uptimeMs = 0;
+
+        std::string toJson() const;
+    };
+
+    explicit Server(const Config &config);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind listeners and spawn all threads; throws FatalError when no
+        listener is configured or a bind fails. */
+    void start();
+
+    /** Begin a graceful drain (idempotent, non-blocking): close the
+        listeners and refuse new work; in-flight requests finish. */
+    void requestDrain();
+
+    /** True once a drain finished: every accepted request answered and
+        every connection closed. */
+    bool drained() const;
+
+    /** Block until drained() (requires requestDrain, a Drain request,
+        or stop()). */
+    void waitDrained();
+
+    /** Drain, wait, join every thread.  Idempotent; the destructor
+        calls it. */
+    void stop();
+
+    bool draining() const { return draining_.load(); }
+
+    /** Actual TCP port after start() (0 when no TCP listener). */
+    uint16_t tcpPort() const { return boundTcpPort_; }
+
+    Health health() const;
+
+  private:
+    struct Connection;
+    struct Job;
+
+    void acceptLoop(int listen_fd);
+    void readerLoop(std::shared_ptr<Connection> conn);
+    void reaperLoop();
+    /** Handle one well-framed request from @p conn. */
+    void dispatch(const std::shared_ptr<Connection> &conn,
+                  const proto::FrameHeader &header, std::string payload);
+    void enqueue(const std::shared_ptr<Connection> &conn,
+                 const proto::FrameHeader &header, std::string payload);
+    void execute(const std::shared_ptr<Job> &job);
+    proto::CellResult runCellChecked(const proto::CellRequest &req);
+    /** Send @p frame answering @p job exactly once; false if a reply
+        was already sent (deadline reaper won the race). */
+    bool answer(const std::shared_ptr<Job> &job, const std::string &frame,
+                bool is_error);
+    void finishJob(const std::shared_ptr<Job> &job);
+    void closeAllConnections();
+
+    Config config_;
+    SimService service_;
+    std::unique_ptr<Pool> pool_;
+
+    int unixFd_ = -1;
+    int tcpFd_ = -1;
+    uint16_t boundTcpPort_ = 0;
+    std::string boundUnixPath_;
+
+    std::vector<std::thread> acceptors_;
+    std::thread reaper_;
+
+    mutable std::mutex connsMu_;
+    std::vector<std::shared_ptr<Connection>> conns_;
+
+    mutable std::mutex jobsMu_;
+    std::condition_variable jobsCv_;
+    std::vector<std::shared_ptr<Job>> jobs_;  ///< queued + executing
+
+    std::atomic<bool> started_{false};
+    std::atomic<bool> draining_{false};
+    std::atomic<bool> drained_{false};
+    std::atomic<bool> stopping_{false};
+    mutable std::mutex drainMu_;
+    std::condition_variable drainCv_;
+    std::thread drainWaiter_;
+
+    std::chrono::steady_clock::time_point startTime_;
+    std::atomic<uint64_t> acceptedConnections_{0};
+    std::atomic<uint64_t> received_{0};
+    std::atomic<uint64_t> completed_{0};
+    std::atomic<uint64_t> errors_{0};
+    std::atomic<uint64_t> busyRejected_{0};
+    std::atomic<uint64_t> deadlineExceeded_{0};
+    std::atomic<uint64_t> framingErrors_{0};
+};
+
+} // namespace tarch::serve
+
+#endif // TARCH_SERVE_SERVER_H

@@ -1,0 +1,277 @@
+#include "serve/service.h"
+
+#include <memory>
+
+#include "analysis/checks.h"
+#include "assembler/assembler.h"
+#include "common/log.h"
+#include "common/strutil.h"
+#include "core/core.h"
+#include "obs/json.h"
+#include "vm/js/js_vm.h"
+#include "vm/lua/lua_vm.h"
+
+namespace tarch::serve {
+
+namespace {
+
+harness::Engine
+toEngine(uint8_t engine)
+{
+    return engine == 0 ? harness::Engine::Lua : harness::Engine::Js;
+}
+
+vm::Variant
+toVariant(uint8_t variant)
+{
+    return static_cast<vm::Variant>(variant);
+}
+
+const harness::BenchmarkInfo *
+findBenchmark(const std::string &name)
+{
+    for (const harness::BenchmarkInfo &info : harness::benchmarks())
+        if (info.name == name)
+            return &info;
+    return nullptr;
+}
+
+/** Drop the single-flight claim on destruction, success or error. */
+class FlightGuard
+{
+  public:
+    FlightGuard(std::mutex &mu, std::set<std::string> &in_progress,
+                std::condition_variable &cv, const std::string &key)
+        : mu_(mu), inProgress_(in_progress), cv_(cv), key_(key)
+    {
+    }
+
+    ~FlightGuard()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        inProgress_.erase(key_);
+        cv_.notify_all();
+    }
+
+  private:
+    std::mutex &mu_;
+    std::set<std::string> &inProgress_;
+    std::condition_variable &cv_;
+    std::string key_;
+};
+
+} // namespace
+
+SimService::SimService(const Options &opts) : opts_(opts)
+{
+    if (opts_.diskCache && !harness::ensureCacheDir(opts_.cacheDir)) {
+        tarch_warn("serve: cannot create sweep cache under %s; "
+                   "disk cache disabled",
+                   opts_.cacheDir.c_str());
+        opts_.diskCache = false;
+    }
+}
+
+proto::CellResult
+SimService::runCell(const proto::CellRequest &req)
+{
+    const harness::BenchmarkInfo *info = findBenchmark(req.benchmark);
+    if (!info)
+        throw ServiceError{proto::ErrorCode::UnknownBenchmark,
+                           "unknown benchmark '" + req.benchmark + "'"};
+    const harness::Engine engine = toEngine(req.engine);
+    const vm::Variant variant = toVariant(req.variant);
+    const uint64_t key = harness::cellKey(engine, *info, variant);
+    const std::string memo_key =
+        strformat("%u/%s/%u/%016llx", req.engine, req.benchmark.c_str(),
+                  req.variant, (unsigned long long)key);
+
+    // Memory cache + single-flight: a burst of identical cold requests
+    // simulates once; the rest block here and are served from the memo.
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        for (;;) {
+            if (opts_.memoryCache) {
+                const auto hit = memo_.find(memo_key);
+                if (hit != memo_.end()) {
+                    {
+                        std::lock_guard<std::mutex> clock(countersMu_);
+                        ++counters_.memHits;
+                    }
+                    proto::CellResult result = hit->second;
+                    result.fromCache = 1;
+                    if (!req.wantStatsJson)
+                        result.statsJson.clear();
+                    return result;
+                }
+            }
+            if (!inProgress_.count(memo_key))
+                break;
+            {
+                std::lock_guard<std::mutex> clock(countersMu_);
+                ++counters_.singleFlightWaits;
+            }
+            progressCv_.wait(lock);
+        }
+        inProgress_.insert(memo_key);
+    }
+    FlightGuard flight(mu_, inProgress_, progressCv_, memo_key);
+
+    harness::RunResult run;
+    uint8_t from_cache = 0;
+    const std::string path =
+        harness::cellPath(opts_.cacheDir, engine, info->name, variant);
+    if (opts_.diskCache && harness::loadCell(run, path, key)) {
+        from_cache = 2;
+        std::lock_guard<std::mutex> clock(countersMu_);
+        ++counters_.diskHits;
+    } else {
+        try {
+            run = harness::runOne(engine, variant, *info);
+        } catch (const FatalError &e) {
+            throw ServiceError{proto::ErrorCode::SimFailed, e.what()};
+        }
+        {
+            std::lock_guard<std::mutex> clock(countersMu_);
+            ++counters_.simulated;
+        }
+        if (opts_.diskCache && !harness::saveCell(run, path, key))
+            tarch_warn("serve: could not write sweep cache cell %s",
+                       path.c_str());
+    }
+
+    proto::CellResult result;
+    result.engine = req.engine;
+    result.variant = req.variant;
+    result.fromCache = from_cache;
+    result.benchmark = req.benchmark;
+    result.instructions = run.stats.instructions;
+    result.cycles = run.stats.cycles;
+    result.output = run.output;
+    result.statsJson = obs::statsToJson(run.stats);
+
+    if (opts_.memoryCache) {
+        std::lock_guard<std::mutex> lock(mu_);
+        memo_[memo_key] = result;
+    }
+    if (!req.wantStatsJson)
+        result.statsJson.clear();
+    return result;
+}
+
+proto::CellResult
+SimService::runSource(const proto::SourceRequest &req)
+{
+    return static_cast<proto::SourceLang>(req.lang) ==
+                   proto::SourceLang::Assembly
+               ? runAssembly(req)
+               : runMiniScript(req);
+}
+
+template <typename Vm>
+static proto::CellResult
+runScriptVm(const proto::SourceRequest &req,
+            const SimService::Options &opts, uint64_t *verify_rejected)
+{
+    std::unique_ptr<Vm> vm;
+    try {
+        typename Vm::Options vm_opts;
+        vm_opts.variant = static_cast<vm::Variant>(req.variant);
+        vm_opts.coreConfig.maxInstructions = opts.sourceMaxInstructions;
+        vm = std::make_unique<Vm>(req.source, vm_opts);
+    } catch (const FatalError &e) {
+        throw ServiceError{proto::ErrorCode::CompileFailed, e.what()};
+    }
+    if (opts.verifySource) {
+        const analysis::Report lint = analysis::verifyImage(vm->program());
+        if (lint.hasErrors()) {
+            ++*verify_rejected;
+            throw ServiceError{proto::ErrorCode::VerifyRejected,
+                               lint.render()};
+        }
+    }
+    try {
+        vm->run();
+    } catch (const FatalError &e) {
+        throw ServiceError{proto::ErrorCode::SimFailed, e.what()};
+    }
+    proto::CellResult result;
+    result.engine = req.engine;
+    result.variant = req.variant;
+    const core::CoreStats stats = vm->core().collectStats();
+    result.instructions = stats.instructions;
+    result.cycles = stats.cycles;
+    result.output = vm->output();
+    if (req.wantStatsJson)
+        result.statsJson = obs::statsToJson(stats);
+    return result;
+}
+
+proto::CellResult
+SimService::runMiniScript(const proto::SourceRequest &req)
+{
+    uint64_t rejected = 0;
+    try {
+        proto::CellResult result =
+            toEngine(req.engine) == harness::Engine::Lua
+                ? runScriptVm<vm::lua::LuaVm>(req, opts_, &rejected)
+                : runScriptVm<vm::js::JsVm>(req, opts_, &rejected);
+        return result;
+    } catch (...) {
+        if (rejected) {
+            std::lock_guard<std::mutex> clock(countersMu_);
+            counters_.verifyRejected += rejected;
+        }
+        throw;
+    }
+}
+
+proto::CellResult
+SimService::runAssembly(const proto::SourceRequest &req)
+{
+    assembler::Program prog;
+    try {
+        prog = assembler::assemble(req.source);
+    } catch (const FatalError &e) {
+        throw ServiceError{proto::ErrorCode::CompileFailed, e.what()};
+    }
+    if (opts_.verifySource) {
+        const analysis::Report lint = analysis::verifyImage(prog);
+        if (lint.hasErrors()) {
+            {
+                std::lock_guard<std::mutex> clock(countersMu_);
+                ++counters_.verifyRejected;
+            }
+            throw ServiceError{proto::ErrorCode::VerifyRejected,
+                               lint.render()};
+        }
+    }
+    try {
+        core::CoreConfig cfg;
+        cfg.maxInstructions = opts_.sourceMaxInstructions;
+        core::Core core(cfg);
+        core.loadProgram(prog);
+        core.run();
+        proto::CellResult result;
+        result.engine = req.engine;
+        result.variant = req.variant;
+        const core::CoreStats stats = core.collectStats();
+        result.instructions = stats.instructions;
+        result.cycles = stats.cycles;
+        result.output = core.output();
+        if (req.wantStatsJson)
+            result.statsJson = obs::statsToJson(stats);
+        return result;
+    } catch (const FatalError &e) {
+        throw ServiceError{proto::ErrorCode::SimFailed, e.what()};
+    }
+}
+
+SimService::Counters
+SimService::counters() const
+{
+    std::lock_guard<std::mutex> lock(countersMu_);
+    return counters_;
+}
+
+} // namespace tarch::serve

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * SimService: the request -> simulation plumbing behind tarch_served.
+ *
+ * Named cells reuse the harness sweep cache three ways: an in-memory
+ * cell memo (the serving hot path), the on-disk per-cell cache shared
+ * with the bench binaries (harness::loadCell/saveCell), and single-
+ * flight deduplication so a burst of identical cold requests simulates
+ * once while the rest wait for that result.  Inline source requests
+ * are gated through the PR-3 static verifier before simulation —
+ * error-severity findings come back as a typed VerifyRejected error —
+ * and every result can embed a PR-4 tarch-stats-v1 JSON artifact.
+ */
+
+#ifndef TARCH_SERVE_SERVICE_H
+#define TARCH_SERVE_SERVICE_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "harness/experiment.h"
+#include "serve/protocol.h"
+
+namespace tarch::serve {
+
+/** Typed failure thrown by SimService entry points; the server turns
+    it into an Error frame with the same code. */
+struct ServiceError {
+    proto::ErrorCode code;
+    std::string message;
+};
+
+class SimService
+{
+  public:
+    struct Options {
+        std::string cacheDir = ".";
+        bool diskCache = true;    ///< share cells with the bench binaries
+        bool memoryCache = true;  ///< in-process cell memo (hot path)
+        bool verifySource = true; ///< static-verify inline source images
+        /** Runaway guard for inline source runs (named benchmarks use
+            the simulator default). */
+        uint64_t sourceMaxInstructions = 100'000'000;
+    };
+
+    /** Monotonic counters, snapshotted into the health document. */
+    struct Counters {
+        uint64_t memHits = 0;
+        uint64_t diskHits = 0;
+        uint64_t simulated = 0;
+        uint64_t singleFlightWaits = 0;
+        uint64_t verifyRejected = 0;
+    };
+
+    explicit SimService(const Options &opts);
+
+    /** Run a named (engine, benchmark, variant) cell.  Throws
+        ServiceError on unknown benchmarks or failed simulations. */
+    proto::CellResult runCell(const proto::CellRequest &req);
+
+    /** Compile/assemble, statically verify, then run inline source.
+        Throws ServiceError (VerifyRejected carries the rendered
+        findings report as its message). */
+    proto::CellResult runSource(const proto::SourceRequest &req);
+
+    Counters counters() const;
+
+  private:
+    proto::CellResult runMiniScript(const proto::SourceRequest &req);
+    proto::CellResult runAssembly(const proto::SourceRequest &req);
+
+    Options opts_;
+
+    mutable std::mutex mu_;
+    /** Memo key -> fully rendered result; memo key is the cell path
+        suffix + cellKey hash, so a config change invalidates it. */
+    std::map<std::string, proto::CellResult> memo_;
+    /** Cells currently being simulated (single-flight). */
+    std::set<std::string> inProgress_;
+    std::condition_variable progressCv_;
+
+    mutable std::mutex countersMu_;
+    Counters counters_;
+};
+
+} // namespace tarch::serve
+
+#endif // TARCH_SERVE_SERVICE_H

@@ -3,7 +3,13 @@
 // by scripts/ci.sh).
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <functional>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -146,6 +152,178 @@ TEST(Parallel, LowestFailingIndexIsRethrown)
     } catch (const std::runtime_error &e) {
         EXPECT_STREQ(e.what(), "boom 3");
     }
+}
+
+// ---------------------------------------------------------------------
+// The persistent bounded-queue Pool (the tarch_served dispatcher).
+
+TEST(Pool, RunsEverySubmittedTask)
+{
+    Pool pool({.jobs = 4, .queueCapacity = 0});
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 200; ++i)
+        ASSERT_TRUE(pool.trySubmit([&] { ran.fetch_add(1); }));
+    pool.drain();
+    EXPECT_EQ(ran.load(), 200);
+    EXPECT_EQ(pool.pending(), 0u);
+    EXPECT_EQ(pool.inFlight(), 0u);
+}
+
+/** Parks the pool's only worker until release() is called. */
+struct WorkerGate {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool released = false;
+    bool entered = false;
+
+    std::function<void()>
+    task()
+    {
+        return [this] {
+            std::unique_lock<std::mutex> lock(mu);
+            entered = true;
+            cv.notify_all();
+            cv.wait(lock, [this] { return released; });
+        };
+    }
+
+    void
+    awaitEntered()
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [this] { return entered; });
+    }
+
+    void
+    release()
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        released = true;
+        cv.notify_all();
+    }
+};
+
+TEST(Pool, TrySubmitRejectsWhenTheQueueIsFull)
+{
+    Pool pool({.jobs = 1, .queueCapacity = 1});
+    WorkerGate gate;
+    ASSERT_TRUE(pool.trySubmit(gate.task())); // occupies the worker
+    gate.awaitEntered();
+    ASSERT_TRUE(pool.trySubmit([] {})); // occupies the one queue slot
+    // Backpressure: the queue is full, so trySubmit must refuse — this
+    // is what the server turns into a BUSY frame.
+    EXPECT_FALSE(pool.trySubmit([] {}));
+    EXPECT_EQ(pool.pending(), 1u);
+    EXPECT_EQ(pool.inFlight(), 2u);
+    gate.release();
+    pool.drain();
+    EXPECT_TRUE(pool.trySubmit([] {})); // space again after draining
+    pool.drain();
+}
+
+TEST(Pool, SubmitBlocksForSpaceAndFailsOnlyWhenClosed)
+{
+    Pool pool({.jobs = 1, .queueCapacity = 1});
+    WorkerGate gate;
+    ASSERT_TRUE(pool.trySubmit(gate.task()));
+    gate.awaitEntered();
+    ASSERT_TRUE(pool.trySubmit([] {}));
+
+    std::atomic<int> ran{0};
+    std::atomic<bool> accepted{false};
+    std::thread submitter([&] {
+        // Queue full: this blocks until the gate task retires.
+        accepted.store(pool.submit([&] { ran.fetch_add(1); }));
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(accepted.load()); // still blocked on a full queue
+    gate.release();
+    submitter.join();
+    EXPECT_TRUE(accepted.load());
+    pool.drain();
+    EXPECT_EQ(ran.load(), 1);
+
+    pool.close();
+    EXPECT_FALSE(pool.submit([] {}));
+    EXPECT_FALSE(pool.trySubmit([] {}));
+}
+
+TEST(Pool, DrainWaitsForExecutingTasks)
+{
+    Pool pool({.jobs = 2, .queueCapacity = 0});
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 16; ++i)
+        pool.trySubmit([&] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            ran.fetch_add(1);
+        });
+    pool.drain();
+    // drain() returning means nothing is queued or mid-task.
+    EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(Pool, CloseRunsTheBacklogAndIsIdempotent)
+{
+    std::atomic<int> ran{0};
+    Pool pool({.jobs = 1, .queueCapacity = 0});
+    WorkerGate gate;
+    ASSERT_TRUE(pool.trySubmit(gate.task()));
+    gate.awaitEntered();
+    for (int i = 0; i < 8; ++i)
+        ASSERT_TRUE(pool.trySubmit([&] { ran.fetch_add(1); }));
+    gate.release();
+    pool.close();
+    EXPECT_EQ(ran.load(), 8); // queued tasks still ran
+    pool.close();             // second close is a no-op
+}
+
+TEST(Pool, ThrowingTaskIsSwallowedAndThePoolKeepsRunning)
+{
+    Pool pool({.jobs = 1, .queueCapacity = 0});
+    std::atomic<int> ran{0};
+    ASSERT_TRUE(
+        pool.trySubmit([] { throw std::runtime_error("task boom"); }));
+    ASSERT_TRUE(pool.trySubmit([&] { ran.fetch_add(1); }));
+    pool.drain();
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ResolveJobs, ExplicitRequestBeatsEnvBeatsHardware)
+{
+    ::setenv("TARCH_TEST_JOBS_A", "3", 1);
+    EXPECT_EQ(resolveJobs(5, "TARCH_TEST_JOBS_A"), 5u);
+    EXPECT_EQ(resolveJobs(0, "TARCH_TEST_JOBS_A"), 3u);
+    ::unsetenv("TARCH_TEST_JOBS_A");
+    EXPECT_GE(resolveJobs(0, "TARCH_TEST_JOBS_A"), 1u);
+    ::setenv("TARCH_TEST_JOBS_A", "not-a-number", 1);
+    EXPECT_GE(resolveJobs(0, "TARCH_TEST_JOBS_A"), 1u); // warn + ignore
+    ::unsetenv("TARCH_TEST_JOBS_A");
+}
+
+TEST(ResolveJobs, TwoPoolsSizeFromTheirOwnVariablesConcurrently)
+{
+    // The server pool (TARCH_SERVE_JOBS) and the sweep pool (TARCH_JOBS)
+    // are constructed concurrently in tarch_served; the serialized env
+    // lookup must hand each its own setting.
+    ::setenv("TARCH_TEST_JOBS_B", "2", 1);
+    ::setenv("TARCH_TEST_JOBS_C", "7", 1);
+    std::atomic<bool> mismatch{false};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t)
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < 200; ++i) {
+                const bool b = (t + i) % 2 == 0;
+                const unsigned got = resolveJobs(
+                    0, b ? "TARCH_TEST_JOBS_B" : "TARCH_TEST_JOBS_C");
+                if (got != (b ? 2u : 7u))
+                    mismatch.store(true);
+            }
+        });
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_FALSE(mismatch.load());
+    ::unsetenv("TARCH_TEST_JOBS_B");
+    ::unsetenv("TARCH_TEST_JOBS_C");
 }
 
 } // namespace

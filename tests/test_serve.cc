@@ -1,0 +1,780 @@
+// The tarch-rpc-v1 wire protocol and the tarch_served engine: strict
+// encode/decode round trips (every truncation, trailing byte, and
+// out-of-range enum rejected), framing-error handling (bad magic/
+// version, oversized length prefixes, mid-frame disconnects), and an
+// in-process Server exercised over a Unix socket and TCP loopback —
+// inline source runs gated by the static verifier, disk/memory cell
+// cache reuse, pipelined and batched requests, backpressure (BUSY),
+// per-request deadlines, and graceful drain.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "common/log.h"
+#include "common/strutil.h"
+#include "harness/experiment.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace fs = std::filesystem;
+
+namespace tarch::serve {
+namespace {
+
+// ---------------------------------------------------------------------
+// Protocol: header framing.
+
+TEST(Protocol, FrameRoundTrip)
+{
+    const std::string frame =
+        proto::encodeFrame(proto::MsgKind::RunCell, 0x1122334455667788ULL,
+                           "payload!");
+    ASSERT_EQ(frame.size(), proto::kHeaderSize + 8);
+    proto::FrameHeader fh;
+    ASSERT_EQ(proto::parseHeader(
+                  reinterpret_cast<const uint8_t *>(frame.data()), fh,
+                  proto::kMaxPayload),
+              proto::HeaderStatus::Ok);
+    EXPECT_EQ(fh.kind, static_cast<uint16_t>(proto::MsgKind::RunCell));
+    EXPECT_EQ(fh.requestId, 0x1122334455667788ULL);
+    EXPECT_EQ(fh.payloadLen, 8u);
+}
+
+TEST(Protocol, HeaderRejectsBadMagicVersionAndOversizedLength)
+{
+    std::string frame = proto::encodeFrame(proto::MsgKind::Ping, 1, "");
+    proto::FrameHeader fh;
+
+    std::string bad = frame;
+    bad[0] = 'X';
+    EXPECT_EQ(proto::parseHeader(
+                  reinterpret_cast<const uint8_t *>(bad.data()), fh,
+                  proto::kMaxPayload),
+              proto::HeaderStatus::BadMagic);
+
+    bad = frame;
+    bad[4] = 0x7F; // version
+    EXPECT_EQ(proto::parseHeader(
+                  reinterpret_cast<const uint8_t *>(bad.data()), fh,
+                  proto::kMaxPayload),
+              proto::HeaderStatus::BadVersion);
+
+    bad = proto::encodeFrame(proto::MsgKind::Ping, 1,
+                             std::string(2000, 'x'));
+    EXPECT_EQ(proto::parseHeader(
+                  reinterpret_cast<const uint8_t *>(bad.data()), fh,
+                  1000),
+              proto::HeaderStatus::TooLarge);
+}
+
+TEST(Protocol, RequestKindsAndRetryability)
+{
+    EXPECT_TRUE(proto::isRequestKind(
+        static_cast<uint16_t>(proto::MsgKind::RunCell)));
+    EXPECT_TRUE(proto::isRequestKind(
+        static_cast<uint16_t>(proto::MsgKind::Drain)));
+    EXPECT_FALSE(proto::isRequestKind(
+        static_cast<uint16_t>(proto::MsgKind::CellResult)));
+    EXPECT_FALSE(proto::isRequestKind(
+        static_cast<uint16_t>(proto::MsgKind::Error)));
+    EXPECT_FALSE(proto::isRequestKind(42));
+
+    EXPECT_TRUE(proto::errorRetryable(proto::ErrorCode::Busy));
+    EXPECT_TRUE(proto::errorRetryable(proto::ErrorCode::Draining));
+    EXPECT_FALSE(proto::errorRetryable(proto::ErrorCode::BadFrame));
+    EXPECT_FALSE(
+        proto::errorRetryable(proto::ErrorCode::DeadlineExceeded));
+    EXPECT_FALSE(
+        proto::errorRetryable(proto::ErrorCode::VerifyRejected));
+}
+
+// ---------------------------------------------------------------------
+// Protocol: payload bodies — round trips and strict rejection.
+
+proto::CellRequest
+sampleCellRequest()
+{
+    proto::CellRequest req;
+    req.engine = 1;
+    req.variant = 2;
+    req.wantStatsJson = 1;
+    req.deadlineMs = 1234;
+    req.benchmark = "fibo";
+    return req;
+}
+
+TEST(Protocol, CellRequestRoundTrip)
+{
+    const proto::CellRequest req = sampleCellRequest();
+    proto::CellRequest out;
+    ASSERT_TRUE(
+        proto::decodeCellRequest(proto::encodeCellRequest(req), out));
+    EXPECT_EQ(out.engine, req.engine);
+    EXPECT_EQ(out.variant, req.variant);
+    EXPECT_EQ(out.wantStatsJson, req.wantStatsJson);
+    EXPECT_EQ(out.deadlineMs, req.deadlineMs);
+    EXPECT_EQ(out.benchmark, req.benchmark);
+}
+
+TEST(Protocol, CellRequestEveryTruncationAndTrailingByteRejected)
+{
+    const std::string payload =
+        proto::encodeCellRequest(sampleCellRequest());
+    proto::CellRequest out;
+    for (size_t len = 0; len < payload.size(); ++len)
+        EXPECT_FALSE(
+            proto::decodeCellRequest(payload.substr(0, len), out))
+            << "prefix of " << len << " bytes decoded";
+    EXPECT_FALSE(proto::decodeCellRequest(payload + "x", out))
+        << "trailing byte accepted";
+}
+
+TEST(Protocol, CellRequestRejectsOutOfRangeEnums)
+{
+    proto::CellRequest req = sampleCellRequest();
+    req.engine = 9;
+    proto::CellRequest out;
+    EXPECT_FALSE(
+        proto::decodeCellRequest(proto::encodeCellRequest(req), out));
+    req = sampleCellRequest();
+    req.variant = 3;
+    EXPECT_FALSE(
+        proto::decodeCellRequest(proto::encodeCellRequest(req), out));
+}
+
+TEST(Protocol, SourceRequestRoundTrip)
+{
+    proto::SourceRequest req;
+    req.engine = 0;
+    req.variant = 1;
+    req.wantStatsJson = 0;
+    req.lang = 1;
+    req.deadlineMs = 99;
+    req.source = "_start:\n    halt\n";
+    proto::SourceRequest out;
+    ASSERT_TRUE(
+        proto::decodeSourceRequest(proto::encodeSourceRequest(req), out));
+    EXPECT_EQ(out.lang, req.lang);
+    EXPECT_EQ(out.source, req.source);
+    EXPECT_EQ(out.deadlineMs, req.deadlineMs);
+}
+
+TEST(Protocol, BatchRoundTripAndAbsurdCountRejected)
+{
+    proto::BatchRequest batch;
+    batch.cells.push_back(sampleCellRequest());
+    batch.cells.push_back(sampleCellRequest());
+    batch.cells[1].benchmark = "n-body";
+    proto::BatchRequest out;
+    ASSERT_TRUE(
+        proto::decodeBatchRequest(proto::encodeBatchRequest(batch), out));
+    ASSERT_EQ(out.cells.size(), 2u);
+    EXPECT_EQ(out.cells[1].benchmark, "n-body");
+
+    // A count claiming more cells than bytes present must be bounded,
+    // not allocated and chased off the end of the buffer.
+    std::string absurd(4, '\0');
+    absurd[0] = '\x10';
+    absurd[1] = '\x27'; // 10000 little-endian
+    EXPECT_FALSE(proto::decodeBatchRequest(absurd, out));
+}
+
+TEST(Protocol, CellResultRoundTrip)
+{
+    proto::CellResult result;
+    result.engine = 0;
+    result.variant = 1;
+    result.fromCache = 2;
+    result.benchmark = "fibo";
+    result.instructions = 0xDEADBEEFCAFEULL;
+    result.cycles = 77;
+    result.output = "6765\n";
+    result.statsJson = "{\"schema\":\"tarch-stats-v1\"}";
+    proto::CellResult out;
+    ASSERT_TRUE(
+        proto::decodeCellResult(proto::encodeCellResult(result), out));
+    EXPECT_EQ(out.fromCache, 2);
+    EXPECT_EQ(out.instructions, result.instructions);
+    EXPECT_EQ(out.cycles, result.cycles);
+    EXPECT_EQ(out.output, result.output);
+    EXPECT_EQ(out.statsJson, result.statsJson);
+}
+
+TEST(Protocol, ErrorBodyAndBatchResultRoundTrip)
+{
+    proto::ErrorBody error;
+    error.code = static_cast<uint16_t>(proto::ErrorCode::Busy);
+    error.retryable = 1;
+    error.message = "request queue is full";
+    proto::ErrorBody error_out;
+    ASSERT_TRUE(
+        proto::decodeErrorBody(proto::encodeErrorBody(error), error_out));
+    EXPECT_EQ(error_out.code, error.code);
+    EXPECT_EQ(error_out.retryable, 1);
+    EXPECT_EQ(error_out.message, error.message);
+
+    proto::BatchResult batch;
+    proto::BatchResult::Item ok_item;
+    ok_item.ok = true;
+    ok_item.result.benchmark = "fibo";
+    ok_item.result.cycles = 5;
+    proto::BatchResult::Item bad_item;
+    bad_item.ok = false;
+    bad_item.error = error;
+    batch.items.push_back(ok_item);
+    batch.items.push_back(bad_item);
+    proto::BatchResult batch_out;
+    ASSERT_TRUE(proto::decodeBatchResult(proto::encodeBatchResult(batch),
+                                         batch_out));
+    ASSERT_EQ(batch_out.items.size(), 2u);
+    EXPECT_TRUE(batch_out.items[0].ok);
+    EXPECT_EQ(batch_out.items[0].result.cycles, 5u);
+    EXPECT_FALSE(batch_out.items[1].ok);
+    EXPECT_EQ(batch_out.items[1].error.message, error.message);
+}
+
+TEST(Protocol, ErrorFrameIsSelfConsistent)
+{
+    const std::string frame = proto::errorFrame(
+        42, proto::ErrorCode::UnknownBenchmark, "no such benchmark");
+    proto::FrameHeader fh;
+    ASSERT_EQ(proto::parseHeader(
+                  reinterpret_cast<const uint8_t *>(frame.data()), fh,
+                  proto::kMaxPayload),
+              proto::HeaderStatus::Ok);
+    EXPECT_EQ(fh.kind, static_cast<uint16_t>(proto::MsgKind::Error));
+    EXPECT_EQ(fh.requestId, 42u);
+    proto::ErrorBody error;
+    ASSERT_TRUE(proto::decodeErrorBody(
+        frame.substr(proto::kHeaderSize), error));
+    EXPECT_EQ(error.code,
+              static_cast<uint16_t>(proto::ErrorCode::UnknownBenchmark));
+    EXPECT_EQ(error.retryable, 0);
+    EXPECT_EQ(error.message, "no such benchmark");
+}
+
+// ---------------------------------------------------------------------
+// Server integration over real sockets.
+
+/** Fresh temp dir (cache + socket) per fixture; removed afterwards. */
+struct TempServeDir {
+    fs::path path;
+
+    TempServeDir()
+    {
+        static std::atomic<int> counter{0};
+        path = fs::temp_directory_path() /
+               strformat("tarch_serve_test_%ld_%d", (long)::getpid(),
+                         counter++);
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~TempServeDir() { fs::remove_all(path); }
+
+    std::string str() const { return path.string(); }
+    std::string sock() const { return (path / "s.sock").string(); }
+};
+
+constexpr uint8_t kVerifyRejectedCode =
+    static_cast<uint8_t>(proto::ErrorCode::VerifyRejected);
+
+/** Assembly the PR-3 verifier rejects: f1/f2 read but never written. */
+const char *kBadAsm = "_start:\n    fadd.d f0, f1, f2\n    halt\n";
+
+/** A MiniScript source slow enough (~hundreds of ms simulated) to sit
+    visibly in the queue for the backpressure and deadline tests. */
+const char *kSlowScript =
+    "local s = 0\nfor i = 1, 60000 do s = s + i end\nprint(s)\n";
+
+class ServeTest : public ::testing::Test
+{
+  protected:
+    TempServeDir dir;
+    std::unique_ptr<Server> server;
+
+    void
+    startServer(unsigned jobs = 2, size_t queue_capacity = 64,
+                int tcp_port = -1)
+    {
+        Server::Config cfg;
+        cfg.unixPath = dir.sock();
+        cfg.tcpPort = tcp_port;
+        cfg.jobs = jobs;
+        cfg.queueCapacity = queue_capacity;
+        cfg.sim.cacheDir = dir.str();
+        server = std::make_unique<Server>(cfg);
+        server->start();
+    }
+
+    Client connect() { return Client::connectUnix(dir.sock()); }
+
+    /** Fabricate a disk-cache cell for (Lua, benchmark, variant) so
+        RunCell is served without simulating; returns the planted
+        instruction count. */
+    uint64_t
+    plantDiskCell(const std::string &benchmark, vm::Variant variant)
+    {
+        const harness::BenchmarkInfo *info = nullptr;
+        for (const harness::BenchmarkInfo &b : harness::benchmarks())
+            if (b.name == benchmark)
+                info = &b;
+        EXPECT_NE(info, nullptr);
+        harness::RunResult r;
+        r.benchmark = benchmark;
+        r.engine = harness::Engine::Lua;
+        r.variant = variant;
+        r.stats.instructions = 123456;
+        r.stats.cycles = 234567;
+        r.output = "planted\n";
+        EXPECT_TRUE(harness::ensureCacheDir(dir.str()));
+        EXPECT_TRUE(harness::saveCell(
+            r,
+            harness::cellPath(dir.str(), harness::Engine::Lua, benchmark,
+                              variant),
+            harness::cellKey(harness::Engine::Lua, *info, variant)));
+        return r.stats.instructions;
+    }
+};
+
+TEST_F(ServeTest, PingStatsAndHealthCounters)
+{
+    startServer();
+    Client client = connect();
+    EXPECT_TRUE(client.ping());
+    const std::string json = client.stats();
+    EXPECT_NE(json.find("\"schema\":\"tarch-serve-stats-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"draining\":false"), std::string::npos);
+    const Server::Health health = server->health();
+    EXPECT_GE(health.received, 2u); // ping + stats
+    EXPECT_EQ(health.framingErrors, 0u);
+}
+
+TEST_F(ServeTest, TcpLoopbackOnEphemeralPort)
+{
+    startServer(2, 64, /*tcp_port=*/0);
+    ASSERT_GT(server->tcpPort(), 0);
+    Client client = Client::connectTcp(server->tcpPort());
+    EXPECT_TRUE(client.ping());
+}
+
+TEST_F(ServeTest, RunSourceMiniScript)
+{
+    startServer();
+    Client client = connect();
+    proto::SourceRequest req;
+    req.variant = 1;
+    req.wantStatsJson = 1;
+    req.source = "print(1 + 2)\n";
+    const Client::Outcome outcome = client.runSource(req);
+    ASSERT_TRUE(outcome.ok);
+    EXPECT_EQ(outcome.result.output, "3\n");
+    EXPECT_GT(outcome.result.instructions, 0u);
+    EXPECT_EQ(outcome.result.fromCache, 0);
+    EXPECT_NE(outcome.result.statsJson.find("tarch-stats-v1"),
+              std::string::npos);
+}
+
+TEST_F(ServeTest, RunSourceAssemblyRejectedByVerifier)
+{
+    startServer();
+    Client client = connect();
+    proto::SourceRequest req;
+    req.lang = 1; // assembly
+    req.source = kBadAsm;
+    const Client::Outcome outcome = client.runSource(req);
+    ASSERT_FALSE(outcome.ok);
+    ASSERT_FALSE(outcome.closed);
+    EXPECT_EQ(outcome.error.code, kVerifyRejectedCode);
+    // The rendered findings report rides in the error message.
+    EXPECT_NE(outcome.error.message.find("def-use"), std::string::npos);
+    EXPECT_NE(outcome.error.message.find("f1"), std::string::npos);
+    EXPECT_EQ(server->health().sim.verifyRejected, 1u);
+    // The connection survives a rejected request.
+    EXPECT_TRUE(client.ping());
+}
+
+TEST_F(ServeTest, RunSourceCompileErrorIsTyped)
+{
+    startServer();
+    Client client = connect();
+    proto::SourceRequest req;
+    req.source = "print(\n"; // unterminated call
+    const Client::Outcome outcome = client.runSource(req);
+    ASSERT_FALSE(outcome.ok);
+    EXPECT_EQ(outcome.error.code,
+              static_cast<uint16_t>(proto::ErrorCode::CompileFailed));
+    EXPECT_TRUE(client.ping());
+}
+
+TEST_F(ServeTest, UnknownBenchmarkIsTyped)
+{
+    startServer();
+    Client client = connect();
+    proto::CellRequest req;
+    req.benchmark = "no-such-benchmark";
+    const Client::Outcome outcome = client.runCell(req);
+    ASSERT_FALSE(outcome.ok);
+    EXPECT_EQ(outcome.error.code,
+              static_cast<uint16_t>(proto::ErrorCode::UnknownBenchmark));
+    EXPECT_EQ(outcome.error.retryable, 0);
+}
+
+TEST_F(ServeTest, RunCellFromDiskCacheThenMemoryCache)
+{
+    const uint64_t planted =
+        plantDiskCell("fibo", vm::Variant::Typed);
+    startServer();
+    Client client = connect();
+    proto::CellRequest req;
+    req.variant = 1;
+    req.benchmark = "fibo";
+
+    const Client::Outcome first = client.runCell(req);
+    ASSERT_TRUE(first.ok);
+    EXPECT_EQ(first.result.fromCache, 2); // disk
+    EXPECT_EQ(first.result.instructions, planted);
+    EXPECT_EQ(first.result.output, "planted\n");
+    EXPECT_TRUE(first.result.statsJson.empty()); // not asked for
+
+    const Client::Outcome second = client.runCell(req);
+    ASSERT_TRUE(second.ok);
+    EXPECT_EQ(second.result.fromCache, 1); // memory
+    EXPECT_EQ(second.result.instructions, planted);
+
+    // Stats JSON is derivable even for cached cells.
+    req.wantStatsJson = 1;
+    const Client::Outcome third = client.runCell(req);
+    ASSERT_TRUE(third.ok);
+    EXPECT_NE(third.result.statsJson.find("tarch-stats-v1"),
+              std::string::npos);
+
+    const Server::Health health = server->health();
+    EXPECT_EQ(health.sim.diskHits, 1u);
+    EXPECT_EQ(health.sim.memHits, 2u);
+    EXPECT_EQ(health.sim.simulated, 0u);
+}
+
+TEST_F(ServeTest, BatchMixesResultsAndTypedErrors)
+{
+    plantDiskCell("fibo", vm::Variant::Baseline);
+    startServer();
+    Client client = connect();
+    proto::BatchRequest batch;
+    proto::CellRequest good;
+    good.benchmark = "fibo";
+    batch.cells.push_back(good);
+    proto::CellRequest bad;
+    bad.benchmark = "no-such-benchmark";
+    batch.cells.push_back(bad);
+    batch.cells.push_back(good);
+
+    proto::BatchResult result;
+    proto::ErrorBody error;
+    ASSERT_TRUE(client.runBatch(batch, result, error));
+    ASSERT_EQ(result.items.size(), 3u);
+    EXPECT_TRUE(result.items[0].ok);
+    EXPECT_EQ(result.items[0].result.output, "planted\n");
+    ASSERT_FALSE(result.items[1].ok);
+    EXPECT_EQ(result.items[1].error.code,
+              static_cast<uint16_t>(proto::ErrorCode::UnknownBenchmark));
+    EXPECT_TRUE(result.items[2].ok);
+    EXPECT_EQ(result.items[2].result.fromCache, 1); // memo from item 0
+}
+
+TEST_F(ServeTest, PipelinedRequestsAllAnsweredById)
+{
+    plantDiskCell("fibo", vm::Variant::Typed);
+    startServer();
+    Client client = connect();
+    proto::CellRequest req;
+    req.variant = 1;
+    req.benchmark = "fibo";
+    const std::string payload = proto::encodeCellRequest(req);
+
+    constexpr int kCount = 16;
+    std::vector<uint64_t> ids;
+    for (int i = 0; i < kCount; ++i)
+        ids.push_back(client.sendRequest(proto::MsgKind::RunCell,
+                                         payload));
+
+    std::vector<uint64_t> answered;
+    for (int i = 0; i < kCount; ++i) {
+        Client::Reply reply;
+        ASSERT_TRUE(client.readReply(reply));
+        EXPECT_EQ(reply.kind,
+                  static_cast<uint16_t>(proto::MsgKind::CellResult));
+        answered.push_back(reply.requestId);
+    }
+    std::sort(answered.begin(), answered.end());
+    EXPECT_EQ(answered, ids); // every id answered exactly once
+}
+
+// ---------------------------------------------------------------------
+// Robustness: malformed input never crashes or hangs the server.
+
+TEST_F(ServeTest, MalformedPayloadGetsBadFrameAndConnectionSurvives)
+{
+    startServer();
+    Client client = connect();
+    const std::string frame = proto::encodeFrame(
+        proto::MsgKind::RunCell, 7, std::string(3, '\xff'));
+    ASSERT_TRUE(client.sendRaw(frame.data(), frame.size()));
+    Client::Reply reply;
+    ASSERT_TRUE(client.readReply(reply));
+    EXPECT_EQ(reply.kind, static_cast<uint16_t>(proto::MsgKind::Error));
+    EXPECT_EQ(reply.requestId, 7u);
+    proto::ErrorBody error;
+    ASSERT_TRUE(proto::decodeErrorBody(reply.payload, error));
+    EXPECT_EQ(error.code,
+              static_cast<uint16_t>(proto::ErrorCode::BadFrame));
+    // Same connection keeps working.
+    EXPECT_TRUE(client.ping());
+}
+
+TEST_F(ServeTest, UnknownRequestKindIsTypedAndSurvivable)
+{
+    startServer();
+    Client client = connect();
+    const std::string frame =
+        proto::encodeFrame(static_cast<proto::MsgKind>(42), 9, "");
+    ASSERT_TRUE(client.sendRaw(frame.data(), frame.size()));
+    Client::Reply reply;
+    ASSERT_TRUE(client.readReply(reply));
+    proto::ErrorBody error;
+    ASSERT_TRUE(proto::decodeErrorBody(reply.payload, error));
+    EXPECT_EQ(error.code,
+              static_cast<uint16_t>(proto::ErrorCode::UnknownKind));
+    EXPECT_TRUE(client.ping());
+}
+
+TEST_F(ServeTest, BadMagicClosesOnlyTheOffendingConnection)
+{
+    startServer();
+    Client offender = connect();
+    Client bystander = connect();
+    std::string junk(proto::kHeaderSize, '\xde');
+    ASSERT_TRUE(offender.sendRaw(junk.data(), junk.size()));
+    // The offender gets a final typed error, then EOF.
+    Client::Reply reply;
+    ASSERT_TRUE(offender.readReply(reply));
+    EXPECT_EQ(reply.kind, static_cast<uint16_t>(proto::MsgKind::Error));
+    proto::ErrorBody error;
+    ASSERT_TRUE(proto::decodeErrorBody(reply.payload, error));
+    EXPECT_EQ(error.code,
+              static_cast<uint16_t>(proto::ErrorCode::BadMagic));
+    EXPECT_FALSE(offender.readReply(reply)); // closed
+    // The bystander and new connections are unaffected.
+    EXPECT_TRUE(bystander.ping());
+    Client fresh = connect();
+    EXPECT_TRUE(fresh.ping());
+    EXPECT_EQ(server->health().framingErrors, 1u);
+}
+
+TEST_F(ServeTest, OversizedLengthPrefixIsAFramingError)
+{
+    startServer();
+    Client client = connect();
+    // A syntactically valid header whose length prefix exceeds the
+    // server's payload cap (default 16 MiB) — built via the encoder at
+    // kMaxPayload, which the parser accepts but the server must not.
+    const std::string frame = proto::encodeFrame(
+        proto::MsgKind::RunCell, 3, std::string(1, 'x'));
+    std::string header = frame.substr(0, proto::kHeaderSize);
+    const uint32_t huge = 32u << 20;
+    header[16] = static_cast<char>(huge & 0xFF);
+    header[17] = static_cast<char>((huge >> 8) & 0xFF);
+    header[18] = static_cast<char>((huge >> 16) & 0xFF);
+    header[19] = static_cast<char>((huge >> 24) & 0xFF);
+    ASSERT_TRUE(client.sendRaw(header.data(), header.size()));
+    Client::Reply reply;
+    ASSERT_TRUE(client.readReply(reply));
+    proto::ErrorBody error;
+    ASSERT_TRUE(proto::decodeErrorBody(reply.payload, error));
+    EXPECT_EQ(error.code,
+              static_cast<uint16_t>(proto::ErrorCode::PayloadTooLarge));
+    EXPECT_FALSE(client.readReply(reply)); // connection closed
+    Client fresh = connect();
+    EXPECT_TRUE(fresh.ping());
+}
+
+TEST_F(ServeTest, TruncatedHeaderAndMidFrameDisconnectsAreTolerated)
+{
+    startServer();
+    {
+        // 5 bytes of a header, then disconnect.
+        Client c = connect();
+        ASSERT_TRUE(c.sendRaw("\x54\x52\x50\x43\x01", 5));
+        c.close();
+    }
+    {
+        // Full header promising 100 payload bytes, 10 delivered.
+        Client c = connect();
+        const std::string frame = proto::encodeFrame(
+            proto::MsgKind::RunCell, 5, std::string(100, 'p'));
+        ASSERT_TRUE(
+            c.sendRaw(frame.data(), proto::kHeaderSize + 10));
+        c.close();
+    }
+    // The server shrugs both off and keeps serving.
+    Client fresh = connect();
+    EXPECT_TRUE(fresh.ping());
+    EXPECT_EQ(server->health().framingErrors, 0u); // disconnect != frame
+}
+
+// ---------------------------------------------------------------------
+// Backpressure, deadlines, drain.
+
+TEST_F(ServeTest, FullQueueAnswersRetryableBusy)
+{
+    startServer(/*jobs=*/1, /*queue_capacity=*/1);
+    Client client = connect();
+    proto::SourceRequest slow;
+    slow.source = kSlowScript;
+    const std::string payload = proto::encodeSourceRequest(slow);
+
+    constexpr int kCount = 5;
+    std::vector<uint64_t> ids;
+    for (int i = 0; i < kCount; ++i)
+        ids.push_back(
+            client.sendRequest(proto::MsgKind::RunSource, payload));
+
+    int ok = 0, busy = 0;
+    for (int i = 0; i < kCount; ++i) {
+        Client::Reply reply;
+        ASSERT_TRUE(client.readReply(reply));
+        if (reply.kind ==
+            static_cast<uint16_t>(proto::MsgKind::CellResult)) {
+            ++ok;
+            continue;
+        }
+        ASSERT_EQ(reply.kind,
+                  static_cast<uint16_t>(proto::MsgKind::Error));
+        proto::ErrorBody error;
+        ASSERT_TRUE(proto::decodeErrorBody(reply.payload, error));
+        ASSERT_EQ(error.code,
+                  static_cast<uint16_t>(proto::ErrorCode::Busy));
+        EXPECT_EQ(error.retryable, 1);
+        ++busy;
+    }
+    // 1 worker + 1 queue slot: at least one of the five ran and at
+    // least one bounced; the exact split depends on worker timing.
+    EXPECT_GE(ok, 1);
+    EXPECT_GE(busy, 1);
+    EXPECT_EQ(ok + busy, kCount);
+    EXPECT_EQ(server->health().busyRejected,
+              static_cast<uint64_t>(busy));
+    EXPECT_TRUE(client.ping());
+}
+
+TEST_F(ServeTest, QueuedRequestPastDeadlineIsReapedNotSimulated)
+{
+    startServer(/*jobs=*/1, /*queue_capacity=*/4);
+    Client client = connect();
+    proto::SourceRequest slow;
+    slow.source = kSlowScript;
+    const uint64_t blocker_id = client.sendRequest(
+        proto::MsgKind::RunSource, proto::encodeSourceRequest(slow));
+
+    proto::SourceRequest doomed = slow;
+    doomed.deadlineMs = 1; // expires while queued behind the blocker
+    const uint64_t doomed_id = client.sendRequest(
+        proto::MsgKind::RunSource, proto::encodeSourceRequest(doomed));
+
+    bool doomed_errored = false, blocker_completed = false;
+    for (int i = 0; i < 2; ++i) {
+        Client::Reply reply;
+        ASSERT_TRUE(client.readReply(reply));
+        if (reply.requestId == doomed_id) {
+            ASSERT_EQ(reply.kind,
+                      static_cast<uint16_t>(proto::MsgKind::Error));
+            proto::ErrorBody error;
+            ASSERT_TRUE(proto::decodeErrorBody(reply.payload, error));
+            EXPECT_EQ(error.code,
+                      static_cast<uint16_t>(
+                          proto::ErrorCode::DeadlineExceeded));
+            doomed_errored = true;
+        } else {
+            EXPECT_EQ(reply.requestId, blocker_id);
+            EXPECT_EQ(reply.kind,
+                      static_cast<uint16_t>(proto::MsgKind::CellResult));
+            blocker_completed = true;
+        }
+    }
+    EXPECT_TRUE(doomed_errored);
+    EXPECT_TRUE(blocker_completed);
+    EXPECT_GE(server->health().deadlineExceeded, 1u);
+    // The connection survives a reaped request.
+    EXPECT_TRUE(client.ping());
+}
+
+TEST_F(ServeTest, DrainViaRpcAnswersInFlightThenCloses)
+{
+    plantDiskCell("fibo", vm::Variant::Typed);
+    startServer();
+    Client client = connect();
+    proto::CellRequest req;
+    req.variant = 1;
+    req.benchmark = "fibo";
+    ASSERT_TRUE(client.runCell(req).ok);
+
+    ASSERT_TRUE(client.drain());
+    server->waitDrained();
+    EXPECT_TRUE(server->drained());
+
+    // The drained server closed the connection cleanly...
+    Client::Reply reply;
+    EXPECT_FALSE(client.readReply(reply));
+    // ...and refuses new ones.
+    EXPECT_THROW(connect(), FatalError);
+
+    const Server::Health health = server->health();
+    EXPECT_TRUE(health.draining);
+    EXPECT_EQ(health.inFlight, 0u);
+    EXPECT_GE(health.completed, 1u);
+}
+
+TEST_F(ServeTest, RequestDuringDrainGetsDrainingOrCleanClose)
+{
+    startServer();
+    Client client = connect();
+    ASSERT_TRUE(client.ping());
+    server->requestDrain();
+    // Depending on how far the drain got, the in-flight connection
+    // either sees a retryable Draining error or a clean close — never
+    // a hang or a garbled stream.
+    proto::CellRequest req;
+    req.benchmark = "fibo";
+    try {
+        const Client::Outcome outcome = client.runCell(req);
+        if (!outcome.closed) {
+            ASSERT_FALSE(outcome.ok);
+            EXPECT_EQ(outcome.error.code,
+                      static_cast<uint16_t>(proto::ErrorCode::Draining));
+            EXPECT_EQ(outcome.error.retryable, 1);
+        }
+    } catch (const FatalError &) {
+        // Send raced the close; equally acceptable.
+    }
+    server->waitDrained();
+}
+
+TEST_F(ServeTest, StopIsIdempotent)
+{
+    startServer();
+    server->stop();
+    server->stop();
+    EXPECT_TRUE(server->drained());
+}
+
+} // namespace
+} // namespace tarch::serve

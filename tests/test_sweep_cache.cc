@@ -6,11 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <unistd.h>
+#include <vector>
 
 #include "common/log.h"
 #include "harness/experiment.h"
@@ -377,6 +380,73 @@ TEST(SweepCache, FailedCellReportedAfterSweepCompletes)
                  vm::Variant::Baseline),
         cellKey(Engine::Lua, tinySuite()[0], vm::Variant::Baseline)));
     EXPECT_EQ(loaded.output, "20100\n");
+}
+
+// ---------------------------------------------------------------------
+// Concurrency: many server workers share one cache directory.
+
+TEST(CellCache, ConcurrentEnsureCacheDirAndSavesAllSucceed)
+{
+    // tarch_served dispatches requests onto a worker pool; the first
+    // burst after startup can have many threads racing to create the
+    // cache directory and write distinct cells.  Every creation must
+    // count as success (the directory existing is what matters) and
+    // every cell must land intact.
+    TempCacheDir dir;
+    const std::string fresh = dir.str() + "/nested/not-yet-created";
+    constexpr int kThreads = 16;
+    std::atomic<int> dir_failures{0};
+    std::atomic<int> save_failures{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&, t] {
+            if (!ensureCacheDir(fresh))
+                dir_failures.fetch_add(1);
+            RunResult r = sampleResult();
+            r.stats.instructions = 1000u + static_cast<uint64_t>(t);
+            const std::string path =
+                fresh + strformat("/tarch-sweep-cache/cell_%d", t);
+            if (!saveCell(r, path, static_cast<uint64_t>(t)))
+                save_failures.fetch_add(1);
+        });
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(dir_failures.load(), 0);
+    EXPECT_EQ(save_failures.load(), 0);
+    for (int t = 0; t < kThreads; ++t) {
+        RunResult loaded;
+        ASSERT_TRUE(loadCell(
+            loaded,
+            fresh + strformat("/tarch-sweep-cache/cell_%d", t),
+            static_cast<uint64_t>(t)))
+            << "cell " << t;
+        EXPECT_EQ(loaded.stats.instructions,
+                  1000u + static_cast<uint64_t>(t));
+    }
+}
+
+TEST(CellCache, ConcurrentSavesToOneCellLeaveAValidFile)
+{
+    // Two processes (or two server workers before the single-flight
+    // claim lands) may persist the same cell at once; the temp-file +
+    // rename protocol must leave one intact winner, never a torn file.
+    TempCacheDir dir;
+    const std::string path = dir.str() + "/cell";
+    constexpr int kThreads = 8;
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&] {
+            for (int i = 0; i < 20; ++i)
+                if (!saveCell(sampleResult(), path, 7))
+                    failures.fetch_add(1);
+        });
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(failures.load(), 0);
+    RunResult loaded;
+    ASSERT_TRUE(loadCell(loaded, path, 7));
+    expectSameResult(sampleResult(), loaded);
 }
 
 TEST(SweepCache, KeyCoversSourceEngineAndVariant)

@@ -1,0 +1,531 @@
+/**
+ * @file
+ * tarch_bench_client: closed-loop load generator for tarch_served.
+ *
+ * Opens N connections, each driving a closed loop of tarch-rpc-v1
+ * requests (send one, wait for its reply), and reports aggregate
+ * throughput plus p50/p95/p99 latency.  Besides the load mode it can
+ * issue one-shot inline-source runs (optionally asserting a specific
+ * typed error, e.g. a verifier rejection), print server health stats,
+ * trigger a drain, and inject malformed frames on sacrificial
+ * connections to exercise the server's framing-error isolation.
+ *
+ *   tarch_bench_client --unix /tmp/tarch.sock --connections 8 \
+ *       --requests 2000 --benchmark fibo --variant typed
+ *   tarch_bench_client --tcp 7410 --source bad.s --lang asm \
+ *       --expect-error VerifyRejected
+ *
+ * Exit status: 0 on success (all replies were results or tolerated
+ * drain-time closes; --expect-error matched), nonzero on protocol
+ * errors or unexpected typed errors.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/log.h"
+#include "common/strutil.h"
+#include "serve/client.h"
+
+namespace {
+
+using namespace tarch;
+namespace proto = tarch::serve::proto;
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+    std::string unixPath;
+    int tcpPort = -1;
+    unsigned connections = 4;
+    unsigned requests = 1000;       // per connection
+    uint8_t engine = 0;             // lua
+    uint8_t variant = 1;            // typed
+    std::string benchmark = "fibo";
+    bool wantStats = false;
+    uint32_t deadlineMs = 0;
+    std::string sourceFile;
+    uint8_t lang = 0;               // ms
+    std::string expectError;        // ErrorCode name, e.g. VerifyRejected
+    unsigned chaos = 0;             // sacrificial malformed connections
+    bool health = false;
+    bool drain = false;
+    unsigned batch = 0;             // cells per RunBatch (0 = RunCell)
+};
+
+int
+usage(const char *argv0, int code)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s (--unix PATH | --tcp PORT) [mode] [options]\n"
+        "modes (default: closed-loop cell load):\n"
+        "  --source FILE      run one inline source file and print it\n"
+        "  --health           print the server health JSON\n"
+        "  --drain            ask the server to drain, wait for close\n"
+        "load options:\n"
+        "  --connections N    concurrent closed loops (default 4)\n"
+        "  --requests N       requests per connection (default 1000)\n"
+        "  --engine lua|js    (default lua)\n"
+        "  --benchmark NAME   named benchmark (default fibo)\n"
+        "  --variant V        baseline|typed|chkld (default typed)\n"
+        "  --batch N          group N cells per RunBatch frame\n"
+        "  --stats-json       request embedded tarch-stats-v1 artifacts\n"
+        "  --deadline-ms N    per-request deadline override\n"
+        "  --chaos N          add N connections sending malformed frames\n"
+        "source options:\n"
+        "  --lang ms|asm      source language (default ms)\n"
+        "  --expect-error E   exit 0 only if the server answers with\n"
+        "                     typed error E (e.g. VerifyRejected)\n",
+        argv0);
+    return code;
+}
+
+unsigned long long
+parseNum(const char *argv0, const char *flag, const char *text,
+         unsigned long long min, unsigned long long max)
+{
+    char *end = nullptr;
+    const unsigned long long n = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || n < min || n > max) {
+        std::fprintf(stderr, "%s: bad %s value '%s'\n", argv0, flag,
+                     text);
+        std::exit(2);
+    }
+    return n;
+}
+
+serve::Client
+connect(const Options &opts)
+{
+    if (!opts.unixPath.empty())
+        return serve::Client::connectUnix(opts.unixPath);
+    return serve::Client::connectTcp(static_cast<uint16_t>(opts.tcpPort));
+}
+
+/** One closed-loop worker's tally. */
+struct LoopStats {
+    std::vector<double> latenciesUs;
+    uint64_t ok = 0;
+    uint64_t busyRetries = 0;
+    uint64_t typedErrors = 0;    // unexpected, non-retryable
+    uint64_t drainCloses = 0;    // tolerated: server drained mid-run
+    uint64_t protocolErrors = 0;
+};
+
+void
+closedLoop(const Options &opts, LoopStats &stats)
+{
+    try {
+        serve::Client client = connect(opts);
+        proto::CellRequest cell;
+        cell.engine = opts.engine;
+        cell.variant = opts.variant;
+        cell.wantStatsJson = opts.wantStats ? 1 : 0;
+        cell.deadlineMs = opts.deadlineMs;
+        cell.benchmark = opts.benchmark;
+
+        stats.latenciesUs.reserve(opts.requests);
+        unsigned sent = 0;
+        while (sent < opts.requests) {
+            const auto t0 = Clock::now();
+            serve::Client::Outcome outcome;
+            if (opts.batch > 1) {
+                proto::BatchRequest batch;
+                const unsigned n = std::min<unsigned>(
+                    opts.batch, opts.requests - sent);
+                batch.cells.assign(n, cell);
+                proto::BatchResult result;
+                proto::ErrorBody error;
+                if (client.runBatch(batch, result, error)) {
+                    outcome.ok = true;
+                    sent += n - 1;  // loop tail adds the last one
+                    for (const auto &item : result.items)
+                        if (!item.ok) {
+                            outcome.ok = false;
+                            outcome.error = item.error;
+                            break;
+                        }
+                } else if (error.message ==
+                           "connection closed before the batch reply") {
+                    outcome.closed = true;
+                } else {
+                    outcome.error = error;
+                }
+            } else {
+                outcome = client.runCell(cell);
+            }
+            const double us =
+                std::chrono::duration<double, std::micro>(Clock::now() -
+                                                          t0)
+                    .count();
+            if (outcome.closed) {
+                // Server drained underneath us: not a protocol error.
+                stats.drainCloses++;
+                return;
+            }
+            if (outcome.ok) {
+                stats.ok++;
+                stats.latenciesUs.push_back(us);
+                sent++;
+                continue;
+            }
+            const auto code =
+                static_cast<proto::ErrorCode>(outcome.error.code);
+            if (outcome.error.retryable) {
+                // BUSY/Draining backpressure: back off and retry.
+                stats.busyRetries++;
+                if (code == proto::ErrorCode::Draining) {
+                    stats.drainCloses++;
+                    return;
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(200));
+                continue;
+            }
+            stats.typedErrors++;
+            tarch_warn("request failed: %s: %s",
+                       std::string(proto::errorCodeName(code)).c_str(),
+                       outcome.error.message.c_str());
+            sent++;
+        }
+    } catch (const FatalError &e) {
+        stats.protocolErrors++;
+        tarch_warn("connection loop aborted: %s", e.what());
+    }
+}
+
+/**
+ * Sacrificial chaos connection: send garbage (bad magic, oversized
+ * length, truncated frame), which the server must answer with a typed
+ * error and/or a clean close — never by crashing or hanging.
+ */
+void
+chaosLoop(const Options &opts, unsigned seed, std::atomic<bool> &failed)
+{
+    try {
+        {
+            // Bad magic.
+            serve::Client c = connect(opts);
+            std::string junk = "\xde\xad\xbe\xef";
+            junk.resize(proto::kHeaderSize + (seed % 7), 'x');
+            c.sendRaw(junk.data(), junk.size());
+            serve::Client::Reply reply;
+            // Either a typed error then close, or an immediate close.
+            try {
+                while (c.readReply(reply)) {}
+            } catch (const FatalError &) {}
+        }
+        {
+            // Valid header, truncated payload, then disconnect.
+            serve::Client c = connect(opts);
+            proto::CellRequest cell;
+            cell.benchmark = opts.benchmark;
+            const std::string frame = proto::encodeFrame(
+                proto::MsgKind::RunCell, 1,
+                proto::encodeCellRequest(cell));
+            c.sendRaw(frame.data(), frame.size() / 2);
+            c.close();
+        }
+        {
+            // Malformed payload inside a valid frame: the connection
+            // must survive and still answer a ping afterwards.
+            serve::Client c = connect(opts);
+            const std::string frame = proto::encodeFrame(
+                proto::MsgKind::RunCell, 7, std::string(3, '\xff'));
+            c.sendRaw(frame.data(), frame.size());
+            serve::Client::Reply reply;
+            if (!c.readReply(reply) ||
+                static_cast<proto::MsgKind>(reply.kind) !=
+                    proto::MsgKind::Error) {
+                tarch_warn("chaos: malformed payload got no Error frame");
+                failed.store(true);
+                return;
+            }
+            if (!c.ping()) {
+                tarch_warn("chaos: connection did not survive BadFrame");
+                failed.store(true);
+            }
+        }
+    } catch (const FatalError &e) {
+        // Connection churn during drain is fine; a crash is the
+        // server's problem and shows up as connect failures everywhere.
+        tarch_warn("chaos loop: %s", e.what());
+    }
+}
+
+double
+percentile(std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const size_t idx = std::min(
+        sorted.size() - 1,
+        static_cast<size_t>(p * (double)(sorted.size() - 1)));
+    return sorted[idx];
+}
+
+int
+runLoad(const Options &opts)
+{
+    std::vector<LoopStats> stats(opts.connections);
+    std::vector<std::thread> threads;
+    std::atomic<bool> chaosFailed{false};
+
+    const auto t0 = Clock::now();
+    for (unsigned i = 0; i < opts.connections; ++i)
+        threads.emplace_back(closedLoop, std::cref(opts),
+                             std::ref(stats[i]));
+    for (unsigned i = 0; i < opts.chaos; ++i)
+        threads.emplace_back(chaosLoop, std::cref(opts), i,
+                             std::ref(chaosFailed));
+    for (auto &t : threads)
+        t.join();
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+
+    LoopStats total;
+    for (auto &s : stats) {
+        total.ok += s.ok;
+        total.busyRetries += s.busyRetries;
+        total.typedErrors += s.typedErrors;
+        total.drainCloses += s.drainCloses;
+        total.protocolErrors += s.protocolErrors;
+        total.latenciesUs.insert(total.latenciesUs.end(),
+                                 s.latenciesUs.begin(),
+                                 s.latenciesUs.end());
+    }
+    std::sort(total.latenciesUs.begin(), total.latenciesUs.end());
+
+    std::printf("connections:      %u (+%u chaos)\n", opts.connections,
+                opts.chaos);
+    std::printf("completed:        %llu\n",
+                (unsigned long long)total.ok);
+    std::printf("busy retries:     %llu\n",
+                (unsigned long long)total.busyRetries);
+    std::printf("typed errors:     %llu\n",
+                (unsigned long long)total.typedErrors);
+    std::printf("drain closes:     %llu\n",
+                (unsigned long long)total.drainCloses);
+    std::printf("protocol errors:  %llu\n",
+                (unsigned long long)total.protocolErrors);
+    std::printf("elapsed:          %.3f s\n", secs);
+    if (secs > 0.0)
+        std::printf("throughput:       %.1f req/s\n",
+                    (double)total.ok / secs);
+    std::printf("latency p50:      %.1f us\n",
+                percentile(total.latenciesUs, 0.50));
+    std::printf("latency p95:      %.1f us\n",
+                percentile(total.latenciesUs, 0.95));
+    std::printf("latency p99:      %.1f us\n",
+                percentile(total.latenciesUs, 0.99));
+
+    if (total.protocolErrors > 0 || total.typedErrors > 0 ||
+        chaosFailed.load())
+        return 1;
+    return 0;
+}
+
+int
+runSource(const Options &opts)
+{
+    std::ifstream in(opts.sourceFile);
+    if (!in) {
+        std::fprintf(stderr, "cannot read %s\n", opts.sourceFile.c_str());
+        return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    proto::SourceRequest req;
+    req.engine = opts.engine;
+    req.variant = opts.variant;
+    req.wantStatsJson = opts.wantStats ? 1 : 0;
+    req.lang = opts.lang;
+    req.deadlineMs = opts.deadlineMs;
+    req.source = text.str();
+
+    serve::Client client = connect(opts);
+    const auto outcome = client.runSource(req);
+    if (outcome.closed) {
+        std::fprintf(stderr, "server closed the connection\n");
+        return 1;
+    }
+    if (outcome.ok) {
+        if (!opts.expectError.empty()) {
+            std::fprintf(stderr,
+                         "expected error %s but the run succeeded\n",
+                         opts.expectError.c_str());
+            return 1;
+        }
+        std::printf("instructions: %llu\ncycles: %llu\n",
+                    (unsigned long long)outcome.result.instructions,
+                    (unsigned long long)outcome.result.cycles);
+        if (!outcome.result.output.empty())
+            std::printf("--- output ---\n%s",
+                        outcome.result.output.c_str());
+        if (!outcome.result.statsJson.empty())
+            std::printf("--- stats ---\n%s\n",
+                        outcome.result.statsJson.c_str());
+        return 0;
+    }
+    const auto code = static_cast<proto::ErrorCode>(outcome.error.code);
+    const std::string name{proto::errorCodeName(code)};
+    if (!opts.expectError.empty()) {
+        if (name == opts.expectError) {
+            std::printf("got expected error %s:\n%s\n", name.c_str(),
+                        outcome.error.message.c_str());
+            return 0;
+        }
+        std::fprintf(stderr, "expected error %s, got %s: %s\n",
+                     opts.expectError.c_str(), name.c_str(),
+                     outcome.error.message.c_str());
+        return 1;
+    }
+    std::fprintf(stderr, "error %s: %s\n", name.c_str(),
+                 outcome.error.message.c_str());
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s needs a value\n", argv[0],
+                             flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--unix") {
+            opts.unixPath = next("--unix");
+        } else if (arg == "--tcp") {
+            opts.tcpPort = static_cast<int>(
+                parseNum(argv[0], "--tcp", next("--tcp"), 1, 65535));
+        } else if (arg == "--connections") {
+            opts.connections = static_cast<unsigned>(parseNum(
+                argv[0], "--connections", next("--connections"), 1,
+                4096));
+        } else if (arg == "--requests") {
+            opts.requests = static_cast<unsigned>(
+                parseNum(argv[0], "--requests", next("--requests"), 1,
+                         100'000'000));
+        } else if (arg == "--engine") {
+            const std::string v = next("--engine");
+            if (v == "lua") {
+                opts.engine = 0;
+            } else if (v == "js") {
+                opts.engine = 1;
+            } else {
+                std::fprintf(stderr, "%s: bad --engine '%s'\n", argv[0],
+                             v.c_str());
+                return 2;
+            }
+        } else if (arg == "--benchmark") {
+            opts.benchmark = next("--benchmark");
+        } else if (arg == "--variant") {
+            const std::string v = next("--variant");
+            if (v == "baseline") {
+                opts.variant = 0;
+            } else if (v == "typed") {
+                opts.variant = 1;
+            } else if (v == "chkld") {
+                opts.variant = 2;
+            } else {
+                std::fprintf(stderr, "%s: bad --variant '%s'\n", argv[0],
+                             v.c_str());
+                return 2;
+            }
+        } else if (arg == "--batch") {
+            opts.batch = static_cast<unsigned>(
+                parseNum(argv[0], "--batch", next("--batch"), 1, 4096));
+        } else if (arg == "--stats-json") {
+            opts.wantStats = true;
+        } else if (arg == "--deadline-ms") {
+            opts.deadlineMs = static_cast<uint32_t>(
+                parseNum(argv[0], "--deadline-ms", next("--deadline-ms"),
+                         1, 86'400'000));
+        } else if (arg == "--chaos") {
+            opts.chaos = static_cast<unsigned>(
+                parseNum(argv[0], "--chaos", next("--chaos"), 1, 1024));
+        } else if (arg == "--source") {
+            opts.sourceFile = next("--source");
+        } else if (arg == "--lang") {
+            const std::string v = next("--lang");
+            if (v == "ms") {
+                opts.lang = 0;
+            } else if (v == "asm") {
+                opts.lang = 1;
+            } else {
+                std::fprintf(stderr, "%s: bad --lang '%s'\n", argv[0],
+                             v.c_str());
+                return 2;
+            }
+        } else if (arg == "--expect-error") {
+            opts.expectError = next("--expect-error");
+        } else if (arg == "--health") {
+            opts.health = true;
+        } else if (arg == "--drain") {
+            opts.drain = true;
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(argv[0], 0);
+        } else {
+            std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0],
+                         arg.c_str());
+            return usage(argv[0], 2);
+        }
+    }
+    if (opts.unixPath.empty() && opts.tcpPort < 0) {
+        std::fprintf(stderr, "%s: need --unix or --tcp\n", argv[0]);
+        return usage(argv[0], 2);
+    }
+
+    try {
+        if (opts.health) {
+            tarch::serve::Client client = connect(opts);
+            const std::string json = client.stats();
+            if (json.empty()) {
+                std::fprintf(stderr, "no stats reply (server drained?)\n");
+                return 1;
+            }
+            std::printf("%s\n", json.c_str());
+            return 0;
+        }
+        if (opts.drain) {
+            tarch::serve::Client client = connect(opts);
+            if (!client.drain()) {
+                std::fprintf(stderr, "drain request got no reply\n");
+                return 1;
+            }
+            // Wait for the server to finish: it closes the connection
+            // once the drain completes.
+            tarch::serve::Client::Reply reply;
+            try {
+                while (client.readReply(reply)) {}
+            } catch (const tarch::FatalError &) {}
+            std::printf("drain complete\n");
+            return 0;
+        }
+        if (!opts.sourceFile.empty())
+            return runSource(opts);
+        return runLoad(opts);
+    } catch (const tarch::FatalError &e) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * tarch_served: the simulation-as-a-service daemon (docs/SERVING.md).
+ *
+ * Listens on a Unix domain socket and/or TCP loopback port, speaks
+ * tarch-rpc-v1, and serves named benchmark cells (through the shared
+ * sweep cache), inline MiniScript/assembly runs (gated by the static
+ * verifier), batches, health stats, and graceful drain.
+ *
+ *   tarch_served --unix /tmp/tarch.sock
+ *   tarch_served --tcp 7410 --jobs 8 --queue 512 --deadline-ms 60000
+ *
+ * SIGINT/SIGTERM (or a Drain request) triggers a graceful drain: stop
+ * accepting, answer in-flight requests, flush the cell cache, exit 0.
+ */
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "common/log.h"
+#include "serve/server.h"
+
+namespace {
+
+// Self-pipe: the signal handler writes one byte; main polls the read
+// end so the drain runs on a normal thread, not in signal context.
+int g_signal_pipe[2] = {-1, -1};
+std::atomic<int> g_signal{0};
+
+void
+onSignal(int sig)
+{
+    g_signal.store(sig);
+    const char byte = 1;
+    // Best-effort: a full pipe still leaves g_signal set.
+    (void)!::write(g_signal_pipe[1], &byte, 1);
+}
+
+int
+usage(const char *argv0, int code)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--unix PATH] [--tcp PORT] [options]\n"
+        "listeners (at least one required):\n"
+        "  --unix PATH        Unix domain socket\n"
+        "  --tcp PORT         TCP on 127.0.0.1 (0 = ephemeral port)\n"
+        "options:\n"
+        "  --jobs N           simulation workers (default: "
+        "TARCH_SERVE_JOBS env, else hardware)\n"
+        "  --queue N          bounded request queue (default 256; full "
+        "=> BUSY)\n"
+        "  --deadline-ms N    default per-request deadline (default "
+        "30000)\n"
+        "  --cache-dir DIR    sweep-cache root shared with the bench "
+        "binaries (default \".\")\n"
+        "  --no-disk-cache    keep cells in memory only\n"
+        "  --no-verify        skip static verification of inline source\n"
+        "  --max-payload N    per-frame payload cap in bytes\n",
+        argv0);
+    return code;
+}
+
+unsigned long long
+parseNum(const char *argv0, const char *flag, const char *text,
+         unsigned long long min, unsigned long long max)
+{
+    char *end = nullptr;
+    const unsigned long long n = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || n < min || n > max) {
+        std::fprintf(stderr, "%s: bad %s value '%s'\n", argv0, flag,
+                     text);
+        std::exit(2);
+    }
+    return n;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace tarch;
+
+    serve::Server::Config cfg;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s needs a value\n", argv[0],
+                             flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--unix") {
+            cfg.unixPath = next("--unix");
+        } else if (arg == "--tcp") {
+            cfg.tcpPort = static_cast<int>(
+                parseNum(argv[0], "--tcp", next("--tcp"), 0, 65535));
+        } else if (arg == "--jobs") {
+            cfg.jobs = static_cast<unsigned>(
+                parseNum(argv[0], "--jobs", next("--jobs"), 1, 4096));
+        } else if (arg == "--queue") {
+            cfg.queueCapacity = static_cast<size_t>(parseNum(
+                argv[0], "--queue", next("--queue"), 1, 1u << 20));
+        } else if (arg == "--deadline-ms") {
+            cfg.defaultDeadlineMs = static_cast<uint32_t>(
+                parseNum(argv[0], "--deadline-ms", next("--deadline-ms"),
+                         1, 86'400'000));
+        } else if (arg == "--cache-dir") {
+            cfg.sim.cacheDir = next("--cache-dir");
+        } else if (arg == "--no-disk-cache") {
+            cfg.sim.diskCache = false;
+        } else if (arg == "--no-verify") {
+            cfg.sim.verifySource = false;
+        } else if (arg == "--max-payload") {
+            cfg.maxPayload = static_cast<uint32_t>(
+                parseNum(argv[0], "--max-payload", next("--max-payload"),
+                         64, serve::proto::kMaxPayload));
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(argv[0], 0);
+        } else {
+            std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0],
+                         arg.c_str());
+            return usage(argv[0], 2);
+        }
+    }
+    if (cfg.unixPath.empty() && cfg.tcpPort < 0) {
+        std::fprintf(stderr, "%s: need --unix and/or --tcp\n", argv[0]);
+        return usage(argv[0], 2);
+    }
+
+    if (::pipe(g_signal_pipe) != 0) {
+        std::fprintf(stderr, "%s: pipe: %s\n", argv[0],
+                     std::strerror(errno));
+        return 1;
+    }
+    struct sigaction sa{};
+    sa.sa_handler = onSignal;
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::signal(SIGPIPE, SIG_IGN);
+
+    try {
+        serve::Server server(cfg);
+        server.start();
+        if (!cfg.unixPath.empty())
+            tarch_inform("tarch_served: listening on unix:%s",
+                         cfg.unixPath.c_str());
+        if (cfg.tcpPort >= 0)
+            tarch_inform("tarch_served: listening on tcp:127.0.0.1:%u",
+                         server.tcpPort());
+        tarch_inform("tarch_served: %s",
+                     server.health().toJson().c_str());
+
+        // Wait for a signal or an RPC-initiated drain.
+        for (;;) {
+            struct pollfd pfd = {g_signal_pipe[0], POLLIN, 0};
+            ::poll(&pfd, 1, 200);
+            if (g_signal.load() != 0) {
+                tarch_inform("tarch_served: signal %d, draining",
+                             g_signal.load());
+                break;
+            }
+            if (server.drained())
+                break;
+        }
+        server.stop();
+        tarch_inform("tarch_served: drained; final %s",
+                     server.health().toJson().c_str());
+        return 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+        return 1;
+    }
+}
