@@ -62,14 +62,14 @@ echo "== tier-1 tests"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
 if [[ -z "$SANITIZE" ]]; then
-    echo "== ThreadSanitizer (parallel executor + sweep cache)"
+    echo "== ThreadSanitizer (parallel executor + sweep cache + serve)"
     TSAN_DIR="${BUILD_DIR}-tsan"
     cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
           -DTARCH_SANITIZE=thread
     cmake --build "$TSAN_DIR" -j "$JOBS" \
-          --target test_sweep_cache test_common
+          --target test_sweep_cache test_common test_serve
     ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" \
-          -R 'SweepCache|CellCache|Parallel|Pool|ResolveJobs'
+          -R 'SweepCache|CellCache|Parallel|Pool|ResolveJobs|ServeTest|SimServiceTest'
 fi
 
 if command -v clang-tidy > /dev/null 2>&1; then

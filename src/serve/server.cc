@@ -6,6 +6,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -47,6 +48,8 @@ sendAll(int fd, const char *data, size_t len)
         if (n < 0) {
             if (errno == EINTR)
                 continue;
+            // EAGAIN here is the SO_SNDTIMEO send timeout: the peer
+            // stopped reading, so give the connection up.
             return false;
         }
         sent += static_cast<size_t>(n);
@@ -85,13 +88,29 @@ struct Server::Connection {
         return true;
     }
 
-    /** Wake the reader and refuse further writes; the fd itself is
-        closed by the destructor so no descriptor is reused early. */
+    /** Wake the reader and refuse further writes.  The exchange makes
+        exactly one caller touch ::shutdown, and since closeFd() only
+        runs after the reader exited (which sets open false first), the
+        winner always sees a still-valid descriptor. */
     void
     shutdownNow()
     {
         if (open.exchange(false))
             ::shutdown(fd, SHUT_RDWR);
+    }
+
+    /** Release the descriptor once the reader is joined.  writeMu
+        serializes against an in-progress sendFrame so the fd cannot be
+        closed (and its number reused) mid-write. */
+    void
+    closeFd()
+    {
+        std::lock_guard<std::mutex> lock(writeMu);
+        open.store(false);
+        if (fd >= 0) {
+            ::close(fd);
+            fd = -1;
+        }
     }
 };
 
@@ -116,6 +135,7 @@ Server::Health::toJson() const
         "{\"schema\":\"tarch-serve-stats-v1\","
         "\"accepted_connections\":%llu,"
         "\"active_connections\":%llu,"
+        "\"reclaimed_connections\":%llu,"
         "\"received\":%llu,"
         "\"completed\":%llu,"
         "\"errors\":%llu,"
@@ -133,6 +153,7 @@ Server::Health::toJson() const
         "\"uptime_ms\":%llu}",
         (unsigned long long)acceptedConnections,
         (unsigned long long)activeConnections,
+        (unsigned long long)reclaimedConnections,
         (unsigned long long)received, (unsigned long long)completed,
         (unsigned long long)errors, (unsigned long long)busyRejected,
         (unsigned long long)deadlineExceeded,
@@ -227,6 +248,7 @@ Server::start()
     if (tcpFd_ >= 0)
         acceptors_.emplace_back([this] { acceptLoop(tcpFd_); });
     reaper_ = std::thread([this] { reaperLoop(); });
+    drainWaiter_ = std::thread([this] { drainWaiterLoop(); });
 }
 
 void
@@ -235,9 +257,23 @@ Server::acceptLoop(int listen_fd)
     for (;;) {
         const int fd = ::accept(listen_fd, nullptr, nullptr);
         if (fd < 0) {
-            if (errno == EINTR)
+            if (stopping_.load() || draining_.load())
+                return; // the listener was shut down for drain/stop
+            if (errno == EINTR || errno == ECONNABORTED)
                 continue;
-            return; // listener shut down (drain/stop)
+            if (errno == EMFILE || errno == ENFILE ||
+                errno == ENOBUFS || errno == ENOMEM ||
+                errno == EAGAIN || errno == EWOULDBLOCK) {
+                // Resource exhaustion is transient (the reaper frees
+                // fds as clients disconnect); back off briefly instead
+                // of permanently abandoning the listener.
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+                continue;
+            }
+            tarch_warn("serve: accept: %s; listener closed",
+                       std::strerror(errno));
+            return;
         }
         if (draining_.load()) {
             ::close(fd);
@@ -245,6 +281,13 @@ Server::acceptLoop(int listen_fd)
         }
         const int one = 1;
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        if (config_.sendTimeoutMs > 0) {
+            timeval tv{};
+            tv.tv_sec = config_.sendTimeoutMs / 1000;
+            tv.tv_usec =
+                static_cast<long>(config_.sendTimeoutMs % 1000) * 1000;
+            ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+        }
         acceptedConnections_.fetch_add(1);
         auto conn = std::make_shared<Connection>();
         conn->fd = fd;
@@ -295,6 +338,36 @@ Server::readerLoop(std::shared_ptr<Connection> conn)
         dispatch(conn, fh, std::move(payload));
     }
     conn->shutdownNow();
+    // Hand the connection to the reaper, which joins this thread and
+    // closes the fd — churned connections must not accumulate.
+    retireConnection(conn);
+}
+
+void
+Server::retireConnection(const std::shared_ptr<Connection> &conn)
+{
+    std::lock_guard<std::mutex> lock(connsMu_);
+    for (size_t i = 0; i < conns_.size(); ++i) {
+        if (conns_[i] == conn) {
+            conns_.erase(conns_.begin() + static_cast<ptrdiff_t>(i));
+            break;
+        }
+    }
+    reapList_.push_back(conn);
+}
+
+void
+Server::reapConnections(std::vector<std::shared_ptr<Connection>> &dead)
+{
+    for (const std::shared_ptr<Connection> &conn : dead) {
+        // The reader pushed itself onto the reap list as its last act,
+        // so this join completes promptly.
+        if (conn->reader.joinable())
+            conn->reader.join();
+        conn->closeFd();
+        reclaimedConnections_.fetch_add(1);
+    }
+    dead.clear();
 }
 
 void
@@ -378,8 +451,13 @@ Server::enqueue(const std::shared_ptr<Connection> &conn,
                     std::chrono::milliseconds(deadline_ms);
 
     {
-        std::lock_guard<std::mutex> lock(jobsMu_);
+        // Check-and-register under jobsMu_ so no job slips in after the
+        // drain waiter saw jobs_ empty; the rejection frame itself goes
+        // out after the lock is dropped — sendFrame can block on a slow
+        // client, and jobsMu_ gates finishJob on every worker.
+        std::unique_lock<std::mutex> lock(jobsMu_);
         if (draining_.load()) {
+            lock.unlock();
             errors_.fetch_add(1);
             conn->sendFrame(proto::errorFrame(
                 header.requestId, proto::ErrorCode::Draining,
@@ -550,6 +628,12 @@ Server::reaperLoop()
             // The job stays in jobs_ until its worker finishes — drain
             // still waits for the simulation itself to retire.
         }
+        std::vector<std::shared_ptr<Connection>> dead;
+        {
+            std::lock_guard<std::mutex> lock(connsMu_);
+            dead.swap(reapList_);
+        }
+        reapConnections(dead);
         std::this_thread::sleep_for(std::chrono::milliseconds(2));
     }
 }
@@ -565,18 +649,29 @@ Server::requestDrain()
         ::shutdown(unixFd_, SHUT_RDWR);
     if (tcpFd_ >= 0)
         ::shutdown(tcpFd_, SHUT_RDWR);
-    drainWaiter_ = std::thread([this] {
-        {
-            std::unique_lock<std::mutex> lock(jobsMu_);
-            jobsCv_.wait(lock, [this] { return jobs_.empty(); });
-        }
-        if (pool_)
-            pool_->drain();
-        closeAllConnections();
-        drained_.store(true);
-        std::lock_guard<std::mutex> lock(drainMu_);
-        drainCv_.notify_all();
-    });
+    // Wake the pre-created drain waiter (see start()); taking drainMu_
+    // pairs with its predicate check so the notify cannot be missed.
+    std::lock_guard<std::mutex> lock(drainMu_);
+    drainCv_.notify_all();
+}
+
+void
+Server::drainWaiterLoop()
+{
+    {
+        std::unique_lock<std::mutex> lock(drainMu_);
+        drainCv_.wait(lock, [this] { return draining_.load(); });
+    }
+    {
+        std::unique_lock<std::mutex> lock(jobsMu_);
+        jobsCv_.wait(lock, [this] { return jobs_.empty(); });
+    }
+    if (pool_)
+        pool_->drain();
+    closeAllConnections();
+    drained_.store(true);
+    std::lock_guard<std::mutex> lock(drainMu_);
+    drainCv_.notify_all();
 }
 
 bool
@@ -612,7 +707,12 @@ Server::stop()
     if (stopping_.exchange(true))
         return;
     requestDrain();
-    waitDrained();
+    // No waiter thread means start() threw before spawning threads —
+    // there is nothing in flight to wait for.
+    if (drainWaiter_.joinable())
+        waitDrained();
+    else
+        drained_.store(true);
     for (std::thread &t : acceptors_)
         t.join();
     acceptors_.clear();
@@ -620,15 +720,23 @@ Server::stop()
         reaper_.join();
     if (drainWaiter_.joinable())
         drainWaiter_.join();
+    // Final sweep: the reaper is gone, so reclaim whatever it had not
+    // gotten to — both still-registered connections and retired ones.
     std::vector<std::shared_ptr<Connection>> conns;
     {
         std::lock_guard<std::mutex> lock(connsMu_);
         conns.swap(conns_);
+        conns.insert(conns.end(), reapList_.begin(), reapList_.end());
+        reapList_.clear();
     }
-    for (const std::shared_ptr<Connection> &conn : conns)
-        if (conn->reader.joinable())
-            conn->reader.join();
-    conns.clear();
+    reapConnections(conns);
+    // A reader that was mid-exit during the swap re-added itself to
+    // reapList_; it was joined and closed via the conns_ snapshot
+    // above, so only the bookkeeping entry is left to drop.
+    {
+        std::lock_guard<std::mutex> lock(connsMu_);
+        reapList_.clear();
+    }
     if (pool_)
         pool_->close();
     if (unixFd_ >= 0) {
@@ -648,6 +756,7 @@ Server::health() const
 {
     Health h;
     h.acceptedConnections = acceptedConnections_.load();
+    h.reclaimedConnections = reclaimedConnections_.load();
     {
         std::lock_guard<std::mutex> lock(connsMu_);
         uint64_t active = 0;

@@ -13,7 +13,9 @@
  *   - a Pool of workers executing queued requests through SimService;
  *   - one reaper thread that answers expired requests with
  *     DeadlineExceeded (the worker's late result is then discarded —
- *     the connection survives);
+ *     the connection survives) and reclaims disconnected clients
+ *     (joins the dead reader thread, closes the fd, forgets the
+ *     connection), so connection churn never accumulates fds;
  *   - responses are written under a per-connection mutex, so pipelined
  *     requests on one connection interleave safely.
  *
@@ -63,6 +65,11 @@ class Server
         uint32_t defaultDeadlineMs = 30'000;
         /** Per-frame payload cap (also bounded by proto::kMaxPayload). */
         uint32_t maxPayload = 16u << 20;
+        /** SO_SNDTIMEO on accepted sockets: bounds how long a response
+            write can block on a peer that stopped reading, so one stuck
+            client cannot wedge a worker (or the connection reaper)
+            forever.  0 = no timeout. */
+        uint32_t sendTimeoutMs = 30'000;
         SimService::Options sim;
     };
 
@@ -70,6 +77,9 @@ class Server
     struct Health {
         uint64_t acceptedConnections = 0;
         uint64_t activeConnections = 0;
+        /** Disconnected clients fully reclaimed: reader joined, fd
+            closed, connection forgotten. */
+        uint64_t reclaimedConnections = 0;
         uint64_t received = 0;   ///< well-framed requests read
         uint64_t completed = 0;  ///< answered with a non-error result
         uint64_t errors = 0;     ///< answered with a typed error
@@ -125,6 +135,11 @@ class Server
     void acceptLoop(int listen_fd);
     void readerLoop(std::shared_ptr<Connection> conn);
     void reaperLoop();
+    void drainWaiterLoop();
+    /** Move @p conn from conns_ to the reap list (reader is exiting). */
+    void retireConnection(const std::shared_ptr<Connection> &conn);
+    /** Join each dead reader, close its fd, and count it reclaimed. */
+    void reapConnections(std::vector<std::shared_ptr<Connection>> &dead);
     /** Handle one well-framed request from @p conn. */
     void dispatch(const std::shared_ptr<Connection> &conn,
                   const proto::FrameHeader &header, std::string payload);
@@ -153,6 +168,9 @@ class Server
 
     mutable std::mutex connsMu_;
     std::vector<std::shared_ptr<Connection>> conns_;
+    /** Connections whose reader exited, awaiting join + fd close by
+        the reaper (guarded by connsMu_). */
+    std::vector<std::shared_ptr<Connection>> reapList_;
 
     mutable std::mutex jobsMu_;
     std::condition_variable jobsCv_;
@@ -164,10 +182,14 @@ class Server
     std::atomic<bool> stopping_{false};
     mutable std::mutex drainMu_;
     std::condition_variable drainCv_;
+    /** Spawned in start(), parked on drainCv_ until a drain begins;
+        pre-creating it keeps requestDrain() free of thread-object
+        assignment races with stop(). */
     std::thread drainWaiter_;
 
     std::chrono::steady_clock::time_point startTime_;
     std::atomic<uint64_t> acceptedConnections_{0};
+    std::atomic<uint64_t> reclaimedConnections_{0};
     std::atomic<uint64_t> received_{0};
     std::atomic<uint64_t> completed_{0};
     std::atomic<uint64_t> errors_{0};

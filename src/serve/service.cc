@@ -1,6 +1,7 @@
 #include "serve/service.h"
 
 #include <memory>
+#include <optional>
 
 #include "analysis/checks.h"
 #include "assembler/assembler.h"
@@ -87,8 +88,14 @@ SimService::runCell(const proto::CellRequest &req)
                   req.variant, (unsigned long long)key);
 
     // Memory cache + single-flight: a burst of identical cold requests
-    // simulates once; the rest block here and are served from the memo.
-    {
+    // simulates once; the rest block here and are served from the memo
+    // (or, with only the disk cache on, from the cell the leader
+    // wrote).  With every cache disabled the leader has no way to
+    // publish its result, so waiting would add latency and then
+    // re-simulate anyway — skip the single-flight claim entirely.
+    const bool single_flight = opts_.memoryCache || opts_.diskCache;
+    std::optional<FlightGuard> flight;
+    if (single_flight) {
         std::unique_lock<std::mutex> lock(mu_);
         for (;;) {
             if (opts_.memoryCache) {
@@ -114,8 +121,8 @@ SimService::runCell(const proto::CellRequest &req)
             progressCv_.wait(lock);
         }
         inProgress_.insert(memo_key);
+        flight.emplace(mu_, inProgress_, progressCv_, memo_key);
     }
-    FlightGuard flight(mu_, inProgress_, progressCv_, memo_key);
 
     harness::RunResult run;
     uint8_t from_cache = 0;

@@ -776,5 +776,70 @@ TEST_F(ServeTest, StopIsIdempotent)
     EXPECT_TRUE(server->drained());
 }
 
+TEST_F(ServeTest, ClosedConnectionsAreReclaimed)
+{
+    startServer();
+    constexpr uint64_t kChurn = 8;
+    for (uint64_t i = 0; i < kChurn; ++i) {
+        Client client = connect();
+        EXPECT_TRUE(client.ping());
+        client.close();
+    }
+    // Each disconnect must be fully reclaimed (reader joined, fd
+    // closed, connection forgotten) — a long-running daemon under
+    // connection churn would otherwise run out of descriptors.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    Server::Health health;
+    for (;;) {
+        health = server->health();
+        if (health.reclaimedConnections >= kChurn ||
+            std::chrono::steady_clock::now() >= deadline)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_GE(health.reclaimedConnections, kChurn);
+    EXPECT_EQ(health.activeConnections, 0u);
+    EXPECT_NE(health.toJson().find("\"reclaimed_connections\":"),
+              std::string::npos);
+    // The server still accepts after the churn.
+    Client again = connect();
+    EXPECT_TRUE(again.ping());
+}
+
+TEST(SimServiceTest, NoCacheSkipsSingleFlightWait)
+{
+    SimService::Options opts;
+    opts.memoryCache = false;
+    opts.diskCache = false;
+    SimService service(opts);
+    proto::CellRequest req;
+    req.engine = 0;
+    req.variant = 1;
+    req.benchmark = "fibo";
+
+    // With every cache off the leader cannot publish its result, so
+    // concurrent identical requests must simulate independently rather
+    // than queue up behind a single flight they can never reuse.
+    constexpr int kThreads = 3;
+    std::atomic<int> ok{0};
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i)
+        threads.emplace_back([&] {
+            const proto::CellResult result = service.runCell(req);
+            if (result.instructions > 0 && result.fromCache == 0)
+                ok.fetch_add(1);
+        });
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(ok.load(), kThreads);
+
+    const SimService::Counters counters = service.counters();
+    EXPECT_EQ(counters.simulated, (uint64_t)kThreads);
+    EXPECT_EQ(counters.singleFlightWaits, 0u);
+    EXPECT_EQ(counters.memHits, 0u);
+    EXPECT_EQ(counters.diskHits, 0u);
+}
+
 } // namespace
 } // namespace tarch::serve
