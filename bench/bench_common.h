@@ -9,6 +9,10 @@
  *   --cache-dir D  root of the per-cell sweep cache (default ".")
  *   --cold         ignore cached cells; re-simulate and rewrite them
  *   --no-cache     neither read nor write the cache
+ *   --exec-mode M  core execution engine, "exact" or "predecoded"
+ *                  (default: TARCH_EXEC_MODE env, else exact); the two
+ *                  are bit-identical (docs/FASTPATH.md), predecoded is
+ *                  just faster wall-clock
  *
  * plus the observability flags (docs/OBSERVABILITY.md), which attach
  * probe-bus sinks to every cell of the sweep:
@@ -61,6 +65,7 @@ usage(const char *argv0, int exit_code)
     std::fprintf(stderr,
                  "usage: %s [--jobs N] [--cache-dir DIR] [--cold] "
                  "[--no-cache]\n"
+                 "          [--exec-mode exact|predecoded]\n"
                  "          [--profile] [--trace-out PREFIX] "
                  "[--interval-stats N] [--json]\n"
                  "  --jobs N       sweep worker threads (default: "
@@ -70,6 +75,10 @@ usage(const char *argv0, int exit_code)
                  "  --cold         ignore cached cells, re-simulate and "
                  "rewrite\n"
                  "  --no-cache     neither read nor write the cache\n"
+                 "  --exec-mode M  core engine, exact or predecoded "
+                 "(default: TARCH_EXEC_MODE\n"
+                 "                 env, else exact); bit-identical stats, "
+                 "predecoded is faster\n"
                  "  --profile           print per-handler and flat cycle "
                  "profiles per cell\n"
                  "  --trace-out PREFIX  write Chrome trace JSON per cell "
@@ -148,6 +157,17 @@ parseArgs(int argc, char **argv, ObsCliOptions *obs_cli = nullptr)
             opts.forceCold = true;
         } else if (arg == "--no-cache") {
             opts.useCache = false;
+        } else if (arg == "--exec-mode") {
+            const char *text = next("--exec-mode");
+            const auto mode = core::execModeFromName(text);
+            if (!mode) {
+                std::fprintf(stderr,
+                             "%s: bad --exec-mode value '%s' (want "
+                             "exact|predecoded)\n",
+                             argv[0], text);
+                usage(argv[0], 2);
+            }
+            opts.execMode = *mode;
         } else if (obs_cli && arg == "--profile") {
             obs_cli->profile = true;
         } else if (obs_cli && arg == "--trace-out") {

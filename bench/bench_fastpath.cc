@@ -1,0 +1,149 @@
+// Fast-path throughput: simulated instructions per wall-clock second of
+// the exact per-cycle core vs. the predecoded basic-block core
+// (docs/FASTPATH.md) over the Table-7 benchmark suite, on the paper's
+// headline configuration (MiniLua, typed variant).
+//
+// Every benchmark is simulated in BOTH modes and the 26 CoreStats
+// counters plus the guest output are required to be bit-identical —
+// the perf bench doubles as an equivalence ratchet.  Results land in
+// BENCH_fastpath.json; --check additionally fails (exit 1) when the
+// geomean speedup drops below the committed floor.
+//
+//   bench_fastpath [--json PATH] [--check] [--min-speedup X]
+
+#include <chrono>
+#include <cstring>
+
+#include "bench_common.h"
+
+using namespace tarch;
+using namespace tarch::harness;
+
+namespace {
+
+constexpr double kDefaultMinSpeedup = 2.0; ///< geomean ratchet floor
+
+struct Row {
+    std::string name;
+    uint64_t instructions = 0;
+    double exactSec = 0.0;
+    double predecodedSec = 0.0;
+
+    double exactIps() const { return instructions / exactSec; }
+    double predecodedIps() const { return instructions / predecodedSec; }
+    double speedup() const { return exactSec / predecodedSec; }
+};
+
+double
+timeRun(Engine engine, vm::Variant variant, const BenchmarkInfo &info,
+        core::ExecMode mode, RunResult &out)
+{
+    const auto begin = std::chrono::steady_clock::now();
+    out = runOne(engine, variant, info, obs::SessionConfig{}, mode);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - begin;
+    return elapsed.count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path = "BENCH_fastpath.json";
+    bool check = false;
+    double min_speedup = kDefaultMinSpeedup;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (arg == "--check") {
+            check = true;
+        } else if (arg == "--min-speedup" && i + 1 < argc) {
+            min_speedup = std::atof(argv[++i]);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--json PATH] [--check] "
+                         "[--min-speedup X]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    bench::banner(
+        "Fast path: exact vs predecoded core simulation throughput",
+        "the simulator itself; Table 7 workloads");
+    std::printf("\n%-16s %10s %12s %12s %9s\n", "benchmark", "Minstr",
+                "exact i/s", "predec i/s", "speedup");
+
+    std::vector<Row> rows;
+    bool identical = true;
+    for (const BenchmarkInfo &info : benchmarks()) {
+        RunResult exact, predecoded;
+        Row row;
+        row.name = info.name;
+        row.exactSec = timeRun(Engine::Lua, vm::Variant::Typed, info,
+                               core::ExecMode::Exact, exact);
+        row.predecodedSec = timeRun(Engine::Lua, vm::Variant::Typed, info,
+                                    core::ExecMode::Predecoded, predecoded);
+        row.instructions = exact.stats.instructions;
+
+        // The throughput comparison is only meaningful if the two
+        // engines simulated the SAME machine execution.
+        const std::string diff =
+            core::describeStatsDiff(exact.stats, predecoded.stats);
+        if (!diff.empty() || exact.output != predecoded.output) {
+            identical = false;
+            std::fprintf(stderr,
+                         "%s: predecoded run is NOT bit-identical:\n%s%s\n",
+                         info.name.c_str(), diff.c_str(),
+                         exact.output != predecoded.output
+                             ? "\nguest output differs"
+                             : "");
+        }
+
+        std::printf("%-16s %10.1f %12.3g %12.3g %8.2fx\n",
+                    row.name.c_str(), row.instructions / 1e6,
+                    row.exactIps(), row.predecodedIps(), row.speedup());
+        rows.push_back(row);
+    }
+
+    std::vector<double> speedups;
+    for (const Row &row : rows)
+        speedups.push_back(row.speedup());
+    const double geo = geomean(speedups);
+    std::printf("\ngeomean wall-clock speedup: %.2fx "
+                "(bit-identical stats: %s)\n",
+                geo, identical ? "yes" : "NO");
+
+    std::string json = "{\n  \"bench\": \"fastpath\",\n";
+    json += strformat("  \"engine\": \"%s\",\n  \"variant\": \"typed\",\n",
+                      engineName(Engine::Lua));
+    json += strformat("  \"geomean_speedup\": %.3f,\n", geo);
+    json += strformat("  \"bit_identical\": %s,\n",
+                      identical ? "true" : "false");
+    json += "  \"benchmarks\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row &row = rows[i];
+        json += strformat("    {\"name\": \"%s\", \"instructions\": %llu, "
+                          "\"exact_ips\": %.0f, \"predecoded_ips\": %.0f, "
+                          "\"speedup\": %.3f}%s\n",
+                          row.name.c_str(),
+                          (unsigned long long)row.instructions,
+                          row.exactIps(), row.predecodedIps(),
+                          row.speedup(), i + 1 < rows.size() ? "," : "");
+    }
+    json += "  ]\n}\n";
+    if (bench::writeTextFile(json_path, json))
+        std::printf("wrote %s\n", json_path.c_str());
+
+    if (!identical)
+        return 1;
+    if (check && geo < min_speedup) {
+        std::fprintf(stderr,
+                     "FAIL: geomean speedup %.2fx below the %.2fx floor\n",
+                     geo, min_speedup);
+        return 1;
+    }
+    return 0;
+}

@@ -39,7 +39,7 @@ if [[ -n "$SANITIZE" ]]; then
 fi
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
-FUZZ_SEEDS="${FUZZ_SEEDS:-0..200}"
+FUZZ_SEEDS="${FUZZ_SEEDS:-0..500}"
 
 echo "== configure ($BUILD_DIR)"
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -61,15 +61,32 @@ done
 echo "== tier-1 tests"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
+# Second pass with the predecoded basic-block core (docs/FASTPATH.md):
+# every core-facing suite must pass bit-identically under the fast
+# path.  TARCH_EXEC_MODE flips the CoreConfig default, so the same test
+# binaries exercise the other execution engine with zero test changes.
+echo "== tier-1 tests, predecoded exec mode"
+for t in test_core test_core_typed test_fastpath test_differential; do
+    TARCH_EXEC_MODE=predecoded "$BUILD_DIR/tests/$t" \
+        --gtest_brief=1
+done
+
 if [[ -z "$SANITIZE" ]]; then
     echo "== ThreadSanitizer (parallel executor + sweep cache + serve)"
     TSAN_DIR="${BUILD_DIR}-tsan"
     cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
           -DTARCH_SANITIZE=thread
     cmake --build "$TSAN_DIR" -j "$JOBS" \
-          --target test_sweep_cache test_common test_serve
+          --target test_sweep_cache test_common test_serve test_fastpath
     ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" \
-          -R 'SweepCache|CellCache|Parallel|Pool|ResolveJobs|ServeTest|SimServiceTest'
+          -R 'SweepCache|CellCache|Parallel|Pool|ResolveJobs|ServeTest|SimServiceTest|FastPath\.'
+
+    echo "== fast-path perf ratchet (bench_fastpath --check)"
+    # The predecoded core must stay >= 2x the exact core (geomean over
+    # the Table-7 suite) and bit-identical; skipped under sanitizers,
+    # whose instrumentation skews the ratio.
+    "$BUILD_DIR/bench/bench_fastpath" --check \
+        --json "$BUILD_DIR/BENCH_fastpath.json"
 fi
 
 if command -v clang-tidy > /dev/null 2>&1; then

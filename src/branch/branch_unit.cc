@@ -7,62 +7,4 @@ BranchUnit::BranchUnit(const BranchUnitConfig &config)
 {
 }
 
-bool
-BranchUnit::condBranch(uint64_t pc, bool taken, uint64_t target)
-{
-    ++stats_.condBranches;
-    const bool pred_dir = gshare_.predict(pc);
-    const auto pred_target = btb_.lookup(pc);
-    // A taken prediction can only redirect fetch if the BTB knows the
-    // target; direction predictions without a target fall through.
-    const bool pred_taken = pred_dir && pred_target.has_value();
-    bool mispredict;
-    if (taken)
-        mispredict = !pred_taken || *pred_target != target;
-    else
-        mispredict = pred_taken;
-    gshare_.update(pc, taken);
-    if (taken)
-        btb_.update(pc, target);
-    if (mispredict)
-        ++stats_.condMispredicts;
-    return mispredict;
-}
-
-bool
-BranchUnit::directJump(uint64_t pc, uint64_t target, bool is_call,
-                       uint64_t return_pc)
-{
-    ++stats_.jumps;
-    const auto pred_target = btb_.lookup(pc);
-    const bool mispredict = !pred_target || *pred_target != target;
-    btb_.update(pc, target);
-    if (is_call)
-        ras_.push(return_pc);
-    if (mispredict)
-        ++stats_.jumpMispredicts;
-    return mispredict;
-}
-
-bool
-BranchUnit::indirectJump(uint64_t pc, uint64_t target, bool is_call,
-                         bool is_ret, uint64_t return_pc)
-{
-    ++stats_.jumps;
-    bool mispredict;
-    if (is_ret) {
-        const auto pred = ras_.pop();
-        mispredict = !pred || *pred != target;
-    } else {
-        const auto pred = btb_.lookup(pc);
-        mispredict = !pred || *pred != target;
-        btb_.update(pc, target);
-    }
-    if (is_call)
-        ras_.push(return_pc);
-    if (mispredict)
-        ++stats_.jumpMispredicts;
-    return mispredict;
-}
-
 } // namespace tarch::branch

@@ -40,19 +40,73 @@ class BranchUnit
   public:
     explicit BranchUnit(const BranchUnitConfig &config = {});
 
+    // The resolvers are inline: both execution engines call one of
+    // them for every control transfer the guest executes.
+
     /**
      * Resolve a conditional branch at @p pc.
      * @return true if the front end mispredicted (direction or target).
      */
-    bool condBranch(uint64_t pc, bool taken, uint64_t target);
+    bool
+    condBranch(uint64_t pc, bool taken, uint64_t target)
+    {
+        ++stats_.condBranches;
+        const bool pred_dir = gshare_.predict(pc);
+        const auto pred_target = btb_.lookup(pc);
+        // A taken prediction can only redirect fetch if the BTB knows
+        // the target; direction predictions without a target fall
+        // through.
+        const bool pred_taken = pred_dir && pred_target.has_value();
+        bool mispredict;
+        if (taken)
+            mispredict = !pred_taken || *pred_target != target;
+        else
+            mispredict = pred_taken;
+        gshare_.update(pc, taken);
+        if (taken)
+            btb_.update(pc, target);
+        if (mispredict)
+            ++stats_.condMispredicts;
+        return mispredict;
+    }
 
     /** Resolve a direct jump (jal). @p is_call pushes the RAS. */
-    bool directJump(uint64_t pc, uint64_t target, bool is_call,
-                    uint64_t return_pc);
+    bool
+    directJump(uint64_t pc, uint64_t target, bool is_call,
+               uint64_t return_pc)
+    {
+        ++stats_.jumps;
+        const auto pred_target = btb_.lookup(pc);
+        const bool mispredict = !pred_target || *pred_target != target;
+        btb_.update(pc, target);
+        if (is_call)
+            ras_.push(return_pc);
+        if (mispredict)
+            ++stats_.jumpMispredicts;
+        return mispredict;
+    }
 
     /** Resolve an indirect jump (jalr). */
-    bool indirectJump(uint64_t pc, uint64_t target, bool is_call,
-                      bool is_ret, uint64_t return_pc);
+    bool
+    indirectJump(uint64_t pc, uint64_t target, bool is_call, bool is_ret,
+                 uint64_t return_pc)
+    {
+        ++stats_.jumps;
+        bool mispredict;
+        if (is_ret) {
+            const auto pred = ras_.pop();
+            mispredict = !pred || *pred != target;
+        } else {
+            const auto pred = btb_.lookup(pc);
+            mispredict = !pred || *pred != target;
+            btb_.update(pc, target);
+        }
+        if (is_call)
+            ras_.push(return_pc);
+        if (mispredict)
+            ++stats_.jumpMispredicts;
+        return mispredict;
+    }
 
     const BranchUnitStats &stats() const { return stats_; }
     void resetStats() { stats_ = {}; }

@@ -5,40 +5,28 @@ namespace tarch::branch {
 Btb::Btb(const BtbConfig &config)
     : entries_(config.entries)
 {
-}
-
-std::optional<uint64_t>
-Btb::lookup(uint64_t pc) const
-{
-    ++useClock_;
-    for (const Entry &entry : entries_) {
-        if (entry.valid && entry.pc == pc) {
-            const_cast<Entry &>(entry).lastUse = useClock_;
-            return entry.target;
-        }
-    }
-    return std::nullopt;
+    index_.reserve(config.entries * 2);
 }
 
 void
-Btb::update(uint64_t pc, uint64_t target)
+Btb::install(uint64_t pc, uint64_t target)
 {
-    ++useClock_;
+    // Original fully-associative victim scan, unchanged: the last
+    // invalid entry wins while the array fills, then the least recently
+    // used one (lastUse values are unique, so there are no ties).
     Entry *victim = nullptr;
     for (Entry &entry : entries_) {
-        if (entry.valid && entry.pc == pc) {
-            entry.target = target;
-            entry.lastUse = useClock_;
-            return;
-        }
         if (!victim || !entry.valid ||
             (victim->valid && entry.lastUse < victim->lastUse))
             victim = &entry;
     }
+    if (victim->valid)
+        index_.erase(victim->pc);
     victim->valid = true;
     victim->pc = pc;
     victim->target = target;
     victim->lastUse = useClock_;
+    index_.emplace(pc, static_cast<size_t>(victim - entries_.data()));
 }
 
 } // namespace tarch::branch

@@ -3,6 +3,13 @@
  * Fully-associative branch target buffer (Table 6: 62 entries) with true
  * LRU replacement.  Also serves indirect-jump targets (last-target
  * prediction), as in Rocket.
+ *
+ * The model is behaviourally a fully-associative LRU array, but the hot
+ * paths (lookup, target refresh) go through a pc -> slot hash index so
+ * they cost O(1) instead of a 62-entry scan; the scan survives only on
+ * an install miss, where the original victim-selection loop runs
+ * verbatim so replacement decisions are bit-identical to the plain
+ * array model.
  */
 
 #ifndef TARCH_BRANCH_BTB_H
@@ -10,6 +17,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 namespace tarch::branch {
@@ -24,10 +32,32 @@ class Btb
     explicit Btb(const BtbConfig &config = {});
 
     /** Look up the predicted target of the control instruction at @p pc. */
-    std::optional<uint64_t> lookup(uint64_t pc) const;
+    std::optional<uint64_t>
+    lookup(uint64_t pc) const
+    {
+        ++useClock_;
+        const auto it = index_.find(pc);
+        if (it == index_.end())
+            return std::nullopt;
+        Entry &entry = const_cast<Entry &>(entries_[it->second]);
+        entry.lastUse = useClock_;
+        return entry.target;
+    }
 
     /** Install or refresh the mapping pc -> target. */
-    void update(uint64_t pc, uint64_t target);
+    void
+    update(uint64_t pc, uint64_t target)
+    {
+        ++useClock_;
+        const auto it = index_.find(pc);
+        if (it != index_.end()) {
+            Entry &entry = entries_[it->second];
+            entry.target = target;
+            entry.lastUse = useClock_;
+            return;
+        }
+        install(pc, target);
+    }
 
   private:
     struct Entry {
@@ -37,7 +67,10 @@ class Btb
         uint64_t lastUse = 0;
     };
 
+    void install(uint64_t pc, uint64_t target);
+
     std::vector<Entry> entries_;
+    std::unordered_map<uint64_t, size_t> index_;  ///< pc -> valid slot
     mutable uint64_t useClock_ = 0;
 };
 

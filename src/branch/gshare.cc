@@ -12,29 +12,4 @@ Gshare::Gshare(const GshareConfig &config)
         tarch_fatal("gshare entries must be a power of two");
 }
 
-unsigned
-Gshare::index(uint64_t pc) const
-{
-    const uint64_t hashed = (pc >> 2) ^ history_;
-    return static_cast<unsigned>(hashed & (config_.entries - 1));
-}
-
-bool
-Gshare::predict(uint64_t pc) const
-{
-    return counters_[index(pc)] >= 2;
-}
-
-void
-Gshare::update(uint64_t pc, bool taken)
-{
-    uint8_t &ctr = counters_[index(pc)];
-    if (taken && ctr < 3)
-        ++ctr;
-    else if (!taken && ctr > 0)
-        --ctr;
-    const uint64_t mask = (1ULL << config_.historyBits) - 1;
-    history_ = ((history_ << 1) | (taken ? 1 : 0)) & mask;
-}
-
 } // namespace tarch::branch

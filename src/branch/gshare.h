@@ -22,16 +22,34 @@ class Gshare
   public:
     explicit Gshare(const GshareConfig &config = {});
 
+    // predict/update are inline: both execution engines consult them
+    // for every conditional branch.
+
     /** Predict the direction of the branch at @p pc. */
-    bool predict(uint64_t pc) const;
+    bool predict(uint64_t pc) const { return counters_[index(pc)] >= 2; }
 
     /** Train with the resolved direction and update global history. */
-    void update(uint64_t pc, bool taken);
+    void
+    update(uint64_t pc, bool taken)
+    {
+        uint8_t &ctr = counters_[index(pc)];
+        if (taken && ctr < 3)
+            ++ctr;
+        else if (!taken && ctr > 0)
+            --ctr;
+        const uint64_t mask = (1ULL << config_.historyBits) - 1;
+        history_ = ((history_ << 1) | (taken ? 1 : 0)) & mask;
+    }
 
     uint64_t history() const { return history_; }
 
   private:
-    unsigned index(uint64_t pc) const;
+    unsigned
+    index(uint64_t pc) const
+    {
+        const uint64_t hashed = (pc >> 2) ^ history_;
+        return static_cast<unsigned>(hashed & (config_.entries - 1));
+    }
 
     GshareConfig config_;
     std::vector<uint8_t> counters_;  ///< 2-bit saturating, init weakly taken

@@ -68,6 +68,7 @@ Core::Core(const CoreConfig &config, const HostcallRegistry *hostcalls)
       branchUnit_(config.branch),
       trt_(config.trtCapacity),
       timing_(config.timing),
+      blockCache_(config.fastPath),
       heapBreak_(config.heapBase)
 {
     regs_.writeGpr(isa::reg::sp, config_.stackTop);
@@ -82,6 +83,9 @@ Core::loadProgram(const assembler::Program &program)
 {
     textBase_ = program.textBase;
     text_ = program.text;
+    textEnd_ = textBase_ + 4 * text_.size();
+    blockCache_.reset(text_.size());
+    fastFlushPending_ = false;
     // Mirror the encoded text into guest memory for completeness.
     for (size_t i = 0; i < text_.size(); ++i) {
         const auto word = isa::encode(text_[i]);
@@ -127,6 +131,25 @@ Core::fetchStall(uint64_t pc)
     if (icache_.stats().misses != ic_miss0)
         emit(obs::EventKind::IcacheMiss, pc);
     return extra;
+}
+
+void
+Core::textStoreSlow(uint64_t addr, unsigned len)
+{
+    ++fastStats_.storeInvalidations;
+    fastFlushPending_ = true;
+    // Re-decode every text word the store touched, AFTER the bytes
+    // landed in memory, so the very next fetch executes the new
+    // encoding.  A word that no longer decodes becomes a NumOpcodes
+    // sentinel; executing it is a clean fatal.
+    const uint64_t lo = std::max(addr, textBase_) & ~3ULL;
+    const uint64_t hi = std::min(addr + len, textEnd_);
+    for (uint64_t word_pc = lo; word_pc < hi; word_pc += 4) {
+        const size_t idx = (word_pc - textBase_) / 4;
+        const auto decoded = isa::decode(memory_.read32(word_pc));
+        text_[idx] =
+            decoded ? *decoded : Instr{Opcode::NumOpcodes, 0, 0, 0, 0};
+    }
 }
 
 unsigned
@@ -217,6 +240,11 @@ Core::deoptSelect(uint64_t &next_pc)
 int
 Core::run()
 {
+    if (config_.execMode == ExecMode::Predecoded) {
+        while (stepBlock()) {
+        }
+        return exitCode_;
+    }
     while (step()) {
     }
     return exitCode_;
@@ -257,6 +285,15 @@ Core::step()
     }
     const size_t idx = (pc_ - textBase_) / 4;
     const Instr &instr = text_[idx];
+    if (instr.op == Opcode::NumOpcodes) {
+        // A store clobbered this word with bytes that no longer decode.
+        emit(obs::EventKind::Fatal, pc_);
+        const std::string window =
+            tracer_ ? "\nrecent instructions:\n" + tracer_->dump() : "";
+        tarch_fatal("undecodable instruction at pc 0x%llx "
+                    "(self-modified text)%s",
+                    static_cast<unsigned long long>(pc_), window.c_str());
+    }
     const isa::OpcodeInfo &info = isa::opcodeInfo(instr.op);
 
     timing_.startInstr(fetchStall(pc_));
@@ -491,14 +528,20 @@ Core::step()
         switch (instr.op) {
           case Opcode::SB:
             memory_.write8(addr, static_cast<uint8_t>(value));
+            noteStore(addr, 1);
             break;
           case Opcode::SH:
             memory_.write16(addr, static_cast<uint16_t>(value));
+            noteStore(addr, 2);
             break;
           case Opcode::SW:
             memory_.write32(addr, static_cast<uint32_t>(value));
+            noteStore(addr, 4);
             break;
-          default: memory_.write64(addr, value); break;
+          default:
+            memory_.write64(addr, value);
+            noteStore(addr, 8);
+            break;
         }
         break;
       }
@@ -601,8 +644,11 @@ Core::step()
         timing_.memStall(extra);
         ++stores_;
         memory_.write64(addr, ins.valueDword);
-        if (ins.writesTagDword)
+        noteStore(addr, 8);
+        if (ins.writesTagDword) {
             memory_.write64(addr + off, ins.tagDword);
+            noteStore(addr + off, 8);
+        }
         break;
       }
       case Opcode::XADD:
@@ -664,18 +710,23 @@ Core::step()
       }
       case Opcode::SETOFFSET:
         typedState_.tagConfig.offset = static_cast<uint8_t>(a & 0b111);
+        noteTypedConfigWrite();
         break;
       case Opcode::SETMASK:
         typedState_.tagConfig.mask = static_cast<uint8_t>(a & 0xFF);
+        noteTypedConfigWrite();
         break;
       case Opcode::SETSHIFT:
         typedState_.tagConfig.shift = static_cast<uint8_t>(a & 0x3F);
+        noteTypedConfigWrite();
         break;
       case Opcode::SET_TRT:
         trt_.pushEncoded(static_cast<uint32_t>(a));
+        noteTypedConfigWrite();
         break;
       case Opcode::FLUSH_TRT:
         trt_.flush();
+        noteTypedConfigWrite();
         break;
       case Opcode::THDL:
         typedState_.rhdl = pc_ + static_cast<uint64_t>(instr.imm);
@@ -920,6 +971,9 @@ void
 Core::restoreTypedContext(const TypedContext &context)
 {
     typedState_ = context.state;
+    // A TRT/typed-config swap invalidates predecoded blocks, same as
+    // the in-guest configuration instructions.
+    fastFlushPending_ = true;
     trt_.flush();
     for (const typed::TypeRule &rule : context.trtRules)
         trt_.push(rule);

@@ -17,6 +17,8 @@
 
 #include "assembler/assembler.h"
 #include "branch/branch_unit.h"
+#include "core/exec_mode.h"
+#include "core/fastpath.h"
 #include "core/hostcall.h"
 #include "core/markers.h"
 #include "core/regfile.h"
@@ -68,6 +70,11 @@ struct CoreConfig {
     unsigned trtCapacity = 8;
     DeoptConfig deopt;
     OverflowMode overflowMode = OverflowMode::Off;
+    /** Exact per-cycle interpreter vs. the bit-identical predecoded
+        basic-block fast path (docs/FASTPATH.md).  Defaults to the
+        TARCH_EXEC_MODE environment override, else Exact. */
+    ExecMode execMode = defaultExecMode();
+    fastpath::FastPathConfig fastPath;
     uint64_t maxInstructions = 4'000'000'000ULL; ///< runaway guard
     uint64_t heapBase = 0x0100'0000;             ///< bump allocator start
     uint64_t stackTop = 0x7FFF'F000;
@@ -104,12 +111,29 @@ class Core
 
     /**
      * Run until halt / sys-exit (or fatal on the instruction guard).
+     * Dispatches per CoreConfig::execMode; both modes are bit-identical.
      * @return the guest exit code
      */
     int run();
 
-    /** Single-step one instruction; returns false once halted. */
+    /** Single-step one instruction exactly; returns false once halted. */
     bool step();
+
+    /**
+     * Advance through one predecoded basic block (or one exact step on
+     * the rare paths that fall back); returns false once halted.
+     * Bit-identical to the equivalent sequence of step() calls.
+     */
+    bool stepBlock();
+
+    /** Block-cache counters for the fast path (zero in exact mode). */
+    const fastpath::FastPathStats &fastPathStats() const
+    {
+        return fastStats_;
+    }
+
+    /** The predecoded block cache (exposed for tests). */
+    const fastpath::BlockCache &blockCache() const { return blockCache_; }
 
     mem::MainMemory &memory() { return memory_; }
     RegFile &regs() { return regs_; }
@@ -178,12 +202,62 @@ class Core
     StopReason runToBreakpoint();
 
   private:
+    friend struct FastPathExec;
+
     struct ExecResult {
         uint64_t nextPc;
     };
 
     unsigned fetchStall(uint64_t pc);
     unsigned dataAccess(uint64_t addr, bool is_write);
+
+    // Uninstrumented fetch/data paths using the repeat-access memo
+    // (bit-identical; the instrumented paths emit miss events).  Inline:
+    // the block executor calls these for every fetch and memory op.
+
+    unsigned
+    fetchStallFast(uint64_t pc)
+    {
+        unsigned extra = itlb_.accessRepeat(pc);
+        extra += icache_.accessRepeat(pc, false) - config_.icache.hitLatency;
+        return extra;
+    }
+
+    unsigned
+    dataAccessFast(uint64_t addr, bool is_write)
+    {
+        if (bus_.active())
+            return dataAccess(addr, is_write);
+        unsigned extra = dtlb_.accessRepeat(addr);
+        extra +=
+            dcache_.accessRepeat(addr, is_write) - config_.dcache.hitLatency;
+        return extra;
+    }
+
+    /**
+     * Every datapath store funnels through here: a store overlapping
+     * the text segment re-decodes the clobbered words (so the very next
+     * fetch observes it in BOTH exec modes) and invalidates the block
+     * cache.
+     */
+    void
+    noteStore(uint64_t addr, unsigned len)
+    {
+        if (addr < textEnd_ && addr + len > textBase_)
+            textStoreSlow(addr, len);
+    }
+    void textStoreSlow(uint64_t addr, unsigned len);
+
+    /** A typed-config/TRT write: flush predecoded blocks (defensive —
+        records never cache typed-config state, see docs/FASTPATH.md). */
+    void
+    noteTypedConfigWrite()
+    {
+        fastFlushPending_ = true;
+        ++fastStats_.configInvalidations;
+    }
+
+    const fastpath::DecodedBlock *buildBlock(size_t entry_idx);
 
     /** Publish an event iff a sink is listening (the zero-cost gate). */
     void
@@ -220,8 +294,14 @@ class Core
 
     // Loaded program.
     uint64_t textBase_ = 0;
+    uint64_t textEnd_ = 0;  ///< textBase_ + 4 * text_.size()
     std::vector<isa::Instr> text_;
     std::vector<int32_t> markerByIndex_;  ///< -1 = no marker
+
+    // Predecoded fast path (fastpath.cc).
+    fastpath::BlockCache blockCache_;
+    fastpath::FastPathStats fastStats_;
+    bool fastFlushPending_ = false;  ///< applied at the next stepBlock()
 
     uint64_t pc_ = 0;
     int32_t currentRegion_ = -1;  ///< marker region for instr attribution

@@ -1,0 +1,41 @@
+#include "core/exec_mode.h"
+
+#include <cstdlib>
+
+#include "common/log.h"
+
+namespace tarch::core {
+
+std::string_view
+execModeName(ExecMode mode)
+{
+    return mode == ExecMode::Predecoded ? "predecoded" : "exact";
+}
+
+std::optional<ExecMode>
+execModeFromName(std::string_view name)
+{
+    if (name == "exact")
+        return ExecMode::Exact;
+    if (name == "predecoded")
+        return ExecMode::Predecoded;
+    return std::nullopt;
+}
+
+ExecMode
+defaultExecMode()
+{
+    static const ExecMode cached = [] {
+        const char *env = std::getenv("TARCH_EXEC_MODE");
+        if (!env || *env == '\0')
+            return ExecMode::Exact;
+        const auto mode = execModeFromName(env);
+        if (!mode)
+            tarch_fatal("TARCH_EXEC_MODE='%s' (want exact|predecoded)",
+                        env);
+        return *mode;
+    }();
+    return cached;
+}
+
+} // namespace tarch::core

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Core execution-mode selector (docs/FASTPATH.md).
+ *
+ * Exact is the per-cycle ground-truth interpreter; Predecoded executes
+ * straight-line runs from the decoded basic-block cache.  The two modes
+ * are bit-identical by contract: every CoreStats counter and every byte
+ * of architectural state must match between them, which is enforced by
+ * tests/test_fastpath.cc and the fuzz-oracle exec-mode axis.
+ */
+
+#ifndef TARCH_CORE_EXEC_MODE_H
+#define TARCH_CORE_EXEC_MODE_H
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace tarch::core {
+
+enum class ExecMode : uint8_t {
+    Exact,      ///< per-instruction interpreter (ground truth)
+    Predecoded, ///< basic-block cache fast path (bit-identical)
+};
+
+/** "exact" / "predecoded". */
+std::string_view execModeName(ExecMode mode);
+
+/** Parse an --exec-mode value; nullopt on anything unknown. */
+std::optional<ExecMode> execModeFromName(std::string_view name);
+
+/**
+ * The process-wide default mode: TARCH_EXEC_MODE in the environment
+ * ("exact" or "predecoded", read once and cached), else Exact.  This is
+ * what lets scripts/ci.sh re-run the existing test binaries as a
+ * predecoded differential pass without touching any test code.
+ */
+ExecMode defaultExecMode();
+
+} // namespace tarch::core
+
+#endif // TARCH_CORE_EXEC_MODE_H

@@ -1,0 +1,707 @@
+/**
+ * @file
+ * The predecoded fast path: block builder, per-opcode handlers, and the
+ * block executor Core::stepBlock (docs/FASTPATH.md).
+ *
+ * BIT-IDENTITY CONTRACT: every handler body below mirrors the matching
+ * case of Core::step() in core.cc — same state writes, same emit()
+ * sites, same timing calls, in the same order.  Any change to a step()
+ * case must be replayed here; tests/test_fastpath.cc and the fuzz
+ * oracle's exec-mode axis enforce the contract over all 26 CoreStats
+ * counters and the final architectural state.
+ */
+
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "common/log.h"
+#include "core/core.h"
+
+namespace tarch::core {
+
+using isa::Instr;
+using isa::Opcode;
+
+namespace {
+
+// Mirrors of the helpers in core.cc's anonymous namespace.
+
+double
+asDouble(uint64_t bits)
+{
+    double d;
+    std::memcpy(&d, &bits, 8);
+    return d;
+}
+
+uint64_t
+asBits(double d)
+{
+    if (d != d)
+        return 0x7FF8000000000000ULL;
+    uint64_t bits;
+    std::memcpy(&bits, &d, 8);
+    return bits;
+}
+
+int64_t
+sext32(uint64_t v)
+{
+    return static_cast<int64_t>(static_cast<int32_t>(v));
+}
+
+constexpr typed::RuleOp
+ruleOpFor(Opcode op)
+{
+    switch (op) {
+      case Opcode::XADD: return typed::RuleOp::Add;
+      case Opcode::XSUB: return typed::RuleOp::Sub;
+      case Opcode::XMUL: return typed::RuleOp::Mul;
+      default: return typed::RuleOp::Chk;
+    }
+}
+
+/** True for opcodes that end a straight-line decoded run: control flow,
+    type checks that can redirect, typed-config writes, and services. */
+constexpr bool
+endsBlock(Opcode op)
+{
+    switch (op) {
+      case Opcode::BEQ:
+      case Opcode::BNE:
+      case Opcode::BLT:
+      case Opcode::BGE:
+      case Opcode::BLTU:
+      case Opcode::BGEU:
+      case Opcode::JAL:
+      case Opcode::JALR:
+      case Opcode::XADD:
+      case Opcode::XSUB:
+      case Opcode::XMUL:
+      case Opcode::TCHK:
+      case Opcode::THDL:
+      case Opcode::CHKLB:
+      case Opcode::CHKLH:
+      case Opcode::CHKLD:
+      case Opcode::SETOFFSET:
+      case Opcode::SETMASK:
+      case Opcode::SETSHIFT:
+      case Opcode::SET_TRT:
+      case Opcode::FLUSH_TRT:
+      case Opcode::SYS:
+      case Opcode::HCALL:
+      case Opcode::HALT:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+/** Friend of Core: the per-opcode handler bodies. */
+struct FastPathExec {
+    template <Opcode OP>
+    static void
+    exec(Core &c, const fastpath::DecodedInstr &r, uint64_t &next_pc)
+    {
+        const Instr &instr = r.instr;
+        [[maybe_unused]] const uint64_t a = c.regs_.gpr(instr.rs1).v;
+        [[maybe_unused]] const uint64_t b = c.regs_.gpr(instr.rs2).v;
+        [[maybe_unused]] const int64_t sa = static_cast<int64_t>(a);
+        [[maybe_unused]] const int64_t sb = static_cast<int64_t>(b);
+
+        if constexpr (OP == Opcode::ADD) {
+            c.regs_.writeGpr(instr.rd, a + b);
+        } else if constexpr (OP == Opcode::SUB) {
+            c.regs_.writeGpr(instr.rd, a - b);
+        } else if constexpr (OP == Opcode::MUL) {
+            c.regs_.writeGpr(instr.rd, a * b);
+        } else if constexpr (OP == Opcode::MULH) {
+            c.regs_.writeGpr(instr.rd,
+                             static_cast<uint64_t>(
+                                 (static_cast<__int128>(sa) * sb) >> 64));
+        } else if constexpr (OP == Opcode::DIV) {
+            c.regs_.writeGpr(instr.rd,
+                             b == 0 ? ~0ULL
+                             : (sa == INT64_MIN && sb == -1)
+                                 ? static_cast<uint64_t>(INT64_MIN)
+                                 : static_cast<uint64_t>(sa / sb));
+        } else if constexpr (OP == Opcode::DIVU) {
+            c.regs_.writeGpr(instr.rd, b == 0 ? ~0ULL : a / b);
+        } else if constexpr (OP == Opcode::REM) {
+            c.regs_.writeGpr(instr.rd,
+                             b == 0 ? a
+                             : (sa == INT64_MIN && sb == -1)
+                                 ? 0
+                                 : static_cast<uint64_t>(sa % sb));
+        } else if constexpr (OP == Opcode::REMU) {
+            c.regs_.writeGpr(instr.rd, b == 0 ? a : a % b);
+        } else if constexpr (OP == Opcode::AND) {
+            c.regs_.writeGpr(instr.rd, a & b);
+        } else if constexpr (OP == Opcode::OR) {
+            c.regs_.writeGpr(instr.rd, a | b);
+        } else if constexpr (OP == Opcode::XOR) {
+            c.regs_.writeGpr(instr.rd, a ^ b);
+        } else if constexpr (OP == Opcode::SLL) {
+            c.regs_.writeGpr(instr.rd, a << (b & 63));
+        } else if constexpr (OP == Opcode::SRL) {
+            c.regs_.writeGpr(instr.rd, a >> (b & 63));
+        } else if constexpr (OP == Opcode::SRA) {
+            c.regs_.writeGpr(instr.rd,
+                             static_cast<uint64_t>(sa >> (b & 63)));
+        } else if constexpr (OP == Opcode::SLT) {
+            c.regs_.writeGpr(instr.rd, sa < sb ? 1 : 0);
+        } else if constexpr (OP == Opcode::SLTU) {
+            c.regs_.writeGpr(instr.rd, a < b ? 1 : 0);
+        } else if constexpr (OP == Opcode::ADDW) {
+            c.regs_.writeGpr(instr.rd,
+                             static_cast<uint64_t>(sext32(a + b)));
+        } else if constexpr (OP == Opcode::SUBW) {
+            c.regs_.writeGpr(instr.rd,
+                             static_cast<uint64_t>(sext32(a - b)));
+        } else if constexpr (OP == Opcode::MULW) {
+            c.regs_.writeGpr(instr.rd,
+                             static_cast<uint64_t>(sext32(a * b)));
+        } else if constexpr (OP == Opcode::DIVW) {
+            const int32_t x = static_cast<int32_t>(a);
+            const int32_t y = static_cast<int32_t>(b);
+            int32_t q;
+            if (y == 0)
+                q = -1;
+            else if (x == INT32_MIN && y == -1)
+                q = INT32_MIN;
+            else
+                q = x / y;
+            c.regs_.writeGpr(
+                instr.rd, static_cast<uint64_t>(static_cast<int64_t>(q)));
+        } else if constexpr (OP == Opcode::REMW) {
+            const int32_t x = static_cast<int32_t>(a);
+            const int32_t y = static_cast<int32_t>(b);
+            int32_t rem;
+            if (y == 0)
+                rem = x;
+            else if (x == INT32_MIN && y == -1)
+                rem = 0;
+            else
+                rem = x % y;
+            c.regs_.writeGpr(
+                instr.rd,
+                static_cast<uint64_t>(static_cast<int64_t>(rem)));
+        } else if constexpr (OP == Opcode::ADDI) {
+            c.regs_.writeGpr(instr.rd,
+                             a + static_cast<uint64_t>(instr.imm));
+        } else if constexpr (OP == Opcode::ANDI) {
+            c.regs_.writeGpr(instr.rd,
+                             a & static_cast<uint64_t>(instr.imm));
+        } else if constexpr (OP == Opcode::ORI) {
+            c.regs_.writeGpr(instr.rd,
+                             a | static_cast<uint64_t>(instr.imm));
+        } else if constexpr (OP == Opcode::XORI) {
+            c.regs_.writeGpr(instr.rd,
+                             a ^ static_cast<uint64_t>(instr.imm));
+        } else if constexpr (OP == Opcode::SLLI) {
+            c.regs_.writeGpr(instr.rd, a << (instr.imm & 63));
+        } else if constexpr (OP == Opcode::SRLI) {
+            c.regs_.writeGpr(instr.rd, a >> (instr.imm & 63));
+        } else if constexpr (OP == Opcode::SRAI) {
+            c.regs_.writeGpr(instr.rd,
+                             static_cast<uint64_t>(sa >> (instr.imm & 63)));
+        } else if constexpr (OP == Opcode::SLTI) {
+            c.regs_.writeGpr(instr.rd, sa < instr.imm ? 1 : 0);
+        } else if constexpr (OP == Opcode::SLTIU) {
+            c.regs_.writeGpr(
+                instr.rd, a < static_cast<uint64_t>(instr.imm) ? 1 : 0);
+        } else if constexpr (OP == Opcode::ADDIW) {
+            c.regs_.writeGpr(
+                instr.rd,
+                static_cast<uint64_t>(
+                    sext32(a + static_cast<uint64_t>(instr.imm))));
+        } else if constexpr (OP == Opcode::SLLIW) {
+            c.regs_.writeGpr(
+                instr.rd,
+                static_cast<uint64_t>(sext32(a << (instr.imm & 31))));
+        } else if constexpr (OP == Opcode::SRLIW) {
+            c.regs_.writeGpr(
+                instr.rd,
+                static_cast<uint64_t>(sext32(static_cast<uint32_t>(a) >>
+                                             (instr.imm & 31))));
+        } else if constexpr (OP == Opcode::SRAIW) {
+            c.regs_.writeGpr(
+                instr.rd,
+                static_cast<uint64_t>(static_cast<int64_t>(
+                    static_cast<int32_t>(a) >> (instr.imm & 31))));
+        } else if constexpr (OP == Opcode::LUI) {
+            c.regs_.writeGpr(instr.rd,
+                             static_cast<uint64_t>(instr.imm << 12));
+        } else if constexpr (OP == Opcode::AUIPC) {
+            c.regs_.writeGpr(
+                instr.rd, c.pc_ + static_cast<uint64_t>(instr.imm << 12));
+        } else if constexpr (OP == Opcode::LB || OP == Opcode::LBU ||
+                             OP == Opcode::LH || OP == Opcode::LHU ||
+                             OP == Opcode::LW || OP == Opcode::LWU ||
+                             OP == Opcode::LD || OP == Opcode::FLD) {
+            const uint64_t addr = a + static_cast<uint64_t>(instr.imm);
+            c.timing_.memStall(c.dataAccessFast(addr, false));
+            ++c.loads_;
+            uint64_t value = 0;
+            if constexpr (OP == Opcode::LB)
+                value = static_cast<uint64_t>(static_cast<int64_t>(
+                    static_cast<int8_t>(c.memory_.read8(addr))));
+            else if constexpr (OP == Opcode::LBU)
+                value = c.memory_.read8(addr);
+            else if constexpr (OP == Opcode::LH)
+                value = static_cast<uint64_t>(static_cast<int64_t>(
+                    static_cast<int16_t>(c.memory_.read16(addr))));
+            else if constexpr (OP == Opcode::LHU)
+                value = c.memory_.read16(addr);
+            else if constexpr (OP == Opcode::LW)
+                value = static_cast<uint64_t>(static_cast<int64_t>(
+                    static_cast<int32_t>(c.memory_.read32(addr))));
+            else if constexpr (OP == Opcode::LWU)
+                value = c.memory_.read32(addr);
+            else
+                value = c.memory_.read64(addr);
+            if constexpr (OP == Opcode::FLD)
+                c.regs_.writeFpr(instr.rd, value);
+            else
+                c.regs_.writeGpr(instr.rd, value);
+        } else if constexpr (OP == Opcode::SB || OP == Opcode::SH ||
+                             OP == Opcode::SW || OP == Opcode::SD ||
+                             OP == Opcode::FSD) {
+            const uint64_t addr = a + static_cast<uint64_t>(instr.imm);
+            c.timing_.memStall(c.dataAccessFast(addr, true));
+            ++c.stores_;
+            const uint64_t value =
+                OP == Opcode::FSD ? c.regs_.fpr(instr.rs2) : b;
+            if constexpr (OP == Opcode::SB) {
+                c.memory_.write8(addr, static_cast<uint8_t>(value));
+                c.noteStore(addr, 1);
+            } else if constexpr (OP == Opcode::SH) {
+                c.memory_.write16(addr, static_cast<uint16_t>(value));
+                c.noteStore(addr, 2);
+            } else if constexpr (OP == Opcode::SW) {
+                c.memory_.write32(addr, static_cast<uint32_t>(value));
+                c.noteStore(addr, 4);
+            } else {
+                c.memory_.write64(addr, value);
+                c.noteStore(addr, 8);
+            }
+        } else if constexpr (OP == Opcode::BEQ || OP == Opcode::BNE ||
+                             OP == Opcode::BLT || OP == Opcode::BGE ||
+                             OP == Opcode::BLTU || OP == Opcode::BGEU) {
+            bool taken = false;
+            if constexpr (OP == Opcode::BEQ)
+                taken = a == b;
+            else if constexpr (OP == Opcode::BNE)
+                taken = a != b;
+            else if constexpr (OP == Opcode::BLT)
+                taken = sa < sb;
+            else if constexpr (OP == Opcode::BGE)
+                taken = sa >= sb;
+            else if constexpr (OP == Opcode::BLTU)
+                taken = a < b;
+            else
+                taken = a >= b;
+            const uint64_t target = c.pc_ + static_cast<uint64_t>(instr.imm);
+            if (taken)
+                next_pc = target;
+            const bool mispredict =
+                c.branchUnit_.condBranch(c.pc_, taken, target);
+            if (mispredict)
+                c.timing_.redirect();
+            c.emit(obs::EventKind::Branch, c.pc_, taken ? 1 : 0,
+                   mispredict ? 1 : 0);
+        } else if constexpr (OP == Opcode::JAL) {
+            const uint64_t target = c.pc_ + static_cast<uint64_t>(instr.imm);
+            c.regs_.writeGpr(instr.rd, c.pc_ + 4);
+            next_pc = target;
+            const bool mispredict = c.branchUnit_.directJump(
+                c.pc_, target, instr.rd == isa::reg::ra, c.pc_ + 4);
+            if (mispredict)
+                c.timing_.redirect();
+            c.emit(obs::EventKind::Jump, c.pc_, 0, mispredict ? 1 : 0);
+        } else if constexpr (OP == Opcode::JALR) {
+            const uint64_t target =
+                (a + static_cast<uint64_t>(instr.imm)) & ~1ULL;
+            const bool is_ret = instr.rd == 0 && instr.rs1 == isa::reg::ra;
+            const bool is_call = instr.rd == isa::reg::ra;
+            c.regs_.writeGpr(instr.rd, c.pc_ + 4);
+            next_pc = target;
+            const bool mispredict = c.branchUnit_.indirectJump(
+                c.pc_, target, is_call, is_ret, c.pc_ + 4);
+            if (mispredict)
+                c.timing_.redirect();
+            c.emit(obs::EventKind::Jump, c.pc_, 1, mispredict ? 1 : 0);
+        } else if constexpr (OP == Opcode::FADD_D || OP == Opcode::FSUB_D ||
+                             OP == Opcode::FMUL_D || OP == Opcode::FDIV_D ||
+                             OP == Opcode::FSQRT_D ||
+                             OP == Opcode::FSGNJ_D ||
+                             OP == Opcode::FSGNJN_D ||
+                             OP == Opcode::FSGNJX_D ||
+                             OP == Opcode::FEQ_D || OP == Opcode::FLT_D ||
+                             OP == Opcode::FLE_D ||
+                             OP == Opcode::FCVT_D_L ||
+                             OP == Opcode::FCVT_L_D ||
+                             OP == Opcode::FMV_X_D ||
+                             OP == Opcode::FMV_D_X) {
+            c.execFp(instr);
+        } else if constexpr (OP == Opcode::TLD) {
+            const uint64_t addr = a + static_cast<uint64_t>(instr.imm);
+            const int off = c.typedState_.tagConfig.tagDwordOffset();
+            unsigned extra = c.dataAccessFast(addr, false);
+            if (off != 0 && (addr + off) / c.dcache_.blockBytes() !=
+                                addr / c.dcache_.blockBytes())
+                extra += c.dataAccessFast(addr + off, false);
+            c.timing_.memStall(extra);
+            ++c.loads_;
+            const uint64_t value_dword = c.memory_.read64(addr);
+            const uint64_t tag_dword =
+                off != 0 ? c.memory_.read64(addr + off) : value_dword;
+            const typed::ExtractedTag e = typed::TagCodec::extract(
+                c.typedState_.tagConfig, value_dword, tag_dword);
+            c.regs_.writeGprTagged(instr.rd, e.value, e.tag, e.fp);
+        } else if constexpr (OP == Opcode::TSD) {
+            const uint64_t addr = a + static_cast<uint64_t>(instr.imm);
+            const TaggedReg &srcreg = c.regs_.gpr(instr.rs2);
+            const typed::InsertedTag ins = typed::TagCodec::insert(
+                c.typedState_.tagConfig, srcreg.v, srcreg.t, srcreg.f);
+            const int off = c.typedState_.tagConfig.tagDwordOffset();
+            unsigned extra = c.dataAccessFast(addr, true);
+            if (ins.writesTagDword &&
+                (addr + off) / c.dcache_.blockBytes() !=
+                    addr / c.dcache_.blockBytes())
+                extra += c.dataAccessFast(addr + off, true);
+            c.timing_.memStall(extra);
+            ++c.stores_;
+            c.memory_.write64(addr, ins.valueDword);
+            c.noteStore(addr, 8);
+            if (ins.writesTagDword) {
+                c.memory_.write64(addr + off, ins.tagDword);
+                c.noteStore(addr + off, 8);
+            }
+        } else if constexpr (OP == Opcode::XADD || OP == Opcode::XSUB ||
+                             OP == Opcode::XMUL) {
+            const TaggedReg &rb = c.regs_.gpr(instr.rs1);
+            const TaggedReg &rc = c.regs_.gpr(instr.rs2);
+            const auto out = c.trt_.lookup(ruleOpFor(OP), rb.t, rc.t);
+            if (!out) {
+                c.emit(obs::EventKind::TrtMiss, c.pc_, rb.t, rc.t);
+                c.typeMissRedirect(next_pc);
+                return;
+            }
+            c.emit(obs::EventKind::TrtHit, c.pc_, rb.t, rc.t);
+            c.deoptHit();
+            const uint8_t tag = *out;
+            const bool fp = (tag & 0x80) != 0;
+            if (fp) {
+                const double x = asDouble(rb.v);
+                const double y = asDouble(rc.v);
+                double result;
+                if constexpr (OP == Opcode::XADD)
+                    result = x + y;
+                else if constexpr (OP == Opcode::XSUB)
+                    result = x - y;
+                else
+                    result = x * y;
+                c.regs_.writeGprTagged(instr.rd, asBits(result), tag, true);
+            } else if (c.config_.overflowMode == OverflowMode::Int32) {
+                const int64_t x = sext32(rb.v);
+                const int64_t y = sext32(rc.v);
+                int64_t result;
+                if constexpr (OP == Opcode::XADD)
+                    result = x + y;
+                else if constexpr (OP == Opcode::XSUB)
+                    result = x - y;
+                else
+                    result = x * y;
+                if (result != sext32(static_cast<uint64_t>(result))) {
+                    ++c.typeOverflowMisses_;
+                    c.emit(obs::EventKind::TypeOverflow, c.pc_, rb.t, rc.t);
+                    c.typeMissRedirect(next_pc);
+                    return;
+                }
+                c.regs_.writeGprTagged(
+                    instr.rd, static_cast<uint32_t>(result), tag, false);
+            } else {
+                int64_t result;
+                if constexpr (OP == Opcode::XADD)
+                    result = sa + sb;
+                else if constexpr (OP == Opcode::XSUB)
+                    result = sa - sb;
+                else
+                    result = sa * sb;
+                c.regs_.writeGprTagged(
+                    instr.rd, static_cast<uint64_t>(result), tag, false);
+            }
+        } else if constexpr (OP == Opcode::SETOFFSET) {
+            c.typedState_.tagConfig.offset = static_cast<uint8_t>(a & 0b111);
+            c.noteTypedConfigWrite();
+        } else if constexpr (OP == Opcode::SETMASK) {
+            c.typedState_.tagConfig.mask = static_cast<uint8_t>(a & 0xFF);
+            c.noteTypedConfigWrite();
+        } else if constexpr (OP == Opcode::SETSHIFT) {
+            c.typedState_.tagConfig.shift = static_cast<uint8_t>(a & 0x3F);
+            c.noteTypedConfigWrite();
+        } else if constexpr (OP == Opcode::SET_TRT) {
+            c.trt_.pushEncoded(static_cast<uint32_t>(a));
+            c.noteTypedConfigWrite();
+        } else if constexpr (OP == Opcode::FLUSH_TRT) {
+            c.trt_.flush();
+            c.noteTypedConfigWrite();
+        } else if constexpr (OP == Opcode::THDL) {
+            c.typedState_.rhdl = c.pc_ + static_cast<uint64_t>(instr.imm);
+            c.deoptSelect(next_pc);
+        } else if constexpr (OP == Opcode::TCHK) {
+            const TaggedReg &rb = c.regs_.gpr(instr.rs1);
+            const TaggedReg &rc = c.regs_.gpr(instr.rs2);
+            if (!c.trt_.lookup(typed::RuleOp::Chk, rb.t, rc.t)) {
+                c.emit(obs::EventKind::TrtMiss, c.pc_, rb.t, rc.t);
+                c.typeMissRedirect(next_pc);
+            } else {
+                c.emit(obs::EventKind::TrtHit, c.pc_, rb.t, rc.t);
+                c.deoptHit();
+            }
+        } else if constexpr (OP == Opcode::TGET) {
+            c.regs_.writeGpr(instr.rd, c.regs_.gpr(instr.rs1).t);
+        } else if constexpr (OP == Opcode::TSET) {
+            const uint8_t tag = static_cast<uint8_t>(a & 0xFF);
+            c.regs_.writeGprTag(instr.rd, tag, (tag & 0x80) != 0);
+        } else if constexpr (OP == Opcode::SETTYPE) {
+            c.typedState_.chklbExpectedType =
+                static_cast<uint16_t>(a & 0xFFFF);
+        } else if constexpr (OP == Opcode::CHKLD) {
+            const uint64_t addr = a + static_cast<uint64_t>(instr.imm);
+            c.timing_.memStall(c.dataAccessFast(addr, false));
+            ++c.loads_;
+            ++c.chklbChecks_;
+            const uint64_t value = c.memory_.read64(addr);
+            c.regs_.writeGpr(instr.rd, value);
+            if (static_cast<uint16_t>(value >> 48) !=
+                c.typedState_.chklbExpectedType) {
+                ++c.chklbMisses_;
+                c.emit(obs::EventKind::ChklbMiss, c.pc_,
+                       static_cast<uint16_t>(value >> 48),
+                       c.typedState_.chklbExpectedType);
+                next_pc = c.typedState_.rhdl;
+                c.timing_.redirect();
+            }
+        } else if constexpr (OP == Opcode::CHKLB || OP == Opcode::CHKLH) {
+            const uint64_t addr = a + static_cast<uint64_t>(instr.imm);
+            c.timing_.memStall(c.dataAccessFast(addr, false));
+            ++c.loads_;
+            ++c.chklbChecks_;
+            constexpr bool half = OP == Opcode::CHKLH;
+            const uint16_t tag =
+                half ? c.memory_.read16(addr) : c.memory_.read8(addr);
+            const uint16_t expected =
+                half ? c.typedState_.chklbExpectedType
+                     : static_cast<uint16_t>(
+                           c.typedState_.chklbExpectedType & 0xFF);
+            c.regs_.writeGpr(instr.rd, tag);
+            if (tag != expected) {
+                ++c.chklbMisses_;
+                c.emit(obs::EventKind::ChklbMiss, c.pc_, tag, expected);
+                next_pc = c.typedState_.rhdl;
+                c.timing_.redirect();
+            }
+        } else if constexpr (OP == Opcode::SYS || OP == Opcode::HCALL) {
+            c.execSys(instr, next_pc);
+        } else if constexpr (OP == Opcode::HALT) {
+            c.doHalt(0);
+        } else {
+            tarch_panic("fastpath: invalid opcode");
+        }
+    }
+
+    static const std::array<fastpath::Handler, isa::kNumOpcodes> &table();
+};
+
+namespace {
+
+template <size_t... I>
+constexpr std::array<fastpath::Handler, sizeof...(I)>
+makeTable(std::index_sequence<I...>)
+{
+    return {&FastPathExec::exec<static_cast<Opcode>(I)>...};
+}
+
+} // namespace
+
+const std::array<fastpath::Handler, isa::kNumOpcodes> &
+FastPathExec::table()
+{
+    static const auto handlers =
+        makeTable(std::make_index_sequence<isa::kNumOpcodes>{});
+    return handlers;
+}
+
+const fastpath::DecodedBlock *
+Core::buildBlock(size_t entry_idx)
+{
+    auto block = std::make_unique<fastpath::DecodedBlock>();
+    block->entryPc = textBase_ + 4 * entry_idx;
+    const unsigned cap = blockCache_.config().maxBlockInstrs;
+    block->instrs.reserve(8);
+    // Fetch-repeat batching requires the memo shortcuts to be exact:
+    // the I-cache memo compares shifted block numbers (geometry must be
+    // a power of two) and the I-TLB memo must be enabled at all.
+    auto is_pow2 = [](uint64_t v) { return v != 0 && (v & (v - 1)) == 0; };
+    const bool can_batch =
+        is_pow2(config_.icache.blockBytes) && itlb_.repeatMemoActive();
+    const uint64_t ic_block = config_.icache.blockBytes;
+    const uint64_t it_page = config_.itlb.pageBytes;
+    for (size_t idx = entry_idx;
+         block->instrs.size() < cap && idx < text_.size(); ++idx) {
+        const Instr &instr = text_[idx];
+        if (instr.op == Opcode::NumOpcodes)
+            break;  // undecodable word: the exact path fatals there
+        fastpath::DecodedInstr rec;
+        rec.instr = instr;
+        rec.pc = textBase_ + 4 * idx;
+        rec.marker = markerByIndex_[idx];
+        if (can_batch && !block->instrs.empty()) {
+            const uint64_t prev_pc = block->instrs.back().pc;
+            rec.fetchRepeat = rec.pc / ic_block == prev_pc / ic_block &&
+                              rec.pc / it_page == prev_pc / it_page;
+        }
+        rec.fn = FastPathExec::table()[static_cast<size_t>(instr.op)];
+        const isa::OpcodeInfo &info = isa::opcodeInfo(instr.op);
+        // Mirror of step()'s operand-hazard syntax switch (register
+        // ids pre-adjusted: GPR 0-31, FPR 32-63; 0 = none, which is
+        // exact because x0 never stalls).
+        switch (info.syntax) {
+          case isa::Syntax::R3:
+          case isa::Syntax::Rs1Rs2:
+          case isa::Syntax::Branch:
+            rec.src1 = info.fpRs1 ? instr.rs1 + 32U : instr.rs1;
+            rec.src2 = info.fpRs2 ? instr.rs2 + 32U : instr.rs2;
+            break;
+          case isa::Syntax::R2:
+          case isa::Syntax::Rs1:
+          case isa::Syntax::RegRegImm:
+          case isa::Syntax::Load:
+            rec.src1 = info.fpRs1 ? instr.rs1 + 32U : instr.rs1;
+            break;
+          case isa::Syntax::Store:
+            rec.src1 = instr.rs1;
+            rec.src2 = info.fpRs2 ? instr.rs2 + 32U : instr.rs2;
+            break;
+          default:
+            break;
+        }
+        // Mirror of step()'s destination-ready switch.
+        switch (info.syntax) {
+          case isa::Syntax::R3:
+          case isa::Syntax::R2:
+          case isa::Syntax::RegRegImm:
+          case isa::Syntax::Load:
+          case isa::Syntax::UImm:
+          case isa::Syntax::Jal:
+            rec.dst = info.fpRd ? instr.rd + 32U : instr.rd;
+            rec.dstLat =
+                static_cast<uint16_t>(timing_.latencyFor(info.execClass));
+            break;
+          default:
+            break;
+        }
+        block->instrs.push_back(rec);
+        if (endsBlock(instr.op))
+            break;
+    }
+    if (block->instrs.empty())
+        return nullptr;
+    ++fastStats_.blockBuilds;
+    const fastpath::DecodedBlock *ptr = block.get();
+    if (blockCache_.insert(entry_idx, std::move(block)))
+        ++fastStats_.capacityFlushes;
+    return ptr;
+}
+
+bool
+Core::stepBlock()
+{
+    if (halted_)
+        return false;
+    if (fastFlushPending_) {
+        blockCache_.flush();
+        fastFlushPending_ = false;
+    }
+    if (pc_ < textBase_ || pc_ >= textEnd_ || (pc_ & 3) != 0)
+        return step();  // out-of-text: identical fatal diagnostics
+    const size_t idx = (pc_ - textBase_) / 4;
+    const fastpath::DecodedBlock *blk = blockCache_.at(idx);
+    if (blk) {
+        ++fastStats_.blockHits;
+    } else {
+        blk = buildBlock(idx);
+        if (!blk)
+            return step();  // undecodable entry word: identical fatal
+    }
+    if (instructions_ + blk->instrs.size() > config_.maxInstructions)
+        return step();  // let the exact guard trip at its precise pc
+    const bool instrumented = bus_.active();
+    // Repeat-fetch bookkeeping is accumulated in a register and flushed
+    // at every fetch-run boundary, so within the I-cache and I-TLB all
+    // updates still land in program order (LRU state stays
+    // bit-identical).  The destructor flushes on every exit path —
+    // including a FatalError unwind from a handler — so crash-state
+    // stats match the exact engine too.
+    struct FetchBatch {
+        Core &c;
+        unsigned pending = 0;
+        explicit FetchBatch(Core &core) : c(core) {}
+        ~FetchBatch() { flush(); }
+        void
+        flush()
+        {
+            if (pending) {
+                c.itlb_.repeatBump(pending);
+                c.icache_.repeatBump(pending);
+                pending = 0;
+            }
+        }
+    } batch(*this);
+    for (const fastpath::DecodedInstr &r : blk->instrs) {
+        // One decoded record == one step() iteration, same order:
+        // fetch, marker, trace, hazards, body, dest-ready, retire.
+        pc_ = r.pc;
+        unsigned fetch_stall;
+        if (instrumented) {
+            fetch_stall = fetchStall(r.pc);
+        } else if (r.fetchRepeat) {
+            // Proven same-block, same-page fetch: guaranteed hit.
+            ++batch.pending;
+            fetch_stall = 0;
+        } else {
+            batch.flush();
+            fetch_stall = fetchStallFast(r.pc);
+        }
+        timing_.startInstr(fetch_stall);
+        if (r.marker >= 0) {
+            currentRegion_ = r.marker;
+            markers_.bump(static_cast<size_t>(currentRegion_));
+            if (instrumented)
+                emit(obs::EventKind::MarkerEnter, r.pc, currentRegion_);
+        }
+        if (currentRegion_ >= 0)
+            markers_.bumpRegion(static_cast<size_t>(currentRegion_));
+        if (tracer_)
+            tracer_->record(r.pc, r.instr, instructions_);
+        ++instructions_;
+        timing_.useSrcs(r.src1, r.src2);
+        uint64_t next_pc = r.pc + 4;
+        r.fn(*this, r, next_pc);
+        timing_.setRegReady(r.dst, r.dstLat);
+        if (instrumented)
+            emit(obs::EventKind::Retire, r.pc, currentRegion_);
+        pc_ = next_pc;
+        if (fastFlushPending_)
+            break;  // a store hit text mid-block: successors are stale
+    }
+    return !halted_;
+}
+
+} // namespace tarch::core

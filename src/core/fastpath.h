@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Predecoded basic-block cache for the fast-path core (docs/FASTPATH.md).
+ *
+ * A DecodedBlock is a straight-line run of instructions starting at an
+ * entry PC and ending at the first control-flow or type-check boundary
+ * (branch/jump, polymorphic ALU, tchk/thdl/chklb, typed-config write,
+ * sys/hcall/halt).  Each record pre-resolves everything the per-cycle
+ * model would otherwise recompute every fetch: the handler function
+ * pointer, the hazard source registers, the destination register with
+ * its producing latency, and the marker id.
+ *
+ * The cache is indexed by text index (entry PC), invalidated as a whole
+ * on stores into the text segment and on typed-config/TRT
+ * reconfiguration, and flushed when it exceeds its block budget.  The
+ * executor (Core::stepBlock in fastpath.cc) replays timing, branch
+ * prediction, cache/TLB accesses, probe-bus events and deopt behaviour
+ * from these records — it must stay bit-identical to Core::step().
+ */
+
+#ifndef TARCH_CORE_FASTPATH_H
+#define TARCH_CORE_FASTPATH_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "isa/instr.h"
+
+namespace tarch::core {
+
+class Core;
+
+namespace fastpath {
+
+struct DecodedInstr;
+
+/** Pre-resolved dispatch target: executes the opcode body only (the
+    shared per-instruction bookkeeping lives in the block executor). */
+using Handler = void (*)(Core &core, const DecodedInstr &rec,
+                         uint64_t &next_pc);
+
+/** One fully-decoded instruction record. */
+struct DecodedInstr {
+    isa::Instr instr;
+    Handler fn = nullptr;
+    uint64_t pc = 0;
+    int32_t marker = -1;   ///< markerByIndex_ entry (-1 = none)
+    uint16_t dstLat = 0;   ///< producing latency for dst
+    uint8_t src1 = 0;      ///< hazard source (GPR 0-31, FPR 32-63); 0 = none
+    uint8_t src2 = 0;      ///< (x0 never stalls, so 0 is a safe sentinel)
+    uint8_t dst = 0;       ///< destination register; 0 = none
+
+    /**
+     * Set when this pc shares BOTH the I-cache block and the I-TLB page
+     * with the previous record of the block (decided once at build
+     * time).  The executor then skips the fetch lookup entirely and
+     * batches the repeat-hit bookkeeping (Cache/Tlb::repeatBump),
+     * flushing at run boundaries — valid because only fetches advance
+     * the I-side structures and a block executes its records in order
+     * from the entry, so the fetch memo still points at this line/page.
+     * Bit-identical: a same-block fetch is a guaranteed hit with zero
+     * extra stall.
+     */
+    uint8_t fetchRepeat = 0;
+};
+
+/** A straight-line run of decoded records ending at a boundary. */
+struct DecodedBlock {
+    uint64_t entryPc = 0;
+    std::vector<DecodedInstr> instrs;
+};
+
+struct FastPathConfig {
+    unsigned maxBlocks = 4096;     ///< whole-cache flush beyond this
+    unsigned maxBlockInstrs = 64;  ///< straight-line run cap
+};
+
+/** Block-cache observability (NOT part of the 26 CoreStats counters —
+    the fast path must not change those). */
+struct FastPathStats {
+    uint64_t blockBuilds = 0;
+    uint64_t blockHits = 0;
+    uint64_t storeInvalidations = 0;   ///< stores that overlapped text
+    uint64_t configInvalidations = 0;  ///< typed-config/TRT writes
+    uint64_t capacityFlushes = 0;
+};
+
+/** Entry-PC-indexed block store (slot per text index). */
+class BlockCache
+{
+  public:
+    explicit BlockCache(const FastPathConfig &config = {})
+        : config_(config)
+    {
+    }
+
+    /** Size the index for a freshly loaded text segment. */
+    void
+    reset(size_t text_len)
+    {
+        blocks_.clear();
+        blocks_.resize(text_len);
+        count_ = 0;
+    }
+
+    const DecodedBlock *
+    at(size_t idx) const
+    {
+        return blocks_[idx].get();
+    }
+
+    /**
+     * Store a block at @p idx.  When the budget is exhausted the whole
+     * cache is flushed first (deterministic capacity policy).
+     * @return whether the insert flushed the cache
+     */
+    bool
+    insert(size_t idx, std::unique_ptr<DecodedBlock> block)
+    {
+        bool flushed = false;
+        if (count_ >= config_.maxBlocks) {
+            flush();
+            flushed = true;
+        }
+        if (!blocks_[idx])
+            ++count_;
+        blocks_[idx] = std::move(block);
+        return flushed;
+    }
+
+    void
+    flush()
+    {
+        for (auto &slot : blocks_)
+            slot.reset();
+        count_ = 0;
+    }
+
+    size_t size() const { return count_; }
+    const FastPathConfig &config() const { return config_; }
+
+  private:
+    FastPathConfig config_;
+    std::vector<std::unique_ptr<DecodedBlock>> blocks_;
+    size_t count_ = 0;
+};
+
+} // namespace fastpath
+} // namespace tarch::core
+
+#endif // TARCH_CORE_FASTPATH_H

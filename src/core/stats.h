@@ -8,6 +8,7 @@
 #define TARCH_CORE_STATS_H
 
 #include <cstdint>
+#include <string>
 
 #include "branch/branch_unit.h"
 #include "mem/cache.h"
@@ -71,6 +72,58 @@ struct CoreStats {
                                  static_cast<double>(cycles);
     }
 };
+
+/**
+ * Compare every one of the 26 counters; returns "" when bit-identical,
+ * else one "name: a != b" line per differing counter (newline-joined).
+ * This is the bit-identity contract checked between the exact and
+ * predecoded execution engines (docs/FASTPATH.md) by test_fastpath and
+ * the fuzz oracle's exec-mode axis.
+ */
+inline std::string
+describeStatsDiff(const CoreStats &a, const CoreStats &b)
+{
+    std::string diff;
+    const auto field = [&diff](const char *name, uint64_t x, uint64_t y) {
+        if (x == y)
+            return;
+        if (!diff.empty())
+            diff += '\n';
+        diff += name;
+        diff += ": " + std::to_string(x) + " != " + std::to_string(y);
+    };
+    field("instructions", a.instructions, b.instructions);
+    field("cycles", a.cycles, b.cycles);
+    field("loads", a.loads, b.loads);
+    field("stores", a.stores, b.stores);
+    field("branches.condBranches", a.branches.condBranches,
+          b.branches.condBranches);
+    field("branches.condMispredicts", a.branches.condMispredicts,
+          b.branches.condMispredicts);
+    field("branches.jumps", a.branches.jumps, b.branches.jumps);
+    field("branches.jumpMispredicts", a.branches.jumpMispredicts,
+          b.branches.jumpMispredicts);
+    field("icache.accesses", a.icache.accesses, b.icache.accesses);
+    field("icache.misses", a.icache.misses, b.icache.misses);
+    field("icache.writebacks", a.icache.writebacks, b.icache.writebacks);
+    field("dcache.accesses", a.dcache.accesses, b.dcache.accesses);
+    field("dcache.misses", a.dcache.misses, b.dcache.misses);
+    field("dcache.writebacks", a.dcache.writebacks, b.dcache.writebacks);
+    field("itlb.accesses", a.itlb.accesses, b.itlb.accesses);
+    field("itlb.misses", a.itlb.misses, b.itlb.misses);
+    field("dtlb.accesses", a.dtlb.accesses, b.dtlb.accesses);
+    field("dtlb.misses", a.dtlb.misses, b.dtlb.misses);
+    field("trt.lookups", a.trt.lookups, b.trt.lookups);
+    field("trt.hits", a.trt.hits, b.trt.hits);
+    field("typeOverflowMisses", a.typeOverflowMisses,
+          b.typeOverflowMisses);
+    field("chklbChecks", a.chklbChecks, b.chklbChecks);
+    field("chklbMisses", a.chklbMisses, b.chklbMisses);
+    field("deoptRedirects", a.deoptRedirects, b.deoptRedirects);
+    field("deoptProbes", a.deoptProbes, b.deoptProbes);
+    field("hostcalls", a.hostcalls, b.hostcalls);
+    return diff;
+}
 
 } // namespace tarch::core
 

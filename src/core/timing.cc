@@ -7,36 +7,6 @@ TimingModel::TimingModel(const TimingConfig &config)
 {
 }
 
-void
-TimingModel::startInstr(unsigned fetch_stall)
-{
-    issue_ += 1 + fetch_stall + pendingRedirect_;
-    pendingRedirect_ = 0;
-}
-
-void
-TimingModel::useReg(unsigned reg)
-{
-    if (reg == 0)
-        return;  // x0 is always ready
-    if (regReady_[reg] > issue_)
-        issue_ = regReady_[reg];
-}
-
-void
-TimingModel::memStall(unsigned extra)
-{
-    issue_ += extra;
-}
-
-void
-TimingModel::setRegReady(unsigned reg, unsigned latency)
-{
-    if (reg == 0)
-        return;
-    regReady_[reg] = issue_ + latency;
-}
-
 unsigned
 TimingModel::latencyFor(isa::ExecClass klass) const
 {
@@ -67,18 +37,6 @@ TimingModel::latencyFor(isa::ExecClass klass) const
         return config_.latFpSqrt;
     }
     return config_.latIntAlu;
-}
-
-void
-TimingModel::redirect()
-{
-    pendingRedirect_ += config_.redirectPenalty;
-}
-
-void
-TimingModel::flatCost(uint64_t cycles)
-{
-    issue_ += cycles;
 }
 
 } // namespace tarch::core

@@ -47,26 +47,67 @@ class TimingModel
   public:
     explicit TimingModel(const TimingConfig &config = {});
 
+    // The per-instruction mutators are inline: both execution engines
+    // call them for every retired instruction (the fast-path block
+    // executor several times per record), so they must not cost a
+    // cross-TU call each.
+
     /** Begin the next instruction; @p fetch_stall is extra fetch latency. */
-    void startInstr(unsigned fetch_stall);
+    void
+    startInstr(unsigned fetch_stall)
+    {
+        issue_ += 1 + fetch_stall + pendingRedirect_;
+        pendingRedirect_ = 0;
+    }
 
     /** Declare a source register (0-31 GPR, 32-63 FPR); stalls if needed. */
-    void useReg(unsigned reg);
+    void
+    useReg(unsigned reg)
+    {
+        if (reg == 0)
+            return;  // x0 is always ready
+        if (regReady_[reg] > issue_)
+            issue_ = regReady_[reg];
+    }
+
+    /**
+     * Hazard-check two source registers at once, branch-free (the block
+     * executor's pre-validated records use 0 for "no source").
+     * Bit-identical to useReg(s1); useReg(s2): max is associative,
+     * regReady_[0] is pinned at 0 (useReg/setRegReady skip reg 0) and
+     * issue_ is positive once any instruction has started, so a 0
+     * source can never raise issue_.
+     */
+    void
+    useSrcs(unsigned s1, unsigned s2)
+    {
+        const uint64_t r1 = regReady_[s1];
+        const uint64_t r2 = regReady_[s2];
+        const uint64_t limit = r1 > r2 ? r1 : r2;
+        if (limit > issue_)
+            issue_ = limit;
+    }
 
     /** Extra cycles from a blocking D-cache / D-TLB event. */
-    void memStall(unsigned extra);
+    void memStall(unsigned extra) { issue_ += extra; }
 
     /** Declare the destination register with the producing latency. */
-    void setRegReady(unsigned reg, unsigned latency);
+    void
+    setRegReady(unsigned reg, unsigned latency)
+    {
+        if (reg == 0)
+            return;
+        regReady_[reg] = issue_ + latency;
+    }
 
     /** Latency for an execution class (dest-ready delta from issue). */
     unsigned latencyFor(isa::ExecClass klass) const;
 
     /** Charge the redirect penalty to the next instruction. */
-    void redirect();
+    void redirect() { pendingRedirect_ += config_.redirectPenalty; }
 
     /** Charge a flat lump (host-call models). */
-    void flatCost(uint64_t cycles);
+    void flatCost(uint64_t cycles) { issue_ += cycles; }
 
     /** Cycles elapsed including the final drain. */
     uint64_t cycles() const { return issue_ + config_.drainCycles; }

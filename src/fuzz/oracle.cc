@@ -13,14 +13,19 @@ namespace tarch::fuzz {
 std::string
 RunConfig::name() const
 {
-    return strformat("%s/%s/deopt=%s",
-                     engine == Engine::Lua ? "MiniLua" : "MiniJS",
-                     std::string(vm::variantName(variant)).c_str(),
-                     deopt ? "on" : "off");
+    std::string name = strformat(
+        "%s/%s/deopt=%s", engine == Engine::Lua ? "MiniLua" : "MiniJS",
+        std::string(vm::variantName(variant)).c_str(),
+        deopt ? "on" : "off");
+    // Exact runs keep the historical 3-part name; only the fast-path
+    // twin is annotated.
+    if (execMode == core::ExecMode::Predecoded)
+        name += "/mode=predecoded";
+    return name;
 }
 
 std::vector<RunConfig>
-allRunConfigs()
+allRunConfigs(bool exec_mode_axis)
 {
     std::vector<RunConfig> configs;
     for (const RunConfig::Engine engine :
@@ -28,8 +33,15 @@ allRunConfigs()
         for (const vm::Variant variant :
              {vm::Variant::Baseline, vm::Variant::Typed,
               vm::Variant::CheckedLoad}) {
-            for (const bool deopt : {false, true})
-                configs.push_back({engine, variant, deopt});
+            for (const bool deopt : {false, true}) {
+                configs.push_back(
+                    {engine, variant, deopt, core::ExecMode::Exact});
+                // The predecoded twin runs right after its exact
+                // sibling; runOracle relies on the adjacency.
+                if (exec_mode_axis)
+                    configs.push_back({engine, variant, deopt,
+                                       core::ExecMode::Predecoded});
+            }
         }
     }
     return configs;
@@ -51,6 +63,9 @@ Divergence::describe() const
         return strformat("%s: crashed: %s", config.c_str(), detail.c_str());
       case Kind::StaticVerify:
         return strformat("%s: static verifier rejected the image:\n%s",
+                         config.c_str(), detail.c_str());
+      case Kind::ExecMode:
+        return strformat("%s: predecoded run differs from exact twin: %s",
                          config.c_str(), detail.c_str());
     }
     return "?";
@@ -175,6 +190,7 @@ runVm(const std::string &source, const RunConfig &config,
         vm_opts.coreConfig.deopt.enabled = config.deopt;
         vm_opts.coreConfig.deopt.probeInterval = opts.probeInterval;
         vm_opts.coreConfig.maxInstructions = opts.maxInstructions;
+        vm_opts.coreConfig.execMode = config.execMode;
         Vm vm(source, vm_opts);
         // Lint the assembled image before simulating it: a protocol
         // violation on a cold path is a bug even if this input never
@@ -215,6 +231,7 @@ runVmInstrumented(const std::string &source, const RunConfig &config,
         vm_opts.coreConfig.deopt.enabled = config.deopt;
         vm_opts.coreConfig.deopt.probeInterval = opts.probeInterval;
         vm_opts.coreConfig.maxInstructions = opts.maxInstructions;
+        vm_opts.coreConfig.execMode = config.execMode;
         Vm vm(source, vm_opts);
         if (opts.verifyImages) {
             const analysis::Report lint =
@@ -275,15 +292,46 @@ runOracle(const std::string &source, const OracleOptions &opts)
     // (kept by value: runs.push_back may reallocate).
     core::CoreStats baselineStats[2];
     bool haveBaseline[2] = {false, false};
-    result.runs.reserve(12);
+    result.runs.reserve(opts.execModeAxis ? 24 : 12);
+    size_t exactTwinIdx = 0; ///< index of the preceding exact run
 
-    for (const RunConfig &config : allRunConfigs()) {
+    for (RunConfig config : allRunConfigs(opts.execModeAxis)) {
+        if (!opts.execModeAxis)
+            config.execMode = opts.execMode;
         const RunRecord rec =
             config.engine == RunConfig::Engine::Lua
                 ? runVm<vm::lua::LuaVm>(source, config, opts)
                 : runVm<vm::js::JsVm>(source, config, opts);
         result.runs.push_back(rec);
         const RunRecord &r = result.runs.back();
+
+        // Bit-identity between the execution engines: the predecoded
+        // run must match the exact twin that immediately precedes it in
+        // allRunConfigs order — crash state, output, and all 26
+        // counters.
+        if (config.execMode == core::ExecMode::Exact) {
+            exactTwinIdx = result.runs.size() - 1;
+        } else {
+            const RunRecord &twin = result.runs[exactTwinIdx];
+            std::string diff;
+            if (r.crashed != twin.crashed || r.error != twin.error)
+                diff = strformat(
+                    "crash state differs (exact: %s, predecoded: %s)",
+                    twin.crashed ? twin.error.c_str() : "<ran>",
+                    r.crashed ? r.error.c_str() : "<ran>");
+            else if (r.output != twin.output)
+                diff = "guest output differs";
+            else
+                diff = core::describeStatsDiff(twin.stats, r.stats);
+            if (!diff.empty())
+                result.divergences.push_back({Divergence::Kind::ExecMode,
+                                              config.name(), diff, "",
+                                              ""});
+            // Either way the per-run checks are redundant: a
+            // bit-identical twin re-reports nothing new, a divergent
+            // one is already captured as ExecMode.
+            continue;
+        }
 
         if (!r.lintReport.empty()) {
             result.divergences.push_back({Divergence::Kind::StaticVerify,

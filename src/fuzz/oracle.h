@@ -24,6 +24,13 @@
  * static verifier (analysis/checks.h) before simulation; an
  * error-severity finding is a StaticVerify divergence.
  *
+ * With the exec-mode axis enabled (the default) every combination runs
+ * twice — once on the exact per-cycle core and once on the predecoded
+ * basic-block fast path (docs/FASTPATH.md), 24 simulated runs total —
+ * and each predecoded run must match its exact twin bit-for-bit: same
+ * output, same crash/error, and all 26 CoreStats counters identical.
+ * Any difference is an ExecMode divergence.
+ *
  * A divergence in either the printed output or an invariant is the
  * fuzzer's bug signal; the shrinker minimizes the program against
  * OracleResult::diverges().
@@ -36,25 +43,32 @@
 #include <string>
 #include <vector>
 
+#include "core/exec_mode.h"
 #include "core/stats.h"
 #include "obs/session.h"
 #include "vm/variant.h"
 
 namespace tarch::fuzz {
 
-/** One engine/variant/deopt combination. */
+/** One engine/variant/deopt/exec-mode combination. */
 struct RunConfig {
     enum class Engine : uint8_t { Lua, Js };
 
     Engine engine = Engine::Lua;
     vm::Variant variant = vm::Variant::Baseline;
     bool deopt = false;
+    core::ExecMode execMode = core::ExecMode::Exact;
 
     std::string name() const;
 };
 
-/** All 12 combinations, in a fixed deterministic order. */
-std::vector<RunConfig> allRunConfigs();
+/**
+ * The combination matrix, in a fixed deterministic order.  Without the
+ * exec-mode axis: the 12 exact-core combinations.  With it: 24 — each
+ * combination on the exact core immediately followed by its predecoded
+ * twin (the adjacency is what runOracle's bit-identity check uses).
+ */
+std::vector<RunConfig> allRunConfigs(bool exec_mode_axis = false);
 
 /** Outcome of one simulated run. */
 struct RunRecord {
@@ -67,7 +81,13 @@ struct RunRecord {
 };
 
 struct Divergence {
-    enum class Kind : uint8_t { Output, StatsInvariant, Crash, StaticVerify };
+    enum class Kind : uint8_t {
+        Output,
+        StatsInvariant,
+        Crash,
+        StaticVerify,
+        ExecMode, ///< predecoded run differs from its exact twin
+    };
 
     Kind kind = Kind::Output;
     std::string config; ///< RunConfig::name() of the offending run
@@ -89,6 +109,16 @@ struct OracleOptions {
      */
     bool verifyImages = true;
     uint8_t probeInterval = 32; ///< must mirror DeoptConfig default
+    /**
+     * Also run every combination on the predecoded fast-path core and
+     * require bit-identical results (output, crash state, and all 26
+     * CoreStats counters) against the exact twin — 24 runs instead of
+     * 12.  Divergences surface as Kind::ExecMode.
+     */
+    bool execModeAxis = true;
+    /** Core engine for the matrix when the axis is OFF (single-mode
+        campaigns, e.g. fuzz_differential --exec-mode predecoded). */
+    core::ExecMode execMode = core::ExecMode::Exact;
 };
 
 struct OracleResult {
@@ -110,7 +140,8 @@ struct OracleResult {
     bool diverges() const { return referenceOk && !divergences.empty(); }
 };
 
-/** Run the full 12-way differential matrix over @p source. */
+/** Run the full differential matrix over @p source (24 runs with the
+    default exec-mode axis, 12 without). */
 OracleResult runOracle(const std::string &source,
                        const OracleOptions &opts = {});
 

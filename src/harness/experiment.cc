@@ -21,7 +21,8 @@ namespace {
 template <typename Vm>
 RunResult
 collect(Vm &vm, Engine engine, vm::Variant variant,
-        const BenchmarkInfo &info, const obs::SessionConfig &obs)
+        const BenchmarkInfo &info, const obs::SessionConfig &obs,
+        core::ExecMode exec_mode)
 {
     obs::Session session(vm.core(), obs);
     vm.run();
@@ -29,6 +30,7 @@ collect(Vm &vm, Engine engine, vm::Variant variant,
     result.benchmark = info.name;
     result.engine = engine;
     result.variant = variant;
+    result.execMode = exec_mode;
     result.stats = vm.core().collectStats();
     result.output = vm.output();
     result.dynamicBytecodes = vm.dynamicBytecodes();
@@ -55,16 +57,25 @@ RunResult
 runOne(Engine engine, vm::Variant variant, const BenchmarkInfo &info,
        const obs::SessionConfig &obs)
 {
+    return runOne(engine, variant, info, obs, core::defaultExecMode());
+}
+
+RunResult
+runOne(Engine engine, vm::Variant variant, const BenchmarkInfo &info,
+       const obs::SessionConfig &obs, core::ExecMode exec_mode)
+{
     if (engine == Engine::Lua) {
         vm::lua::LuaVm::Options opts;
         opts.variant = variant;
+        opts.coreConfig.execMode = exec_mode;
         vm::lua::LuaVm vm(info.source, opts);
-        return collect(vm, engine, variant, info, obs);
+        return collect(vm, engine, variant, info, obs, exec_mode);
     }
     vm::js::JsVm::Options opts;
     opts.variant = variant;
+    opts.coreConfig.execMode = exec_mode;
     vm::js::JsVm vm(info.source, opts);
-    return collect(vm, engine, variant, info, obs);
+    return collect(vm, engine, variant, info, obs, exec_mode);
 }
 
 // ---------------------------------------------------------------------
@@ -80,10 +91,12 @@ runOne(Engine engine, vm::Variant variant, const BenchmarkInfo &info,
 
 namespace {
 
-/** Bump when the cell format or simulator behaviour changes.  v5: the
-    host-call instruction lump is now attributed to the marker region
-    active at the hcall, shifting cached markerDetail values. */
-constexpr const char *kCellVersion = "tarch-cell-v5";
+/** Bump when the cell format or simulator behaviour changes.  v6: a
+    `mode` provenance line records which execution engine (exact or
+    predecoded, docs/FASTPATH.md) simulated the cell.  The mode is NOT
+    part of the key — both engines are bit-identical by contract, so
+    cells are shared across modes. */
+constexpr const char *kCellVersion = "tarch-cell-v6";
 
 constexpr vm::Variant kVariants[3] = {vm::Variant::Baseline,
                                       vm::Variant::Typed,
@@ -279,6 +292,9 @@ writeCell(std::FILE *f, const RunResult &r, uint64_t key)
     std::fprintf(f, "engine %s\n", engineName(r.engine));
     writeBlob(f, "bench", r.benchmark);
     std::fprintf(f, "variant %u\n", static_cast<unsigned>(r.variant));
+    const std::string_view mode_name = core::execModeName(r.execMode);
+    std::fprintf(f, "mode %.*s\n", static_cast<int>(mode_name.size()),
+                 mode_name.data());
     writeStats(f, r.stats);
     std::fprintf(f, "dynbc %llu\n",
                  (unsigned long long)r.dynamicBytecodes);
@@ -321,6 +337,13 @@ readCell(std::FILE *f, RunResult &r, uint64_t key)
     if (!readTag(f, "variant") || !readU64(f, variant) || variant > 2)
         return false;
     r.variant = static_cast<vm::Variant>(variant);
+    char mode[16];
+    if (!readTag(f, "mode") || std::fscanf(f, " %15s", mode) != 1)
+        return false;
+    const auto parsed_mode = core::execModeFromName(mode);
+    if (!parsed_mode)
+        return false;
+    r.execMode = *parsed_mode;
     if (!readStats(f, r.stats))
         return false;
     unsigned long long dynbc;
@@ -491,7 +514,8 @@ runSweep(Engine engine, const SweepOptions &opts,
             loadCell(cell.result, path, key))
             return;
         try {
-            cell.result = runOne(engine, variant, info, opts.obs);
+            cell.result =
+                runOne(engine, variant, info, opts.obs, opts.execMode);
         } catch (const FatalError &e) {
             // Crash tolerance: record the dead cell, let the rest of
             // the sweep finish, report every failure at the end.

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "core/exec_mode.h"
 #include "core/stats.h"
 #include "harness/benchmarks.h"
 #include "obs/session.h"
@@ -41,6 +42,10 @@ struct RunResult {
     Engine engine;
     vm::Variant variant;
     core::CoreStats stats;
+    /** Engine that produced the stats.  Provenance only: the two modes
+        are bit-identical (docs/FASTPATH.md), so it takes no part in the
+        cell cache key and cells are shared across modes. */
+    core::ExecMode execMode = core::ExecMode::Exact;
     std::string output;
     uint64_t dynamicBytecodes = 0;
     std::map<std::string, uint64_t> bytecodeProfile;
@@ -63,6 +68,12 @@ RunResult runOne(Engine engine, vm::Variant variant,
 RunResult runOne(Engine engine, vm::Variant variant,
                  const BenchmarkInfo &info,
                  const obs::SessionConfig &obs);
+
+/** Like the obs overload, with an explicit core execution engine
+    (default elsewhere: core::defaultExecMode(), i.e. TARCH_EXEC_MODE). */
+RunResult runOne(Engine engine, vm::Variant variant,
+                 const BenchmarkInfo &info, const obs::SessionConfig &obs,
+                 core::ExecMode exec_mode);
 
 /**
  * A full sweep: all benchmarks x all three variants for one engine.
@@ -94,6 +105,10 @@ struct SweepOptions {
         artifacts, so an instrumented sweep always re-simulates (it
         still refreshes the cache — the stats are bit-identical). */
     obs::SessionConfig obs;
+    /** Core execution engine for freshly simulated cells.  Not part of
+        the cell key: exact and predecoded runs are bit-identical, so
+        cached cells are shared across modes. */
+    core::ExecMode execMode = core::defaultExecMode();
 };
 
 /**

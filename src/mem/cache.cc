@@ -14,6 +14,7 @@ Cache::Cache(const CacheConfig &config, Dram &dram)
                     config.name.c_str());
     numSets_ = static_cast<unsigned>(
         config.sizeBytes / (config.blockBytes * config.ways));
+    blockShift_ = log2Floor(config.blockBytes);
     if (numSets_ == 0)
         tarch_fatal("cache '%s': too small for %u ways",
                     config.name.c_str(), config.ways);
@@ -48,6 +49,8 @@ Cache::access(uint64_t addr, bool is_write)
         if (line.valid && line.tag == tag) {
             line.lastUse = useClock_;
             line.dirty = line.dirty || is_write;
+            memoBlock_ = block;
+            memoLine_ = &line;
             return config_.hitLatency;
         }
         if (!victim || !line.valid ||
@@ -70,6 +73,8 @@ Cache::access(uint64_t addr, bool is_write)
     victim->dirty = is_write;
     victim->tag = tag;
     victim->lastUse = useClock_;
+    memoBlock_ = block;
+    memoLine_ = victim;
     return latency;
 }
 

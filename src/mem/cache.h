@@ -50,6 +50,45 @@ class Cache
      */
     unsigned access(uint64_t addr, bool is_write);
 
+    /**
+     * access() with a repeat-access memo: when @p addr falls in the
+     * same block as the immediately preceding access, the way scan is
+     * skipped and only the hit bookkeeping runs.  Bit-identical to
+     * access() — the previous access left that line resident and MRU,
+     * and nothing else touches the array in between — so stats, LRU
+     * ordering and latency all match.  The fast-path core uses this;
+     * the exact core keeps calling access().
+     */
+    unsigned
+    accessRepeat(uint64_t addr, bool is_write)
+    {
+        if ((addr >> blockShift_) != memoBlock_)
+            return access(addr, is_write);
+        ++stats_.accesses;
+        ++useClock_;
+        memoLine_->lastUse = useClock_;
+        memoLine_->dirty = memoLine_->dirty || is_write;
+        return config_.hitLatency;
+    }
+
+    /**
+     * The repeat-hit bookkeeping of accessRepeat alone, batched for
+     * @p n consecutive READs the caller has already proven fall in the
+     * memoized block (the fast-path block builder proves it at decode
+     * time: consecutive fetches whose PCs share a cache block).
+     * Bit-identical to n access() calls as long as no other access to
+     * THIS cache happens in between — then every intermediate call
+     * would have been a hit on the memo line, and only the final
+     * lastUse/useClock values survive.
+     */
+    void
+    repeatBump(unsigned n)
+    {
+        stats_.accesses += n;
+        useClock_ += n;
+        memoLine_->lastUse = useClock_;
+    }
+
     /** True if the block containing @p addr is currently resident. */
     bool probe(uint64_t addr) const;
 
@@ -69,8 +108,14 @@ class Cache
     Dram &dram_;
     CacheStats stats_;
     unsigned numSets_;
+    unsigned blockShift_;      ///< log2(blockBytes); geometry is pow2
     std::vector<Line> lines_;  ///< numSets_ x ways, row-major
     uint64_t useClock_ = 0;
+
+    // Repeat-access memo: the block number and line of the most recent
+    // access (that line is by construction resident and MRU).
+    uint64_t memoBlock_ = ~0ULL;
+    Line *memoLine_ = nullptr;
 };
 
 } // namespace tarch::mem

@@ -24,37 +24,6 @@ MainMemory::pageForConst(uint64_t addr) const
     return it == pages_.end() ? nullptr : it->second.get();
 }
 
-namespace {
-
-template <typename T>
-T
-readScalar(const MainMemory &memory, uint64_t addr)
-{
-    T value{};
-    memory.readBlock(addr, &value, sizeof(T));
-    return value;
-}
-
-} // namespace
-
-uint8_t MainMemory::read8(uint64_t addr) const
-{ return readScalar<uint8_t>(*this, addr); }
-uint16_t MainMemory::read16(uint64_t addr) const
-{ return readScalar<uint16_t>(*this, addr); }
-uint32_t MainMemory::read32(uint64_t addr) const
-{ return readScalar<uint32_t>(*this, addr); }
-uint64_t MainMemory::read64(uint64_t addr) const
-{ return readScalar<uint64_t>(*this, addr); }
-
-void MainMemory::write8(uint64_t addr, uint8_t value)
-{ writeBlock(addr, &value, sizeof(value)); }
-void MainMemory::write16(uint64_t addr, uint16_t value)
-{ writeBlock(addr, &value, sizeof(value)); }
-void MainMemory::write32(uint64_t addr, uint32_t value)
-{ writeBlock(addr, &value, sizeof(value)); }
-void MainMemory::write64(uint64_t addr, uint64_t value)
-{ writeBlock(addr, &value, sizeof(value)); }
-
 void
 MainMemory::writeBlock(uint64_t addr, const void *src, size_t len)
 {

@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -23,14 +24,23 @@ class MainMemory
   public:
     static constexpr uint64_t kPageBytes = 4096;
 
-    uint8_t read8(uint64_t addr) const;
-    uint16_t read16(uint64_t addr) const;
-    uint32_t read32(uint64_t addr) const;
-    uint64_t read64(uint64_t addr) const;
-    void write8(uint64_t addr, uint8_t value);
-    void write16(uint64_t addr, uint16_t value);
-    void write32(uint64_t addr, uint32_t value);
-    void write64(uint64_t addr, uint64_t value);
+    // Scalar accessors are inline with a last-page memo: they are the
+    // datapath of every guest load and store, in both execution
+    // engines.  A page, once allocated, is never moved or freed
+    // (unordered_map rehashes move the unique_ptr, not the Page), so a
+    // memoized Page* stays valid for the lifetime of the memory; only
+    // non-null pages are memoized, so a later first-write allocation
+    // cannot be shadowed by a stale null.
+
+    uint8_t read8(uint64_t addr) const { return readScalar<uint8_t>(addr); }
+    uint16_t read16(uint64_t addr) const { return readScalar<uint16_t>(addr); }
+    uint32_t read32(uint64_t addr) const { return readScalar<uint32_t>(addr); }
+    uint64_t read64(uint64_t addr) const { return readScalar<uint64_t>(addr); }
+
+    void write8(uint64_t addr, uint8_t value) { writeScalar(addr, value); }
+    void write16(uint64_t addr, uint16_t value) { writeScalar(addr, value); }
+    void write32(uint64_t addr, uint32_t value) { writeScalar(addr, value); }
+    void write64(uint64_t addr, uint64_t value) { writeScalar(addr, value); }
 
     /** Bulk copy into guest memory. */
     void writeBlock(uint64_t addr, const void *src, size_t len);
@@ -46,7 +56,57 @@ class MainMemory
     Page *pageFor(uint64_t addr);
     const Page *pageForConst(uint64_t addr) const;
 
+    template <typename T>
+    T
+    readScalar(uint64_t addr) const
+    {
+        const uint64_t offset = addr & (kPageBytes - 1);
+        if (offset + sizeof(T) <= kPageBytes) {
+            const Page *page;
+            if (addr / kPageBytes == memoKey_) {
+                page = memoPage_;
+            } else {
+                page = pageForConst(addr);
+                if (!page)
+                    return T{};  // untouched memory reads as zero
+                memoKey_ = addr / kPageBytes;
+                memoPage_ = const_cast<Page *>(page);
+            }
+            T value;
+            std::memcpy(&value, page->data() + offset, sizeof(T));
+            return value;
+        }
+        T value{};
+        readBlock(addr, &value, sizeof(T));
+        return value;
+    }
+
+    template <typename T>
+    void
+    writeScalar(uint64_t addr, T value)
+    {
+        const uint64_t offset = addr & (kPageBytes - 1);
+        if (offset + sizeof(T) <= kPageBytes) {
+            Page *page;
+            if (addr / kPageBytes == memoKey_) {
+                page = memoPage_;
+            } else {
+                page = pageFor(addr);
+                memoKey_ = addr / kPageBytes;
+                memoPage_ = page;
+            }
+            std::memcpy(page->data() + offset, &value, sizeof(T));
+            return;
+        }
+        writeBlock(addr, &value, sizeof(T));
+    }
+
     mutable std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+
+    // Last-page memo (never stale: pages are never freed or moved, and
+    // null lookups are not memoized).
+    mutable uint64_t memoKey_ = ~0ULL;
+    mutable Page *memoPage_ = nullptr;
 };
 
 } // namespace tarch::mem

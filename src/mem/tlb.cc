@@ -1,10 +1,14 @@
 #include "mem/tlb.h"
 
+#include "common/bitops.h"
+
 namespace tarch::mem {
 
 Tlb::Tlb(const TlbConfig &config)
     : config_(config), entries_(config.entries)
 {
+    if (isPow2(config.pageBytes))
+        pageShift_ = log2Floor(config.pageBytes);
 }
 
 unsigned
@@ -17,6 +21,8 @@ Tlb::access(uint64_t addr)
     for (Entry &entry : entries_) {
         if (entry.valid && entry.vpn == vpn) {
             entry.lastUse = useClock_;
+            memoVpn_ = vpn;
+            memoEntry_ = &entry;
             return 0;
         }
         if (!victim || !entry.valid ||
@@ -27,6 +33,8 @@ Tlb::access(uint64_t addr)
     victim->valid = true;
     victim->vpn = vpn;
     victim->lastUse = useClock_;
+    memoVpn_ = vpn;
+    memoEntry_ = victim;
     return config_.missLatency;
 }
 

@@ -33,6 +33,43 @@ class Tlb
     /** Translate; returns extra latency in cycles (0 on hit). */
     unsigned access(uint64_t addr);
 
+    /**
+     * access() with a repeat-access memo (same contract as
+     * mem::Cache::accessRepeat): a translation on the same page as the
+     * immediately preceding one skips the entry scan and performs only
+     * the hit bookkeeping, bit-identically.  Falls back to access()
+     * when the configured page size is not a power of two.
+     */
+    unsigned
+    accessRepeat(uint64_t addr)
+    {
+        if (pageShift_ == 0 || (addr >> pageShift_) != memoVpn_)
+            return access(addr);
+        ++stats_.accesses;
+        ++useClock_;
+        memoEntry_->lastUse = useClock_;
+        return 0;
+    }
+
+    /**
+     * The repeat-hit bookkeeping of accessRepeat alone, batched for
+     * @p n consecutive translations the caller has already proven fall
+     * on the memoized page (the fast-path block builder proves it at
+     * decode time).  Bit-identical to n access() calls as long as no
+     * other translation through THIS TLB happens in between.  Needs no
+     * power-of-two page size: no address comparison happens here.
+     */
+    void
+    repeatBump(unsigned n)
+    {
+        stats_.accesses += n;
+        useClock_ += n;
+        memoEntry_->lastUse = useClock_;
+    }
+
+    /** Whether the repeat memo is active (power-of-two page size). */
+    bool repeatMemoActive() const { return pageShift_ != 0; }
+
     const TlbStats &stats() const { return stats_; }
     void resetStats() { stats_ = {}; }
 
@@ -47,6 +84,11 @@ class Tlb
     TlbStats stats_;
     std::vector<Entry> entries_;
     uint64_t useClock_ = 0;
+
+    // Repeat-access memo (0 pageShift_ = non-pow2 pages, memo disabled).
+    unsigned pageShift_ = 0;
+    uint64_t memoVpn_ = ~0ULL;
+    Entry *memoEntry_ = nullptr;
 };
 
 } // namespace tarch::mem

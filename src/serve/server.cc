@@ -294,8 +294,16 @@ Server::acceptLoop(int listen_fd)
         {
             std::lock_guard<std::mutex> lock(connsMu_);
             conns_.push_back(conn);
+            // The reader must be assigned under connsMu_: a client that
+            // disconnects instantly lets readerLoop retire the
+            // connection while this assignment is still in flight, and
+            // the reaper would then read conn->reader mid-move (and,
+            // seeing it unjoinable, drop a joinable thread —
+            // std::terminate).  retireConnection takes connsMu_, so the
+            // lock orders retirement after the assignment completes.
+            conn->reader =
+                std::thread([this, conn] { readerLoop(conn); });
         }
-        conn->reader = std::thread([this, conn] { readerLoop(conn); });
     }
 }
 

@@ -134,7 +134,8 @@ SimService::runCell(const proto::CellRequest &req)
         ++counters_.diskHits;
     } else {
         try {
-            run = harness::runOne(engine, variant, *info);
+            run = harness::runOne(engine, variant, *info,
+                                  obs::SessionConfig{}, opts_.execMode);
         } catch (const FatalError &e) {
             throw ServiceError{proto::ErrorCode::SimFailed, e.what()};
         }
@@ -185,6 +186,7 @@ runScriptVm(const proto::SourceRequest &req,
         typename Vm::Options vm_opts;
         vm_opts.variant = static_cast<vm::Variant>(req.variant);
         vm_opts.coreConfig.maxInstructions = opts.sourceMaxInstructions;
+        vm_opts.coreConfig.execMode = opts.execMode;
         vm = std::make_unique<Vm>(req.source, vm_opts);
     } catch (const FatalError &e) {
         throw ServiceError{proto::ErrorCode::CompileFailed, e.what()};
@@ -256,6 +258,7 @@ SimService::runAssembly(const proto::SourceRequest &req)
     try {
         core::CoreConfig cfg;
         cfg.maxInstructions = opts_.sourceMaxInstructions;
+        cfg.execMode = opts_.execMode;
         core::Core core(cfg);
         core.loadProgram(prog);
         core.run();

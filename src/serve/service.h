@@ -46,6 +46,11 @@ class SimService
         /** Runaway guard for inline source runs (named benchmarks use
             the simulator default). */
         uint64_t sourceMaxInstructions = 100'000'000;
+        /** Core execution engine for every simulation this service
+            runs (docs/FASTPATH.md).  Bit-identical results either way;
+            predecoded trades startup decode work for serving
+            throughput.  Default: TARCH_EXEC_MODE env, else exact. */
+        core::ExecMode execMode = core::defaultExecMode();
     };
 
     /** Monotonic counters, snapshotted into the health document. */

@@ -302,6 +302,41 @@ TEST(Core, InstructionLimitGuards)
     EXPECT_THROW(core.run(), FatalError);
 }
 
+TEST(Core, SelfModifyingStoreIsObservedByTheVeryNextFetch)
+{
+    // Patch an ALREADY-EXECUTED pc (the loop body's addi) and loop back
+    // over it: the second fetch of 'slot' must execute the new
+    // encoding, under BOTH execution engines, with identical stats
+    // (the predecoded engine had 'slot' cached in the live block; see
+    // docs/FASTPATH.md for the invalidation contract).
+    constexpr const char *src = R"(
+_start: li a0, 0
+        li a2, 0
+slot:   addi a0, a0, 1
+        bnez a2, done
+        la t0, donor
+        lw t1, 0(t0)
+        la t2, slot
+        sw t1, 0(t2)
+        li a2, 1
+        j slot
+done:   halt
+donor:  addi a0, a0, 7
+)";
+    CoreStats stats[2];
+    for (const ExecMode mode : {ExecMode::Exact, ExecMode::Predecoded}) {
+        CoreConfig cfg;
+        cfg.execMode = mode;
+        Core core(cfg);
+        core.loadProgram(assembler::assemble(src));
+        EXPECT_EQ(core.run(), 0) << execModeName(mode);
+        // First pass adds 1, patched second pass adds 7.
+        EXPECT_EQ(core.regs().gpr(isa::reg::a0).v, 8u) << execModeName(mode);
+        stats[mode == ExecMode::Predecoded] = core.collectStats();
+    }
+    EXPECT_EQ(describeStatsDiff(stats[0], stats[1]), "");
+}
+
 TEST(Core, MarkersCountHandlerVisits)
 {
     Core core;

@@ -1,0 +1,275 @@
+// Tier-1 suite for the predecoded basic-block fast path
+// (src/core/fastpath.*, docs/FASTPATH.md).
+//
+// Two layers:
+//  1. Block-cache unit tests at the assembly level: hit/miss counters,
+//     invalidation on stores into text and on typed-config writes,
+//     deterministic capacity eviction, and the self-modifying-code
+//     ordering contract (a patched word is observed by the very next
+//     fetch).
+//  2. The exhaustive equivalence matrix: every interpreter image
+//     (2 engines x 3 ISA variants) x every Table-7 benchmark runs under
+//     both execution engines and must produce bit-identical results —
+//     all 26 CoreStats counters, the guest output, the exit code, and
+//     the final architectural register files (64-bit value, type tag
+//     and F/I bit of every GPR plus every FPR).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "assembler/assembler.h"
+#include "common/log.h"
+#include "core/core.h"
+#include "core/stats.h"
+#include "harness/benchmarks.h"
+#include "harness/experiment.h"
+#include "vm/js/js_vm.h"
+#include "vm/lua/lua_vm.h"
+
+namespace tarch::core {
+namespace {
+
+CoreConfig
+modeConfig(ExecMode mode)
+{
+    CoreConfig cfg;
+    cfg.execMode = mode;
+    return cfg;
+}
+
+/** Run @p src under one mode; the Core is returned for inspection. */
+std::unique_ptr<Core>
+runAsm(const std::string &src, const CoreConfig &cfg)
+{
+    auto core = std::make_unique<Core>(cfg);
+    core->loadProgram(assembler::assemble(src));
+    core->run();
+    return core;
+}
+
+/** Assert full architectural equality between two finished cores. */
+void
+expectSameMachineState(Core &exact, Core &predecoded)
+{
+    EXPECT_EQ(describeStatsDiff(exact.collectStats(),
+                                predecoded.collectStats()),
+              "");
+    EXPECT_EQ(exact.output(), predecoded.output());
+    EXPECT_EQ(exact.exitCode(), predecoded.exitCode());
+    EXPECT_EQ(exact.pc(), predecoded.pc());
+    for (unsigned r = 0; r < isa::kNumGprs; ++r) {
+        const TaggedReg &a = exact.regs().gpr(r);
+        const TaggedReg &b = predecoded.regs().gpr(r);
+        EXPECT_EQ(a.v, b.v) << "x" << r;
+        EXPECT_EQ(a.t, b.t) << "x" << r << " tag";
+        EXPECT_EQ(a.f, b.f) << "x" << r << " f/i";
+    }
+    for (unsigned r = 0; r < isa::kNumFprs; ++r)
+        EXPECT_EQ(exact.regs().fpr(r), predecoded.regs().fpr(r))
+            << "f" << r;
+}
+
+/** Run @p src in both modes, demand bit-identity, return the fast one. */
+std::unique_ptr<Core>
+runBothModes(const std::string &src, CoreConfig cfg = {})
+{
+    cfg.execMode = ExecMode::Exact;
+    auto exact = runAsm(src, cfg);
+    cfg.execMode = ExecMode::Predecoded;
+    auto predecoded = runAsm(src, cfg);
+    expectSameMachineState(*exact, *predecoded);
+    return predecoded;
+}
+
+constexpr const char *kCountingLoop = R"(
+        li a0, 0
+        li a1, 100
+loop:   addi a0, a0, 1
+        blt a0, a1, loop
+        halt
+)";
+
+TEST(FastPath, LoopHitsTheBlockCache)
+{
+    const auto core = runBothModes(kCountingLoop);
+    EXPECT_EQ(core->regs().gpr(isa::reg::a0).v, 100u);
+    const fastpath::FastPathStats &fs = core->fastPathStats();
+    // The loop body block is built once and replayed ~99 times.
+    EXPECT_GE(fs.blockBuilds, 1u);
+    EXPECT_GE(fs.blockHits, 90u);
+    EXPECT_GE(core->blockCache().size(), 1u);
+    EXPECT_EQ(fs.storeInvalidations, 0u);
+    EXPECT_EQ(fs.configInvalidations, 0u);
+    EXPECT_EQ(fs.capacityFlushes, 0u);
+}
+
+TEST(FastPath, ExactModeNeverTouchesTheBlockCache)
+{
+    const auto core = runAsm(kCountingLoop, modeConfig(ExecMode::Exact));
+    EXPECT_EQ(core->fastPathStats().blockBuilds, 0u);
+    EXPECT_EQ(core->fastPathStats().blockHits, 0u);
+    EXPECT_EQ(core->blockCache().size(), 0u);
+}
+
+// A store into the text segment must flush the block cache AND be
+// observed by the very next fetch, even though the clobbered pc was
+// predecoded as part of the currently-executing block.
+constexpr const char *kSelfPatch = R"(
+_start: la t0, donor
+        lw t1, 0(t0)
+        la t2, target
+        sw t1, 0(t2)
+target: li a0, 111
+        halt
+donor:  li a0, 222
+)";
+
+TEST(FastPath, StoreIntoTextIsObservedByTheNextFetch)
+{
+    const auto core = runBothModes(kSelfPatch);
+    EXPECT_EQ(core->regs().gpr(isa::reg::a0).v, 222u);
+    EXPECT_GE(core->fastPathStats().storeInvalidations, 1u);
+}
+
+TEST(FastPath, StoreOutsideTextDoesNotInvalidate)
+{
+    const auto core = runBothModes(R"(
+        la t0, buf
+        li t1, 7
+        sd t1, 0(t0)
+        ld a0, 0(t0)
+        halt
+        .data
+buf:    .dword 0
+)");
+    // buf lives in the data image past the last instruction word.
+    EXPECT_EQ(core->regs().gpr(isa::reg::a0).v, 7u);
+    EXPECT_EQ(core->fastPathStats().storeInvalidations, 0u);
+}
+
+TEST(FastPath, TypedConfigWriteFlushesTheBlockCache)
+{
+    const auto core = runBothModes(R"(
+        li t0, 48
+        setoffset t0
+        li a0, 5
+        halt
+)");
+    EXPECT_EQ(core->regs().gpr(isa::reg::a0).v, 5u);
+    EXPECT_GE(core->fastPathStats().configInvalidations, 1u);
+}
+
+TEST(FastPath, CapacityEvictionFlushesDeterministically)
+{
+    CoreConfig cfg;
+    cfg.fastPath.maxBlocks = 1;  // loop head + loop body cannot coexist
+    const auto core = runBothModes(kCountingLoop, cfg);
+    EXPECT_EQ(core->regs().gpr(isa::reg::a0).v, 100u);
+    EXPECT_GE(core->fastPathStats().capacityFlushes, 1u);
+    EXPECT_LE(core->blockCache().size(), 1u);
+}
+
+TEST(FastPath, UndecodablePatchedWordIsACleanFatalInBothModes)
+{
+    // Patch the target with an undecodable word; executing it must
+    // throw FatalError (not crash) under either execution engine.
+    constexpr const char *src = R"(
+_start: li t1, -1
+        la t2, target
+        sw t1, 0(t2)
+target: li a0, 111
+        halt
+)";
+    for (const ExecMode mode : {ExecMode::Exact, ExecMode::Predecoded}) {
+        Core core(modeConfig(mode));
+        core.loadProgram(assembler::assemble(src));
+        EXPECT_THROW(core.run(), FatalError) << execModeName(mode);
+    }
+}
+
+TEST(FastPath, InstructionLimitTripsAtTheSamePoint)
+{
+    CoreConfig cfg;
+    cfg.maxInstructions = 57;  // mid-block, to exercise the fallback
+    for (const ExecMode mode : {ExecMode::Exact, ExecMode::Predecoded}) {
+        cfg.execMode = mode;
+        Core core(cfg);
+        core.loadProgram(assembler::assemble(kCountingLoop));
+        EXPECT_THROW(core.run(), FatalError) << execModeName(mode);
+        EXPECT_EQ(core.collectStats().instructions, 57u)
+            << execModeName(mode);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Exhaustive equivalence matrix: 2 engines x 3 variants x all Table-7
+// benchmarks, each simulated by both execution engines.
+
+using MatrixParam =
+    std::tuple<harness::Engine, vm::Variant, size_t /* benchmark */>;
+
+class FastPathEquivalence : public ::testing::TestWithParam<MatrixParam>
+{
+};
+
+template <typename VmT>
+void
+runVmPair(const std::string &source, vm::Variant variant)
+{
+    typename VmT::Options opts;
+    opts.variant = variant;
+
+    opts.coreConfig.execMode = ExecMode::Exact;
+    VmT exact(source, opts);
+    const int exact_code = exact.run();
+
+    opts.coreConfig.execMode = ExecMode::Predecoded;
+    VmT predecoded(source, opts);
+    const int predecoded_code = predecoded.run();
+
+    EXPECT_EQ(exact_code, predecoded_code);
+    expectSameMachineState(exact.core(), predecoded.core());
+    // The fast path must actually have been exercised, or this matrix
+    // proves nothing.
+    EXPECT_GT(predecoded.core().fastPathStats().blockHits, 0u);
+    EXPECT_EQ(exact.core().fastPathStats().blockBuilds, 0u);
+}
+
+TEST_P(FastPathEquivalence, BitIdenticalAcrossExecModes)
+{
+    const auto [engine, variant, bench] = GetParam();
+    const harness::BenchmarkInfo &info = harness::benchmarks()[bench];
+    SCOPED_TRACE(info.name);
+    if (engine == harness::Engine::Lua)
+        runVmPair<vm::lua::LuaVm>(info.source, variant);
+    else
+        runVmPair<vm::js::JsVm>(info.source, variant);
+}
+
+std::string
+matrixName(const ::testing::TestParamInfo<MatrixParam> &info)
+{
+    const auto [engine, variant, bench] = info.param;
+    std::string name = harness::engineName(engine);
+    name += '_';
+    name += vm::variantName(variant);
+    name += '_';
+    name += harness::benchmarks()[bench].name;
+    for (char &c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, FastPathEquivalence,
+    ::testing::Combine(
+        ::testing::Values(harness::Engine::Lua, harness::Engine::Js),
+        ::testing::Values(vm::Variant::Baseline, vm::Variant::Typed,
+                          vm::Variant::CheckedLoad),
+        ::testing::Range<size_t>(0, harness::benchmarks().size())),
+    matrixName);
+
+} // namespace
+} // namespace tarch::core

@@ -75,6 +75,27 @@ TEST(Oracle, TwelveConfigsInFixedOrder)
     EXPECT_EQ(configs.back().name(), "MiniJS/checked-load/deopt=on");
 }
 
+TEST(Oracle, ExecModeAxisInterleavesPredecodedTwins)
+{
+    // The exec-mode axis doubles the matrix and places each predecoded
+    // twin immediately after its exact sibling — runOracle's
+    // bit-identity check depends on that adjacency.
+    const auto configs = allRunConfigs(true);
+    ASSERT_EQ(configs.size(), 24u);
+    EXPECT_EQ(configs[0].name(), "MiniLua/baseline/deopt=off");
+    EXPECT_EQ(configs[1].name(),
+              "MiniLua/baseline/deopt=off/mode=predecoded");
+    EXPECT_EQ(configs.back().name(),
+              "MiniJS/checked-load/deopt=on/mode=predecoded");
+    for (size_t i = 0; i < configs.size(); i += 2) {
+        EXPECT_EQ(configs[i].execMode, core::ExecMode::Exact);
+        EXPECT_EQ(configs[i + 1].execMode, core::ExecMode::Predecoded);
+        EXPECT_EQ(configs[i].engine, configs[i + 1].engine);
+        EXPECT_EQ(configs[i].variant, configs[i + 1].variant);
+        EXPECT_EQ(configs[i].deopt, configs[i + 1].deopt);
+    }
+}
+
 TEST(Oracle, CleanOnAHandCheckedProgram)
 {
     const OracleResult result = runOracle(R"(
@@ -89,7 +110,8 @@ print("x=" .. acc)
 )");
     ASSERT_TRUE(result.referenceOk) << result.referenceError;
     EXPECT_TRUE(result.clean());
-    EXPECT_EQ(result.runs.size(), 12u);
+    // 12 exact runs plus the 12 bit-identical predecoded twins.
+    EXPECT_EQ(result.runs.size(), 24u);
     EXPECT_EQ(result.expectedLua, "385\n55\n0\nx=385\n");
 }
 

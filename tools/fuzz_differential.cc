@@ -1,8 +1,10 @@
 // fuzz_differential: differential fuzzing driver for the three-way ISA
 // matrix.  Generates grammar-driven MiniScript programs per seed, runs
 // each through the reference interpreter and both guest VMs on all
-// three ISA variants x deopt on/off, checks outputs and machine-level
-// stats invariants, and shrinks any divergence to a minimal reproducer.
+// three ISA variants x deopt on/off x core execution mode (exact and
+// predecoded fast path, compared bit-for-bit — docs/FASTPATH.md),
+// checks outputs and machine-level stats invariants, and shrinks any
+// divergence to a minimal reproducer.
 //
 //   fuzz_differential --seeds 0..500 --jobs 8 --out fuzz-out
 //   fuzz_differential --replay fuzz-out/repro_42.ms
@@ -32,6 +34,7 @@
 
 #include "common/parallel.h"
 #include "common/strutil.h"
+#include "core/exec_mode.h"
 #include "fuzz/oracle.h"
 #include "fuzz/progen.h"
 #include "fuzz/shrink.h"
@@ -65,6 +68,9 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--seeds A..B] [--jobs N] [--out DIR] [--no-shrink]\n"
         "          [--max-failures K] [--max-instructions N] [--quiet]\n"
+        "          [--exec-mode exact|predecoded|both]  (default: both —\n"
+        "           every config also runs on the fast-path core and must\n"
+        "           match its exact twin bit-for-bit)\n"
         "       %s --replay FILE     (re-run one program, report, exit)\n"
         "           [--profile] [--trace-out PREFIX] [--interval-stats N]\n"
         "           [--json]         (instrument the divergent configs)\n"
@@ -157,6 +163,18 @@ parseArgs(int argc, char **argv)
                 static_cast<unsigned>(nextU64("--max-failures"));
         } else if (arg == "--max-instructions") {
             opts.oracle.maxInstructions = nextU64("--max-instructions");
+        } else if (arg == "--exec-mode") {
+            const std::string mode = next();
+            if (mode == "both") {
+                opts.oracle.execModeAxis = true;
+            } else if (const auto parsed = core::execModeFromName(mode)) {
+                opts.oracle.execModeAxis = false;
+                opts.oracle.execMode = *parsed;
+            } else {
+                std::fprintf(stderr, "%s: bad --exec-mode value '%s'\n",
+                             argv[0], mode.c_str());
+                usage(argv[0]);
+            }
         } else if (arg == "--profile") {
             opts.obs.profile = true;
         } else if (arg == "--trace-out") {
@@ -221,7 +239,9 @@ instrumentDivergentConfigs(const std::string &source,
         if (std::find(done.begin(), done.end(), d.config) != done.end())
             continue;
         done.push_back(d.config);
-        const auto configs = fuzz::allRunConfigs();
+        // Look up over the full 24-config matrix so
+        // ".../mode=predecoded" divergences resolve too.
+        const auto configs = fuzz::allRunConfigs(true);
         const auto it = std::find_if(
             configs.begin(), configs.end(),
             [&](const fuzz::RunConfig &c) { return c.name() == d.config; });

@@ -63,6 +63,10 @@ usage(const char *argv0, int code)
         "binaries (default \".\")\n"
         "  --no-disk-cache    keep cells in memory only\n"
         "  --no-verify        skip static verification of inline source\n"
+        "  --exec-mode M      core engine, exact or predecoded (default: "
+        "TARCH_EXEC_MODE env,\n"
+        "                     else exact); bit-identical stats, "
+        "predecoded serves faster\n"
         "  --max-payload N    per-frame payload cap in bytes\n",
         argv0);
     return code;
@@ -119,6 +123,17 @@ main(int argc, char **argv)
             cfg.sim.cacheDir = next("--cache-dir");
         } else if (arg == "--no-disk-cache") {
             cfg.sim.diskCache = false;
+        } else if (arg == "--exec-mode") {
+            const char *text = next("--exec-mode");
+            const auto mode = core::execModeFromName(text);
+            if (!mode) {
+                std::fprintf(stderr,
+                             "%s: bad --exec-mode value '%s' (want "
+                             "exact|predecoded)\n",
+                             argv[0], text);
+                return usage(argv[0], 2);
+            }
+            cfg.sim.execMode = *mode;
         } else if (arg == "--no-verify") {
             cfg.sim.verifySource = false;
         } else if (arg == "--max-payload") {
