@@ -16,7 +16,10 @@
 # by the tool's own parser (docs/OBSERVABILITY.md) — and a serving
 # smoke: tarch_served driven by tarch_bench_client over a Unix socket,
 # including malformed-frame injection, a verifier-rejected inline
-# source request, and a SIGTERM graceful drain (docs/SERVING.md).
+# source request, and a SIGTERM graceful drain (docs/SERVING.md) —
+# followed by a 3-shard tarch_router smoke that SIGKILLs and restarts
+# a shard under open-loop hedged load, and (on >= 4 cores) a scaling
+# gate requiring the cluster to beat 2x a single daemon.
 #
 # Exits nonzero if the build breaks, the static verifier finds an
 # error-severity issue in any generated interpreter image, any test
@@ -72,14 +75,15 @@ for t in test_core test_core_typed test_fastpath test_differential; do
 done
 
 if [[ -z "$SANITIZE" ]]; then
-    echo "== ThreadSanitizer (parallel executor + sweep cache + serve)"
+    echo "== ThreadSanitizer (parallel executor + sweep cache + serve + router)"
     TSAN_DIR="${BUILD_DIR}-tsan"
     cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
           -DTARCH_SANITIZE=thread
     cmake --build "$TSAN_DIR" -j "$JOBS" \
-          --target test_sweep_cache test_common test_serve test_fastpath
+          --target test_sweep_cache test_common test_serve test_fastpath \
+                   test_router test_loadgen
     ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" \
-          -R 'SweepCache|CellCache|Parallel|Pool|ResolveJobs|ServeTest|SimServiceTest|FastPath\.'
+          -R 'SweepCache|CellCache|Parallel|Pool|ResolveJobs|ServeTest|SimServiceTest|FastPath\.|HashRing|ShardHealth|ShedQueue|RouterTest|HedgedClient|LatencyHistogram|OpenLoop'
 
     echo "== fast-path perf ratchet (bench_fastpath --check)"
     # The predecoded core must stay >= 2x the exact core (geomean over
@@ -184,6 +188,126 @@ if ! wait "$SERVE_PID"; then
     echo "error: tarch_served did not drain cleanly on SIGTERM" >&2
     tail -20 "$SERVE_DIR/served.log" >&2
     exit 1
+fi
+
+echo "== router smoke (3 shards + tarch_router, chaos + shard SIGKILL)"
+# Three daemons behind the consistent-hash router; an open-loop hedged
+# client drives a mixed cell/source workload with chaos connections
+# while one shard is SIGKILLed mid-run and restarted.  The cluster
+# must answer every request with a well-formed frame (zero protocol
+# errors) and the router must drain gracefully on SIGTERM.
+ROUTER_DIR="$BUILD_DIR/router-smoke"
+rm -rf "$ROUTER_DIR"
+mkdir -p "$ROUTER_DIR"
+SHARD_PIDS=()
+SHARD_ARGS=()
+for i in 0 1 2; do
+    mkdir -p "$ROUTER_DIR/cache$i"
+    "$BUILD_DIR/tools/tarch_served" --unix "$ROUTER_DIR/shard$i.sock" \
+        --cache-dir "$ROUTER_DIR/cache$i" \
+        > "$ROUTER_DIR/shard$i.log" 2>&1 &
+    SHARD_PIDS[$i]=$!
+    SHARD_ARGS+=(--shard "unix:$ROUTER_DIR/shard$i.sock")
+done
+"$BUILD_DIR/tools/tarch_router" --unix "$ROUTER_DIR/router.sock" \
+    --backoff-floor-ms 100 "${SHARD_ARGS[@]}" \
+    > "$ROUTER_DIR/router.log" 2>&1 &
+ROUTER_PID=$!
+for _ in $(seq 1 100); do
+    [[ -S "$ROUTER_DIR/router.sock" ]] && break
+    sleep 0.1
+done
+[[ -S "$ROUTER_DIR/router.sock" ]]
+"$BUILD_DIR/tools/tarch_bench_client" --unix "$ROUTER_DIR/router.sock" \
+    --connections 4 --requests 900 --rate 300 --mix-source 20 \
+    --benchmark fibo --variant typed --chaos 2 --hedge-ms 200 \
+    > "$ROUTER_DIR/load.out" &
+LOAD_PID=$!
+# SIGKILL one shard mid-run (by the exact PID we spawned — never by
+# pattern), then bring it back on the same endpoint: the router must
+# eject, fail over, and heal without a single garbled frame.
+sleep 1
+kill -KILL "${SHARD_PIDS[1]}"
+wait "${SHARD_PIDS[1]}" 2>/dev/null || true
+sleep 0.5
+"$BUILD_DIR/tools/tarch_served" --unix "$ROUTER_DIR/shard1.sock" \
+    --cache-dir "$ROUTER_DIR/cache1" > "$ROUTER_DIR/shard1b.log" 2>&1 &
+SHARD_PIDS[1]=$!
+if ! wait "$LOAD_PID"; then
+    echo "error: router smoke load failed" >&2
+    cat "$ROUTER_DIR/load.out" >&2
+    tail -20 "$ROUTER_DIR/router.log" >&2
+    exit 1
+fi
+grep -q "protocol errors:  0" "$ROUTER_DIR/load.out"
+"$BUILD_DIR/tools/tarch_bench_client" --unix "$ROUTER_DIR/router.sock" \
+    --health > "$ROUTER_DIR/health.json"
+grep -q '"schema":"tarch-router-stats-v1"' "$ROUTER_DIR/health.json"
+kill -TERM "$ROUTER_PID"
+if ! wait "$ROUTER_PID"; then
+    echo "error: tarch_router did not drain cleanly on SIGTERM" >&2
+    tail -20 "$ROUTER_DIR/router.log" >&2
+    exit 1
+fi
+for pid in "${SHARD_PIDS[@]}"; do
+    kill -TERM "$pid" 2>/dev/null || true
+done
+for pid in "${SHARD_PIDS[@]}"; do
+    wait "$pid" 2>/dev/null || true
+done
+
+if [[ "$JOBS" -ge 4 ]]; then
+    echo "== router scaling gate (3 shards >= 2x one daemon)"
+    # Every daemon is pinned to one worker and runs uncached, so each
+    # request pays full simulation cost and extra shards buy real
+    # throughput.  The 3-shard cluster must beat twice the single
+    # daemon on an all-distinct-source open-loop burst.
+    SCALE_DIR="$BUILD_DIR/router-scale"
+    rm -rf "$SCALE_DIR"
+    mkdir -p "$SCALE_DIR"
+    SCALE_PIDS=()
+    SCALE_ARGS=()
+    "$BUILD_DIR/tools/tarch_served" --unix "$SCALE_DIR/solo.sock" \
+        --cache-dir "$SCALE_DIR" --jobs 1 --no-memory-cache \
+        --no-disk-cache > "$SCALE_DIR/solo.log" 2>&1 &
+    SCALE_PIDS+=($!)
+    for i in 0 1 2; do
+        "$BUILD_DIR/tools/tarch_served" --unix "$SCALE_DIR/shard$i.sock" \
+            --cache-dir "$SCALE_DIR" --jobs 1 --no-memory-cache \
+            --no-disk-cache > "$SCALE_DIR/shard$i.log" 2>&1 &
+        SCALE_PIDS+=($!)
+        SCALE_ARGS+=(--shard "unix:$SCALE_DIR/shard$i.sock")
+    done
+    "$BUILD_DIR/tools/tarch_router" --unix "$SCALE_DIR/router.sock" \
+        "${SCALE_ARGS[@]}" > "$SCALE_DIR/router.log" 2>&1 &
+    SCALE_PIDS+=($!)
+    for _ in $(seq 1 100); do
+        [[ -S "$SCALE_DIR/solo.sock" && -S "$SCALE_DIR/router.sock" ]] \
+            && break
+        sleep 0.1
+    done
+    "$BUILD_DIR/tools/tarch_bench_client" --unix "$SCALE_DIR/solo.sock" \
+        --connections 6 --requests 300 --rate 100000 --mix-source 100 \
+        > "$SCALE_DIR/solo.out"
+    "$BUILD_DIR/tools/tarch_bench_client" --unix "$SCALE_DIR/router.sock" \
+        --connections 6 --requests 300 --rate 100000 --mix-source 100 \
+        > "$SCALE_DIR/cluster.out"
+    SOLO_TPS=$(awk '/^throughput:/ {print $2}' "$SCALE_DIR/solo.out")
+    CLUSTER_TPS=$(awk '/^throughput:/ {print $2}' "$SCALE_DIR/cluster.out")
+    echo "solo: $SOLO_TPS req/s; 3-shard cluster: $CLUSTER_TPS req/s"
+    if ! awk -v c="$CLUSTER_TPS" -v s="$SOLO_TPS" \
+         'BEGIN { exit (c >= 2 * s) ? 0 : 1 }'; then
+        echo "error: 3-shard cluster under 2x solo throughput" >&2
+        exit 1
+    fi
+    for pid in "${SCALE_PIDS[@]}"; do
+        kill -TERM "$pid" 2>/dev/null || true
+    done
+    for pid in "${SCALE_PIDS[@]}"; do
+        wait "$pid" 2>/dev/null || true
+    done
+else
+    echo "== router scaling gate skipped (needs >= 4 cores, have $JOBS)"
 fi
 
 echo "== ci OK"

@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Cluster soak: >= 1M mixed requests through a 3-shard tarch_router
+# under open-loop hedged load, with chaos connections feeding garbage
+# frames the whole time and a crash loop SIGKILLing and restarting a
+# rotating shard every CHAOS_PERIOD seconds.  The run fails if a
+# single protocol error is observed (a garbled frame, an undecodable
+# payload, a non-retryable typed error on the load path) or if the
+# router does not drain cleanly on SIGTERM at the end.
+#
+# This is the long-running acceptance recipe from docs/SERVING.md —
+# it is NOT part of scripts/ci.sh.  At the default 2000 req/s the
+# 1M-request run takes ~9 minutes on a multicore host; scale with:
+#
+#   scripts/soak.sh [total_requests] [rate_per_sec]
+#   BUILD_DIR=build scripts/soak.sh 1000000 2000
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+TOTAL="${1:-1000000}"
+RATE="${2:-2000}"
+CHAOS_PERIOD="${CHAOS_PERIOD:-20}"
+
+SOAK_DIR="$BUILD_DIR/soak"
+rm -rf "$SOAK_DIR"
+mkdir -p "$SOAK_DIR"
+
+SHARD_PIDS=()
+SHARD_ARGS=()
+start_shard() {
+    local i=$1
+    mkdir -p "$SOAK_DIR/cache$i"
+    "$BUILD_DIR/tools/tarch_served" --unix "$SOAK_DIR/shard$i.sock" \
+        --cache-dir "$SOAK_DIR/cache$i" \
+        >> "$SOAK_DIR/shard$i.log" 2>&1 &
+    SHARD_PIDS[$i]=$!
+}
+for i in 0 1 2; do
+    start_shard "$i"
+    SHARD_ARGS+=(--shard "unix:$SOAK_DIR/shard$i.sock")
+done
+
+"$BUILD_DIR/tools/tarch_router" --unix "$SOAK_DIR/router.sock" \
+    "${SHARD_ARGS[@]}" > "$SOAK_DIR/router.log" 2>&1 &
+ROUTER_PID=$!
+for _ in $(seq 1 100); do
+    [[ -S "$SOAK_DIR/router.sock" ]] && break
+    sleep 0.1
+done
+[[ -S "$SOAK_DIR/router.sock" ]]
+
+echo "== soak: $TOTAL mixed requests @ $RATE req/s, 3 shards," \
+     "shard crash every ${CHAOS_PERIOD}s"
+"$BUILD_DIR/tools/tarch_bench_client" --unix "$SOAK_DIR/router.sock" \
+    --connections 8 --requests "$TOTAL" --rate "$RATE" \
+    --mix-source 20 --benchmark fibo --variant typed --chaos 4 \
+    > "$SOAK_DIR/load.out" &
+LOAD_PID=$!
+
+# Crash loop: SIGKILL a rotating shard (by the PID we spawned, never
+# by name pattern) and bring it back on the same endpoint.  The
+# router must eject, fail over, and heal each time.
+VICTIM=0
+CRASHES=0
+while sleep "$CHAOS_PERIOD" && kill -0 "$LOAD_PID" 2>/dev/null; do
+    kill -KILL "${SHARD_PIDS[$VICTIM]}" 2>/dev/null || true
+    wait "${SHARD_PIDS[$VICTIM]}" 2>/dev/null || true
+    sleep 1
+    start_shard "$VICTIM"
+    CRASHES=$((CRASHES + 1))
+    VICTIM=$(((VICTIM + 1) % 3))
+done
+
+if ! wait "$LOAD_PID"; then
+    echo "error: soak load failed" >&2
+    cat "$SOAK_DIR/load.out" >&2
+    tail -40 "$SOAK_DIR/router.log" >&2
+    exit 1
+fi
+cat "$SOAK_DIR/load.out"
+echo "shard crashes injected: $CRASHES"
+grep -q "protocol errors:  0" "$SOAK_DIR/load.out"
+
+"$BUILD_DIR/tools/tarch_bench_client" --unix "$SOAK_DIR/router.sock" \
+    --health | tee "$SOAK_DIR/health.json"
+grep -q '"schema":"tarch-router-stats-v1"' "$SOAK_DIR/health.json"
+
+kill -TERM "$ROUTER_PID"
+if ! wait "$ROUTER_PID"; then
+    echo "error: tarch_router did not drain cleanly after the soak" >&2
+    exit 1
+fi
+for pid in "${SHARD_PIDS[@]}"; do
+    kill -TERM "$pid" 2>/dev/null || true
+done
+for pid in "${SHARD_PIDS[@]}"; do
+    wait "$pid" 2>/dev/null || true
+done
+
+echo "== soak OK ($TOTAL requests, $CRASHES shard crashes," \
+     "zero protocol errors)"

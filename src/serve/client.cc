@@ -2,87 +2,46 @@
 
 #include <cerrno>
 #include <cstring>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include "common/log.h"
 
 namespace tarch::serve {
 
-namespace {
-
-int
-readFull(int fd, void *buf, size_t len)
-{
-    auto *p = static_cast<uint8_t *>(buf);
-    size_t got = 0;
-    while (got < len) {
-        const ssize_t n = ::recv(fd, p + got, len - got, 0);
-        if (n == 0)
-            return got == 0 ? 0 : -1;
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return got == 0 ? 0 : -1;
-        }
-        got += static_cast<size_t>(n);
-    }
-    return 1;
-}
-
-} // namespace
-
 Client
 Client::connectUnix(const std::string &path)
 {
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (path.size() >= sizeof(addr.sun_path))
-        tarch_fatal("serve client: unix socket path too long: %s",
-                    path.c_str());
-    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
-    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    Endpoint ep;
+    ep.unixPath = path;
+    const int fd = connectEndpoint(ep);
     if (fd < 0)
-        tarch_fatal("serve client: socket(AF_UNIX): %s",
-                    std::strerror(errno));
-    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
-                  sizeof(addr)) != 0) {
-        const int err = errno;
-        ::close(fd);
         tarch_fatal("serve client: cannot connect to %s: %s",
-                    path.c_str(), std::strerror(err));
-    }
+                    path.c_str(), std::strerror(errno));
     return Client(fd);
 }
 
 Client
 Client::connectTcp(uint16_t port)
 {
-    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    Endpoint ep;
+    ep.tcpPort = port;
+    const int fd = connectEndpoint(ep);
     if (fd < 0)
-        tarch_fatal("serve client: socket(AF_INET): %s",
-                    std::strerror(errno));
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(port);
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
-                  sizeof(addr)) != 0) {
-        const int err = errno;
-        ::close(fd);
         tarch_fatal("serve client: cannot connect to 127.0.0.1:%u: %s",
-                    port, std::strerror(err));
-    }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+                    port, std::strerror(errno));
     return Client(fd);
 }
 
+Client
+Client::tryConnect(const Endpoint &ep)
+{
+    return Client(ep.valid() ? connectEndpoint(ep) : -1);
+}
+
 Client::Client(Client &&other) noexcept
-    : fd_(other.fd_), nextId_(other.nextId_)
+    : fd_(other.fd_), nextId_(other.nextId_),
+      lastStatus_(other.lastStatus_)
 {
     other.fd_ = -1;
 }
@@ -94,6 +53,7 @@ Client::operator=(Client &&other) noexcept
         close();
         fd_ = other.fd_;
         nextId_ = other.nextId_;
+        lastStatus_ = other.lastStatus_;
         other.fd_ = -1;
     }
     return *this;
@@ -118,16 +78,13 @@ Client::sendRaw(const void *data, size_t len)
 {
     if (fd_ < 0)
         return false;
-    const auto *p = static_cast<const char *>(data);
-    size_t sent = 0;
-    while (sent < len) {
-        const ssize_t n = ::send(fd_, p + sent, len - sent, MSG_NOSIGNAL);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        sent += static_cast<size_t>(n);
+    if (!sendAll(fd_, static_cast<const char *>(data), len)) {
+        // A partial frame may be on the wire — this connection can no
+        // longer speak the protocol.  Poison it; the caller retries on
+        // a fresh connection (or another shard).
+        lastStatus_ = IoStatus::Lost;
+        close();
+        return false;
     }
     return true;
 }
@@ -138,64 +95,106 @@ Client::sendRequest(proto::MsgKind kind, const std::string &payload)
     const uint64_t id = nextId_++;
     const std::string frame = proto::encodeFrame(kind, id, payload);
     if (!sendRaw(frame.data(), frame.size()))
-        tarch_fatal("serve client: send failed: %s",
-                    std::strerror(errno));
+        return 0;
     return id;
 }
 
-bool
-Client::readReply(Reply &out)
+Client::IoStatus
+Client::readFrame(Reply &out)
 {
     if (fd_ < 0)
-        return false;
+        return lastStatus_ == IoStatus::Ok ? IoStatus::Closed
+                                           : lastStatus_;
     uint8_t header[proto::kHeaderSize];
     const int got = readFull(fd_, header, sizeof(header));
-    if (got == 0)
-        return false; // clean close (drained server)
-    if (got < 0)
-        tarch_fatal("serve client: connection lost mid-frame");
+    if (got == 0) {
+        // Clean close at a frame boundary (drained server).
+        lastStatus_ = IoStatus::Closed;
+        close();
+        return IoStatus::Closed;
+    }
+    if (got < 0) {
+        lastStatus_ = IoStatus::Lost;
+        close();
+        return IoStatus::Lost;
+    }
     proto::FrameHeader fh;
     if (proto::parseHeader(header, fh, proto::kMaxPayload) !=
-        proto::HeaderStatus::Ok)
-        tarch_fatal("serve client: garbled response header");
+        proto::HeaderStatus::Ok) {
+        lastStatus_ = IoStatus::Garbled;
+        close();
+        return IoStatus::Garbled;
+    }
     out.kind = fh.kind;
     out.requestId = fh.requestId;
     out.payload.assign(fh.payloadLen, '\0');
     if (fh.payloadLen > 0 &&
-        readFull(fd_, out.payload.data(), out.payload.size()) != 1)
-        tarch_fatal("serve client: connection lost mid-frame");
-    return true;
+        readFull(fd_, out.payload.data(), out.payload.size()) != 1) {
+        lastStatus_ = IoStatus::Lost;
+        close();
+        return IoStatus::Lost;
+    }
+    return IoStatus::Ok;
+}
+
+Client::Outcome
+Client::lostOutcome(const char *what)
+{
+    Outcome outcome;
+    if (lastStatus_ == IoStatus::Closed) {
+        outcome.closed = true;
+        return outcome;
+    }
+    outcome.error.code =
+        static_cast<uint16_t>(proto::ErrorCode::ConnectionLost);
+    outcome.error.retryable = 1;
+    outcome.error.message = what;
+    return outcome;
 }
 
 Client::Outcome
 Client::awaitCellOutcome(uint64_t request_id)
 {
     Outcome outcome;
+    if (request_id == 0)
+        return lostOutcome("send failed");
     Reply reply;
-    // Skip replies to other (pipelined) requests; closed-loop callers
-    // never see any.
+    // Skip replies to other (pipelined or hedge-abandoned) requests;
+    // closed-loop callers never see any.
     for (;;) {
-        if (!readReply(reply)) {
+        const IoStatus st = readFrame(reply);
+        if (st == IoStatus::Closed) {
             outcome.closed = true;
             return outcome;
         }
+        if (st != IoStatus::Ok)
+            return lostOutcome(st == IoStatus::Garbled
+                                   ? "garbled response stream"
+                                   : "connection lost mid-frame");
         if (reply.requestId == request_id)
             break;
     }
     if (static_cast<proto::MsgKind>(reply.kind) ==
         proto::MsgKind::CellResult) {
-        if (!proto::decodeCellResult(reply.payload, outcome.result))
-            tarch_fatal("serve client: garbled CellResult payload");
+        if (!proto::decodeCellResult(reply.payload, outcome.result)) {
+            lastStatus_ = IoStatus::Garbled;
+            close();
+            return lostOutcome("garbled CellResult payload");
+        }
         outcome.ok = true;
         return outcome;
     }
     if (static_cast<proto::MsgKind>(reply.kind) == proto::MsgKind::Error) {
-        if (!proto::decodeErrorBody(reply.payload, outcome.error))
-            tarch_fatal("serve client: garbled Error payload");
+        if (!proto::decodeErrorBody(reply.payload, outcome.error)) {
+            lastStatus_ = IoStatus::Garbled;
+            close();
+            return lostOutcome("garbled Error payload");
+        }
         return outcome;
     }
-    tarch_fatal("serve client: unexpected reply kind %u to request %llu",
-                reply.kind, (unsigned long long)request_id);
+    lastStatus_ = IoStatus::Garbled;
+    close();
+    return lostOutcome("unexpected reply kind");
 }
 
 Client::Outcome
@@ -220,12 +219,27 @@ Client::runBatch(const proto::BatchRequest &req, proto::BatchResult &out,
 {
     const uint64_t id = sendRequest(proto::MsgKind::RunBatch,
                                     proto::encodeBatchRequest(req));
+    if (id == 0) {
+        error.code =
+            static_cast<uint16_t>(proto::ErrorCode::ConnectionLost);
+        error.retryable = 1;
+        error.message = "send failed";
+        return false;
+    }
     Reply reply;
     for (;;) {
-        if (!readReply(reply)) {
+        const IoStatus st = readFrame(reply);
+        if (st == IoStatus::Closed) {
             error.code =
                 static_cast<uint16_t>(proto::ErrorCode::Draining);
             error.message = "connection closed before the batch reply";
+            return false;
+        }
+        if (st != IoStatus::Ok) {
+            error.code =
+                static_cast<uint16_t>(proto::ErrorCode::ConnectionLost);
+            error.retryable = 1;
+            error.message = "connection lost before the batch reply";
             return false;
         }
         if (reply.requestId == id)
@@ -233,24 +247,36 @@ Client::runBatch(const proto::BatchRequest &req, proto::BatchResult &out,
     }
     if (static_cast<proto::MsgKind>(reply.kind) ==
         proto::MsgKind::BatchResult) {
-        if (!proto::decodeBatchResult(reply.payload, out))
-            tarch_fatal("serve client: garbled BatchResult payload");
-        return true;
+        if (proto::decodeBatchResult(reply.payload, out))
+            return true;
+        lastStatus_ = IoStatus::Garbled;
+        close();
+        error.code =
+            static_cast<uint16_t>(proto::ErrorCode::ConnectionLost);
+        error.retryable = 1;
+        error.message = "garbled BatchResult payload";
+        return false;
     }
     if (static_cast<proto::MsgKind>(reply.kind) == proto::MsgKind::Error &&
         proto::decodeErrorBody(reply.payload, error))
         return false;
-    tarch_fatal("serve client: unexpected reply kind %u to batch %llu",
-                reply.kind, (unsigned long long)id);
+    lastStatus_ = IoStatus::Garbled;
+    close();
+    error.code = static_cast<uint16_t>(proto::ErrorCode::ConnectionLost);
+    error.retryable = 1;
+    error.message = "unexpected reply kind to batch";
+    return false;
 }
 
 std::string
 Client::stats()
 {
     const uint64_t id = sendRequest(proto::MsgKind::Stats, "");
+    if (id == 0)
+        return "";
     Reply reply;
     for (;;) {
-        if (!readReply(reply))
+        if (readFrame(reply) != IoStatus::Ok)
             return "";
         if (reply.requestId == id)
             break;
@@ -258,8 +284,11 @@ Client::stats()
     proto::StatsResult stats;
     if (static_cast<proto::MsgKind>(reply.kind) !=
             proto::MsgKind::StatsResult ||
-        !proto::decodeStatsResult(reply.payload, stats))
-        tarch_fatal("serve client: garbled Stats reply");
+        !proto::decodeStatsResult(reply.payload, stats)) {
+        lastStatus_ = IoStatus::Garbled;
+        close();
+        return "";
+    }
     return stats.json;
 }
 
@@ -267,9 +296,11 @@ bool
 Client::ping()
 {
     const uint64_t id = sendRequest(proto::MsgKind::Ping, "");
+    if (id == 0)
+        return false;
     Reply reply;
     for (;;) {
-        if (!readReply(reply))
+        if (readFrame(reply) != IoStatus::Ok)
             return false;
         if (reply.requestId == id)
             break;
@@ -281,9 +312,11 @@ bool
 Client::drain()
 {
     const uint64_t id = sendRequest(proto::MsgKind::Drain, "");
+    if (id == 0)
+        return false;
     Reply reply;
     for (;;) {
-        if (!readReply(reply))
+        if (readFrame(reply) != IoStatus::Ok)
             return false;
         if (reply.requestId == id)
             break;

@@ -1,11 +1,18 @@
 /**
  * @file
- * tarch-rpc-v1 client: connects to a tarch_served instance over TCP
- * loopback or a Unix domain socket, frames requests, and decodes
- * responses.  The convenience calls are closed-loop (send one request,
- * read its reply); the raw frame interface underneath supports
- * pipelining and deliberately malformed traffic for robustness tests
- * and the load generator's chaos mode.
+ * tarch-rpc-v1 client: connects to a tarch_served / tarch_router
+ * instance over TCP loopback or a Unix domain socket, frames requests,
+ * and decodes responses.  The convenience calls are closed-loop (send
+ * one request, read its reply); the raw frame interface underneath
+ * supports pipelining and deliberately malformed traffic for
+ * robustness tests and the load generator's chaos mode.
+ *
+ * Transport failures are DATA, not process death: a dead backend must
+ * never take a router or load generator down with it.  Socket errors
+ * (send failure, recv EOF mid-frame, garbled response bytes) poison
+ * only this connection and surface as a typed, retryable
+ * ConnectionLost outcome; only the throwing connect*() constructors
+ * and programming errors raise FatalError.
  */
 
 #ifndef TARCH_SERVE_CLIENT_H
@@ -15,6 +22,7 @@
 #include <string>
 
 #include "serve/protocol.h"
+#include "serve/socket_util.h"
 
 namespace tarch::serve {
 
@@ -24,7 +32,12 @@ class Client
     /** Both connectors throw FatalError when the endpoint is down. */
     static Client connectUnix(const std::string &path);
     static Client connectTcp(uint16_t port);  ///< 127.0.0.1:port
+    /** Non-throwing connect; a dead endpoint yields a closed Client
+        (isOpen() == false).  Routers and hedging clients use this —
+        shard death is routine, not fatal. */
+    static Client tryConnect(const Endpoint &ep);
 
+    Client() = default;  ///< closed; tryConnect target
     Client(Client &&other) noexcept;
     Client &operator=(Client &&other) noexcept;
     Client(const Client &) = delete;
@@ -38,12 +51,31 @@ class Client
         std::string payload;
     };
 
+    /** How the last read (or the connection as a whole) ended. */
+    enum class IoStatus : uint8_t {
+        Ok,       ///< a complete frame was read
+        Closed,   ///< clean EOF at a frame boundary (drained server)
+        Lost,     ///< disconnect mid-frame or a send/recv error
+        Garbled,  ///< response bytes failed to parse — stream poisoned
+    };
+
     /** Outcome of a convenience call: a result or a typed error. */
     struct Outcome {
         bool ok = false;
         bool closed = false;  ///< connection ended before a reply
         proto::CellResult result;
+        /** On !ok && !closed: either a typed error the server sent, or
+            a client-synthesized retryable ConnectionLost when the
+            transport died (send failure, mid-frame EOF, garbled
+            bytes). */
         proto::ErrorBody error;
+
+        bool lost() const
+        {
+            return !ok && !closed &&
+                   error.code == static_cast<uint16_t>(
+                                     proto::ErrorCode::ConnectionLost);
+        }
     };
 
     // -- closed-loop convenience -------------------------------------
@@ -51,10 +83,10 @@ class Client
     Outcome runCell(const proto::CellRequest &req);
     Outcome runSource(const proto::SourceRequest &req);
     /** Returns false (with @p error filled) on a typed error reply or
-        a closed connection. */
+        a closed/lost connection. */
     bool runBatch(const proto::BatchRequest &req, proto::BatchResult &out,
                   proto::ErrorBody &error);
-    /** Server health JSON; empty on a closed connection. */
+    /** Server health JSON; empty on a closed/lost connection. */
     std::string stats();
     bool ping();
     /** Ask the server to drain; true once DrainStarted is read. */
@@ -62,27 +94,39 @@ class Client
 
     // -- raw frame interface -----------------------------------------
 
-    /** Send a frame with the next request id (returned). */
+    /**
+     * Send a frame with the next request id (returned).  Returns 0 on
+     * a send failure; the connection is then poisoned (a partial frame
+     * may be on the wire) and closed.
+     */
     uint64_t sendRequest(proto::MsgKind kind, const std::string &payload);
     /** Send arbitrary bytes (chaos/malformed-frame injection). */
     bool sendRaw(const void *data, size_t len);
     /**
-     * Read one response frame.  Returns false on a clean close (EOF at
-     * a frame boundary — how a drained server ends the conversation);
-     * throws FatalError on garbled response bytes.
+     * Read one response frame.  Never throws: Lost/Garbled poison and
+     * close the connection instead of aborting the process.
      */
-    bool readReply(Reply &out);
+    IoStatus readFrame(Reply &out);
+    /** Compatibility wrapper: true only on IoStatus::Ok. */
+    bool readReply(Reply &out) { return readFrame(out) == IoStatus::Ok; }
+
+    /** Status of the most recent read/send failure (Ok if none). */
+    IoStatus lastStatus() const { return lastStatus_; }
 
     bool isOpen() const { return fd_ >= 0; }
+    int fd() const { return fd_; }  ///< for poll(); -1 when closed
     void close();
 
   private:
     explicit Client(int fd) : fd_(fd) {}
 
+    /** Close and record why, synthesizing the outcome error. */
+    Outcome lostOutcome(const char *what);
     Outcome awaitCellOutcome(uint64_t request_id);
 
     int fd_ = -1;
     uint64_t nextId_ = 1;
+    IoStatus lastStatus_ = IoStatus::Ok;
 };
 
 } // namespace tarch::serve

@@ -1,0 +1,268 @@
+#include "serve/hedged_client.h"
+
+#include <algorithm>
+#include <poll.h>
+
+namespace tarch::serve {
+
+namespace {
+
+/** Decode a matched reply frame into a convenience Outcome; sets
+    @p garbled only for the undecodable-payload fallback (a server sent
+    ConnectionLost Error frame is routine, not garbled). */
+Client::Outcome
+decodeOutcome(const Client::Reply &reply, bool &garbled)
+{
+    Client::Outcome outcome;
+    if (static_cast<proto::MsgKind>(reply.kind) ==
+            proto::MsgKind::CellResult &&
+        proto::decodeCellResult(reply.payload, outcome.result)) {
+        outcome.ok = true;
+        return outcome;
+    }
+    if (static_cast<proto::MsgKind>(reply.kind) == proto::MsgKind::Error &&
+        proto::decodeErrorBody(reply.payload, outcome.error))
+        return outcome;
+    // Undecodable reply: treat like a dead connection (retryable).
+    garbled = true;
+    outcome.error.code =
+        static_cast<uint16_t>(proto::ErrorCode::ConnectionLost);
+    outcome.error.retryable = 1;
+    outcome.error.message = "garbled reply";
+    return outcome;
+}
+
+bool
+retryable(const Client::Outcome &outcome)
+{
+    return !outcome.ok && !outcome.closed &&
+           proto::errorRetryable(
+               static_cast<proto::ErrorCode>(outcome.error.code));
+}
+
+} // namespace
+
+HedgedClient::HedgedClient(const Options &opts)
+    : opts_(opts), budgetTokens_(opts.retryBudgetInitial),
+      epoch_(std::chrono::steady_clock::now())
+{
+    for (size_t i = 0; i < opts_.endpoints.size(); ++i) {
+        nodes_.push_back(
+            std::make_unique<Node>(opts_.endpoints[i], opts_.health));
+        // Suffix the ring id with the slot so duplicate endpoints still
+        // get distinct ring positions.
+        ring_.insert(i,
+                     opts_.endpoints[i].describe() + "@" +
+                         std::to_string(i),
+                     opts_.ringVnodes);
+    }
+}
+
+uint64_t
+HedgedClient::nowMs() const
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+}
+
+uint64_t
+HedgedClient::nowUs() const
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+}
+
+uint64_t
+HedgedClient::hedgeDelayUs() const
+{
+    if (latencies_.count() < opts_.minSamples)
+        return static_cast<uint64_t>(opts_.defaultHedgeMs) * 1000;
+    const uint64_t tail = latencies_.percentile(opts_.hedgePercentile);
+    const uint64_t floor_us =
+        static_cast<uint64_t>(opts_.hedgeFloorMs) * 1000;
+    const uint64_t cap_us = static_cast<uint64_t>(opts_.hedgeCapMs) * 1000;
+    return std::min(cap_us, std::max(floor_us, tail));
+}
+
+bool
+HedgedClient::ensureNode(Node &node)
+{
+    if (node.client.isOpen())
+        return true;
+    node.client = Client::tryConnect(node.ep);
+    return node.client.isOpen();
+}
+
+bool
+HedgedClient::spendBudget()
+{
+    if (budgetTokens_ < 1.0) {
+        ++counters_.budgetDenied;
+        return false;
+    }
+    budgetTokens_ -= 1.0;
+    return true;
+}
+
+Client::Outcome
+HedgedClient::runCell(const proto::CellRequest &req)
+{
+    return run(proto::MsgKind::RunCell, proto::encodeCellRequest(req),
+               proto::cellRequestKey(req));
+}
+
+Client::Outcome
+HedgedClient::runSource(const proto::SourceRequest &req)
+{
+    return run(proto::MsgKind::RunSource,
+               proto::encodeSourceRequest(req),
+               proto::sourceRequestKey(req));
+}
+
+Client::Outcome
+HedgedClient::run(proto::MsgKind kind, const std::string &payload,
+                  uint64_t key)
+{
+    ++counters_.requests;
+    budgetTokens_ =
+        std::min(opts_.retryBudgetCap,
+                 budgetTokens_ + opts_.retryBudgetRatio);
+
+    struct Flight {
+        size_t node;
+        uint64_t id;
+        bool hedge;
+    };
+    std::vector<Flight> flights;
+    const std::vector<size_t> order = ring_.owners(key, nodes_.size());
+    size_t next_in_order = 0;
+    unsigned attempts = 0;
+
+    // Launch one attempt on the next live endpoint in ring order.
+    const auto launch = [&](bool hedge) -> bool {
+        while (next_in_order < order.size() &&
+               attempts < opts_.maxAttempts) {
+            const size_t node_index = order[next_in_order++];
+            Node &node = *nodes_[node_index];
+            if (!node.health.admit(nowMs()))
+                continue;
+            if (!ensureNode(node)) {
+                node.health.recordFailure(nowMs());
+                continue;
+            }
+            const uint64_t id = node.client.sendRequest(kind, payload);
+            if (id == 0) {
+                ++counters_.lostConnections;
+                node.health.recordFailure(nowMs());
+                continue;
+            }
+            flights.push_back(Flight{node_index, id, hedge});
+            ++attempts;
+            return true;
+        }
+        return false;
+    };
+
+    Client::Outcome last;
+    last.error.code =
+        static_cast<uint16_t>(proto::ErrorCode::ConnectionLost);
+    last.error.retryable = 1;
+    last.error.message = "no endpoint reachable";
+
+    if (!launch(false))
+        return last;
+
+    const uint64_t start_us = nowUs();
+    uint64_t hedge_at_us = start_us + hedgeDelayUs();
+    bool hedge_decided = false;  // hedge fired or permanently declined
+
+    for (;;) {
+        std::vector<pollfd> fds;
+        fds.reserve(flights.size());
+        for (const Flight &flight : flights)
+            fds.push_back(
+                pollfd{nodes_[flight.node]->client.fd(), POLLIN, 0});
+
+        int timeout_ms = -1;
+        if (!hedge_decided) {
+            const uint64_t now = nowUs();
+            timeout_ms = now >= hedge_at_us
+                             ? 0
+                             : static_cast<int>(
+                                   (hedge_at_us - now) / 1000 + 1);
+        }
+        const int ready =
+            ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                   timeout_ms);
+        if (ready == 0 && !hedge_decided) {
+            // The first attempt is past the tail estimate: hedge to the
+            // next endpoint on the ring (budget permitting).
+            hedge_decided = true;
+            if (spendBudget() && launch(true))
+                ++counters_.hedges;
+            continue;
+        }
+        if (ready < 0)
+            continue;  // EINTR
+
+        for (size_t i = 0; i < fds.size() && i < flights.size(); ++i) {
+            if (!(fds[i].revents & (POLLIN | POLLERR | POLLHUP)))
+                continue;
+            const Flight flight = flights[i];
+            Node &node = *nodes_[flight.node];
+            Client::Reply reply;
+            const Client::IoStatus st = node.client.readFrame(reply);
+            if (st != Client::IoStatus::Ok) {
+                if (st == Client::IoStatus::Garbled)
+                    ++counters_.garbled;
+                ++counters_.lostConnections;
+                node.health.recordFailure(nowMs());
+                flights.erase(flights.begin() +
+                              static_cast<ptrdiff_t>(i));
+                last = Client::Outcome{};
+                last.error.code = static_cast<uint16_t>(
+                    proto::ErrorCode::ConnectionLost);
+                last.error.retryable = 1;
+                last.error.message = "connection lost";
+                break;  // pollfds are stale; rebuild
+            }
+            if (reply.requestId != flight.id)
+                continue;  // stale reply from an abandoned hedge
+            node.health.recordSuccess();
+            bool reply_garbled = false;
+            Client::Outcome outcome = decodeOutcome(reply, reply_garbled);
+            if (reply_garbled)
+                ++counters_.garbled;
+            if (outcome.ok || !retryable(outcome)) {
+                if (flight.hedge)
+                    ++counters_.hedgeWins;
+                latencies_.record(nowUs() - start_us);
+                return outcome;
+            }
+            // Retryable (Busy/Draining/...): give up on this flight,
+            // keep any sibling flight alive.
+            last = std::move(outcome);
+            flights.erase(flights.begin() + static_cast<ptrdiff_t>(i));
+            break;  // pollfds are stale; rebuild
+        }
+
+        if (flights.empty()) {
+            // Every flight failed retryably; sequential retry on the
+            // next ring owner, budget permitting.
+            if (attempts >= opts_.maxAttempts ||
+                next_in_order >= order.size() || !spendBudget())
+                return last;
+            if (!launch(false))
+                return last;
+            ++counters_.retries;
+            hedge_at_us = nowUs() + hedgeDelayUs();
+            hedge_decided = false;
+        }
+    }
+}
+
+} // namespace tarch::serve

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * HedgedClient: a tail-latency-tolerant client over N tarch-rpc-v1
+ * endpoints (daemon shards or routers).
+ *
+ * Requests consistent-hash onto an endpoint by the same content-
+ * addressed key the router uses, so a hedge or retry that lands on the
+ * router keeps its shard affinity and deduplicates in the shard's
+ * single-flight memo.  If the first attempt has not answered within
+ * the hedge delay — derived from the observed latency histogram's tail
+ * (p99 by default) — a second attempt is sent to the NEXT endpoint on
+ * the ring and the first complete answer wins; the loser's reply is
+ * discarded when it eventually arrives (per-connection request ids
+ * make stale replies skippable).
+ *
+ * Hedges and retries spend a token-bucket retry budget that refills a
+ * fraction of a token per request: when the cluster is genuinely slow
+ * everywhere, the budget runs dry and the client degrades to plain
+ * single-attempt behavior instead of amplifying the overload into a
+ * retry storm.
+ *
+ * Endpoints share the router's ShardHealth ejection/probe state
+ * machine, so a dead endpoint costs a connect failure once per backoff
+ * window, not per request.  NOT thread-safe: give each load-generator
+ * worker its own instance.
+ */
+
+#ifndef TARCH_SERVE_HEDGED_CLIENT_H
+#define TARCH_SERVE_HEDGED_CLIENT_H
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/loadgen.h"
+#include "serve/protocol.h"
+#include "serve/router.h"
+#include "serve/socket_util.h"
+
+namespace tarch::serve {
+
+class HedgedClient
+{
+  public:
+    struct Options {
+        std::vector<Endpoint> endpoints;
+        unsigned ringVnodes = 64;
+        /** Attempt cap per request (first + hedges/retries). */
+        unsigned maxAttempts = 3;
+        /** Hedge fires at this percentile of observed latency... */
+        double hedgePercentile = 99.0;
+        /** ...clamped to [floor, cap]; before minSamples observations
+            the defaultHedge applies. */
+        uint32_t hedgeFloorMs = 2;
+        uint32_t hedgeCapMs = 1'000;
+        uint32_t defaultHedgeMs = 50;
+        uint64_t minSamples = 32;
+        /** Token bucket: each request earns this fraction of a token;
+            each hedge/retry spends one whole token. */
+        double retryBudgetRatio = 0.1;
+        double retryBudgetCap = 50.0;
+        double retryBudgetInitial = 10.0;
+        ShardHealth::Options health;
+    };
+
+    struct Counters {
+        uint64_t requests = 0;
+        uint64_t hedges = 0;
+        uint64_t hedgeWins = 0;  ///< the hedge answered first
+        uint64_t retries = 0;    ///< re-sends after a retryable error
+        uint64_t budgetDenied = 0;
+        uint64_t lostConnections = 0;
+        /** Well-framed garbage: unparseable response bytes or an
+            undecodable reply payload — a protocol error, unlike the
+            routine connection churn above. */
+        uint64_t garbled = 0;
+    };
+
+    explicit HedgedClient(const Options &opts);
+
+    Client::Outcome runCell(const proto::CellRequest &req);
+    Client::Outcome runSource(const proto::SourceRequest &req);
+
+    const Counters &counters() const { return counters_; }
+    /** Completed-request latencies (from first send to winning reply),
+        microseconds. */
+    const LatencyHistogram &latencies() const { return latencies_; }
+    /** Current hedge delay in microseconds (tail-derived once warm). */
+    uint64_t hedgeDelayUs() const;
+
+  private:
+    struct Node {
+        Endpoint ep;
+        Client client;
+        ShardHealth health;
+
+        Node(const Endpoint &e, const ShardHealth::Options &h)
+            : ep(e), health(h)
+        {
+        }
+    };
+
+    uint64_t nowMs() const;
+    uint64_t nowUs() const;
+    bool ensureNode(Node &node);
+    bool spendBudget();
+    Client::Outcome run(proto::MsgKind kind, const std::string &payload,
+                        uint64_t key);
+
+    Options opts_;
+    HashRing ring_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    LatencyHistogram latencies_;
+    Counters counters_;
+    double budgetTokens_ = 0.0;
+    std::chrono::steady_clock::time_point epoch_;
+};
+
+} // namespace tarch::serve
+
+#endif // TARCH_SERVE_HEDGED_CLIENT_H

@@ -174,6 +174,7 @@ errorCodeName(ErrorCode code)
       case ErrorCode::DeadlineExceeded: return "deadline-exceeded";
       case ErrorCode::Draining: return "draining";
       case ErrorCode::Internal: return "internal";
+      case ErrorCode::ConnectionLost: return "connection-lost";
     }
     return "unknown";
 }
@@ -181,7 +182,8 @@ errorCodeName(ErrorCode code)
 bool
 errorRetryable(ErrorCode code)
 {
-    return code == ErrorCode::Busy || code == ErrorCode::Draining;
+    return code == ErrorCode::Busy || code == ErrorCode::Draining ||
+           code == ErrorCode::ConnectionLost;
 }
 
 HeaderStatus
@@ -415,6 +417,60 @@ errorFrame(uint64_t request_id, ErrorCode code, const std::string &message)
     body.retryable = errorRetryable(code) ? 1 : 0;
     body.message = message;
     return encodeFrame(MsgKind::Error, request_id, encodeErrorBody(body));
+}
+
+// ---------------------------------------------------------------------
+// Request keys.
+
+uint64_t
+fnv1a64(const void *data, size_t len, uint64_t seed)
+{
+    const auto *p = static_cast<const uint8_t *>(data);
+    uint64_t h = seed;
+    for (size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+namespace {
+
+uint64_t
+hashStr(const std::string &s, uint64_t seed)
+{
+    // Length-prefixed so ("ab","c") and ("a","bc") cannot collide.
+    const uint32_t len = static_cast<uint32_t>(s.size());
+    const uint64_t h = fnv1a64(&len, sizeof(len), seed);
+    return fnv1a64(s.data(), s.size(), h);
+}
+
+} // namespace
+
+uint64_t
+cellRequestKey(const CellRequest &req)
+{
+    const uint8_t fields[3] = {/*tag=*/0, req.engine, req.variant};
+    return hashStr(req.benchmark, fnv1a64(fields, sizeof(fields)));
+}
+
+uint64_t
+sourceRequestKey(const SourceRequest &req)
+{
+    const uint8_t fields[4] = {/*tag=*/1, req.engine, req.variant,
+                               req.lang};
+    return hashStr(req.source, fnv1a64(fields, sizeof(fields)));
+}
+
+uint64_t
+batchRequestKey(const BatchRequest &req)
+{
+    uint64_t h = fnv1a64("batch", 5);
+    for (const CellRequest &cell : req.cells) {
+        const uint64_t k = cellRequestKey(cell);
+        h = fnv1a64(&k, sizeof(k), h);
+    }
+    return h;
 }
 
 } // namespace tarch::serve::proto

@@ -74,6 +74,11 @@ enum class ErrorCode : uint16_t {
     DeadlineExceeded = 12,
     Draining = 13,        ///< server is draining; no new work
     Internal = 14,
+    /** The transport died before a reply: synthesized by clients for
+        their own dead connections and by the router when a backend
+        shard drops mid-request.  A daemon never sends it.  Retryable:
+        simulations are idempotent and deduplicated server-side. */
+    ConnectionLost = 15,
 };
 
 std::string_view errorCodeName(ErrorCode code);
@@ -191,6 +196,26 @@ bool decodeStatsResult(const std::string &payload, StatsResult &out);
 /** Convenience: a complete Error frame for @p request_id. */
 std::string errorFrame(uint64_t request_id, ErrorCode code,
                        const std::string &message);
+
+// ---------------------------------------------------------------------
+// Request keys: content-addressed routing.
+//
+// Every simulation request hashes to a stable 64-bit key over the
+// fields that determine its result (engine, variant, benchmark name or
+// source text) — the same content addressing the sweep cache uses — so
+// a consistent-hash router and a hedging client independently map the
+// same request to the same shard, where the single-flight memo
+// deduplicates it.  Deadlines and the stats-JSON flag are deliberately
+// excluded: they change the reply envelope, not the simulation.
+
+/** FNV-1a over @p len bytes, chainable via @p seed. */
+uint64_t fnv1a64(const void *data, size_t len,
+                 uint64_t seed = 14695981039346656037ULL);
+
+uint64_t cellRequestKey(const CellRequest &req);
+uint64_t sourceRequestKey(const SourceRequest &req);
+/** Folded over the batch's cells (a batch routes as one unit). */
+uint64_t batchRequestKey(const BatchRequest &req);
 
 } // namespace tarch::serve::proto
 

@@ -1,0 +1,916 @@
+#include "serve/router.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/log.h"
+#include "common/strutil.h"
+
+namespace tarch::serve {
+
+// ---------------------------------------------------------------------
+// HashRing.
+
+namespace {
+
+/** splitmix64 finalizer.  FNV-1a hashes of short labels that differ
+    only in their trailing characters ("shard0#17" vs "shard0#18")
+    land within ~2^48 of each other, so the top bits — which decide
+    ring position — are nearly constant and a shard's vnodes collapse
+    into a few narrow arcs.  Scrambling the hash restores uniform
+    placement. */
+uint64_t
+mixPoint(uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
+} // namespace
+
+void
+HashRing::insert(size_t index, const std::string &id, unsigned vnodes)
+{
+    for (unsigned v = 0; v < vnodes; ++v) {
+        const std::string point = id + "#" + std::to_string(v);
+        points_[mixPoint(proto::fnv1a64(point.data(), point.size()))] =
+            index;
+    }
+}
+
+void
+HashRing::erase(size_t index)
+{
+    for (auto it = points_.begin(); it != points_.end();) {
+        if (it->second == index)
+            it = points_.erase(it);
+        else
+            ++it;
+    }
+}
+
+size_t
+HashRing::owner(uint64_t key) const
+{
+    if (points_.empty())
+        return npos;
+    auto it = points_.lower_bound(key);
+    if (it == points_.end())
+        it = points_.begin();  // wrap around
+    return it->second;
+}
+
+std::vector<size_t>
+HashRing::owners(uint64_t key, size_t n) const
+{
+    std::vector<size_t> out;
+    if (points_.empty() || n == 0)
+        return out;
+    auto it = points_.lower_bound(key);
+    for (size_t visited = 0; visited < points_.size() && out.size() < n;
+         ++visited) {
+        if (it == points_.end())
+            it = points_.begin();
+        if (std::find(out.begin(), out.end(), it->second) == out.end())
+            out.push_back(it->second);
+        ++it;
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// ShardHealth.
+
+bool
+ShardHealth::admit(uint64_t now_ms)
+{
+    switch (state_) {
+      case State::Healthy:
+        return true;
+      case State::Probing:
+        // One probe is already in flight; hold the rest back until it
+        // resolves.
+        return false;
+      case State::Ejected:
+        if (now_ms < ejectedUntilMs_)
+            return false;
+        state_ = State::Probing;
+        return true;
+    }
+    return false;
+}
+
+void
+ShardHealth::recordSuccess()
+{
+    state_ = State::Healthy;
+    consecutiveFailures_ = 0;
+    backoffMs_ = 0;
+}
+
+void
+ShardHealth::recordFailure(uint64_t now_ms)
+{
+    if (state_ == State::Ejected)
+        return;  // already out; stragglers add nothing
+    if (state_ == State::Probing) {
+        // The probe failed: back off twice as long before the next one.
+        eject(now_ms);
+        return;
+    }
+    if (++consecutiveFailures_ >= opts_.ejectAfter)
+        eject(now_ms);
+}
+
+void
+ShardHealth::eject(uint64_t now_ms)
+{
+    backoffMs_ = backoffMs_ == 0
+                     ? opts_.backoffFloorMs
+                     : std::min(opts_.backoffCapMs, backoffMs_ * 2);
+    ejectedUntilMs_ = now_ms + backoffMs_;
+    state_ = State::Ejected;
+    consecutiveFailures_ = 0;
+    ++ejections_;
+}
+
+// ---------------------------------------------------------------------
+// Router internals.
+
+struct Router::ClientConn : FrameConn {};
+
+struct Router::BackendConn : FrameConn {
+    size_t shard = 0;
+    /** Requests sent on THIS connection awaiting replies, by backend
+        request id (guarded by the owning shard's mutex).  Lives on the
+        connection, not the shard, so a reconnect's pendings are never
+        confused with a dead connection's. */
+    std::unordered_map<uint64_t, std::shared_ptr<Pending>> inFlight;
+    uint64_t nextId = 1;
+};
+
+struct Router::Pending {
+    std::shared_ptr<ClientConn> client;
+    uint64_t clientId = 0;
+    proto::MsgKind kind = proto::MsgKind::RunCell;
+    RoutePriority priority = RoutePriority::Cell;
+    std::string payload;
+    std::atomic<bool> answered{false};
+};
+
+struct Router::Shard {
+    Endpoint ep;
+    mutable std::mutex mu;
+    std::shared_ptr<BackendConn> conn;  ///< null when disconnected
+    ShedQueue<std::shared_ptr<Pending>> queue;
+    ShardHealth health;
+    std::atomic<uint64_t> forwardedCnt{0};
+    std::atomic<uint64_t> completedCnt{0};
+    std::atomic<uint64_t> failuresCnt{0};
+
+    Shard(const Endpoint &e, size_t queue_capacity,
+          const ShardHealth::Options &health_opts)
+        : ep(e), queue(queue_capacity), health(health_opts)
+    {
+    }
+};
+
+// ---------------------------------------------------------------------
+// Health.
+
+std::string
+Router::Health::toJson() const
+{
+    std::string shard_array = "[";
+    for (size_t i = 0; i < shards.size(); ++i) {
+        const ShardStats &s = shards[i];
+        if (i > 0)
+            shard_array += ",";
+        shard_array += strformat(
+            "{\"endpoint\":\"%s\",\"state\":\"%s\","
+            "\"forwarded\":%llu,\"completed\":%llu,"
+            "\"failures\":%llu,\"ejections\":%llu,"
+            "\"in_flight\":%llu,\"queued\":%llu}",
+            s.endpoint.c_str(), s.state.c_str(),
+            (unsigned long long)s.forwarded,
+            (unsigned long long)s.completed,
+            (unsigned long long)s.failures,
+            (unsigned long long)s.ejections,
+            (unsigned long long)s.inFlight, (unsigned long long)s.queued);
+    }
+    shard_array += "]";
+    return strformat(
+        "{\"schema\":\"tarch-router-stats-v1\","
+        "\"accepted_connections\":%llu,"
+        "\"active_connections\":%llu,"
+        "\"received\":%llu,"
+        "\"forwarded\":%llu,"
+        "\"completed\":%llu,"
+        "\"errors\":%llu,"
+        "\"shed_busy\":%llu,"
+        "\"connection_lost\":%llu,"
+        "\"framing_errors\":%llu,"
+        "\"draining\":%s,"
+        "\"uptime_ms\":%llu,"
+        "\"shards\":%s}",
+        (unsigned long long)acceptedConnections,
+        (unsigned long long)activeConnections,
+        (unsigned long long)received, (unsigned long long)forwarded,
+        (unsigned long long)completed, (unsigned long long)errors,
+        (unsigned long long)shedBusy, (unsigned long long)connectionLost,
+        (unsigned long long)framingErrors, draining ? "true" : "false",
+        (unsigned long long)uptimeMs, shard_array.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Lifecycle.
+
+Router::Router(const Config &config) : config_(config)
+{
+    ShardHealth::Options health_opts;
+    health_opts.ejectAfter = config_.ejectAfter;
+    health_opts.backoffFloorMs = config_.backoffFloorMs;
+    health_opts.backoffCapMs = config_.backoffCapMs;
+    for (size_t i = 0; i < config_.shards.size(); ++i) {
+        shards_.push_back(std::make_unique<Shard>(
+            config_.shards[i], config_.queuePerShard, health_opts));
+        ring_.insert(i, config_.shards[i].describe(), config_.ringVnodes);
+    }
+}
+
+Router::~Router()
+{
+    stop();
+}
+
+uint64_t
+Router::nowMs() const
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - startTime_)
+            .count());
+}
+
+void
+Router::start()
+{
+    if (shards_.empty())
+        tarch_fatal("router: no backend shards configured");
+    if (config_.unixPath.empty() && config_.tcpPort < 0)
+        tarch_fatal("router: no listener configured (need a Unix socket "
+                    "path or a TCP port)");
+    if (started_.exchange(true))
+        tarch_fatal("router: start() called twice");
+    startTime_ = std::chrono::steady_clock::now();
+
+    if (!config_.unixPath.empty()) {
+        unixFd_ = bindUnixListener(config_.unixPath);
+        if (unixFd_ < 0)
+            tarch_fatal("router: cannot listen on %s: %s",
+                        config_.unixPath.c_str(), std::strerror(errno));
+        boundUnixPath_ = config_.unixPath;
+    }
+    if (config_.tcpPort >= 0) {
+        tcpFd_ = bindTcpListener(config_.tcpPort, boundTcpPort_);
+        if (tcpFd_ < 0)
+            tarch_fatal("router: cannot listen on 127.0.0.1:%d: %s",
+                        config_.tcpPort, std::strerror(errno));
+    }
+
+    if (unixFd_ >= 0)
+        acceptors_.emplace_back([this] { acceptLoop(unixFd_); });
+    if (tcpFd_ >= 0)
+        acceptors_.emplace_back([this] { acceptLoop(tcpFd_); });
+    reaper_ = std::thread([this] { reaperLoop(); });
+    drainWaiter_ = std::thread([this] { drainWaiterLoop(); });
+}
+
+void
+Router::acceptLoop(int listen_fd)
+{
+    for (;;) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) {
+            if (stopping_.load() || draining_.load())
+                return;
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            if (errno == EMFILE || errno == ENFILE ||
+                errno == ENOBUFS || errno == ENOMEM ||
+                errno == EAGAIN || errno == EWOULDBLOCK) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+                continue;
+            }
+            tarch_warn("router: accept: %s; listener closed",
+                       std::strerror(errno));
+            return;
+        }
+        if (draining_.load()) {
+            ::close(fd);
+            continue;
+        }
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        setSendTimeout(fd, config_.sendTimeoutMs);
+        acceptedConnections_.fetch_add(1);
+        auto conn = std::make_shared<ClientConn>();
+        conn->fd = fd;
+        {
+            // Assign the reader under connsMu_ so an instant disconnect
+            // cannot retire the connection while the thread object is
+            // still being moved into place (see Server::acceptLoop).
+            std::lock_guard<std::mutex> lock(connsMu_);
+            conns_.push_back(conn);
+            conn->reader =
+                std::thread([this, conn] { clientReaderLoop(conn); });
+        }
+    }
+}
+
+void
+Router::clientReaderLoop(std::shared_ptr<ClientConn> conn)
+{
+    for (;;) {
+        uint8_t header[proto::kHeaderSize];
+        const int got = readFull(conn->fd, header, sizeof(header));
+        if (got <= 0)
+            break;
+        proto::FrameHeader fh;
+        const proto::HeaderStatus status =
+            proto::parseHeader(header, fh, config_.maxPayload);
+        if (status != proto::HeaderStatus::Ok) {
+            framingErrors_.fetch_add(1);
+            const proto::ErrorCode code =
+                status == proto::HeaderStatus::BadMagic
+                    ? proto::ErrorCode::BadMagic
+                : status == proto::HeaderStatus::BadVersion
+                    ? proto::ErrorCode::BadVersion
+                    : proto::ErrorCode::PayloadTooLarge;
+            conn->sendFrame(proto::errorFrame(
+                fh.requestId, code,
+                strformat("framing error: %s",
+                          std::string(proto::errorCodeName(code))
+                              .c_str())));
+            break;
+        }
+        std::string payload(fh.payloadLen, '\0');
+        if (fh.payloadLen > 0 &&
+            readFull(conn->fd, payload.data(), payload.size()) != 1)
+            break;
+        dispatch(conn, fh, std::move(payload));
+    }
+    conn->shutdownNow();
+    retireClient(conn);
+}
+
+void
+Router::retireClient(const std::shared_ptr<ClientConn> &conn)
+{
+    std::lock_guard<std::mutex> lock(connsMu_);
+    for (size_t i = 0; i < conns_.size(); ++i) {
+        if (conns_[i] == conn) {
+            conns_.erase(conns_.begin() + static_cast<ptrdiff_t>(i));
+            break;
+        }
+    }
+    reapList_.push_back(conn);
+}
+
+void
+Router::reapRetired()
+{
+    std::vector<std::shared_ptr<FrameConn>> dead;
+    {
+        std::lock_guard<std::mutex> lock(connsMu_);
+        dead.swap(reapList_);
+    }
+    for (const std::shared_ptr<FrameConn> &conn : dead) {
+        if (conn->reader.joinable())
+            conn->reader.join();
+        conn->closeFd();
+    }
+}
+
+void
+Router::reaperLoop()
+{
+    while (!stopping_.load()) {
+        reapRetired();
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Request path.
+
+void
+Router::dispatch(const std::shared_ptr<ClientConn> &conn,
+                 const proto::FrameHeader &header, std::string payload)
+{
+    received_.fetch_add(1);
+    const auto kind = static_cast<proto::MsgKind>(header.kind);
+    switch (kind) {
+      case proto::MsgKind::Ping:
+        conn->sendFrame(proto::encodeFrame(proto::MsgKind::Pong,
+                                           header.requestId, ""));
+        return;
+      case proto::MsgKind::Stats: {
+        proto::StatsResult stats;
+        stats.json = health().toJson();
+        conn->sendFrame(
+            proto::encodeFrame(proto::MsgKind::StatsResult,
+                               header.requestId,
+                               proto::encodeStatsResult(stats)));
+        return;
+      }
+      case proto::MsgKind::Drain:
+        conn->sendFrame(proto::encodeFrame(proto::MsgKind::DrainStarted,
+                                           header.requestId, ""));
+        requestDrain();
+        return;
+      case proto::MsgKind::RunCell:
+      case proto::MsgKind::RunSource:
+      case proto::MsgKind::RunBatch:
+        break;
+      default:
+        errors_.fetch_add(1);
+        conn->sendFrame(proto::errorFrame(
+            header.requestId, proto::ErrorCode::UnknownKind,
+            strformat("unknown request kind %u", header.kind)));
+        return;
+    }
+
+    // The router decodes just enough to compute the routing key (and to
+    // reject malformed payloads here, exactly as a shard would).  The
+    // payload bytes themselves are forwarded verbatim.
+    uint64_t key = 0;
+    RoutePriority priority = RoutePriority::Cell;
+    bool ok = false;
+    switch (kind) {
+      case proto::MsgKind::RunCell: {
+        proto::CellRequest req;
+        ok = proto::decodeCellRequest(payload, req);
+        if (ok)
+            key = proto::cellRequestKey(req);
+        priority = RoutePriority::Cell;
+        break;
+      }
+      case proto::MsgKind::RunSource: {
+        proto::SourceRequest req;
+        ok = proto::decodeSourceRequest(payload, req);
+        if (ok)
+            key = proto::sourceRequestKey(req);
+        priority = RoutePriority::Source;
+        break;
+      }
+      default: {
+        proto::BatchRequest req;
+        ok = proto::decodeBatchRequest(payload, req);
+        if (ok)
+            key = proto::batchRequestKey(req);
+        priority = RoutePriority::Batch;
+        break;
+      }
+    }
+    if (!ok) {
+        errors_.fetch_add(1);
+        conn->sendFrame(proto::errorFrame(header.requestId,
+                                          proto::ErrorCode::BadFrame,
+                                          "malformed request payload"));
+        return;
+    }
+
+    auto pending = std::make_shared<Pending>();
+    pending->client = conn;
+    pending->clientId = header.requestId;
+    pending->kind = kind;
+    pending->priority = priority;
+    pending->payload = std::move(payload);
+    // Register with the drain barrier BEFORE the draining check: the
+    // drain waiter only sees zero outstanding after every registered
+    // request is answered, and a request registered after draining flips
+    // is answered right here.
+    outstanding_.fetch_add(1);
+    if (draining_.load()) {
+        answerError(pending, proto::ErrorCode::Draining,
+                    "router is draining");
+        return;
+    }
+    route(std::move(pending), key);
+}
+
+void
+Router::route(std::shared_ptr<Pending> pending, uint64_t key)
+{
+    // Walk the ring from the key's owner: ejected or unconnectable
+    // shards are skipped, so while a shard is out its keys fail over to
+    // the next owner (and fail back automatically once it heals).
+    const std::vector<size_t> order = ring_.owners(key, shards_.size());
+    for (const size_t index : order)
+        if (submitToShard(index, pending))
+            return;
+    shedBusy_.fetch_add(1);
+    answerError(pending, proto::ErrorCode::Busy,
+                "no healthy shard available");
+}
+
+bool
+Router::ensureBackend(Shard &shard, size_t shard_index)
+{
+    if (shard.conn && shard.conn->open.load())
+        return true;
+    const int fd = connectEndpoint(shard.ep);
+    if (fd < 0)
+        return false;
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    setSendTimeout(fd, config_.sendTimeoutMs);
+    auto conn = std::make_shared<BackendConn>();
+    conn->fd = fd;
+    conn->shard = shard_index;
+    shard.conn = conn;
+    {
+        std::lock_guard<std::mutex> lock(connsMu_);
+        backends_.push_back(conn);
+        conn->reader =
+            std::thread([this, conn] { backendReaderLoop(conn); });
+    }
+    return true;
+}
+
+bool
+Router::sendToBackend(Shard &shard,
+                      const std::shared_ptr<Pending> &pending)
+{
+    const std::shared_ptr<BackendConn> conn = shard.conn;
+    const uint64_t backend_id = conn->nextId++;
+    conn->inFlight.emplace(backend_id, pending);
+    const std::string frame =
+        proto::encodeFrame(pending->kind, backend_id, pending->payload);
+    if (!conn->sendFrame(frame)) {
+        // The connection shut itself down; its reader fails the rest.
+        conn->inFlight.erase(backend_id);
+        return false;
+    }
+    forwarded_.fetch_add(1);
+    shard.forwardedCnt.fetch_add(1);
+    return true;
+}
+
+bool
+Router::submitToShard(size_t shard_index,
+                      const std::shared_ptr<Pending> &pending)
+{
+    Shard &shard = *shards_[shard_index];
+    std::shared_ptr<Pending> victim;
+    bool handled = false;
+    {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        if (!shard.health.admit(nowMs()))
+            return false;
+        if (!ensureBackend(shard, shard_index)) {
+            shard.health.recordFailure(nowMs());
+            shard.failuresCnt.fetch_add(1);
+            return false;
+        }
+        if (shard.conn->inFlight.size() < config_.windowPerShard) {
+            if (sendToBackend(shard, pending))
+                return true;
+            shard.health.recordFailure(nowMs());
+            shard.failuresCnt.fetch_add(1);
+            return false;  // fail over to the next ring owner
+        }
+        // Window full: queue behind it.  Overflow sheds the youngest
+        // lowest-priority entry (possibly the incoming request itself)
+        // rather than spilling to another shard — spilling would break
+        // the key affinity that makes shard memos and hedged-request
+        // dedup work, and under real overload it just spreads the
+        // queueing everywhere.
+        auto res = shard.queue.push(pending, pending->priority);
+        if (res.evicted)
+            victim = std::move(res.victim);
+        handled = true;
+    }
+    if (victim) {
+        shedBusy_.fetch_add(1);
+        answerError(victim, proto::ErrorCode::Busy,
+                    "shed under overload");
+    }
+    return handled;
+}
+
+void
+Router::backendReaderLoop(std::shared_ptr<BackendConn> conn)
+{
+    Shard &shard = *shards_[conn->shard];
+    for (;;) {
+        uint8_t header[proto::kHeaderSize];
+        const int got = readFull(conn->fd, header, sizeof(header));
+        if (got <= 0)
+            break;
+        proto::FrameHeader fh;
+        if (proto::parseHeader(header, fh, proto::kMaxPayload) !=
+            proto::HeaderStatus::Ok) {
+            // A shard speaking garbage is indistinguishable from a dead
+            // one: drop the connection and fail its in-flight work.
+            framingErrors_.fetch_add(1);
+            break;
+        }
+        std::string payload(fh.payloadLen, '\0');
+        if (fh.payloadLen > 0 &&
+            readFull(conn->fd, payload.data(), payload.size()) != 1)
+            break;
+
+        std::shared_ptr<Pending> pending;
+        std::vector<std::shared_ptr<Pending>> refill_failed;
+        {
+            std::lock_guard<std::mutex> lock(shard.mu);
+            const auto it = conn->inFlight.find(fh.requestId);
+            if (it != conn->inFlight.end()) {
+                pending = it->second;
+                conn->inFlight.erase(it);
+            }
+            // Any well-framed reply — even a typed error — proves the
+            // shard alive.
+            shard.health.recordSuccess();
+            // Refill the freed window slot from the shed queue.
+            std::shared_ptr<Pending> next;
+            while (conn->open.load() &&
+                   conn->inFlight.size() < config_.windowPerShard &&
+                   shard.queue.pop(next)) {
+                if (!sendToBackend(shard, next)) {
+                    refill_failed.push_back(std::move(next));
+                    break;
+                }
+            }
+        }
+        for (const std::shared_ptr<Pending> &failed : refill_failed) {
+            connectionLost_.fetch_add(1);
+            answerError(failed, proto::ErrorCode::ConnectionLost,
+                        "backend shard connection lost");
+        }
+        if (pending) {
+            shard.completedCnt.fetch_add(1);
+            answerPending(pending, static_cast<proto::MsgKind>(fh.kind),
+                          payload);
+        }
+    }
+    conn->shutdownNow();
+    failShard(shard, conn);
+    // Retire for join + close by the reaper.
+    {
+        std::lock_guard<std::mutex> lock(connsMu_);
+        for (size_t i = 0; i < backends_.size(); ++i) {
+            if (backends_[i] == conn) {
+                backends_.erase(backends_.begin() +
+                                static_cast<ptrdiff_t>(i));
+                break;
+            }
+        }
+        reapList_.push_back(conn);
+    }
+}
+
+void
+Router::failShard(Shard &shard, const std::shared_ptr<BackendConn> &conn)
+{
+    std::vector<std::shared_ptr<Pending>> failed;
+    {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        if (shard.conn == conn)
+            shard.conn = nullptr;
+        for (auto &entry : conn->inFlight)
+            failed.push_back(std::move(entry.second));
+        conn->inFlight.clear();
+        // Queued requests were waiting for THIS connection's window;
+        // answer them too (retryable) instead of holding them for a
+        // reconnect that may never come.
+        std::shared_ptr<Pending> queued;
+        while (shard.queue.pop(queued))
+            failed.push_back(std::move(queued));
+        if (!stopping_.load() && !draining_.load()) {
+            shard.health.recordFailure(nowMs());
+            shard.failuresCnt.fetch_add(1);
+        }
+    }
+    for (const std::shared_ptr<Pending> &pending : failed) {
+        connectionLost_.fetch_add(1);
+        answerError(pending, proto::ErrorCode::ConnectionLost,
+                    "backend shard connection lost");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Answers.
+
+void
+Router::answerPending(const std::shared_ptr<Pending> &pending,
+                      proto::MsgKind kind, const std::string &payload)
+{
+    bool expected = false;
+    if (!pending->answered.compare_exchange_strong(expected, true))
+        return;
+    if (kind == proto::MsgKind::Error)
+        errors_.fetch_add(1);
+    else
+        completed_.fetch_add(1);
+    pending->client->sendFrame(
+        proto::encodeFrame(kind, pending->clientId, payload));
+    if (outstanding_.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(drainMu_);
+        drainCv_.notify_all();
+    }
+}
+
+void
+Router::answerError(const std::shared_ptr<Pending> &pending,
+                    proto::ErrorCode code, const std::string &message)
+{
+    proto::ErrorBody error;
+    error.code = static_cast<uint16_t>(code);
+    error.retryable = proto::errorRetryable(code) ? 1 : 0;
+    error.message = message;
+    answerPending(pending, proto::MsgKind::Error,
+                  proto::encodeErrorBody(error));
+}
+
+// ---------------------------------------------------------------------
+// Drain / stop / health.
+
+void
+Router::requestDrain()
+{
+    if (draining_.exchange(true))
+        return;
+    if (unixFd_ >= 0)
+        ::shutdown(unixFd_, SHUT_RDWR);
+    if (tcpFd_ >= 0)
+        ::shutdown(tcpFd_, SHUT_RDWR);
+    std::lock_guard<std::mutex> lock(drainMu_);
+    drainCv_.notify_all();
+}
+
+void
+Router::drainWaiterLoop()
+{
+    {
+        std::unique_lock<std::mutex> lock(drainMu_);
+        drainCv_.wait(lock, [this] { return draining_.load(); });
+        drainCv_.wait(lock, [this] { return outstanding_.load() == 0; });
+    }
+    // Every routed request is answered; release the backends, then the
+    // clients.
+    for (const std::unique_ptr<Shard> &shard : shards_) {
+        std::shared_ptr<BackendConn> conn;
+        {
+            std::lock_guard<std::mutex> lock(shard->mu);
+            conn = shard->conn;
+        }
+        if (conn)
+            conn->shutdownNow();
+    }
+    std::vector<std::shared_ptr<ClientConn>> conns;
+    {
+        std::lock_guard<std::mutex> lock(connsMu_);
+        conns = conns_;
+    }
+    for (const std::shared_ptr<ClientConn> &conn : conns)
+        conn->shutdownNow();
+    drained_.store(true);
+    std::lock_guard<std::mutex> lock(drainMu_);
+    drainCv_.notify_all();
+}
+
+bool
+Router::drained() const
+{
+    return drained_.load();
+}
+
+void
+Router::waitDrained()
+{
+    std::unique_lock<std::mutex> lock(drainMu_);
+    drainCv_.wait(lock, [this] { return drained_.load(); });
+}
+
+void
+Router::stop()
+{
+    if (!started_.load())
+        return;
+    if (stopping_.exchange(true))
+        return;
+    requestDrain();
+    if (drainWaiter_.joinable())
+        waitDrained();
+    else
+        drained_.store(true);
+    for (std::thread &t : acceptors_)
+        t.join();
+    acceptors_.clear();
+    if (reaper_.joinable())
+        reaper_.join();
+    if (drainWaiter_.joinable())
+        drainWaiter_.join();
+    // Final sweep: every connection is always in conns_, backends_, or
+    // reapList_, so snapshotting all three and joining reclaims every
+    // reader (a reader mid-retirement re-adds itself to reapList_; the
+    // trailing clear drops that bookkeeping entry after the join).
+    std::vector<std::shared_ptr<FrameConn>> sweep;
+    {
+        std::lock_guard<std::mutex> lock(connsMu_);
+        sweep.insert(sweep.end(), conns_.begin(), conns_.end());
+        sweep.insert(sweep.end(), backends_.begin(), backends_.end());
+        sweep.insert(sweep.end(), reapList_.begin(), reapList_.end());
+        conns_.clear();
+        backends_.clear();
+        reapList_.clear();
+    }
+    for (const std::shared_ptr<FrameConn> &conn : sweep)
+        conn->shutdownNow();
+    for (const std::shared_ptr<FrameConn> &conn : sweep) {
+        if (conn->reader.joinable())
+            conn->reader.join();
+        conn->closeFd();
+    }
+    {
+        std::lock_guard<std::mutex> lock(connsMu_);
+        reapList_.clear();
+    }
+    if (unixFd_ >= 0) {
+        ::close(unixFd_);
+        unixFd_ = -1;
+    }
+    if (tcpFd_ >= 0) {
+        ::close(tcpFd_);
+        tcpFd_ = -1;
+    }
+    if (!boundUnixPath_.empty())
+        ::unlink(boundUnixPath_.c_str());
+}
+
+Router::Health
+Router::health() const
+{
+    Health h;
+    h.acceptedConnections = acceptedConnections_.load();
+    {
+        std::lock_guard<std::mutex> lock(connsMu_);
+        uint64_t active = 0;
+        for (const std::shared_ptr<ClientConn> &conn : conns_)
+            if (conn->open.load())
+                ++active;
+        h.activeConnections = active;
+    }
+    h.received = received_.load();
+    h.forwarded = forwarded_.load();
+    h.completed = completed_.load();
+    h.errors = errors_.load();
+    h.shedBusy = shedBusy_.load();
+    h.connectionLost = connectionLost_.load();
+    h.framingErrors = framingErrors_.load();
+    h.draining = draining_.load();
+    h.uptimeMs = nowMs();
+    h.shards.reserve(shards_.size());
+    for (const std::unique_ptr<Shard> &shard : shards_) {
+        ShardStats stats;
+        stats.endpoint = shard->ep.describe();
+        stats.forwarded = shard->forwardedCnt.load();
+        stats.completed = shard->completedCnt.load();
+        stats.failures = shard->failuresCnt.load();
+        {
+            std::lock_guard<std::mutex> lock(shard->mu);
+            switch (shard->health.state()) {
+              case ShardHealth::State::Healthy:
+                stats.state = "healthy";
+                break;
+              case ShardHealth::State::Ejected:
+                stats.state = "ejected";
+                break;
+              case ShardHealth::State::Probing:
+                stats.state = "probing";
+                break;
+            }
+            stats.ejections = shard->health.ejections();
+            stats.inFlight =
+                shard->conn ? shard->conn->inFlight.size() : 0;
+            stats.queued = shard->queue.size();
+        }
+        h.shards.push_back(std::move(stats));
+    }
+    return h;
+}
+
+} // namespace tarch::serve

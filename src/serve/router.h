@@ -1,0 +1,370 @@
+/**
+ * @file
+ * tarch-router: a cluster front-end that speaks tarch-rpc-v1 to
+ * clients and consistent-hashes simulation requests onto N backend
+ * tarch_served shards (docs/SERVING.md).
+ *
+ * Routing is content-addressed: RunCell/RunSource/RunBatch hash to a
+ * stable request key (protocol.h) and land on the key's ring owner, so
+ * repeats of the same cell hit the same shard's memo and a hedged
+ * duplicate collapses into the shard's single-flight.  Each shard has
+ * a bounded outstanding-request window; excess work queues in a
+ * priority shed-queue that answers the lowest-priority youngest
+ * request with a retryable BUSY when full — under overload the router
+ * degrades by shedding bulk work, never by stalling the socket.
+ *
+ * Shard failures are routine: K consecutive connect/IO failures eject
+ * a shard from rotation, a doubling backoff schedules a single probe
+ * request, and a probe success heals it.  While a shard is out, its
+ * keys walk to the next ring owner.  A backend that dies mid-request
+ * answers every request it still owed with a retryable ConnectionLost
+ * — clients (hedged or not) retry; the router never invents results.
+ *
+ * The frontend concurrency shape mirrors Server: acceptor threads, a
+ * reader thread per client connection, one reader per live backend
+ * connection, and a reaper that joins dead readers and closes fds.
+ */
+
+#ifndef TARCH_SERVE_ROUTER_H
+#define TARCH_SERVE_ROUTER_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/socket_util.h"
+
+namespace tarch::serve {
+
+// ---------------------------------------------------------------------
+// Consistent-hash ring.
+
+/**
+ * Classic consistent hashing: each shard contributes `vnodes` points
+ * (hashes of "id#k") on a 64-bit ring; a key is owned by the first
+ * point at or after it.  Adding or removing one shard of N moves only
+ * ~1/N of the keyspace — the property that keeps shard-local memo
+ * caches warm across topology changes.
+ */
+class HashRing
+{
+  public:
+    /** Add shard @p index with ring points derived from @p id. */
+    void insert(size_t index, const std::string &id, unsigned vnodes);
+    /** Remove every point belonging to shard @p index. */
+    void erase(size_t index);
+
+    bool empty() const { return points_.empty(); }
+
+    /** The owning shard for @p key; index npos when the ring is empty. */
+    size_t owner(uint64_t key) const;
+
+    /** Up to @p n DISTINCT shard indices in ring order starting at
+        @p key's owner — the failover walk order. */
+    std::vector<size_t> owners(uint64_t key, size_t n) const;
+
+    static constexpr size_t npos = static_cast<size_t>(-1);
+
+  private:
+    std::map<uint64_t, size_t> points_;
+};
+
+// ---------------------------------------------------------------------
+// Per-shard failure tracking.
+
+/**
+ * Health state machine for one shard.  Not thread-safe: the owner
+ * serializes calls (Router uses the per-shard mutex).  Time is passed
+ * in, so tests drive the backoff clock synthetically.
+ *
+ *   Healthy --K consecutive failures--> Ejected(backoff)
+ *   Ejected --backoff elapsed--> Probing (admit() lets ONE request by)
+ *   Probing --success--> Healthy (failure streak and backoff reset)
+ *   Probing --failure--> Ejected (backoff doubled, up to the cap)
+ */
+class ShardHealth
+{
+  public:
+    struct Options {
+        unsigned ejectAfter = 3;      ///< consecutive failures to eject
+        uint32_t backoffFloorMs = 100;
+        uint32_t backoffCapMs = 5'000;
+    };
+
+    enum class State : uint8_t { Healthy, Ejected, Probing };
+
+    explicit ShardHealth(const Options &opts) : opts_(opts) {}
+
+    /** May a request be sent now?  In Ejected state this flips to
+        Probing once the backoff expires and admits exactly one probe;
+        further calls return false until the probe resolves. */
+    bool admit(uint64_t now_ms);
+    void recordSuccess();
+    void recordFailure(uint64_t now_ms);
+
+    State state() const { return state_; }
+    uint64_t ejections() const { return ejections_; }
+    /** Current backoff interval (what the NEXT ejection would wait). */
+    uint32_t backoffMs() const { return backoffMs_; }
+
+  private:
+    void eject(uint64_t now_ms);
+
+    Options opts_;
+    State state_ = State::Healthy;
+    unsigned consecutiveFailures_ = 0;
+    uint32_t backoffMs_ = 0;       ///< 0 until first ejection
+    uint64_t ejectedUntilMs_ = 0;
+    uint64_t ejections_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Priority shed-queue.
+
+/** Routing priorities: lower value = more important.  Cacheable named
+    cells outrank one-off source runs, which outrank bulk batches —
+    under overload the router sheds bulk first. */
+enum class RoutePriority : uint8_t {
+    Cell = 0,
+    Source = 1,
+    Batch = 2,
+};
+constexpr size_t kRoutePriorities = 3;
+
+/**
+ * A bounded queue with one FIFO lane per priority.  When full, a push
+ * evicts the YOUNGEST entry of the LOWEST priority lane that is less
+ * important than the incoming item (the youngest has waited least, so
+ * shedding it wastes the least work); if nothing queued is less
+ * important, the incoming item itself is shed.  Evicted/shed items are
+ * answered with a retryable BUSY by the caller.
+ */
+template <typename T>
+class ShedQueue
+{
+  public:
+    explicit ShedQueue(size_t capacity) : capacity_(capacity) {}
+
+    struct PushResult {
+        bool accepted = false;  ///< item is now queued
+        bool evicted = false;   ///< victim holds a shed entry
+        T victim{};
+    };
+
+    PushResult push(T item, RoutePriority priority)
+    {
+        PushResult res;
+        const auto lane = static_cast<size_t>(priority);
+        if (size_ < capacity_) {
+            lanes_[lane].push_back(std::move(item));
+            ++size_;
+            res.accepted = true;
+            return res;
+        }
+        for (size_t victim_lane = kRoutePriorities; victim_lane-- > 0;) {
+            if (victim_lane <= lane)
+                break;  // nothing queued is less important
+            if (lanes_[victim_lane].empty())
+                continue;
+            res.victim = std::move(lanes_[victim_lane].back());
+            lanes_[victim_lane].pop_back();
+            res.evicted = true;
+            lanes_[lane].push_back(std::move(item));
+            res.accepted = true;
+            return res;
+        }
+        res.victim = std::move(item);  // shed the incoming item
+        res.evicted = true;
+        return res;
+    }
+
+    /** Highest priority first, FIFO within a lane. */
+    bool pop(T &out)
+    {
+        for (auto &lane : lanes_) {
+            if (lane.empty())
+                continue;
+            out = std::move(lane.front());
+            lane.pop_front();
+            --size_;
+            return true;
+        }
+        return false;
+    }
+
+    size_t size() const { return size_; }
+
+  private:
+    size_t capacity_;
+    size_t size_ = 0;
+    std::deque<T> lanes_[kRoutePriorities];
+};
+
+// ---------------------------------------------------------------------
+// The router.
+
+class Router
+{
+  public:
+    struct Config {
+        /** Frontend listeners (same semantics as Server::Config). */
+        std::string unixPath;
+        int tcpPort = -1;
+        /** Backend shard endpoints (at least one). */
+        std::vector<Endpoint> shards;
+        /** Outstanding (sent, unanswered) requests per shard. */
+        size_t windowPerShard = 128;
+        /** Shed-queue capacity per shard (beyond the window). */
+        size_t queuePerShard = 256;
+        unsigned ejectAfter = 3;
+        uint32_t backoffFloorMs = 100;
+        uint32_t backoffCapMs = 5'000;
+        unsigned ringVnodes = 64;
+        uint32_t maxPayload = 16u << 20;
+        /** SO_SNDTIMEO on client and backend sockets. */
+        uint32_t sendTimeoutMs = 30'000;
+    };
+
+    struct ShardStats {
+        std::string endpoint;
+        std::string state;  ///< "healthy" | "ejected" | "probing"
+        uint64_t forwarded = 0;
+        uint64_t completed = 0;
+        uint64_t failures = 0;
+        uint64_t ejections = 0;
+        uint64_t inFlight = 0;
+        uint64_t queued = 0;
+    };
+
+    /** Snapshot for the Stats request ("tarch-router-stats-v1"). */
+    struct Health {
+        uint64_t acceptedConnections = 0;
+        uint64_t activeConnections = 0;
+        uint64_t received = 0;
+        uint64_t forwarded = 0;
+        uint64_t completed = 0;
+        uint64_t errors = 0;
+        uint64_t shedBusy = 0;
+        uint64_t connectionLost = 0;
+        uint64_t framingErrors = 0;
+        bool draining = false;
+        uint64_t uptimeMs = 0;
+        std::vector<ShardStats> shards;
+
+        std::string toJson() const;
+    };
+
+    explicit Router(const Config &config);
+    ~Router();
+
+    Router(const Router &) = delete;
+    Router &operator=(const Router &) = delete;
+
+    /** Bind the frontend and spawn threads; throws FatalError on a
+        config/bind error.  Backend connections are lazy — a shard that
+        is down at start() simply begins ejected-on-first-use. */
+    void start();
+
+    void requestDrain();
+    bool drained() const;
+    void waitDrained();
+    void stop();
+
+    bool draining() const { return draining_.load(); }
+    uint16_t tcpPort() const { return boundTcpPort_; }
+
+    Health health() const;
+
+  private:
+    struct ClientConn;
+    struct BackendConn;
+    struct Pending;
+    struct Shard;
+
+    uint64_t nowMs() const;
+    void acceptLoop(int listen_fd);
+    void clientReaderLoop(std::shared_ptr<ClientConn> conn);
+    void backendReaderLoop(std::shared_ptr<BackendConn> conn);
+    void reaperLoop();
+    void drainWaiterLoop();
+    void retireClient(const std::shared_ptr<ClientConn> &conn);
+    void reapRetired();
+
+    /** Handle one well-framed client request. */
+    void dispatch(const std::shared_ptr<ClientConn> &conn,
+                  const proto::FrameHeader &header, std::string payload);
+    /** Hash, walk the ring, and hand @p pending to a shard. */
+    void route(std::shared_ptr<Pending> pending, uint64_t key);
+    /** True if @p pending was sent or queued on @p shard. */
+    bool submitToShard(size_t shard_index,
+                       const std::shared_ptr<Pending> &pending);
+    /** Ensure a live backend connection (lazy connect). */
+    bool ensureBackend(Shard &shard, size_t shard_index);
+    /** Send @p pending on the shard's connection; shard mutex held. */
+    bool sendToBackend(Shard &shard,
+                       const std::shared_ptr<Pending> &pending);
+    /** Fail every in-flight and queued request of a dead backend. */
+    void failShard(Shard &shard,
+                   const std::shared_ptr<BackendConn> &conn);
+
+    /** Answer @p pending exactly once (CAS on answered). */
+    void answerPending(const std::shared_ptr<Pending> &pending,
+                       proto::MsgKind kind, const std::string &payload);
+    void answerError(const std::shared_ptr<Pending> &pending,
+                     proto::ErrorCode code, const std::string &message);
+
+    Config config_;
+    HashRing ring_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+
+    int unixFd_ = -1;
+    int tcpFd_ = -1;
+    uint16_t boundTcpPort_ = 0;
+    std::string boundUnixPath_;
+
+    std::vector<std::thread> acceptors_;
+    std::thread reaper_;
+    std::thread drainWaiter_;
+
+    mutable std::mutex connsMu_;
+    std::vector<std::shared_ptr<ClientConn>> conns_;
+    /** Live backend connections (connsMu_); every BackendConn is in
+        here or in reapList_, so stop() can always join its reader. */
+    std::vector<std::shared_ptr<BackendConn>> backends_;
+    /** Dead client/backend readers awaiting join + close (connsMu_). */
+    std::vector<std::shared_ptr<FrameConn>> reapList_;
+
+    /** Requests routed but not yet answered (drain barrier). */
+    std::atomic<uint64_t> outstanding_{0};
+    mutable std::mutex drainMu_;
+    std::condition_variable drainCv_;
+
+    std::atomic<bool> started_{false};
+    std::atomic<bool> draining_{false};
+    std::atomic<bool> drained_{false};
+    std::atomic<bool> stopping_{false};
+
+    std::chrono::steady_clock::time_point startTime_;
+    std::atomic<uint64_t> acceptedConnections_{0};
+    std::atomic<uint64_t> received_{0};
+    std::atomic<uint64_t> forwarded_{0};
+    std::atomic<uint64_t> completed_{0};
+    std::atomic<uint64_t> errors_{0};
+    std::atomic<uint64_t> shedBusy_{0};
+    std::atomic<uint64_t> connectionLost_{0};
+    std::atomic<uint64_t> framingErrors_{0};
+};
+
+} // namespace tarch::serve
+
+#endif // TARCH_SERVE_ROUTER_H

@@ -6,113 +6,22 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
-#include <sys/time.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include "common/log.h"
 #include "common/strutil.h"
+#include "serve/socket_util.h"
 
 namespace tarch::serve {
-
-namespace {
-
-/** recv exactly @p len bytes.  1 = got them, 0 = clean EOF before the
-    first byte, -1 = disconnect mid-buffer or a socket error. */
-int
-readFull(int fd, void *buf, size_t len)
-{
-    auto *p = static_cast<uint8_t *>(buf);
-    size_t got = 0;
-    while (got < len) {
-        const ssize_t n = ::recv(fd, p + got, len - got, 0);
-        if (n == 0)
-            return got == 0 ? 0 : -1;
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return got == 0 ? 0 : -1;
-        }
-        got += static_cast<size_t>(n);
-    }
-    return 1;
-}
-
-bool
-sendAll(int fd, const char *data, size_t len)
-{
-    size_t sent = 0;
-    while (sent < len) {
-        const ssize_t n =
-            ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            // EAGAIN here is the SO_SNDTIMEO send timeout: the peer
-            // stopped reading, so give the connection up.
-            return false;
-        }
-        sent += static_cast<size_t>(n);
-    }
-    return true;
-}
-
-} // namespace
 
 // ---------------------------------------------------------------------
 // Connection / Job.
 
-struct Server::Connection {
-    int fd = -1;
-    std::mutex writeMu;
-    std::atomic<bool> open{true};
-    std::thread reader;
-
-    ~Connection()
-    {
-        if (fd >= 0)
-            ::close(fd);
-    }
-
-    /** Serialized frame write; pipelined responses interleave safely. */
-    bool
-    sendFrame(const std::string &frame)
-    {
-        std::lock_guard<std::mutex> lock(writeMu);
-        if (!open.load())
-            return false;
-        if (!sendAll(fd, frame.data(), frame.size())) {
-            open.store(false);
-            return false;
-        }
-        return true;
-    }
-
-    /** Wake the reader and refuse further writes.  The exchange makes
-        exactly one caller touch ::shutdown, and since closeFd() only
-        runs after the reader exited (which sets open false first), the
-        winner always sees a still-valid descriptor. */
-    void
-    shutdownNow()
-    {
-        if (open.exchange(false))
-            ::shutdown(fd, SHUT_RDWR);
-    }
-
-    /** Release the descriptor once the reader is joined.  writeMu
-        serializes against an in-progress sendFrame so the fd cannot be
-        closed (and its number reused) mid-write. */
-    void
-    closeFd()
-    {
-        std::lock_guard<std::mutex> lock(writeMu);
-        open.store(false);
-        if (fd >= 0) {
-            ::close(fd);
-            fd = -1;
-        }
-    }
-};
+/** FrameConn (socket_util.h) carries the fd, the serialized frame
+    writer — which shuts the connection down on ANY send failure,
+    because a send-timeout mid-frame leaves the byte stream
+    desynchronized — and the reader thread.  Shared with Router. */
+struct Server::Connection : FrameConn {};
 
 struct Server::Job {
     std::shared_ptr<Connection> conn;
@@ -146,6 +55,7 @@ Server::Health::toJson() const
         "\"in_flight\":%llu,"
         "\"cache_mem_hits\":%llu,"
         "\"cache_disk_hits\":%llu,"
+        "\"source_mem_hits\":%llu,"
         "\"simulated\":%llu,"
         "\"single_flight_waits\":%llu,"
         "\"verify_rejected\":%llu,"
@@ -160,6 +70,7 @@ Server::Health::toJson() const
         (unsigned long long)framingErrors, (unsigned long long)queueDepth,
         (unsigned long long)inFlight, (unsigned long long)sim.memHits,
         (unsigned long long)sim.diskHits,
+        (unsigned long long)sim.sourceMemHits,
         (unsigned long long)sim.simulated,
         (unsigned long long)sim.singleFlightWaits,
         (unsigned long long)sim.verifyRejected,
@@ -196,51 +107,18 @@ Server::start()
     pool_ = std::make_unique<Pool>(pool_opts);
 
     if (!config_.unixPath.empty()) {
-        sockaddr_un addr{};
-        addr.sun_family = AF_UNIX;
-        if (config_.unixPath.size() >= sizeof(addr.sun_path))
-            tarch_fatal("serve: unix socket path too long: %s",
-                        config_.unixPath.c_str());
-        unixFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        unixFd_ = bindUnixListener(config_.unixPath);
         if (unixFd_ < 0)
-            tarch_fatal("serve: socket(AF_UNIX): %s",
-                        std::strerror(errno));
-        ::unlink(config_.unixPath.c_str());
-        std::strncpy(addr.sun_path, config_.unixPath.c_str(),
-                     sizeof(addr.sun_path) - 1);
-        if (::bind(unixFd_, reinterpret_cast<sockaddr *>(&addr),
-                   sizeof(addr)) != 0 ||
-            ::listen(unixFd_, 128) != 0)
             tarch_fatal("serve: cannot listen on %s: %s",
                         config_.unixPath.c_str(), std::strerror(errno));
         boundUnixPath_ = config_.unixPath;
     }
 
     if (config_.tcpPort >= 0) {
-        tcpFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        tcpFd_ = bindTcpListener(config_.tcpPort, boundTcpPort_);
         if (tcpFd_ < 0)
-            tarch_fatal("serve: socket(AF_INET): %s",
-                        std::strerror(errno));
-        const int one = 1;
-        ::setsockopt(tcpFd_, SOL_SOCKET, SO_REUSEADDR, &one,
-                     sizeof(one));
-        sockaddr_in addr{};
-        addr.sin_family = AF_INET;
-        addr.sin_port =
-            htons(static_cast<uint16_t>(config_.tcpPort));
-        // Loopback only: the daemon is a local sidecar, not an
-        // internet-facing endpoint.
-        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-        if (::bind(tcpFd_, reinterpret_cast<sockaddr *>(&addr),
-                   sizeof(addr)) != 0 ||
-            ::listen(tcpFd_, 128) != 0)
             tarch_fatal("serve: cannot listen on 127.0.0.1:%d: %s",
                         config_.tcpPort, std::strerror(errno));
-        sockaddr_in bound{};
-        socklen_t len = sizeof(bound);
-        if (::getsockname(tcpFd_, reinterpret_cast<sockaddr *>(&bound),
-                          &len) == 0)
-            boundTcpPort_ = ntohs(bound.sin_port);
     }
 
     if (unixFd_ >= 0)
@@ -281,13 +159,7 @@ Server::acceptLoop(int listen_fd)
         }
         const int one = 1;
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-        if (config_.sendTimeoutMs > 0) {
-            timeval tv{};
-            tv.tv_sec = config_.sendTimeoutMs / 1000;
-            tv.tv_usec =
-                static_cast<long>(config_.sendTimeoutMs % 1000) * 1000;
-            ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-        }
+        setSendTimeout(fd, config_.sendTimeoutMs);
         acceptedConnections_.fetch_add(1);
         auto conn = std::make_shared<Connection>();
         conn->fd = fd;

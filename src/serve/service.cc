@@ -170,10 +170,71 @@ SimService::runCell(const proto::CellRequest &req)
 proto::CellResult
 SimService::runSource(const proto::SourceRequest &req)
 {
-    return static_cast<proto::SourceLang>(req.lang) ==
-                   proto::SourceLang::Assembly
-               ? runAssembly(req)
-               : runMiniScript(req);
+    // Same memo + single-flight shape as runCell, but keyed by the
+    // content-addressed sourceRequestKey and bounded (source text is
+    // arbitrary, so the memo must evict).  A hedged duplicate of an
+    // in-flight source run parks here and reuses the leader's result
+    // instead of simulating twice.  Only successes are memoized:
+    // errors re-verify so their messages stay fresh.
+    const bool memoize =
+        opts_.memoryCache && opts_.sourceMemoCapacity > 0;
+    std::optional<FlightGuard> flight;
+    std::string memo_key;
+    if (memoize) {
+        memo_key = strformat(
+            "src/%016llx",
+            (unsigned long long)proto::sourceRequestKey(req));
+        std::unique_lock<std::mutex> lock(mu_);
+        for (;;) {
+            const auto hit = sourceMemo_.find(memo_key);
+            if (hit != sourceMemo_.end()) {
+                {
+                    std::lock_guard<std::mutex> clock(countersMu_);
+                    ++counters_.sourceMemHits;
+                }
+                proto::CellResult result = hit->second;
+                result.fromCache = 1;
+                if (!req.wantStatsJson)
+                    result.statsJson.clear();
+                return result;
+            }
+            if (!inProgress_.count(memo_key))
+                break;
+            {
+                std::lock_guard<std::mutex> clock(countersMu_);
+                ++counters_.singleFlightWaits;
+            }
+            progressCv_.wait(lock);
+        }
+        inProgress_.insert(memo_key);
+        flight.emplace(mu_, inProgress_, progressCv_, memo_key);
+    }
+
+    proto::CellResult result = static_cast<proto::SourceLang>(req.lang) ==
+                                       proto::SourceLang::Assembly
+                                   ? runAssembly(req)
+                                   : runMiniScript(req);
+    {
+        // Source runs count toward `simulated` too — leaving them out
+        // made the stat undercount exactly the requests that cost the
+        // most (no disk cache ever backs a source run).
+        std::lock_guard<std::mutex> clock(countersMu_);
+        ++counters_.simulated;
+    }
+    if (memoize) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!sourceMemo_.count(memo_key)) {
+            sourceMemoOrder_.push_back(memo_key);
+            if (sourceMemoOrder_.size() > opts_.sourceMemoCapacity) {
+                sourceMemo_.erase(sourceMemoOrder_.front());
+                sourceMemoOrder_.pop_front();
+            }
+        }
+        sourceMemo_[memo_key] = result;
+    }
+    if (!req.wantStatsJson)
+        result.statsJson.clear();
+    return result;
 }
 
 template <typename Vm>
@@ -211,8 +272,9 @@ runScriptVm(const proto::SourceRequest &req,
     result.instructions = stats.instructions;
     result.cycles = stats.cycles;
     result.output = vm->output();
-    if (req.wantStatsJson)
-        result.statsJson = obs::statsToJson(stats);
+    // Always rendered: the caller memoizes the full result and trims
+    // statsJson per-request.
+    result.statsJson = obs::statsToJson(stats);
     return result;
 }
 
@@ -269,8 +331,7 @@ SimService::runAssembly(const proto::SourceRequest &req)
         result.instructions = stats.instructions;
         result.cycles = stats.cycles;
         result.output = core.output();
-        if (req.wantStatsJson)
-            result.statsJson = obs::statsToJson(stats);
+        result.statsJson = obs::statsToJson(stats);
         return result;
     } catch (const FatalError &e) {
         throw ServiceError{proto::ErrorCode::SimFailed, e.what()};

@@ -18,6 +18,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <set>
@@ -46,6 +47,13 @@ class SimService
         /** Runaway guard for inline source runs (named benchmarks use
             the simulator default). */
         uint64_t sourceMaxInstructions = 100'000'000;
+        /** Bounded FIFO memo for inline source results, keyed by the
+            content-addressed sourceRequestKey.  Besides the obvious hot
+            path, this is what deduplicates a hedged RunSource: both the
+            original and the hedge land on the same shard (same key →
+            same ring position) and single-flight collapses them to one
+            simulation.  0 disables the memo. */
+        size_t sourceMemoCapacity = 256;
         /** Core execution engine for every simulation this service
             runs (docs/FASTPATH.md).  Bit-identical results either way;
             predecoded trades startup decode work for serving
@@ -57,6 +65,7 @@ class SimService
     struct Counters {
         uint64_t memHits = 0;
         uint64_t diskHits = 0;
+        uint64_t sourceMemHits = 0;
         uint64_t simulated = 0;
         uint64_t singleFlightWaits = 0;
         uint64_t verifyRejected = 0;
@@ -85,7 +94,12 @@ class SimService
     /** Memo key -> fully rendered result; memo key is the cell path
         suffix + cellKey hash, so a config change invalidates it. */
     std::map<std::string, proto::CellResult> memo_;
-    /** Cells currently being simulated (single-flight). */
+    /** Inline-source memo ("src/" + sourceRequestKey), bounded FIFO —
+        source text is unbounded, so unlike the cell memo this one
+        evicts. */
+    std::map<std::string, proto::CellResult> sourceMemo_;
+    std::deque<std::string> sourceMemoOrder_;
+    /** Cells/sources currently being simulated (single-flight). */
     std::set<std::string> inProgress_;
     std::condition_variable progressCv_;
 

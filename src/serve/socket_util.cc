@@ -1,0 +1,235 @@
+#include "serve/socket_util.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace tarch::serve {
+
+int
+readFull(int fd, void *buf, size_t len)
+{
+    auto *p = static_cast<uint8_t *>(buf);
+    size_t got = 0;
+    while (got < len) {
+        const ssize_t n = ::recv(fd, p + got, len - got, 0);
+        if (n == 0)
+            return got == 0 ? 0 : -1;
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return got == 0 ? 0 : -1;
+        }
+        got += static_cast<size_t>(n);
+    }
+    return 1;
+}
+
+bool
+sendAll(int fd, const char *data, size_t len)
+{
+    size_t sent = 0;
+    while (sent < len) {
+        const ssize_t n =
+            ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            // EAGAIN here is the SO_SNDTIMEO send timeout: the peer
+            // stopped reading, so give the connection up.
+            return false;
+        }
+        sent += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+std::string
+Endpoint::describe() const
+{
+    if (!unixPath.empty())
+        return "unix:" + unixPath;
+    return "tcp:" + std::to_string(tcpPort);
+}
+
+bool
+parseEndpoint(const std::string &text, Endpoint &out)
+{
+    out = Endpoint{};
+    if (text.rfind("unix:", 0) == 0) {
+        out.unixPath = text.substr(5);
+        return !out.unixPath.empty();
+    }
+    if (text.rfind("tcp:", 0) == 0) {
+        const std::string port = text.substr(4);
+        if (port.empty())
+            return false;
+        char *end = nullptr;
+        const unsigned long n = std::strtoul(port.c_str(), &end, 10);
+        if (end == port.c_str() || *end != '\0' || n == 0 || n > 65535)
+            return false;
+        out.tcpPort = static_cast<int>(n);
+        return true;
+    }
+    return false;
+}
+
+int
+connectEndpoint(const Endpoint &ep)
+{
+    if (!ep.unixPath.empty()) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (ep.unixPath.size() >= sizeof(addr.sun_path)) {
+            errno = ENAMETOOLONG;
+            return -1;
+        }
+        std::strncpy(addr.sun_path, ep.unixPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            return -1;
+        if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            const int err = errno;
+            ::close(fd);
+            errno = err;
+            return -1;
+        }
+        return fd;
+    }
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(ep.tcpPort));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        errno = err;
+        return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
+}
+
+void
+setSendTimeout(int fd, uint32_t timeout_ms)
+{
+    if (timeout_ms == 0)
+        return;
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = static_cast<long>(timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+int
+bindUnixListener(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        errno = ENAMETOOLONG;
+        return -1;
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    ::unlink(path.c_str());
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 128) != 0) {
+        const int err = errno;
+        ::close(fd);
+        errno = err;
+        return -1;
+    }
+    return fd;
+}
+
+int
+bindTcpListener(int port, uint16_t &bound_port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    // Loopback only: the serving stack is a local sidecar/cluster, not
+    // an internet-facing endpoint.
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 128) != 0) {
+        const int err = errno;
+        ::close(fd);
+        errno = err;
+        return -1;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound), &len) ==
+        0)
+        bound_port = ntohs(bound.sin_port);
+    return fd;
+}
+
+FrameConn::~FrameConn()
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+bool
+FrameConn::sendFrame(const std::string &frame)
+{
+    std::lock_guard<std::mutex> lock(writeMu);
+    if (!open.load())
+        return false;
+    if (!sendAll(fd, frame.data(), frame.size())) {
+        // The failed send may have left a PARTIAL frame on the wire —
+        // the byte stream is desynchronized and any further frame
+        // would be garbage spliced mid-frame.  Shut the socket down so
+        // the reader stops consuming requests whose answers can never
+        // be delivered and the connection is reclaimed.
+        open.store(false);
+        ::shutdown(fd, SHUT_RDWR);
+        return false;
+    }
+    return true;
+}
+
+void
+FrameConn::shutdownNow()
+{
+    if (open.exchange(false))
+        ::shutdown(fd, SHUT_RDWR);
+}
+
+void
+FrameConn::closeFd()
+{
+    std::lock_guard<std::mutex> lock(writeMu);
+    open.store(false);
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+} // namespace tarch::serve

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Shared socket plumbing for the serving stack: exact-length reads and
+ * writes, listener binding, endpoint parsing/connecting, and the
+ * per-connection frame writer (FrameConn) used by both the daemon
+ * (server.cc) and the shard router (router.cc).
+ *
+ * Everything here is errno-reporting rather than throwing: the serving
+ * path must survive dead peers, refused connects, and send timeouts —
+ * a failed socket operation is an event to route around, not a fatal
+ * condition.
+ */
+
+#ifndef TARCH_SERVE_SOCKET_UTIL_H
+#define TARCH_SERVE_SOCKET_UTIL_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace tarch::serve {
+
+/**
+ * recv exactly @p len bytes.  1 = got them, 0 = clean EOF before the
+ * first byte, -1 = disconnect or socket error mid-buffer.
+ */
+int readFull(int fd, void *buf, size_t len);
+
+/**
+ * send exactly @p len bytes (MSG_NOSIGNAL, EINTR-retried).  false on
+ * any error — including an SO_SNDTIMEO timeout, which may leave a
+ * PARTIAL frame on the wire: the caller must treat the stream as
+ * desynchronized and close the connection.
+ */
+bool sendAll(int fd, const char *data, size_t len);
+
+/** One backend/frontend address: a Unix socket path or a TCP loopback
+    port.  Exactly one of the two is set. */
+struct Endpoint {
+    std::string unixPath;
+    int tcpPort = -1;
+
+    bool valid() const { return !unixPath.empty() || tcpPort >= 0; }
+    /** "unix:/path" or "tcp:PORT" (for logs and stats JSON). */
+    std::string describe() const;
+};
+
+/** Parse "unix:PATH" or "tcp:PORT"; false on malformed input. */
+bool parseEndpoint(const std::string &text, Endpoint &out);
+
+/**
+ * Connect to @p ep (TCP targets 127.0.0.1).  Returns the connected fd
+ * with TCP_NODELAY applied, or -1 with errno set.  Never throws: a
+ * dead shard is an expected condition for routers and hedging clients.
+ */
+int connectEndpoint(const Endpoint &ep);
+
+/** SO_SNDTIMEO; 0 ms = no timeout.  Best-effort. */
+void setSendTimeout(int fd, uint32_t timeout_ms);
+
+/** Bind + listen on a Unix socket path (unlinking any stale file).
+    Returns the listening fd or -1 with errno set. */
+int bindUnixListener(const std::string &path);
+
+/** Bind + listen on 127.0.0.1:@p port (0 = ephemeral).  On success
+    returns the fd and stores the actual port in @p bound_port. */
+int bindTcpListener(int port, uint16_t &bound_port);
+
+/**
+ * One accepted connection: an fd, a write mutex so pipelined response
+ * frames never interleave, and the reader thread that owns the receive
+ * direction.  Shared by Server and Router.
+ */
+struct FrameConn {
+    int fd = -1;
+    std::mutex writeMu;
+    std::atomic<bool> open{true};
+    std::thread reader;
+
+    ~FrameConn();
+
+    /**
+     * Serialized frame write.  On ANY send failure — including a
+     * partial frame cut short by the send timeout — the byte stream is
+     * desynchronized, so the connection is shut down (waking the
+     * reader) rather than left half-alive writing frames onto a
+     * corrupt stream.  Returns false once the connection is unusable.
+     */
+    bool sendFrame(const std::string &frame);
+
+    /** Wake the reader and refuse further writes.  The exchange makes
+        exactly one caller touch ::shutdown, and since closeFd() only
+        runs after the reader exited (which sets open false first), the
+        winner always sees a still-valid descriptor. */
+    void shutdownNow();
+
+    /** Release the descriptor once the reader is joined.  writeMu
+        serializes against an in-progress sendFrame so the fd cannot be
+        closed (and its number reused) mid-write. */
+    void closeFd();
+};
+
+} // namespace tarch::serve
+
+#endif // TARCH_SERVE_SOCKET_UTIL_H

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Load-generation measurement tests: the log-bucketed latency
+ * histogram and the open-loop (coordinated-omission-free) latency
+ * model from src/serve/loadgen.h.
+ *
+ * The centerpiece is a demonstration of the coordinated-omission
+ * artifact itself: the same service-time series measured closed-loop
+ * (latency = service time, the generator politely waits out a stall)
+ * versus open-loop (latency runs from each request's scheduled start)
+ * disagree by orders of magnitude at the tail when the server pauses.
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/loadgen.h"
+
+namespace tarch::serve {
+namespace {
+
+// ---------------------------------------------------------------------
+// LatencyHistogram.
+
+TEST(LatencyHistogram, EmptyIsAllZero)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.maxValue(), 0u);
+    EXPECT_EQ(h.percentile(50.0), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact)
+{
+    LatencyHistogram h;
+    for (uint64_t v = 0; v < 32; ++v)
+        h.record(v);
+    EXPECT_EQ(h.count(), 32u);
+    EXPECT_EQ(h.maxValue(), 31u);
+    // Below 32 every value has its own bucket, so percentiles are
+    // exact: the k-th of 32 samples is value k-1.
+    EXPECT_EQ(h.percentile(50.0), 15u);
+    EXPECT_EQ(h.percentile(100.0), 31u);
+}
+
+TEST(LatencyHistogram, LargeValuesStayWithinRelativeError)
+{
+    LatencyHistogram h;
+    const std::vector<uint64_t> values = {100,    1'000,   10'000,
+                                          55'555, 123'456, 9'999'999};
+    for (const uint64_t v : values)
+        h.record(v);
+    EXPECT_EQ(h.count(), values.size());
+    EXPECT_EQ(h.maxValue(), 9'999'999u);
+    // Reported from the bucket ceiling: never below the true value,
+    // and within the layout's ~1/32 relative error above it.
+    for (size_t i = 0; i < values.size(); ++i) {
+        // Aim mid-rank so float rounding can't tip ceil() over to the
+        // next sample: pct maps to target rank i+1 exactly.
+        const double pct = 100.0 * ((double)i + 0.5) / values.size();
+        const uint64_t got = h.percentile(pct);
+        EXPECT_GE(got, values[i]) << "p" << pct;
+        EXPECT_LE(got, values[i] + values[i] / 16 + 1) << "p" << pct;
+    }
+}
+
+TEST(LatencyHistogram, PercentileNeverExceedsObservedMax)
+{
+    LatencyHistogram h;
+    h.record(1'000'000);
+    // 1e6 rounds up to its bucket ceiling, but the report is clamped
+    // to the observed max so p100 is honest.
+    EXPECT_EQ(h.percentile(100.0), 1'000'000u);
+    EXPECT_EQ(h.percentile(50.0), 1'000'000u);
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedRecording)
+{
+    LatencyHistogram a, b, both;
+    for (uint64_t v = 1; v <= 1000; ++v) {
+        ((v % 2) ? a : b).record(v * 17);
+        both.record(v * 17);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), both.count());
+    EXPECT_EQ(a.maxValue(), both.maxValue());
+    EXPECT_EQ(a.mean(), both.mean());
+    for (const double pct : {10.0, 50.0, 90.0, 99.0, 100.0})
+        EXPECT_EQ(a.percentile(pct), both.percentile(pct)) << pct;
+}
+
+TEST(LatencyHistogram, MeanIsExactNotBucketed)
+{
+    LatencyHistogram h;
+    h.record(1'000);
+    h.record(3'000);
+    EXPECT_EQ(h.mean(), 2'000.0);
+}
+
+// ---------------------------------------------------------------------
+// Open-loop latency model.
+
+TEST(OpenLoop, KeepingUpMeansLatencyEqualsService)
+{
+    // Service faster than the arrival interval: no queueing, open-loop
+    // latency IS the service time.
+    const std::vector<uint64_t> service(100, 500);
+    const auto lat = openLoopLatencies(service, 1'000);
+    ASSERT_EQ(lat.size(), service.size());
+    for (const uint64_t l : lat)
+        EXPECT_EQ(l, 500u);
+}
+
+TEST(OpenLoop, SteadyOverloadAccumulatesQueueingDelay)
+{
+    // Service 2x slower than arrivals: request i starts i*1000us late.
+    const std::vector<uint64_t> service(50, 2'000);
+    const auto lat = openLoopLatencies(service, 1'000);
+    ASSERT_EQ(lat.size(), 50u);
+    EXPECT_EQ(lat.front(), 2'000u);
+    // latency_i = service + i * (service - interval)
+    EXPECT_EQ(lat[10], 2'000u + 10u * 1'000u);
+    EXPECT_EQ(lat.back(), 2'000u + 49u * 1'000u);
+}
+
+/** The coordinated-omission demonstration: one 100ms stall in an
+    otherwise fast stream.  A closed-loop generator records the stall
+    in exactly ONE sample (it stopped sending while the server was
+    stuck), so p99 looks healthy; the open-loop accounting charges the
+    stall to every request scheduled behind it. */
+TEST(OpenLoop, CoordinatedOmissionHidesAStallClosedLoopOnly)
+{
+    constexpr uint64_t kIntervalUs = 1'000;  // 1000 req/s schedule
+    constexpr uint64_t kFastUs = 100;
+    constexpr uint64_t kStallUs = 100'000;  // one 100ms pause
+    std::vector<uint64_t> service(1'000, kFastUs);
+    service[200] = kStallUs;
+
+    // Closed loop: latency == service time, nothing queues because the
+    // generator waits for each reply before sending the next request.
+    std::vector<uint64_t> closed = service;
+    std::sort(closed.begin(), closed.end());
+    const uint64_t closed_p99 = closed[(size_t)(0.99 * closed.size())];
+
+    std::vector<uint64_t> open = openLoopLatencies(service, kIntervalUs);
+    std::sort(open.begin(), open.end());
+    const uint64_t open_p99 = open[(size_t)(0.99 * open.size())];
+
+    // The closed loop swears the tail is fine...
+    EXPECT_EQ(closed_p99, kFastUs);
+    // ...while ~100 requests scheduled during the stall each waited a
+    // large fraction of it: the honest p99 is ~1000x the closed one.
+    EXPECT_GT(open_p99, 50 * closed_p99);
+    EXPECT_GE(open.back(), kStallUs);
+
+    // And the histogram pipeline preserves the story end to end.
+    LatencyHistogram closed_h, open_h;
+    for (const uint64_t v : service)
+        closed_h.record(v);
+    for (const uint64_t v : openLoopLatencies(service, kIntervalUs))
+        open_h.record(v);
+    EXPECT_GT(open_h.percentile(99.0), 50 * closed_h.percentile(99.0));
+}
+
+} // namespace
+} // namespace tarch::serve

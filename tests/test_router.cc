@@ -1,0 +1,764 @@
+// The tarch-router cluster front-end: consistent-hash ring stability,
+// the per-shard health state machine (ejection, backoff, re-probe),
+// the priority shed-queue, and a Router wired to real in-process
+// Server shards over Unix sockets — key-affine forwarding, shedding
+// under overload, shard-death failover with ConnectionLost answers,
+// heal-after-restart, drain, and framing-error isolation.  Plus the
+// HedgedClient: hedged duplicates of one slow request collapsing into
+// the shard's single-flight source memo.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/strutil.h"
+#include "serve/client.h"
+#include "serve/hedged_client.h"
+#include "serve/protocol.h"
+#include "serve/router.h"
+#include "serve/server.h"
+
+namespace fs = std::filesystem;
+
+namespace tarch::serve {
+namespace {
+
+// ---------------------------------------------------------------------
+// HashRing.
+
+TEST(HashRing, EmptyRingHasNoOwner)
+{
+    HashRing ring;
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.owner(42), HashRing::npos);
+    EXPECT_TRUE(ring.owners(42, 3).empty());
+}
+
+TEST(HashRing, OwnerIsStableAndOwnersAreDistinct)
+{
+    HashRing ring;
+    for (size_t i = 0; i < 4; ++i)
+        ring.insert(i, "shard" + std::to_string(i), 64);
+    for (uint64_t key = 0; key < 100; ++key) {
+        const size_t owner = ring.owner(key * 0x9e3779b97f4a7c15ULL);
+        ASSERT_LT(owner, 4u);
+        const auto walk = ring.owners(key * 0x9e3779b97f4a7c15ULL, 4);
+        ASSERT_EQ(walk.size(), 4u);
+        EXPECT_EQ(walk[0], owner);
+        EXPECT_EQ(std::set<size_t>(walk.begin(), walk.end()).size(), 4u);
+    }
+}
+
+TEST(HashRing, RemovingAShardMovesOnlyItsOwnKeys)
+{
+    constexpr size_t kShards = 4;
+    constexpr uint64_t kKeys = 8'000;
+    HashRing ring;
+    for (size_t i = 0; i < kShards; ++i)
+        ring.insert(i, "shard" + std::to_string(i), 64);
+
+    std::vector<size_t> before(kKeys);
+    for (uint64_t k = 0; k < kKeys; ++k)
+        before[k] = ring.owner(k * 0x9e3779b97f4a7c15ULL + 1);
+
+    ring.erase(2);
+    uint64_t moved = 0, was_on_removed = 0;
+    for (uint64_t k = 0; k < kKeys; ++k) {
+        const size_t after = ring.owner(k * 0x9e3779b97f4a7c15ULL + 1);
+        ASSERT_NE(after, 2u);
+        if (before[k] == 2) {
+            was_on_removed++;
+        } else {
+            // The consistent-hashing contract: keys not owned by the
+            // removed shard DO NOT move.
+            EXPECT_EQ(after, before[k]) << "key " << k;
+        }
+        if (after != before[k])
+            moved++;
+    }
+    EXPECT_EQ(moved, was_on_removed);
+    // ~1/4 of the keyspace lived on the removed shard (vnode variance
+    // allowed for).
+    EXPECT_GT(was_on_removed, kKeys / 8);
+    EXPECT_LT(was_on_removed, kKeys / 2);
+}
+
+TEST(HashRing, AddingAShardOnlyStealsKeysForItself)
+{
+    constexpr uint64_t kKeys = 8'000;
+    HashRing ring;
+    for (size_t i = 0; i < 3; ++i)
+        ring.insert(i, "shard" + std::to_string(i), 64);
+    std::vector<size_t> before(kKeys);
+    for (uint64_t k = 0; k < kKeys; ++k)
+        before[k] = ring.owner(k * 0x9e3779b97f4a7c15ULL + 7);
+
+    ring.insert(3, "shard3", 64);
+    uint64_t moved = 0;
+    for (uint64_t k = 0; k < kKeys; ++k) {
+        const size_t after = ring.owner(k * 0x9e3779b97f4a7c15ULL + 7);
+        if (after != before[k]) {
+            // A moved key may only move TO the new shard.
+            EXPECT_EQ(after, 3u);
+            moved++;
+        }
+    }
+    // ~1/4 of keys land on the newcomer.
+    EXPECT_GT(moved, kKeys / 8);
+    EXPECT_LT(moved, kKeys / 2);
+}
+
+// ---------------------------------------------------------------------
+// ShardHealth.
+
+TEST(ShardHealth, EjectsAfterConsecutiveFailuresAndReprobes)
+{
+    ShardHealth::Options opts;
+    opts.ejectAfter = 3;
+    opts.backoffFloorMs = 100;
+    opts.backoffCapMs = 400;
+    ShardHealth h(opts);
+
+    EXPECT_EQ(h.state(), ShardHealth::State::Healthy);
+    EXPECT_TRUE(h.admit(0));
+    h.recordFailure(0);
+    h.recordFailure(0);
+    EXPECT_EQ(h.state(), ShardHealth::State::Healthy);
+    h.recordFailure(0);  // third strike
+    EXPECT_EQ(h.state(), ShardHealth::State::Ejected);
+    EXPECT_EQ(h.ejections(), 1u);
+    EXPECT_EQ(h.backoffMs(), 100u);
+
+    // Out of rotation until the backoff expires...
+    EXPECT_FALSE(h.admit(50));
+    EXPECT_FALSE(h.admit(99));
+    // ...then exactly ONE probe is admitted.
+    EXPECT_TRUE(h.admit(100));
+    EXPECT_EQ(h.state(), ShardHealth::State::Probing);
+    EXPECT_FALSE(h.admit(100));
+    EXPECT_FALSE(h.admit(10'000));
+
+    // Probe failure doubles the backoff.
+    h.recordFailure(100);
+    EXPECT_EQ(h.state(), ShardHealth::State::Ejected);
+    EXPECT_EQ(h.backoffMs(), 200u);
+    EXPECT_FALSE(h.admit(299));
+    EXPECT_TRUE(h.admit(300));
+    h.recordFailure(300);
+    EXPECT_EQ(h.backoffMs(), 400u);
+    // The doubling saturates at the cap.
+    EXPECT_TRUE(h.admit(700));
+    h.recordFailure(700);
+    EXPECT_EQ(h.backoffMs(), 400u);
+    EXPECT_EQ(h.ejections(), 4u);
+
+    // A probe success heals fully: streak and backoff reset.
+    EXPECT_TRUE(h.admit(1'100));
+    h.recordSuccess();
+    EXPECT_EQ(h.state(), ShardHealth::State::Healthy);
+    EXPECT_EQ(h.backoffMs(), 0u);
+    EXPECT_TRUE(h.admit(1'100));
+    // The next ejection starts from the floor again.
+    h.recordFailure(2'000);
+    h.recordFailure(2'000);
+    h.recordFailure(2'000);
+    EXPECT_EQ(h.backoffMs(), 100u);
+}
+
+TEST(ShardHealth, SuccessResetsTheFailureStreak)
+{
+    ShardHealth::Options opts;
+    opts.ejectAfter = 3;
+    ShardHealth h(opts);
+    for (int round = 0; round < 5; ++round) {
+        h.recordFailure(0);
+        h.recordFailure(0);
+        h.recordSuccess();  // never three in a row
+    }
+    EXPECT_EQ(h.state(), ShardHealth::State::Healthy);
+    EXPECT_EQ(h.ejections(), 0u);
+}
+
+TEST(ShardHealth, StragglerFailuresWhileEjectedAreIgnored)
+{
+    ShardHealth::Options opts;
+    opts.ejectAfter = 1;
+    opts.backoffFloorMs = 100;
+    ShardHealth h(opts);
+    h.recordFailure(0);
+    EXPECT_EQ(h.state(), ShardHealth::State::Ejected);
+    // In-flight requests from before the ejection failing late must
+    // not extend or double the backoff.
+    h.recordFailure(10);
+    h.recordFailure(20);
+    EXPECT_EQ(h.ejections(), 1u);
+    EXPECT_EQ(h.backoffMs(), 100u);
+    EXPECT_TRUE(h.admit(100));
+}
+
+// ---------------------------------------------------------------------
+// ShedQueue.
+
+TEST(ShedQueue, PopsHighestPriorityFirstFifoWithinLane)
+{
+    ShedQueue<int> q(8);
+    EXPECT_TRUE(q.push(1, RoutePriority::Batch).accepted);
+    EXPECT_TRUE(q.push(2, RoutePriority::Cell).accepted);
+    EXPECT_TRUE(q.push(3, RoutePriority::Source).accepted);
+    EXPECT_TRUE(q.push(4, RoutePriority::Cell).accepted);
+    EXPECT_EQ(q.size(), 4u);
+    int out = 0;
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out, 2);  // cells first, FIFO
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out, 4);
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out, 3);  // then sources
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out, 1);  // batches last
+    EXPECT_FALSE(q.pop(out));
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(ShedQueue, FullQueueEvictsYoungestLowerPriorityEntry)
+{
+    ShedQueue<int> q(2);
+    ASSERT_TRUE(q.push(10, RoutePriority::Batch).accepted);
+    ASSERT_TRUE(q.push(11, RoutePriority::Batch).accepted);
+    // A cell arriving at a full queue evicts the YOUNGEST batch.
+    const auto res = q.push(20, RoutePriority::Cell);
+    EXPECT_TRUE(res.accepted);
+    ASSERT_TRUE(res.evicted);
+    EXPECT_EQ(res.victim, 11);
+    int out = 0;
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out, 20);
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out, 10);
+}
+
+TEST(ShedQueue, FullQueueShedsIncomingWhenNothingIsLessImportant)
+{
+    ShedQueue<int> q(2);
+    ASSERT_TRUE(q.push(10, RoutePriority::Cell).accepted);
+    ASSERT_TRUE(q.push(11, RoutePriority::Source).accepted);
+    // An incoming batch outranks nothing queued: it is shed itself.
+    const auto res = q.push(30, RoutePriority::Batch);
+    EXPECT_FALSE(res.accepted);
+    ASSERT_TRUE(res.evicted);
+    EXPECT_EQ(res.victim, 30);
+    // Same for a source when only cells and an older source are queued:
+    // equal priority does not evict.
+    const auto res2 = q.push(31, RoutePriority::Source);
+    EXPECT_FALSE(res2.accepted);
+    EXPECT_EQ(res2.victim, 31);
+    EXPECT_EQ(q.size(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// Router over real shards.
+
+struct TempDir {
+    fs::path path;
+    TempDir()
+    {
+        static std::atomic<int> counter{0};
+        path = fs::temp_directory_path() /
+               strformat("tarch_router_test_%ld_%d", (long)::getpid(),
+                         counter++);
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~TempDir() { fs::remove_all(path); }
+    std::string str() const { return path.string(); }
+};
+
+class RouterTest : public ::testing::Test
+{
+  protected:
+    TempDir dir;
+    std::vector<std::unique_ptr<Server>> shards;
+    std::unique_ptr<Router> router;
+
+    std::string shardSock(size_t i) const
+    {
+        return dir.str() + "/shard" + std::to_string(i) + ".sock";
+    }
+    std::string routerSock() const { return dir.str() + "/router.sock"; }
+
+    void
+    startShard(size_t i)
+    {
+        Server::Config cfg;
+        cfg.unixPath = shardSock(i);
+        cfg.jobs = 1;
+        cfg.sim.cacheDir = dir.str() + "/cache" + std::to_string(i);
+        cfg.sim.diskCache = false;
+        auto server = std::make_unique<Server>(cfg);
+        server->start();
+        if (shards.size() <= i)
+            shards.resize(i + 1);
+        shards[i] = std::move(server);
+    }
+
+    void
+    startRouter(size_t nshards, size_t window = 128, size_t queue = 256,
+                uint32_t backoff_floor_ms = 50)
+    {
+        for (size_t i = 0; i < nshards; ++i)
+            startShard(i);
+        Router::Config cfg;
+        cfg.unixPath = routerSock();
+        for (size_t i = 0; i < nshards; ++i) {
+            Endpoint ep;
+            ep.unixPath = shardSock(i);
+            cfg.shards.push_back(ep);
+        }
+        cfg.windowPerShard = window;
+        cfg.queuePerShard = queue;
+        cfg.ejectAfter = 3;
+        cfg.backoffFloorMs = backoff_floor_ms;
+        router = std::make_unique<Router>(cfg);
+        router->start();
+    }
+
+    void
+    TearDown() override
+    {
+        if (router)
+            router->stop();
+        for (auto &s : shards)
+            if (s)
+                s->stop();
+    }
+
+    Client connect() { return Client::connectUnix(routerSock()); }
+
+    static proto::SourceRequest
+    quickSource(int n)
+    {
+        proto::SourceRequest req;
+        req.variant = 1;
+        req.source = strformat("print(%d)\n", n);
+        return req;
+    }
+};
+
+TEST_F(RouterTest, ForwardsWithKeyAffinity)
+{
+    startRouter(2);
+    Client client = connect();
+    proto::SourceRequest req = quickSource(7);
+    for (int i = 0; i < 5; ++i) {
+        const Client::Outcome outcome = client.runSource(req);
+        ASSERT_TRUE(outcome.ok) << outcome.error.message;
+        EXPECT_NE(outcome.result.output.find("7"), std::string::npos);
+    }
+    const Router::Health health = router->health();
+    EXPECT_EQ(health.forwarded, 5u);
+    EXPECT_EQ(health.completed, 5u);
+    EXPECT_EQ(health.shedBusy, 0u);
+    ASSERT_EQ(health.shards.size(), 2u);
+    // Content-addressed routing: all five repeats of one source land
+    // on the SAME shard (which one is up to the ring).
+    const uint64_t a = health.shards[0].forwarded;
+    const uint64_t b = health.shards[1].forwarded;
+    EXPECT_EQ(a + b, 5u);
+    EXPECT_TRUE(a == 5u || b == 5u) << a << " vs " << b;
+}
+
+TEST_F(RouterTest, DistinctKeysSpreadAcrossShards)
+{
+    startRouter(2);
+    Client client = connect();
+    for (int i = 0; i < 24; ++i)
+        ASSERT_TRUE(client.runSource(quickSource(i)).ok);
+    const Router::Health health = router->health();
+    ASSERT_EQ(health.shards.size(), 2u);
+    // With 24 distinct keys both shards see work (P[one-sided] ~ 2^-24
+    // under a fair ring; the 64-vnode ring is fair enough).
+    EXPECT_GT(health.shards[0].forwarded, 0u);
+    EXPECT_GT(health.shards[1].forwarded, 0u);
+}
+
+TEST_F(RouterTest, PingStatsAndUnknownKindAnsweredLocally)
+{
+    startRouter(1);
+    Client client = connect();
+    EXPECT_TRUE(client.ping());
+    const std::string json = client.stats();
+    EXPECT_NE(json.find("\"schema\":\"tarch-router-stats-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"shards\":["), std::string::npos);
+
+    const uint64_t id = client.sendRequest(
+        static_cast<proto::MsgKind>(99), "");
+    ASSERT_NE(id, 0u);
+    Client::Reply reply;
+    ASSERT_TRUE(client.readReply(reply));
+    EXPECT_EQ(static_cast<proto::MsgKind>(reply.kind),
+              proto::MsgKind::Error);
+    proto::ErrorBody error;
+    ASSERT_TRUE(proto::decodeErrorBody(reply.payload, error));
+    EXPECT_EQ(error.code,
+              static_cast<uint16_t>(proto::ErrorCode::UnknownKind));
+}
+
+TEST_F(RouterTest, MalformedPayloadGetsBadFrameAndConnectionSurvives)
+{
+    startRouter(1);
+    Client client = connect();
+    const std::string frame = proto::encodeFrame(
+        proto::MsgKind::RunCell, 5, std::string(3, '\xff'));
+    ASSERT_TRUE(client.sendRaw(frame.data(), frame.size()));
+    Client::Reply reply;
+    ASSERT_TRUE(client.readReply(reply));
+    EXPECT_EQ(static_cast<proto::MsgKind>(reply.kind),
+              proto::MsgKind::Error);
+    proto::ErrorBody error;
+    ASSERT_TRUE(proto::decodeErrorBody(reply.payload, error));
+    EXPECT_EQ(error.code,
+              static_cast<uint16_t>(proto::ErrorCode::BadFrame));
+    // The connection survives — and real work still routes on it.
+    EXPECT_TRUE(client.ping());
+    EXPECT_TRUE(client.runSource(quickSource(1)).ok);
+}
+
+TEST_F(RouterTest, ShedsLowestPriorityWithRetryableBusyUnderOverload)
+{
+    // One shard, a 1-deep window and a 1-deep queue: the third
+    // concurrent request MUST be shed with a retryable BUSY.
+    startRouter(1, /*window=*/1, /*queue=*/1);
+    Client client = connect();
+
+    // Slow enough to still be in flight while the rest arrive.
+    proto::SourceRequest slow;
+    slow.variant = 1;
+    slow.source = "local s = 0\nfor i = 1, 60000 do s = s + i end\n"
+                  "print(s)\n";
+    const std::string payload = proto::encodeSourceRequest(slow);
+
+    constexpr int kCount = 5;
+    std::vector<uint64_t> ids;
+    for (int i = 0; i < kCount; ++i) {
+        const uint64_t id =
+            client.sendRequest(proto::MsgKind::RunSource, payload);
+        ASSERT_NE(id, 0u);
+        ids.push_back(id);
+    }
+    int ok = 0, busy = 0;
+    for (int i = 0; i < kCount; ++i) {
+        Client::Reply reply;
+        ASSERT_TRUE(client.readReply(reply));
+        EXPECT_NE(std::find(ids.begin(), ids.end(), reply.requestId),
+                  ids.end());
+        if (static_cast<proto::MsgKind>(reply.kind) ==
+            proto::MsgKind::Error) {
+            proto::ErrorBody error;
+            ASSERT_TRUE(proto::decodeErrorBody(reply.payload, error));
+            EXPECT_EQ(error.code,
+                      static_cast<uint16_t>(proto::ErrorCode::Busy));
+            EXPECT_EQ(error.retryable, 1);
+            busy++;
+        } else {
+            EXPECT_EQ(static_cast<proto::MsgKind>(reply.kind),
+                      proto::MsgKind::CellResult);
+            ok++;
+        }
+    }
+    EXPECT_GE(ok, 1);
+    EXPECT_GE(busy, 1);
+    EXPECT_EQ(ok + busy, kCount);
+    EXPECT_EQ(router->health().shedBusy, (uint64_t)busy);
+}
+
+TEST_F(RouterTest, DeadShardFailsOverThenEjects)
+{
+    startRouter(2);
+    Client client = connect();
+    // Warm both backends so the ring placement is active.
+    for (int i = 0; i < 8; ++i)
+        ASSERT_TRUE(client.runSource(quickSource(i)).ok);
+
+    // Kill shard 1 outright.
+    shards[1]->stop();
+
+    // Every key still gets an answer: keys owned by the dead shard see
+    // a connect failure inside the router and fail over to shard 0.
+    for (int i = 0; i < 16; ++i) {
+        const Client::Outcome outcome = client.runSource(quickSource(i));
+        ASSERT_TRUE(outcome.ok) << outcome.error.message;
+    }
+    const Router::Health health = router->health();
+    ASSERT_EQ(health.shards.size(), 2u);
+    EXPECT_GE(health.shards[1].failures, 1u);
+    // Enough touches eject it from rotation.
+    EXPECT_GE(health.shards[1].ejections, 1u);
+    // Ejected, or already probing for a comeback — never healthy.
+    EXPECT_NE(health.shards[1].state, "healthy");
+}
+
+/** A backend that accepts one connection, reads a little, and slams
+    the door mid-conversation — the abrupt death a graceful in-process
+    Server::stop() cannot fake. */
+struct AbruptBackend {
+    std::string path;
+    int listenFd = -1;
+    std::thread th;
+
+    explicit AbruptBackend(const std::string &p) : path(p)
+    {
+        listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        EXPECT_GE(listenFd, 0);
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, path.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        ::unlink(path.c_str());
+        EXPECT_EQ(::bind(listenFd,
+                         reinterpret_cast<sockaddr *>(&addr),
+                         sizeof(addr)),
+                  0);
+        EXPECT_EQ(::listen(listenFd, 8), 0);
+        th = std::thread([this] {
+            const int fd = ::accept(listenFd, nullptr, nullptr);
+            if (fd < 0)
+                return;
+            char buf[64];
+            (void)!::read(fd, buf, sizeof(buf));
+            ::close(fd);  // mid-request, without a reply
+        });
+    }
+    ~AbruptBackend()
+    {
+        ::shutdown(listenFd, SHUT_RDWR);
+        ::close(listenFd);
+        if (th.joinable())
+            th.join();
+    }
+};
+
+TEST_F(RouterTest, InFlightRequestsOfADeadShardGetConnectionLost)
+{
+    AbruptBackend backend(dir.str() + "/abrupt.sock");
+    Router::Config cfg;
+    cfg.unixPath = routerSock();
+    Endpoint ep;
+    ep.unixPath = backend.path;
+    cfg.shards.push_back(ep);
+    router = std::make_unique<Router>(cfg);
+    router->start();
+
+    Client client = connect();
+    const uint64_t id = client.sendRequest(
+        proto::MsgKind::RunSource,
+        proto::encodeSourceRequest(quickSource(1)));
+    ASSERT_NE(id, 0u);
+
+    // The backend dies mid-request: the router must answer what it
+    // owed with a retryable ConnectionLost, never hang or fabricate.
+    Client::Reply reply;
+    ASSERT_TRUE(client.readReply(reply));
+    EXPECT_EQ(reply.requestId, id);
+    ASSERT_EQ(static_cast<proto::MsgKind>(reply.kind),
+              proto::MsgKind::Error);
+    proto::ErrorBody error;
+    ASSERT_TRUE(proto::decodeErrorBody(reply.payload, error));
+    EXPECT_EQ(error.code,
+              static_cast<uint16_t>(proto::ErrorCode::ConnectionLost));
+    EXPECT_EQ(error.retryable, 1);
+    EXPECT_GE(router->health().connectionLost, 1u);
+}
+
+TEST_F(RouterTest, EjectedShardHealsAfterRestart)
+{
+    startRouter(2, 128, 256, /*backoff_floor_ms=*/50);
+    Client client = connect();
+    for (int i = 0; i < 8; ++i)
+        ASSERT_TRUE(client.runSource(quickSource(i)).ok);
+
+    shards[1]->stop();
+    // Hammer until the router ejects shard 1 (3 consecutive failures).
+    for (int i = 0; i < 16; ++i)
+        ASSERT_TRUE(client.runSource(quickSource(i)).ok);
+    ASSERT_GE(router->health().shards[1].failures, 3u);
+
+    // Bring the shard back on the same endpoint.
+    startShard(1);
+
+    // Keep offering traffic — the SAME key set that proved some keys
+    // route to shard 1 above, so a probe is guaranteed to be offered:
+    // once the backoff expires it lands on the healed shard and the
+    // shard returns to rotation.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    bool healed = false;
+    uint64_t forwarded_before = router->health().shards[1].forwarded;
+    while (std::chrono::steady_clock::now() < deadline) {
+        for (int i = 0; i < 16; ++i)
+            ASSERT_TRUE(client.runSource(quickSource(i)).ok);
+        const Router::Health health = router->health();
+        if (health.shards[1].state == "healthy" &&
+            health.shards[1].forwarded > forwarded_before) {
+            healed = true;
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    EXPECT_TRUE(healed);
+    EXPECT_GE(router->health().shards[1].ejections, 1u);
+}
+
+TEST_F(RouterTest, DrainAnswersInFlightThenClosesAndRefuses)
+{
+    startRouter(1);
+    Client worker = connect();
+    proto::SourceRequest slow;
+    slow.variant = 1;
+    slow.source = "local s = 0\nfor i = 1, 60000 do s = s + i end\n"
+                  "print(s)\n";
+    const uint64_t id = worker.sendRequest(
+        proto::MsgKind::RunSource, proto::encodeSourceRequest(slow));
+    ASSERT_NE(id, 0u);
+    // Make sure the router actually dispatched the request before the
+    // drain starts — otherwise the drain can overtake it and answer
+    // Draining instead of the real result.
+    const auto forwarded_by =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (router->health().forwarded < 1 &&
+           std::chrono::steady_clock::now() < forwarded_by)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    ASSERT_GE(router->health().forwarded, 1u);
+
+    Client ctl = connect();
+    ASSERT_TRUE(ctl.drain());
+    // The in-flight request is still answered with its real result.
+    Client::Reply reply;
+    ASSERT_TRUE(worker.readReply(reply));
+    EXPECT_EQ(reply.requestId, id);
+    EXPECT_EQ(static_cast<proto::MsgKind>(reply.kind),
+              proto::MsgKind::CellResult);
+
+    router->waitDrained();
+    EXPECT_TRUE(router->drained());
+    // Both connections end cleanly, and new connects are refused.
+    EXPECT_FALSE(worker.readReply(reply));
+    EXPECT_THROW(connect(), FatalError);
+    EXPECT_NE(router->health().toJson().find("\"draining\":true"),
+              std::string::npos);
+}
+
+TEST_F(RouterTest, RequestsDuringDrainGetRetryableDraining)
+{
+    startRouter(1);
+    Client client = connect();
+    ASSERT_TRUE(client.ping());
+    router->requestDrain();
+    const Client::Outcome outcome = client.runSource(quickSource(1));
+    // Either answered with a retryable Draining error, or the close
+    // raced the request — never a hang or garbled bytes.
+    if (!outcome.closed && !outcome.lost()) {
+        ASSERT_FALSE(outcome.ok);
+        EXPECT_EQ(outcome.error.code,
+                  static_cast<uint16_t>(proto::ErrorCode::Draining));
+        EXPECT_EQ(outcome.error.retryable, 1);
+    }
+    router->waitDrained();
+}
+
+// ---------------------------------------------------------------------
+// HedgedClient.
+
+TEST_F(RouterTest, HedgedDuplicateCollapsesIntoShardSingleFlight)
+{
+    // Two ring slots onto the SAME daemon: the hedge lands where the
+    // first attempt went, exactly like a router shard would, and the
+    // shard's source memo single-flight absorbs the duplicate.
+    startShard(0);
+    HedgedClient::Options opts;
+    Endpoint ep;
+    ep.unixPath = shardSock(0);
+    opts.endpoints = {ep, ep};
+    opts.defaultHedgeMs = 5;  // hedge early and deliberately
+    opts.minSamples = ~0ull;  // keep the fixed hedge delay
+    HedgedClient hedged(opts);
+
+    proto::SourceRequest slow;
+    slow.variant = 1;
+    slow.source = "local s = 0\nfor i = 1, 60000 do s = s + i end\n"
+                  "print(s)\n";
+    const Client::Outcome outcome = hedged.runSource(slow);
+    ASSERT_TRUE(outcome.ok) << outcome.error.message;
+    EXPECT_EQ(hedged.counters().requests, 1u);
+    EXPECT_EQ(hedged.counters().hedges, 1u);
+
+    // The daemon saw two RunSource frames but simulated ONCE: the
+    // duplicate either waited on the leader's flight or hit the memo.
+    // runSource() returns the moment the winner replies — the losing
+    // duplicate may still be in the shard's queue, so poll until the
+    // shard has accounted for it.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    Server::Health health = shards[0]->health();
+    while (health.sim.singleFlightWaits + health.sim.sourceMemHits < 1 &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        health = shards[0]->health();
+    }
+    EXPECT_EQ(health.sim.simulated, 1u);
+    EXPECT_GE(health.sim.singleFlightWaits + health.sim.sourceMemHits,
+              1u);
+}
+
+TEST(HedgedClientUnit, RetryBudgetStarvesHedgingNotFirstAttempts)
+{
+    // No endpoints reachable: every request fails fast, no budget is
+    // ever earned back, and hedging is denied once the initial tokens
+    // run out — the client must not amplify an outage.
+    HedgedClient::Options opts;
+    Endpoint ep;
+    ep.unixPath = "/nonexistent/tarch-test.sock";
+    opts.endpoints = {ep, ep};
+    opts.retryBudgetInitial = 2.0;
+    opts.retryBudgetRatio = 0.0;
+    HedgedClient hedged(opts);
+
+    proto::CellRequest req;
+    req.benchmark = "fibo";
+    for (int i = 0; i < 10; ++i) {
+        const Client::Outcome outcome = hedged.runCell(req);
+        EXPECT_FALSE(outcome.ok);
+        EXPECT_TRUE(outcome.lost());
+        EXPECT_EQ(outcome.error.retryable, 1);
+    }
+    EXPECT_EQ(hedged.counters().requests, 10u);
+    EXPECT_EQ(hedged.counters().hedges, 0u);  // nothing ever in flight
+}
+
+TEST(HedgedClientUnit, WinnerLatencyFeedsTheHedgeDelay)
+{
+    HedgedClient::Options opts;
+    Endpoint ep;
+    ep.unixPath = "/nonexistent/tarch-test.sock";
+    opts.endpoints = {ep};
+    opts.defaultHedgeMs = 77;
+    HedgedClient hedged(opts);
+    // Cold client: the default hedge delay applies.
+    EXPECT_EQ(hedged.hedgeDelayUs(), 77'000u);
+}
+
+} // namespace
+} // namespace tarch::serve

@@ -12,8 +12,11 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <filesystem>
 #include <string>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <thread>
 #include <unistd.h>
 #include <vector>
@@ -303,7 +306,7 @@ class ServeTest : public ::testing::Test
 
     void
     startServer(unsigned jobs = 2, size_t queue_capacity = 64,
-                int tcp_port = -1)
+                int tcp_port = -1, uint32_t send_timeout_ms = 0)
     {
         Server::Config cfg;
         cfg.unixPath = dir.sock();
@@ -311,6 +314,8 @@ class ServeTest : public ::testing::Test
         cfg.jobs = jobs;
         cfg.queueCapacity = queue_capacity;
         cfg.sim.cacheDir = dir.str();
+        if (send_timeout_ms)
+            cfg.sendTimeoutMs = send_timeout_ms;
         server = std::make_unique<Server>(cfg);
         server->start();
     }
@@ -321,7 +326,8 @@ class ServeTest : public ::testing::Test
         RunCell is served without simulating; returns the planted
         instruction count. */
     uint64_t
-    plantDiskCell(const std::string &benchmark, vm::Variant variant)
+    plantDiskCell(const std::string &benchmark, vm::Variant variant,
+                  const std::string &output = "planted\n")
     {
         const harness::BenchmarkInfo *info = nullptr;
         for (const harness::BenchmarkInfo &b : harness::benchmarks())
@@ -334,7 +340,7 @@ class ServeTest : public ::testing::Test
         r.variant = variant;
         r.stats.instructions = 123456;
         r.stats.cycles = 234567;
-        r.output = "planted\n";
+        r.output = output;
         EXPECT_TRUE(harness::ensureCacheDir(dir.str()));
         EXPECT_TRUE(harness::saveCell(
             r,
@@ -750,22 +756,106 @@ TEST_F(ServeTest, RequestDuringDrainGetsDrainingOrCleanClose)
     ASSERT_TRUE(client.ping());
     server->requestDrain();
     // Depending on how far the drain got, the in-flight connection
-    // either sees a retryable Draining error or a clean close — never
-    // a hang or a garbled stream.
+    // sees a retryable Draining error, a clean close, or — if the send
+    // raced the close — a typed retryable ConnectionLost.  Never a
+    // throw, a hang, or a garbled stream.
     proto::CellRequest req;
     req.benchmark = "fibo";
-    try {
-        const Client::Outcome outcome = client.runCell(req);
-        if (!outcome.closed) {
-            ASSERT_FALSE(outcome.ok);
-            EXPECT_EQ(outcome.error.code,
-                      static_cast<uint16_t>(proto::ErrorCode::Draining));
-            EXPECT_EQ(outcome.error.retryable, 1);
-        }
-    } catch (const FatalError &) {
-        // Send raced the close; equally acceptable.
+    const Client::Outcome outcome = client.runCell(req);
+    if (!outcome.closed && !outcome.lost()) {
+        ASSERT_FALSE(outcome.ok);
+        EXPECT_EQ(outcome.error.code,
+                  static_cast<uint16_t>(proto::ErrorCode::Draining));
+        EXPECT_EQ(outcome.error.retryable, 1);
     }
     server->waitDrained();
+}
+
+TEST_F(ServeTest, SocketDeathMidReplyIsATypedRetryableOutcome)
+{
+    // A stand-in server that accepts one connection, reads the
+    // request, answers with a TRUNCATED frame (a valid header
+    // promising more bytes than it sends), and closes — the wire
+    // behavior of a daemon killed mid-reply.
+    const std::string path = dir.str() + "/liar.sock";
+    const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(listen_fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr *>(&addr),
+                     sizeof(addr)),
+              0);
+    ASSERT_EQ(::listen(listen_fd, 1), 0);
+    std::thread peer([&] {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0)
+            return;
+        uint8_t buf[256];
+        (void)!::read(fd, buf, sizeof(buf));
+        proto::CellResult result;
+        result.output = "you will never read all of this\n";
+        const std::string frame =
+            proto::encodeFrame(proto::MsgKind::CellResult, 1,
+                               proto::encodeCellResult(result));
+        (void)!::write(fd, frame.data(), frame.size() / 2);
+        ::close(fd);
+    });
+
+    Client client = Client::connectUnix(path);
+    proto::CellRequest req;
+    req.variant = 1;
+    req.benchmark = "fibo";
+    const Client::Outcome outcome = client.runCell(req);
+    peer.join();
+    ::close(listen_fd);
+
+    // A typed, retryable ConnectionLost — callers can fail over to
+    // another endpoint instead of dying on a FatalError throw...
+    EXPECT_TRUE(outcome.lost());
+    EXPECT_FALSE(outcome.ok);
+    EXPECT_EQ(outcome.error.code,
+              static_cast<uint16_t>(proto::ErrorCode::ConnectionLost));
+    EXPECT_EQ(outcome.error.retryable, 1);
+    EXPECT_FALSE(client.isOpen());
+    // ...and every later call on the dead client stays typed too.
+    const Client::Outcome again = client.runCell(req);
+    EXPECT_TRUE(again.lost());
+}
+
+TEST_F(ServeTest, StalledReaderPartialSendClosesConnectionNotDaemon)
+{
+    // A reply far larger than the socket buffers and a client that
+    // never reads: the worker's send blocks, SO_SNDTIMEO fires
+    // mid-frame, and the server must CLOSE that connection — retrying
+    // the send would splice a duplicate prefix into the stream and
+    // desync every frame after it.
+    const std::string big(4u << 20, 'x');
+    plantDiskCell("fibo", vm::Variant::Typed, big);
+    startServer(/*jobs=*/1, /*queue_capacity=*/64, /*tcp_port=*/-1,
+                /*send_timeout_ms=*/200);
+    Client stalled = connect();
+    proto::CellRequest req;
+    req.variant = 1;
+    req.benchmark = "fibo";
+    ASSERT_NE(stalled.sendRequest(proto::MsgKind::RunCell,
+                                  proto::encodeCellRequest(req)),
+              0u);
+    // Stall: read nothing while the send timeout expires.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+
+    // The server gave up on us mid-frame: the stream ends truncated,
+    // never resynced-but-wrong.
+    Client::Reply reply;
+    const Client::IoStatus status = stalled.readFrame(reply);
+    EXPECT_TRUE(status == Client::IoStatus::Lost ||
+                status == Client::IoStatus::Closed);
+
+    // The daemon itself shrugged it off: new connections still work.
+    Client healthy = connect();
+    EXPECT_TRUE(healthy.ping());
+    req.benchmark = "fibo";
+    EXPECT_TRUE(healthy.runCell(req).ok);
 }
 
 TEST_F(ServeTest, StopIsIdempotent)
@@ -839,6 +929,59 @@ TEST(SimServiceTest, NoCacheSkipsSingleFlightWait)
     EXPECT_EQ(counters.singleFlightWaits, 0u);
     EXPECT_EQ(counters.memHits, 0u);
     EXPECT_EQ(counters.diskHits, 0u);
+}
+
+TEST(SimServiceTest, SourceMemoServesRepeatsWithoutResimulating)
+{
+    SimService::Options opts;
+    opts.diskCache = false;
+    SimService service(opts);
+    proto::SourceRequest req;
+    req.variant = 1;
+    req.source = "print(7)\n";
+
+    const proto::CellResult first = service.runSource(req);
+    EXPECT_EQ(first.fromCache, 0);
+    const proto::CellResult second = service.runSource(req);
+    EXPECT_EQ(second.fromCache, 1);
+    EXPECT_EQ(second.output, first.output);
+
+    const SimService::Counters counters = service.counters();
+    // Source runs count toward `simulated` (they used to be omitted,
+    // hiding the most expensive request class from the stats)...
+    EXPECT_EQ(counters.simulated, 1u);
+    // ...and the repeat was a memo hit, not a second simulation.
+    EXPECT_EQ(counters.sourceMemHits, 1u);
+}
+
+TEST(SimServiceTest, ConcurrentIdenticalSourcesCollapseToOneSimulation)
+{
+    SimService::Options opts;
+    opts.diskCache = false;
+    SimService service(opts);
+    proto::SourceRequest req;
+    req.variant = 1;
+    req.source = kSlowScript;
+
+    // Hedged duplicates land here: the leader simulates, followers
+    // either park on its flight or hit the memo it published.
+    constexpr int kThreads = 3;
+    std::atomic<int> fresh{0};
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i)
+        threads.emplace_back([&] {
+            const proto::CellResult result = service.runSource(req);
+            EXPECT_FALSE(result.output.empty());
+            if (result.fromCache == 0)
+                fresh.fetch_add(1);
+        });
+    for (std::thread &t : threads)
+        t.join();
+
+    EXPECT_EQ(fresh.load(), 1);
+    const SimService::Counters counters = service.counters();
+    EXPECT_EQ(counters.simulated, 1u);
+    EXPECT_EQ(counters.sourceMemHits, (uint64_t)(kThreads - 1));
 }
 
 } // namespace

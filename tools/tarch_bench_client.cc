@@ -1,23 +1,35 @@
 /**
  * @file
- * tarch_bench_client: closed-loop load generator for tarch_served.
+ * tarch_bench_client: load generator for tarch_served / tarch_router.
  *
- * Opens N connections, each driving a closed loop of tarch-rpc-v1
- * requests (send one, wait for its reply), and reports aggregate
- * throughput plus p50/p95/p99 latency.  Besides the load mode it can
- * issue one-shot inline-source runs (optionally asserting a specific
- * typed error, e.g. a verifier rejection), print server health stats,
- * trigger a drain, and inject malformed frames on sacrificial
- * connections to exercise the server's framing-error isolation.
+ * Two load modes:
+ *
+ *  - Open loop (--rate R): arrivals are scheduled in advance at R
+ *    requests/second and every request is charged from its INTENDED
+ *    start time, so a server stall shows up in every request queued
+ *    behind it — the honest way to measure tail latency (a closed loop
+ *    stops sending while the server stalls and "coordinately omits"
+ *    the damage; see src/serve/loadgen.h).  Open-loop workers drive a
+ *    HedgedClient over one or more --endpoint targets: hedged retries,
+ *    retry budgets, and endpoint health ejection are all exercised.
+ *
+ *  - Closed loop (default): N connections each running send-one,
+ *    wait-one — the legacy mode, still right for "how fast can this
+ *    daemon go" saturation checks.
+ *
+ * Besides load it can issue one-shot inline-source runs (optionally
+ * asserting a specific typed error, e.g. a verifier rejection), print
+ * health stats, trigger a drain, and inject malformed frames on
+ * sacrificial connections to exercise framing-error isolation.
  *
  *   tarch_bench_client --unix /tmp/tarch.sock --connections 8 \
  *       --requests 2000 --benchmark fibo --variant typed
- *   tarch_bench_client --tcp 7410 --source bad.s --lang asm \
- *       --expect-error VerifyRejected
+ *   tarch_bench_client --endpoint tcp:7410 --rate 500 --requests 5000 \
+ *       --mix-source 10 --chaos 2
  *
- * Exit status: 0 on success (all replies were results or tolerated
- * drain-time closes; --expect-error matched), nonzero on protocol
- * errors or unexpected typed errors.
+ * Exit status: 0 on success (all replies were results, tolerated
+ * shed/drain outcomes, or the --expect-error matched), nonzero on
+ * protocol errors or unexpected typed errors.
  */
 
 #include <algorithm>
@@ -36,6 +48,8 @@
 #include "common/log.h"
 #include "common/strutil.h"
 #include "serve/client.h"
+#include "serve/hedged_client.h"
+#include "serve/loadgen.h"
 
 namespace {
 
@@ -44,10 +58,14 @@ namespace proto = tarch::serve::proto;
 using Clock = std::chrono::steady_clock;
 
 struct Options {
+    std::vector<serve::Endpoint> endpoints;
     std::string unixPath;
     int tcpPort = -1;
     unsigned connections = 4;
-    unsigned requests = 1000;       // per connection
+    unsigned requests = 1000;       // per connection closed, total open
+    double rate = 0.0;              // > 0 selects open-loop mode
+    unsigned mixSource = 0;         // percent of open-loop RunSource
+    uint32_t hedgeMs = 0;           // fixed hedge delay override
     uint8_t engine = 0;             // lua
     uint8_t variant = 1;            // typed
     std::string benchmark = "fibo";
@@ -67,14 +85,27 @@ usage(const char *argv0, int code)
 {
     std::fprintf(
         stderr,
-        "usage: %s (--unix PATH | --tcp PORT) [mode] [options]\n"
+        "usage: %s (--unix PATH | --tcp PORT | --endpoint E...) "
+        "[mode] [options]\n"
+        "targets:\n"
+        "  --endpoint E       unix:PATH or tcp:PORT; repeat for a\n"
+        "                     hedged open-loop fan-out over several\n"
+        "                     daemons/routers\n"
         "modes (default: closed-loop cell load):\n"
+        "  --rate R           open-loop load at R req/s total; latency\n"
+        "                     measured from each request's scheduled\n"
+        "                     start (no coordinated omission)\n"
         "  --source FILE      run one inline source file and print it\n"
         "  --health           print the server health JSON\n"
         "  --drain            ask the server to drain, wait for close\n"
         "load options:\n"
-        "  --connections N    concurrent closed loops (default 4)\n"
-        "  --requests N       requests per connection (default 1000)\n"
+        "  --connections N    workers (default 4)\n"
+        "  --requests N       closed loop: requests per connection;\n"
+        "                     open loop: total requests (default 1000)\n"
+        "  --mix-source P     open loop: send P%% of requests as inline\n"
+        "                     MiniScript RunSource\n"
+        "  --hedge-ms N       open loop: fixed hedge delay instead of\n"
+        "                     the tail-derived one\n"
         "  --engine lua|js    (default lua)\n"
         "  --benchmark NAME   named benchmark (default fibo)\n"
         "  --variant V        baseline|typed|chkld (default typed)\n"
@@ -104,6 +135,7 @@ parseNum(const char *argv0, const char *flag, const char *text,
     return n;
 }
 
+/** Throwing one-shot connect for the non-load modes. */
 serve::Client
 connect(const Options &opts)
 {
@@ -112,6 +144,32 @@ connect(const Options &opts)
     return serve::Client::connectTcp(static_cast<uint16_t>(opts.tcpPort));
 }
 
+proto::CellRequest
+makeCell(const Options &opts)
+{
+    proto::CellRequest cell;
+    cell.engine = opts.engine;
+    cell.variant = opts.variant;
+    cell.wantStatsJson = opts.wantStats ? 1 : 0;
+    cell.deadlineMs = opts.deadlineMs;
+    cell.benchmark = opts.benchmark;
+    return cell;
+}
+
+/** Small MiniScript whose work (and request key) varies with @p seed,
+    so a --mix-source stream repeats sources often enough to exercise
+    the shard-side source memo without collapsing to one key. */
+std::string
+syntheticScript(uint64_t seed)
+{
+    return strformat("local s = 0\nfor i = 1, %llu do s = s + i end\n"
+                     "print(s)\n",
+                     (unsigned long long)(500 + (seed % 8) * 97));
+}
+
+// ---------------------------------------------------------------------
+// Closed loop.
+
 /** One closed-loop worker's tally. */
 struct LoopStats {
     std::vector<double> latenciesUs;
@@ -119,90 +177,190 @@ struct LoopStats {
     uint64_t busyRetries = 0;
     uint64_t typedErrors = 0;    // unexpected, non-retryable
     uint64_t drainCloses = 0;    // tolerated: server drained mid-run
+    uint64_t reconnects = 0;     // transport lost, connection rebuilt
     uint64_t protocolErrors = 0;
 };
 
 void
 closedLoop(const Options &opts, LoopStats &stats)
 {
-    try {
-        serve::Client client = connect(opts);
-        proto::CellRequest cell;
-        cell.engine = opts.engine;
-        cell.variant = opts.variant;
-        cell.wantStatsJson = opts.wantStats ? 1 : 0;
-        cell.deadlineMs = opts.deadlineMs;
-        cell.benchmark = opts.benchmark;
+    serve::Client client = serve::Client::tryConnect(opts.endpoints[0]);
+    if (!client.isOpen()) {
+        stats.protocolErrors++;
+        tarch_warn("cannot connect to %s",
+                   opts.endpoints[0].describe().c_str());
+        return;
+    }
+    const proto::CellRequest cell = makeCell(opts);
 
-        stats.latenciesUs.reserve(opts.requests);
-        unsigned sent = 0;
-        while (sent < opts.requests) {
-            const auto t0 = Clock::now();
-            serve::Client::Outcome outcome;
-            if (opts.batch > 1) {
-                proto::BatchRequest batch;
-                const unsigned n = std::min<unsigned>(
-                    opts.batch, opts.requests - sent);
-                batch.cells.assign(n, cell);
-                proto::BatchResult result;
-                proto::ErrorBody error;
-                if (client.runBatch(batch, result, error)) {
-                    outcome.ok = true;
-                    sent += n - 1;  // loop tail adds the last one
-                    for (const auto &item : result.items)
-                        if (!item.ok) {
-                            outcome.ok = false;
-                            outcome.error = item.error;
-                            break;
-                        }
-                } else if (error.message ==
-                           "connection closed before the batch reply") {
-                    outcome.closed = true;
-                } else {
-                    outcome.error = error;
-                }
+    stats.latenciesUs.reserve(opts.requests);
+    unsigned sent = 0;
+    while (sent < opts.requests) {
+        const auto t0 = Clock::now();
+        serve::Client::Outcome outcome;
+        if (opts.batch > 1) {
+            proto::BatchRequest batch;
+            const unsigned n =
+                std::min<unsigned>(opts.batch, opts.requests - sent);
+            batch.cells.assign(n, cell);
+            proto::BatchResult result;
+            proto::ErrorBody error;
+            if (client.runBatch(batch, result, error)) {
+                outcome.ok = true;
+                sent += n - 1;  // loop tail adds the last one
+                for (const auto &item : result.items)
+                    if (!item.ok) {
+                        outcome.ok = false;
+                        outcome.error = item.error;
+                        break;
+                    }
+            } else if (error.code ==
+                       static_cast<uint16_t>(proto::ErrorCode::Draining)) {
+                outcome.closed = true;
             } else {
-                outcome = client.runCell(cell);
+                outcome.error = error;
             }
-            const double us =
-                std::chrono::duration<double, std::micro>(Clock::now() -
-                                                          t0)
-                    .count();
-            if (outcome.closed) {
-                // Server drained underneath us: not a protocol error.
+        } else {
+            outcome = client.runCell(cell);
+        }
+        const double us = std::chrono::duration<double, std::micro>(
+                              Clock::now() - t0)
+                              .count();
+        if (outcome.closed) {
+            // Server drained underneath us: not a protocol error.
+            stats.drainCloses++;
+            return;
+        }
+        if (outcome.ok) {
+            stats.ok++;
+            stats.latenciesUs.push_back(us);
+            sent++;
+            continue;
+        }
+        if (outcome.lost()) {
+            // Transport died (daemon killed, partial frame): rebuild
+            // the connection and retry the request — routine churn,
+            // not a protocol error.  A target that stays down reads as
+            // a drain-time close.
+            stats.reconnects++;
+            client = serve::Client::tryConnect(opts.endpoints[0]);
+            if (!client.isOpen()) {
                 stats.drainCloses++;
                 return;
             }
-            if (outcome.ok) {
-                stats.ok++;
-                stats.latenciesUs.push_back(us);
-                sent++;
-                continue;
-            }
-            const auto code =
-                static_cast<proto::ErrorCode>(outcome.error.code);
-            if (outcome.error.retryable) {
-                // BUSY/Draining backpressure: back off and retry.
-                stats.busyRetries++;
-                if (code == proto::ErrorCode::Draining) {
-                    stats.drainCloses++;
-                    return;
-                }
-                std::this_thread::sleep_for(
-                    std::chrono::microseconds(200));
-                continue;
-            }
-            stats.typedErrors++;
-            tarch_warn("request failed: %s: %s",
-                       std::string(proto::errorCodeName(code)).c_str(),
-                       outcome.error.message.c_str());
-            sent++;
+            continue;
         }
-    } catch (const FatalError &e) {
-        stats.protocolErrors++;
-        tarch_warn("connection loop aborted: %s", e.what());
+        const auto code =
+            static_cast<proto::ErrorCode>(outcome.error.code);
+        if (outcome.error.retryable) {
+            // BUSY/Draining backpressure: back off and retry.
+            stats.busyRetries++;
+            if (code == proto::ErrorCode::Draining) {
+                stats.drainCloses++;
+                return;
+            }
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+            continue;
+        }
+        stats.typedErrors++;
+        tarch_warn("request failed: %s: %s",
+                   std::string(proto::errorCodeName(code)).c_str(),
+                   outcome.error.message.c_str());
+        sent++;
     }
 }
+
+// ---------------------------------------------------------------------
+// Open loop.
+
+/** One open-loop worker's tally. */
+struct OpenStats {
+    serve::LatencyHistogram hist;
+    uint64_t ok = 0;
+    uint64_t shed = 0;           // retryable failure after all attempts
+    uint64_t typedErrors = 0;
+    uint64_t drainCloses = 0;
+    serve::HedgedClient::Counters hedged;
+};
+
+void
+openLoop(const Options &opts, unsigned index, OpenStats &stats)
+{
+    serve::HedgedClient::Options hopts;
+    hopts.endpoints = opts.endpoints;
+    if (opts.hedgeMs > 0) {
+        hopts.defaultHedgeMs = opts.hedgeMs;
+        // Never switch to the tail-derived delay: keep it fixed.
+        hopts.minSamples = ~0ull;
+    }
+    serve::HedgedClient client(hopts);
+    const proto::CellRequest cell = makeCell(opts);
+
+    // This worker's slice of the total schedule: every connections-th
+    // arrival, phase-staggered by the worker index.
+    const uint64_t total = opts.requests;
+    const uint64_t n = total / opts.connections +
+                       (index < total % opts.connections ? 1 : 0);
+    const double interval_us = 1e6 * opts.connections / opts.rate;
+    const auto t0 = Clock::now() +
+                    std::chrono::microseconds(static_cast<int64_t>(
+                        interval_us * index / opts.connections));
+
+    for (uint64_t i = 0; i < n; ++i) {
+        const auto intended =
+            t0 + std::chrono::microseconds(
+                     static_cast<int64_t>(interval_us * (double)i));
+        std::this_thread::sleep_until(intended);
+
+        serve::Client::Outcome outcome;
+        if (opts.mixSource > 0 && (i % 100) < opts.mixSource) {
+            proto::SourceRequest src;
+            src.engine = opts.engine;
+            src.variant = opts.variant;
+            src.deadlineMs = opts.deadlineMs;
+            src.source = syntheticScript(index * 7919 + i);
+            outcome = client.runSource(src);
+        } else {
+            outcome = client.runCell(cell);
+        }
+        // Open-loop accounting: latency runs from the INTENDED start,
+        // so time spent queued behind a stall is charged to every
+        // request it delayed.
+        const auto us = std::chrono::duration_cast<
+                            std::chrono::microseconds>(Clock::now() -
+                                                       intended)
+                            .count();
+        if (outcome.ok) {
+            stats.ok++;
+            stats.hist.record(static_cast<uint64_t>(us));
+            continue;
+        }
+        if (outcome.closed) {
+            stats.drainCloses++;
+            continue;
+        }
+        if (outcome.error.retryable) {
+            // Shed (BUSY), draining, or lost after the hedged client
+            // exhausted its attempts/budget.  The schedule must not
+            // stall, so the request is dropped and counted — exactly
+            // what a real open-loop client (a human, an upstream
+            // service) would experience.
+            stats.shed++;
+            continue;
+        }
+        stats.typedErrors++;
+        tarch_warn(
+            "request failed: %s: %s",
+            std::string(proto::errorCodeName(static_cast<proto::ErrorCode>(
+                            outcome.error.code)))
+                .c_str(),
+            outcome.error.message.c_str());
+    }
+    stats.hedged = client.counters();
+}
+
+// ---------------------------------------------------------------------
+// Chaos.
 
 /**
  * Sacrificial chaos connection: send garbage (bad magic, oversized
@@ -212,56 +370,56 @@ closedLoop(const Options &opts, LoopStats &stats)
 void
 chaosLoop(const Options &opts, unsigned seed, std::atomic<bool> &failed)
 {
-    try {
-        {
-            // Bad magic.
-            serve::Client c = connect(opts);
-            std::string junk = "\xde\xad\xbe\xef";
-            junk.resize(proto::kHeaderSize + (seed % 7), 'x');
-            c.sendRaw(junk.data(), junk.size());
-            serve::Client::Reply reply;
-            // Either a typed error then close, or an immediate close.
-            try {
-                while (c.readReply(reply)) {}
-            } catch (const FatalError &) {}
+    {
+        // Bad magic.
+        serve::Client c = serve::Client::tryConnect(opts.endpoints[0]);
+        if (!c.isOpen())
+            return;  // churn during drain/chaos is fine
+        std::string junk = "\xde\xad\xbe\xef";
+        junk.resize(proto::kHeaderSize + (seed % 7), 'x');
+        c.sendRaw(junk.data(), junk.size());
+        serve::Client::Reply reply;
+        // Either a typed error then close, or an immediate close.
+        while (c.readReply(reply)) {}
+    }
+    {
+        // Valid header, truncated payload, then disconnect.
+        serve::Client c = serve::Client::tryConnect(opts.endpoints[0]);
+        if (!c.isOpen())
+            return;
+        proto::CellRequest cell;
+        cell.benchmark = opts.benchmark;
+        const std::string frame = proto::encodeFrame(
+            proto::MsgKind::RunCell, 1, proto::encodeCellRequest(cell));
+        c.sendRaw(frame.data(), frame.size() / 2);
+        c.close();
+    }
+    {
+        // Malformed payload inside a valid frame: the connection must
+        // survive and still answer a ping afterwards.
+        serve::Client c = serve::Client::tryConnect(opts.endpoints[0]);
+        if (!c.isOpen())
+            return;
+        const std::string frame = proto::encodeFrame(
+            proto::MsgKind::RunCell, 7, std::string(3, '\xff'));
+        c.sendRaw(frame.data(), frame.size());
+        serve::Client::Reply reply;
+        if (!c.readReply(reply) ||
+            static_cast<proto::MsgKind>(reply.kind) !=
+                proto::MsgKind::Error) {
+            tarch_warn("chaos: malformed payload got no Error frame");
+            failed.store(true);
+            return;
         }
-        {
-            // Valid header, truncated payload, then disconnect.
-            serve::Client c = connect(opts);
-            proto::CellRequest cell;
-            cell.benchmark = opts.benchmark;
-            const std::string frame = proto::encodeFrame(
-                proto::MsgKind::RunCell, 1,
-                proto::encodeCellRequest(cell));
-            c.sendRaw(frame.data(), frame.size() / 2);
-            c.close();
+        if (!c.ping()) {
+            tarch_warn("chaos: connection did not survive BadFrame");
+            failed.store(true);
         }
-        {
-            // Malformed payload inside a valid frame: the connection
-            // must survive and still answer a ping afterwards.
-            serve::Client c = connect(opts);
-            const std::string frame = proto::encodeFrame(
-                proto::MsgKind::RunCell, 7, std::string(3, '\xff'));
-            c.sendRaw(frame.data(), frame.size());
-            serve::Client::Reply reply;
-            if (!c.readReply(reply) ||
-                static_cast<proto::MsgKind>(reply.kind) !=
-                    proto::MsgKind::Error) {
-                tarch_warn("chaos: malformed payload got no Error frame");
-                failed.store(true);
-                return;
-            }
-            if (!c.ping()) {
-                tarch_warn("chaos: connection did not survive BadFrame");
-                failed.store(true);
-            }
-        }
-    } catch (const FatalError &e) {
-        // Connection churn during drain is fine; a crash is the
-        // server's problem and shows up as connect failures everywhere.
-        tarch_warn("chaos loop: %s", e.what());
     }
 }
+
+// ---------------------------------------------------------------------
+// Reports.
 
 double
 percentile(std::vector<double> &sorted, double p)
@@ -275,7 +433,7 @@ percentile(std::vector<double> &sorted, double p)
 }
 
 int
-runLoad(const Options &opts)
+runClosedLoad(const Options &opts)
 {
     std::vector<LoopStats> stats(opts.connections);
     std::vector<std::thread> threads;
@@ -299,6 +457,7 @@ runLoad(const Options &opts)
         total.busyRetries += s.busyRetries;
         total.typedErrors += s.typedErrors;
         total.drainCloses += s.drainCloses;
+        total.reconnects += s.reconnects;
         total.protocolErrors += s.protocolErrors;
         total.latenciesUs.insert(total.latenciesUs.end(),
                                  s.latenciesUs.begin(),
@@ -316,6 +475,8 @@ runLoad(const Options &opts)
                 (unsigned long long)total.typedErrors);
     std::printf("drain closes:     %llu\n",
                 (unsigned long long)total.drainCloses);
+    std::printf("reconnects:       %llu\n",
+                (unsigned long long)total.reconnects);
     std::printf("protocol errors:  %llu\n",
                 (unsigned long long)total.protocolErrors);
     std::printf("elapsed:          %.3f s\n", secs);
@@ -331,6 +492,82 @@ runLoad(const Options &opts)
 
     if (total.protocolErrors > 0 || total.typedErrors > 0 ||
         chaosFailed.load())
+        return 1;
+    return 0;
+}
+
+int
+runOpenLoad(const Options &opts)
+{
+    std::vector<OpenStats> stats(opts.connections);
+    std::vector<std::thread> threads;
+    std::atomic<bool> chaosFailed{false};
+
+    const auto t0 = Clock::now();
+    for (unsigned i = 0; i < opts.connections; ++i)
+        threads.emplace_back(openLoop, std::cref(opts), i,
+                             std::ref(stats[i]));
+    for (unsigned i = 0; i < opts.chaos; ++i)
+        threads.emplace_back(chaosLoop, std::cref(opts), i,
+                             std::ref(chaosFailed));
+    for (auto &t : threads)
+        t.join();
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+
+    OpenStats total;
+    serve::HedgedClient::Counters hc;
+    for (auto &s : stats) {
+        total.ok += s.ok;
+        total.shed += s.shed;
+        total.typedErrors += s.typedErrors;
+        total.drainCloses += s.drainCloses;
+        total.hist.merge(s.hist);
+        hc.requests += s.hedged.requests;
+        hc.hedges += s.hedged.hedges;
+        hc.hedgeWins += s.hedged.hedgeWins;
+        hc.retries += s.hedged.retries;
+        hc.budgetDenied += s.hedged.budgetDenied;
+        hc.lostConnections += s.hedged.lostConnections;
+        hc.garbled += s.hedged.garbled;
+    }
+
+    std::printf("connections:      %u (+%u chaos)\n", opts.connections,
+                opts.chaos);
+    std::printf("offered:          %llu @ %.1f req/s\n",
+                (unsigned long long)opts.requests, opts.rate);
+    std::printf("completed:        %llu\n",
+                (unsigned long long)total.ok);
+    std::printf("shed busy:        %llu\n",
+                (unsigned long long)total.shed);
+    std::printf("typed errors:     %llu\n",
+                (unsigned long long)total.typedErrors);
+    std::printf("drain closes:     %llu\n",
+                (unsigned long long)total.drainCloses);
+    std::printf("reconnects:       %llu\n",
+                (unsigned long long)hc.lostConnections);
+    std::printf("hedges:           %llu (%llu won)\n",
+                (unsigned long long)hc.hedges,
+                (unsigned long long)hc.hedgeWins);
+    std::printf("retries:          %llu (%llu budget-denied)\n",
+                (unsigned long long)hc.retries,
+                (unsigned long long)hc.budgetDenied);
+    std::printf("protocol errors:  %llu\n",
+                (unsigned long long)hc.garbled);
+    std::printf("elapsed:          %.3f s\n", secs);
+    if (secs > 0.0)
+        std::printf("throughput:       %.1f req/s\n",
+                    (double)total.ok / secs);
+    std::printf("latency p50:      %.1f us\n",
+                (double)total.hist.percentile(50.0));
+    std::printf("latency p95:      %.1f us\n",
+                (double)total.hist.percentile(95.0));
+    std::printf("latency p99:      %.1f us\n",
+                (double)total.hist.percentile(99.0));
+    std::printf("latency max:      %.1f us\n",
+                (double)total.hist.maxValue());
+
+    if (hc.garbled > 0 || total.typedErrors > 0 || chaosFailed.load())
         return 1;
     return 0;
 }
@@ -417,6 +654,31 @@ main(int argc, char **argv)
         } else if (arg == "--tcp") {
             opts.tcpPort = static_cast<int>(
                 parseNum(argv[0], "--tcp", next("--tcp"), 1, 65535));
+        } else if (arg == "--endpoint") {
+            const char *text = next("--endpoint");
+            serve::Endpoint ep;
+            if (!serve::parseEndpoint(text, ep)) {
+                std::fprintf(stderr,
+                             "%s: bad --endpoint '%s' (want unix:PATH "
+                             "or tcp:PORT)\n",
+                             argv[0], text);
+                return 2;
+            }
+            opts.endpoints.push_back(ep);
+        } else if (arg == "--rate") {
+            char *end = nullptr;
+            opts.rate = std::strtod(next("--rate"), &end);
+            if ((end && *end != '\0') || opts.rate <= 0.0) {
+                std::fprintf(stderr, "%s: bad --rate value\n", argv[0]);
+                return 2;
+            }
+        } else if (arg == "--mix-source") {
+            opts.mixSource = static_cast<unsigned>(parseNum(
+                argv[0], "--mix-source", next("--mix-source"), 0, 100));
+        } else if (arg == "--hedge-ms") {
+            opts.hedgeMs = static_cast<uint32_t>(
+                parseNum(argv[0], "--hedge-ms", next("--hedge-ms"), 1,
+                         3'600'000));
         } else if (arg == "--connections") {
             opts.connections = static_cast<unsigned>(parseNum(
                 argv[0], "--connections", next("--connections"), 1,
@@ -490,9 +752,25 @@ main(int argc, char **argv)
             return usage(argv[0], 2);
         }
     }
-    if (opts.unixPath.empty() && opts.tcpPort < 0) {
-        std::fprintf(stderr, "%s: need --unix or --tcp\n", argv[0]);
+    // Normalize targets: --unix/--tcp and --endpoint are two spellings
+    // of the same thing; every mode works off both.
+    if (!opts.unixPath.empty()) {
+        serve::Endpoint ep;
+        ep.unixPath = opts.unixPath;
+        opts.endpoints.insert(opts.endpoints.begin(), ep);
+    } else if (opts.tcpPort > 0) {
+        serve::Endpoint ep;
+        ep.tcpPort = opts.tcpPort;
+        opts.endpoints.insert(opts.endpoints.begin(), ep);
+    }
+    if (opts.endpoints.empty()) {
+        std::fprintf(stderr, "%s: need --unix, --tcp, or --endpoint\n",
+                     argv[0]);
         return usage(argv[0], 2);
+    }
+    if (opts.unixPath.empty() && opts.tcpPort < 0) {
+        opts.unixPath = opts.endpoints[0].unixPath;
+        opts.tcpPort = opts.endpoints[0].tcpPort;
     }
 
     try {
@@ -515,15 +793,15 @@ main(int argc, char **argv)
             // Wait for the server to finish: it closes the connection
             // once the drain completes.
             tarch::serve::Client::Reply reply;
-            try {
-                while (client.readReply(reply)) {}
-            } catch (const tarch::FatalError &) {}
+            while (client.readReply(reply)) {}
             std::printf("drain complete\n");
             return 0;
         }
         if (!opts.sourceFile.empty())
             return runSource(opts);
-        return runLoad(opts);
+        if (opts.rate > 0.0)
+            return runOpenLoad(opts);
+        return runClosedLoad(opts);
     } catch (const tarch::FatalError &e) {
         std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
         return 1;

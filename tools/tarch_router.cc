@@ -1,0 +1,215 @@
+/**
+ * @file
+ * tarch_router: cluster front-end for tarch_served shards
+ * (docs/SERVING.md).
+ *
+ * Speaks tarch-rpc-v1 to clients and consistent-hashes RunCell /
+ * RunSource / RunBatch requests onto N backend daemons by content key,
+ * with per-shard outstanding windows, priority load shedding, and
+ * failure-aware shard ejection + re-probe.
+ *
+ *   tarch_served --unix /tmp/shard0.sock &
+ *   tarch_served --unix /tmp/shard1.sock &
+ *   tarch_router --tcp 7410 --shard unix:/tmp/shard0.sock \
+ *                           --shard unix:/tmp/shard1.sock
+ *
+ * SIGINT/SIGTERM (or a Drain request) triggers a graceful drain: stop
+ * accepting, answer every routed request, close backends, exit 0.
+ */
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "common/log.h"
+#include "serve/router.h"
+
+namespace {
+
+// Self-pipe: the signal handler writes one byte; main polls the read
+// end so the drain runs on a normal thread, not in signal context.
+int g_signal_pipe[2] = {-1, -1};
+std::atomic<int> g_signal{0};
+
+void
+onSignal(int sig)
+{
+    g_signal.store(sig);
+    const char byte = 1;
+    // Best-effort: a full pipe still leaves g_signal set.
+    (void)!::write(g_signal_pipe[1], &byte, 1);
+}
+
+int
+usage(const char *argv0, int code)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--unix PATH] [--tcp PORT] --shard ENDPOINT... "
+        "[options]\n"
+        "listeners (at least one required):\n"
+        "  --unix PATH          Unix domain socket\n"
+        "  --tcp PORT           TCP on 127.0.0.1 (0 = ephemeral port)\n"
+        "shards (repeatable, at least one required):\n"
+        "  --shard ENDPOINT     backend daemon, unix:PATH or tcp:PORT\n"
+        "options:\n"
+        "  --window N           outstanding requests per shard "
+        "(default 128)\n"
+        "  --queue N            shed-queue capacity per shard "
+        "(default 256)\n"
+        "  --eject-after N      consecutive failures before ejection "
+        "(default 3)\n"
+        "  --backoff-floor-ms N first re-probe backoff (default 100)\n"
+        "  --backoff-cap-ms N   max re-probe backoff (default 5000)\n"
+        "  --vnodes N           ring points per shard (default 64)\n"
+        "  --send-timeout-ms N  SO_SNDTIMEO on sockets (default 30000)\n"
+        "  --max-payload N      per-frame payload cap in bytes\n",
+        argv0);
+    return code;
+}
+
+unsigned long long
+parseNum(const char *argv0, const char *flag, const char *text,
+         unsigned long long min, unsigned long long max)
+{
+    char *end = nullptr;
+    const unsigned long long n = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || n < min || n > max) {
+        std::fprintf(stderr, "%s: bad %s value '%s'\n", argv0, flag,
+                     text);
+        std::exit(2);
+    }
+    return n;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace tarch;
+
+    serve::Router::Config cfg;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s needs a value\n", argv[0],
+                             flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--unix") {
+            cfg.unixPath = next("--unix");
+        } else if (arg == "--tcp") {
+            cfg.tcpPort = static_cast<int>(
+                parseNum(argv[0], "--tcp", next("--tcp"), 0, 65535));
+        } else if (arg == "--shard") {
+            const char *text = next("--shard");
+            serve::Endpoint ep;
+            if (!serve::parseEndpoint(text, ep)) {
+                std::fprintf(stderr,
+                             "%s: bad --shard endpoint '%s' (want "
+                             "unix:PATH or tcp:PORT)\n",
+                             argv[0], text);
+                return usage(argv[0], 2);
+            }
+            cfg.shards.push_back(ep);
+        } else if (arg == "--window") {
+            cfg.windowPerShard = static_cast<size_t>(parseNum(
+                argv[0], "--window", next("--window"), 1, 1u << 20));
+        } else if (arg == "--queue") {
+            cfg.queuePerShard = static_cast<size_t>(parseNum(
+                argv[0], "--queue", next("--queue"), 1, 1u << 20));
+        } else if (arg == "--eject-after") {
+            cfg.ejectAfter = static_cast<unsigned>(parseNum(
+                argv[0], "--eject-after", next("--eject-after"), 1,
+                1'000'000));
+        } else if (arg == "--backoff-floor-ms") {
+            cfg.backoffFloorMs = static_cast<uint32_t>(
+                parseNum(argv[0], "--backoff-floor-ms",
+                         next("--backoff-floor-ms"), 1, 3'600'000));
+        } else if (arg == "--backoff-cap-ms") {
+            cfg.backoffCapMs = static_cast<uint32_t>(
+                parseNum(argv[0], "--backoff-cap-ms",
+                         next("--backoff-cap-ms"), 1, 3'600'000));
+        } else if (arg == "--vnodes") {
+            cfg.ringVnodes = static_cast<unsigned>(parseNum(
+                argv[0], "--vnodes", next("--vnodes"), 1, 4096));
+        } else if (arg == "--send-timeout-ms") {
+            cfg.sendTimeoutMs = static_cast<uint32_t>(
+                parseNum(argv[0], "--send-timeout-ms",
+                         next("--send-timeout-ms"), 1, 3'600'000));
+        } else if (arg == "--max-payload") {
+            cfg.maxPayload = static_cast<uint32_t>(
+                parseNum(argv[0], "--max-payload", next("--max-payload"),
+                         64, serve::proto::kMaxPayload));
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(argv[0], 0);
+        } else {
+            std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0],
+                         arg.c_str());
+            return usage(argv[0], 2);
+        }
+    }
+    if (cfg.unixPath.empty() && cfg.tcpPort < 0) {
+        std::fprintf(stderr, "%s: need --unix and/or --tcp\n", argv[0]);
+        return usage(argv[0], 2);
+    }
+    if (cfg.shards.empty()) {
+        std::fprintf(stderr, "%s: need at least one --shard\n", argv[0]);
+        return usage(argv[0], 2);
+    }
+
+    if (::pipe(g_signal_pipe) != 0) {
+        std::fprintf(stderr, "%s: pipe: %s\n", argv[0],
+                     std::strerror(errno));
+        return 1;
+    }
+    struct sigaction sa{};
+    sa.sa_handler = onSignal;
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::signal(SIGPIPE, SIG_IGN);
+
+    try {
+        serve::Router router(cfg);
+        router.start();
+        if (!cfg.unixPath.empty())
+            tarch_inform("tarch_router: listening on unix:%s",
+                         cfg.unixPath.c_str());
+        if (cfg.tcpPort >= 0)
+            tarch_inform("tarch_router: listening on tcp:127.0.0.1:%u",
+                         router.tcpPort());
+        for (const auto &shard : cfg.shards)
+            tarch_inform("tarch_router: shard %s",
+                         shard.describe().c_str());
+
+        // Wait for a signal or an RPC-initiated drain.
+        for (;;) {
+            struct pollfd pfd = {g_signal_pipe[0], POLLIN, 0};
+            ::poll(&pfd, 1, 200);
+            if (g_signal.load() != 0) {
+                tarch_inform("tarch_router: signal %d, draining",
+                             g_signal.load());
+                break;
+            }
+            if (router.drained())
+                break;
+        }
+        router.stop();
+        tarch_inform("tarch_router: drained; final %s",
+                     router.health().toJson().c_str());
+        return 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+        return 1;
+    }
+}

@@ -62,6 +62,8 @@ usage(const char *argv0, int code)
         "  --cache-dir DIR    sweep-cache root shared with the bench "
         "binaries (default \".\")\n"
         "  --no-disk-cache    keep cells in memory only\n"
+        "  --no-memory-cache  disable the in-memory cell/source memo "
+        "(every request simulates)\n"
         "  --no-verify        skip static verification of inline source\n"
         "  --exec-mode M      core engine, exact or predecoded (default: "
         "TARCH_EXEC_MODE env,\n"
@@ -123,6 +125,8 @@ main(int argc, char **argv)
             cfg.sim.cacheDir = next("--cache-dir");
         } else if (arg == "--no-disk-cache") {
             cfg.sim.diskCache = false;
+        } else if (arg == "--no-memory-cache") {
+            cfg.sim.memoryCache = false;
         } else if (arg == "--exec-mode") {
             const char *text = next("--exec-mode");
             const auto mode = core::execModeFromName(text);
