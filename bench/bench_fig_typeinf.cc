@@ -1,0 +1,251 @@
+// Type inference & guard elision: the software-typed comparison axis.
+//
+// The paper's hardware variants (typed / checked-load) attack dynamic
+// type-guard overhead from below the ISA; tarch-typeinf attacks the
+// same overhead from above, by statically proving sites monomorphic
+// and rewriting them to guard-free opcodes (docs/ANALYSIS.md).  This
+// bench quantifies what the software axis removes on its own: every
+// Table-7 benchmark runs on both engines x all three ISA variants,
+// with elision off and on, counting dynamically retired fast-path
+// guard instructions (the generator-labeled guard PCs, vm.guardPcs())
+// through a probe-bus sink.
+//
+// Guest output must be bit-identical between the elided and unelided
+// runs — the figure doubles as a correctness ratchet.  Results land in
+// BENCH_typeinf.json; --check additionally fails (exit 1) unless at
+// least --min-benchmarks benchmarks see at least --min-reduction %
+// fewer dynamic guards on the baseline (all-software) variant.
+//
+//   bench_fig_typeinf [--json PATH] [--check] [--min-reduction PCT]
+//                     [--min-benchmarks N]
+
+#include <cstring>
+#include <unordered_set>
+
+#include "bench_common.h"
+#include "obs/event.h"
+#include "vm/js/js_vm.h"
+#include "vm/lua/lua_vm.h"
+
+using namespace tarch;
+using namespace tarch::harness;
+
+namespace {
+
+constexpr double kDefaultMinReduction = 20.0; ///< acceptance floor, %
+constexpr unsigned kDefaultMinBenchmarks = 3;
+
+/** Counts retired instructions whose PC carries a guard label. */
+class GuardCounter : public obs::Sink
+{
+  public:
+    explicit GuardCounter(const std::vector<uint64_t> &pcs)
+        : pcs_(pcs.begin(), pcs.end())
+    {
+    }
+
+    void
+    onEvent(const obs::Event &event) override
+    {
+        if (event.kind == obs::EventKind::Retire &&
+            pcs_.count(event.pc) != 0)
+            ++count_;
+    }
+
+    uint64_t count() const { return count_; }
+
+  private:
+    std::unordered_set<uint64_t> pcs_;
+    uint64_t count_ = 0;
+};
+
+/** One simulated (engine, variant, benchmark, elide) cell. */
+struct Cell {
+    uint64_t guards = 0;
+    uint64_t cycles = 0;
+    std::string output;
+};
+
+template <typename Vm>
+Cell
+runCell(const std::string &source, vm::Variant variant, bool elide)
+{
+    typename Vm::Options opts;
+    opts.variant = variant;
+    opts.elide = elide;
+    opts.coreConfig.execMode = core::ExecMode::Exact;
+    Vm vm(source, opts);
+    GuardCounter counter(vm.guardPcs());
+    vm.core().probeBus().attach(&counter);
+    vm.run();
+    Cell cell;
+    cell.guards = counter.count();
+    cell.cycles = vm.core().collectStats().cycles;
+    cell.output = vm.output();
+    vm.core().probeBus().detach(&counter);
+    return cell;
+}
+
+Cell
+runCell(Engine engine, const std::string &source, vm::Variant variant,
+        bool elide)
+{
+    return engine == Engine::Lua
+               ? runCell<vm::lua::LuaVm>(source, variant, elide)
+               : runCell<vm::js::JsVm>(source, variant, elide);
+}
+
+struct Row {
+    Engine engine = Engine::Lua;
+    std::string benchmark;
+    vm::Variant variant = vm::Variant::Baseline;
+    Cell plain;
+    Cell elided;
+
+    double
+    guardReduction() const
+    {
+        return plain.guards == 0
+                   ? 0.0
+                   : 100.0 * (1.0 - static_cast<double>(elided.guards) /
+                                        static_cast<double>(plain.guards));
+    }
+
+    /** Negative = elision made the run faster. */
+    double
+    cycleDelta() const
+    {
+        return plain.cycles == 0
+                   ? 0.0
+                   : 100.0 * (static_cast<double>(elided.cycles) /
+                                  static_cast<double>(plain.cycles) -
+                              1.0);
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path = "BENCH_typeinf.json";
+    bool check = false;
+    double min_reduction = kDefaultMinReduction;
+    unsigned min_benchmarks = kDefaultMinBenchmarks;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (arg == "--check") {
+            check = true;
+        } else if (arg == "--min-reduction" && i + 1 < argc) {
+            min_reduction = std::atof(argv[++i]);
+        } else if (arg == "--min-benchmarks" && i + 1 < argc) {
+            min_benchmarks =
+                static_cast<unsigned>(std::atoi(argv[++i]));
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--json PATH] [--check] "
+                         "[--min-reduction PCT] [--min-benchmarks N]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    bench::banner("Type inference & guard elision: dynamic guards "
+                  "removed by the software-typed axis",
+                  "both engines x 3 ISA variants, elide off vs on");
+
+    std::vector<Row> rows;
+    bool identical = true;
+    for (const Engine engine : {Engine::Lua, Engine::Js}) {
+        std::printf("\n%s\n%-16s %-14s %12s %12s %9s %8s\n",
+                    engineName(engine), "benchmark", "variant", "guards",
+                    "elided", "reduction", "cycles");
+        for (const BenchmarkInfo &info : benchmarks()) {
+            for (const vm::Variant variant :
+                 {vm::Variant::Baseline, vm::Variant::Typed,
+                  vm::Variant::CheckedLoad}) {
+                Row row;
+                row.engine = engine;
+                row.benchmark = info.name;
+                row.variant = variant;
+                row.plain = runCell(engine, info.source, variant, false);
+                row.elided = runCell(engine, info.source, variant, true);
+
+                // The comparison is only meaningful if elision
+                // preserved the guest semantics bit-for-bit.
+                if (row.plain.output != row.elided.output) {
+                    identical = false;
+                    std::fprintf(stderr,
+                                 "%s/%s/%s: elided guest output "
+                                 "DIFFERS\n",
+                                 engineName(engine), info.name.c_str(),
+                                 std::string(vm::variantName(variant))
+                                     .c_str());
+                }
+
+                std::printf("%-16s %-14s %12llu %12llu %8.1f%% %+7.2f%%\n",
+                            info.name.c_str(),
+                            std::string(vm::variantName(variant)).c_str(),
+                            (unsigned long long)row.plain.guards,
+                            (unsigned long long)row.elided.guards,
+                            row.guardReduction(), row.cycleDelta());
+                rows.push_back(row);
+            }
+        }
+    }
+
+    // The acceptance axis: benchmarks whose baseline (all-software
+    // guards) run sheds at least min_reduction % of its dynamic
+    // guards on either engine.
+    std::unordered_set<std::string> qualifying;
+    for (const Row &row : rows) {
+        if (row.variant == vm::Variant::Baseline &&
+            row.plain.guards > 0 &&
+            row.guardReduction() >= min_reduction)
+            qualifying.insert(row.benchmark);
+    }
+    std::printf("\n%zu/%zu benchmarks shed >= %.0f%% of their dynamic "
+                "baseline-variant guards (outputs bit-identical: %s)\n",
+                qualifying.size(), benchmarks().size(), min_reduction,
+                identical ? "yes" : "NO");
+
+    std::string json = "{\n  \"bench\": \"typeinf\",\n";
+    json += strformat("  \"min_reduction_pct\": %.1f,\n", min_reduction);
+    json += strformat("  \"qualifying_benchmarks\": %zu,\n",
+                      qualifying.size());
+    json += strformat("  \"bit_identical\": %s,\n",
+                      identical ? "true" : "false");
+    json += "  \"rows\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row &row = rows[i];
+        json += strformat(
+            "    {\"engine\": \"%s\", \"benchmark\": \"%s\", "
+            "\"variant\": \"%s\", \"guards\": %llu, "
+            "\"guards_elided\": %llu, \"guard_reduction_pct\": %.2f, "
+            "\"cycles\": %llu, \"cycles_elided\": %llu, "
+            "\"cycle_delta_pct\": %.3f}%s\n",
+            engineName(row.engine), row.benchmark.c_str(),
+            std::string(vm::variantName(row.variant)).c_str(),
+            (unsigned long long)row.plain.guards,
+            (unsigned long long)row.elided.guards, row.guardReduction(),
+            (unsigned long long)row.plain.cycles,
+            (unsigned long long)row.elided.cycles, row.cycleDelta(),
+            i + 1 < rows.size() ? "," : "");
+    }
+    json += "  ]\n}\n";
+    if (bench::writeTextFile(json_path, json))
+        std::printf("wrote %s\n", json_path.c_str());
+
+    if (!identical)
+        return 1;
+    if (check && qualifying.size() < min_benchmarks) {
+        std::fprintf(stderr,
+                     "FAIL: only %zu benchmarks reached the %.0f%% "
+                     "guard-reduction floor (need %u)\n",
+                     qualifying.size(), min_reduction, min_benchmarks);
+        return 1;
+    }
+    return 0;
+}

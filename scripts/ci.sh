@@ -35,6 +35,12 @@ if [[ "${1:-}" == "--sanitize" ]]; then
     SANITIZE="address,undefined"
     shift
 fi
+# Accept the colloquial tier names alongside raw -fsanitize= lists.
+case "$SANITIZE" in
+    ubsan) SANITIZE="undefined" ;;
+    asan) SANITIZE="address" ;;
+    tsan) SANITIZE="thread" ;;
+esac
 
 BUILD_DIR="${BUILD_DIR:-build}"
 if [[ -n "$SANITIZE" ]]; then
@@ -61,6 +67,12 @@ for engine in lua js; do
     done
 done
 
+# Guard-elision soundness ratchet: type-infer and rewrite every bundled
+# benchmark on both engines, then require the independent monomorphism
+# verifier to find ZERO unsound elisions (docs/ANALYSIS.md).
+echo "== type inference / guard elision ratchet (tarch_typeinf --check-all)"
+"$BUILD_DIR/tools/tarch_typeinf" --check-all
+
 echo "== tier-1 tests"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
@@ -85,6 +97,20 @@ if [[ -z "$SANITIZE" ]]; then
     ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" \
           -R 'SweepCache|CellCache|Parallel|Pool|ResolveJobs|ServeTest|SimServiceTest|FastPath\.|HashRing|ShardHealth|ShedQueue|RouterTest|HedgedClient|LatencyHistogram|OpenLoop'
 
+    echo "== UndefinedBehaviorSanitizer (analysis + fastpath + fuzz suites)"
+    # A dedicated UBSan tier over the suites that exercise the newest
+    # native code paths: the static-analysis stack (typeinf/elide bit
+    # arithmetic), the predecoded fast path, and the fuzz oracle.
+    UBSAN_DIR="${BUILD_DIR}-ubsan"
+    cmake -B "$UBSAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          -DTARCH_SANITIZE=undefined
+    cmake --build "$UBSAN_DIR" -j "$JOBS" \
+          --target test_analysis test_typeinf test_fastpath test_fuzz
+    for t in test_analysis test_typeinf test_fastpath test_fuzz; do
+        echo "  -- $t (ubsan)"
+        UBSAN_OPTIONS=halt_on_error=1 "$UBSAN_DIR/tests/$t" --gtest_brief=1
+    done
+
     echo "== fast-path perf ratchet (bench_fastpath --check)"
     # The predecoded core must stay >= 2x the exact core (geomean over
     # the Table-7 suite) and bit-identical; skipped under sanitizers,
@@ -93,11 +119,19 @@ if [[ -z "$SANITIZE" ]]; then
         --json "$BUILD_DIR/BENCH_fastpath.json"
 fi
 
+# Enforced lint gate: findings are errors, and a missing clang-tidy is
+# itself a CI failure (set TARCH_SKIP_TIDY=1 only on machines that
+# genuinely cannot install it, e.g. hermetic gcc-only containers).
 if command -v clang-tidy > /dev/null 2>&1; then
-    echo "== clang-tidy (src/analysis, src/common)"
-    clang-tidy -p "$BUILD_DIR" src/analysis/*.cc src/common/*.cc
+    echo "== clang-tidy (src/analysis, src/common; warnings are errors)"
+    clang-tidy -p "$BUILD_DIR" --warnings-as-errors='*' \
+        src/analysis/*.cc src/common/*.cc
+elif [[ "${TARCH_SKIP_TIDY:-0}" == "1" ]]; then
+    echo "== clang-tidy skipped (TARCH_SKIP_TIDY=1)"
 else
-    echo "== clang-tidy not installed; skipping lint step"
+    echo "error: clang-tidy is required (the lint gate is enforced);" \
+         "install it or set TARCH_SKIP_TIDY=1" >&2
+    exit 1
 fi
 
 echo "== differential fuzz smoke (seeds $FUZZ_SEEDS)"

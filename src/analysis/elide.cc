@@ -1,0 +1,570 @@
+#include "analysis/elide.h"
+
+#include <optional>
+#include <string>
+
+#include "common/strutil.h"
+
+namespace tarch::analysis::elide {
+
+namespace {
+
+using typeinf::AVal;
+using typeinf::ModuleFacts;
+using typeinf::subsetOf;
+
+/**
+ * A site is provably monomorphic only when the fact is a NONEMPTY
+ * subset of @p mask.  Bottom (no value ever flows here: dead or
+ * uncalled code) passes a plain subset check vacuously, but proves
+ * nothing — rewriting on it would specialize dead sites, and the
+ * verifier's re-inference pass, whose conservative specialized-op
+ * transfers widen bottom back to a live fact, would then flag the
+ * image as unsound.
+ */
+bool
+provenIn(const AVal &v, uint8_t mask)
+{
+    return v.bits != 0 && subsetOf(v.bits, mask);
+}
+
+// ---------------------------------------------------------------------
+// MiniLua
+// ---------------------------------------------------------------------
+
+namespace lua = vm::lua;
+
+AVal
+luaConstFact(const lua::Proto &pr, unsigned idx)
+{
+    if (idx >= pr.consts.size())
+        return AVal::of(typeinf::kTopLua);
+    switch (pr.consts[idx].kind) {
+      case lua::Const::Kind::Int: return AVal::of(typeinf::kInt);
+      case lua::Const::Kind::Flt: return AVal::of(typeinf::kFlt);
+      case lua::Const::Kind::Str: return AVal::of(typeinf::kStr);
+    }
+    return AVal::of(typeinf::kTopLua);
+}
+
+AVal
+luaRkFact(const lua::Proto &pr, const std::vector<AVal> &regs,
+          unsigned rk)
+{
+    if (rk & lua::kRkConstFlag)
+        return luaConstFact(pr, rk & 0xFF);
+    const unsigned r = rk & 0xFF;
+    return r < regs.size() ? regs[r] : AVal::of(typeinf::kTopLua);
+}
+
+/**
+ * The one monomorphism predicate shared by the rewriter and the
+ * verifier: does the IN state at this site prove the requirement of
+ * the specialized form of @p op?  For base opcodes this asks "may
+ * this site be rewritten"; for already-specialized opcodes it asks
+ * "was this rewrite sound".  Returns the specialized opcode when the
+ * requirement holds.
+ */
+std::optional<lua::Op>
+luaElidedForm(const lua::Proto &pr, const std::vector<AVal> &regs,
+              uint32_t w)
+{
+    const auto op = static_cast<lua::Op>(w & 0x3F);
+    const unsigned a = (w >> 6) & 0xFF;
+    const unsigned b = (w >> 14) & 0x1FF;
+    const unsigned c = (w >> 23) & 0x1FF;
+    const auto rk = [&](unsigned operand) {
+        return luaRkFact(pr, regs, operand);
+    };
+    const auto regFact = [&](unsigned r) {
+        return r < regs.size() ? regs[r] : AVal::of(typeinf::kTopLua);
+    };
+    const auto bothIn = [&](uint8_t mask) {
+        return provenIn(rk(b), mask) && provenIn(rk(c), mask);
+    };
+    switch (op) {
+      case lua::Op::ADD:
+      case lua::Op::ADD_II:
+      case lua::Op::ADD_FF:
+        if (bothIn(typeinf::kInt))
+            return lua::Op::ADD_II;
+        if (bothIn(typeinf::kFlt))
+            return lua::Op::ADD_FF;
+        return std::nullopt;
+      case lua::Op::SUB:
+      case lua::Op::SUB_II:
+      case lua::Op::SUB_FF:
+        if (bothIn(typeinf::kInt))
+            return lua::Op::SUB_II;
+        if (bothIn(typeinf::kFlt))
+            return lua::Op::SUB_FF;
+        return std::nullopt;
+      case lua::Op::MUL:
+      case lua::Op::MUL_II:
+      case lua::Op::MUL_FF:
+        if (bothIn(typeinf::kInt))
+            return lua::Op::MUL_II;
+        if (bothIn(typeinf::kFlt))
+            return lua::Op::MUL_FF;
+        return std::nullopt;
+      case lua::Op::GETTABLE:
+      case lua::Op::GETTAB_E:
+        if (provenIn(regFact(b & 0xFF), typeinf::kTab) &&
+            provenIn(rk(c), typeinf::kInt))
+            return lua::Op::GETTAB_E;
+        return std::nullopt;
+      case lua::Op::SETTABLE:
+      case lua::Op::SETTAB_E:
+        if (provenIn(regFact(a), typeinf::kTab) &&
+            provenIn(rk(b), typeinf::kInt))
+            return lua::Op::SETTAB_E;
+        return std::nullopt;
+      default:
+        return std::nullopt;
+    }
+}
+
+bool
+luaIsArithSite(lua::Op op)
+{
+    switch (op) {
+      case lua::Op::ADD: case lua::Op::SUB: case lua::Op::MUL:
+      case lua::Op::ADD_II: case lua::Op::SUB_II: case lua::Op::MUL_II:
+      case lua::Op::ADD_FF: case lua::Op::SUB_FF: case lua::Op::MUL_FF:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+luaIsTableSite(lua::Op op)
+{
+    switch (op) {
+      case lua::Op::GETTABLE: case lua::Op::SETTABLE:
+      case lua::Op::GETTAB_E: case lua::Op::SETTAB_E:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+luaIsElided(lua::Op op)
+{
+    return op >= lua::Op::ADD_II && op <= lua::Op::SETTAB_E;
+}
+
+std::string
+luaDescribeInstr(const lua::Proto &pr, size_t pc)
+{
+    const uint32_t w = pr.code[pc];
+    const auto op = static_cast<lua::Op>(w & 0x3F);
+    return strformat("%s A=%u B=%u C=%u",
+                     std::string(lua::opName(op)).c_str(),
+                     (w >> 6) & 0xFF, (w >> 14) & 0x1FF,
+                     (w >> 23) & 0x1FF);
+}
+
+// ---------------------------------------------------------------------
+// MiniJS
+// ---------------------------------------------------------------------
+
+namespace js = vm::js;
+
+/** Fact @p back slots below the operand-stack top (0 = TOS). */
+AVal
+jsStackFact(const std::vector<AVal> &stack, size_t back)
+{
+    if (back >= stack.size())
+        return AVal::of(typeinf::kTopJs);
+    return stack[stack.size() - 1 - back];
+}
+
+std::optional<js::Op>
+jsElidedForm(const std::vector<AVal> &stack, uint32_t w)
+{
+    const auto op = static_cast<js::Op>(w & 0xFF);
+    const auto bothTopIn = [&](uint8_t mask) {
+        return provenIn(jsStackFact(stack, 0), mask) &&
+               provenIn(jsStackFact(stack, 1), mask);
+    };
+    switch (op) {
+      case js::Op::ADD:
+      case js::Op::ADD_II:
+      case js::Op::ADD_DD:
+        if (bothTopIn(typeinf::kInt))
+            return js::Op::ADD_II;
+        if (bothTopIn(typeinf::kFlt))
+            return js::Op::ADD_DD;
+        return std::nullopt;
+      case js::Op::SUB:
+      case js::Op::SUB_II:
+      case js::Op::SUB_DD:
+        if (bothTopIn(typeinf::kInt))
+            return js::Op::SUB_II;
+        if (bothTopIn(typeinf::kFlt))
+            return js::Op::SUB_DD;
+        return std::nullopt;
+      case js::Op::MUL:
+      case js::Op::MUL_II:
+      case js::Op::MUL_DD:
+        if (bothTopIn(typeinf::kInt))
+            return js::Op::MUL_II;
+        if (bothTopIn(typeinf::kFlt))
+            return js::Op::MUL_DD;
+        return std::nullopt;
+      case js::Op::GETELEM:
+      case js::Op::GETELEM_E:
+        if (provenIn(jsStackFact(stack, 1), typeinf::kTab) &&
+            provenIn(jsStackFact(stack, 0), typeinf::kInt))
+            return js::Op::GETELEM_E;
+        return std::nullopt;
+      case js::Op::SETELEM:
+      case js::Op::SETELEM_E:
+        if (provenIn(jsStackFact(stack, 2), typeinf::kTab) &&
+            provenIn(jsStackFact(stack, 1), typeinf::kInt))
+            return js::Op::SETELEM_E;
+        return std::nullopt;
+      default:
+        return std::nullopt;
+    }
+}
+
+bool
+jsIsArithSite(js::Op op)
+{
+    switch (op) {
+      case js::Op::ADD: case js::Op::SUB: case js::Op::MUL:
+      case js::Op::ADD_II: case js::Op::SUB_II: case js::Op::MUL_II:
+      case js::Op::ADD_DD: case js::Op::SUB_DD: case js::Op::MUL_DD:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+jsIsTableSite(js::Op op)
+{
+    switch (op) {
+      case js::Op::GETELEM: case js::Op::SETELEM:
+      case js::Op::GETELEM_E: case js::Op::SETELEM_E:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+jsIsElided(js::Op op)
+{
+    return op >= js::Op::ADD_II && op <= js::Op::SETELEM_E;
+}
+
+std::string
+jsDescribeInstr(const js::Proto &pr, size_t pc)
+{
+    const uint32_t w = pr.code[pc];
+    const auto op = static_cast<js::Op>(w & 0xFF);
+    return strformat("%s %d", std::string(js::opName(op)).c_str(),
+                     static_cast<int>(static_cast<int32_t>(w) >> 8));
+}
+
+// ---------------------------------------------------------------------
+
+Finding
+monoFinding(const std::string &protoName, size_t protoIdx, size_t pc,
+            const std::string &instr, const std::string &why)
+{
+    Finding f;
+    f.severity = Severity::Error;
+    f.check = "elide-mono";
+    f.pc = pc;
+    f.instr = instr;
+    f.location = strformat("%s(proto %zu)+%zu", protoName.c_str(),
+                           protoIdx, pc);
+    f.message = why;
+    return f;
+}
+
+} // namespace
+
+Stats
+rewriteLua(lua::Module &m)
+{
+    const ModuleFacts facts = typeinf::inferLua(m);
+    Stats st;
+    for (size_t p = 0; p < m.protos.size(); ++p) {
+        lua::Proto &pr = m.protos[p];
+        const typeinf::ProtoFacts &pf = facts.protos[p];
+        for (size_t pc = 0; pc < pr.code.size(); ++pc) {
+            if (pc >= pf.reachable.size() || !pf.reachable[pc] ||
+                pf.bailed)
+                continue;
+            const uint32_t w = pr.code[pc];
+            const auto op = static_cast<lua::Op>(w & 0x3F);
+            if (luaIsArithSite(op))
+                ++st.arithSites;
+            else if (luaIsTableSite(op))
+                ++st.tableSites;
+            else
+                continue;
+            const auto elided = luaElidedForm(pr, pf.regs[pc], w);
+            if (!elided)
+                continue;
+            pr.code[pc] =
+                (w & ~0x3Fu) | static_cast<uint32_t>(*elided);
+            if (luaIsArithSite(op))
+                ++st.arithElided;
+            else
+                ++st.tableElided;
+        }
+    }
+    return st;
+}
+
+Stats
+rewriteJs(js::Module &m)
+{
+    const ModuleFacts facts = typeinf::inferJs(m);
+    Stats st;
+    for (size_t p = 0; p < m.protos.size(); ++p) {
+        js::Proto &pr = m.protos[p];
+        const typeinf::ProtoFacts &pf = facts.protos[p];
+        for (size_t pc = 0; pc < pr.code.size(); ++pc) {
+            if (pc >= pf.reachable.size() || !pf.reachable[pc] ||
+                pf.bailed)
+                continue;
+            const uint32_t w = pr.code[pc];
+            const auto op = static_cast<js::Op>(w & 0xFF);
+            if (jsIsArithSite(op))
+                ++st.arithSites;
+            else if (jsIsTableSite(op))
+                ++st.tableSites;
+            else
+                continue;
+            const auto elided = jsElidedForm(pf.stack[pc], w);
+            if (!elided)
+                continue;
+            pr.code[pc] =
+                (w & ~0xFFu) | static_cast<uint32_t>(*elided);
+            if (jsIsArithSite(op))
+                ++st.arithElided;
+            else
+                ++st.tableElided;
+        }
+    }
+    return st;
+}
+
+void
+verifyLua(const lua::Module &m, Report &report)
+{
+    const ModuleFacts facts = typeinf::inferLua(m);
+    for (size_t p = 0; p < m.protos.size(); ++p) {
+        const lua::Proto &pr = m.protos[p];
+        const typeinf::ProtoFacts &pf = facts.protos[p];
+        for (size_t pc = 0; pc < pr.code.size(); ++pc) {
+            const uint32_t w = pr.code[pc];
+            const auto op = static_cast<lua::Op>(w & 0x3F);
+            if (!luaIsElided(op))
+                continue;
+            // An unreachable site never executes; vacuously sound.
+            if (pc >= pf.reachable.size() || !pf.reachable[pc])
+                continue;
+            if (pf.bailed) {
+                report.findings.push_back(monoFinding(
+                    pr.name, p, pc, luaDescribeInstr(pr, pc),
+                    "inference bailed on this proto; elided site "
+                    "cannot be re-proven monomorphic"));
+                continue;
+            }
+            const auto proven = luaElidedForm(pr, pf.regs[pc], w);
+            if (proven && *proven == op)
+                continue;
+            const unsigned b = (w >> 14) & 0x1FF;
+            const unsigned c = (w >> 23) & 0x1FF;
+            report.findings.push_back(monoFinding(
+                pr.name, p, pc, luaDescribeInstr(pr, pc),
+                strformat("elided site not dominated by a monomorphic "
+                          "fact (B fact %s, C fact %s)",
+                          typeinf::describe(
+                              luaRkFact(pr, pf.regs[pc], b),
+                              typeinf::kTopLua)
+                              .c_str(),
+                          typeinf::describe(
+                              luaRkFact(pr, pf.regs[pc], c),
+                              typeinf::kTopLua)
+                              .c_str())));
+        }
+    }
+}
+
+void
+verifyJs(const js::Module &m, Report &report)
+{
+    const ModuleFacts facts = typeinf::inferJs(m);
+    for (size_t p = 0; p < m.protos.size(); ++p) {
+        const js::Proto &pr = m.protos[p];
+        const typeinf::ProtoFacts &pf = facts.protos[p];
+        for (size_t pc = 0; pc < pr.code.size(); ++pc) {
+            const uint32_t w = pr.code[pc];
+            const auto op = static_cast<js::Op>(w & 0xFF);
+            if (!jsIsElided(op))
+                continue;
+            if (pc >= pf.reachable.size() || !pf.reachable[pc])
+                continue;
+            if (pf.bailed) {
+                report.findings.push_back(monoFinding(
+                    pr.name, p, pc, jsDescribeInstr(pr, pc),
+                    "inference bailed on this proto; elided site "
+                    "cannot be re-proven monomorphic"));
+                continue;
+            }
+            const auto proven = jsElidedForm(pf.stack[pc], w);
+            if (proven && *proven == op)
+                continue;
+            report.findings.push_back(monoFinding(
+                pr.name, p, pc, jsDescribeInstr(pr, pc),
+                strformat("elided site not dominated by a monomorphic "
+                          "fact (operand facts %s, %s)",
+                          typeinf::describe(jsStackFact(pf.stack[pc], 1),
+                                            typeinf::kTopJs)
+                              .c_str(),
+                          typeinf::describe(jsStackFact(pf.stack[pc], 0),
+                                            typeinf::kTopJs)
+                              .c_str())));
+        }
+    }
+}
+
+namespace {
+
+std::string
+describeFacts(const std::vector<AVal> &facts, const char *what,
+              uint8_t top)
+{
+    std::string out = strformat("  %s facts:", what);
+    if (facts.empty())
+        return out + " (none)\n";
+    for (size_t i = 0; i < facts.size(); ++i)
+        out += strformat(" %zu=%s", i,
+                         typeinf::describe(facts[i], top).c_str());
+    return out + "\n";
+}
+
+} // namespace
+
+std::string
+explainLua(const lua::Module &m, size_t protoIdx, size_t pc)
+{
+    if (protoIdx >= m.protos.size())
+        return strformat("no proto %zu (module has %zu)\n", protoIdx,
+                         m.protos.size());
+    const lua::Proto &pr = m.protos[protoIdx];
+    if (pc >= pr.code.size())
+        return strformat("%s(proto %zu): no pc %zu (proto has %zu)\n",
+                         pr.name.c_str(), protoIdx, pc, pr.code.size());
+    const ModuleFacts facts = typeinf::inferLua(m);
+    const typeinf::ProtoFacts &pf = facts.protos[protoIdx];
+    std::string out =
+        strformat("%s(proto %zu)+%zu: %s\n", pr.name.c_str(), protoIdx,
+                  pc, luaDescribeInstr(pr, pc).c_str());
+    if (!facts.converged)
+        out += "  (interprocedural fixpoint hit its iteration cap; "
+               "facts widened to any)\n";
+    if (pf.bailed)
+        return out + "  inference bailed on this proto; no facts\n";
+    if (pc >= pf.reachable.size() || !pf.reachable[pc])
+        return out + "  unreachable from the proto entry\n";
+    out += describeFacts(pf.regs[pc], "register", typeinf::kTopLua);
+    const uint32_t w = pr.code[pc];
+    const auto op = static_cast<lua::Op>(w & 0x3F);
+    if (!luaIsArithSite(op) && !luaIsTableSite(op))
+        return out + "  not a type-guarded hot site; nothing to elide\n";
+    const unsigned a = (w >> 6) & 0xFF;
+    const unsigned b = (w >> 14) & 0x1FF;
+    const unsigned c = (w >> 23) & 0x1FF;
+    const auto operand = [&](const char *name, unsigned rk) {
+        return strformat(
+            "  operand %s (%s%u) = %s\n", name,
+            (rk & lua::kRkConstFlag) ? "k" : "r", rk & 0xFF,
+            typeinf::describe(luaRkFact(pr, pf.regs[pc], rk),
+                              typeinf::kTopLua)
+                .c_str());
+    };
+    if (luaIsArithSite(op)) {
+        out += operand("B", b);
+        out += operand("C", c);
+    } else if (op == lua::Op::GETTABLE || op == lua::Op::GETTAB_E) {
+        out += operand("B (table)", b & 0xFF);
+        out += operand("C (key)", c);
+    } else {
+        out += operand("A (table)", a);
+        out += operand("B (key)", b);
+    }
+    const auto elided = luaElidedForm(pr, pf.regs[pc], w);
+    if (elided)
+        out += strformat("  verdict: monomorphic -> %s\n",
+                         std::string(lua::opName(*elided)).c_str());
+    else
+        out += "  verdict: polymorphic; guards kept\n";
+    return out;
+}
+
+std::string
+explainJs(const js::Module &m, size_t protoIdx, size_t pc)
+{
+    if (protoIdx >= m.protos.size())
+        return strformat("no proto %zu (module has %zu)\n", protoIdx,
+                         m.protos.size());
+    const js::Proto &pr = m.protos[protoIdx];
+    if (pc >= pr.code.size())
+        return strformat("%s(proto %zu): no pc %zu (proto has %zu)\n",
+                         pr.name.c_str(), protoIdx, pc, pr.code.size());
+    const ModuleFacts facts = typeinf::inferJs(m);
+    const typeinf::ProtoFacts &pf = facts.protos[protoIdx];
+    std::string out =
+        strformat("%s(proto %zu)+%zu: %s\n", pr.name.c_str(), protoIdx,
+                  pc, jsDescribeInstr(pr, pc).c_str());
+    if (!facts.converged)
+        out += "  (interprocedural fixpoint hit its iteration cap; "
+               "facts widened to any)\n";
+    if (pf.bailed)
+        return out + "  inference bailed on this proto; no facts\n";
+    if (pc >= pf.reachable.size() || !pf.reachable[pc])
+        return out + "  unreachable from the proto entry\n";
+    out += describeFacts(pf.regs[pc], "local", typeinf::kTopJs);
+    out += describeFacts(pf.stack[pc], "operand-stack", typeinf::kTopJs);
+    const uint32_t w = pr.code[pc];
+    const auto op = static_cast<js::Op>(w & 0xFF);
+    if (!jsIsArithSite(op) && !jsIsTableSite(op))
+        return out + "  not a type-guarded hot site; nothing to elide\n";
+    const auto slot = [&](const char *name, size_t back) {
+        return strformat("  operand %s (stack[-%zu]) = %s\n", name,
+                         back + 1,
+                         typeinf::describe(jsStackFact(pf.stack[pc], back),
+                                           typeinf::kTopJs)
+                             .c_str());
+    };
+    if (jsIsArithSite(op)) {
+        out += slot("lhs", 1);
+        out += slot("rhs", 0);
+    } else if (op == js::Op::GETELEM || op == js::Op::GETELEM_E) {
+        out += slot("obj", 1);
+        out += slot("key", 0);
+    } else {
+        out += slot("obj", 2);
+        out += slot("key", 1);
+    }
+    const auto elided = jsElidedForm(pf.stack[pc], w);
+    if (elided)
+        out += strformat("  verdict: monomorphic -> %s\n",
+                         std::string(js::opName(*elided)).c_str());
+    else
+        out += "  verdict: polymorphic; guards kept\n";
+    return out;
+}
+
+} // namespace tarch::analysis::elide

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Guard elision over MiniScript bytecode (the software-typed axis).
+ *
+ * rewrite{Lua,Js}() runs type inference (analysis/typeinf.h) and
+ * rewrites every provably monomorphic hot site to its guard-free
+ * opcode: ADD/SUB/MUL become *_II or *_FF/_DD when both operands are
+ * proven int resp. float, and the table/element accesses become
+ * GETTAB_E/SETTAB_E (GETELEM_E/SETELEM_E) when the container is
+ * proven table/object and the key proven int.  Only the opcode field
+ * changes; operands, instruction count and jump offsets are
+ * preserved.
+ *
+ * verify{Lua,Js}() is the machine-checked soundness gate: it
+ * re-infers from scratch over the (possibly rewritten) module --
+ * using deliberately conservative transfer rules for the specialized
+ * opcodes themselves, so the check does not assume what it is trying
+ * to prove -- and reports an Error finding for every specialized site
+ * whose incoming facts do not dominate the monomorphism requirement.
+ * The rewrite and the verifier share one requirement predicate, and
+ * the verifier is wired into tarch_typeinf, the differential-fuzz
+ * oracle and CI (zero-findings ratchet).
+ */
+
+#ifndef TARCH_ANALYSIS_ELIDE_H
+#define TARCH_ANALYSIS_ELIDE_H
+
+#include "analysis/report.h"
+#include "analysis/typeinf.h"
+#include "vm/js/compiler.h"
+#include "vm/lua/compiler.h"
+
+namespace tarch::analysis::elide {
+
+/** Rewrite statistics (static site counts, not dynamic executions). */
+struct Stats {
+    unsigned arithSites = 0;  ///< reachable ADD/SUB/MUL sites
+    unsigned arithElided = 0; ///< ... rewritten to *_II / *_FF / *_DD
+    unsigned tableSites = 0;  ///< reachable table/element accesses
+    unsigned tableElided = 0; ///< ... rewritten to the *_E forms
+
+    unsigned sites() const { return arithSites + tableSites; }
+    unsigned elided() const { return arithElided + tableElided; }
+};
+
+Stats rewriteLua(vm::lua::Module &m);
+Stats rewriteJs(vm::js::Module &m);
+
+/**
+ * Check that every guard-elided site in @p m is dominated by a
+ * monomorphic inference fact; add an Error finding per violation
+ * (check id "elide-mono").
+ */
+void verifyLua(const vm::lua::Module &m, Report &report);
+void verifyJs(const vm::js::Module &m, Report &report);
+
+/**
+ * Human-readable account of the facts flowing into one bytecode
+ * instruction and, for a hot site, the elision verdict reached through
+ * the same predicate the rewriter uses (tarch_typeinf --explain).
+ */
+std::string explainLua(const vm::lua::Module &m, size_t protoIdx,
+                       size_t pc);
+std::string explainJs(const vm::js::Module &m, size_t protoIdx,
+                      size_t pc);
+
+} // namespace tarch::analysis::elide
+
+#endif // TARCH_ANALYSIS_ELIDE_H

@@ -1,0 +1,1122 @@
+#include "analysis/typeinf.h"
+
+#include <cstddef>
+#include <deque>
+#include <utility>
+
+#include "analysis/cfg.h"
+#include "analysis/dataflow.h"
+
+namespace tarch::analysis::typeinf {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Dataflow state: registers (MiniLua) or locals + operand stack
+// (MiniJS), plus flow-sensitive facts for every global slot.
+// ---------------------------------------------------------------------
+
+struct State {
+    bool seen = false;
+    /// Operand-stack depth mismatch at a join: poison the proto.
+    bool stackBail = false;
+    std::vector<AVal> regs;
+    std::vector<AVal> stack;
+    std::vector<AVal> globals;
+
+    bool mergeFrom(const State &src)
+    {
+        if (!src.seen)
+            return false;
+        if (!seen) {
+            *this = src;
+            return true;
+        }
+        bool changed = false;
+        if (src.stackBail && !stackBail) {
+            stackBail = true;
+            changed = true;
+        }
+        if (stack.size() != src.stack.size()) {
+            if (!stackBail) {
+                stackBail = true;
+                changed = true;
+            }
+            if (stack.size() > src.stack.size()) {
+                stack.resize(src.stack.size());
+                changed = true;
+            }
+        }
+        for (size_t i = 0; i < regs.size() && i < src.regs.size(); ++i)
+            changed |= regs[i].joinWith(src.regs[i]);
+        for (size_t i = 0; i < stack.size(); ++i)
+            changed |= stack[i].joinWith(src.stack[i]);
+        for (size_t i = 0; i < globals.size() && i < src.globals.size();
+             ++i)
+            changed |= globals[i].joinWith(src.globals[i]);
+        return changed;
+    }
+};
+
+// ---------------------------------------------------------------------
+// Bytecode CFG with synthetic edge blocks.
+//
+// Occurrence narrowing is per-edge, but the PR-3 solver only supports
+// per-block transfer functions; so every edge that narrows gets its
+// own zero-instruction block whose "transfer" applies static Actions.
+// ---------------------------------------------------------------------
+
+struct Action {
+    enum class Kind : uint8_t { Narrow, Copy } kind = Kind::Narrow;
+    uint16_t dst = 0;
+    uint16_t src = 0; ///< Copy only
+    uint8_t mask = 0; ///< Narrow only
+};
+
+Action
+narrowAct(unsigned reg, uint8_t mask)
+{
+    Action a;
+    a.kind = Action::Kind::Narrow;
+    a.dst = static_cast<uint16_t>(reg);
+    a.mask = mask;
+    return a;
+}
+
+Action
+copyAct(unsigned dst, unsigned src)
+{
+    Action a;
+    a.kind = Action::Kind::Copy;
+    a.dst = static_cast<uint16_t>(dst);
+    a.src = static_cast<uint16_t>(src);
+    return a;
+}
+
+struct EdgeDesc {
+    size_t to = 0;
+    std::vector<Action> acts;
+};
+
+struct Bc {
+    Cfg cfg; ///< prog stays null; only blocks/succs/entry are used
+    std::vector<std::vector<Action>> acts; ///< per block id
+};
+
+void
+applyAction(State &st, const Action &a)
+{
+    switch (a.kind) {
+      case Action::Kind::Narrow:
+        if (a.dst < st.regs.size())
+            st.regs[a.dst].narrow(a.mask);
+        break;
+      case Action::Kind::Copy:
+        if (a.dst < st.regs.size() && a.src < st.regs.size())
+            st.regs[a.dst] = st.regs[a.src];
+        break;
+    }
+}
+
+/**
+ * Build blocks over @p n bytecode instructions.  @p edgesOf is called
+ * with a null leader set while leaders are being discovered, then with
+ * the final set when edges are wired (the MiniJS condition peephole
+ * needs to know whether a branch is itself a jump target).
+ */
+template <typename EdgesFn>
+Bc
+buildBc(size_t n, EdgesFn edgesOf)
+{
+    Bc bc;
+    if (n == 0)
+        return bc;
+
+    std::vector<char> leader(n, 0);
+    leader[0] = 1;
+    for (size_t pc = 0; pc < n; ++pc) {
+        const std::vector<EdgeDesc> es = edgesOf(pc, nullptr);
+        const bool plain =
+            es.size() == 1 && es[0].to == pc + 1 && es[0].acts.empty();
+        if (plain)
+            continue;
+        if (pc + 1 < n)
+            leader[pc + 1] = 1;
+        for (const EdgeDesc &e : es)
+            if (e.to < n)
+                leader[e.to] = 1;
+    }
+
+    std::vector<size_t> blockOf(n, 0);
+    for (size_t pc = 0; pc < n; ++pc) {
+        if (leader[pc]) {
+            Block blk;
+            blk.first = pc;
+            bc.cfg.blocks.push_back(blk);
+        }
+        blockOf[pc] = bc.cfg.blocks.size() - 1;
+        ++bc.cfg.blocks.back().count;
+    }
+    bc.acts.resize(bc.cfg.blocks.size());
+
+    const size_t nReal = bc.cfg.blocks.size();
+    for (size_t b = 0; b < nReal; ++b) {
+        const size_t last =
+            bc.cfg.blocks[b].first + bc.cfg.blocks[b].count - 1;
+        std::vector<EdgeDesc> es = edgesOf(last, &leader);
+        for (EdgeDesc &e : es) {
+            if (e.to >= n)
+                continue;
+            if (e.acts.empty()) {
+                bc.cfg.blocks[b].succs.push_back(blockOf[e.to]);
+                continue;
+            }
+            Block syn; // zero-length edge block carrying the actions
+            syn.succs.push_back(blockOf[e.to]);
+            bc.cfg.blocks.push_back(syn);
+            bc.acts.push_back(std::move(e.acts));
+            bc.cfg.blocks[b].succs.push_back(bc.cfg.blocks.size() - 1);
+        }
+    }
+
+    bc.cfg.blockOf = std::move(blockOf);
+    bc.cfg.entryBlock = 0;
+    std::deque<size_t> work{bc.cfg.entryBlock};
+    bc.cfg.blocks[bc.cfg.entryBlock].reachable = true;
+    while (!work.empty()) {
+        const size_t b = work.front();
+        work.pop_front();
+        for (const size_t s : bc.cfg.blocks[b].succs) {
+            bc.cfg.blocks[s].preds.push_back(b);
+            if (!bc.cfg.blocks[s].reachable) {
+                bc.cfg.blocks[s].reachable = true;
+                work.push_back(s);
+            }
+        }
+    }
+    return bc;
+}
+
+// ---------------------------------------------------------------------
+// Interprocedural summaries (optimistic; everything starts at bottom
+// and only grows, so iterating to a fixpoint is sound on convergence).
+// ---------------------------------------------------------------------
+
+struct Summaries {
+    uint8_t top = kTopLua;
+    std::vector<std::vector<AVal>> params; ///< per proto
+    std::vector<AVal> ret;                 ///< per proto
+    std::vector<AVal> store;   ///< per global: join of all stored values
+    std::vector<char> stored;  ///< any SETGLOBAL targets this slot
+    std::vector<int16_t> funGlobal; ///< global slot -> proto index or -1
+    /// A call through a value that is not one known function was seen.
+    bool calleesUnknown = false;
+
+    void joinParam(size_t p, size_t j, const AVal &v)
+    {
+        if (p < params.size() && j < params[p].size())
+            params[p][j].joinWith(v);
+    }
+
+    void joinRet(size_t p, const AVal &v)
+    {
+        if (p < ret.size())
+            ret[p].joinWith(v);
+    }
+
+    void recordStore(size_t g, const AVal &v)
+    {
+        if (g >= store.size())
+            return;
+        store[g].joinWith(v);
+        stored[g] = 1;
+    }
+
+    /** Fact for a global read at an arbitrary program point. */
+    AVal fallback(size_t g) const
+    {
+        if (g >= store.size())
+            return AVal::of(top);
+        const int16_t fp = funGlobal[g];
+        if (fp >= 0 && !stored[g])
+            return AVal::fun(fp);
+        AVal v = store[g];
+        // Function globals are initialized before the main chunk runs;
+        // everything else reads as nil until its first write.
+        v.joinWith(fp >= 0 ? AVal::fun(fp) : AVal::of(kNil));
+        return v;
+    }
+
+    /** Exact fact at the top of the main chunk (runs once, first). */
+    AVal mainEntry(size_t g) const
+    {
+        if (g >= store.size())
+            return AVal::of(top);
+        const int16_t fp = funGlobal[g];
+        return fp >= 0 ? AVal::fun(fp) : AVal::of(kNil);
+    }
+};
+
+bool
+operator==(const Summaries &a, const Summaries &b)
+{
+    return a.params == b.params && a.ret == b.ret && a.store == b.store &&
+           a.stored == b.stored && a.calleesUnknown == b.calleesUnknown;
+}
+
+Summaries
+initSummaries(size_t nprotos, const std::vector<unsigned> &nparams,
+              size_t nglobals,
+              const std::vector<std::pair<unsigned, unsigned>> &funGlobals,
+              uint8_t top)
+{
+    Summaries s;
+    s.top = top;
+    s.params.resize(nprotos);
+    for (size_t p = 0; p < nprotos; ++p)
+        s.params[p].resize(nparams[p]);
+    s.ret.resize(nprotos);
+    s.store.resize(nglobals);
+    s.stored.assign(nglobals, 0);
+    s.funGlobal.assign(nglobals, -1);
+    for (const auto &[slot, proto] : funGlobals)
+        if (slot < nglobals)
+            s.funGlobal[slot] = static_cast<int16_t>(proto);
+    return s;
+}
+
+void
+poisonParams(Summaries &s)
+{
+    for (auto &ps : s.params)
+        for (AVal &v : ps)
+            v.joinWith(AVal::of(s.top));
+}
+
+void
+widenAll(Summaries &s)
+{
+    poisonParams(s);
+    for (AVal &v : s.ret)
+        v.joinWith(AVal::of(s.top));
+    for (AVal &v : s.store)
+        v.joinWith(AVal::of(s.top));
+}
+
+AVal
+builtinResult(unsigned id, uint8_t top)
+{
+    // Both engines use the same builtin numbering (Print=0, Sqrt,
+    // Floor, Substr, StrChar, Abs).
+    switch (id) {
+      case 1: return AVal::of(kFlt);            // sqrt
+      case 2:
+        // floor: MiniLua always re-tags the result as a 64-bit int,
+        // but MiniJS only boxes an Int when the result fits int32 and
+        // keeps the double otherwise (JsVm::hcFloor) — so its static
+        // kind never narrows past "numeric".
+        return AVal::of(top == kTopLua ? kInt : kNumeric);
+      case 3: case 4: return AVal::of(kStr);    // substr, strchar
+      case 5: return AVal::of(kNumeric);        // abs
+      default: return AVal::of(top);            // print, unknown
+    }
+}
+
+// ---------------------------------------------------------------------
+// MiniLua (register machine)
+// ---------------------------------------------------------------------
+
+class LuaInfer {
+  public:
+    LuaInfer(const vm::lua::Module &m, Summaries &s) : m_(m), s_(s) {}
+
+    void analyze(size_t protoIdx, ProtoFacts *facts);
+
+  private:
+    using Op = vm::lua::Op;
+
+    const vm::lua::Proto &proto() const { return m_.protos[p_]; }
+
+    AVal get(const State &st, unsigned r) const
+    {
+        return r < st.regs.size() ? st.regs[r] : AVal::of(s_.top);
+    }
+    void set(State &st, unsigned r, const AVal &v) const
+    {
+        if (r < st.regs.size())
+            st.regs[r] = v;
+    }
+    void narrowReg(State &st, unsigned r, uint8_t mask) const
+    {
+        if (r < st.regs.size())
+            st.regs[r].narrow(mask);
+    }
+    void narrowRk(State &st, unsigned rk, uint8_t mask) const
+    {
+        if (!(rk & vm::lua::kRkConstFlag))
+            narrowReg(st, rk & 0xFF, mask);
+    }
+
+    AVal constFact(unsigned idx) const
+    {
+        if (idx >= proto().consts.size())
+            return AVal::of(s_.top);
+        switch (proto().consts[idx].kind) {
+          case vm::lua::Const::Kind::Int: return AVal::of(kInt);
+          case vm::lua::Const::Kind::Flt: return AVal::of(kFlt);
+          case vm::lua::Const::Kind::Str: return AVal::of(kStr);
+        }
+        return AVal::of(s_.top);
+    }
+
+    AVal rkFact(const State &st, unsigned rk) const
+    {
+        if (rk & vm::lua::kRkConstFlag)
+            return constFact(rk & 0xFF);
+        return get(st, rk & 0xFF);
+    }
+
+    void applyCall(State &st, unsigned a, unsigned argc);
+    void applyForPrep(State &st, unsigned a);
+    void applyInstr(State &st, size_t pc);
+    std::vector<EdgeDesc> edgesOf(size_t pc) const;
+
+    const vm::lua::Module &m_;
+    Summaries &s_;
+    size_t p_ = 0;
+};
+
+void
+LuaInfer::applyCall(State &st, unsigned a, unsigned argc)
+{
+    const AVal f = get(st, a);
+    AVal res; // bottom: an impossible call never completes
+    if (f.bits == kFun && f.funProto >= 0 &&
+        static_cast<size_t>(f.funProto) < m_.protos.size()) {
+        const auto &callee = m_.protos[static_cast<size_t>(f.funProto)];
+        for (unsigned j = 0; j < callee.nparams; ++j)
+            s_.joinParam(static_cast<size_t>(f.funProto), j,
+                         j < argc ? get(st, a + 1 + j)
+                                  : AVal::of(s_.top));
+        res = s_.ret[static_cast<size_t>(f.funProto)];
+    } else if (!f.isBottom()) {
+        s_.calleesUnknown = true;
+        res = AVal::of(s_.top);
+    }
+    // The callee may write any global.
+    for (size_t g = 0; g < st.globals.size(); ++g)
+        st.globals[g] = s_.fallback(g);
+    set(st, a, res);
+}
+
+void
+LuaInfer::applyForPrep(State &st, unsigned a)
+{
+    const AVal v0 = get(st, a);
+    const AVal v1 = get(st, a + 1);
+    const AVal v2 = get(st, a + 2);
+    const auto pureInt = [](const AVal &v) {
+        return !v.isBottom() && subsetOf(v.bits, kInt);
+    };
+    if (pureInt(v0) && pureInt(v1) && pureInt(v2))
+        return; // provably all-int loop: tags unchanged
+    // Otherwise the runtime either keeps all three as ints or converts
+    // all three to floats (non-numbers abort the program).
+    const bool allCouldInt =
+        (v0.bits & kInt) && (v1.bits & kInt) && (v2.bits & kInt);
+    for (unsigned r = a; r < a + 3; ++r) {
+        const uint8_t keep = allCouldInt ? (get(st, r).bits & kInt) : 0;
+        set(st, r, AVal::of(static_cast<uint8_t>(keep | kFlt)));
+    }
+}
+
+void
+LuaInfer::applyInstr(State &st, size_t pc)
+{
+    const uint32_t w = proto().code[pc];
+    const auto op = static_cast<Op>(w & 0x3F);
+    const unsigned a = (w >> 6) & 0xFF;
+    const unsigned b = (w >> 14) & 0x1FF;
+    const unsigned c = (w >> 23) & 0x1FF;
+    switch (op) {
+      case Op::MOVE:
+        set(st, a, get(st, b & 0xFF));
+        break;
+      case Op::LOADK:
+        set(st, a, constFact(b));
+        break;
+      case Op::LOADNIL:
+        set(st, a, AVal::of(kNil));
+        break;
+      case Op::LOADBOOL:
+        set(st, a, AVal::of(kBool));
+        break;
+      case Op::GETGLOBAL:
+        set(st, a, b < st.globals.size() ? st.globals[b]
+                                         : AVal::of(s_.top));
+        break;
+      case Op::SETGLOBAL: {
+        const AVal v = get(st, a);
+        if (b < st.globals.size())
+            st.globals[b] = v;
+        s_.recordStore(b, v);
+        break;
+      }
+      case Op::GETTABLE:
+        narrowReg(st, b & 0xFF, kTab); // survived the table-tag guard
+        set(st, a, AVal::of(s_.top));
+        break;
+      case Op::SETTABLE:
+        narrowReg(st, a, kTab);
+        break;
+      case Op::NEWTABLE:
+        set(st, a, AVal::of(kTab));
+        break;
+      case Op::ADD:
+      case Op::SUB:
+      case Op::MUL:
+      case Op::IDIV:
+      case Op::MOD: {
+        const AVal vb = rkFact(st, b);
+        const AVal vc = rkFact(st, c);
+        uint8_t res = 0;
+        if ((vb.bits & kInt) && (vc.bits & kInt))
+            res |= kInt; // int op int stays int (64-bit wrap)
+        if ((vb.bits & kFlt) || (vc.bits & kFlt))
+            res |= kFlt; // any float operand makes a float
+        narrowRk(st, b, kNumeric);
+        narrowRk(st, c, kNumeric);
+        set(st, a, AVal::of(res));
+        break;
+      }
+      case Op::DIV:
+        narrowRk(st, b, kNumeric);
+        narrowRk(st, c, kNumeric);
+        set(st, a, AVal::of(kFlt));
+        break;
+      case Op::UNM: {
+        const uint8_t res = get(st, b & 0xFF).bits & kNumeric;
+        narrowReg(st, b & 0xFF, kNumeric);
+        set(st, a, AVal::of(res));
+        break;
+      }
+      case Op::NOT:
+        set(st, a, AVal::of(kBool));
+        break;
+      case Op::LEN:
+        narrowReg(st, b & 0xFF, kStr | kTab);
+        set(st, a, AVal::of(kInt));
+        break;
+      case Op::CONCAT:
+        set(st, a, AVal::of(kStr));
+        break;
+      case Op::EQ:
+      case Op::NE:
+        set(st, a, AVal::of(kBool));
+        break;
+      case Op::LT:
+      case Op::LE:
+        narrowRk(st, b, kNumeric | kStr);
+        narrowRk(st, c, kNumeric | kStr);
+        set(st, a, AVal::of(kBool));
+        break;
+      case Op::CALL:
+        applyCall(st, a, b);
+        break;
+      case Op::RETURN:
+        s_.joinRet(p_, b != 0 ? get(st, a) : AVal::of(kNil));
+        break;
+      case Op::FORPREP:
+        applyForPrep(st, a);
+        break;
+      case Op::FORLOOP:
+        set(st, a, AVal::of(get(st, a).bits & kNumeric));
+        break;
+      case Op::BUILTIN:
+        set(st, a, builtinResult(b, s_.top));
+        break;
+      // Guard-elided forms: conservative transfer used when the
+      // elision verifier re-infers over already-rewritten bytecode.
+      case Op::ADD_II:
+      case Op::SUB_II:
+      case Op::MUL_II:
+        set(st, a, AVal::of(kInt));
+        break;
+      case Op::ADD_FF:
+      case Op::SUB_FF:
+      case Op::MUL_FF:
+        set(st, a, AVal::of(kFlt));
+        break;
+      case Op::GETTAB_E:
+        set(st, a, AVal::of(s_.top));
+        break;
+      case Op::SETTAB_E:
+      case Op::JMP:
+      case Op::JMPF:
+      case Op::JMPT:
+      case Op::NOP:
+      default:
+        break;
+    }
+}
+
+std::vector<EdgeDesc>
+LuaInfer::edgesOf(size_t pc) const
+{
+    const uint32_t w = proto().code[pc];
+    const auto op = static_cast<Op>(w & 0x3F);
+    const unsigned a = (w >> 6) & 0xFF;
+    const int32_t sbx = static_cast<int32_t>(w) >> 14;
+    const size_t fall = pc + 1;
+    const auto target = static_cast<size_t>(
+        static_cast<int64_t>(pc) + 1 + sbx);
+    constexpr uint8_t kFalsyMask = kNil | kBool;
+    constexpr uint8_t kTruthyMask =
+        kTopLua & static_cast<uint8_t>(~kNil); // true is still a bool
+
+    std::vector<EdgeDesc> es;
+    switch (op) {
+      case Op::JMP:
+      case Op::FORPREP:
+        es.push_back({target, {}});
+        break;
+      case Op::JMPF:
+        es.push_back({target, {narrowAct(a, kFalsyMask)}});
+        es.push_back({fall, {narrowAct(a, kTruthyMask)}});
+        break;
+      case Op::JMPT:
+        es.push_back({target, {narrowAct(a, kTruthyMask)}});
+        es.push_back({fall, {narrowAct(a, kFalsyMask)}});
+        break;
+      case Op::FORLOOP:
+        // The user loop variable is only written when the loop
+        // continues (the back edge).
+        es.push_back({target, {copyAct(a + 3, a)}});
+        es.push_back({fall, {}});
+        break;
+      case Op::RETURN:
+        break;
+      default:
+        es.push_back({fall, {}});
+        break;
+    }
+    return es;
+}
+
+void
+LuaInfer::analyze(size_t protoIdx, ProtoFacts *facts)
+{
+    p_ = protoIdx;
+    const auto &pr = proto();
+    const size_t n = pr.code.size();
+    if (facts) {
+        facts->reachable.assign(n, 0);
+        facts->regs.assign(n, {});
+        facts->stack.assign(n, {});
+        facts->bailed = false;
+    }
+    if (n == 0)
+        return;
+
+    Bc bc = buildBc(n, [this](size_t pc, const std::vector<char> *) {
+        return edgesOf(pc);
+    });
+
+    State entry;
+    entry.seen = true;
+    entry.regs.assign(pr.nregs, AVal::of(s_.top));
+    for (unsigned i = 0; i < pr.nparams && i < pr.nregs; ++i)
+        entry.regs[i] = s_.params[p_][i];
+    entry.globals.resize(m_.globalNames.size());
+    for (size_t g = 0; g < entry.globals.size(); ++g)
+        entry.globals[g] = p_ == 0 ? s_.mainEntry(g) : s_.fallback(g);
+
+    const auto transfer = [this, &bc](size_t b, const State &in) {
+        State st = in;
+        if (!st.seen)
+            return st;
+        const Block &blk = bc.cfg.blocks[b];
+        if (blk.count == 0) {
+            for (const Action &act : bc.acts[b])
+                applyAction(st, act);
+            return st;
+        }
+        for (size_t pc = blk.first; pc < blk.first + blk.count; ++pc)
+            applyInstr(st, pc);
+        return st;
+    };
+    const std::vector<State> in =
+        analysis::solveForward(bc.cfg, entry, transfer);
+
+    if (!facts)
+        return;
+    for (size_t b = 0; b < bc.cfg.blocks.size(); ++b) {
+        const Block &blk = bc.cfg.blocks[b];
+        if (blk.count == 0 || !in[b].seen)
+            continue;
+        State st = in[b];
+        for (size_t pc = blk.first; pc < blk.first + blk.count; ++pc) {
+            facts->reachable[pc] = 1;
+            facts->regs[pc] = st.regs;
+            applyInstr(st, pc);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// MiniJS (stack machine)
+// ---------------------------------------------------------------------
+
+class JsInfer {
+  public:
+    JsInfer(const vm::js::Module &m, Summaries &s) : m_(m), s_(s) {}
+
+    void analyze(size_t protoIdx, ProtoFacts *facts);
+
+  private:
+    using Op = vm::js::Op;
+
+    const vm::js::Proto &proto() const { return m_.protos[p_]; }
+
+    AVal get(const State &st, unsigned r) const
+    {
+        return r < st.regs.size() ? st.regs[r] : AVal::of(kTopJs);
+    }
+    void set(State &st, unsigned r, const AVal &v) const
+    {
+        if (r < st.regs.size())
+            st.regs[r] = v;
+    }
+    void push(State &st, const AVal &v) const { st.stack.push_back(v); }
+    AVal pop(State &st)
+    {
+        if (st.stack.empty()) {
+            bail_ = true;
+            return AVal::of(kTopJs);
+        }
+        const AVal v = st.stack.back();
+        st.stack.pop_back();
+        return v;
+    }
+
+    AVal constFact(unsigned idx) const
+    {
+        namespace js = vm::js;
+        if (idx >= proto().consts.size())
+            return AVal::of(kTopJs);
+        const js::Const &k = proto().consts[idx];
+        if (k.kind == js::Const::Kind::Str)
+            return AVal::of(kStr);
+        if ((k.bits & js::kNanPrefix) != js::kNanPrefix)
+            return AVal::of(kFlt); // plain IEEE-754 double
+        switch (static_cast<uint8_t>((k.bits >> 47) & 0xF)) {
+          case js::kTagInt: return AVal::of(kInt);
+          case js::kTagBool: return AVal::of(kBool);
+          case js::kTagNull: return AVal::of(kNil);
+          case js::kTagUndef: return AVal::of(kUndef);
+          case js::kTagStr: return AVal::of(kStr);
+          case js::kTagObj: return AVal::of(kTab);
+          case js::kTagFun: return AVal::of(kFun);
+          default: return AVal::of(kTopJs);
+        }
+    }
+
+    void applyCall(State &st, unsigned argc);
+    void applyInstr(State &st, size_t pc);
+    std::vector<EdgeDesc> edgesOf(size_t pc,
+                                  const std::vector<char> *leaders) const;
+
+    const vm::js::Module &m_;
+    Summaries &s_;
+    size_t p_ = 0;
+    bool bail_ = false;
+};
+
+void
+JsInfer::applyCall(State &st, unsigned argc)
+{
+    std::vector<AVal> args(argc);
+    for (size_t j = argc; j-- > 0;)
+        args[j] = pop(st);
+    const AVal f = pop(st);
+    AVal res; // bottom: an impossible call never completes
+    if (f.bits == kFun && f.funProto >= 0 &&
+        static_cast<size_t>(f.funProto) < m_.protos.size()) {
+        const auto &callee = m_.protos[static_cast<size_t>(f.funProto)];
+        for (unsigned j = 0; j < callee.nparams; ++j)
+            s_.joinParam(static_cast<size_t>(f.funProto), j,
+                         j < args.size() ? args[j] : AVal::of(kTopJs));
+        res = s_.ret[static_cast<size_t>(f.funProto)];
+    } else if (!f.isBottom()) {
+        s_.calleesUnknown = true;
+        res = AVal::of(kTopJs);
+    }
+    for (size_t g = 0; g < st.globals.size(); ++g)
+        st.globals[g] = s_.fallback(g);
+    push(st, res);
+}
+
+void
+JsInfer::applyInstr(State &st, size_t pc)
+{
+    const uint32_t w = proto().code[pc];
+    const auto op = static_cast<Op>(w & 0xFF);
+    const uint32_t uimm = w >> 8;
+    switch (op) {
+      case Op::PUSHK:
+        push(st, constFact(uimm));
+        break;
+      case Op::PUSHINT:
+        push(st, AVal::of(kInt));
+        break;
+      case Op::PUSHUNDEF:
+        push(st, AVal::of(kUndef));
+        break;
+      case Op::DUP: {
+        const AVal v = pop(st);
+        push(st, v);
+        push(st, v);
+        break;
+      }
+      case Op::POP:
+        pop(st);
+        break;
+      case Op::GETLOCAL:
+        push(st, get(st, uimm));
+        break;
+      case Op::SETLOCAL:
+        set(st, uimm, pop(st));
+        break;
+      case Op::GETGLOBAL:
+        push(st, uimm < st.globals.size() ? st.globals[uimm]
+                                          : AVal::of(kTopJs));
+        break;
+      case Op::SETGLOBAL: {
+        const AVal v = pop(st);
+        if (uimm < st.globals.size())
+            st.globals[uimm] = v;
+        s_.recordStore(uimm, v);
+        break;
+      }
+      case Op::GETELEM:
+        pop(st);
+        pop(st);
+        push(st, AVal::of(kTopJs));
+        break;
+      case Op::SETELEM:
+        pop(st);
+        pop(st);
+        pop(st);
+        break;
+      case Op::NEWARRAY:
+        push(st, AVal::of(kTab));
+        break;
+      case Op::ADD:
+      case Op::SUB:
+      case Op::MUL:
+      case Op::IDIV:
+      case Op::MOD: {
+        const AVal y = pop(st);
+        const AVal x = pop(st);
+        uint8_t res = 0;
+        if ((x.bits & kInt) && (y.bits & kInt))
+            res |= kInt | kFlt; // int32 overflow promotes to double
+        if ((x.bits & kFlt) || (y.bits & kFlt))
+            res |= kFlt;
+        push(st, AVal::of(res));
+        break;
+      }
+      case Op::DIV:
+        pop(st);
+        pop(st);
+        push(st, AVal::of(kFlt));
+        break;
+      case Op::NEG: {
+        const AVal v = pop(st);
+        uint8_t res = 0;
+        if (v.bits & kInt)
+            res |= kInt | kFlt; // -INT32_MIN promotes
+        if (v.bits & kFlt)
+            res |= kFlt;
+        push(st, AVal::of(res));
+        break;
+      }
+      case Op::NOT:
+        pop(st);
+        push(st, AVal::of(kBool));
+        break;
+      case Op::LEN:
+        pop(st);
+        push(st, AVal::of(kInt));
+        break;
+      case Op::CONCAT:
+        pop(st);
+        pop(st);
+        push(st, AVal::of(kStr));
+        break;
+      case Op::EQ:
+      case Op::NE:
+      case Op::LT:
+      case Op::LE:
+        pop(st);
+        pop(st);
+        push(st, AVal::of(kBool));
+        break;
+      case Op::JUMPF:
+      case Op::JUMPT:
+        pop(st); // narrowing happens on the out-edges
+        break;
+      case Op::CALL:
+        applyCall(st, uimm);
+        break;
+      case Op::RETURN:
+        s_.joinRet(p_, pop(st));
+        break;
+      case Op::BUILTIN: {
+        const unsigned argc = (uimm >> 8) & 0xFF;
+        for (unsigned j = 0; j < argc; ++j)
+            pop(st);
+        push(st, builtinResult(uimm & 0xFF, kTopJs));
+        break;
+      }
+      // Guard-elided forms (conservative re-inference transfer).
+      case Op::ADD_II:
+      case Op::SUB_II:
+      case Op::MUL_II:
+        pop(st);
+        pop(st);
+        push(st, AVal::of(kNumeric)); // the overflow check remains
+        break;
+      case Op::ADD_DD:
+      case Op::SUB_DD:
+      case Op::MUL_DD:
+        pop(st);
+        pop(st);
+        push(st, AVal::of(kFlt));
+        break;
+      case Op::GETELEM_E:
+        pop(st);
+        pop(st);
+        push(st, AVal::of(kTopJs));
+        break;
+      case Op::SETELEM_E:
+        pop(st);
+        pop(st);
+        pop(st);
+        break;
+      case Op::JUMP:
+      case Op::NOP:
+      default:
+        break;
+    }
+}
+
+std::vector<EdgeDesc>
+JsInfer::edgesOf(size_t pc, const std::vector<char> *leaders) const
+{
+    const auto &code = proto().code;
+    const uint32_t w = code[pc];
+    const auto op = static_cast<Op>(w & 0xFF);
+    const int32_t imm = static_cast<int32_t>(w) >> 8;
+    const size_t fall = pc + 1;
+    const auto target = static_cast<size_t>(
+        static_cast<int64_t>(pc) + 1 + imm);
+
+    // Occurrence peephole: `GETLOCAL k; JUMPF/T` narrows local k on
+    // the out-edges -- but only when nothing can jump between the
+    // load and the branch (the branch is not itself a leader).
+    int cond = -1;
+    if ((op == Op::JUMPF || op == Op::JUMPT) && pc > 0 && leaders &&
+        !(*leaders)[pc] &&
+        static_cast<Op>(code[pc - 1] & 0xFF) == Op::GETLOCAL)
+        cond = static_cast<int>(code[pc - 1] >> 8);
+
+    // JS falsiness spans types: null/undef always falsy, obj/fun
+    // always truthy; bool/int/flt/str falsiness is value-dependent.
+    constexpr uint8_t kFalsyMask =
+        kTopJs & static_cast<uint8_t>(~(kTab | kFun));
+    constexpr uint8_t kTruthyMask =
+        kTopJs & static_cast<uint8_t>(~(kNil | kUndef));
+
+    std::vector<EdgeDesc> es;
+    switch (op) {
+      case Op::JUMP:
+        es.push_back({target, {}});
+        break;
+      case Op::JUMPF:
+        es.push_back({target, {}});
+        es.push_back({fall, {}});
+        if (cond >= 0) {
+            es[0].acts.push_back(narrowAct(cond, kFalsyMask));
+            es[1].acts.push_back(narrowAct(cond, kTruthyMask));
+        }
+        break;
+      case Op::JUMPT:
+        es.push_back({target, {}});
+        es.push_back({fall, {}});
+        if (cond >= 0) {
+            es[0].acts.push_back(narrowAct(cond, kTruthyMask));
+            es[1].acts.push_back(narrowAct(cond, kFalsyMask));
+        }
+        break;
+      case Op::RETURN:
+        break;
+      default:
+        es.push_back({fall, {}});
+        break;
+    }
+    return es;
+}
+
+void
+JsInfer::analyze(size_t protoIdx, ProtoFacts *facts)
+{
+    p_ = protoIdx;
+    bail_ = false;
+    const auto &pr = proto();
+    const size_t n = pr.code.size();
+    if (facts) {
+        facts->reachable.assign(n, 0);
+        facts->regs.assign(n, {});
+        facts->stack.assign(n, {});
+        facts->bailed = false;
+    }
+    if (n == 0)
+        return;
+
+    Bc bc = buildBc(n,
+                    [this](size_t pc, const std::vector<char> *leaders) {
+                        return edgesOf(pc, leaders);
+                    });
+
+    State entry;
+    entry.seen = true;
+    entry.regs.assign(pr.nlocals, AVal::of(kTopJs));
+    for (unsigned i = 0; i < pr.nparams && i < pr.nlocals; ++i)
+        entry.regs[i] = s_.params[p_][i];
+    entry.globals.resize(m_.globalNames.size());
+    for (size_t g = 0; g < entry.globals.size(); ++g)
+        entry.globals[g] = p_ == 0 ? s_.mainEntry(g) : s_.fallback(g);
+
+    const auto transfer = [this, &bc](size_t b, const State &in) {
+        State st = in;
+        if (!st.seen)
+            return st;
+        const Block &blk = bc.cfg.blocks[b];
+        if (blk.count == 0) {
+            for (const Action &act : bc.acts[b])
+                applyAction(st, act);
+            return st;
+        }
+        for (size_t pc = blk.first; pc < blk.first + blk.count; ++pc)
+            applyInstr(st, pc);
+        return st;
+    };
+    const std::vector<State> in =
+        analysis::solveForward(bc.cfg, entry, transfer);
+
+    if (!facts)
+        return;
+    bool bailed = bail_;
+    for (const State &st : in)
+        bailed |= st.stackBail;
+    facts->bailed = bailed;
+    if (bailed)
+        return; // no usable facts for this proto
+    for (size_t b = 0; b < bc.cfg.blocks.size(); ++b) {
+        const Block &blk = bc.cfg.blocks[b];
+        if (blk.count == 0 || !in[b].seen)
+            continue;
+        State st = in[b];
+        for (size_t pc = blk.first; pc < blk.first + blk.count; ++pc) {
+            facts->reachable[pc] = 1;
+            facts->regs[pc] = st.regs;
+            facts->stack[pc] = st.stack;
+            applyInstr(st, pc);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Interprocedural driver
+// ---------------------------------------------------------------------
+
+constexpr int kMaxIterations = 100;
+
+template <typename InferT, typename ModuleT>
+ModuleFacts
+runFixpoint(const ModuleT &m, uint8_t top)
+{
+    std::vector<unsigned> nparams;
+    nparams.reserve(m.protos.size());
+    for (const auto &p : m.protos)
+        nparams.push_back(p.nparams);
+    Summaries s = initSummaries(m.protos.size(), nparams,
+                                m.globalNames.size(), m.functionGlobals,
+                                top);
+
+    ModuleFacts out;
+    out.protos.resize(m.protos.size());
+    for (int iter = 0;; ++iter) {
+        const Summaries before = s;
+        for (size_t p = 0; p < m.protos.size(); ++p)
+            InferT(m, s).analyze(p, nullptr);
+        if (s.calleesUnknown)
+            poisonParams(s);
+        if (s == before)
+            break;
+        if (iter >= kMaxIterations) {
+            widenAll(s);
+            out.converged = false;
+            break;
+        }
+    }
+    for (size_t p = 0; p < m.protos.size(); ++p)
+        InferT(m, s).analyze(p, &out.protos[p]);
+    out.globals.resize(m.globalNames.size());
+    for (size_t g = 0; g < out.globals.size(); ++g)
+        out.globals[g] = s.fallback(g);
+    return out;
+}
+
+} // namespace
+
+std::string
+describe(const AVal &v, uint8_t top)
+{
+    if (v.bits == 0)
+        return "none";
+    if (v.bits == top)
+        return "any";
+    if (v.bits == kFun && v.funProto >= 0)
+        return "fun#" + std::to_string(v.funProto);
+    static constexpr std::pair<uint8_t, const char *> kNames[] = {
+        {kNil, "nil"},  {kBool, "bool"}, {kInt, "int"},
+        {kFlt, "flt"},  {kStr, "str"},   {kTab, "tab"},
+        {kFun, "fun"},  {kUndef, "undef"},
+    };
+    std::string out;
+    unsigned count = 0;
+    for (const auto &[bit, name] : kNames) {
+        if (!(v.bits & bit))
+            continue;
+        if (count++)
+            out += '|';
+        out += name;
+    }
+    return count > 1 ? "{" + out + "}" : out;
+}
+
+ModuleFacts
+inferLua(const vm::lua::Module &m)
+{
+    return runFixpoint<LuaInfer>(m, kTopLua);
+}
+
+ModuleFacts
+inferJs(const vm::js::Module &m)
+{
+    return runFixpoint<JsInfer>(m, kTopJs);
+}
+
+} // namespace tarch::analysis::typeinf

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Flow-sensitive, occurrence-style type inference over MiniScript
+ * bytecode (the software-typed comparison axis; docs/ANALYSIS.md).
+ *
+ * The lattice is a bitset over the dynamic tags both engines share:
+ *
+ *   bottom (no value reaches here)
+ *     < {nil/null, bool, int, flt, str, tab/obj, fun, undef}
+ *     < top (any tag; `undef` exists only for MiniJS)
+ *
+ * Join is bitwise OR.  Facts are computed per proto with the PR-3
+ * forward worklist solver (analysis/dataflow.h) over a CFG built from
+ * the bytecode rather than from machine code: basic blocks of
+ * bytecode instructions plus synthetic zero-length edge blocks that
+ * carry the branch-condition narrowing actions (Typed Scheme style
+ * occurrence typing: the truthy edge of `if x` removes nil from x's
+ * type, the falsy edge keeps only {nil, bool} for MiniLua).
+ *
+ * Calls are resolved through an optimistic interprocedural fixpoint:
+ * per-proto parameter and return summaries plus a per-global store
+ * summary all start at bottom and grow monotonically until the whole
+ * module converges (callees are bound through the compiler's
+ * function-global table; a call through a value that is not a single
+ * known function poisons every parameter summary).
+ *
+ * The exported facts are the IN state of every reachable bytecode
+ * instruction; analysis/elide.{h,cc} consumes them to rewrite provably
+ * monomorphic sites to guard-free opcodes and to machine-check that
+ * every rewritten site is dominated by a monomorphic fact.
+ */
+
+#ifndef TARCH_ANALYSIS_TYPEINF_H
+#define TARCH_ANALYSIS_TYPEINF_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vm/js/compiler.h"
+#include "vm/lua/compiler.h"
+
+namespace tarch::analysis::typeinf {
+
+// Lattice element bits.  kNil doubles as JS null; kTab as JS object.
+enum TypeBits : uint8_t {
+    kNil = 1u << 0,
+    kBool = 1u << 1,
+    kInt = 1u << 2,
+    kFlt = 1u << 3,
+    kStr = 1u << 4,
+    kTab = 1u << 5,
+    kFun = 1u << 6,
+    kUndef = 1u << 7, ///< MiniJS only
+};
+
+constexpr uint8_t kTopLua = 0x7F;
+constexpr uint8_t kTopJs = 0xFF;
+constexpr uint8_t kNumeric = kInt | kFlt;
+
+/** bits ⊆ mask (bottom is a subset of everything). */
+constexpr bool
+subsetOf(uint8_t bits, uint8_t mask)
+{
+    return (bits & static_cast<uint8_t>(~mask)) == 0;
+}
+
+/**
+ * One abstract value.  funProto identifies the callee when the value
+ * is exactly one statically-known function (-1 otherwise); it is only
+ * meaningful while bits == kFun.
+ */
+struct AVal {
+    uint8_t bits = 0;
+    int16_t funProto = -1;
+
+    static AVal of(uint8_t bits) { return AVal{bits, -1}; }
+    static AVal fun(int16_t proto) { return AVal{kFun, proto}; }
+
+    bool isBottom() const { return bits == 0; }
+
+    /** Lattice join; returns whether *this changed. */
+    bool joinWith(const AVal &o)
+    {
+        const uint8_t nb = bits | o.bits;
+        int16_t nf = -1;
+        if (nb == kFun) {
+            if (bits == 0)
+                nf = o.funProto;
+            else if (o.bits == 0)
+                nf = funProto;
+            else
+                nf = funProto == o.funProto ? funProto : -1;
+        }
+        const bool changed = nb != bits || nf != funProto;
+        bits = nb;
+        funProto = nf;
+        return changed;
+    }
+
+    /** Intersect with a tag mask (occurrence narrowing). */
+    void narrow(uint8_t mask)
+    {
+        bits &= mask;
+        if (bits != kFun)
+            funProto = -1;
+    }
+};
+
+inline bool
+operator==(const AVal &a, const AVal &b)
+{
+    return a.bits == b.bits && a.funProto == b.funProto;
+}
+
+inline bool
+operator!=(const AVal &a, const AVal &b)
+{
+    return !(a == b);
+}
+
+/** "int", "{int|flt}", "any", "none", "fun#2", ... against @p top. */
+std::string describe(const AVal &v, uint8_t top);
+
+/** Inferred IN facts for every instruction of one proto. */
+struct ProtoFacts {
+    /** Instruction is reachable from the proto entry. */
+    std::vector<uint8_t> reachable;
+    /** Per pc: MiniLua register / MiniJS local slot facts. */
+    std::vector<std::vector<AVal>> regs;
+    /** Per pc: MiniJS operand-stack facts, bottom of stack first. */
+    std::vector<std::vector<AVal>> stack;
+    /**
+     * Inference gave up on this proto (operand-stack imbalance at a
+     * join; never produced by the compilers).  No facts are usable.
+     */
+    bool bailed = false;
+};
+
+struct ModuleFacts {
+    std::vector<ProtoFacts> protos; ///< indexed like Module::protos
+    /** Context-insensitive fallback fact per global slot. */
+    std::vector<AVal> globals;
+    /** False if the interprocedural fixpoint hit its iteration cap. */
+    bool converged = true;
+};
+
+ModuleFacts inferLua(const vm::lua::Module &m);
+ModuleFacts inferJs(const vm::js::Module &m);
+
+} // namespace tarch::analysis::typeinf
+
+#endif // TARCH_ANALYSIS_TYPEINF_H

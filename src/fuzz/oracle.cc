@@ -1,6 +1,7 @@
 #include "fuzz/oracle.h"
 
 #include "analysis/checks.h"
+#include "analysis/elide.h"
 #include "common/log.h"
 #include "common/strutil.h"
 #include "script/interp.h"
@@ -17,8 +18,10 @@ RunConfig::name() const
         "%s/%s/deopt=%s", engine == Engine::Lua ? "MiniLua" : "MiniJS",
         std::string(vm::variantName(variant)).c_str(),
         deopt ? "on" : "off");
-    // Exact runs keep the historical 3-part name; only the fast-path
-    // twin is annotated.
+    // Exact elide-off runs keep the historical 3-part name; only the
+    // extra axes are annotated.
+    if (elide)
+        name += "/elide=on";
     if (execMode == core::ExecMode::Predecoded)
         name += "/mode=predecoded";
     return name;
@@ -30,17 +33,22 @@ allRunConfigs(bool exec_mode_axis)
     std::vector<RunConfig> configs;
     for (const RunConfig::Engine engine :
          {RunConfig::Engine::Lua, RunConfig::Engine::Js}) {
-        for (const vm::Variant variant :
-             {vm::Variant::Baseline, vm::Variant::Typed,
-              vm::Variant::CheckedLoad}) {
-            for (const bool deopt : {false, true}) {
-                configs.push_back(
-                    {engine, variant, deopt, core::ExecMode::Exact});
-                // The predecoded twin runs right after its exact
-                // sibling; runOracle relies on the adjacency.
-                if (exec_mode_axis)
+        // elide is the outer axis so each block keeps its own
+        // baseline/deopt-off run adjacent for the cross-run checks.
+        for (const bool elide : {false, true}) {
+            for (const vm::Variant variant :
+                 {vm::Variant::Baseline, vm::Variant::Typed,
+                  vm::Variant::CheckedLoad}) {
+                for (const bool deopt : {false, true}) {
                     configs.push_back({engine, variant, deopt,
-                                       core::ExecMode::Predecoded});
+                                       core::ExecMode::Exact, elide});
+                    // The predecoded twin runs right after its exact
+                    // sibling; runOracle relies on the adjacency.
+                    if (exec_mode_axis)
+                        configs.push_back({engine, variant, deopt,
+                                           core::ExecMode::Predecoded,
+                                           elide});
+                }
             }
         }
     }
@@ -177,6 +185,19 @@ statsViolations(const core::CoreStats &s, const RunConfig &c,
 
 namespace {
 
+/** Soundness-check the elided bytecode of an already-built VM. */
+template <typename Vm>
+analysis::Report
+lintElision(const Vm &vm)
+{
+    analysis::Report report;
+    if constexpr (std::is_same_v<Vm, vm::lua::LuaVm>)
+        analysis::elide::verifyLua(vm.module(), report);
+    else
+        analysis::elide::verifyJs(vm.module(), report);
+    return report;
+}
+
 template <typename Vm>
 RunRecord
 runVm(const std::string &source, const RunConfig &config,
@@ -187,6 +208,7 @@ runVm(const std::string &source, const RunConfig &config,
     try {
         typename Vm::Options vm_opts;
         vm_opts.variant = config.variant;
+        vm_opts.elide = config.elide;
         vm_opts.coreConfig.deopt.enabled = config.deopt;
         vm_opts.coreConfig.deopt.probeInterval = opts.probeInterval;
         vm_opts.coreConfig.maxInstructions = opts.maxInstructions;
@@ -194,12 +216,18 @@ runVm(const std::string &source, const RunConfig &config,
         Vm vm(source, vm_opts);
         // Lint the assembled image before simulating it: a protocol
         // violation on a cold path is a bug even if this input never
-        // executes it.
+        // executes it.  Elided runs also re-prove every rewritten
+        // bytecode site monomorphic.
         if (opts.verifyImages) {
             const analysis::Report lint =
                 analysis::verifyImage(vm.program());
             if (lint.hasErrors())
                 rec.lintReport = lint.render();
+            if (config.elide) {
+                const analysis::Report mono = lintElision(vm);
+                if (mono.hasErrors())
+                    rec.lintReport += mono.render();
+            }
         }
         vm.run();
         rec.output = vm.core().output();
@@ -228,6 +256,7 @@ runVmInstrumented(const std::string &source, const RunConfig &config,
     try {
         typename Vm::Options vm_opts;
         vm_opts.variant = config.variant;
+        vm_opts.elide = config.elide;
         vm_opts.coreConfig.deopt.enabled = config.deopt;
         vm_opts.coreConfig.deopt.probeInterval = opts.probeInterval;
         vm_opts.coreConfig.maxInstructions = opts.maxInstructions;
@@ -238,6 +267,11 @@ runVmInstrumented(const std::string &source, const RunConfig &config,
                 analysis::verifyImage(vm.program());
             if (lint.hasErrors())
                 rec.lintReport = lint.render();
+            if (config.elide) {
+                const analysis::Report mono = lintElision(vm);
+                if (mono.hasErrors())
+                    rec.lintReport += mono.render();
+            }
         }
         obs::Session session(vm.core(), obs_cfg);
         try {
@@ -288,11 +322,13 @@ runOracle(const std::string &source, const OracleOptions &opts)
         return result;
     }
 
-    // Baseline/deopt-off stats per engine, for the cross-run checks
-    // (kept by value: runs.push_back may reallocate).
-    core::CoreStats baselineStats[2];
-    bool haveBaseline[2] = {false, false};
-    result.runs.reserve(opts.execModeAxis ? 24 : 12);
+    // Baseline/deopt-off stats per engine x elide setting, for the
+    // cross-run checks (kept by value: runs.push_back may reallocate).
+    // Elided bytecode legitimately retires fewer instructions and may
+    // shift hostcall mixes, so each elide block compares within itself.
+    core::CoreStats baselineStats[4];
+    bool haveBaseline[4] = {false, false, false, false};
+    result.runs.reserve(opts.execModeAxis ? 48 : 24);
     size_t exactTwinIdx = 0; ///< index of the preceding exact run
 
     for (RunConfig config : allRunConfigs(opts.execModeAxis)) {
@@ -353,18 +389,19 @@ runOracle(const std::string &source, const OracleOptions &opts)
                                           r.output});
         }
 
-        const size_t engine_idx =
-            config.engine == RunConfig::Engine::Lua ? 0 : 1;
+        const size_t group_idx =
+            (config.engine == RunConfig::Engine::Lua ? 0 : 2) +
+            (config.elide ? 1 : 0);
         if (config.variant == vm::Variant::Baseline && !config.deopt) {
-            baselineStats[engine_idx] = r.stats;
-            haveBaseline[engine_idx] = true;
+            baselineStats[group_idx] = r.stats;
+            haveBaseline[group_idx] = true;
         }
 
         if (opts.checkStats) {
             for (const std::string &violation :
                  statsViolations(r.stats, config,
-                                 haveBaseline[engine_idx]
-                                     ? &baselineStats[engine_idx]
+                                 haveBaseline[group_idx]
+                                     ? &baselineStats[group_idx]
                                      : nullptr,
                                  opts.probeInterval)) {
                 result.divergences.push_back(

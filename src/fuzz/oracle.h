@@ -2,7 +2,8 @@
  * @file
  * Differential oracle: runs one MiniScript program through the host
  * reference interpreter and through both guest VMs on all three ISA
- * variants x deopt on/off (12 simulated runs), comparing every output
+ * variants x deopt on/off x guard-elision on/off (24 simulated runs),
+ * comparing every output
  * against the reference semantics and checking machine-level stats
  * invariants that must hold for any program:
  *
@@ -24,9 +25,15 @@
  * static verifier (analysis/checks.h) before simulation; an
  * error-severity finding is a StaticVerify divergence.
  *
+ * Guard-elided combinations additionally run the elision soundness
+ * verifier (analysis/elide.h) over the rewritten bytecode; an
+ * error-severity finding is a StaticVerify divergence.  The stats
+ * cross-checks (hostcall invariance, the typed-vs-baseline retire
+ * bound) compare runs within the same elide setting.
+ *
  * With the exec-mode axis enabled (the default) every combination runs
  * twice — once on the exact per-cycle core and once on the predecoded
- * basic-block fast path (docs/FASTPATH.md), 24 simulated runs total —
+ * basic-block fast path (docs/FASTPATH.md), 48 simulated runs total —
  * and each predecoded run must match its exact twin bit-for-bit: same
  * output, same crash/error, and all 26 CoreStats counters identical.
  * Any difference is an ExecMode divergence.
@@ -50,7 +57,7 @@
 
 namespace tarch::fuzz {
 
-/** One engine/variant/deopt/exec-mode combination. */
+/** One engine/elide/variant/deopt/exec-mode combination. */
 struct RunConfig {
     enum class Engine : uint8_t { Lua, Js };
 
@@ -58,15 +65,19 @@ struct RunConfig {
     vm::Variant variant = vm::Variant::Baseline;
     bool deopt = false;
     core::ExecMode execMode = core::ExecMode::Exact;
+    /** Guard elision (analysis/elide.h) applied to the bytecode. */
+    bool elide = false;
 
     std::string name() const;
 };
 
 /**
- * The combination matrix, in a fixed deterministic order.  Without the
- * exec-mode axis: the 12 exact-core combinations.  With it: 24 — each
- * combination on the exact core immediately followed by its predecoded
- * twin (the adjacency is what runOracle's bit-identity check uses).
+ * The combination matrix, in a fixed deterministic order: per engine,
+ * the elide-off block then the elide-on block, each covering variant x
+ * deopt.  Without the exec-mode axis: the 24 exact-core combinations.
+ * With it: 48 — each combination on the exact core immediately
+ * followed by its predecoded twin (the adjacency is what runOracle's
+ * bit-identity check uses).
  */
 std::vector<RunConfig> allRunConfigs(bool exec_mode_axis = false);
 
@@ -112,8 +123,8 @@ struct OracleOptions {
     /**
      * Also run every combination on the predecoded fast-path core and
      * require bit-identical results (output, crash state, and all 26
-     * CoreStats counters) against the exact twin — 24 runs instead of
-     * 12.  Divergences surface as Kind::ExecMode.
+     * CoreStats counters) against the exact twin — 48 runs instead of
+     * 24.  Divergences surface as Kind::ExecMode.
      */
     bool execModeAxis = true;
     /** Core engine for the matrix when the axis is OFF (single-mode
@@ -140,8 +151,8 @@ struct OracleResult {
     bool diverges() const { return referenceOk && !divergences.empty(); }
 };
 
-/** Run the full differential matrix over @p source (24 runs with the
-    default exec-mode axis, 12 without). */
+/** Run the full differential matrix over @p source (48 runs with the
+    default exec-mode axis, 24 without). */
 OracleResult runOracle(const std::string &source,
                        const OracleOptions &opts = {});
 

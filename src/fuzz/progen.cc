@@ -612,6 +612,45 @@ struct ProgramGen::Impl {
         }
     }
 
+    /**
+     * Type-polymorphic variable reuse: the SAME local holds a number,
+     * is read numerically, and is then rebound to a string and read as
+     * one.  At the bytecode level the later reads flow through a
+     * register a numeric write trained, so the type-inference pass
+     * (analysis/typeinf.h) must strong-update the register's kind at
+     * the rebind — and the elision verifier must refuse to specialize
+     * any site the stale numeric fact would have covered.
+     */
+    void
+    stmtPolyReuse()
+    {
+        if (!opts.polyReuse || !opts.strings) {
+            stmtLocalNum();
+            return;
+        }
+        const NumExpr e = numExpr(1);
+        // "q" is reserved for this statement (functions name their
+        // params "p<i>"; a collision would shadow a numeric param with
+        // a string and invalidate the generator's type model).
+        const std::string name = fresh("q");
+        line("local " + name + " = " + e.text);
+        const std::string use =
+            strformat("%s + %d", name.c_str(), rng.below(50));
+        if (inFunction) // function bodies are print-free (see stmtPrint)
+            line("local " + fresh("q") + " = " + use);
+        else
+            line("print(" + use + ")");
+        const StrExpr s = strExpr(1);
+        line(name + " = " + s.text);
+        if (inFunction)
+            line("local " + fresh("q") + " = #" + name);
+        else
+            line("print(#" + name + ")");
+        // From here on the local is a string; only string expressions
+        // may read it.
+        strVars.push_back({name, s.len});
+    }
+
     void
     stmtTableSet(const std::string *loopVar)
     {
@@ -979,6 +1018,8 @@ struct ProgramGen::Impl {
                 stmtAccumulate();
             } else if (roll < 38) {
                 stmtUnstable();
+            } else if (roll < 41 && opts.strings) {
+                stmtPolyReuse();
             } else if (roll < 44) {
                 stmtAssignNum();
             } else if (roll < 52 && opts.tables) {

@@ -74,6 +74,10 @@ struct ProgenOptions {
     bool strings = true;       ///< concat, compare, substr, strchar, #s
     bool typeUnstable = true;  ///< int/float-flipping sites (TRT misses)
     bool int32Overflow = true; ///< >2^31 literals (MiniJS slow path)
+    /** Rebind the same local from a number to a string mid-block: the
+        register-kind change the type-inference lattice must model as a
+        strong update (and refuse to elide across). */
+    bool polyReuse = true;
 };
 
 class ProgramGen

@@ -13,7 +13,9 @@ constexpr std::string_view kNames[kNumOps] = {
     "DIV",      "IDIV",     "MOD",       "NEG",       "NOT",
     "LEN",      "CONCAT",   "EQ",        "NE",        "LT",
     "LE",       "JUMP",     "JUMPF",     "JUMPT",     "CALL",
-    "RETURN",   "BUILTIN",  "NOP",
+    "RETURN",   "BUILTIN",  "NOP",       "ADD_II",    "SUB_II",
+    "MUL_II",   "ADD_DD",   "SUB_DD",    "MUL_DD",    "GETELEM_E",
+    "SETELEM_E",
 };
 
 } // namespace

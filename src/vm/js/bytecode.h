@@ -63,6 +63,21 @@ enum class Op : uint8_t {
     BUILTIN,     ///< imm[7:0] = builtin id, imm[15:8] = argc
     NOP,
 
+    // Guard-elided forms, rewritten in by analysis/elide.{h,cc} at
+    // sites the type-inference pass proved monomorphic
+    // (docs/ANALYSIS.md).  Handler bodies carry no tag
+    // extract/compare/branch in any ISA variant.  The *_II forms keep
+    // the int32 overflow check (value-range semantics, not a type
+    // guard); the *_E element forms keep the array-bounds check.
+    ADD_II,      ///< both operands proven Int
+    SUB_II,
+    MUL_II,
+    ADD_DD,      ///< both operands proven unboxed double
+    SUB_DD,
+    MUL_DD,
+    GETELEM_E,   ///< GETELEM with obj:Obj and key:Int proven
+    SETELEM_E,   ///< SETELEM with obj:Obj and key:Int proven
+
     NumOps,
 };
 

@@ -30,6 +30,7 @@ class Gen
         compareHandlers();
         jumpHandlers();
         elemHandlers();
+        elidedHandlers();
         callReturnHandlers();
         builtinHandler();
         errorsAndExit();
@@ -37,6 +38,7 @@ class Gen
         InterpResult result;
         result.asmText = e_.take();
         result.markers = std::move(markers_);
+        result.guardLabels = std::move(guards_);
         return result;
     }
 
@@ -54,6 +56,15 @@ class Gen
     {
         e_.l(sym);
         markers_.emplace_back(sym, name);
+    }
+
+    /** Label the next instruction as a fast-path type guard. */
+    void
+    guard()
+    {
+        const std::string sym = e_.fresh("grd");
+        e_.l(sym);
+        guards_.push_back(sym);
     }
 
     void jDispatch() { e_.o("j dispatch"); }
@@ -347,8 +358,10 @@ class Gen
             e_.o("ld a2, -8(s3)");   // b (St[-2])
             e_.o("ld a3, 0(s3)");    // c (St[-1])
             e_.o("srli a4, a2, 48");
+            guard();
             e_.o("bne a4, s11, %s", flt.c_str());
             e_.o("srli a5, a3, 48");
+            guard();
             e_.o("bne a5, s11, %s", slow.c_str());
             e_.o("sext.w a6, a2");
             e_.o("sext.w a7, a3");
@@ -361,8 +374,10 @@ class Gen
             jDispatch();
             subMarker(flt, "op:" + std::string(opName(op)) + ":flt");
             e_.o("srli a4, a2, 51");
+            guard();
             e_.o("beq a4, s8, %s", slow.c_str());  // boxed non-int
             e_.o("srli a5, a3, 51");
+            guard();
             e_.o("beq a5, s8, %s", slow.c_str());
             e_.o("fmv.d.x f2, a2");
             e_.o("fmv.d.x f5, a3");
@@ -379,6 +394,8 @@ class Gen
             e_.o("thdl %s", slow.c_str());
             e_.o("tld a2, -8(s3)");
             e_.o("tld a3, 0(s3)");
+            // The x-op checks both operand tags against the TRT.
+            guard();
             e_.o("x%s a2, a2, a3", iop);
             e_.o("tsd a2, -8(s3)");
             e_.o("addi s3, s3, -8");
@@ -386,7 +403,9 @@ class Gen
             break;
           case Variant::CheckedLoad:
             e_.o("thdl %s", slow.c_str());
+            guard();
             e_.o("chkld a2, -8(s3)");  // load St[-2], check Int in flight
+            guard();
             e_.o("chkld a3, 0(s3)");   // load St[-1], check Int in flight
             e_.o("sext.w a6, a2");
             e_.o("sext.w a7, a3");
@@ -750,8 +769,10 @@ class Gen
             e_.o("ld a3, 0(s3)");   // key
             e_.o("srli a4, a2, 48");
             e_.o("addi t6, s11, %u", (kTagObj - kTagInt) / 2);
+            guard();
             e_.o("bne a4, t6, err_index");
             e_.o("srli a5, a3, 48");
+            guard();
             e_.o("bne a5, s11, slow_getelem");
             e_.o("and a2, a2, s10");
             e_.o("sext.w a3, a3");
@@ -769,6 +790,7 @@ class Gen
             e_.o("thdl slow_getelem");
             e_.o("tld a2, -8(s3)");
             e_.o("tld a3, 0(s3)");
+            guard();
             e_.o("tchk a2, a3");
             e_.o("ld a6, %u(a2)", kArrCap);
             e_.o("bgeu a3, a6, slow_getelem");
@@ -784,8 +806,10 @@ class Gen
             e_.o("thdl slow_getelem");
             e_.o("addi t6, s11, %u", (kTagObj - kTagInt) / 2);
             e_.o("settype t6");
+            guard();
             e_.o("chkld a2, -8(s3)");
             e_.o("settype s11");
+            guard();
             e_.o("chkld a3, 0(s3)");
             e_.o("and a2, a2, s10");
             e_.o("sext.w a3, a3");
@@ -819,8 +843,10 @@ class Gen
             e_.o("ld a3, -8(s3)");
             e_.o("srli a4, a2, 48");
             e_.o("addi t6, s11, %u", (kTagObj - kTagInt) / 2);
+            guard();
             e_.o("bne a4, t6, err_index");
             e_.o("srli a5, a3, 48");
+            guard();
             e_.o("bne a5, s11, slow_setelem");
             e_.o("and a2, a2, s10");
             e_.o("sext.w a3, a3");
@@ -842,6 +868,7 @@ class Gen
             e_.o("thdl slow_setelem");
             e_.o("tld a2, -16(s3)");
             e_.o("tld a3, -8(s3)");
+            guard();
             e_.o("tchk a2, a3");
             e_.o("ld a6, %u(a2)", kArrCap);
             e_.o("bgeu a3, a6, slow_setelem");
@@ -861,8 +888,10 @@ class Gen
             e_.o("thdl slow_setelem");
             e_.o("addi t6, s11, %u", (kTagObj - kTagInt) / 2);
             e_.o("settype t6");
+            guard();
             e_.o("chkld a2, -16(s3)");
             e_.o("settype s11");
+            guard();
             e_.o("chkld a3, -8(s3)");
             e_.o("and a2, a2, s10");
             e_.o("sext.w a3, a3");
@@ -886,6 +915,116 @@ class Gen
         e_.o("srli a4, a2, 48");
         e_.o("addi t6, s11, %u", (kTagObj - kTagInt) / 2);
         e_.o("bne a4, t6, err_index");
+        e_.o("mv a0, s3");
+        e_.o("hcall %u", kHcElemSetSlow);
+        e_.o("addi s3, s3, -24");
+        jDispatch();
+    }
+
+    // ------------------------------------------------------------------
+    // Guard-elided handlers.  These back the *_II/*_DD/*_E opcodes that
+    // analysis/elide.cc rewrites in at provably monomorphic sites, and
+    // are identical across all three ISA variants: no NaN-box tag
+    // probes, no tchk, no chkld.  The *_II forms keep the int32
+    // overflow check (value-range semantics, not a type guard) and the
+    // *_E element forms keep the array-bounds check; their slow paths
+    // skip the object-tag recheck -- the type is statically proven.
+
+    void
+    elidedHandlers()
+    {
+        elidedArith(Op::ADD_II, "add", /*isFloat=*/false);
+        elidedArith(Op::SUB_II, "sub", /*isFloat=*/false);
+        elidedArith(Op::MUL_II, "mul", /*isFloat=*/false);
+        elidedArith(Op::ADD_DD, "fadd.d", /*isFloat=*/true);
+        elidedArith(Op::SUB_DD, "fsub.d", /*isFloat=*/true);
+        elidedArith(Op::MUL_DD, "fmul.d", /*isFloat=*/true);
+        elidedGetelem();
+        elidedSetelem();
+    }
+
+    void
+    elidedArith(Op op, const char *insn, bool isFloat)
+    {
+        handler(op);
+        e_.o("ld a2, -8(s3)");
+        e_.o("ld a3, 0(s3)");
+        if (isFloat) {
+            e_.o("fmv.d.x f2, a2");
+            e_.o("fmv.d.x f5, a3");
+            e_.o("%s f5, f2, f5", insn);
+            e_.o("fmv.x.d a6, f5");
+        } else {
+            const std::string ovf = e_.fresh("eli_ovf");
+            e_.o("sext.w a6, a2");
+            e_.o("sext.w a7, a3");
+            e_.o("%s a6, a6, a7", insn);
+            e_.o("sext.w a5, a6");
+            e_.o("bne a5, a6, %s", ovf.c_str());  // int32 overflow
+            reboxInt("a6");
+            e_.o("sd a6, -8(s3)");
+            e_.o("addi s3, s3, -8");
+            jDispatch();
+            e_.l(ovf);
+            // Promote to double, exactly as the software slow path
+            // would (the 64-bit int result of an int32 op is exact).
+            e_.o("fcvt.d.l f5, a6");
+            e_.o("fmv.x.d a6, f5");
+        }
+        e_.o("sd a6, -8(s3)");
+        e_.o("addi s3, s3, -8");
+        jDispatch();
+    }
+
+    void
+    elidedGetelem()
+    {
+        handler(Op::GETELEM_E);
+        e_.o("ld a2, -8(s3)");  // obj (tag proven Obj)
+        e_.o("ld a3, 0(s3)");   // key (proven Int)
+        e_.o("and a2, a2, s10");
+        e_.o("sext.w a3, a3");
+        e_.o("ld a6, %u(a2)", kArrCap);
+        e_.o("bgeu a3, a6, slow_getelem_e");
+        e_.o("ld a7, %u(a2)", kArrElemsPtr);
+        e_.o("slli a3, a3, 3");
+        e_.o("add a7, a7, a3");
+        e_.o("ld a6, 0(a7)");
+        e_.o("sd a6, -8(s3)");
+        e_.o("addi s3, s3, -8");
+        jDispatch();
+
+        subMarker("slow_getelem_e", "slow:GETELEM_E");
+        e_.o("mv a0, s3");
+        e_.o("hcall %u", kHcElemGetSlow);
+        e_.o("addi s3, s3, -8");
+        jDispatch();
+    }
+
+    void
+    elidedSetelem()
+    {
+        handler(Op::SETELEM_E);
+        const std::string lsk = e_.fresh("see_len");
+        e_.o("ld a2, -16(s3)");  // obj (tag proven Obj)
+        e_.o("ld a3, -8(s3)");   // key (proven Int)
+        e_.o("and a2, a2, s10");
+        e_.o("sext.w a3, a3");
+        e_.o("ld a6, %u(a2)", kArrCap);
+        e_.o("bgeu a3, a6, slow_setelem_e");
+        e_.o("ld a7, %u(a2)", kArrElemsPtr);
+        e_.o("slli t6, a3, 3");
+        e_.o("add a7, a7, t6");
+        e_.o("ld t4, 0(s3)");
+        e_.o("sd t4, 0(a7)");
+        e_.o("ld a6, %u(a2)", kArrLen);
+        e_.o("bge a6, a3, %s", lsk.c_str());
+        e_.o("sd a3, %u(a2)", kArrLen);
+        e_.l(lsk);
+        e_.o("addi s3, s3, -24");
+        jDispatch();
+
+        subMarker("slow_setelem_e", "slow:SETELEM_E");
         e_.o("mv a0, s3");
         e_.o("hcall %u", kHcElemSetSlow);
         e_.o("addi s3, s3, -24");
@@ -1028,6 +1167,7 @@ class Gen
     unsigned mainNLocals_;
     AsmEmitter e_;
     std::vector<std::pair<std::string, std::string>> markers_;
+    std::vector<std::string> guards_;
 };
 
 } // namespace

@@ -54,6 +54,8 @@ enum ErrCode : unsigned {
 struct InterpResult {
     std::string asmText;
     std::vector<std::pair<std::string, std::string>> markers;
+    /** Fast-path type-guard labels; see vm/lua/interp_gen.h. */
+    std::vector<std::string> guardLabels;
 };
 
 /**

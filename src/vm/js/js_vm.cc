@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "analysis/elide.h"
 #include "assembler/assembler.h"
 #include "common/bitops.h"
 #include "common/log.h"
@@ -96,6 +97,8 @@ JsVm::JsVm(const std::string &source, const Options &opts)
     : opts_(opts)
 {
     module_ = compile(script::parse(source));
+    if (opts_.elide)
+        analysis::elide::rewriteJs(module_);
     registerHostcalls();
 
     core::CoreConfig cfg = opts_.coreConfig;
@@ -134,6 +137,8 @@ JsVm::buildImage()
 
     for (const auto &[symbol, marker] : interp.markers)
         core_->markers().add(program.symbol(symbol), marker);
+    for (const std::string &symbol : interp.guardLabels)
+        guardPcs_.push_back(program.symbol(symbol));
     core_->loadProgram(program);
 
     mem::MainMemory &memory = core_->memory();

@@ -11,6 +11,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "assembler/assembler.h"
 #include "core/core.h"
@@ -28,6 +29,9 @@ class JsVm
         Variant variant = Variant::Baseline;
         core::CoreConfig coreConfig;  ///< overflow/heap fields overridden
         GuestLayout layout;
+        /** Run type inference and rewrite provably monomorphic sites
+         *  to the guard-free opcodes (analysis/elide.h). */
+        bool elide = false;
     };
 
     explicit JsVm(const std::string &source);
@@ -45,6 +49,9 @@ class JsVm
     /** Dynamic bytecode counts by mnemonic (handler-entry markers). */
     std::map<std::string, uint64_t> bytecodeProfile() const;
     uint64_t dynamicBytecodes() const;
+
+    /** PCs of the fast-path type guards; see vm/lua/lua_vm.h. */
+    const std::vector<uint64_t> &guardPcs() const { return guardPcs_; }
 
   private:
     void buildImage();
@@ -64,6 +71,7 @@ class JsVm
     Options opts_;
     Module module_;
     assembler::Program program_;
+    std::vector<uint64_t> guardPcs_;
     core::HostcallRegistry hostcalls_;
     std::unique_ptr<core::Core> core_;
     Interner interner_;

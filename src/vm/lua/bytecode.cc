@@ -13,7 +13,8 @@ constexpr std::string_view kNames[kNumOps] = {
     "UNM",      "NOT",      "LEN",     "CONCAT",   "EQ",
     "NE",       "LT",       "LE",      "JMP",      "JMPF",
     "JMPT",     "CALL",     "RETURN",  "FORPREP",  "FORLOOP",
-    "BUILTIN",  "NOP",
+    "BUILTIN",  "NOP",      "ADD_II",  "SUB_II",   "MUL_II",
+    "ADD_FF",   "SUB_FF",   "MUL_FF",  "GETTAB_E", "SETTAB_E",
 };
 
 } // namespace

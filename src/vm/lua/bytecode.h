@@ -60,6 +60,20 @@ enum class Op : uint8_t {
     BUILTIN,    ///< R[A] = builtin B (args at R[A+1..A+C])
     NOP,
 
+    // Guard-elided forms, rewritten in by analysis/elide.{h,cc} at
+    // bytecode sites whose operand tags the type-inference pass proved
+    // monomorphic (docs/ANALYSIS.md).  Handler bodies carry no tag
+    // extract/compare/branch in any ISA variant; the *_E table forms
+    // keep the array-bounds check (a range property, not a type guard).
+    ADD_II,     ///< R[A] = RK(B) + RK(C), both proven Int
+    SUB_II,
+    MUL_II,
+    ADD_FF,     ///< R[A] = RK(B) + RK(C), both proven Flt
+    SUB_FF,
+    MUL_FF,
+    GETTAB_E,   ///< GETTABLE with R[B]:Tab and RK(C):Int proven
+    SETTAB_E,   ///< SETTABLE with R[A]:Tab and RK(B):Int proven
+
     NumOps,
 };
 

@@ -32,6 +32,7 @@ class Gen
         compareHandlers();
         jumpHandlers();
         tableHandlers();
+        elidedHandlers();
         callReturnHandlers();
         forHandlers();
         builtinHandler();
@@ -40,6 +41,7 @@ class Gen
         InterpResult result;
         result.asmText = e_.take();
         result.markers = std::move(markers_);
+        result.guardLabels = std::move(guards_);
         return result;
     }
 
@@ -61,6 +63,15 @@ class Gen
     {
         e_.l(sym);
         markers_.emplace_back(sym, name);
+    }
+
+    /** Label the next emitted instruction as a dynamic type guard. */
+    void
+    guard()
+    {
+        const std::string sym = e_.fresh("grd");
+        e_.l(sym);
+        guards_.push_back(sym);
     }
 
     /** t2 = &R[A] */
@@ -321,8 +332,10 @@ class Gen
             const std::string flt = "op_" + lower + "_flt";
             e_.o("lbu a2, 8(t3)");
             e_.o("li  a4, 0x13");
+            guard();
             e_.o("bne a2, a4, %s", flt.c_str());
             e_.o("lbu a5, 8(t5)");
+            guard();
             e_.o("bne a5, a4, %s", slow.c_str());
             e_.o("ld a2, 0(t3)");
             e_.o("ld a5, 0(t5)");
@@ -332,8 +345,10 @@ class Gen
             jDispatch();
             subMarker(flt, "op:" + std::string(opName(op)) + ":flt");
             e_.o("li  a4, 0x83");
+            guard();
             e_.o("bne a2, a4, %s", slow.c_str());
             e_.o("lbu a5, 8(t5)");
+            guard();
             e_.o("bne a5, a4, %s", slow.c_str());
             e_.o("fld f2, 0(t3)");
             e_.o("fld f5, 0(t5)");
@@ -348,6 +363,7 @@ class Gen
             e_.o("thdl %s", slow.c_str());
             e_.o("tld a2, 0(t3)");
             e_.o("tld a5, 0(t5)");
+            guard(); // the x-op checks both operand tags via the TRT
             e_.o("x%s a5, a2, a5", iop);
             e_.o("tsd a5, 0(t2)");
             jDispatch();
@@ -357,7 +373,9 @@ class Gen
             // Fast path fixed to Int at "compile time"; R_exptype
             // already holds Int (set once at launch).
             e_.o("thdl %s", slow.c_str());
+            guard();
             e_.o("chklb a2, 8(t3)");
+            guard();
             e_.o("chklb a5, 8(t5)");
             e_.o("ld a2, 0(t3)");
             e_.o("ld a5, 0(t5)");
@@ -754,9 +772,11 @@ class Gen
           case Variant::Baseline:
             e_.o("lbu a2, 8(t3)");
             e_.o("li  a4, 0x05");
+            guard();
             e_.o("bne a2, a4, err_index");
             e_.o("lbu a5, 8(t5)");
             e_.o("li  a4, 0x13");
+            guard();
             e_.o("bne a5, a4, slow_gettable");
             e_.o("ld a5, 0(t5)");
             e_.o("ld a6, 0(t3)");
@@ -773,6 +793,7 @@ class Gen
             e_.o("thdl slow_gettable");
             e_.o("tld a2, 0(t3)");
             e_.o("tld a5, 0(t5)");
+            guard();
             e_.o("tchk a2, a5");
             e_.o("ld a7, 8(a2)");
             e_.o("addi a3, a5, -1");
@@ -787,8 +808,10 @@ class Gen
           case Variant::CheckedLoad:
             e_.o("thdl slow_gettable");
             e_.o("settype s9");
+            guard();
             e_.o("chklb a2, 8(t3)");
             e_.o("settype s8");
+            guard();
             e_.o("chklb a5, 8(t5)");
             e_.o("ld a5, 0(t5)");
             e_.o("ld a6, 0(t3)");
@@ -827,9 +850,11 @@ class Gen
           case Variant::Baseline:
             e_.o("lbu a2, 8(t2)");
             e_.o("li  a4, 0x05");
+            guard();
             e_.o("bne a2, a4, err_index");
             e_.o("lbu a5, 8(t3)");
             e_.o("li  a4, 0x13");
+            guard();
             e_.o("bne a5, a4, slow_settable");
             e_.o("ld a5, 0(t3)");
             e_.o("ld a6, 0(t2)");
@@ -850,6 +875,7 @@ class Gen
             e_.o("thdl slow_settable");
             e_.o("tld a2, 0(t2)");
             e_.o("tld a5, 0(t3)");
+            guard();
             e_.o("tchk a2, a5");
             e_.o("ld a7, 8(a2)");
             e_.o("addi a3, a5, -1");
@@ -868,8 +894,10 @@ class Gen
           case Variant::CheckedLoad:
             e_.o("thdl slow_settable");
             e_.o("settype s9");
+            guard();
             e_.o("chklb a2, 8(t2)");
             e_.o("settype s8");
+            guard();
             e_.o("chklb a5, 8(t3)");
             e_.o("ld a5, 0(t3)");
             e_.o("ld a6, 0(t2)");
@@ -892,6 +920,109 @@ class Gen
         e_.o("lbu a2, 8(t2)");
         e_.o("li  a4, 0x05");
         e_.o("bne a2, a4, err_index");
+        e_.o("ld a0, 0(t2)");
+        e_.o("mv a1, t3");
+        e_.o("mv a2, t5");
+        e_.o("hcall %u", kHcTabSetSlow);
+        jDispatch();
+    }
+
+    // ------------------------------------------------------------------
+    // Guard-elided handlers.  These back the *_II/*_FF/*_E opcodes that
+    // analysis/elide.cc rewrites in at provably monomorphic sites, and
+    // are deliberately identical across all three ISA variants: no tag
+    // extract/compare/branch, no tchk, no chklb.  The *_E table forms
+    // keep the array-bounds check (a range property, not a type guard)
+    // and their own slow path skips the table-tag recheck -- the type
+    // is statically proven.
+
+    void
+    elidedHandlers()
+    {
+        elidedArith(Op::ADD_II, "add", /*isFloat=*/false);
+        elidedArith(Op::SUB_II, "sub", /*isFloat=*/false);
+        elidedArith(Op::MUL_II, "mul", /*isFloat=*/false);
+        elidedArith(Op::ADD_FF, "fadd.d", /*isFloat=*/true);
+        elidedArith(Op::SUB_FF, "fsub.d", /*isFloat=*/true);
+        elidedArith(Op::MUL_FF, "fmul.d", /*isFloat=*/true);
+        elidedGettable();
+        elidedSettable();
+    }
+
+    void
+    elidedArith(Op op, const char *insn, bool isFloat)
+    {
+        handler(op);
+        decodeA();
+        decodeBRk();
+        decodeCRk();
+        if (isFloat) {
+            e_.o("fld f2, 0(t3)");
+            e_.o("fld f5, 0(t5)");
+            e_.o("%s f5, f2, f5", insn);
+            e_.o("fsd f5, 0(t2)");
+            e_.o("li a4, 0x83");
+        } else {
+            e_.o("ld a2, 0(t3)");
+            e_.o("ld a5, 0(t5)");
+            e_.o("%s a5, a2, a5", insn);
+            e_.o("sd a5, 0(t2)");
+            e_.o("li a4, 0x13");
+        }
+        e_.o("sb a4, 8(t2)");
+        jDispatch();
+    }
+
+    void
+    elidedGettable()
+    {
+        handler(Op::GETTAB_E);
+        decodeA();
+        decodeBReg();
+        decodeCRk();
+        e_.o("ld a5, 0(t5)"); // key (proven Int)
+        e_.o("ld a6, 0(t3)"); // table header (tag proven Tab)
+        e_.o("ld a7, 8(a6)");
+        e_.o("addi a3, a5, -1");
+        e_.o("bgeu a3, a7, slow_gettab_e");
+        e_.o("slli a3, a3, 4");
+        e_.o("ld a6, 0(a6)");
+        e_.o("add a6, a6, a3");
+        copySlot("a6", "t2");
+        jDispatch();
+
+        subMarker("slow_gettab_e", "slow:GETTAB_E");
+        e_.o("ld a0, 0(t3)");
+        e_.o("mv a1, t5");
+        e_.o("mv a2, t2");
+        e_.o("hcall %u", kHcTabGetSlow);
+        jDispatch();
+    }
+
+    void
+    elidedSettable()
+    {
+        handler(Op::SETTAB_E);
+        decodeA();   // t2 = table slot
+        decodeBRk(); // t3 = key (proven Int)
+        decodeCRk(); // t5 = value
+        const std::string lsk = e_.fresh("ste_len");
+        e_.o("ld a5, 0(t3)");
+        e_.o("ld a6, 0(t2)");
+        e_.o("ld a7, 8(a6)");
+        e_.o("addi a3, a5, -1");
+        e_.o("bgeu a3, a7, slow_settab_e");
+        e_.o("slli a3, a3, 4");
+        e_.o("ld t6, 0(a6)");
+        e_.o("add t6, t6, a3");
+        copySlot("t5", "t6");
+        e_.o("ld a7, 16(a6)");
+        e_.o("bge a7, a5, %s", lsk.c_str());
+        e_.o("sd a5, 16(a6)");
+        e_.l(lsk);
+        jDispatch();
+
+        subMarker("slow_settab_e", "slow:SETTAB_E");
         e_.o("ld a0, 0(t2)");
         e_.o("mv a1, t3");
         e_.o("mv a2, t5");
@@ -1153,6 +1284,7 @@ class Gen
     uint64_t mainConsts_;
     AsmEmitter e_;
     std::vector<std::pair<std::string, std::string>> markers_;
+    std::vector<std::string> guards_;
 };
 
 } // namespace

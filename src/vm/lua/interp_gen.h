@@ -58,6 +58,15 @@ struct InterpResult {
     std::string asmText;
     /** (label symbol, marker name) pairs to register with the core. */
     std::vector<std::pair<std::string, std::string>> markers;
+    /**
+     * Labels of the dynamic type-guard instructions in the five hot
+     * handlers (the tag compare-and-branch in the baseline, the x-op /
+     * tchk in the typed variant, the chklb in checked-load).  Resolved
+     * to PCs by the VM so retire-event sinks can count executed
+     * guards; guards on the shared slow paths are deliberately not
+     * labeled (the software-typed axis measures fast-path guard work).
+     */
+    std::vector<std::string> guardLabels;
 };
 
 /**

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "analysis/elide.h"
 #include "assembler/assembler.h"
 #include "common/bitops.h"
 #include "common/log.h"
@@ -83,6 +84,8 @@ LuaVm::LuaVm(const std::string &source, const Options &opts)
     : opts_(opts)
 {
     module_ = compile(script::parse(source));
+    if (opts_.elide)
+        analysis::elide::rewriteLua(module_);
     registerHostcalls();
 
     core::CoreConfig cfg = opts_.coreConfig;
@@ -122,6 +125,8 @@ LuaVm::buildImage()
 
     for (const auto &[symbol, marker] : interp.markers)
         core_->markers().add(program.symbol(symbol), marker);
+    for (const std::string &symbol : interp.guardLabels)
+        guardPcs_.push_back(program.symbol(symbol));
     core_->loadProgram(program);
 
     // Poke the VM structures into guest memory.

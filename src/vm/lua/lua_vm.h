@@ -12,6 +12,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "assembler/assembler.h"
 #include "core/core.h"
@@ -29,6 +30,9 @@ class LuaVm
         Variant variant = Variant::Baseline;
         core::CoreConfig coreConfig;  ///< overflow/heap fields overridden
         GuestLayout layout;
+        /** Run type inference and rewrite provably monomorphic sites
+         *  to the guard-free opcodes (analysis/elide.h). */
+        bool elide = false;
     };
 
     explicit LuaVm(const std::string &source);
@@ -50,6 +54,13 @@ class LuaVm
     /** Total dynamic bytecodes executed (dispatch marker hits). */
     uint64_t dynamicBytecodes() const;
 
+    /**
+     * PCs of the fast-path type-guard instructions in the interpreter
+     * image (empty when the variant's hot handlers have none).  Count
+     * Retire events at these addresses to measure dynamic guard work.
+     */
+    const std::vector<uint64_t> &guardPcs() const { return guardPcs_; }
+
   private:
     void buildImage();
     void registerHostcalls();
@@ -69,6 +80,7 @@ class LuaVm
     Options opts_;
     Module module_;
     assembler::Program program_;
+    std::vector<uint64_t> guardPcs_;
     core::HostcallRegistry hostcalls_;
     std::unique_ptr<core::Core> core_;
     Interner interner_;

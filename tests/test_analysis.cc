@@ -246,6 +246,43 @@ skip:
     EXPECT_EQ(r.exitCode(), 1);
 }
 
+TEST(DefUse, JoinPathConditionNamesTheOffendingPredecessor)
+{
+    // Three-way join: a1 is written on both branch arms but not on the
+    // straight-line fallthrough, so the finding must carry a path
+    // condition naming a predecessor on which it arrives unwritten --
+    // and render() must print it on the "path:" line.
+    const Report r = verify(R"(
+_start:
+    beq zero, gp, one
+    beq zero, tp, two
+    jal zero, join
+one:
+    li a1, 1
+    jal zero, join
+two:
+    li a1, 2
+join:
+    add a2, a1, a1
+    halt
+)");
+    const analysis::Finding *found = nullptr;
+    for (const analysis::Finding &f : r.findings)
+        if (f.check == "def-use" &&
+            f.message.find("a1 may be read before it is written") !=
+                std::string::npos)
+            found = &f;
+    ASSERT_NE(found, nullptr) << r.render();
+    EXPECT_NE(found->path.find("unwritten when reached from predecessor"),
+              std::string::npos)
+        << found->describe();
+    // The offending predecessor is the fallthrough jump, not either of
+    // the arms that do write a1.
+    EXPECT_NE(found->path.find("_start+"), std::string::npos)
+        << found->path;
+    EXPECT_NE(r.render().find("path:"), std::string::npos);
+}
+
 // ---------------------------------------------------------------------
 // CFG sanity.
 

@@ -67,12 +67,45 @@ TEST(Progen, FeatureTogglesPruneTheGrammar)
     }
 }
 
-TEST(Oracle, TwelveConfigsInFixedOrder)
+TEST(Progen, PolymorphicReuseRebindsALocalFromNumberToString)
+{
+    // The "q" name prefix is reserved for stmtPolyReuse; some seed in a
+    // small window must declare one and later rebind the SAME name
+    // (the helper reads it emits also use the prefix, so match the
+    // exact declared name).
+    bool found = false;
+    for (uint64_t seed = 0; seed < 30 && !found; ++seed) {
+        const std::string source = generateProgram(seed);
+        const size_t decl = source.find("local q");
+        if (decl == std::string::npos)
+            continue;
+        const size_t name_end = source.find(' ', decl + 6);
+        ASSERT_NE(name_end, std::string::npos) << source;
+        const std::string name = source.substr(decl + 6, name_end - decl - 6);
+        const size_t rebind = source.find(name + " = ", name_end);
+        ASSERT_NE(rebind, std::string::npos) << source;
+        found = true;
+    }
+    EXPECT_TRUE(found);
+
+    ProgenOptions off;
+    off.polyReuse = false;
+    for (uint64_t seed = 0; seed < 5; ++seed)
+        EXPECT_EQ(generateProgram(seed, off).find("local q"),
+                  std::string::npos);
+}
+
+TEST(Oracle, TwentyFourConfigsInFixedOrder)
 {
     const auto configs = allRunConfigs();
-    ASSERT_EQ(configs.size(), 12u);
+    ASSERT_EQ(configs.size(), 24u);
     EXPECT_EQ(configs.front().name(), "MiniLua/baseline/deopt=off");
-    EXPECT_EQ(configs.back().name(), "MiniJS/checked-load/deopt=on");
+    // Per engine: the elide-off block precedes the elide-on block, so
+    // each block keeps its own baseline/deopt-off run for the
+    // cross-run stats checks.
+    EXPECT_EQ(configs[6].name(), "MiniLua/baseline/deopt=off/elide=on");
+    EXPECT_EQ(configs.back().name(),
+              "MiniJS/checked-load/deopt=on/elide=on");
 }
 
 TEST(Oracle, ExecModeAxisInterleavesPredecodedTwins)
@@ -81,18 +114,19 @@ TEST(Oracle, ExecModeAxisInterleavesPredecodedTwins)
     // twin immediately after its exact sibling — runOracle's
     // bit-identity check depends on that adjacency.
     const auto configs = allRunConfigs(true);
-    ASSERT_EQ(configs.size(), 24u);
+    ASSERT_EQ(configs.size(), 48u);
     EXPECT_EQ(configs[0].name(), "MiniLua/baseline/deopt=off");
     EXPECT_EQ(configs[1].name(),
               "MiniLua/baseline/deopt=off/mode=predecoded");
     EXPECT_EQ(configs.back().name(),
-              "MiniJS/checked-load/deopt=on/mode=predecoded");
+              "MiniJS/checked-load/deopt=on/elide=on/mode=predecoded");
     for (size_t i = 0; i < configs.size(); i += 2) {
         EXPECT_EQ(configs[i].execMode, core::ExecMode::Exact);
         EXPECT_EQ(configs[i + 1].execMode, core::ExecMode::Predecoded);
         EXPECT_EQ(configs[i].engine, configs[i + 1].engine);
         EXPECT_EQ(configs[i].variant, configs[i + 1].variant);
         EXPECT_EQ(configs[i].deopt, configs[i + 1].deopt);
+        EXPECT_EQ(configs[i].elide, configs[i + 1].elide);
     }
 }
 
@@ -110,8 +144,8 @@ print("x=" .. acc)
 )");
     ASSERT_TRUE(result.referenceOk) << result.referenceError;
     EXPECT_TRUE(result.clean());
-    // 12 exact runs plus the 12 bit-identical predecoded twins.
-    EXPECT_EQ(result.runs.size(), 24u);
+    // 24 exact runs plus the 24 bit-identical predecoded twins.
+    EXPECT_EQ(result.runs.size(), 48u);
     EXPECT_EQ(result.expectedLua, "385\n55\n0\nx=385\n");
 }
 

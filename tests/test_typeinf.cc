@@ -1,0 +1,378 @@
+/**
+ * @file
+ * Type-inference and guard-elision tests: monomorphic sites lose
+ * their guards in both engines, polymorphic sites keep them, the
+ * narrowing/strong-update machinery is flow-sensitive, the verifier
+ * rejects a hand-forged unsound rewrite, and the two soundness
+ * regressions that the differential fuzzer caught (dead-code
+ * specialization, MiniJS floor escaping int32) stay fixed.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/elide.h"
+#include "analysis/typeinf.h"
+#include "script/parser.h"
+#include "vm/js/compiler.h"
+#include "vm/lua/compiler.h"
+
+namespace tarch {
+namespace {
+
+using analysis::Report;
+using analysis::Severity;
+namespace elide = analysis::elide;
+namespace typeinf = analysis::typeinf;
+
+vm::lua::Module
+luaComp(const std::string &src)
+{
+    return vm::lua::compile(script::parse(src));
+}
+
+vm::js::Module
+jsComp(const std::string &src)
+{
+    return vm::js::compile(script::parse(src));
+}
+
+size_t
+countLuaOp(const vm::lua::Module &m, vm::lua::Op op)
+{
+    size_t n = 0;
+    for (const vm::lua::Proto &p : m.protos)
+        for (uint32_t w : p.code)
+            if (static_cast<vm::lua::Op>(w & 0x3F) == op)
+                ++n;
+    return n;
+}
+
+size_t
+countJsOp(const vm::js::Module &m, vm::js::Op op)
+{
+    size_t n = 0;
+    for (const vm::js::Proto &p : m.protos)
+        for (uint32_t w : p.code)
+            if (static_cast<vm::js::Op>(w & 0xFF) == op)
+                ++n;
+    return n;
+}
+
+/** Overwrite the opcode field of the first @p from site (any proto). */
+bool
+forceLuaOp(vm::lua::Module &m, vm::lua::Op from, vm::lua::Op to)
+{
+    for (vm::lua::Proto &p : m.protos)
+        for (uint32_t &w : p.code)
+            if (static_cast<vm::lua::Op>(w & 0x3F) == from) {
+                w = (w & ~0x3Fu) | static_cast<uint32_t>(to);
+                return true;
+            }
+    return false;
+}
+
+bool
+forceJsOp(vm::js::Module &m, vm::js::Op from, vm::js::Op to)
+{
+    for (vm::js::Proto &p : m.protos)
+        for (uint32_t &w : p.code)
+            if (static_cast<vm::js::Op>(w & 0xFF) == from) {
+                w = (w & ~0xFFu) | static_cast<uint32_t>(to);
+                return true;
+            }
+    return false;
+}
+
+size_t
+findLuaOpPc(const vm::lua::Proto &p, vm::lua::Op op)
+{
+    for (size_t pc = 0; pc < p.code.size(); ++pc)
+        if (static_cast<vm::lua::Op>(p.code[pc] & 0x3F) == op)
+            return pc;
+    return static_cast<size_t>(-1);
+}
+
+::testing::AssertionResult
+isClean(const Report &report)
+{
+    if (report.findings.empty())
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure() << "\n" << report.render();
+}
+
+// ---------------------------------------------------------------------
+// Inference basics.
+
+TEST(TypeInf, MonomorphicIntLoopConvergesWithMainReachable)
+{
+    const vm::lua::Module m = luaComp(R"(
+local acc = 0
+for i = 1, 10 do
+  acc = acc + i
+end
+print(acc)
+)");
+    const typeinf::ModuleFacts mf = typeinf::inferLua(m);
+    EXPECT_TRUE(mf.converged);
+    ASSERT_FALSE(mf.protos.empty());
+    EXPECT_FALSE(mf.protos[0].bailed);
+    ASSERT_FALSE(mf.protos[0].reachable.empty());
+    EXPECT_TRUE(mf.protos[0].reachable[0]);
+}
+
+// ---------------------------------------------------------------------
+// MiniLua elision.
+
+TEST(LuaElide, MonomorphicIntArithmeticLosesItsGuards)
+{
+    vm::lua::Module m = luaComp(R"(
+local acc = 0
+for i = 1, 10 do
+  acc = acc + i
+end
+print(acc)
+)");
+    const elide::Stats st = elide::rewriteLua(m);
+    EXPECT_GE(st.arithElided, 1u);
+    EXPECT_GE(countLuaOp(m, vm::lua::Op::ADD_II), 1u);
+    Report r;
+    elide::verifyLua(m, r);
+    EXPECT_TRUE(isClean(r));
+}
+
+TEST(LuaElide, MonomorphicFloatArithmeticGetsTheFfForms)
+{
+    vm::lua::Module m = luaComp(R"(
+local x = 1.5
+local y = 0.5
+for i = 1, 4 do
+  y = y + x * 2.5
+end
+print(y)
+)");
+    elide::rewriteLua(m);
+    EXPECT_GE(countLuaOp(m, vm::lua::Op::MUL_FF), 1u);
+    EXPECT_GE(countLuaOp(m, vm::lua::Op::ADD_FF), 1u);
+    Report r;
+    elide::verifyLua(m, r);
+    EXPECT_TRUE(isClean(r));
+}
+
+TEST(LuaElide, PolymorphicIntOrFloatSiteKeepsItsGuards)
+{
+    vm::lua::Module m = luaComp(R"(
+local a = 1
+if 1 < 2 then
+  a = 1.5
+end
+print(a + 1)
+)");
+    const elide::Stats st = elide::rewriteLua(m);
+    EXPECT_EQ(st.arithElided, 0u);
+    EXPECT_EQ(countLuaOp(m, vm::lua::Op::ADD_II), 0u);
+    EXPECT_EQ(countLuaOp(m, vm::lua::Op::ADD_FF), 0u);
+    Report r;
+    elide::verifyLua(m, r);
+    EXPECT_TRUE(isClean(r));
+}
+
+TEST(LuaElide, ProvenTableAndIntKeyElideTheTableGuards)
+{
+    vm::lua::Module m = luaComp(R"(
+local t = {10, 20, 30}
+t[1] = 5
+print(t[2] + t[1])
+)");
+    const elide::Stats st = elide::rewriteLua(m);
+    EXPECT_GE(st.tableElided, 2u);
+    EXPECT_GE(countLuaOp(m, vm::lua::Op::GETTAB_E), 1u);
+    EXPECT_GE(countLuaOp(m, vm::lua::Op::SETTAB_E), 1u);
+    Report r;
+    elide::verifyLua(m, r);
+    EXPECT_TRUE(isClean(r));
+}
+
+TEST(LuaElide, StrongUpdateAllowsElisionOnlyBeforeAStringRebind)
+{
+    // Flow-sensitivity: v is an int at the add, a string afterwards.
+    // The add may still be elided; the whole-program (flow-insensitive)
+    // answer {int|str} would have blocked it.
+    vm::lua::Module m = luaComp(R"(
+local v = 2
+print(v + 3)
+v = "abc"
+print(#v)
+)");
+    const elide::Stats st = elide::rewriteLua(m);
+    EXPECT_GE(st.arithElided, 1u);
+    EXPECT_GE(countLuaOp(m, vm::lua::Op::ADD_II), 1u);
+    Report r;
+    elide::verifyLua(m, r);
+    EXPECT_TRUE(isClean(r));
+}
+
+TEST(LuaElide, UncalledFunctionIsNeverSpecialized)
+{
+    // Regression: facts inside a never-called proto are bottom, and
+    // bottom passes a plain subset check vacuously.  The rewriter must
+    // treat "no value ever flows here" as proving nothing.
+    vm::lua::Module m = luaComp(R"(
+function f(a)
+  return a + 1
+end
+print(1)
+)");
+    elide::rewriteLua(m);
+    EXPECT_EQ(countLuaOp(m, vm::lua::Op::ADD_II), 0u);
+    EXPECT_EQ(countLuaOp(m, vm::lua::Op::ADD_FF), 0u);
+    Report r;
+    elide::verifyLua(m, r);
+    EXPECT_TRUE(isClean(r));
+}
+
+// ---------------------------------------------------------------------
+// The verifier as an adversary: a forged unsound rewrite is flagged.
+
+TEST(LuaVerify, ForgedPolymorphicElisionIsAnError)
+{
+    vm::lua::Module m = luaComp(R"(
+local a = 1
+if 1 < 2 then
+  a = 1.5
+end
+print(a + 1)
+)");
+    ASSERT_TRUE(forceLuaOp(m, vm::lua::Op::ADD, vm::lua::Op::ADD_II));
+    Report r;
+    elide::verifyLua(m, r);
+    EXPECT_TRUE(r.hasErrors());
+    bool found = false;
+    for (const analysis::Finding &f : r.findings)
+        if (f.severity == Severity::Error && f.check == "elide-mono" &&
+            f.message.find("not dominated by a monomorphic fact") !=
+                std::string::npos)
+            found = true;
+    EXPECT_TRUE(found) << r.render();
+}
+
+TEST(JsVerify, ForgedPolymorphicElisionIsAnError)
+{
+    vm::js::Module m = jsComp(R"(
+local a = 1
+if 1 < 2 then
+  a = 1.5
+end
+print(a + 1)
+)");
+    ASSERT_TRUE(forceJsOp(m, vm::js::Op::ADD, vm::js::Op::ADD_II));
+    Report r;
+    elide::verifyJs(m, r);
+    EXPECT_TRUE(r.hasErrors());
+    bool found = false;
+    for (const analysis::Finding &f : r.findings)
+        if (f.severity == Severity::Error && f.check == "elide-mono")
+            found = true;
+    EXPECT_TRUE(found) << r.render();
+}
+
+// ---------------------------------------------------------------------
+// MiniJS elision and its engine-specific soundness limits.
+
+TEST(JsElide, MonomorphicDoubleArithmeticGetsTheDdForms)
+{
+    vm::js::Module m = jsComp(R"(
+local x = 1.5
+print(x * 2.5)
+)");
+    elide::rewriteJs(m);
+    EXPECT_GE(countJsOp(m, vm::js::Op::MUL_DD), 1u);
+    Report r;
+    elide::verifyJs(m, r);
+    EXPECT_TRUE(isClean(r));
+}
+
+TEST(JsElide, IntAddWidensThroughOverflowPromotion)
+{
+    // ADD_II keeps the int32 overflow check and may produce a double,
+    // so the transfer for int+int is {int|flt}: the first add is
+    // elidable, the chained second one is not.
+    vm::js::Module m = jsComp(R"(
+local a = 1
+local b = a + 2
+print(b + 3)
+)");
+    elide::rewriteJs(m);
+    EXPECT_EQ(countJsOp(m, vm::js::Op::ADD_II), 1u);
+    EXPECT_EQ(countJsOp(m, vm::js::Op::ADD_DD), 0u);
+    Report r;
+    elide::verifyJs(m, r);
+    EXPECT_TRUE(isClean(r));
+}
+
+TEST(JsElide, FloorResultIsNotAssumedInt)
+{
+    // Regression: JsVm::hcFloor only boxes an Int when the result fits
+    // int32 and otherwise keeps the raw double, so floor() is int-
+    // valued in MiniLua but only numeric in MiniJS.
+    const char *src = R"(
+local a = floor(2.5)
+print(a + 1)
+)";
+    vm::js::Module js = jsComp(src);
+    elide::rewriteJs(js);
+    EXPECT_EQ(countJsOp(js, vm::js::Op::ADD_II), 0u);
+    EXPECT_EQ(countJsOp(js, vm::js::Op::ADD_DD), 0u);
+
+    vm::lua::Module lua = luaComp(src);
+    elide::rewriteLua(lua);
+    EXPECT_GE(countLuaOp(lua, vm::lua::Op::ADD_II), 1u);
+}
+
+// ---------------------------------------------------------------------
+// --explain plumbing.
+
+TEST(Explain, ElidedSiteReadsMonomorphic)
+{
+    vm::lua::Module m = luaComp(R"(
+local acc = 0
+for i = 1, 10 do
+  acc = acc + i
+end
+print(acc)
+)");
+    elide::rewriteLua(m);
+    const size_t pc = findLuaOpPc(m.protos[0], vm::lua::Op::ADD_II);
+    ASSERT_NE(pc, static_cast<size_t>(-1));
+    const std::string out = elide::explainLua(m, 0, pc);
+    EXPECT_NE(out.find("verdict: monomorphic"), std::string::npos) << out;
+}
+
+TEST(Explain, PolymorphicSiteReadsGuardsKept)
+{
+    vm::lua::Module m = luaComp(R"(
+local a = 1
+if 1 < 2 then
+  a = 1.5
+end
+print(a + 1)
+)");
+    elide::rewriteLua(m);
+    const size_t pc = findLuaOpPc(m.protos[0], vm::lua::Op::ADD);
+    ASSERT_NE(pc, static_cast<size_t>(-1));
+    const std::string out = elide::explainLua(m, 0, pc);
+    EXPECT_NE(out.find("verdict: polymorphic; guards kept"),
+              std::string::npos)
+        << out;
+}
+
+TEST(Explain, OutOfRangeRequestsAreReported)
+{
+    const vm::lua::Module m = luaComp("print(1)");
+    EXPECT_NE(elide::explainLua(m, 99, 0).find("no proto 99"),
+              std::string::npos);
+    EXPECT_NE(elide::explainLua(m, 0, 9999).find("no pc 9999"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace tarch

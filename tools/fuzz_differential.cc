@@ -239,7 +239,7 @@ instrumentDivergentConfigs(const std::string &source,
         if (std::find(done.begin(), done.end(), d.config) != done.end())
             continue;
         done.push_back(d.config);
-        // Look up over the full 24-config matrix so
+        // Look up over the full 48-config matrix so
         // ".../mode=predecoded" divergences resolve too.
         const auto configs = fuzz::allRunConfigs(true);
         const auto it = std::find_if(

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Type-inference / guard-elision CLI (the software-typed axis).
+ *
+ * Modes:
+ *   tarch_typeinf --engine lua|js [options] file.ms
+ *   tarch_typeinf --engine lua|js [options] --bench NAME
+ *       analyze one MiniScript program;
+ *   tarch_typeinf --check-all
+ *       rewrite + soundness-verify every bundled benchmark under both
+ *       engines (the CI zero-unsound-elision ratchet).
+ *
+ * Per-program options:
+ *   --dump-facts      annotate the disassembly with the inferred facts
+ *   --explain PC      account for the facts and elision verdict at PC
+ *   --proto N         proto for --dump-facts/--explain (default: all /
+ *                     proto 0)
+ *   --elide           rewrite monomorphic sites before dumping, then
+ *                     run the soundness verifier over the result
+ *
+ * Exit code follows tarch_verify: 0 clean, 1 warnings only, 2 errors
+ * (a non-converging inference fixpoint is reported as a warning).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "analysis/elide.h"
+#include "analysis/typeinf.h"
+#include "common/log.h"
+#include "harness/benchmarks.h"
+#include "script/parser.h"
+#include "vm/js/bytecode.h"
+#include "vm/js/compiler.h"
+#include "vm/lua/bytecode.h"
+#include "vm/lua/compiler.h"
+
+namespace {
+
+using namespace tarch;
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --engine lua|js [options] file.ms\n"
+        "       %s --engine lua|js [options] --bench NAME\n"
+        "       %s --check-all\n"
+        "options:\n"
+        "  --engine lua|js   MiniScript engine front-end\n"
+        "  --bench NAME      use a bundled benchmark as the program\n"
+        "  --dump-facts      annotate disassembly with inferred facts\n"
+        "  --explain PC      explain facts and elision verdict at PC\n"
+        "  --proto N         proto index for --dump-facts/--explain\n"
+        "  --elide           rewrite monomorphic sites, then verify\n"
+        "  --check-all       verify all bundled benchmarks, both engines\n"
+        "exit code: 0 clean, 1 warnings only, 2 errors\n",
+        argv0, argv0, argv0);
+    return 2;
+}
+
+/** Split a disassembly into one string per bytecode pc. */
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::istringstream stream(text);
+    std::string line;
+    while (std::getline(stream, line))
+        lines.push_back(line);
+    return lines;
+}
+
+std::string
+factsSuffix(const std::vector<analysis::typeinf::AVal> &facts,
+            uint8_t top)
+{
+    std::string out;
+    for (size_t i = 0; i < facts.size(); ++i) {
+        if (facts[i].isBottom())
+            continue;
+        out += (out.empty() ? "" : " ") +
+               strformat("%zu=%s", i,
+                         analysis::typeinf::describe(facts[i], top)
+                             .c_str());
+    }
+    return out.empty() ? "-" : out;
+}
+
+template <typename ModuleT>
+void
+dumpFacts(const ModuleT &m, const analysis::typeinf::ModuleFacts &facts,
+          std::optional<size_t> only_proto, uint8_t top, bool is_js)
+{
+    for (size_t p = 0; p < m.protos.size(); ++p) {
+        if (only_proto && *only_proto != p)
+            continue;
+        const auto &pr = m.protos[p];
+        const analysis::typeinf::ProtoFacts &pf = facts.protos[p];
+        std::printf("proto %zu (%s):\n", p, pr.name.c_str());
+        if (pf.bailed) {
+            std::printf("  inference bailed; no facts\n");
+            continue;
+        }
+        const std::vector<std::string> lines = [&] {
+            if constexpr (std::is_same_v<ModuleT, vm::lua::Module>)
+                return splitLines(vm::lua::disassemble(pr.code));
+            else
+                return splitLines(vm::js::disassemble(pr.code));
+        }();
+        for (size_t pc = 0; pc < lines.size(); ++pc) {
+            if (pc >= pf.reachable.size() || !pf.reachable[pc]) {
+                std::printf("%s  ; unreachable\n", lines[pc].c_str());
+                continue;
+            }
+            std::string note =
+                factsSuffix(pf.regs[pc], top);
+            if (is_js)
+                note += "  stack: " + factsSuffix(pf.stack[pc], top);
+            std::printf("%-44s  ; %s\n", lines[pc].c_str(),
+                        note.c_str());
+        }
+    }
+}
+
+struct ProgramArgs {
+    std::string engine;
+    std::string source;
+    bool dump_facts = false;
+    bool elide = false;
+    std::optional<size_t> explain_pc;
+    std::optional<size_t> proto;
+};
+
+int
+runProgram(const ProgramArgs &args)
+{
+    analysis::Report report;
+    bool converged = true;
+    if (args.engine == "lua") {
+        vm::lua::Module m = vm::lua::compile(script::parse(args.source));
+        if (args.elide) {
+            const analysis::elide::Stats st =
+                analysis::elide::rewriteLua(m);
+            std::printf("elided %u/%u sites (arith %u/%u, table %u/%u)\n",
+                        st.elided(), st.sites(), st.arithElided,
+                        st.arithSites, st.tableElided, st.tableSites);
+            analysis::elide::verifyLua(m, report);
+        }
+        const analysis::typeinf::ModuleFacts facts =
+            analysis::typeinf::inferLua(m);
+        converged = facts.converged;
+        if (args.dump_facts)
+            dumpFacts(m, facts, args.proto, analysis::typeinf::kTopLua,
+                      false);
+        if (args.explain_pc)
+            std::fputs(analysis::elide::explainLua(
+                           m, args.proto.value_or(0), *args.explain_pc)
+                           .c_str(),
+                       stdout);
+    } else {
+        vm::js::Module m = vm::js::compile(script::parse(args.source));
+        if (args.elide) {
+            const analysis::elide::Stats st =
+                analysis::elide::rewriteJs(m);
+            std::printf("elided %u/%u sites (arith %u/%u, elem %u/%u)\n",
+                        st.elided(), st.sites(), st.arithElided,
+                        st.arithSites, st.tableElided, st.tableSites);
+            analysis::elide::verifyJs(m, report);
+        }
+        const analysis::typeinf::ModuleFacts facts =
+            analysis::typeinf::inferJs(m);
+        converged = facts.converged;
+        if (args.dump_facts)
+            dumpFacts(m, facts, args.proto, analysis::typeinf::kTopJs,
+                      true);
+        if (args.explain_pc)
+            std::fputs(analysis::elide::explainJs(
+                           m, args.proto.value_or(0), *args.explain_pc)
+                           .c_str(),
+                       stdout);
+    }
+    if (!converged) {
+        analysis::Finding f;
+        f.severity = analysis::Severity::Warning;
+        f.check = "typeinf-converge";
+        f.message = "interprocedural fixpoint hit its iteration cap; "
+                    "facts were widened";
+        report.findings.push_back(f);
+    }
+    if (args.elide || !report.findings.empty())
+        std::fputs(report.render().c_str(), stdout);
+    return report.exitCode();
+}
+
+int
+checkAll()
+{
+    analysis::Report merged;
+    for (const harness::BenchmarkInfo &bench : harness::benchmarks()) {
+        for (const char *engine : {"lua", "js"}) {
+            analysis::Report report;
+            analysis::elide::Stats st;
+            bool converged;
+            if (std::strcmp(engine, "lua") == 0) {
+                vm::lua::Module m =
+                    vm::lua::compile(script::parse(bench.source));
+                st = analysis::elide::rewriteLua(m);
+                analysis::elide::verifyLua(m, report);
+                converged = analysis::typeinf::inferLua(m).converged;
+            } else {
+                vm::js::Module m =
+                    vm::js::compile(script::parse(bench.source));
+                st = analysis::elide::rewriteJs(m);
+                analysis::elide::verifyJs(m, report);
+                converged = analysis::typeinf::inferJs(m).converged;
+            }
+            std::printf("%-4s %-16s elided %2u/%2u sites "
+                        "(arith %u/%u, table %u/%u)%s%s\n",
+                        engine, bench.name.c_str(), st.elided(),
+                        st.sites(), st.arithElided, st.arithSites,
+                        st.tableElided, st.tableSites,
+                        converged ? "" : "  [fixpoint cap]",
+                        report.findings.empty() ? ""
+                                                : "  [UNSOUND]");
+            for (analysis::Finding &f : report.findings) {
+                f.location = std::string(engine) + "/" + bench.name +
+                             " " + f.location;
+                merged.findings.push_back(f);
+            }
+        }
+    }
+    if (!merged.findings.empty())
+        std::fputs(merged.render().c_str(), stdout);
+    else
+        std::printf("all bundled benchmarks: zero unsound elisions\n");
+    return merged.exitCode();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ProgramArgs args;
+    std::string bench_name, file;
+    bool check_all = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s needs a value\n", argv[0],
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--engine") {
+            args.engine = value();
+        } else if (arg == "--bench") {
+            bench_name = value();
+        } else if (arg == "--dump-facts") {
+            args.dump_facts = true;
+        } else if (arg == "--explain") {
+            args.explain_pc = std::strtoull(value(), nullptr, 0);
+        } else if (arg == "--proto") {
+            args.proto = std::strtoull(value(), nullptr, 0);
+        } else if (arg == "--elide") {
+            args.elide = true;
+        } else if (arg == "--check-all") {
+            check_all = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "%s: unknown option %s\n", argv[0],
+                         arg.c_str());
+            return usage(argv[0]);
+        } else {
+            file = arg;
+        }
+    }
+
+    try {
+        if (check_all)
+            return checkAll();
+
+        if (args.engine != "lua" && args.engine != "js") {
+            std::fprintf(stderr, "%s: --engine must be lua or js\n",
+                         argv[0]);
+            return usage(argv[0]);
+        }
+        if (!bench_name.empty()) {
+            args.source = harness::benchmark(bench_name).source;
+        } else if (!file.empty()) {
+            std::ifstream stream(file);
+            if (!stream) {
+                std::fprintf(stderr, "%s: cannot open %s\n", argv[0],
+                             file.c_str());
+                return 2;
+            }
+            std::ostringstream buf;
+            buf << stream.rdbuf();
+            args.source = buf.str();
+        } else {
+            return usage(argv[0]);
+        }
+        if (!args.dump_facts && !args.explain_pc)
+            args.elide = true;  // default action: rewrite + verify
+        return runProgram(args);
+    } catch (const FatalError &err) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], err.what());
+        return 2;
+    }
+}
