@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Reproducible serving benchmark behind the committed BENCH_serve.json:
+# one tarch_served daemon on a Unix socket, first a closed-loop burst
+# (4 connections, per-connection latency accounting) and then an
+# open-loop hedged run with a mixed cell/source workload, both dumped
+# as machine-readable summaries by `tarch_bench_client --json` and
+# stitched into a single document.  docs/OBSERVABILITY.md.
+#
+#   scripts/bench_serve.sh [out.json]
+#   BUILD_DIR=build scripts/bench_serve.sh BENCH_serve.json
+#
+# Numbers are host-dependent; the committed file records the shape of
+# the summary (schema tarch-bench-serve-v1) plus one reference run.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${1:-BENCH_serve.json}"
+
+BENCH_DIR="$BUILD_DIR/bench-serve"
+rm -rf "$BENCH_DIR"
+mkdir -p "$BENCH_DIR"
+SOCK="$BENCH_DIR/tarch.sock"
+
+"$BUILD_DIR/tools/tarch_served" --unix "$SOCK" \
+    --cache-dir "$BENCH_DIR" > "$BENCH_DIR/served.log" 2>&1 &
+SERVE_PID=$!
+trap 'kill -TERM "$SERVE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+    [[ -S "$SOCK" ]] && break
+    sleep 0.1
+done
+[[ -S "$SOCK" ]]
+
+# Warm the daemon's caches so both measured runs see steady state.
+"$BUILD_DIR/tools/tarch_bench_client" --unix "$SOCK" \
+    --connections 2 --requests 50 --benchmark fibo --variant typed \
+    > /dev/null
+
+"$BUILD_DIR/tools/tarch_bench_client" --unix "$SOCK" \
+    --connections 4 --requests 500 --benchmark fibo --variant typed \
+    --json "$BENCH_DIR/closed.json" > "$BENCH_DIR/closed.out"
+"$BUILD_DIR/tools/tarch_bench_client" --unix "$SOCK" \
+    --connections 4 --requests 2000 --rate 1000 --mix-source 20 \
+    --benchmark fibo --variant typed --hedge-ms 200 \
+    --json "$BENCH_DIR/open.json" > "$BENCH_DIR/open.out"
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+trap - EXIT
+
+grep -q '"schema":"tarch-bench-serve-v1"' "$BENCH_DIR/closed.json"
+grep -q '"mode":"open"' "$BENCH_DIR/open.json"
+
+printf '{\n"bench": "serve",\n"closed": %s,\n"open": %s\n}\n' \
+    "$(cat "$BENCH_DIR/closed.json")" \
+    "$(cat "$BENCH_DIR/open.json")" > "$OUT"
+echo "wrote $OUT"

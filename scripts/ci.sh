@@ -93,9 +93,9 @@ if [[ -z "$SANITIZE" ]]; then
           -DTARCH_SANITIZE=thread
     cmake --build "$TSAN_DIR" -j "$JOBS" \
           --target test_sweep_cache test_common test_serve test_fastpath \
-                   test_router test_loadgen
+                   test_router test_loadgen test_metrics test_tracing
     ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" \
-          -R 'SweepCache|CellCache|Parallel|Pool|ResolveJobs|ServeTest|SimServiceTest|FastPath\.|HashRing|ShardHealth|ShedQueue|RouterTest|HedgedClient|LatencyHistogram|OpenLoop'
+          -R 'SweepCache|CellCache|Parallel|Pool|ResolveJobs|ServeTest|SimServiceTest|FastPath\.|HashRing|ShardHealth|ShedQueue|RouterTest|HedgedClient|LatencyHistogram|OpenLoop|Metrics|Tracing|SlowLog'
 
     echo "== UndefinedBehaviorSanitizer (analysis + fastpath + fuzz suites)"
     # A dedicated UBSan tier over the suites that exercise the newest
@@ -211,12 +211,19 @@ printf '_start:\n    fadd.d f0, f1, f2\n    halt\n' > "$SERVE_DIR/bad.s"
     --source "$SERVE_DIR/bad.s" --lang asm \
     --expect-error verify-rejected > "$SERVE_DIR/reject.out"
 "$BUILD_DIR/tools/tarch_bench_client" --unix "$SERVE_SOCK" \
-    --health > "$SERVE_DIR/health.json"
-grep -q '"schema":"tarch-serve-stats-v1"' "$SERVE_DIR/health.json"
+    --health-json > "$SERVE_DIR/health.json"
+grep -q '"schema":"tarch-serve-stats-v2"' "$SERVE_DIR/health.json"
+grep -q '"uptime_seconds":' "$SERVE_DIR/health.json"
+grep -q '"replies_by_code":{"ok":' "$SERVE_DIR/health.json"
 if grep -q '"received":0,' "$SERVE_DIR/health.json"; then
     echo "error: serving smoke saw no requests" >&2
     exit 1
 fi
+# The human-facing pretty-printer must surface the v2 fields too.
+"$BUILD_DIR/tools/tarch_bench_client" --unix "$SERVE_SOCK" \
+    --health > "$SERVE_DIR/health.txt"
+grep -q 'uptime_seconds' "$SERVE_DIR/health.txt"
+grep -q 'replies_by_code' "$SERVE_DIR/health.txt"
 kill -TERM "$SERVE_PID"
 if ! wait "$SERVE_PID"; then
     echo "error: tarch_served did not drain cleanly on SIGTERM" >&2
@@ -239,12 +246,14 @@ for i in 0 1 2; do
     mkdir -p "$ROUTER_DIR/cache$i"
     "$BUILD_DIR/tools/tarch_served" --unix "$ROUTER_DIR/shard$i.sock" \
         --cache-dir "$ROUTER_DIR/cache$i" \
+        --trace-out "$ROUTER_DIR/shard$i-trace.json" \
         > "$ROUTER_DIR/shard$i.log" 2>&1 &
     SHARD_PIDS[$i]=$!
     SHARD_ARGS+=(--shard "unix:$ROUTER_DIR/shard$i.sock")
 done
 "$BUILD_DIR/tools/tarch_router" --unix "$ROUTER_DIR/router.sock" \
     --backoff-floor-ms 100 "${SHARD_ARGS[@]}" \
+    --trace-out "$ROUTER_DIR/router-trace.json" \
     > "$ROUTER_DIR/router.log" 2>&1 &
 ROUTER_PID=$!
 for _ in $(seq 1 100); do
@@ -265,7 +274,9 @@ kill -KILL "${SHARD_PIDS[1]}"
 wait "${SHARD_PIDS[1]}" 2>/dev/null || true
 sleep 0.5
 "$BUILD_DIR/tools/tarch_served" --unix "$ROUTER_DIR/shard1.sock" \
-    --cache-dir "$ROUTER_DIR/cache1" > "$ROUTER_DIR/shard1b.log" 2>&1 &
+    --cache-dir "$ROUTER_DIR/cache1" \
+    --trace-out "$ROUTER_DIR/shard1b-trace.json" \
+    > "$ROUTER_DIR/shard1b.log" 2>&1 &
 SHARD_PIDS[1]=$!
 if ! wait "$LOAD_PID"; then
     echo "error: router smoke load failed" >&2
@@ -275,8 +286,28 @@ if ! wait "$LOAD_PID"; then
 fi
 grep -q "protocol errors:  0" "$ROUTER_DIR/load.out"
 "$BUILD_DIR/tools/tarch_bench_client" --unix "$ROUTER_DIR/router.sock" \
-    --health > "$ROUTER_DIR/health.json"
-grep -q '"schema":"tarch-router-stats-v1"' "$ROUTER_DIR/health.json"
+    --health-json > "$ROUTER_DIR/health.json"
+grep -q '"schema":"tarch-router-stats-v2"' "$ROUTER_DIR/health.json"
+grep -q '"uptime_seconds":' "$ROUTER_DIR/health.json"
+grep -q '"replies_by_code":{"ok":' "$ROUTER_DIR/health.json"
+
+# Traced run: scrape the router's metrics before and after a sampled
+# closed-loop burst, lint both scrapes (and require counter
+# monotonicity), and collect the client's Chrome trace.  The backend
+# connections are warm from the load above, so the pipelined Hello has
+# long since negotiated v2 and these requests trace end to end.
+"$BUILD_DIR/tools/tarch_bench_client" --unix "$ROUTER_DIR/router.sock" \
+    --metrics > "$ROUTER_DIR/metrics1.txt"
+"$BUILD_DIR/tools/tarch_bench_client" --unix "$ROUTER_DIR/router.sock" \
+    --connections 2 --requests 40 --benchmark fibo --variant typed \
+    --trace-out "$ROUTER_DIR/client-trace.json" --trace-sample 1 \
+    > "$ROUTER_DIR/traced.out"
+grep -q "protocol errors:  0" "$ROUTER_DIR/traced.out"
+"$BUILD_DIR/tools/tarch_bench_client" --unix "$ROUTER_DIR/router.sock" \
+    --metrics > "$ROUTER_DIR/metrics2.txt"
+"$BUILD_DIR/tools/tarch_trace" lint-metrics "$ROUTER_DIR/metrics2.txt" \
+    --prev "$ROUTER_DIR/metrics1.txt"
+grep -q 'tarch_router_replies_total{code="ok"}' "$ROUTER_DIR/metrics2.txt"
 kill -TERM "$ROUTER_PID"
 if ! wait "$ROUTER_PID"; then
     echo "error: tarch_router did not drain cleanly on SIGTERM" >&2
@@ -289,6 +320,17 @@ done
 for pid in "${SHARD_PIDS[@]}"; do
     wait "$pid" 2>/dev/null || true
 done
+
+echo "== merged trace crosses client -> router -> shard"
+# shard1's original process was SIGKILLed mid-test and never dumped a
+# trace, so the restarted shard1b file stands in for it.
+"$BUILD_DIR/tools/tarch_trace" merge "$ROUTER_DIR/merged-trace.json" \
+    "$ROUTER_DIR/client-trace.json" "$ROUTER_DIR/router-trace.json" \
+    "$ROUTER_DIR/shard0-trace.json" "$ROUTER_DIR/shard1b-trace.json" \
+    "$ROUTER_DIR/shard2-trace.json"
+"$BUILD_DIR/tools/tarch_trace" validate "$ROUTER_DIR/merged-trace.json"
+"$BUILD_DIR/tools/tarch_trace" check-crossing 3 \
+    "$ROUTER_DIR/merged-trace.json"
 
 if [[ "$JOBS" -ge 4 ]]; then
     echo "== router scaling gate (3 shards >= 2x one daemon)"

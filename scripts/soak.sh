@@ -84,8 +84,8 @@ echo "shard crashes injected: $CRASHES"
 grep -q "protocol errors:  0" "$SOAK_DIR/load.out"
 
 "$BUILD_DIR/tools/tarch_bench_client" --unix "$SOAK_DIR/router.sock" \
-    --health | tee "$SOAK_DIR/health.json"
-grep -q '"schema":"tarch-router-stats-v1"' "$SOAK_DIR/health.json"
+    --health-json | tee "$SOAK_DIR/health.json"
+grep -q '"schema":"tarch-router-stats-v2"' "$SOAK_DIR/health.json"
 
 kill -TERM "$ROUTER_PID"
 if ! wait "$ROUTER_PID"; then

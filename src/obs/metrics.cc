@@ -1,0 +1,514 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <thread>
+
+#include "common/strutil.h"
+
+namespace tarch::obs {
+
+// ---------------------------------------------------------------------
+// LatencyHistogram (moved up from serve/loadgen in PR 9).
+
+size_t
+LatencyHistogram::bucketIndex(uint64_t value)
+{
+    if (value < kSubBuckets)
+        return static_cast<size_t>(value);
+    // msb >= 5; the top six bits pick (group, sub-bucket).
+    unsigned msb = 63;
+    while (!(value & (1ULL << msb)))
+        --msb;
+    const unsigned shift = msb - 5;
+    const uint64_t sub = value >> shift;  // in [32, 64)
+    const size_t index =
+        static_cast<size_t>(msb - 4) * kSubBuckets +
+        static_cast<size_t>(sub - kSubBuckets);
+    return std::min(index, kBuckets - 1);
+}
+
+uint64_t
+LatencyHistogram::bucketUpper(size_t index)
+{
+    const size_t group = index / kSubBuckets;
+    const size_t sub = index % kSubBuckets;
+    if (group == 0)
+        return index;  // exact
+    const unsigned shift = static_cast<unsigned>(group - 1);
+    return ((static_cast<uint64_t>(sub) + kSubBuckets + 1) << shift) - 1;
+}
+
+void
+LatencyHistogram::record(uint64_t value_us)
+{
+    ++counts_[bucketIndex(value_us)];
+    ++count_;
+    sum_ += static_cast<double>(value_us);
+    max_ = std::max(max_, value_us);
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    for (size_t i = 0; i < kBuckets; ++i)
+        counts_[i] += other.counts_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    max_ = std::max(max_, other.max_);
+}
+
+double
+LatencyHistogram::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+uint64_t
+LatencyHistogram::percentile(double pct) const
+{
+    if (count_ == 0)
+        return 0;
+    const double clamped = std::min(100.0, std::max(0.0, pct));
+    const uint64_t target = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               std::ceil(clamped / 100.0 * static_cast<double>(count_))));
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+        seen += counts_[i];
+        if (seen >= target)
+            return std::min(bucketUpper(i), max_);
+    }
+    return max_;
+}
+
+uint64_t
+LatencyHistogram::countAtOrBelow(uint64_t value_us) const
+{
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kBuckets && bucketUpper(i) <= value_us; ++i)
+        seen += counts_[i];
+    return seen;
+}
+
+// ---------------------------------------------------------------------
+// ShardedCounter / Histogram.
+
+void
+ShardedCounter::add(uint64_t n)
+{
+    const size_t stripe =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+        kStripes;
+    stripes_[stripe].v.fetch_add(n, std::memory_order_relaxed);
+}
+
+uint64_t
+ShardedCounter::value() const
+{
+    uint64_t total = 0;
+    for (const Stripe &s : stripes_)
+        total += s.v.load(std::memory_order_relaxed);
+    return total;
+}
+
+void
+Histogram::record(uint64_t value_us)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    h_.record(value_us);
+}
+
+LatencyHistogram
+Histogram::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return h_;
+}
+
+// ---------------------------------------------------------------------
+// Registry.
+
+namespace {
+
+bool
+validMetricName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    const auto head = [](char c) {
+        return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+               c == '_' || c == ':';
+    };
+    if (!head(name[0]))
+        return false;
+    for (char c : name.substr(1))
+        if (!head(c) && !(c >= '0' && c <= '9'))
+            return false;
+    return true;
+}
+
+/** Prometheus `le` bounds for microsecond latencies: the decades from
+    100us to 10s, then +Inf. */
+constexpr uint64_t kLeBoundsUs[] = {100,     1'000,     10'000,
+                                    100'000, 1'000'000, 10'000'000};
+
+std::string
+joinLabels(const std::string &base, const std::string &extra)
+{
+    if (base.empty())
+        return extra;
+    if (extra.empty())
+        return base;
+    return base + "," + extra;
+}
+
+std::string
+sampleLine(const std::string &name, const std::string &labels,
+           const std::string &value)
+{
+    if (labels.empty())
+        return name + " " + value + "\n";
+    return name + "{" + labels + "} " + value + "\n";
+}
+
+std::string
+u64str(uint64_t v)
+{
+    return strformat("%llu", (unsigned long long)v);
+}
+
+} // namespace
+
+Registry::Family &
+Registry::family(const std::string &name, const std::string &help,
+                 Type type)
+{
+    // Internal misuse (bad charset, type clash) is a programming error;
+    // keep the registry self-consistent rather than crashing a daemon.
+    for (Family &fam : families_) {
+        if (fam.name == name)
+            return fam;
+    }
+    Family fam;
+    fam.name = validMetricName(name) ? name : "tarch_invalid_metric";
+    fam.help = help;
+    fam.type = type;
+    families_.push_back(std::move(fam));
+    return families_.back();
+}
+
+Registry::Series &
+Registry::findOrCreateSeries(Family &fam, const std::string &labels)
+{
+    for (Series &s : fam.series)
+        if (s.labels == labels)
+            return s;
+    Series s;
+    s.labels = labels;
+    fam.series.push_back(std::move(s));
+    return fam.series.back();
+}
+
+ShardedCounter &
+Registry::counter(const std::string &name, const std::string &help,
+                  const std::string &labels)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Series &s =
+        findOrCreateSeries(family(name, help, Type::Counter), labels);
+    if (!s.counter)
+        s.counter = std::make_unique<ShardedCounter>();
+    return *s.counter;
+}
+
+Gauge &
+Registry::gauge(const std::string &name, const std::string &help,
+                const std::string &labels)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Series &s = findOrCreateSeries(family(name, help, Type::Gauge), labels);
+    if (!s.gauge)
+        s.gauge = std::make_unique<Gauge>();
+    return *s.gauge;
+}
+
+Histogram &
+Registry::histogram(const std::string &name, const std::string &help,
+                    const std::string &labels)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Series &s =
+        findOrCreateSeries(family(name, help, Type::Histogram), labels);
+    if (!s.histogram)
+        s.histogram = std::make_unique<Histogram>();
+    return *s.histogram;
+}
+
+void
+Registry::counterFn(const std::string &name, const std::string &help,
+                    const std::string &labels,
+                    std::function<uint64_t()> fn)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Series &s =
+        findOrCreateSeries(family(name, help, Type::Counter), labels);
+    s.counterFn = std::move(fn);
+}
+
+void
+Registry::gaugeFn(const std::string &name, const std::string &help,
+                  const std::string &labels, std::function<int64_t()> fn)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Series &s = findOrCreateSeries(family(name, help, Type::Gauge), labels);
+    s.gaugeFn = std::move(fn);
+}
+
+std::string
+Registry::renderPrometheus() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string out;
+    for (const Family &fam : families_) {
+        out += "# HELP " + fam.name + " " + fam.help + "\n";
+        out += "# TYPE " + fam.name + " ";
+        out += fam.type == Type::Counter   ? "counter"
+               : fam.type == Type::Gauge   ? "gauge"
+                                           : "histogram";
+        out += "\n";
+        for (const Series &s : fam.series) {
+            switch (fam.type) {
+              case Type::Counter: {
+                uint64_t v = 0;
+                if (s.counterFn)
+                    v = s.counterFn();
+                else if (s.counter)
+                    v = s.counter->value();
+                out += sampleLine(fam.name, s.labels, u64str(v));
+                break;
+              }
+              case Type::Gauge: {
+                int64_t v = 0;
+                if (s.gaugeFn)
+                    v = s.gaugeFn();
+                else if (s.gauge)
+                    v = s.gauge->value();
+                out += sampleLine(fam.name, s.labels,
+                                  strformat("%lld", (long long)v));
+                break;
+              }
+              case Type::Histogram: {
+                const LatencyHistogram h =
+                    s.histogram ? s.histogram->snapshot()
+                                : LatencyHistogram{};
+                for (uint64_t bound : kLeBoundsUs)
+                    out += sampleLine(
+                        fam.name + "_bucket",
+                        joinLabels(s.labels,
+                                   "le=\"" + u64str(bound) + "\""),
+                        u64str(h.countAtOrBelow(bound)));
+                out += sampleLine(fam.name + "_bucket",
+                                  joinLabels(s.labels, "le=\"+Inf\""),
+                                  u64str(h.count()));
+                out += sampleLine(fam.name + "_sum", s.labels,
+                                  strformat("%.0f", h.sum()));
+                out += sampleLine(fam.name + "_count", s.labels,
+                                  u64str(h.count()));
+                break;
+              }
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+Registry::csvHeader()
+{
+    return "timestamp_ms,name,labels,value\n";
+}
+
+std::string
+Registry::renderCsv(uint64_t timestamp_ms) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string out;
+    const auto row = [&](const std::string &name,
+                         const std::string &labels,
+                         const std::string &value) {
+        out += strformat("%llu,%s,\"%s\",%s\n",
+                         (unsigned long long)timestamp_ms, name.c_str(),
+                         labels.c_str(), value.c_str());
+    };
+    for (const Family &fam : families_) {
+        for (const Series &s : fam.series) {
+            switch (fam.type) {
+              case Type::Counter: {
+                uint64_t v = 0;
+                if (s.counterFn)
+                    v = s.counterFn();
+                else if (s.counter)
+                    v = s.counter->value();
+                row(fam.name, s.labels, u64str(v));
+                break;
+              }
+              case Type::Gauge: {
+                int64_t v = 0;
+                if (s.gaugeFn)
+                    v = s.gaugeFn();
+                else if (s.gauge)
+                    v = s.gauge->value();
+                row(fam.name, s.labels, strformat("%lld", (long long)v));
+                break;
+              }
+              case Type::Histogram: {
+                const LatencyHistogram h =
+                    s.histogram ? s.histogram->snapshot()
+                                : LatencyHistogram{};
+                row(fam.name + "_count", s.labels, u64str(h.count()));
+                row(fam.name + "_sum", s.labels,
+                    strformat("%.0f", h.sum()));
+                row(fam.name + "_p50", s.labels,
+                    u64str(h.percentile(50.0)));
+                row(fam.name + "_p99", s.labels,
+                    u64str(h.percentile(99.0)));
+                row(fam.name + "_max", s.labels, u64str(h.maxValue()));
+                break;
+              }
+            }
+        }
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Exposition lint (shared by tests, tarch_trace --lint-metrics, CI).
+
+namespace {
+
+struct ParsedSample {
+    std::string family;  ///< declared family the sample belongs to
+    std::string key;     ///< full "name{labels}" identity
+    double value = 0.0;
+    bool counterLike = false;  ///< counter sample or histogram
+                               ///< _bucket/_count/_sum (monotonic)
+};
+
+/** Parse one exposition document; false + error on a lint violation. */
+bool
+parseExposition(const std::string &text,
+                std::vector<ParsedSample> &samples, std::string *error)
+{
+    const auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = msg;
+        return false;
+    };
+    std::string current_family;
+    std::string current_type;
+    size_t lineno = 0;
+    for (const std::string &line : split(text, '\n')) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        const std::string where = strformat(" (line %zu)", lineno);
+        if (line[0] == '#') {
+            std::vector<std::string> tok = split(line, ' ');
+            if (tok.size() < 3 || (tok[1] != "TYPE" && tok[1] != "HELP"))
+                return fail("malformed comment line" + where);
+            if (!validMetricName(tok[2]))
+                return fail("bad metric name '" + tok[2] + "'" + where);
+            if (tok[1] == "TYPE") {
+                if (tok.size() != 4)
+                    return fail("malformed TYPE line" + where);
+                if (tok[3] != "counter" && tok[3] != "gauge" &&
+                    tok[3] != "histogram")
+                    return fail("unknown metric type '" + tok[3] + "'" +
+                                where);
+                current_family = tok[2];
+                current_type = tok[3];
+            }
+            continue;
+        }
+        // Sample: name[{labels}] value
+        const size_t space = line.rfind(' ');
+        if (space == std::string::npos || space + 1 >= line.size())
+            return fail("sample line without a value" + where);
+        std::string ident = line.substr(0, space);
+        const std::string value_text = line.substr(space + 1);
+        std::string name = ident;
+        const size_t brace = ident.find('{');
+        if (brace != std::string::npos) {
+            if (ident.back() != '}')
+                return fail("unterminated label set" + where);
+            name = ident.substr(0, brace);
+        }
+        if (!validMetricName(name))
+            return fail("bad sample name '" + name + "'" + where);
+        char *end = nullptr;
+        const double value = std::strtod(value_text.c_str(), &end);
+        if (end == value_text.c_str() || *end != '\0')
+            return fail("unparseable sample value '" + value_text + "'" +
+                        where);
+        // Attribute the sample to the family declared above it;
+        // histogram samples may carry _bucket/_sum/_count suffixes.
+        bool matches = name == current_family;
+        if (!matches && current_type == "histogram")
+            matches = name == current_family + "_bucket" ||
+                      name == current_family + "_sum" ||
+                      name == current_family + "_count";
+        if (!matches)
+            return fail("sample '" + name +
+                        "' outside its family's TYPE block" + where);
+        ParsedSample sample;
+        sample.family = current_family;
+        sample.key = ident;
+        sample.value = value;
+        sample.counterLike =
+            current_type == "counter" || current_type == "histogram";
+        samples.push_back(std::move(sample));
+    }
+    if (samples.empty())
+        return fail("no samples in exposition document");
+    return true;
+}
+
+} // namespace
+
+bool
+Registry::lintPrometheus(const std::string &text, std::string *error)
+{
+    std::vector<ParsedSample> samples;
+    return parseExposition(text, samples, error);
+}
+
+bool
+Registry::countersMonotonic(const std::string &before,
+                            const std::string &after, std::string *error)
+{
+    std::vector<ParsedSample> a, b;
+    if (!parseExposition(before, a, error) ||
+        !parseExposition(after, b, error))
+        return false;
+    for (const ParsedSample &sa : a) {
+        if (!sa.counterLike)
+            continue;
+        for (const ParsedSample &sb : b) {
+            if (sb.key != sa.key)
+                continue;
+            if (sb.value + 1e-9 < sa.value) {
+                if (error)
+                    *error = strformat(
+                        "counter '%s' decreased: %.0f -> %.0f",
+                        sa.key.c_str(), sa.value, sb.value);
+                return false;
+            }
+            break;
+        }
+    }
+    return true;
+}
+
+} // namespace tarch::obs

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * The serving-plane metrics registry (docs/OBSERVABILITY.md): cheap
+ * sharded counters, gauges, and the log-bucketed LatencyHistogram
+ * behind one Registry that renders Prometheus text exposition and a
+ * long-format CSV for offline plots.
+ *
+ * Layering: this sits in obs (below serve) so Server, Router,
+ * SimService, and HedgedClient can all share one metric vocabulary;
+ * serve/loadgen.h aliases LatencyHistogram from here — the histogram
+ * moved up a layer in PR 9 so the registry could own it without a
+ * dependency inversion.
+ *
+ * Hot-path cost model: ShardedCounter::add is one relaxed fetch_add on
+ * a cacheline-padded stripe picked by thread id; Gauge is a single
+ * atomic; Histogram::record is an O(1) bucket increment under a mutex.
+ * Most Server/Router counters are exported as CALLBACK series reading
+ * the atomics those daemons already maintain, so exposition costs
+ * nothing until somebody actually scrapes the Metrics endpoint.
+ */
+
+#ifndef TARCH_OBS_METRICS_H
+#define TARCH_OBS_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tarch::obs {
+
+/**
+ * Log-bucketed histogram for microsecond latencies: values below 32
+ * are exact; above that, each power-of-two range is split into 32
+ * linear sub-buckets (~3% relative error), the HdrHistogram layout.
+ * Fixed-size storage, O(1) record, merge by addition — each load
+ * worker records into its own and the tool merges at the end.
+ * NOT thread-safe; see obs::Histogram for the locked registry wrapper.
+ */
+class LatencyHistogram
+{
+  public:
+    void record(uint64_t value_us);
+    void merge(const LatencyHistogram &other);
+
+    uint64_t count() const { return count_; }
+    uint64_t maxValue() const { return max_; }
+    double mean() const;
+    /** Exact running sum of recorded values (not bucketed). */
+    double sum() const { return sum_; }
+    /** Smallest bucket upper bound covering @p pct percent of samples
+        (pct in (0, 100]); 0 when empty.  Reported from the bucket
+        ceiling, so it never under-states. */
+    uint64_t percentile(double pct) const;
+    /** Samples whose bucket lies entirely at or below @p value_us —
+        the cumulative count behind a Prometheus `le` bucket.  Like
+        percentile(), quantized to bucket boundaries (~3% error). */
+    uint64_t countAtOrBelow(uint64_t value_us) const;
+
+  private:
+    static constexpr unsigned kSubBuckets = 32;  ///< per power of two
+    static constexpr size_t kBuckets = kSubBuckets * 60;
+    static size_t bucketIndex(uint64_t value);
+    static uint64_t bucketUpper(size_t index);
+
+    std::array<uint64_t, kBuckets> counts_{};
+    uint64_t count_ = 0;
+    uint64_t max_ = 0;
+    double sum_ = 0.0;
+};
+
+/** Monotonic counter striped across cachelines: add() picks a stripe
+    by thread id so concurrent writers do not bounce one line; value()
+    sums the stripes (reads may be slightly stale, never torn). */
+class ShardedCounter
+{
+  public:
+    void add(uint64_t n = 1);
+    uint64_t value() const;
+
+  private:
+    static constexpr size_t kStripes = 8;
+    struct alignas(64) Stripe {
+        std::atomic<uint64_t> v{0};
+    };
+    std::array<Stripe, kStripes> stripes_;
+};
+
+/** A settable instantaneous value (queue depth, in-flight count). */
+class Gauge
+{
+  public:
+    void set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+    void add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+    int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<int64_t> v_{0};
+};
+
+/** Thread-safe LatencyHistogram for registry use. */
+class Histogram
+{
+  public:
+    void record(uint64_t value_us);
+    LatencyHistogram snapshot() const;
+
+  private:
+    mutable std::mutex mu_;
+    LatencyHistogram h_;
+};
+
+/**
+ * Name -> metric family registry.  Families are get-or-create by
+ * (name, labels): calling counter() with the same name and labels from
+ * two threads returns the SAME series, which is how per-worker
+ * HedgedClients share one client-side counter set.  Series references
+ * stay valid for the registry's lifetime.
+ *
+ * Names must match the Prometheus charset [a-zA-Z_:][a-zA-Z0-9_:]*;
+ * labels are a pre-rendered `key="value"` list (possibly empty).
+ */
+class Registry
+{
+  public:
+    ShardedCounter &counter(const std::string &name,
+                            const std::string &help,
+                            const std::string &labels = "");
+    Gauge &gauge(const std::string &name, const std::string &help,
+                 const std::string &labels = "");
+    Histogram &histogram(const std::string &name, const std::string &help,
+                         const std::string &labels = "");
+
+    /** Register a read-on-scrape series backed by caller state (e.g. a
+        daemon's existing atomics).  @p fn must stay valid for the
+        registry's lifetime and be safe to call from any thread. */
+    void counterFn(const std::string &name, const std::string &help,
+                   const std::string &labels,
+                   std::function<uint64_t()> fn);
+    void gaugeFn(const std::string &name, const std::string &help,
+                 const std::string &labels, std::function<int64_t()> fn);
+
+    /** Prometheus text exposition (# HELP / # TYPE / samples).
+        Histograms render cumulative `le` buckets at the decades of a
+        microsecond scale plus +Inf, _sum and _count. */
+    std::string renderPrometheus() const;
+
+    /** Long-format CSV rows "timestamp_ms,name,labels,value"; the
+        header line is csvHeader().  Histograms expand to _count, _sum,
+        _p50, _p99 and _max rows. */
+    std::string renderCsv(uint64_t timestamp_ms) const;
+    static std::string csvHeader();
+
+    /**
+     * Lint one exposition document: name charset, one # TYPE line per
+     * family with a known type, every sample attributable to a
+     * declared family, parseable sample values.
+     */
+    static bool lintPrometheus(const std::string &text,
+                               std::string *error);
+    /**
+     * Cross-scrape monotonicity: every counter-family sample (and
+     * histogram _bucket/_count/_sum) present in both documents must
+     * not decrease from @p before to @p after.
+     */
+    static bool countersMonotonic(const std::string &before,
+                                  const std::string &after,
+                                  std::string *error);
+
+  private:
+    enum class Type : uint8_t { Counter, Gauge, Histogram };
+
+    struct Series {
+        std::string labels;
+        // Exactly one of these is active, per the family type.
+        std::unique_ptr<ShardedCounter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+        std::function<uint64_t()> counterFn;
+        std::function<int64_t()> gaugeFn;
+    };
+
+    struct Family {
+        std::string name;
+        std::string help;
+        Type type = Type::Counter;
+        std::deque<Series> series;
+    };
+
+    Family &family(const std::string &name, const std::string &help,
+                   Type type);
+    Series &findOrCreateSeries(Family &fam, const std::string &labels);
+
+    mutable std::mutex mu_;
+    std::deque<Family> families_;  ///< deque: stable references
+};
+
+} // namespace tarch::obs
+
+#endif // TARCH_OBS_METRICS_H

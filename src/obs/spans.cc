@@ -1,0 +1,151 @@
+#include "obs/spans.h"
+
+#include <chrono>
+#include <functional>
+#include <thread>
+#include <unistd.h>
+
+#include "common/strutil.h"
+#include "obs/json.h"
+
+namespace tarch::obs {
+
+SpanRecorder::SpanRecorder(std::string process)
+    : process_(std::move(process)),
+      // Seed ids by pid so spans minted by the client, router, and
+      // shard processes of one traced request land in disjoint ranges.
+      nextSpanId_((static_cast<uint32_t>(::getpid()) << 16) | 1u)
+{
+}
+
+uint64_t
+SpanRecorder::wallNowUs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+}
+
+uint32_t
+SpanRecorder::nextSpanId()
+{
+    uint32_t id = nextSpanId_.fetch_add(1, std::memory_order_relaxed);
+    if (id == 0)  // 0 means "no parent"; skip it on wraparound
+        id = nextSpanId_.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+void
+SpanRecorder::record(SpanRecord span)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (spans_.size() >= kMaxSpans) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    spans_.push_back(std::move(span));
+}
+
+size_t
+SpanRecorder::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return spans_.size();
+}
+
+std::vector<SpanRecord>
+SpanRecorder::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return spans_;
+}
+
+void
+SpanRecorder::appendChromeEvents(std::string &out, int pid,
+                                 bool &first) const
+{
+    const auto comma = [&] {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\n";
+    };
+    comma();
+    out += strformat("{\"name\":\"process_name\",\"ph\":\"M\","
+                     "\"pid\":%d,\"tid\":0,"
+                     "\"args\":{\"name\":\"%s\"}}",
+                     pid, jsonEscape(process_).c_str());
+    const std::vector<SpanRecord> spans = snapshot();
+    for (const SpanRecord &span : spans) {
+        comma();
+        std::string args = strformat(
+            "{\"trace\":\"%016llx\",\"span\":%llu,\"parent\":%llu",
+            (unsigned long long)span.traceId,
+            (unsigned long long)span.spanId,
+            (unsigned long long)span.parentSpanId);
+        if (!span.detail.empty())
+            args += ",\"detail\":\"" + jsonEscape(span.detail) + "\"";
+        args += "}";
+        out += strformat(
+            "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%llu,\"dur\":%llu,"
+            "\"pid\":%d,\"tid\":%llu,\"cat\":\"serve\",\"args\":%s}",
+            jsonEscape(span.name).c_str(),
+            (unsigned long long)span.startUs,
+            (unsigned long long)span.durUs, pid,
+            (unsigned long long)(span.tid % 1000), args.c_str());
+    }
+}
+
+std::string
+SpanRecorder::renderChromeTrace() const
+{
+    std::string out = "{\"traceEvents\":[";
+    bool first = true;
+    appendChromeEvents(out, 1, first);
+    out += strformat("\n],\"displayTimeUnit\":\"ms\","
+                     "\"otherData\":{\"process\":\"%s\","
+                     "\"timebase\":\"wall-clock us\","
+                     "\"dropped_spans\":%llu}}\n",
+                     jsonEscape(process_).c_str(),
+                     (unsigned long long)dropped_.load());
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// SpanScope.
+
+SpanScope::SpanScope(SpanRecorder *recorder, uint64_t trace_id,
+                     uint32_t parent_span, const char *name)
+    : recorder_(recorder), traceId_(trace_id),
+      parentSpanId_(parent_span)
+{
+    if (!recorder_ || trace_id == 0) {
+        recorder_ = nullptr;
+        return;
+    }
+    spanId_ = recorder_->nextSpanId();
+    startUs_ = SpanRecorder::wallNowUs();
+    name_ = name;
+}
+
+void
+SpanScope::end()
+{
+    if (!recorder_)
+        return;
+    SpanRecord span;
+    span.traceId = traceId_;
+    span.spanId = spanId_;
+    span.parentSpanId = parentSpanId_;
+    span.startUs = startUs_;
+    const uint64_t now = SpanRecorder::wallNowUs();
+    span.durUs = now > startUs_ ? now - startUs_ : 0;
+    span.tid = std::hash<std::thread::id>{}(std::this_thread::get_id());
+    span.name = name_;
+    span.detail = std::move(detail_);
+    recorder_->record(std::move(span));
+    recorder_ = nullptr;
+}
+
+} // namespace tarch::obs

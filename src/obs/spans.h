@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Dapper-style span recording for the serving plane: each process
+ * (client, router, shard) records the stage spans of SAMPLED requests
+ * into a bounded in-memory SpanRecorder keyed by the 16-byte trace
+ * context that tarch-rpc v2 frames carry (serve/protocol.h), and
+ * renders them as Chrome-trace JSON — the same Perfetto-loadable shape
+ * the core profiler emits — so `tarch_trace merge` can stitch one
+ * request's crossing of all three processes into a single file.
+ *
+ * Zero cost when off: an untraced request never calls into this file —
+ * every serve-side call site guards on (recorder && sampled), and the
+ * inert SpanScope constructor is a pointer check.  Timestamps are
+ * wall-clock microseconds (CLOCK_REALTIME) so spans from different
+ * processes on one machine share a timebase.
+ */
+
+#ifndef TARCH_OBS_SPANS_H
+#define TARCH_OBS_SPANS_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tarch::obs {
+
+/** One finished span of a sampled request. */
+struct SpanRecord {
+    uint64_t traceId = 0;
+    uint32_t spanId = 0;
+    uint32_t parentSpanId = 0;  ///< 0 = root
+    uint64_t startUs = 0;       ///< wall-clock microseconds
+    uint64_t durUs = 0;
+    uint64_t tid = 0;           ///< recording thread (hashed id)
+    std::string name;           ///< stage name, e.g. "server.queue"
+    std::string detail;         ///< optional args annotation
+};
+
+class SpanRecorder
+{
+  public:
+    /** @p process names the track in merged traces ("tarch_served"). */
+    explicit SpanRecorder(std::string process = "tarch");
+
+    /** Wall-clock microseconds (shared across local processes). */
+    static uint64_t wallNowUs();
+
+    /** Process-unique span id (seeded by pid so ids from cooperating
+        local processes rarely collide within one trace). */
+    uint32_t nextSpanId();
+
+    void record(SpanRecord span);
+
+    size_t size() const;
+    uint64_t dropped() const { return dropped_.load(); }
+    std::vector<SpanRecord> snapshot() const;
+    const std::string &process() const { return process_; }
+
+    /** A complete Chrome-trace JSON document for this process alone. */
+    std::string renderChromeTrace() const;
+
+    /** Append this recorder's events (ph:"X" spans + a process_name
+        metadata record) to a merged document under @p pid. */
+    void appendChromeEvents(std::string &out, int pid,
+                            bool &first) const;
+
+  private:
+    /** Bound memory: a traced soak run must not grow without limit;
+        spans past the cap are counted in dropped() instead. */
+    static constexpr size_t kMaxSpans = 1 << 16;
+
+    std::string process_;
+    std::atomic<uint32_t> nextSpanId_;
+    std::atomic<uint64_t> dropped_{0};
+    mutable std::mutex mu_;
+    std::vector<SpanRecord> spans_;
+};
+
+/**
+ * RAII helper for one stage span: captures the start on construction,
+ * records on end() (or destruction).  The default-constructed scope is
+ * inert and free.
+ */
+class SpanScope
+{
+  public:
+    SpanScope() = default;
+    SpanScope(SpanRecorder *recorder, uint64_t trace_id,
+              uint32_t parent_span, const char *name);
+    SpanScope(const SpanScope &) = delete;
+    SpanScope &operator=(const SpanScope &) = delete;
+    ~SpanScope() { end(); }
+
+    /** This scope's span id (0 when inert) — the parent for children. */
+    uint32_t id() const { return spanId_; }
+    bool active() const { return recorder_ != nullptr; }
+    void setDetail(std::string detail) { detail_ = std::move(detail); }
+    void end();
+
+  private:
+    SpanRecorder *recorder_ = nullptr;
+    uint64_t traceId_ = 0;
+    uint32_t spanId_ = 0;
+    uint32_t parentSpanId_ = 0;
+    uint64_t startUs_ = 0;
+    const char *name_ = "";
+    std::string detail_;
+};
+
+} // namespace tarch::obs
+
+#endif // TARCH_OBS_SPANS_H

@@ -41,7 +41,10 @@ Client::tryConnect(const Endpoint &ep)
 
 Client::Client(Client &&other) noexcept
     : fd_(other.fd_), nextId_(other.nextId_),
-      lastStatus_(other.lastStatus_)
+      lastStatus_(other.lastStatus_), recorder_(other.recorder_),
+      traceSampleEvery_(other.traceSampleEvery_),
+      traceTick_(other.traceTick_),
+      peerMaxVersion_(other.peerMaxVersion_)
 {
     other.fd_ = -1;
 }
@@ -54,6 +57,10 @@ Client::operator=(Client &&other) noexcept
         fd_ = other.fd_;
         nextId_ = other.nextId_;
         lastStatus_ = other.lastStatus_;
+        recorder_ = other.recorder_;
+        traceSampleEvery_ = other.traceSampleEvery_;
+        traceTick_ = other.traceTick_;
+        peerMaxVersion_ = other.peerMaxVersion_;
         other.fd_ = -1;
     }
     return *this;
@@ -94,6 +101,23 @@ Client::sendRequest(proto::MsgKind kind, const std::string &payload)
 {
     const uint64_t id = nextId_++;
     const std::string frame = proto::encodeFrame(kind, id, payload);
+    if (!sendRaw(frame.data(), frame.size()))
+        return 0;
+    return id;
+}
+
+uint64_t
+Client::sendTracedRequest(proto::MsgKind kind,
+                          const proto::TraceContext &ctx,
+                          const std::string &payload)
+{
+    // Degrade, never break framing: only a peer that Hello-proved v2
+    // gets a traced frame.
+    if (ctx.traceId == 0 || peerMaxVersion() < proto::kVersionTraced)
+        return sendRequest(kind, payload);
+    const uint64_t id = nextId_++;
+    const std::string frame =
+        proto::encodeTracedFrame(kind, id, ctx, payload);
     if (!sendRaw(frame.data(), frame.size()))
         return 0;
     return id;
@@ -197,19 +221,141 @@ Client::awaitCellOutcome(uint64_t request_id)
     return lostOutcome("unexpected reply kind");
 }
 
+uint16_t
+Client::hello()
+{
+    if (fd_ < 0)
+        return 0;
+    const uint64_t id = sendRequest(proto::MsgKind::Hello, "");
+    if (id == 0)
+        return 0;
+    Reply reply;
+    for (;;) {
+        if (readFrame(reply) != IoStatus::Ok)
+            return 0;
+        if (reply.requestId == id)
+            break;
+    }
+    if (static_cast<proto::MsgKind>(reply.kind) ==
+        proto::MsgKind::HelloResult) {
+        proto::HelloResult hello;
+        if (!proto::decodeHelloResult(reply.payload, hello)) {
+            lastStatus_ = IoStatus::Garbled;
+            close();
+            return 0;
+        }
+        peerMaxVersion_ = hello.maxVersion;
+        return peerMaxVersion_;
+    }
+    if (static_cast<proto::MsgKind>(reply.kind) == proto::MsgKind::Error) {
+        // A v1 peer does not know the Hello kind; that IS the answer.
+        peerMaxVersion_ = 1;
+        return peerMaxVersion_;
+    }
+    lastStatus_ = IoStatus::Garbled;
+    close();
+    return 0;
+}
+
+uint16_t
+Client::peerMaxVersion()
+{
+    if (peerMaxVersion_ == 0 && fd_ >= 0)
+        hello();
+    return peerMaxVersion_;
+}
+
+void
+Client::enableTracing(obs::SpanRecorder *recorder, uint64_t sample_every)
+{
+    recorder_ = recorder;
+    traceSampleEvery_ = recorder ? sample_every : 0;
+}
+
+bool
+Client::sampleTrace()
+{
+    if (!recorder_ || traceSampleEvery_ == 0)
+        return false;
+    return ++traceTick_ % traceSampleEvery_ == 0;
+}
+
+uint64_t
+Client::newTraceId()
+{
+    // Unique enough across cooperating local processes: pid, object
+    // identity, a per-client tick, and the wall clock, FNV-folded.
+    struct {
+        uint64_t pid;
+        uint64_t self;
+        uint64_t tick;
+        uint64_t now;
+    } seed = {static_cast<uint64_t>(::getpid()),
+              reinterpret_cast<uint64_t>(this), traceTick_,
+              obs::SpanRecorder::wallNowUs()};
+    const uint64_t id = proto::fnv1a64(&seed, sizeof(seed));
+    return id != 0 ? id : 1;
+}
+
 Client::Outcome
 Client::runCell(const proto::CellRequest &req)
 {
+    if (sampleTrace() && peerMaxVersion() >= proto::kVersionTraced) {
+        const uint64_t trace_id = newTraceId();
+        // The root span covers the whole round trip: it is recorded by
+        // the scope's destructor after the reply is read.
+        obs::SpanScope root(recorder_, trace_id, 0, "client.request");
+        root.setDetail(req.benchmark);
+        proto::TraceContext ctx;
+        ctx.traceId = trace_id;
+        ctx.parentSpanId = root.id();
+        ctx.sampled = 1;
+        const uint64_t id = sendTracedRequest(
+            proto::MsgKind::RunCell, ctx, proto::encodeCellRequest(req));
+        return awaitCellOutcome(id);
+    }
     const uint64_t id = sendRequest(proto::MsgKind::RunCell,
                                     proto::encodeCellRequest(req));
     return awaitCellOutcome(id);
 }
 
 Client::Outcome
+Client::runCell(const proto::CellRequest &req,
+                const proto::TraceContext &ctx)
+{
+    const uint64_t id = sendTracedRequest(proto::MsgKind::RunCell, ctx,
+                                          proto::encodeCellRequest(req));
+    return awaitCellOutcome(id);
+}
+
+Client::Outcome
 Client::runSource(const proto::SourceRequest &req)
 {
+    if (sampleTrace() && peerMaxVersion() >= proto::kVersionTraced) {
+        const uint64_t trace_id = newTraceId();
+        obs::SpanScope root(recorder_, trace_id, 0, "client.request");
+        root.setDetail("source");
+        proto::TraceContext ctx;
+        ctx.traceId = trace_id;
+        ctx.parentSpanId = root.id();
+        ctx.sampled = 1;
+        const uint64_t id =
+            sendTracedRequest(proto::MsgKind::RunSource, ctx,
+                              proto::encodeSourceRequest(req));
+        return awaitCellOutcome(id);
+    }
     const uint64_t id = sendRequest(proto::MsgKind::RunSource,
                                     proto::encodeSourceRequest(req));
+    return awaitCellOutcome(id);
+}
+
+Client::Outcome
+Client::runSource(const proto::SourceRequest &req,
+                  const proto::TraceContext &ctx)
+{
+    const uint64_t id =
+        sendTracedRequest(proto::MsgKind::RunSource, ctx,
+                          proto::encodeSourceRequest(req));
     return awaitCellOutcome(id);
 }
 
@@ -290,6 +436,34 @@ Client::stats()
         return "";
     }
     return stats.json;
+}
+
+std::string
+Client::metricsText()
+{
+    const uint64_t id = sendRequest(proto::MsgKind::Metrics, "");
+    if (id == 0)
+        return "";
+    Reply reply;
+    for (;;) {
+        if (readFrame(reply) != IoStatus::Ok)
+            return "";
+        if (reply.requestId == id)
+            break;
+    }
+    proto::MetricsResult metrics;
+    if (static_cast<proto::MsgKind>(reply.kind) !=
+            proto::MsgKind::MetricsResult ||
+        !proto::decodeMetricsResult(reply.payload, metrics)) {
+        // A v1 peer answers UnknownKind — not garbled, just absent.
+        if (static_cast<proto::MsgKind>(reply.kind) ==
+            proto::MsgKind::Error)
+            return "";
+        lastStatus_ = IoStatus::Garbled;
+        close();
+        return "";
+    }
+    return metrics.text;
 }
 
 bool

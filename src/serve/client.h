@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/spans.h"
 #include "serve/protocol.h"
 #include "serve/socket_util.h"
 
@@ -82,15 +83,47 @@ class Client
 
     Outcome runCell(const proto::CellRequest &req);
     Outcome runSource(const proto::SourceRequest &req);
+    /** Explicit-context variants: send under the given v2 trace
+        context (degrading to an untraced v1 frame when the peer has
+        not proven v2 via Hello).  Used by HedgedClient, which owns the
+        root span and hands each attempt its child context. */
+    Outcome runCell(const proto::CellRequest &req,
+                    const proto::TraceContext &ctx);
+    Outcome runSource(const proto::SourceRequest &req,
+                      const proto::TraceContext &ctx);
     /** Returns false (with @p error filled) on a typed error reply or
         a closed/lost connection. */
     bool runBatch(const proto::BatchRequest &req, proto::BatchResult &out,
                   proto::ErrorBody &error);
     /** Server health JSON; empty on a closed/lost connection. */
     std::string stats();
+    /** Prometheus text exposition; empty on a closed/lost connection
+        or a v1 peer (UnknownKind). */
+    std::string metricsText();
     bool ping();
     /** Ask the server to drain; true once DrainStarted is read. */
     bool drain();
+
+    // -- tracing -------------------------------------------------------
+
+    /**
+     * Capability probe: ask the peer its max protocol version.  A v1
+     * peer answers Hello with a typed UnknownKind error — reported
+     * here as 1, never as a failure.  0 on a dead connection.  The
+     * result is cached; peerMaxVersion() probes once per connection.
+     */
+    uint16_t hello();
+    uint16_t peerMaxVersion();
+
+    /**
+     * Record a root client.request span (into @p recorder) and send a
+     * v2 trace context on every @p sample_every-th convenience call —
+     * given the peer Hello-negotiated v2.  Null @p recorder turns
+     * tracing back off.
+     */
+    void enableTracing(obs::SpanRecorder *recorder,
+                       uint64_t sample_every = 1);
+    bool tracingEnabled() const { return recorder_ != nullptr; }
 
     // -- raw frame interface -----------------------------------------
 
@@ -100,6 +133,11 @@ class Client
      * may be on the wire) and closed.
      */
     uint64_t sendRequest(proto::MsgKind kind, const std::string &payload);
+    /** sendRequest under a v2 trace context; falls back to an untraced
+        v1 frame when @p ctx is empty or the peer only speaks v1. */
+    uint64_t sendTracedRequest(proto::MsgKind kind,
+                               const proto::TraceContext &ctx,
+                               const std::string &payload);
     /** Send arbitrary bytes (chaos/malformed-frame injection). */
     bool sendRaw(const void *data, size_t len);
     /**
@@ -123,10 +161,19 @@ class Client
     /** Close and record why, synthesizing the outcome error. */
     Outcome lostOutcome(const char *what);
     Outcome awaitCellOutcome(uint64_t request_id);
+    /** True when this convenience call should be sampled. */
+    bool sampleTrace();
+    uint64_t newTraceId();
 
     int fd_ = -1;
     uint64_t nextId_ = 1;
     IoStatus lastStatus_ = IoStatus::Ok;
+
+    obs::SpanRecorder *recorder_ = nullptr;
+    uint64_t traceSampleEvery_ = 0;
+    uint64_t traceTick_ = 0;
+    /** Cached Hello result: 0 = not probed yet. */
+    uint16_t peerMaxVersion_ = 0;
 };
 
 } // namespace tarch::serve

@@ -56,6 +56,29 @@ HedgedClient::HedgedClient(const Options &opts)
                          std::to_string(i),
                      opts_.ringVnodes);
     }
+    if (opts_.registry) {
+        obs::Registry &reg = *opts_.registry;
+        mRequests_ = &reg.counter("tarch_client_requests_total",
+                                  "Requests issued");
+        mHedges_ = &reg.counter("tarch_client_hedges_total",
+                                "Hedge attempts launched");
+        mHedgeWins_ = &reg.counter("tarch_client_hedge_wins_total",
+                                   "Requests won by the hedge");
+        mRetries_ = &reg.counter("tarch_client_retries_total",
+                                 "Sequential retries after a "
+                                 "retryable error");
+        mBudgetDenied_ =
+            &reg.counter("tarch_client_budget_denied_total",
+                         "Hedges/retries denied by the retry budget");
+        mLost_ = &reg.counter("tarch_client_lost_connections_total",
+                              "Connections lost mid-request");
+        mGarbled_ = &reg.counter("tarch_client_garbled_total",
+                                 "Unparseable response frames");
+        mLatencyUs_ = &reg.histogram(
+            "tarch_client_latency_us",
+            "Request latency, first send to winning reply "
+            "(microseconds)");
+    }
 }
 
 uint64_t
@@ -102,6 +125,8 @@ HedgedClient::spendBudget()
 {
     if (budgetTokens_ < 1.0) {
         ++counters_.budgetDenied;
+        if (mBudgetDenied_)
+            mBudgetDenied_->add();
         return false;
     }
     budgetTokens_ -= 1.0;
@@ -112,7 +137,7 @@ Client::Outcome
 HedgedClient::runCell(const proto::CellRequest &req)
 {
     return run(proto::MsgKind::RunCell, proto::encodeCellRequest(req),
-               proto::cellRequestKey(req));
+               proto::cellRequestKey(req), req.benchmark);
 }
 
 Client::Outcome
@@ -120,27 +145,71 @@ HedgedClient::runSource(const proto::SourceRequest &req)
 {
     return run(proto::MsgKind::RunSource,
                proto::encodeSourceRequest(req),
-               proto::sourceRequestKey(req));
+               proto::sourceRequestKey(req), "source");
 }
 
 Client::Outcome
 HedgedClient::run(proto::MsgKind kind, const std::string &payload,
-                  uint64_t key)
+                  uint64_t key, const std::string &detail)
 {
     ++counters_.requests;
+    if (mRequests_)
+        mRequests_->add();
     budgetTokens_ =
         std::min(opts_.retryBudgetCap,
                  budgetTokens_ + opts_.retryBudgetRatio);
+
+    // Sampled tracing: one root span for the request, one child span
+    // per attempt; the attempt's context is forwarded so server/router
+    // spans nest under it.
+    const bool traced = opts_.recorder && opts_.traceSampleEvery > 0 &&
+                        ++traceTick_ % opts_.traceSampleEvery == 0;
+    uint64_t trace_id = 0;
+    if (traced) {
+        struct {
+            uint64_t self;
+            uint64_t tick;
+            uint64_t now;
+        } seed = {reinterpret_cast<uint64_t>(this), traceTick_,
+                  obs::SpanRecorder::wallNowUs()};
+        trace_id = proto::fnv1a64(&seed, sizeof(seed));
+        if (trace_id == 0)
+            trace_id = 1;
+    }
+    obs::SpanScope root(traced ? opts_.recorder : nullptr, trace_id, 0,
+                        "client.request");
+    if (root.active())
+        root.setDetail(detail);
 
     struct Flight {
         size_t node;
         uint64_t id;
         bool hedge;
+        uint32_t spanId = 0;
+        uint64_t startUs = 0;  ///< wall clock; only when traced
     };
     std::vector<Flight> flights;
     const std::vector<size_t> order = ring_.owners(key, nodes_.size());
     size_t next_in_order = 0;
     unsigned attempts = 0;
+
+    // Record a client.attempt span for a flight that just resolved.
+    const auto endAttempt = [&](const Flight &flight,
+                                const char *outcome) {
+        if (!traced || flight.spanId == 0)
+            return;
+        obs::SpanRecord span;
+        span.traceId = trace_id;
+        span.spanId = flight.spanId;
+        span.parentSpanId = root.id();
+        span.startUs = flight.startUs;
+        const uint64_t now = obs::SpanRecorder::wallNowUs();
+        span.durUs = now > flight.startUs ? now - flight.startUs : 0;
+        span.name = "client.attempt";
+        span.detail = std::string(flight.hedge ? "hedge/" : "first/") +
+                      outcome;
+        opts_.recorder->record(std::move(span));
+    };
 
     // Launch one attempt on the next live endpoint in ring order.
     const auto launch = [&](bool hedge) -> bool {
@@ -154,13 +223,29 @@ HedgedClient::run(proto::MsgKind kind, const std::string &payload,
                 node.health.recordFailure(nowMs());
                 continue;
             }
-            const uint64_t id = node.client.sendRequest(kind, payload);
+            Flight flight{node_index, 0, hedge, 0, 0};
+            uint64_t id = 0;
+            if (traced) {
+                flight.spanId = opts_.recorder->nextSpanId();
+                flight.startUs = obs::SpanRecorder::wallNowUs();
+                proto::TraceContext ctx;
+                ctx.traceId = trace_id;
+                ctx.parentSpanId = flight.spanId;
+                ctx.sampled = 1;
+                id = node.client.sendTracedRequest(kind, ctx, payload);
+            } else {
+                id = node.client.sendRequest(kind, payload);
+            }
             if (id == 0) {
                 ++counters_.lostConnections;
+                if (mLost_)
+                    mLost_->add();
+                endAttempt(flight, "send-failed");
                 node.health.recordFailure(nowMs());
                 continue;
             }
-            flights.push_back(Flight{node_index, id, hedge});
+            flight.id = id;
+            flights.push_back(flight);
             ++attempts;
             return true;
         }
@@ -202,8 +287,11 @@ HedgedClient::run(proto::MsgKind kind, const std::string &payload,
             // The first attempt is past the tail estimate: hedge to the
             // next endpoint on the ring (budget permitting).
             hedge_decided = true;
-            if (spendBudget() && launch(true))
+            if (spendBudget() && launch(true)) {
                 ++counters_.hedges;
+                if (mHedges_)
+                    mHedges_->add();
+            }
             continue;
         }
         if (ready < 0)
@@ -217,9 +305,15 @@ HedgedClient::run(proto::MsgKind kind, const std::string &payload,
             Client::Reply reply;
             const Client::IoStatus st = node.client.readFrame(reply);
             if (st != Client::IoStatus::Ok) {
-                if (st == Client::IoStatus::Garbled)
+                if (st == Client::IoStatus::Garbled) {
                     ++counters_.garbled;
+                    if (mGarbled_)
+                        mGarbled_->add();
+                }
                 ++counters_.lostConnections;
+                if (mLost_)
+                    mLost_->add();
+                endAttempt(flight, "lost");
                 node.health.recordFailure(nowMs());
                 flights.erase(flights.begin() +
                               static_cast<ptrdiff_t>(i));
@@ -235,16 +329,32 @@ HedgedClient::run(proto::MsgKind kind, const std::string &payload,
             node.health.recordSuccess();
             bool reply_garbled = false;
             Client::Outcome outcome = decodeOutcome(reply, reply_garbled);
-            if (reply_garbled)
+            if (reply_garbled) {
                 ++counters_.garbled;
+                if (mGarbled_)
+                    mGarbled_->add();
+            }
             if (outcome.ok || !retryable(outcome)) {
-                if (flight.hedge)
+                if (flight.hedge) {
                     ++counters_.hedgeWins;
-                latencies_.record(nowUs() - start_us);
+                    if (mHedgeWins_)
+                        mHedgeWins_->add();
+                }
+                endAttempt(flight, outcome.ok ? "won" : "error");
+                // Abandoned sibling flights: their replies are
+                // discarded later, but the spans end now.
+                for (size_t j = 0; j < flights.size(); ++j)
+                    if (flights[j].id != flight.id)
+                        endAttempt(flights[j], "abandoned");
+                const uint64_t latency_us = nowUs() - start_us;
+                latencies_.record(latency_us);
+                if (mLatencyUs_)
+                    mLatencyUs_->record(latency_us);
                 return outcome;
             }
             // Retryable (Busy/Draining/...): give up on this flight,
             // keep any sibling flight alive.
+            endAttempt(flight, "retryable-error");
             last = std::move(outcome);
             flights.erase(flights.begin() + static_cast<ptrdiff_t>(i));
             break;  // pollfds are stale; rebuild
@@ -259,6 +369,8 @@ HedgedClient::run(proto::MsgKind kind, const std::string &payload,
             if (!launch(false))
                 return last;
             ++counters_.retries;
+            if (mRetries_)
+                mRetries_->add();
             hedge_at_us = nowUs() + hedgeDelayUs();
             hedge_decided = false;
         }

@@ -34,6 +34,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/spans.h"
 #include "serve/client.h"
 #include "serve/loadgen.h"
 #include "serve/protocol.h"
@@ -64,6 +66,17 @@ class HedgedClient
         double retryBudgetCap = 50.0;
         double retryBudgetInitial = 10.0;
         ShardHealth::Options health;
+        /** When set, every traceSampleEvery-th request records a root
+            client.request span plus one client.attempt span per
+            attempt, and sends a v2 trace context to v2 peers.  Must
+            outlive the client. */
+        obs::SpanRecorder *recorder = nullptr;
+        uint64_t traceSampleEvery = 1;
+        /** When set, counters and the latency histogram are mirrored
+            into this registry (get-or-create by name, so per-worker
+            instances share one series set).  Must outlive the
+            client. */
+        obs::Registry *registry = nullptr;
     };
 
     struct Counters {
@@ -108,7 +121,7 @@ class HedgedClient
     bool ensureNode(Node &node);
     bool spendBudget();
     Client::Outcome run(proto::MsgKind kind, const std::string &payload,
-                        uint64_t key);
+                        uint64_t key, const std::string &detail);
 
     Options opts_;
     HashRing ring_;
@@ -117,6 +130,16 @@ class HedgedClient
     Counters counters_;
     double budgetTokens_ = 0.0;
     std::chrono::steady_clock::time_point epoch_;
+    uint64_t traceTick_ = 0;
+    /** Registry mirrors (null when opts_.registry is null). */
+    obs::ShardedCounter *mRequests_ = nullptr;
+    obs::ShardedCounter *mHedges_ = nullptr;
+    obs::ShardedCounter *mHedgeWins_ = nullptr;
+    obs::ShardedCounter *mRetries_ = nullptr;
+    obs::ShardedCounter *mBudgetDenied_ = nullptr;
+    obs::ShardedCounter *mLost_ = nullptr;
+    obs::ShardedCounter *mGarbled_ = nullptr;
+    obs::Histogram *mLatencyUs_ = nullptr;
 };
 
 } // namespace tarch::serve

@@ -1,80 +1,8 @@
 #include "serve/loadgen.h"
 
 #include <algorithm>
-#include <cmath>
 
 namespace tarch::serve {
-
-size_t
-LatencyHistogram::bucketIndex(uint64_t value)
-{
-    if (value < kSubBuckets)
-        return static_cast<size_t>(value);
-    // msb >= 5; the top six bits pick (group, sub-bucket).
-    unsigned msb = 63;
-    while (!(value & (1ULL << msb)))
-        --msb;
-    const unsigned shift = msb - 5;
-    const uint64_t sub = value >> shift;  // in [32, 64)
-    const size_t index =
-        static_cast<size_t>(msb - 4) * kSubBuckets +
-        static_cast<size_t>(sub - kSubBuckets);
-    return std::min(index, kBuckets - 1);
-}
-
-uint64_t
-LatencyHistogram::bucketUpper(size_t index)
-{
-    const size_t group = index / kSubBuckets;
-    const size_t sub = index % kSubBuckets;
-    if (group == 0)
-        return index;  // exact
-    const unsigned shift = static_cast<unsigned>(group - 1);
-    return ((static_cast<uint64_t>(sub) + kSubBuckets + 1) << shift) - 1;
-}
-
-void
-LatencyHistogram::record(uint64_t value_us)
-{
-    ++counts_[bucketIndex(value_us)];
-    ++count_;
-    sum_ += static_cast<double>(value_us);
-    max_ = std::max(max_, value_us);
-}
-
-void
-LatencyHistogram::merge(const LatencyHistogram &other)
-{
-    for (size_t i = 0; i < kBuckets; ++i)
-        counts_[i] += other.counts_[i];
-    count_ += other.count_;
-    sum_ += other.sum_;
-    max_ = std::max(max_, other.max_);
-}
-
-double
-LatencyHistogram::mean() const
-{
-    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
-}
-
-uint64_t
-LatencyHistogram::percentile(double pct) const
-{
-    if (count_ == 0)
-        return 0;
-    const double clamped = std::min(100.0, std::max(0.0, pct));
-    const uint64_t target = std::max<uint64_t>(
-        1, static_cast<uint64_t>(
-               std::ceil(clamped / 100.0 * static_cast<double>(count_))));
-    uint64_t seen = 0;
-    for (size_t i = 0; i < kBuckets; ++i) {
-        seen += counts_[i];
-        if (seen >= target)
-            return std::min(bucketUpper(i), max_);
-    }
-    return max_;
-}
 
 std::vector<uint64_t>
 openLoopLatencies(const std::vector<uint64_t> &service_us,

@@ -1,8 +1,11 @@
 /**
  * @file
- * Load-generation measurement: an HdrHistogram-style log-bucketed
- * latency histogram and the open-loop latency accounting that makes
- * percentiles honest under stalls.
+ * Load-generation measurement: the open-loop latency accounting that
+ * makes percentiles honest under stalls.  The log-bucketed
+ * LatencyHistogram itself now lives in obs/metrics.h (PR 9), where the
+ * metrics registry can serve it to every daemon without inverting the
+ * obs -> serve layering; the alias below keeps existing serve-side
+ * callers and tests source-compatible.
  *
  * A closed-loop load generator (send, wait, send) measures only
  * service time: when the server stalls, the generator stops sending,
@@ -17,45 +20,14 @@
 #ifndef TARCH_SERVE_LOADGEN_H
 #define TARCH_SERVE_LOADGEN_H
 
-#include <array>
-#include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace tarch::serve {
 
-/**
- * Log-bucketed histogram for microsecond latencies: values below 32
- * are exact; above that, each power-of-two range is split into 32
- * linear sub-buckets (~3% relative error), the HdrHistogram layout.
- * Fixed-size storage, O(1) record, merge by addition — each load
- * worker records into its own and the tool merges at the end.
- */
-class LatencyHistogram
-{
-  public:
-    void record(uint64_t value_us);
-    void merge(const LatencyHistogram &other);
-
-    uint64_t count() const { return count_; }
-    uint64_t maxValue() const { return max_; }
-    double mean() const;
-    /** Smallest bucket upper bound covering @p pct percent of samples
-        (pct in (0, 100]); 0 when empty.  Reported from the bucket
-        ceiling, so it never under-states. */
-    uint64_t percentile(double pct) const;
-
-  private:
-    static constexpr unsigned kSubBuckets = 32;  ///< per power of two
-    static constexpr size_t kBuckets = kSubBuckets * 60;
-    static size_t bucketIndex(uint64_t value);
-    static uint64_t bucketUpper(size_t index);
-
-    std::array<uint64_t, kBuckets> counts_{};
-    uint64_t count_ = 0;
-    uint64_t max_ = 0;
-    double sum_ = 0.0;
-};
+using LatencyHistogram = obs::LatencyHistogram;
 
 /**
  * Pure model of one worker draining a fixed open-loop arrival schedule

@@ -150,6 +150,8 @@ isRequestKind(uint16_t kind)
       case MsgKind::Stats:
       case MsgKind::Drain:
       case MsgKind::Ping:
+      case MsgKind::Metrics:
+      case MsgKind::Hello:
         return true;
       default:
         return false;
@@ -202,12 +204,13 @@ parseHeader(const uint8_t header[kHeaderSize], FrameHeader &out,
     uint64_t id = 0;
     for (int i = 0; i < 8; ++i)
         id |= static_cast<uint64_t>(header[8 + i]) << (8 * i);
+    out.version = u16at(4);
     out.kind = u16at(6);
     out.requestId = id;
     out.payloadLen = u32at(16);
     if (u32at(0) != kMagic)
         return HeaderStatus::BadMagic;
-    if (u16at(4) != kVersion)
+    if (out.version != kVersion && out.version != kVersionTraced)
         return HeaderStatus::BadVersion;
     if (out.payloadLen > max_payload || out.payloadLen > kMaxPayload)
         return HeaderStatus::TooLarge;
@@ -224,6 +227,63 @@ encodeFrame(MsgKind kind, uint64_t request_id, const std::string &payload)
     putU16(buf, static_cast<uint16_t>(kind));
     putU64(buf, request_id);
     putU32(buf, static_cast<uint32_t>(payload.size()));
+    buf.append(payload);
+    return buf;
+}
+
+// ---------------------------------------------------------------------
+// Trace context (v2).
+
+std::string
+encodeTraceContext(const TraceContext &ctx)
+{
+    std::string buf;
+    buf.reserve(kTraceContextSize);
+    putU64(buf, ctx.traceId);
+    putU32(buf, ctx.parentSpanId);
+    putU8(buf, ctx.sampled);
+    putU8(buf, 0);  // reserved, must be zero
+    putU8(buf, 0);
+    putU8(buf, 0);
+    return buf;
+}
+
+bool
+decodeTraceContext(const std::string &payload, TraceContext &out,
+                   size_t &body_offset)
+{
+    // Strict like every other decoder: every truncation of the
+    // context bytes, a nonzero reserved byte, and an out-of-range
+    // sampled flag are all rejected.
+    if (payload.size() < kTraceContextSize)
+        return false;
+    const auto *p = reinterpret_cast<const uint8_t *>(payload.data());
+    out.traceId = 0;
+    for (int i = 0; i < 8; ++i)
+        out.traceId |= static_cast<uint64_t>(p[i]) << (8 * i);
+    out.parentSpanId = 0;
+    for (int i = 0; i < 4; ++i)
+        out.parentSpanId |= static_cast<uint32_t>(p[8 + i]) << (8 * i);
+    out.sampled = p[12];
+    if (out.sampled > 1 || p[13] != 0 || p[14] != 0 || p[15] != 0)
+        return false;
+    body_offset = kTraceContextSize;
+    return true;
+}
+
+std::string
+encodeTracedFrame(MsgKind kind, uint64_t request_id,
+                  const TraceContext &ctx, const std::string &payload)
+{
+    std::string buf;
+    buf.reserve(kHeaderSize + kTraceContextSize + payload.size());
+    putU32(buf, kMagic);
+    putU16(buf, kVersionTraced);
+    putU16(buf, static_cast<uint16_t>(kind));
+    putU64(buf, request_id);
+    putU32(buf,
+           static_cast<uint32_t>(kTraceContextSize + payload.size()));
+    buf.append(encodeTraceContext(ctx));
     buf.append(payload);
     return buf;
 }
@@ -405,6 +465,42 @@ decodeStatsResult(const std::string &payload, StatsResult &out)
 {
     Reader r(payload);
     if (!r.str(out.json))
+        return false;
+    return r.done();
+}
+
+std::string
+encodeMetricsResult(const MetricsResult &result)
+{
+    std::string buf;
+    putStr(buf, result.text);
+    return buf;
+}
+
+bool
+decodeMetricsResult(const std::string &payload, MetricsResult &out)
+{
+    Reader r(payload);
+    if (!r.str(out.text))
+        return false;
+    return r.done();
+}
+
+std::string
+encodeHelloResult(const HelloResult &result)
+{
+    std::string buf;
+    putU16(buf, result.maxVersion);
+    return buf;
+}
+
+bool
+decodeHelloResult(const std::string &payload, HelloResult &out)
+{
+    Reader r(payload);
+    if (!r.u16(out.maxVersion))
+        return false;
+    if (out.maxVersion < 1)
         return false;
     return r.done();
 }

@@ -16,6 +16,17 @@
  * malformed payload yields a typed Error response; a malformed header
  * (bad magic/version/oversized length) poisons the byte stream and
  * closes only the offending connection.
+ *
+ * Version 2 (the traced minor revision, PR 9): the header is
+ * unchanged, but a request frame stamped kVersionTraced carries a
+ * 16-byte trace/span context as a payload PREFIX ahead of the v1 body;
+ * responses are always v1.  Because v1 decoders reject trailing bytes,
+ * the context rides under a version bump rather than as an optional
+ * suffix, and a client only sends v2 after a Hello exchange proves the
+ * peer speaks it — against a v1 peer (which answers Hello with a typed
+ * UnknownKind error) requests degrade to untraced v1 frames, never to
+ * framing errors.  The context is deliberately EXCLUDED from request
+ * keys: tracing must not break shard affinity or single-flight dedup.
  */
 
 #ifndef TARCH_SERVE_PROTOCOL_H
@@ -33,7 +44,12 @@ namespace tarch::serve::proto {
 
 constexpr uint32_t kMagic = 0x43505254u;  ///< "TRPC" little-endian
 constexpr uint16_t kVersion = 1;
+/** Minor revision: same header, but request payloads carry a 16-byte
+    trace-context prefix.  Sent only after Hello negotiation. */
+constexpr uint16_t kVersionTraced = 2;
+constexpr uint16_t kMaxVersion = kVersionTraced;
 constexpr size_t kHeaderSize = 20;
+constexpr size_t kTraceContextSize = 16;
 /** Hard upper bound any parser accepts; servers may configure less. */
 constexpr uint32_t kMaxPayload = 64u << 20;
 
@@ -46,6 +62,8 @@ enum class MsgKind : uint16_t {
     Stats = 4,      ///< server health/stats snapshot
     Drain = 5,      ///< graceful drain: stop accepting, finish in-flight
     Ping = 6,
+    Metrics = 7,    ///< Prometheus text exposition snapshot
+    Hello = 8,      ///< capability probe (max protocol version)
 
     // responses
     CellResult = 128,
@@ -53,6 +71,8 @@ enum class MsgKind : uint16_t {
     StatsResult = 130,
     Pong = 131,
     DrainStarted = 132,
+    MetricsResult = 133,
+    HelloResult = 134,
     Error = 255,
 };
 
@@ -87,6 +107,7 @@ std::string_view errorCodeName(ErrorCode code);
 bool errorRetryable(ErrorCode code);
 
 struct FrameHeader {
+    uint16_t version = kVersion;  ///< kVersion or kVersionTraced
     uint16_t kind = 0;
     uint64_t requestId = 0;
     uint32_t payloadLen = 0;
@@ -101,14 +122,50 @@ enum class HeaderStatus : uint8_t {
 
 /**
  * Parse a 20-byte header.  @p max_payload caps payloadLen (pass the
- * server's configured limit, itself capped by kMaxPayload).
+ * server's configured limit, itself capped by kMaxPayload).  Accepts
+ * versions 1 and 2 and reports which in @p out.version.
  */
 HeaderStatus parseHeader(const uint8_t header[kHeaderSize],
                          FrameHeader &out, uint32_t max_payload);
 
-/** Serialize one complete frame (header + payload). */
+/** Serialize one complete v1 frame (header + payload). */
 std::string encodeFrame(MsgKind kind, uint64_t request_id,
                         const std::string &payload);
+
+// ---------------------------------------------------------------------
+// Trace context (tarch-rpc v2).
+
+/**
+ * The 16-byte context prefixed to every v2 request payload: trace id,
+ * the sender's span id (the receiver's parent), a sampled flag, and
+ * three reserved zero bytes.  A zero traceId or clear sampled flag
+ * means "propagate but do not record".
+ */
+struct TraceContext {
+    uint64_t traceId = 0;
+    uint32_t parentSpanId = 0;
+    uint8_t sampled = 0;
+
+    bool recording() const { return sampled != 0 && traceId != 0; }
+};
+
+/** Exactly kTraceContextSize bytes. */
+std::string encodeTraceContext(const TraceContext &ctx);
+
+/**
+ * Strict decode of exactly kTraceContextSize bytes from the FRONT of
+ * @p payload; false on short payloads, a nonzero reserved byte, or an
+ * out-of-range sampled flag.  On success @p body_offset is the start
+ * of the v1 body.
+ */
+bool decodeTraceContext(const std::string &payload, TraceContext &out,
+                        size_t &body_offset);
+
+/** Serialize a v2 frame: header (version kVersionTraced) + context +
+    v1 payload. */
+std::string encodeTracedFrame(MsgKind kind, uint64_t request_id,
+                              const TraceContext &ctx,
+                              const std::string &payload);
 
 // ---------------------------------------------------------------------
 // Payload bodies.
@@ -167,7 +224,18 @@ struct BatchResult {
 };
 
 struct StatsResult {
-    std::string json;  ///< tarch-serve-stats-v1 document
+    std::string json;  ///< tarch-serve-stats-v2 document
+};
+
+struct MetricsResult {
+    std::string text;  ///< Prometheus text exposition
+};
+
+/** HelloResult payload: the responder's maximum protocol version.  A
+    v1 peer answers Hello with a typed UnknownKind error instead —
+    which a prober treats as maxVersion == 1. */
+struct HelloResult {
+    uint16_t maxVersion = kMaxVersion;
 };
 
 // Encoders never fail; decoders return false on any malformation
@@ -193,6 +261,12 @@ bool decodeBatchResult(const std::string &payload, BatchResult &out);
 std::string encodeStatsResult(const StatsResult &result);
 bool decodeStatsResult(const std::string &payload, StatsResult &out);
 
+std::string encodeMetricsResult(const MetricsResult &result);
+bool decodeMetricsResult(const std::string &payload, MetricsResult &out);
+
+std::string encodeHelloResult(const HelloResult &result);
+bool decodeHelloResult(const std::string &payload, HelloResult &out);
+
 /** Convenience: a complete Error frame for @p request_id. */
 std::string errorFrame(uint64_t request_id, ErrorCode code,
                        const std::string &message);
@@ -205,8 +279,9 @@ std::string errorFrame(uint64_t request_id, ErrorCode code,
 // source text) — the same content addressing the sweep cache uses — so
 // a consistent-hash router and a hedging client independently map the
 // same request to the same shard, where the single-flight memo
-// deduplicates it.  Deadlines and the stats-JSON flag are deliberately
-// excluded: they change the reply envelope, not the simulation.
+// deduplicates it.  Deadlines, the stats-JSON flag, and the v2 trace
+// context are deliberately excluded: they change the reply envelope
+// (or the request's observability), not the simulation.
 
 /** FNV-1a over @p len bytes, chainable via @p seed. */
 uint64_t fnv1a64(const void *data, size_t len,

@@ -156,6 +156,11 @@ struct Router::BackendConn : FrameConn {
         confused with a dead connection's. */
     std::unordered_map<uint64_t, std::shared_ptr<Pending>> inFlight;
     uint64_t nextId = 1;
+    /** Hello-probed protocol ceiling of this backend (per connection,
+        so a shard replaced by an older binary re-probes on
+        reconnect).  1 until proven otherwise — forwarding untraced is
+        always safe. */
+    uint16_t maxVersion = 1;
 };
 
 struct Router::Pending {
@@ -165,6 +170,19 @@ struct Router::Pending {
     RoutePriority priority = RoutePriority::Cell;
     std::string payload;
     std::atomic<bool> answered{false};
+    /** Trace context stripped off the client's v2 frame (traceId 0 =
+        untraced — no span is ever recorded for it). */
+    proto::TraceContext trace;
+    /** Steady-clock receive stamp for the latency histogram. */
+    uint64_t startUs = 0;
+    /** Wall-clock stamp taken when a traced request enters a shard's
+        shed queue; the wait becomes a retroactive router.queue span
+        when the request is finally sent. */
+    uint64_t queueWallUs = 0;
+    /** router.backend span, minted at forward time and recorded when
+        the reply (or failure) answers the request. */
+    uint32_t backendSpanId = 0;
+    uint64_t backendStartUs = 0;
 };
 
 struct Router::Shard {
@@ -186,6 +204,25 @@ struct Router::Shard {
 
 // ---------------------------------------------------------------------
 // Health.
+
+/** The replies_by_code object: "ok" plus every ErrorCode name, all
+    keys always rendered so schema-gated consumers can rely on them
+    (mirrors server.cc). */
+static std::string
+repliesByCodeJson(const std::array<uint64_t, 16> &replies)
+{
+    std::string out =
+        strformat("{\"ok\":%llu", (unsigned long long)replies[0]);
+    for (uint16_t code = 1; code < 16; ++code)
+        out += strformat(
+            ",\"%s\":%llu",
+            std::string(proto::errorCodeName(
+                            static_cast<proto::ErrorCode>(code)))
+                .c_str(),
+            (unsigned long long)replies[code]);
+    out += "}";
+    return out;
+}
 
 std::string
 Router::Health::toJson() const
@@ -209,7 +246,7 @@ Router::Health::toJson() const
     }
     shard_array += "]";
     return strformat(
-        "{\"schema\":\"tarch-router-stats-v1\","
+        "{\"schema\":\"tarch-router-stats-v2\","
         "\"accepted_connections\":%llu,"
         "\"active_connections\":%llu,"
         "\"received\":%llu,"
@@ -219,16 +256,20 @@ Router::Health::toJson() const
         "\"shed_busy\":%llu,"
         "\"connection_lost\":%llu,"
         "\"framing_errors\":%llu,"
+        "\"replies_by_code\":%s,"
         "\"draining\":%s,"
         "\"uptime_ms\":%llu,"
+        "\"uptime_seconds\":%llu,"
         "\"shards\":%s}",
         (unsigned long long)acceptedConnections,
         (unsigned long long)activeConnections,
         (unsigned long long)received, (unsigned long long)forwarded,
         (unsigned long long)completed, (unsigned long long)errors,
         (unsigned long long)shedBusy, (unsigned long long)connectionLost,
-        (unsigned long long)framingErrors, draining ? "true" : "false",
-        (unsigned long long)uptimeMs, shard_array.c_str());
+        (unsigned long long)framingErrors,
+        repliesByCodeJson(repliesByCode).c_str(),
+        draining ? "true" : "false", (unsigned long long)uptimeMs,
+        (unsigned long long)(uptimeMs / 1000), shard_array.c_str());
 }
 
 // ---------------------------------------------------------------------
@@ -245,6 +286,100 @@ Router::Router(const Config &config) : config_(config)
             config_.shards[i], config_.queuePerShard, health_opts));
         ring_.insert(i, config_.shards[i].describe(), config_.ringVnodes);
     }
+    registerMetrics();
+}
+
+void
+Router::registerMetrics()
+{
+    // Callback families read the atomics the router maintains anyway,
+    // so the Metrics endpoint costs nothing until somebody scrapes it.
+    const auto c = [this](const char *name, const char *help,
+                          const char *labels,
+                          const std::atomic<uint64_t> *v) {
+        registry_.counterFn(name, help, labels,
+                            [v] { return v->load(); });
+    };
+    c("tarch_router_received_total", "Client requests received", "",
+      &received_);
+    c("tarch_router_forwarded_total", "Requests forwarded to shards", "",
+      &forwarded_);
+    c("tarch_router_shed_busy_total",
+      "Requests shed with a retryable BUSY", "", &shedBusy_);
+    c("tarch_router_connection_lost_total",
+      "Requests failed by a dying backend connection", "",
+      &connectionLost_);
+    c("tarch_router_framing_errors_total",
+      "Malformed frames on either side", "", &framingErrors_);
+    c("tarch_router_accepted_connections_total",
+      "Frontend connections accepted", "", &acceptedConnections_);
+    registry_.counterFn("tarch_router_replies_total",
+                        "Replies sent to clients by outcome",
+                        "code=\"ok\"",
+                        [this] { return repliesByCode_[0].load(); });
+    for (uint16_t code = 1; code < 16; ++code) {
+        const std::string labels = strformat(
+            "code=\"%s\"",
+            std::string(proto::errorCodeName(
+                            static_cast<proto::ErrorCode>(code)))
+                .c_str());
+        registry_.counterFn(
+            "tarch_router_replies_total",
+            "Replies sent to clients by outcome", labels,
+            [this, code] { return repliesByCode_[code].load(); });
+    }
+    registry_.gaugeFn("tarch_router_outstanding", "Routed, unanswered",
+                      "", [this] {
+                          return static_cast<int64_t>(
+                              outstanding_.load());
+                      });
+    registry_.gaugeFn("tarch_router_uptime_seconds",
+                      "Seconds since start()", "", [this] {
+                          return started_.load()
+                                     ? static_cast<int64_t>(nowMs() /
+                                                            1000)
+                                     : 0;
+                      });
+    for (size_t i = 0; i < shards_.size(); ++i) {
+        Shard *shard = shards_[i].get();
+        const std::string labels =
+            strformat("shard=\"%s\"", shard->ep.describe().c_str());
+        registry_.counterFn("tarch_router_shard_forwarded_total",
+                            "Requests forwarded, per shard", labels,
+                            [shard] { return shard->forwardedCnt.load(); });
+        registry_.counterFn("tarch_router_shard_failures_total",
+                            "Connect/IO failures, per shard", labels,
+                            [shard] { return shard->failuresCnt.load(); });
+        registry_.gaugeFn("tarch_router_shard_queued",
+                          "Shed-queue depth, per shard", labels,
+                          [shard] {
+                              std::lock_guard<std::mutex> lock(shard->mu);
+                              return static_cast<int64_t>(
+                                  shard->queue.size());
+                          });
+        registry_.gaugeFn("tarch_router_shard_in_flight",
+                          "Outstanding window, per shard", labels,
+                          [shard] {
+                              std::lock_guard<std::mutex> lock(shard->mu);
+                              return static_cast<int64_t>(
+                                  shard->conn
+                                      ? shard->conn->inFlight.size()
+                                      : 0);
+                          });
+    }
+    latencyUs_ = &registry_.histogram(
+        "tarch_router_latency_us",
+        "Client-visible latency, dispatch to answer (microseconds)");
+}
+
+void
+Router::countReply(uint16_t code)
+{
+    repliesByCode_[code < repliesByCode_.size()
+                       ? code
+                       : static_cast<uint16_t>(
+                             proto::ErrorCode::Internal)]
+        .fetch_add(1);
 }
 
 Router::~Router()
@@ -257,6 +392,15 @@ Router::nowMs() const
 {
     return static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - startTime_)
+            .count());
+}
+
+uint64_t
+Router::nowUs() const
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - startTime_)
             .count());
 }
@@ -357,6 +501,7 @@ Router::clientReaderLoop(std::shared_ptr<ClientConn> conn)
                 : status == proto::HeaderStatus::BadVersion
                     ? proto::ErrorCode::BadVersion
                     : proto::ErrorCode::PayloadTooLarge;
+            countReply(static_cast<uint16_t>(code));
             conn->sendFrame(proto::errorFrame(
                 fh.requestId, code,
                 strformat("framing error: %s",
@@ -368,7 +513,26 @@ Router::clientReaderLoop(std::shared_ptr<ClientConn> conn)
         if (fh.payloadLen > 0 &&
             readFull(conn->fd, payload.data(), payload.size()) != 1)
             break;
-        dispatch(conn, fh, std::move(payload));
+        // v2 frames carry a trace-context prefix; strip it here so the
+        // routing/forwarding path below sees exactly the v1 body.  The
+        // stream stays framed either way, so a malformed context is a
+        // typed per-request error, not a connection killer.
+        proto::TraceContext ctx;
+        if (fh.version == proto::kVersionTraced) {
+            size_t body_offset = 0;
+            if (!proto::isRequestKind(fh.kind) ||
+                !proto::decodeTraceContext(payload, ctx, body_offset)) {
+                errors_.fetch_add(1);
+                countReply(
+                    static_cast<uint16_t>(proto::ErrorCode::BadFrame));
+                conn->sendFrame(proto::errorFrame(
+                    fh.requestId, proto::ErrorCode::BadFrame,
+                    "malformed v2 trace context"));
+                continue;
+            }
+            payload.erase(0, body_offset);
+        }
+        dispatch(conn, fh, std::move(payload), ctx);
     }
     conn->shutdownNow();
     retireClient(conn);
@@ -416,25 +580,50 @@ Router::reaperLoop()
 
 void
 Router::dispatch(const std::shared_ptr<ClientConn> &conn,
-                 const proto::FrameHeader &header, std::string payload)
+                 const proto::FrameHeader &header, std::string payload,
+                 const proto::TraceContext &ctx)
 {
     received_.fetch_add(1);
     const auto kind = static_cast<proto::MsgKind>(header.kind);
     switch (kind) {
       case proto::MsgKind::Ping:
+        countReply(0);
         conn->sendFrame(proto::encodeFrame(proto::MsgKind::Pong,
                                            header.requestId, ""));
         return;
       case proto::MsgKind::Stats: {
         proto::StatsResult stats;
         stats.json = health().toJson();
+        countReply(0);
         conn->sendFrame(
             proto::encodeFrame(proto::MsgKind::StatsResult,
                                header.requestId,
                                proto::encodeStatsResult(stats)));
         return;
       }
+      case proto::MsgKind::Metrics: {
+        proto::MetricsResult metrics;
+        metrics.text = registry_.renderPrometheus();
+        countReply(0);
+        conn->sendFrame(
+            proto::encodeFrame(proto::MsgKind::MetricsResult,
+                               header.requestId,
+                               proto::encodeMetricsResult(metrics)));
+        return;
+      }
+      case proto::MsgKind::Hello: {
+        proto::HelloResult hello;
+        hello.maxVersion =
+            config_.advertiseTracing ? proto::kMaxVersion : 1;
+        countReply(0);
+        conn->sendFrame(
+            proto::encodeFrame(proto::MsgKind::HelloResult,
+                               header.requestId,
+                               proto::encodeHelloResult(hello)));
+        return;
+      }
       case proto::MsgKind::Drain:
+        countReply(0);
         conn->sendFrame(proto::encodeFrame(proto::MsgKind::DrainStarted,
                                            header.requestId, ""));
         requestDrain();
@@ -445,6 +634,8 @@ Router::dispatch(const std::shared_ptr<ClientConn> &conn,
         break;
       default:
         errors_.fetch_add(1);
+        countReply(
+            static_cast<uint16_t>(proto::ErrorCode::UnknownKind));
         conn->sendFrame(proto::errorFrame(
             header.requestId, proto::ErrorCode::UnknownKind,
             strformat("unknown request kind %u", header.kind)));
@@ -485,6 +676,7 @@ Router::dispatch(const std::shared_ptr<ClientConn> &conn,
     }
     if (!ok) {
         errors_.fetch_add(1);
+        countReply(static_cast<uint16_t>(proto::ErrorCode::BadFrame));
         conn->sendFrame(proto::errorFrame(header.requestId,
                                           proto::ErrorCode::BadFrame,
                                           "malformed request payload"));
@@ -497,6 +689,8 @@ Router::dispatch(const std::shared_ptr<ClientConn> &conn,
     pending->kind = kind;
     pending->priority = priority;
     pending->payload = std::move(payload);
+    pending->trace = ctx;
+    pending->startUs = nowUs();
     // Register with the drain barrier BEFORE the draining check: the
     // drain waiter only sees zero outstanding after every registered
     // request is answered, and a request registered after draining flips
@@ -516,14 +710,23 @@ Router::route(std::shared_ptr<Pending> pending, uint64_t key)
     // Walk the ring from the key's owner: ejected or unconnectable
     // shards are skipped, so while a shard is out its keys fail over to
     // the next owner (and fail back automatically once it heals).
+    // The scope is inert (a pointer check) for untraced requests.
+    obs::SpanScope routeSpan(&spans_, pending->trace.traceId,
+                             pending->trace.parentSpanId,
+                             "router.route");
     const std::vector<size_t> order = ring_.owners(key, shards_.size());
     for (const size_t index : order)
-        if (submitToShard(index, pending))
+        if (submitToShard(index, pending)) {
+            if (routeSpan.active())
+                routeSpan.setDetail(shards_[index]->ep.describe());
             return;
+        }
+    routeSpan.setDetail("no-healthy-shard");
     shedBusy_.fetch_add(1);
     answerError(pending, proto::ErrorCode::Busy,
                 "no healthy shard available");
 }
+
 
 bool
 Router::ensureBackend(Shard &shard, size_t shard_index)
@@ -539,6 +742,14 @@ Router::ensureBackend(Shard &shard, size_t shard_index)
     auto conn = std::make_shared<BackendConn>();
     conn->fd = fd;
     conn->shard = shard_index;
+    // Pipelined capability probe: Hello rides ahead of the first real
+    // request under reserved id 0 (in-flight ids start at 1), and the
+    // reader loop records the answer.  Until it lands, the connection
+    // conservatively forwards untraced v1 frames — the probe never
+    // blocks the request path, and a backend that dies on it fails
+    // exactly as it would on any other send.
+    if (config_.advertiseTracing)
+        conn->sendFrame(proto::encodeFrame(proto::MsgKind::Hello, 0, ""));
     shard.conn = conn;
     {
         std::lock_guard<std::mutex> lock(connsMu_);
@@ -556,8 +767,38 @@ Router::sendToBackend(Shard &shard,
     const std::shared_ptr<BackendConn> conn = shard.conn;
     const uint64_t backend_id = conn->nextId++;
     conn->inFlight.emplace(backend_id, pending);
-    const std::string frame =
-        proto::encodeFrame(pending->kind, backend_id, pending->payload);
+    const bool traced = pending->trace.recording();
+    if (traced && pending->queueWallUs != 0) {
+        // The shed-queue wait ends here; record it retroactively.
+        obs::SpanRecord wait;
+        wait.traceId = pending->trace.traceId;
+        wait.spanId = spans_.nextSpanId();
+        wait.parentSpanId = pending->trace.parentSpanId;
+        wait.startUs = pending->queueWallUs;
+        const uint64_t now = obs::SpanRecorder::wallNowUs();
+        wait.durUs = now > wait.startUs ? now - wait.startUs : 0;
+        wait.name = "router.queue";
+        spans_.record(std::move(wait));
+        pending->queueWallUs = 0;
+    }
+    std::string frame;
+    if (traced) {
+        // The backend span covers send to reply; it parents the
+        // shard-side spans when the backend speaks v2.
+        pending->backendSpanId = spans_.nextSpanId();
+        pending->backendStartUs = obs::SpanRecorder::wallNowUs();
+    }
+    if (traced && conn->maxVersion >= proto::kVersionTraced) {
+        proto::TraceContext fwd;
+        fwd.traceId = pending->trace.traceId;
+        fwd.parentSpanId = pending->backendSpanId;
+        fwd.sampled = 1;
+        frame = proto::encodeTracedFrame(pending->kind, backend_id, fwd,
+                                         pending->payload);
+    } else {
+        frame = proto::encodeFrame(pending->kind, backend_id,
+                                   pending->payload);
+    }
     if (!conn->sendFrame(frame)) {
         // The connection shut itself down; its reader fails the rest.
         conn->inFlight.erase(backend_id);
@@ -597,6 +838,8 @@ Router::submitToShard(size_t shard_index,
         // the key affinity that makes shard memos and hedged-request
         // dedup work, and under real overload it just spreads the
         // queueing everywhere.
+        if (pending->trace.recording())
+            pending->queueWallUs = obs::SpanRecorder::wallNowUs();
         auto res = shard.queue.push(pending, pending->priority);
         if (res.evicted)
             victim = std::move(res.victim);
@@ -636,6 +879,16 @@ Router::backendReaderLoop(std::shared_ptr<BackendConn> conn)
         std::vector<std::shared_ptr<Pending>> refill_failed;
         {
             std::lock_guard<std::mutex> lock(shard.mu);
+            // The pipelined Hello (reserved id 0) answering proves the
+            // backend speaks v2; a v1 shard's typed UnknownKind error
+            // simply leaves maxVersion at 1.
+            if (fh.requestId == 0 &&
+                fh.kind == static_cast<uint16_t>(
+                               proto::MsgKind::HelloResult)) {
+                proto::HelloResult hello;
+                if (proto::decodeHelloResult(payload, hello))
+                    conn->maxVersion = hello.maxVersion;
+            }
             const auto it = conn->inFlight.find(fh.requestId);
             if (it != conn->inFlight.end()) {
                 pending = it->second;
@@ -721,10 +974,34 @@ Router::answerPending(const std::shared_ptr<Pending> &pending,
     bool expected = false;
     if (!pending->answered.compare_exchange_strong(expected, true))
         return;
-    if (kind == proto::MsgKind::Error)
+    uint16_t code = 0;
+    if (kind == proto::MsgKind::Error) {
         errors_.fetch_add(1);
-    else
+        proto::ErrorBody body;
+        code = proto::decodeErrorBody(payload, body)
+                   ? body.code
+                   : static_cast<uint16_t>(proto::ErrorCode::Internal);
+    } else {
         completed_.fetch_add(1);
+    }
+    countReply(code);
+    if (pending->backendSpanId != 0) {
+        // Close the router.backend span minted at forward time.
+        obs::SpanRecord span;
+        span.traceId = pending->trace.traceId;
+        span.spanId = pending->backendSpanId;
+        span.parentSpanId = pending->trace.parentSpanId;
+        span.startUs = pending->backendStartUs;
+        const uint64_t now = obs::SpanRecorder::wallNowUs();
+        span.durUs = now > span.startUs ? now - span.startUs : 0;
+        span.name = "router.backend";
+        if (code >= 1 && code <= 15)
+            span.detail = std::string(proto::errorCodeName(
+                static_cast<proto::ErrorCode>(code)));
+        spans_.record(std::move(span));
+    }
+    if (latencyUs_ != nullptr && pending->startUs != 0)
+        latencyUs_->record(nowUs() - pending->startUs);
     pending->client->sendFrame(
         proto::encodeFrame(kind, pending->clientId, payload));
     if (outstanding_.fetch_sub(1) == 1) {
@@ -881,6 +1158,8 @@ Router::health() const
     h.shedBusy = shedBusy_.load();
     h.connectionLost = connectionLost_.load();
     h.framingErrors = framingErrors_.load();
+    for (size_t i = 0; i < repliesByCode_.size(); ++i)
+        h.repliesByCode[i] = repliesByCode_[i].load();
     h.draining = draining_.load();
     h.uptimeMs = nowMs();
     h.shards.reserve(shards_.size());

@@ -28,6 +28,7 @@
 #ifndef TARCH_SERVE_ROUTER_H
 #define TARCH_SERVE_ROUTER_H
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -41,6 +42,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/spans.h"
 #include "serve/protocol.h"
 #include "serve/socket_util.h"
 
@@ -233,6 +236,11 @@ class Router
         uint32_t maxPayload = 16u << 20;
         /** SO_SNDTIMEO on client and backend sockets. */
         uint32_t sendTimeoutMs = 30'000;
+        /** Answer frontend Hello with v2 (and Hello-probe backends for
+            trace-context forwarding).  False pins the router to plain
+            v1 behavior — the interop tests use it to stand in for an
+            old binary. */
+        bool advertiseTracing = true;
     };
 
     struct ShardStats {
@@ -246,7 +254,7 @@ class Router
         uint64_t queued = 0;
     };
 
-    /** Snapshot for the Stats request ("tarch-router-stats-v1"). */
+    /** Snapshot for the Stats request ("tarch-router-stats-v2"). */
     struct Health {
         uint64_t acceptedConnections = 0;
         uint64_t activeConnections = 0;
@@ -259,6 +267,10 @@ class Router
         uint64_t framingErrors = 0;
         bool draining = false;
         uint64_t uptimeMs = 0;
+        /** Replies sent to clients by outcome: index 0 = ok, 1..15 =
+            proto::ErrorCode.  Every key renders in the JSON so the
+            schema is stable whether or not an error has happened. */
+        std::array<uint64_t, 16> repliesByCode{};
         std::vector<ShardStats> shards;
 
         std::string toJson() const;
@@ -285,6 +297,11 @@ class Router
 
     Health health() const;
 
+    /** Stage spans of sampled traced requests crossing this router. */
+    obs::SpanRecorder &spanRecorder() { return spans_; }
+    /** The router's metric families (served by the Metrics request). */
+    obs::Registry &metrics() { return registry_; }
+
   private:
     struct ClientConn;
     struct BackendConn;
@@ -292,6 +309,7 @@ class Router
     struct Shard;
 
     uint64_t nowMs() const;
+    uint64_t nowUs() const;
     void acceptLoop(int listen_fd);
     void clientReaderLoop(std::shared_ptr<ClientConn> conn);
     void backendReaderLoop(std::shared_ptr<BackendConn> conn);
@@ -300,9 +318,11 @@ class Router
     void retireClient(const std::shared_ptr<ClientConn> &conn);
     void reapRetired();
 
-    /** Handle one well-framed client request. */
+    /** Handle one well-framed client request.  @p ctx is the stripped
+        v2 trace context (all-zero for untraced v1 frames). */
     void dispatch(const std::shared_ptr<ClientConn> &conn,
-                  const proto::FrameHeader &header, std::string payload);
+                  const proto::FrameHeader &header, std::string payload,
+                  const proto::TraceContext &ctx);
     /** Hash, walk the ring, and hand @p pending to a shard. */
     void route(std::shared_ptr<Pending> pending, uint64_t key);
     /** True if @p pending was sent or queued on @p shard. */
@@ -322,6 +342,11 @@ class Router
                        proto::MsgKind kind, const std::string &payload);
     void answerError(const std::shared_ptr<Pending> &pending,
                      proto::ErrorCode code, const std::string &message);
+
+    /** Bump the per-outcome reply counter (0 = ok, else ErrorCode). */
+    void countReply(uint16_t code);
+    /** Register the tarch_router_* families (constructor only). */
+    void registerMetrics();
 
     Config config_;
     HashRing ring_;
@@ -363,6 +388,13 @@ class Router
     std::atomic<uint64_t> shedBusy_{0};
     std::atomic<uint64_t> connectionLost_{0};
     std::atomic<uint64_t> framingErrors_{0};
+    /** Replies by outcome (0 = ok, 1..15 = proto::ErrorCode). */
+    std::array<std::atomic<uint64_t>, 16> repliesByCode_{};
+
+    obs::SpanRecorder spans_{"tarch_router"};
+    obs::Registry registry_;
+    /** Client-visible time from dispatch to answer (registry-owned). */
+    obs::Histogram *latencyUs_ = nullptr;
 };
 
 } // namespace tarch::serve

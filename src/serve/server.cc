@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <functional>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -31,17 +32,42 @@ struct Server::Job {
     proto::SourceRequest source;
     proto::BatchRequest batch;
     std::chrono::steady_clock::time_point deadline;
+    /** Queue-wait accounting + stage histograms. */
+    std::chrono::steady_clock::time_point enqueuedAt;
+    /** Wall-clock enqueue time: the server.queue span must share the
+        cross-process timebase, not the steady clock. */
+    uint64_t enqueueWallUs = 0;
+    /** v2 trace context ({} for v1 frames — traceId 0 records nothing). */
+    proto::TraceContext trace;
     std::atomic<bool> answered{false};
 };
 
 // ---------------------------------------------------------------------
 // Health.
 
+/** The replies_by_code object: "ok" plus every ErrorCode name, all
+    keys always rendered so schema-gated consumers can rely on them. */
+static std::string
+repliesByCodeJson(const std::array<uint64_t, 16> &replies)
+{
+    std::string out =
+        strformat("{\"ok\":%llu", (unsigned long long)replies[0]);
+    for (uint16_t code = 1; code < 16; ++code)
+        out += strformat(
+            ",\"%s\":%llu",
+            std::string(proto::errorCodeName(
+                            static_cast<proto::ErrorCode>(code)))
+                .c_str(),
+            (unsigned long long)replies[code]);
+    out += "}";
+    return out;
+}
+
 std::string
 Server::Health::toJson() const
 {
     return strformat(
-        "{\"schema\":\"tarch-serve-stats-v1\","
+        "{\"schema\":\"tarch-serve-stats-v2\","
         "\"accepted_connections\":%llu,"
         "\"active_connections\":%llu,"
         "\"reclaimed_connections\":%llu,"
@@ -53,6 +79,7 @@ Server::Health::toJson() const
         "\"framing_errors\":%llu,"
         "\"queue_depth\":%llu,"
         "\"in_flight\":%llu,"
+        "\"replies_by_code\":%s,"
         "\"cache_mem_hits\":%llu,"
         "\"cache_disk_hits\":%llu,"
         "\"source_mem_hits\":%llu,"
@@ -60,7 +87,9 @@ Server::Health::toJson() const
         "\"single_flight_waits\":%llu,"
         "\"verify_rejected\":%llu,"
         "\"draining\":%s,"
-        "\"uptime_ms\":%llu}",
+        "\"uptime_ms\":%llu,"
+        "\"uptime_seconds\":%llu,"
+        "\"slow_log\":%s}",
         (unsigned long long)acceptedConnections,
         (unsigned long long)activeConnections,
         (unsigned long long)reclaimedConnections,
@@ -68,21 +97,118 @@ Server::Health::toJson() const
         (unsigned long long)errors, (unsigned long long)busyRejected,
         (unsigned long long)deadlineExceeded,
         (unsigned long long)framingErrors, (unsigned long long)queueDepth,
-        (unsigned long long)inFlight, (unsigned long long)sim.memHits,
+        (unsigned long long)inFlight,
+        repliesByCodeJson(repliesByCode).c_str(),
+        (unsigned long long)sim.memHits,
         (unsigned long long)sim.diskHits,
         (unsigned long long)sim.sourceMemHits,
         (unsigned long long)sim.simulated,
         (unsigned long long)sim.singleFlightWaits,
         (unsigned long long)sim.verifyRejected,
-        draining ? "true" : "false", (unsigned long long)uptimeMs);
+        draining ? "true" : "false", (unsigned long long)uptimeMs,
+        (unsigned long long)(uptimeMs / 1000), slowLogJson.c_str());
 }
 
 // ---------------------------------------------------------------------
 // Lifecycle.
 
 Server::Server(const Config &config)
-    : config_(config), service_(config.sim)
+    : config_(config), service_(config.sim), slowLog_(config.slowLog)
 {
+    registerMetrics();
+}
+
+void
+Server::registerMetrics()
+{
+    // Counters the server already maintains are exported as callback
+    // series: exposition reads the atomics at scrape time, so a daemon
+    // nobody scrapes pays nothing for its metrics plane.
+    static const char *kKindNames[9] = {
+        nullptr,   "run_cell", "run_source", "run_batch", "stats",
+        "drain",   "ping",     "metrics",    "hello"};
+    for (int k = 1; k < 9; ++k)
+        registry_.counterFn(
+            "tarch_serve_requests_total", "Well-framed requests by kind",
+            strformat("kind=\"%s\"", kKindNames[k]),
+            [this, k] { return requestsByKind_[k].load(); });
+    registry_.counterFn("tarch_serve_replies_total",
+                        "Reply frames sent by outcome", "code=\"ok\"",
+                        [this] { return repliesByCode_[0].load(); });
+    for (uint16_t code = 1; code < 16; ++code)
+        registry_.counterFn(
+            "tarch_serve_replies_total", "Reply frames sent by outcome",
+            strformat("code=\"%s\"",
+                      std::string(proto::errorCodeName(
+                                      static_cast<proto::ErrorCode>(code)))
+                          .c_str()),
+            [this, code] { return repliesByCode_[code].load(); });
+    registry_.counterFn("tarch_serve_busy_rejected_total",
+                        "Requests shed by the full queue", "",
+                        [this] { return busyRejected_.load(); });
+    registry_.counterFn("tarch_serve_deadline_exceeded_total",
+                        "Requests answered DeadlineExceeded", "",
+                        [this] { return deadlineExceeded_.load(); });
+    registry_.counterFn("tarch_serve_framing_errors_total",
+                        "Connections poisoned by framing errors", "",
+                        [this] { return framingErrors_.load(); });
+    registry_.counterFn(
+        "tarch_serve_cache_hits_total", "Cell cache hits by tier",
+        "tier=\"mem\"", [this] { return service_.counters().memHits; });
+    registry_.counterFn(
+        "tarch_serve_cache_hits_total", "Cell cache hits by tier",
+        "tier=\"disk\"", [this] { return service_.counters().diskHits; });
+    registry_.counterFn(
+        "tarch_serve_cache_hits_total", "Cell cache hits by tier",
+        "tier=\"source_mem\"",
+        [this] { return service_.counters().sourceMemHits; });
+    registry_.counterFn(
+        "tarch_serve_simulated_total", "Requests actually simulated", "",
+        [this] { return service_.counters().simulated; });
+    registry_.counterFn(
+        "tarch_serve_single_flight_waits_total",
+        "Requests that parked behind an identical in-flight one", "",
+        [this] { return service_.counters().singleFlightWaits; });
+    registry_.counterFn(
+        "tarch_serve_verify_rejected_total",
+        "Source requests rejected by the static verifier", "",
+        [this] { return service_.counters().verifyRejected; });
+    registry_.counterFn("tarch_serve_accepted_connections_total",
+                        "Connections accepted", "",
+                        [this] { return acceptedConnections_.load(); });
+    registry_.counterFn("tarch_serve_slow_log_recorded_total",
+                        "Requests captured by the slow log", "",
+                        [this] { return slowLog_.recorded(); });
+    registry_.gaugeFn("tarch_serve_queue_depth",
+                      "Requests waiting for a worker", "", [this] {
+                          return static_cast<int64_t>(
+                              pool_ ? pool_->pending() : 0);
+                      });
+    registry_.gaugeFn("tarch_serve_in_flight",
+                      "Requests queued or executing", "", [this] {
+                          std::lock_guard<std::mutex> lock(jobsMu_);
+                          return static_cast<int64_t>(jobs_.size());
+                      });
+    registry_.gaugeFn("tarch_serve_uptime_seconds",
+                      "Seconds since start()", "", [this] {
+                          if (!started_.load())
+                              return int64_t{0};
+                          return static_cast<int64_t>(
+                              std::chrono::duration_cast<
+                                  std::chrono::seconds>(
+                                  std::chrono::steady_clock::now() -
+                                  startTime_)
+                                  .count());
+                      });
+    stageQueueUs_ = &registry_.histogram(
+        "tarch_serve_stage_latency_us",
+        "Per-stage request latency (microseconds)", "stage=\"queue\"");
+    stageRunUs_ = &registry_.histogram(
+        "tarch_serve_stage_latency_us",
+        "Per-stage request latency (microseconds)", "stage=\"run\"");
+    stageTotalUs_ = &registry_.histogram(
+        "tarch_serve_stage_latency_us",
+        "Per-stage request latency (microseconds)", "stage=\"total\"");
 }
 
 Server::~Server()
@@ -204,6 +330,7 @@ Server::readerLoop(std::shared_ptr<Connection> conn)
                 : status == proto::HeaderStatus::BadVersion
                     ? proto::ErrorCode::BadVersion
                     : proto::ErrorCode::PayloadTooLarge;
+            countReply(static_cast<uint16_t>(code));
             conn->sendFrame(proto::errorFrame(
                 fh.requestId, code,
                 strformat("framing error: %s",
@@ -215,7 +342,25 @@ Server::readerLoop(std::shared_ptr<Connection> conn)
         if (fh.payloadLen > 0 &&
             readFull(conn->fd, payload.data(), payload.size()) != 1)
             break; // mid-frame disconnect
-        dispatch(conn, fh, std::move(payload));
+        proto::TraceContext ctx;
+        if (fh.version == proto::kVersionTraced) {
+            // v2: the payload is prefixed by a 16-byte trace context.
+            // A truncated or malformed context is a payload error, not
+            // a framing error — typed reply, connection survives.
+            size_t body_offset = 0;
+            if (!proto::isRequestKind(fh.kind) ||
+                !proto::decodeTraceContext(payload, ctx, body_offset)) {
+                errors_.fetch_add(1);
+                countReply(static_cast<uint16_t>(
+                    proto::ErrorCode::BadFrame));
+                conn->sendFrame(proto::errorFrame(
+                    fh.requestId, proto::ErrorCode::BadFrame,
+                    "malformed v2 trace context"));
+                continue;
+            }
+            payload.erase(0, body_offset);
+        }
+        dispatch(conn, fh, std::move(payload), ctx);
     }
     conn->shutdownNow();
     // Hand the connection to the reaper, which joins this thread and
@@ -251,25 +396,59 @@ Server::reapConnections(std::vector<std::shared_ptr<Connection>> &dead)
 }
 
 void
+Server::countReply(uint16_t code)
+{
+    if (code < repliesByCode_.size())
+        repliesByCode_[code].fetch_add(1);
+}
+
+void
 Server::dispatch(const std::shared_ptr<Connection> &conn,
-                 const proto::FrameHeader &header, std::string payload)
+                 const proto::FrameHeader &header, std::string payload,
+                 const proto::TraceContext &ctx)
 {
     received_.fetch_add(1);
+    if (header.kind < requestsByKind_.size())
+        requestsByKind_[header.kind].fetch_add(1);
     const auto kind = static_cast<proto::MsgKind>(header.kind);
     switch (kind) {
       case proto::MsgKind::Ping:
+        countReply(0);
         conn->sendFrame(
             proto::encodeFrame(proto::MsgKind::Pong, header.requestId, ""));
         return;
       case proto::MsgKind::Stats: {
         proto::StatsResult stats;
         stats.json = health().toJson();
+        countReply(0);
         conn->sendFrame(proto::encodeFrame(proto::MsgKind::StatsResult,
                                            header.requestId,
                                            proto::encodeStatsResult(stats)));
         return;
       }
+      case proto::MsgKind::Metrics: {
+        proto::MetricsResult metrics;
+        metrics.text = registry_.renderPrometheus();
+        countReply(0);
+        conn->sendFrame(
+            proto::encodeFrame(proto::MsgKind::MetricsResult,
+                               header.requestId,
+                               proto::encodeMetricsResult(metrics)));
+        return;
+      }
+      case proto::MsgKind::Hello: {
+        proto::HelloResult hello;
+        hello.maxVersion =
+            config_.advertiseTracing ? proto::kMaxVersion : 1;
+        countReply(0);
+        conn->sendFrame(
+            proto::encodeFrame(proto::MsgKind::HelloResult,
+                               header.requestId,
+                               proto::encodeHelloResult(hello)));
+        return;
+      }
       case proto::MsgKind::Drain:
+        countReply(0);
         conn->sendFrame(proto::encodeFrame(proto::MsgKind::DrainStarted,
                                            header.requestId, ""));
         requestDrain();
@@ -277,10 +456,12 @@ Server::dispatch(const std::shared_ptr<Connection> &conn,
       case proto::MsgKind::RunCell:
       case proto::MsgKind::RunSource:
       case proto::MsgKind::RunBatch:
-        enqueue(conn, header, std::move(payload));
+        enqueue(conn, header, std::move(payload), ctx);
         return;
       default:
         errors_.fetch_add(1);
+        countReply(
+            static_cast<uint16_t>(proto::ErrorCode::UnknownKind));
         conn->sendFrame(proto::errorFrame(
             header.requestId, proto::ErrorCode::UnknownKind,
             strformat("unknown request kind %u", header.kind)));
@@ -290,12 +471,17 @@ Server::dispatch(const std::shared_ptr<Connection> &conn,
 
 void
 Server::enqueue(const std::shared_ptr<Connection> &conn,
-                const proto::FrameHeader &header, std::string payload)
+                const proto::FrameHeader &header, std::string payload,
+                const proto::TraceContext &ctx)
 {
     auto job = std::make_shared<Job>();
     job->conn = conn;
     job->requestId = header.requestId;
     job->kind = static_cast<proto::MsgKind>(header.kind);
+    job->trace = ctx;
+    job->enqueuedAt = std::chrono::steady_clock::now();
+    if (ctx.recording())
+        job->enqueueWallUs = obs::SpanRecorder::wallNowUs();
 
     uint32_t deadline_ms = 0;
     bool ok = false;
@@ -320,6 +506,7 @@ Server::enqueue(const std::shared_ptr<Connection> &conn,
         // Malformed payload inside a well-framed request: typed error,
         // and the connection survives.
         errors_.fetch_add(1);
+        countReply(static_cast<uint16_t>(proto::ErrorCode::BadFrame));
         conn->sendFrame(proto::errorFrame(header.requestId,
                                           proto::ErrorCode::BadFrame,
                                           "malformed request payload"));
@@ -339,6 +526,8 @@ Server::enqueue(const std::shared_ptr<Connection> &conn,
         if (draining_.load()) {
             lock.unlock();
             errors_.fetch_add(1);
+            countReply(
+                static_cast<uint16_t>(proto::ErrorCode::Draining));
             conn->sendFrame(proto::errorFrame(
                 header.requestId, proto::ErrorCode::Draining,
                 "server is draining"));
@@ -352,6 +541,7 @@ Server::enqueue(const std::shared_ptr<Connection> &conn,
         finishJob(job);
         busyRejected_.fetch_add(1);
         errors_.fetch_add(1);
+        countReply(static_cast<uint16_t>(proto::ErrorCode::Busy));
         conn->sendFrame(proto::errorFrame(header.requestId,
                                           proto::ErrorCode::Busy,
                                           "request queue is full"));
@@ -359,9 +549,10 @@ Server::enqueue(const std::shared_ptr<Connection> &conn,
 }
 
 proto::CellResult
-Server::runCellChecked(const proto::CellRequest &req)
+Server::runCellChecked(const proto::CellRequest &req,
+                       const RequestTrace &trace)
 {
-    return service_.runCell(req);
+    return service_.runCell(req, trace);
 }
 
 void
@@ -373,36 +564,79 @@ Server::execute(const std::shared_ptr<Job> &job)
         finishJob(job);
         return;
     }
-    if (std::chrono::steady_clock::now() >= job->deadline) {
+    const auto dequeuedAt = std::chrono::steady_clock::now();
+    const uint64_t queue_us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            dequeuedAt - job->enqueuedAt)
+            .count());
+    stageQueueUs_->record(queue_us);
+
+    const bool traced = job->trace.recording();
+    if (traced) {
+        // server.queue covers reader-enqueue to worker-pickup; it is
+        // recorded retroactively (its timing already happened), so the
+        // span id is minted here and parented like server.run.
+        obs::SpanRecord queueSpan;
+        queueSpan.traceId = job->trace.traceId;
+        queueSpan.spanId = spans_.nextSpanId();
+        queueSpan.parentSpanId = job->trace.parentSpanId;
+        queueSpan.startUs = job->enqueueWallUs;
+        queueSpan.durUs = queue_us;
+        queueSpan.tid = std::hash<std::thread::id>{}(
+            std::this_thread::get_id());
+        queueSpan.name = "server.queue";
+        spans_.record(std::move(queueSpan));
+    }
+    obs::SpanScope runSpan(traced ? &spans_ : nullptr,
+                           job->trace.traceId, job->trace.parentSpanId,
+                           "server.run");
+    RequestTrace trace;
+    if (runSpan.active()) {
+        trace.recorder = &spans_;
+        trace.traceId = job->trace.traceId;
+        trace.parentSpan = runSpan.id();
+    }
+
+    if (dequeuedAt >= job->deadline) {
         answer(job,
                proto::errorFrame(job->requestId,
                                  proto::ErrorCode::DeadlineExceeded,
                                  "deadline exceeded before execution"),
-               true);
+               static_cast<uint16_t>(proto::ErrorCode::DeadlineExceeded));
         finishJob(job);
         return;
     }
 
     std::string frame;
-    bool is_error = false;
+    uint16_t reply_code = 0;
+    uint8_t from_cache = 0;
+    std::string detail;
     try {
         switch (job->kind) {
           case proto::MsgKind::RunCell: {
-            const proto::CellResult result = runCellChecked(job->cell);
+            detail = job->cell.benchmark;
+            const proto::CellResult result =
+                runCellChecked(job->cell, trace);
+            from_cache = result.fromCache;
             frame = proto::encodeFrame(proto::MsgKind::CellResult,
                                        job->requestId,
                                        proto::encodeCellResult(result));
             break;
           }
           case proto::MsgKind::RunSource: {
+            detail = strformat(
+                "src/%016llx", (unsigned long long)
+                                   proto::sourceRequestKey(job->source));
             const proto::CellResult result =
-                service_.runSource(job->source);
+                service_.runSource(job->source, trace);
+            from_cache = result.fromCache;
             frame = proto::encodeFrame(proto::MsgKind::CellResult,
                                        job->requestId,
                                        proto::encodeCellResult(result));
             break;
           }
           case proto::MsgKind::RunBatch: {
+            detail = strformat("batch(%zu)", job->batch.cells.size());
             proto::BatchResult batch;
             batch.items.reserve(job->batch.cells.size());
             for (const proto::CellRequest &cell : job->batch.cells) {
@@ -415,7 +649,7 @@ Server::execute(const std::shared_ptr<Job> &job)
                         "batch deadline exceeded before this cell";
                 } else {
                     try {
-                        item.result = runCellChecked(cell);
+                        item.result = runCellChecked(cell, trace);
                         item.ok = true;
                     } catch (const ServiceError &e) {
                         item.ok = false;
@@ -437,36 +671,64 @@ Server::execute(const std::shared_ptr<Job> &job)
             frame = proto::errorFrame(job->requestId,
                                       proto::ErrorCode::Internal,
                                       "unexpected job kind");
-            is_error = true;
+            reply_code =
+                static_cast<uint16_t>(proto::ErrorCode::Internal);
             break;
         }
     } catch (const ServiceError &e) {
         frame = proto::errorFrame(job->requestId, e.code, e.message);
-        is_error = true;
+        reply_code = static_cast<uint16_t>(e.code);
     } catch (const std::exception &e) {
         frame = proto::errorFrame(job->requestId,
                                   proto::ErrorCode::Internal, e.what());
-        is_error = true;
+        reply_code = static_cast<uint16_t>(proto::ErrorCode::Internal);
+    }
+
+    const uint64_t run_us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - dequeuedAt)
+            .count());
+    stageRunUs_->record(run_us);
+    const uint64_t total_us = queue_us + run_us;
+    stageTotalUs_->record(total_us);
+    if (runSpan.active()) {
+        if (!detail.empty())
+            runSpan.setDetail(detail);
+        runSpan.end();
+    }
+    if (slowLog_.shouldLog(total_us)) {
+        SlowLogEntry entry;
+        entry.wallMs = obs::SpanRecorder::wallNowUs() / 1000;
+        entry.traceId = job->trace.traceId;
+        entry.kind = static_cast<uint16_t>(job->kind);
+        entry.errorCode = reply_code;
+        entry.fromCache = from_cache;
+        entry.queueUs = queue_us;
+        entry.runUs = run_us;
+        entry.totalUs = total_us;
+        entry.detail = detail;
+        slowLog_.record(std::move(entry));
     }
 
     // A request whose deadline passed during simulation is answered by
     // the reaper; the late result is discarded here (answer() refuses a
     // second reply) and the connection survives.
-    answer(job, frame, is_error);
+    answer(job, frame, reply_code);
     finishJob(job);
 }
 
 bool
 Server::answer(const std::shared_ptr<Job> &job, const std::string &frame,
-               bool is_error)
+               uint16_t code)
 {
     bool expected = false;
     if (!job->answered.compare_exchange_strong(expected, true))
         return false;
-    if (is_error)
+    if (code != 0)
         errors_.fetch_add(1);
     else
         completed_.fetch_add(1);
+    countReply(code);
     job->conn->sendFrame(frame);
     return true;
 }
@@ -503,7 +765,8 @@ Server::reaperLoop()
                            job->requestId,
                            proto::ErrorCode::DeadlineExceeded,
                            "deadline exceeded"),
-                       true))
+                       static_cast<uint16_t>(
+                           proto::ErrorCode::DeadlineExceeded)))
                 deadlineExceeded_.fetch_add(1);
             // The job stays in jobs_ until its worker finishes — drain
             // still waits for the simulation itself to retire.
@@ -656,6 +919,9 @@ Server::health() const
         std::lock_guard<std::mutex> lock(jobsMu_);
         h.inFlight = jobs_.size();
     }
+    for (size_t i = 0; i < repliesByCode_.size(); ++i)
+        h.repliesByCode[i] = repliesByCode_[i].load();
+    h.slowLogJson = slowLog_.toJson();
     h.sim = service_.counters();
     h.draining = draining_.load();
     h.uptimeMs = static_cast<uint64_t>(

@@ -31,6 +31,7 @@
 #ifndef TARCH_SERVE_SERVER_H
 #define TARCH_SERVE_SERVER_H
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -42,8 +43,11 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "obs/metrics.h"
+#include "obs/spans.h"
 #include "serve/protocol.h"
 #include "serve/service.h"
+#include "serve/slowlog.h"
 
 namespace tarch::serve {
 
@@ -70,6 +74,11 @@ class Server
             client cannot wedge a worker (or the connection reaper)
             forever.  0 = no timeout. */
         uint32_t sendTimeoutMs = 30'000;
+        /** Answer Hello with maxVersion=1 (pretend to be an untraced
+            v1 server).  Interop-test hook; v2 frames are still parsed
+            if a client sends them anyway. */
+        bool advertiseTracing = true;
+        SlowLog::Options slowLog;
         SimService::Options sim;
     };
 
@@ -88,9 +97,13 @@ class Server
         uint64_t framingErrors = 0;
         uint64_t queueDepth = 0;
         uint64_t inFlight = 0;
+        /** Replies sent, by outcome: index 0 = ok, 1..15 = ErrorCode. */
+        std::array<uint64_t, 16> repliesByCode{};
         SimService::Counters sim;
         bool draining = false;
         uint64_t uptimeMs = 0;
+        /** Pre-rendered slow_log JSON array ("[]" when empty). */
+        std::string slowLogJson = "[]";
 
         std::string toJson() const;
     };
@@ -128,6 +141,13 @@ class Server
 
     Health health() const;
 
+    /** The server's span recorder: spans of sampled v2 requests land
+        here; the daemon dumps it (--trace-out) at exit. */
+    obs::SpanRecorder &spanRecorder() { return spans_; }
+    /** The server's metric registry (also served via Metrics frames). */
+    obs::Registry &metrics() { return registry_; }
+    SlowLog &slowLog() { return slowLog_; }
+
   private:
     struct Connection;
     struct Job;
@@ -142,15 +162,22 @@ class Server
     void reapConnections(std::vector<std::shared_ptr<Connection>> &dead);
     /** Handle one well-framed request from @p conn. */
     void dispatch(const std::shared_ptr<Connection> &conn,
-                  const proto::FrameHeader &header, std::string payload);
+                  const proto::FrameHeader &header, std::string payload,
+                  const proto::TraceContext &ctx);
     void enqueue(const std::shared_ptr<Connection> &conn,
-                 const proto::FrameHeader &header, std::string payload);
+                 const proto::FrameHeader &header, std::string payload,
+                 const proto::TraceContext &ctx);
     void execute(const std::shared_ptr<Job> &job);
-    proto::CellResult runCellChecked(const proto::CellRequest &req);
+    proto::CellResult runCellChecked(const proto::CellRequest &req,
+                                     const RequestTrace &trace);
     /** Send @p frame answering @p job exactly once; false if a reply
-        was already sent (deadline reaper won the race). */
+        was already sent (deadline reaper won the race).  @p code is 0
+        for a result frame, else the ErrorCode being sent. */
     bool answer(const std::shared_ptr<Job> &job, const std::string &frame,
-                bool is_error);
+                uint16_t code);
+    /** Bump replies_by_code (index 0 = ok) for every reply frame. */
+    void countReply(uint16_t code);
+    void registerMetrics();
     void finishJob(const std::shared_ptr<Job> &job);
     void closeAllConnections();
 
@@ -196,6 +223,18 @@ class Server
     std::atomic<uint64_t> busyRejected_{0};
     std::atomic<uint64_t> deadlineExceeded_{0};
     std::atomic<uint64_t> framingErrors_{0};
+    /** Replies by outcome, index 0 = ok, 1..15 = ErrorCode. */
+    std::array<std::atomic<uint64_t>, 16> repliesByCode_{};
+    /** Requests by MsgKind (1..8); index 0 unused. */
+    std::array<std::atomic<uint64_t>, 9> requestsByKind_{};
+
+    obs::SpanRecorder spans_{"tarch_served"};
+    obs::Registry registry_;
+    SlowLog slowLog_;
+    /** Stage histograms live in registry_; cached for hot-path use. */
+    obs::Histogram *stageQueueUs_ = nullptr;
+    obs::Histogram *stageRunUs_ = nullptr;
+    obs::Histogram *stageTotalUs_ = nullptr;
 };
 
 } // namespace tarch::serve

@@ -74,7 +74,8 @@ SimService::SimService(const Options &opts) : opts_(opts)
 }
 
 proto::CellResult
-SimService::runCell(const proto::CellRequest &req)
+SimService::runCell(const proto::CellRequest &req,
+                    const RequestTrace &trace)
 {
     const harness::BenchmarkInfo *info = findBenchmark(req.benchmark);
     if (!info)
@@ -96,6 +97,9 @@ SimService::runCell(const proto::CellRequest &req)
     const bool single_flight = opts_.memoryCache || opts_.diskCache;
     std::optional<FlightGuard> flight;
     if (single_flight) {
+        // Opened lazily: only a request that actually parks behind an
+        // in-flight leader records a sim.singleflight span.
+        std::optional<obs::SpanScope> waitSpan;
         std::unique_lock<std::mutex> lock(mu_);
         for (;;) {
             if (opts_.memoryCache) {
@@ -104,6 +108,11 @@ SimService::runCell(const proto::CellRequest &req)
                     {
                         std::lock_guard<std::mutex> clock(countersMu_);
                         ++counters_.memHits;
+                    }
+                    if (trace.recorder) {
+                        obs::SpanScope s(trace.recorder, trace.traceId,
+                                         trace.parentSpan, "sim.cache");
+                        s.setDetail("mem-hit");
                     }
                     proto::CellResult result = hit->second;
                     result.fromCache = 1;
@@ -118,6 +127,9 @@ SimService::runCell(const proto::CellRequest &req)
                 std::lock_guard<std::mutex> clock(countersMu_);
                 ++counters_.singleFlightWaits;
             }
+            if (trace.recorder && !waitSpan)
+                waitSpan.emplace(trace.recorder, trace.traceId,
+                                 trace.parentSpan, "sim.singleflight");
             progressCv_.wait(lock);
         }
         inProgress_.insert(memo_key);
@@ -128,16 +140,30 @@ SimService::runCell(const proto::CellRequest &req)
     uint8_t from_cache = 0;
     const std::string path =
         harness::cellPath(opts_.cacheDir, engine, info->name, variant);
-    if (opts_.diskCache && harness::loadCell(run, path, key)) {
+    bool disk_hit = false;
+    if (opts_.diskCache) {
+        obs::SpanScope diskSpan(trace.recorder, trace.traceId,
+                                trace.parentSpan, "sim.cache");
+        disk_hit = harness::loadCell(run, path, key);
+        diskSpan.setDetail(disk_hit ? "disk-hit" : "disk-miss");
+    }
+    if (disk_hit) {
         from_cache = 2;
         std::lock_guard<std::mutex> clock(countersMu_);
         ++counters_.diskHits;
     } else {
-        try {
-            run = harness::runOne(engine, variant, *info,
-                                  obs::SessionConfig{}, opts_.execMode);
-        } catch (const FatalError &e) {
-            throw ServiceError{proto::ErrorCode::SimFailed, e.what()};
+        {
+            obs::SpanScope simSpan(trace.recorder, trace.traceId,
+                                   trace.parentSpan, "sim.simulate");
+            if (simSpan.active())
+                simSpan.setDetail(req.benchmark);
+            try {
+                run = harness::runOne(engine, variant, *info,
+                                      obs::SessionConfig{},
+                                      opts_.execMode);
+            } catch (const FatalError &e) {
+                throw ServiceError{proto::ErrorCode::SimFailed, e.what()};
+            }
         }
         {
             std::lock_guard<std::mutex> clock(countersMu_);
@@ -168,7 +194,8 @@ SimService::runCell(const proto::CellRequest &req)
 }
 
 proto::CellResult
-SimService::runSource(const proto::SourceRequest &req)
+SimService::runSource(const proto::SourceRequest &req,
+                      const RequestTrace &trace)
 {
     // Same memo + single-flight shape as runCell, but keyed by the
     // content-addressed sourceRequestKey and bounded (source text is
@@ -184,6 +211,7 @@ SimService::runSource(const proto::SourceRequest &req)
         memo_key = strformat(
             "src/%016llx",
             (unsigned long long)proto::sourceRequestKey(req));
+        std::optional<obs::SpanScope> waitSpan;
         std::unique_lock<std::mutex> lock(mu_);
         for (;;) {
             const auto hit = sourceMemo_.find(memo_key);
@@ -191,6 +219,11 @@ SimService::runSource(const proto::SourceRequest &req)
                 {
                     std::lock_guard<std::mutex> clock(countersMu_);
                     ++counters_.sourceMemHits;
+                }
+                if (trace.recorder) {
+                    obs::SpanScope s(trace.recorder, trace.traceId,
+                                     trace.parentSpan, "sim.cache");
+                    s.setDetail("mem-hit");
                 }
                 proto::CellResult result = hit->second;
                 result.fromCache = 1;
@@ -204,6 +237,9 @@ SimService::runSource(const proto::SourceRequest &req)
                 std::lock_guard<std::mutex> clock(countersMu_);
                 ++counters_.singleFlightWaits;
             }
+            if (trace.recorder && !waitSpan)
+                waitSpan.emplace(trace.recorder, trace.traceId,
+                                 trace.parentSpan, "sim.singleflight");
             progressCv_.wait(lock);
         }
         inProgress_.insert(memo_key);
@@ -212,8 +248,8 @@ SimService::runSource(const proto::SourceRequest &req)
 
     proto::CellResult result = static_cast<proto::SourceLang>(req.lang) ==
                                        proto::SourceLang::Assembly
-                                   ? runAssembly(req)
-                                   : runMiniScript(req);
+                                   ? runAssembly(req, trace)
+                                   : runMiniScript(req, trace);
     {
         // Source runs count toward `simulated` too — leaving them out
         // made the stat undercount exactly the requests that cost the
@@ -240,7 +276,8 @@ SimService::runSource(const proto::SourceRequest &req)
 template <typename Vm>
 static proto::CellResult
 runScriptVm(const proto::SourceRequest &req,
-            const SimService::Options &opts, uint64_t *verify_rejected)
+            const SimService::Options &opts, uint64_t *verify_rejected,
+            const RequestTrace &trace)
 {
     std::unique_ptr<Vm> vm;
     try {
@@ -253,17 +290,24 @@ runScriptVm(const proto::SourceRequest &req,
         throw ServiceError{proto::ErrorCode::CompileFailed, e.what()};
     }
     if (opts.verifySource) {
+        obs::SpanScope verifySpan(trace.recorder, trace.traceId,
+                                  trace.parentSpan, "sim.verify");
         const analysis::Report lint = analysis::verifyImage(vm->program());
         if (lint.hasErrors()) {
+            verifySpan.setDetail("rejected");
             ++*verify_rejected;
             throw ServiceError{proto::ErrorCode::VerifyRejected,
                                lint.render()};
         }
     }
-    try {
-        vm->run();
-    } catch (const FatalError &e) {
-        throw ServiceError{proto::ErrorCode::SimFailed, e.what()};
+    {
+        obs::SpanScope simSpan(trace.recorder, trace.traceId,
+                               trace.parentSpan, "sim.simulate");
+        try {
+            vm->run();
+        } catch (const FatalError &e) {
+            throw ServiceError{proto::ErrorCode::SimFailed, e.what()};
+        }
     }
     proto::CellResult result;
     result.engine = req.engine;
@@ -279,14 +323,17 @@ runScriptVm(const proto::SourceRequest &req,
 }
 
 proto::CellResult
-SimService::runMiniScript(const proto::SourceRequest &req)
+SimService::runMiniScript(const proto::SourceRequest &req,
+                          const RequestTrace &trace)
 {
     uint64_t rejected = 0;
     try {
         proto::CellResult result =
             toEngine(req.engine) == harness::Engine::Lua
-                ? runScriptVm<vm::lua::LuaVm>(req, opts_, &rejected)
-                : runScriptVm<vm::js::JsVm>(req, opts_, &rejected);
+                ? runScriptVm<vm::lua::LuaVm>(req, opts_, &rejected,
+                                              trace)
+                : runScriptVm<vm::js::JsVm>(req, opts_, &rejected,
+                                            trace);
         return result;
     } catch (...) {
         if (rejected) {
@@ -298,7 +345,8 @@ SimService::runMiniScript(const proto::SourceRequest &req)
 }
 
 proto::CellResult
-SimService::runAssembly(const proto::SourceRequest &req)
+SimService::runAssembly(const proto::SourceRequest &req,
+                        const RequestTrace &trace)
 {
     assembler::Program prog;
     try {
@@ -307,8 +355,11 @@ SimService::runAssembly(const proto::SourceRequest &req)
         throw ServiceError{proto::ErrorCode::CompileFailed, e.what()};
     }
     if (opts_.verifySource) {
+        obs::SpanScope verifySpan(trace.recorder, trace.traceId,
+                                  trace.parentSpan, "sim.verify");
         const analysis::Report lint = analysis::verifyImage(prog);
         if (lint.hasErrors()) {
+            verifySpan.setDetail("rejected");
             {
                 std::lock_guard<std::mutex> clock(countersMu_);
                 ++counters_.verifyRejected;
@@ -323,7 +374,10 @@ SimService::runAssembly(const proto::SourceRequest &req)
         cfg.execMode = opts_.execMode;
         core::Core core(cfg);
         core.loadProgram(prog);
+        obs::SpanScope simSpan(trace.recorder, trace.traceId,
+                               trace.parentSpan, "sim.simulate");
         core.run();
+        simSpan.end();
         proto::CellResult result;
         result.engine = req.engine;
         result.variant = req.variant;

@@ -25,6 +25,7 @@
 #include <string>
 
 #include "harness/experiment.h"
+#include "obs/spans.h"
 #include "serve/protocol.h"
 
 namespace tarch::serve {
@@ -34,6 +35,15 @@ namespace tarch::serve {
 struct ServiceError {
     proto::ErrorCode code;
     std::string message;
+};
+
+/** Optional tracing context threaded through a request: when recorder
+    is null (the default) every span site is a pointer check and the
+    request costs nothing extra. */
+struct RequestTrace {
+    obs::SpanRecorder *recorder = nullptr;
+    uint64_t traceId = 0;
+    uint32_t parentSpan = 0;
 };
 
 class SimService
@@ -74,19 +84,26 @@ class SimService
     explicit SimService(const Options &opts);
 
     /** Run a named (engine, benchmark, variant) cell.  Throws
-        ServiceError on unknown benchmarks or failed simulations. */
-    proto::CellResult runCell(const proto::CellRequest &req);
+        ServiceError on unknown benchmarks or failed simulations.
+        When @p trace is recording, emits sim.singleflight / sim.cache /
+        sim.simulate stage spans. */
+    proto::CellResult runCell(const proto::CellRequest &req,
+                              const RequestTrace &trace = {});
 
     /** Compile/assemble, statically verify, then run inline source.
         Throws ServiceError (VerifyRejected carries the rendered
-        findings report as its message). */
-    proto::CellResult runSource(const proto::SourceRequest &req);
+        findings report as its message).  Traced stages add
+        sim.verify. */
+    proto::CellResult runSource(const proto::SourceRequest &req,
+                                const RequestTrace &trace = {});
 
     Counters counters() const;
 
   private:
-    proto::CellResult runMiniScript(const proto::SourceRequest &req);
-    proto::CellResult runAssembly(const proto::SourceRequest &req);
+    proto::CellResult runMiniScript(const proto::SourceRequest &req,
+                                    const RequestTrace &trace);
+    proto::CellResult runAssembly(const proto::SourceRequest &req,
+                                  const RequestTrace &trace);
 
     Options opts_;
 

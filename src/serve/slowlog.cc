@@ -1,0 +1,89 @@
+#include "serve/slowlog.h"
+
+#include "common/strutil.h"
+#include "obs/json.h"
+#include "serve/protocol.h"
+
+namespace tarch::serve {
+
+SlowLog::SlowLog() : SlowLog(Options()) {}
+
+bool
+SlowLog::shouldLog(uint64_t total_us)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    bool log = false;
+    if (opts_.sampleEvery > 0) {
+        if (++sampleTick_ % opts_.sampleEvery == 0)
+            log = true;
+    }
+    if (opts_.thresholdUs > 0 && total_us >= opts_.thresholdUs)
+        log = true;
+    return log;
+}
+
+void
+SlowLog::record(SlowLogEntry entry)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++recorded_;
+    if (opts_.capacity == 0)
+        return;
+    if (ring_.size() < opts_.capacity) {
+        ring_.push_back(std::move(entry));
+    } else {
+        ring_[next_] = std::move(entry);
+        next_ = (next_ + 1) % opts_.capacity;
+    }
+}
+
+uint64_t
+SlowLog::recorded() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return recorded_;
+}
+
+std::vector<SlowLogEntry>
+SlowLog::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<SlowLogEntry> out;
+    out.reserve(ring_.size());
+    // Oldest first: [next_, end) then [0, next_) once the ring wrapped.
+    for (size_t i = 0; i < ring_.size(); ++i)
+        out.push_back(ring_[(next_ + i) % ring_.size()]);
+    return out;
+}
+
+std::string
+SlowLog::toJson() const
+{
+    const std::vector<SlowLogEntry> entries = snapshot();
+    std::string out = "[";
+    bool first = true;
+    for (const SlowLogEntry &e : entries) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += strformat(
+            "{\"wall_ms\":%llu,\"trace_id\":\"%016llx\","
+            "\"kind\":%u,\"error_code\":%u,\"error\":\"%s\","
+            "\"from_cache\":%u,\"queue_us\":%llu,\"run_us\":%llu,"
+            "\"total_us\":%llu,\"detail\":\"%s\"}",
+            (unsigned long long)e.wallMs, (unsigned long long)e.traceId,
+            (unsigned)e.kind, (unsigned)e.errorCode,
+            e.errorCode == 0
+                ? "ok"
+                : std::string(proto::errorCodeName(
+                      static_cast<proto::ErrorCode>(e.errorCode)))
+                      .c_str(),
+            (unsigned)e.fromCache, (unsigned long long)e.queueUs,
+            (unsigned long long)e.runUs, (unsigned long long)e.totalUs,
+            obs::jsonEscape(e.detail).c_str());
+    }
+    out += "]";
+    return out;
+}
+
+} // namespace tarch::serve

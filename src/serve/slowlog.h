@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Slow-request log: a bounded ring of structured records for requests
+ * that crossed a latency threshold (or were sampled every Nth), dumped
+ * through the Stats endpoint so an operator can ask "what were the
+ * slowest things this server did recently" without replaying a trace.
+ *
+ * Each record carries the trace id (0 when the request was untraced),
+ * the per-stage breakdown the server already measured (queue wait,
+ * run time), and the outcome, so a slow-log line is enough to decide
+ * whether to go pull the full Perfetto trace for that id.
+ */
+
+#ifndef TARCH_SERVE_SLOWLOG_H
+#define TARCH_SERVE_SLOWLOG_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tarch::serve {
+
+/** One logged request. */
+struct SlowLogEntry {
+    uint64_t wallMs = 0;     ///< wall-clock ms when the request finished
+    uint64_t traceId = 0;    ///< 0 = untraced
+    uint16_t kind = 0;       ///< proto::MsgKind of the request
+    uint16_t errorCode = 0;  ///< 0 = ok, else proto::ErrorCode
+    uint8_t fromCache = 0;   ///< 0 simulated, 1 memory, 2 disk
+    uint64_t queueUs = 0;    ///< time spent queued before a worker
+    uint64_t runUs = 0;      ///< service time in the worker
+    uint64_t totalUs = 0;    ///< enqueue-to-reply
+    std::string detail;      ///< benchmark name or source digest
+};
+
+/**
+ * Threshold- and sampling-triggered ring buffer.  record() is cheap
+ * when nothing matches: one branch on the threshold plus (optionally)
+ * one relaxed counter increment for the sampler.
+ */
+class SlowLog
+{
+  public:
+    struct Options {
+        /** Log every request slower than this; 0 disables. */
+        uint64_t thresholdUs = 250000;
+        /** Also log every Nth request regardless of latency; 0 = off. */
+        uint64_t sampleEvery = 0;
+        size_t capacity = 64;
+    };
+
+    SlowLog();  ///< default Options (defined out of line: NSDMI order)
+    explicit SlowLog(const Options &opts) : opts_(opts) {}
+
+    const Options &options() const { return opts_; }
+
+    /** True if this request should be logged (threshold or sampler). */
+    bool shouldLog(uint64_t total_us);
+
+    void record(SlowLogEntry entry);
+
+    /** Total entries ever recorded (>= snapshot().size()). */
+    uint64_t recorded() const;
+
+    /** Oldest-first copy of the retained ring. */
+    std::vector<SlowLogEntry> snapshot() const;
+
+    /** The `slow_log` JSON array (docs/OBSERVABILITY.md schema). */
+    std::string toJson() const;
+
+  private:
+    Options opts_;
+    mutable std::mutex mu_;
+    std::vector<SlowLogEntry> ring_;
+    size_t next_ = 0;          ///< ring write cursor once full
+    uint64_t recorded_ = 0;
+    uint64_t sampleTick_ = 0;  ///< requests seen by shouldLog()
+};
+
+} // namespace tarch::serve
+
+#endif // TARCH_SERVE_SLOWLOG_H

@@ -1,0 +1,223 @@
+// The obs metrics registry (docs/OBSERVABILITY.md): log-bucketed
+// histogram accuracy bounds, sharded-counter concurrency, get-or-create
+// series identity, callback series, and the Prometheus/CSV renderers
+// round-tripped through the in-repo linter and monotonicity checker
+// that CI runs against live scrapes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace tarch::obs {
+namespace {
+
+// ---------------------------------------------------------------------
+// LatencyHistogram.
+
+TEST(Metrics, HistogramExactBelowThirtyTwo)
+{
+    LatencyHistogram h;
+    for (uint64_t v = 0; v < 32; ++v)
+        h.record(v);
+    EXPECT_EQ(h.count(), 32u);
+    EXPECT_EQ(h.maxValue(), 31u);
+    EXPECT_DOUBLE_EQ(h.sum(), 31.0 * 32.0 / 2.0);
+    // Below 32 the buckets are exact, so the cumulative counts are too.
+    EXPECT_EQ(h.countAtOrBelow(0), 1u);
+    EXPECT_EQ(h.countAtOrBelow(15), 16u);
+    EXPECT_EQ(h.countAtOrBelow(31), 32u);
+}
+
+TEST(Metrics, HistogramPercentileWithinRelativeError)
+{
+    LatencyHistogram h;
+    for (uint64_t v = 1; v <= 10'000; ++v)
+        h.record(v);
+    // Bucket ceilings never under-state and carry ~3% relative error.
+    const uint64_t p50 = h.percentile(50.0);
+    EXPECT_GE(p50, 5'000u);
+    EXPECT_LE(p50, 5'400u);
+    const uint64_t p99 = h.percentile(99.0);
+    EXPECT_GE(p99, 9'900u);
+    EXPECT_LE(p99, 10'600u);
+}
+
+TEST(Metrics, HistogramMergeAddsCounts)
+{
+    LatencyHistogram a, b;
+    a.record(10);
+    a.record(1'000);
+    b.record(100'000);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_EQ(a.maxValue(), 100'000u);
+    EXPECT_DOUBLE_EQ(a.sum(), 101'010.0);
+    EXPECT_EQ(a.countAtOrBelow(10), 1u);
+}
+
+TEST(Metrics, HistogramEmptyIsZero)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(50.0), 0u);
+    EXPECT_EQ(h.countAtOrBelow(1'000'000), 0u);
+}
+
+// ---------------------------------------------------------------------
+// ShardedCounter / Gauge.
+
+TEST(Metrics, ShardedCounterConcurrentAddsAllLand)
+{
+    ShardedCounter c;
+    constexpr unsigned kThreads = 8;
+    constexpr uint64_t kAdds = 20'000;
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t)
+        threads.emplace_back([&c] {
+            for (uint64_t i = 0; i < kAdds; ++i)
+                c.add();
+        });
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(c.value(), kThreads * kAdds);
+}
+
+TEST(Metrics, GaugeSetAndAdd)
+{
+    Gauge g;
+    g.set(42);
+    g.add(-50);
+    EXPECT_EQ(g.value(), -8);
+}
+
+// ---------------------------------------------------------------------
+// Registry.
+
+TEST(Metrics, RegistryGetOrCreateReturnsSameSeries)
+{
+    Registry reg;
+    ShardedCounter &a = reg.counter("tarch_test_total", "help");
+    ShardedCounter &b = reg.counter("tarch_test_total", "help");
+    EXPECT_EQ(&a, &b);
+    ShardedCounter &c =
+        reg.counter("tarch_test_total", "help", "shard=\"0\"");
+    EXPECT_NE(&a, &c);
+    a.add(3);
+    EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(Metrics, CallbackSeriesReadAtScrapeTime)
+{
+    Registry reg;
+    std::atomic<uint64_t> backing{7};
+    reg.counterFn("tarch_cb_total", "callback counter", "",
+                  [&backing] { return backing.load(); });
+    std::atomic<int64_t> depth{3};
+    reg.gaugeFn("tarch_cb_depth", "callback gauge", "",
+                [&depth] { return depth.load(); });
+
+    std::string text = reg.renderPrometheus();
+    EXPECT_NE(text.find("tarch_cb_total 7"), std::string::npos);
+    EXPECT_NE(text.find("tarch_cb_depth 3"), std::string::npos);
+
+    backing.store(9);
+    depth.store(-1);
+    text = reg.renderPrometheus();
+    EXPECT_NE(text.find("tarch_cb_total 9"), std::string::npos);
+    EXPECT_NE(text.find("tarch_cb_depth -1"), std::string::npos);
+}
+
+TEST(Metrics, RenderPrometheusPassesOwnLint)
+{
+    Registry reg;
+    reg.counter("tarch_requests_total", "requests").add(5);
+    reg.counter("tarch_requests_total", "requests", "code=\"busy\"")
+        .add(1);
+    reg.gauge("tarch_queue_depth", "queued").set(12);
+    reg.histogram("tarch_latency_us", "latency").record(150);
+    reg.histogram("tarch_latency_us", "latency").record(90'000);
+
+    const std::string text = reg.renderPrometheus();
+    std::string error;
+    EXPECT_TRUE(Registry::lintPrometheus(text, &error)) << error;
+    EXPECT_NE(text.find("# TYPE tarch_requests_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("tarch_requests_total{code=\"busy\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE tarch_latency_us histogram"),
+              std::string::npos);
+    EXPECT_NE(text.find("tarch_latency_us_count 2"), std::string::npos);
+    EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+}
+
+TEST(Metrics, LintRejectsMalformedExposition)
+{
+    std::string error;
+    EXPECT_FALSE(Registry::lintPrometheus(
+        "# TYPE tarch_x counter\ntarch_x notanumber\n", &error));
+    EXPECT_FALSE(Registry::lintPrometheus(
+        "tarch_undeclared_total 3\n", &error));
+    EXPECT_FALSE(Registry::lintPrometheus(
+        "# TYPE bad-name counter\nbad-name 1\n", &error));
+}
+
+TEST(Metrics, CountersMonotonicAcrossScrapes)
+{
+    Registry reg;
+    ShardedCounter &c = reg.counter("tarch_mono_total", "monotonic");
+    c.add(1);
+    const std::string before = reg.renderPrometheus();
+    c.add(5);
+    const std::string after = reg.renderPrometheus();
+
+    std::string error;
+    EXPECT_TRUE(Registry::countersMonotonic(before, after, &error))
+        << error;
+    // A counter must never run backwards between scrapes.
+    EXPECT_FALSE(Registry::countersMonotonic(after, before, &error));
+}
+
+TEST(Metrics, CsvRowsMatchHeaderShape)
+{
+    Registry reg;
+    reg.counter("tarch_csv_total", "c", "shard=\"a\"").add(2);
+    reg.histogram("tarch_csv_us", "h").record(500);
+
+    const std::string header = Registry::csvHeader();
+    ASSERT_FALSE(header.empty());
+    const size_t columns =
+        1 + (size_t)std::count(header.begin(), header.end(), ',');
+
+    const std::string csv = reg.renderCsv(1'722'000'000'000ull);
+    ASSERT_FALSE(csv.empty());
+    size_t start = 0;
+    size_t rows = 0;
+    while (start < csv.size()) {
+        size_t end = csv.find('\n', start);
+        if (end == std::string::npos)
+            end = csv.size();
+        const std::string row = csv.substr(start, end - start);
+        if (!row.empty()) {
+            EXPECT_EQ(1 + (size_t)std::count(row.begin(), row.end(),
+                                             ','),
+                      columns)
+                << row;
+            EXPECT_EQ(row.compare(0, 13, "1722000000000"), 0) << row;
+            rows++;
+        }
+        start = end + 1;
+    }
+    // counter row + histogram _count/_sum/_p50/_p99/_max rows
+    EXPECT_GE(rows, 6u);
+    EXPECT_NE(csv.find("tarch_csv_total"), std::string::npos);
+    EXPECT_NE(csv.find("tarch_csv_us_p99"), std::string::npos);
+}
+
+} // namespace
+} // namespace tarch::obs

@@ -400,9 +400,12 @@ TEST_F(RouterTest, PingStatsAndUnknownKindAnsweredLocally)
     Client client = connect();
     EXPECT_TRUE(client.ping());
     const std::string json = client.stats();
-    EXPECT_NE(json.find("\"schema\":\"tarch-router-stats-v1\""),
+    EXPECT_NE(json.find("\"schema\":\"tarch-router-stats-v2\""),
               std::string::npos);
     EXPECT_NE(json.find("\"shards\":["), std::string::npos);
+    EXPECT_NE(json.find("\"uptime_seconds\":"), std::string::npos);
+    EXPECT_NE(json.find("\"replies_by_code\":{\"ok\":"),
+              std::string::npos);
 
     const uint64_t id = client.sendRequest(
         static_cast<proto::MsgKind>(99), "");
@@ -537,8 +540,19 @@ struct AbruptBackend {
             const int fd = ::accept(listenFd, nullptr, nullptr);
             if (fd < 0)
                 return;
+            // Read past the router's pipelined 20-byte Hello frame so
+            // the request itself is provably in flight before the
+            // abrupt close — otherwise the router's request send can
+            // fail outright and it correctly fails over instead of
+            // owing a ConnectionLost.
             char buf[64];
-            (void)!::read(fd, buf, sizeof(buf));
+            ssize_t total = 0;
+            while (total <= 20) {
+                const ssize_t n = ::read(fd, buf, sizeof(buf));
+                if (n <= 0)
+                    break;
+                total += n;
+            }
             ::close(fd);  // mid-request, without a reply
         });
     }

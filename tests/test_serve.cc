@@ -357,9 +357,12 @@ TEST_F(ServeTest, PingStatsAndHealthCounters)
     Client client = connect();
     EXPECT_TRUE(client.ping());
     const std::string json = client.stats();
-    EXPECT_NE(json.find("\"schema\":\"tarch-serve-stats-v1\""),
+    EXPECT_NE(json.find("\"schema\":\"tarch-serve-stats-v2\""),
               std::string::npos);
     EXPECT_NE(json.find("\"draining\":false"), std::string::npos);
+    EXPECT_NE(json.find("\"uptime_seconds\":"), std::string::npos);
+    EXPECT_NE(json.find("\"replies_by_code\":{\"ok\":"),
+              std::string::npos);
     const Server::Health health = server->health();
     EXPECT_GE(health.received, 2u); // ping + stats
     EXPECT_EQ(health.framingErrors, 0u);

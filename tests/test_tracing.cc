@@ -1,0 +1,660 @@
+// The tarch-rpc v2 traced revision and the serving observability plane
+// (docs/OBSERVABILITY.md): strict trace-context encode/decode (every
+// truncation and reserved-byte violation rejected), Hello version
+// negotiation, new<->old interop that degrades to untraced v1 frames
+// (never framing errors), span recording across client, server, and
+// router processes for one sampled request, the slow-request log, and
+// the Metrics scrape endpoint.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/strutil.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/spans.h"
+#include "serve/client.h"
+#include "serve/hedged_client.h"
+#include "serve/protocol.h"
+#include "serve/router.h"
+#include "serve/server.h"
+#include "serve/slowlog.h"
+
+namespace fs = std::filesystem;
+
+namespace tarch::serve {
+namespace {
+
+// ---------------------------------------------------------------------
+// Protocol: the 16-byte trace context.
+
+proto::TraceContext
+sampleContext()
+{
+    proto::TraceContext ctx;
+    ctx.traceId = 0x0123456789abcdefULL;
+    ctx.parentSpanId = 0xcafe0001u;
+    ctx.sampled = 1;
+    return ctx;
+}
+
+TEST(Tracing, ContextRoundTrip)
+{
+    const proto::TraceContext ctx = sampleContext();
+    const std::string wire = proto::encodeTraceContext(ctx);
+    ASSERT_EQ(wire.size(), proto::kTraceContextSize);
+
+    proto::TraceContext out;
+    size_t body_offset = 0;
+    ASSERT_TRUE(proto::decodeTraceContext(wire + "body", out,
+                                          body_offset));
+    EXPECT_EQ(body_offset, proto::kTraceContextSize);
+    EXPECT_EQ(out.traceId, ctx.traceId);
+    EXPECT_EQ(out.parentSpanId, ctx.parentSpanId);
+    EXPECT_EQ(out.sampled, 1);
+    EXPECT_TRUE(out.recording());
+}
+
+TEST(Tracing, ContextRejectsEveryTruncation)
+{
+    const std::string wire = proto::encodeTraceContext(sampleContext());
+    for (size_t len = 0; len < proto::kTraceContextSize; ++len) {
+        proto::TraceContext out;
+        size_t body_offset = 0;
+        EXPECT_FALSE(proto::decodeTraceContext(wire.substr(0, len), out,
+                                               body_offset))
+            << "accepted a " << len << "-byte context";
+    }
+}
+
+TEST(Tracing, ContextRejectsReservedBytesAndBadSampledFlag)
+{
+    const std::string wire = proto::encodeTraceContext(sampleContext());
+    // The three reserved bytes after the sampled flag must be zero.
+    for (size_t i = 13; i < 16; ++i) {
+        std::string bad = wire;
+        bad[i] = 1;
+        proto::TraceContext out;
+        size_t body_offset = 0;
+        EXPECT_FALSE(proto::decodeTraceContext(bad, out, body_offset))
+            << "accepted nonzero reserved byte " << i;
+    }
+    std::string bad = wire;
+    bad[12] = 2;  // sampled must be 0 or 1
+    proto::TraceContext out;
+    size_t body_offset = 0;
+    EXPECT_FALSE(proto::decodeTraceContext(bad, out, body_offset));
+}
+
+TEST(Tracing, RecordingNeedsSampledAndNonzeroTraceId)
+{
+    proto::TraceContext ctx;
+    EXPECT_FALSE(ctx.recording());
+    ctx.traceId = 7;
+    EXPECT_FALSE(ctx.recording());
+    ctx.sampled = 1;
+    EXPECT_TRUE(ctx.recording());
+    ctx.traceId = 0;
+    EXPECT_FALSE(ctx.recording());
+}
+
+TEST(Tracing, TracedFrameRoundTrip)
+{
+    const proto::TraceContext ctx = sampleContext();
+    const std::string body = "v1-body-bytes";
+    const std::string frame = proto::encodeTracedFrame(
+        proto::MsgKind::RunCell, 99, ctx, body);
+
+    proto::FrameHeader fh;
+    ASSERT_EQ(proto::parseHeader(
+                  reinterpret_cast<const uint8_t *>(frame.data()), fh,
+                  proto::kMaxPayload),
+              proto::HeaderStatus::Ok);
+    EXPECT_EQ(fh.version, proto::kVersionTraced);
+    EXPECT_EQ(fh.requestId, 99u);
+    ASSERT_EQ(fh.payloadLen, proto::kTraceContextSize + body.size());
+
+    proto::TraceContext out;
+    size_t body_offset = 0;
+    const std::string payload = frame.substr(proto::kHeaderSize);
+    ASSERT_TRUE(proto::decodeTraceContext(payload, out, body_offset));
+    EXPECT_EQ(out.traceId, ctx.traceId);
+    EXPECT_EQ(payload.substr(body_offset), body);
+}
+
+// ---------------------------------------------------------------------
+// SpanRecorder.
+
+TEST(Tracing, SpanScopeInertWithoutRecorderOrTraceId)
+{
+    obs::SpanRecorder rec("test");
+    {
+        obs::SpanScope none(nullptr, 42, 0, "x");
+        EXPECT_FALSE(none.active());
+        EXPECT_EQ(none.id(), 0u);
+        obs::SpanScope untraced(&rec, 0, 0, "x");
+        EXPECT_FALSE(untraced.active());
+        EXPECT_EQ(untraced.id(), 0u);
+    }
+    EXPECT_EQ(rec.size(), 0u);
+}
+
+TEST(Tracing, SpanRecorderRendersWellFormedChromeTrace)
+{
+    obs::SpanRecorder rec("test_proc");
+    {
+        obs::SpanScope root(&rec, 0xfeedULL, 0, "client.request");
+        root.setDetail("say \"hi\"\\");  // must survive JSON escaping
+        obs::SpanScope child(&rec, 0xfeedULL, root.id(), "server.run");
+    }
+    ASSERT_EQ(rec.size(), 2u);
+
+    const std::string json = rec.renderChromeTrace();
+    std::string error;
+    EXPECT_TRUE(obs::jsonWellFormed(json, &error)) << error;
+    EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(json.find("test_proc"), std::string::npos);
+    EXPECT_NE(json.find("000000000000feed"), std::string::npos);
+    EXPECT_NE(json.find("client.request"), std::string::npos);
+
+    // Child nests under root via the span/parent ids (scopes record
+    // on destruction, so the child lands first).
+    const auto spans = rec.snapshot();
+    EXPECT_EQ(spans[0].parentSpanId, spans[1].spanId);
+    EXPECT_NE(spans[1].spanId, 0u);
+}
+
+TEST(Tracing, SpanRecorderBoundsMemoryAndCountsDrops)
+{
+    obs::SpanRecorder rec("test");
+    constexpr size_t kTotal = 70'000;
+    for (size_t i = 0; i < kTotal; ++i) {
+        obs::SpanRecord span;
+        span.traceId = 1;
+        span.spanId = (uint32_t)i + 1;
+        span.name = "x";
+        rec.record(std::move(span));
+    }
+    EXPECT_LT(rec.size(), kTotal);
+    EXPECT_EQ(rec.dropped(), kTotal - rec.size());
+}
+
+// ---------------------------------------------------------------------
+// Server end-to-end over a real socket.
+
+struct TempDir {
+    fs::path path;
+    TempDir()
+    {
+        static std::atomic<int> counter{0};
+        path = fs::temp_directory_path() /
+               strformat("tarch_tracing_test_%ld_%d", (long)::getpid(),
+                         counter++);
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~TempDir() { fs::remove_all(path); }
+    std::string str() const { return path.string(); }
+};
+
+proto::SourceRequest
+quickSource(unsigned seed)
+{
+    proto::SourceRequest req;
+    req.variant = 1;
+    req.source = strformat(
+        "local s = 0\nfor i = 1, %u do s = s + i end\nprint(s)\n",
+        100 + seed);
+    return req;
+}
+
+class TracingTest : public ::testing::Test
+{
+  protected:
+    TempDir dir;
+    std::unique_ptr<Server> server;
+
+    std::string sock() const { return dir.str() + "/s.sock"; }
+
+    void
+    startServer(bool advertise_tracing = true, uint64_t slow_sample = 0)
+    {
+        Server::Config cfg;
+        cfg.unixPath = sock();
+        cfg.jobs = 2;
+        cfg.sim.cacheDir = dir.str();
+        cfg.sim.diskCache = false;
+        cfg.advertiseTracing = advertise_tracing;
+        cfg.slowLog.sampleEvery = slow_sample;
+        server = std::make_unique<Server>(cfg);
+        server->start();
+    }
+
+    void
+    TearDown() override
+    {
+        if (server)
+            server->stop();
+    }
+
+    Client connect() { return Client::connectUnix(sock()); }
+};
+
+TEST_F(TracingTest, HelloNegotiatesMaxVersion)
+{
+    startServer();
+    Client client = connect();
+    EXPECT_EQ(client.hello(), proto::kMaxVersion);
+    EXPECT_EQ(client.peerMaxVersion(), proto::kMaxVersion);
+}
+
+TEST_F(TracingTest, HelloAgainstUntracedServerReportsV1)
+{
+    startServer(/*advertise_tracing=*/false);
+    Client client = connect();
+    EXPECT_EQ(client.hello(), proto::kVersion);
+    EXPECT_EQ(client.peerMaxVersion(), proto::kVersion);
+}
+
+TEST_F(TracingTest, TracedRequestRecordsSpansOnBothSides)
+{
+    startServer();
+    obs::SpanRecorder client_rec("tarch_bench_client");
+
+    Client client = connect();
+    client.enableTracing(&client_rec, 1);
+    const auto outcome = client.runSource(quickSource(1));
+    ASSERT_TRUE(outcome.ok) << outcome.error.message;
+
+    // Client side: one root client.request span.
+    const auto client_spans = client_rec.snapshot();
+    ASSERT_EQ(client_spans.size(), 1u);
+    EXPECT_EQ(client_spans[0].name, "client.request");
+    const uint64_t trace_id = client_spans[0].traceId;
+    ASSERT_NE(trace_id, 0u);
+
+    // Server side: stage spans of the SAME trace.
+    const auto server_spans = server->spanRecorder().snapshot();
+    ASSERT_FALSE(server_spans.empty());
+    std::set<std::string> names;
+    for (const auto &span : server_spans) {
+        EXPECT_EQ(span.traceId, trace_id);
+        names.insert(span.name);
+    }
+    EXPECT_TRUE(names.count("server.run"));
+    EXPECT_TRUE(names.count("sim.verify"));
+    EXPECT_TRUE(names.count("sim.simulate"));
+
+    // Wall-clock timebase is shared: every server stage fits inside
+    // the client round-trip span (1 ms slack for clock reads).
+    const uint64_t c0 = client_spans[0].startUs;
+    const uint64_t c1 = c0 + client_spans[0].durUs;
+    for (const auto &span : server_spans) {
+        EXPECT_GE(span.startUs + 1'000, c0) << span.name;
+        EXPECT_LE(span.startUs + span.durUs, c1 + 1'000) << span.name;
+        EXPECT_LE(span.durUs, client_spans[0].durUs + 1'000)
+            << span.name;
+    }
+}
+
+TEST_F(TracingTest, SamplingTracesEveryNthRequest)
+{
+    startServer();
+    obs::SpanRecorder rec("client");
+    Client client = connect();
+    client.enableTracing(&rec, 3);
+    for (int i = 0; i < 6; ++i)
+        ASSERT_TRUE(client.runSource(quickSource(2)).ok);
+    // Requests 3 and 6 were sampled.
+    EXPECT_EQ(rec.size(), 2u);
+}
+
+TEST_F(TracingTest, NewClientDegradesUntracedAgainstV1Server)
+{
+    startServer(/*advertise_tracing=*/false);
+    obs::SpanRecorder rec("client");
+    Client client = connect();
+    client.enableTracing(&rec, 1);
+
+    const auto outcome = client.runSource(quickSource(3));
+    ASSERT_TRUE(outcome.ok) << outcome.error.message;
+
+    // Degraded cleanly: no spans minted on either side, and above all
+    // no framing errors — the wire stayed pure v1.
+    EXPECT_EQ(rec.size(), 0u);
+    EXPECT_EQ(server->spanRecorder().size(), 0u);
+    const auto h = server->health();
+    EXPECT_EQ(h.framingErrors, 0u);
+    EXPECT_EQ(h.errors, 0u);
+}
+
+TEST_F(TracingTest, OldClientWorksAgainstTracedServer)
+{
+    startServer();
+    Client client = connect();  // tracing never enabled: pure v1
+    const auto outcome = client.runSource(quickSource(4));
+    ASSERT_TRUE(outcome.ok) << outcome.error.message;
+    EXPECT_EQ(server->spanRecorder().size(), 0u);
+    EXPECT_EQ(server->health().framingErrors, 0u);
+}
+
+TEST_F(TracingTest, MalformedContextIsTypedErrorNotFramingError)
+{
+    startServer();
+    Client client = connect();
+    const std::string wire =
+        proto::encodeTraceContext(sampleContext());
+
+    // A v2 request whose payload is shorter than the 16-byte context:
+    // every truncation must draw a typed BadFrame on a SURVIVING
+    // connection, never a framing error or a poisoned stream.
+    uint64_t id = 100;
+    for (const size_t len : {size_t{0}, size_t{5}, size_t{15}}) {
+        std::string frame = proto::encodeFrame(
+            proto::MsgKind::RunCell, ++id, wire.substr(0, len));
+        frame[4] = 2;  // patch header version to kVersionTraced
+        ASSERT_TRUE(client.sendRaw(frame.data(), frame.size()));
+        Client::Reply reply;
+        ASSERT_TRUE(client.readReply(reply)) << "len " << len;
+        ASSERT_EQ(reply.kind, (uint16_t)proto::MsgKind::Error);
+        proto::ErrorBody error;
+        ASSERT_TRUE(proto::decodeErrorBody(reply.payload, error));
+        EXPECT_EQ(error.code, (uint16_t)proto::ErrorCode::BadFrame);
+    }
+    // Nonzero reserved byte, full-length context.
+    std::string bad = wire;
+    bad[14] = 7;
+    std::string frame =
+        proto::encodeFrame(proto::MsgKind::RunCell, ++id, bad + "body");
+    frame[4] = 2;
+    ASSERT_TRUE(client.sendRaw(frame.data(), frame.size()));
+    Client::Reply reply;
+    ASSERT_TRUE(client.readReply(reply));
+    ASSERT_EQ(reply.kind, (uint16_t)proto::MsgKind::Error);
+
+    EXPECT_TRUE(client.ping());  // connection survived all of it
+    EXPECT_EQ(server->health().framingErrors, 0u);
+}
+
+TEST_F(TracingTest, MetricsScrapeLintsCleanAndStaysMonotonic)
+{
+    startServer();
+    Client client = connect();
+    ASSERT_TRUE(client.runSource(quickSource(5)).ok);
+
+    const std::string first = client.metricsText();
+    ASSERT_FALSE(first.empty());
+    std::string error;
+    EXPECT_TRUE(obs::Registry::lintPrometheus(first, &error)) << error;
+    EXPECT_NE(first.find("tarch_serve_requests_total"),
+              std::string::npos);
+    EXPECT_NE(first.find("tarch_serve_replies_total{code=\"ok\"}"),
+              std::string::npos);
+    EXPECT_NE(first.find("tarch_serve_stage_latency_us"),
+              std::string::npos);
+
+    ASSERT_TRUE(client.runSource(quickSource(6)).ok);
+    const std::string second = client.metricsText();
+    EXPECT_TRUE(obs::Registry::countersMonotonic(first, second, &error))
+        << error;
+}
+
+// ---------------------------------------------------------------------
+// Slow-request log.
+
+TEST(SlowLogTest, ThresholdAndSamplerTriggers)
+{
+    SlowLog::Options opts;
+    opts.thresholdUs = 1'000;
+    opts.sampleEvery = 0;
+    SlowLog log(opts);
+    EXPECT_FALSE(log.shouldLog(999));
+    EXPECT_TRUE(log.shouldLog(1'000));
+    EXPECT_TRUE(log.shouldLog(50'000));
+
+    SlowLog::Options sampler;
+    sampler.thresholdUs = 0;
+    sampler.sampleEvery = 3;
+    SlowLog sampled(sampler);
+    unsigned hits = 0;
+    for (int i = 0; i < 9; ++i)
+        if (sampled.shouldLog(1))
+            hits++;
+    EXPECT_EQ(hits, 3u);
+
+    SlowLog off(SlowLog::Options{0, 0, 4});
+    EXPECT_FALSE(off.shouldLog(~0ull));
+}
+
+TEST(SlowLogTest, RingKeepsNewestEntriesOldestFirst)
+{
+    SlowLog::Options opts;
+    opts.capacity = 4;
+    SlowLog log(opts);
+    for (uint64_t i = 1; i <= 7; ++i) {
+        SlowLogEntry e;
+        e.totalUs = i;
+        log.record(e);
+    }
+    EXPECT_EQ(log.recorded(), 7u);
+    const auto kept = log.snapshot();
+    ASSERT_EQ(kept.size(), 4u);
+    EXPECT_EQ(kept.front().totalUs, 4u);
+    EXPECT_EQ(kept.back().totalUs, 7u);
+}
+
+TEST(SlowLogTest, ToJsonIsWellFormed)
+{
+    SlowLog log;
+    SlowLogEntry e;
+    e.wallMs = 1'000;
+    e.traceId = 0xabcULL;
+    e.kind = (uint16_t)proto::MsgKind::RunSource;
+    e.errorCode = (uint16_t)proto::ErrorCode::DeadlineExceeded;
+    e.queueUs = 10;
+    e.runUs = 20;
+    e.totalUs = 35;
+    e.detail = "fibo \"quoted\"";
+    log.record(e);
+
+    const std::string json = log.toJson();
+    std::string error;
+    EXPECT_TRUE(obs::jsonWellFormed(json, &error)) << error;
+    EXPECT_NE(json.find("\"trace_id\":\"0000000000000abc\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"total_us\":35"), std::string::npos);
+}
+
+TEST_F(TracingTest, SampledSlowLogSurfacesInStats)
+{
+    startServer(/*advertise_tracing=*/true, /*slow_sample=*/1);
+    Client client = connect();
+    ASSERT_TRUE(client.runSource(quickSource(7)).ok);
+
+    const std::string json = client.stats();
+    EXPECT_NE(json.find("\"slow_log\":[{"), std::string::npos);
+    std::string error;
+    EXPECT_TRUE(obs::jsonWellFormed(json, &error)) << error;
+}
+
+// ---------------------------------------------------------------------
+// Router: one trace crossing three processes.
+
+class RouterTracingTest : public ::testing::Test
+{
+  protected:
+    TempDir dir;
+    std::vector<std::unique_ptr<Server>> shards;
+    std::unique_ptr<Router> router;
+
+    std::string shardSock(size_t i) const
+    {
+        return dir.str() + "/shard" + std::to_string(i) + ".sock";
+    }
+    std::string routerSock() const { return dir.str() + "/router.sock"; }
+
+    void
+    start(size_t nshards, bool advertise_tracing = true)
+    {
+        for (size_t i = 0; i < nshards; ++i) {
+            Server::Config cfg;
+            cfg.unixPath = shardSock(i);
+            cfg.jobs = 1;
+            cfg.sim.cacheDir = dir.str() + "/cache" + std::to_string(i);
+            cfg.sim.diskCache = false;
+            auto server = std::make_unique<Server>(cfg);
+            server->start();
+            shards.push_back(std::move(server));
+        }
+        Router::Config cfg;
+        cfg.unixPath = routerSock();
+        for (size_t i = 0; i < nshards; ++i) {
+            Endpoint ep;
+            ep.unixPath = shardSock(i);
+            cfg.shards.push_back(ep);
+        }
+        cfg.advertiseTracing = advertise_tracing;
+        router = std::make_unique<Router>(cfg);
+        router->start();
+    }
+
+    void
+    TearDown() override
+    {
+        if (router)
+            router->stop();
+        for (auto &s : shards)
+            s->stop();
+    }
+};
+
+TEST_F(RouterTracingTest, OneTraceCrossesClientRouterAndShard)
+{
+    start(2);
+    obs::SpanRecorder client_rec("tarch_bench_client");
+    Client client = Client::connectUnix(routerSock());
+    client.enableTracing(&client_rec, 1);
+
+    // The router probes each backend with a PIPELINED Hello on the
+    // fresh connection, so the first request on a cold backend
+    // forwards untraced; later requests ride v2 end to end.
+    ASSERT_TRUE(client.runSource(quickSource(1)).ok);
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    for (unsigned i = 2; i <= 4; ++i)
+        ASSERT_TRUE(client.runSource(quickSource(i)).ok);
+
+    // Some trace id must appear in all three recorders.
+    std::set<uint64_t> shard_traces;
+    for (auto &shard : shards)
+        for (const auto &span : shard->spanRecorder().snapshot())
+            shard_traces.insert(span.traceId);
+    ASSERT_FALSE(shard_traces.empty())
+        << "no shard recorded any span: backend Hello never landed?";
+
+    std::set<uint64_t> router_traces;
+    for (const auto &span : router->spanRecorder().snapshot())
+        router_traces.insert(span.traceId);
+
+    uint64_t crossing = 0;
+    for (const auto &span : client_rec.snapshot())
+        if (router_traces.count(span.traceId) &&
+            shard_traces.count(span.traceId))
+            crossing = span.traceId;
+    ASSERT_NE(crossing, 0u);
+
+    // Shard-side spans nest under the router's backend span: the
+    // forwarded context's parent is the router.backend span id.
+    uint32_t backend_span = 0;
+    for (const auto &span : router->spanRecorder().snapshot())
+        if (span.traceId == crossing && span.name == "router.backend")
+            backend_span = span.spanId;
+    ASSERT_NE(backend_span, 0u);
+    bool nested = false;
+    for (auto &shard : shards)
+        for (const auto &span : shard->spanRecorder().snapshot())
+            if (span.traceId == crossing &&
+                span.parentSpanId == backend_span)
+                nested = true;
+    EXPECT_TRUE(nested);
+    EXPECT_EQ(router->health().framingErrors, 0u);
+}
+
+TEST_F(RouterTracingTest, UntracedRouterForwardsPureV1)
+{
+    start(1, /*advertise_tracing=*/false);
+    obs::SpanRecorder rec("client");
+    Client client = Client::connectUnix(routerSock());
+    client.enableTracing(&rec, 1);
+    for (unsigned i = 0; i < 3; ++i)
+        ASSERT_TRUE(client.runSource(quickSource(i)).ok);
+
+    EXPECT_EQ(rec.size(), 0u);
+    EXPECT_EQ(router->spanRecorder().size(), 0u);
+    EXPECT_EQ(shards[0]->spanRecorder().size(), 0u);
+    EXPECT_EQ(router->health().framingErrors, 0u);
+    EXPECT_EQ(shards[0]->health().framingErrors, 0u);
+}
+
+TEST_F(RouterTracingTest, RouterMetricsScrapeLintsClean)
+{
+    start(2);
+    Client client = Client::connectUnix(routerSock());
+    ASSERT_TRUE(client.runSource(quickSource(9)).ok);
+
+    const std::string text = client.metricsText();
+    ASSERT_FALSE(text.empty());
+    std::string error;
+    EXPECT_TRUE(obs::Registry::lintPrometheus(text, &error)) << error;
+    EXPECT_NE(text.find("tarch_router_received_total"),
+              std::string::npos);
+    EXPECT_NE(text.find("tarch_router_shard_forwarded_total"),
+              std::string::npos);
+    EXPECT_NE(text.find("tarch_router_latency_us"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// HedgedClient: root + attempt spans.
+
+TEST_F(TracingTest, HedgedClientRecordsRootAndAttemptSpans)
+{
+    startServer();
+    obs::SpanRecorder rec("client");
+    HedgedClient::Options hopts;
+    Endpoint ep;
+    ep.unixPath = sock();
+    hopts.endpoints.push_back(ep);
+    hopts.recorder = &rec;
+    hopts.traceSampleEvery = 1;
+    HedgedClient client(hopts);
+
+    ASSERT_TRUE(client.runSource(quickSource(8)).ok);
+
+    std::set<std::string> names;
+    uint64_t trace_id = 0;
+    for (const auto &span : rec.snapshot()) {
+        names.insert(span.name);
+        trace_id = span.traceId;
+    }
+    EXPECT_TRUE(names.count("client.request"));
+    EXPECT_TRUE(names.count("client.attempt"));
+
+    // The server saw the same trace.
+    bool found = false;
+    for (const auto &span : server->spanRecorder().snapshot())
+        if (span.traceId == trace_id)
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+} // namespace
+} // namespace tarch::serve

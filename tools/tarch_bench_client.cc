@@ -47,6 +47,8 @@
 
 #include "common/log.h"
 #include "common/strutil.h"
+#include "obs/json.h"
+#include "obs/spans.h"
 #include "serve/client.h"
 #include "serve/hedged_client.h"
 #include "serve/loadgen.h"
@@ -75,9 +77,16 @@ struct Options {
     uint8_t lang = 0;               // ms
     std::string expectError;        // ErrorCode name, e.g. VerifyRejected
     unsigned chaos = 0;             // sacrificial malformed connections
-    bool health = false;
+    bool health = false;            // pretty-printed health summary
+    bool healthJson = false;        // raw health JSON passthrough
+    bool metricsMode = false;       // scrape Prometheus text and print
     bool drain = false;
     unsigned batch = 0;             // cells per RunBatch (0 = RunCell)
+    std::string jsonOut;            // bench summary JSON file
+    std::string traceOut;           // Chrome-trace JSON file
+    uint64_t traceSample = 1;       // trace every Nth request
+    /** Shared by every worker; non-null only when --trace-out is on. */
+    tarch::obs::SpanRecorder *recorder = nullptr;
 };
 
 int
@@ -96,7 +105,10 @@ usage(const char *argv0, int code)
         "                     measured from each request's scheduled\n"
         "                     start (no coordinated omission)\n"
         "  --source FILE      run one inline source file and print it\n"
-        "  --health           print the server health JSON\n"
+        "  --health           pretty-print the server health summary\n"
+        "  --health-json      print the raw health JSON\n"
+        "  --metrics          scrape and print the Prometheus text\n"
+        "                     exposition (v2 servers/routers only)\n"
         "  --drain            ask the server to drain, wait for close\n"
         "load options:\n"
         "  --connections N    workers (default 4)\n"
@@ -113,6 +125,11 @@ usage(const char *argv0, int code)
         "  --stats-json       request embedded tarch-stats-v1 artifacts\n"
         "  --deadline-ms N    per-request deadline override\n"
         "  --chaos N          add N connections sending malformed frames\n"
+        "  --json FILE        also write a machine-readable bench\n"
+        "                     summary (tarch-bench-serve-v1)\n"
+        "  --trace-out FILE   record client-side spans of sampled\n"
+        "                     requests and write Chrome-trace JSON\n"
+        "  --trace-sample N   trace every Nth request (default 1)\n"
         "source options:\n"
         "  --lang ms|asm      source language (default ms)\n"
         "  --expect-error E   exit 0 only if the server answers with\n"
@@ -191,6 +208,8 @@ closedLoop(const Options &opts, LoopStats &stats)
                    opts.endpoints[0].describe().c_str());
         return;
     }
+    if (opts.recorder != nullptr)
+        client.enableTracing(opts.recorder, opts.traceSample);
     const proto::CellRequest cell = makeCell(opts);
 
     stats.latenciesUs.reserve(opts.requests);
@@ -248,6 +267,8 @@ closedLoop(const Options &opts, LoopStats &stats)
                 stats.drainCloses++;
                 return;
             }
+            if (opts.recorder != nullptr)
+                client.enableTracing(opts.recorder, opts.traceSample);
             continue;
         }
         const auto code =
@@ -293,6 +314,8 @@ openLoop(const Options &opts, unsigned index, OpenStats &stats)
         // Never switch to the tail-derived delay: keep it fixed.
         hopts.minSamples = ~0ull;
     }
+    hopts.recorder = opts.recorder;
+    hopts.traceSampleEvery = opts.traceSample;
     serve::HedgedClient client(hopts);
     const proto::CellRequest cell = makeCell(opts);
 
@@ -432,6 +455,34 @@ percentile(std::vector<double> &sorted, double p)
     return sorted[idx];
 }
 
+bool
+writeFile(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                     std::strerror(errno));
+        return false;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    return true;
+}
+
+const char *
+variantName(uint8_t variant)
+{
+    switch (variant) {
+    case 0:
+        return "baseline";
+    case 1:
+        return "typed";
+    case 2:
+        return "chkld";
+    }
+    return "unknown";
+}
+
 int
 runClosedLoad(const Options &opts)
 {
@@ -489,6 +540,33 @@ runClosedLoad(const Options &opts)
                 percentile(total.latenciesUs, 0.95));
     std::printf("latency p99:      %.1f us\n",
                 percentile(total.latenciesUs, 0.99));
+
+    if (!opts.jsonOut.empty()) {
+        const std::string json = strformat(
+            "{\"schema\":\"tarch-bench-serve-v1\",\"mode\":\"closed\","
+            "\"benchmark\":\"%s\",\"variant\":\"%s\","
+            "\"connections\":%u,\"chaos\":%u,"
+            "\"requests_per_connection\":%u,"
+            "\"completed\":%llu,\"busy_retries\":%llu,"
+            "\"typed_errors\":%llu,\"drain_closes\":%llu,"
+            "\"reconnects\":%llu,\"protocol_errors\":%llu,"
+            "\"elapsed_s\":%.3f,\"throughput_rps\":%.1f,"
+            "\"latency_us\":{\"p50\":%.1f,\"p95\":%.1f,\"p99\":%.1f}}\n",
+            opts.benchmark.c_str(), variantName(opts.variant),
+            opts.connections, opts.chaos, opts.requests,
+            (unsigned long long)total.ok,
+            (unsigned long long)total.busyRetries,
+            (unsigned long long)total.typedErrors,
+            (unsigned long long)total.drainCloses,
+            (unsigned long long)total.reconnects,
+            (unsigned long long)total.protocolErrors, secs,
+            secs > 0.0 ? (double)total.ok / secs : 0.0,
+            percentile(total.latenciesUs, 0.50),
+            percentile(total.latenciesUs, 0.95),
+            percentile(total.latenciesUs, 0.99));
+        if (!writeFile(opts.jsonOut, json))
+            return 1;
+    }
 
     if (total.protocolErrors > 0 || total.typedErrors > 0 ||
         chaosFailed.load())
@@ -567,8 +645,90 @@ runOpenLoad(const Options &opts)
     std::printf("latency max:      %.1f us\n",
                 (double)total.hist.maxValue());
 
+    if (!opts.jsonOut.empty()) {
+        const std::string json = strformat(
+            "{\"schema\":\"tarch-bench-serve-v1\",\"mode\":\"open\","
+            "\"benchmark\":\"%s\",\"variant\":\"%s\","
+            "\"connections\":%u,\"chaos\":%u,"
+            "\"offered\":%llu,\"rate_rps\":%.1f,\"mix_source_pct\":%u,"
+            "\"completed\":%llu,\"shed_busy\":%llu,"
+            "\"typed_errors\":%llu,\"drain_closes\":%llu,"
+            "\"reconnects\":%llu,\"hedges\":%llu,\"hedge_wins\":%llu,"
+            "\"retries\":%llu,\"budget_denied\":%llu,"
+            "\"protocol_errors\":%llu,"
+            "\"elapsed_s\":%.3f,\"throughput_rps\":%.1f,"
+            "\"latency_us\":{\"p50\":%llu,\"p95\":%llu,\"p99\":%llu,"
+            "\"max\":%llu}}\n",
+            opts.benchmark.c_str(), variantName(opts.variant),
+            opts.connections, opts.chaos,
+            (unsigned long long)opts.requests, opts.rate,
+            opts.mixSource, (unsigned long long)total.ok,
+            (unsigned long long)total.shed,
+            (unsigned long long)total.typedErrors,
+            (unsigned long long)total.drainCloses,
+            (unsigned long long)hc.lostConnections,
+            (unsigned long long)hc.hedges,
+            (unsigned long long)hc.hedgeWins,
+            (unsigned long long)hc.retries,
+            (unsigned long long)hc.budgetDenied,
+            (unsigned long long)hc.garbled, secs,
+            secs > 0.0 ? (double)total.ok / secs : 0.0,
+            (unsigned long long)total.hist.percentile(50.0),
+            (unsigned long long)total.hist.percentile(95.0),
+            (unsigned long long)total.hist.percentile(99.0),
+            (unsigned long long)total.hist.maxValue());
+        if (!writeFile(opts.jsonOut, json))
+            return 1;
+    }
+
     if (hc.garbled > 0 || total.typedErrors > 0 || chaosFailed.load())
         return 1;
+    return 0;
+}
+
+/**
+ * Pretty-print a v2 health JSON document: one aligned line per field,
+ * with nested objects (replies_by_code) reduced to their nonzero
+ * entries.  Unknown shapes (a v1 server, say) fall back to the raw
+ * passthrough so the tool keeps working against old daemons.
+ */
+int
+printHealth(const std::string &json)
+{
+    using tarch::obs::JsonValue;
+    JsonValue root;
+    std::string error;
+    if (!tarch::obs::jsonParse(json, root, &error) ||
+        root.kind != JsonValue::Kind::Object) {
+        std::printf("%s\n", json.c_str());
+        return 0;
+    }
+    for (const auto &[key, value] : root.fields) {
+        switch (value.kind) {
+        case JsonValue::Kind::Object: {
+            std::printf("%-22s", (key + ":").c_str());
+            bool any = false;
+            for (const auto &[sub, count] : value.fields) {
+                uint64_t n = 0;
+                if (!count.asU64(n) || (n == 0 && sub != "ok"))
+                    continue;
+                std::printf("%s %s=%llu", any ? "," : "", sub.c_str(),
+                            (unsigned long long)n);
+                any = true;
+            }
+            std::printf("%s\n", any ? "" : " (all zero)");
+            break;
+        }
+        case JsonValue::Kind::Array:
+            std::printf("%-22s %zu entries\n", (key + ":").c_str(),
+                        value.items.size());
+            break;
+        default:
+            std::printf("%-22s %s\n", (key + ":").c_str(),
+                        value.text.c_str());
+            break;
+        }
+    }
     return 0;
 }
 
@@ -742,6 +902,18 @@ main(int argc, char **argv)
             opts.expectError = next("--expect-error");
         } else if (arg == "--health") {
             opts.health = true;
+        } else if (arg == "--health-json") {
+            opts.healthJson = true;
+        } else if (arg == "--metrics") {
+            opts.metricsMode = true;
+        } else if (arg == "--json") {
+            opts.jsonOut = next("--json");
+        } else if (arg == "--trace-out") {
+            opts.traceOut = next("--trace-out");
+        } else if (arg == "--trace-sample") {
+            opts.traceSample =
+                parseNum(argv[0], "--trace-sample",
+                         next("--trace-sample"), 1, ~0ull);
         } else if (arg == "--drain") {
             opts.drain = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -774,15 +946,29 @@ main(int argc, char **argv)
     }
 
     try {
-        if (opts.health) {
+        if (opts.metricsMode) {
+            tarch::serve::Client client = connect(opts);
+            const std::string text = client.metricsText();
+            if (text.empty()) {
+                std::fprintf(stderr,
+                             "no metrics reply (v1 peer or drained?)\n");
+                return 1;
+            }
+            std::fputs(text.c_str(), stdout);
+            return 0;
+        }
+        if (opts.health || opts.healthJson) {
             tarch::serve::Client client = connect(opts);
             const std::string json = client.stats();
             if (json.empty()) {
                 std::fprintf(stderr, "no stats reply (server drained?)\n");
                 return 1;
             }
-            std::printf("%s\n", json.c_str());
-            return 0;
+            if (opts.healthJson) {
+                std::printf("%s\n", json.c_str());
+                return 0;
+            }
+            return printHealth(json);
         }
         if (opts.drain) {
             tarch::serve::Client client = connect(opts);
@@ -799,9 +985,17 @@ main(int argc, char **argv)
         }
         if (!opts.sourceFile.empty())
             return runSource(opts);
-        if (opts.rate > 0.0)
-            return runOpenLoad(opts);
-        return runClosedLoad(opts);
+
+        tarch::obs::SpanRecorder recorder("tarch_bench_client");
+        if (!opts.traceOut.empty())
+            opts.recorder = &recorder;
+        const int rc =
+            opts.rate > 0.0 ? runOpenLoad(opts) : runClosedLoad(opts);
+        if (!opts.traceOut.empty() &&
+            writeFile(opts.traceOut, recorder.renderChromeTrace()))
+            std::fprintf(stderr, "wrote %zu spans to %s\n",
+                         recorder.size(), opts.traceOut.c_str());
+        return rc;
     } catch (const tarch::FatalError &e) {
         std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
         return 1;

@@ -18,6 +18,7 @@
  */
 
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -69,9 +70,53 @@ usage(const char *argv0, int code)
         "  --backoff-cap-ms N   max re-probe backoff (default 5000)\n"
         "  --vnodes N           ring points per shard (default 64)\n"
         "  --send-timeout-ms N  SO_SNDTIMEO on sockets (default 30000)\n"
-        "  --max-payload N      per-frame payload cap in bytes\n",
+        "  --max-payload N      per-frame payload cap in bytes\n"
+        "observability (docs/OBSERVABILITY.md):\n"
+        "  --trace-out FILE     write this process's Chrome-trace JSON "
+        "(sampled v2 requests) at exit\n"
+        "  --metrics-out FILE   append metrics CSV rows every "
+        "--metrics-interval-ms (default 1000)\n"
+        "  --metrics-interval-ms N\n"
+        "  --no-tracing         answer Hello with v1 and skip backend "
+        "probes (interop testing)\n",
         argv0);
     return code;
+}
+
+/** Append @p text to @p path, writing @p header first on creation. */
+bool
+appendFile(const std::string &path, const std::string &header,
+           const std::string &text)
+{
+    const bool fresh = ::access(path.c_str(), F_OK) != 0;
+    std::FILE *f = std::fopen(path.c_str(), "a");
+    if (f == nullptr)
+        return false;
+    if (fresh && !header.empty())
+        std::fwrite(header.data(), 1, header.size(), f);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    return true;
+}
+
+bool
+writeFile(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    return true;
+}
+
+uint64_t
+wallMs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
 }
 
 unsigned long long
@@ -96,6 +141,9 @@ main(int argc, char **argv)
     using namespace tarch;
 
     serve::Router::Config cfg;
+    std::string trace_out;
+    std::string metrics_out;
+    uint64_t metrics_interval_ms = 1000;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const auto next = [&](const char *flag) -> const char * {
@@ -151,6 +199,16 @@ main(int argc, char **argv)
             cfg.maxPayload = static_cast<uint32_t>(
                 parseNum(argv[0], "--max-payload", next("--max-payload"),
                          64, serve::proto::kMaxPayload));
+        } else if (arg == "--trace-out") {
+            trace_out = next("--trace-out");
+        } else if (arg == "--metrics-out") {
+            metrics_out = next("--metrics-out");
+        } else if (arg == "--metrics-interval-ms") {
+            metrics_interval_ms =
+                parseNum(argv[0], "--metrics-interval-ms",
+                         next("--metrics-interval-ms"), 10, 3'600'000);
+        } else if (arg == "--no-tracing") {
+            cfg.advertiseTracing = false;
         } else if (arg == "--help" || arg == "-h") {
             return usage(argv[0], 0);
         } else {
@@ -192,10 +250,17 @@ main(int argc, char **argv)
             tarch_inform("tarch_router: shard %s",
                          shard.describe().c_str());
 
-        // Wait for a signal or an RPC-initiated drain.
+        // Wait for a signal or an RPC-initiated drain, appending a
+        // metrics CSV snapshot every interval when asked to.
+        uint64_t next_csv_ms = wallMs();
         for (;;) {
             struct pollfd pfd = {g_signal_pipe[0], POLLIN, 0};
             ::poll(&pfd, 1, 200);
+            if (!metrics_out.empty() && wallMs() >= next_csv_ms) {
+                appendFile(metrics_out, obs::Registry::csvHeader(),
+                           router.metrics().renderCsv(wallMs()));
+                next_csv_ms = wallMs() + metrics_interval_ms;
+            }
             if (g_signal.load() != 0) {
                 tarch_inform("tarch_router: signal %d, draining",
                              g_signal.load());
@@ -205,6 +270,19 @@ main(int argc, char **argv)
                 break;
         }
         router.stop();
+        if (!metrics_out.empty())
+            appendFile(metrics_out, obs::Registry::csvHeader(),
+                       router.metrics().renderCsv(wallMs()));
+        if (!trace_out.empty()) {
+            if (writeFile(trace_out,
+                          router.spanRecorder().renderChromeTrace()))
+                tarch_inform("tarch_router: wrote %zu spans to %s",
+                             router.spanRecorder().size(),
+                             trace_out.c_str());
+            else
+                tarch_warn("tarch_router: cannot write %s: %s",
+                           trace_out.c_str(), std::strerror(errno));
+        }
         tarch_inform("tarch_router: drained; final %s",
                      router.health().toJson().c_str());
         return 0;

@@ -15,6 +15,7 @@
  */
 
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -69,9 +70,55 @@ usage(const char *argv0, int code)
         "TARCH_EXEC_MODE env,\n"
         "                     else exact); bit-identical stats, "
         "predecoded serves faster\n"
-        "  --max-payload N    per-frame payload cap in bytes\n",
+        "  --max-payload N    per-frame payload cap in bytes\n"
+        "observability (docs/OBSERVABILITY.md):\n"
+        "  --trace-out FILE   write this process's Chrome-trace JSON "
+        "(sampled v2 requests) at exit\n"
+        "  --metrics-out FILE append metrics CSV rows every "
+        "--metrics-interval-ms (default 1000)\n"
+        "  --metrics-interval-ms N\n"
+        "  --slow-log-us N    slow-log threshold (default 250000; 0 "
+        "off)\n"
+        "  --slow-log-sample N  also log every Nth request (0 off)\n"
+        "  --no-tracing       answer Hello with v1 (interop testing)\n",
         argv0);
     return code;
+}
+
+/** Append @p text to @p path, writing @p header first on creation. */
+bool
+appendFile(const std::string &path, const std::string &header,
+           const std::string &text)
+{
+    const bool fresh = ::access(path.c_str(), F_OK) != 0;
+    std::FILE *f = std::fopen(path.c_str(), "a");
+    if (f == nullptr)
+        return false;
+    if (fresh && !header.empty())
+        std::fwrite(header.data(), 1, header.size(), f);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    return true;
+}
+
+bool
+writeFile(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    return true;
+}
+
+uint64_t
+wallMs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
 }
 
 unsigned long long
@@ -96,6 +143,9 @@ main(int argc, char **argv)
     using namespace tarch;
 
     serve::Server::Config cfg;
+    std::string trace_out;
+    std::string metrics_out;
+    uint64_t metrics_interval_ms = 1000;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const auto next = [&](const char *flag) -> const char * {
@@ -144,6 +194,24 @@ main(int argc, char **argv)
             cfg.maxPayload = static_cast<uint32_t>(
                 parseNum(argv[0], "--max-payload", next("--max-payload"),
                          64, serve::proto::kMaxPayload));
+        } else if (arg == "--trace-out") {
+            trace_out = next("--trace-out");
+        } else if (arg == "--metrics-out") {
+            metrics_out = next("--metrics-out");
+        } else if (arg == "--metrics-interval-ms") {
+            metrics_interval_ms =
+                parseNum(argv[0], "--metrics-interval-ms",
+                         next("--metrics-interval-ms"), 10, 3'600'000);
+        } else if (arg == "--slow-log-us") {
+            cfg.slowLog.thresholdUs =
+                parseNum(argv[0], "--slow-log-us", next("--slow-log-us"),
+                         0, ~0ull);
+        } else if (arg == "--slow-log-sample") {
+            cfg.slowLog.sampleEvery = parseNum(
+                argv[0], "--slow-log-sample", next("--slow-log-sample"),
+                0, ~0ull);
+        } else if (arg == "--no-tracing") {
+            cfg.advertiseTracing = false;
         } else if (arg == "--help" || arg == "-h") {
             return usage(argv[0], 0);
         } else {
@@ -180,10 +248,17 @@ main(int argc, char **argv)
         tarch_inform("tarch_served: %s",
                      server.health().toJson().c_str());
 
-        // Wait for a signal or an RPC-initiated drain.
+        // Wait for a signal or an RPC-initiated drain, appending a
+        // metrics CSV snapshot every interval when asked to.
+        uint64_t next_csv_ms = wallMs();
         for (;;) {
             struct pollfd pfd = {g_signal_pipe[0], POLLIN, 0};
             ::poll(&pfd, 1, 200);
+            if (!metrics_out.empty() && wallMs() >= next_csv_ms) {
+                appendFile(metrics_out, obs::Registry::csvHeader(),
+                           server.metrics().renderCsv(wallMs()));
+                next_csv_ms = wallMs() + metrics_interval_ms;
+            }
             if (g_signal.load() != 0) {
                 tarch_inform("tarch_served: signal %d, draining",
                              g_signal.load());
@@ -193,6 +268,19 @@ main(int argc, char **argv)
                 break;
         }
         server.stop();
+        if (!metrics_out.empty())
+            appendFile(metrics_out, obs::Registry::csvHeader(),
+                       server.metrics().renderCsv(wallMs()));
+        if (!trace_out.empty()) {
+            if (writeFile(trace_out,
+                          server.spanRecorder().renderChromeTrace()))
+                tarch_inform("tarch_served: wrote %zu spans to %s",
+                             server.spanRecorder().size(),
+                             trace_out.c_str());
+            else
+                tarch_warn("tarch_served: cannot write %s: %s",
+                           trace_out.c_str(), std::strerror(errno));
+        }
         tarch_inform("tarch_served: drained; final %s",
                      server.health().toJson().c_str());
         return 0;

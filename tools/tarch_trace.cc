@@ -1,0 +1,354 @@
+/**
+ * @file
+ * tarch_trace: offline helper for the serving observability plane
+ * (docs/OBSERVABILITY.md).
+ *
+ * Each traced process (tarch_bench_client, tarch_router, tarch_served)
+ * dumps its own Chrome-trace JSON at exit; this tool stitches them into
+ * one Perfetto-loadable file and gives CI teeth:
+ *
+ *   tarch_trace merge merged.json client.json router.json shard*.json
+ *   tarch_trace validate merged.json
+ *   tarch_trace check-crossing 3 merged.json
+ *   tarch_trace lint-metrics scrape2.txt --prev scrape1.txt
+ *
+ * merge remaps every input file to its own pid (input order), so the
+ * per-process recorders — which all render as pid 1 on their own — show
+ * up as separate process tracks in one timeline.  Spans stay
+ * correlated across tracks by the args.trace / args.span /
+ * args.parent ids the recorders stamp.
+ *
+ * Everything here runs on the in-repo JSON parser and Prometheus
+ * linter: no external tooling, usable from scripts/ci.sh as-is.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace {
+
+using tarch::obs::JsonValue;
+
+int
+usage(const char *argv0, int code)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s MODE ...\n"
+        "modes:\n"
+        "  merge OUT IN...        stitch per-process Chrome traces into\n"
+        "                         OUT, one pid per input file\n"
+        "  validate FILE          strict well-formedness + traceEvents\n"
+        "                         shape check\n"
+        "  check-crossing N FILE  exit 0 iff some trace id has spans\n"
+        "                         from >= N distinct pids\n"
+        "  lint-metrics FILE [--prev FILE]\n"
+        "                         lint a Prometheus scrape; with --prev,\n"
+        "                         also require counter monotonicity\n",
+        argv0);
+    return code;
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "tarch_trace: cannot read %s\n",
+                     path.c_str());
+        return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    out = text.str();
+    return true;
+}
+
+/** Re-serialize a parsed JSON tree (numbers keep their raw token
+    text, so 64-bit timestamps survive the round-trip exactly). */
+std::string
+renderJson(const JsonValue &value)
+{
+    switch (value.kind) {
+    case JsonValue::Kind::Null:
+        return "null";
+    case JsonValue::Kind::Bool:
+        return value.boolean ? "true" : "false";
+    case JsonValue::Kind::Number:
+        return value.text;
+    case JsonValue::Kind::String:
+        return "\"" + tarch::obs::jsonEscape(value.text) + "\"";
+    case JsonValue::Kind::Array: {
+        std::string out = "[";
+        for (size_t i = 0; i < value.items.size(); ++i) {
+            if (i > 0)
+                out += ",";
+            out += renderJson(value.items[i]);
+        }
+        return out + "]";
+    }
+    case JsonValue::Kind::Object: {
+        std::string out = "{";
+        for (size_t i = 0; i < value.fields.size(); ++i) {
+            if (i > 0)
+                out += ",";
+            out += "\"" + tarch::obs::jsonEscape(value.fields[i].first) +
+                   "\":" + renderJson(value.fields[i].second);
+        }
+        return out + "}";
+    }
+    }
+    return "null";
+}
+
+/** Parse @p path and yield its traceEvents array, failing (with a
+    message) when the document is not a Chrome trace. */
+bool
+loadTraceEvents(const std::string &path, JsonValue &doc,
+                const JsonValue **events)
+{
+    std::string text;
+    if (!readFile(path, text))
+        return false;
+    std::string error;
+    if (!tarch::obs::jsonParse(text, doc, &error)) {
+        std::fprintf(stderr, "tarch_trace: %s: %s\n", path.c_str(),
+                     error.c_str());
+        return false;
+    }
+    const JsonValue *found = doc.kind == JsonValue::Kind::Object
+                                 ? doc.find("traceEvents")
+                                 : nullptr;
+    if (found == nullptr || found->kind != JsonValue::Kind::Array) {
+        std::fprintf(stderr,
+                     "tarch_trace: %s: no traceEvents array\n",
+                     path.c_str());
+        return false;
+    }
+    *events = found;
+    return true;
+}
+
+int
+cmdMerge(const char *argv0, int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(argv0, 2);
+    const std::string out_path = argv[0];
+
+    std::string out = "{\"traceEvents\":[";
+    bool first = true;
+    size_t total = 0;
+    for (int i = 1; i < argc; ++i) {
+        JsonValue doc;
+        const JsonValue *events = nullptr;
+        if (!loadTraceEvents(argv[i], doc, &events))
+            return 1;
+        const int pid = i;  // input order = process track number
+        for (const JsonValue &event : events->items) {
+            if (event.kind != JsonValue::Kind::Object)
+                continue;
+            JsonValue remapped = event;
+            bool has_pid = false;
+            for (auto &[key, value] : remapped.fields)
+                if (key == "pid") {
+                    value.kind = JsonValue::Kind::Number;
+                    value.text = std::to_string(pid);
+                    has_pid = true;
+                }
+            if (!has_pid)
+                continue;  // not an event record
+            if (!first)
+                out += ",";
+            first = false;
+            out += "\n" + renderJson(remapped);
+            total++;
+        }
+    }
+    out += "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+           "\"merged_from\":" +
+           std::to_string(argc - 1) + "}}\n";
+
+    std::ofstream f(out_path, std::ios::binary);
+    if (!f) {
+        std::fprintf(stderr, "tarch_trace: cannot write %s\n",
+                     out_path.c_str());
+        return 1;
+    }
+    f << out;
+    std::printf("merged %zu events from %d files into %s\n", total,
+                argc - 1, out_path.c_str());
+    return 0;
+}
+
+int
+cmdValidate(const char *argv0, int argc, char **argv)
+{
+    if (argc != 1)
+        return usage(argv0, 2);
+    std::string text;
+    if (!readFile(argv[0], text))
+        return 1;
+    std::string error;
+    if (!tarch::obs::jsonWellFormed(text, &error)) {
+        std::fprintf(stderr, "tarch_trace: %s: %s\n", argv[0],
+                     error.c_str());
+        return 1;
+    }
+    JsonValue doc;
+    const JsonValue *events = nullptr;
+    if (!loadTraceEvents(argv[0], doc, &events))
+        return 1;
+    size_t spans = 0;
+    for (const JsonValue &event : events->items) {
+        if (event.kind != JsonValue::Kind::Object ||
+            event.find("ph") == nullptr ||
+            event.find("pid") == nullptr) {
+            std::fprintf(stderr,
+                         "tarch_trace: %s: event without ph/pid\n",
+                         argv[0]);
+            return 1;
+        }
+        const JsonValue *ph = event.find("ph");
+        if (ph->kind == JsonValue::Kind::String && ph->text == "X") {
+            if (event.find("ts") == nullptr ||
+                event.find("dur") == nullptr ||
+                event.find("name") == nullptr) {
+                std::fprintf(
+                    stderr,
+                    "tarch_trace: %s: X event without ts/dur/name\n",
+                    argv[0]);
+                return 1;
+            }
+            spans++;
+        }
+    }
+    std::printf("%s: valid, %zu events (%zu spans)\n", argv[0],
+                events->items.size(), spans);
+    return 0;
+}
+
+int
+cmdCheckCrossing(const char *argv0, int argc, char **argv)
+{
+    if (argc != 2)
+        return usage(argv0, 2);
+    const unsigned long want = std::strtoul(argv[0], nullptr, 10);
+    if (want == 0) {
+        std::fprintf(stderr, "tarch_trace: bad process count '%s'\n",
+                     argv[0]);
+        return 2;
+    }
+    JsonValue doc;
+    const JsonValue *events = nullptr;
+    if (!loadTraceEvents(argv[1], doc, &events))
+        return 1;
+
+    // trace id -> set of pids that recorded a span of it
+    std::map<std::string, std::set<std::string>> crossings;
+    for (const JsonValue &event : events->items) {
+        if (event.kind != JsonValue::Kind::Object)
+            continue;
+        const JsonValue *ph = event.find("ph");
+        if (ph == nullptr || ph->kind != JsonValue::Kind::String ||
+            ph->text != "X")
+            continue;
+        const JsonValue *args = event.find("args");
+        const JsonValue *pid = event.find("pid");
+        if (args == nullptr || pid == nullptr)
+            continue;
+        const JsonValue *trace = args->find("trace");
+        if (trace == nullptr || trace->kind != JsonValue::Kind::String ||
+            trace->text == "0000000000000000")
+            continue;
+        crossings[trace->text].insert(renderJson(*pid));
+    }
+
+    std::string best_trace;
+    size_t best = 0;
+    for (const auto &[trace, pids] : crossings)
+        if (pids.size() > best) {
+            best = pids.size();
+            best_trace = trace;
+        }
+    if (best >= want) {
+        std::printf("trace %s crosses %zu processes (want >= %lu)\n",
+                    best_trace.c_str(), best, want);
+        return 0;
+    }
+    std::fprintf(stderr,
+                 "tarch_trace: no trace crosses %lu processes "
+                 "(best: %zu over %zu traces)\n",
+                 want, best, crossings.size());
+    return 1;
+}
+
+int
+cmdLintMetrics(const char *argv0, int argc, char **argv)
+{
+    if (argc != 1 && !(argc == 3 && std::strcmp(argv[1], "--prev") == 0))
+        return usage(argv0, 2);
+    std::string text;
+    if (!readFile(argv[0], text))
+        return 1;
+    std::string error;
+    if (!tarch::obs::Registry::lintPrometheus(text, &error)) {
+        std::fprintf(stderr, "tarch_trace: %s: %s\n", argv[0],
+                     error.c_str());
+        return 1;
+    }
+    if (argc == 3) {
+        std::string prev;
+        if (!readFile(argv[2], prev))
+            return 1;
+        if (!tarch::obs::Registry::lintPrometheus(prev, &error)) {
+            std::fprintf(stderr, "tarch_trace: %s: %s\n", argv[2],
+                         error.c_str());
+            return 1;
+        }
+        if (!tarch::obs::Registry::countersMonotonic(prev, text,
+                                                     &error)) {
+            std::fprintf(stderr,
+                         "tarch_trace: counter regression between %s "
+                         "and %s: %s\n",
+                         argv[2], argv[0], error.c_str());
+            return 1;
+        }
+    }
+    std::printf("%s: metrics ok%s\n", argv[0],
+                argc == 3 ? " (monotonic vs prev)" : "");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(argv[0], 2);
+    const std::string mode = argv[1];
+    if (mode == "merge")
+        return cmdMerge(argv[0], argc - 2, argv + 2);
+    if (mode == "validate")
+        return cmdValidate(argv[0], argc - 2, argv + 2);
+    if (mode == "check-crossing")
+        return cmdCheckCrossing(argv[0], argc - 2, argv + 2);
+    if (mode == "lint-metrics")
+        return cmdLintMetrics(argv[0], argc - 2, argv + 2);
+    if (mode == "--help" || mode == "-h")
+        return usage(argv[0], 0);
+    std::fprintf(stderr, "%s: unknown mode '%s'\n", argv[0],
+                 mode.c_str());
+    return usage(argv[0], 2);
+}
