@@ -93,9 +93,10 @@ if [[ -z "$SANITIZE" ]]; then
           -DTARCH_SANITIZE=thread
     cmake --build "$TSAN_DIR" -j "$JOBS" \
           --target test_sweep_cache test_common test_serve test_fastpath \
-                   test_router test_loadgen test_metrics test_tracing
+                   test_router test_loadgen test_metrics test_tracing \
+                   test_snapshot test_session
     ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" \
-          -R 'SweepCache|CellCache|Parallel|Pool|ResolveJobs|ServeTest|SimServiceTest|FastPath\.|HashRing|ShardHealth|ShedQueue|RouterTest|HedgedClient|LatencyHistogram|OpenLoop|Metrics|Tracing|SlowLog'
+          -R 'SweepCache|CellCache|Parallel|Pool|ResolveJobs|ServeTest|SimServiceTest|FastPath\.|HashRing|ShardHealth|ShedQueue|RouterTest|HedgedClient|LatencyHistogram|OpenLoop|Metrics|Tracing|SlowLog|SnapshotCodec|SnapshotMatrix|SnapshotOracle|BothEngines|SessionLua'
 
     echo "== UndefinedBehaviorSanitizer (analysis + fastpath + fuzz suites)"
     # A dedicated UBSan tier over the suites that exercise the newest
@@ -138,6 +139,16 @@ echo "== differential fuzz smoke (seeds $FUZZ_SEEDS)"
 rm -rf "$BUILD_DIR/fuzz-smoke"
 "$BUILD_DIR/tools/fuzz_differential" --seeds "$FUZZ_SEEDS" \
     --jobs "$JOBS" --out "$BUILD_DIR/fuzz-smoke"
+
+echo "== snapshot-at-cycle fuzz smoke (seeds $FUZZ_SEEDS, --checkpoint)"
+# The tarch-snap-v1 axis (docs/SNAPSHOT.md): every generated program is
+# also snapshotted at ~1000 retired instructions, restored into a fresh
+# machine, and both the interrupted original and the restored copy must
+# finish bit-identical to the uninterrupted run — across both engines,
+# all three ISA variants, and both exec modes.
+rm -rf "$BUILD_DIR/fuzz-snap-smoke"
+"$BUILD_DIR/tools/fuzz_differential" --seeds "$FUZZ_SEEDS" \
+    --checkpoint 1000 --jobs "$JOBS" --out "$BUILD_DIR/fuzz-snap-smoke"
 
 echo "== sweep-cache concurrency smoke"
 # Two bench binaries racing on one cold cache must both finish and
@@ -224,6 +235,21 @@ fi
     --health > "$SERVE_DIR/health.txt"
 grep -q 'uptime_seconds' "$SERVE_DIR/health.txt"
 grep -q 'replies_by_code' "$SERVE_DIR/health.txt"
+# Stateful sessions against one daemon: open + chunks + snapshot +
+# close, with the read-back step asserting chunk state persisted.
+"$BUILD_DIR/tools/tarch_bench_client" --unix "$SERVE_SOCK" \
+    --connections 2 --requests 20 --session 5 \
+    > "$SERVE_DIR/sessions.out"
+grep -q "protocol errors:  0" "$SERVE_DIR/sessions.out"
+grep -q "sessions lost:    0" "$SERVE_DIR/sessions.out"
+grep -q "typed errors:     0" "$SERVE_DIR/sessions.out"
+"$BUILD_DIR/tools/tarch_bench_client" --unix "$SERVE_SOCK" \
+    --health-json > "$SERVE_DIR/health2.json"
+grep -q '"sessions_opened":' "$SERVE_DIR/health2.json"
+if grep -q '"session_chunks_run":0,' "$SERVE_DIR/health2.json"; then
+    echo "error: serving smoke ran no session chunks" >&2
+    exit 1
+fi
 kill -TERM "$SERVE_PID"
 if ! wait "$SERVE_PID"; then
     echo "error: tarch_served did not drain cleanly on SIGTERM" >&2
@@ -290,6 +316,45 @@ grep -q "protocol errors:  0" "$ROUTER_DIR/load.out"
 grep -q '"schema":"tarch-router-stats-v2"' "$ROUTER_DIR/health.json"
 grep -q '"uptime_seconds":' "$ROUTER_DIR/health.json"
 grep -q '"replies_by_code":{"ok":' "$ROUTER_DIR/health.json"
+
+echo "== stateful session smoke (chunks under a SIGKILLed owner)"
+# Session traffic through the router while one shard is SIGKILLed
+# mid-run.  The router snapshots each session after every chunk and
+# migrates sessions of the dead shard to a survivor via restore; every
+# surviving session's read-back step asserts its counter state came
+# through intact (a divergence counts as a protocol error and fails
+# the client).  Sessions whose blob was not yet cached are reported as
+# lost — tolerated here; zero garbled frames is not negotiable.
+"$BUILD_DIR/tools/tarch_bench_client" --unix "$ROUTER_DIR/router.sock" \
+    --connections 2 --requests 60 --session 10 \
+    > "$ROUTER_DIR/sessions.out" &
+SESSION_PID=$!
+sleep 0.3
+kill -KILL "${SHARD_PIDS[2]}"
+wait "${SHARD_PIDS[2]}" 2>/dev/null || true
+if ! wait "$SESSION_PID"; then
+    echo "error: session smoke load failed" >&2
+    cat "$ROUTER_DIR/sessions.out" >&2
+    tail -20 "$ROUTER_DIR/router.log" >&2
+    exit 1
+fi
+grep -q "protocol errors:  0" "$ROUTER_DIR/sessions.out"
+awk '/^sessions done:/ { exit ($3 > 0) ? 0 : 1 }' \
+    "$ROUTER_DIR/sessions.out"
+"$BUILD_DIR/tools/tarch_bench_client" --unix "$ROUTER_DIR/router.sock" \
+    --health-json > "$ROUTER_DIR/health2.json"
+grep -q '"sessions_migrated":' "$ROUTER_DIR/health2.json"
+# Bring shard 2 back (writing the trace file its killed predecessor
+# never could) so the traced run below has the full cluster.
+"$BUILD_DIR/tools/tarch_served" --unix "$ROUTER_DIR/shard2.sock" \
+    --cache-dir "$ROUTER_DIR/cache2" \
+    --trace-out "$ROUTER_DIR/shard2-trace.json" \
+    > "$ROUTER_DIR/shard2b.log" 2>&1 &
+SHARD_PIDS[2]=$!
+for _ in $(seq 1 100); do
+    [[ -S "$ROUTER_DIR/shard2.sock" ]] && break
+    sleep 0.1
+done
 
 # Traced run: scrape the router's metrics before and after a sampled
 # closed-loop burst, lint both scrapes (and require counter

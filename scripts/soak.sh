@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Cluster soak: >= 1M mixed requests through a 3-shard tarch_router
 # under open-loop hedged load, with chaos connections feeding garbage
-# frames the whole time and a crash loop SIGKILLing and restarting a
-# rotating shard every CHAOS_PERIOD seconds.  The run fails if a
-# single protocol error is observed (a garbled frame, an undecodable
-# payload, a non-retryable typed error on the load path) or if the
-# router does not drain cleanly on SIGTERM at the end.
+# frames the whole time, a stateful-session mix whose counter state
+# must survive shard deaths via snapshot/restore migration, and a
+# crash loop SIGKILLing and restarting a rotating shard every
+# CHAOS_PERIOD seconds.  The run fails if a single protocol error is
+# observed (a garbled frame, an undecodable payload, a non-retryable
+# typed error on the load path, a diverged session read-back) or if
+# the router does not drain cleanly on SIGTERM at the end.
 #
 # This is the long-running acceptance recipe from docs/SERVING.md —
 # it is NOT part of scripts/ci.sh.  At the default 2000 req/s the
@@ -59,6 +61,16 @@ echo "== soak: $TOTAL mixed requests @ $RATE req/s, 3 shards," \
     > "$SOAK_DIR/load.out" &
 LOAD_PID=$!
 
+# Stateful traffic mix: long-lived sessions riding the same router for
+# the whole soak, their counters crossing every shard crash via the
+# router's snapshot/restore migration.  A state divergence at any
+# read-back step is a protocol error and fails the soak.
+SESSION_TOTAL=$((TOTAL / 1000 + 10))
+"$BUILD_DIR/tools/tarch_bench_client" --unix "$SOAK_DIR/router.sock" \
+    --connections 2 --requests "$SESSION_TOTAL" --session 25 \
+    > "$SOAK_DIR/sessions.out" &
+SESSION_PID=$!
+
 # Crash loop: SIGKILL a rotating shard (by the PID we spawned, never
 # by name pattern) and bring it back on the same endpoint.  The
 # router must eject, fail over, and heal each time.
@@ -79,9 +91,18 @@ if ! wait "$LOAD_PID"; then
     tail -40 "$SOAK_DIR/router.log" >&2
     exit 1
 fi
+if ! wait "$SESSION_PID"; then
+    echo "error: soak session load failed" >&2
+    cat "$SOAK_DIR/sessions.out" >&2
+    tail -40 "$SOAK_DIR/router.log" >&2
+    exit 1
+fi
 cat "$SOAK_DIR/load.out"
+cat "$SOAK_DIR/sessions.out"
 echo "shard crashes injected: $CRASHES"
 grep -q "protocol errors:  0" "$SOAK_DIR/load.out"
+grep -q "protocol errors:  0" "$SOAK_DIR/sessions.out"
+awk '/^sessions done:/ { exit ($3 > 0) ? 0 : 1 }' "$SOAK_DIR/sessions.out"
 
 "$BUILD_DIR/tools/tarch_bench_client" --unix "$SOAK_DIR/router.sock" \
     --health-json | tee "$SOAK_DIR/health.json"

@@ -111,6 +111,36 @@ class BranchUnit
     const BranchUnitStats &stats() const { return stats_; }
     void resetStats() { stats_ = {}; }
 
+    /** Complete front-end predictor state for machine snapshots. */
+    struct Snapshot {
+        BranchUnitStats stats;
+        Gshare::Snapshot gshare;
+        Btb::Snapshot btb;
+        Ras::Snapshot ras;
+    };
+
+    void
+    saveState(Snapshot &out) const
+    {
+        out.stats = stats_;
+        gshare_.saveState(out.gshare);
+        btb_.saveState(out.btb);
+        ras_.saveState(out.ras);
+    }
+
+    /** False on any sub-predictor shape mismatch; partially-applied
+        sub-predictor state is possible on failure, so callers treat a
+        false return as machine-fatal, not recoverable. */
+    bool
+    restoreState(const Snapshot &in)
+    {
+        if (!gshare_.restoreState(in.gshare) ||
+            !btb_.restoreState(in.btb) || !ras_.restoreState(in.ras))
+            return false;
+        stats_ = in.stats;
+        return true;
+    }
+
   private:
     Gshare gshare_;
     Btb btb_;

@@ -59,7 +59,6 @@ class Btb
         install(pc, target);
     }
 
-  private:
     struct Entry {
         bool valid = false;
         uint64_t pc = 0;
@@ -67,6 +66,37 @@ class Btb
         uint64_t lastUse = 0;
     };
 
+    /** Entry array + LRU clock for machine snapshots (the pc -> slot
+        hash index is derived state, rebuilt on restore). */
+    struct Snapshot {
+        std::vector<Entry> entries;
+        uint64_t useClock = 0;
+    };
+
+    void
+    saveState(Snapshot &out) const
+    {
+        out.entries = entries_;
+        out.useClock = useClock_;
+    }
+
+    /** False (BTB unchanged) on a size mismatch. */
+    bool
+    restoreState(const Snapshot &in)
+    {
+        if (in.entries.size() != entries_.size())
+            return false;
+        entries_ = in.entries;
+        useClock_ = in.useClock;
+        index_.clear();
+        for (size_t i = 0; i < entries_.size(); ++i) {
+            if (entries_[i].valid)
+                index_[entries_[i].pc] = i;
+        }
+        return true;
+    }
+
+  private:
     void install(uint64_t pc, uint64_t target);
 
     std::vector<Entry> entries_;

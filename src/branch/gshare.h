@@ -43,6 +43,30 @@ class Gshare
 
     uint64_t history() const { return history_; }
 
+    /** Counter array + global history for machine snapshots. */
+    struct Snapshot {
+        std::vector<uint8_t> counters;
+        uint64_t history = 0;
+    };
+
+    void
+    saveState(Snapshot &out) const
+    {
+        out.counters = counters_;
+        out.history = history_;
+    }
+
+    /** False (predictor unchanged) on a table-size mismatch. */
+    bool
+    restoreState(const Snapshot &in)
+    {
+        if (in.counters.size() != counters_.size())
+            return false;
+        counters_ = in.counters;
+        history_ = in.history;
+        return true;
+    }
+
   private:
     unsigned
     index(uint64_t pc) const

@@ -7,6 +7,7 @@
 #ifndef TARCH_BRANCH_RAS_H
 #define TARCH_BRANCH_RAS_H
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -25,6 +26,35 @@ class Ras
     void push(uint64_t return_pc);
     /** Pop the predicted return target (nullopt when empty). */
     std::optional<uint64_t> pop();
+
+    /** Circular-stack contents for machine snapshots. */
+    struct Snapshot {
+        std::vector<uint64_t> stack;
+        unsigned top = 0;
+        unsigned depth = 0;
+    };
+
+    void
+    saveState(Snapshot &out) const
+    {
+        out.stack = stack_;
+        out.top = top_;
+        out.depth = depth_;
+    }
+
+    /** False (RAS unchanged) on a size or cursor mismatch. */
+    bool
+    restoreState(const Snapshot &in)
+    {
+        if (in.stack.size() != stack_.size() ||
+            in.top >= std::max<size_t>(stack_.size(), 1) ||
+            in.depth > stack_.size())
+            return false;
+        stack_ = in.stack;
+        top_ = in.top;
+        depth_ = in.depth;
+        return true;
+    }
 
   private:
     std::vector<uint64_t> stack_;

@@ -981,6 +981,113 @@ Core::restoreTypedContext(const TypedContext &context)
         regs_.writeGprTag(r, context.tags[r], context.fpFlags[r]);
 }
 
+void
+Core::saveMachine(MachineState &out) const
+{
+    out.pc = pc_;
+    out.halted = halted_;
+    out.exitCode = exitCode_;
+    out.heapBreak = heapBreak_;
+    out.currentRegion = currentRegion_;
+    out.output = output_;
+    out.typedState = typedState_;
+    regs_.saveState(out.regs);
+
+    out.instructions = instructions_;
+    out.loads = loads_;
+    out.stores = stores_;
+    out.typeOverflowMisses = typeOverflowMisses_;
+    out.deoptRedirects = deoptRedirects_;
+    out.deoptProbes = deoptProbes_;
+    out.chklbChecks = chklbChecks_;
+    out.chklbMisses = chklbMisses_;
+    out.hostcallCount = hostcallCount_;
+    out.deoptCounters = deoptCounters_;
+    out.deoptTags = deoptTags_;
+
+    timing_.saveState(out.timing);
+    markers_.saveState(out.markers);
+    trt_.saveState(out.trt);
+    branchUnit_.saveState(out.branch);
+    icache_.saveState(out.icache);
+    dcache_.saveState(out.dcache);
+    itlb_.saveState(out.itlb);
+    dtlb_.saveState(out.dtlb);
+    dram_.saveState(out.dram);
+    memory_.savePages(out.pages);
+}
+
+bool
+Core::restoreMachine(const MachineState &in)
+{
+    // Shape checks against the current configuration first, so a
+    // mismatched snapshot is rejected before any state is overwritten.
+    if (in.deoptCounters.size() != deoptCounters_.size() ||
+        in.deoptTags.size() != deoptTags_.size())
+        return false;
+    if (in.currentRegion >= 0 &&
+        static_cast<size_t>(in.currentRegion) >= markers_.count())
+        return false;
+    if (!memory_.restorePages(in.pages))
+        return false;
+    if (!markers_.restoreState(in.markers) || !trt_.restoreState(in.trt) ||
+        !branchUnit_.restoreState(in.branch) ||
+        !icache_.restoreState(in.icache) ||
+        !dcache_.restoreState(in.dcache) || !itlb_.restoreState(in.itlb) ||
+        !dtlb_.restoreState(in.dtlb) || !dram_.restoreState(in.dram))
+        return false;
+
+    pc_ = in.pc;
+    halted_ = in.halted;
+    exitCode_ = in.exitCode;
+    heapBreak_ = in.heapBreak;
+    currentRegion_ = in.currentRegion;
+    output_ = in.output;
+    typedState_ = in.typedState;
+    regs_.restoreState(in.regs);
+    timing_.restoreState(in.timing);
+
+    instructions_ = in.instructions;
+    loads_ = in.loads;
+    stores_ = in.stores;
+    typeOverflowMisses_ = in.typeOverflowMisses;
+    deoptRedirects_ = in.deoptRedirects;
+    deoptProbes_ = in.deoptProbes;
+    chklbChecks_ = in.chklbChecks;
+    chklbMisses_ = in.chklbMisses;
+    hostcallCount_ = in.hostcallCount;
+    deoptCounters_ = in.deoptCounters;
+    deoptTags_ = in.deoptTags;
+
+    // The restored memory image is authoritative for the text segment
+    // (the snapshotted run may have stored into it): re-decode every
+    // word, exactly as textStoreSlow does, and drop predecoded blocks.
+    for (size_t i = 0; i < text_.size(); ++i) {
+        const auto decoded = isa::decode(memory_.read32(textBase_ + 4 * i));
+        text_[i] =
+            decoded ? *decoded : Instr{Opcode::NumOpcodes, 0, 0, 0, 0};
+    }
+    blockCache_.reset(text_.size());
+    fastFlushPending_ = false;
+    return true;
+}
+
+void
+Core::runUntilInstructions(uint64_t target)
+{
+    if (config_.execMode == ExecMode::Predecoded) {
+        while (!halted_ && instructions_ < target) {
+            if (!stepBlock())
+                return;
+        }
+        return;
+    }
+    while (!halted_ && instructions_ < target) {
+        if (!step())
+            return;
+    }
+}
+
 CoreStats
 Core::collectStats() const
 {

@@ -100,6 +100,55 @@ struct TypedContext {
     std::array<bool, isa::kNumGprs> fpFlags{};
 };
 
+/**
+ * The complete simulated machine captured by the snapshot subsystem
+ * (docs/SNAPSHOT.md): registers, typed special state, PC/halt/exit,
+ * guest output, every statistics counter, the timing / branch-predictor
+ * / cache / TLB / DRAM model state, the deopt selector tables, marker
+ * counters, and the full memory image.  Program-derived structures
+ * (decoded text, the marker pc map, the predecoded block cache) are
+ * rebuilt on restore, so restore-then-continue is bit-identical to an
+ * uninterrupted run in BOTH execution modes.
+ */
+struct MachineState {
+    // Architectural state.
+    uint64_t pc = 0;
+    bool halted = false;
+    int exitCode = 0;
+    uint64_t heapBreak = 0;
+    int32_t currentRegion = -1;
+    std::string output;
+    TypedState typedState;
+    RegFile::Snapshot regs;
+
+    // Core-owned counters.
+    uint64_t instructions = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t typeOverflowMisses = 0;
+    uint64_t deoptRedirects = 0;
+    uint64_t deoptProbes = 0;
+    uint64_t chklbChecks = 0;
+    uint64_t chklbMisses = 0;
+    uint64_t hostcallCount = 0;
+    std::vector<uint8_t> deoptCounters;
+    std::vector<uint64_t> deoptTags;
+
+    // Component state.
+    TimingModel::Snapshot timing;
+    Markers::Snapshot markers;
+    typed::TypeRuleTable::Snapshot trt;
+    branch::BranchUnit::Snapshot branch;
+    mem::Cache::Snapshot icache;
+    mem::Cache::Snapshot dcache;
+    mem::Tlb::Snapshot itlb;
+    mem::Tlb::Snapshot dtlb;
+    mem::Dram::Snapshot dram;
+
+    // Full guest memory image, sorted by page index.
+    std::vector<mem::MainMemory::PageImage> pages;
+};
+
 class Core
 {
   public:
@@ -167,6 +216,27 @@ class Core
 
     /** Restore a previously saved typed context (flushes the TRT). */
     void restoreTypedContext(const TypedContext &context);
+
+    /** Capture the complete machine (snapshot subsystem). */
+    void saveMachine(MachineState &out) const;
+
+    /**
+     * Overwrite the machine with @p in.  The same program must already
+     * be loaded (loadProgram with an identical layout); the decoded
+     * text is refreshed from the restored memory image, so stores into
+     * the text segment survive the round trip.  False on any shape
+     * mismatch against the current configuration — the machine may then
+     * be half-restored, so callers must discard it, not reuse it.
+     */
+    bool restoreMachine(const MachineState &in);
+
+    /**
+     * Run until at least @p target instructions have retired (or the
+     * guest halts).  Exact mode stops at exactly @p target; Predecoded
+     * mode advances whole blocks and may overshoot.  Either stopping
+     * point is an architecturally exact state, fit for saveMachine.
+     */
+    void runUntilInstructions(uint64_t target);
 
     /** Attach an execution tracer (nullptr detaches). */
     void

@@ -48,4 +48,13 @@ Markers::resetHits()
         r = 0;
 }
 
+void
+Markers::clear()
+{
+    byPc_.clear();
+    names_.clear();
+    hits_.clear();
+    regionInstrs_.clear();
+}
+
 } // namespace tarch::core

@@ -48,6 +48,41 @@ class Markers
     uint64_t regionInstrs(size_t id) const { return regionInstrs_[id]; }
     uint64_t regionInstrsByName(const std::string &name) const;
 
+    /**
+     * Drop every registered marker (sessions re-lay the interpreter per
+     * submitted chunk and re-register the new image's markers from
+     * scratch; loadProgram rebuilds the pc -> index map afterwards).
+     */
+    void clear();
+
+    /** Hit/region counters for machine snapshots.  The pc -> id map and
+        names are derived from the program image and are rebuilt by the
+        owning VM before counters are restored. */
+    struct Snapshot {
+        std::vector<uint64_t> hits;
+        std::vector<uint64_t> regionInstrs;
+    };
+
+    void
+    saveState(Snapshot &out) const
+    {
+        out.hits = hits_;
+        out.regionInstrs = regionInstrs_;
+    }
+
+    /** False (counters unchanged) unless the snapshot covers exactly
+        the markers currently registered. */
+    bool
+    restoreState(const Snapshot &in)
+    {
+        if (in.hits.size() != hits_.size() ||
+            in.regionInstrs.size() != regionInstrs_.size())
+            return false;
+        hits_ = in.hits;
+        regionInstrs_ = in.regionInstrs;
+        return true;
+    }
+
   private:
     std::unordered_map<uint64_t, size_t> byPc_;
     std::vector<std::string> names_;

@@ -79,6 +79,27 @@ class RegFile
         __builtin_memcpy(&fprs_[idx], &value, 8);
     }
 
+    /** Full architectural register state for machine snapshots. */
+    struct Snapshot {
+        std::array<TaggedReg, isa::kNumGprs> gprs{};
+        std::array<uint64_t, isa::kNumFprs> fprs{};
+    };
+
+    void
+    saveState(Snapshot &out) const
+    {
+        out.gprs = gprs_;
+        out.fprs = fprs_;
+    }
+
+    void
+    restoreState(const Snapshot &in)
+    {
+        gprs_ = in.gprs;
+        fprs_ = in.fprs;
+        gprs_[0] = {};  // x0 stays pinned to zero/untyped
+    }
+
   private:
     std::array<TaggedReg, isa::kNumGprs> gprs_{};
     std::array<uint64_t, isa::kNumFprs> fprs_{};

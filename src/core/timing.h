@@ -114,6 +114,29 @@ class TimingModel
 
     const TimingConfig &config() const { return config_; }
 
+    /** Complete pipeline accounting state for machine snapshots. */
+    struct Snapshot {
+        uint64_t issue = 0;
+        unsigned pendingRedirect = 0;
+        std::array<uint64_t, 64> regReady{};
+    };
+
+    void
+    saveState(Snapshot &out) const
+    {
+        out.issue = issue_;
+        out.pendingRedirect = pendingRedirect_;
+        out.regReady = regReady_;
+    }
+
+    void
+    restoreState(const Snapshot &in)
+    {
+        issue_ = in.issue;
+        pendingRedirect_ = in.pendingRedirect;
+        regReady_ = in.regReady;
+    }
+
   private:
     TimingConfig config_;
     uint64_t issue_ = 0;

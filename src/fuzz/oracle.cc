@@ -6,6 +6,7 @@
 #include "common/strutil.h"
 #include "script/interp.h"
 #include "script/parser.h"
+#include "snapshot/snapshot.h"
 #include "vm/js/js_vm.h"
 #include "vm/lua/lua_vm.h"
 
@@ -74,6 +75,9 @@ Divergence::describe() const
                          config.c_str(), detail.c_str());
       case Kind::ExecMode:
         return strformat("%s: predecoded run differs from exact twin: %s",
+                         config.c_str(), detail.c_str());
+      case Kind::Snapshot:
+        return strformat("%s: snapshot round-trip broke bit-identity: %s",
                          config.c_str(), detail.c_str());
     }
     return "?";
@@ -290,6 +294,108 @@ runVmInstrumented(const std::string &source, const RunConfig &config,
     return rec;
 }
 
+/** The per-run options block shared by every oracle run helper. */
+template <typename Vm>
+typename Vm::Options
+vmOptions(const RunConfig &config, const OracleOptions &opts)
+{
+    typename Vm::Options vm_opts;
+    vm_opts.variant = config.variant;
+    vm_opts.elide = config.elide;
+    vm_opts.coreConfig.deopt.enabled = config.deopt;
+    vm_opts.coreConfig.deopt.probeInterval = opts.probeInterval;
+    vm_opts.coreConfig.maxInstructions = opts.maxInstructions;
+    vm_opts.coreConfig.execMode = config.execMode;
+    return vm_opts;
+}
+
+/** Bitwise comparison of two run finals, runVm field semantics. */
+std::string
+describeRunDiff(const RunRecord &run, const RunRecord &uninterrupted,
+                const char *what)
+{
+    if (run.crashed != uninterrupted.crashed ||
+        run.error != uninterrupted.error)
+        return strformat(
+            "%s: crash state differs (uninterrupted: %s, got: %s)", what,
+            uninterrupted.crashed ? uninterrupted.error.c_str() : "<ran>",
+            run.crashed ? run.error.c_str() : "<ran>");
+    if (run.output != uninterrupted.output)
+        return strformat("%s: guest output differs", what);
+    const std::string stats_diff =
+        core::describeStatsDiff(uninterrupted.stats, run.stats);
+    if (!stats_diff.empty())
+        return strformat("%s: %s", what, stats_diff.c_str());
+    return {};
+}
+
+/**
+ * The snapshot axis (OracleOptions::checkpoint): run @p config again,
+ * capture a tarch-snap-v1 blob at ~checkpoint retired instructions,
+ * rebuild a fresh VM from the same inputs, restore the decoded blob
+ * into it, and continue BOTH machines.  The interrupted original
+ * (proves capture purity) and the restored copy (proves restore
+ * fidelity) must both finish bit-identical to @p uninterrupted.
+ * Returns a human-readable diff; empty when clean.
+ */
+template <typename Vm>
+std::string
+checkpointDiff(const std::string &source, const RunConfig &config,
+               const OracleOptions &opts, const RunRecord &uninterrupted)
+{
+    const typename Vm::Options vm_opts = vmOptions<Vm>(config, opts);
+
+    RunRecord primary;
+    primary.config = config;
+    std::string blob;
+    try {
+        Vm vm(source, vm_opts);
+        vm.core().runUntilInstructions(opts.checkpoint);
+        snapshot::Snapshot snap;
+        snap.engine = config.engine == RunConfig::Engine::Lua ? 0 : 1;
+        snap.variant = static_cast<uint8_t>(config.variant);
+        snap.execMode = static_cast<uint8_t>(config.execMode);
+        snap.deopt = config.deopt ? 1 : 0;
+        snap.elide = config.elide ? 1 : 0;
+        snap.chunks = {source};
+        vm.saveState(snap.state);
+        blob = snapshot::encode(snap);
+        vm.run();
+        primary.output = vm.core().output();
+        primary.stats = vm.core().collectStats();
+    } catch (const FatalError &err) {
+        primary.crashed = true;
+        primary.error = err.what();
+    }
+
+    const std::string primary_diff =
+        describeRunDiff(primary, uninterrupted, "snapshotted original");
+    if (!primary_diff.empty())
+        return primary_diff;
+    if (blob.empty())
+        return {};  // crashed before the checkpoint; nothing captured
+
+    snapshot::Snapshot decoded;
+    std::string decode_error;
+    if (!snapshot::decode(blob, decoded, decode_error))
+        return "snapshot blob failed to decode: " + decode_error;
+
+    RunRecord resumed;
+    resumed.config = config;
+    try {
+        Vm vm(source, vm_opts);
+        if (!vm.restoreState(decoded.state))
+            return "rebuilt VM rejected the decoded state";
+        vm.run();
+        resumed.output = vm.core().output();
+        resumed.stats = vm.core().collectStats();
+    } catch (const FatalError &err) {
+        resumed.crashed = true;
+        resumed.error = err.what();
+    }
+    return describeRunDiff(resumed, uninterrupted, "restored continuation");
+}
+
 } // namespace
 
 RunRecord
@@ -340,6 +446,21 @@ runOracle(const std::string &source, const OracleOptions &opts)
                 : runVm<vm::js::JsVm>(source, config, opts);
         result.runs.push_back(rec);
         const RunRecord &r = result.runs.back();
+
+        // The snapshot axis applies to every combination — both
+        // engines, every variant, and both exec modes.
+        if (opts.checkpoint) {
+            const std::string diff =
+                config.engine == RunConfig::Engine::Lua
+                    ? checkpointDiff<vm::lua::LuaVm>(source, config, opts,
+                                                     r)
+                    : checkpointDiff<vm::js::JsVm>(source, config, opts,
+                                                   r);
+            if (!diff.empty())
+                result.divergences.push_back({Divergence::Kind::Snapshot,
+                                              config.name(), diff, "",
+                                              ""});
+        }
 
         // Bit-identity between the execution engines: the predecoded
         // run must match the exact twin that immediately precedes it in

@@ -98,6 +98,7 @@ struct Divergence {
         Crash,
         StaticVerify,
         ExecMode, ///< predecoded run differs from its exact twin
+        Snapshot, ///< snapshot/restore round-trip broke bit-identity
     };
 
     Kind kind = Kind::Output;
@@ -130,6 +131,17 @@ struct OracleOptions {
     /** Core engine for the matrix when the axis is OFF (single-mode
         campaigns, e.g. fuzz_differential --exec-mode predecoded). */
     core::ExecMode execMode = core::ExecMode::Exact;
+    /**
+     * The snapshot axis (docs/SNAPSHOT.md): when nonzero, every
+     * combination runs a second time, is captured to a tarch-snap-v1
+     * blob at ~this many retired instructions, decoded and restored
+     * into a freshly rebuilt VM, and BOTH machines continue to
+     * completion.  The interrupted original, the restored copy, and
+     * the uninterrupted run must agree bit-for-bit (crash state,
+     * output, all 26 CoreStats counters); any difference is a
+     * Kind::Snapshot divergence.  Doubles the campaign cost.
+     */
+    uint64_t checkpoint = 0;
 };
 
 struct OracleResult {

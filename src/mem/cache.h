@@ -96,7 +96,6 @@ class Cache
     void resetStats() { stats_ = {}; }
     unsigned blockBytes() const { return config_.blockBytes; }
 
-  private:
     struct Line {
         bool valid = false;
         bool dirty = false;
@@ -104,6 +103,38 @@ class Cache
         uint64_t lastUse = 0;
     };
 
+    /** Complete replacement-relevant state for machine snapshots. */
+    struct Snapshot {
+        CacheStats stats;
+        uint64_t useClock = 0;
+        std::vector<Line> lines;  ///< numSets x ways, row-major
+    };
+
+    void
+    saveState(Snapshot &out) const
+    {
+        out.stats = stats_;
+        out.useClock = useClock_;
+        out.lines = lines_;
+    }
+
+    /** False (cache unchanged) on a geometry mismatch.  Resets the
+        repeat-access memo; the first access falls back to the full
+        access() path, which is bit-identical. */
+    bool
+    restoreState(const Snapshot &in)
+    {
+        if (in.lines.size() != lines_.size())
+            return false;
+        stats_ = in.stats;
+        useClock_ = in.useClock;
+        lines_ = in.lines;
+        memoBlock_ = ~0ULL;
+        memoLine_ = nullptr;
+        return true;
+    }
+
+  private:
     CacheConfig config_;
     Dram &dram_;
     CacheStats stats_;

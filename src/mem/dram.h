@@ -53,6 +53,30 @@ class Dram
     const DramStats &stats() const { return stats_; }
     void resetStats() { stats_ = {}; }
 
+    /** Open-row state + stats for machine snapshots. */
+    struct Snapshot {
+        DramStats stats;
+        std::vector<int64_t> openRow;
+    };
+
+    void
+    saveState(Snapshot &out) const
+    {
+        out.stats = stats_;
+        out.openRow = openRow_;
+    }
+
+    /** False (DRAM unchanged) on a bank-count mismatch. */
+    bool
+    restoreState(const Snapshot &in)
+    {
+        if (in.openRow.size() != openRow_.size())
+            return false;
+        stats_ = in.stats;
+        openRow_ = in.openRow;
+        return true;
+    }
+
   private:
     unsigned toCoreCycles(unsigned dram_cycles) const;
 

@@ -1,5 +1,6 @@
 #include "mem/main_memory.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace tarch::mem {
@@ -56,6 +57,43 @@ MainMemory::readBlock(uint64_t addr, void *dst, size_t len) const
         bytes += chunk;
         len -= chunk;
     }
+}
+
+void
+MainMemory::savePages(std::vector<PageImage> &out) const
+{
+    out.clear();
+    out.reserve(pages_.size());
+    for (const auto &[index, page] : pages_) {
+        PageImage image;
+        image.index = index;
+        image.bytes.assign(page->begin(), page->end());
+        out.push_back(std::move(image));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const PageImage &a, const PageImage &b) {
+                  return a.index < b.index;
+              });
+}
+
+bool
+MainMemory::restorePages(const std::vector<PageImage> &pages)
+{
+    for (size_t i = 0; i < pages.size(); ++i) {
+        if (pages[i].bytes.size() != kPageBytes)
+            return false;
+        if (i > 0 && pages[i].index <= pages[i - 1].index)
+            return false;  // unsorted or duplicate page
+    }
+    pages_.clear();
+    memoKey_ = ~0ULL;
+    memoPage_ = nullptr;
+    for (const PageImage &image : pages) {
+        auto page = std::make_unique<Page>();
+        std::memcpy(page->data(), image.bytes.data(), kPageBytes);
+        pages_.emplace(image.index, std::move(page));
+    }
+    return true;
 }
 
 } // namespace tarch::mem

@@ -50,6 +50,23 @@ class MainMemory
     /** Number of pages currently allocated (footprint accounting). */
     size_t allocatedPages() const { return pages_.size(); }
 
+    /** One allocated page, exported for machine snapshots. */
+    struct PageImage {
+        uint64_t index = 0;              ///< address / kPageBytes
+        std::vector<uint8_t> bytes;      ///< exactly kPageBytes
+    };
+
+    /** Export every allocated page, sorted by page index (so two
+        snapshots of identical memory are byte-identical). */
+    void savePages(std::vector<PageImage> &out) const;
+
+    /**
+     * Replace the entire memory image with @p pages and reset the
+     * last-page memo.  False (memory unchanged) when any page has the
+     * wrong size or a duplicate index.
+     */
+    bool restorePages(const std::vector<PageImage> &pages);
+
   private:
     using Page = std::array<uint8_t, kPageBytes>;
 

@@ -73,13 +73,43 @@ class Tlb
     const TlbStats &stats() const { return stats_; }
     void resetStats() { stats_ = {}; }
 
-  private:
     struct Entry {
         bool valid = false;
         uint64_t vpn = 0;
         uint64_t lastUse = 0;
     };
 
+    /** Complete replacement-relevant state for machine snapshots. */
+    struct Snapshot {
+        TlbStats stats;
+        uint64_t useClock = 0;
+        std::vector<Entry> entries;
+    };
+
+    void
+    saveState(Snapshot &out) const
+    {
+        out.stats = stats_;
+        out.useClock = useClock_;
+        out.entries = entries_;
+    }
+
+    /** False (TLB unchanged) on a shape mismatch.  Resets the repeat
+        memo; the next translation takes the full access() path. */
+    bool
+    restoreState(const Snapshot &in)
+    {
+        if (in.entries.size() != entries_.size())
+            return false;
+        stats_ = in.stats;
+        useClock_ = in.useClock;
+        entries_ = in.entries;
+        memoVpn_ = ~0ULL;
+        memoEntry_ = nullptr;
+        return true;
+    }
+
+  private:
     TlbConfig config_;
     TlbStats stats_;
     std::vector<Entry> entries_;

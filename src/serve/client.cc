@@ -414,6 +414,164 @@ Client::runBatch(const proto::BatchRequest &req, proto::BatchResult &out,
     return false;
 }
 
+Client::SessionOutcome
+Client::lostSessionOutcome(const char *what)
+{
+    close();
+    SessionOutcome outcome;
+    outcome.error.code =
+        static_cast<uint16_t>(proto::ErrorCode::ConnectionLost);
+    outcome.error.retryable = 1;
+    outcome.error.message = what;
+    return outcome;
+}
+
+Client::SessionOutcome
+Client::awaitSessionOutcome(uint64_t request_id, proto::MsgKind expect)
+{
+    SessionOutcome outcome;
+    if (request_id == 0)
+        return lostSessionOutcome("send failed");
+    Reply reply;
+    for (;;) {
+        const IoStatus st = readFrame(reply);
+        if (st == IoStatus::Closed) {
+            outcome.closed = true;
+            return outcome;
+        }
+        if (st != IoStatus::Ok)
+            return lostSessionOutcome(st == IoStatus::Garbled
+                                          ? "garbled response stream"
+                                          : "connection lost mid-frame");
+        if (reply.requestId == request_id)
+            break;
+    }
+    const auto kind = static_cast<proto::MsgKind>(reply.kind);
+    if (kind == proto::MsgKind::Error) {
+        if (!proto::decodeErrorBody(reply.payload, outcome.error)) {
+            lastStatus_ = IoStatus::Garbled;
+            close();
+            return lostSessionOutcome("garbled Error payload");
+        }
+        return outcome;
+    }
+    if (kind != expect) {
+        lastStatus_ = IoStatus::Garbled;
+        close();
+        return lostSessionOutcome("unexpected reply kind");
+    }
+    bool decoded = false;
+    switch (expect) {
+      case proto::MsgKind::SessionOpened:
+      case proto::MsgKind::ChunkResult:
+        decoded = proto::decodeSessionReply(reply.payload, outcome.reply);
+        break;
+      case proto::MsgKind::SessionSnapshot:
+        decoded = proto::decodeSessionSnapshotResult(reply.payload,
+                                                     outcome.snapshot);
+        break;
+      case proto::MsgKind::SessionClosed: {
+        proto::SessionClosedResult closedResult;
+        decoded =
+            proto::decodeSessionClosedResult(reply.payload, closedResult);
+        outcome.reply.sessionId = closedResult.sessionId;
+        break;
+      }
+      default:
+        break;
+    }
+    if (!decoded) {
+        lastStatus_ = IoStatus::Garbled;
+        close();
+        return lostSessionOutcome("garbled session reply payload");
+    }
+    outcome.ok = true;
+    return outcome;
+}
+
+/** Request kind -> the success reply kind it must be answered with. */
+static proto::MsgKind
+sessionReplyKind(proto::MsgKind kind)
+{
+    switch (kind) {
+      case proto::MsgKind::SubmitChunk:
+        return proto::MsgKind::ChunkResult;
+      case proto::MsgKind::SnapshotSession:
+        return proto::MsgKind::SessionSnapshot;
+      case proto::MsgKind::CloseSession:
+        return proto::MsgKind::SessionClosed;
+      default:  // OpenSession and RestoreSession
+        return proto::MsgKind::SessionOpened;
+    }
+}
+
+Client::SessionOutcome
+Client::sessionRequest(proto::MsgKind kind, const std::string &payload,
+                       const char *detail)
+{
+    if (sampleTrace() && peerMaxVersion() >= proto::kVersionTraced) {
+        const uint64_t trace_id = newTraceId();
+        obs::SpanScope root(recorder_, trace_id, 0, "client.request");
+        root.setDetail(detail);
+        proto::TraceContext ctx;
+        ctx.traceId = trace_id;
+        ctx.parentSpanId = root.id();
+        ctx.sampled = 1;
+        const uint64_t id = sendTracedRequest(kind, ctx, payload);
+        return awaitSessionOutcome(id, sessionReplyKind(kind));
+    }
+    const uint64_t id = sendRequest(kind, payload);
+    return awaitSessionOutcome(id, sessionReplyKind(kind));
+}
+
+Client::SessionOutcome
+Client::openSession(const proto::OpenSessionRequest &req)
+{
+    return sessionRequest(proto::MsgKind::OpenSession,
+                          proto::encodeOpenSessionRequest(req), "open");
+}
+
+Client::SessionOutcome
+Client::submitChunk(const proto::SubmitChunkRequest &req)
+{
+    return sessionRequest(proto::MsgKind::SubmitChunk,
+                          proto::encodeSubmitChunkRequest(req), "chunk");
+}
+
+Client::SessionOutcome
+Client::snapshotSession(uint64_t session_id)
+{
+    proto::SessionIdRequest req;
+    req.sessionId = session_id;
+    return sessionRequest(proto::MsgKind::SnapshotSession,
+                          proto::encodeSessionIdRequest(req), "snapshot");
+}
+
+Client::SessionOutcome
+Client::restoreSession(const proto::RestoreSessionRequest &req)
+{
+    return sessionRequest(proto::MsgKind::RestoreSession,
+                          proto::encodeRestoreSessionRequest(req),
+                          "restore");
+}
+
+Client::SessionOutcome
+Client::closeSession(uint64_t session_id)
+{
+    proto::SessionIdRequest req;
+    req.sessionId = session_id;
+    return sessionRequest(proto::MsgKind::CloseSession,
+                          proto::encodeSessionIdRequest(req), "close");
+}
+
+Client::SessionOutcome
+Client::sessionCall(proto::MsgKind kind, const std::string &payload,
+                    const proto::TraceContext &ctx)
+{
+    const uint64_t id = sendTracedRequest(kind, ctx, payload);
+    return awaitSessionOutcome(id, sessionReplyKind(kind));
+}
+
 std::string
 Client::stats()
 {

@@ -79,6 +79,24 @@ class Client
         }
     };
 
+    /** Outcome of a stateful-session call (docs/SERVING.md).  reply is
+        valid for open/submit/restore/close (close fills sessionId
+        only); snapshot is valid for snapshotSession. */
+    struct SessionOutcome {
+        bool ok = false;
+        bool closed = false;
+        proto::SessionReply reply;
+        proto::SessionSnapshotResult snapshot;
+        proto::ErrorBody error;
+
+        bool lost() const
+        {
+            return !ok && !closed &&
+                   error.code == static_cast<uint16_t>(
+                                     proto::ErrorCode::ConnectionLost);
+        }
+    };
+
     // -- closed-loop convenience -------------------------------------
 
     Outcome runCell(const proto::CellRequest &req);
@@ -95,6 +113,18 @@ class Client
         a closed/lost connection. */
     bool runBatch(const proto::BatchRequest &req, proto::BatchResult &out,
                   proto::ErrorBody &error);
+
+    // -- stateful sessions -------------------------------------------
+
+    SessionOutcome openSession(const proto::OpenSessionRequest &req);
+    SessionOutcome submitChunk(const proto::SubmitChunkRequest &req);
+    SessionOutcome snapshotSession(uint64_t session_id);
+    SessionOutcome restoreSession(const proto::RestoreSessionRequest &req);
+    SessionOutcome closeSession(uint64_t session_id);
+    /** Explicit-context variant for routers, which own the root span. */
+    SessionOutcome sessionCall(proto::MsgKind kind,
+                               const std::string &payload,
+                               const proto::TraceContext &ctx);
     /** Server health JSON; empty on a closed/lost connection. */
     std::string stats();
     /** Prometheus text exposition; empty on a closed/lost connection
@@ -161,6 +191,14 @@ class Client
     /** Close and record why, synthesizing the outcome error. */
     Outcome lostOutcome(const char *what);
     Outcome awaitCellOutcome(uint64_t request_id);
+    SessionOutcome lostSessionOutcome(const char *what);
+    SessionOutcome awaitSessionOutcome(uint64_t request_id,
+                                       proto::MsgKind expect);
+    /** Shared front half of the session conveniences: sample a root
+        span, send, await @p expect. */
+    SessionOutcome sessionRequest(proto::MsgKind kind,
+                                  const std::string &payload,
+                                  const char *detail);
     /** True when this convenience call should be sampled. */
     bool sampleTrace();
     uint64_t newTraceId();

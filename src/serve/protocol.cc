@@ -152,6 +152,11 @@ isRequestKind(uint16_t kind)
       case MsgKind::Ping:
       case MsgKind::Metrics:
       case MsgKind::Hello:
+      case MsgKind::OpenSession:
+      case MsgKind::SubmitChunk:
+      case MsgKind::SnapshotSession:
+      case MsgKind::RestoreSession:
+      case MsgKind::CloseSession:
         return true;
       default:
         return false;
@@ -177,6 +182,8 @@ errorCodeName(ErrorCode code)
       case ErrorCode::Draining: return "draining";
       case ErrorCode::Internal: return "internal";
       case ErrorCode::ConnectionLost: return "connection-lost";
+      case ErrorCode::BadSnapshot: return "bad-snapshot";
+      case ErrorCode::UnknownSession: return "unknown-session";
     }
     return "unknown";
 }
@@ -452,6 +459,151 @@ decodeBatchResult(const std::string &payload, BatchResult &out)
     return r.done();
 }
 
+// --- Stateful sessions ---------------------------------------------
+
+std::string
+encodeOpenSessionRequest(const OpenSessionRequest &req)
+{
+    std::string buf;
+    putU8(buf, req.engine);
+    putU8(buf, req.variant);
+    putU32(buf, req.deadlineMs);
+    putU64(buf, req.sessionId);
+    putStr(buf, req.source);
+    return buf;
+}
+
+bool
+decodeOpenSessionRequest(const std::string &payload,
+                         OpenSessionRequest &out)
+{
+    Reader r(payload);
+    if (!r.u8(out.engine) || !r.u8(out.variant) ||
+        !r.u32(out.deadlineMs) || !r.u64(out.sessionId) ||
+        !r.str(out.source))
+        return false;
+    return r.done() && out.engine <= 1 && out.variant <= 2;
+}
+
+std::string
+encodeSubmitChunkRequest(const SubmitChunkRequest &req)
+{
+    std::string buf;
+    putU32(buf, req.deadlineMs);
+    putU64(buf, req.sessionId);
+    putStr(buf, req.source);
+    return buf;
+}
+
+bool
+decodeSubmitChunkRequest(const std::string &payload,
+                         SubmitChunkRequest &out)
+{
+    Reader r(payload);
+    if (!r.u32(out.deadlineMs) || !r.u64(out.sessionId) ||
+        !r.str(out.source))
+        return false;
+    return r.done() && out.sessionId != 0;
+}
+
+std::string
+encodeSessionIdRequest(const SessionIdRequest &req)
+{
+    std::string buf;
+    putU64(buf, req.sessionId);
+    return buf;
+}
+
+bool
+decodeSessionIdRequest(const std::string &payload, SessionIdRequest &out)
+{
+    Reader r(payload);
+    if (!r.u64(out.sessionId))
+        return false;
+    return r.done() && out.sessionId != 0;
+}
+
+std::string
+encodeRestoreSessionRequest(const RestoreSessionRequest &req)
+{
+    std::string buf;
+    putU32(buf, req.deadlineMs);
+    putU64(buf, req.sessionId);
+    putStr(buf, req.blob);
+    return buf;
+}
+
+bool
+decodeRestoreSessionRequest(const std::string &payload,
+                            RestoreSessionRequest &out)
+{
+    Reader r(payload);
+    if (!r.u32(out.deadlineMs) || !r.u64(out.sessionId) ||
+        !r.str(out.blob))
+        return false;
+    return r.done() && !out.blob.empty();
+}
+
+std::string
+encodeSessionReply(const SessionReply &reply)
+{
+    std::string buf;
+    putU64(buf, reply.sessionId);
+    putU64(buf, reply.chunkIndex);
+    putU64(buf, reply.instructions);
+    putU64(buf, reply.cycles);
+    putStr(buf, reply.output);
+    return buf;
+}
+
+bool
+decodeSessionReply(const std::string &payload, SessionReply &out)
+{
+    Reader r(payload);
+    if (!r.u64(out.sessionId) || !r.u64(out.chunkIndex) ||
+        !r.u64(out.instructions) || !r.u64(out.cycles) ||
+        !r.str(out.output))
+        return false;
+    return r.done();
+}
+
+std::string
+encodeSessionSnapshotResult(const SessionSnapshotResult &result)
+{
+    std::string buf;
+    putU64(buf, result.sessionId);
+    putStr(buf, result.blob);
+    return buf;
+}
+
+bool
+decodeSessionSnapshotResult(const std::string &payload,
+                            SessionSnapshotResult &out)
+{
+    Reader r(payload);
+    if (!r.u64(out.sessionId) || !r.str(out.blob))
+        return false;
+    return r.done() && !out.blob.empty();
+}
+
+std::string
+encodeSessionClosedResult(const SessionClosedResult &result)
+{
+    std::string buf;
+    putU64(buf, result.sessionId);
+    return buf;
+}
+
+bool
+decodeSessionClosedResult(const std::string &payload,
+                          SessionClosedResult &out)
+{
+    Reader r(payload);
+    if (!r.u64(out.sessionId))
+        return false;
+    return r.done();
+}
+
 std::string
 encodeStatsResult(const StatsResult &result)
 {
@@ -556,6 +708,15 @@ sourceRequestKey(const SourceRequest &req)
     const uint8_t fields[4] = {/*tag=*/1, req.engine, req.variant,
                                req.lang};
     return hashStr(req.source, fnv1a64(fields, sizeof(fields)));
+}
+
+uint64_t
+sessionRequestKey(uint64_t session_id)
+{
+    uint8_t buf[9] = {/*tag=*/2};
+    for (int i = 0; i < 8; ++i)
+        buf[1 + i] = static_cast<uint8_t>((session_id >> (8 * i)) & 0xFF);
+    return fnv1a64(buf, sizeof(buf));
 }
 
 uint64_t

@@ -64,6 +64,12 @@ enum class MsgKind : uint16_t {
     Ping = 6,
     Metrics = 7,    ///< Prometheus text exposition snapshot
     Hello = 8,      ///< capability probe (max protocol version)
+    // Stateful sessions (docs/SERVING.md, "Stateful sessions").
+    OpenSession = 9,      ///< create a session from its first chunk
+    SubmitChunk = 10,     ///< run a follow-on chunk on a live session
+    SnapshotSession = 11, ///< capture a tarch-snap-v1 blob
+    RestoreSession = 12,  ///< install a blob (eviction resume/migration)
+    CloseSession = 13,
 
     // responses
     CellResult = 128,
@@ -73,6 +79,10 @@ enum class MsgKind : uint16_t {
     DrainStarted = 132,
     MetricsResult = 133,
     HelloResult = 134,
+    SessionOpened = 135,   ///< answers OpenSession and RestoreSession
+    ChunkResult = 136,
+    SessionSnapshot = 137,
+    SessionClosed = 138,
     Error = 255,
 };
 
@@ -99,7 +109,17 @@ enum class ErrorCode : uint16_t {
         shard drops mid-request.  A daemon never sends it.  Retryable:
         simulations are idempotent and deduplicated server-side. */
     ConnectionLost = 15,
+    /** A tarch-snap-v1 blob failed strict decode or did not match its
+        rebuilt machine.  Never retryable: the blob itself is bad. */
+    BadSnapshot = 16,
+    /** No live or evicted session with that id on this shard.  Not
+        retryable here — but a router holding a cached blob answers it
+        by migrating the session (RestoreSession) and retrying. */
+    UnknownSession = 17,
 };
+
+/** One past the highest ErrorCode: sizes replies-by-code tables. */
+constexpr uint16_t kNumErrorCodes = 18;
 
 std::string_view errorCodeName(ErrorCode code);
 
@@ -223,6 +243,67 @@ struct BatchResult {
     std::vector<Item> items;
 };
 
+// --- Stateful sessions ---------------------------------------------
+//
+// A session is a long-lived VM on one shard: OpenSession builds it
+// from its first MiniScript chunk (verifier-gated like RunSource) and
+// runs it; each SubmitChunk compiles, verifies, installs and runs a
+// follow-on chunk on the same machine.  SnapshotSession captures the
+// complete machine as a tarch-snap-v1 blob; RestoreSession installs a
+// blob (idle-eviction resume and shard migration both ride on it).
+
+/** OpenSession payload. */
+struct OpenSessionRequest {
+    uint8_t engine = 0;       ///< EngineId
+    uint8_t variant = 0;
+    uint32_t deadlineMs = 0;  ///< for the first chunk's run
+    /** Session id; 0 lets the shard assign one.  Routers propose ids
+        so the ring position is known before the session exists. */
+    uint64_t sessionId = 0;
+    std::string source;       ///< first chunk (MiniScript)
+};
+
+/** SubmitChunk payload. */
+struct SubmitChunkRequest {
+    uint32_t deadlineMs = 0;
+    uint64_t sessionId = 0;
+    std::string source;
+};
+
+/** SnapshotSession and CloseSession payload. */
+struct SessionIdRequest {
+    uint64_t sessionId = 0;
+};
+
+/** RestoreSession payload.  sessionId duplicates the blob's embedded
+    id so routers can place the frame without decoding the blob; the
+    shard rejects a nonzero mismatch as BadSnapshot. */
+struct RestoreSessionRequest {
+    uint32_t deadlineMs = 0;
+    uint64_t sessionId = 0;
+    std::string blob;  ///< complete tarch-snap-v1 blob
+};
+
+/** SessionOpened and ChunkResult payload. */
+struct SessionReply {
+    uint64_t sessionId = 0;
+    uint64_t chunkIndex = 0;    ///< chunks run so far (1 after open)
+    uint64_t instructions = 0;  ///< cumulative machine counters
+    uint64_t cycles = 0;
+    std::string output;         ///< output delta of THIS chunk's run
+};
+
+/** SessionSnapshot payload. */
+struct SessionSnapshotResult {
+    uint64_t sessionId = 0;
+    std::string blob;
+};
+
+/** SessionClosed payload. */
+struct SessionClosedResult {
+    uint64_t sessionId = 0;
+};
+
 struct StatsResult {
     std::string json;  ///< tarch-serve-stats-v2 document
 };
@@ -267,6 +348,33 @@ bool decodeMetricsResult(const std::string &payload, MetricsResult &out);
 std::string encodeHelloResult(const HelloResult &result);
 bool decodeHelloResult(const std::string &payload, HelloResult &out);
 
+std::string encodeOpenSessionRequest(const OpenSessionRequest &req);
+bool decodeOpenSessionRequest(const std::string &payload,
+                              OpenSessionRequest &out);
+
+std::string encodeSubmitChunkRequest(const SubmitChunkRequest &req);
+bool decodeSubmitChunkRequest(const std::string &payload,
+                              SubmitChunkRequest &out);
+
+std::string encodeSessionIdRequest(const SessionIdRequest &req);
+bool decodeSessionIdRequest(const std::string &payload,
+                            SessionIdRequest &out);
+
+std::string encodeRestoreSessionRequest(const RestoreSessionRequest &req);
+bool decodeRestoreSessionRequest(const std::string &payload,
+                                 RestoreSessionRequest &out);
+
+std::string encodeSessionReply(const SessionReply &reply);
+bool decodeSessionReply(const std::string &payload, SessionReply &out);
+
+std::string encodeSessionSnapshotResult(const SessionSnapshotResult &r);
+bool decodeSessionSnapshotResult(const std::string &payload,
+                                 SessionSnapshotResult &out);
+
+std::string encodeSessionClosedResult(const SessionClosedResult &r);
+bool decodeSessionClosedResult(const std::string &payload,
+                               SessionClosedResult &out);
+
 /** Convenience: a complete Error frame for @p request_id. */
 std::string errorFrame(uint64_t request_id, ErrorCode code,
                        const std::string &message);
@@ -291,6 +399,13 @@ uint64_t cellRequestKey(const CellRequest &req);
 uint64_t sourceRequestKey(const SourceRequest &req);
 /** Folded over the batch's cells (a batch routes as one unit). */
 uint64_t batchRequestKey(const BatchRequest &req);
+
+/**
+ * The routing key for everything that touches session @p session_id:
+ * every request of one session must hash to the same ring position, so
+ * the key covers the id alone (never chunk text — chunks differ).
+ */
+uint64_t sessionRequestKey(uint64_t session_id);
 
 } // namespace tarch::serve::proto
 

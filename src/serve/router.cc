@@ -183,6 +183,18 @@ struct Router::Pending {
         the reply (or failure) answers the request. */
     uint32_t backendSpanId = 0;
     uint64_t backendStartUs = 0;
+    /** Session id a stateful request names (0 for stateless kinds);
+        used by the migration path to find the cached blob. */
+    uint64_t sessionId = 0;
+    /** Router-originated (blob refresh / migration restore): answered
+        through completeInternal, never written to a client. */
+    bool internal = false;
+    /** Internal migration restore only: the client request to re-route
+        once the restore lands on the new owner. */
+    std::shared_ptr<Pending> resume;
+    /** Migration attempts already spent on this client request — one
+        per request; a second miss surfaces to the client. */
+    unsigned migrations = 0;
 };
 
 struct Router::Shard {
@@ -209,11 +221,12 @@ struct Router::Shard {
     keys always rendered so schema-gated consumers can rely on them
     (mirrors server.cc). */
 static std::string
-repliesByCodeJson(const std::array<uint64_t, 16> &replies)
+repliesByCodeJson(
+    const std::array<uint64_t, proto::kNumErrorCodes> &replies)
 {
     std::string out =
         strformat("{\"ok\":%llu", (unsigned long long)replies[0]);
-    for (uint16_t code = 1; code < 16; ++code)
+    for (uint16_t code = 1; code < proto::kNumErrorCodes; ++code)
         out += strformat(
             ",\"%s\":%llu",
             std::string(proto::errorCodeName(
@@ -256,6 +269,8 @@ Router::Health::toJson() const
         "\"shed_busy\":%llu,"
         "\"connection_lost\":%llu,"
         "\"framing_errors\":%llu,"
+        "\"sessions_tracked\":%llu,"
+        "\"sessions_migrated\":%llu,"
         "\"replies_by_code\":%s,"
         "\"draining\":%s,"
         "\"uptime_ms\":%llu,"
@@ -267,6 +282,8 @@ Router::Health::toJson() const
         (unsigned long long)completed, (unsigned long long)errors,
         (unsigned long long)shedBusy, (unsigned long long)connectionLost,
         (unsigned long long)framingErrors,
+        (unsigned long long)sessionsTracked,
+        (unsigned long long)sessionsMigrated,
         repliesByCodeJson(repliesByCode).c_str(),
         draining ? "true" : "false", (unsigned long long)uptimeMs,
         (unsigned long long)(uptimeMs / 1000), shard_array.c_str());
@@ -313,11 +330,23 @@ Router::registerMetrics()
       "Malformed frames on either side", "", &framingErrors_);
     c("tarch_router_accepted_connections_total",
       "Frontend connections accepted", "", &acceptedConnections_);
+    c("tarch_router_sessions_migrated_total",
+      "Sessions moved to a new shard via cached-snapshot restore", "",
+      &sessionsMigrated_);
+    c("tarch_router_snapshot_refreshes_total",
+      "Internal SnapshotSession requests refreshing the blob cache", "",
+      &snapshotRefreshes_);
+    registry_.gaugeFn("tarch_router_sessions_tracked",
+                      "Stateful sessions with a blob-cache entry", "",
+                      [this] {
+                          std::lock_guard<std::mutex> lock(sessionsMu_);
+                          return static_cast<int64_t>(sessions_.size());
+                      });
     registry_.counterFn("tarch_router_replies_total",
                         "Replies sent to clients by outcome",
                         "code=\"ok\"",
                         [this] { return repliesByCode_[0].load(); });
-    for (uint16_t code = 1; code < 16; ++code) {
+    for (uint16_t code = 1; code < proto::kNumErrorCodes; ++code) {
         const std::string labels = strformat(
             "code=\"%s\"",
             std::string(proto::errorCodeName(
@@ -631,6 +660,11 @@ Router::dispatch(const std::shared_ptr<ClientConn> &conn,
       case proto::MsgKind::RunCell:
       case proto::MsgKind::RunSource:
       case proto::MsgKind::RunBatch:
+      case proto::MsgKind::OpenSession:
+      case proto::MsgKind::SubmitChunk:
+      case proto::MsgKind::SnapshotSession:
+      case proto::MsgKind::RestoreSession:
+      case proto::MsgKind::CloseSession:
         break;
       default:
         errors_.fetch_add(1);
@@ -646,6 +680,7 @@ Router::dispatch(const std::shared_ptr<ClientConn> &conn,
     // reject malformed payloads here, exactly as a shard would).  The
     // payload bytes themselves are forwarded verbatim.
     uint64_t key = 0;
+    uint64_t session_id = 0;
     RoutePriority priority = RoutePriority::Cell;
     bool ok = false;
     switch (kind) {
@@ -662,6 +697,73 @@ Router::dispatch(const std::shared_ptr<ClientConn> &conn,
         ok = proto::decodeSourceRequest(payload, req);
         if (ok)
             key = proto::sourceRequestKey(req);
+        priority = RoutePriority::Source;
+        break;
+      }
+      case proto::MsgKind::OpenSession: {
+        proto::OpenSessionRequest req;
+        ok = proto::decodeOpenSessionRequest(payload, req);
+        if (ok && req.sessionId == 0) {
+            // The router owns id assignment: it must know the ring
+            // position before the first byte reaches a shard, so a
+            // shard-chosen id is useless to it.  The payload is
+            // rewritten with the assigned id and the client learns it
+            // from SessionOpened, exactly as with a shard-assigned id.
+            std::lock_guard<std::mutex> lock(sessionsMu_);
+            do
+                req.sessionId = mixPoint(sessionSeq_++);
+            while (req.sessionId == 0 ||
+                   sessions_.count(req.sessionId) != 0);
+            payload = proto::encodeOpenSessionRequest(req);
+        }
+        if (ok) {
+            session_id = req.sessionId;
+            key = proto::sessionRequestKey(session_id);
+        }
+        priority = RoutePriority::Source;
+        break;
+      }
+      case proto::MsgKind::SubmitChunk: {
+        proto::SubmitChunkRequest req;
+        ok = proto::decodeSubmitChunkRequest(payload, req);
+        if (ok) {
+            session_id = req.sessionId;
+            key = proto::sessionRequestKey(session_id);
+        }
+        priority = RoutePriority::Source;
+        break;
+      }
+      case proto::MsgKind::SnapshotSession:
+      case proto::MsgKind::CloseSession: {
+        proto::SessionIdRequest req;
+        ok = proto::decodeSessionIdRequest(payload, req);
+        if (ok) {
+            session_id = req.sessionId;
+            key = proto::sessionRequestKey(session_id);
+        }
+        priority = RoutePriority::Source;
+        break;
+      }
+      case proto::MsgKind::RestoreSession: {
+        proto::RestoreSessionRequest req;
+        ok = proto::decodeRestoreSessionRequest(payload, req);
+        if (ok && req.sessionId == 0) {
+            // sessionId 0 asks the SHARD to pick an id — fine point to
+            // point, but through the router it would orphan the
+            // session: follow-up chunks could not be routed to it.
+            errors_.fetch_add(1);
+            countReply(
+                static_cast<uint16_t>(proto::ErrorCode::BadRequest));
+            conn->sendFrame(proto::errorFrame(
+                header.requestId, proto::ErrorCode::BadRequest,
+                "router requires a nonzero session id on "
+                "RestoreSession"));
+            return;
+        }
+        if (ok) {
+            session_id = req.sessionId;
+            key = proto::sessionRequestKey(session_id);
+        }
         priority = RoutePriority::Source;
         break;
       }
@@ -691,6 +793,7 @@ Router::dispatch(const std::shared_ptr<ClientConn> &conn,
     pending->payload = std::move(payload);
     pending->trace = ctx;
     pending->startUs = nowUs();
+    pending->sessionId = session_id;
     // Register with the drain barrier BEFORE the draining check: the
     // drain waiter only sees zero outstanding after every registered
     // request is answered, and a request registered after draining flips
@@ -915,8 +1018,14 @@ Router::backendReaderLoop(std::shared_ptr<BackendConn> conn)
         }
         if (pending) {
             shard.completedCnt.fetch_add(1);
-            answerPending(pending, static_cast<proto::MsgKind>(fh.kind),
-                          payload);
+            const auto reply_kind = static_cast<proto::MsgKind>(fh.kind);
+            // Session bookkeeping first: a successful open/submit
+            // schedules a blob refresh, and an UnknownSession miss with
+            // a cached blob consumes the reply and migrates instead of
+            // surfacing it.
+            if (!handleSessionReply(conn->shard, pending, reply_kind,
+                                    payload))
+                answerPending(pending, reply_kind, payload);
         }
     }
     conn->shutdownNow();
@@ -974,6 +1083,13 @@ Router::answerPending(const std::shared_ptr<Pending> &pending,
     bool expected = false;
     if (!pending->answered.compare_exchange_strong(expected, true))
         return;
+    if (pending->internal) {
+        // Router-originated work (blob refresh / migration restore):
+        // no client frame, no client-reply accounting.  completeInternal
+        // also releases the drain-barrier slot this pending holds.
+        completeInternal(pending, kind, payload);
+        return;
+    }
     uint16_t code = 0;
     if (kind == proto::MsgKind::Error) {
         errors_.fetch_add(1);
@@ -995,7 +1111,7 @@ Router::answerPending(const std::shared_ptr<Pending> &pending,
         const uint64_t now = obs::SpanRecorder::wallNowUs();
         span.durUs = now > span.startUs ? now - span.startUs : 0;
         span.name = "router.backend";
-        if (code >= 1 && code <= 15)
+        if (code >= 1 && code < proto::kNumErrorCodes)
             span.detail = std::string(proto::errorCodeName(
                 static_cast<proto::ErrorCode>(code)));
         spans_.record(std::move(span));
@@ -1014,12 +1130,193 @@ void
 Router::answerError(const std::shared_ptr<Pending> &pending,
                     proto::ErrorCode code, const std::string &message)
 {
+    // A dying shard is exactly what the session blob cache is for: a
+    // client session request failed by ConnectionLost migrates to the
+    // current ring owner instead of bouncing back, given a cached blob
+    // and a first attempt.  (Internal pendings and second misses fall
+    // through to the normal retryable answer.)
+    if (code == proto::ErrorCode::ConnectionLost && !pending->internal &&
+        pending->sessionId != 0 && pending->migrations == 0 &&
+        !draining_.load() && !stopping_.load() &&
+        migrateSession(pending))
+        return;
     proto::ErrorBody error;
     error.code = static_cast<uint16_t>(code);
     error.retryable = proto::errorRetryable(code) ? 1 : 0;
     error.message = message;
     answerPending(pending, proto::MsgKind::Error,
                   proto::encodeErrorBody(error));
+}
+
+// ---------------------------------------------------------------------
+// Stateful sessions (docs/SERVING.md).
+
+bool
+Router::handleSessionReply(size_t shard_index,
+                           const std::shared_ptr<Pending> &pending,
+                           proto::MsgKind kind, const std::string &payload)
+{
+    // Internal pendings take the answerPending -> completeInternal
+    // path so the exactly-once CAS stays in one place.
+    if (pending->internal || pending->sessionId == 0)
+        return false;
+    if (kind == proto::MsgKind::Error) {
+        // A shard that forgot the session (restarted, or the key moved
+        // with the ring) is recoverable when a blob is cached: restore
+        // it on the current owner, then re-route this very request.
+        proto::ErrorBody body;
+        if (proto::decodeErrorBody(payload, body) &&
+            body.code == static_cast<uint16_t>(
+                             proto::ErrorCode::UnknownSession) &&
+            pending->migrations == 0 && !draining_.load() &&
+            migrateSession(pending))
+            return true;  // consumed: the migration owns the answer now
+        return false;
+    }
+    switch (pending->kind) {
+      case proto::MsgKind::OpenSession:
+      case proto::MsgKind::SubmitChunk:
+        // The session advanced; the cached blob (if any) is stale.
+        // Refresh it in the background so a later migration resumes
+        // from this chunk, not an older one.
+        if (kind == proto::MsgKind::SessionOpened ||
+            kind == proto::MsgKind::ChunkResult) {
+            {
+                std::lock_guard<std::mutex> lock(sessionsMu_);
+                sessions_.emplace(pending->sessionId, std::string());
+            }
+            scheduleSnapshotRefresh(shard_index, pending->sessionId);
+        }
+        break;
+      case proto::MsgKind::SnapshotSession: {
+        // A client-requested snapshot refreshes the cache for free.
+        proto::SessionSnapshotResult res;
+        if (kind == proto::MsgKind::SessionSnapshot &&
+            proto::decodeSessionSnapshotResult(payload, res)) {
+            std::lock_guard<std::mutex> lock(sessionsMu_);
+            sessions_[res.sessionId] = std::move(res.blob);
+        }
+        break;
+      }
+      case proto::MsgKind::RestoreSession:
+        if (kind == proto::MsgKind::SessionOpened) {
+            // The client handed us an authoritative blob; cache it.
+            proto::RestoreSessionRequest req;
+            if (proto::decodeRestoreSessionRequest(pending->payload,
+                                                   req)) {
+                std::lock_guard<std::mutex> lock(sessionsMu_);
+                sessions_[req.sessionId] = std::move(req.blob);
+            }
+        }
+        break;
+      case proto::MsgKind::CloseSession:
+        if (kind == proto::MsgKind::SessionClosed) {
+            std::lock_guard<std::mutex> lock(sessionsMu_);
+            sessions_.erase(pending->sessionId);
+        }
+        break;
+      default:
+        break;
+    }
+    return false;  // the reply still goes to the client
+}
+
+void
+Router::completeInternal(const std::shared_ptr<Pending> &pending,
+                         proto::MsgKind kind, const std::string &payload)
+{
+    if (pending->resume) {
+        // Migration restore resolved.
+        const std::shared_ptr<Pending> original = pending->resume;
+        if (kind == proto::MsgKind::SessionOpened) {
+            sessionsMigrated_.fetch_add(1);
+            // The session lives on the new owner now; replay the
+            // request that hit the miss.  Its migration budget is
+            // spent, so a second miss surfaces to the client.
+            route(original,
+                  proto::sessionRequestKey(original->sessionId));
+        } else {
+            // The restore failed; the client sees that typed error
+            // (e.g. bad-snapshot) rather than a silent hang.  A
+            // ConnectionLost here cannot re-migrate: migrations is
+            // already 1.
+            answerPending(original, kind, payload);
+        }
+    } else if (kind == proto::MsgKind::SessionSnapshot) {
+        // Background blob refresh landed.
+        proto::SessionSnapshotResult res;
+        if (proto::decodeSessionSnapshotResult(payload, res)) {
+            std::lock_guard<std::mutex> lock(sessionsMu_);
+            const auto it = sessions_.find(res.sessionId);
+            // Only refresh a tracked session — racing a CloseSession
+            // must not resurrect the entry.
+            if (it != sessions_.end())
+                it->second = std::move(res.blob);
+        }
+    }
+    // A failed refresh keeps the previous (stale but restorable) blob.
+    // Internal work holds a drain-barrier slot like any routed request;
+    // release it.
+    if (outstanding_.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(drainMu_);
+        drainCv_.notify_all();
+    }
+}
+
+void
+Router::scheduleSnapshotRefresh(size_t shard_index, uint64_t session_id)
+{
+    proto::SessionIdRequest req;
+    req.sessionId = session_id;
+    auto refresh = std::make_shared<Pending>();
+    refresh->kind = proto::MsgKind::SnapshotSession;
+    // Background work sheds first under overload; a missed refresh only
+    // ages the cached blob.
+    refresh->priority = RoutePriority::Batch;
+    refresh->payload = proto::encodeSessionIdRequest(req);
+    refresh->sessionId = session_id;
+    refresh->internal = true;
+    refresh->startUs = nowUs();
+    snapshotRefreshes_.fetch_add(1);
+    outstanding_.fetch_add(1);
+    // Pin the refresh to the shard that just answered: the session
+    // lives THERE even if a ring change has moved the key's owner.
+    if (!submitToShard(shard_index, refresh))
+        answerError(refresh, proto::ErrorCode::Busy,
+                    "snapshot refresh not sent");
+}
+
+bool
+Router::migrateSession(const std::shared_ptr<Pending> &original)
+{
+    std::string blob;
+    {
+        std::lock_guard<std::mutex> lock(sessionsMu_);
+        const auto it = sessions_.find(original->sessionId);
+        if (it == sessions_.end() || it->second.empty())
+            return false;  // nothing to restore from
+        blob = it->second;
+    }
+    ++original->migrations;
+    proto::RestoreSessionRequest req;
+    req.sessionId = original->sessionId;
+    req.blob = std::move(blob);  // deadlineMs 0: shard default applies
+    auto restore = std::make_shared<Pending>();
+    restore->kind = proto::MsgKind::RestoreSession;
+    restore->priority = RoutePriority::Source;
+    restore->payload = proto::encodeRestoreSessionRequest(req);
+    restore->trace = original->trace;  // stays on the client's trace
+    restore->sessionId = original->sessionId;
+    restore->internal = true;
+    restore->resume = original;
+    restore->startUs = nowUs();
+    outstanding_.fetch_add(1);
+    // route() walks the ring from the key's owner and skips ejected
+    // shards, so the restore lands wherever this session's follow-up
+    // requests will land.
+    route(std::move(restore),
+          proto::sessionRequestKey(original->sessionId));
+    return true;
 }
 
 // ---------------------------------------------------------------------
@@ -1158,6 +1455,11 @@ Router::health() const
     h.shedBusy = shedBusy_.load();
     h.connectionLost = connectionLost_.load();
     h.framingErrors = framingErrors_.load();
+    {
+        std::lock_guard<std::mutex> lock(sessionsMu_);
+        h.sessionsTracked = sessions_.size();
+    }
+    h.sessionsMigrated = sessionsMigrated_.load();
     for (size_t i = 0; i < repliesByCode_.size(); ++i)
         h.repliesByCode[i] = repliesByCode_[i].load();
     h.draining = draining_.load();

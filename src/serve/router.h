@@ -265,12 +265,18 @@ class Router
         uint64_t shedBusy = 0;
         uint64_t connectionLost = 0;
         uint64_t framingErrors = 0;
+        /** Stateful sessions this router has routed and still tracks
+            (close drops them). */
+        uint64_t sessionsTracked = 0;
+        /** Sessions moved to a new owner via the cached-blob
+            snapshot -> RestoreSession path (dead shard or ring move). */
+        uint64_t sessionsMigrated = 0;
         bool draining = false;
         uint64_t uptimeMs = 0;
-        /** Replies sent to clients by outcome: index 0 = ok, 1..15 =
-            proto::ErrorCode.  Every key renders in the JSON so the
+        /** Replies sent to clients by outcome: index 0 = ok, else
+            the proto::ErrorCode.  Every key renders in the JSON so the
             schema is stable whether or not an error has happened. */
-        std::array<uint64_t, 16> repliesByCode{};
+        std::array<uint64_t, proto::kNumErrorCodes> repliesByCode{};
         std::vector<ShardStats> shards;
 
         std::string toJson() const;
@@ -343,6 +349,34 @@ class Router
     void answerError(const std::shared_ptr<Pending> &pending,
                      proto::ErrorCode code, const std::string &message);
 
+    // -- stateful sessions (docs/SERVING.md) -------------------------
+    //
+    // The router keeps a per-session tarch-snap-v1 blob cache: after
+    // every successful open/submit it refreshes the blob with an
+    // internally originated SnapshotSession, and when the owning shard
+    // dies (ConnectionLost) or forgets the session (UnknownSession,
+    // e.g. after a ring move), it migrates — RestoreSession with the
+    // cached blob on the current ring owner, then the original request
+    // is re-routed.  One migration attempt per request; a second miss
+    // surfaces to the client.
+
+    /** Client-facing session bookkeeping for a session reply; true
+        when the reply was consumed (a migration is now in flight). */
+    bool handleSessionReply(size_t shard_index,
+                            const std::shared_ptr<Pending> &pending,
+                            proto::MsgKind kind,
+                            const std::string &payload);
+    /** Router-originated pendings (blob refresh / migration restore)
+        complete here instead of writing to a client. */
+    void completeInternal(const std::shared_ptr<Pending> &pending,
+                          proto::MsgKind kind,
+                          const std::string &payload);
+    /** Fire-and-forget SnapshotSession to refresh the blob cache. */
+    void scheduleSnapshotRefresh(size_t shard_index, uint64_t session_id);
+    /** Route an internal RestoreSession carrying @p original; false
+        when no blob is cached (caller answers the original itself). */
+    bool migrateSession(const std::shared_ptr<Pending> &original);
+
     /** Bump the per-outcome reply counter (0 = ok, else ErrorCode). */
     void countReply(uint16_t code);
     /** Register the tarch_router_* families (constructor only). */
@@ -388,8 +422,16 @@ class Router
     std::atomic<uint64_t> shedBusy_{0};
     std::atomic<uint64_t> connectionLost_{0};
     std::atomic<uint64_t> framingErrors_{0};
-    /** Replies by outcome (0 = ok, 1..15 = proto::ErrorCode). */
-    std::array<std::atomic<uint64_t>, 16> repliesByCode_{};
+    std::atomic<uint64_t> sessionsMigrated_{0};
+    std::atomic<uint64_t> snapshotRefreshes_{0};
+    /** Session id -> latest cached tarch-snap-v1 blob ("" until the
+        first refresh lands).  sessionSeq_ feeds router-assigned ids. */
+    mutable std::mutex sessionsMu_;
+    std::unordered_map<uint64_t, std::string> sessions_;
+    uint64_t sessionSeq_ = 1;
+    /** Replies by outcome (0 = ok, else the proto::ErrorCode). */
+    std::array<std::atomic<uint64_t>, proto::kNumErrorCodes>
+        repliesByCode_{};
 
     obs::SpanRecorder spans_{"tarch_router"};
     obs::Registry registry_;

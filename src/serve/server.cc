@@ -31,6 +31,10 @@ struct Server::Job {
     proto::CellRequest cell;
     proto::SourceRequest source;
     proto::BatchRequest batch;
+    proto::OpenSessionRequest openSession;
+    proto::SubmitChunkRequest submitChunk;
+    proto::SessionIdRequest sessionId;
+    proto::RestoreSessionRequest restoreSession;
     std::chrono::steady_clock::time_point deadline;
     /** Queue-wait accounting + stage histograms. */
     std::chrono::steady_clock::time_point enqueuedAt;
@@ -48,11 +52,12 @@ struct Server::Job {
 /** The replies_by_code object: "ok" plus every ErrorCode name, all
     keys always rendered so schema-gated consumers can rely on them. */
 static std::string
-repliesByCodeJson(const std::array<uint64_t, 16> &replies)
+repliesByCodeJson(
+    const std::array<uint64_t, proto::kNumErrorCodes> &replies)
 {
     std::string out =
         strformat("{\"ok\":%llu", (unsigned long long)replies[0]);
-    for (uint16_t code = 1; code < 16; ++code)
+    for (uint16_t code = 1; code < proto::kNumErrorCodes; ++code)
         out += strformat(
             ",\"%s\":%llu",
             std::string(proto::errorCodeName(
@@ -86,6 +91,14 @@ Server::Health::toJson() const
         "\"simulated\":%llu,"
         "\"single_flight_waits\":%llu,"
         "\"verify_rejected\":%llu,"
+        "\"sessions_open\":%llu,"
+        "\"sessions_opened\":%llu,"
+        "\"sessions_closed\":%llu,"
+        "\"session_chunks_run\":%llu,"
+        "\"sessions_evicted\":%llu,"
+        "\"sessions_resumed\":%llu,"
+        "\"sessions_restored\":%llu,"
+        "\"session_snapshots\":%llu,"
         "\"draining\":%s,"
         "\"uptime_ms\":%llu,"
         "\"uptime_seconds\":%llu,"
@@ -105,6 +118,14 @@ Server::Health::toJson() const
         (unsigned long long)sim.simulated,
         (unsigned long long)sim.singleFlightWaits,
         (unsigned long long)sim.verifyRejected,
+        (unsigned long long)sessions.openNow,
+        (unsigned long long)sessions.opened,
+        (unsigned long long)sessions.closed,
+        (unsigned long long)sessions.chunksRun,
+        (unsigned long long)sessions.evicted,
+        (unsigned long long)sessions.resumed,
+        (unsigned long long)sessions.restored,
+        (unsigned long long)sessions.snapshots,
         draining ? "true" : "false", (unsigned long long)uptimeMs,
         (unsigned long long)(uptimeMs / 1000), slowLogJson.c_str());
 }
@@ -113,7 +134,8 @@ Server::Health::toJson() const
 // Lifecycle.
 
 Server::Server(const Config &config)
-    : config_(config), service_(config.sim), slowLog_(config.slowLog)
+    : config_(config), service_(config.sim), sessions_(config.sessions),
+      slowLog_(config.slowLog)
 {
     registerMetrics();
 }
@@ -124,10 +146,13 @@ Server::registerMetrics()
     // Counters the server already maintains are exported as callback
     // series: exposition reads the atomics at scrape time, so a daemon
     // nobody scrapes pays nothing for its metrics plane.
-    static const char *kKindNames[9] = {
-        nullptr,   "run_cell", "run_source", "run_batch", "stats",
-        "drain",   "ping",     "metrics",    "hello"};
-    for (int k = 1; k < 9; ++k)
+    static const char *kKindNames[14] = {
+        nullptr,        "run_cell",        "run_source",
+        "run_batch",    "stats",           "drain",
+        "ping",         "metrics",         "hello",
+        "open_session", "submit_chunk",    "snapshot_session",
+        "restore_session", "close_session"};
+    for (int k = 1; k < 14; ++k)
         registry_.counterFn(
             "tarch_serve_requests_total", "Well-framed requests by kind",
             strformat("kind=\"%s\"", kKindNames[k]),
@@ -135,7 +160,7 @@ Server::registerMetrics()
     registry_.counterFn("tarch_serve_replies_total",
                         "Reply frames sent by outcome", "code=\"ok\"",
                         [this] { return repliesByCode_[0].load(); });
-    for (uint16_t code = 1; code < 16; ++code)
+    for (uint16_t code = 1; code < proto::kNumErrorCodes; ++code)
         registry_.counterFn(
             "tarch_serve_replies_total", "Reply frames sent by outcome",
             strformat("code=\"%s\"",
@@ -173,6 +198,49 @@ Server::registerMetrics()
         "tarch_serve_verify_rejected_total",
         "Source requests rejected by the static verifier", "",
         [this] { return service_.counters().verifyRejected; });
+    // Session plane (docs/SERVING.md, "Stateful sessions").
+    registry_.gaugeFn("tarch_serve_sessions_open",
+                      "Live in-memory sessions", "", [this] {
+                          return static_cast<int64_t>(
+                              sessions_.counters().openNow);
+                      });
+    registry_.counterFn("tarch_serve_sessions_opened_total",
+                        "Sessions created by OpenSession", "", [this] {
+                            return sessions_.counters().opened;
+                        });
+    registry_.counterFn("tarch_serve_sessions_closed_total",
+                        "Sessions closed (explicitly or on a fault)", "",
+                        [this] { return sessions_.counters().closed; });
+    registry_.counterFn("tarch_serve_session_chunks_total",
+                        "Session chunks compiled, verified and run", "",
+                        [this] {
+                            return sessions_.counters().chunksRun;
+                        });
+    registry_.counterFn("tarch_serve_sessions_evicted_total",
+                        "Idle sessions parked to disk as snapshots", "",
+                        [this] { return sessions_.counters().evicted; });
+    registry_.counterFn("tarch_serve_sessions_resumed_total",
+                        "Evicted sessions transparently resumed", "",
+                        [this] { return sessions_.counters().resumed; });
+    registry_.counterFn(
+        "tarch_serve_sessions_migrated_total",
+        "Sessions installed from RestoreSession blobs", "",
+        [this] { return sessions_.counters().restored; });
+    registry_.counterFn("tarch_serve_session_snapshots_total",
+                        "SnapshotSession blobs served", "", [this] {
+                            return sessions_.counters().snapshots;
+                        });
+    SessionManager::Metrics sessionMetrics;
+    sessionMetrics.snapshotBytes = &registry_.histogram(
+        "tarch_serve_snapshot_bytes",
+        "tarch-snap-v1 blob size (bytes)", "");
+    sessionMetrics.snapshotUs = &registry_.histogram(
+        "tarch_serve_snapshot_latency_us",
+        "Session snapshot encode latency (microseconds)", "");
+    sessionMetrics.restoreUs = &registry_.histogram(
+        "tarch_serve_restore_latency_us",
+        "Session restore/resume latency (microseconds)", "");
+    sessions_.setMetrics(sessionMetrics);
     registry_.counterFn("tarch_serve_accepted_connections_total",
                         "Connections accepted", "",
                         [this] { return acceptedConnections_.load(); });
@@ -456,6 +524,11 @@ Server::dispatch(const std::shared_ptr<Connection> &conn,
       case proto::MsgKind::RunCell:
       case proto::MsgKind::RunSource:
       case proto::MsgKind::RunBatch:
+      case proto::MsgKind::OpenSession:
+      case proto::MsgKind::SubmitChunk:
+      case proto::MsgKind::SnapshotSession:
+      case proto::MsgKind::RestoreSession:
+      case proto::MsgKind::CloseSession:
         enqueue(conn, header, std::move(payload), ctx);
         return;
       default:
@@ -498,6 +571,25 @@ Server::enqueue(const std::shared_ptr<Connection> &conn,
         ok = proto::decodeBatchRequest(payload, job->batch);
         for (const proto::CellRequest &cell : job->batch.cells)
             deadline_ms = std::max(deadline_ms, cell.deadlineMs);
+        break;
+      case proto::MsgKind::OpenSession:
+        ok = proto::decodeOpenSessionRequest(payload, job->openSession);
+        deadline_ms = job->openSession.deadlineMs;
+        break;
+      case proto::MsgKind::SubmitChunk:
+        ok = proto::decodeSubmitChunkRequest(payload, job->submitChunk);
+        deadline_ms = job->submitChunk.deadlineMs;
+        break;
+      case proto::MsgKind::SnapshotSession:
+      case proto::MsgKind::CloseSession:
+        // No deadline field: snapshot/close are cheap bookkeeping, the
+        // server default bounds them.
+        ok = proto::decodeSessionIdRequest(payload, job->sessionId);
+        break;
+      case proto::MsgKind::RestoreSession:
+        ok = proto::decodeRestoreSessionRequest(payload,
+                                                job->restoreSession);
+        deadline_ms = job->restoreSession.deadlineMs;
         break;
       default:
         break;
@@ -667,6 +759,61 @@ Server::execute(const std::shared_ptr<Job> &job)
                                        proto::encodeBatchResult(batch));
             break;
           }
+          case proto::MsgKind::OpenSession: {
+            detail = strformat(
+                "open/%016llx",
+                (unsigned long long)job->openSession.sessionId);
+            const proto::SessionReply reply =
+                sessions_.open(job->openSession, trace);
+            frame = proto::encodeFrame(proto::MsgKind::SessionOpened,
+                                       job->requestId,
+                                       proto::encodeSessionReply(reply));
+            break;
+          }
+          case proto::MsgKind::SubmitChunk: {
+            detail = strformat(
+                "sess/%016llx",
+                (unsigned long long)job->submitChunk.sessionId);
+            const proto::SessionReply reply =
+                sessions_.submit(job->submitChunk, trace);
+            frame = proto::encodeFrame(proto::MsgKind::ChunkResult,
+                                       job->requestId,
+                                       proto::encodeSessionReply(reply));
+            break;
+          }
+          case proto::MsgKind::SnapshotSession: {
+            detail = strformat(
+                "snap/%016llx",
+                (unsigned long long)job->sessionId.sessionId);
+            const proto::SessionSnapshotResult result =
+                sessions_.snapshot(job->sessionId.sessionId, trace);
+            frame = proto::encodeFrame(
+                proto::MsgKind::SessionSnapshot, job->requestId,
+                proto::encodeSessionSnapshotResult(result));
+            break;
+          }
+          case proto::MsgKind::RestoreSession: {
+            detail = strformat(
+                "restore/%016llx",
+                (unsigned long long)job->restoreSession.sessionId);
+            const proto::SessionReply reply =
+                sessions_.restore(job->restoreSession, trace);
+            frame = proto::encodeFrame(proto::MsgKind::SessionOpened,
+                                       job->requestId,
+                                       proto::encodeSessionReply(reply));
+            break;
+          }
+          case proto::MsgKind::CloseSession: {
+            detail = strformat(
+                "close/%016llx",
+                (unsigned long long)job->sessionId.sessionId);
+            const proto::SessionClosedResult result =
+                sessions_.close(job->sessionId.sessionId);
+            frame = proto::encodeFrame(
+                proto::MsgKind::SessionClosed, job->requestId,
+                proto::encodeSessionClosedResult(result));
+            break;
+          }
           default:
             frame = proto::errorFrame(job->requestId,
                                       proto::ErrorCode::Internal,
@@ -777,6 +924,11 @@ Server::reaperLoop()
             dead.swap(reapList_);
         }
         reapConnections(dead);
+        // Idle SESSIONS are not expired work: they are evicted to disk
+        // as snapshots (state movement, internally rate-limited) and
+        // transparently resumed — never answered DeadlineExceeded, and
+        // they pin no worker while idle.
+        sessions_.sweepIdle();
         std::this_thread::sleep_for(std::chrono::milliseconds(2));
     }
 }
@@ -811,6 +963,9 @@ Server::drainWaiterLoop()
     }
     if (pool_)
         pool_->drain();
+    // Every job has retired, so all sessions are quiescent; park them
+    // on disk so a restart (or a migrating router) can resume them.
+    sessions_.evictAll();
     closeAllConnections();
     drained_.store(true);
     std::lock_guard<std::mutex> lock(drainMu_);
@@ -923,6 +1078,7 @@ Server::health() const
         h.repliesByCode[i] = repliesByCode_[i].load();
     h.slowLogJson = slowLog_.toJson();
     h.sim = service_.counters();
+    h.sessions = sessions_.counters();
     h.draining = draining_.load();
     h.uptimeMs = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::milliseconds>(

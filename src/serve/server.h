@@ -47,6 +47,7 @@
 #include "obs/spans.h"
 #include "serve/protocol.h"
 #include "serve/service.h"
+#include "serve/session.h"
 #include "serve/slowlog.h"
 
 namespace tarch::serve {
@@ -80,6 +81,10 @@ class Server
         bool advertiseTracing = true;
         SlowLog::Options slowLog;
         SimService::Options sim;
+        /** Stateful session table (docs/SERVING.md).  Idle sessions
+            are evicted to sessions.snapshotDir by the reaper tick and
+            transparently resumed on their next request. */
+        SessionManager::Options sessions;
     };
 
     /** Snapshot for the Stats request and the daemon's exit report. */
@@ -97,8 +102,9 @@ class Server
         uint64_t framingErrors = 0;
         uint64_t queueDepth = 0;
         uint64_t inFlight = 0;
-        /** Replies sent, by outcome: index 0 = ok, 1..15 = ErrorCode. */
-        std::array<uint64_t, 16> repliesByCode{};
+        /** Replies sent, by outcome: index 0 = ok, else the ErrorCode. */
+        std::array<uint64_t, proto::kNumErrorCodes> repliesByCode{};
+        SessionManager::Counters sessions;
         SimService::Counters sim;
         bool draining = false;
         uint64_t uptimeMs = 0;
@@ -147,6 +153,7 @@ class Server
     /** The server's metric registry (also served via Metrics frames). */
     obs::Registry &metrics() { return registry_; }
     SlowLog &slowLog() { return slowLog_; }
+    SessionManager &sessions() { return sessions_; }
 
   private:
     struct Connection;
@@ -183,6 +190,7 @@ class Server
 
     Config config_;
     SimService service_;
+    SessionManager sessions_;
     std::unique_ptr<Pool> pool_;
 
     int unixFd_ = -1;
@@ -223,10 +231,11 @@ class Server
     std::atomic<uint64_t> busyRejected_{0};
     std::atomic<uint64_t> deadlineExceeded_{0};
     std::atomic<uint64_t> framingErrors_{0};
-    /** Replies by outcome, index 0 = ok, 1..15 = ErrorCode. */
-    std::array<std::atomic<uint64_t>, 16> repliesByCode_{};
-    /** Requests by MsgKind (1..8); index 0 unused. */
-    std::array<std::atomic<uint64_t>, 9> requestsByKind_{};
+    /** Replies by outcome, index 0 = ok, else the ErrorCode. */
+    std::array<std::atomic<uint64_t>, proto::kNumErrorCodes>
+        repliesByCode_{};
+    /** Requests by MsgKind (1..13); index 0 unused. */
+    std::array<std::atomic<uint64_t>, 14> requestsByKind_{};
 
     obs::SpanRecorder spans_{"tarch_served"};
     obs::Registry registry_;

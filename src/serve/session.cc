@@ -1,0 +1,531 @@
+#include "serve/session.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "analysis/checks.h"
+#include "common/log.h"
+#include "common/strutil.h"
+#include "core/stats.h"
+
+namespace tarch::serve {
+
+namespace {
+
+uint64_t
+usSince(std::chrono::steady_clock::time_point t0)
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+}
+
+std::string
+readFileToString(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return "";
+    std::string out;
+    char buf[65536];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    const bool ok = !std::ferror(f);
+    std::fclose(f);
+    return ok ? out : "";
+}
+
+/** Temp file + rename, same publication discipline as the cell cache:
+    concurrent evictors of the same session produce identical bytes, so
+    whole-file rename wins either way. */
+bool
+writeFileAtomic(const std::string &path, const std::string &data)
+{
+    const std::string tmp = strformat(
+        "%s.tmp.%ld.%zu", path.c_str(), (long)::getpid(),
+        std::hash<std::thread::id>{}(std::this_thread::get_id()));
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f) {
+        const std::string parent =
+            std::filesystem::path(path).parent_path().string();
+        std::error_code ec;
+        std::filesystem::create_directories(parent, ec);
+        f = std::fopen(tmp.c_str(), "wb");
+        if (!f)
+            return false;
+    }
+    bool ok = data.empty() ||
+              std::fwrite(data.data(), 1, data.size(), f) == data.size();
+    if (std::fclose(f) != 0)
+        ok = false;
+    if (ok && std::rename(tmp.c_str(), path.c_str()) != 0)
+        ok = false;
+    if (!ok)
+        std::remove(tmp.c_str());
+    return ok;
+}
+
+} // namespace
+
+SessionManager::SessionManager(const Options &opts) : opts_(opts)
+{
+    if (!opts_.snapshotDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(opts_.snapshotDir, ec);
+        std::error_code probe;
+        if (!std::filesystem::is_directory(opts_.snapshotDir, probe)) {
+            tarch_warn("serve: cannot create session snapshot dir %s; "
+                       "idle eviction disabled",
+                       opts_.snapshotDir.c_str());
+            opts_.snapshotDir.clear();
+        }
+    }
+}
+
+SessionManager::~SessionManager() = default;
+
+std::string
+SessionManager::snapshotPath(uint64_t session_id) const
+{
+    return strformat("%s/sess_%016llx.snap", opts_.snapshotDir.c_str(),
+                     (unsigned long long)session_id);
+}
+
+proto::SessionReply
+SessionManager::replyFor(Session &session)
+{
+    proto::SessionReply reply;
+    reply.sessionId = session.id;
+    reply.chunkIndex = session.vm->chunks().size();
+    const core::CoreStats stats = session.vm->stats();
+    reply.instructions = stats.instructions;
+    reply.cycles = stats.cycles;
+    reply.output = session.vm->output().substr(session.outputMark);
+    session.outputMark = session.vm->output().size();
+    return reply;
+}
+
+void
+SessionManager::install(const std::shared_ptr<Session> &session,
+                        bool pinned)
+{
+    std::lock_guard<std::mutex> lock(tableMu_);
+    if (sessions_.size() >= opts_.maxSessions)
+        throw ServiceError{proto::ErrorCode::Busy,
+                           strformat("session table full (%zu live)",
+                                     sessions_.size())};
+    if (!sessions_.emplace(session->id, session).second)
+        throw ServiceError{
+            proto::ErrorCode::BadRequest,
+            strformat("session %llu already live on this shard",
+                      (unsigned long long)session->id)};
+    session->inUse = pinned ? 1 : 0;
+    session->lastUsed = std::chrono::steady_clock::now();
+}
+
+void
+SessionManager::release(const std::shared_ptr<Session> &session)
+{
+    std::lock_guard<std::mutex> lock(tableMu_);
+    if (session->inUse > 0)
+        --session->inUse;
+    session->lastUsed = std::chrono::steady_clock::now();
+}
+
+proto::SessionReply
+SessionManager::open(const proto::OpenSessionRequest &req,
+                     const RequestTrace &trace)
+{
+    if (req.engine > 1 || req.variant > 2)
+        throw ServiceError{proto::ErrorCode::BadRequest,
+                           "bad engine or variant"};
+
+    uint64_t id = req.sessionId;
+    {
+        std::lock_guard<std::mutex> lock(tableMu_);
+        if (id == 0) {
+            while (sessions_.count(nextId_))
+                ++nextId_;
+            id = nextId_++;
+        } else if (sessions_.count(id)) {
+            throw ServiceError{
+                proto::ErrorCode::BadRequest,
+                strformat("session %llu already live on this shard",
+                          (unsigned long long)id)};
+        }
+    }
+    if (!opts_.snapshotDir.empty()) {
+        std::error_code probe;
+        if (std::filesystem::exists(snapshotPath(id), probe))
+            throw ServiceError{
+                proto::ErrorCode::BadRequest,
+                strformat("session %llu is evicted on this shard",
+                          (unsigned long long)id)};
+    }
+
+    obs::SpanScope span(trace.recorder, trace.traceId, trace.parentSpan,
+                        "session.open");
+
+    snapshot::SessionVm::Config cfg;
+    cfg.engine = static_cast<snapshot::EngineId>(req.engine);
+    cfg.variant = static_cast<vm::Variant>(req.variant);
+    cfg.execMode = opts_.execMode;
+    cfg.maxInstructions = opts_.maxInstructionsPerChunk;
+
+    auto session = std::make_shared<Session>();
+    session->id = id;
+    try {
+        session->vm =
+            std::make_unique<snapshot::SessionVm>(cfg, req.source);
+    } catch (const FatalError &e) {
+        throw ServiceError{proto::ErrorCode::CompileFailed, e.what()};
+    }
+    if (opts_.verifyChunks) {
+        obs::SpanScope verifySpan(trace.recorder, trace.traceId,
+                                  trace.parentSpan, "session.verify");
+        const analysis::Report lint =
+            analysis::verifyImage(session->vm->program());
+        if (lint.hasErrors())
+            throw ServiceError{proto::ErrorCode::VerifyRejected,
+                               lint.render()};
+    }
+    try {
+        session->vm->run();
+    } catch (const FatalError &e) {
+        throw ServiceError{proto::ErrorCode::SimFailed, e.what()};
+    }
+
+    proto::SessionReply reply = replyFor(*session);
+    install(session, /*pinned=*/false);
+    {
+        std::lock_guard<std::mutex> lock(countersMu_);
+        ++counters_.opened;
+        ++counters_.chunksRun;
+    }
+    return reply;
+}
+
+std::shared_ptr<SessionManager::Session>
+SessionManager::acquire(uint64_t session_id, const RequestTrace &trace)
+{
+    {
+        std::lock_guard<std::mutex> lock(tableMu_);
+        auto it = sessions_.find(session_id);
+        if (it != sessions_.end()) {
+            ++it->second->inUse;
+            return it->second;
+        }
+    }
+
+    // Transparent resume of an evicted session: decode the parked blob
+    // and rebuild the VM, exactly the RestoreSession path minus the
+    // wire hop.
+    const std::string path = opts_.snapshotDir.empty()
+                                 ? std::string()
+                                 : snapshotPath(session_id);
+    const std::string blob =
+        path.empty() ? std::string() : readFileToString(path);
+    if (blob.empty())
+        throw ServiceError{
+            proto::ErrorCode::UnknownSession,
+            strformat("no session %llu on this shard",
+                      (unsigned long long)session_id)};
+
+    obs::SpanScope span(trace.recorder, trace.traceId, trace.parentSpan,
+                        "session.resume");
+    const auto t0 = std::chrono::steady_clock::now();
+    snapshot::Snapshot snap;
+    std::string error;
+    if (!snapshot::decode(blob, snap, error) ||
+        snap.sessionId != session_id) {
+        std::remove(path.c_str()); // quarantine: do not retry forever
+        throw ServiceError{
+            proto::ErrorCode::BadSnapshot,
+            strformat("evicted session %llu is unreadable: %s",
+                      (unsigned long long)session_id,
+                      error.empty() ? "blob names a different session"
+                                    : error.c_str())};
+    }
+    auto session = std::make_shared<Session>();
+    session->id = session_id;
+    session->vm = snapshot::SessionVm::restore(
+        snap, error, opts_.maxInstructionsPerChunk);
+    if (!session->vm) {
+        std::remove(path.c_str());
+        throw ServiceError{proto::ErrorCode::BadSnapshot, error};
+    }
+    session->outputMark = session->vm->output().size();
+
+    std::lock_guard<std::mutex> lock(tableMu_);
+    if (sessions_.size() >= opts_.maxSessions)
+        throw ServiceError{proto::ErrorCode::Busy,
+                           "session table full; resume later"};
+    auto [it, inserted] = sessions_.emplace(session_id, session);
+    ++it->second->inUse;
+    it->second->lastUsed = std::chrono::steady_clock::now();
+    if (inserted) {
+        // The live VM is authoritative again; a stale parked blob must
+        // not outlive it (close() would miss it otherwise).
+        std::remove(path.c_str());
+        std::lock_guard<std::mutex> counters(countersMu_);
+        ++counters_.resumed;
+        if (metrics_.restoreUs)
+            metrics_.restoreUs->record(usSince(t0));
+    }
+    return it->second;
+}
+
+proto::SessionReply
+SessionManager::submit(const proto::SubmitChunkRequest &req,
+                       const RequestTrace &trace)
+{
+    std::shared_ptr<Session> session = acquire(req.sessionId, trace);
+    try {
+        std::lock_guard<std::mutex> lock(session->mu);
+        obs::SpanScope span(trace.recorder, trace.traceId,
+                            trace.parentSpan, "session.submit");
+        std::string error;
+        if (!session->vm->prepare(req.source, error))
+            throw ServiceError{proto::ErrorCode::CompileFailed, error};
+        if (opts_.verifyChunks) {
+            obs::SpanScope verifySpan(trace.recorder, trace.traceId,
+                                      trace.parentSpan,
+                                      "session.verify");
+            const analysis::Report lint =
+                analysis::verifyImage(*session->vm->stagedProgram());
+            if (lint.hasErrors()) {
+                session->vm->discardStaged();
+                throw ServiceError{proto::ErrorCode::VerifyRejected,
+                                   lint.render()};
+            }
+        }
+        if (!session->vm->commit(error))
+            throw ServiceError{proto::ErrorCode::Internal, error};
+        try {
+            session->vm->run();
+        } catch (const FatalError &e) {
+            // The machine faulted mid-chunk; its state is not a
+            // quiescent point, so the session cannot continue.
+            {
+                std::lock_guard<std::mutex> table(tableMu_);
+                sessions_.erase(session->id);
+            }
+            {
+                std::lock_guard<std::mutex> counters(countersMu_);
+                ++counters_.closed;
+            }
+            throw ServiceError{
+                proto::ErrorCode::SimFailed,
+                strformat("%s (session closed)", e.what())};
+        }
+        proto::SessionReply reply = replyFor(*session);
+        {
+            std::lock_guard<std::mutex> counters(countersMu_);
+            ++counters_.chunksRun;
+        }
+        release(session);
+        return reply;
+    } catch (...) {
+        release(session);
+        throw;
+    }
+}
+
+proto::SessionSnapshotResult
+SessionManager::snapshot(uint64_t session_id, const RequestTrace &trace)
+{
+    std::shared_ptr<Session> session = acquire(session_id, trace);
+    try {
+        proto::SessionSnapshotResult result;
+        result.sessionId = session_id;
+        {
+            std::lock_guard<std::mutex> lock(session->mu);
+            obs::SpanScope span(trace.recorder, trace.traceId,
+                                trace.parentSpan, "session.snapshot");
+            const auto t0 = std::chrono::steady_clock::now();
+            result.blob =
+                snapshot::encode(session->vm->snapshot(session_id));
+            std::lock_guard<std::mutex> counters(countersMu_);
+            ++counters_.snapshots;
+            if (metrics_.snapshotUs)
+                metrics_.snapshotUs->record(usSince(t0));
+            if (metrics_.snapshotBytes)
+                metrics_.snapshotBytes->record(result.blob.size());
+        }
+        release(session);
+        return result;
+    } catch (...) {
+        release(session);
+        throw;
+    }
+}
+
+proto::SessionReply
+SessionManager::restore(const proto::RestoreSessionRequest &req,
+                        const RequestTrace &trace)
+{
+    obs::SpanScope span(trace.recorder, trace.traceId, trace.parentSpan,
+                        "session.restore");
+    const auto t0 = std::chrono::steady_clock::now();
+    snapshot::Snapshot snap;
+    std::string error;
+    if (!snapshot::decode(req.blob, snap, error))
+        throw ServiceError{proto::ErrorCode::BadSnapshot, error};
+    if (req.sessionId != 0 && req.sessionId != snap.sessionId)
+        throw ServiceError{
+            proto::ErrorCode::BadSnapshot,
+            strformat("bad-snapshot: request names session %llu but "
+                      "the blob embeds %llu",
+                      (unsigned long long)req.sessionId,
+                      (unsigned long long)snap.sessionId)};
+
+    auto session = std::make_shared<Session>();
+    session->id = snap.sessionId;
+    session->vm = snapshot::SessionVm::restore(
+        snap, error, opts_.maxInstructionsPerChunk);
+    if (!session->vm)
+        throw ServiceError{proto::ErrorCode::BadSnapshot, error};
+    session->outputMark = session->vm->output().size();
+
+    proto::SessionReply reply;
+    {
+        std::lock_guard<std::mutex> lock(session->mu);
+        reply = replyFor(*session);
+    }
+    install(session, /*pinned=*/false);
+    if (!opts_.snapshotDir.empty())
+        std::remove(snapshotPath(session->id).c_str());
+    {
+        std::lock_guard<std::mutex> counters(countersMu_);
+        ++counters_.restored;
+        if (metrics_.restoreUs)
+            metrics_.restoreUs->record(usSince(t0));
+    }
+    return reply;
+}
+
+proto::SessionClosedResult
+SessionManager::close(uint64_t session_id)
+{
+    bool existed = false;
+    {
+        std::lock_guard<std::mutex> lock(tableMu_);
+        existed = sessions_.erase(session_id) != 0;
+    }
+    if (!opts_.snapshotDir.empty()) {
+        // An evicted session closes by deleting its parked blob.
+        if (std::remove(snapshotPath(session_id).c_str()) == 0)
+            existed = true;
+    }
+    if (!existed)
+        throw ServiceError{
+            proto::ErrorCode::UnknownSession,
+            strformat("no session %llu on this shard",
+                      (unsigned long long)session_id)};
+    {
+        std::lock_guard<std::mutex> counters(countersMu_);
+        ++counters_.closed;
+    }
+    proto::SessionClosedResult result;
+    result.sessionId = session_id;
+    return result;
+}
+
+bool
+SessionManager::evictToDisk(const std::shared_ptr<Session> &session)
+{
+    // Caller holds the only reference: the session was removed from the
+    // table with inUse == 0, so the VM is quiescent.
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::string blob =
+        snapshot::encode(session->vm->snapshot(session->id));
+    if (!writeFileAtomic(snapshotPath(session->id), blob))
+        return false;
+    std::lock_guard<std::mutex> counters(countersMu_);
+    ++counters_.evicted;
+    if (metrics_.snapshotUs)
+        metrics_.snapshotUs->record(usSince(t0));
+    if (metrics_.snapshotBytes)
+        metrics_.snapshotBytes->record(blob.size());
+    return true;
+}
+
+void
+SessionManager::sweepIdle()
+{
+    if (opts_.idleEvictMs == 0 || opts_.snapshotDir.empty())
+        return;
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<std::shared_ptr<Session>> victims;
+    {
+        std::lock_guard<std::mutex> lock(tableMu_);
+        if (now - lastSweep_ < std::chrono::milliseconds(250))
+            return;
+        lastSweep_ = now;
+        for (auto it = sessions_.begin(); it != sessions_.end();) {
+            const std::shared_ptr<Session> &session = it->second;
+            if (session->inUse == 0 &&
+                now - session->lastUsed >=
+                    std::chrono::milliseconds(opts_.idleEvictMs)) {
+                victims.push_back(session);
+                it = sessions_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    for (const std::shared_ptr<Session> &session : victims) {
+        if (evictToDisk(session))
+            continue;
+        tarch_warn("serve: cannot evict session %llu to %s; keeping it "
+                   "live",
+                   (unsigned long long)session->id,
+                   opts_.snapshotDir.c_str());
+        std::lock_guard<std::mutex> lock(tableMu_);
+        sessions_.emplace(session->id, session);
+    }
+}
+
+void
+SessionManager::evictAll()
+{
+    std::vector<std::shared_ptr<Session>> victims;
+    {
+        std::lock_guard<std::mutex> lock(tableMu_);
+        for (auto it = sessions_.begin(); it != sessions_.end();) {
+            if (it->second->inUse == 0) {
+                victims.push_back(it->second);
+                it = sessions_.erase(it);
+            } else {
+                ++it; // drain finishes jobs first; defensive only
+            }
+        }
+    }
+    for (const std::shared_ptr<Session> &session : victims) {
+        if (!opts_.snapshotDir.empty() && evictToDisk(session))
+            continue;
+        std::lock_guard<std::mutex> counters(countersMu_);
+        ++counters_.closed;
+    }
+}
+
+SessionManager::Counters
+SessionManager::counters() const
+{
+    Counters out;
+    {
+        std::lock_guard<std::mutex> lock(countersMu_);
+        out = counters_;
+    }
+    std::lock_guard<std::mutex> lock(tableMu_);
+    out.openNow = sessions_.size();
+    return out;
+}
+
+} // namespace tarch::serve

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * SessionManager: stateful scripting sessions for tarch_served
+ * (docs/SERVING.md, "Stateful sessions").
+ *
+ * A session is a long-lived SessionVm owned by one shard.  OpenSession
+ * builds it from its first MiniScript chunk and runs it; SubmitChunk
+ * runs follow-on chunks on the same machine — each chunk is gated
+ * through the static verifier exactly like RunSource.  SnapshotSession
+ * and RestoreSession move the complete machine as tarch-snap-v1 blobs;
+ * idle eviction and router-driven migration both ride on them.
+ *
+ * Lifecycle and concurrency:
+ *   - the session table is guarded by tableMu_; each live session has
+ *     its own mutex serializing chunk runs, plus an inUse count
+ *     (guarded by tableMu_) that pins it against eviction;
+ *   - the reaper thread calls sweepIdle() on its tick: sessions idle
+ *     past idleEvictMs with no request in flight are encoded and moved
+ *     to <snapshotDir>/sess_<id>.snap — eviction is state movement, a
+ *     distinct path from the deadline reaper, never an "expired" reply;
+ *   - a request naming an evicted session transparently resumes it
+ *     from disk;
+ *   - drain calls evictAll() so no session state is lost on shutdown.
+ *
+ * All entry points throw ServiceError; the server turns it into a
+ * typed Error frame (BadSnapshot / UnknownSession for session-specific
+ * failures).
+ */
+
+#ifndef TARCH_SERVE_SESSION_H
+#define TARCH_SERVE_SESSION_H
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/exec_mode.h"
+#include "obs/metrics.h"
+#include "serve/protocol.h"
+#include "serve/service.h"
+#include "snapshot/session_vm.h"
+
+namespace tarch::serve {
+
+class SessionManager
+{
+  public:
+    struct Options {
+        /** Where evicted sessions park as tarch-snap-v1 files; empty
+            disables idle eviction (sessions stay pinned in memory). */
+        std::string snapshotDir;
+        /** Idle time before a session is evicted to disk; 0 = never. */
+        uint32_t idleEvictMs = 60'000;
+        /** Live in-memory sessions; opening past this answers Busy. */
+        size_t maxSessions = 256;
+        /** Gate every chunk through the static verifier. */
+        bool verifyChunks = true;
+        /** Runaway guard applied to each chunk run (0 = core default). */
+        uint64_t maxInstructionsPerChunk = 100'000'000;
+        core::ExecMode execMode = core::defaultExecMode();
+    };
+
+    /** Monotonic counters (openNow is a gauge), for health/metrics. */
+    struct Counters {
+        uint64_t opened = 0;
+        uint64_t closed = 0;
+        uint64_t chunksRun = 0;
+        uint64_t evicted = 0;    ///< live -> disk (idle sweep or drain)
+        uint64_t resumed = 0;    ///< disk -> live, transparently
+        uint64_t restored = 0;   ///< RestoreSession blobs installed
+        uint64_t snapshots = 0;  ///< SnapshotSession blobs served
+        uint64_t openNow = 0;    ///< live in-memory sessions
+    };
+
+    /** Histograms owned by the server's registry; null = not recorded. */
+    struct Metrics {
+        obs::Histogram *snapshotBytes = nullptr;
+        obs::Histogram *snapshotUs = nullptr;
+        obs::Histogram *restoreUs = nullptr;
+    };
+
+    explicit SessionManager(const Options &opts);
+    ~SessionManager();
+
+    SessionManager(const SessionManager &) = delete;
+    SessionManager &operator=(const SessionManager &) = delete;
+
+    void setMetrics(const Metrics &metrics) { metrics_ = metrics; }
+
+    /** Build a session from its first chunk, verify, run it.  A zero
+        req.sessionId lets the shard assign one. */
+    proto::SessionReply open(const proto::OpenSessionRequest &req,
+                             const RequestTrace &trace = {});
+
+    /** Compile/verify/commit/run one follow-on chunk. */
+    proto::SessionReply submit(const proto::SubmitChunkRequest &req,
+                               const RequestTrace &trace = {});
+
+    /** Capture the session as a tarch-snap-v1 blob (session stays
+        live). */
+    proto::SessionSnapshotResult snapshot(uint64_t session_id,
+                                          const RequestTrace &trace = {});
+
+    /** Decode and install a blob (migration / explicit resume).  The
+        session id under which it lands is the blob's embedded id. */
+    proto::SessionReply restore(const proto::RestoreSessionRequest &req,
+                                const RequestTrace &trace = {});
+
+    /** Drop a session (live or evicted). */
+    proto::SessionClosedResult close(uint64_t session_id);
+
+    /** Evict sessions idle past idleEvictMs to disk.  Internally
+        rate-limited, so a high-frequency reaper tick may call it
+        unconditionally.  No-op while idleEvictMs == 0 or snapshotDir
+        is unset. */
+    void sweepIdle();
+
+    /** Evict every quiescent session to disk (drain path); without a
+        snapshotDir the sessions are dropped. */
+    void evictAll();
+
+    Counters counters() const;
+
+  private:
+    struct Session {
+        uint64_t id = 0;
+        /** Serializes chunk runs; never held while taking tableMu_
+            except through release(). */
+        std::mutex mu;
+        std::unique_ptr<snapshot::SessionVm> vm;
+        /** Bytes of vm->output() already reported: replies carry the
+            delta of their own chunk only (guarded by mu). */
+        size_t outputMark = 0;
+        /** Guarded by tableMu_: in-flight requests pin the session
+            against eviction, lastUsed drives the idle sweep. */
+        unsigned inUse = 0;
+        std::chrono::steady_clock::time_point lastUsed;
+    };
+
+    /** Pin + return the live session, transparently resuming it from
+        disk; throws UnknownSession. */
+    std::shared_ptr<Session> acquire(uint64_t session_id,
+                                     const RequestTrace &trace);
+    void release(const std::shared_ptr<Session> &session);
+    /** Install a freshly built session; throws on id collision or a
+        full table. */
+    void install(const std::shared_ptr<Session> &session, bool pinned);
+    std::string snapshotPath(uint64_t session_id) const;
+    /** Encode under the session's mutex and atomically persist. */
+    bool evictToDisk(const std::shared_ptr<Session> &session);
+    proto::SessionReply replyFor(Session &session);
+
+    Options opts_;
+    Metrics metrics_;
+
+    mutable std::mutex tableMu_;
+    std::map<uint64_t, std::shared_ptr<Session>> sessions_;
+    uint64_t nextId_ = 1;
+    std::chrono::steady_clock::time_point lastSweep_{};
+
+    mutable std::mutex countersMu_;
+    Counters counters_;
+};
+
+} // namespace tarch::serve
+
+#endif // TARCH_SERVE_SESSION_H

@@ -1,0 +1,196 @@
+#include "snapshot/session_vm.h"
+
+#include <optional>
+
+#include "common/log.h"
+#include "vm/js/js_vm.h"
+#include "vm/lua/lua_vm.h"
+
+namespace tarch::snapshot {
+
+namespace {
+
+template <typename Options>
+Options
+vmOptions(const SessionVm::Config &cfg)
+{
+    Options opts;
+    opts.variant = cfg.variant;
+    opts.elide = false;  // sessions mutate globals across chunks
+    opts.coreConfig.execMode = cfg.execMode;
+    opts.coreConfig.deopt.enabled = cfg.deopt;
+    if (cfg.maxInstructions)
+        opts.coreConfig.maxInstructions = cfg.maxInstructions;
+    return opts;
+}
+
+} // namespace
+
+struct SessionVm::Impl {
+    std::unique_ptr<vm::lua::LuaVm> lua;
+    std::unique_ptr<vm::js::JsVm> js;
+    std::optional<vm::lua::LuaVm::StagedChunk> luaStaged;
+    std::optional<vm::js::JsVm::StagedChunk> jsStaged;
+    std::string stagedSource;
+};
+
+SessionVm::SessionVm(const Config &cfg, const std::string &firstChunk)
+    : cfg_(cfg), impl_(std::make_unique<Impl>())
+{
+    if (cfg_.engine == EngineId::Lua)
+        impl_->lua = std::make_unique<vm::lua::LuaVm>(
+            firstChunk, vmOptions<vm::lua::LuaVm::Options>(cfg_));
+    else
+        impl_->js = std::make_unique<vm::js::JsVm>(
+            firstChunk, vmOptions<vm::js::JsVm::Options>(cfg_));
+    chunks_.push_back(firstChunk);
+}
+
+SessionVm::~SessionVm() = default;
+
+const assembler::Program &
+SessionVm::program() const
+{
+    return impl_->lua ? impl_->lua->program() : impl_->js->program();
+}
+
+bool
+SessionVm::prepare(const std::string &source, std::string &error)
+{
+    discardStaged();
+    try {
+        if (impl_->lua)
+            impl_->luaStaged = impl_->lua->prepareChunk(source);
+        else
+            impl_->jsStaged = impl_->js->prepareChunk(source);
+    } catch (const FatalError &e) {
+        error = e.what();
+        return false;
+    }
+    impl_->stagedSource = source;
+    return true;
+}
+
+const assembler::Program *
+SessionVm::stagedProgram() const
+{
+    if (impl_->luaStaged)
+        return &impl_->luaStaged->program;
+    if (impl_->jsStaged)
+        return &impl_->jsStaged->program;
+    return nullptr;
+}
+
+bool
+SessionVm::commit(std::string &error)
+{
+    bool ok = false;
+    if (impl_->luaStaged)
+        ok = impl_->lua->commitChunk(*impl_->luaStaged, error);
+    else if (impl_->jsStaged)
+        ok = impl_->js->commitChunk(*impl_->jsStaged, error);
+    else {
+        error = "no staged chunk";
+        return false;
+    }
+    if (ok)
+        chunks_.push_back(impl_->stagedSource);
+    discardStaged();
+    return ok;
+}
+
+void
+SessionVm::discardStaged()
+{
+    impl_->luaStaged.reset();
+    impl_->jsStaged.reset();
+    impl_->stagedSource.clear();
+}
+
+int
+SessionVm::run()
+{
+    return impl_->lua ? impl_->lua->run() : impl_->js->run();
+}
+
+const std::string &
+SessionVm::output() const
+{
+    return impl_->lua ? impl_->lua->output() : impl_->js->output();
+}
+
+core::CoreStats
+SessionVm::stats() const
+{
+    return (impl_->lua ? impl_->lua->core() : impl_->js->core())
+        .collectStats();
+}
+
+core::Core &
+SessionVm::core()
+{
+    return impl_->lua ? impl_->lua->core() : impl_->js->core();
+}
+
+Snapshot
+SessionVm::snapshot(uint64_t sessionId) const
+{
+    Snapshot snap;
+    snap.sessionId = sessionId;
+    snap.engine = static_cast<uint8_t>(cfg_.engine);
+    snap.variant = static_cast<uint8_t>(cfg_.variant);
+    snap.execMode = static_cast<uint8_t>(cfg_.execMode);
+    snap.deopt = cfg_.deopt ? 1 : 0;
+    snap.elide = 0;
+    snap.chunks = chunks_;
+    if (impl_->lua)
+        impl_->lua->saveState(snap.state);
+    else
+        impl_->js->saveState(snap.state);
+    return snap;
+}
+
+std::unique_ptr<SessionVm>
+SessionVm::restore(const Snapshot &snap, std::string &error,
+                   uint64_t maxInstructions)
+{
+    if (snap.chunks.empty()) {
+        error = "bad-snapshot: no source chunks";
+        return nullptr;
+    }
+    Config cfg;
+    cfg.engine = static_cast<EngineId>(snap.engine);
+    cfg.variant = static_cast<vm::Variant>(snap.variant);
+    cfg.execMode = static_cast<core::ExecMode>(snap.execMode);
+    cfg.deopt = snap.deopt != 0;
+    cfg.maxInstructions = maxInstructions;
+
+    std::unique_ptr<SessionVm> vm;
+    try {
+        // Rebuild: replay every chunk through compile + commit, no
+        // runs.  This reconstructs the program image, proto tables and
+        // host bindings deterministically; restoreState() then
+        // overwrites all machine and runtime state.
+        vm = std::make_unique<SessionVm>(cfg, snap.chunks[0]);
+        for (size_t i = 1; i < snap.chunks.size(); ++i) {
+            if (!vm->prepare(snap.chunks[i], error))
+                return nullptr;
+            if (!vm->commit(error))
+                return nullptr;
+        }
+    } catch (const FatalError &e) {
+        error = std::string("bad-snapshot: rebuild failed: ") + e.what();
+        return nullptr;
+    }
+
+    const bool ok = vm->impl_->lua
+                        ? vm->impl_->lua->restoreState(snap.state)
+                        : vm->impl_->js->restoreState(snap.state);
+    if (!ok) {
+        error = "bad-snapshot: state shape does not match rebuilt VM";
+        return nullptr;
+    }
+    return vm;
+}
+
+} // namespace tarch::snapshot

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * SessionVm: an engine-erased, snapshot-aware wrapper around the two
+ * scripting VMs (MiniLua / MiniJS) for stateful serving sessions.
+ *
+ * A session VM is built from its first MiniScript chunk (compiled and
+ * laid out, NOT run — the caller verifies the interpreter image first),
+ * then accepts follow-on chunks through the same prepare / verify /
+ * commit / run transaction the serving layer uses for one-shot
+ * requests.  At any quiescent point it can be captured to a
+ * tarch-snap-v1 Snapshot and later rebuilt on any host — including a
+ * different shard — with the guarantee that continuing the rebuilt VM
+ * is bit-identical to continuing the original.
+ */
+
+#ifndef TARCH_SNAPSHOT_SESSION_VM_H
+#define TARCH_SNAPSHOT_SESSION_VM_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/core.h"
+#include "snapshot/snapshot.h"
+#include "vm/variant.h"
+
+namespace tarch::snapshot {
+
+/** Engine selector carried in snapshots and the session protocol. */
+enum class EngineId : uint8_t { Lua = 0, Js = 1 };
+
+class SessionVm
+{
+  public:
+    struct Config {
+        EngineId engine = EngineId::Lua;
+        vm::Variant variant = vm::Variant::Baseline;
+        core::ExecMode execMode = core::defaultExecMode();
+        bool deopt = false;
+        /** Runaway guard for each chunk run; 0 keeps the core default.
+            Host policy — NOT serialized into snapshots. */
+        uint64_t maxInstructions = 0;
+    };
+    // Guard elision is deliberately absent: sessions mutate globals
+    // across chunks, which invalidates whole-module type inference, so
+    // session VMs always run with elide=false.
+
+    /**
+     * Compile and lay out @p firstChunk without running it.  Throws
+     * FatalError on compile/assembly errors.
+     */
+    SessionVm(const Config &cfg, const std::string &firstChunk);
+    ~SessionVm();
+    SessionVm(const SessionVm &) = delete;
+    SessionVm &operator=(const SessionVm &) = delete;
+
+    const Config &config() const { return cfg_; }
+    /** Source chunks accepted so far, in submit order. */
+    const std::vector<std::string> &chunks() const { return chunks_; }
+
+    /** The current interpreter image (verify chunk 1 before run()). */
+    const assembler::Program &program() const;
+
+    /**
+     * Stage a follow-on chunk: compile against the session's
+     * accumulated globals and regenerate the interpreter.  Mutates no
+     * machine state.  False with @p error set on compile errors.
+     */
+    bool prepare(const std::string &source, std::string &error);
+
+    /** The staged interpreter image, or nullptr when nothing staged. */
+    const assembler::Program *stagedProgram() const;
+
+    /** Install the staged chunk (after verification).  On failure the
+        stage is discarded and the session must be closed. */
+    bool commit(std::string &error);
+
+    /** Drop the staged chunk (verifier rejection). */
+    void discardStaged();
+
+    /** Run the machine to halt; returns the guest exit code. */
+    int run();
+
+    const std::string &output() const;
+    core::CoreStats stats() const;
+    core::Core &core();
+
+    /** Capture to a tarch-snap-v1 snapshot (pure). */
+    Snapshot snapshot(uint64_t sessionId) const;
+
+    /**
+     * Rebuild a VM from @p snap: replay its chunk sequence (compile +
+     * commit, no runs), then overwrite with the recorded state.
+     * Null with @p error set on any mismatch.  @p maxInstructions is
+     * the restoring host's own runaway guard (0 = core default).
+     */
+    static std::unique_ptr<SessionVm> restore(const Snapshot &snap,
+                                              std::string &error,
+                                              uint64_t maxInstructions = 0);
+
+  private:
+    struct Impl;
+
+    Config cfg_;
+    std::vector<std::string> chunks_;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace tarch::snapshot
+
+#endif // TARCH_SNAPSHOT_SESSION_VM_H

@@ -1,0 +1,582 @@
+#include "snapshot/snapshot.h"
+
+#include <cstring>
+
+#include "isa/instr.h"
+
+namespace tarch::snapshot {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Primitive writers (little-endian, append-only), mirroring the
+// tarch-rpc codec idiom so the two wire formats read the same way.
+
+void
+putU8(std::string &out, uint8_t v)
+{
+    out.push_back(static_cast<char>(v));
+}
+
+void
+putU16(std::string &out, uint16_t v)
+{
+    for (int i = 0; i < 2; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void
+putU32(std::string &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void
+putU64(std::string &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void
+putStr(std::string &out, const std::string &s)
+{
+    putU32(out, static_cast<uint32_t>(s.size()));
+    out += s;
+}
+
+void
+putBytes(std::string &out, const uint8_t *data, size_t len)
+{
+    out.append(reinterpret_cast<const char *>(data), len);
+}
+
+/**
+ * Strict bounds-checked reader.  Any out-of-bounds read latches the
+ * error state and returns zero values; the caller checks failed() (or
+ * done()) once at the end instead of after every field.
+ */
+class Reader
+{
+  public:
+    Reader(const std::string &buf, size_t begin, size_t end)
+        : buf_(buf), pos_(begin), end_(end)
+    {
+    }
+
+    uint8_t
+    u8()
+    {
+        if (!need(1))
+            return 0;
+        return static_cast<uint8_t>(buf_[pos_++]);
+    }
+
+    uint16_t
+    u16()
+    {
+        if (!need(2))
+            return 0;
+        uint16_t v = 0;
+        for (int i = 0; i < 2; ++i)
+            v |= static_cast<uint16_t>(
+                static_cast<uint8_t>(buf_[pos_ + i]))
+                 << (8 * i);
+        pos_ += 2;
+        return v;
+    }
+
+    uint32_t
+    u32()
+    {
+        if (!need(4))
+            return 0;
+        uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<uint32_t>(
+                static_cast<uint8_t>(buf_[pos_ + i]))
+                 << (8 * i);
+        pos_ += 4;
+        return v;
+    }
+
+    uint64_t
+    u64()
+    {
+        if (!need(8))
+            return 0;
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(
+                static_cast<uint8_t>(buf_[pos_ + i]))
+                 << (8 * i);
+        pos_ += 8;
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        const uint32_t len = u32();
+        if (!need(len))
+            return {};
+        std::string s = buf_.substr(pos_, len);
+        pos_ += len;
+        return s;
+    }
+
+    bool
+    bytes(uint8_t *dst, size_t len)
+    {
+        if (!need(len))
+            return false;
+        std::memcpy(dst, buf_.data() + pos_, len);
+        pos_ += len;
+        return true;
+    }
+
+    /** A u8 that must be 0 or 1. */
+    bool
+    flag()
+    {
+        const uint8_t v = u8();
+        if (v > 1)
+            ok_ = false;
+        return v != 0;
+    }
+
+    /** A u32 element count capped at @p max (anti-OOM sanity bound). */
+    uint32_t
+    count(uint32_t max)
+    {
+        const uint32_t n = u32();
+        if (n > max) {
+            ok_ = false;
+            return 0;
+        }
+        return n;
+    }
+
+    bool failed() const { return !ok_; }
+    bool done() const { return ok_ && pos_ == end_; }
+
+  private:
+    bool
+    need(size_t n)
+    {
+        if (!ok_ || end_ - pos_ < n) {
+            ok_ = false;
+            return false;
+        }
+        return true;
+    }
+
+    const std::string &buf_;
+    size_t pos_;
+    size_t end_;
+    bool ok_ = true;
+};
+
+/** FNV-1a (the request-key hash; duplicated here so the snapshot layer
+    does not depend on the serving protocol). */
+uint64_t
+fnv1a64(const void *data, size_t len)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    uint64_t h = 14695981039346656037ULL;
+    for (size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+// Sanity caps: generous for real machines, small enough that a
+// corrupted count cannot drive a multi-gigabyte allocation.
+constexpr uint32_t kMaxVecElems = 1u << 22;
+constexpr uint32_t kMaxPages = 1u << 20;    ///< 4 GiB of guest memory
+constexpr uint32_t kMaxChunks = 1u << 16;
+
+// ---------------------------------------------------------------------
+// Body encode.
+
+void
+encodeMachine(std::string &out, const core::MachineState &m)
+{
+    putU64(out, m.pc);
+    putU8(out, m.halted ? 1 : 0);
+    putU64(out, static_cast<uint64_t>(static_cast<int64_t>(m.exitCode)));
+    putU64(out, m.heapBreak);
+    putU64(out,
+           static_cast<uint64_t>(static_cast<int64_t>(m.currentRegion)));
+    putStr(out, m.output);
+
+    putU8(out, m.typedState.tagConfig.offset);
+    putU8(out, m.typedState.tagConfig.shift);
+    putU8(out, m.typedState.tagConfig.mask);
+    putU64(out, m.typedState.rhdl);
+    putU16(out, m.typedState.chklbExpectedType);
+
+    putU32(out, static_cast<uint32_t>(m.regs.gprs.size()));
+    for (const core::TaggedReg &r : m.regs.gprs) {
+        putU64(out, r.v);
+        putU8(out, r.t);
+        putU8(out, r.f ? 1 : 0);
+    }
+    putU32(out, static_cast<uint32_t>(m.regs.fprs.size()));
+    for (uint64_t f : m.regs.fprs)
+        putU64(out, f);
+
+    putU64(out, m.instructions);
+    putU64(out, m.loads);
+    putU64(out, m.stores);
+    putU64(out, m.typeOverflowMisses);
+    putU64(out, m.deoptRedirects);
+    putU64(out, m.deoptProbes);
+    putU64(out, m.chklbChecks);
+    putU64(out, m.chklbMisses);
+    putU64(out, m.hostcallCount);
+    putU32(out, static_cast<uint32_t>(m.deoptCounters.size()));
+    putBytes(out, m.deoptCounters.data(), m.deoptCounters.size());
+    putU32(out, static_cast<uint32_t>(m.deoptTags.size()));
+    for (uint64_t t : m.deoptTags)
+        putU64(out, t);
+
+    putU64(out, m.timing.issue);
+    putU32(out, m.timing.pendingRedirect);
+    for (uint64_t r : m.timing.regReady)
+        putU64(out, r);
+
+    putU32(out, static_cast<uint32_t>(m.markers.hits.size()));
+    for (uint64_t h : m.markers.hits)
+        putU64(out, h);
+    putU32(out, static_cast<uint32_t>(m.markers.regionInstrs.size()));
+    for (uint64_t r : m.markers.regionInstrs)
+        putU64(out, r);
+
+    putU64(out, m.trt.stats.lookups);
+    putU64(out, m.trt.stats.hits);
+    putU32(out, static_cast<uint32_t>(m.trt.rules.size()));
+    for (const typed::TypeRule &rule : m.trt.rules) {
+        putU8(out, static_cast<uint8_t>(rule.op));
+        putU8(out, rule.tagIn1);
+        putU8(out, rule.tagIn2);
+        putU8(out, rule.tagOut);
+    }
+
+    putU64(out, m.branch.stats.condBranches);
+    putU64(out, m.branch.stats.condMispredicts);
+    putU64(out, m.branch.stats.jumps);
+    putU64(out, m.branch.stats.jumpMispredicts);
+    putU64(out, m.branch.gshare.history);
+    putU32(out, static_cast<uint32_t>(m.branch.gshare.counters.size()));
+    putBytes(out, m.branch.gshare.counters.data(),
+             m.branch.gshare.counters.size());
+    putU64(out, m.branch.btb.useClock);
+    putU32(out, static_cast<uint32_t>(m.branch.btb.entries.size()));
+    for (const auto &e : m.branch.btb.entries) {
+        putU8(out, e.valid ? 1 : 0);
+        putU64(out, e.pc);
+        putU64(out, e.target);
+        putU64(out, e.lastUse);
+    }
+    putU32(out, m.branch.ras.top);
+    putU32(out, m.branch.ras.depth);
+    putU32(out, static_cast<uint32_t>(m.branch.ras.stack.size()));
+    for (uint64_t r : m.branch.ras.stack)
+        putU64(out, r);
+
+    for (const mem::Cache::Snapshot *cache : {&m.icache, &m.dcache}) {
+        putU64(out, cache->stats.accesses);
+        putU64(out, cache->stats.misses);
+        putU64(out, cache->stats.writebacks);
+        putU64(out, cache->useClock);
+        putU32(out, static_cast<uint32_t>(cache->lines.size()));
+        for (const auto &line : cache->lines) {
+            putU8(out, line.valid ? 1 : 0);
+            putU8(out, line.dirty ? 1 : 0);
+            putU64(out, line.tag);
+            putU64(out, line.lastUse);
+        }
+    }
+    for (const mem::Tlb::Snapshot *tlb : {&m.itlb, &m.dtlb}) {
+        putU64(out, tlb->stats.accesses);
+        putU64(out, tlb->stats.misses);
+        putU64(out, tlb->useClock);
+        putU32(out, static_cast<uint32_t>(tlb->entries.size()));
+        for (const auto &entry : tlb->entries) {
+            putU8(out, entry.valid ? 1 : 0);
+            putU64(out, entry.vpn);
+            putU64(out, entry.lastUse);
+        }
+    }
+    putU64(out, m.dram.stats.accesses);
+    putU64(out, m.dram.stats.rowHits);
+    putU64(out, m.dram.stats.rowConflicts);
+    putU64(out, m.dram.stats.totalLatency);
+    putU32(out, static_cast<uint32_t>(m.dram.openRow.size()));
+    for (int64_t row : m.dram.openRow)
+        putU64(out, static_cast<uint64_t>(row));
+
+    putU32(out, static_cast<uint32_t>(m.pages.size()));
+    for (const auto &page : m.pages) {
+        putU64(out, page.index);
+        putBytes(out, page.bytes.data(), page.bytes.size());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Body decode.
+
+void
+decodeMachine(Reader &r, core::MachineState &m)
+{
+    m.pc = r.u64();
+    m.halted = r.flag();
+    m.exitCode = static_cast<int>(static_cast<int64_t>(r.u64()));
+    m.heapBreak = r.u64();
+    m.currentRegion =
+        static_cast<int32_t>(static_cast<int64_t>(r.u64()));
+    m.output = r.str();
+
+    m.typedState.tagConfig.offset = r.u8();
+    m.typedState.tagConfig.shift = r.u8();
+    m.typedState.tagConfig.mask = r.u8();
+    m.typedState.rhdl = r.u64();
+    m.typedState.chklbExpectedType = r.u16();
+
+    if (r.count(kMaxVecElems) != m.regs.gprs.size())
+        return;  // register file size is an architectural constant
+    for (core::TaggedReg &reg : m.regs.gprs) {
+        reg.v = r.u64();
+        reg.t = r.u8();
+        reg.f = r.flag();
+    }
+    if (r.count(kMaxVecElems) != m.regs.fprs.size())
+        return;
+    for (uint64_t &f : m.regs.fprs)
+        f = r.u64();
+
+    m.instructions = r.u64();
+    m.loads = r.u64();
+    m.stores = r.u64();
+    m.typeOverflowMisses = r.u64();
+    m.deoptRedirects = r.u64();
+    m.deoptProbes = r.u64();
+    m.chklbChecks = r.u64();
+    m.chklbMisses = r.u64();
+    m.hostcallCount = r.u64();
+    m.deoptCounters.resize(r.count(kMaxVecElems));
+    if (!m.deoptCounters.empty() &&
+        !r.bytes(m.deoptCounters.data(), m.deoptCounters.size()))
+        return;
+    m.deoptTags.resize(r.count(kMaxVecElems));
+    for (uint64_t &t : m.deoptTags)
+        t = r.u64();
+
+    m.timing.issue = r.u64();
+    m.timing.pendingRedirect = r.u32();
+    for (uint64_t &reg : m.timing.regReady)
+        reg = r.u64();
+
+    m.markers.hits.resize(r.count(kMaxVecElems));
+    for (uint64_t &h : m.markers.hits)
+        h = r.u64();
+    m.markers.regionInstrs.resize(r.count(kMaxVecElems));
+    for (uint64_t &reg : m.markers.regionInstrs)
+        reg = r.u64();
+
+    m.trt.stats.lookups = r.u64();
+    m.trt.stats.hits = r.u64();
+    m.trt.rules.resize(r.count(kMaxVecElems));
+    for (typed::TypeRule &rule : m.trt.rules) {
+        rule.op = static_cast<typed::RuleOp>(r.u8() & 0x3);
+        rule.tagIn1 = r.u8();
+        rule.tagIn2 = r.u8();
+        rule.tagOut = r.u8();
+    }
+
+    m.branch.stats.condBranches = r.u64();
+    m.branch.stats.condMispredicts = r.u64();
+    m.branch.stats.jumps = r.u64();
+    m.branch.stats.jumpMispredicts = r.u64();
+    m.branch.gshare.history = r.u64();
+    m.branch.gshare.counters.resize(r.count(kMaxVecElems));
+    if (!m.branch.gshare.counters.empty() &&
+        !r.bytes(m.branch.gshare.counters.data(),
+                 m.branch.gshare.counters.size()))
+        return;
+    m.branch.btb.useClock = r.u64();
+    m.branch.btb.entries.resize(r.count(kMaxVecElems));
+    for (auto &e : m.branch.btb.entries) {
+        e.valid = r.flag();
+        e.pc = r.u64();
+        e.target = r.u64();
+        e.lastUse = r.u64();
+    }
+    m.branch.ras.top = r.u32();
+    m.branch.ras.depth = r.u32();
+    m.branch.ras.stack.resize(r.count(kMaxVecElems));
+    for (uint64_t &ret : m.branch.ras.stack)
+        ret = r.u64();
+
+    for (mem::Cache::Snapshot *cache : {&m.icache, &m.dcache}) {
+        cache->stats.accesses = r.u64();
+        cache->stats.misses = r.u64();
+        cache->stats.writebacks = r.u64();
+        cache->useClock = r.u64();
+        cache->lines.resize(r.count(kMaxVecElems));
+        for (auto &line : cache->lines) {
+            line.valid = r.flag();
+            line.dirty = r.flag();
+            line.tag = r.u64();
+            line.lastUse = r.u64();
+        }
+    }
+    for (mem::Tlb::Snapshot *tlb : {&m.itlb, &m.dtlb}) {
+        tlb->stats.accesses = r.u64();
+        tlb->stats.misses = r.u64();
+        tlb->useClock = r.u64();
+        tlb->entries.resize(r.count(kMaxVecElems));
+        for (auto &entry : tlb->entries) {
+            entry.valid = r.flag();
+            entry.vpn = r.u64();
+            entry.lastUse = r.u64();
+        }
+    }
+    m.dram.stats.accesses = r.u64();
+    m.dram.stats.rowHits = r.u64();
+    m.dram.stats.rowConflicts = r.u64();
+    m.dram.stats.totalLatency = r.u64();
+    m.dram.openRow.resize(r.count(kMaxVecElems));
+    for (int64_t &row : m.dram.openRow)
+        row = static_cast<int64_t>(r.u64());
+
+    m.pages.resize(r.count(kMaxPages));
+    for (auto &page : m.pages) {
+        page.index = r.u64();
+        page.bytes.resize(mem::MainMemory::kPageBytes);
+        if (!r.bytes(page.bytes.data(), page.bytes.size()))
+            return;
+    }
+}
+
+} // namespace
+
+std::string
+encode(const Snapshot &snap)
+{
+    std::string body;
+    putU64(body, snap.sessionId);
+    putU8(body, snap.engine);
+    putU8(body, snap.variant);
+    putU8(body, snap.execMode);
+    putU8(body, snap.deopt);
+    putU8(body, snap.elide);
+    putU32(body, static_cast<uint32_t>(snap.chunks.size()));
+    for (const std::string &chunk : snap.chunks)
+        putStr(body, chunk);
+
+    putU64(body, snap.state.codeCursor);
+    putU64(body, snap.state.constCursor);
+    putU64(body, snap.state.protoCount);
+    putU64(body, snap.state.chunkCount);
+    encodeMachine(body, snap.state.machine);
+
+    putU32(body, static_cast<uint32_t>(snap.state.interns.size()));
+    for (const auto &[text, addr] : snap.state.interns) {
+        putStr(body, text);
+        putU64(body, addr);
+    }
+    putU32(body, static_cast<uint32_t>(snap.state.shadow.size()));
+    for (const auto &entry : snap.state.shadow) {
+        putU64(body, entry.packedTable);
+        putU64(body, entry.key);
+        putU64(body, entry.value);
+        putU8(body, entry.tag);
+    }
+
+    std::string blob;
+    blob.reserve(kHeaderBytes + body.size());
+    putU32(blob, kMagic);
+    putU16(blob, kVersion);
+    putU16(blob, 0);  // flags, reserved
+    putU64(blob, body.size());
+    putU64(blob, fnv1a64(body.data(), body.size()));
+    blob += body;
+    return blob;
+}
+
+bool
+decode(const std::string &blob, Snapshot &out, std::string &error)
+{
+    const auto fail = [&error](const char *why) {
+        error = std::string("bad-snapshot: ") + why;
+        return false;
+    };
+
+    if (blob.size() < kHeaderBytes)
+        return fail("truncated header");
+    if (blob.size() > kMaxBlobBytes)
+        return fail("oversized blob");
+    Reader header(blob, 0, kHeaderBytes);
+    if (header.u32() != kMagic)
+        return fail("bad magic");
+    if (header.u16() != kVersion)
+        return fail("unsupported version");
+    if (header.u16() != 0)
+        return fail("nonzero reserved flags");
+    const uint64_t body_len = header.u64();
+    const uint64_t checksum = header.u64();
+    if (body_len != blob.size() - kHeaderBytes)
+        return fail("body length mismatch");
+    if (checksum !=
+        fnv1a64(blob.data() + kHeaderBytes, blob.size() - kHeaderBytes))
+        return fail("checksum mismatch");
+
+    Reader r(blob, kHeaderBytes, blob.size());
+    out = Snapshot{};
+    out.sessionId = r.u64();
+    out.engine = r.u8();
+    out.variant = r.u8();
+    out.execMode = r.u8();
+    out.deopt = r.flag() ? 1 : 0;
+    out.elide = r.flag() ? 1 : 0;
+    if (out.engine > 1 || out.variant > 2 || out.execMode > 1)
+        return fail("out-of-range enum field");
+    out.chunks.resize(r.count(kMaxChunks));
+    for (std::string &chunk : out.chunks)
+        chunk = r.str();
+    if (out.chunks.empty())
+        return fail("no source chunks");
+
+    out.state.codeCursor = r.u64();
+    out.state.constCursor = r.u64();
+    out.state.protoCount = r.u64();
+    out.state.chunkCount = r.u64();
+    if (out.state.chunkCount != out.chunks.size())
+        return fail("chunk count mismatch");
+    decodeMachine(r, out.state.machine);
+
+    out.state.interns.resize(r.count(kMaxVecElems));
+    for (auto &[text, addr] : out.state.interns) {
+        text = r.str();
+        addr = r.u64();
+    }
+    out.state.shadow.resize(r.count(kMaxVecElems));
+    for (auto &entry : out.state.shadow) {
+        entry.packedTable = r.u64();
+        entry.key = r.u64();
+        entry.value = r.u64();
+        entry.tag = r.u8();
+    }
+
+    if (r.failed())
+        return fail("truncated or malformed body");
+    if (!r.done())
+        return fail("trailing bytes after body");
+    return true;
+}
+
+} // namespace tarch::snapshot

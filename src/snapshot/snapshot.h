@@ -1,0 +1,69 @@
+/**
+ * @file
+ * tarch-snap-v1: the versioned binary snapshot format for a complete
+ * simulated machine (docs/SNAPSHOT.md).
+ *
+ * A blob is a fixed 24-byte header (magic, version, flags, body length,
+ * FNV-1a body checksum) followed by the body: the VM's rebuild inputs
+ * (engine, variant, execution mode, every source chunk submitted so
+ * far) and the complete vm::VmState — registers, typed state, all
+ * statistics counters, the timing / branch-predictor / cache / TLB /
+ * DRAM model state, the full guest memory image, and the host runtime
+ * tables.  All integers are little-endian; strings are a u32 length
+ * followed by raw bytes.
+ *
+ * Decoding is strict in the tarch-rpc style: every length is bounded by
+ * the bytes actually present, enum and bool fields are range-checked,
+ * the checksum must match, and the body must be consumed exactly.  Any
+ * truncated or bit-flipped blob decodes to a clean typed error — never
+ * a crash, never a silent mis-restore.
+ *
+ * The restore contract: rebuild a VM from the recorded inputs (chunk
+ * replay), overwrite it with the recorded state, and continuing the run
+ * is bit-identical — all 26 CoreStats counters, output and exit code —
+ * to never having snapshotted, in both execution modes.
+ */
+
+#ifndef TARCH_SNAPSHOT_SNAPSHOT_H
+#define TARCH_SNAPSHOT_SNAPSHOT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vm/vm_state.h"
+
+namespace tarch::snapshot {
+
+constexpr uint32_t kMagic = 0x504E5354u;  ///< "TSNP" little-endian
+constexpr uint16_t kVersion = 1;
+constexpr size_t kHeaderBytes = 24;
+/** Hard decoder bound on a whole blob (header + body). */
+constexpr uint64_t kMaxBlobBytes = 256ull << 20;
+
+/** A decoded tarch-snap-v1 blob: rebuild inputs + machine state. */
+struct Snapshot {
+    /** Serving-layer session identity (0 outside sessions). */
+    uint64_t sessionId = 0;
+    uint8_t engine = 0;    ///< 0 = MiniLua, 1 = MiniJS
+    uint8_t variant = 0;   ///< vm::Variant
+    uint8_t execMode = 0;  ///< core::ExecMode
+    uint8_t deopt = 0;     ///< DeoptConfig::enabled
+    uint8_t elide = 0;     ///< guard elision (always 0 for sessions)
+    /** Source chunks in submit order; [0] built the VM. */
+    std::vector<std::string> chunks;
+    vm::VmState state;
+};
+
+/** Serialize; deterministic for a given snapshot. */
+std::string encode(const Snapshot &snap);
+
+/**
+ * Strict decode.  False with @p error set ("bad-snapshot: ...") on any
+ * malformation; @p out is unspecified then and must not be used.
+ */
+bool decode(const std::string &blob, Snapshot &out, std::string &error);
+
+} // namespace tarch::snapshot
+
+#endif // TARCH_SNAPSHOT_SNAPSHOT_H

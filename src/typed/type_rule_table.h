@@ -73,6 +73,31 @@ class TypeRuleTable
     const TrtStats &stats() const { return stats_; }
     void resetStats() { stats_ = {}; }
 
+    /** Ordered rule contents + stats for machine snapshots (rule order
+        matters: lookup is a first-match CAM scan). */
+    struct Snapshot {
+        std::vector<TypeRule> rules;
+        TrtStats stats;
+    };
+
+    void
+    saveState(Snapshot &out) const
+    {
+        out.rules = rules_;
+        out.stats = stats_;
+    }
+
+    /** False (table unchanged) when the rules exceed capacity. */
+    bool
+    restoreState(const Snapshot &in)
+    {
+        if (in.rules.size() > capacity_)
+            return false;
+        rules_ = in.rules;
+        stats_ = in.stats;
+        return true;
+    }
+
   private:
     unsigned capacity_;
     std::vector<TypeRule> rules_;

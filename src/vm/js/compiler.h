@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "script/ast.h"
@@ -41,6 +42,20 @@ struct Module {
 
 /** Compile a parsed chunk.  Throws FatalError on semantic errors. */
 Module compile(const script::Chunk &chunk);
+
+/**
+ * Cross-chunk compile context for stateful sessions (docs/SERVING.md):
+ * global slots and function arities carried over from previously
+ * installed chunks.  Mirrors the MiniLua ChunkSeed.
+ */
+struct ChunkSeed {
+    std::vector<std::string> globalNames;
+    std::vector<std::pair<std::string, unsigned>> functionArity;
+};
+
+/** Compile a follow-on session chunk against @p seed (globalNames
+    extends the seed's; protos are chunk-local, index 0 = chunk main). */
+Module compile(const script::Chunk &chunk, const ChunkSeed &seed);
 
 } // namespace tarch::vm::js
 

@@ -168,6 +168,161 @@ JsVm::buildImage()
         if (memory.read64(addr) == 0)
             memory.write64(addr, box(kTagUndef, 0));
     }
+
+    codeCursor_ = code_cursor;
+    constCursor_ = const_cursor;
+}
+
+// ---------------------------------------------------------------------
+// Stateful sessions (the MiniJS mirror of the LuaVm session API).
+
+JsVm::StagedChunk
+JsVm::prepareChunk(const std::string &source) const
+{
+    const GuestLayout &lay = opts_.layout;
+
+    ChunkSeed seed;
+    seed.globalNames = module_.globalNames;
+    for (const auto &[global, proto_idx] : module_.functionGlobals)
+        seed.functionArity.emplace_back(module_.globalNames[global],
+                                        module_.protos[proto_idx].nparams);
+
+    StagedChunk staged;
+    staged.module = compile(script::parse(source), seed);
+    staged.baseCode = codeCursor_;
+    staged.baseConst = constCursor_;
+    staged.baseProtos = module_.protos.size();
+
+    uint64_t code_cursor = codeCursor_;
+    uint64_t const_cursor = constCursor_;
+    staged.codeAddr.resize(staged.module.protos.size());
+    staged.constAddr.resize(staged.module.protos.size());
+    for (size_t i = 0; i < staged.module.protos.size(); ++i) {
+        staged.codeAddr[i] = code_cursor;
+        code_cursor = alignUp(
+            code_cursor + staged.module.protos[i].code.size() * 4, 8);
+        staged.constAddr[i] = const_cursor;
+        const_cursor += staged.module.protos[i].consts.size() * 8;
+    }
+    staged.codeEnd = code_cursor;
+    staged.constEnd = const_cursor;
+
+    const InterpResult interp = generateInterp(
+        opts_.variant, lay, staged.codeAddr[0], staged.constAddr[0],
+        staged.module.protos[0].nlocals);
+    assembler::AsmOptions asm_opts;
+    asm_opts.textBase = lay.interpText;
+    asm_opts.dataBase = lay.interpData;
+    staged.program = assembler::assemble(interp.asmText, asm_opts);
+    staged.markers = interp.markers;
+    staged.guardLabels = interp.guardLabels;
+    return staged;
+}
+
+bool
+JsVm::commitChunk(const StagedChunk &staged, std::string &error)
+{
+    const GuestLayout &lay = opts_.layout;
+    if (staged.baseCode != codeCursor_ || staged.baseConst != constCursor_ ||
+        staged.baseProtos != module_.protos.size()) {
+        error = "stale staged chunk (prepared against other session state)";
+        return false;
+    }
+    if (staged.codeEnd > lay.consts || staged.constEnd > lay.valueStack ||
+        lay.protos +
+                (staged.baseProtos + staged.module.protos.size()) *
+                    kProtoBytes >
+            lay.code) {
+        error = "session image full";
+        return false;
+    }
+
+    const unsigned proto_base = static_cast<unsigned>(staged.baseProtos);
+    const size_t prev_globals = module_.globalNames.size();
+    module_.globalNames = staged.module.globalNames;
+    for (const Proto &proto : staged.module.protos)
+        module_.protos.push_back(proto);
+    for (const auto &[global, proto_idx] : staged.module.functionGlobals)
+        module_.functionGlobals.emplace_back(global,
+                                             proto_base + proto_idx);
+
+    program_ = staged.program;
+    guardPcs_.clear();
+    core_->markers().clear();
+    for (const auto &[symbol, marker] : staged.markers)
+        core_->markers().add(program_.symbol(symbol), marker);
+    for (const std::string &symbol : staged.guardLabels)
+        guardPcs_.push_back(program_.symbol(symbol));
+    core_->loadProgram(program_);
+
+    mem::MainMemory &memory = core_->memory();
+    for (size_t i = 0; i < staged.module.protos.size(); ++i) {
+        const Proto &proto = staged.module.protos[i];
+        const uint64_t desc =
+            lay.protos + (proto_base + i) * kProtoBytes;
+        memory.write64(desc + kProtoCodePtr, staged.codeAddr[i]);
+        memory.write64(desc + kProtoConstPtr, staged.constAddr[i]);
+        memory.write64(desc + kProtoNParams, proto.nparams);
+        memory.write64(desc + kProtoNRegs, proto.nlocals);
+        for (size_t j = 0; j < proto.code.size(); ++j)
+            memory.write32(staged.codeAddr[i] + 4 * j, proto.code[j]);
+        for (size_t j = 0; j < proto.consts.size(); ++j) {
+            const Const &k = proto.consts[j];
+            const uint64_t bits =
+                k.kind == Const::Kind::Str
+                    ? box(kTagStr, interner_.intern(*core_, k.sval))
+                    : k.bits;
+            memory.write64(staged.constAddr[i] + 8 * j, bits);
+        }
+    }
+    for (const auto &[global, proto_idx] : staged.module.functionGlobals)
+        memory.write64(lay.globals + global * 8,
+                       box(kTagFun, proto_base + proto_idx));
+    // Globals introduced by this chunk read as undefined until set;
+    // earlier slots hold live session values and are left alone.
+    for (size_t g = prev_globals; g < module_.globalNames.size(); ++g) {
+        const uint64_t addr = lay.globals + g * 8;
+        if (memory.read64(addr) == 0)
+            memory.write64(addr, box(kTagUndef, 0));
+    }
+
+    core_->regs().writeGpr(isa::reg::sp, core_->config().stackTop);
+    core_->trt().flush();
+
+    codeCursor_ = staged.codeEnd;
+    constCursor_ = staged.constEnd;
+    ++chunkCount_;
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Snapshots.
+
+void
+JsVm::saveState(VmState &out) const
+{
+    core_->saveMachine(out.machine);
+    interner_.exportTable(out.interns);
+    shadow_.exportEntries(out.shadow);
+    out.codeCursor = codeCursor_;
+    out.constCursor = constCursor_;
+    out.protoCount = module_.protos.size();
+    out.chunkCount = chunkCount_;
+}
+
+bool
+JsVm::restoreState(const VmState &in)
+{
+    if (in.protoCount != module_.protos.size() ||
+        in.chunkCount != chunkCount_)
+        return false;
+    if (!core_->restoreMachine(in.machine))
+        return false;
+    interner_.importTable(in.interns);
+    shadow_.importEntries(in.shadow);
+    codeCursor_ = in.codeCursor;
+    constCursor_ = in.constCursor;
+    return true;
 }
 
 int

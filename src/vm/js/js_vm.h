@@ -19,6 +19,7 @@
 #include "vm/js/compiler.h"
 #include "vm/runtime.h"
 #include "vm/variant.h"
+#include "vm/vm_state.h"
 
 namespace tarch::vm::js {
 
@@ -53,6 +54,29 @@ class JsVm
     /** PCs of the fast-path type guards; see vm/lua/lua_vm.h. */
     const std::vector<uint64_t> &guardPcs() const { return guardPcs_; }
 
+    // --- Stateful sessions and snapshots: the MiniJS mirror of the
+    // LuaVm API; see vm/lua/lua_vm.h for the contracts.
+
+    struct StagedChunk {
+        Module module;
+        assembler::Program program;
+        std::vector<std::pair<std::string, std::string>> markers;
+        std::vector<std::string> guardLabels;
+        std::vector<uint64_t> codeAddr;
+        std::vector<uint64_t> constAddr;
+        uint64_t codeEnd = 0;
+        uint64_t constEnd = 0;
+        uint64_t baseCode = 0;
+        uint64_t baseConst = 0;
+        uint64_t baseProtos = 0;
+    };
+
+    StagedChunk prepareChunk(const std::string &source) const;
+    bool commitChunk(const StagedChunk &chunk, std::string &error);
+
+    void saveState(VmState &out) const;
+    bool restoreState(const VmState &in);
+
   private:
     void buildImage();
     void registerHostcalls();
@@ -76,6 +100,11 @@ class JsVm
     std::unique_ptr<core::Core> core_;
     Interner interner_;
     ShadowHash shadow_;
+
+    // Session image cursors and installed-chunk count (vm/vm_state.h).
+    uint64_t codeCursor_ = 0;
+    uint64_t constCursor_ = 0;
+    uint64_t chunkCount_ = 1;
 };
 
 } // namespace tarch::vm::js

@@ -491,6 +491,18 @@ class FnCompiler
 class ModuleCompiler
 {
   public:
+    ModuleCompiler() = default;
+
+    /** Session-chunk mode: carry over global slots and arities. */
+    explicit ModuleCompiler(const ChunkSeed &seed)
+    {
+        mod_.globalNames = seed.globalNames;
+        for (unsigned i = 0; i < mod_.globalNames.size(); ++i)
+            globals_[mod_.globalNames[i]] = i;
+        for (const auto &[name, arity] : seed.functionArity)
+            seedArity_[name] = arity;
+    }
+
     Module
     run(const script::Chunk &chunk)
     {
@@ -547,12 +559,27 @@ class ModuleCompiler
         return it->second;
     }
 
+    /** Arity of a callable @p name: this chunk's functions first, then
+        functions seeded from earlier session chunks. */
+    std::optional<unsigned>
+    arityOf(const std::string &name) const
+    {
+        const auto proto = protoOf(name);
+        if (proto)
+            return mod_.protos[*proto].nparams;
+        const auto it = seedArity_.find(name);
+        if (it == seedArity_.end())
+            return std::nullopt;
+        return it->second;
+    }
+
     const Module &module() const { return mod_; }
 
   private:
     Module mod_;
     std::unordered_map<std::string, unsigned> globals_;
     std::unordered_map<std::string, unsigned> protoByName_;
+    std::unordered_map<std::string, unsigned> seedArity_;
 };
 
 void
@@ -570,15 +597,13 @@ FnCompiler::callTo(const Expr &e, unsigned dst)
         emitAbc(Op::BUILTIN, base, static_cast<unsigned>(builtin->second),
                 static_cast<unsigned>(e.args.size()));
     } else {
-        const auto proto = mod_.protoOf(e.name);
-        if (!proto)
+        const auto arity = mod_.arityOf(e.name);
+        if (!arity)
             tarch_fatal("line %d: call to unknown function '%s'", e.line,
                         e.name.c_str());
-        if (mod_.module().protos[*proto].nparams != e.args.size())
+        if (*arity != e.args.size())
             tarch_fatal("line %d: '%s' expects %u arguments, got %zu",
-                        e.line, e.name.c_str(),
-                        mod_.module().protos[*proto].nparams,
-                        e.args.size());
+                        e.line, e.name.c_str(), *arity, e.args.size());
         emitAbc(Op::GETGLOBAL, base, globalSlot(e.name), 0);
         emitAbc(Op::CALL, base, static_cast<unsigned>(e.args.size()), 0);
     }
@@ -599,6 +624,12 @@ Module
 compile(const script::Chunk &chunk)
 {
     return ModuleCompiler().run(chunk);
+}
+
+Module
+compile(const script::Chunk &chunk, const ChunkSeed &seed)
+{
+    return ModuleCompiler(seed).run(chunk);
 }
 
 } // namespace tarch::vm::lua

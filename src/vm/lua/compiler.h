@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "script/ast.h"
@@ -44,6 +45,25 @@ struct Module {
 
 /** Compile a parsed chunk.  Throws FatalError on semantic errors. */
 Module compile(const script::Chunk &chunk);
+
+/**
+ * Cross-chunk compile context for stateful sessions (docs/SERVING.md):
+ * the global slot assignments and function arities accumulated from
+ * previously installed chunks, so a later chunk resolves the same names
+ * to the same slots and can call earlier functions.
+ */
+struct ChunkSeed {
+    /** Slot-ordered global names of the session so far. */
+    std::vector<std::string> globalNames;
+    /** (name, nparams) of callable session functions, in definition
+        order; a later entry for the same name wins (redefinition). */
+    std::vector<std::pair<std::string, unsigned>> functionArity;
+};
+
+/** Compile a follow-on session chunk against @p seed.  The returned
+    module's globalNames extends the seed's (same slots, new names
+    appended); its protos are chunk-local (index 0 = chunk main). */
+Module compile(const script::Chunk &chunk, const ChunkSeed &seed);
 
 } // namespace tarch::vm::lua
 

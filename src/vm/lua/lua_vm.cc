@@ -164,6 +164,174 @@ LuaVm::buildImage()
     for (const auto &[global, proto_idx] : module_.functionGlobals)
         writeSlot(memory, lay.globals + global * kSlotBytes, proto_idx,
                   kTagFun);
+
+    codeCursor_ = code_cursor;
+    constCursor_ = const_cursor;
+}
+
+// ---------------------------------------------------------------------
+// Stateful sessions.
+
+LuaVm::StagedChunk
+LuaVm::prepareChunk(const std::string &source) const
+{
+    const GuestLayout &lay = opts_.layout;
+
+    ChunkSeed seed;
+    seed.globalNames = module_.globalNames;
+    for (const auto &[global, proto_idx] : module_.functionGlobals)
+        seed.functionArity.emplace_back(module_.globalNames[global],
+                                        module_.protos[proto_idx].nparams);
+
+    StagedChunk staged;
+    staged.module = compile(script::parse(source), seed);
+    staged.baseCode = codeCursor_;
+    staged.baseConst = constCursor_;
+    staged.baseProtos = module_.protos.size();
+
+    uint64_t code_cursor = codeCursor_;
+    uint64_t const_cursor = constCursor_;
+    staged.codeAddr.resize(staged.module.protos.size());
+    staged.constAddr.resize(staged.module.protos.size());
+    for (size_t i = 0; i < staged.module.protos.size(); ++i) {
+        staged.codeAddr[i] = code_cursor;
+        code_cursor = alignUp(
+            code_cursor + staged.module.protos[i].code.size() * 4, 8);
+        staged.constAddr[i] = const_cursor;
+        const_cursor += staged.module.protos[i].consts.size() * kSlotBytes;
+    }
+    staged.codeEnd = code_cursor;
+    staged.constEnd = const_cursor;
+
+    const InterpResult interp = generateInterp(
+        opts_.variant, lay, staged.codeAddr[0], staged.constAddr[0]);
+    assembler::AsmOptions asm_opts;
+    asm_opts.textBase = lay.interpText;
+    asm_opts.dataBase = lay.interpData;
+    staged.program = assembler::assemble(interp.asmText, asm_opts);
+    staged.markers = interp.markers;
+    staged.guardLabels = interp.guardLabels;
+    return staged;
+}
+
+bool
+LuaVm::commitChunk(const StagedChunk &staged, std::string &error)
+{
+    const GuestLayout &lay = opts_.layout;
+    if (staged.baseCode != codeCursor_ || staged.baseConst != constCursor_ ||
+        staged.baseProtos != module_.protos.size()) {
+        error = "stale staged chunk (prepared against other session state)";
+        return false;
+    }
+    if (staged.codeEnd > lay.consts || staged.constEnd > lay.valueStack ||
+        lay.protos +
+                (staged.baseProtos + staged.module.protos.size()) *
+                    kProtoBytes >
+            lay.code) {
+        error = "session image full";
+        return false;
+    }
+
+    // Merge the chunk into the cumulative module.  Chunk global slots
+    // extend the session's (same seed), proto indices are relocated.
+    const unsigned proto_base = static_cast<unsigned>(staged.baseProtos);
+    module_.globalNames = staged.module.globalNames;
+    for (const Proto &proto : staged.module.protos)
+        module_.protos.push_back(proto);
+    for (const auto &[global, proto_idx] : staged.module.functionGlobals)
+        module_.functionGlobals.emplace_back(global,
+                                             proto_base + proto_idx);
+
+    // Swap in the regenerated interpreter (its _start jumps to this
+    // chunk's main proto) and re-register its markers.
+    program_ = staged.program;
+    guardPcs_.clear();
+    core_->markers().clear();
+    for (const auto &[symbol, marker] : staged.markers)
+        core_->markers().add(program_.symbol(symbol), marker);
+    for (const std::string &symbol : staged.guardLabels)
+        guardPcs_.push_back(program_.symbol(symbol));
+    core_->loadProgram(program_);
+
+    // Poke the chunk's image: descriptors at absolute proto indices,
+    // bytecode and constants at the session cursors.
+    mem::MainMemory &memory = core_->memory();
+    for (size_t i = 0; i < staged.module.protos.size(); ++i) {
+        const Proto &proto = staged.module.protos[i];
+        const uint64_t desc =
+            lay.protos + (proto_base + i) * kProtoBytes;
+        memory.write64(desc + kProtoCodePtr, staged.codeAddr[i]);
+        memory.write64(desc + kProtoConstPtr, staged.constAddr[i]);
+        memory.write64(desc + kProtoNParams, proto.nparams);
+        memory.write64(desc + kProtoNRegs, proto.nregs);
+        for (size_t j = 0; j < proto.code.size(); ++j)
+            memory.write32(staged.codeAddr[i] + 4 * j, proto.code[j]);
+        for (size_t j = 0; j < proto.consts.size(); ++j) {
+            const Const &k = proto.consts[j];
+            const uint64_t slot = staged.constAddr[i] + j * kSlotBytes;
+            switch (k.kind) {
+              case Const::Kind::Int:
+                writeSlot(memory, slot, static_cast<uint64_t>(k.ival),
+                          kTagInt);
+                break;
+              case Const::Kind::Flt: {
+                uint64_t bits;
+                std::memcpy(&bits, &k.fval, 8);
+                writeSlot(memory, slot, bits, kTagFlt);
+                break;
+              }
+              case Const::Kind::Str:
+                writeSlot(memory, slot, interner_.intern(*core_, k.sval),
+                          kTagStr);
+                break;
+            }
+        }
+    }
+    for (const auto &[global, proto_idx] : staged.module.functionGlobals)
+        writeSlot(memory, lay.globals + global * kSlotBytes,
+                  proto_base + proto_idx, kTagFun);
+
+    // Fresh chunk entry: the stack pointer is re-armed (the previous
+    // chunk halted wherever it halted) and the TRT is flushed so the
+    // new _start's set_trt programming starts from an empty table, as
+    // an OS would restore a fresh typed context at engine launch.
+    core_->regs().writeGpr(isa::reg::sp, core_->config().stackTop);
+    core_->trt().flush();
+
+    codeCursor_ = staged.codeEnd;
+    constCursor_ = staged.constEnd;
+    ++chunkCount_;
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Snapshots.
+
+void
+LuaVm::saveState(VmState &out) const
+{
+    core_->saveMachine(out.machine);
+    interner_.exportTable(out.interns);
+    shadow_.exportEntries(out.shadow);
+    out.codeCursor = codeCursor_;
+    out.constCursor = constCursor_;
+    out.protoCount = module_.protos.size();
+    out.chunkCount = chunkCount_;
+}
+
+bool
+LuaVm::restoreState(const VmState &in)
+{
+    if (in.protoCount != module_.protos.size() ||
+        in.chunkCount != chunkCount_)
+        return false;
+    if (!core_->restoreMachine(in.machine))
+        return false;
+    interner_.importTable(in.interns);
+    shadow_.importEntries(in.shadow);
+    codeCursor_ = in.codeCursor;
+    constCursor_ = in.constCursor;
+    return true;
 }
 
 int

@@ -20,6 +20,7 @@
 #include "vm/lua/compiler.h"
 #include "vm/runtime.h"
 #include "vm/variant.h"
+#include "vm/vm_state.h"
 
 namespace tarch::vm::lua {
 
@@ -61,6 +62,56 @@ class LuaVm
      */
     const std::vector<uint64_t> &guardPcs() const { return guardPcs_; }
 
+    // --- Stateful sessions (docs/SERVING.md) -------------------------
+    //
+    // A session VM accepts follow-on MiniScript chunks after the
+    // constructor source has run: globals (and functions bound to them)
+    // persist, each chunk's main body runs to completion on the same
+    // machine.  Sessions must be built with elide=false: cross-chunk
+    // global mutation invalidates whole-module type inference.
+
+    /**
+     * A compiled-but-not-installed chunk.  prepareChunk() mutates no VM
+     * state, so the caller can verify @c program (the regenerated
+     * interpreter) and, on rejection, leave the session untouched.
+     */
+    struct StagedChunk {
+        Module module;  ///< chunk-local protos (0 = chunk main)
+        assembler::Program program;
+        std::vector<std::pair<std::string, std::string>> markers;
+        std::vector<std::string> guardLabels;
+        std::vector<uint64_t> codeAddr;
+        std::vector<uint64_t> constAddr;
+        uint64_t codeEnd = 0;     ///< cursor after this chunk
+        uint64_t constEnd = 0;
+        uint64_t baseCode = 0;    ///< cursors the layout assumed
+        uint64_t baseConst = 0;
+        uint64_t baseProtos = 0;
+    };
+
+    /** Compile @p source against the session's accumulated globals and
+        regenerate the interpreter.  Throws FatalError on compile
+        errors; never mutates the VM. */
+    StagedChunk prepareChunk(const std::string &source) const;
+
+    /** Install a staged chunk (append protos, lay out its image, reload
+        the interpreter, reset the machine for a fresh entry).  False
+        with @p error set — and the VM unusable for further chunks but
+        otherwise intact — only when the image regions are full or the
+        stage is out of date. */
+    bool commitChunk(const StagedChunk &chunk, std::string &error);
+
+    // --- Snapshots (docs/SNAPSHOT.md) --------------------------------
+
+    /** Capture the complete VM state.  Pure: continuing afterwards is
+        bit-identical to never having called this. */
+    void saveState(VmState &out) const;
+
+    /** Overwrite this VM — rebuilt from the same compile inputs and
+        chunk sequence — with a captured state.  False on any shape
+        mismatch; the VM must then be discarded. */
+    bool restoreState(const VmState &in);
+
   private:
     void buildImage();
     void registerHostcalls();
@@ -85,6 +136,12 @@ class LuaVm
     std::unique_ptr<core::Core> core_;
     Interner interner_;
     ShadowHash shadow_;
+
+    // Session image cursors (next free byte in each region) and the
+    // installed-chunk count; see vm/vm_state.h.
+    uint64_t codeCursor_ = 0;
+    uint64_t constCursor_ = 0;
+    uint64_t chunkCount_ = 1;
 };
 
 } // namespace tarch::vm::lua

@@ -1,5 +1,7 @@
 #include "vm/runtime.h"
 
+#include <algorithm>
+
 #include "common/bitops.h"
 #include "common/strutil.h"
 
@@ -40,6 +42,43 @@ Interner::read(core::Core &core, uint64_t addr)
     if (len)
         core.memory().readBlock(addr + 8, out.data(), len);
     return out;
+}
+
+void
+Interner::exportTable(
+    std::vector<std::pair<std::string, uint64_t>> &out) const
+{
+    out.assign(table_.begin(), table_.end());
+    std::sort(out.begin(), out.end());
+}
+
+void
+Interner::importTable(
+    const std::vector<std::pair<std::string, uint64_t>> &in)
+{
+    table_.clear();
+    table_.insert(in.begin(), in.end());
+}
+
+void
+ShadowHash::exportEntries(std::vector<Entry> &out) const
+{
+    out.clear();
+    out.reserve(map_.size());
+    for (const auto &[key, slot] : map_)
+        out.push_back({key.first, key.second, slot.value, slot.tag});
+    std::sort(out.begin(), out.end(), [](const Entry &a, const Entry &b) {
+        return a.packedTable != b.packedTable ? a.packedTable < b.packedTable
+                                              : a.key < b.key;
+    });
+}
+
+void
+ShadowHash::importEntries(const std::vector<Entry> &in)
+{
+    map_.clear();
+    for (const Entry &e : in)
+        map_[{e.packedTable, e.key}] = {e.value, e.tag};
 }
 
 } // namespace tarch::vm

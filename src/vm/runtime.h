@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "core/core.h"
 #include "vm/image.h"
@@ -34,6 +36,14 @@ class Interner
 
     /** Read back the body of a string object at @p addr. */
     static std::string read(core::Core &core, uint64_t addr);
+
+    /** (text, guest address) pairs sorted by text, for VM snapshots. */
+    void exportTable(
+        std::vector<std::pair<std::string, uint64_t>> &out) const;
+
+    /** Replace the table with previously exported contents. */
+    void
+    importTable(const std::vector<std::pair<std::string, uint64_t>> &in);
 
   private:
     std::unordered_map<std::string, uint64_t> table_;
@@ -69,6 +79,20 @@ class ShadowHash
     }
 
     size_t size() const { return map_.size(); }
+
+    /** One exported hash slot; packedTable is table*2 + strKey. */
+    struct Entry {
+        uint64_t packedTable = 0;
+        uint64_t key = 0;
+        uint64_t value = 0;
+        uint8_t tag = 0;
+    };
+
+    /** Entries sorted by (packedTable, key), for VM snapshots. */
+    void exportEntries(std::vector<Entry> &out) const;
+
+    /** Replace the map with previously exported contents. */
+    void importEntries(const std::vector<Entry> &in);
 
   private:
     struct KeyHash {

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Complete VM state captured by the snapshot subsystem (docs/SNAPSHOT.md):
+ * the simulated machine plus the host-side runtime services (string
+ * interner, shadow hash tables) and the session image cursors.
+ *
+ * A VmState is only meaningful against a VM rebuilt from the same compile
+ * inputs (source chunks, variant, layout, core configuration): the
+ * program-derived structures are reconstructed by the rebuild, then
+ * restoreState() overwrites every piece of mutable state, after which
+ * continuing the run is bit-identical to never having snapshotted.
+ */
+
+#ifndef TARCH_VM_VM_STATE_H
+#define TARCH_VM_VM_STATE_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/core.h"
+#include "vm/runtime.h"
+
+namespace tarch::vm {
+
+struct VmState {
+    core::MachineState machine;
+    std::vector<std::pair<std::string, uint64_t>> interns;
+    std::vector<ShadowHash::Entry> shadow;
+    /** Session image cursors (next free bytecode / constant byte). */
+    uint64_t codeCursor = 0;
+    uint64_t constCursor = 0;
+    /** Shape checks for restoreState: the rebuilt VM must have replayed
+        the same chunk sequence. */
+    uint64_t protoCount = 0;
+    uint64_t chunkCount = 0;
+};
+
+} // namespace tarch::vm
+
+#endif // TARCH_VM_VM_STATE_H

@@ -514,6 +514,85 @@ TEST_F(RouterTest, DeadShardFailsOverThenEjects)
     EXPECT_NE(health.shards[1].state, "healthy");
 }
 
+// ---------------------------------------------------------------------
+// Stateful sessions through the router (docs/SERVING.md).
+
+TEST_F(RouterTest, SessionSticksToOneShardAndMigratesWhenItDies)
+{
+    startRouter(2);
+    Client client = connect();
+
+    // The router assigns the id when the client opens with 0.
+    proto::OpenSessionRequest open;
+    open.engine = 0;
+    open.variant = 1;
+    open.sessionId = 0;
+    open.source = "c = 0";
+    const Client::SessionOutcome opened = client.openSession(open);
+    ASSERT_TRUE(opened.ok) << opened.error.message;
+    const uint64_t id = opened.reply.sessionId;
+    ASSERT_NE(id, 0u);
+
+    proto::SubmitChunkRequest chunk;
+    chunk.sessionId = id;
+    chunk.source = "c = c + 1\nprint(c)";
+    const Client::SessionOutcome one = client.submitChunk(chunk);
+    ASSERT_TRUE(one.ok) << one.error.message;
+    EXPECT_EQ(one.reply.output, "1\n");
+
+    // A client-visible snapshot synchronously refreshes the router's
+    // blob cache, so the migration below cannot race the background
+    // refresh.
+    const Client::SessionOutcome snap = client.snapshotSession(id);
+    ASSERT_TRUE(snap.ok) << snap.error.message;
+    ASSERT_FALSE(snap.snapshot.blob.empty());
+
+    Router::Health health = router->health();
+    EXPECT_GE(health.sessionsTracked, 1u);
+    EXPECT_EQ(health.sessionsMigrated, 0u);
+    // Session affinity: only the owning shard has seen traffic.
+    ASSERT_EQ(health.shards.size(), 2u);
+    ASSERT_TRUE(health.shards[0].forwarded == 0 ||
+                health.shards[1].forwarded == 0);
+    const size_t owner = health.shards[0].forwarded > 0 ? 0 : 1;
+
+    // Kill the owner.  The next chunk fails over to the survivor,
+    // which answers UnknownSession — the router restores the cached
+    // snapshot there and replays the chunk, invisibly to the client.
+    shards[owner]->stop();
+    const Client::SessionOutcome migrated = client.submitChunk(chunk);
+    ASSERT_TRUE(migrated.ok) << migrated.error.message;
+    EXPECT_EQ(migrated.reply.output, "2\n");
+    health = router->health();
+    EXPECT_GE(health.sessionsMigrated, 1u);
+    EXPECT_NE(health.toJson().find("\"sessions_migrated\":"),
+              std::string::npos);
+
+    // The session keeps running on its new owner.
+    const Client::SessionOutcome after = client.submitChunk(chunk);
+    ASSERT_TRUE(after.ok) << after.error.message;
+    EXPECT_EQ(after.reply.output, "3\n");
+    EXPECT_TRUE(client.closeSession(id).ok);
+    EXPECT_EQ(router->health().sessionsTracked, 0u);
+}
+
+TEST_F(RouterTest, RestoreWithZeroIdIsRejectedAtTheRouter)
+{
+    startRouter(1);
+    Client client = connect();
+    // A zero id would leave the router with no affinity key to route
+    // or migrate by, so it refuses rather than forwarding.
+    proto::RestoreSessionRequest req;
+    req.sessionId = 0;
+    req.blob = "not-a-blob";
+    const Client::SessionOutcome outcome = client.restoreSession(req);
+    ASSERT_FALSE(outcome.ok);
+    ASSERT_FALSE(outcome.closed);
+    EXPECT_EQ(outcome.error.code,
+              static_cast<uint16_t>(proto::ErrorCode::BadRequest));
+    EXPECT_TRUE(client.ping());
+}
+
 /** A backend that accepts one connection, reads a little, and slams
     the door mid-conversation — the abrupt death a graceful in-process
     Server::stop() cannot fake. */

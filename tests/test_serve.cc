@@ -266,6 +266,237 @@ TEST(Protocol, ErrorFrameIsSelfConsistent)
 }
 
 // ---------------------------------------------------------------------
+// Protocol: stateful-session payloads (docs/SERVING.md).
+
+proto::OpenSessionRequest
+sampleOpenSession()
+{
+    proto::OpenSessionRequest req;
+    req.engine = 1;
+    req.variant = 2;
+    req.deadlineMs = 1234;
+    req.sessionId = 0xABCDEF0123456789ULL;
+    req.source = "x = 1\nprint(x)";
+    return req;
+}
+
+/** Every proper prefix and every trailing byte must be rejected — the
+    strict length-bounded discipline all tarch-rpc payloads follow. */
+template <typename Payload, typename Decode>
+void
+expectStrictRejection(const std::string &payload, Decode decode)
+{
+    Payload out;
+    for (size_t len = 0; len < payload.size(); ++len)
+        EXPECT_FALSE(decode(payload.substr(0, len), out))
+            << "prefix of " << len << "/" << payload.size()
+            << " bytes decoded";
+    EXPECT_FALSE(decode(payload + "x", out)) << "trailing byte accepted";
+}
+
+TEST(Protocol, SessionPayloadRoundTrips)
+{
+    const proto::OpenSessionRequest open = sampleOpenSession();
+    proto::OpenSessionRequest open_out;
+    ASSERT_TRUE(proto::decodeOpenSessionRequest(
+        proto::encodeOpenSessionRequest(open), open_out));
+    EXPECT_EQ(open_out.engine, open.engine);
+    EXPECT_EQ(open_out.variant, open.variant);
+    EXPECT_EQ(open_out.deadlineMs, open.deadlineMs);
+    EXPECT_EQ(open_out.sessionId, open.sessionId);
+    EXPECT_EQ(open_out.source, open.source);
+
+    proto::SubmitChunkRequest chunk;
+    chunk.deadlineMs = 7;
+    chunk.sessionId = 42;
+    chunk.source = "x = x + 1";
+    proto::SubmitChunkRequest chunk_out;
+    ASSERT_TRUE(proto::decodeSubmitChunkRequest(
+        proto::encodeSubmitChunkRequest(chunk), chunk_out));
+    EXPECT_EQ(chunk_out.sessionId, 42u);
+    EXPECT_EQ(chunk_out.source, chunk.source);
+
+    proto::SessionIdRequest sid;
+    sid.sessionId = 99;
+    proto::SessionIdRequest sid_out;
+    ASSERT_TRUE(proto::decodeSessionIdRequest(
+        proto::encodeSessionIdRequest(sid), sid_out));
+    EXPECT_EQ(sid_out.sessionId, 99u);
+
+    proto::RestoreSessionRequest restore;
+    restore.deadlineMs = 11;
+    restore.sessionId = 42;
+    restore.blob = std::string("TSNP-not-really-a-blob");
+    proto::RestoreSessionRequest restore_out;
+    ASSERT_TRUE(proto::decodeRestoreSessionRequest(
+        proto::encodeRestoreSessionRequest(restore), restore_out));
+    EXPECT_EQ(restore_out.sessionId, 42u);
+    EXPECT_EQ(restore_out.blob, restore.blob);
+
+    proto::SessionReply reply;
+    reply.sessionId = 42;
+    reply.chunkIndex = 3;
+    reply.instructions = 1000;
+    reply.cycles = 2000;
+    reply.output = "7\n";
+    proto::SessionReply reply_out;
+    ASSERT_TRUE(proto::decodeSessionReply(
+        proto::encodeSessionReply(reply), reply_out));
+    EXPECT_EQ(reply_out.chunkIndex, 3u);
+    EXPECT_EQ(reply_out.output, "7\n");
+
+    proto::SessionSnapshotResult snap;
+    snap.sessionId = 42;
+    snap.blob = "blobbytes";
+    proto::SessionSnapshotResult snap_out;
+    ASSERT_TRUE(proto::decodeSessionSnapshotResult(
+        proto::encodeSessionSnapshotResult(snap), snap_out));
+    EXPECT_EQ(snap_out.blob, "blobbytes");
+
+    proto::SessionClosedResult closed;
+    closed.sessionId = 42;
+    proto::SessionClosedResult closed_out;
+    ASSERT_TRUE(proto::decodeSessionClosedResult(
+        proto::encodeSessionClosedResult(closed), closed_out));
+    EXPECT_EQ(closed_out.sessionId, 42u);
+}
+
+TEST(Protocol, SessionPayloadsEveryTruncationAndTrailingByteRejected)
+{
+    expectStrictRejection<proto::OpenSessionRequest>(
+        proto::encodeOpenSessionRequest(sampleOpenSession()),
+        [](const std::string &p, proto::OpenSessionRequest &o) {
+            return proto::decodeOpenSessionRequest(p, o);
+        });
+
+    proto::SubmitChunkRequest chunk;
+    chunk.sessionId = 42;
+    chunk.source = "x = x + 1";
+    expectStrictRejection<proto::SubmitChunkRequest>(
+        proto::encodeSubmitChunkRequest(chunk),
+        [](const std::string &p, proto::SubmitChunkRequest &o) {
+            return proto::decodeSubmitChunkRequest(p, o);
+        });
+
+    proto::SessionIdRequest sid;
+    sid.sessionId = 99;
+    expectStrictRejection<proto::SessionIdRequest>(
+        proto::encodeSessionIdRequest(sid),
+        [](const std::string &p, proto::SessionIdRequest &o) {
+            return proto::decodeSessionIdRequest(p, o);
+        });
+
+    proto::RestoreSessionRequest restore;
+    restore.sessionId = 42;
+    restore.blob = "pretend-blob";
+    expectStrictRejection<proto::RestoreSessionRequest>(
+        proto::encodeRestoreSessionRequest(restore),
+        [](const std::string &p, proto::RestoreSessionRequest &o) {
+            return proto::decodeRestoreSessionRequest(p, o);
+        });
+
+    proto::SessionReply reply;
+    reply.sessionId = 42;
+    reply.output = "out\n";
+    expectStrictRejection<proto::SessionReply>(
+        proto::encodeSessionReply(reply),
+        [](const std::string &p, proto::SessionReply &o) {
+            return proto::decodeSessionReply(p, o);
+        });
+
+    proto::SessionSnapshotResult snap;
+    snap.sessionId = 42;
+    snap.blob = "blob";
+    expectStrictRejection<proto::SessionSnapshotResult>(
+        proto::encodeSessionSnapshotResult(snap),
+        [](const std::string &p, proto::SessionSnapshotResult &o) {
+            return proto::decodeSessionSnapshotResult(p, o);
+        });
+
+    proto::SessionClosedResult closed;
+    closed.sessionId = 42;
+    expectStrictRejection<proto::SessionClosedResult>(
+        proto::encodeSessionClosedResult(closed),
+        [](const std::string &p, proto::SessionClosedResult &o) {
+            return proto::decodeSessionClosedResult(p, o);
+        });
+}
+
+TEST(Protocol, SessionPayloadFieldValidation)
+{
+    // Out-of-range enums on open.
+    proto::OpenSessionRequest open = sampleOpenSession();
+    open.engine = 2;
+    proto::OpenSessionRequest open_out;
+    EXPECT_FALSE(proto::decodeOpenSessionRequest(
+        proto::encodeOpenSessionRequest(open), open_out));
+    open = sampleOpenSession();
+    open.variant = 3;
+    EXPECT_FALSE(proto::decodeOpenSessionRequest(
+        proto::encodeOpenSessionRequest(open), open_out));
+    // sessionId 0 is allowed on open (shard assigns) ...
+    open = sampleOpenSession();
+    open.sessionId = 0;
+    EXPECT_TRUE(proto::decodeOpenSessionRequest(
+        proto::encodeOpenSessionRequest(open), open_out));
+
+    // ... but never on submit/snapshot/close, which address a session.
+    proto::SubmitChunkRequest chunk;
+    chunk.sessionId = 0;
+    chunk.source = "x = 1";
+    proto::SubmitChunkRequest chunk_out;
+    EXPECT_FALSE(proto::decodeSubmitChunkRequest(
+        proto::encodeSubmitChunkRequest(chunk), chunk_out));
+    proto::SessionIdRequest sid;
+    sid.sessionId = 0;
+    proto::SessionIdRequest sid_out;
+    EXPECT_FALSE(proto::decodeSessionIdRequest(
+        proto::encodeSessionIdRequest(sid), sid_out));
+
+    // Restore and snapshot-result must carry a blob.
+    proto::RestoreSessionRequest restore;
+    restore.sessionId = 42;
+    restore.blob.clear();
+    proto::RestoreSessionRequest restore_out;
+    EXPECT_FALSE(proto::decodeRestoreSessionRequest(
+        proto::encodeRestoreSessionRequest(restore), restore_out));
+    proto::SessionSnapshotResult snap;
+    snap.sessionId = 42;
+    snap.blob.clear();
+    proto::SessionSnapshotResult snap_out;
+    EXPECT_FALSE(proto::decodeSessionSnapshotResult(
+        proto::encodeSessionSnapshotResult(snap), snap_out));
+}
+
+TEST(Protocol, SessionKindsAreRequestKindsAndErrorCodesNamed)
+{
+    for (const proto::MsgKind kind :
+         {proto::MsgKind::OpenSession, proto::MsgKind::SubmitChunk,
+          proto::MsgKind::SnapshotSession, proto::MsgKind::RestoreSession,
+          proto::MsgKind::CloseSession})
+        EXPECT_TRUE(
+            proto::isRequestKind(static_cast<uint16_t>(kind)));
+    for (const proto::MsgKind kind :
+         {proto::MsgKind::SessionOpened, proto::MsgKind::ChunkResult,
+          proto::MsgKind::SessionSnapshot, proto::MsgKind::SessionClosed})
+        EXPECT_FALSE(
+            proto::isRequestKind(static_cast<uint16_t>(kind)));
+    // A corrupt snapshot can never be fixed by retrying it; a shard
+    // that forgot a session can serve it again after a migration.
+    EXPECT_FALSE(proto::errorRetryable(proto::ErrorCode::BadSnapshot));
+    EXPECT_FALSE(
+        std::string(proto::errorCodeName(proto::ErrorCode::BadSnapshot))
+            .empty());
+    EXPECT_FALSE(
+        std::string(
+            proto::errorCodeName(proto::ErrorCode::UnknownSession))
+            .empty());
+    // Same-key affinity: every request of one session routes alike.
+    EXPECT_EQ(proto::sessionRequestKey(42), proto::sessionRequestKey(42));
+    EXPECT_NE(proto::sessionRequestKey(42), proto::sessionRequestKey(43));
+}
+
+// ---------------------------------------------------------------------
 // Server integration over real sockets.
 
 /** Fresh temp dir (cache + socket) per fixture; removed afterwards. */
@@ -303,6 +534,8 @@ class ServeTest : public ::testing::Test
   protected:
     TempServeDir dir;
     std::unique_ptr<Server> server;
+    /** Session-table knobs; set before startServer() to take effect. */
+    SessionManager::Options sessionOpts;
 
     void
     startServer(unsigned jobs = 2, size_t queue_capacity = 64,
@@ -314,6 +547,7 @@ class ServeTest : public ::testing::Test
         cfg.jobs = jobs;
         cfg.queueCapacity = queue_capacity;
         cfg.sim.cacheDir = dir.str();
+        cfg.sessions = sessionOpts;
         if (send_timeout_ms)
             cfg.sendTimeoutMs = send_timeout_ms;
         server = std::make_unique<Server>(cfg);
@@ -898,6 +1132,288 @@ TEST_F(ServeTest, ClosedConnectionsAreReclaimed)
     // The server still accepts after the churn.
     Client again = connect();
     EXPECT_TRUE(again.ping());
+}
+
+// ---------------------------------------------------------------------
+// Stateful sessions over real sockets (docs/SERVING.md).
+
+proto::OpenSessionRequest
+openCounter()
+{
+    proto::OpenSessionRequest req;
+    req.engine = 0;           // Lua-semantics engine
+    req.variant = 1;          // Typed
+    req.source = "c = 0";
+    return req;
+}
+
+proto::SubmitChunkRequest
+incrementChunk(uint64_t session_id)
+{
+    proto::SubmitChunkRequest req;
+    req.sessionId = session_id;
+    req.source = "c = c + 1\nprint(c)";
+    return req;
+}
+
+TEST_F(ServeTest, SessionLifecycleKeepsStateAcrossChunks)
+{
+    startServer();
+    Client client = connect();
+
+    const Client::SessionOutcome opened =
+        client.openSession(openCounter());
+    ASSERT_TRUE(opened.ok) << opened.error.message;
+    const uint64_t id = opened.reply.sessionId;
+    ASSERT_NE(id, 0u);
+    EXPECT_EQ(opened.reply.chunkIndex, 1u);
+
+    // Globals persist chunk to chunk; output is per-chunk, stats are
+    // cumulative.
+    Client::SessionOutcome one = client.submitChunk(incrementChunk(id));
+    ASSERT_TRUE(one.ok) << one.error.message;
+    EXPECT_EQ(one.reply.output, "1\n");
+    EXPECT_EQ(one.reply.chunkIndex, 2u);
+    Client::SessionOutcome two = client.submitChunk(incrementChunk(id));
+    ASSERT_TRUE(two.ok) << two.error.message;
+    EXPECT_EQ(two.reply.output, "2\n");
+    EXPECT_EQ(two.reply.chunkIndex, 3u);
+    EXPECT_GT(two.reply.instructions, one.reply.instructions);
+    EXPECT_GT(two.reply.cycles, one.reply.cycles);
+
+    const Client::SessionOutcome snap = client.snapshotSession(id);
+    ASSERT_TRUE(snap.ok) << snap.error.message;
+    EXPECT_FALSE(snap.snapshot.blob.empty());
+    EXPECT_EQ(snap.snapshot.sessionId, id);
+
+    const Client::SessionOutcome closed = client.closeSession(id);
+    ASSERT_TRUE(closed.ok) << closed.error.message;
+    EXPECT_EQ(closed.reply.sessionId, id);
+
+    const Server::Health health = server->health();
+    EXPECT_EQ(health.sessions.opened, 1u);
+    EXPECT_EQ(health.sessions.closed, 1u);
+    EXPECT_EQ(health.sessions.openNow, 0u);
+    EXPECT_EQ(health.sessions.chunksRun, 3u); // open runs chunk 1
+    EXPECT_EQ(health.sessions.snapshots, 1u);
+    EXPECT_NE(health.toJson().find("\"sessions_open\":0"),
+              std::string::npos);
+    EXPECT_NE(health.toJson().find("\"sessions_opened\":1"),
+              std::string::npos);
+}
+
+TEST_F(ServeTest, RejectedChunkLeavesSessionUsable)
+{
+    startServer();
+    Client client = connect();
+    const Client::SessionOutcome opened =
+        client.openSession(openCounter());
+    ASSERT_TRUE(opened.ok) << opened.error.message;
+    const uint64_t id = opened.reply.sessionId;
+    ASSERT_TRUE(client.submitChunk(incrementChunk(id)).ok);
+
+    // A chunk that fails compilation answers a typed error and must
+    // not disturb committed state (prepare/commit is transactional).
+    proto::SubmitChunkRequest bad;
+    bad.sessionId = id;
+    bad.source = "c = c +";
+    const Client::SessionOutcome rejected = client.submitChunk(bad);
+    ASSERT_FALSE(rejected.ok);
+    ASSERT_FALSE(rejected.closed);
+    EXPECT_EQ(rejected.error.code,
+              static_cast<uint16_t>(proto::ErrorCode::CompileFailed));
+
+    const Client::SessionOutcome after =
+        client.submitChunk(incrementChunk(id));
+    ASSERT_TRUE(after.ok) << after.error.message;
+    EXPECT_EQ(after.reply.output, "2\n");
+    EXPECT_TRUE(client.closeSession(id).ok);
+}
+
+TEST_F(ServeTest, UnknownSessionIsACleanTypedError)
+{
+    startServer();
+    Client client = connect();
+    for (const auto &outcome :
+         {client.submitChunk(incrementChunk(0xDEAD)),
+          client.snapshotSession(0xDEAD), client.closeSession(0xDEAD)}) {
+        ASSERT_FALSE(outcome.ok);
+        ASSERT_FALSE(outcome.closed);
+        EXPECT_EQ(
+            outcome.error.code,
+            static_cast<uint16_t>(proto::ErrorCode::UnknownSession));
+    }
+    // The connection survives; sessions are per-server, not per-conn.
+    EXPECT_TRUE(client.ping());
+}
+
+TEST_F(ServeTest, SnapshotRestoreResumesBitIdenticalState)
+{
+    startServer();
+    Client client = connect();
+    const Client::SessionOutcome opened =
+        client.openSession(openCounter());
+    ASSERT_TRUE(opened.ok);
+    const uint64_t id = opened.reply.sessionId;
+    ASSERT_TRUE(client.submitChunk(incrementChunk(id)).ok);
+    const Client::SessionOutcome snap = client.snapshotSession(id);
+    ASSERT_TRUE(snap.ok);
+
+    // Continue the live session one more step, note the output, then
+    // rewind by restoring the blob: the replayed step must match.
+    const Client::SessionOutcome live =
+        client.submitChunk(incrementChunk(id));
+    ASSERT_TRUE(live.ok);
+    EXPECT_EQ(live.reply.output, "2\n");
+    ASSERT_TRUE(client.closeSession(id).ok);
+
+    proto::RestoreSessionRequest restore;
+    restore.sessionId = id;
+    restore.blob = snap.snapshot.blob;
+    const Client::SessionOutcome restored =
+        client.restoreSession(restore);
+    ASSERT_TRUE(restored.ok) << restored.error.message;
+    EXPECT_EQ(restored.reply.sessionId, id);
+    const Client::SessionOutcome replay =
+        client.submitChunk(incrementChunk(id));
+    ASSERT_TRUE(replay.ok) << replay.error.message;
+    EXPECT_EQ(replay.reply.output, live.reply.output);
+    EXPECT_EQ(replay.reply.instructions, live.reply.instructions);
+    EXPECT_EQ(replay.reply.cycles, live.reply.cycles);
+    EXPECT_TRUE(client.closeSession(id).ok);
+    EXPECT_GE(server->health().sessions.restored, 1u);
+}
+
+TEST_F(ServeTest, CorruptSnapshotBlobsAreCleanTypedErrors)
+{
+    startServer();
+    Client client = connect();
+    const Client::SessionOutcome opened =
+        client.openSession(openCounter());
+    ASSERT_TRUE(opened.ok);
+    const uint64_t id = opened.reply.sessionId;
+    ASSERT_TRUE(client.submitChunk(incrementChunk(id)).ok);
+    const Client::SessionOutcome snap = client.snapshotSession(id);
+    ASSERT_TRUE(snap.ok);
+    ASSERT_TRUE(client.closeSession(id).ok);
+    const std::string &blob = snap.snapshot.blob;
+
+    // Representative corruptions through the real RPC path; the
+    // exhaustive per-byte truncation/bit-flip sweep runs at codec
+    // level in test_snapshot.cc.  Every one must answer BadSnapshot
+    // (never retryable) and leave the connection usable.
+    std::vector<std::string> corrupt;
+    for (const size_t len :
+         {size_t{1}, size_t{4}, blob.size() / 2, blob.size() - 1})
+        corrupt.push_back(blob.substr(0, len));
+    for (const size_t pos :
+         {size_t{0}, size_t{8}, blob.size() / 2, blob.size() - 1}) {
+        std::string flipped = blob;
+        flipped[pos] = static_cast<char>(flipped[pos] ^ 0x40);
+        corrupt.push_back(flipped);
+    }
+    corrupt.push_back(blob + "x");
+    for (const std::string &bad : corrupt) {
+        proto::RestoreSessionRequest req;
+        req.sessionId = id;
+        req.blob = bad;
+        const Client::SessionOutcome outcome =
+            client.restoreSession(req);
+        ASSERT_FALSE(outcome.ok);
+        ASSERT_FALSE(outcome.closed);
+        EXPECT_EQ(outcome.error.code,
+                  static_cast<uint16_t>(proto::ErrorCode::BadSnapshot));
+        EXPECT_EQ(outcome.error.retryable, 0);
+        EXPECT_NE(outcome.error.message.find("bad-snapshot"),
+                  std::string::npos)
+            << outcome.error.message;
+    }
+    // The pristine blob still restores after the abuse.
+    proto::RestoreSessionRequest good;
+    good.sessionId = id;
+    good.blob = blob;
+    EXPECT_TRUE(client.restoreSession(good).ok);
+    EXPECT_TRUE(client.closeSession(id).ok);
+}
+
+TEST_F(ServeTest, IdleSessionsEvictToDiskAndResumeTransparently)
+{
+    sessionOpts.snapshotDir = (dir.path / "sessions").string();
+    sessionOpts.idleEvictMs = 1;
+    startServer();
+    Client client = connect();
+    const Client::SessionOutcome opened =
+        client.openSession(openCounter());
+    ASSERT_TRUE(opened.ok);
+    const uint64_t id = opened.reply.sessionId;
+    ASSERT_TRUE(client.submitChunk(incrementChunk(id)).ok);
+
+    // Force the idle sweep (the reaper calls this on its tick) until
+    // the session has been parked to disk.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (server->health().sessions.evicted == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+        server->sessions().sweepIdle();
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    Server::Health health = server->health();
+    ASSERT_GE(health.sessions.evicted, 1u);
+    EXPECT_EQ(health.sessions.openNow, 0u);
+
+    // Addressing the evicted session resumes it from its snapshot
+    // with state intact — the client cannot tell it was ever gone.
+    const Client::SessionOutcome resumed =
+        client.submitChunk(incrementChunk(id));
+    ASSERT_TRUE(resumed.ok) << resumed.error.message;
+    EXPECT_EQ(resumed.reply.output, "2\n");
+    health = server->health();
+    EXPECT_GE(health.sessions.resumed, 1u);
+    EXPECT_EQ(health.sessions.openNow, 1u);
+    EXPECT_TRUE(client.closeSession(id).ok);
+}
+
+TEST_F(ServeTest, DrainEvictsSessionsAndSurvivesRestart)
+{
+    sessionOpts.snapshotDir = (dir.path / "sessions").string();
+    startServer();
+    uint64_t id = 0;
+    {
+        Client client = connect();
+        const Client::SessionOutcome opened =
+            client.openSession(openCounter());
+        ASSERT_TRUE(opened.ok);
+        id = opened.reply.sessionId;
+        ASSERT_TRUE(client.submitChunk(incrementChunk(id)).ok);
+    }
+    server->stop();
+    EXPECT_GE(server->health().sessions.evicted, 1u);
+
+    // A new server over the same snapshot dir serves the session.
+    startServer();
+    Client client = connect();
+    const Client::SessionOutcome resumed =
+        client.submitChunk(incrementChunk(id));
+    ASSERT_TRUE(resumed.ok) << resumed.error.message;
+    EXPECT_EQ(resumed.reply.output, "2\n");
+    EXPECT_TRUE(client.closeSession(id).ok);
+}
+
+TEST_F(ServeTest, SessionMetricsAppearInExposition)
+{
+    startServer();
+    Client client = connect();
+    const Client::SessionOutcome opened =
+        client.openSession(openCounter());
+    ASSERT_TRUE(opened.ok);
+    ASSERT_TRUE(client.snapshotSession(opened.reply.sessionId).ok);
+    const std::string text = client.metricsText();
+    for (const char *metric :
+         {"tarch_serve_sessions_open", "tarch_serve_sessions_opened_total",
+          "tarch_serve_session_chunks_total",
+          "tarch_serve_snapshot_bytes",
+          "tarch_serve_snapshot_latency_us"})
+        EXPECT_NE(text.find(metric), std::string::npos) << metric;
 }
 
 TEST(SimServiceTest, NoCacheSkipsSingleFlightWait)

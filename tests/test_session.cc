@@ -1,0 +1,226 @@
+// Stateful VM session tests (docs/SERVING.md, "Stateful sessions"):
+// follow-on MiniScript chunks run on the same machine with globals,
+// functions, heap objects and interned strings persisting across
+// chunks; prepare/commit is transactional around verifier rejection;
+// and a session snapshotted between chunks resumes bit-identically.
+//
+// Chunked-session output is checked against the one-shot run of the
+// concatenated source, so the tests never hard-code engine number
+// formatting.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/stats.h"
+#include "snapshot/session_vm.h"
+
+namespace tarch::snapshot {
+namespace {
+
+std::string
+oneShotOutput(EngineId engine, const std::vector<std::string> &chunks)
+{
+    std::string all;
+    for (const std::string &chunk : chunks)
+        all += chunk + "\n";
+    SessionVm::Config cfg;
+    cfg.engine = engine;
+    SessionVm vm(cfg, all);
+    EXPECT_EQ(vm.run(), 0);
+    return vm.output();
+}
+
+/** Run @p chunks through a session, committing and running each. */
+std::string
+sessionOutput(EngineId engine, const std::vector<std::string> &chunks)
+{
+    SessionVm::Config cfg;
+    cfg.engine = engine;
+    SessionVm vm(cfg, chunks[0]);
+    EXPECT_EQ(vm.run(), 0);
+    for (size_t i = 1; i < chunks.size(); ++i) {
+        std::string error;
+        EXPECT_TRUE(vm.prepare(chunks[i], error)) << error;
+        EXPECT_TRUE(vm.commit(error)) << error;
+        EXPECT_EQ(vm.run(), 0) << "chunk " << i;
+    }
+    EXPECT_EQ(vm.chunks(), chunks);
+    return vm.output();
+}
+
+class BothEngines : public ::testing::TestWithParam<EngineId>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(Session, BothEngines,
+                         ::testing::Values(EngineId::Lua, EngineId::Js),
+                         [](const auto &info) {
+                             return info.param == EngineId::Lua ? "Lua"
+                                                                : "Js";
+                         });
+
+TEST_P(BothEngines, GlobalsPersistAcrossChunks)
+{
+    const std::vector<std::string> chunks = {
+        "x = 1\nprint(x)",
+        "x = x + 1\nprint(x)",
+        "x = x * 10\nprint(x)",
+    };
+    EXPECT_EQ(sessionOutput(GetParam(), chunks),
+              oneShotOutput(GetParam(), chunks));
+}
+
+TEST_P(BothEngines, FunctionsDefinedEarlierAreCallableLater)
+{
+    const std::vector<std::string> chunks = {
+        "function inc(n) return n + 1 end\nx = 0",
+        "x = inc(inc(x))\nprint(x)",
+        "function twice(n) return inc(inc(n)) end\nprint(twice(x))",
+        "print(twice(inc(x)))",
+    };
+    EXPECT_EQ(sessionOutput(GetParam(), chunks),
+              oneShotOutput(GetParam(), chunks));
+}
+
+TEST_P(BothEngines, HeapObjectsAndStringsPersist)
+{
+    const std::vector<std::string> chunks = {
+        "t = {}\ni = 0\nwhile i < 8 do t[i] = i * i i = i + 1 end",
+        "s = 0\ni = 0\nwhile i < 8 do s = s + t[i] i = i + 1 end\n"
+        "print(s)",
+        "name = \"total\" .. \":\"",
+        "print(name .. s)\nt[100] = s\nprint(t[100])",
+    };
+    EXPECT_EQ(sessionOutput(GetParam(), chunks),
+              oneShotOutput(GetParam(), chunks));
+}
+
+TEST_P(BothEngines, FloatZeroGlobalSurvivesChunkBoundary)
+{
+    // +0.0 has all-zero raw bits — the one value an "uninitialized
+    // slot" heuristic could clobber when a later chunk re-lays the
+    // global table.
+    const std::vector<std::string> chunks = {
+        "z = 0.0\nprint(z)",
+        "print(z)\nprint(z + 1.5)",
+    };
+    EXPECT_EQ(sessionOutput(GetParam(), chunks),
+              oneShotOutput(GetParam(), chunks));
+}
+
+TEST_P(BothEngines, CompileErrorLeavesSessionIntact)
+{
+    SessionVm::Config cfg;
+    cfg.engine = GetParam();
+    SessionVm vm(cfg, "x = 41");
+    EXPECT_EQ(vm.run(), 0);
+
+    std::string error;
+    EXPECT_FALSE(vm.prepare("x = x +", error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_EQ(vm.stagedProgram(), nullptr);
+
+    // Arity errors against a function seeded from an earlier chunk are
+    // caught at compile time too.
+    ASSERT_TRUE(vm.prepare("function f(a) return a end", error)) << error;
+    ASSERT_TRUE(vm.commit(error)) << error;
+    EXPECT_EQ(vm.run(), 0);
+    EXPECT_FALSE(vm.prepare("print(f(1, 2))", error));
+
+    // The session keeps working after rejections.
+    ASSERT_TRUE(vm.prepare("x = x + 1\nprint(x)", error)) << error;
+    ASSERT_TRUE(vm.commit(error)) << error;
+    EXPECT_EQ(vm.run(), 0);
+    EXPECT_NE(vm.output().find("42"), std::string::npos);
+}
+
+TEST_P(BothEngines, DiscardStagedIsTransactional)
+{
+    SessionVm::Config cfg;
+    cfg.engine = GetParam();
+    SessionVm vm(cfg, "x = 1");
+    EXPECT_EQ(vm.run(), 0);
+
+    std::string error;
+    ASSERT_TRUE(vm.prepare("x = 1000000\nprint(x)", error)) << error;
+    ASSERT_NE(vm.stagedProgram(), nullptr);
+    vm.discardStaged();  // verifier said no
+    EXPECT_EQ(vm.stagedProgram(), nullptr);
+    EXPECT_FALSE(vm.commit(error));
+    EXPECT_EQ(vm.chunks().size(), 1u);
+
+    ASSERT_TRUE(vm.prepare("x = x + 1\nprint(x)", error)) << error;
+    ASSERT_TRUE(vm.commit(error)) << error;
+    EXPECT_EQ(vm.run(), 0);
+    EXPECT_NE(vm.output().find("2"), std::string::npos);
+    EXPECT_EQ(vm.output().find("1000000"), std::string::npos);
+}
+
+TEST_P(BothEngines, SnapshotBetweenChunksResumesBitIdentically)
+{
+    SessionVm::Config cfg;
+    cfg.engine = GetParam();
+    const std::vector<std::string> chunks = {
+        "acc = 0\nfunction bump(n) return n + 7 end",
+        "acc = bump(acc)\nprint(acc)",
+        "acc = bump(acc * 2)\nprint(acc)",
+    };
+
+    // Control session runs all three chunks uninterrupted.
+    SessionVm control(cfg, chunks[0]);
+    EXPECT_EQ(control.run(), 0);
+    std::string error;
+    for (size_t i = 1; i < chunks.size(); ++i) {
+        ASSERT_TRUE(control.prepare(chunks[i], error)) << error;
+        ASSERT_TRUE(control.commit(error)) << error;
+        EXPECT_EQ(control.run(), 0);
+    }
+
+    // The migrated session snapshots after chunk 2 and resumes
+    // elsewhere (encode -> decode -> restore, the wire path).
+    SessionVm origin(cfg, chunks[0]);
+    EXPECT_EQ(origin.run(), 0);
+    ASSERT_TRUE(origin.prepare(chunks[1], error)) << error;
+    ASSERT_TRUE(origin.commit(error)) << error;
+    EXPECT_EQ(origin.run(), 0);
+
+    Snapshot decoded;
+    ASSERT_TRUE(decode(encode(origin.snapshot(99)), decoded, error))
+        << error;
+    std::unique_ptr<SessionVm> resumed =
+        SessionVm::restore(decoded, error);
+    ASSERT_NE(resumed, nullptr) << error;
+    EXPECT_EQ(resumed->chunks(), origin.chunks());
+
+    ASSERT_TRUE(resumed->prepare(chunks[2], error)) << error;
+    ASSERT_TRUE(resumed->commit(error)) << error;
+    EXPECT_EQ(resumed->run(), 0);
+
+    EXPECT_EQ(resumed->output(), control.output());
+    EXPECT_EQ(core::describeStatsDiff(control.stats(),
+                                      resumed->stats()),
+              "");
+}
+
+TEST(SessionLua, ManyChunksAccumulate)
+{
+    SessionVm vm(SessionVm::Config{}, "total = 0");
+    EXPECT_EQ(vm.run(), 0);
+    std::string error;
+    for (int i = 1; i <= 12; ++i) {
+        ASSERT_TRUE(
+            vm.prepare("total = total + " + std::to_string(i), error))
+            << error;
+        ASSERT_TRUE(vm.commit(error)) << error;
+        EXPECT_EQ(vm.run(), 0);
+    }
+    ASSERT_TRUE(vm.prepare("print(total)", error)) << error;
+    ASSERT_TRUE(vm.commit(error)) << error;
+    EXPECT_EQ(vm.run(), 0);
+    EXPECT_EQ(vm.output(), "78\n");
+    EXPECT_EQ(vm.chunks().size(), 14u);
+}
+
+} // namespace
+} // namespace tarch::snapshot

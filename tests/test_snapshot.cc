@@ -1,0 +1,308 @@
+// tarch-snap-v1 snapshot subsystem tests (docs/SNAPSHOT.md):
+//
+//  - the bit-identity matrix: for both engines x all three ISA variants
+//    x both exec modes, snapshotting a machine mid-run, restoring the
+//    encoded blob into a freshly rebuilt VM, and continuing is
+//    bit-identical to an uninterrupted run — all 26 CoreStats counters,
+//    the full register file, the guest output, and the exit code;
+//  - codec strictness: every truncated or bit-flipped blob decodes to a
+//    clean typed "bad-snapshot" error, never a crash;
+//  - the fuzz-oracle checkpoint axis stays clean on a known-good
+//    program.
+
+#include <gtest/gtest.h>
+
+#include "core/stats.h"
+#include "fuzz/oracle.h"
+#include "snapshot/session_vm.h"
+#include "snapshot/snapshot.h"
+
+namespace tarch::snapshot {
+namespace {
+
+// Exercises integer + float arithmetic, calls, tables, strings and
+// branches so every machine structure (TRT, caches, predictors, heap,
+// shadow tables) carries nontrivial state by the checkpoint.
+const char *kMatrixScript = R"(
+function fib(n)
+  if n < 2 then return n end
+  return fib(n - 1) + fib(n - 2)
+end
+t = {}
+i = 0
+while i < 60 do
+  t[i] = i * 3 + 1
+  i = i + 1
+end
+s = 0
+i = 0
+while i < 60 do
+  s = s + t[i]
+  i = i + 1
+end
+msg = "fib" .. ":" .. fib(13)
+print(msg)
+print(s)
+print(2.5 * s + 0.25)
+)";
+
+struct Combo {
+    EngineId engine;
+    vm::Variant variant;
+    core::ExecMode mode;
+};
+
+std::vector<Combo>
+allCombos()
+{
+    std::vector<Combo> combos;
+    for (const EngineId engine : {EngineId::Lua, EngineId::Js})
+        for (const vm::Variant variant :
+             {vm::Variant::Baseline, vm::Variant::Typed,
+              vm::Variant::CheckedLoad})
+            for (const core::ExecMode mode :
+                 {core::ExecMode::Exact, core::ExecMode::Predecoded})
+                combos.push_back({engine, variant, mode});
+    return combos;
+}
+
+std::string
+comboName(const Combo &combo)
+{
+    return std::string(combo.engine == EngineId::Lua ? "lua" : "js") +
+           "/" + std::string(vm::variantName(combo.variant)) + "/" +
+           (combo.mode == core::ExecMode::Exact ? "exact" : "predecoded");
+}
+
+SessionVm::Config
+configFor(const Combo &combo)
+{
+    SessionVm::Config cfg;
+    cfg.engine = combo.engine;
+    cfg.variant = combo.variant;
+    cfg.execMode = combo.mode;
+    return cfg;
+}
+
+void
+expectSameRegisters(core::Core &expected, core::Core &actual,
+                    const std::string &what)
+{
+    for (unsigned i = 0; i < isa::kNumGprs; ++i) {
+        const core::TaggedReg &e = expected.regs().gpr(i);
+        const core::TaggedReg &a = actual.regs().gpr(i);
+        EXPECT_EQ(e.v, a.v) << what << ": x" << i << " value";
+        EXPECT_EQ(e.t, a.t) << what << ": x" << i << " tag";
+        EXPECT_EQ(e.f, a.f) << what << ": x" << i << " F-I bit";
+    }
+    for (unsigned i = 0; i < isa::kNumFprs; ++i)
+        EXPECT_EQ(expected.regs().fpr(i), actual.regs().fpr(i))
+            << what << ": f" << i;
+}
+
+TEST(SnapshotMatrix, RestoreThenContinueIsBitIdentical)
+{
+    constexpr uint64_t kCheckpoint = 4096;
+    for (const Combo &combo : allCombos()) {
+        SCOPED_TRACE(comboName(combo));
+        const SessionVm::Config cfg = configFor(combo);
+
+        // The uninterrupted control run.
+        SessionVm control(cfg, kMatrixScript);
+        const int control_exit = control.run();
+
+        // The snapshotted run: capture mid-flight, then continue.
+        SessionVm live(cfg, kMatrixScript);
+        live.core().runUntilInstructions(kCheckpoint);
+        ASSERT_FALSE(live.core().halted())
+            << "checkpoint must land mid-run for the test to mean "
+               "anything";
+        const std::string blob = encode(live.snapshot(7));
+
+        // The restored run: decode the blob into a fresh machine.
+        Snapshot decoded;
+        std::string error;
+        ASSERT_TRUE(decode(blob, decoded, error)) << error;
+        EXPECT_EQ(decoded.sessionId, 7u);
+        std::unique_ptr<SessionVm> restored =
+            SessionVm::restore(decoded, error);
+        ASSERT_NE(restored, nullptr) << error;
+
+        EXPECT_EQ(live.run(), control_exit);
+        EXPECT_EQ(restored->run(), control_exit);
+
+        EXPECT_EQ(live.output(), control.output()) << "capture impure";
+        EXPECT_EQ(restored->output(), control.output());
+        EXPECT_EQ(core::describeStatsDiff(control.stats(), live.stats()),
+                  "")
+            << "snapshotting perturbed the original machine";
+        EXPECT_EQ(core::describeStatsDiff(control.stats(),
+                                          restored->stats()),
+                  "")
+            << "restored continuation diverged";
+        expectSameRegisters(control.core(), live.core(), "live");
+        expectSameRegisters(control.core(), restored->core(), "restored");
+    }
+}
+
+TEST(SnapshotMatrix, ExactAndPredecodedBlobsRestoreAcrossModes)
+{
+    // A blob captured on the exact core must restore and continue
+    // bit-identically on a predecoded host and vice versa: the
+    // snapshot carries architectural state only, and the two exec
+    // engines are contract-identical.
+    for (const EngineId engine : {EngineId::Lua, EngineId::Js}) {
+        SCOPED_TRACE(engine == EngineId::Lua ? "lua" : "js");
+        SessionVm::Config cfg;
+        cfg.engine = engine;
+        cfg.execMode = core::ExecMode::Exact;
+        SessionVm control(cfg, kMatrixScript);
+        const int exit_code = control.run();
+
+        SessionVm live(cfg, kMatrixScript);
+        live.core().runUntilInstructions(4096);
+        Snapshot snap = live.snapshot(1);
+        // Retarget the blob at the other exec mode before restoring.
+        snap.execMode =
+            static_cast<uint8_t>(core::ExecMode::Predecoded);
+        std::string error;
+        std::unique_ptr<SessionVm> restored =
+            SessionVm::restore(snap, error);
+        ASSERT_NE(restored, nullptr) << error;
+        EXPECT_EQ(restored->run(), exit_code);
+        EXPECT_EQ(restored->output(), control.output());
+        EXPECT_EQ(core::describeStatsDiff(control.stats(),
+                                          restored->stats()),
+                  "");
+    }
+}
+
+TEST(SnapshotCodec, EncodeIsDeterministicAndRoundTrips)
+{
+    SessionVm vm(SessionVm::Config{}, "print(1 + 2)");
+    vm.run();
+    const Snapshot snap = vm.snapshot(42);
+    const std::string blob = encode(snap);
+    ASSERT_GE(blob.size(), kHeaderBytes);
+
+    Snapshot decoded;
+    std::string error;
+    ASSERT_TRUE(decode(blob, decoded, error)) << error;
+    EXPECT_EQ(decoded.sessionId, 42u);
+    EXPECT_EQ(decoded.chunks, snap.chunks);
+    EXPECT_EQ(decoded.state.chunkCount, snap.state.chunkCount);
+    // Deterministic: re-encoding the decoded snapshot is byte-equal.
+    EXPECT_EQ(encode(decoded), blob);
+}
+
+TEST(SnapshotCodec, EveryTruncationIsACleanTypedError)
+{
+    SessionVm vm(SessionVm::Config{}, "print(1)");
+    const std::string blob = encode(vm.snapshot(1));
+
+    Snapshot out;
+    std::string error;
+    // Every header truncation, then the body at a coprime stride (plus
+    // the final few bytes, where an off-by-one would hide).
+    std::vector<size_t> lengths;
+    for (size_t len = 0; len <= kHeaderBytes; ++len)
+        lengths.push_back(len);
+    for (size_t len = kHeaderBytes + 1; len < blob.size(); len += 7)
+        lengths.push_back(len);
+    for (size_t back = 1; back <= 8 && back < blob.size(); ++back)
+        lengths.push_back(blob.size() - back);
+    for (const size_t len : lengths) {
+        error.clear();
+        EXPECT_FALSE(decode(blob.substr(0, len), out, error))
+            << "truncation to " << len << " bytes decoded";
+        EXPECT_EQ(error.rfind("bad-snapshot: ", 0), 0u)
+            << "untyped error at " << len << ": " << error;
+    }
+
+    // Trailing garbage is rejected too.
+    EXPECT_FALSE(decode(blob + "x", out, error));
+    EXPECT_EQ(error.rfind("bad-snapshot: ", 0), 0u);
+}
+
+TEST(SnapshotCodec, EveryBitFlipIsACleanTypedError)
+{
+    SessionVm vm(SessionVm::Config{}, "print(1)");
+    const std::string blob = encode(vm.snapshot(1));
+
+    Snapshot out;
+    std::string error;
+    for (size_t pos = 0; pos < blob.size();
+         pos += (pos < kHeaderBytes ? 1 : 13)) {
+        for (int bit = 0; bit < 8; bit += 3) {
+            std::string corrupt = blob;
+            corrupt[pos] =
+                static_cast<char>(corrupt[pos] ^ (1u << bit));
+            error.clear();
+            EXPECT_FALSE(decode(corrupt, out, error))
+                << "bit " << bit << " at byte " << pos
+                << " flipped undetected";
+            EXPECT_EQ(error.rfind("bad-snapshot: ", 0), 0u)
+                << "untyped error: " << error;
+        }
+    }
+}
+
+TEST(SnapshotCodec, RejectsWrongMagicVersionAndEnums)
+{
+    SessionVm vm(SessionVm::Config{}, "print(1)");
+    Snapshot snap = vm.snapshot(1);
+
+    Snapshot out;
+    std::string error;
+    snap.engine = 9;
+    EXPECT_FALSE(decode(encode(snap), out, error));
+    EXPECT_NE(error.find("enum"), std::string::npos) << error;
+    snap.engine = 0;
+    snap.variant = 3;
+    EXPECT_FALSE(decode(encode(snap), out, error));
+    snap.variant = 0;
+    snap.execMode = 2;
+    EXPECT_FALSE(decode(encode(snap), out, error));
+    snap.execMode = 0;
+    snap.chunks.clear();
+    EXPECT_FALSE(decode(encode(snap), out, error));
+    EXPECT_EQ(error.rfind("bad-snapshot: ", 0), 0u);
+}
+
+TEST(SnapshotCodec, RestoreRejectsMismatchedRebuild)
+{
+    // A blob whose recorded sources do not reproduce the recorded
+    // machine shape must be rejected by restore, not mis-restored.
+    SessionVm vm(SessionVm::Config{}, kMatrixScript);
+    vm.core().runUntilInstructions(1024);
+    Snapshot snap = vm.snapshot(1);
+    snap.chunks[0] = "print(1)";  // different program, same state
+    snap.state.chunkCount = 1;
+    std::string error;
+    EXPECT_EQ(SessionVm::restore(snap, error), nullptr);
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(SnapshotOracle, CheckpointAxisStaysCleanOnKnownGoodProgram)
+{
+    fuzz::OracleOptions opts;
+    opts.checkpoint = 2048;
+    const fuzz::OracleResult result = fuzz::runOracle(R"(
+function add(a, b) return a + b end
+s = 0
+i = 0
+while i < 50 do
+  s = add(s, i * 2)
+  i = i + 1
+end
+print(s .. "!")
+print(s / 4)
+)",
+                                                      opts);
+    ASSERT_TRUE(result.referenceOk) << result.referenceError;
+    for (const fuzz::Divergence &d : result.divergences)
+        ADD_FAILURE() << d.describe();
+}
+
+} // namespace
+} // namespace tarch::snapshot

@@ -71,6 +71,10 @@ usage(const char *argv0)
         "          [--exec-mode exact|predecoded|both]  (default: both —\n"
         "           every config also runs on the fast-path core and must\n"
         "           match its exact twin bit-for-bit)\n"
+        "          [--checkpoint N]  (snapshot axis: capture every config\n"
+        "           to a tarch-snap-v1 blob at ~N retired instructions,\n"
+        "           restore into a fresh VM, and require the resumed run\n"
+        "           to finish bit-identical to the uninterrupted one)\n"
         "       %s --replay FILE     (re-run one program, report, exit)\n"
         "           [--profile] [--trace-out PREFIX] [--interval-stats N]\n"
         "           [--json]         (instrument the divergent configs)\n"
@@ -163,6 +167,14 @@ parseArgs(int argc, char **argv)
                 static_cast<unsigned>(nextU64("--max-failures"));
         } else if (arg == "--max-instructions") {
             opts.oracle.maxInstructions = nextU64("--max-instructions");
+        } else if (arg == "--checkpoint") {
+            opts.oracle.checkpoint = nextU64("--checkpoint");
+            if (opts.oracle.checkpoint == 0) {
+                std::fprintf(stderr,
+                             "%s: --checkpoint must be nonzero\n",
+                             argv[0]);
+                usage(argv[0]);
+            }
         } else if (arg == "--exec-mode") {
             const std::string mode = next();
             if (mode == "both") {

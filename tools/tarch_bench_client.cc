@@ -82,6 +82,7 @@ struct Options {
     bool metricsMode = false;       // scrape Prometheus text and print
     bool drain = false;
     unsigned batch = 0;             // cells per RunBatch (0 = RunCell)
+    unsigned sessionChunks = 0;     // > 0 selects stateful-session mode
     std::string jsonOut;            // bench summary JSON file
     std::string traceOut;           // Chrome-trace JSON file
     uint64_t traceSample = 1;       // trace every Nth request
@@ -110,6 +111,11 @@ usage(const char *argv0, int code)
         "  --metrics          scrape and print the Prometheus text\n"
         "                     exposition (v2 servers/routers only)\n"
         "  --drain            ask the server to drain, wait for close\n"
+        "  --session N        stateful-session load: each worker runs\n"
+        "                     --requests sessions of open + N chunks +\n"
+        "                     snapshot + close, checking that VM state\n"
+        "                     persists across every chunk (and across\n"
+        "                     router migrations / idle-evict resumes)\n"
         "load options:\n"
         "  --connections N    workers (default 4)\n"
         "  --requests N       closed loop: requests per connection;\n"
@@ -686,6 +692,260 @@ runOpenLoad(const Options &opts)
     return 0;
 }
 
+// ---------------------------------------------------------------------
+// Stateful sessions.
+
+/** One session worker's tally. */
+struct SessionStats {
+    std::vector<double> latenciesUs;  ///< per-chunk round trips
+    uint64_t sessions = 0;     ///< completed end to end
+    uint64_t chunks = 0;       ///< chunk replies received
+    uint64_t snapshotBytes = 0;
+    uint64_t busyRetries = 0;
+    uint64_t reconnects = 0;
+    uint64_t sessionsLost = 0;  ///< UnknownSession after a reconnect
+    uint64_t typedErrors = 0;
+    uint64_t drainCloses = 0;
+    uint64_t protocolErrors = 0;  ///< garbled frames or state divergence
+};
+
+/**
+ * One stateful session: open a counter VM, bump it once per chunk, and
+ * end with a read-back chunk whose output must equal the last bump's —
+ * if any hop (idle-evict resume, router migration) dropped or forked
+ * the VM state, the read-back diverges and counts as a protocol error.
+ * Returns false when the worker should stop (target drained).
+ */
+bool
+runOneSession(const Options &opts, serve::Client &client,
+              SessionStats &stats)
+{
+    uint64_t session_id = 0;
+    std::string last_output;
+    // Step 0 = open, 1..N = increment chunks, N+1 = read-back,
+    // N+2 = snapshot, N+3 = close.
+    for (unsigned step = 0; step <= opts.sessionChunks + 3;) {
+        const auto t0 = Clock::now();
+        serve::Client::SessionOutcome outcome;
+        const bool read_back = step == opts.sessionChunks + 1;
+        if (step == 0) {
+            proto::OpenSessionRequest open;
+            open.engine = opts.engine;
+            open.variant = opts.variant;
+            open.deadlineMs = opts.deadlineMs;
+            open.source = "c = 0";
+            outcome = client.openSession(open);
+        } else if (step <= opts.sessionChunks + 1) {
+            proto::SubmitChunkRequest chunk;
+            chunk.deadlineMs = opts.deadlineMs;
+            chunk.sessionId = session_id;
+            chunk.source =
+                read_back ? "print(c)" : "c = c + 1\nprint(c)";
+            outcome = client.submitChunk(chunk);
+        } else if (step == opts.sessionChunks + 2) {
+            outcome = client.snapshotSession(session_id);
+        } else {
+            outcome = client.closeSession(session_id);
+        }
+        const double us = std::chrono::duration<double, std::micro>(
+                              Clock::now() - t0)
+                              .count();
+        if (outcome.closed) {
+            stats.drainCloses++;
+            return false;
+        }
+        if (outcome.lost()) {
+            // Transport died mid-session.  Reconnect and retry the
+            // same step: a router migrates the session to a new shard;
+            // a lone daemon is gone and the retry reads UnknownSession
+            // (counted, session abandoned) — either way no hang.
+            stats.reconnects++;
+            client = serve::Client::tryConnect(opts.endpoints[0]);
+            if (!client.isOpen()) {
+                stats.drainCloses++;
+                return false;
+            }
+            continue;
+        }
+        if (!outcome.ok) {
+            const auto code =
+                static_cast<proto::ErrorCode>(outcome.error.code);
+            if (code == proto::ErrorCode::UnknownSession) {
+                stats.sessionsLost++;
+                return true;  // abandoned; next session starts fresh
+            }
+            if (outcome.error.retryable) {
+                stats.busyRetries++;
+                if (code == proto::ErrorCode::Draining) {
+                    stats.drainCloses++;
+                    return false;
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(200));
+                continue;
+            }
+            stats.typedErrors++;
+            tarch_warn("session request failed: %s: %s",
+                       std::string(proto::errorCodeName(code)).c_str(),
+                       outcome.error.message.c_str());
+            return true;
+        }
+        stats.latenciesUs.push_back(us);
+        if (step == 0) {
+            session_id = outcome.reply.sessionId;
+            if (session_id == 0) {
+                stats.protocolErrors++;
+                tarch_warn("session opened with id 0");
+                return true;
+            }
+        } else if (step <= opts.sessionChunks) {
+            stats.chunks++;
+            last_output = outcome.reply.output;
+        } else if (read_back) {
+            stats.chunks++;
+            // The read-back print must match the last increment's: the
+            // counter survived every chunk (and any migration between
+            // them) bit-exactly.
+            if (outcome.reply.output != last_output) {
+                stats.protocolErrors++;
+                tarch_warn("session state diverged: read-back '%s' != "
+                           "last chunk '%s'",
+                           outcome.reply.output.c_str(),
+                           last_output.c_str());
+            }
+        } else if (step == opts.sessionChunks + 2) {
+            if (outcome.snapshot.blob.empty()) {
+                stats.protocolErrors++;
+                tarch_warn("empty snapshot blob");
+            }
+            stats.snapshotBytes += outcome.snapshot.blob.size();
+        } else {
+            stats.sessions++;
+        }
+        ++step;
+    }
+    return true;
+}
+
+void
+sessionLoop(const Options &opts, SessionStats &stats)
+{
+    serve::Client client = serve::Client::tryConnect(opts.endpoints[0]);
+    if (!client.isOpen()) {
+        stats.protocolErrors++;
+        tarch_warn("cannot connect to %s",
+                   opts.endpoints[0].describe().c_str());
+        return;
+    }
+    if (opts.recorder != nullptr)
+        client.enableTracing(opts.recorder, opts.traceSample);
+    for (unsigned i = 0; i < opts.requests; ++i)
+        if (!runOneSession(opts, client, stats))
+            return;
+}
+
+int
+runSessionLoad(const Options &opts)
+{
+    std::vector<SessionStats> stats(opts.connections);
+    std::vector<std::thread> threads;
+    std::atomic<bool> chaosFailed{false};
+
+    const auto t0 = Clock::now();
+    for (unsigned i = 0; i < opts.connections; ++i)
+        threads.emplace_back(sessionLoop, std::cref(opts),
+                             std::ref(stats[i]));
+    for (unsigned i = 0; i < opts.chaos; ++i)
+        threads.emplace_back(chaosLoop, std::cref(opts), i,
+                             std::ref(chaosFailed));
+    for (auto &t : threads)
+        t.join();
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+
+    SessionStats total;
+    for (auto &s : stats) {
+        total.sessions += s.sessions;
+        total.chunks += s.chunks;
+        total.snapshotBytes += s.snapshotBytes;
+        total.busyRetries += s.busyRetries;
+        total.reconnects += s.reconnects;
+        total.sessionsLost += s.sessionsLost;
+        total.typedErrors += s.typedErrors;
+        total.drainCloses += s.drainCloses;
+        total.protocolErrors += s.protocolErrors;
+        total.latenciesUs.insert(total.latenciesUs.end(),
+                                 s.latenciesUs.begin(),
+                                 s.latenciesUs.end());
+    }
+    std::sort(total.latenciesUs.begin(), total.latenciesUs.end());
+
+    std::printf("connections:      %u (+%u chaos)\n", opts.connections,
+                opts.chaos);
+    std::printf("sessions done:    %llu (of %llu offered)\n",
+                (unsigned long long)total.sessions,
+                (unsigned long long)opts.connections *
+                    (unsigned long long)opts.requests);
+    std::printf("chunks run:       %llu\n",
+                (unsigned long long)total.chunks);
+    std::printf("snapshot bytes:   %llu\n",
+                (unsigned long long)total.snapshotBytes);
+    std::printf("busy retries:     %llu\n",
+                (unsigned long long)total.busyRetries);
+    std::printf("reconnects:       %llu\n",
+                (unsigned long long)total.reconnects);
+    std::printf("sessions lost:    %llu\n",
+                (unsigned long long)total.sessionsLost);
+    std::printf("typed errors:     %llu\n",
+                (unsigned long long)total.typedErrors);
+    std::printf("drain closes:     %llu\n",
+                (unsigned long long)total.drainCloses);
+    std::printf("protocol errors:  %llu\n",
+                (unsigned long long)total.protocolErrors);
+    std::printf("elapsed:          %.3f s\n", secs);
+    if (secs > 0.0)
+        std::printf("chunk rate:       %.1f chunks/s\n",
+                    (double)total.chunks / secs);
+    std::printf("chunk p50:        %.1f us\n",
+                percentile(total.latenciesUs, 0.50));
+    std::printf("chunk p99:        %.1f us\n",
+                percentile(total.latenciesUs, 0.99));
+
+    if (!opts.jsonOut.empty()) {
+        const std::string json = strformat(
+            "{\"schema\":\"tarch-bench-serve-v1\",\"mode\":\"session\","
+            "\"connections\":%u,\"chaos\":%u,"
+            "\"sessions_per_connection\":%u,\"chunks_per_session\":%u,"
+            "\"sessions_done\":%llu,\"chunks_run\":%llu,"
+            "\"snapshot_bytes\":%llu,\"busy_retries\":%llu,"
+            "\"reconnects\":%llu,\"sessions_lost\":%llu,"
+            "\"typed_errors\":%llu,\"drain_closes\":%llu,"
+            "\"protocol_errors\":%llu,"
+            "\"elapsed_s\":%.3f,\"chunk_rate\":%.1f,"
+            "\"chunk_latency_us\":{\"p50\":%.1f,\"p99\":%.1f}}\n",
+            opts.connections, opts.chaos, opts.requests,
+            opts.sessionChunks, (unsigned long long)total.sessions,
+            (unsigned long long)total.chunks,
+            (unsigned long long)total.snapshotBytes,
+            (unsigned long long)total.busyRetries,
+            (unsigned long long)total.reconnects,
+            (unsigned long long)total.sessionsLost,
+            (unsigned long long)total.typedErrors,
+            (unsigned long long)total.drainCloses,
+            (unsigned long long)total.protocolErrors, secs,
+            secs > 0.0 ? (double)total.chunks / secs : 0.0,
+            percentile(total.latenciesUs, 0.50),
+            percentile(total.latenciesUs, 0.99));
+        if (!writeFile(opts.jsonOut, json))
+            return 1;
+    }
+
+    if (total.protocolErrors > 0 || total.typedErrors > 0 ||
+        chaosFailed.load())
+        return 1;
+    return 0;
+}
+
 /**
  * Pretty-print a v2 health JSON document: one aligned line per field,
  * with nested objects (replies_by_code) reduced to their nonzero
@@ -876,6 +1136,9 @@ main(int argc, char **argv)
         } else if (arg == "--batch") {
             opts.batch = static_cast<unsigned>(
                 parseNum(argv[0], "--batch", next("--batch"), 1, 4096));
+        } else if (arg == "--session") {
+            opts.sessionChunks = static_cast<unsigned>(parseNum(
+                argv[0], "--session", next("--session"), 1, 100'000));
         } else if (arg == "--stats-json") {
             opts.wantStats = true;
         } else if (arg == "--deadline-ms") {
@@ -989,8 +1252,9 @@ main(int argc, char **argv)
         tarch::obs::SpanRecorder recorder("tarch_bench_client");
         if (!opts.traceOut.empty())
             opts.recorder = &recorder;
-        const int rc =
-            opts.rate > 0.0 ? runOpenLoad(opts) : runClosedLoad(opts);
+        const int rc = opts.sessionChunks > 0 ? runSessionLoad(opts)
+                       : opts.rate > 0.0     ? runOpenLoad(opts)
+                                             : runClosedLoad(opts);
         if (!opts.traceOut.empty() &&
             writeFile(opts.traceOut, recorder.renderChromeTrace()))
             std::fprintf(stderr, "wrote %zu spans to %s\n",

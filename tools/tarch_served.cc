@@ -71,6 +71,15 @@ usage(const char *argv0, int code)
         "                     else exact); bit-identical stats, "
         "predecoded serves faster\n"
         "  --max-payload N    per-frame payload cap in bytes\n"
+        "stateful sessions (docs/SERVING.md):\n"
+        "  --session-dir DIR  evict idle sessions to tarch-snap-v1 "
+        "files here and\n"
+        "                     transparently resume them (default: "
+        "in-memory only)\n"
+        "  --session-idle-ms N  idle eviction threshold (default 60000; "
+        "0 disables eviction)\n"
+        "  --max-sessions N   live session cap; excess opens answer "
+        "BUSY (default 256)\n"
         "observability (docs/OBSERVABILITY.md):\n"
         "  --trace-out FILE   write this process's Chrome-trace JSON "
         "(sampled v2 requests) at exit\n"
@@ -190,6 +199,16 @@ main(int argc, char **argv)
             cfg.sim.execMode = *mode;
         } else if (arg == "--no-verify") {
             cfg.sim.verifySource = false;
+        } else if (arg == "--session-dir") {
+            cfg.sessions.snapshotDir = next("--session-dir");
+        } else if (arg == "--session-idle-ms") {
+            cfg.sessions.idleEvictMs = static_cast<uint64_t>(
+                parseNum(argv[0], "--session-idle-ms",
+                         next("--session-idle-ms"), 0, 86'400'000));
+        } else if (arg == "--max-sessions") {
+            cfg.sessions.maxSessions = static_cast<size_t>(
+                parseNum(argv[0], "--max-sessions", next("--max-sessions"),
+                         1, 1u << 20));
         } else if (arg == "--max-payload") {
             cfg.maxPayload = static_cast<uint32_t>(
                 parseNum(argv[0], "--max-payload", next("--max-payload"),
@@ -224,6 +243,9 @@ main(int argc, char **argv)
         std::fprintf(stderr, "%s: need --unix and/or --tcp\n", argv[0]);
         return usage(argv[0], 2);
     }
+    // Sessions follow the stateless path's engine and verifier gates.
+    cfg.sessions.execMode = cfg.sim.execMode;
+    cfg.sessions.verifyChunks = cfg.sim.verifySource;
 
     if (::pipe(g_signal_pipe) != 0) {
         std::fprintf(stderr, "%s: pipe: %s\n", argv[0],
